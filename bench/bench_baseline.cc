@@ -1,0 +1,90 @@
+// E4 — weblint vs the strict validator vs the naive checker: runtime on
+// clean and broken corpora. The paper positions weblint as the helpful,
+// human-oriented middle ground (§3.2/§4); this bench shows the cost side:
+// all three are same-order fast, so the difference is message quality
+// (bench_cascade), not speed.
+#include <benchmark/benchmark.h>
+
+#include "baseline/naive_checker.h"
+#include "baseline/strict_validator.h"
+#include "core/linter.h"
+#include "corpus/page_generator.h"
+#include "spec/registry.h"
+
+namespace {
+
+using namespace weblint;
+
+const std::string& CleanPage() {
+  static const std::string page = [] {
+    PageGenerator generator(0xBA5E);
+    return generator.GenerateShaped(PageGenerator::Shape::kTagHeavy, 256 * 1024);
+  }();
+  return page;
+}
+
+const std::string& BrokenPage() {
+  static const std::string page = [] {
+    PageGenerator generator(0xBAD);
+    return generator.GenerateDefective(/*paragraphs=*/600, /*defect_count=*/120).html;
+  }();
+  return page;
+}
+
+template <typename Fn>
+void RunOver(benchmark::State& state, const std::string& page, Fn&& fn) {
+  size_t diagnostics = 0;
+  for (auto _ : state) {
+    diagnostics = fn(page);
+    benchmark::DoNotOptimize(diagnostics);
+  }
+  state.counters["diagnostics"] = static_cast<double>(diagnostics);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+
+void BM_Weblint_Clean(benchmark::State& state) {
+  Weblint lint;
+  RunOver(state, CleanPage(),
+          [&](const std::string& page) { return lint.CheckString("p", page).diagnostics.size(); });
+}
+BENCHMARK(BM_Weblint_Clean);
+
+void BM_Weblint_Broken(benchmark::State& state) {
+  Weblint lint;
+  RunOver(state, BrokenPage(),
+          [&](const std::string& page) { return lint.CheckString("p", page).diagnostics.size(); });
+}
+BENCHMARK(BM_Weblint_Broken);
+
+void BM_StrictValidator_Clean(benchmark::State& state) {
+  StrictValidator validator(DefaultSpec());
+  RunOver(state, CleanPage(),
+          [&](const std::string& page) { return validator.Validate(page).errors.size(); });
+}
+BENCHMARK(BM_StrictValidator_Clean);
+
+void BM_StrictValidator_Broken(benchmark::State& state) {
+  StrictValidator validator(DefaultSpec());
+  RunOver(state, BrokenPage(),
+          [&](const std::string& page) { return validator.Validate(page).errors.size(); });
+}
+BENCHMARK(BM_StrictValidator_Broken);
+
+void BM_NaiveChecker_Clean(benchmark::State& state) {
+  NaiveChecker checker(DefaultSpec());
+  RunOver(state, CleanPage(),
+          [&](const std::string& page) { return checker.Check(page).size(); });
+}
+BENCHMARK(BM_NaiveChecker_Clean);
+
+void BM_NaiveChecker_Broken(benchmark::State& state) {
+  NaiveChecker checker(DefaultSpec());
+  RunOver(state, BrokenPage(),
+          [&](const std::string& page) { return checker.Check(page).size(); });
+}
+BENCHMARK(BM_NaiveChecker_Broken);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// E3 — cascade suppression (paper §5.1): weblint's heuristics keep the
+// number of diagnostics proportional to the number of problems, where a
+// strict SGML validator cascades. Sweeps defect density and reports
+// diagnostics-per-seeded-defect for weblint, the strict validator, and the
+// htmlchek-style naive checker.
+#include <benchmark/benchmark.h>
+
+#include "baseline/naive_checker.h"
+#include "baseline/strict_validator.h"
+#include "core/linter.h"
+#include "corpus/page_generator.h"
+#include "spec/registry.h"
+
+namespace {
+
+using namespace weblint;
+
+GeneratedPage MakeDefective(size_t defects) {
+  PageGenerator generator(0xCA5CADE + defects);
+  return generator.GenerateDefective(/*paragraphs=*/40, defects);
+}
+
+void BM_WeblintDefective(benchmark::State& state) {
+  const size_t defects = static_cast<size_t>(state.range(0));
+  const GeneratedPage page = MakeDefective(defects);
+  Weblint lint;
+  size_t diagnostics = 0;
+  for (auto _ : state) {
+    const LintReport report = lint.CheckString("page", page.html);
+    diagnostics = report.diagnostics.size();
+    benchmark::DoNotOptimize(diagnostics);
+  }
+  state.counters["defects"] = static_cast<double>(defects);
+  state.counters["diagnostics"] = static_cast<double>(diagnostics);
+  state.counters["diag_per_defect"] =
+      static_cast<double>(diagnostics) / static_cast<double>(defects);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.html.size()));
+}
+BENCHMARK(BM_WeblintDefective)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_StrictValidatorDefective(benchmark::State& state) {
+  const size_t defects = static_cast<size_t>(state.range(0));
+  const GeneratedPage page = MakeDefective(defects);
+  StrictValidator validator(DefaultSpec());
+  size_t errors = 0;
+  for (auto _ : state) {
+    const ValidationResult result = validator.Validate(page.html);
+    errors = result.errors.size();
+    benchmark::DoNotOptimize(errors);
+  }
+  state.counters["defects"] = static_cast<double>(defects);
+  state.counters["diagnostics"] = static_cast<double>(errors);
+  state.counters["diag_per_defect"] =
+      static_cast<double>(errors) / static_cast<double>(defects);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.html.size()));
+}
+BENCHMARK(BM_StrictValidatorDefective)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_NaiveCheckerDefective(benchmark::State& state) {
+  const size_t defects = static_cast<size_t>(state.range(0));
+  const GeneratedPage page = MakeDefective(defects);
+  NaiveChecker checker(DefaultSpec());
+  size_t findings = 0;
+  for (auto _ : state) {
+    findings = checker.Check(page.html).size();
+    benchmark::DoNotOptimize(findings);
+  }
+  state.counters["defects"] = static_cast<double>(defects);
+  state.counters["diagnostics"] = static_cast<double>(findings);
+  state.counters["diag_per_defect"] =
+      static_cast<double>(findings) / static_cast<double>(defects);
+}
+BENCHMARK(BM_NaiveCheckerDefective)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

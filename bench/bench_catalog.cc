@@ -1,0 +1,103 @@
+// E1 / E2 — the paper's §4.2 worked example and the §4.3 catalog figures.
+//
+// The custom main first prints the reproduction report (catalog statistics
+// and the test.html output, paper-expected vs measured), then runs the
+// message-machinery micro-benchmarks.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/linter.h"
+#include "warnings/catalog.h"
+#include "warnings/emitter.h"
+
+namespace {
+
+using namespace weblint;
+
+constexpr char kTestHtml[] =
+    "<HTML>\n<HEAD>\n<TITLE>example page\n</HEAD>\n"
+    "<BODY BGCOLOR=\"fffff\" TEXT=#00ff00>\n<H1>My Example</H2>\n"
+    "Click <B><A HREF=\"a.html>here</B></A>\nfor more details.\n</BODY>\n</HTML>\n";
+
+const char* kPaperOutput[] = {
+    "line 1: first element was not DOCTYPE specification",
+    "line 4: no closing </TITLE> seen for <TITLE> on line 3",
+    "line 5: value for attribute TEXT (#00ff00) of element BODY should be quoted "
+    "(i.e. TEXT=\"#00ff00\")",
+    "line 5: illegal value for BGCOLOR attribute of BODY (fffff)",
+    "line 6: malformed heading - open tag is <H1>, but closing is </H2>",
+    "line 7: odd number of quotes in element <A HREF=\"a.html>",
+    "line 7: </B> on line 7 seems to overlap <A>, opened on line 7.",
+};
+
+void PrintReproductionReport() {
+  std::printf("==== E2: message catalog (paper section 4.3) ====\n");
+  std::printf("  %-42s paper   measured\n", "");
+  std::printf("  %-42s %-7s %zu\n", "output messages", "50", MessageCount());
+  std::printf("  %-42s %-7s %zu\n", "enabled by default", "42", DefaultEnabledCount());
+  const unsigned categories = (CategoryCount(Category::kError) > 0 ? 1u : 0u) +
+                              (CategoryCount(Category::kWarning) > 0 ? 1u : 0u) +
+                              (CategoryCount(Category::kStyle) > 0 ? 1u : 0u);
+  std::printf("  %-42s %-7s %u\n", "categories", "3", categories);
+  std::printf("  per category: %zu errors, %zu warnings, %zu style comments\n",
+              CategoryCount(Category::kError), CategoryCount(Category::kWarning),
+              CategoryCount(Category::kStyle));
+
+  std::printf("\n==== E1: weblint -s test.html (paper section 4.2) ====\n");
+  Weblint lint;
+  const LintReport report = lint.CheckString("test.html", kTestHtml);
+  const size_t expected_count = sizeof(kPaperOutput) / sizeof(kPaperOutput[0]);
+  size_t matches = 0;
+  for (size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const std::string line = FormatDiagnostic(report.diagnostics[i], OutputStyle::kShort);
+    const bool match = i < expected_count && line == kPaperOutput[i];
+    matches += match ? 1 : 0;
+    std::printf("  [%s] %s\n", match ? "ok" : "!!", line.c_str());
+  }
+  std::printf("  => %zu/%zu lines match the paper's output (%zu diagnostics, paper shows %zu)\n\n",
+              matches, expected_count, report.diagnostics.size(), expected_count);
+}
+
+void BM_PaperExampleLint(benchmark::State& state) {
+  Weblint lint;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lint.CheckString("test.html", kTestHtml));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * sizeof(kTestHtml));
+}
+BENCHMARK(BM_PaperExampleLint);
+
+void BM_FindMessage(benchmark::State& state) {
+  size_t i = 0;
+  const auto messages = AllMessages();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindMessage(messages[i % messages.size()].id));
+    ++i;
+  }
+}
+BENCHMARK(BM_FindMessage);
+
+void BM_FormatDiagnostic(benchmark::State& state) {
+  Diagnostic d;
+  d.message_id = "unclosed-element";
+  d.category = Category::kError;
+  d.file = "test.html";
+  d.location = SourceLocation{4, 1};
+  d.message = "no closing </TITLE> seen for <TITLE> on line 3";
+  const auto style = static_cast<OutputStyle>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FormatDiagnostic(d, style));
+  }
+}
+BENCHMARK(BM_FormatDiagnostic)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReproductionReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

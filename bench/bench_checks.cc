@@ -1,0 +1,81 @@
+// E7 — per-check-group ablation: the incremental cost of each message
+// category and of the most table-driven checks (attribute validation),
+// quantifying the design choice of driving checks from the HTML version
+// tables (paper §5.5).
+#include <benchmark/benchmark.h>
+
+#include "core/linter.h"
+#include "corpus/page_generator.h"
+
+namespace {
+
+using namespace weblint;
+
+const std::string& Workload() {
+  static const std::string page = [] {
+    // Attribute-heavy markup exercises the table-driven checks hardest.
+    PageGenerator generator(0xAB7A);
+    return generator.GenerateShaped(PageGenerator::Shape::kAttrHeavy, 256 * 1024);
+  }();
+  return page;
+}
+
+void RunWith(benchmark::State& state, const Config& config) {
+  Weblint lint(config);
+  const std::string& page = Workload();
+  size_t diagnostics = 0;
+  for (auto _ : state) {
+    diagnostics = lint.CheckString("p", page).diagnostics.size();
+    benchmark::DoNotOptimize(diagnostics);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+  state.counters["diagnostics"] = static_cast<double>(diagnostics);
+}
+
+void BM_Ablation_NoMessages(benchmark::State& state) {
+  Config config;
+  config.warnings = WarningSet::NoneEnabled();
+  RunWith(state, config);
+}
+BENCHMARK(BM_Ablation_NoMessages);
+
+void BM_Ablation_ErrorsOnly(benchmark::State& state) {
+  Config config;
+  config.warnings = WarningSet::NoneEnabled();
+  config.warnings.EnableCategory(Category::kError);
+  RunWith(state, config);
+}
+BENCHMARK(BM_Ablation_ErrorsOnly);
+
+void BM_Ablation_ErrorsAndWarnings(benchmark::State& state) {
+  Config config;
+  config.warnings = WarningSet::NoneEnabled();
+  config.warnings.EnableCategory(Category::kError);
+  config.warnings.EnableCategory(Category::kWarning);
+  RunWith(state, config);
+}
+BENCHMARK(BM_Ablation_ErrorsAndWarnings);
+
+void BM_Ablation_AllCategories(benchmark::State& state) {
+  Config config;
+  config.warnings = WarningSet::AllEnabled();
+  RunWith(state, config);
+}
+BENCHMARK(BM_Ablation_AllCategories);
+
+// Attribute-value pattern matching is the one check family with non-trivial
+// per-token cost; compare with attribute-value checks disabled.
+void BM_Ablation_NoAttributeValues(benchmark::State& state) {
+  Config config;
+  config.warnings = WarningSet::AllEnabled();
+  config.warnings.Set("attribute-value", false);
+  config.warnings.Set("quote-attribute-value", false);
+  config.warnings.Set("unknown-attribute", false);
+  RunWith(state, config);
+}
+BENCHMARK(BM_Ablation_NoAttributeValues);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// E11 — configuration machinery (paper §4.4): rc-file parsing and
+// warning-set operations. Configuration runs once per weblint invocation —
+// from crontab over thousands of files it must be negligible.
+#include <benchmark/benchmark.h>
+
+#include "config/config.h"
+#include "warnings/warning_set.h"
+
+namespace {
+
+using namespace weblint;
+
+constexpr char kTypicalRc[] = R"(# site style guide
+set case lower
+set title-length 48
+enable here-anchor, img-size, physical-font
+disable table-summary
+extension netscape
+html-version html40
+set content-free here, click here, this
+set index-files index.html, index.htm, default.html
+)";
+
+void BM_ParseRcFile(benchmark::State& state) {
+  for (auto _ : state) {
+    Config config;
+    benchmark::DoNotOptimize(ApplyRcText(kTypicalRc, "rc", &config).ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sizeof(kTypicalRc)));
+}
+BENCHMARK(BM_ParseRcFile);
+
+void BM_WarningSetIsEnabled(benchmark::State& state) {
+  WarningSet set;
+  (void)set.Enable("here-anchor");
+  (void)set.Disable("img-alt");
+  const auto messages = AllMessages();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.IsEnabled(messages[i % messages.size()].id));
+    ++i;
+  }
+}
+BENCHMARK(BM_WarningSetIsEnabled);
+
+void BM_WarningSetLayering(benchmark::State& state) {
+  // Site defaults + user overrides + CLI overrides, as the weblint wrapper
+  // applies them.
+  for (auto _ : state) {
+    Config config;
+    (void)ApplyRcText("disable-category style\nenable img-size\n", "site", &config);
+    (void)ApplyRcText("enable here-anchor\ndisable img-size\n", "user", &config);
+    (void)config.warnings.Enable("img-size");
+    benchmark::DoNotOptimize(config.warnings.EnabledCount());
+  }
+}
+BENCHMARK(BM_WarningSetLayering);
+
+void BM_WarningSetCopy(benchmark::State& state) {
+  WarningSet set;
+  set.EnableCategory(Category::kStyle);
+  for (auto _ : state) {
+    WarningSet copy = set;
+    benchmark::DoNotOptimize(copy.IsEnabled("here-anchor"));
+  }
+}
+BENCHMARK(BM_WarningSetCopy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// E12 (extension) — DTD-driven table generation (paper §6.1): parsing the
+// bundled HTML 4.0 subset DTD, generating the spec, and generating the
+// conformance cases. Generation happens once per process in a DTD-driven
+// weblint, so the absolute cost mostly just needs to be "small".
+#include <benchmark/benchmark.h>
+
+#include "dtd/dtd_parser.h"
+#include "dtd/spec_from_dtd.h"
+#include "spec/registry.h"
+
+namespace {
+
+using namespace weblint;
+
+void BM_ParseDtd(benchmark::State& state) {
+  const std::string_view dtd = BundledHtml40Dtd();
+  size_t elements = 0;
+  for (auto _ : state) {
+    auto parsed = ParseDtd(dtd);
+    elements = parsed.ok() ? parsed->elements.size() : 0;
+    benchmark::DoNotOptimize(elements);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dtd.size()));
+  state.counters["elements"] = static_cast<double>(elements);
+}
+BENCHMARK(BM_ParseDtd);
+
+void BM_SpecFromDtd(benchmark::State& state) {
+  auto parsed = ParseDtd(BundledHtml40Dtd());
+  for (auto _ : state) {
+    auto spec = SpecFromDtd(*parsed, "gen", "generated");
+    benchmark::DoNotOptimize(spec.ok());
+  }
+}
+BENCHMARK(BM_SpecFromDtd);
+
+void BM_GenerateTestCases(benchmark::State& state) {
+  size_t cases = 0;
+  for (auto _ : state) {
+    cases = GenerateTestCases(DefaultSpec()).size();
+    benchmark::DoNotOptimize(cases);
+  }
+  state.counters["cases"] = static_cast<double>(cases);
+}
+BENCHMARK(BM_GenerateTestCases);
+
+}  // namespace
+
+BENCHMARK_MAIN();

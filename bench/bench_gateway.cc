@@ -1,0 +1,79 @@
+// E10 — gateway overhead (paper §3.4): form-decode + lint + HTML-report
+// assembly versus the bare library call. The gateway path should cost only
+// a small constant factor over CheckString — retrieval aside, embedding
+// weblint in a web form is as cheap as the library itself.
+#include <benchmark/benchmark.h>
+
+#include "core/linter.h"
+#include "corpus/page_generator.h"
+#include "gateway/cgi.h"
+#include "gateway/gateway.h"
+#include "net/virtual_web.h"
+#include "util/url.h"
+
+namespace {
+
+using namespace weblint;
+
+const std::string& SubmittedPage() {
+  static const std::string page = [] {
+    PageGenerator generator(0x6A7E);
+    return generator.GenerateDefective(/*paragraphs=*/30, /*defect_count=*/8).html;
+  }();
+  return page;
+}
+
+void BM_RawCheckString(benchmark::State& state) {
+  Weblint lint;
+  const std::string& page = SubmittedPage();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lint.CheckString("p", page).diagnostics.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_RawCheckString);
+
+void BM_GatewayPastedHtml(benchmark::State& state) {
+  Weblint lint;
+  Gateway gateway(lint, nullptr);
+  const std::string body = "html=" + UrlEncode(SubmittedPage()) + "&format=short";
+  const std::map<std::string, std::string> env = {
+      {"REQUEST_METHOD", "POST"}, {"CONTENT_TYPE", "application/x-www-form-urlencoded"}};
+  for (auto _ : state) {
+    auto request = ParseCgiRequest(env, body);
+    benchmark::DoNotOptimize(gateway.HandleRequest(*request).size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(SubmittedPage().size()));
+}
+BENCHMARK(BM_GatewayPastedHtml);
+
+void BM_GatewayUrlMode(benchmark::State& state) {
+  VirtualWeb web;
+  web.AddPage("http://h/page.html", SubmittedPage());
+  Weblint lint;
+  Gateway gateway(lint, &web);
+  CgiRequest request;
+  request.params["url"] = "http://h/page.html";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gateway.HandleRequest(request).size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(SubmittedPage().size()));
+}
+BENCHMARK(BM_GatewayUrlMode);
+
+void BM_FormDecode(benchmark::State& state) {
+  const std::string body = "html=" + UrlEncode(SubmittedPage()) + "&format=short&e=img-size";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseFormUrlEncoded(body).size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(body.size()));
+}
+BENCHMARK(BM_FormDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// E13 (extension) — content-plugin overhead (paper §6.1 plugins): linting a
+// style/script-heavy page with and without the CSS and script plugins
+// installed, plus the standalone checkers on raw content.
+#include <benchmark/benchmark.h>
+
+#include "core/linter.h"
+#include "plugins/css_checker.h"
+#include "plugins/script_checker.h"
+
+namespace {
+
+using namespace weblint;
+
+std::string StyleHeavyPage() {
+  std::string css;
+  for (int i = 0; i < 400; ++i) {
+    css += "P.c" + std::to_string(i) +
+           " { color: #336699; margin-left: 2em; font-size: 12pt }\n";
+  }
+  std::string js;
+  for (int i = 0; i < 200; ++i) {
+    js += "function f" + std::to_string(i) + "(a, b) { return (a + b) * t[" +
+          std::to_string(i) + "]; }\n";
+  }
+  std::string html = "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0//EN\">\n";
+  html += "<HTML>\n<HEAD>\n<TITLE>style heavy</TITLE>\n";
+  html += "<STYLE TYPE=\"text/css\">\n" + css + "</STYLE>\n";
+  html += "<SCRIPT TYPE=\"text/javascript\">\n" + js + "</SCRIPT>\n";
+  html += "</HEAD>\n<BODY>\n<P>content</P>\n</BODY>\n</HTML>\n";
+  return html;
+}
+
+void BM_LintWithoutPlugins(benchmark::State& state) {
+  const std::string page = StyleHeavyPage();
+  Weblint lint;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lint.CheckString("p", page).diagnostics.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_LintWithoutPlugins);
+
+void BM_LintWithPlugins(benchmark::State& state) {
+  const std::string page = StyleHeavyPage();
+  Config config;
+  config.plugins.push_back(std::make_shared<CssChecker>());
+  config.plugins.push_back(std::make_shared<ScriptChecker>());
+  Weblint lint(config);
+  size_t diagnostics = 0;
+  for (auto _ : state) {
+    diagnostics = lint.CheckString("p", page).diagnostics.size();
+    benchmark::DoNotOptimize(diagnostics);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+  state.counters["diagnostics"] = static_cast<double>(diagnostics);
+}
+BENCHMARK(BM_LintWithPlugins);
+
+void BM_CssCheckerRaw(benchmark::State& state) {
+  std::string css;
+  for (int i = 0; i < 1000; ++i) {
+    css += "H1 { color: #ff0000; font-size: 18pt; margin: 1em }\n";
+  }
+  CssChecker checker;
+  for (auto _ : state) {
+    std::vector<PluginFinding> findings;
+    checker.Check(css, SourceLocation{1, 1}, &findings);
+    benchmark::DoNotOptimize(findings.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(css.size()));
+}
+BENCHMARK(BM_CssCheckerRaw);
+
+void BM_ScriptCheckerRaw(benchmark::State& state) {
+  std::string js;
+  for (int i = 0; i < 1000; ++i) {
+    js += "function f(a) { if (a > 0) { return \"yes(\" + a + \")\"; } return []; }\n";
+  }
+  ScriptChecker checker;
+  for (auto _ : state) {
+    std::vector<PluginFinding> findings;
+    checker.Check(js, SourceLocation{1, 1}, &findings);
+    benchmark::DoNotOptimize(findings.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(js.size()));
+}
+BENCHMARK(BM_ScriptCheckerRaw);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// E9 — the poacher robot (paper §4.5/§3.5): crawl + lint + link validation
+// over a VirtualWeb, scaling in site size. Counters report ground-truth
+// recall: every seeded broken link must be found, and robots.txt must be
+// honoured (skips == private pages).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "core/linter.h"
+#include "corpus/site_generator.h"
+#include "net/virtual_web.h"
+#include "robot/poacher.h"
+
+namespace {
+
+using namespace weblint;
+
+struct Fixture {
+  GeneratedSite site;
+  std::unique_ptr<VirtualWeb> web;
+};
+
+const Fixture& SiteFor(size_t pages) {
+  static std::map<size_t, Fixture> cache;
+  auto it = cache.find(pages);
+  if (it == cache.end()) {
+    SiteSpec spec;
+    spec.pages = pages;
+    spec.broken_links = pages / 8;
+    spec.redirects = pages / 16;
+    spec.orphan_pages = 2;
+    spec.private_pages = 3;
+    spec.seed = 0x0B07 + pages;
+    Fixture fixture;
+    fixture.site = GenerateSite(spec);
+    fixture.web = std::make_unique<VirtualWeb>();
+    PopulateVirtualWeb(fixture.site, fixture.web.get());
+    it = cache.emplace(pages, std::move(fixture)).first;
+  }
+  return it->second;
+}
+
+void BM_PoacherCrawl(benchmark::State& state) {
+  const size_t pages = static_cast<size_t>(state.range(0));
+  const Fixture& fixture = SiteFor(pages);
+  Weblint lint;
+  size_t fetched = 0;
+  size_t broken_found = 0;
+  size_t robots_skips = 0;
+  for (auto _ : state) {
+    Poacher poacher(lint, *fixture.web);
+    const PoacherReport report = poacher.Run(fixture.site.IndexUrl());
+    fetched = report.stats.pages_fetched;
+    broken_found = report.broken_links.size();
+    robots_skips = report.stats.skipped_robots;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["pages_fetched"] = static_cast<double>(fetched);
+  state.counters["broken_seeded"] = static_cast<double>(fixture.site.broken_link_count);
+  state.counters["broken_found"] = static_cast<double>(broken_found);
+  state.counters["robots_skips"] = static_cast<double>(robots_skips);
+  state.counters["pages_per_s"] = benchmark::Counter(
+      static_cast<double>(fetched * state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PoacherCrawl)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+// Link validation off: isolates the crawl+lint cost from HEAD validation.
+void BM_CrawlWithoutLinkValidation(benchmark::State& state) {
+  const Fixture& fixture = SiteFor(64);
+  Weblint lint;
+  PoacherOptions options;
+  options.validate_links = false;
+  for (auto _ : state) {
+    Poacher poacher(lint, *fixture.web, options);
+    benchmark::DoNotOptimize(poacher.Run(fixture.site.IndexUrl()));
+  }
+}
+BENCHMARK(BM_CrawlWithoutLinkValidation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// E8 — recursive site checking (-R, paper §4.5): scaling in pages, with the
+// cross-page checks (directory-index, orphan-page) enabled. Sites are
+// generated once per size and written to a temp directory.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <map>
+
+#include "core/linter.h"
+#include "core/site_checker.h"
+#include "corpus/site_generator.h"
+
+namespace {
+
+using namespace weblint;
+
+const std::string& SiteOnDisk(size_t pages) {
+  static std::map<size_t, std::string> cache;
+  auto it = cache.find(pages);
+  if (it == cache.end()) {
+    const std::string root =
+        (std::filesystem::temp_directory_path() / ("weblint_bench_site_" + std::to_string(pages)))
+            .string();
+    std::error_code ec;
+    std::filesystem::remove_all(root, ec);
+    SiteSpec spec;
+    spec.pages = pages;
+    spec.orphan_pages = pages / 16;
+    spec.broken_links = 0;
+    spec.redirects = 0;
+    spec.private_pages = 0;
+    spec.seed = 0x517E + pages;
+    (void)WriteSiteToDisk(GenerateSite(spec), root);
+    it = cache.emplace(pages, root).first;
+  }
+  return it->second;
+}
+
+void BM_SiteCheck(benchmark::State& state) {
+  const size_t pages = static_cast<size_t>(state.range(0));
+  const std::string& root = SiteOnDisk(pages);
+  Weblint lint;
+  SiteChecker checker(lint);
+  size_t checked = 0;
+  size_t site_issues = 0;
+  for (auto _ : state) {
+    auto site = checker.CheckSite(root);
+    checked = site.ok() ? site->pages.size() : 0;
+    site_issues = site.ok() ? site->site_diagnostics.size() : 0;
+    benchmark::DoNotOptimize(checked);
+  }
+  state.counters["pages"] = static_cast<double>(checked);
+  state.counters["site_issues"] = static_cast<double>(site_issues);
+  state.counters["pages_per_s"] =
+      benchmark::Counter(static_cast<double>(checked * state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SiteCheck)->Arg(10)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

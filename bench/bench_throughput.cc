@@ -1,0 +1,82 @@
+// E6 — end-to-end lint throughput: document size scaling and the cost of
+// the warning-set size (none / default 42 / all 50 messages). The paper's
+// usability requirement ("easy to ... use", run from crontab over whole
+// sites) implies linting must be cheap; this quantifies it.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/linter.h"
+#include "corpus/page_generator.h"
+
+namespace {
+
+using namespace weblint;
+
+const std::string& MixedPage(size_t bytes) {
+  static std::map<size_t, std::string> cache;
+  auto it = cache.find(bytes);
+  if (it == cache.end()) {
+    PageGenerator generator(0x7410 + bytes);
+    it = cache.emplace(bytes, generator.GenerateShaped(PageGenerator::Shape::kTagHeavy, bytes))
+             .first;
+  }
+  return it->second;
+}
+
+enum class SetChoice { kNone, kDefault, kAll };
+
+Config ConfigFor(SetChoice choice) {
+  Config config;
+  switch (choice) {
+    case SetChoice::kNone:
+      config.warnings = WarningSet::NoneEnabled();
+      break;
+    case SetChoice::kDefault:
+      break;
+    case SetChoice::kAll:
+      config.warnings = WarningSet::AllEnabled();
+      break;
+  }
+  return config;
+}
+
+void BM_Lint(benchmark::State& state) {
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  const auto choice = static_cast<SetChoice>(state.range(1));
+  const std::string& page = MixedPage(bytes);
+  Weblint lint(ConfigFor(choice));
+  size_t diagnostics = 0;
+  for (auto _ : state) {
+    diagnostics = lint.CheckString("p", page).diagnostics.size();
+    benchmark::DoNotOptimize(diagnostics);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+  state.counters["diagnostics"] = static_cast<double>(diagnostics);
+  state.SetLabel(choice == SetChoice::kNone      ? "messages:none"
+                 : choice == SetChoice::kDefault ? "messages:default42"
+                                                 : "messages:all50");
+}
+BENCHMARK(BM_Lint)->ArgsProduct(
+    {{16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024}, {0, 1, 2}});
+
+// Size-scaling sanity: lint time should be linear in document size. The
+// series above shows it; this one isolates the biggest size with the
+// HTML 3.2 tables for comparison.
+void BM_LintHtml32(benchmark::State& state) {
+  const std::string& page = MixedPage(256 * 1024);
+  Config config;
+  config.spec_id = "html32";
+  Weblint lint(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lint.CheckString("p", page).diagnostics.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_LintHtml32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// E5 — tokenizer throughput across document shapes (paper §5.1: the
+// tokenizer is the substrate everything else rides on). Shapes stress
+// different paths: long text runs, dense tags, comments, attribute-heavy
+// tags, and deep tables.
+#include <benchmark/benchmark.h>
+
+#include "corpus/page_generator.h"
+#include "html/tokenizer.h"
+
+namespace {
+
+using namespace weblint;
+
+const std::string& ShapedPage(PageGenerator::Shape shape, size_t bytes) {
+  // Cache per (shape, bytes); benchmark setup must not dominate.
+  static std::map<std::pair<int, size_t>, std::string> cache;
+  auto key = std::make_pair(static_cast<int>(shape), bytes);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    PageGenerator generator(0x70C3 + static_cast<std::uint64_t>(key.first));
+    it = cache.emplace(key, generator.GenerateShaped(shape, bytes)).first;
+  }
+  return it->second;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  const auto shape = static_cast<PageGenerator::Shape>(state.range(0));
+  const size_t bytes = static_cast<size_t>(state.range(1));
+  const std::string& page = ShapedPage(shape, bytes);
+  size_t tokens = 0;
+  for (auto _ : state) {
+    Tokenizer tokenizer(page);
+    Token token;
+    size_t count = 0;
+    while (tokenizer.Next(&token)) {
+      ++count;
+    }
+    tokens = count;
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+  state.counters["tokens"] = static_cast<double>(tokens);
+  state.SetLabel(ShapeName(shape));
+}
+BENCHMARK(BM_Tokenize)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {64 * 1024, 1024 * 1024}});
+
+// Recovery paths must not be pathologically slower: a page full of broken
+// quotes and stray '<'s.
+void BM_TokenizeBrokenSoup(benchmark::State& state) {
+  std::string soup;
+  for (int i = 0; i < 4000; ++i) {
+    soup += "<A HREF=\"x> text < more <B attr='y>z</B>\n";
+  }
+  for (auto _ : state) {
+    Tokenizer tokenizer(soup);
+    Token token;
+    while (tokenizer.Next(&token)) {
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(soup.size()));
+}
+BENCHMARK(BM_TokenizeBrokenSoup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Custom house style (paper §4.1/§4.4/§5.6): configure weblint to a
+// corporate style guide and install a custom emitter — the C++ analogue of
+// sub-classing the Warnings module.
+//
+// The policy below: lowercase tags, short titles, no "click here" anchors,
+// no physical font markup, accessibility warnings on — and a terse
+// one-line-per-problem report grouped by severity.
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "config/config.h"
+#include "core/linter.h"
+#include "warnings/emitter.h"
+
+namespace {
+
+// A custom emitter: groups diagnostics by category instead of emitting them
+// in document order (paper §5.6: "a different class can be used in its
+// place ... This might change the wording of warnings ... or change the way
+// warnings are emitted").
+class GroupedEmitter : public weblint::Emitter {
+ public:
+  void Emit(const weblint::Diagnostic& diagnostic) override {
+    groups_[diagnostic.category].push_back(diagnostic);
+  }
+
+  void PrintReport() const {
+    for (const auto category : {weblint::Category::kError, weblint::Category::kWarning,
+                                weblint::Category::kStyle}) {
+      const auto it = groups_.find(category);
+      if (it == groups_.end()) {
+        continue;
+      }
+      std::printf("%s (%zu):\n", std::string(weblint::CategoryName(category)).c_str(),
+                  it->second.size());
+      for (const weblint::Diagnostic& d : it->second) {
+        std::printf("  line %u  %-22s %s\n", d.location.line, d.message_id.c_str(),
+                    d.message.c_str());
+      }
+    }
+  }
+
+ private:
+  std::map<weblint::Category, std::vector<weblint::Diagnostic>> groups_;
+};
+
+constexpr char kHousePolicy[] = R"(# Acme Widgets web style guide
+set case lower
+set title-length 48
+set content-free here, click here, this, more, click
+
+enable here-anchor
+enable physical-font
+enable img-size
+enable title-length
+disable table-summary     # legacy tables everywhere; revisit next quarter
+)";
+
+constexpr char kSamplePage[] =
+    "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0 Transitional//EN\">\n"
+    "<html>\n<head>\n"
+    "<title>Acme Widgets - the finest widgets money can buy since 1962</title>\n"
+    "</head>\n<body>\n"
+    "<h1>Welcome</h1>\n"
+    "<p><B>Everyone</B> loves widgets. <a href=\"catalog.html\">Click here</a>\n"
+    "to browse, or see <a href=\"specials.html\">this month's specials</a>.</p>\n"
+    "<p><img src=\"widget.gif\" alt=\"a widget\"></p>\n"
+    "</body>\n</html>\n";
+
+}  // namespace
+
+int main() {
+  weblint::Config config;
+  if (weblint::Status s = weblint::ApplyRcText(kHousePolicy, "house-policy", &config); !s.ok()) {
+    std::fprintf(stderr, "custom_policy: %s\n", s.message().c_str());
+    return 2;
+  }
+
+  std::printf("house policy loaded: %zu of %zu messages enabled\n\n",
+              config.warnings.EnabledCount(), weblint::MessageCount());
+
+  weblint::Weblint lint(config);
+  GroupedEmitter emitter;
+  const weblint::LintReport report = lint.CheckString("home.html", kSamplePage, &emitter);
+
+  std::printf("report for home.html:\n");
+  emitter.PrintReport();
+  std::printf("\n%zu problem(s) under the house policy\n", report.diagnostics.size());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// The weblint gateway, driven in-process (paper §3.4/§5.3): a form
+// submission arrives as CGI data; the response is an HTML page with the
+// weblint report embedded.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/linter.h"
+#include "gateway/cgi.h"
+#include "gateway/gateway.h"
+#include "net/virtual_web.h"
+#include "util/url.h"
+
+int main() {
+  // A small "live" web for URL-mode submissions.
+  weblint::VirtualWeb web;
+  web.AddPage("http://www.example.org/products.html",
+              "<HTML>\n<HEAD>\n<TITLE>products\n</HEAD>\n<BODY>\n"
+              "<H2>Products</H3>\n<P>See <A HREF=\"list.html>here</A>.\n</BODY>\n</HTML>\n");
+
+  weblint::Weblint lint;
+  weblint::Gateway gateway(lint, &web);
+
+  // 1. A pasted-HTML submission, as the CGI layer would deliver it.
+  const std::string body =
+      "html=" + weblint::UrlEncode("<B>bold and <I>italic</B> text</I>") + "&format=short";
+  auto request = weblint::ParseCgiRequest(
+      {{"REQUEST_METHOD", "POST"},
+       {"CONTENT_TYPE", "application/x-www-form-urlencoded"}},
+      body);
+  if (!request.ok()) {
+    std::fprintf(stderr, "gateway_demo: %s\n", request.error().c_str());
+    return 2;
+  }
+  std::printf("=== response to a pasted-HTML submission ===\n%s\n",
+              gateway.HandleRequest(*request).c_str());
+
+  // 2. A URL submission: the gateway retrieves the page itself.
+  weblint::CgiRequest url_request;
+  url_request.params["url"] = "http://www.example.org/products.html";
+  std::printf("=== response to a URL submission ===\n%s\n",
+              gateway.HandleRequest(url_request).c_str());
+
+  // 3. No input: the gateway serves its submission form.
+  weblint::CgiRequest empty;
+  std::printf("=== the submission form ===\n%s\n", gateway.HandleRequest(empty).c_str());
+  return 0;
+}

@@ -1,0 +1,90 @@
+// The standalone gateway server (paper §4.6: "I regularly receive requests
+// for a standard gateway distribution, particularly for installation behind
+// firewalls, e.g. for intranet use"): the weblint gateway behind a real
+// HTTP/1.0 socket, no web server required.
+//
+//   ./examples/gateway_server [--port N] [--requests N]
+//
+// Then browse to http://127.0.0.1:N/ — the form posts back to the server.
+// With --requests N the server exits after N requests (used by the demo
+// below, which issues one request against itself).
+#include <cstdio>
+#include <string>
+
+#include "core/linter.h"
+#include "gateway/cgi.h"
+#include "gateway/gateway.h"
+#include "net/fetcher.h"
+#include "net/http_server.h"
+#include "util/args.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace weblint;
+
+HttpResponse Handle(const Gateway& gateway, const HttpRequest& request) {
+  HttpResponse response;
+  auto cgi = CgiRequestFromHttp(request);
+  if (!cgi.ok()) {
+    response.status = 400;
+    response.headers["content-type"] = "text/plain";
+    response.body = cgi.error() + "\n";
+    return response;
+  }
+  response.status = 200;
+  response.headers["content-type"] = "text/html";
+  response.body = gateway.HandleRequest(*cgi);
+  return response;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser;
+  std::string port_text = "0";
+  std::string requests_text = "0";
+  bool show_help = false;
+  parser.AddOption("--port", "port to listen on (0 picks a free port)", &port_text);
+  parser.AddOption("--requests", "exit after this many requests (0 = serve forever)",
+                   &requests_text);
+  parser.AddFlag("--help", "show this help", &show_help);
+  if (Status s = parser.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "gateway_server: %s\n", s.message().c_str());
+    return 2;
+  }
+  if (show_help) {
+    std::fputs(parser.Help("gateway_server", "the weblint gateway behind a socket").c_str(),
+               stdout);
+    return 0;
+  }
+  std::uint32_t port = 0;
+  std::uint32_t max_requests = 0;
+  if (!ParseUint(port_text, &port) || port > 65535 ||
+      !ParseUint(requests_text, &max_requests)) {
+    std::fprintf(stderr, "gateway_server: bad --port / --requests value\n");
+    return 2;
+  }
+
+  Weblint lint;
+  FileFetcher fetcher;  // file:// URL submissions work on this host.
+  Gateway gateway(lint, &fetcher);
+
+  HttpServer server([&gateway](const HttpRequest& request) {
+    std::printf("  %s %s\n", request.method.c_str(), request.target.c_str());
+    return Handle(gateway, request);
+  });
+  if (Status s = server.Listen(static_cast<std::uint16_t>(port)); !s.ok()) {
+    std::fprintf(stderr, "gateway_server: %s\n", s.message().c_str());
+    return 2;
+  }
+  std::printf("weblint gateway listening on http://127.0.0.1:%u/", server.port());
+  std::printf(max_requests > 0 ? " (serving %u request(s))\n" : "\n", max_requests);
+  std::fflush(stdout);
+
+  if (Status s = server.Serve(max_requests); !s.ok()) {
+    std::fprintf(stderr, "gateway_server: %s\n", s.message().c_str());
+    return 1;
+  }
+  return 0;
+}

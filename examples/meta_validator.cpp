@@ -1,0 +1,96 @@
+// A meta tool (paper §3.6): "Meta tools incorporate two or more of the
+// categories described above, usually merging the results into a single
+// report." This one mirrors the WebTechs service: weblint output, strict
+// SGML validation, the naive line checker, and a page weight with estimated
+// download times for different modem speeds — one merged report per URL.
+#include <cstdio>
+#include <string>
+
+#include "baseline/naive_checker.h"
+#include "baseline/strict_validator.h"
+#include "core/linter.h"
+#include "net/virtual_web.h"
+#include "robot/page_weight.h"
+#include "spec/registry.h"
+#include "warnings/emitter.h"
+
+namespace {
+
+using namespace weblint;
+
+void Report(const std::string& url, VirtualWeb& web) {
+  std::printf("==================================================================\n");
+  std::printf("meta report for %s\n", url.c_str());
+  std::printf("==================================================================\n");
+
+  const Url parsed = ParseUrl(url);
+  const HttpResponse response = web.Get(parsed);
+  if (!response.ok()) {
+    std::printf("  cannot retrieve: %d %s\n", response.status, response.reason.c_str());
+    return;
+  }
+  const std::string& html = response.body;
+
+  // 1. weblint.
+  Weblint lint;
+  const LintReport report = lint.CheckString(url, html);
+  std::printf("\n--- weblint (%zu message(s)) ---\n", report.diagnostics.size());
+  for (const Diagnostic& d : report.diagnostics) {
+    std::printf("  %s\n", FormatDiagnostic(d, OutputStyle::kShort).c_str());
+  }
+
+  // 2. Strict SGML validation.
+  StrictValidator validator(DefaultSpec());
+  const ValidationResult validation = validator.Validate(html);
+  std::printf("\n--- strict validator (%zu error(s)) ---\n", validation.errors.size());
+  for (size_t i = 0; i < validation.errors.size() && i < 10; ++i) {
+    std::printf("  line %u: %s\n", validation.errors[i].location.line,
+                validation.errors[i].message.c_str());
+  }
+  if (validation.errors.size() > 10) {
+    std::printf("  ... and %zu more\n", validation.errors.size() - 10);
+  }
+
+  // 3. The htmlchek-style line checker.
+  NaiveChecker naive(DefaultSpec());
+  const auto findings = naive.Check(html);
+  std::printf("\n--- line checker (%zu finding(s)) ---\n", findings.size());
+  for (const NaiveFinding& finding : findings) {
+    std::printf("  line %u: %s\n", finding.location.line, finding.message.c_str());
+  }
+
+  // 4. Page weight ("GIF Lube" territory).
+  const PageWeight weight = MeasurePageWeight(html, report, parsed, web);
+  std::printf("\n--- page weight ---\n");
+  std::printf("  HTML: %zu bytes; %zu resource(s): %zu bytes; %zu missing\n",
+              weight.html_bytes, weight.resource_count, weight.resource_bytes,
+              weight.missing_resources);
+  for (const ModemEstimate& estimate : EstimateDownloadTimes(weight)) {
+    std::printf("  %-12s %6.1f s\n", estimate.label.c_str(), estimate.seconds);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  VirtualWeb web;
+  web.AddPage("http://www.example.org/good.html",
+              "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0//EN\">\n"
+              "<HTML>\n<HEAD>\n<TITLE>a tidy page</TITLE>\n</HEAD>\n<BODY>\n"
+              "<H1>Tidy</H1>\n<P>Nothing to see <A HREF=\"good.html\">except this page"
+              "</A>.</P>\n"
+              "<P><IMG SRC=\"logo.gif\" ALT=\"logo\" WIDTH=\"32\" HEIGHT=\"32\"></P>\n"
+              "</BODY>\n</HTML>\n");
+  web.AddPage("http://www.example.org/logo.gif", std::string(18000, 'G'), "image/gif");
+  web.AddPage("http://www.example.org/messy.html",
+              "<HTML>\n<HEAD>\n<TITLE>messy\n</HEAD>\n<BODY>\n"
+              "<H2>Messy</H3>\n<P>Click <B><A HREF=\"a.html>here</B></A> now.\n"
+              "<P><IMG SRC=\"banner.gif\"><IMG SRC=\"gone.gif\">\n"
+              "</BODY>\n</HTML>\n");
+  web.AddPage("http://www.example.org/banner.gif", std::string(90000, 'G'), "image/gif");
+
+  Report("http://www.example.org/good.html", web);
+  Report("http://www.example.org/messy.html", web);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: the paper's §5.4 three-line embedding, in C++.
+//
+//     use Weblint;
+//     $weblint = Weblint->new();
+//     $weblint->check_file($filename);
+//
+// Build & run:  ./examples/quickstart [file.html]
+// With no argument, it checks the paper's §4.2 example page.
+#include <cstdio>
+#include <string>
+
+#include "core/linter.h"
+#include "warnings/emitter.h"
+
+namespace {
+
+constexpr char kPaperExample[] =
+    "<HTML>\n"
+    "<HEAD>\n"
+    "<TITLE>example page\n"
+    "</HEAD>\n"
+    "<BODY BGCOLOR=\"fffff\" TEXT=#00ff00>\n"
+    "<H1>My Example</H2>\n"
+    "Click <B><A HREF=\"a.html>here</B></A>\n"
+    "for more details.\n"
+    "</BODY>\n"
+    "</HTML>\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  weblint::Weblint lint;
+
+  weblint::LintReport report;
+  if (argc > 1) {
+    auto result = lint.CheckFile(argv[1]);
+    if (!result.ok()) {
+      std::fprintf(stderr, "quickstart: %s\n", result.error().c_str());
+      return 2;
+    }
+    report = std::move(*result);
+  } else {
+    std::printf("checking the paper's test.html example:\n\n%s\n", kPaperExample);
+    report = lint.CheckString("test.html", kPaperExample);
+  }
+
+  for (const weblint::Diagnostic& d : report.diagnostics) {
+    std::printf("%s\n",
+                weblint::FormatDiagnostic(d, weblint::OutputStyle::kShort).c_str());
+  }
+  std::printf("\n%zu error(s), %zu warning(s), %zu style comment(s) in %u line(s)\n",
+              report.ErrorCount(), report.WarningCount(), report.StyleCount(), report.lines);
+  return report.Clean() ? 0 : 1;
+}

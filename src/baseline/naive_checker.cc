@@ -1,0 +1,101 @@
+#include "baseline/naive_checker.h"
+
+#include <map>
+
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+// Crude tag scan: "<" [/] name ... ">" within a single line (htmlchek's
+// line orientation: tags spanning lines are simply not seen properly).
+struct CrudeTag {
+  std::string name;
+  bool closing = false;
+};
+
+std::vector<CrudeTag> TagsOnLine(std::string_view line) {
+  std::vector<CrudeTag> tags;
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] != '<') {
+      continue;
+    }
+    size_t j = i + 1;
+    CrudeTag tag;
+    if (j < line.size() && line[j] == '/') {
+      tag.closing = true;
+      ++j;
+    }
+    while (j < line.size() && IsAsciiAlnum(line[j])) {
+      tag.name.push_back(line[j]);
+      ++j;
+    }
+    // Line orientation: the '>' must appear on the same line, or the tag is
+    // simply not seen (htmlchek's classic blind spot).
+    const size_t close = line.find('>', j);
+    if (!tag.name.empty() && close != std::string_view::npos &&
+        line.find('<', j) >= close) {
+      tags.push_back(std::move(tag));
+    }
+    i = j > i ? j - 1 : i;
+  }
+  return tags;
+}
+
+}  // namespace
+
+std::vector<NaiveFinding> NaiveChecker::Check(std::string_view html) const {
+  std::vector<NaiveFinding> findings;
+  std::map<std::string, long, ILess> balance;
+  std::map<std::string, std::uint32_t, ILess> first_open_line;
+
+  std::uint32_t line_number = 0;
+  for (std::string_view line : Split(html, '\n')) {
+    ++line_number;
+    for (const CrudeTag& tag : TagsOnLine(line)) {
+      const ElementInfo* info = spec_.Find(tag.name);
+      if (info == nullptr) {
+        findings.push_back(NaiveFinding{
+            {line_number, 1}, StrFormat("unrecognized tag <%s>", AsciiUpper(tag.name))});
+        continue;
+      }
+      if (info->end_tag != EndTag::kRequired) {
+        continue;  // Cannot count optional/empty tags meaningfully.
+      }
+      balance[info->name] += tag.closing ? -1 : 1;
+      if (!tag.closing) {
+        first_open_line.emplace(info->name, line_number);
+      }
+    }
+    // Quoting heuristic: an odd number of '"' on a line with a tag.
+    if (line.find('<') != std::string_view::npos) {
+      size_t quotes = 0;
+      for (char c : line) {
+        if (c == '"') {
+          ++quotes;
+        }
+      }
+      if (quotes % 2 != 0) {
+        findings.push_back(
+            NaiveFinding{{line_number, 1}, "possibly unbalanced quotes on this line"});
+      }
+    }
+  }
+
+  // Global imbalance report: no positions better than "first opened here".
+  for (const auto& [name, count] : balance) {
+    if (count > 0) {
+      findings.push_back(NaiveFinding{
+          {first_open_line[name], 1},
+          StrFormat("%d <%s> tag(s) with no matching close", count, AsciiUpper(name))});
+    } else if (count < 0) {
+      findings.push_back(NaiveFinding{
+          {first_open_line.contains(name) ? first_open_line[name] : 1u, 1},
+          StrFormat("%d extra </%s> tag(s)", -count, AsciiUpper(name))});
+    }
+  }
+  return findings;
+}
+
+}  // namespace weblint

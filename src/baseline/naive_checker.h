@@ -1,0 +1,36 @@
+// An htmlchek-style line-oriented checker (paper §3.3: "Htmlchek is a perl
+// script (also available in awk) which performs syntax checking similar to
+// weblint"). Second baseline for the quality comparison: it works with
+// regex-grade tag extraction and global tag counting, with no stack and no
+// context, so it catches global imbalance but mis-locates problems and
+// misses overlap/context defects entirely.
+#ifndef WEBLINT_BASELINE_NAIVE_CHECKER_H_
+#define WEBLINT_BASELINE_NAIVE_CHECKER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spec/spec.h"
+#include "util/source_location.h"
+
+namespace weblint {
+
+struct NaiveFinding {
+  SourceLocation location;  // Line-level only (column always 1).
+  std::string message;
+};
+
+class NaiveChecker {
+ public:
+  explicit NaiveChecker(const HtmlSpec& spec) : spec_(spec) {}
+
+  std::vector<NaiveFinding> Check(std::string_view html) const;
+
+ private:
+  const HtmlSpec& spec_;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_BASELINE_NAIVE_CHECKER_H_

@@ -1,0 +1,311 @@
+#include "baseline/strict_validator.h"
+
+#include <map>
+#include <set>
+
+#include "html/tokenizer.h"
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+// Content model for one element: which children it admits.
+struct ContentRule {
+  bool pcdata = false;        // Character data allowed.
+  bool inline_children = false;
+  bool block_children = false;
+  std::set<std::string, ILess> extra;  // Additional allowed child elements.
+  bool exclusive = false;     // Only `extra` is allowed (ignore class flags).
+};
+
+const std::map<std::string, ContentRule, ILess>& ContentRules() {
+  static const std::map<std::string, ContentRule, ILess> kRules = [] {
+    std::map<std::string, ContentRule, ILess> rules;
+    auto only = [&rules](std::string_view name, std::set<std::string, ILess> children,
+                         bool pcdata = false) {
+      ContentRule rule;
+      rule.exclusive = true;
+      rule.extra = std::move(children);
+      rule.pcdata = pcdata;
+      rules[std::string(name)] = std::move(rule);
+    };
+    auto inline_only = [&rules](std::string_view name) {
+      ContentRule rule;
+      rule.pcdata = true;
+      rule.inline_children = true;
+      rules[std::string(name)] = std::move(rule);
+    };
+    auto block_only = [&rules](std::string_view name,
+                               std::set<std::string, ILess> extra = {}) {
+      ContentRule rule;
+      rule.block_children = true;
+      rule.extra = std::move(extra);
+      rules[std::string(name)] = std::move(rule);
+    };
+    auto flow = [&rules](std::string_view name) {
+      ContentRule rule;
+      rule.pcdata = true;
+      rule.inline_children = true;
+      rule.block_children = true;
+      rules[std::string(name)] = std::move(rule);
+    };
+
+    only("html", {"head", "body", "frameset"});
+    only("head",
+         {"title", "base", "meta", "link", "style", "script", "isindex", "object"});
+    block_only("body", {"script", "ins", "del", "isindex"});
+    block_only("blockquote", {"script"});
+    block_only("form", {"script"});
+    only("ul", {"li"});
+    only("ol", {"li"});
+    only("dir", {"li"});
+    only("menu", {"li"});
+    only("dl", {"dt", "dd"});
+    only("table", {"caption", "col", "colgroup", "thead", "tfoot", "tbody", "tr"});
+    only("thead", {"tr"});
+    only("tbody", {"tr"});
+    only("tfoot", {"tr"});
+    only("tr", {"td", "th"});
+    only("colgroup", {"col"});
+    only("select", {"optgroup", "option"});
+    only("optgroup", {"option"});
+    only("option", {}, /*pcdata=*/true);
+    only("title", {}, /*pcdata=*/true);
+    only("textarea", {}, /*pcdata=*/true);
+    only("script", {}, /*pcdata=*/true);
+    only("style", {}, /*pcdata=*/true);
+    only("frameset", {"frameset", "frame", "noframes"});
+
+    for (const char* name : {"p", "h1", "h2", "h3", "h4", "h5", "h6", "address", "legend",
+                             "caption", "dt", "span", "a", "em", "strong", "dfn", "code",
+                             "samp", "kbd", "var", "cite", "abbr", "acronym", "q", "sub",
+                             "sup", "tt", "i", "b", "u", "s", "strike", "big", "small",
+                             "font", "label", "pre", "bdo"}) {
+      inline_only(name);
+    }
+    for (const char* name : {"div", "li", "dd", "td", "th", "object", "applet", "fieldset",
+                             "noscript", "noframes", "iframe", "center", "ins", "del",
+                             "button", "map"}) {
+      flow(name);
+    }
+    return rules;
+  }();
+  return kRules;
+}
+
+// Default for elements without an explicit rule: flow content (lenient, so
+// the strictness contrast comes from real rules, not gaps in the table).
+const ContentRule& RuleFor(std::string_view lower_name) {
+  static const ContentRule kFlowDefault = [] {
+    ContentRule rule;
+    rule.pcdata = true;
+    rule.inline_children = true;
+    rule.block_children = true;
+    return rule;
+  }();
+  const auto& rules = ContentRules();
+  const auto it = rules.find(std::string(lower_name));
+  return it == rules.end() ? kFlowDefault : it->second;
+}
+
+struct OpenEntry {
+  std::string lower;
+  const ElementInfo* info;  // Null for unknown elements.
+  SourceLocation location;
+};
+
+class Session {
+ public:
+  explicit Session(const HtmlSpec& spec) : spec_(spec) {}
+
+  ValidationResult Run(std::string_view html) {
+    Tokenizer tokenizer(html);
+    Token token;
+    bool first = true;
+    while (tokenizer.Next(&token)) {
+      if (first && token.kind != TokenKind::kText) {
+        if (token.kind != TokenKind::kDoctype) {
+          Error(token.location, "no document type declaration; validating against HTML 4.0");
+        }
+        first = false;
+      }
+      switch (token.kind) {
+        case TokenKind::kStartTag:
+          StartTag(token);
+          break;
+        case TokenKind::kEndTag:
+          EndTag(token);
+          break;
+        case TokenKind::kText:
+          Text(token);
+          break;
+        case TokenKind::kStrayLt:
+          Error(token.location, "non-SGML character or markup delimiter in data");
+          break;
+        case TokenKind::kComment:
+          if (token.unterminated_comment) {
+            Error(token.location, "unterminated comment declaration");
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    const SourceLocation eof = tokenizer.location();
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->info == nullptr || it->info->end_tag == EndTag::kRequired) {
+        Error(eof, StrFormat("end tag for \"%s\" omitted, but its declaration does not permit "
+                             "this; document ended",
+                             AsciiUpper(it->lower)));
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void Error(SourceLocation location, std::string message) {
+    result_.errors.push_back(ValidationError{location, std::move(message)});
+  }
+
+  bool Allowed(const OpenEntry& parent, const ElementInfo& child) const {
+    if (parent.info == nullptr) {
+      return true;  // Unknown parent: content model unknowable.
+    }
+    const ContentRule& rule = RuleFor(parent.lower);
+    if (rule.extra.contains(child.name)) {
+      return true;
+    }
+    if (rule.exclusive) {
+      return false;
+    }
+    return (rule.inline_children && child.is_inline) || (rule.block_children && child.is_block);
+  }
+
+  void StartTag(const Token& token) {
+    if (token.odd_quotes) {
+      Error(token.location, "literal is missing closing delimiter");
+    }
+    const ElementInfo* info = spec_.Find(token.name);
+    const std::string upper = AsciiUpper(token.name);
+    if (info == nullptr) {
+      // Strict: every occurrence is an error (no weblint-style dedup).
+      Error(token.location, StrFormat("element \"%s\" undefined", upper));
+      stack_.push_back(OpenEntry{AsciiLower(token.name), nullptr, token.location});
+      return;
+    }
+
+    // Attribute declarations.
+    for (const Attribute& attr : token.attributes) {
+      if (attr.name.empty()) {
+        continue;
+      }
+      const AttributeInfo* attr_info = info->FindAttribute(attr.name);
+      if (attr_info == nullptr) {
+        Error(attr.location, StrFormat("there is no attribute \"%s\" for element \"%s\"",
+                                       AsciiUpper(attr.name), upper));
+      } else if (attr.has_value && !attr.unterminated_quote && attr_info->HasPattern() &&
+                 !attr_info->pattern.Matches(Trim(attr.value))) {
+        Error(attr.location,
+              StrFormat("value \"%s\" is not a member of a group specified for attribute "
+                        "\"%s\" of element \"%s\"",
+                        attr.value, AsciiUpper(attr.name), upper));
+      }
+    }
+    for (const auto& [name, attr_info] : info->attributes) {
+      if (!attr_info.required) {
+        continue;
+      }
+      bool present = false;
+      for (const Attribute& attr : token.attributes) {
+        if (IEquals(attr.name, name)) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) {
+        Error(token.location,
+              StrFormat("required attribute \"%s\" not specified", AsciiUpper(name)));
+      }
+    }
+
+    // Content model: omitted optional end tags are legitimate SGML — pop
+    // them while that makes the child legal; anything else is an error.
+    if (!stack_.empty()) {
+      while (stack_.size() > 1 && !Allowed(stack_.back(), *info)) {
+        const OpenEntry& top = stack_.back();
+        if (top.info != nullptr && top.info->end_tag == EndTag::kOptional &&
+            Allowed(stack_[stack_.size() - 2], *info)) {
+          stack_.pop_back();
+          continue;
+        }
+        break;
+      }
+      if (!stack_.empty() && !Allowed(stack_.back(), *info)) {
+        Error(token.location,
+              StrFormat("document type does not allow element \"%s\" here", upper));
+      }
+    }
+
+    if (info->IsContainer()) {
+      stack_.push_back(OpenEntry{info->name, info, token.location});
+    }
+  }
+
+  void EndTag(const Token& token) {
+    const std::string lower = AsciiLower(token.name);
+    const std::string upper = AsciiUpper(token.name);
+    const ElementInfo* info = spec_.Find(token.name);
+    if (info != nullptr && info->end_tag == EndTag::kForbidden) {
+      Error(token.location,
+            StrFormat("end tag for \"%s\" which is declared EMPTY", upper));
+      return;
+    }
+    for (size_t i = stack_.size(); i-- > 0;) {
+      if (stack_[i].lower != lower) {
+        continue;
+      }
+      // Pop everything above; required end tags error one by one — the
+      // strict parser has no overlap heuristic.
+      while (stack_.size() > i + 1) {
+        const OpenEntry& top = stack_.back();
+        if (top.info == nullptr || top.info->end_tag == EndTag::kRequired) {
+          Error(token.location,
+                StrFormat("end tag for \"%s\" omitted, but its declaration does not permit this",
+                          AsciiUpper(top.lower)));
+        }
+        stack_.pop_back();
+      }
+      stack_.pop_back();
+      return;
+    }
+    // Not open: error, no recovery — later structure keeps mismatching,
+    // which is exactly the cascade weblint's secondary stack avoids.
+    Error(token.location, StrFormat("end tag for \"%s\" which is not open", upper));
+  }
+
+  void Text(const Token& token) {
+    if (token.raw_text || Trim(token.text).empty()) {
+      return;
+    }
+    if (!stack_.empty() && !RuleFor(stack_.back().lower).pcdata &&
+        stack_.back().info != nullptr) {
+      Error(token.location, "character data is not allowed here");
+    }
+  }
+
+  const HtmlSpec& spec_;
+  std::vector<OpenEntry> stack_;
+  ValidationResult result_;
+};
+
+}  // namespace
+
+StrictValidator::StrictValidator(const HtmlSpec& spec) : spec_(spec) {}
+
+ValidationResult StrictValidator::Validate(std::string_view html) const {
+  Session session(spec_);
+  return session.Run(html);
+}
+
+}  // namespace weblint

@@ -1,0 +1,49 @@
+// Strict DTD-driven validation — the baseline weblint defines itself
+// against (paper §3.2): "Strict HTML validators are based on an SGML parser,
+// and require a DTD to validate against. ... the warning and error messages
+// are usually straight from the parser, and require a grounding in SGML to
+// understand."
+//
+// This validator checks content models (which children each element may
+// contain, whether character data is allowed), end-tag omissibility, and
+// declared attributes — and, being strict, it does none of weblint's
+// cascade-suppression: an unknown element errors at every occurrence, an
+// unexpected end tag is reported and NOT recovered, omitted end tags error
+// element-by-element. The benches (E3/E4) quantify the resulting contrast.
+#ifndef WEBLINT_BASELINE_STRICT_VALIDATOR_H_
+#define WEBLINT_BASELINE_STRICT_VALIDATOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spec/spec.h"
+#include "util/source_location.h"
+
+namespace weblint {
+
+struct ValidationError {
+  SourceLocation location;
+  std::string message;  // nsgmls-flavoured text.
+};
+
+struct ValidationResult {
+  std::vector<ValidationError> errors;
+  bool valid() const { return errors.empty(); }
+};
+
+class StrictValidator {
+ public:
+  // Validates against the given spec's element/attribute tables plus the
+  // built-in HTML 4.0 content models.
+  explicit StrictValidator(const HtmlSpec& spec);
+
+  ValidationResult Validate(std::string_view html) const;
+
+ private:
+  const HtmlSpec& spec_;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_BASELINE_STRICT_VALIDATOR_H_

@@ -1,0 +1,272 @@
+#include "config/config.h"
+
+#include "plugins/css_checker.h"
+#include "plugins/script_checker.h"
+#include "spec/registry.h"
+#include "util/pattern.h"
+#include "warnings/localization.h"
+#include "util/file_io.h"
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+Result<Category> ParseCategory(std::string_view name) {
+  if (IEquals(name, "error") || IEquals(name, "errors")) {
+    return Category::kError;
+  }
+  if (IEquals(name, "warning") || IEquals(name, "warnings")) {
+    return Category::kWarning;
+  }
+  if (IEquals(name, "style")) {
+    return Category::kStyle;
+  }
+  return Fail("unknown category: " + std::string(name));
+}
+
+Status ApplyMessageList(std::string_view list, bool enable, Config* config) {
+  for (std::string_view raw : Split(list, ',')) {
+    const std::string_view id = Trim(raw);
+    if (id.empty()) {
+      continue;
+    }
+    const Status s = enable ? config->warnings.Enable(id) : config->warnings.Disable(id);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ApplySet(std::string_view rest, Config* config) {
+  const std::vector<std::string_view> parts = SplitWhitespace(rest);
+  if (parts.empty()) {
+    return Fail("'set' requires an option name");
+  }
+  const std::string_view option = parts[0];
+  const std::string_view value =
+      parts.size() > 1 ? Trim(rest.substr(rest.find(parts[1]))) : std::string_view();
+  if (IEquals(option, "title-length")) {
+    std::uint32_t n = 0;
+    if (!ParseUint(value, &n) || n == 0) {
+      return Fail("set title-length requires a positive integer");
+    }
+    config->max_title_length = n;
+    return Status::Ok();
+  }
+  if (IEquals(option, "case")) {
+    // Choosing a house style enables the matching style message and turns
+    // the opposite one off.
+    if (IEquals(value, "upper")) {
+      config->case_style = CaseStyle::kUpper;
+      config->warnings.Set("upper-case", true);
+      config->warnings.Set("lower-case", false);
+    } else if (IEquals(value, "lower")) {
+      config->case_style = CaseStyle::kLower;
+      config->warnings.Set("lower-case", true);
+      config->warnings.Set("upper-case", false);
+    } else if (IEquals(value, "any")) {
+      config->case_style = CaseStyle::kAny;
+      config->warnings.Set("upper-case", false);
+      config->warnings.Set("lower-case", false);
+    } else {
+      return Fail("set case requires upper, lower, or any");
+    }
+    return Status::Ok();
+  }
+  if (IEquals(option, "index-files")) {
+    config->index_files.clear();
+    for (std::string_view name : Split(value, ',')) {
+      const std::string_view trimmed = Trim(name);
+      if (!trimmed.empty()) {
+        config->index_files.emplace_back(trimmed);
+      }
+    }
+    if (config->index_files.empty()) {
+      return Fail("set index-files requires at least one file name");
+    }
+    return Status::Ok();
+  }
+  if (IEquals(option, "language")) {
+    const std::string lang = AsciiLower(value);
+    if (!IsKnownLanguage(lang)) {
+      return Fail("unknown language: " + lang);
+    }
+    config->language = lang;
+    return Status::Ok();
+  }
+  if (IEquals(option, "pragmas")) {
+    if (IEquals(value, "on")) {
+      config->enable_pragmas = true;
+    } else if (IEquals(value, "off")) {
+      config->enable_pragmas = false;
+    } else {
+      return Fail("set pragmas requires on or off");
+    }
+    return Status::Ok();
+  }
+  if (IEquals(option, "content-free")) {
+    config->content_free_words.clear();
+    for (std::string_view word : Split(value, ',')) {
+      const std::string_view trimmed = Trim(word);
+      if (!trimmed.empty()) {
+        config->content_free_words.push_back(AsciiLower(trimmed));
+      }
+    }
+    return Status::Ok();
+  }
+  return Fail("unknown option for 'set': " + std::string(option));
+}
+
+Status ApplyDirective(std::string_view line, Config* config) {
+  const size_t space = line.find_first_of(" \t");
+  const std::string_view keyword = space == std::string_view::npos ? line : line.substr(0, space);
+  const std::string_view rest =
+      space == std::string_view::npos ? std::string_view() : Trim(line.substr(space + 1));
+
+  if (IEquals(keyword, "enable")) {
+    return ApplyMessageList(rest, /*enable=*/true, config);
+  }
+  if (IEquals(keyword, "disable")) {
+    return ApplyMessageList(rest, /*enable=*/false, config);
+  }
+  if (IEquals(keyword, "enable-category")) {
+    auto category = ParseCategory(rest);
+    if (!category.ok()) {
+      return category.status();
+    }
+    config->warnings.EnableCategory(*category);
+    return Status::Ok();
+  }
+  if (IEquals(keyword, "disable-category")) {
+    auto category = ParseCategory(rest);
+    if (!category.ok()) {
+      return category.status();
+    }
+    config->warnings.DisableCategory(*category);
+    return Status::Ok();
+  }
+  if (IEquals(keyword, "extension")) {
+    const std::string name = AsciiLower(Trim(rest));
+    if (name != "netscape" && name != "microsoft") {
+      return Fail("unknown extension: " + name + " (expected netscape or microsoft)");
+    }
+    config->enabled_extensions.insert(name);
+    return Status::Ok();
+  }
+  if (IEquals(keyword, "html-version")) {
+    const std::string id = AsciiLower(Trim(rest));
+    if (FindSpec(id) == nullptr) {
+      return Fail("unknown HTML version: " + id);
+    }
+    config->spec_id = id;
+    return Status::Ok();
+  }
+  if (IEquals(keyword, "set")) {
+    return ApplySet(rest, config);
+  }
+  if (IEquals(keyword, "element")) {
+    const auto parts = SplitWhitespace(rest);
+    if (parts.size() < 2 ||
+        (!IEquals(parts[1], "container") && !IEquals(parts[1], "empty"))) {
+      return Fail("element requires: <name> container|empty [block|inline]");
+    }
+    Config::CustomElement element;
+    element.name = AsciiLower(parts[0]);
+    element.container = IEquals(parts[1], "container");
+    if (parts.size() > 2) {
+      if (IEquals(parts[2], "block")) {
+        element.is_block = true;
+      } else if (!IEquals(parts[2], "inline")) {
+        return Fail("element placement must be block or inline");
+      }
+    }
+    config->custom_elements.push_back(std::move(element));
+    return Status::Ok();
+  }
+  if (IEquals(keyword, "plugin")) {
+    const std::string name = AsciiLower(Trim(rest));
+    for (const PluginPtr& plugin : config->plugins) {
+      if (plugin->name() == name) {
+        return Status::Ok();  // Already installed.
+      }
+    }
+    if (name == "css") {
+      config->plugins.push_back(std::make_shared<CssChecker>());
+      return Status::Ok();
+    }
+    if (name == "script") {
+      config->plugins.push_back(std::make_shared<ScriptChecker>());
+      return Status::Ok();
+    }
+    return Fail("unknown plugin: " + name + " (expected css or script)");
+  }
+  if (IEquals(keyword, "attribute")) {
+    const auto parts = SplitWhitespace(rest);
+    if (parts.size() < 2) {
+      return Fail("attribute requires: <element> <name> [pattern]");
+    }
+    Config::CustomAttribute attr;
+    attr.element = AsciiLower(parts[0]);
+    attr.name = AsciiLower(parts[1]);
+    if (parts.size() > 2) {
+      attr.pattern = std::string(parts[2]);
+      if (!Pattern::Compile(attr.pattern).ok()) {
+        return Fail("invalid pattern for attribute " + attr.name);
+      }
+    }
+    config->custom_attributes.push_back(std::move(attr));
+    return Status::Ok();
+  }
+  return Fail("unknown directive: " + std::string(keyword));
+}
+
+}  // namespace
+
+Status ApplyRcText(std::string_view text, std::string_view source_name, Config* config) {
+  size_t line_number = 0;
+  for (std::string_view raw_line : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = raw_line;
+    if (const size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = Trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    if (Status s = ApplyDirective(line, config); !s.ok()) {
+      return Fail(StrFormat("%s:%d: %s", source_name, line_number, s.message()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status LoadRcFile(const std::string& path, Config* config) {
+  if (!FileExists(path)) {
+    return Status::Ok();
+  }
+  auto content = ReadFile(path);
+  if (!content.ok()) {
+    return content.status();
+  }
+  return ApplyRcText(*content, path, config);
+}
+
+Status LoadStandardConfig(const std::string& site_path, const std::string& user_path,
+                          Config* config) {
+  if (!site_path.empty()) {
+    if (Status s = LoadRcFile(site_path, config); !s.ok()) {
+      return s;
+    }
+  }
+  if (!user_path.empty()) {
+    if (Status s = LoadRcFile(user_path, config); !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace weblint

@@ -1,0 +1,129 @@
+// Weblint configuration (paper §4.4).
+//
+// "There are three ways to provide configuration information for weblint: a
+// site configuration file ..., a user configuration file, .weblintrc on Unix
+// systems ..., command-line switches, which over-ride both configuration
+// files." Precedence is realised by application order: site file first, then
+// user file, then switches — later directives override earlier ones.
+#ifndef WEBLINT_CONFIG_CONFIG_H_
+#define WEBLINT_CONFIG_CONFIG_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "plugins/plugin.h"
+#include "util/result.h"
+#include "warnings/emitter.h"
+#include "warnings/warning_set.h"
+
+namespace weblint {
+
+// Case style enforced by the upper-case / lower-case style messages. The
+// messages are both off by default; enabling one picks the house style.
+enum class CaseStyle {
+  kAny,
+  kUpper,
+  kLower,
+};
+
+struct Config {
+  // Which messages are enabled (paper §4.3: identifiers, defaults).
+  WarningSet warnings;
+
+  // HTML version to check against ("By default ... HTML 4.0").
+  std::string spec_id = "html40";
+
+  // Vendor extension sets the user has opted into (weblint -x netscape):
+  // extension elements/attributes from these origins no longer warn.
+  std::set<std::string, std::less<>> enabled_extensions;
+
+  // Output format for the CLI/gateway.
+  OutputStyle output_style = OutputStyle::kTraditional;
+
+  // Tunables ("Much greater configurability", paper §6.1).
+  std::uint32_t max_title_length = 64;
+  // Anchor texts considered content-free by here-anchor. Matched
+  // case-insensitively after whitespace collapsing.
+  std::vector<std::string> content_free_words = {"here", "click here", "this", "click",
+                                                 "click here!"};
+  // Index file names accepted by the -R directory-index check.
+  std::vector<std::string> index_files = {"index.html", "index.htm"};
+
+  // Base directory for resolving relative link targets (bad-link). Empty
+  // means the directory of the file being checked.
+  std::string link_base_directory;
+
+  // Site checking (-R): recurse into directories, run site-level checks.
+  bool recurse = false;
+
+  // Honour `<!-- weblint: enable|disable|on|off ... -->` pragmas embedded in
+  // the page (paper §6.1). Sites that cannot trust page authors turn this
+  // off ("set pragmas off").
+  bool enable_pragmas = true;
+
+  // Custom elements and attributes (paper §6.1 "custom elements and
+  // attributes"): merged into the HTML version tables before checking.
+  struct CustomElement {
+    std::string name;          // Lowercase.
+    bool container = true;     // false: EMPTY element (no end tag).
+    bool is_block = false;     // Default: inline.
+  };
+  struct CustomAttribute {
+    std::string element;  // Lowercase element the attribute belongs to.
+    std::string name;     // Lowercase.
+    std::string pattern;  // Legal-value pattern; empty = any value.
+  };
+  std::vector<CustomElement> custom_elements;
+  std::vector<CustomAttribute> custom_attributes;
+
+  // Content plugins (paper §6.1): each claims one element's raw content
+  // (STYLE -> CSS checker, SCRIPT -> script checker). Installed directly or
+  // via the "plugin <name>" rc directive.
+  std::vector<PluginPtr> plugins;
+
+  // Case style for tag names; only meaningful when upper-case/lower-case
+  // messages are enabled.
+  CaseStyle case_style = CaseStyle::kAny;
+
+  // Message language (paper §6.1 i18n). "en" is the catalog itself;
+  // translated catalogs fall back to English for untranslated ids.
+  std::string language = "en";
+};
+
+// Applies rc-file directives from `text` to `config`, in order. Directive
+// syntax (one per line, '#' comments):
+//
+//   enable <id>[, <id>...]          enable messages
+//   disable <id>[, <id>...]         disable messages
+//   enable-category <cat>           error | warning | style  (weblint 2)
+//   disable-category <cat>
+//   extension <name>                netscape | microsoft
+//   html-version <id>               html40 | html32
+//   set title-length <n>
+//   set case <upper|lower|any>
+//   set index-files <name>[,<name>...]
+//   set content-free <word>[,<word>...]
+//   set pragmas <on|off>            honour in-page weblint pragmas
+//   set language <en|fr|de>         message language
+//   element <name> <container|empty> [block|inline]
+//   attribute <element> <name> [pattern]
+//   plugin <css|script>             install a content plugin
+//
+// `source_name` is used in error messages. Unknown directives or message ids
+// fail, naming the offending line.
+Status ApplyRcText(std::string_view text, std::string_view source_name, Config* config);
+
+// Reads and applies an rc file. A missing file is not an error (weblint
+// silently skips absent config files); unreadable or invalid content fails.
+Status LoadRcFile(const std::string& path, Config* config);
+
+// Loads the standard layering: `site_path` (if non-empty), then `user_path`
+// (if non-empty). Either may be absent on disk.
+Status LoadStandardConfig(const std::string& site_path, const std::string& user_path,
+                          Config* config);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CONFIG_CONFIG_H_

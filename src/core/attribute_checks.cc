@@ -1,0 +1,109 @@
+#include "core/attribute_checks.h"
+
+#include <set>
+
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+// HTML allows unquoted attribute values only for name-token values; anything
+// else should be quoted (the paper's TEXT=#00ff00 case).
+bool ValueNeedsQuoting(std::string_view value) {
+  for (char c : value) {
+    if (!IsAsciiAlnum(c) && c != '.' && c != '-' && c != '_' && c != ':') {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view VendorName(Origin origin) {
+  switch (origin) {
+    case Origin::kNetscape:
+      return "Netscape";
+    case Origin::kMicrosoft:
+      return "Microsoft";
+    case Origin::kStandard:
+      break;
+  }
+  return "standard";
+}
+
+bool ExtensionEnabled(const Config& config, Origin origin) {
+  switch (origin) {
+    case Origin::kNetscape:
+      return config.enabled_extensions.contains("netscape");
+    case Origin::kMicrosoft:
+      return config.enabled_extensions.contains("microsoft");
+    case Origin::kStandard:
+      return true;
+  }
+  return true;
+}
+
+}  // namespace
+
+void CheckAttributes(const Token& token, const ElementInfo* info, const Config& config,
+                     Reporter& reporter) {
+  const std::string element_upper = AsciiUpper(token.name);
+
+  // Pass 1: lexical checks.
+  std::set<std::string, ILess> seen;
+  for (const Attribute& attr : token.attributes) {
+    if (!seen.insert(attr.name).second) {
+      reporter.Report("repeated-attribute", attr.location, AsciiUpper(attr.name), element_upper);
+    }
+    if (!attr.has_value || attr.unterminated_quote) {
+      // A runaway quote already produced odd-quotes; further value checks
+      // would cascade off a value the author never wrote.
+      continue;
+    }
+    if (attr.quote == QuoteStyle::kSingle) {
+      reporter.Report("attribute-delimiter", attr.location, AsciiUpper(attr.name), element_upper);
+    } else if (attr.quote == QuoteStyle::kNone && ValueNeedsQuoting(attr.value)) {
+      const std::string attr_upper = AsciiUpper(attr.name);
+      reporter.Report("quote-attribute-value", attr.location, attr_upper, attr.value,
+                      element_upper, attr_upper, attr.value);
+    }
+  }
+
+  if (info == nullptr || token.kind == TokenKind::kEndTag) {
+    return;
+  }
+
+  // Pass 2: semantic checks against the HTML version tables.
+  for (const Attribute& attr : token.attributes) {
+    if (attr.name.empty()) {
+      continue;
+    }
+    const AttributeInfo* attr_info = info->FindAttribute(attr.name);
+    if (attr_info == nullptr) {
+      reporter.Report("unknown-attribute", attr.location, AsciiUpper(attr.name), element_upper);
+      continue;
+    }
+    const std::string attr_upper = AsciiUpper(attr.name);
+    if (attr_info->origin != Origin::kStandard && !ExtensionEnabled(config, attr_info->origin)) {
+      reporter.Report("extension-attribute", attr.location, attr_upper, element_upper,
+                      VendorName(attr_info->origin));
+    }
+    if (attr_info->deprecated) {
+      reporter.Report("deprecated-attribute", attr.location, attr_upper, element_upper);
+    }
+    if (attr.has_value && !attr.unterminated_quote && attr_info->HasPattern() &&
+        !attr_info->pattern.Matches(Trim(attr.value))) {
+      reporter.Report("attribute-value", attr.location, attr_upper, element_upper, attr.value);
+    }
+  }
+
+  // Pass 3: required attributes.
+  for (const auto& [name, attr_info] : info->attributes) {
+    if (!attr_info.required || seen.contains(name)) {
+      continue;
+    }
+    reporter.Report("required-attribute", token.location, AsciiUpper(name), element_upper);
+  }
+}
+
+}  // namespace weblint

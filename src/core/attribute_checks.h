@@ -1,0 +1,28 @@
+// Attribute checks for start tags.
+#ifndef WEBLINT_CORE_ATTRIBUTE_CHECKS_H_
+#define WEBLINT_CORE_ATTRIBUTE_CHECKS_H_
+
+#include "config/config.h"
+#include "core/reporter.h"
+#include "html/token.h"
+#include "spec/spec.h"
+
+namespace weblint {
+
+// Runs all attribute checks for `token`:
+//   pass 1 — lexical: repeated-attribute, attribute-delimiter,
+//            quote-attribute-value;
+//   pass 2 — semantic: unknown-attribute, extension-attribute,
+//            deprecated-attribute, attribute-value;
+//   pass 3 — required-attribute.
+// The two value passes run in that order so a tag with both an unquoted
+// value and an illegal value reports quoting first (the paper's §4.2 output
+// lists the TEXT quoting warning before the BGCOLOR value error).
+// `info` may be null (unknown element): only lexical checks run, since
+// semantic checks would cascade off the unknown-element report.
+void CheckAttributes(const Token& token, const ElementInfo* info, const Config& config,
+                     Reporter& reporter);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CORE_ATTRIBUTE_CHECKS_H_

@@ -1,0 +1,708 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "core/attribute_checks.h"
+#include "html/entities.h"
+#include "html/tokenizer.h"
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+// Upper bound on text accumulated per open element (content checks only
+// need the beginning and end of the content).
+constexpr size_t kMaxAccumulatedText = 512;
+
+bool IsHeadingName(std::string_view lower) {
+  return lower.size() == 2 && lower[0] == 'h' && lower[1] >= '1' && lower[1] <= '6';
+}
+
+// Elements whose text content feeds end-of-element checks.
+bool WantsTextAccumulation(std::string_view lower) {
+  return lower == "a" || lower == "title" || IsHeadingName(lower);
+}
+
+// Elements for which empty content is unremarkable.
+bool EmptyContentOk(const Token& token, std::string_view lower) {
+  if (lower == "td" || lower == "th" || lower == "textarea" || lower == "iframe" ||
+      lower == "object" || lower == "script" || lower == "style" || lower == "option" ||
+      lower == "server" || lower == "comment" || lower == "noframes" || lower == "noscript" ||
+      lower == "nolayer" || lower == "noembed") {
+    return true;
+  }
+  if (lower == "a") {
+    // <A NAME="target"></A> is the classic fragment-anchor idiom.
+    bool has_name = false;
+    bool has_href = false;
+    for (const Attribute& attr : token.attributes) {
+      if (IEquals(attr.name, "name") || IEquals(attr.name, "id")) {
+        has_name = true;
+      }
+      if (IEquals(attr.name, "href")) {
+        has_href = true;
+      }
+    }
+    return has_name && !has_href;
+  }
+  return false;
+}
+
+std::string_view VendorName(Origin origin) {
+  switch (origin) {
+    case Origin::kNetscape:
+      return "Netscape";
+    case Origin::kMicrosoft:
+      return "Microsoft";
+    case Origin::kStandard:
+      break;
+  }
+  return "standard";
+}
+
+// "<UL>, <OL> or <MENU>" for context diagnostics.
+std::string PrettyContextList(const std::vector<std::string>& contexts) {
+  std::string out;
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    if (i > 0) {
+      out += (i + 1 == contexts.size()) ? " or " : ", ";
+    }
+    out += "<" + AsciiUpper(contexts[i]) + ">";
+  }
+  return out;
+}
+
+// Logical replacements suggested by physical-font.
+std::string_view LogicalReplacement(std::string_view lower) {
+  if (lower == "b") {
+    return "STRONG";
+  }
+  if (lower == "i") {
+    return "EM";
+  }
+  if (lower == "tt") {
+    return "CODE";
+  }
+  return "STRONG";
+}
+
+bool IsPhysicalFont(std::string_view lower) {
+  return lower == "b" || lower == "i" || lower == "u" || lower == "s" || lower == "strike" ||
+         lower == "tt" || lower == "big" || lower == "small" || lower == "font" ||
+         lower == "blink";
+}
+
+// Attributes carrying link targets, for LinkRef collection.
+struct LinkAttr {
+  std::string_view element;
+  std::string_view attribute;
+  bool is_resource;
+};
+constexpr LinkAttr kLinkAttrs[] = {
+    {"a", "href", false},      {"area", "href", false},    {"link", "href", false},
+    {"form", "action", false}, {"img", "src", true},       {"img", "lowsrc", true},
+    {"img", "dynsrc", true},   {"body", "background", true}, {"frame", "src", true},
+    {"iframe", "src", true},   {"script", "src", true},    {"embed", "src", true},
+    {"input", "src", true},    {"object", "data", true},   {"bgsound", "src", true},
+    {"layer", "src", true},    {"ilayer", "src", true},
+};
+
+}  // namespace
+
+Engine::Engine(const Config& config, const HtmlSpec& spec, Reporter& reporter, LintReport* report)
+    : config_(config), spec_(spec), reporter_(reporter), report_(report) {}
+
+void Engine::Run(std::string_view html) {
+  Tokenizer tokenizer(html);
+  Token token;
+  while (tokenizer.Next(&token)) {
+    switch (token.kind) {
+      case TokenKind::kDoctype:
+        HandleDoctype(token);
+        break;
+      case TokenKind::kStartTag:
+        HandleStartTag(token);
+        break;
+      case TokenKind::kEndTag:
+        HandleEndTag(token);
+        break;
+      case TokenKind::kText:
+        HandleText(token);
+        break;
+      case TokenKind::kComment:
+        HandleComment(token);
+        break;
+      case TokenKind::kStrayLt:
+        HandleStrayLt(token);
+        break;
+      case TokenKind::kDeclaration:
+      case TokenKind::kProcessing:
+        break;
+    }
+  }
+  HandleEof(tokenizer.location());
+  if (report_ != nullptr) {
+    report_->lines = tokenizer.lines_consumed();
+  }
+}
+
+void Engine::HandleDoctype(const Token& token) {
+  if (!any_element_seen_) {
+    doctype_seen_ = true;
+  }
+  (void)token;
+}
+
+void Engine::NoteElementSeen(const Token& token) {
+  if (any_element_seen_) {
+    return;
+  }
+  any_element_seen_ = true;
+  if (!doctype_seen_) {
+    reporter_.Report("require-doctype", token.location);
+  }
+  if (token.kind != TokenKind::kStartTag || !IEquals(token.name, "html")) {
+    reporter_.Report("html-outer", token.location);
+  }
+}
+
+void Engine::CheckTokenFlags(const Token& token) {
+  if (token.odd_quotes) {
+    reporter_.Report("odd-quotes", token.location, token.raw);
+  }
+  if (token.net_slash) {
+    reporter_.Report("spurious-slash", token.location, AsciiUpper(token.name));
+  }
+  if (token.closed_by_lt) {
+    reporter_.Report("unexpected-open", token.location);
+  }
+}
+
+void Engine::CheckCaseStyle(const Token& token) {
+  if (token.name.empty()) {
+    return;
+  }
+  if (reporter_.IsEnabled("upper-case") && token.name != AsciiUpper(token.name)) {
+    reporter_.Report("upper-case", token.location, token.name);
+  }
+  if (reporter_.IsEnabled("lower-case") && token.name != AsciiLower(token.name)) {
+    reporter_.Report("lower-case", token.location, token.name);
+  }
+}
+
+bool Engine::StackContains(std::string_view lower_name) const {
+  return FindOnStack(lower_name) != nullptr;
+}
+
+const OpenElement* Engine::FindOnStack(std::string_view lower_name) const {
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    if (it->lower == lower_name) {
+      return &*it;
+    }
+  }
+  return nullptr;
+}
+
+void Engine::MarkContent() {
+  if (!stack_.empty()) {
+    stack_.back().has_content = true;
+  }
+}
+
+void Engine::AccumulateText(std::string_view text) {
+  for (OpenElement& element : stack_) {
+    if (element.accumulate_text && element.text.size() < kMaxAccumulatedText) {
+      element.text.append(text.substr(0, kMaxAccumulatedText - element.text.size()));
+    }
+  }
+}
+
+void Engine::AutoClose(const ElementInfo& incoming) {
+  while (!stack_.empty()) {
+    const OpenElement& top = stack_.back();
+    if (top.info == nullptr || top.info->end_tag != EndTag::kOptional) {
+      break;
+    }
+    const bool closed_by_name =
+        std::find(top.info->closed_by.begin(), top.info->closed_by.end(), incoming.name) !=
+        top.info->closed_by.end();
+    const bool closed_by_block = top.info->closed_by_block && incoming.is_block;
+    if (!closed_by_name && !closed_by_block) {
+      break;
+    }
+    // Implicit close of an optional-end element: normal HTML, no checks.
+    Pop(/*checked=*/false, SourceLocation{});
+  }
+}
+
+void Engine::Pop(bool checked, SourceLocation close_location) {
+  OpenElement element = std::move(stack_.back());
+  stack_.pop_back();
+  if (checked) {
+    CheckOnClose(element, close_location);
+  }
+}
+
+void Engine::CheckOnClose(const OpenElement& element, SourceLocation close_location) {
+  if (element.info == nullptr) {
+    return;
+  }
+  const std::string upper = AsciiUpper(element.lower);
+  if (!element.has_content && !element.empty_ok && element.info->IsContainer()) {
+    reporter_.Report("empty-container", element.location, upper);
+  }
+  if (element.lower == "a" && !element.text.empty()) {
+    if (IsAsciiSpace(element.text.front())) {
+      reporter_.Report("container-whitespace", element.location, "leading", upper);
+    } else if (IsAsciiSpace(element.text.back())) {
+      reporter_.Report("container-whitespace", element.location, "trailing", upper);
+    }
+    const std::string collapsed = AsciiLower(CollapseWhitespace(element.text));
+    for (const std::string& word : config_.content_free_words) {
+      if (collapsed == AsciiLower(word)) {
+        reporter_.Report("here-anchor", element.location, collapsed);
+        break;
+      }
+    }
+  }
+  if (element.lower == "title" &&
+      element.text.size() > config_.max_title_length) {
+    reporter_.Report("title-length", element.location, config_.max_title_length);
+  }
+  (void)close_location;
+}
+
+void Engine::CheckStructure(const Token& token, const ElementInfo& info) {
+  const std::string upper = AsciiUpper(token.name);
+
+  // Placement: HEAD-only elements seen in the document body.
+  if (info.placement == Placement::kHead && body_seen_ && !StackContains("head")) {
+    reporter_.Report("head-element", token.location, upper);
+  }
+
+  // Once-only elements (TITLE, HEAD, BODY, HTML).
+  const auto seen = first_seen_.find(token.name);
+  if (info.once_only && seen != first_seen_.end()) {
+    reporter_.Report("once-only", token.location, upper, seen->second);
+  }
+
+  // Ordering: BODY with no HEAD ever seen.
+  if (info.name == "body" && html_seen_ && !head_seen_) {
+    reporter_.Report("must-follow", token.location, upper, "</HEAD>");
+  }
+  if (info.name == "head" && body_seen_) {
+    reporter_.Report("must-follow", token.location, upper, "<HTML>");
+  }
+
+  // Context: the element needs a particular open ancestor.
+  if (!info.legal_contexts.empty()) {
+    bool found = false;
+    for (const std::string& context : info.legal_contexts) {
+      if (StackContains(context)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (info.context_implied) {
+        reporter_.Report("implied-element", token.location, upper,
+                         PrettyContextList(info.legal_contexts),
+                         AsciiUpper(info.legal_contexts.front()));
+      } else {
+        reporter_.Report("required-context", token.location, upper,
+                         PrettyContextList(info.legal_contexts));
+      }
+    }
+  }
+
+  // Elements that may not nest within themselves (A, FORM, BUTTON, LABEL).
+  if (info.no_self_nest) {
+    if (const OpenElement* open = FindOnStack(info.name); open != nullptr) {
+      reporter_.Report("nested-element", token.location, upper, upper, upper,
+                       open->location.line);
+    }
+  }
+}
+
+void Engine::CheckElementExtras(const Token& token, const ElementInfo& info) {
+  const std::string upper = AsciiUpper(token.name);
+
+  if (info.origin != Origin::kStandard) {
+    const bool enabled =
+        (info.origin == Origin::kNetscape && config_.enabled_extensions.contains("netscape")) ||
+        (info.origin == Origin::kMicrosoft && config_.enabled_extensions.contains("microsoft"));
+    if (!enabled) {
+      reporter_.Report("extension-markup", token.location, upper, VendorName(info.origin));
+    }
+  }
+
+  if (info.deprecated) {
+    const std::string suffix =
+        info.replacement.empty() ? ""
+                                 : StrFormat(" -- use <%s> instead", AsciiUpper(info.replacement));
+    reporter_.Report("deprecated-element", token.location, upper, suffix);
+  }
+
+  if (IsPhysicalFont(info.name)) {
+    reporter_.Report("physical-font", token.location, upper, LogicalReplacement(info.name));
+  }
+
+  auto has_attr = [&token](std::string_view name) {
+    for (const Attribute& attr : token.attributes) {
+      if (IEquals(attr.name, name)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  if (info.name == "img") {
+    if (!has_attr("alt")) {
+      reporter_.Report("img-alt", token.location);
+    }
+    if (!has_attr("width") || !has_attr("height")) {
+      reporter_.Report("img-size", token.location);
+    }
+  }
+
+  if (info.name == "table" && !has_attr("summary")) {
+    reporter_.Report("table-summary", token.location);
+  }
+
+  if (info.name == "body" && reporter_.IsEnabled("body-colors")) {
+    static constexpr std::string_view kColors[] = {"bgcolor", "text", "link", "vlink", "alink"};
+    std::vector<std::string> present;
+    std::vector<std::string> missing;
+    for (std::string_view color : kColors) {
+      (has_attr(color) ? present : missing).push_back(AsciiUpper(color));
+    }
+    if (!present.empty() && !missing.empty()) {
+      reporter_.Report("body-colors", token.location, Join(present, "/"), Join(missing, "/"));
+    }
+  }
+
+  if (IsHeadingName(info.name) && StackContains("a")) {
+    reporter_.Report("heading-in-anchor", token.location, upper);
+  }
+}
+
+void Engine::CollectLinks(const Token& token) {
+  if (report_ == nullptr) {
+    return;
+  }
+  for (const LinkAttr& link : kLinkAttrs) {
+    if (!IEquals(token.name, link.element)) {
+      continue;
+    }
+    for (const Attribute& attr : token.attributes) {
+      if (IEquals(attr.name, link.attribute) && attr.has_value && !attr.value.empty() &&
+          !attr.unterminated_quote) {
+        report_->links.push_back(
+            LinkRef{std::string(link.element), attr.value, attr.location, link.is_resource});
+      }
+    }
+  }
+  // Fragment targets: <A NAME=...> and any ID attribute.
+  for (const Attribute& attr : token.attributes) {
+    const bool is_name_anchor = IEquals(token.name, "a") && IEquals(attr.name, "name");
+    if ((is_name_anchor || IEquals(attr.name, "id")) && attr.has_value && !attr.value.empty()) {
+      report_->anchors.push_back(AnchorDef{attr.value, attr.location});
+    }
+  }
+}
+
+void Engine::HandleStartTag(const Token& token) {
+  NoteElementSeen(token);
+  CheckTokenFlags(token);
+  CheckCaseStyle(token);
+
+  const ElementInfo* info = spec_.Find(token.name);
+
+  if (info == nullptr) {
+    // Unknown element — possibly a mis-typed name (the paper's
+    // <BLOCKQOUTE>). Report once per name; its close tag and repeats are
+    // suppressed to avoid cascades.
+    if (!unknown_reported_.contains(token.name)) {
+      unknown_reported_.insert(token.name);
+      const std::string suggestion = spec_.SuggestElement(token.name);
+      const std::string suffix =
+          suggestion.empty()
+              ? ""
+              : StrFormat(" -- perhaps you meant <%s>?", AsciiUpper(suggestion));
+      reporter_.Report("unknown-element", token.location, AsciiUpper(token.name), suffix);
+    }
+    CheckAttributes(token, nullptr, config_, reporter_);
+    MarkContent();
+    return;
+  }
+
+  // Implicit closes first, so context checks see the right stack.
+  AutoClose(*info);
+
+  CheckStructure(token, *info);
+  CheckElementExtras(token, *info);
+  CheckAttributes(token, info, config_, reporter_);
+  CollectLinks(token);
+
+  // History and document-structure bookkeeping.
+  if (!first_seen_.contains(token.name)) {
+    first_seen_.emplace(token.name, token.location.line);
+  }
+  if (info->name == "html") {
+    html_seen_ = true;
+  } else if (info->name == "head") {
+    head_seen_ = true;
+  } else if (info->name == "body" || info->name == "frameset") {
+    body_seen_ = true;
+  } else if (info->name == "title" && !body_seen_) {
+    title_seen_ = true;
+  }
+
+  MarkContent();
+
+  if (info->IsContainer()) {
+    OpenElement element;
+    element.name = token.name;
+    element.lower = AsciiLower(token.name);
+    element.info = info;
+    element.location = token.location;
+    element.accumulate_text = WantsTextAccumulation(element.lower);
+    element.empty_ok = EmptyContentOk(token, element.lower);
+    stack_.push_back(std::move(element));
+  }
+}
+
+void Engine::HandleEndTag(const Token& token) {
+  NoteElementSeen(token);
+  CheckTokenFlags(token);
+  CheckCaseStyle(token);
+
+  if (!token.attributes.empty()) {
+    reporter_.Report("closing-attribute", token.location, AsciiUpper(token.name));
+  }
+
+  const ElementInfo* info = spec_.Find(token.name);
+  const std::string lower = AsciiLower(token.name);
+  const std::string upper = AsciiUpper(token.name);
+
+  if (info == nullptr) {
+    if (!unknown_reported_.contains(token.name)) {
+      unknown_reported_.insert(token.name);
+      reporter_.Report("unknown-element", token.location, upper, "");
+    }
+    return;
+  }
+
+  if (info->end_tag == EndTag::kForbidden) {
+    reporter_.Report("illegal-closing", token.location, upper, upper);
+    return;
+  }
+
+  // Heading mismatch heuristic (paper §4.2: <H1>..</H2>): a heading close
+  // meeting a different open heading closes it with one targeted message.
+  if (IsHeadingName(lower) && !stack_.empty() && IsHeadingName(stack_.back().lower) &&
+      stack_.back().lower != lower) {
+    reporter_.Report("heading-mismatch", token.location, AsciiUpper(stack_.back().name), upper);
+    Pop(/*checked=*/false, token.location);
+    return;
+  }
+
+  // Normal close: matches the top of the stack.
+  if (!stack_.empty() && stack_.back().lower == lower) {
+    Pop(/*checked=*/true, token.location);
+    return;
+  }
+
+  // Search deeper: the close tag may match an ancestor.
+  for (size_t i = stack_.size(); i-- > 0;) {
+    if (stack_[i].lower != lower) {
+      continue;
+    }
+    // Everything above the match is unresolved. Inline-over-inline is the
+    // classic overlap (</B> over <A>); otherwise the intervening element
+    // was simply never closed. Either way it moves to the secondary stack,
+    // so a later close tag resolves silently instead of cascading.
+    for (size_t j = stack_.size(); j-- > i + 1;) {
+      OpenElement& intervening = stack_[j];
+      const bool both_inline = info->is_inline && intervening.info != nullptr &&
+                               intervening.info->is_inline;
+      if (both_inline) {
+        reporter_.Report("element-overlap", token.location, upper, token.location.line,
+                         AsciiUpper(intervening.name), intervening.location.line);
+      } else if (intervening.info != nullptr &&
+                 intervening.info->end_tag == EndTag::kRequired) {
+        reporter_.Report("unclosed-element", token.location, AsciiUpper(intervening.name),
+                         AsciiUpper(intervening.name), intervening.location.line);
+      }
+      secondary_.push_back(std::move(intervening));
+      stack_.pop_back();
+    }
+    Pop(/*checked=*/true, token.location);
+    return;
+  }
+
+  // No match on the main stack; try the secondary stack (a tag displaced by
+  // an earlier overlap, like the </A> in the paper's example).
+  for (size_t i = secondary_.size(); i-- > 0;) {
+    if (secondary_[i].lower == lower) {
+      secondary_.erase(secondary_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+
+  // Optional-end elements may have been auto-closed earlier; their stray
+  // close tags are unremarkable.
+  if (info->end_tag == EndTag::kOptional) {
+    return;
+  }
+  reporter_.Report("unmatched-close", token.location, upper, upper);
+}
+
+void Engine::HandleText(const Token& token) {
+  const std::string_view text = token.text;
+  if (Trim(text).empty()) {
+    AccumulateText(text);
+    return;
+  }
+  MarkContent();
+  AccumulateText(text);
+
+  if (token.raw_text) {
+    // SCRIPT/STYLE content is not HTML character data, but a content plugin
+    // may claim it (paper §6.1).
+    if (!stack_.empty()) {
+      for (const PluginPtr& plugin : config_.plugins) {
+        if (IEquals(plugin->element(), stack_.back().lower)) {
+          std::vector<PluginFinding> findings;
+          plugin->Check(token.text, token.location, &findings);
+          for (const PluginFinding& finding : findings) {
+            reporter_.ReportPlugin(plugin->name(), finding);
+          }
+        }
+      }
+    }
+    return;
+  }
+
+  for (const EntityRef& ref : ScanEntities(text, token.location)) {
+    switch (ref.kind) {
+      case EntityRef::Kind::kNamed:
+        if (!ref.known) {
+          reporter_.Report("unknown-entity", ref.location, ref.name);
+        } else if (!ref.terminated) {
+          reporter_.Report("unterminated-entity", ref.location, ref.name);
+        }
+        break;
+      case EntityRef::Kind::kNumeric:
+        if (!ref.valid_number) {
+          reporter_.Report("unknown-entity", ref.location, "#" + ref.name);
+        }
+        break;
+      case EntityRef::Kind::kBareAmp:
+        break;  // A lone '&' in text is too common to flag.
+    }
+  }
+}
+
+void Engine::HandlePragma(std::string_view directive) {
+  // "<!-- weblint: disable id[, id...] -->" / enable / "off" / "on".
+  const std::vector<std::string_view> words = SplitWhitespace(directive);
+  if (words.empty()) {
+    return;
+  }
+  const std::string_view verb = words[0];
+  if (IEquals(verb, "off")) {
+    reporter_.SuppressAll(true);
+    return;
+  }
+  if (IEquals(verb, "on")) {
+    reporter_.SuppressAll(false);
+    return;
+  }
+  const bool enable = IEquals(verb, "enable");
+  if (!enable && !IEquals(verb, "disable")) {
+    return;  // Unknown pragma verbs are ignored, like unknown lint pragmas.
+  }
+  const size_t verb_end = directive.find(verb) + verb.size();
+  for (std::string_view raw_id : Split(directive.substr(verb_end), ',')) {
+    const std::string_view id = Trim(raw_id);
+    if (!id.empty() && FindMessage(id) != nullptr) {
+      reporter_.Override(id, enable);
+    }
+  }
+}
+
+void Engine::HandleComment(const Token& token) {
+  const std::string_view trimmed = Trim(token.text);
+  if (config_.enable_pragmas && IStartsWith(trimmed, "weblint:")) {
+    HandlePragma(trimmed.substr(std::string_view("weblint:").size()));
+    return;  // Pragma comments are not subject to the comment checks.
+  }
+  if (token.unterminated_comment) {
+    reporter_.Report("malformed-comment", token.location, "no closing --> seen");
+  } else if (token.comment_whitespace_close) {
+    reporter_.Report("malformed-comment", token.location,
+                     "whitespace inside the closing --> sequence");
+  }
+  if (token.nested_comment) {
+    reporter_.Report("nested-comment", token.location);
+  }
+  // Markup-looking content inside the comment?
+  const std::string_view text = token.text;
+  for (size_t i = 0; i + 1 < text.size(); ++i) {
+    if (text[i] == '<' && (IsAsciiAlpha(text[i + 1]) || text[i + 1] == '/')) {
+      reporter_.Report("markup-in-comment", token.location);
+      break;
+    }
+  }
+}
+
+void Engine::HandleStrayLt(const Token& token) {
+  reporter_.Report("unexpected-open", token.location);
+}
+
+void Engine::HandleEof(SourceLocation eof_location) {
+  // Anything still open with a required end tag was never closed.
+  while (!stack_.empty()) {
+    const OpenElement& top = stack_.back();
+    if (top.info != nullptr && top.info->end_tag == EndTag::kRequired) {
+      reporter_.Report("unclosed-element", eof_location, AsciiUpper(top.name),
+                       AsciiUpper(top.name), top.location.line);
+    }
+    Pop(/*checked=*/false, eof_location);
+  }
+
+  if (any_element_seen_) {
+    if (!head_seen_) {
+      reporter_.Report("require-head", SourceLocation{});
+    } else if (!title_seen_) {
+      reporter_.Report("require-title", SourceLocation{});
+    }
+  }
+
+  // Same-page fragment targets: a link to "#name" needs <A NAME="name"> or
+  // an ID attribute somewhere in this document.
+  if (report_ != nullptr && reporter_.IsEnabled("bad-link")) {
+    std::set<std::string, ILess> anchor_names;
+    for (const AnchorDef& anchor : report_->anchors) {
+      anchor_names.insert(anchor.name);
+    }
+    for (const LinkRef& link : report_->links) {
+      if (link.url.size() < 2 || link.url.front() != '#') {
+        continue;
+      }
+      if (!anchor_names.contains(link.url.substr(1))) {
+        reporter_.Report("bad-link", link.location, link.url);
+      }
+    }
+  }
+}
+
+void RunEngine(const Config& config, const HtmlSpec& spec, Reporter& reporter, LintReport* report,
+               std::string_view html) {
+  Engine engine(config, spec, reporter, report);
+  engine.Run(html);
+}
+
+}  // namespace weblint

@@ -1,0 +1,123 @@
+// The weblint checking engine (paper §5.1).
+//
+// "Weblint is basically a stack machine with an ad-hoc parser, which uses
+// various heuristics to keep things together as it goes along. ... When an
+// opening tag is seen, it is pushed onto the main stack. Closing tags result
+// in the stack being popped. ... A secondary stack comes into play when
+// unexpected things happen, like overlapping elements. The second stack
+// holds unresolved tags, and where they appeared. For each token type, a
+// number of checks are made [involving] the token itself, or its context,
+// which can include the current state of the stack, the secondary stack,
+// and the history of elements seen."
+#ifndef WEBLINT_CORE_ENGINE_H_
+#define WEBLINT_CORE_ENGINE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/config.h"
+#include "core/report.h"
+#include "core/reporter.h"
+#include "html/token.h"
+#include "spec/spec.h"
+
+namespace weblint {
+
+// An entry on the main (or secondary) element stack.
+struct OpenElement {
+  std::string name;   // As written in the source.
+  std::string lower;  // Folded, for comparisons.
+  const ElementInfo* info = nullptr;
+  SourceLocation location;
+  bool has_content = false;      // Saw any child element or non-blank text.
+  bool accumulate_text = false;  // Collect text for content checks (A, TITLE...).
+  bool empty_ok = false;         // Empty content is normal (TD, <A NAME=...>).
+  std::string text;              // Accumulated content text (capped).
+};
+
+class Engine {
+ public:
+  // `report` collects links/anchors/line count; diagnostics go through
+  // `reporter` (and from there to whatever emitter the caller installed).
+  Engine(const Config& config, const HtmlSpec& spec, Reporter& reporter, LintReport* report);
+
+  // Checks one document.
+  void Run(std::string_view html);
+
+  // Exposed for white-box tests of the cascade heuristics.
+  const std::vector<OpenElement>& stack() const { return stack_; }
+  const std::vector<OpenElement>& secondary_stack() const { return secondary_; }
+
+ private:
+  void HandleDoctype(const Token& token);
+  void HandleStartTag(const Token& token);
+  void HandleEndTag(const Token& token);
+  void HandleText(const Token& token);
+  void HandleComment(const Token& token);
+  // Applies an in-page configuration pragma (paper §6.1); `directive` is
+  // the comment text after the "weblint:" marker.
+  void HandlePragma(std::string_view directive);
+  void HandleStrayLt(const Token& token);
+  void HandleEof(SourceLocation eof_location);
+
+  // Shared checks for anomalies flagged by the tokenizer.
+  void CheckTokenFlags(const Token& token);
+  // First-markup bookkeeping: require-doctype, html-outer.
+  void NoteElementSeen(const Token& token);
+  // Tag-name case style (upper-case / lower-case messages).
+  void CheckCaseStyle(const Token& token);
+
+  // Structure checks on a start tag (placement, once-only, must-follow,
+  // context, self-nesting).
+  void CheckStructure(const Token& token, const ElementInfo& info);
+  // Element-specific extra checks (img-alt, table-summary, body-colors,
+  // heading-in-anchor, physical-font, deprecated/extension markup).
+  void CheckElementExtras(const Token& token, const ElementInfo& info);
+  // Records A HREF / IMG SRC / ... into the report for link checking.
+  void CollectLinks(const Token& token);
+
+  // Implicitly closes optional-end elements terminated by this start tag.
+  void AutoClose(const ElementInfo& incoming);
+  // Pops the top element, running end-of-element checks when `checked`.
+  void Pop(bool checked, SourceLocation close_location);
+  // End-of-element checks (empty-container, here-anchor,
+  // container-whitespace, title-length).
+  void CheckOnClose(const OpenElement& element, SourceLocation close_location);
+
+  bool StackContains(std::string_view lower_name) const;
+  const OpenElement* FindOnStack(std::string_view lower_name) const;
+  void MarkContent();
+  void AccumulateText(std::string_view text);
+
+  const Config& config_;
+  const HtmlSpec& spec_;
+  Reporter& reporter_;
+  LintReport* report_;
+
+  std::vector<OpenElement> stack_;
+  std::vector<OpenElement> secondary_;
+
+  // History of elements seen: lowercase name -> line first seen.
+  std::map<std::string, std::uint32_t, ILess> first_seen_;
+  // Unknown element names already reported; repeat sightings and close tags
+  // are suppressed (cascade minimisation).
+  std::set<std::string, ILess> unknown_reported_;
+
+  bool doctype_seen_ = false;
+  bool any_element_seen_ = false;
+  bool html_seen_ = false;
+  bool head_seen_ = false;
+  bool body_seen_ = false;
+  bool title_seen_ = false;
+};
+
+// Convenience used by Weblint and tests: runs the engine over `html`.
+void RunEngine(const Config& config, const HtmlSpec& spec, Reporter& reporter, LintReport* report,
+               std::string_view html);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CORE_ENGINE_H_

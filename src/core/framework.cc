@@ -1,0 +1,111 @@
+#include "core/framework.h"
+
+#include "plugins/css_checker.h"
+#include "util/file_io.h"
+#include "util/strings.h"
+
+namespace weblint {
+
+bool HtmlDocumentChecker::HandlesPath(std::string_view path) const {
+  return LooksLikeHtml(Basename(path));
+}
+
+bool HtmlDocumentChecker::HandlesContentType(std::string_view content_type) const {
+  return IContains(content_type, "html");
+}
+
+LintReport HtmlDocumentChecker::Check(std::string_view display_name, std::string_view content,
+                                      Emitter* emitter) const {
+  return weblint_.CheckString(display_name, content, emitter);
+}
+
+bool CssDocumentChecker::HandlesPath(std::string_view path) const {
+  return IEquals(Extension(path), ".css");
+}
+
+bool CssDocumentChecker::HandlesContentType(std::string_view content_type) const {
+  return IContains(content_type, "text/css");
+}
+
+LintReport CssDocumentChecker::Check(std::string_view display_name, std::string_view content,
+                                     Emitter* emitter) const {
+  LintReport report;
+  report.name = std::string(display_name);
+  std::uint32_t lines = 1;
+  for (char c : content) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  report.lines = lines;
+
+  CssChecker checker;
+  std::vector<PluginFinding> findings;
+  checker.Check(content, SourceLocation{1, 1}, &findings);
+  for (const PluginFinding& finding : findings) {
+    Diagnostic d;
+    d.message_id = "css/" + finding.topic;
+    d.category = finding.category;
+    d.file = report.name;
+    d.location = finding.location;
+    d.message = finding.message;
+    if (emitter != nullptr) {
+      emitter->Emit(d);
+    }
+    report.diagnostics.push_back(std::move(d));
+  }
+  return report;
+}
+
+CheckerFramework CheckerFramework::Standard(const Weblint& weblint) {
+  CheckerFramework framework;
+  framework.Register(std::make_shared<HtmlDocumentChecker>(weblint));
+  framework.Register(std::make_shared<CssDocumentChecker>());
+  return framework;
+}
+
+void CheckerFramework::Register(std::shared_ptr<const DocumentChecker> checker) {
+  checkers_.push_back(std::move(checker));
+}
+
+const DocumentChecker* CheckerFramework::ForPath(std::string_view path) const {
+  for (const auto& checker : checkers_) {
+    if (checker->HandlesPath(path)) {
+      return checker.get();
+    }
+  }
+  return nullptr;
+}
+
+const DocumentChecker* CheckerFramework::ForContentType(std::string_view content_type) const {
+  for (const auto& checker : checkers_) {
+    if (checker->HandlesContentType(content_type)) {
+      return checker.get();
+    }
+  }
+  return nullptr;
+}
+
+Result<LintReport> CheckerFramework::CheckFile(const std::string& path, Emitter* emitter) const {
+  const DocumentChecker* checker = ForPath(path);
+  if (checker == nullptr) {
+    return Fail("no checker handles " + path);
+  }
+  auto content = ReadFile(path);
+  if (!content.ok()) {
+    return content.status();
+  }
+  if (emitter != nullptr) {
+    emitter->BeginDocument(path);
+  }
+  LintReport report = checker->Check(path, *content, nullptr);
+  if (emitter != nullptr) {
+    for (const Diagnostic& d : report.diagnostics) {
+      emitter->Emit(d);
+    }
+    emitter->EndDocument();
+  }
+  return report;
+}
+
+}  // namespace weblint

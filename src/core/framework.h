@@ -1,0 +1,93 @@
+// The outer checking framework (paper §6.1): "This may require an outer
+// framework, where weblint is just one such plugin, for HTML."
+//
+// A DocumentChecker claims documents by file extension / MIME type; the
+// framework routes each document to the right checker. Weblint itself is
+// registered as the HTML checker; the CSS content plugin doubles as a
+// whole-file checker for .css stylesheets. `weblint styles.css` works
+// because the CLI checks through this framework.
+#ifndef WEBLINT_CORE_FRAMEWORK_H_
+#define WEBLINT_CORE_FRAMEWORK_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/linter.h"
+#include "core/report.h"
+#include "util/result.h"
+#include "warnings/emitter.h"
+
+namespace weblint {
+
+// Checks one class of document (HTML, CSS, ...).
+class DocumentChecker {
+ public:
+  virtual ~DocumentChecker() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // True if this checker handles files named like `path` (by extension).
+  virtual bool HandlesPath(std::string_view path) const = 0;
+  // True if this checker handles the given MIME type.
+  virtual bool HandlesContentType(std::string_view content_type) const = 0;
+
+  // Checks `content`; `display_name` labels diagnostics. Diagnostics stream
+  // to `emitter` when non-null and are always collected in the report.
+  virtual LintReport Check(std::string_view display_name, std::string_view content,
+                           Emitter* emitter) const = 0;
+};
+
+// Weblint as a framework plugin: handles .html/.htm/.shtml and text/html.
+class HtmlDocumentChecker : public DocumentChecker {
+ public:
+  explicit HtmlDocumentChecker(const Weblint& weblint) : weblint_(weblint) {}
+  std::string_view name() const override { return "weblint"; }
+  bool HandlesPath(std::string_view path) const override;
+  bool HandlesContentType(std::string_view content_type) const override;
+  LintReport Check(std::string_view display_name, std::string_view content,
+                   Emitter* emitter) const override;
+
+ private:
+  const Weblint& weblint_;
+};
+
+// The CSS plugin promoted to a whole-file checker: .css and text/css.
+class CssDocumentChecker : public DocumentChecker {
+ public:
+  std::string_view name() const override { return "css"; }
+  bool HandlesPath(std::string_view path) const override;
+  bool HandlesContentType(std::string_view content_type) const override;
+  LintReport Check(std::string_view display_name, std::string_view content,
+                   Emitter* emitter) const override;
+};
+
+// Routes documents to the registered checkers.
+class CheckerFramework {
+ public:
+  // An empty framework; callers register checkers explicitly.
+  CheckerFramework() = default;
+
+  // The standard lineup: weblint for HTML (borrowing `weblint`, which must
+  // outlive the framework), the CSS file checker.
+  static CheckerFramework Standard(const Weblint& weblint);
+
+  void Register(std::shared_ptr<const DocumentChecker> checker);
+  size_t checker_count() const { return checkers_.size(); }
+
+  // The checker claiming `path` / content type; nullptr when none does.
+  const DocumentChecker* ForPath(std::string_view path) const;
+  const DocumentChecker* ForContentType(std::string_view content_type) const;
+
+  // Reads and checks `path` with whichever checker claims it. Fails when the
+  // file is unreadable or no checker handles it.
+  Result<LintReport> CheckFile(const std::string& path, Emitter* emitter = nullptr) const;
+
+ private:
+  std::vector<std::shared_ptr<const DocumentChecker>> checkers_;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CORE_FRAMEWORK_H_

@@ -1,0 +1,153 @@
+#include "core/linter.h"
+
+#include <optional>
+
+#include "core/engine.h"
+#include "core/reporter.h"
+#include "spec/registry.h"
+#include "util/file_io.h"
+#include "util/strings.h"
+#include "util/url.h"
+
+namespace weblint {
+
+namespace {
+
+const HtmlSpec& ResolveSpec(const Config& config) {
+  const HtmlSpec* spec = FindSpec(config.spec_id);
+  return spec != nullptr ? *spec : DefaultSpec();
+}
+
+// Merges the config's custom elements and attributes (paper §6.1) into a
+// copy of the base tables.
+HtmlSpec BuildExtendedSpec(const Config& config) {
+  HtmlSpec spec = ResolveSpec(config);
+  SpecBuilder builder(&spec);
+  for (const Config::CustomElement& element : config.custom_elements) {
+    builder.Element(element.name)
+        .End(element.container ? EndTag::kRequired : EndTag::kForbidden)
+        .CoreAttrs();
+    if (element.is_block) {
+      builder.Block();
+    } else {
+      builder.Inline();
+    }
+  }
+  for (const Config::CustomAttribute& attr : config.custom_attributes) {
+    builder.Element(attr.element).Attr(attr.name, attr.pattern);
+  }
+  return spec;
+}
+
+// Holds either a reference to a cached registry spec or an owned extended
+// copy, so the common no-customisation path stays allocation-free.
+class SpecChoice {
+ public:
+  explicit SpecChoice(const Config& config) {
+    if (config.custom_elements.empty() && config.custom_attributes.empty()) {
+      spec_ = &ResolveSpec(config);
+    } else {
+      owned_ = BuildExtendedSpec(config);
+      spec_ = &*owned_;
+    }
+  }
+  const HtmlSpec& get() const { return *spec_; }
+
+ private:
+  std::optional<HtmlSpec> owned_;
+  const HtmlSpec* spec_ = nullptr;
+};
+
+// True for link targets the bad-link check can test on the local
+// filesystem: relative references without scheme, authority, or query.
+bool IsLocalTarget(const Url& url) {
+  return url.scheme.empty() && !url.has_authority && url.query.empty() && !url.path.empty();
+}
+
+void CheckLocalLinks(const std::string& file_path, const Config& config,
+                     const LintReport& report, Reporter& reporter) {
+  if (!reporter.IsEnabled("bad-link")) {
+    return;
+  }
+  const std::string base = config.link_base_directory.empty()
+                               ? std::string(Dirname(file_path))
+                               : config.link_base_directory;
+  for (const LinkRef& link : report.links) {
+    const Url url = ParseUrl(link.url);
+    if (!IsLocalTarget(url)) {
+      continue;
+    }
+    const std::string target = NormalizePath(PathJoin(base, UrlDecode(url.path)));
+    if (!FileExists(target)) {
+      reporter.Report("bad-link", link.location, link.url);
+    }
+  }
+}
+
+}  // namespace
+
+LintReport Weblint::CheckString(std::string_view name, std::string_view html,
+                                Emitter* emitter) const {
+  LintReport report;
+  report.name = std::string(name);
+
+  const SpecChoice spec(config_);
+  CollectingEmitter collector;
+  if (emitter != nullptr) {
+    emitter->BeginDocument(name);
+    TeeEmitter tee(collector, *emitter);
+    Reporter reporter(config_, report.name, tee);
+    RunEngine(config_, spec.get(), reporter, &report, html);
+    emitter->EndDocument();
+  } else {
+    Reporter reporter(config_, report.name, collector);
+    RunEngine(config_, spec.get(), reporter, &report, html);
+  }
+  report.diagnostics = collector.TakeDiagnostics();
+  return report;
+}
+
+Result<LintReport> Weblint::CheckFile(const std::string& path, Emitter* emitter) const {
+  auto content = ReadFile(path);
+  if (!content.ok()) {
+    return content.status();
+  }
+  LintReport report;
+  report.name = path;
+
+  const SpecChoice spec(config_);
+  CollectingEmitter collector;
+  if (emitter != nullptr) {
+    emitter->BeginDocument(path);
+    TeeEmitter tee(collector, *emitter);
+    Reporter reporter(config_, path, tee);
+    RunEngine(config_, spec.get(), reporter, &report, *content);
+    CheckLocalLinks(path, config_, report, reporter);
+    emitter->EndDocument();
+  } else {
+    Reporter reporter(config_, path, collector);
+    RunEngine(config_, spec.get(), reporter, &report, *content);
+    CheckLocalLinks(path, config_, report, reporter);
+  }
+  report.diagnostics = collector.TakeDiagnostics();
+  return report;
+}
+
+Result<LintReport> Weblint::CheckUrl(std::string_view url_text, UrlFetcher& fetcher,
+                                     Emitter* emitter) const {
+  const Url url = ParseUrl(url_text);
+  Url final_url;
+  const HttpResponse response = fetcher.GetFollowingRedirects(url, /*max_redirects=*/5,
+                                                              &final_url);
+  if (!response.ok()) {
+    return Fail(StrFormat("cannot retrieve %s: %d %s", url_text, response.status,
+                          response.reason));
+  }
+  const std::string_view content_type = response.Header("content-type");
+  if (!content_type.empty() && !IContains(content_type, "html")) {
+    return Fail(StrFormat("%s is not HTML (content-type %s)", url_text, content_type));
+  }
+  return CheckString(final_url.Serialize(), response.body, emitter);
+}
+
+}  // namespace weblint

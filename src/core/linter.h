@@ -1,0 +1,63 @@
+// The Weblint class (paper §5.4).
+//
+// "The weblint module is a Perl class which encapsulates the HTML checking
+// functionality. This makes it easy to embed weblint functionality into any
+// application ... The simplest use of the module is:
+//
+//     use Weblint;
+//     $weblint = Weblint->new();
+//     $weblint->check_file($filename);
+//
+// In addition to the check_file method above, it provides check_string and
+// check_url methods. The latter requires the LWP modules."
+//
+// The C++ equivalent:
+//
+//     weblint::Weblint lint;
+//     auto report = lint.CheckFile("page.html");
+#ifndef WEBLINT_CORE_LINTER_H_
+#define WEBLINT_CORE_LINTER_H_
+
+#include <string>
+#include <string_view>
+
+#include "config/config.h"
+#include "core/report.h"
+#include "net/fetcher.h"
+#include "util/result.h"
+#include "warnings/emitter.h"
+
+namespace weblint {
+
+class Weblint {
+ public:
+  // Default configuration: HTML 4.0, the 42 default-enabled messages.
+  Weblint() = default;
+  explicit Weblint(Config config) : config_(std::move(config)) {}
+
+  const Config& config() const { return config_; }
+  Config& config() { return config_; }
+
+  // Checks an HTML string. `name` is the display name used in diagnostics.
+  // If `emitter` is non-null, diagnostics are additionally streamed to it as
+  // they are produced (the CLI passes a StreamEmitter); they are always
+  // collected into the returned report.
+  LintReport CheckString(std::string_view name, std::string_view html,
+                         Emitter* emitter = nullptr) const;
+
+  // Checks a file. Fails only if the file cannot be read. Also runs the
+  // bad-link check (if enabled) against the local filesystem.
+  Result<LintReport> CheckFile(const std::string& path, Emitter* emitter = nullptr) const;
+
+  // Retrieves `url` through `fetcher` (following redirects) and checks the
+  // body. Fails on non-success responses or non-HTML content.
+  Result<LintReport> CheckUrl(std::string_view url, UrlFetcher& fetcher,
+                              Emitter* emitter = nullptr) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CORE_LINTER_H_

@@ -1,0 +1,55 @@
+// Results of checking one document.
+#ifndef WEBLINT_CORE_REPORT_H_
+#define WEBLINT_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "util/source_location.h"
+#include "warnings/emitter.h"
+
+namespace weblint {
+
+// A hyperlink or resource reference found while checking (A HREF, IMG SRC,
+// LINK HREF, FRAME SRC, ...). Used by bad-link, the -R site checks, and the
+// poacher robot.
+struct LinkRef {
+  std::string element;  // Lowercase element name the link came from.
+  std::string url;      // Attribute value, verbatim.
+  SourceLocation location;
+  bool is_resource = false;  // SRC-style reference (image/frame/script).
+};
+
+// A named anchor (<A NAME=...> or any ID attribute) — fragment targets.
+struct AnchorDef {
+  std::string name;
+  SourceLocation location;
+};
+
+struct LintReport {
+  std::string name;  // Display name of what was checked.
+  std::vector<Diagnostic> diagnostics;
+  std::vector<LinkRef> links;
+  std::vector<AnchorDef> anchors;
+  std::uint32_t lines = 0;  // Lines in the document.
+
+  size_t ErrorCount() const { return CountCategory(Category::kError); }
+  size_t WarningCount() const { return CountCategory(Category::kWarning); }
+  size_t StyleCount() const { return CountCategory(Category::kStyle); }
+  bool Clean() const { return diagnostics.empty(); }
+
+ private:
+  size_t CountCategory(Category category) const {
+    size_t n = 0;
+    for (const Diagnostic& d : diagnostics) {
+      if (d.category == category) {
+        ++n;
+      }
+    }
+    return n;
+  }
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CORE_REPORT_H_

@@ -1,0 +1,113 @@
+// Routes check findings through the warning set to the emitter.
+#ifndef WEBLINT_CORE_REPORTER_H_
+#define WEBLINT_CORE_REPORTER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/config.h"
+#include "util/source_location.h"
+#include "util/strings.h"
+#include "warnings/catalog.h"
+#include "warnings/emitter.h"
+#include "warnings/localization.h"
+
+namespace weblint {
+
+// Formats catalog messages and emits them if enabled. One Reporter per
+// document being checked.
+//
+// Page-specific pragmas (paper §6.1: "configuration information embedded in
+// comments, which traditional lint supports") act as a document-scoped
+// overlay on the configured warning set: the engine calls the Suppress /
+// Override methods when it sees `<!-- weblint: ... -->` comments.
+class Reporter {
+ public:
+  Reporter(const Config& config, std::string file, Emitter& emitter)
+      : config_(config), file_(std::move(file)), emitter_(emitter) {}
+
+  bool IsEnabled(std::string_view id) const {
+    if (all_suppressed_) {
+      return false;
+    }
+    if (const auto it = overrides_.find(id); it != overrides_.end()) {
+      return it->second;
+    }
+    return config_.warnings.IsEnabled(id);
+  }
+
+  // Pragma overlay — affects this document from the pragma onward.
+  void SuppressAll(bool suppressed) { all_suppressed_ = suppressed; }
+  void Override(std::string_view id, bool enabled) {
+    overrides_.insert_or_assign(std::string(id), enabled);
+  }
+  void ClearOverride(std::string_view id) {
+    if (const auto it = overrides_.find(id); it != overrides_.end()) {
+      overrides_.erase(it);
+    }
+  }
+
+  // Formats the catalog template for `id` with `args` and emits it.
+  // Unknown or disabled ids are silently dropped (checks may fire
+  // unconditionally and let the set filter).
+  template <typename... Args>
+  void Report(std::string_view id, SourceLocation location, const Args&... args) {
+    if (!IsEnabled(id)) {
+      return;
+    }
+    const MessageInfo* info = FindMessage(id);
+    if (info == nullptr) {
+      return;
+    }
+    std::string_view format = info->format;
+    if (config_.language != "en") {
+      if (const std::string_view localized = LocalizedFormat(config_.language, id);
+          !localized.empty()) {
+        format = localized;
+      }
+    }
+    Diagnostic diagnostic;
+    diagnostic.message_id = std::string(id);
+    diagnostic.category = info->category;
+    diagnostic.file = file_;
+    diagnostic.location = location;
+    diagnostic.message = StrFormat(format, args...);
+    ++count_;
+    emitter_.Emit(diagnostic);
+  }
+
+  // Emits a plugin finding (paper §6.1 plugins). Plugin findings sit
+  // outside the catalog: their id is "<plugin>/<topic>" and installing the
+  // plugin is the opt-in, but the "off" pragma still silences them.
+  void ReportPlugin(std::string_view plugin_name, const PluginFinding& finding) {
+    if (all_suppressed_) {
+      return;
+    }
+    Diagnostic diagnostic;
+    diagnostic.message_id = StrFormat("%s/%s", plugin_name, finding.topic);
+    diagnostic.category = finding.category;
+    diagnostic.file = file_;
+    diagnostic.location = finding.location;
+    diagnostic.message = finding.message;
+    ++count_;
+    emitter_.Emit(diagnostic);
+  }
+
+  size_t count() const { return count_; }
+  const Config& config() const { return config_; }
+  const std::string& file() const { return file_; }
+
+ private:
+  const Config& config_;
+  std::string file_;
+  Emitter& emitter_;
+  size_t count_ = 0;
+  bool all_suppressed_ = false;
+  std::map<std::string, bool, std::less<>> overrides_;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CORE_REPORTER_H_

@@ -1,0 +1,151 @@
+#include "core/site_checker.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/file_io.h"
+#include "util/strings.h"
+#include "util/url.h"
+
+namespace weblint {
+
+namespace {
+
+Diagnostic MakeSiteDiagnostic(std::string_view id, std::string file, std::string message) {
+  Diagnostic d;
+  d.message_id = std::string(id);
+  const MessageInfo* info = FindMessage(id);
+  d.category = info != nullptr ? info->category : Category::kStyle;
+  d.file = std::move(file);
+  d.message = std::move(message);
+  return d;
+}
+
+}  // namespace
+
+Result<SiteReport> SiteChecker::CheckSite(const std::string& root, Emitter* emitter) const {
+  auto scan = ScanSite(root);
+  if (!scan.ok()) {
+    return scan.status();
+  }
+
+  SiteReport site;
+  site.root = root;
+
+  // Pass 1: lint every page, collecting its outbound links.
+  for (const std::string& file : scan->html_files) {
+    auto report = weblint_.CheckFile(file, emitter);
+    if (!report.ok()) {
+      return report.status();
+    }
+    site.pages.push_back(std::move(*report));
+  }
+
+  const Config& config = weblint_.config();
+
+  // Pass 2: directory-index.
+  if (config.warnings.IsEnabled("directory-index")) {
+    for (const std::string& dir : scan->directories) {
+      const bool has_index = std::any_of(
+          config.index_files.begin(), config.index_files.end(),
+          [&dir](const std::string& index) { return FileExists(PathJoin(dir, index)); });
+      if (!has_index) {
+        const MessageInfo* info = FindMessage("directory-index");
+        Diagnostic d = MakeSiteDiagnostic(
+            "directory-index", dir,
+            StrFormat(info->format, dir, Join(config.index_files, ", ")));
+        if (emitter != nullptr) {
+          emitter->Emit(d);
+        }
+        site.site_diagnostics.push_back(std::move(d));
+      }
+    }
+  }
+
+  // Pass 3: orphan pages. Resolve every relative link to a normalized path
+  // and collect the referenced set.
+  if (config.warnings.IsEnabled("orphan-page")) {
+    std::set<std::string> referenced;
+    for (const LintReport& page : site.pages) {
+      const std::string_view base = Dirname(page.name);
+      for (const LinkRef& link : page.links) {
+        const Url url = ParseUrl(link.url);
+        if (!url.scheme.empty() || url.has_authority || url.path.empty()) {
+          continue;
+        }
+        const std::string decoded = UrlDecode(url.path);
+        if (decoded.back() == '/') {
+          // A directory reference implicitly targets its index page.
+          for (const std::string& index : config.index_files) {
+            referenced.insert(NormalizePath(PathJoin(base, decoded + index)));
+          }
+        } else {
+          referenced.insert(NormalizePath(PathJoin(base, decoded)));
+        }
+      }
+    }
+    std::set<std::string> index_targets;
+    for (const std::string& index : config.index_files) {
+      index_targets.insert(NormalizePath(PathJoin(root, index)));
+    }
+    for (const LintReport& page : site.pages) {
+      const std::string normalized = NormalizePath(page.name);
+      if (referenced.contains(normalized)) {
+        continue;
+      }
+      if (index_targets.contains(normalized)) {
+        continue;  // The site entry point has no in-site referrers.
+      }
+      const MessageInfo* info = FindMessage("orphan-page");
+      Diagnostic d = MakeSiteDiagnostic("orphan-page", page.name,
+                                        StrFormat(info->format, page.name));
+      if (emitter != nullptr) {
+        emitter->Emit(d);
+      }
+      site.site_diagnostics.push_back(std::move(d));
+    }
+  }
+
+  // Pass 4: cross-page fragment targets. A link "other.html#sec" is broken
+  // if other.html was checked and defines no such anchor (same-page "#sec"
+  // links are handled by the engine itself).
+  if (config.warnings.IsEnabled("bad-link")) {
+    std::map<std::string, std::set<std::string, ILess>> anchors_by_page;
+    for (const LintReport& page : site.pages) {
+      auto& anchors = anchors_by_page[NormalizePath(page.name)];
+      for (const AnchorDef& anchor : page.anchors) {
+        anchors.insert(anchor.name);
+      }
+    }
+    for (const LintReport& page : site.pages) {
+      const std::string_view base = Dirname(page.name);
+      for (const LinkRef& link : page.links) {
+        const Url url = ParseUrl(link.url);
+        if (!url.scheme.empty() || url.has_authority || url.fragment.empty() ||
+            url.path.empty()) {
+          continue;
+        }
+        const std::string target = NormalizePath(PathJoin(base, UrlDecode(url.path)));
+        const auto it = anchors_by_page.find(target);
+        if (it == anchors_by_page.end()) {
+          continue;  // Missing file: already reported by the per-file check.
+        }
+        if (!it->second.contains(url.fragment)) {
+          const MessageInfo* info = FindMessage("bad-link");
+          Diagnostic d = MakeSiteDiagnostic("bad-link", page.name,
+                                            StrFormat(info->format, link.url));
+          d.location = link.location;
+          if (emitter != nullptr) {
+            emitter->Emit(d);
+          }
+          site.site_diagnostics.push_back(std::move(d));
+        }
+      }
+    }
+  }
+
+  return site;
+}
+
+}  // namespace weblint

@@ -1,0 +1,55 @@
+// Recursive site checking (paper §4.5).
+//
+// "The -R switch instructs weblint to recurse in all directories in the
+// local filesystem, so that a set of pages or entire site can be checked
+// with one command. The switch also enables additional warnings, checking
+// whether directories have index files, and reporting orphan pages (which
+// are not referred to by any other page checked)."
+#ifndef WEBLINT_CORE_SITE_CHECKER_H_
+#define WEBLINT_CORE_SITE_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/linter.h"
+#include "core/report.h"
+#include "util/result.h"
+#include "warnings/emitter.h"
+
+namespace weblint {
+
+struct SiteReport {
+  std::string root;
+  std::vector<LintReport> pages;
+  // Site-level diagnostics: directory-index and orphan-page.
+  std::vector<Diagnostic> site_diagnostics;
+
+  size_t TotalDiagnostics() const {
+    size_t n = site_diagnostics.size();
+    for (const LintReport& page : pages) {
+      n += page.diagnostics.size();
+    }
+    return n;
+  }
+};
+
+class SiteChecker {
+ public:
+  explicit SiteChecker(const Weblint& weblint) : weblint_(weblint) {}
+
+  // Walks `root` recursively, checks every HTML file, then runs the
+  // cross-page checks:
+  //  * directory-index: each directory should contain one of the configured
+  //    index files;
+  //  * orphan-page: a page no other checked page links to (the root index
+  //    is exempt — it is the site entry point).
+  // If `emitter` is non-null, all diagnostics stream to it as produced.
+  Result<SiteReport> CheckSite(const std::string& root, Emitter* emitter = nullptr) const;
+
+ private:
+  const Weblint& weblint_;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CORE_SITE_CHECKER_H_

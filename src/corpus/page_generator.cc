@@ -1,0 +1,297 @@
+#include "corpus/page_generator.h"
+
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+// Plain prose vocabulary: pure ASCII letters so clean pages stay clean.
+constexpr const char* kWords[] = {
+    "the",     "quick",   "research", "centre",  "canon",    "weblint", "checks",  "syntax",
+    "style",   "pages",   "browser",  "markup",  "document", "quality", "testing", "analysis",
+    "network", "server",  "anchor",   "element", "release",  "users",   "mailing", "list",
+    "victims", "bazaar",  "model",    "perl",    "hack",     "module",  "robot",   "gateway",
+    "link",    "index",   "search",   "engine",  "content",  "valid",   "helpful", "comment",
+};
+constexpr size_t kWordCount = sizeof(kWords) / sizeof(kWords[0]);
+
+}  // namespace
+
+const char* DefectKindName(DefectKind kind) {
+  switch (kind) {
+    case DefectKind::kUnclosedElement:
+      return "unclosed-element";
+    case DefectKind::kHeadingMismatch:
+      return "heading-mismatch";
+    case DefectKind::kUnquotedAttr:
+      return "unquoted-attr";
+    case DefectKind::kIllegalAttrValue:
+      return "illegal-attr-value";
+    case DefectKind::kOddQuotes:
+      return "odd-quotes";
+    case DefectKind::kOverlap:
+      return "overlap";
+    case DefectKind::kUnknownElement:
+      return "unknown-element";
+    case DefectKind::kUnknownAttribute:
+      return "unknown-attribute";
+    case DefectKind::kMissingAlt:
+      return "missing-alt";
+    case DefectKind::kDeprecatedElement:
+      return "deprecated-element";
+    case DefectKind::kBadEntity:
+      return "bad-entity";
+    case DefectKind::kIllegalClosing:
+      return "illegal-closing";
+    case DefectKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+const char* DefectExpectedMessage(DefectKind kind) {
+  switch (kind) {
+    case DefectKind::kUnclosedElement:
+      return "unclosed-element";
+    case DefectKind::kHeadingMismatch:
+      return "heading-mismatch";
+    case DefectKind::kUnquotedAttr:
+      return "quote-attribute-value";
+    case DefectKind::kIllegalAttrValue:
+      return "attribute-value";
+    case DefectKind::kOddQuotes:
+      return "odd-quotes";
+    case DefectKind::kOverlap:
+      return "element-overlap";
+    case DefectKind::kUnknownElement:
+      return "unknown-element";
+    case DefectKind::kUnknownAttribute:
+      return "unknown-attribute";
+    case DefectKind::kMissingAlt:
+      return "img-alt";
+    case DefectKind::kDeprecatedElement:
+      return "deprecated-element";
+    case DefectKind::kBadEntity:
+      return "unknown-entity";
+    case DefectKind::kIllegalClosing:
+      return "illegal-closing";
+    case DefectKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+const char* ShapeName(PageGenerator::Shape shape) {
+  switch (shape) {
+    case PageGenerator::Shape::kTextHeavy:
+      return "text-heavy";
+    case PageGenerator::Shape::kTagHeavy:
+      return "tag-heavy";
+    case PageGenerator::Shape::kCommentHeavy:
+      return "comment-heavy";
+    case PageGenerator::Shape::kAttrHeavy:
+      return "attr-heavy";
+    case PageGenerator::Shape::kTableHeavy:
+      return "table-heavy";
+  }
+  return "?";
+}
+
+std::string PageGenerator::Sentence(size_t words) {
+  std::string out;
+  for (size_t i = 0; i < words; ++i) {
+    if (i > 0) {
+      out.push_back(' ');
+    }
+    out += kWords[rng_.Below(kWordCount)];
+  }
+  out.push_back('.');
+  return out;
+}
+
+std::string PageGenerator::Paragraph(size_t sentences) {
+  std::string out = "<P>";
+  for (size_t i = 0; i < sentences; ++i) {
+    if (i > 0) {
+      out.push_back(' ');
+    }
+    out += Sentence(rng_.Between(5, 12));
+  }
+  out += "</P>\n";
+  return out;
+}
+
+std::string PageGenerator::DefectMarkup(DefectKind kind) {
+  switch (kind) {
+    case DefectKind::kUnclosedElement:
+      return "<P><B>" + Sentence(4) + "\n";  // B never closed.
+    case DefectKind::kHeadingMismatch:
+      return "<H2>" + Sentence(3) + "</H3>\n";
+    case DefectKind::kUnquotedAttr:
+      return "<P><A HREF=page.html#top>" + Sentence(2) + "</A></P>\n";
+    case DefectKind::kIllegalAttrValue:
+      return "<FORM ACTION=\"query.cgi\" METHOD=\"teleport\">"
+             "<INPUT TYPE=\"text\" NAME=\"q\"></FORM>\n";
+    case DefectKind::kOddQuotes:
+      return "<P><A HREF=\"broken.html>" + Sentence(2) + "</A></P>\n";
+    case DefectKind::kOverlap:
+      return "<P><B><I>" + Sentence(3) + "</B></I></P>\n";
+    case DefectKind::kUnknownElement:
+      return "<BLOCKQOUTE>" + Sentence(4) + "</BLOCKQOUTE>\n";
+    case DefectKind::kUnknownAttribute:
+      return "<P WIBBLE=\"on\">" + Sentence(4) + "</P>\n";
+    case DefectKind::kMissingAlt:
+      return "<P><IMG SRC=\"missing-alt.gif\" WIDTH=\"10\" HEIGHT=\"10\"></P>\n";
+    case DefectKind::kDeprecatedElement:
+      return "<LISTING>example output</LISTING>\n";
+    case DefectKind::kBadEntity:
+      return "<P>before &nonsense; after.</P>\n";
+    case DefectKind::kIllegalClosing:
+      return "<P>" + Sentence(3) + "</BR></P>\n";
+    case DefectKind::kCount:
+      break;
+  }
+  return "";
+}
+
+GeneratedPage PageGenerator::Generate(const PageSpec& spec,
+                                      const std::vector<DefectKind>& defect_kinds) {
+  GeneratedPage page;
+
+  std::vector<std::string> chunks;
+  chunks.push_back("<H1>" + Sentence(3) + "</H1>\n");
+  for (size_t i = 0; i < spec.paragraphs; ++i) {
+    chunks.push_back(Paragraph(rng_.Between(2, 5)));
+  }
+  for (size_t i = 0; i < spec.links; ++i) {
+    const std::string target = StrFormat("page%d.html", rng_.Below(64));
+    page.link_targets.push_back(target);
+    chunks.push_back("<P>See <A HREF=\"" + target + "\">" + Sentence(2) + "</A> " +
+                     Sentence(3) + "</P>\n");
+  }
+  for (size_t i = 0; i < spec.images; ++i) {
+    chunks.push_back(StrFormat(
+        "<P><IMG SRC=\"image%d.gif\" ALT=\"%s\" WIDTH=\"%d\" HEIGHT=\"%d\"></P>\n",
+        rng_.Below(32), Sentence(2), rng_.Between(16, 320), rng_.Between(16, 200)));
+  }
+  if (spec.list_items > 0) {
+    std::string list = "<UL>\n";
+    for (size_t i = 0; i < spec.list_items; ++i) {
+      list += "<LI>" + Sentence(4) + "</LI>\n";
+    }
+    list += "</UL>\n";
+    chunks.push_back(std::move(list));
+  }
+  if (spec.table_rows > 0) {
+    std::string table = "<TABLE SUMMARY=\"generated data\">\n";
+    for (size_t i = 0; i < spec.table_rows; ++i) {
+      table += "<TR><TD>" + Sentence(2) + "</TD><TD>" + Sentence(2) + "</TD></TR>\n";
+    }
+    table += "</TABLE>\n";
+    chunks.push_back(std::move(table));
+  }
+
+  // Inject one instance of each requested defect at a deterministic spot.
+  for (DefectKind kind : defect_kinds) {
+    const size_t position = rng_.Below(chunks.size() + 1);
+    chunks.insert(chunks.begin() + static_cast<std::ptrdiff_t>(position), DefectMarkup(kind));
+    page.defects.push_back(SeededDefect{kind, position});
+  }
+
+  std::string html;
+  if (spec.doctype) {
+    html += "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0 Transitional//EN\">\n";
+  }
+  html += "<HTML>\n<HEAD>\n<TITLE>" + Sentence(3) + "</TITLE>\n</HEAD>\n<BODY>\n";
+  for (const std::string& chunk : chunks) {
+    html += chunk;
+  }
+  html += "</BODY>\n</HTML>\n";
+  page.html = std::move(html);
+  return page;
+}
+
+std::string PageGenerator::GenerateShaped(Shape shape, size_t target_bytes) {
+  std::string body;
+  body.reserve(target_bytes + 1024);
+  size_t counter = 0;
+  while (body.size() < target_bytes) {
+    switch (shape) {
+      case Shape::kTextHeavy:
+        body += "<P>";
+        for (int s = 0; s < 12; ++s) {
+          body += Sentence(12) + " ";
+        }
+        body += "</P>\n";
+        break;
+      case Shape::kTagHeavy: {
+        body += "<P>";
+        for (int s = 0; s < 20; ++s) {
+          static constexpr const char* kInline[] = {"EM", "STRONG", "CODE", "KBD", "VAR",
+                                                    "CITE", "SAMP", "DFN"};
+          const char* tag = kInline[rng_.Below(8)];
+          body += StrFormat("<%s>%s</%s> ", tag, kWords[rng_.Below(kWordCount)], tag);
+        }
+        body += "</P>\n";
+        break;
+      }
+      case Shape::kCommentHeavy:
+        body += "<!-- " + Sentence(20) + " -->\n<P>" + Sentence(8) + "</P>\n";
+        break;
+      case Shape::kAttrHeavy:
+        body += StrFormat(
+            "<P ID=\"p%d\" CLASS=\"body text wide\" TITLE=\"%s\" LANG=\"en\" DIR=\"ltr\" "
+            "ONCLICK=\"go()\" ONMOUSEOVER=\"hi()\" ONMOUSEOUT=\"lo()\" STYLE=\"margin: 1em\">"
+            "%s</P>\n",
+            counter, Sentence(3), Sentence(6));
+        break;
+      case Shape::kTableHeavy:
+        body += "<TABLE SUMMARY=\"nested\"><TR><TD ALIGN=\"left\" VALIGN=\"top\">"
+                "<TABLE SUMMARY=\"inner\"><TR><TD>" +
+                Sentence(4) +
+                "</TD><TD ALIGN=\"right\">" + Sentence(3) +
+                "</TD></TR></TABLE></TD><TD>" + Sentence(2) + "</TD></TR></TABLE>\n";
+        break;
+    }
+    ++counter;
+  }
+  std::string html = "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0 Transitional//EN\">\n";
+  html += "<HTML>\n<HEAD>\n<TITLE>shaped corpus page</TITLE>\n</HEAD>\n<BODY>\n<H1>corpus</H1>\n";
+  html += body;
+  html += "</BODY>\n</HTML>\n";
+  return html;
+}
+
+std::string PageGenerator::ProsePage(std::string_view title, size_t paragraphs,
+                                     const std::vector<std::string>& hrefs) {
+  std::string html = "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0 Transitional//EN\">\n";
+  html += "<HTML>\n<HEAD>\n<TITLE>";
+  html += title;
+  html += "</TITLE>\n</HEAD>\n<BODY>\n<H1>";
+  html += title;
+  html += "</H1>\n";
+  for (size_t i = 0; i < paragraphs; ++i) {
+    html += Paragraph(rng_.Between(2, 4));
+  }
+  for (const std::string& href : hrefs) {
+    html += "<P>See <A HREF=\"" + href + "\">" + Sentence(2) + "</A></P>\n";
+  }
+  html += "</BODY>\n</HTML>\n";
+  return html;
+}
+
+GeneratedPage PageGenerator::GenerateDefective(size_t paragraphs, size_t defect_count) {
+  std::vector<DefectKind> kinds;
+  kinds.reserve(defect_count);
+  for (size_t i = 0; i < defect_count; ++i) {
+    kinds.push_back(static_cast<DefectKind>(i % kDefectKindCount));
+  }
+  PageSpec spec;
+  spec.paragraphs = paragraphs;
+  spec.links = 2;
+  spec.images = 1;
+  return Generate(spec, kinds);
+}
+
+}  // namespace weblint

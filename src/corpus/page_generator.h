@@ -1,0 +1,106 @@
+// Synthetic HTML page generation with labelled, seeded defects.
+//
+// The paper's corpus was the 1990s web; offline, the benches need pages
+// whose ground truth is known exactly. Every defect a generated page
+// contains is seeded deliberately and counted, so experiments can report
+// "diagnostics per seeded defect" (E3/E4) precisely.
+#ifndef WEBLINT_CORPUS_PAGE_GENERATOR_H_
+#define WEBLINT_CORPUS_PAGE_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/rng.h"
+
+namespace weblint {
+
+// Defect kinds the generator can seed. Each corresponds to a weblint
+// message the defect should trigger (listed in the comment).
+enum class DefectKind {
+  kUnclosedElement,   // unclosed-element: container never closed
+  kHeadingMismatch,   // heading-mismatch: <H2>..</H3>
+  kUnquotedAttr,      // quote-attribute-value: BGCOLOR=#ff0000 unquoted
+  kIllegalAttrValue,  // attribute-value: ALIGN=sideways
+  kOddQuotes,         // odd-quotes: unterminated quoted attribute
+  kOverlap,           // element-overlap: <B><I>..</B>..</I>
+  kUnknownElement,    // unknown-element: <BLOCKQOUTE>
+  kUnknownAttribute,  // unknown-attribute: made-up attribute
+  kMissingAlt,        // img-alt: IMG without ALT
+  kDeprecatedElement, // deprecated-element: <LISTING>
+  kBadEntity,         // unknown-entity: &nonsense;
+  kIllegalClosing,    // illegal-closing: </BR>
+  kCount,             // Number of kinds (not a defect).
+};
+
+constexpr size_t kDefectKindCount = static_cast<size_t>(DefectKind::kCount);
+
+const char* DefectKindName(DefectKind kind);
+// The weblint message id the defect is expected to trigger.
+const char* DefectExpectedMessage(DefectKind kind);
+
+struct PageSpec {
+  size_t paragraphs = 10;        // Body paragraphs of prose.
+  size_t links = 3;              // <A HREF> links sprinkled through the body.
+  size_t images = 1;             // Valid IMG elements (with ALT/WIDTH/HEIGHT).
+  size_t list_items = 0;         // A UL with this many LIs.
+  size_t table_rows = 0;         // A TABLE with this many rows (2 cells each).
+  bool doctype = true;
+  std::uint64_t seed = 1;
+};
+
+struct SeededDefect {
+  DefectKind kind = DefectKind::kUnclosedElement;
+  // Index of the body chunk the defect was injected into (diagnostic aid).
+  size_t position = 0;
+};
+
+struct GeneratedPage {
+  std::string html;
+  std::vector<SeededDefect> defects;
+  std::vector<std::string> link_targets;  // HREF values emitted.
+};
+
+class PageGenerator {
+ public:
+  explicit PageGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  // Generates a well-formed page per `spec` (zero diagnostics from the
+  // default warning set, by construction), then injects `defect_kinds`, one
+  // instance each, at deterministic positions.
+  GeneratedPage Generate(const PageSpec& spec, const std::vector<DefectKind>& defect_kinds);
+
+  // Generates a clean page of roughly `target_bytes` (for throughput
+  // benches). Shape controls the markup mix.
+  enum class Shape {
+    kTextHeavy,     // Long prose, few tags.
+    kTagHeavy,      // Dense inline markup.
+    kCommentHeavy,  // Many comments.
+    kAttrHeavy,     // Tags with many attributes.
+    kTableHeavy,    // Deep table structure.
+  };
+  std::string GenerateShaped(Shape shape, size_t target_bytes);
+
+  // A page with `defect_count` defects drawn round-robin from all kinds —
+  // the defect-density workload for the cascade experiment (E3).
+  GeneratedPage GenerateDefective(size_t paragraphs, size_t defect_count);
+
+  // A clean page containing exactly the given links (in order) and nothing
+  // else that references other documents — the site generator controls link
+  // topology precisely with this.
+  std::string ProsePage(std::string_view title, size_t paragraphs,
+                        const std::vector<std::string>& hrefs);
+
+ private:
+  std::string Sentence(size_t words);
+  std::string Paragraph(size_t sentences);
+  std::string DefectMarkup(DefectKind kind);
+
+  SplitMix64 rng_;
+};
+
+const char* ShapeName(PageGenerator::Shape shape);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CORPUS_PAGE_GENERATOR_H_

@@ -1,0 +1,38 @@
+// Deterministic PRNG for corpus generation (SplitMix64). Benches and tests
+// must be reproducible run-to-run, so no std::random_device anywhere.
+#ifndef WEBLINT_CORPUS_RNG_H_
+#define WEBLINT_CORPUS_RNG_H_
+
+#include <cstdint>
+
+namespace weblint {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound); bound must be > 0.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t Between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + Below(hi - lo + 1);
+  }
+
+  // True with probability `percent`/100.
+  bool Chance(unsigned percent) { return Below(100) < percent; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CORPUS_RNG_H_

@@ -1,0 +1,121 @@
+#include "corpus/site_generator.h"
+
+#include <filesystem>
+
+#include "corpus/page_generator.h"
+#include "corpus/rng.h"
+#include "util/file_io.h"
+#include "util/strings.h"
+
+namespace weblint {
+
+GeneratedSite GenerateSite(const SiteSpec& spec) {
+  GeneratedSite site;
+  site.host = spec.host;
+
+  SplitMix64 rng(spec.seed);
+  PageGenerator pages(spec.seed ^ 0x5157ULL);
+
+  // Page paths: index + page0..pageN-1 (+ orphans + private pages).
+  std::vector<std::string> reachable;
+  reachable.reserve(spec.pages);
+  for (size_t i = 0; i < spec.pages; ++i) {
+    reachable.push_back(StrFormat("/page%d.html", i));
+  }
+
+  // Per-page outbound links: a chain guarantees reachability from the
+  // index; extra links are random internal references.
+  std::vector<std::vector<std::string>> outbound(spec.pages);
+  for (size_t i = 0; i < spec.pages; ++i) {
+    if (i + 1 < spec.pages) {
+      outbound[i].push_back(StrFormat("page%d.html", i + 1));
+    }
+    for (size_t k = 1; k < spec.links_per_page && spec.pages > 1; ++k) {
+      outbound[i].push_back(StrFormat("page%d.html", rng.Below(spec.pages)));
+    }
+  }
+
+  // Broken links: targets that will never exist.
+  for (size_t i = 0; i < spec.broken_links && !outbound.empty(); ++i) {
+    const std::string target = StrFormat("missing%d.html", i);
+    site.broken_targets.insert("/" + target);
+    outbound[rng.Below(outbound.size())].push_back(target);
+    ++site.broken_link_count;
+  }
+
+  // Redirect hops: a link to /movedK.html that 302s to a real page.
+  for (size_t i = 0; i < spec.redirects && spec.pages > 0; ++i) {
+    const std::string from = StrFormat("/moved%d.html", i);
+    const std::string to = site.UrlFor(reachable[rng.Below(reachable.size())]);
+    site.redirects.emplace_back(from, to);
+    outbound[rng.Below(outbound.size())].push_back(from.substr(1));
+  }
+
+  // Index page links to the chain head, a few random pages, and the private
+  // section (which robots.txt forbids crawling).
+  std::vector<std::string> index_links;
+  if (spec.pages > 0) {
+    index_links.push_back("page0.html");
+    for (size_t i = 0; i < 3 && spec.pages > 1; ++i) {
+      index_links.push_back(StrFormat("page%d.html", rng.Below(spec.pages)));
+    }
+  }
+  for (size_t i = 0; i < spec.private_pages; ++i) {
+    index_links.push_back(StrFormat("private/secret%d.html", i));
+  }
+  site.pages.push_back(
+      {"/index.html", pages.ProsePage("site index", spec.paragraphs_per_page, index_links)});
+
+  for (size_t i = 0; i < spec.pages; ++i) {
+    site.pages.push_back({reachable[i], pages.ProsePage(StrFormat("page %d", i),
+                                                        spec.paragraphs_per_page, outbound[i])});
+  }
+
+  for (size_t i = 0; i < spec.orphan_pages; ++i) {
+    const std::string path = StrFormat("/orphan%d.html", i);
+    site.orphan_paths.insert(path);
+    site.pages.push_back(
+        {path, pages.ProsePage(StrFormat("orphan %d", i), spec.paragraphs_per_page, {})});
+  }
+
+  for (size_t i = 0; i < spec.private_pages; ++i) {
+    const std::string path = StrFormat("/private/secret%d.html", i);
+    site.private_paths.insert(path);
+    site.pages.push_back(
+        {path, pages.ProsePage(StrFormat("secret %d", i), spec.paragraphs_per_page, {})});
+  }
+
+  if (spec.robots_disallow_private) {
+    site.robots_txt = "User-agent: *\nDisallow: /private/\n";
+  }
+  return site;
+}
+
+void PopulateVirtualWeb(const GeneratedSite& site, VirtualWeb* web) {
+  for (const GeneratedSite::Page& page : site.pages) {
+    web->AddPage(site.UrlFor(page.path), page.html);
+  }
+  for (const auto& [from, to] : site.redirects) {
+    web->AddRedirect(site.UrlFor(from), to);
+  }
+  if (!site.robots_txt.empty()) {
+    web->SetRobotsTxt(site.host, site.robots_txt);
+  }
+}
+
+Status WriteSiteToDisk(const GeneratedSite& site, const std::string& root) {
+  std::error_code ec;
+  for (const GeneratedSite::Page& page : site.pages) {
+    const std::string path = root + page.path;
+    std::filesystem::create_directories(std::string(Dirname(path)), ec);
+    if (ec) {
+      return Fail("cannot create directories for " + path + ": " + ec.message());
+    }
+    if (Status s = WriteFile(path, page.html); !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace weblint

@@ -1,0 +1,66 @@
+// Synthetic web-site generation for the robot / -R experiments (E8, E9).
+//
+// Generates a site with a known link topology: reachable pages, seeded
+// broken links, orphan pages, redirects and a robots.txt — ground truth the
+// benches compare the crawler's findings against. The same site can be
+// served from a VirtualWeb (robot experiments) or written to disk
+// (-R recursive checking experiments).
+#ifndef WEBLINT_CORPUS_SITE_GENERATOR_H_
+#define WEBLINT_CORPUS_SITE_GENERATOR_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/virtual_web.h"
+#include "util/result.h"
+
+namespace weblint {
+
+struct SiteSpec {
+  std::string host = "site.example";
+  size_t pages = 32;           // Reachable pages (beyond the index).
+  size_t links_per_page = 4;   // Internal links per page.
+  size_t broken_links = 3;     // Links to paths that do not exist.
+  size_t orphan_pages = 2;     // Pages generated but never linked.
+  size_t redirects = 2;        // Links that go through a 302 hop.
+  size_t paragraphs_per_page = 6;
+  bool robots_disallow_private = true;  // Serve robots.txt disallowing /private/.
+  size_t private_pages = 0;    // Pages under /private/ (robot must skip them).
+  std::uint64_t seed = 42;
+};
+
+struct GeneratedSite {
+  struct Page {
+    std::string path;  // "/page3.html"
+    std::string html;
+  };
+  std::string host;
+  std::vector<Page> pages;                    // Includes index and orphans.
+  std::set<std::string> orphan_paths;         // Ground truth for orphan-page.
+  std::set<std::string> broken_targets;       // Paths linked to but absent.
+  size_t broken_link_count = 0;               // Total broken link instances.
+  std::vector<std::pair<std::string, std::string>> redirects;  // from -> to.
+  std::string robots_txt;                     // Empty if none.
+  std::set<std::string> private_paths;        // Disallowed by robots.txt.
+
+  std::string UrlFor(const std::string& path) const { return "http://" + host + path; }
+  std::string IndexUrl() const { return UrlFor("/index.html"); }
+};
+
+// Generates the site per `spec`. All pages are clean HTML (zero diagnostics
+// from the default warning set) so robot/site benches measure traversal and
+// link validation, not page defects.
+GeneratedSite GenerateSite(const SiteSpec& spec);
+
+// Installs the site's pages, redirects, and robots.txt into `web`.
+void PopulateVirtualWeb(const GeneratedSite& site, VirtualWeb* web);
+
+// Writes the site under `root` on disk (directories created as needed), for
+// the -R recursive-checking experiments. Paths map /a/b.html -> root/a/b.html.
+Status WriteSiteToDisk(const GeneratedSite& site, const std::string& root);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CORPUS_SITE_GENERATOR_H_

@@ -1,0 +1,326 @@
+#include "dtd/dtd_parser.h"
+
+namespace weblint {
+
+namespace {
+
+constexpr int kMaxEntityDepth = 16;
+
+bool IsDtdNameChar(char c) { return IsAsciiAlnum(c) || c == '-' || c == '.' || c == '_'; }
+
+// Expands %name; references using the entities collected so far.
+Result<std::string> ExpandEntities(std::string_view text,
+                                   const std::map<std::string, std::string>& entities,
+                                   int depth) {
+  if (depth > kMaxEntityDepth) {
+    return Fail("parameter entity nesting too deep (circular reference?)");
+  }
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '%' || i + 1 >= text.size() || !IsAsciiAlpha(text[i + 1])) {
+      out.push_back(text[i]);
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < text.size() && IsDtdNameChar(text[j])) {
+      ++j;
+    }
+    const std::string name = AsciiLower(text.substr(i + 1, j - i - 1));
+    const auto it = entities.find(name);
+    if (it == entities.end()) {
+      return Fail("undefined parameter entity: %" + name + ";");
+    }
+    auto expanded = ExpandEntities(it->second, entities, depth + 1);
+    if (!expanded.ok()) {
+      return expanded.status();
+    }
+    out += *expanded;
+    if (j < text.size() && text[j] == ';') {
+      ++j;
+    }
+    i = j - 1;
+  }
+  return out;
+}
+
+// Splits a declaration body into whitespace-separated tokens, keeping
+// (...) groups and "..." literals as single tokens.
+std::vector<std::string> TokenizeDecl(std::string_view body) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  const size_t n = body.size();
+  while (i < n) {
+    if (IsAsciiSpace(body[i])) {
+      ++i;
+      continue;
+    }
+    // Comment inside a declaration: -- ... --
+    if (body[i] == '-' && i + 1 < n && body[i + 1] == '-') {
+      const size_t end = body.find("--", i + 2);
+      i = end == std::string_view::npos ? n : end + 2;
+      continue;
+    }
+    // +(...) / -(...) inclusion and exclusion modifiers are one token.
+    const bool signed_group =
+        (body[i] == '+' || body[i] == '-') && i + 1 < n && body[i + 1] == '(';
+    if (body[i] == '(' || signed_group) {
+      int depth = 0;
+      const size_t start = i;
+      if (signed_group) {
+        ++i;
+      }
+      while (i < n) {
+        if (body[i] == '(') {
+          ++depth;
+        } else if (body[i] == ')') {
+          --depth;
+          if (depth == 0) {
+            ++i;
+            break;
+          }
+        }
+        ++i;
+      }
+      // Trailing occurrence indicator: (…)* (…)+ (…)?
+      if (i < n && (body[i] == '*' || body[i] == '+' || body[i] == '?')) {
+        ++i;
+      }
+      tokens.emplace_back(body.substr(start, i - start));
+      continue;
+    }
+    if (body[i] == '"' || body[i] == '\'') {
+      const char quote = body[i];
+      const size_t start = i++;
+      while (i < n && body[i] != quote) {
+        ++i;
+      }
+      ++i;  // Closing quote (or past end).
+      tokens.emplace_back(body.substr(start, std::min(i, n) - start));
+      continue;
+    }
+    const size_t start = i;
+    while (i < n && !IsAsciiSpace(body[i]) && body[i] != '(') {
+      ++i;
+    }
+    tokens.emplace_back(body.substr(start, i - start));
+  }
+  return tokens;
+}
+
+// Extracts the names from "NAME" or "(A|B|C)" (entity-expanded).
+std::vector<std::string> NameGroup(std::string_view token) {
+  std::vector<std::string> names;
+  std::string_view inner = token;
+  if (!inner.empty() && inner.front() == '(') {
+    inner.remove_prefix(1);
+    if (!inner.empty() && inner.back() == ')') {
+      inner.remove_suffix(1);
+    }
+  }
+  for (std::string_view part : Split(inner, '|')) {
+    const std::string_view name = Trim(part);
+    if (!name.empty()) {
+      names.push_back(AsciiLower(name));
+    }
+  }
+  return names;
+}
+
+Status ParseElementDecl(const std::vector<std::string>& tokens, DtdDocument* doc) {
+  // tokens: name-or-group, omission x2 (optional in some DTDs), content,
+  // then +(...) / -(...) modifiers.
+  if (tokens.size() < 2) {
+    return Fail("ELEMENT declaration too short");
+  }
+  DtdElement proto;
+  size_t i = 0;
+  const std::vector<std::string> names = NameGroup(tokens[i++]);
+  if (names.empty()) {
+    return Fail("ELEMENT declaration has no element name");
+  }
+
+  // Omission flags: two single-character tokens, '-' or 'O'.
+  auto is_omission = [](const std::string& t) {
+    return t.size() == 1 && (t[0] == '-' || t[0] == 'O' || t[0] == 'o');
+  };
+  if (i + 1 < tokens.size() && is_omission(tokens[i]) && is_omission(tokens[i + 1])) {
+    proto.omit_start = tokens[i][0] != '-';
+    proto.omit_end = tokens[i + 1][0] != '-';
+    i += 2;
+  }
+  if (i >= tokens.size()) {
+    return Fail("ELEMENT declaration for " + names[0] + " has no content model");
+  }
+
+  const std::string& content = tokens[i++];
+  if (IEquals(content, "EMPTY")) {
+    proto.empty = true;
+  } else if (IEquals(content, "CDATA")) {
+    proto.cdata = true;
+  } else {
+    proto.content_model = content;
+  }
+
+  for (; i < tokens.size(); ++i) {
+    const std::string& mod = tokens[i];
+    if (mod.size() > 1 && (mod[0] == '+' || mod[0] == '-')) {
+      auto& target = mod[0] == '+' ? proto.inclusions : proto.exclusions;
+      for (const std::string& name : NameGroup(std::string_view(mod).substr(1))) {
+        target.push_back(name);
+      }
+    }
+  }
+
+  for (const std::string& name : names) {
+    DtdElement element = proto;
+    element.name = name;
+    doc->elements[name] = std::move(element);
+  }
+  return Status::Ok();
+}
+
+Status ParseAttlistDecl(const std::vector<std::string>& tokens, DtdDocument* doc) {
+  if (tokens.size() < 4) {
+    return Fail("ATTLIST declaration too short");
+  }
+  const std::vector<std::string> names = NameGroup(tokens[0]);
+  if (names.empty()) {
+    return Fail("ATTLIST declaration has no element name");
+  }
+  // Remaining tokens come in (name, type, default) triples; #FIXED adds a
+  // fourth (the fixed literal).
+  size_t i = 1;
+  while (i < tokens.size()) {
+    if (tokens.size() - i < 3) {
+      return Fail("incomplete attribute definition in ATTLIST for " + names[0]);
+    }
+    DtdAttribute attr;
+    attr.name = AsciiLower(tokens[i]);
+    const std::string& type = tokens[i + 1];
+    if (!type.empty() && type.front() == '(') {
+      attr.declared_type = "enum";
+      attr.enum_values = NameGroup(type);
+    } else {
+      attr.declared_type = AsciiLower(type);
+    }
+    const std::string& dflt = tokens[i + 2];
+    i += 3;
+    if (IEquals(dflt, "#REQUIRED")) {
+      attr.required = true;
+    } else if (IEquals(dflt, "#IMPLIED")) {
+      // Optional, no default.
+    } else if (IEquals(dflt, "#FIXED")) {
+      attr.fixed = true;
+      if (i < tokens.size()) {
+        attr.default_value = tokens[i++];
+      }
+    } else {
+      attr.default_value = dflt;
+    }
+    if (!attr.default_value.empty() && attr.default_value.front() == '"') {
+      attr.default_value =
+          attr.default_value.substr(1, attr.default_value.size() - 2);
+    }
+    for (const std::string& element : names) {
+      doc->attributes[element][attr.name] = attr;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<DtdDocument> ParseDtd(std::string_view text) {
+  DtdDocument doc;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    if (text[i] != '<') {
+      ++i;
+      continue;
+    }
+    if (text.substr(i).starts_with("<!--")) {
+      const size_t end = text.find("-->", i + 4);
+      i = end == std::string_view::npos ? n : end + 3;
+      continue;
+    }
+    if (!text.substr(i).starts_with("<!")) {
+      ++i;
+      continue;
+    }
+    // Find the matching '>' (respecting quoted literals).
+    size_t j = i + 2;
+    char quote = '\0';
+    while (j < n) {
+      const char c = text[j];
+      if (quote != '\0') {
+        if (c == quote) {
+          quote = '\0';
+        }
+      } else if (c == '"' || c == '\'') {
+        quote = c;
+      } else if (c == '>') {
+        break;
+      }
+      ++j;
+    }
+    if (j >= n) {
+      return Fail("unterminated declaration at end of DTD");
+    }
+    const std::string_view decl = text.substr(i + 2, j - i - 2);
+    i = j + 1;
+
+    const std::vector<std::string_view> head = SplitWhitespace(decl);
+    if (head.empty()) {
+      continue;
+    }
+    const std::string_view keyword = head[0];
+    const std::string_view body = Trim(decl.substr(decl.find(keyword) + keyword.size()));
+
+    if (IEquals(keyword, "ENTITY")) {
+      // <!ENTITY % name "value">
+      const auto parts = SplitWhitespace(body);
+      if (parts.size() < 3 || parts[0] != "%") {
+        continue;  // General entities are not needed for table generation.
+      }
+      const std::string name = AsciiLower(parts[1]);
+      const size_t open = body.find_first_of("\"'");
+      if (open == std::string_view::npos) {
+        return Fail("ENTITY " + name + " has no replacement literal");
+      }
+      const char q = body[open];
+      const size_t close = body.find(q, open + 1);
+      if (close == std::string_view::npos) {
+        return Fail("ENTITY " + name + " literal is unterminated");
+      }
+      auto expanded = ExpandEntities(body.substr(open + 1, close - open - 1),
+                                     doc.parameter_entities, 0);
+      if (!expanded.ok()) {
+        return expanded.status();
+      }
+      doc.parameter_entities[name] = *expanded;
+      continue;
+    }
+
+    auto expanded = ExpandEntities(body, doc.parameter_entities, 0);
+    if (!expanded.ok()) {
+      return expanded.status();
+    }
+    const std::vector<std::string> tokens = TokenizeDecl(*expanded);
+
+    if (IEquals(keyword, "ELEMENT")) {
+      if (Status s = ParseElementDecl(tokens, &doc); !s.ok()) {
+        return s;
+      }
+    } else if (IEquals(keyword, "ATTLIST")) {
+      if (Status s = ParseAttlistDecl(tokens, &doc); !s.ok()) {
+        return s;
+      }
+    }
+    // DOCTYPE, NOTATION, etc. are ignored.
+  }
+  return doc;
+}
+
+}  // namespace weblint

@@ -1,0 +1,66 @@
+// An SGML DTD parser (paper §6.1: "Driving weblint with a DTD: generating
+// the HTML modules used by weblint, and test-cases for the test-suite. ...
+// At the moment the tables are not generated from DTDs, though this is
+// something I plan to investigate further.")
+//
+// Parses the subset of SGML declaration syntax the HTML DTDs use:
+//
+//   <!ENTITY % name "replacement text">          parameter entities
+//   %name;                                       references (expanded)
+//   <!ELEMENT name - O (content) +(inc) -(exc)>  element declarations,
+//   <!ELEMENT (A|B) - - EMPTY>                   incl. name groups
+//   <!ATTLIST name  attr CDATA #REQUIRED ...>    attribute declarations
+//   <!-- ... -->  and  -- ... -- comments
+//
+// The parser extracts what weblint's tables need: tag-omission flags,
+// EMPTY/CDATA content, declared attributes with enumerated value groups and
+// #REQUIRED flags. (Some of weblint's knowledge — deprecation, vendor
+// origin, style context — "cannot be automatically inferred from DTDs",
+// §5.5, and stays in the hand-written tables.)
+#ifndef WEBLINT_DTD_DTD_PARSER_H_
+#define WEBLINT_DTD_DTD_PARSER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/strings.h"
+
+namespace weblint {
+
+struct DtdElement {
+  std::string name;  // Lowercase.
+  bool omit_start = false;
+  bool omit_end = false;
+  bool empty = false;            // Declared EMPTY.
+  bool cdata = false;            // Declared CDATA content (SCRIPT/STYLE).
+  std::string content_model;     // Raw model text, entities expanded.
+  std::vector<std::string> inclusions;  // +(...) names, lowercase.
+  std::vector<std::string> exclusions;  // -(...) names, lowercase.
+};
+
+struct DtdAttribute {
+  std::string name;  // Lowercase.
+  std::string declared_type;             // "cdata", "name", "number", "id", ...
+  std::vector<std::string> enum_values;  // Non-empty for (a|b|c) groups.
+  bool required = false;                 // #REQUIRED.
+  bool fixed = false;                    // #FIXED.
+  std::string default_value;             // Literal default, if given.
+};
+
+struct DtdDocument {
+  std::map<std::string, DtdElement, ILess> elements;
+  // element -> attribute -> declaration.
+  std::map<std::string, std::map<std::string, DtdAttribute, ILess>, ILess> attributes;
+  std::map<std::string, std::string> parameter_entities;
+};
+
+// Parses `text`. Fails on malformed declarations (with the offending
+// declaration quoted) or unresolvable parameter entities.
+Result<DtdDocument> ParseDtd(std::string_view text);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_DTD_DTD_PARSER_H_

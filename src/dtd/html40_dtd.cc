@@ -1,0 +1,224 @@
+// A bundled subset of the HTML 4.0 transitional DTD (W3C, 18 Dec 1997),
+// lightly abridged: the element and attribute declarations the dtd2spec
+// generator demonstrates against. The syntax is faithful SGML so the parser
+// is exercised on the real thing: parameter entities, name groups, omission
+// flags, inclusions/exclusions, enumerated attribute groups, #REQUIRED.
+#include "dtd/spec_from_dtd.h"
+
+namespace weblint {
+
+namespace {
+
+constexpr char kHtml40Dtd[] = R"DTD(
+<!-- HTML 4.0 transitional, abridged for weblint++'s dtd2spec generator -->
+
+<!ENTITY % URI "CDATA"    -- a Uniform Resource Identifier -->
+<!ENTITY % Text "CDATA">
+<!ENTITY % Color "CDATA"  -- #RRGGBB or colour name -->
+<!ENTITY % Length "CDATA" -- nn for pixels or nn% -->
+<!ENTITY % Pixels "NUMBER">
+
+<!ENTITY % heading "H1|H2|H3|H4|H5|H6">
+<!ENTITY % list "UL | OL | DIR | MENU">
+<!ENTITY % fontstyle "TT | I | B | U | S | STRIKE | BIG | SMALL">
+<!ENTITY % phrase "EM | STRONG | DFN | CODE | SAMP | KBD | VAR | CITE">
+<!ENTITY % special "A | IMG | BR | MAP | Q | SUB | SUP | SPAN | FONT">
+<!ENTITY % formctrl "INPUT | SELECT | TEXTAREA">
+<!ENTITY % inline "#PCDATA | %fontstyle; | %phrase; | %special; | %formctrl;">
+<!ENTITY % block
+   "P | %heading; | %list; | PRE | DL | DIV | CENTER | BLOCKQUOTE | FORM | HR | TABLE | ADDRESS">
+<!ENTITY % flow "%block; | %inline;">
+
+<!ENTITY % coreattrs
+  "id     ID      #IMPLIED
+   class  CDATA   #IMPLIED
+   style  CDATA   #IMPLIED
+   title  %Text;  #IMPLIED">
+
+<!ELEMENT (%fontstyle;|%phrase;) - - (%inline;)*>
+<!ATTLIST (%fontstyle;|%phrase;) %coreattrs;>
+
+<!ELEMENT (SUB|SUP|SPAN|Q) - - (%inline;)*>
+<!ATTLIST (SUB|SUP|SPAN|Q) %coreattrs;>
+
+<!ELEMENT FONT - - (%inline;)*>
+<!ATTLIST FONT
+  size   CDATA    #IMPLIED
+  color  %Color;  #IMPLIED
+  face   CDATA    #IMPLIED
+  >
+
+<!ELEMENT BR - O EMPTY>
+<!ATTLIST BR
+  clear  (left|all|right|none)  none
+  >
+
+<!ELEMENT (%heading;) - - (%inline;)*>
+<!ATTLIST (%heading;)
+  %coreattrs;
+  align  (left|center|right|justify)  #IMPLIED
+  >
+
+<!ELEMENT P - O (%inline;)*>
+<!ATTLIST P
+  %coreattrs;
+  align  (left|center|right|justify)  #IMPLIED
+  >
+
+<!ELEMENT (DIV|CENTER|ADDRESS) - - (%flow;)*>
+<!ATTLIST (DIV|CENTER|ADDRESS) %coreattrs;>
+
+<!ELEMENT BLOCKQUOTE - - (%flow;)*>
+<!ATTLIST BLOCKQUOTE
+  %coreattrs;
+  cite  %URI;  #IMPLIED
+  >
+
+<!ELEMENT PRE - - (%inline;)* -(IMG|BIG|SMALL|SUB|SUP|FONT)>
+<!ATTLIST PRE
+  %coreattrs;
+  width  NUMBER  #IMPLIED
+  >
+
+<!ELEMENT HR - O EMPTY>
+<!ATTLIST HR
+  %coreattrs;
+  align    (left|center|right)  #IMPLIED
+  noshade  (noshade)            #IMPLIED
+  size     %Pixels;             #IMPLIED
+  width    %Length;             #IMPLIED
+  >
+
+<!ELEMENT (UL|OL|DIR|MENU) - - (LI)+>
+<!ATTLIST (UL|OL|DIR|MENU) %coreattrs;>
+<!ELEMENT LI - O (%flow;)*>
+<!ATTLIST LI %coreattrs;>
+
+<!ELEMENT DL - - (DT|DD)+>
+<!ATTLIST DL %coreattrs;>
+<!ELEMENT (DT|DD) - O (%flow;)*>
+<!ATTLIST (DT|DD) %coreattrs;>
+
+<!ELEMENT A - - (%inline;)* -(A)>
+<!ATTLIST A
+  %coreattrs;
+  href    %URI;   #IMPLIED
+  name    CDATA   #IMPLIED
+  target  CDATA   #IMPLIED
+  rel     CDATA   #IMPLIED
+  rev     CDATA   #IMPLIED
+  >
+
+<!ELEMENT IMG - O EMPTY>
+<!ATTLIST IMG
+  %coreattrs;
+  src     %URI;    #REQUIRED
+  alt     %Text;   #IMPLIED
+  align   (top|middle|bottom|left|right)  #IMPLIED
+  height  %Length; #IMPLIED
+  width   %Length; #IMPLIED
+  border  %Length; #IMPLIED
+  ismap   (ismap)  #IMPLIED
+  usemap  %URI;    #IMPLIED
+  >
+
+<!ELEMENT MAP - - (AREA)+>
+<!ATTLIST MAP
+  %coreattrs;
+  name  CDATA  #REQUIRED
+  >
+
+<!ELEMENT AREA - O EMPTY>
+<!ATTLIST AREA
+  %coreattrs;
+  shape   (rect|circle|poly|default)  rect
+  coords  CDATA  #IMPLIED
+  href    %URI;  #IMPLIED
+  nohref  (nohref)  #IMPLIED
+  alt     %Text;    #REQUIRED
+  >
+
+<!ELEMENT TABLE - - (CAPTION?, TR+)>
+<!ATTLIST TABLE
+  %coreattrs;
+  summary      %Text;   #IMPLIED
+  width        %Length; #IMPLIED
+  border       NUMBER   #IMPLIED
+  cellspacing  %Length; #IMPLIED
+  cellpadding  %Length; #IMPLIED
+  align        (left|center|right)  #IMPLIED
+  bgcolor      %Color;  #IMPLIED
+  >
+<!ELEMENT CAPTION - - (%inline;)*>
+<!ATTLIST CAPTION
+  %coreattrs;
+  align  (top|bottom|left|right)  #IMPLIED
+  >
+<!ELEMENT TR - O (TD|TH)+>
+<!ATTLIST TR
+  %coreattrs;
+  align   (left|center|right|justify|char)  #IMPLIED
+  valign  (top|middle|bottom|baseline)      #IMPLIED
+  bgcolor %Color;  #IMPLIED
+  >
+<!ELEMENT (TD|TH) - O (%flow;)*>
+<!ATTLIST (TD|TH)
+  %coreattrs;
+  rowspan  NUMBER  1
+  colspan  NUMBER  1
+  align    (left|center|right|justify|char)  #IMPLIED
+  valign   (top|middle|bottom|baseline)      #IMPLIED
+  nowrap   (nowrap)  #IMPLIED
+  bgcolor  %Color;   #IMPLIED
+  >
+
+<!ELEMENT FORM - - (%flow;)* -(FORM)>
+<!ATTLIST FORM
+  %coreattrs;
+  action   %URI;       #REQUIRED
+  method   (get|post)  get
+  enctype  CDATA       "application/x-www-form-urlencoded"
+  target   CDATA       #IMPLIED
+  >
+
+<!ELEMENT INPUT - O EMPTY>
+<!ATTLIST INPUT
+  %coreattrs;
+  type  (text|password|checkbox|radio|submit|reset|file|hidden|image|button)  text
+  name      CDATA    #IMPLIED
+  value     CDATA    #IMPLIED
+  checked   (checked)  #IMPLIED
+  size      CDATA    #IMPLIED
+  maxlength NUMBER   #IMPLIED
+  src       %URI;    #IMPLIED
+  alt       CDATA    #IMPLIED
+  >
+
+<!ELEMENT SELECT - - (OPTION+)>
+<!ATTLIST SELECT
+  %coreattrs;
+  name      CDATA      #IMPLIED
+  size      NUMBER     #IMPLIED
+  multiple  (multiple) #IMPLIED
+  >
+<!ELEMENT OPTION - O (#PCDATA)>
+<!ATTLIST OPTION
+  %coreattrs;
+  selected  (selected)  #IMPLIED
+  value     CDATA       #IMPLIED
+  >
+
+<!ELEMENT TEXTAREA - - (#PCDATA)>
+<!ATTLIST TEXTAREA
+  %coreattrs;
+  name  CDATA   #IMPLIED
+  rows  NUMBER  #REQUIRED
+  cols  NUMBER  #REQUIRED
+  >
+)DTD";
+
+}  // namespace
+
+std::string_view BundledHtml40Dtd() { return kHtml40Dtd; }
+
+}  // namespace weblint

@@ -1,0 +1,243 @@
+#include "dtd/spec_from_dtd.h"
+
+#include <set>
+
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+// Escapes pattern metacharacters in a DTD enum token (tokens are name
+// characters in practice; belt and braces).
+std::string EscapeForPattern(std::string_view token) {
+  std::string out;
+  for (char c : token) {
+    if (!IsAsciiAlnum(c) && c != '-' && c != '_') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Names listed by a parameter entity like %inline; / %block; (a '|'
+// separated group, possibly with nested parens from prior expansion).
+std::set<std::string, ILess> EntityNameSet(const DtdDocument& dtd, std::string_view entity) {
+  std::set<std::string, ILess> names;
+  const auto it = dtd.parameter_entities.find(std::string(entity));
+  if (it == dtd.parameter_entities.end()) {
+    return names;
+  }
+  std::string cleaned = it->second;
+  for (char& c : cleaned) {
+    if (c == '(' || c == ')' || c == '#') {
+      c = ' ';
+    }
+  }
+  for (std::string_view part : Split(cleaned, '|')) {
+    const std::string_view name = Trim(part);
+    if (!name.empty() && name.find(' ') == std::string_view::npos) {
+      names.insert(AsciiLower(name));
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+Result<HtmlSpec> SpecFromDtd(const DtdDocument& dtd, std::string id, std::string display_name) {
+  if (dtd.elements.empty()) {
+    return Fail("DTD defines no elements");
+  }
+  HtmlSpec spec(std::move(id), std::move(display_name));
+  SpecBuilder builder(&spec);
+
+  const std::set<std::string, ILess> inline_set = EntityNameSet(dtd, "inline");
+  const std::set<std::string, ILess> block_set = EntityNameSet(dtd, "block");
+
+  for (const auto& [name, element] : dtd.elements) {
+    builder.Element(name);
+    if (element.empty) {
+      builder.End(EndTag::kForbidden);
+    } else if (element.omit_end) {
+      builder.End(EndTag::kOptional);
+    } else {
+      builder.End(EndTag::kRequired);
+    }
+    if (inline_set.contains(name)) {
+      builder.Inline();
+    }
+    if (block_set.contains(name)) {
+      builder.Block();
+    }
+
+    const auto attrs = dtd.attributes.find(name);
+    if (attrs == dtd.attributes.end()) {
+      continue;
+    }
+    for (const auto& [attr_name, attr] : attrs->second) {
+      std::string pattern;
+      if (!attr.enum_values.empty()) {
+        std::vector<std::string> escaped;
+        escaped.reserve(attr.enum_values.size());
+        for (const std::string& value : attr.enum_values) {
+          escaped.push_back(EscapeForPattern(value));
+        }
+        pattern = Join(escaped, "|");
+      } else if (attr.declared_type == "number") {
+        pattern = "[0-9]+";
+      }
+      if (attr.required) {
+        builder.RequiredAttr(attr_name, pattern);
+      } else {
+        builder.Attr(attr_name, pattern);
+      }
+    }
+  }
+  return spec;
+}
+
+namespace {
+
+// Elements whose structural role keeps them out of the generic body-context
+// harness.
+bool SkipForGeneration(std::string_view name) {
+  static constexpr std::string_view kSkip[] = {
+      "html", "head", "body", "title", "frameset", "frame", "noframes", "plaintext",
+  };
+  for (std::string_view skip : kSkip) {
+    if (name == skip) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// A value satisfying `attr`'s pattern (or a plausible one when unconstrained).
+std::string SampleValue(const AttributeInfo& attr) {
+  if (attr.HasPattern()) {
+    static constexpr std::string_view kCandidates[] = {
+        "2",   "10",   "ltr",  "get",     "rect", "text", "1",
+        "50%", "auto", "data", "#ffffff", "left", "top",  "x",
+    };
+    for (std::string_view candidate : kCandidates) {
+      if (attr.pattern.Matches(candidate)) {
+        return std::string(candidate);
+      }
+    }
+    return "x";
+  }
+  // Plausible values for common unconstrained attributes.
+  if (attr.name == "action") {
+    return "query.cgi";
+  }
+  if (attr.name == "src") {
+    return "x.gif";
+  }
+  if (attr.name == "href") {
+    return "x.html";
+  }
+  if (attr.name == "type") {
+    return "text/css";
+  }
+  if (attr.name == "content") {
+    return "c";
+  }
+  return "x";
+}
+
+// Start tag for `info` with all required attributes present; `omit` (if
+// non-empty) names one required attribute to leave out.
+std::string StartTag(const ElementInfo& info, std::string_view omit = {}) {
+  std::string tag = "<" + AsciiUpper(info.name);
+  for (const auto& [name, attr] : info.attributes) {
+    if (!attr.required || IEquals(name, omit)) {
+      continue;
+    }
+    tag += StrFormat(" %s=\"%s\"", AsciiUpper(name), SampleValue(attr));
+  }
+  tag += ">";
+  return tag;
+}
+
+// Wraps `content` in the element's required context chain (<TD> needs a
+// <TR> needs a <TABLE>...), then in the document skeleton.
+std::string WrapInContext(const HtmlSpec& spec, const ElementInfo& info, std::string content,
+                          int depth = 0) {
+  if (depth > 6 || info.legal_contexts.empty()) {
+    return content;
+  }
+  const ElementInfo* context = spec.Find(info.legal_contexts.front());
+  if (context == nullptr) {
+    return content;
+  }
+  std::string wrapped = StartTag(*context) + content;
+  if (context->end_tag != EndTag::kForbidden) {
+    wrapped += "</" + AsciiUpper(context->name) + ">";
+  }
+  return WrapInContext(spec, *context, std::move(wrapped), depth + 1);
+}
+
+std::string Document(const HtmlSpec& spec, const ElementInfo& info, std::string_view use) {
+  std::string html = "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0 Transitional//EN\">\n";
+  html += "<HTML>\n<HEAD>\n<TITLE>generated case</TITLE>\n";
+  const bool in_head = info.placement == Placement::kHead;
+  if (in_head) {
+    html += WrapInContext(spec, info, std::string(use));
+    html += "\n";
+  }
+  html += "</HEAD>\n<BODY>\n<P>before</P>\n";
+  if (!in_head) {
+    html += WrapInContext(spec, info, std::string(use));
+    html += "\n";
+  }
+  html += "</BODY>\n</HTML>\n";
+  return html;
+}
+
+}  // namespace
+
+std::vector<GeneratedCase> GenerateTestCases(const HtmlSpec& spec) {
+  std::vector<GeneratedCase> cases;
+  for (const auto& [name, info] : spec.elements()) {
+    if (SkipForGeneration(name)) {
+      continue;
+    }
+    const std::string upper = AsciiUpper(name);
+
+    // Minimal valid use.
+    std::string valid_use = StartTag(info);
+    if (info.end_tag != EndTag::kForbidden) {
+      valid_use += "content</" + upper + ">";
+    }
+    cases.push_back(GeneratedCase{"valid <" + upper + ">",
+                                  Document(spec, info, valid_use), ""});
+
+    if (info.end_tag == EndTag::kForbidden) {
+      cases.push_back(GeneratedCase{"closing tag for EMPTY <" + upper + ">",
+                                    Document(spec, info, StartTag(info) + "</" + upper + ">"),
+                                    "illegal-closing"});
+    }
+    if (info.end_tag == EndTag::kRequired) {
+      cases.push_back(GeneratedCase{"unclosed <" + upper + ">",
+                                    Document(spec, info, StartTag(info) + "content"),
+                                    "unclosed-element"});
+    }
+    for (const auto& [attr_name, attr] : info.attributes) {
+      if (!attr.required) {
+        continue;
+      }
+      std::string use = StartTag(info, attr_name);
+      if (info.end_tag != EndTag::kForbidden) {
+        use += "content</" + upper + ">";
+      }
+      cases.push_back(GeneratedCase{
+          "missing required " + AsciiUpper(attr_name) + " on <" + upper + ">",
+          Document(spec, info, use), "required-attribute"});
+    }
+  }
+  return cases;
+}
+
+}  // namespace weblint

@@ -1,0 +1,51 @@
+// Generates weblint HTML modules and test-suite cases from a parsed DTD —
+// the two halves of the paper's §6.1 item "Driving weblint with a DTD:
+// generating the HTML modules used by weblint, and test-cases for the
+// test-suite."
+#ifndef WEBLINT_DTD_SPEC_FROM_DTD_H_
+#define WEBLINT_DTD_SPEC_FROM_DTD_H_
+
+#include <string>
+#include <vector>
+
+#include "dtd/dtd_parser.h"
+#include "spec/spec.h"
+#include "util/result.h"
+
+namespace weblint {
+
+// Builds an HtmlSpec from `dtd`:
+//   * end-tag rule from EMPTY / the end-omission flag,
+//   * attributes with #REQUIRED flags,
+//   * enumerated attribute groups compiled to legal-value patterns,
+//   * inline/block classification inferred from the %inline/%block
+//     parameter entities when the DTD defines them.
+// Knowledge a DTD cannot express (deprecation, vendor origin, style
+// contexts — paper §5.5) is absent from the generated spec.
+Result<HtmlSpec> SpecFromDtd(const DtdDocument& dtd, std::string id, std::string display_name);
+
+// A generated conformance case: `html` is a complete document; when
+// `expect_message` is non-empty, linting must produce it; when empty, the
+// document must lint clean.
+struct GeneratedCase {
+  std::string description;
+  std::string html;
+  std::string expect_message;
+};
+
+// Generates test cases from a spec, one bundle per element:
+//   * a minimal valid use (expects no diagnostics from the relevant checks),
+//   * </X> for every EMPTY element (expects illegal-closing),
+//   * an unclosed instance of every required-end container
+//     (expects unclosed-element),
+//   * a missing-required-attribute case per required attribute
+//     (expects required-attribute).
+std::vector<GeneratedCase> GenerateTestCases(const HtmlSpec& spec);
+
+// The bundled HTML 4.0 (transitional subset) DTD used by tests and the
+// dtd2spec demonstration.
+std::string_view BundledHtml40Dtd();
+
+}  // namespace weblint
+
+#endif  // WEBLINT_DTD_SPEC_FROM_DTD_H_

@@ -1,0 +1,63 @@
+#include "gateway/cgi.h"
+
+#include "util/strings.h"
+#include "util/url.h"
+
+namespace weblint {
+
+std::map<std::string, std::string> ParseFormUrlEncoded(std::string_view body) {
+  std::map<std::string, std::string> params;
+  for (std::string_view pair : Split(body, '&')) {
+    if (pair.empty()) {
+      continue;
+    }
+    const size_t eq = pair.find('=');
+    const std::string_view key = eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    const std::string_view value =
+        eq == std::string_view::npos ? std::string_view() : pair.substr(eq + 1);
+    params[UrlDecode(key, /*plus_as_space=*/true)] = UrlDecode(value, /*plus_as_space=*/true);
+  }
+  return params;
+}
+
+Result<CgiRequest> ParseCgiRequest(const std::map<std::string, std::string>& env,
+                                   std::string_view post_body) {
+  CgiRequest request;
+  if (const auto it = env.find("REQUEST_METHOD"); it != env.end()) {
+    request.method = AsciiUpper(it->second);
+  }
+  if (const auto it = env.find("QUERY_STRING"); it != env.end()) {
+    request.params = ParseFormUrlEncoded(it->second);
+  }
+  if (request.method == "POST") {
+    std::string content_type;
+    if (const auto it = env.find("CONTENT_TYPE"); it != env.end()) {
+      content_type = it->second;
+    }
+    if (!content_type.empty() && !IContains(content_type, "x-www-form-urlencoded")) {
+      return Fail("unsupported content type: " + content_type);
+    }
+    for (auto& [key, value] : ParseFormUrlEncoded(post_body)) {
+      request.params[key] = value;  // POST fields override query fields.
+    }
+  }
+  return request;
+}
+
+Result<CgiRequest> CgiRequestFromHttp(const HttpRequest& http) {
+  CgiRequest request;
+  request.method = AsciiUpper(http.method);
+  request.params = ParseFormUrlEncoded(http.Query());
+  if (request.method == "POST") {
+    const std::string_view content_type = http.Header("content-type");
+    if (!content_type.empty() && !IContains(content_type, "x-www-form-urlencoded")) {
+      return Fail("unsupported content type: " + std::string(content_type));
+    }
+    for (auto& [key, value] : ParseFormUrlEncoded(http.body)) {
+      request.params[key] = value;
+    }
+  }
+  return request;
+}
+
+}  // namespace weblint

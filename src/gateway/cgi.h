@@ -1,0 +1,44 @@
+// CGI request parsing for the weblint gateway (paper §3.4: "These are
+// usually forms which let you enter a URL or snippet of HTML").
+#ifndef WEBLINT_GATEWAY_CGI_H_
+#define WEBLINT_GATEWAY_CGI_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "net/http_wire.h"
+#include "util/result.h"
+
+namespace weblint {
+
+// A parsed CGI form submission. Repeated fields keep the last value (the
+// gateway form has no repeated fields).
+struct CgiRequest {
+  std::string method = "GET";
+  std::map<std::string, std::string> params;
+
+  std::string_view Param(std::string_view name) const {
+    const auto it = params.find(std::string(name));
+    return it == params.end() ? std::string_view() : std::string_view(it->second);
+  }
+  bool Has(std::string_view name) const { return params.contains(std::string(name)); }
+};
+
+// Parses application/x-www-form-urlencoded content ("a=1&b=two+words").
+std::map<std::string, std::string> ParseFormUrlEncoded(std::string_view body);
+
+// Builds a CgiRequest from the CGI environment convention:
+// REQUEST_METHOD, QUERY_STRING, and (for POST) the request body.
+// Unsupported content types fail.
+Result<CgiRequest> ParseCgiRequest(const std::map<std::string, std::string>& env,
+                                   std::string_view post_body);
+
+// Builds a CgiRequest from a parsed HTTP wire request — the standalone
+// gateway server path (no CGI environment involved). GET parameters come
+// from the query string; POST bodies must be form-urlencoded.
+Result<CgiRequest> CgiRequestFromHttp(const HttpRequest& request);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_GATEWAY_CGI_H_

@@ -1,0 +1,47 @@
+// HTML 4.0 character entity knowledge (the HTMLlat1, HTMLsymbol, and
+// HTMLspecial entity sets) plus a scanner that classifies every '&' use in
+// text content for the unknown-entity / unterminated-entity /
+// literal-metacharacter checks.
+#ifndef WEBLINT_HTML_ENTITIES_H_
+#define WEBLINT_HTML_ENTITIES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/source_location.h"
+
+namespace weblint {
+
+// Looks up a named entity ("amp", "nbsp", "Auml"). Entity names are
+// case-SENSITIVE per SGML ("AMP" is not an HTML 4.0 entity). Returns the
+// Unicode code point, or nullopt if unknown.
+std::optional<std::uint32_t> LookupEntity(std::string_view name);
+
+// Number of named entities known (HTML 4.0 defines 252).
+size_t EntityCount();
+
+// One '&' occurrence found in character data.
+struct EntityRef {
+  enum class Kind {
+    kNamed,      // &name; or &name (see `terminated`)
+    kNumeric,    // &#123; or &#x1F;
+    kBareAmp,    // '&' followed by something that cannot start a reference
+  };
+  Kind kind = Kind::kBareAmp;
+  std::string name;          // For kNamed: the name; for kNumeric: the digits.
+  bool terminated = false;   // A ';' followed the reference.
+  bool known = false;        // kNamed: name is in the HTML 4.0 table.
+  bool valid_number = false; // kNumeric: parsed and in Unicode range.
+  SourceLocation location;   // Absolute position of the '&'.
+};
+
+// Scans `text` (one text token's content) for entity references. `base` is
+// the absolute location of text[0]; positions in the result are absolute.
+std::vector<EntityRef> ScanEntities(std::string_view text, SourceLocation base);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_HTML_ENTITIES_H_

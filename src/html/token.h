@@ -1,0 +1,75 @@
+// Token structures produced by the ad-hoc HTML tokenizer (paper §5.1: "the
+// file being processed is tokenised into start tags (possibly with
+// attributes), text content, and end tags").
+#ifndef WEBLINT_HTML_TOKEN_H_
+#define WEBLINT_HTML_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "util/source_location.h"
+
+namespace weblint {
+
+// How an attribute value was delimited in the source. Weblint warns about
+// single quotes (attribute-delimiter) and missing quotes
+// (quote-attribute-value), so the tokenizer preserves this.
+enum class QuoteStyle {
+  kNone,    // value had no quotes (or attribute had no value)
+  kDouble,  // "value"
+  kSingle,  // 'value'
+};
+
+struct Attribute {
+  std::string name;   // As written (case preserved for messages).
+  std::string value;  // Raw value text, entities NOT expanded.
+  bool has_value = false;
+  QuoteStyle quote = QuoteStyle::kNone;
+  // The opening quote was never closed; the tokenizer recovered by ending
+  // the value at the first '>' or whitespace (paper §4.2 odd-quotes case).
+  bool unterminated_quote = false;
+  SourceLocation location;
+};
+
+enum class TokenKind {
+  kText,         // character data between tags
+  kStartTag,     // <NAME ...>
+  kEndTag,       // </NAME>
+  kComment,      // <!-- ... -->
+  kDoctype,      // <!DOCTYPE ...>
+  kDeclaration,  // other <! ... > markup declarations
+  kProcessing,   // <? ... >
+  kStrayLt,      // a '<' in content that does not open markup
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kText;
+  SourceLocation location;
+
+  // Tag name as written (kStartTag/kEndTag); empty otherwise.
+  std::string name;
+  std::vector<Attribute> attributes;
+
+  // Content for kText / kComment / kDoctype / kDeclaration / kProcessing.
+  std::string text;
+
+  // Raw source between '<' and '>' for tags — used verbatim in messages
+  // (the paper prints: odd number of quotes in element <A HREF="a.html>).
+  std::string raw;
+
+  // --- recovery / anomaly flags set by the tokenizer -----------------------
+  bool odd_quotes = false;         // Odd number of '"' characters in the tag.
+  bool net_slash = false;          // SGML NET-style slash: <BR/> or <EM/.
+  bool unterminated_tag = false;   // EOF inside the tag.
+  bool closed_by_lt = false;       // Tag ended because a new '<' appeared (missing '>').
+  bool unterminated_comment = false;  // EOF inside a comment.
+  bool nested_comment = false;        // "<!--" occurred inside a comment.
+  bool comment_whitespace_close = false;  // Closed by "- ->"-style sequence.
+  bool raw_text = false;           // Text captured in SCRIPT/STYLE raw mode.
+
+  bool IsTag() const { return kind == TokenKind::kStartTag || kind == TokenKind::kEndTag; }
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_HTML_TOKEN_H_

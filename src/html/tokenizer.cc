@@ -1,0 +1,381 @@
+#include "html/tokenizer.h"
+
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+// Upper bound on the closing-quote search: a quote that has not closed
+// within this window is treated as a runaway (authoring error). The window
+// bounds worst-case rescanning when a tag contains several runaway quotes;
+// legitimate values far larger than any real-world attribute still fit.
+constexpr size_t kMaxQuoteLookahead = 65536;
+
+bool IsNameStart(char c) { return IsAsciiAlpha(c); }
+bool IsNameChar(char c) {
+  return IsAsciiAlnum(c) || c == '-' || c == '.' || c == '_' || c == ':';
+}
+
+// Elements whose content is raw text up to their end tag.
+bool IsRawTextElement(std::string_view lower_name) {
+  return lower_name == "script" || lower_name == "style" || lower_name == "xmp" ||
+         lower_name == "listing";
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(std::string_view input) : input_(input) {}
+
+char Tokenizer::Peek(size_t ahead) const {
+  return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+}
+
+char Tokenizer::Take() {
+  const char c = input_[pos_++];
+  if (c == '\n' || (c == '\r' && Peek() != '\n')) {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Tokenizer::TakeN(size_t n) {
+  for (size_t i = 0; i < n && !AtEnd(); ++i) {
+    Take();
+  }
+}
+
+bool Tokenizer::LookingAt(std::string_view s) const {
+  return input_.substr(pos_).starts_with(s);
+}
+
+bool Tokenizer::LookingAtIgnoreCase(std::string_view s) const {
+  if (pos_ + s.size() > input_.size()) {
+    return false;
+  }
+  return IEquals(input_.substr(pos_, s.size()), s);
+}
+
+bool Tokenizer::Next(Token* out) {
+  if (AtEnd()) {
+    return false;
+  }
+  *out = Token();
+  out->location = location();
+
+  if (plaintext_mode_) {
+    out->kind = TokenKind::kText;
+    out->raw_text = true;
+    out->text = std::string(input_.substr(pos_));
+    TakeN(input_.size() - pos_);
+    return true;
+  }
+
+  if (!raw_text_element_.empty()) {
+    // Find "</element" (case-insensitive). Everything before it is raw text.
+    const std::string needle = "</" + raw_text_element_;
+    size_t i = pos_;
+    size_t end = input_.size();
+    for (; i + needle.size() <= input_.size(); ++i) {
+      if (input_[i] == '<' && IEquals(input_.substr(i, needle.size()), needle)) {
+        end = i;
+        break;
+      }
+    }
+    raw_text_element_.clear();
+    if (end > pos_) {
+      out->kind = TokenKind::kText;
+      out->raw_text = true;
+      out->text = std::string(input_.substr(pos_, end - pos_));
+      TakeN(end - pos_);
+      return true;
+    }
+    // Zero-length raw content: fall through to lex the end tag normally.
+    out->location = location();
+  }
+
+  if (Peek() == '<') {
+    return LexMarkup(out), true;
+  }
+  LexText(out);
+  return true;
+}
+
+void Tokenizer::LexText(Token* out) {
+  out->kind = TokenKind::kText;
+  const size_t start = pos_;
+  while (!AtEnd() && Peek() != '<') {
+    Take();
+  }
+  out->text = std::string(input_.substr(start, pos_ - start));
+}
+
+bool Tokenizer::LexMarkup(Token* out) {
+  // Invariant: Peek() == '<'.
+  const char c1 = Peek(1);
+  if (c1 == '/' && IsNameStart(Peek(2))) {
+    LexTag(out, /*is_end_tag=*/true);
+    return true;
+  }
+  if (IsNameStart(c1)) {
+    LexTag(out, /*is_end_tag=*/false);
+    return true;
+  }
+  if (c1 == '!') {
+    if (LookingAt("<!--")) {
+      LexComment(out);
+    } else {
+      LexDoctypeOrDeclaration(out);
+    }
+    return true;
+  }
+  if (c1 == '?') {
+    LexProcessing(out);
+    return true;
+  }
+  // A '<' that opens nothing: stray (weblint's "unexpected-open").
+  out->kind = TokenKind::kStrayLt;
+  Take();
+  return true;
+}
+
+void Tokenizer::LexComment(Token* out) {
+  out->kind = TokenKind::kComment;
+  TakeN(4);  // "<!--"
+  const size_t start = pos_;
+  size_t text_end = input_.size();
+  bool closed = false;
+  while (!AtEnd()) {
+    if (LookingAt("<!--")) {
+      out->nested_comment = true;
+      TakeN(4);
+      continue;
+    }
+    if (LookingAt("--")) {
+      // SGML comment close is "--" (+ optional whitespace) then ">".
+      size_t j = pos_ + 2;
+      while (j < input_.size() && IsAsciiSpace(input_[j])) {
+        ++j;
+      }
+      if (j < input_.size() && input_[j] == '>') {
+        text_end = pos_;
+        out->comment_whitespace_close = (j != pos_ + 2);
+        TakeN(j + 1 - pos_);
+        closed = true;
+        break;
+      }
+    }
+    Take();
+  }
+  if (!closed) {
+    out->unterminated_comment = true;
+    text_end = input_.size();
+  }
+  out->text = std::string(input_.substr(start, text_end - start));
+}
+
+void Tokenizer::LexDoctypeOrDeclaration(Token* out) {
+  TakeN(2);  // "<!"
+  const bool is_doctype = LookingAtIgnoreCase("doctype");
+  out->kind = is_doctype ? TokenKind::kDoctype : TokenKind::kDeclaration;
+  if (is_doctype) {
+    TakeN(7);
+  }
+  // Consume up to '>' with awareness of quoted strings (DTD identifiers).
+  const size_t start = pos_;
+  char quote = '\0';
+  while (!AtEnd()) {
+    const char c = Peek();
+    if (quote != '\0') {
+      if (c == quote) {
+        quote = '\0';
+      }
+      Take();
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+      Take();
+      continue;
+    }
+    if (c == '>') {
+      break;
+    }
+    Take();
+  }
+  out->text = std::string(Trim(input_.substr(start, pos_ - start)));
+  if (!AtEnd()) {
+    Take();  // '>'
+  } else {
+    out->unterminated_tag = true;
+  }
+}
+
+void Tokenizer::LexProcessing(Token* out) {
+  out->kind = TokenKind::kProcessing;
+  TakeN(2);  // "<?"
+  const size_t start = pos_;
+  while (!AtEnd() && Peek() != '>') {
+    Take();
+  }
+  out->text = std::string(input_.substr(start, pos_ - start));
+  if (!AtEnd()) {
+    Take();
+  } else {
+    out->unterminated_tag = true;
+  }
+}
+
+void Tokenizer::LexTag(Token* out, bool is_end_tag) {
+  out->kind = is_end_tag ? TokenKind::kEndTag : TokenKind::kStartTag;
+  Take();  // '<'
+  const size_t raw_start = pos_;
+  if (is_end_tag) {
+    Take();  // '/'
+  }
+  std::string name;
+  while (!AtEnd() && IsNameChar(Peek())) {
+    name.push_back(Take());
+  }
+  out->name = name;
+
+  LexAttributes(out);
+
+  // Raw tag text, as written, for diagnostics. pos_ is just past '>' (or at
+  // EOF); back up over the '>' if we consumed one.
+  size_t raw_end = pos_;
+  if (!out->unterminated_tag && !out->closed_by_lt && raw_end > raw_start) {
+    --raw_end;  // The '>' itself.
+  }
+  out->raw = std::string(input_.substr(raw_start, raw_end - raw_start));
+
+  // Quote-parity heuristic (the paper's odd-quotes message counts quotes in
+  // the tag text). Only '"' is counted: apostrophes appear legitimately in
+  // double-quoted prose values.
+  size_t dquotes = 0;
+  for (char c : out->raw) {
+    if (c == '"') {
+      ++dquotes;
+    }
+  }
+  if (dquotes % 2 != 0) {
+    out->odd_quotes = true;
+  }
+
+  if (!is_end_tag && !out->net_slash) {
+    const std::string lower = AsciiLower(name);
+    if (IsRawTextElement(lower)) {
+      raw_text_element_ = lower;
+    } else if (lower == "plaintext") {
+      plaintext_mode_ = true;
+    }
+  }
+}
+
+void Tokenizer::LexAttributes(Token* out) {
+  while (true) {
+    while (!AtEnd() && IsAsciiSpace(Peek())) {
+      Take();
+    }
+    if (AtEnd()) {
+      out->unterminated_tag = true;
+      return;
+    }
+    const char c = Peek();
+    if (c == '>') {
+      Take();
+      return;
+    }
+    if (c == '/') {
+      // NET-style or XML-style slash: <BR/> or <EM/ — weblint's
+      // spurious-slash territory. It is not an attribute.
+      out->net_slash = true;
+      Take();
+      continue;
+    }
+    if (c == '<') {
+      // A new tag is opening inside this one; assume the '>' was forgotten.
+      out->closed_by_lt = true;
+      return;
+    }
+
+    Attribute attr;
+    attr.location = location();
+    // Attribute name: up to whitespace, '=', '>', or '/'.
+    while (!AtEnd() && !IsAsciiSpace(Peek()) && Peek() != '=' && Peek() != '>' && Peek() != '<') {
+      attr.name.push_back(Take());
+    }
+    while (!AtEnd() && IsAsciiSpace(Peek())) {
+      Take();
+    }
+    if (!AtEnd() && Peek() == '=') {
+      Take();
+      while (!AtEnd() && IsAsciiSpace(Peek())) {
+        Take();
+      }
+      attr.has_value = true;
+      if (!AtEnd() && (Peek() == '"' || Peek() == '\'')) {
+        const char quote = Take();
+        attr.quote = quote == '"' ? QuoteStyle::kDouble : QuoteStyle::kSingle;
+        attr.value = LexQuotedValue(quote, &attr);
+      } else {
+        attr.quote = QuoteStyle::kNone;
+        while (!AtEnd() && !IsAsciiSpace(Peek()) && Peek() != '>') {
+          attr.value.push_back(Take());
+        }
+      }
+    }
+    if (!attr.name.empty() || attr.has_value) {
+      out->attributes.push_back(std::move(attr));
+    }
+  }
+}
+
+std::string Tokenizer::LexQuotedValue(char quote, Attribute* attr) {
+  // Bounded lookahead for the closing quote. The search aborts at '<' (a new
+  // tag opening almost certainly means the quote ran away) or after a fixed
+  // window. Legitimate values may contain '>' and newlines, so neither stops
+  // the search.
+  size_t close = std::string_view::npos;
+  const size_t limit = std::min(input_.size(), pos_ + kMaxQuoteLookahead);
+  for (size_t i = pos_; i < limit; ++i) {
+    if (input_[i] == quote) {
+      close = i;
+      break;
+    }
+    if (input_[i] == '<') {
+      break;
+    }
+  }
+
+  std::string value;
+  if (close != std::string_view::npos) {
+    while (pos_ < close) {
+      value.push_back(Take());
+    }
+    Take();  // Closing quote.
+    return value;
+  }
+
+  // Recovery: treat the value as unquoted — it ends at whitespace or '>'.
+  attr->unterminated_quote = true;
+  while (!AtEnd() && !IsAsciiSpace(Peek()) && Peek() != '>') {
+    value.push_back(Take());
+  }
+  return value;
+}
+
+std::vector<Token> TokenizeAll(std::string_view input) {
+  Tokenizer tokenizer(input);
+  std::vector<Token> tokens;
+  Token token;
+  while (tokenizer.Next(&token)) {
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+}  // namespace weblint

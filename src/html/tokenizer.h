@@ -1,0 +1,81 @@
+// The ad-hoc streaming tokenizer (paper §5.1).
+//
+// Weblint is not an SGML parser: the tokenizer's job is to keep going over
+// broken input, applying heuristics "based on commonly-made mistakes in
+// HTML" so that a single authoring error produces one anomalous token rather
+// than derailing the rest of the document (cascade minimisation).
+//
+// Recovery heuristics implemented here:
+//  * Unterminated quoted attribute values: if no closing quote is found
+//    before the next '<' (or within a bounded window), the value is re-read
+//    as ending at the first whitespace or '>' and the token is flagged
+//    odd_quotes — this reproduces the paper's §4.2 example, where
+//    <A HREF="a.html>here</B> still yields usable <A>, </B> tokens.
+//  * A '<' that does not begin a tag (followed by space, digit, another '<',
+//    or EOF) is emitted as a kStrayLt token and scanning resumes after it.
+//  * Comments track nested "<!--", unterminated-at-EOF, and markup-like
+//    content for the comment checks.
+//  * SCRIPT / STYLE / XMP / LISTING content is consumed as raw text up to
+//    the matching close tag; PLAINTEXT consumes the rest of the file.
+#ifndef WEBLINT_HTML_TOKENIZER_H_
+#define WEBLINT_HTML_TOKENIZER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "html/token.h"
+
+namespace weblint {
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view input);
+
+  // Produces the next token. Returns false (and leaves *out untouched) at
+  // end of input. Never fails on malformed input — malformation is reported
+  // through token flags.
+  bool Next(Token* out);
+
+  // Position of the next unconsumed character (1-based).
+  SourceLocation location() const { return SourceLocation{line_, column_}; }
+
+  // Total newlines seen so far; after the run this is the line count.
+  std::uint32_t lines_consumed() const { return line_; }
+
+ private:
+  char Peek(size_t ahead = 0) const;
+  bool AtEnd(size_t ahead = 0) const { return pos_ + ahead >= input_.size(); }
+  char Take();
+  void TakeN(size_t n);
+  bool LookingAt(std::string_view s) const;
+  bool LookingAtIgnoreCase(std::string_view s) const;
+
+  void LexText(Token* out);
+  void LexRawText(Token* out);
+  bool LexMarkup(Token* out);  // False if '<' is stray.
+  void LexComment(Token* out);
+  void LexDoctypeOrDeclaration(Token* out);
+  void LexProcessing(Token* out);
+  void LexTag(Token* out, bool is_end_tag);
+  void LexAttributes(Token* out);
+  // Scans a quoted value with bounded lookahead; applies recovery when the
+  // closing quote is missing. Returns the value.
+  std::string LexQuotedValue(char quote, Attribute* attr);
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+
+  // Raw-text mode: set after a SCRIPT/STYLE/XMP/LISTING start tag; holds the
+  // lowercase element name whose end tag terminates the mode.
+  std::string raw_text_element_;
+  bool plaintext_mode_ = false;
+};
+
+// Convenience for tests: tokenizes the whole input.
+std::vector<Token> TokenizeAll(std::string_view input);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_HTML_TOKENIZER_H_

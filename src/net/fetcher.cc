@@ -1,0 +1,98 @@
+#include "net/fetcher.h"
+
+#include "util/file_io.h"
+
+namespace weblint {
+
+std::string_view ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 204:
+      return "No Content";
+    case 301:
+      return "Moved Permanently";
+    case 302:
+      return "Found";
+    case 303:
+      return "See Other";
+    case 307:
+      return "Temporary Redirect";
+    case 400:
+      return "Bad Request";
+    case 403:
+      return "Forbidden";
+    case 404:
+      return "Not Found";
+    case 410:
+      return "Gone";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+HttpResponse UrlFetcher::Head(const Url& url) {
+  HttpResponse response = Get(url);
+  response.body.clear();
+  return response;
+}
+
+HttpResponse UrlFetcher::GetFollowingRedirects(const Url& url, int max_redirects,
+                                               Url* final_url) {
+  Url current = url;
+  for (int hop = 0; hop <= max_redirects; ++hop) {
+    HttpResponse response = Get(current);
+    if (!response.IsRedirect()) {
+      if (final_url != nullptr) {
+        *final_url = current;
+      }
+      return response;
+    }
+    const std::string_view location = response.Header("location");
+    if (location.empty()) {
+      if (final_url != nullptr) {
+        *final_url = current;
+      }
+      return response;
+    }
+    current = ResolveUrl(current, location);
+  }
+  HttpResponse too_many;
+  too_many.status = 508;
+  too_many.reason = "redirect loop";
+  if (final_url != nullptr) {
+    *final_url = current;
+  }
+  return too_many;
+}
+
+HttpResponse FileFetcher::Get(const Url& url) {
+  HttpResponse response;
+  if (!url.scheme.empty() && url.scheme != "file") {
+    response.status = 400;
+    response.reason = "FileFetcher only serves file URLs";
+    return response;
+  }
+  std::string path = UrlDecode(url.path);
+  if (!root_.empty() && (path.empty() || path.front() != '/')) {
+    path = PathJoin(root_, path);
+  }
+  auto content = ReadFile(path);
+  if (!content.ok()) {
+    response.status = 404;
+    response.reason = std::string(ReasonPhrase(404));
+    return response;
+  }
+  response.status = 200;
+  response.reason = "OK";
+  response.headers["content-type"] =
+      LooksLikeHtml(path) ? "text/html" : "application/octet-stream";
+  response.body = std::move(*content);
+  return response;
+}
+
+}  // namespace weblint

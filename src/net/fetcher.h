@@ -1,0 +1,48 @@
+// URL fetching interface (the LWP substitute).
+//
+// check_url, the gateway, and the poacher robot retrieve pages through this
+// interface. Implementations: FileFetcher (file:// and plain paths) and
+// VirtualWeb (an in-memory web used to exercise the HTTP code paths —
+// redirects, 404s, robots.txt — deterministically and offline).
+#ifndef WEBLINT_NET_FETCHER_H_
+#define WEBLINT_NET_FETCHER_H_
+
+#include <string>
+
+#include "net/response.h"
+#include "util/url.h"
+
+namespace weblint {
+
+class UrlFetcher {
+ public:
+  virtual ~UrlFetcher() = default;
+
+  // GET: retrieves headers and body.
+  virtual HttpResponse Get(const Url& url) = 0;
+
+  // HEAD: status and headers only (broken-link robots "merely consist of
+  // sending a HEAD request, and reporting all URLs which result in a 404" —
+  // paper §3.5). Default: Get with the body dropped.
+  virtual HttpResponse Head(const Url& url);
+
+  // Follows up to `max_redirects` redirects from `url`. `final_url` (if
+  // non-null) receives the URL that produced the returned response.
+  HttpResponse GetFollowingRedirects(const Url& url, int max_redirects, Url* final_url);
+};
+
+// Serves file:// URLs (and URLs with no scheme, treated as local paths)
+// from the local filesystem: 200 with the file body, 404 when absent.
+class FileFetcher : public UrlFetcher {
+ public:
+  // Paths are resolved relative to `root` (empty = process CWD).
+  explicit FileFetcher(std::string root = {}) : root_(std::move(root)) {}
+  HttpResponse Get(const Url& url) override;
+
+ private:
+  std::string root_;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_NET_FETCHER_H_

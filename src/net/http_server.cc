@@ -1,0 +1,124 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace weblint {
+
+namespace {
+
+// Hard ceiling on request size: the gateway caps submissions at 1 MiB; give
+// headers some headroom.
+constexpr size_t kMaxRequestBytes = 2u << 20;
+
+// Writes all of `data` to `fd`, retrying on short writes.
+bool WriteAll(int fd, std::string_view data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { Close(); }
+
+Status HttpServer::Listen(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Fail(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string error = std::strerror(errno);
+    Close();
+    return Fail("bind: " + error);
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    const std::string error = std::strerror(errno);
+    Close();
+    return Fail("listen: " + error);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  return Status::Ok();
+}
+
+Status HttpServer::ServeOne() {
+  if (listen_fd_ < 0) {
+    return Fail("server is not listening");
+  }
+  const int client = ::accept(listen_fd_, nullptr, nullptr);
+  if (client < 0) {
+    return Fail(std::string("accept: ") + std::strerror(errno));
+  }
+
+  std::string buffer;
+  char chunk[4096];
+  while (!HttpMessageComplete(buffer) && buffer.size() < kMaxRequestBytes) {
+    const ssize_t n = ::read(client, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      break;  // Peer closed (or error): parse what we have.
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+
+  HttpResponse response;
+  auto request = ParseHttpRequest(buffer);
+  if (!request.ok()) {
+    response.status = 400;
+    response.reason = "Bad Request";
+    response.headers["content-type"] = "text/plain";
+    response.body = request.error() + "\n";
+  } else {
+    response = handler_(*request);
+  }
+  const bool ok = WriteAll(client, SerializeHttpResponse(response));
+  ::close(client);
+  return ok ? Status::Ok() : Fail("short write to client");
+}
+
+Status HttpServer::Serve(size_t max_requests) {
+  size_t handled = 0;
+  while (max_requests == 0 || handled < max_requests) {
+    if (Status s = ServeOne(); !s.ok()) {
+      return s;
+    }
+    ++handled;
+  }
+  return Status::Ok();
+}
+
+void HttpServer::Close() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace weblint

@@ -1,0 +1,51 @@
+// A minimal blocking HTTP/1.0 server: one request per connection, handler
+// callback per request. Exists so the weblint gateway can be deployed
+// standalone ("a standard gateway distribution, particularly for
+// installation behind firewalls", paper §4.6) and so the end-to-end tests
+// can exercise a genuine socket round-trip.
+#ifndef WEBLINT_NET_HTTP_SERVER_H_
+#define WEBLINT_NET_HTTP_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "net/http_wire.h"
+#include "util/result.h"
+
+namespace weblint {
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(Handler handler) : handler_(std::move(handler)) {}
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds and listens on 127.0.0.1:`port` (0 picks an ephemeral port,
+  // readable from port() afterwards).
+  Status Listen(std::uint16_t port);
+  std::uint16_t port() const { return port_; }
+
+  // Accepts one connection, reads one request, writes the handler's
+  // response, closes. Returns the error for socket-level failures; handler
+  // results (including error pages) are successes.
+  Status ServeOne();
+
+  // Serves until `max_requests` have been handled (0 = forever / until an
+  // accept error).
+  Status Serve(size_t max_requests);
+
+  void Close();
+
+ private:
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_NET_HTTP_SERVER_H_

@@ -1,0 +1,179 @@
+#include "net/http_wire.h"
+
+namespace weblint {
+
+namespace {
+
+// Returns the offset just past the header/body separator, or npos.
+size_t HeaderEnd(std::string_view raw) {
+  const size_t crlf = raw.find("\r\n\r\n");
+  const size_t lf = raw.find("\n\n");
+  if (crlf == std::string_view::npos) {
+    return lf == std::string_view::npos ? std::string_view::npos : lf + 2;
+  }
+  if (lf == std::string_view::npos) {
+    return crlf + 4;
+  }
+  return std::min(crlf + 4, lf + 2);
+}
+
+// Splits the header section into lines, tolerating \r\n and \n.
+std::vector<std::string_view> HeaderLines(std::string_view section) {
+  std::vector<std::string_view> lines;
+  for (std::string_view line : Split(section, '\n')) {
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    if (!line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+void ParseHeaderFields(const std::vector<std::string_view>& lines, size_t first,
+                       std::map<std::string, std::string, ILess>* headers) {
+  for (size_t i = first; i < lines.size(); ++i) {
+    const size_t colon = lines[i].find(':');
+    if (colon == std::string_view::npos) {
+      continue;  // Lenient: skip malformed field lines.
+    }
+    (*headers)[std::string(Trim(lines[i].substr(0, colon)))] =
+        std::string(Trim(lines[i].substr(colon + 1)));
+  }
+}
+
+std::string TakeBody(std::string_view raw, size_t body_start,
+                     const std::map<std::string, std::string, ILess>& headers) {
+  std::string_view body = raw.substr(std::min(body_start, raw.size()));
+  const auto it = headers.find("content-length");
+  if (it != headers.end()) {
+    std::uint32_t length = 0;
+    if (ParseUint(it->second, &length) && length <= body.size()) {
+      body = body.substr(0, length);
+    }
+  }
+  return std::string(body);
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Query() const {
+  const size_t q = target.find('?');
+  return q == std::string::npos ? std::string_view()
+                                : std::string_view(target).substr(q + 1);
+}
+
+std::string_view HttpRequest::Path() const {
+  const size_t q = target.find('?');
+  return std::string_view(target).substr(0, q);
+}
+
+Result<HttpRequest> ParseHttpRequest(std::string_view raw) {
+  const size_t body_start = HeaderEnd(raw);
+  const std::string_view header_section =
+      body_start == std::string_view::npos ? raw : raw.substr(0, body_start);
+  const auto lines = HeaderLines(header_section);
+  if (lines.empty()) {
+    return Fail("empty HTTP request");
+  }
+  const auto parts = SplitWhitespace(lines[0]);
+  if (parts.size() < 2) {
+    return Fail("malformed request line: " + std::string(lines[0]));
+  }
+  HttpRequest request;
+  request.method = AsciiUpper(parts[0]);
+  request.target = std::string(parts[1]);
+  request.version = parts.size() > 2 ? std::string(parts[2]) : "HTTP/0.9";
+  ParseHeaderFields(lines, 1, &request.headers);
+  if (body_start != std::string_view::npos) {
+    request.body = TakeBody(raw, body_start, request.headers);
+  }
+  return request;
+}
+
+Result<HttpResponse> ParseHttpResponse(std::string_view raw) {
+  const size_t body_start = HeaderEnd(raw);
+  const std::string_view header_section =
+      body_start == std::string_view::npos ? raw : raw.substr(0, body_start);
+  const auto lines = HeaderLines(header_section);
+  if (lines.empty()) {
+    return Fail("empty HTTP response");
+  }
+  const auto parts = SplitWhitespace(lines[0]);
+  if (parts.size() < 2 || !IStartsWith(parts[0], "HTTP/")) {
+    return Fail("malformed status line: " + std::string(lines[0]));
+  }
+  HttpResponse response;
+  std::uint32_t status = 0;
+  if (!ParseUint(parts[1], &status)) {
+    return Fail("malformed status code: " + std::string(parts[1]));
+  }
+  response.status = static_cast<int>(status);
+  if (parts.size() > 2) {
+    const size_t reason_at = lines[0].find(parts[2]);
+    response.reason = std::string(lines[0].substr(reason_at));
+  }
+  ParseHeaderFields(lines, 1, &response.headers);
+  if (body_start != std::string_view::npos) {
+    response.body = TakeBody(raw, body_start, response.headers);
+  }
+  return response;
+}
+
+std::string SerializeHttpRequest(const HttpRequest& request) {
+  std::string out = request.method + " " + request.target + " " +
+                    (request.version.empty() ? "HTTP/1.0" : request.version) + "\r\n";
+  bool has_length = false;
+  for (const auto& [name, value] : request.headers) {
+    out += name + ": " + value + "\r\n";
+    has_length = has_length || IEquals(name, "content-length");
+  }
+  if (!request.body.empty() && !has_length) {
+    out += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += request.body;
+  return out;
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response, std::string_view version) {
+  const std::string reason = response.reason.empty()
+                                 ? std::string(ReasonPhrase(response.status))
+                                 : response.reason;
+  std::string out;
+  out += version;
+  out += " " + std::to_string(response.status) + " " + reason + "\r\n";
+  bool has_length = false;
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+    has_length = has_length || IEquals(name, "content-length");
+  }
+  if (!has_length) {
+    out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+bool HttpMessageComplete(std::string_view buffer) {
+  const size_t body_start = HeaderEnd(buffer);
+  if (body_start == std::string_view::npos) {
+    return false;
+  }
+  const auto lines = HeaderLines(buffer.substr(0, body_start));
+  std::map<std::string, std::string, ILess> headers;
+  ParseHeaderFields(lines, 1, &headers);
+  const auto it = headers.find("content-length");
+  if (it == headers.end()) {
+    return true;
+  }
+  std::uint32_t length = 0;
+  if (!ParseUint(it->second, &length)) {
+    return true;
+  }
+  return buffer.size() - body_start >= length;
+}
+
+}  // namespace weblint

@@ -1,0 +1,55 @@
+// HTTP/1.0 wire format: parsing requests and serializing responses, so the
+// gateway can sit behind a real socket (paper §3.4 gateways ran behind CGI;
+// §4.6: "I regularly receive requests for a standard gateway distribution,
+// particularly for installation behind firewalls, e.g. for intranet use").
+#ifndef WEBLINT_NET_HTTP_WIRE_H_
+#define WEBLINT_NET_HTTP_WIRE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "net/response.h"
+#include "util/result.h"
+#include "util/strings.h"
+
+namespace weblint {
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", "HEAD" (uppercased on parse).
+  std::string target;   // Request target, e.g. "/check?url=x".
+  std::string version;  // "HTTP/1.0" / "HTTP/1.1".
+  std::map<std::string, std::string, ILess> headers;
+  std::string body;
+
+  std::string_view Header(std::string_view name) const {
+    const auto it = headers.find(std::string(name));
+    return it == headers.end() ? std::string_view() : std::string_view(it->second);
+  }
+  // The query string portion of the target ("" when none).
+  std::string_view Query() const;
+  // The path portion of the target.
+  std::string_view Path() const;
+};
+
+// Parses a complete request message (header section + body). Tolerates bare
+// LF line endings. The body is taken from Content-Length when present,
+// otherwise everything after the blank line.
+Result<HttpRequest> ParseHttpRequest(std::string_view raw);
+
+// Parses a complete response message.
+Result<HttpResponse> ParseHttpResponse(std::string_view raw);
+
+// Serializes with CRLF line endings; Content-Length is set from the body.
+std::string SerializeHttpRequest(const HttpRequest& request);
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  std::string_view version = "HTTP/1.0");
+
+// True once `buffer` holds a complete message: the header section plus, if
+// Content-Length is declared, that many body bytes. Drives the server's
+// read loop.
+bool HttpMessageComplete(std::string_view buffer);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_NET_HTTP_WIRE_H_

@@ -1,0 +1,37 @@
+// HTTP response model for the LWP-substitute layer (paper §5.7: "All
+// retrieving of pages and similar operations are performed using Gisle Aas'
+// excellent LWP package").
+#ifndef WEBLINT_NET_RESPONSE_H_
+#define WEBLINT_NET_RESPONSE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/strings.h"
+
+namespace weblint {
+
+struct HttpResponse {
+  int status = 0;  // 200, 301, 404, ...
+  std::string reason;
+  std::map<std::string, std::string, ILess> headers;
+  std::string body;
+
+  bool ok() const { return status >= 200 && status < 300; }
+  bool IsRedirect() const { return status == 301 || status == 302 || status == 303 ||
+                                   status == 307; }
+  bool NotFound() const { return status == 404 || status == 410; }
+
+  std::string_view Header(std::string_view name) const {
+    const auto it = headers.find(std::string(name));
+    return it == headers.end() ? std::string_view() : std::string_view(it->second);
+  }
+};
+
+// Standard reason phrase for a status code ("OK", "Not Found", ...).
+std::string_view ReasonPhrase(int status);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_NET_RESPONSE_H_

@@ -1,0 +1,82 @@
+#include "net/virtual_web.h"
+
+namespace weblint {
+
+std::string VirtualWeb::KeyFor(const Url& url) {
+  std::string key = url.Authority();
+  key += url.path.empty() ? "/" : url.path;
+  if (!key.empty() && key.back() == '/') {
+    // Directory URLs serve their index page slot directly.
+  }
+  if (!url.query.empty()) {
+    key += "?" + url.query;
+  }
+  return key;
+}
+
+void VirtualWeb::AddPage(std::string_view url, std::string body, std::string content_type) {
+  Entry entry;
+  entry.status = 200;
+  entry.body = std::move(body);
+  entry.content_type = std::move(content_type);
+  entries_[KeyFor(ParseUrl(url))] = std::move(entry);
+}
+
+void VirtualWeb::AddRedirect(std::string_view from, std::string_view to, int status) {
+  Entry entry;
+  entry.status = status;
+  entry.redirect_to = std::string(to);
+  entries_[KeyFor(ParseUrl(from))] = std::move(entry);
+}
+
+void VirtualWeb::AddError(std::string_view url, int status) {
+  Entry entry;
+  entry.status = status;
+  entries_[KeyFor(ParseUrl(url))] = std::move(entry);
+}
+
+void VirtualWeb::SetRobotsTxt(std::string_view host, std::string body) {
+  AddPage("http://" + std::string(host) + "/robots.txt", std::move(body), "text/plain");
+}
+
+const VirtualWeb::Entry* VirtualWeb::Lookup(const Url& url) const {
+  const auto it = entries_.find(KeyFor(url));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+HttpResponse VirtualWeb::Serve(const Url& url, bool include_body) {
+  simulated_latency_us_ += per_request_us_;
+  HttpResponse response;
+  const Entry* entry = Lookup(url);
+  if (entry == nullptr) {
+    ++miss_count_;
+    response.status = 404;
+    response.reason = std::string(ReasonPhrase(404));
+    return response;
+  }
+  response.status = entry->status;
+  response.reason = std::string(ReasonPhrase(entry->status));
+  if (!entry->redirect_to.empty()) {
+    response.headers["location"] = entry->redirect_to;
+  }
+  if (!entry->content_type.empty()) {
+    response.headers["content-type"] = entry->content_type;
+  }
+  if (include_body && entry->status == 200) {
+    response.body = entry->body;
+    simulated_latency_us_ += per_kilobyte_us_ * (entry->body.size() / 1024);
+  }
+  return response;
+}
+
+HttpResponse VirtualWeb::Get(const Url& url) {
+  ++get_count_;
+  return Serve(url, /*include_body=*/true);
+}
+
+HttpResponse VirtualWeb::Head(const Url& url) {
+  ++head_count_;
+  return Serve(url, /*include_body=*/false);
+}
+
+}  // namespace weblint

@@ -1,0 +1,84 @@
+// An in-memory web: the deterministic, offline substitute for live HTTP
+// (see DESIGN.md "Substitutions"). Hosts, pages, redirects, 404s and
+// robots.txt are all served from memory; a virtual latency model stands in
+// for network time so robot benches can report meaningful "fetch cost"
+// without touching a real network.
+#ifndef WEBLINT_NET_VIRTUAL_WEB_H_
+#define WEBLINT_NET_VIRTUAL_WEB_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "net/fetcher.h"
+
+namespace weblint {
+
+class VirtualWeb : public UrlFetcher {
+ public:
+  VirtualWeb() = default;
+
+  // Registers a page. `url` must be absolute (http://host/path). Replaces
+  // any existing page at that URL.
+  void AddPage(std::string_view url, std::string body,
+               std::string content_type = "text/html");
+
+  // Registers a redirect from one absolute URL to another (302 by default).
+  void AddRedirect(std::string_view from, std::string_view to, int status = 302);
+
+  // Registers an error response (e.g. 500) at a URL.
+  void AddError(std::string_view url, int status);
+
+  // Convenience: serves `body` as http://<host>/robots.txt.
+  void SetRobotsTxt(std::string_view host, std::string body);
+
+  size_t page_count() const { return entries_.size(); }
+
+  // --- UrlFetcher -----------------------------------------------------
+  HttpResponse Get(const Url& url) override;
+  HttpResponse Head(const Url& url) override;
+
+  // --- instrumentation --------------------------------------------------
+  size_t get_count() const { return get_count_; }
+  size_t head_count() const { return head_count_; }
+  size_t miss_count() const { return miss_count_; }
+
+  // Virtual clock: each request costs `per_request_us` plus
+  // `per_kilobyte_us` per KiB of body transferred (GET only).
+  void SetLatencyModel(std::uint64_t per_request_us, std::uint64_t per_kilobyte_us) {
+    per_request_us_ = per_request_us;
+    per_kilobyte_us_ = per_kilobyte_us;
+  }
+  std::uint64_t simulated_latency_us() const { return simulated_latency_us_; }
+
+  void ResetCounters() {
+    get_count_ = head_count_ = miss_count_ = 0;
+    simulated_latency_us_ = 0;
+  }
+
+ private:
+  struct Entry {
+    int status = 200;
+    std::string content_type = "text/html";
+    std::string body;
+    std::string redirect_to;
+  };
+
+  // Canonical key for a URL: host[:port]path (query included, no fragment).
+  static std::string KeyFor(const Url& url);
+  const Entry* Lookup(const Url& url) const;
+  HttpResponse Serve(const Url& url, bool include_body);
+
+  std::map<std::string, Entry> entries_;
+  size_t get_count_ = 0;
+  size_t head_count_ = 0;
+  size_t miss_count_ = 0;
+  std::uint64_t per_request_us_ = 0;
+  std::uint64_t per_kilobyte_us_ = 0;
+  std::uint64_t simulated_latency_us_ = 0;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_NET_VIRTUAL_WEB_H_

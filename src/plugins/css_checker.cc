@@ -1,0 +1,191 @@
+#include "plugins/css_checker.h"
+
+#include <algorithm>
+
+#include "util/edit_distance.h"
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+// The CSS1 property set (W3C REC-CSS1, Dec 1996).
+constexpr std::string_view kCss1Properties[] = {
+    "background",          "background-attachment", "background-color",
+    "background-image",    "background-position",   "background-repeat",
+    "border",              "border-bottom",         "border-bottom-width",
+    "border-color",        "border-left",           "border-left-width",
+    "border-right",        "border-right-width",    "border-style",
+    "border-top",          "border-top-width",      "border-width",
+    "clear",               "color",                 "display",
+    "float",               "font",                  "font-family",
+    "font-size",           "font-style",            "font-variant",
+    "font-weight",         "height",                "letter-spacing",
+    "line-height",         "list-style",            "list-style-image",
+    "list-style-position", "list-style-type",       "margin",
+    "margin-bottom",       "margin-left",           "margin-right",
+    "margin-top",          "padding",               "padding-bottom",
+    "padding-left",        "padding-right",         "padding-top",
+    "text-align",          "text-decoration",       "text-indent",
+    "text-transform",      "vertical-align",        "white-space",
+    "width",               "word-spacing",
+};
+
+// Strips CSS comments, replacing them with spaces so positions survive.
+std::string StripComments(std::string_view content) {
+  std::string out(content);
+  size_t i = 0;
+  while (i + 1 < out.size()) {
+    if (out[i] == '/' && out[i + 1] == '*') {
+      const size_t end = out.find("*/", i + 2);
+      const size_t stop = end == std::string::npos ? out.size() : end + 2;
+      for (size_t j = i; j < stop; ++j) {
+        if (out[j] != '\n' && out[j] != '\r') {
+          out[j] = ' ';
+        }
+      }
+      i = stop;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+bool LooksLikeColorProperty(std::string_view property) {
+  return IEquals(property, "color") || IEquals(property, "background-color");
+}
+
+bool IsValidCssColor(std::string_view value) {
+  const std::string_view v = Trim(value);
+  if (v.empty()) {
+    return false;
+  }
+  if (v.front() == '#') {
+    if (v.size() != 4 && v.size() != 7) {
+      return false;
+    }
+    return std::all_of(v.begin() + 1, v.end(), [](char c) { return IsAsciiHexDigit(c); });
+  }
+  if (IStartsWith(v, "rgb(")) {
+    return v.back() == ')';
+  }
+  // Keyword colours: letters only (CSS1 took the 16 HTML names plus more;
+  // a linter accepts any identifier here).
+  return std::all_of(v.begin(), v.end(), [](char c) { return IsAsciiAlpha(c); });
+}
+
+}  // namespace
+
+bool CssChecker::IsKnownProperty(std::string_view property) {
+  for (std::string_view known : kCss1Properties) {
+    if (IEquals(known, property)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string CssChecker::SuggestProperty(std::string_view property) {
+  std::string best;
+  int best_distance = 3;
+  for (std::string_view known : kCss1Properties) {
+    const int d = BoundedEditDistance(property, known, best_distance - 1);
+    if (d < best_distance) {
+      best_distance = d;
+      best = std::string(known);
+    }
+  }
+  return best;
+}
+
+void CssChecker::Check(std::string_view raw_content, SourceLocation start,
+                       std::vector<PluginFinding>* findings) const {
+  const std::string stripped = StripComments(raw_content);
+  const std::string_view content(stripped);
+  auto report = [&](size_t offset, Category category, std::string_view topic,
+                    std::string message) {
+    findings->push_back(PluginFinding{AdvanceLocation(content, offset, start), category,
+                                      std::string(topic), std::move(message)});
+  };
+
+  int depth = 0;
+  size_t block_start = 0;
+  size_t decl_count_in_block = 0;
+  size_t i = 0;
+  const size_t n = content.size();
+  while (i < n) {
+    const char c = content[i];
+    if (c == '{') {
+      ++depth;
+      if (depth > 1) {
+        report(i, Category::kError, "nested-block",
+               "nested '{' -- CSS1 does not allow nested rule blocks");
+      }
+      block_start = i;
+      decl_count_in_block = 0;
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      if (depth == 0) {
+        report(i, Category::kError, "unbalanced-brace", "'}' with no matching '{'");
+      } else {
+        --depth;
+        if (decl_count_in_block == 0) {
+          report(block_start, Category::kStyle, "empty-rule",
+                 "rule block contains no declarations");
+        }
+      }
+      ++i;
+      continue;
+    }
+    if (depth == 0 || IsAsciiSpace(c) || c == ';') {
+      ++i;
+      continue;
+    }
+
+    // Inside a block, at the start of a declaration: property ':' value.
+    const size_t decl_start = i;
+    while (i < n && content[i] != ':' && content[i] != ';' && content[i] != '}' &&
+           content[i] != '{') {
+      ++i;
+    }
+    const std::string_view property = Trim(content.substr(decl_start, i - decl_start));
+    if (i >= n || content[i] != ':') {
+      if (!property.empty()) {
+        report(decl_start, Category::kError, "missing-colon",
+               StrFormat("declaration \"%s\" has no ':'", property));
+      }
+      continue;
+    }
+    ++i;  // ':'
+    const size_t value_start = i;
+    while (i < n && content[i] != ';' && content[i] != '}') {
+      ++i;
+    }
+    const std::string_view value = Trim(content.substr(value_start, i - value_start));
+    ++decl_count_in_block;
+
+    if (!IsKnownProperty(property)) {
+      const std::string suggestion = SuggestProperty(property);
+      report(decl_start, Category::kWarning, "unknown-property",
+             suggestion.empty()
+                 ? StrFormat("unknown property \"%s\"", property)
+                 : StrFormat("unknown property \"%s\" -- perhaps you meant \"%s\"?", property,
+                             suggestion));
+    } else if (value.empty()) {
+      report(decl_start, Category::kWarning, "empty-value",
+             StrFormat("property \"%s\" has no value", property));
+    } else if (LooksLikeColorProperty(property) && !IsValidCssColor(value)) {
+      report(value_start, Category::kError, "bad-color",
+             StrFormat("illegal colour value \"%s\" for property \"%s\"", value, property));
+    }
+  }
+  if (depth > 0) {
+    report(n > 0 ? n - 1 : 0, Category::kError, "unbalanced-brace",
+           "stylesheet ends inside a rule block ('}' missing)");
+  }
+}
+
+}  // namespace weblint

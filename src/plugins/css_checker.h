@@ -1,0 +1,28 @@
+// The stylesheet-validation plugin the paper's §6.1 sketches: a CSS1-level
+// checker for STYLE element content. In the weblint spirit it is a helpful
+// problem identifier, not a grammar validator: unknown property names
+// (usually typos), missing ':' in declarations, unbalanced braces, empty
+// rules, and illegal colour values.
+#ifndef WEBLINT_PLUGINS_CSS_CHECKER_H_
+#define WEBLINT_PLUGINS_CSS_CHECKER_H_
+
+#include "plugins/plugin.h"
+
+namespace weblint {
+
+class CssChecker : public ContentPlugin {
+ public:
+  std::string_view name() const override { return "css"; }
+  std::string_view element() const override { return "style"; }
+  void Check(std::string_view content, SourceLocation start,
+             std::vector<PluginFinding>* findings) const override;
+
+  // True if `property` is a CSS1 property name (case-insensitive).
+  static bool IsKnownProperty(std::string_view property);
+  // Closest known property within edit distance 2, or empty.
+  static std::string SuggestProperty(std::string_view property);
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_PLUGINS_CSS_CHECKER_H_

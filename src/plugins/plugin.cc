@@ -1,0 +1,19 @@
+#include "plugins/plugin.h"
+
+namespace weblint {
+
+SourceLocation AdvanceLocation(std::string_view content, size_t offset, SourceLocation start) {
+  SourceLocation location = start;
+  for (size_t i = 0; i < offset && i < content.size(); ++i) {
+    const char c = content[i];
+    if (c == '\n' || (c == '\r' && (i + 1 >= content.size() || content[i + 1] != '\n'))) {
+      ++location.line;
+      location.column = 1;
+    } else {
+      ++location.column;
+    }
+  }
+  return location;
+}
+
+}  // namespace weblint

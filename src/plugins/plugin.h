@@ -1,0 +1,53 @@
+// Content plugins (paper §6.1): "Support for 'plugins' which are used to
+// validate non-HTML content (e.g. to validate stylesheets). This may
+// require an outer framework, where weblint is just one such plugin, for
+// HTML."
+//
+// A ContentPlugin claims one element name; the engine hands it that
+// element's raw text content (SCRIPT, STYLE, ...). Plugin findings live
+// outside the 50-message catalog — installing a plugin is the opt-in, and
+// its findings are identified as "<plugin>/<topic>".
+#ifndef WEBLINT_PLUGINS_PLUGIN_H_
+#define WEBLINT_PLUGINS_PLUGIN_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/source_location.h"
+#include "warnings/catalog.h"
+
+namespace weblint {
+
+struct PluginFinding {
+  SourceLocation location;  // Absolute position within the checked document.
+  Category category = Category::kWarning;
+  std::string topic;    // Short slug: "unknown-property", "unbalanced-brace".
+  std::string message;  // Human-readable text.
+};
+
+class ContentPlugin {
+ public:
+  virtual ~ContentPlugin() = default;
+
+  // Plugin name, used as the finding-id prefix ("css", "script").
+  virtual std::string_view name() const = 0;
+
+  // Lowercase element whose raw content this plugin checks ("style").
+  virtual std::string_view element() const = 0;
+
+  // Checks `content`, whose first character sits at `start` in the document.
+  virtual void Check(std::string_view content, SourceLocation start,
+                     std::vector<PluginFinding>* findings) const = 0;
+};
+
+using PluginPtr = std::shared_ptr<const ContentPlugin>;
+
+// Walks `content` to the position of content[offset], given that content[0]
+// is at `start` — shared position arithmetic for plugin implementations.
+SourceLocation AdvanceLocation(std::string_view content, size_t offset, SourceLocation start);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_PLUGINS_PLUGIN_H_

@@ -1,0 +1,93 @@
+#include "plugins/script_checker.h"
+
+#include <vector>
+
+#include "util/strings.h"
+
+namespace weblint {
+
+void ScriptChecker::Check(std::string_view content, SourceLocation start,
+                          std::vector<PluginFinding>* findings) const {
+  auto report = [&](size_t offset, Category category, std::string_view topic,
+                    std::string message) {
+    findings->push_back(PluginFinding{AdvanceLocation(content, offset, start), category,
+                                      std::string(topic), std::move(message)});
+  };
+
+  struct Open {
+    char bracket;
+    size_t offset;
+  };
+  std::vector<Open> stack;
+  const size_t n = content.size();
+  size_t i = 0;
+  while (i < n) {
+    const char c = content[i];
+    // Comments.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      while (i < n && content[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const size_t end = content.find("*/", i + 2);
+      if (end == std::string_view::npos) {
+        report(i, Category::kWarning, "unterminated-comment",
+               "'/*' comment never closed");
+        return;
+      }
+      i = end + 2;
+      continue;
+    }
+    // Strings: no multi-line strings in 1990s JavaScript.
+    if (c == '"' || c == '\'') {
+      const size_t open = i;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (content[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (content[i] == c) {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (content[i] == '\n') {
+          break;
+        }
+        ++i;
+      }
+      if (!closed) {
+        report(open, Category::kError, "unterminated-string",
+               StrFormat("string opened with %c never closed on its line", c));
+      }
+      continue;
+    }
+    if (c == '(' || c == '[' || c == '{') {
+      stack.push_back(Open{c, i});
+      ++i;
+      continue;
+    }
+    if (c == ')' || c == ']' || c == '}') {
+      const char expected = c == ')' ? '(' : c == ']' ? '[' : '{';
+      if (stack.empty() || stack.back().bracket != expected) {
+        report(i, Category::kError, "unbalanced-bracket",
+               StrFormat("'%c' does not match any open '%c'", c, expected));
+      } else {
+        stack.pop_back();
+      }
+      ++i;
+      continue;
+    }
+    ++i;
+  }
+  for (const Open& open : stack) {
+    report(open.offset, Category::kError, "unbalanced-bracket",
+           StrFormat("'%c' is never closed", open.bracket));
+  }
+}
+
+}  // namespace weblint

@@ -1,0 +1,23 @@
+// A SCRIPT-content plugin: bracket/quote balance for inline JavaScript.
+//
+// Weblint-grade heuristics, not a JS parser: unbalanced ()/[]/{} (string-
+// and comment-aware) and strings left open at end of line are the classic
+// inline-script typos of the era.
+#ifndef WEBLINT_PLUGINS_SCRIPT_CHECKER_H_
+#define WEBLINT_PLUGINS_SCRIPT_CHECKER_H_
+
+#include "plugins/plugin.h"
+
+namespace weblint {
+
+class ScriptChecker : public ContentPlugin {
+ public:
+  std::string_view name() const override { return "script"; }
+  std::string_view element() const override { return "script"; }
+  void Check(std::string_view content, SourceLocation start,
+             std::vector<PluginFinding>* findings) const override;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_PLUGINS_SCRIPT_CHECKER_H_

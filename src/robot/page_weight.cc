@@ -1,0 +1,58 @@
+#include "robot/page_weight.h"
+
+#include <set>
+
+namespace weblint {
+
+double PageWeight::SecondsAt(std::uint64_t bits_per_second, double per_request_s) const {
+  if (bits_per_second == 0) {
+    return 0;
+  }
+  const double transfer =
+      static_cast<double>(TotalBytes()) * 8.0 / static_cast<double>(bits_per_second);
+  const double requests = static_cast<double>(1 + resource_count + missing_resources);
+  return transfer + requests * per_request_s;
+}
+
+PageWeight MeasurePageWeight(std::string_view html, const LintReport& report,
+                             const Url& page_url, UrlFetcher& fetcher) {
+  PageWeight weight;
+  weight.html_bytes = html.size();
+
+  std::set<std::string> fetched;
+  for (const LinkRef& link : report.links) {
+    if (!link.is_resource) {
+      continue;
+    }
+    Url resolved = ResolveUrl(page_url, link.url);
+    resolved.fragment.clear();
+    const std::string key = resolved.Serialize();
+    if (!fetched.insert(key).second) {
+      continue;  // The browser cache fetches each resource once.
+    }
+    const HttpResponse response = fetcher.Get(resolved);
+    if (!response.ok()) {
+      ++weight.missing_resources;
+      continue;
+    }
+    ++weight.resource_count;
+    weight.resource_bytes += response.body.size();
+  }
+  return weight;
+}
+
+std::vector<ModemEstimate> EstimateDownloadTimes(const PageWeight& weight) {
+  std::vector<ModemEstimate> estimates;
+  const std::pair<const char*, std::uint64_t> kSpeeds[] = {
+      {"14.4k modem", 14400},
+      {"28.8k modem", 28800},
+      {"56k modem", 56000},
+      {"128k ISDN", 128000},
+  };
+  for (const auto& [label, bps] : kSpeeds) {
+    estimates.push_back(ModemEstimate{label, bps, weight.SecondsAt(bps)});
+  }
+  return estimates;
+}
+
+}  // namespace weblint

@@ -1,0 +1,50 @@
+// Page weight and modem download estimates (paper §3.6: the WebTechs meta
+// service "can also generate a weight for your web page, including
+// estimated download times for different modem speeds"; §2 asks "How usable
+// is your site by people accessing it via a modem?").
+#ifndef WEBLINT_ROBOT_PAGE_WEIGHT_H_
+#define WEBLINT_ROBOT_PAGE_WEIGHT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "net/fetcher.h"
+
+namespace weblint {
+
+struct PageWeight {
+  size_t html_bytes = 0;
+  size_t resource_bytes = 0;   // Embedded resources (IMG SRC, SCRIPT SRC...).
+  size_t resource_count = 0;   // Distinct resources fetched.
+  size_t missing_resources = 0;  // SRC-style references that answered != 2xx.
+
+  size_t TotalBytes() const { return html_bytes + resource_bytes; }
+
+  // Estimated download seconds at `bits_per_second`, with `per_request_s`
+  // connection overhead per HTTP request (1 for the page + one per
+  // resource). 1990s modems had no pipelining.
+  double SecondsAt(std::uint64_t bits_per_second, double per_request_s = 0.3) const;
+};
+
+// One row of the classic modem table.
+struct ModemEstimate {
+  std::string label;  // "14.4k"
+  std::uint64_t bits_per_second = 0;
+  double seconds = 0;
+};
+
+// Measures the weight of an already-checked page: `report` supplies the
+// HTML size (via lines/links) — pass the body explicitly — and the SRC-style
+// resource references, which are fetched through `fetcher` to size them.
+// Each distinct resource is fetched once.
+PageWeight MeasurePageWeight(std::string_view html, const LintReport& report,
+                             const Url& page_url, UrlFetcher& fetcher);
+
+// The standard report rows: 14.4k, 28.8k, 56k modems plus 128k ISDN.
+std::vector<ModemEstimate> EstimateDownloadTimes(const PageWeight& weight);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_ROBOT_PAGE_WEIGHT_H_

@@ -1,0 +1,87 @@
+#include "robot/poacher.h"
+
+#include <set>
+
+#include "util/strings.h"
+
+namespace weblint {
+
+PoacherReport Poacher::Run(std::string_view start_url, Emitter* emitter) {
+  PoacherReport report;
+  const Url start = ParseUrl(start_url);
+
+  // Links seen across the crawl: target -> one referencing page (first wins;
+  // one report per broken target keeps the output readable).
+  std::map<std::string, std::string> link_origins;
+
+  Robot robot(fetcher_, options_.crawl);
+  report.stats = robot.Crawl(start, [&](const Url& url, const HttpResponse& response) {
+    LintReport page = weblint_.CheckString(url.Serialize(), response.body, emitter);
+    for (const LinkRef& link : page.links) {
+      const Url resolved = ResolveUrl(url, link.url);
+      if (resolved.IsOpaque() ||
+          (!resolved.scheme.empty() && resolved.scheme != "http" && resolved.scheme != "https" &&
+           resolved.scheme != "file")) {
+        continue;
+      }
+      link_origins.emplace(resolved.Serialize(), url.Serialize());
+    }
+    report.pages.push_back(std::move(page));
+  });
+
+  // Pages the crawl itself failed to retrieve are broken links (the crawl
+  // only reached them by following a link).
+  for (const auto& [target, status] : robot.failures_seen()) {
+    const auto origin = link_origins.find(target);
+    LinkProblem problem;
+    problem.page = origin != link_origins.end() ? origin->second : std::string(start_url);
+    problem.target = target;
+    problem.status = status;
+    report.broken_links.push_back(std::move(problem));
+  }
+
+  // Redirect hops the crawl itself observed are link-fixing hints.
+  for (const auto& [from, to] : robot.redirects_seen()) {
+    const auto origin = link_origins.find(from);
+    LinkProblem problem;
+    problem.page = origin != link_origins.end() ? origin->second : std::string(start_url);
+    problem.target = from;
+    problem.status = 302;
+    problem.fixed = to;
+    report.redirected_links.push_back(std::move(problem));
+  }
+
+  if (!options_.validate_links) {
+    return report;
+  }
+
+  // Validate links the crawl didn't already prove good. Pages the robot
+  // fetched successfully need no HEAD request.
+  for (const auto& [target, origin] : link_origins) {
+    Url url = ParseUrl(target);
+    url.fragment.clear();
+    if (robot.visited().contains(url.Serialize())) {
+      continue;  // Crawled; a failure would already show in stats.
+    }
+    const HttpResponse response = fetcher_.Head(url);
+    if (response.IsRedirect()) {
+      LinkProblem problem;
+      problem.page = origin;
+      problem.target = target;
+      problem.status = response.status;
+      problem.fixed = std::string(response.Header("location"));
+      report.redirected_links.push_back(std::move(problem));
+      continue;
+    }
+    if (!response.ok()) {
+      LinkProblem problem;
+      problem.page = origin;
+      problem.target = target;
+      problem.status = response.status;
+      report.broken_links.push_back(std::move(problem));
+    }
+  }
+  return report;
+}
+
+}  // namespace weblint

@@ -1,0 +1,66 @@
+// Poacher: weblint over a site crawl, plus basic link validation
+// (paper §4.5: "A robot can be used to invoke weblint on all accessible
+// pages on a site. I have written one, called poacher ... Poacher also
+// performs basic link validation." and §3.5: broken-link robots "merely
+// consist of sending a HEAD request, and reporting all URLs which result in
+// a 404 response code. Smarter robots will handle redirects (fixing the
+// links)").
+#ifndef WEBLINT_ROBOT_POACHER_H_
+#define WEBLINT_ROBOT_POACHER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/linter.h"
+#include "robot/robot.h"
+#include "warnings/emitter.h"
+
+namespace weblint {
+
+struct PoacherOptions {
+  CrawlOptions crawl;
+  bool validate_links = true;  // HEAD-check links that the crawl won't fetch.
+};
+
+// A link whose target did not answer 200.
+struct LinkProblem {
+  std::string page;    // URL of the page containing the link.
+  std::string target;  // The resolved link target.
+  int status = 0;      // Response status (404, 410, 5xx...).
+  std::string fixed;   // For redirects: where the link should point now.
+};
+
+struct PoacherReport {
+  std::vector<LintReport> pages;
+  std::vector<LinkProblem> broken_links;
+  std::vector<LinkProblem> redirected_links;
+  CrawlStats stats;
+
+  size_t TotalDiagnostics() const {
+    size_t n = 0;
+    for (const LintReport& page : pages) {
+      n += page.diagnostics.size();
+    }
+    return n;
+  }
+};
+
+class Poacher {
+ public:
+  Poacher(const Weblint& weblint, UrlFetcher& fetcher, PoacherOptions options = {})
+      : weblint_(weblint), fetcher_(fetcher), options_(std::move(options)) {}
+
+  // Crawls from `start_url`, linting every page retrieved and validating
+  // every outbound link. If `emitter` is non-null, page diagnostics stream
+  // to it as produced.
+  PoacherReport Run(std::string_view start_url, Emitter* emitter = nullptr);
+
+ private:
+  const Weblint& weblint_;
+  UrlFetcher& fetcher_;
+  PoacherOptions options_;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_ROBOT_POACHER_H_

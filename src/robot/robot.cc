@@ -1,0 +1,159 @@
+#include "robot/robot.h"
+
+#include "html/tokenizer.h"
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+struct LinkSource {
+  std::string_view element;
+  std::string_view attribute;
+  bool resource;
+};
+constexpr LinkSource kLinkSources[] = {
+    {"a", "href", false},     {"area", "href", false},  {"link", "href", false},
+    {"frame", "src", false},  {"iframe", "src", false}, {"img", "src", true},
+    {"script", "src", true},  {"embed", "src", true},   {"body", "background", true},
+    {"input", "src", true},   {"object", "data", true}, {"bgsound", "src", true},
+};
+
+// URL key for the visited set: no fragment, default path.
+std::string VisitKey(const Url& url) {
+  Url key = url;
+  key.fragment.clear();
+  if (key.path.empty()) {
+    key.path = "/";
+  }
+  return key.Serialize();
+}
+
+bool IsHtmlResponse(const HttpResponse& response) {
+  const std::string_view type = response.Header("content-type");
+  return type.empty() || IContains(type, "html");
+}
+
+}  // namespace
+
+std::vector<std::string> ExtractLinks(std::string_view html, bool include_resources) {
+  std::vector<std::string> links;
+  Tokenizer tokenizer(html);
+  Token token;
+  while (tokenizer.Next(&token)) {
+    if (token.kind != TokenKind::kStartTag) {
+      continue;
+    }
+    for (const LinkSource& source : kLinkSources) {
+      if (!IEquals(token.name, source.element)) {
+        continue;
+      }
+      if (source.resource && !include_resources) {
+        continue;
+      }
+      for (const Attribute& attr : token.attributes) {
+        if (IEquals(attr.name, source.attribute) && attr.has_value && !attr.value.empty() &&
+            !attr.unterminated_quote) {
+          links.push_back(attr.value);
+        }
+      }
+    }
+  }
+  return links;
+}
+
+const RobotsTxt& Robot::RobotsFor(const Url& url) {
+  const std::string authority = url.Authority();
+  const auto it = robots_cache_.find(authority);
+  if (it != robots_cache_.end()) {
+    return it->second;
+  }
+  Url robots_url;
+  robots_url.scheme = url.scheme;
+  robots_url.has_authority = true;
+  robots_url.host = url.host;
+  robots_url.port = url.port;
+  robots_url.path = "/robots.txt";
+  const HttpResponse response = fetcher_.Get(robots_url);
+  RobotsTxt robots;
+  if (response.ok()) {
+    robots = RobotsTxt::Parse(response.body, options_.agent);
+  }
+  return robots_cache_.emplace(authority, std::move(robots)).first->second;
+}
+
+bool Robot::ShouldVisit(const Url& url, const Url& start, CrawlStats* stats) {
+  if (!url.scheme.empty() && url.scheme != "http" && url.scheme != "https" &&
+      url.scheme != "file") {
+    return false;  // mailto:, javascript:, news: ...
+  }
+  if (options_.stay_on_host && !IEquals(url.host, start.host)) {
+    ++stats->skipped_offsite;
+    return false;
+  }
+  if (options_.honor_robots_txt && !RobotsFor(url).Allows(url.path)) {
+    ++stats->skipped_robots;
+    return false;
+  }
+  return true;
+}
+
+CrawlStats Robot::Crawl(const Url& start, const PageHandler& handler) {
+  CrawlStats stats;
+  visited_.clear();
+  redirects_seen_.clear();
+  failures_seen_.clear();
+  std::deque<Url> frontier;
+  frontier.push_back(start);
+
+  while (!frontier.empty() && stats.pages_fetched < options_.max_pages) {
+    const Url url = frontier.front();
+    frontier.pop_front();
+
+    const std::string key = VisitKey(url);
+    if (!visited_.insert(key).second) {
+      ++stats.skipped_duplicate;
+      continue;
+    }
+    if (!ShouldVisit(url, start, &stats)) {
+      continue;
+    }
+
+    Url final_url;
+    const HttpResponse response =
+        fetcher_.GetFollowingRedirects(url, options_.max_redirects, &final_url);
+    if (!response.ok()) {
+      ++stats.fetch_failures;
+      failures_seen_.emplace(key, response.status);
+      continue;
+    }
+    const std::string final_key = VisitKey(final_url);
+    if (final_key != key) {
+      redirects_seen_.emplace(key, final_key);
+      if (!visited_.insert(final_key).second) {
+        // The final target was already processed under its own URL.
+        continue;
+      }
+    }
+    ++stats.pages_fetched;
+
+    if (handler) {
+      handler(final_url, response);
+    }
+    if (!IsHtmlResponse(response)) {
+      continue;
+    }
+    for (const std::string& link : ExtractLinks(response.body)) {
+      const Url resolved = ResolveUrl(final_url, link);
+      if (resolved.IsOpaque()) {
+        continue;
+      }
+      if (!visited_.contains(VisitKey(resolved))) {
+        frontier.push_back(resolved);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace weblint

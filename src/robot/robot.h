@@ -1,0 +1,80 @@
+// The web-traversal engine (the WWW::Robot analog, paper [5]): breadth-first
+// crawl of a site through a UrlFetcher, honouring robots.txt, with a
+// per-page callback. Poacher builds weblint-over-a-crawl on top of this
+// (paper §4.5: "A robot can be used to invoke weblint on all accessible
+// pages on a site").
+#ifndef WEBLINT_ROBOT_ROBOT_H_
+#define WEBLINT_ROBOT_ROBOT_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/fetcher.h"
+#include "robot/robots_txt.h"
+#include "util/url.h"
+
+namespace weblint {
+
+struct CrawlOptions {
+  std::string agent = "poacher/2.0";
+  size_t max_pages = 10000;
+  int max_redirects = 5;
+  bool honor_robots_txt = true;
+  bool stay_on_host = true;  // Only follow links to the start URL's host.
+};
+
+struct CrawlStats {
+  size_t pages_fetched = 0;     // Successful HTML retrievals.
+  size_t fetch_failures = 0;    // Non-2xx page retrievals.
+  size_t skipped_robots = 0;    // URLs excluded by robots.txt.
+  size_t skipped_offsite = 0;   // URLs on other hosts (stay_on_host).
+  size_t skipped_duplicate = 0; // Already-visited URLs.
+};
+
+// Extracts link targets (A HREF, plus SRC-style references when
+// `include_resources`) from an HTML body, using the weblint tokenizer.
+std::vector<std::string> ExtractLinks(std::string_view html, bool include_resources = false);
+
+class Robot {
+ public:
+  // Called for each page retrieved with 2xx. Returning extra URLs (absolute
+  // or relative to the page) adds them to the crawl frontier in addition to
+  // the links the robot extracts itself.
+  using PageHandler =
+      std::function<void(const Url& url, const HttpResponse& response)>;
+
+  Robot(UrlFetcher& fetcher, CrawlOptions options)
+      : fetcher_(fetcher), options_(std::move(options)) {}
+
+  // Crawls from `start`; visits every reachable same-host HTML page.
+  CrawlStats Crawl(const Url& start, const PageHandler& handler);
+
+  // URLs visited (fetched or attempted) during the last Crawl.
+  const std::set<std::string>& visited() const { return visited_; }
+
+  // Redirect hops observed during the crawl: requested URL -> final URL.
+  // "Smarter robots will handle redirects (fixing the links)" — paper §3.5.
+  const std::map<std::string, std::string>& redirects_seen() const { return redirects_seen_; }
+
+  // URLs whose retrieval failed during the crawl, with the response status.
+  const std::map<std::string, int>& failures_seen() const { return failures_seen_; }
+
+ private:
+  const RobotsTxt& RobotsFor(const Url& url);
+  bool ShouldVisit(const Url& url, const Url& start, CrawlStats* stats);
+
+  UrlFetcher& fetcher_;
+  CrawlOptions options_;
+  std::set<std::string> visited_;
+  std::map<std::string, std::string> redirects_seen_;
+  std::map<std::string, int> failures_seen_;
+  std::map<std::string, RobotsTxt> robots_cache_;  // By authority.
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_ROBOT_ROBOT_H_

@@ -1,0 +1,81 @@
+#include "robot/robots_txt.h"
+
+#include "util/strings.h"
+
+namespace weblint {
+
+RobotsTxt RobotsTxt::Parse(std::string_view body, std::string_view agent) {
+  // Collect rules per agent section; prefer an exact/substring agent match
+  // over the '*' fallback.
+  std::vector<std::string> matched;
+  std::vector<std::string> fallback;
+  bool in_matched_section = false;
+  bool in_fallback_section = false;
+  bool seen_any_field = false;
+  bool agent_section_existed = false;
+
+  for (std::string_view raw_line : Split(body, '\n')) {
+    std::string_view line = raw_line;
+    if (const size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = Trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      continue;
+    }
+    const std::string_view field = Trim(line.substr(0, colon));
+    const std::string_view value = Trim(line.substr(colon + 1));
+
+    if (IEquals(field, "user-agent")) {
+      // A new User-agent line after rules starts a new record group.
+      if (seen_any_field) {
+        in_matched_section = false;
+        in_fallback_section = false;
+        seen_any_field = false;
+      }
+      if (value == "*") {
+        in_fallback_section = true;
+      } else if (IContains(agent, value) || IContains(value, agent)) {
+        in_matched_section = true;
+        agent_section_existed = true;
+      }
+      continue;
+    }
+    if (IEquals(field, "disallow")) {
+      seen_any_field = true;
+      if (value.empty()) {
+        continue;  // Empty Disallow: everything allowed.
+      }
+      if (in_matched_section) {
+        matched.emplace_back(value);
+      }
+      if (in_fallback_section) {
+        fallback.emplace_back(value);
+      }
+    }
+  }
+
+  RobotsTxt robots;
+  // A section naming this agent (even with no Disallow lines) overrides the
+  // '*' fallback entirely.
+  robots.disallow_ = agent_section_existed ? matched : fallback;
+  return robots;
+}
+
+bool RobotsTxt::Allows(std::string_view path) const {
+  if (path.empty()) {
+    path = "/";
+  }
+  for (const std::string& prefix : disallow_) {
+    if (path.substr(0, prefix.size()) == prefix) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace weblint

@@ -1,0 +1,126 @@
+#include "spec/extensions.h"
+
+#include "spec/patterns.h"
+
+namespace weblint {
+
+void ApplyNetscapeExtensions(HtmlSpec* spec) {
+  SpecBuilder b(spec);
+  b.From(Origin::kNetscape);
+  b.Element("blink").End(EndTag::kRequired).Inline();
+  b.Element("nobr").End(EndTag::kRequired).Inline();
+  b.Element("wbr").End(EndTag::kForbidden).Inline();
+  b.Element("multicol")
+      .End(EndTag::kRequired)
+      .Block()
+      .RequiredAttr("cols", kNumberPattern)
+      .Attr("gutter", kNumberPattern)
+      .Attr("width", kLengthPattern);
+  b.Element("spacer")
+      .End(EndTag::kForbidden)
+      .Inline()
+      .Attr("type", "horizontal|vertical|block")
+      .Attr("size", kNumberPattern)
+      .Attr("width", kNumberPattern)
+      .Attr("height", kNumberPattern)
+      .Attr("align", kImgAlignPattern);
+  for (const char* layer : {"layer", "ilayer"}) {
+    b.Element(layer)
+        .End(EndTag::kRequired)
+        .Attr("id")
+        .Attr("left", kNumberPattern)
+        .Attr("top", kNumberPattern)
+        .Attr("pagex", kNumberPattern)
+        .Attr("pagey", kNumberPattern)
+        .Attr("src")
+        .Attr("z-index", kNumberPattern)
+        .Attr("above")
+        .Attr("below")
+        .Attr("width", kLengthPattern)
+        .Attr("height", kLengthPattern)
+        .Attr("clip")
+        .Attr("visibility", "show|hide|inherit")
+        .Attr("bgcolor", kColorPattern)
+        .Attr("background")
+        .Attr("onmouseover")
+        .Attr("onmouseout")
+        .Attr("onfocus")
+        .Attr("onblur")
+        .Attr("onload");
+  }
+  b.Element("nolayer").End(EndTag::kRequired);
+  b.Element("embed")
+      .End(EndTag::kForbidden)
+      .Inline()
+      .RequiredAttr("src")
+      .Attr("width", kLengthPattern)
+      .Attr("height", kLengthPattern)
+      .Attr("type")
+      .Attr("pluginspage")
+      .Attr("name")
+      .Attr("palette")
+      .FlagAttr("hidden")
+      .Attr("align", kImgAlignPattern);
+  b.Element("noembed").End(EndTag::kRequired);
+  b.Element("keygen")
+      .End(EndTag::kForbidden)
+      .Inline()
+      .RequiredAttr("name")
+      .Attr("challenge");
+  b.Element("server").End(EndTag::kRequired);
+
+  // Attribute extensions on standard elements.
+  b.Element("body")
+      .Attr("marginwidth", kNumberPattern)
+      .Attr("marginheight", kNumberPattern);
+  b.Element("img").Attr("lowsrc");
+  b.Element("frameset")
+      .Attr("border", kNumberPattern)
+      .Attr("bordercolor", kColorPattern)
+      .Attr("frameborder", "yes|no|0|1");
+  b.Element("frame").Attr("bordercolor", kColorPattern);
+  b.Element("hr").Attr("color", kColorPattern);
+}
+
+void ApplyMicrosoftExtensions(HtmlSpec* spec) {
+  SpecBuilder b(spec);
+  b.From(Origin::kMicrosoft);
+  b.Element("marquee")
+      .End(EndTag::kRequired)
+      .Inline()
+      .Attr("behavior", "scroll|slide|alternate")
+      .Attr("bgcolor", kColorPattern)
+      .Attr("direction", "left|right|up|down")
+      .Attr("height", kLengthPattern)
+      .Attr("width", kLengthPattern)
+      .Attr("hspace", kNumberPattern)
+      .Attr("vspace", kNumberPattern)
+      .Attr("loop")
+      .Attr("scrollamount", kNumberPattern)
+      .Attr("scrolldelay", kNumberPattern);
+  b.Element("bgsound")
+      .End(EndTag::kForbidden)
+      .RequiredAttr("src")
+      .Attr("loop")
+      .Attr("balance")
+      .Attr("volume");
+  b.Element("comment").End(EndTag::kRequired);
+
+  // Attribute extensions on standard elements.
+  b.Element("body")
+      .Attr("leftmargin", kNumberPattern)
+      .Attr("topmargin", kNumberPattern)
+      .Attr("rightmargin", kNumberPattern)
+      .Attr("bottommargin", kNumberPattern);
+  b.Element("table")
+      .Attr("bordercolor", kColorPattern)
+      .Attr("bordercolorlight", kColorPattern)
+      .Attr("bordercolordark", kColorPattern);
+  b.Element("img")
+      .Attr("dynsrc")
+      .FlagAttr("controls")
+      .Attr("loop")
+      .Attr("start", "fileopen|mouseover");
+}
+
+}  // namespace weblint

@@ -1,0 +1,25 @@
+// Vendor extension overlays (paper §5.5: "Other modules define the
+// non-standard extensions supported by Microsoft (Internet Explorer) and
+// Netscape (Navigator)").
+//
+// Extension elements and attributes are merged into a base spec tagged with
+// their Origin; the extension-markup / extension-attribute checks fire for
+// them unless the user enabled that extension set (weblint -x netscape).
+#ifndef WEBLINT_SPEC_EXTENSIONS_H_
+#define WEBLINT_SPEC_EXTENSIONS_H_
+
+#include "spec/spec.h"
+
+namespace weblint {
+
+// Adds Netscape Navigator extensions (BLINK, LAYER, MULTICOL, SPACER, NOBR,
+// WBR, EMBED, KEYGEN, SERVER, plus attribute extensions) to `spec`.
+void ApplyNetscapeExtensions(HtmlSpec* spec);
+
+// Adds Microsoft Internet Explorer extensions (MARQUEE, BGSOUND, COMMENT,
+// plus attribute extensions) to `spec`.
+void ApplyMicrosoftExtensions(HtmlSpec* spec);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_SPEC_EXTENSIONS_H_

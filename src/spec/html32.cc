@@ -1,0 +1,235 @@
+// The HTML 3.2 (Wilbur, W3C REC 14 Jan 1997) table. Smaller than HTML 4.0:
+// no frames, no style-sheet attributes beyond what 3.2 reserved, no
+// table-section elements, no BUTTON/FIELDSET/OPTGROUP, no intrinsic events.
+#include "spec/html32.h"
+
+#include "spec/patterns.h"
+#include "spec/spec.h"
+
+namespace weblint {
+
+namespace {
+
+// HTML 3.2 has no class/style/events; most elements take no attributes at
+// all beyond what is listed explicitly.
+void DefineStructure(SpecBuilder& b) {
+  b.Element("html").End(EndTag::kOptional).OnceOnly().Attr("version");
+  b.Element("head").End(EndTag::kOptional).Placed(Placement::kTop).OnceOnly();
+  b.Element("body")
+      .End(EndTag::kOptional)
+      .Placed(Placement::kTop)
+      .OnceOnly()
+      .Attr("background")
+      .Attr("bgcolor", kColorPattern)
+      .Attr("text", kColorPattern)
+      .Attr("link", kColorPattern)
+      .Attr("vlink", kColorPattern)
+      .Attr("alink", kColorPattern);
+  b.Element("title").End(EndTag::kRequired).Placed(Placement::kHead).OnceOnly();
+  b.Element("base").End(EndTag::kForbidden).Placed(Placement::kHead).RequiredAttr("href");
+  b.Element("meta")
+      .End(EndTag::kForbidden)
+      .Placed(Placement::kHead)
+      .RequiredAttr("content")
+      .Attr("name")
+      .Attr("http-equiv");
+  b.Element("link")
+      .End(EndTag::kForbidden)
+      .Placed(Placement::kHead)
+      .Attr("href")
+      .Attr("rel")
+      .Attr("rev")
+      .Attr("title");
+  b.Element("isindex").End(EndTag::kForbidden).Attr("prompt");
+  // 3.2 reserved SCRIPT and STYLE for future versions; they are known
+  // elements whose content is ignored.
+  b.Element("script").End(EndTag::kRequired);
+  b.Element("style").End(EndTag::kRequired);
+}
+
+void DefineBlocks(SpecBuilder& b) {
+  for (const char* h : {"h1", "h2", "h3", "h4", "h5", "h6"}) {
+    b.Element(h).End(EndTag::kRequired).Block().Attr("align", kAlignLRCPattern);
+  }
+  b.Element("address").End(EndTag::kRequired).Block();
+  b.Element("p").End(EndTag::kOptional).Block().ClosedBy({"p"}).ClosedByBlock().Attr(
+      "align", kAlignLRCPattern);
+  b.Element("div").End(EndTag::kRequired).Block().Attr("align", kAlignLRCPattern);
+  b.Element("center").End(EndTag::kRequired).Block();
+  b.Element("hr")
+      .End(EndTag::kForbidden)
+      .Block()
+      .Attr("align", kAlignLRCPattern)
+      .Attr("size", kNumberPattern)
+      .Attr("width", kLengthPattern);
+  b.Element("hr").FlagAttr("noshade");
+  b.Element("br").End(EndTag::kForbidden).Inline().Attr("clear", kBrClearPattern);
+  b.Element("pre").End(EndTag::kRequired).Block().PreserveWhitespace().Attr("width",
+                                                                            kNumberPattern);
+  b.Element("blockquote").End(EndTag::kRequired).Block();
+  b.Element("listing").End(EndTag::kRequired).Block().PreserveWhitespace().Deprecated("pre");
+  b.Element("xmp").End(EndTag::kRequired).Block().PreserveWhitespace().Deprecated("pre");
+  b.Element("plaintext").End(EndTag::kForbidden).Block().Deprecated("pre");
+}
+
+void DefineLists(SpecBuilder& b) {
+  b.Element("ul")
+      .End(EndTag::kRequired)
+      .Block()
+      .Attr("type", kUlTypePattern)
+      .FlagAttr("compact");
+  b.Element("ol")
+      .End(EndTag::kRequired)
+      .Block()
+      .Attr("type", kOlTypePattern)
+      .Attr("start", kNumberPattern)
+      .FlagAttr("compact");
+  b.Element("li")
+      .End(EndTag::kOptional)
+      .Context({"ul", "ol", "menu", "dir"}, /*implied=*/true)
+      .ClosedBy({"li"})
+      .Attr("type", kLiTypePattern)
+      .Attr("value", kNumberPattern);
+  b.Element("dl").End(EndTag::kRequired).Block().FlagAttr("compact");
+  b.Element("dt").End(EndTag::kOptional).Context({"dl"}, true).ClosedBy({"dt", "dd"});
+  b.Element("dd").End(EndTag::kOptional).Context({"dl"}, true).ClosedBy({"dt", "dd"});
+  b.Element("dir").End(EndTag::kRequired).Block().FlagAttr("compact");
+  b.Element("menu").End(EndTag::kRequired).Block().FlagAttr("compact");
+}
+
+void DefineText(SpecBuilder& b) {
+  for (const char* name : {"em", "strong", "dfn", "code", "samp", "kbd", "var", "cite", "sub",
+                           "sup", "tt", "i", "b", "u", "strike", "big", "small"}) {
+    b.Element(name).End(EndTag::kRequired).Inline();
+  }
+  b.Element("font").End(EndTag::kRequired).Inline().Attr("size").Attr("color", kColorPattern);
+  b.Element("basefont").End(EndTag::kForbidden).RequiredAttr("size");
+  b.Element("a")
+      .End(EndTag::kRequired)
+      .Inline()
+      .NoSelfNest()
+      .Attr("href")
+      .Attr("name")
+      .Attr("rel")
+      .Attr("rev")
+      .Attr("title");
+  b.Element("img")
+      .End(EndTag::kForbidden)
+      .Inline()
+      .RequiredAttr("src")
+      .Attr("alt")
+      .Attr("align", kImgAlignPattern)
+      .Attr("height", kLengthPattern)
+      .Attr("width", kLengthPattern)
+      .Attr("border", kLengthPattern)
+      .Attr("hspace", kNumberPattern)
+      .Attr("vspace", kNumberPattern)
+      .Attr("usemap")
+      .FlagAttr("ismap");
+  b.Element("map").End(EndTag::kRequired).RequiredAttr("name");
+  b.Element("area")
+      .End(EndTag::kForbidden)
+      .Context({"map"})
+      .Attr("shape", kShapePattern)
+      .Attr("coords")
+      .Attr("href")
+      .FlagAttr("nohref")
+      .Attr("alt");
+  b.Element("applet")
+      .End(EndTag::kRequired)
+      .Inline()
+      .RequiredAttr("width", kLengthPattern)
+      .RequiredAttr("height", kLengthPattern)
+      .Attr("code")
+      .Attr("codebase")
+      .Attr("alt")
+      .Attr("name")
+      .Attr("align", kImgAlignPattern)
+      .Attr("hspace", kNumberPattern)
+      .Attr("vspace", kNumberPattern);
+  b.Element("param").End(EndTag::kForbidden).Context({"applet"}).RequiredAttr("name").Attr(
+      "value");
+}
+
+void DefineTablesAndForms(SpecBuilder& b) {
+  b.Element("table")
+      .End(EndTag::kRequired)
+      .Block()
+      .Attr("align", kAlignLRCPattern)
+      .Attr("width", kLengthPattern)
+      .Attr("border", kNumberPattern)
+      .Attr("cellspacing", kLengthPattern)
+      .Attr("cellpadding", kLengthPattern);
+  b.Element("caption").End(EndTag::kRequired).Context({"table"}).Attr("align", "top|bottom");
+  b.Element("tr")
+      .End(EndTag::kOptional)
+      .Context({"table"}, /*implied=*/true)
+      .ClosedBy({"tr"})
+      .Attr("align", kAlignLRCPattern)
+      .Attr("valign", kValignPattern);
+  for (const char* cell : {"td", "th"}) {
+    b.Element(cell)
+        .End(EndTag::kOptional)
+        .Context({"tr"}, /*implied=*/true)
+        .ClosedBy({"td", "th", "tr"})
+        .Attr("rowspan", kNumberPattern)
+        .Attr("colspan", kNumberPattern)
+        .Attr("align", kAlignLRCPattern)
+        .Attr("valign", kValignPattern)
+        .Attr("width", kNumberPattern)
+        .Attr("height", kNumberPattern)
+        .FlagAttr("nowrap");
+  }
+  b.Element("form")
+      .End(EndTag::kRequired)
+      .Block()
+      .NoSelfNest()
+      .RequiredAttr("action")
+      .Attr("method", kMethodPattern)
+      .Attr("enctype");
+  b.Element("input")
+      .End(EndTag::kForbidden)
+      .Inline()
+      .Context({"form"})
+      .Attr("type", kInputTypePattern)
+      .Attr("name")
+      .Attr("value")
+      .FlagAttr("checked")
+      .Attr("size")
+      .Attr("maxlength", kNumberPattern)
+      .Attr("src")
+      .Attr("align", kImgAlignPattern);
+  b.Element("select")
+      .End(EndTag::kRequired)
+      .Inline()
+      .Context({"form"})
+      .RequiredAttr("name")
+      .Attr("size", kNumberPattern)
+      .FlagAttr("multiple");
+  b.Element("option")
+      .End(EndTag::kOptional)
+      .Context({"select"}, /*implied=*/true)
+      .ClosedBy({"option"})
+      .FlagAttr("selected")
+      .Attr("value");
+  b.Element("textarea")
+      .End(EndTag::kRequired)
+      .Inline()
+      .Context({"form"})
+      .RequiredAttr("rows", kNumberPattern)
+      .RequiredAttr("cols", kNumberPattern)
+      .Attr("name");
+}
+
+}  // namespace
+
+void DefineHtml32(HtmlSpec* spec) {
+  SpecBuilder b(spec);
+  DefineStructure(b);
+  DefineBlocks(b);
+  DefineLists(b);
+  DefineText(b);
+  DefineTablesAndForms(b);
+}
+
+}  // namespace weblint

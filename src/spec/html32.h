@@ -1,0 +1,15 @@
+// HTML 3.2 table definition (paper §5.5: "This makes it easier to update
+// support for different versions of HTML").
+#ifndef WEBLINT_SPEC_HTML32_H_
+#define WEBLINT_SPEC_HTML32_H_
+
+#include "spec/spec.h"
+
+namespace weblint {
+
+// Populates `spec` with the HTML 3.2 (Wilbur) element and attribute tables.
+void DefineHtml32(HtmlSpec* spec);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_SPEC_HTML32_H_

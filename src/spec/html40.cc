@@ -1,0 +1,582 @@
+// The HTML 4.0 table (paper §5.5: "By default Weblint will check against
+// HTML 4.0, which is defined in the module Weblint::HTML40").
+//
+// Grouping and attribute sets follow the HTML 4.0 specification (W3C REC,
+// 18 Dec 1997), transitional flavour — weblint accepted transitional markup
+// and reported deprecation separately (deprecated-element /
+// deprecated-attribute), rather than rejecting it as a strict DTD would.
+#include "spec/html40.h"
+
+#include "spec/patterns.h"
+#include "spec/spec.h"
+
+namespace weblint {
+
+namespace {
+
+// Block-level elements close an open <P>; list used for closed_by sets too.
+void DefineStructural(SpecBuilder& b) {
+  b.Element("html").End(EndTag::kOptional).OnceOnly().Attr("version");
+  b.Element("head")
+      .End(EndTag::kOptional)
+      .Placed(Placement::kTop)
+      .OnceOnly()
+      .Attr("profile")
+      .Attr("lang")
+      .Attr("dir", kDirPattern);
+  b.Element("body")
+      .End(EndTag::kOptional)
+      .Placed(Placement::kTop)
+      .OnceOnly()
+      .CommonAttrs()
+      .Attr("onload")
+      .Attr("onunload")
+      .Attr("background")
+      .Attr("bgcolor", kColorPattern)
+      .Attr("text", kColorPattern)
+      .Attr("link", kColorPattern)
+      .Attr("vlink", kColorPattern)
+      .Attr("alink", kColorPattern);
+  b.Element("frameset")
+      .End(EndTag::kRequired)
+      .Placed(Placement::kTop)
+      .Attr("rows", kMultiLengthListPattern)
+      .Attr("cols", kMultiLengthListPattern)
+      .Attr("onload")
+      .Attr("onunload")
+      .Attr("id")
+      .Attr("class")
+      .Attr("style")
+      .Attr("title");
+  b.Element("frame")
+      .End(EndTag::kForbidden)
+      .Context({"frameset"})
+      .Attr("src")
+      .Attr("name")
+      .Attr("longdesc")
+      .Attr("frameborder", kFrameBorderPattern)
+      .Attr("marginwidth", kNumberPattern)
+      .Attr("marginheight", kNumberPattern)
+      .FlagAttr("noresize")
+      .Attr("scrolling", kScrollingPattern)
+      .Attr("id")
+      .Attr("class")
+      .Attr("style")
+      .Attr("title");
+  b.Element("noframes").End(EndTag::kRequired).Block().CommonAttrs();
+  b.Element("iframe")
+      .End(EndTag::kRequired)
+      .Inline()
+      .Attr("src")
+      .Attr("name")
+      .Attr("longdesc")
+      .Attr("width", kLengthPattern)
+      .Attr("height", kLengthPattern)
+      .Attr("frameborder", kFrameBorderPattern)
+      .Attr("marginwidth", kNumberPattern)
+      .Attr("marginheight", kNumberPattern)
+      .Attr("scrolling", kScrollingPattern)
+      .DeprecatedAttr("align", kImgAlignPattern)
+      .Attr("id")
+      .Attr("class")
+      .Attr("style")
+      .Attr("title");
+}
+
+void DefineHead(SpecBuilder& b) {
+  b.Element("title")
+      .End(EndTag::kRequired)
+      .Placed(Placement::kHead)
+      .OnceOnly()
+      .Attr("lang")
+      .Attr("dir", kDirPattern);
+  b.Element("base")
+      .End(EndTag::kForbidden)
+      .Placed(Placement::kHead)
+      .Attr("href")
+      .Attr("target");
+  b.Element("meta")
+      .End(EndTag::kForbidden)
+      .Placed(Placement::kHead)
+      .RequiredAttr("content")
+      .Attr("name")
+      .Attr("http-equiv")
+      .Attr("scheme")
+      .Attr("lang")
+      .Attr("dir", kDirPattern);
+  b.Element("link")
+      .End(EndTag::kForbidden)
+      .Placed(Placement::kHead)
+      .CommonAttrs()
+      .Attr("href")
+      .Attr("rel")
+      .Attr("rev")
+      .Attr("type")
+      .Attr("media")
+      .Attr("charset")
+      .Attr("hreflang")
+      .Attr("target");
+  b.Element("style")
+      .End(EndTag::kRequired)
+      .Placed(Placement::kHead)
+      .RequiredAttr("type")
+      .Attr("media")
+      .Attr("title")
+      .Attr("lang")
+      .Attr("dir", kDirPattern);
+  b.Element("script")
+      .End(EndTag::kRequired)
+      .RequiredAttr("type")
+      .Attr("src")
+      .Attr("charset")
+      .FlagAttr("defer")
+      .Attr("event")
+      .Attr("for")
+      .DeprecatedAttr("language");
+  b.Element("noscript").End(EndTag::kRequired).Block().CommonAttrs();
+  b.Element("isindex")
+      .End(EndTag::kForbidden)
+      .Deprecated("input")
+      .Attr("prompt")
+      .Attr("id")
+      .Attr("class")
+      .Attr("style")
+      .Attr("title")
+      .Attr("lang")
+      .Attr("dir", kDirPattern);
+}
+
+void DefineBlocks(SpecBuilder& b) {
+  for (const char* h : {"h1", "h2", "h3", "h4", "h5", "h6"}) {
+    b.Element(h).End(EndTag::kRequired).Block().CommonAttrs().DeprecatedAttr("align",
+                                                                             kAlignLRCJPattern);
+  }
+  b.Element("address").End(EndTag::kRequired).Block().CommonAttrs();
+  b.Element("p")
+      .End(EndTag::kOptional)
+      .Block()
+      .ClosedBy({"p"})
+      .ClosedByBlock()
+      .CommonAttrs()
+      .DeprecatedAttr("align", kAlignLRCJPattern);
+  b.Element("div").End(EndTag::kRequired).Block().CommonAttrs().DeprecatedAttr("align",
+                                                                               kAlignLRCJPattern);
+  b.Element("center").End(EndTag::kRequired).Block().Deprecated("div").CommonAttrs();
+  b.Element("span").End(EndTag::kRequired).Inline().CommonAttrs();
+  b.Element("hr")
+      .End(EndTag::kForbidden)
+      .Block()
+      .CommonAttrs()
+      .DeprecatedAttr("align", kAlignLRCPattern)
+      .DeprecatedAttr("size", kNumberPattern)
+      .DeprecatedAttr("width", kLengthPattern);
+  // HR NOSHADE is a boolean attribute.
+  b.Element("hr").FlagAttr("noshade");
+  b.Element("br")
+      .End(EndTag::kForbidden)
+      .Inline()
+      .Attr("id")
+      .Attr("class")
+      .Attr("style")
+      .Attr("title")
+      .DeprecatedAttr("clear", kBrClearPattern);
+  b.Element("pre")
+      .End(EndTag::kRequired)
+      .Block()
+      .PreserveWhitespace()
+      .CommonAttrs()
+      .DeprecatedAttr("width", kNumberPattern);
+  b.Element("blockquote").End(EndTag::kRequired).Block().CommonAttrs().Attr("cite");
+  b.Element("q").End(EndTag::kRequired).Inline().CommonAttrs().Attr("cite");
+  b.Element("ins").End(EndTag::kRequired).CommonAttrs().Attr("cite").Attr("datetime");
+  b.Element("del").End(EndTag::kRequired).CommonAttrs().Attr("cite").Attr("datetime");
+  b.Element("bdo")
+      .End(EndTag::kRequired)
+      .Inline()
+      .RequiredAttr("dir", kDirPattern)
+      .Attr("lang")
+      .Attr("id")
+      .Attr("class")
+      .Attr("style")
+      .Attr("title");
+  // Obsolete elements weblint still recognises so it can steer users to the
+  // replacement (paper §4.3: "Use of deprecated markup, such as the
+  // <LISTING> element, in place of which you should use the <PRE> element").
+  b.Element("listing").End(EndTag::kRequired).Block().PreserveWhitespace().Deprecated("pre");
+  b.Element("xmp").End(EndTag::kRequired).Block().PreserveWhitespace().Deprecated("pre");
+  b.Element("plaintext").End(EndTag::kForbidden).Block().Deprecated("pre");
+}
+
+void DefineLists(SpecBuilder& b) {
+  b.Element("ul")
+      .End(EndTag::kRequired)
+      .Block()
+      .CommonAttrs()
+      .DeprecatedAttr("type", kUlTypePattern)
+      .FlagAttr("compact");
+  b.Element("ol")
+      .End(EndTag::kRequired)
+      .Block()
+      .CommonAttrs()
+      .DeprecatedAttr("type", kOlTypePattern)
+      .DeprecatedAttr("start", kNumberPattern)
+      .FlagAttr("compact");
+  b.Element("li")
+      .End(EndTag::kOptional)
+      .Context({"ul", "ol", "menu", "dir"}, /*implied=*/true)
+      .ClosedBy({"li"})
+      .CommonAttrs()
+      .DeprecatedAttr("type", kLiTypePattern)
+      .DeprecatedAttr("value", kNumberPattern);
+  b.Element("dl").End(EndTag::kRequired).Block().CommonAttrs().FlagAttr("compact");
+  b.Element("dt")
+      .End(EndTag::kOptional)
+      .Context({"dl"}, /*implied=*/true)
+      .ClosedBy({"dt", "dd"})
+      .CommonAttrs();
+  b.Element("dd")
+      .End(EndTag::kOptional)
+      .Context({"dl"}, /*implied=*/true)
+      .ClosedBy({"dt", "dd"})
+      .CommonAttrs();
+  b.Element("dir").End(EndTag::kRequired).Block().Deprecated("ul").CommonAttrs().FlagAttr(
+      "compact");
+  b.Element("menu").End(EndTag::kRequired).Block().Deprecated("ul").CommonAttrs().FlagAttr(
+      "compact");
+}
+
+void DefineText(SpecBuilder& b) {
+  for (const char* name : {"em", "strong", "dfn", "code", "samp", "kbd", "var", "cite", "abbr",
+                           "acronym", "sub", "sup", "tt", "i", "b", "big", "small"}) {
+    b.Element(name).End(EndTag::kRequired).Inline().CommonAttrs();
+  }
+  for (const char* name : {"u", "s", "strike"}) {
+    b.Element(name).End(EndTag::kRequired).Inline().Deprecated().CommonAttrs();
+  }
+  b.Element("font")
+      .End(EndTag::kRequired)
+      .Inline()
+      .Deprecated()
+      .Attr("size")
+      .Attr("color", kColorPattern)
+      .Attr("face")
+      .Attr("id")
+      .Attr("class")
+      .Attr("style")
+      .Attr("title")
+      .Attr("lang")
+      .Attr("dir", kDirPattern);
+  b.Element("basefont")
+      .End(EndTag::kForbidden)
+      .Deprecated()
+      .RequiredAttr("size")
+      .Attr("color", kColorPattern)
+      .Attr("face")
+      .Attr("id");
+}
+
+void DefineLinksAndObjects(SpecBuilder& b) {
+  b.Element("a")
+      .End(EndTag::kRequired)
+      .Inline()
+      .NoSelfNest()
+      .CommonAttrs()
+      .Attr("href")
+      .Attr("name")
+      .Attr("target")
+      .Attr("rel")
+      .Attr("rev")
+      .Attr("charset")
+      .Attr("type")
+      .Attr("hreflang")
+      .Attr("shape", kShapePattern)
+      .Attr("coords")
+      .Attr("tabindex", kNumberPattern)
+      .Attr("accesskey")
+      .Attr("onfocus")
+      .Attr("onblur");
+  b.Element("img")
+      .End(EndTag::kForbidden)
+      .Inline()
+      .CommonAttrs()
+      .RequiredAttr("src")
+      .Attr("alt")
+      .Attr("longdesc")
+      .Attr("name")
+      .Attr("width", kLengthPattern)
+      .Attr("height", kLengthPattern)
+      .Attr("usemap")
+      .FlagAttr("ismap")
+      .DeprecatedAttr("align", kImgAlignPattern)
+      .DeprecatedAttr("border", kLengthPattern)
+      .DeprecatedAttr("hspace", kNumberPattern)
+      .DeprecatedAttr("vspace", kNumberPattern);
+  b.Element("map").End(EndTag::kRequired).CommonAttrs().RequiredAttr("name");
+  b.Element("area")
+      .End(EndTag::kForbidden)
+      .Context({"map"})
+      .CommonAttrs()
+      .Attr("shape", kShapePattern)
+      .Attr("coords")
+      .Attr("href")
+      .FlagAttr("nohref")
+      .RequiredAttr("alt")
+      .Attr("tabindex", kNumberPattern)
+      .Attr("accesskey")
+      .Attr("target")
+      .Attr("onfocus")
+      .Attr("onblur");
+  b.Element("object")
+      .End(EndTag::kRequired)
+      .Inline()
+      .CommonAttrs()
+      .Attr("classid")
+      .Attr("codebase")
+      .Attr("data")
+      .Attr("type")
+      .Attr("codetype")
+      .Attr("archive")
+      .Attr("standby")
+      .Attr("height", kLengthPattern)
+      .Attr("width", kLengthPattern)
+      .Attr("usemap")
+      .Attr("name")
+      .Attr("tabindex", kNumberPattern)
+      .FlagAttr("declare")
+      .DeprecatedAttr("align", kImgAlignPattern)
+      .DeprecatedAttr("border", kLengthPattern)
+      .DeprecatedAttr("hspace", kNumberPattern)
+      .DeprecatedAttr("vspace", kNumberPattern);
+  b.Element("param")
+      .End(EndTag::kForbidden)
+      .Context({"object", "applet"})
+      .RequiredAttr("name")
+      .Attr("value")
+      .Attr("valuetype", kValueTypePattern)
+      .Attr("type")
+      .Attr("id");
+  b.Element("applet")
+      .End(EndTag::kRequired)
+      .Inline()
+      .Deprecated("object")
+      .RequiredAttr("width", kLengthPattern)
+      .RequiredAttr("height", kLengthPattern)
+      .Attr("code")
+      .Attr("codebase")
+      .Attr("object")
+      .Attr("archive")
+      .Attr("alt")
+      .Attr("name")
+      .Attr("align", kImgAlignPattern)
+      .Attr("hspace", kNumberPattern)
+      .Attr("vspace", kNumberPattern)
+      .Attr("id")
+      .Attr("class")
+      .Attr("style")
+      .Attr("title");
+}
+
+void DefineTables(SpecBuilder& b) {
+  b.Element("table")
+      .End(EndTag::kRequired)
+      .Block()
+      .CommonAttrs()
+      .Attr("summary")
+      .Attr("width", kLengthPattern)
+      .Attr("border", kNumberPattern)
+      .Attr("frame", kTableFramePattern)
+      .Attr("rules", kTableRulesPattern)
+      .Attr("cellspacing", kLengthPattern)
+      .Attr("cellpadding", kLengthPattern)
+      .DeprecatedAttr("align", kAlignLRCPattern)
+      .DeprecatedAttr("bgcolor", kColorPattern);
+  b.Element("caption")
+      .End(EndTag::kRequired)
+      .Context({"table"})
+      .CommonAttrs()
+      .DeprecatedAttr("align", kCaptionAlignPattern);
+  auto cell_align = [&b]() {
+    b.Attr("align", kCellHAlignPattern).Attr("char").Attr("charoff").Attr("valign",
+                                                                          kValignPattern);
+  };
+  b.Element("colgroup")
+      .End(EndTag::kOptional)
+      .Context({"table"})
+      .ClosedBy({"colgroup", "thead", "tbody", "tfoot", "tr"})
+      .CommonAttrs()
+      .Attr("span", kNumberPattern)
+      .Attr("width", kMultiLengthPattern);
+  cell_align();
+  b.Element("col")
+      .End(EndTag::kForbidden)
+      .Context({"table", "colgroup"})
+      .CommonAttrs()
+      .Attr("span", kNumberPattern)
+      .Attr("width", kMultiLengthPattern);
+  cell_align();
+  for (const char* sect : {"thead", "tbody", "tfoot"}) {
+    b.Element(sect)
+        .End(EndTag::kOptional)
+        .Context({"table"})
+        .ClosedBy({"thead", "tbody", "tfoot"})
+        .CommonAttrs();
+    cell_align();
+  }
+  b.Element("tr")
+      .End(EndTag::kOptional)
+      .Context({"table", "thead", "tbody", "tfoot"}, /*implied=*/true)
+      .ClosedBy({"tr", "thead", "tbody", "tfoot"})
+      .CommonAttrs()
+      .DeprecatedAttr("bgcolor", kColorPattern);
+  cell_align();
+  for (const char* cell : {"td", "th"}) {
+    b.Element(cell)
+        .End(EndTag::kOptional)
+        .Context({"tr"}, /*implied=*/true)
+        .ClosedBy({"td", "th", "tr", "thead", "tbody", "tfoot"})
+        .CommonAttrs()
+        .Attr("abbr")
+        .Attr("axis")
+        .Attr("headers")
+        .Attr("scope", kScopePattern)
+        .Attr("rowspan", kNumberPattern)
+        .Attr("colspan", kNumberPattern)
+        .FlagAttr("nowrap")
+        .DeprecatedAttr("bgcolor", kColorPattern)
+        .DeprecatedAttr("width", kLengthPattern)
+        .DeprecatedAttr("height", kLengthPattern);
+    cell_align();
+  }
+}
+
+void DefineForms(SpecBuilder& b) {
+  b.Element("form")
+      .End(EndTag::kRequired)
+      .Block()
+      .NoSelfNest()
+      .CommonAttrs()
+      .RequiredAttr("action")
+      .Attr("method", kMethodPattern)
+      .Attr("enctype")
+      .Attr("accept")
+      .Attr("accept-charset")
+      .Attr("name")
+      .Attr("target")
+      .Attr("onsubmit")
+      .Attr("onreset");
+  b.Element("input")
+      .End(EndTag::kForbidden)
+      .Inline()
+      .Context({"form"})
+      .CommonAttrs()
+      .Attr("type", kInputTypePattern)
+      .Attr("name")
+      .Attr("value")
+      .FlagAttr("checked")
+      .FlagAttr("disabled")
+      .FlagAttr("readonly")
+      .Attr("size")
+      .Attr("maxlength", kNumberPattern)
+      .Attr("src")
+      .Attr("alt")
+      .Attr("usemap")
+      .FlagAttr("ismap")
+      .Attr("tabindex", kNumberPattern)
+      .Attr("accesskey")
+      .Attr("accept")
+      .Attr("onfocus")
+      .Attr("onblur")
+      .Attr("onselect")
+      .Attr("onchange")
+      .DeprecatedAttr("align", kImgAlignPattern);
+  b.Element("select")
+      .End(EndTag::kRequired)
+      .Inline()
+      .Context({"form"})
+      .CommonAttrs()
+      .Attr("name")
+      .Attr("size", kNumberPattern)
+      .FlagAttr("multiple")
+      .FlagAttr("disabled")
+      .Attr("tabindex", kNumberPattern)
+      .Attr("onfocus")
+      .Attr("onblur")
+      .Attr("onchange");
+  b.Element("optgroup")
+      .End(EndTag::kRequired)
+      .Context({"select"})
+      .CommonAttrs()
+      .RequiredAttr("label")
+      .FlagAttr("disabled");
+  b.Element("option")
+      .End(EndTag::kOptional)
+      .Context({"select", "optgroup"}, /*implied=*/true)
+      .ClosedBy({"option", "optgroup"})
+      .CommonAttrs()
+      .FlagAttr("selected")
+      .FlagAttr("disabled")
+      .Attr("label")
+      .Attr("value");
+  b.Element("textarea")
+      .End(EndTag::kRequired)
+      .Inline()
+      .Context({"form"})
+      .CommonAttrs()
+      .RequiredAttr("rows", kNumberPattern)
+      .RequiredAttr("cols", kNumberPattern)
+      .Attr("name")
+      .FlagAttr("disabled")
+      .FlagAttr("readonly")
+      .Attr("tabindex", kNumberPattern)
+      .Attr("accesskey")
+      .Attr("onfocus")
+      .Attr("onblur")
+      .Attr("onselect")
+      .Attr("onchange");
+  b.Element("button")
+      .End(EndTag::kRequired)
+      .Inline()
+      .NoSelfNest()
+      .Context({"form"})
+      .CommonAttrs()
+      .Attr("name")
+      .Attr("value")
+      .Attr("type", kButtonTypePattern)
+      .FlagAttr("disabled")
+      .Attr("tabindex", kNumberPattern)
+      .Attr("accesskey")
+      .Attr("onfocus")
+      .Attr("onblur");
+  b.Element("label")
+      .End(EndTag::kRequired)
+      .Inline()
+      .NoSelfNest()
+      .CommonAttrs()
+      .Attr("for")
+      .Attr("accesskey")
+      .Attr("onfocus")
+      .Attr("onblur");
+  b.Element("fieldset").End(EndTag::kRequired).Block().Context({"form"}).CommonAttrs();
+  b.Element("legend")
+      .End(EndTag::kRequired)
+      .Context({"fieldset"})
+      .CommonAttrs()
+      .Attr("accesskey")
+      .DeprecatedAttr("align", kCaptionAlignPattern);
+}
+
+}  // namespace
+
+void DefineHtml40(HtmlSpec* spec) {
+  SpecBuilder b(spec);
+  DefineStructural(b);
+  DefineHead(b);
+  DefineBlocks(b);
+  DefineLists(b);
+  DefineText(b);
+  DefineLinksAndObjects(b);
+  DefineTables(b);
+  DefineForms(b);
+}
+
+}  // namespace weblint

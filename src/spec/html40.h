@@ -1,0 +1,14 @@
+// HTML 4.0 table definition (paper §5.5).
+#ifndef WEBLINT_SPEC_HTML40_H_
+#define WEBLINT_SPEC_HTML40_H_
+
+#include "spec/spec.h"
+
+namespace weblint {
+
+// Populates `spec` with the HTML 4.0 element and attribute tables.
+void DefineHtml40(HtmlSpec* spec);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_SPEC_HTML40_H_

@@ -1,0 +1,46 @@
+// Shared attribute-value patterns for the HTML version tables (paper §5.5:
+// "legal values for attributes (expressed as regular expressions)").
+#ifndef WEBLINT_SPEC_PATTERNS_H_
+#define WEBLINT_SPEC_PATTERNS_H_
+
+namespace weblint {
+
+// Colours: #RRGGBB, #RGB, or one of the 16 HTML 4.0 colour names (plus the
+// common "grey" spelling). The paper's example flags BGCOLOR="fffff".
+inline constexpr char kColorPattern[] =
+    "#[0-9a-f]{6}|#[0-9a-f]{3}|aqua|black|blue|fuchsia|gray|grey|green|lime|maroon|navy|olive|"
+    "purple|red|silver|teal|white|yellow";
+
+inline constexpr char kNumberPattern[] = "[0-9]+";
+inline constexpr char kLengthPattern[] = "[0-9]+%?";                 // Pixels or percentage.
+inline constexpr char kMultiLengthPattern[] = "[0-9]+%?|[0-9]*\\*";  // Pixels, %, or i*.
+// Comma-separated MultiLength list (FRAMESET ROWS/COLS).
+inline constexpr char kMultiLengthListPattern[] =
+    "([0-9]+%?|[0-9]*\\*)(\\s*,\\s*([0-9]+%?|[0-9]*\\*))*";
+
+inline constexpr char kAlignLRCPattern[] = "left|center|right";
+inline constexpr char kAlignLRCJPattern[] = "left|center|right|justify";
+inline constexpr char kCellHAlignPattern[] = "left|center|right|justify|char";
+inline constexpr char kValignPattern[] = "top|middle|bottom|baseline";
+inline constexpr char kImgAlignPattern[] = "top|middle|bottom|left|right";
+inline constexpr char kCaptionAlignPattern[] = "top|bottom|left|right";
+inline constexpr char kBrClearPattern[] = "left|all|right|none";
+inline constexpr char kMethodPattern[] = "get|post";
+inline constexpr char kShapePattern[] = "rect|circle|poly|default";
+inline constexpr char kScrollingPattern[] = "yes|no|auto";
+inline constexpr char kFrameBorderPattern[] = "0|1";
+inline constexpr char kInputTypePattern[] =
+    "text|password|checkbox|radio|submit|reset|file|hidden|image|button";
+inline constexpr char kButtonTypePattern[] = "button|submit|reset";
+inline constexpr char kScopePattern[] = "row|col|rowgroup|colgroup";
+inline constexpr char kTableFramePattern[] = "void|above|below|hsides|lhs|rhs|vsides|box|border";
+inline constexpr char kTableRulesPattern[] = "none|groups|rows|cols|all";
+inline constexpr char kValueTypePattern[] = "data|ref|object";
+inline constexpr char kDirPattern[] = "ltr|rtl";
+inline constexpr char kUlTypePattern[] = "disc|square|circle";
+inline constexpr char kOlTypePattern[] = "1|a|A|i|I";
+inline constexpr char kLiTypePattern[] = "disc|square|circle|1|a|A|i|I";
+
+}  // namespace weblint
+
+#endif  // WEBLINT_SPEC_PATTERNS_H_

@@ -1,0 +1,46 @@
+#include "spec/registry.h"
+
+#include "spec/extensions.h"
+#include "spec/html32.h"
+#include "spec/html40.h"
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+HtmlSpec BuildHtml40() {
+  HtmlSpec spec("html40", "HTML 4.0");
+  DefineHtml40(&spec);
+  ApplyNetscapeExtensions(&spec);
+  ApplyMicrosoftExtensions(&spec);
+  return spec;
+}
+
+HtmlSpec BuildHtml32() {
+  HtmlSpec spec("html32", "HTML 3.2");
+  DefineHtml32(&spec);
+  ApplyNetscapeExtensions(&spec);
+  ApplyMicrosoftExtensions(&spec);
+  return spec;
+}
+
+}  // namespace
+
+const HtmlSpec* FindSpec(std::string_view id) {
+  static const HtmlSpec html40 = BuildHtml40();
+  static const HtmlSpec html32 = BuildHtml32();
+  if (IEquals(id, "html40") || IEquals(id, "html4") || IEquals(id, "html4.0")) {
+    return &html40;
+  }
+  if (IEquals(id, "html32") || IEquals(id, "html3.2")) {
+    return &html32;
+  }
+  return nullptr;
+}
+
+const HtmlSpec& DefaultSpec() { return *FindSpec("html40"); }
+
+std::vector<std::string_view> AvailableSpecIds() { return {"html40", "html32"}; }
+
+}  // namespace weblint

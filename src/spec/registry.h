@@ -1,0 +1,30 @@
+// Registry of composed HTML specs.
+//
+// Every spec is composed of a base DTD table plus the Netscape and Microsoft
+// extension overlays; the extension entries are tagged with their Origin so
+// the extension-markup / extension-attribute checks can decide whether to
+// warn (the user enables an extension set with `weblint -x netscape`,
+// paper §4.5), while still being able to check the extension's attributes.
+#ifndef WEBLINT_SPEC_REGISTRY_H_
+#define WEBLINT_SPEC_REGISTRY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "spec/spec.h"
+
+namespace weblint {
+
+// Returns the composed spec for `id` ("html40" or "html32"), or nullptr for
+// an unknown id. Specs are built once and cached for the process lifetime.
+const HtmlSpec* FindSpec(std::string_view id);
+
+// The default spec ("By default Weblint will check against HTML 4.0").
+const HtmlSpec& DefaultSpec();
+
+// Ids accepted by FindSpec, for --help output.
+std::vector<std::string_view> AvailableSpecIds();
+
+}  // namespace weblint
+
+#endif  // WEBLINT_SPEC_REGISTRY_H_

@@ -1,0 +1,162 @@
+#include "spec/spec.h"
+
+#include "util/edit_distance.h"
+
+namespace weblint {
+
+const AttributeInfo* ElementInfo::FindAttribute(std::string_view attr_name) const {
+  const auto it = attributes.find(std::string(attr_name));
+  return it == attributes.end() ? nullptr : &it->second;
+}
+
+const ElementInfo* HtmlSpec::Find(std::string_view element_name) const {
+  const auto it = elements_.find(std::string(element_name));
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+std::string HtmlSpec::SuggestElement(std::string_view name) const {
+  // Names of one or two characters are too short to correct usefully.
+  if (name.size() < 3) {
+    return {};
+  }
+  std::string best;
+  int best_distance = 3;  // Accept distance 1 or 2 only.
+  for (const auto& [key, info] : elements_) {
+    const int d = BoundedEditDistance(name, key, best_distance - 1);
+    if (d < best_distance) {
+      best_distance = d;
+      best = key;
+    }
+  }
+  return best;
+}
+
+SpecBuilder& SpecBuilder::Element(std::string_view name) {
+  const std::string key = AsciiLower(name);
+  auto [it, inserted] = spec_.elements_.try_emplace(key);
+  if (inserted) {
+    it->second.name = key;
+    it->second.origin = current_origin_;
+  }
+  current_ = &it->second;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::End(EndTag rule) {
+  current_->end_tag = rule;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::Placed(Placement placement) {
+  current_->placement = placement;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::From(Origin origin) {
+  // Affects elements and attributes defined from here on. Reopened elements
+  // keep their original origin; only newly added attributes pick this up —
+  // which is exactly what an attribute-extension overlay needs.
+  current_origin_ = origin;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::OnceOnly() {
+  current_->once_only = true;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::Block() {
+  current_->is_block = true;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::Inline() {
+  current_->is_inline = true;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::NoSelfNest() {
+  current_->no_self_nest = true;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::PreserveWhitespace() {
+  current_->preserve_whitespace = true;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::Deprecated(std::string_view replacement) {
+  current_->deprecated = true;
+  current_->replacement = AsciiLower(replacement);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::Context(std::vector<std::string> ancestors, bool implied) {
+  current_->legal_contexts = std::move(ancestors);
+  current_->context_implied = implied;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::ClosedBy(std::vector<std::string> starts) {
+  current_->closed_by = std::move(starts);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::ClosedByBlock() {
+  current_->closed_by_block = true;
+  return *this;
+}
+
+AttributeInfo& SpecBuilder::AddAttr(std::string_view name, std::string_view pattern) {
+  const std::string key = AsciiLower(name);
+  AttributeInfo& attr = current_->attributes[key];
+  attr.name = key;
+  attr.origin = current_origin_;
+  if (!pattern.empty()) {
+    attr.pattern_source = std::string(pattern);
+    attr.pattern = Pattern::Compile(pattern);
+  }
+  return attr;
+}
+
+SpecBuilder& SpecBuilder::Attr(std::string_view name, std::string_view pattern) {
+  AddAttr(name, pattern);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::RequiredAttr(std::string_view name, std::string_view pattern) {
+  AddAttr(name, pattern).required = true;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::FlagAttr(std::string_view name) {
+  AddAttr(name, {}).value_optional = true;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::DeprecatedAttr(std::string_view name, std::string_view pattern) {
+  AddAttr(name, pattern).deprecated = true;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::CoreAttrs() {
+  Attr("id");
+  Attr("class");
+  Attr("style");
+  Attr("title");
+  Attr("lang");
+  Attr("dir", "ltr|rtl");
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::CommonAttrs() {
+  CoreAttrs();
+  for (const char* event :
+       {"onclick", "ondblclick", "onmousedown", "onmouseup", "onmouseover", "onmousemove",
+        "onmouseout", "onkeypress", "onkeydown", "onkeyup"}) {
+    Attr(event);
+  }
+  return *this;
+}
+
+}  // namespace weblint

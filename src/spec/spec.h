@@ -1,0 +1,170 @@
+// HTML version modules (paper §5.5): "These modules encapsulate the
+// information which is needed by weblint when checking against a specific
+// version of HTML. ... The HTML modules are basically sets of tables which
+// are used to drive the operation of the Weblint module."
+//
+// Each HtmlSpec holds, per element:
+//   * valid elements and whether they are containers (end-tag rule),
+//   * valid attributes and legal values for attributes, expressed as
+//     regular expressions (util/pattern.h),
+//   * legal context for elements (ancestor requirements, implied
+//     containers, auto-close relationships).
+//
+// Extension elements/attributes (Netscape, Microsoft) live in the same
+// table tagged with their origin, mirroring weblint's extension modules:
+// whether they produce extension-markup warnings is a configuration matter.
+#ifndef WEBLINT_SPEC_SPEC_H_
+#define WEBLINT_SPEC_SPEC_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/pattern.h"
+#include "util/strings.h"
+
+namespace weblint {
+
+// SGML end-tag rule for an element.
+enum class EndTag {
+  kRequired,   // Container; </X> must appear (A, TITLE, TABLE, ...).
+  kOptional,   // Container; </X> may be omitted (P, LI, TD, ...).
+  kForbidden,  // Empty element; </X> is an error (IMG, BR, HR, ...).
+};
+
+// Where an element definition came from.
+enum class Origin {
+  kStandard,   // The HTML DTD this spec models.
+  kNetscape,   // Netscape Navigator extension.
+  kMicrosoft,  // Microsoft Internet Explorer extension.
+};
+
+// Coarse structural placement, powering head-element / body-element checks.
+enum class Placement {
+  kAnywhere,  // No constraint beyond legal_contexts.
+  kHead,      // Only inside HEAD (TITLE, BASE, ISINDEX, META, LINK, STYLE).
+  kBody,      // Only inside BODY / FRAMESET content.
+  kTop,       // Direct structural children of HTML (HEAD, BODY, FRAMESET).
+};
+
+struct AttributeInfo {
+  std::string name;  // Lowercase.
+  bool required = false;
+  // Legal-value pattern; an empty source means any value is legal.
+  std::string pattern_source;
+  Pattern pattern;
+  // True if the attribute is a boolean/standalone attribute (COMPACT,
+  // ISMAP, CHECKED): giving it no value is correct.
+  bool value_optional = false;
+  bool deprecated = false;
+  Origin origin = Origin::kStandard;
+
+  bool HasPattern() const { return !pattern_source.empty(); }
+};
+
+struct ElementInfo {
+  std::string name;  // Lowercase.
+  EndTag end_tag = EndTag::kRequired;
+  Placement placement = Placement::kAnywhere;
+  Origin origin = Origin::kStandard;
+
+  bool once_only = false;        // TITLE, HEAD, BODY, HTML, ...
+  bool is_block = false;         // Block-level (terminates an open P).
+  bool is_inline = false;        // Text-level.
+  bool no_self_nest = false;     // May not appear inside itself (A, FORM).
+  bool preserve_whitespace = false;  // PRE and friends.
+  bool deprecated = false;
+  std::string replacement;       // Suggested element for deprecated ones.
+
+  // If non-empty, one of these must be an open ancestor. When violated:
+  // if `context_implied` the diagnostic is implied-element (LI outside a
+  // list "implies" UL); otherwise required-context (INPUT outside FORM).
+  std::vector<std::string> legal_contexts;
+  bool context_implied = false;
+
+  // Start tags that implicitly close this element when it is open with an
+  // optional end tag (LI closed by the next LI, ...).
+  std::vector<std::string> closed_by;
+  // Any block-level start tag implicitly closes this element (P).
+  bool closed_by_block = false;
+
+  std::map<std::string, AttributeInfo, ILess> attributes;
+
+  bool IsContainer() const { return end_tag != EndTag::kForbidden; }
+  const AttributeInfo* FindAttribute(std::string_view attr_name) const;
+};
+
+class HtmlSpec {
+ public:
+  HtmlSpec(std::string id, std::string display_name)
+      : id_(std::move(id)), display_name_(std::move(display_name)) {}
+
+  const std::string& id() const { return id_; }
+  const std::string& display_name() const { return display_name_; }
+
+  // Case-insensitive element lookup; nullptr when unknown.
+  const ElementInfo* Find(std::string_view element_name) const;
+  bool Knows(std::string_view element_name) const { return Find(element_name) != nullptr; }
+
+  size_t ElementCount() const { return elements_.size(); }
+  const std::map<std::string, ElementInfo, ILess>& elements() const { return elements_; }
+
+  // Closest known element name within edit distance 2 of `name` (for the
+  // paper's <BLOCKQOUTE> suggestion); empty if nothing is close.
+  std::string SuggestElement(std::string_view name) const;
+
+ private:
+  friend class SpecBuilder;
+  std::string id_;
+  std::string display_name_;
+  std::map<std::string, ElementInfo, ILess> elements_;
+};
+
+// Fluent builder used by the per-version table files (html40.cc, ...).
+class SpecBuilder {
+ public:
+  explicit SpecBuilder(HtmlSpec* spec) : spec_(*spec) {}
+
+  // Starts (or reopens, for extension overlays) an element definition and
+  // makes it current. Defaults: required end tag, anywhere, standard.
+  SpecBuilder& Element(std::string_view name);
+
+  SpecBuilder& End(EndTag rule);
+  SpecBuilder& Placed(Placement placement);
+  SpecBuilder& From(Origin origin);
+  SpecBuilder& OnceOnly();
+  SpecBuilder& Block();
+  SpecBuilder& Inline();
+  SpecBuilder& NoSelfNest();
+  SpecBuilder& PreserveWhitespace();
+  SpecBuilder& Deprecated(std::string_view replacement = {});
+  // Context requirement; `implied` selects implied-element over
+  // required-context when violated.
+  SpecBuilder& Context(std::vector<std::string> ancestors, bool implied = false);
+  SpecBuilder& ClosedBy(std::vector<std::string> starts);
+  SpecBuilder& ClosedByBlock();
+
+  // Adds an attribute to the current element. Empty pattern = any value.
+  SpecBuilder& Attr(std::string_view name, std::string_view pattern = {});
+  SpecBuilder& RequiredAttr(std::string_view name, std::string_view pattern = {});
+  // Boolean attribute (no value expected).
+  SpecBuilder& FlagAttr(std::string_view name);
+  SpecBuilder& DeprecatedAttr(std::string_view name, std::string_view pattern = {});
+
+  // Adds the HTML 4.0 core (id/class/style/title), i18n (lang/dir), and
+  // event attributes to the current element.
+  SpecBuilder& CommonAttrs();
+  // Just core + i18n, for elements that take no event attributes.
+  SpecBuilder& CoreAttrs();
+
+ private:
+  AttributeInfo& AddAttr(std::string_view name, std::string_view pattern);
+  HtmlSpec& spec_;
+  ElementInfo* current_ = nullptr;
+  Origin current_origin_ = Origin::kStandard;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_SPEC_SPEC_H_

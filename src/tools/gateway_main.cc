@@ -1,0 +1,84 @@
+// The weblint CGI gateway binary (paper §5.3). Reads the CGI environment
+// (REQUEST_METHOD, QUERY_STRING, CONTENT_TYPE) and, for POST, the request
+// body on stdin; writes an HTTP response to stdout.
+//
+// Run outside a web server with --form to print the submission form, or
+// pipe a form-urlencoded body in with REQUEST_METHOD=POST set.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/linter.h"
+#include "gateway/gateway.h"
+#include "net/fetcher.h"
+#include "util/args.h"
+
+namespace {
+
+using namespace weblint;
+
+std::string ReadStdin() {
+  std::string content;
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), stdin)) > 0) {
+    content.append(buffer, n);
+  }
+  return content;
+}
+
+std::map<std::string, std::string> CgiEnvironment() {
+  std::map<std::string, std::string> env;
+  for (const char* name : {"REQUEST_METHOD", "QUERY_STRING", "CONTENT_TYPE"}) {
+    if (const char* value = std::getenv(name); value != nullptr) {
+      env[name] = value;
+    }
+  }
+  return env;
+}
+
+int Run(int argc, char** argv) {
+  ArgParser parser;
+  bool form_only = false;
+  bool no_http_header = false;
+  bool show_help = false;
+  parser.AddFlag("--form", "print the submission form and exit", &form_only);
+  parser.AddFlag("--no-header", "omit the Content-Type response header", &no_http_header);
+  parser.AddFlag("--help", "show this help", &show_help);
+  if (Status s = parser.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "weblint-gateway: %s\n", s.message().c_str());
+    return 2;
+  }
+  if (show_help) {
+    std::fputs(parser.Help("weblint-gateway", "CGI gateway for weblint").c_str(), stdout);
+    return 0;
+  }
+
+  Weblint lint;
+  FileFetcher fetcher;  // Serves file:// URL submissions.
+  Gateway gateway(lint, &fetcher);
+
+  if (!no_http_header) {
+    std::fputs("Content-Type: text/html\r\n\r\n", stdout);
+  }
+  if (form_only) {
+    std::fputs(gateway.FormPage().c_str(), stdout);
+    return 0;
+  }
+
+  const std::map<std::string, std::string> env = CgiEnvironment();
+  const bool is_post = env.contains("REQUEST_METHOD") && env.at("REQUEST_METHOD") == "POST";
+  auto request = ParseCgiRequest(env, is_post ? ReadStdin() : std::string());
+  if (!request.ok()) {
+    std::fprintf(stderr, "weblint-gateway: %s\n", request.error().c_str());
+    return 2;
+  }
+  std::fputs(gateway.HandleRequest(*request).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

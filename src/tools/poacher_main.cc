@@ -1,0 +1,102 @@
+// The poacher robot CLI (paper §4.5): weblint over a site traversal, with
+// basic link validation.
+//
+// Modes:
+//   poacher --root DIR [start.html]   crawl a site on the local filesystem
+//   poacher --demo [pages]            crawl a generated in-memory site
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "corpus/site_generator.h"
+#include "core/linter.h"
+#include "net/fetcher.h"
+#include "net/virtual_web.h"
+#include "robot/poacher.h"
+#include "util/args.h"
+#include "util/strings.h"
+#include "warnings/emitter.h"
+
+namespace {
+
+using namespace weblint;
+
+void PrintReport(const PoacherReport& report) {
+  std::printf("\n--- poacher summary ---\n");
+  std::printf("pages checked:     %zu\n", report.pages.size());
+  std::printf("fetch failures:    %zu\n", report.stats.fetch_failures);
+  std::printf("robots.txt skips:  %zu\n", report.stats.skipped_robots);
+  std::printf("diagnostics:       %zu\n", report.TotalDiagnostics());
+  std::printf("broken links:      %zu\n", report.broken_links.size());
+  for (const LinkProblem& problem : report.broken_links) {
+    std::printf("  %d %s (from %s)\n", problem.status, problem.target.c_str(),
+                problem.page.c_str());
+  }
+  std::printf("redirected links:  %zu\n", report.redirected_links.size());
+  for (const LinkProblem& problem : report.redirected_links) {
+    std::printf("  %s -> %s (from %s)\n", problem.target.c_str(), problem.fixed.c_str(),
+                problem.page.c_str());
+  }
+}
+
+int Run(int argc, char** argv) {
+  ArgParser parser;
+  std::string root;
+  bool demo = false;
+  bool short_output = false;
+  bool show_help = false;
+  std::string max_pages = "10000";
+  parser.AddOption("--root", "serve the site from this directory (file crawl)", &root);
+  parser.AddFlag("--demo", "crawl a generated in-memory demonstration site", &demo);
+  parser.AddFlag("-s", "short diagnostic format", &short_output);
+  parser.AddOption("--max-pages", "stop after this many pages", &max_pages);
+  parser.AddFlag("--help", "show this help", &show_help);
+
+  if (Status s = parser.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "poacher: %s\n", s.message().c_str());
+    return 2;
+  }
+  if (show_help || (!demo && root.empty())) {
+    std::fputs(parser.Help("poacher", "weblint robot: lint every page of a site").c_str(),
+               stdout);
+    return show_help ? 0 : 2;
+  }
+
+  Weblint lint;
+  PoacherOptions options;
+  std::uint32_t limit = 0;
+  if (ParseUint(max_pages, &limit) && limit > 0) {
+    options.crawl.max_pages = limit;
+  }
+  StreamEmitter emitter(std::cout,
+                        short_output ? OutputStyle::kShort : OutputStyle::kTraditional);
+
+  if (demo) {
+    SiteSpec spec;
+    spec.pages = 12;
+    spec.broken_links = 2;
+    spec.redirects = 1;
+    spec.private_pages = 2;
+    VirtualWeb web;
+    const GeneratedSite site = GenerateSite(spec);
+    PopulateVirtualWeb(site, &web);
+    Poacher poacher(lint, web, options);
+    const PoacherReport report = poacher.Run(site.IndexUrl(), &emitter);
+    PrintReport(report);
+    std::printf("(demo site: %zu pages, %zu seeded broken links, %zu private pages)\n",
+                site.pages.size(), site.broken_link_count, site.private_paths.size());
+    return 0;
+  }
+
+  FileFetcher fetcher(root);
+  Poacher poacher(lint, fetcher, options);
+  const std::string start =
+      parser.positionals().empty() ? "index.html" : parser.positionals().front();
+  const PoacherReport report = poacher.Run(start, &emitter);
+  PrintReport(report);
+  return report.TotalDiagnostics() + report.broken_links.size() == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,227 @@
+// The weblint command-line tool (paper §4.2/§4.4/§4.5).
+//
+// "The weblint script is now a wrapper around the modules ... with
+// documentation for the user who doesn't want to know about the existence
+// of the modules."
+//
+// Exit status follows lint convention: 0 clean, 1 problems found, 2 usage
+// or I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "util/file_io.h"
+
+#include "config/config.h"
+#include "core/linter.h"
+#include "core/framework.h"
+#include "core/site_checker.h"
+#include "robot/page_weight.h"
+#include "net/fetcher.h"
+#include "util/args.h"
+#include "util/strings.h"
+#include "warnings/catalog.h"
+#include "warnings/emitter.h"
+
+namespace {
+
+using namespace weblint;
+
+std::string ReadStdin() {
+  std::string content;
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), stdin)) > 0) {
+    content.append(buffer, n);
+  }
+  return content;
+}
+
+void ListWarnings() {
+  std::printf("%-24s %-8s %-8s %s\n", "identifier", "category", "default", "description");
+  for (const MessageInfo& info : AllMessages()) {
+    std::printf("%-24s %-8s %-8s %s\n", std::string(info.id).c_str(),
+                std::string(CategoryName(info.category)).c_str(),
+                info.default_enabled ? "on" : "off", std::string(info.description).c_str());
+  }
+  std::printf("\n%zu messages, %zu enabled by default\n", MessageCount(), DefaultEnabledCount());
+}
+
+int Run(int argc, char** argv) {
+  ArgParser parser;
+  bool short_output = false;
+  bool verbose_output = false;
+  bool recurse = false;
+  bool list_warnings = false;
+  bool urls_mode = false;
+  bool weigh_pages = false;
+  bool show_help = false;
+  std::vector<std::string> enables;
+  std::vector<std::string> disables;
+  std::vector<std::string> extensions;
+  std::string html_version;
+  std::string user_config;
+  std::string site_config;
+
+  parser.AddFlag("-s", "short output: line N: message", &short_output);
+  parser.AddFlag("-v", "verbose output: include message identifiers and descriptions",
+                 &verbose_output);
+  parser.AddOption("-e", "enable warning(s), comma-separated identifiers", &enables);
+  parser.AddOption("-d", "disable warning(s), comma-separated identifiers", &disables);
+  parser.AddOption("-x", "enable vendor extension: netscape or microsoft", &extensions);
+  parser.AddFlag("-R", "recurse into directories; adds directory-index and orphan-page checks",
+                 &recurse);
+  parser.AddFlag("-l", "list all warning identifiers and exit", &list_warnings);
+  parser.AddOption("-f", "use this user configuration file instead of ~/.weblintrc",
+                   &user_config);
+  parser.AddOption("--site-config", "site-wide configuration file (read before the user file)",
+                   &site_config);
+  parser.AddOption("--html-version", "HTML version to check against: html40 (default) or html32",
+                   &html_version);
+  parser.AddFlag("--url", "treat operands as file:// URLs and retrieve them", &urls_mode);
+  parser.AddFlag("--weight",
+                 "report page weight and estimated modem download times after checking",
+                 &weigh_pages);
+  parser.AddFlag("--help", "show this help", &show_help);
+
+  if (Status s = parser.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "weblint: %s\n", s.message().c_str());
+    return 2;
+  }
+  if (show_help) {
+    std::fputs(parser.Help("weblint", "syntax and style checker for HTML").c_str(), stdout);
+    return 0;
+  }
+  if (list_warnings) {
+    ListWarnings();
+    return 0;
+  }
+
+  // Configuration layering: site file, user file, then switches (§4.4).
+  Config config;
+  if (user_config.empty()) {
+    if (const char* home = std::getenv("HOME"); home != nullptr) {
+      user_config = std::string(home) + "/.weblintrc";
+    }
+  }
+  if (Status s = LoadStandardConfig(site_config, user_config, &config); !s.ok()) {
+    std::fprintf(stderr, "weblint: %s\n", s.message().c_str());
+    return 2;
+  }
+  for (const std::string& list : enables) {
+    for (std::string_view id : Split(list, ',')) {
+      if (Status s = config.warnings.Enable(Trim(id)); !s.ok()) {
+        std::fprintf(stderr, "weblint: %s\n", s.message().c_str());
+        return 2;
+      }
+    }
+  }
+  for (const std::string& list : disables) {
+    for (std::string_view id : Split(list, ',')) {
+      if (Status s = config.warnings.Disable(Trim(id)); !s.ok()) {
+        std::fprintf(stderr, "weblint: %s\n", s.message().c_str());
+        return 2;
+      }
+    }
+  }
+  for (const std::string& ext : extensions) {
+    const std::string lower = AsciiLower(ext);
+    if (lower != "netscape" && lower != "microsoft") {
+      std::fprintf(stderr, "weblint: unknown extension %s\n", ext.c_str());
+      return 2;
+    }
+    config.enabled_extensions.insert(lower);
+  }
+  if (!html_version.empty()) {
+    config.spec_id = AsciiLower(html_version);
+  }
+  config.output_style = short_output   ? OutputStyle::kShort
+                        : verbose_output ? OutputStyle::kVerbose
+                                         : OutputStyle::kTraditional;
+  config.recurse = recurse;
+
+  Weblint lint(config);
+  StreamEmitter emitter(std::cout, config.output_style);
+
+  std::vector<std::string> operands = parser.positionals();
+  if (operands.empty()) {
+    operands.push_back("-");
+  }
+
+  size_t problems = 0;
+  for (const std::string& operand : operands) {
+    if (operand == "-") {
+      const LintReport report = lint.CheckString("stdin", ReadStdin(), &emitter);
+      problems += report.diagnostics.size();
+      continue;
+    }
+    if (urls_mode) {
+      FileFetcher fetcher;
+      auto report = lint.CheckUrl(operand, fetcher, &emitter);
+      if (!report.ok()) {
+        std::fprintf(stderr, "weblint: %s\n", report.error().c_str());
+        return 2;
+      }
+      problems += report->diagnostics.size();
+      continue;
+    }
+    // Non-HTML documents the outer framework claims (e.g. stylesheets).
+    if (!IsDirectory(operand) && !LooksLikeHtml(Basename(operand))) {
+      const CheckerFramework framework = CheckerFramework::Standard(lint);
+      if (framework.ForPath(operand) != nullptr) {
+        auto report = framework.CheckFile(operand, &emitter);
+        if (!report.ok()) {
+          std::fprintf(stderr, "weblint: %s\n", report.error().c_str());
+          return 2;
+        }
+        problems += report->diagnostics.size();
+        continue;
+      }
+    }
+    if (recurse && IsDirectory(operand)) {
+      SiteChecker checker(lint);
+      auto site = checker.CheckSite(operand, &emitter);
+      if (!site.ok()) {
+        std::fprintf(stderr, "weblint: %s\n", site.error().c_str());
+        return 2;
+      }
+      problems += site->TotalDiagnostics();
+      continue;
+    }
+    auto report = lint.CheckFile(operand, &emitter);
+    if (!report.ok()) {
+      std::fprintf(stderr, "weblint: %s\n", report.error().c_str());
+      return 2;
+    }
+    problems += report->diagnostics.size();
+
+    if (weigh_pages) {
+      // Page weight with resources resolved on the local filesystem
+      // (paper section 3.6: estimated download times for modem speeds).
+      auto content = ReadFile(operand);
+      if (content.ok()) {
+        std::error_code ec;
+        const std::string absolute = std::filesystem::absolute(operand, ec).string();
+        FileFetcher fetcher;
+        const Url page_url = ParseUrl("file://" + (ec ? operand : absolute));
+        const PageWeight weight = MeasurePageWeight(*content, *report, page_url, fetcher);
+        std::printf("%s: %zu bytes HTML + %zu bytes in %zu resource(s)", operand.c_str(),
+                    weight.html_bytes, weight.resource_bytes, weight.resource_count);
+        if (weight.missing_resources > 0) {
+          std::printf(" (%zu missing)", weight.missing_resources);
+        }
+        std::printf("\n");
+        for (const ModemEstimate& estimate : EstimateDownloadTimes(weight)) {
+          std::printf("  %-12s %6.1f s\n", estimate.label.c_str(), estimate.seconds);
+        }
+      }
+    }
+  }
+  return problems == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

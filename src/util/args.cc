@@ -1,0 +1,100 @@
+#include "util/args.h"
+
+#include "util/strings.h"
+
+namespace weblint {
+
+void ArgParser::AddFlag(std::string_view name, std::string_view help, bool* out) {
+  Spec spec;
+  spec.help = std::string(help);
+  spec.flag = out;
+  specs_.emplace(std::string(name), std::move(spec));
+  order_.emplace_back(name);
+}
+
+void ArgParser::AddOption(std::string_view name, std::string_view help,
+                          std::vector<std::string>* out) {
+  Spec spec;
+  spec.help = std::string(help);
+  spec.multi = out;
+  specs_.emplace(std::string(name), std::move(spec));
+  order_.emplace_back(name);
+}
+
+void ArgParser::AddOption(std::string_view name, std::string_view help, std::string* out) {
+  Spec spec;
+  spec.help = std::string(help);
+  spec.single = out;
+  specs_.emplace(std::string(name), std::move(spec));
+  order_.emplace_back(name);
+}
+
+Status ArgParser::Parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    args.emplace_back(argv[i]);
+  }
+  return Parse(args);
+}
+
+Status ArgParser::Parse(const std::vector<std::string>& args) {
+  bool options_done = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (options_done || arg == "-" || arg.empty() || arg[0] != '-') {
+      positionals_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      options_done = true;
+      continue;
+    }
+    // Allow "--name=value".
+    std::string name = arg;
+    std::string inline_value;
+    bool has_inline = false;
+    if (const size_t eq = arg.find('='); eq != std::string::npos && arg.starts_with("--")) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+      has_inline = true;
+    }
+    auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      return Fail("unknown option: " + name);
+    }
+    Spec& spec = it->second;
+    if (!spec.takes_value()) {
+      if (has_inline) {
+        return Fail("option " + name + " does not take a value");
+      }
+      *spec.flag = true;
+      continue;
+    }
+    std::string value;
+    if (has_inline) {
+      value = inline_value;
+    } else {
+      if (i + 1 >= args.size()) {
+        return Fail("option " + name + " requires a value");
+      }
+      value = args[++i];
+    }
+    if (spec.multi != nullptr) {
+      spec.multi->push_back(value);
+    } else {
+      *spec.single = value;
+    }
+  }
+  return Status::Ok();
+}
+
+std::string ArgParser::Help(std::string_view program, std::string_view summary) const {
+  std::string out = StrFormat("usage: %s [options] [file ...]\n%s\n\noptions:\n", program, summary);
+  for (const std::string& name : order_) {
+    const Spec& spec = specs_.at(name);
+    out += StrFormat("  %s%s\n      %s\n", name, spec.takes_value() ? " <value>" : "", spec.help);
+  }
+  return out;
+}
+
+}  // namespace weblint

@@ -1,0 +1,54 @@
+// Command-line argument parsing for the weblint / poacher / gateway tools.
+//
+// Supports the weblint 1.x switch style: bundled-value short options
+// ("-e id1,id2"), long options ("--help"), "--" to end options, and "-" as a
+// positional meaning stdin.
+#ifndef WEBLINT_UTIL_ARGS_H_
+#define WEBLINT_UTIL_ARGS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace weblint {
+
+class ArgParser {
+ public:
+  // Registers a boolean flag ("-s", "--short"). Repeats are allowed.
+  void AddFlag(std::string_view name, std::string_view help, bool* out);
+  // Registers an option that takes a value; repeated uses append.
+  void AddOption(std::string_view name, std::string_view help,
+                 std::vector<std::string>* out);
+  // Registers an option that takes a single value; last one wins.
+  void AddOption(std::string_view name, std::string_view help, std::string* out);
+
+  // Parses argv[1..]; positionals end up in `positionals()`. Unknown options
+  // fail.
+  Status Parse(int argc, const char* const* argv);
+  Status Parse(const std::vector<std::string>& args);
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  // Usage text listing all registered options.
+  std::string Help(std::string_view program, std::string_view summary) const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool* flag = nullptr;
+    std::vector<std::string>* multi = nullptr;
+    std::string* single = nullptr;
+    bool takes_value() const { return flag == nullptr; }
+  };
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> order_;  // Registration order for Help().
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_UTIL_ARGS_H_

@@ -1,0 +1,43 @@
+#include "util/edit_distance.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace weblint {
+
+int BoundedEditDistance(std::string_view a, std::string_view b, int limit) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (std::abs(n - m) > limit) {
+    return limit + 1;
+  }
+  std::vector<int> prev(m + 1);
+  std::vector<int> curr(m + 1);
+  for (int j = 0; j <= m; ++j) {
+    prev[j] = j;
+  }
+  for (int i = 1; i <= n; ++i) {
+    curr[0] = i;
+    int row_min = curr[0];
+    for (int j = 1; j <= m; ++j) {
+      const int cost = AsciiToLower(a[i - 1]) == AsciiToLower(b[j - 1]) ? 0 : 1;
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, prev[j - 1] + cost});
+      // Transposition (Damerau): mistyped names are usually swaps.
+      if (i >= 2 && j >= 2 && AsciiToLower(a[i - 1]) == AsciiToLower(b[j - 2]) &&
+          AsciiToLower(a[i - 2]) == AsciiToLower(b[j - 1])) {
+        curr[j] = std::min(curr[j], prev[j - 1]);  // prev row already includes i-1/j-1 swap cost.
+      }
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min > limit) {
+      return limit + 1;
+    }
+    prev.swap(curr);
+  }
+  return std::min(prev[m], limit + 1);
+}
+
+}  // namespace weblint

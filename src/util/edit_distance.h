@@ -1,0 +1,17 @@
+// Bounded Levenshtein distance, used by the unknown-element check to suggest
+// the intended element for a mis-typed name (the paper's <BLOCKQOUTE> case).
+#ifndef WEBLINT_UTIL_EDIT_DISTANCE_H_
+#define WEBLINT_UTIL_EDIT_DISTANCE_H_
+
+#include <string_view>
+
+namespace weblint {
+
+// Case-insensitive Levenshtein distance between `a` and `b`, cut off at
+// `limit`: returns a value > limit (specifically limit + 1) as soon as the
+// true distance is known to exceed it.
+int BoundedEditDistance(std::string_view a, std::string_view b, int limit);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_UTIL_EDIT_DISTANCE_H_

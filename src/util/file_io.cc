@@ -1,0 +1,191 @@
+#include "util/file_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace fs = std::filesystem;
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Fail("cannot open " + path + ": " + std::strerror(errno));
+  }
+  std::string content;
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    content.append(buffer, n);
+  }
+  const bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) {
+    return Fail("error reading " + path);
+  }
+  return content;
+}
+
+Status WriteFile(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Fail("cannot open " + path + " for writing: " + std::strerror(errno));
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != content.size() || close_rc != 0) {
+    return Fail("error writing " + path);
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec) && !ec;
+}
+
+bool IsDirectory(const std::string& path) {
+  std::error_code ec;
+  return fs::is_directory(path, ec) && !ec;
+}
+
+Result<std::vector<std::string>> ListDirectory(const std::string& path) {
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(path, ec)) {
+    names.push_back(entry.path().filename().string());
+  }
+  if (ec) {
+    return Fail("cannot list " + path + ": " + ec.message());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool LooksLikeHtml(std::string_view filename) {
+  const std::string_view ext = Extension(filename);
+  return IEquals(ext, ".html") || IEquals(ext, ".htm") || IEquals(ext, ".shtml");
+}
+
+namespace {
+
+// Directory nesting deeper than this almost certainly means a symlink
+// cycle; real sites are nowhere near.
+constexpr int kMaxScanDepth = 64;
+
+Status ScanSiteInto(const std::string& dir, int depth, SiteScan* out) {
+  if (depth > kMaxScanDepth) {
+    return Fail("directory nesting exceeds " + std::to_string(kMaxScanDepth) +
+                " levels under " + dir + " (symbolic link cycle?)");
+  }
+  out->directories.push_back(dir);
+  auto names = ListDirectory(dir);
+  if (!names.ok()) {
+    return names.status();
+  }
+  for (const std::string& name : *names) {
+    const std::string full = PathJoin(dir, name);
+    if (IsDirectory(full)) {
+      if (Status s = ScanSiteInto(full, depth + 1, out); !s.ok()) {
+        return s;
+      }
+    } else if (LooksLikeHtml(name)) {
+      out->html_files.push_back(full);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<SiteScan> ScanSite(const std::string& root) {
+  if (!IsDirectory(root)) {
+    return Fail(root + " is not a directory");
+  }
+  SiteScan scan;
+  if (Status s = ScanSiteInto(root, 0, &scan); !s.ok()) {
+    return s;
+  }
+  return scan;
+}
+
+std::string PathJoin(std::string_view a, std::string_view b) {
+  if (a.empty()) {
+    return std::string(b);
+  }
+  if (b.empty()) {
+    return std::string(a);
+  }
+  if (b.front() == '/') {
+    return std::string(b);  // Absolute b wins.
+  }
+  std::string out(a);
+  if (out.back() != '/') {
+    out.push_back('/');
+  }
+  out.append(b);
+  return out;
+}
+
+std::string_view Dirname(std::string_view path) {
+  const size_t slash = path.rfind('/');
+  if (slash == std::string_view::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+std::string_view Basename(std::string_view path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+std::string_view Extension(std::string_view path) {
+  const std::string_view base = Basename(path);
+  const size_t dot = base.rfind('.');
+  if (dot == std::string_view::npos || dot == 0) {
+    return {};
+  }
+  return base.substr(dot);
+}
+
+std::string NormalizePath(std::string_view path) {
+  const bool absolute = !path.empty() && path.front() == '/';
+  std::vector<std::string_view> kept;
+  for (std::string_view part : Split(path, '/')) {
+    if (part.empty() || part == ".") {
+      continue;
+    }
+    if (part == "..") {
+      if (!kept.empty() && kept.back() != "..") {
+        kept.pop_back();
+      } else if (!absolute) {
+        kept.push_back(part);
+      }
+      continue;
+    }
+    kept.push_back(part);
+  }
+  std::string out = absolute ? "/" : "";
+  for (size_t i = 0; i < kept.size(); ++i) {
+    if (i > 0) {
+      out.push_back('/');
+    }
+    out.append(kept[i]);
+  }
+  if (out.empty()) {
+    out = absolute ? "/" : ".";
+  }
+  return out;
+}
+
+}  // namespace weblint

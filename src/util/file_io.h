@@ -1,0 +1,47 @@
+// Filesystem helpers for the CLI, -R recursive site checking, and tests.
+#ifndef WEBLINT_UTIL_FILE_IO_H_
+#define WEBLINT_UTIL_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace weblint {
+
+// Reads a whole file into memory. Fails with a message naming the path.
+Result<std::string> ReadFile(const std::string& path);
+
+// Writes (truncates) `content` to `path`.
+Status WriteFile(const std::string& path, std::string_view content);
+
+bool FileExists(const std::string& path);
+bool IsDirectory(const std::string& path);
+
+// Lists directory entry names (not full paths), sorted, excluding "."/"..".
+Result<std::vector<std::string>> ListDirectory(const std::string& path);
+
+// Recursively collects regular files under `root` whose names pass
+// LooksLikeHtml(); also records every directory visited (for the
+// directory-index check). Order is deterministic (sorted per level).
+struct SiteScan {
+  std::vector<std::string> html_files;
+  std::vector<std::string> directories;
+};
+Result<SiteScan> ScanSite(const std::string& root);
+
+// Heuristic used by -R: .html/.htm/.shtml, case-insensitive.
+bool LooksLikeHtml(std::string_view filename);
+
+// Path manipulation (POSIX-style; inputs are treated as '/'-separated).
+std::string PathJoin(std::string_view a, std::string_view b);
+std::string_view Dirname(std::string_view path);
+std::string_view Basename(std::string_view path);
+std::string_view Extension(std::string_view path);  // Includes the dot; "" if none.
+// Lexically normalizes "a/./b//c/../d" -> "a/b/d" without touching the FS.
+std::string NormalizePath(std::string_view path);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_UTIL_FILE_IO_H_

@@ -1,0 +1,505 @@
+#include "util/pattern.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+// A compiled fragment: entry state plus a list of dangling `next`/`alt`
+// slots to patch once the continuation is known. Slots are encoded as
+// (state_index << 1) | which, where which==0 patches `next`, 1 patches `alt`.
+struct Fragment {
+  int start = -1;
+  std::vector<int> out;
+};
+
+}  // namespace
+
+// Recursive-descent compiler building the NFA bottom-up.
+class Pattern::Compiler {
+ public:
+  Compiler(Pattern* pattern, std::string_view source)
+      : p_(*pattern), src_(source) {}
+
+  bool Run() {
+    Fragment frag;
+    if (!ParseAlternation(&frag)) {
+      return false;
+    }
+    if (pos_ != src_.size()) {
+      return Error("unexpected ')'");
+    }
+    const int accept = AddState(State::Kind::kAccept);
+    Patch(frag.out, accept);
+    p_.start_ = frag.start;
+    return true;
+  }
+
+ private:
+  bool Error(std::string message) {
+    if (p_.error_.empty()) {
+      p_.error_ = std::move(message);
+    }
+    return false;
+  }
+
+  int AddState(State::Kind kind) {
+    State s;
+    s.kind = kind;
+    if (kind == State::Kind::kChar) {
+      s.char_class.assign(256, false);
+    }
+    p_.states_.push_back(std::move(s));
+    return static_cast<int>(p_.states_.size()) - 1;
+  }
+
+  void Patch(const std::vector<int>& slots, int target) {
+    for (int slot : slots) {
+      State& s = p_.states_[slot >> 1];
+      if ((slot & 1) == 0) {
+        s.next = target;
+      } else {
+        s.alt = target;
+      }
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek() const { return src_[pos_]; }
+  char Take() { return src_[pos_++]; }
+
+  // alternation := concat ('|' concat)*
+  bool ParseAlternation(Fragment* out) {
+    Fragment left;
+    if (!ParseConcat(&left)) {
+      return false;
+    }
+    while (!AtEnd() && Peek() == '|') {
+      Take();
+      Fragment right;
+      if (!ParseConcat(&right)) {
+        return false;
+      }
+      const int split = AddState(State::Kind::kSplit);
+      p_.states_[split].next = left.start;
+      p_.states_[split].alt = right.start;
+      left.start = split;
+      left.out.insert(left.out.end(), right.out.begin(), right.out.end());
+    }
+    *out = std::move(left);
+    return true;
+  }
+
+  // concat := quantified*   (empty concat matches epsilon)
+  bool ParseConcat(Fragment* out) {
+    Fragment result;
+    bool first = true;
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      Fragment piece;
+      if (!ParseQuantified(&piece)) {
+        return false;
+      }
+      if (first) {
+        result = std::move(piece);
+        first = false;
+      } else {
+        Patch(result.out, piece.start);
+        result.out = std::move(piece.out);
+      }
+    }
+    if (first) {
+      // Epsilon: a split whose both branches dangle collapses to one slot; a
+      // dedicated split state keeps the representation simple.
+      const int split = AddState(State::Kind::kSplit);
+      result.start = split;
+      result.out = {split << 1, (split << 1) | 1};
+    }
+    *out = std::move(result);
+    return true;
+  }
+
+  // quantified := atom ('*' | '+' | '?' | '{m[,[n]]}')?
+  bool ParseQuantified(Fragment* out) {
+    Fragment atom;
+    const size_t atom_begin = pos_;
+    if (!ParseAtom(&atom)) {
+      return false;
+    }
+    if (AtEnd()) {
+      *out = std::move(atom);
+      return true;
+    }
+    const char q = Peek();
+    if (q == '*' || q == '+' || q == '?') {
+      Take();
+      ApplySimpleQuantifier(q, &atom);
+      *out = std::move(atom);
+      return true;
+    }
+    if (q == '{') {
+      int min = 0;
+      int max = -1;  // -1 = unbounded.
+      if (!ParseBraceQuantifier(&min, &max)) {
+        return false;
+      }
+      return BuildCounted(src_.substr(atom_begin, pos_before_brace_ - atom_begin), min, max, out);
+    }
+    *out = std::move(atom);
+    return true;
+  }
+
+  void ApplySimpleQuantifier(char q, Fragment* atom) {
+    const int split = AddState(State::Kind::kSplit);
+    p_.states_[split].next = atom->start;
+    switch (q) {
+      case '*':
+        Patch(atom->out, split);
+        atom->start = split;
+        atom->out = {(split << 1) | 1};
+        break;
+      case '+':
+        Patch(atom->out, split);
+        atom->out = {(split << 1) | 1};
+        break;
+      case '?':
+        atom->out.push_back((split << 1) | 1);
+        atom->start = split;
+        break;
+      default:
+        break;
+    }
+  }
+
+  bool ParseBraceQuantifier(int* min, int* max) {
+    pos_before_brace_ = pos_;
+    Take();  // '{'
+    std::string digits;
+    while (!AtEnd() && IsAsciiDigit(Peek())) {
+      digits.push_back(Take());
+    }
+    if (digits.empty()) {
+      return Error("bad {} quantifier");
+    }
+    *min = std::stoi(digits);
+    *max = *min;
+    if (!AtEnd() && Peek() == ',') {
+      Take();
+      std::string upper;
+      while (!AtEnd() && IsAsciiDigit(Peek())) {
+        upper.push_back(Take());
+      }
+      *max = upper.empty() ? -1 : std::stoi(upper);
+    }
+    if (AtEnd() || Take() != '}') {
+      return Error("unterminated {} quantifier");
+    }
+    if (*max != -1 && *max < *min) {
+      return Error("bad {} bounds");
+    }
+    if (*min > 64 || (*max != -1 && *max > 64)) {
+      return Error("{} bound too large");
+    }
+    return true;
+  }
+
+  // Expands atom{m,n} by recompiling the atom source m..n times. Bounds are
+  // small in the tables (colour digits etc.), so expansion is fine.
+  bool BuildCounted(std::string_view atom_src, int min, int max, Fragment* out) {
+    Fragment result;
+    bool first = true;
+    auto append_once = [&](bool optional) -> bool {
+      const size_t saved = pos_;
+      const std::string_view saved_src = src_;
+      src_ = atom_src;
+      pos_ = 0;
+      Fragment piece;
+      const bool ok = ParseAtom(&piece);
+      src_ = saved_src;
+      pos_ = saved;
+      if (!ok) {
+        return false;
+      }
+      if (optional) {
+        const int split = AddState(State::Kind::kSplit);
+        p_.states_[split].next = piece.start;
+        piece.out.push_back((split << 1) | 1);
+        piece.start = split;
+      }
+      if (first) {
+        result = std::move(piece);
+        first = false;
+      } else {
+        Patch(result.out, piece.start);
+        result.out = std::move(piece.out);
+      }
+      return true;
+    };
+    for (int i = 0; i < min; ++i) {
+      if (!append_once(false)) {
+        return false;
+      }
+    }
+    if (max == -1) {
+      // Tail: atom* .
+      const size_t saved = pos_;
+      const std::string_view saved_src = src_;
+      src_ = atom_src;
+      pos_ = 0;
+      Fragment piece;
+      const bool ok = ParseAtom(&piece);
+      src_ = saved_src;
+      pos_ = saved;
+      if (!ok) {
+        return false;
+      }
+      ApplySimpleQuantifier('*', &piece);
+      if (first) {
+        result = std::move(piece);
+        first = false;
+      } else {
+        Patch(result.out, piece.start);
+        result.out = std::move(piece.out);
+      }
+    } else {
+      for (int i = min; i < max; ++i) {
+        if (!append_once(true)) {
+          return false;
+        }
+      }
+    }
+    if (first) {
+      const int split = AddState(State::Kind::kSplit);
+      result.start = split;
+      result.out = {split << 1, (split << 1) | 1};
+    }
+    *out = std::move(result);
+    return true;
+  }
+
+  // atom := '(' alternation ')' | '[' class ']' | '.' | escape | literal
+  bool ParseAtom(Fragment* out) {
+    if (AtEnd()) {
+      return Error("pattern ends where an atom was expected");
+    }
+    const char c = Take();
+    if (c == '(') {
+      if (!ParseAlternation(out)) {
+        return false;
+      }
+      if (AtEnd() || Take() != ')') {
+        return Error("missing ')'");
+      }
+      return true;
+    }
+    if (c == '[') {
+      return ParseClass(out);
+    }
+    const int state = AddState(State::Kind::kChar);
+    std::vector<bool>& cls = p_.states_[state].char_class;
+    if (c == '.') {
+      std::fill(cls.begin(), cls.end(), true);
+      cls['\n'] = false;
+    } else if (c == '\\') {
+      if (AtEnd()) {
+        return Error("trailing backslash");
+      }
+      if (!AddEscape(Take(), &cls)) {
+        return false;
+      }
+    } else if (c == '*' || c == '+' || c == '?' || c == '{') {
+      return Error("quantifier with nothing to repeat");
+    } else {
+      SetLiteral(c, &cls);
+    }
+    out->start = state;
+    out->out = {state << 1};
+    return true;
+  }
+
+  void SetLiteral(char c, std::vector<bool>* cls) {
+    (*cls)[static_cast<unsigned char>(c)] = true;
+    if (!p_.case_sensitive_ && IsAsciiAlpha(c)) {
+      (*cls)[static_cast<unsigned char>(AsciiToLower(c))] = true;
+      (*cls)[static_cast<unsigned char>(AsciiToUpper(c))] = true;
+    }
+  }
+
+  bool AddEscape(char c, std::vector<bool>* cls) {
+    switch (c) {
+      case 'd':
+        for (char d = '0'; d <= '9'; ++d) {
+          (*cls)[static_cast<unsigned char>(d)] = true;
+        }
+        return true;
+      case 'w':
+        for (int b = 0; b < 256; ++b) {
+          const char ch = static_cast<char>(b);
+          if (IsAsciiAlnum(ch) || ch == '_') {
+            (*cls)[b] = true;
+          }
+        }
+        return true;
+      case 's':
+        for (char ch : {' ', '\t', '\n', '\r', '\f', '\v'}) {
+          (*cls)[static_cast<unsigned char>(ch)] = true;
+        }
+        return true;
+      case 'n':
+        (*cls)['\n'] = true;
+        return true;
+      case 't':
+        (*cls)['\t'] = true;
+        return true;
+      default:
+        // Escaped literal (metacharacters, '-', ']'...).
+        SetLiteral(c, cls);
+        return true;
+    }
+  }
+
+  bool ParseClass(Fragment* out) {
+    const int state = AddState(State::Kind::kChar);
+    std::vector<bool>& cls = p_.states_[state].char_class;
+    bool negate = false;
+    if (!AtEnd() && Peek() == '^') {
+      Take();
+      negate = true;
+    }
+    bool first = true;
+    while (true) {
+      if (AtEnd()) {
+        return Error("unterminated character class");
+      }
+      char c = Take();
+      if (c == ']' && !first) {
+        break;
+      }
+      first = false;
+      if (c == '\\') {
+        if (AtEnd()) {
+          return Error("trailing backslash in class");
+        }
+        if (!AddEscape(Take(), &cls)) {
+          return false;
+        }
+        continue;
+      }
+      // Range?
+      if (!AtEnd() && Peek() == '-' && pos_ + 1 < src_.size() && src_[pos_ + 1] != ']') {
+        Take();  // '-'
+        const char hi = Take();
+        if (static_cast<unsigned char>(hi) < static_cast<unsigned char>(c)) {
+          return Error("inverted range in character class");
+        }
+        for (int b = static_cast<unsigned char>(c); b <= static_cast<unsigned char>(hi); ++b) {
+          cls[b] = true;
+          if (!p_.case_sensitive_) {
+            const char ch = static_cast<char>(b);
+            if (IsAsciiAlpha(ch)) {
+              cls[static_cast<unsigned char>(AsciiToLower(ch))] = true;
+              cls[static_cast<unsigned char>(AsciiToUpper(ch))] = true;
+            }
+          }
+        }
+        continue;
+      }
+      SetLiteral(c, &cls);
+    }
+    if (negate) {
+      cls.flip();
+    }
+    out->start = state;
+    out->out = {state << 1};
+    return true;
+  }
+
+  Pattern& p_;
+  std::string_view src_;
+  size_t pos_ = 0;
+  size_t pos_before_brace_ = 0;
+};
+
+Pattern Pattern::Compile(std::string_view source, bool case_sensitive) {
+  Pattern p;
+  p.case_sensitive_ = case_sensitive;
+  p.source_ = std::string(source);
+  Compiler compiler(&p, source);
+  if (!compiler.Run()) {
+    if (p.error_.empty()) {
+      p.error_ = "invalid pattern";
+    }
+    p.states_.clear();
+    p.start_ = -1;
+  }
+  return p;
+}
+
+bool Pattern::Matches(std::string_view text) const {
+  if (start_ < 0) {
+    return false;
+  }
+  // Thompson simulation: current state set, expanded through splits.
+  std::vector<bool> current(states_.size(), false);
+  std::vector<bool> next(states_.size(), false);
+  std::vector<int> work;
+
+  auto add = [&](std::vector<bool>& set, int state) {
+    if (state < 0 || set[state]) {
+      return;
+    }
+    set[state] = true;
+    work.push_back(state);
+  };
+  auto expand = [&](std::vector<bool>& set) {
+    while (!work.empty()) {
+      const int s = work.back();
+      work.pop_back();
+      const State& st = states_[s];
+      if (st.kind == State::Kind::kSplit) {
+        if (st.next >= 0 && !set[st.next]) {
+          set[st.next] = true;
+          work.push_back(st.next);
+        }
+        if (st.alt >= 0 && !set[st.alt]) {
+          set[st.alt] = true;
+          work.push_back(st.alt);
+        }
+      }
+    }
+  };
+
+  add(current, start_);
+  expand(current);
+
+  for (char c : text) {
+    const auto byte = static_cast<unsigned char>(c);
+    std::fill(next.begin(), next.end(), false);
+    bool any = false;
+    for (size_t s = 0; s < states_.size(); ++s) {
+      if (!current[s]) {
+        continue;
+      }
+      const State& st = states_[s];
+      if (st.kind == State::Kind::kChar && st.char_class[byte]) {
+        add(next, st.next);
+        any = true;
+      }
+    }
+    expand(next);
+    current.swap(next);
+    if (!any) {
+      return false;
+    }
+  }
+  for (size_t s = 0; s < states_.size(); ++s) {
+    if (current[s] && states_[s].kind == State::Kind::kAccept) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace weblint

@@ -1,0 +1,64 @@
+// A small regular-expression engine for attribute-value patterns.
+//
+// The paper (§5.5) says the HTML version modules express legal attribute
+// values "as regular expressions". This is a backtracking-free Thompson-NFA
+// engine over the subset those tables need:
+//
+//   literals      a b c           (case-insensitive by default — HTML values)
+//   any           .
+//   classes       [abc] [a-f0-9] [^x]   with escapes \d \w \s inside and out
+//   quantifiers   * + ? {m} {m,} {m,n}
+//   groups        ( ... )          (non-capturing; capture is not needed)
+//   alternation   a|b
+//
+// A Pattern always performs a FULL match of the candidate value (the tables
+// describe the whole value, so there is no unanchored search mode).
+#ifndef WEBLINT_UTIL_PATTERN_H_
+#define WEBLINT_UTIL_PATTERN_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace weblint {
+
+class Pattern {
+ public:
+  Pattern() = default;  // Empty pattern: matches only the empty string.
+
+  // Compiles `source`. On syntax error, returns a pattern that matches
+  // nothing and reports !ok(). `case_sensitive` defaults to false because
+  // HTML attribute values in the tables are case-insensitive tokens.
+  static Pattern Compile(std::string_view source, bool case_sensitive = false);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  const std::string& source() const { return source_; }
+
+  // Full match of `text` against the pattern. A failed compile never matches.
+  bool Matches(std::string_view text) const;
+
+ private:
+  // NFA states. `Split` has two epsilon successors; `Char` tests a 256-bit
+  // class and moves to `next`; `Accept` terminates.
+  struct State {
+    enum class Kind { kChar, kSplit, kAccept } kind = Kind::kAccept;
+    // For kChar: bitmap over unsigned char values.
+    std::vector<bool> char_class;  // size 256 when kind == kChar.
+    int next = -1;
+    int alt = -1;  // Second successor for kSplit.
+  };
+
+  class Compiler;
+
+  bool case_sensitive_ = false;
+  std::string source_;
+  std::string error_;
+  std::vector<State> states_;
+  int start_ = -1;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_UTIL_PATTERN_H_

@@ -1,0 +1,73 @@
+// Lightweight error propagation without exceptions.
+//
+// The library is exception-free (diagnostics are data, not control flow);
+// fallible operations return Result<T> or Status.
+#ifndef WEBLINT_UTIL_RESULT_H_
+#define WEBLINT_UTIL_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace weblint {
+
+// A success/failure status with a human-readable message on failure.
+class Status {
+ public:
+  Status() = default;  // OK.
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return message_.empty(); }
+  const std::string& message() const { return message_; }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::string message_;  // Empty means OK.
+};
+
+// Holds either a value or an error message. `T` must not be std::string-like
+// ambiguous with the error (tagged internally, so any T works).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: lets functions `return value;` / `return Fail(...)`.
+  Result(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Result(Status status) : state_(std::in_place_index<1>, std::move(status)) {
+    assert(!std::get<1>(state_).ok() && "Result error constructed from OK status");
+  }
+
+  bool ok() const { return state_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<0>(state_));
+  }
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+  const std::string& error() const {
+    assert(!ok());
+    return std::get<1>(state_).message();
+  }
+  Status status() const { return ok() ? Status::Ok() : std::get<1>(state_); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+inline Status Fail(std::string message) { return Status::Error(std::move(message)); }
+
+}  // namespace weblint
+
+#endif  // WEBLINT_UTIL_RESULT_H_

@@ -1,0 +1,28 @@
+// Line/column positions within a checked document.
+//
+// Weblint diagnostics are keyed by source line (the paper's output is
+// "line 4: ..." / "test.html(4): ..."), so every token and attribute carries
+// one of these.
+#ifndef WEBLINT_UTIL_SOURCE_LOCATION_H_
+#define WEBLINT_UTIL_SOURCE_LOCATION_H_
+
+#include <compare>
+#include <cstdint>
+
+namespace weblint {
+
+// A 1-based line / 1-based column position. A default-constructed location
+// (line 0) means "no position", used by document-level diagnostics such as
+// require-title that have no single anchor line.
+struct SourceLocation {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  constexpr bool valid() const { return line != 0; }
+
+  friend constexpr auto operator<=>(const SourceLocation&, const SourceLocation&) = default;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_UTIL_SOURCE_LOCATION_H_

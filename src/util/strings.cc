@@ -1,0 +1,233 @@
+#include "util/strings.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace weblint {
+
+std::string AsciiLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), AsciiToLower);
+  return out;
+}
+
+std::string AsciiUpper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), AsciiToUpper);
+  return out;
+}
+
+bool IEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (AsciiToLower(a[i]) != AsciiToLower(b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IStartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && IEquals(s.substr(0, prefix.size()), prefix);
+}
+
+bool IEndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && IEquals(s.substr(s.size() - suffix.size()), suffix);
+}
+
+bool IContains(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) {
+    return true;
+  }
+  if (haystack.size() < needle.size()) {
+    return false;
+  }
+  for (size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (IEquals(haystack.substr(i, needle.size()), needle)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ILess::operator()(std::string_view a, std::string_view b) const {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const char ca = AsciiToLower(a[i]);
+    const char cb = AsciiToLower(b[i]);
+    if (ca != cb) {
+      return ca < cb;
+    }
+  }
+  return a.size() < b.size();
+}
+
+std::string_view TrimLeft(std::string_view s) {
+  size_t i = 0;
+  while (i < s.size() && IsAsciiSpace(s[i])) {
+    ++i;
+  }
+  return s.substr(i);
+}
+
+std::string_view TrimRight(std::string_view s) {
+  size_t n = s.size();
+  while (n > 0 && IsAsciiSpace(s[n - 1])) {
+    --n;
+  }
+  return s.substr(0, n);
+}
+
+std::string_view Trim(std::string_view s) { return TrimRight(TrimLeft(s)); }
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitWhitespace(std::string_view s) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && IsAsciiSpace(s[i])) {
+      ++i;
+    }
+    const size_t start = i;
+    while (i < s.size() && !IsAsciiSpace(s[i])) {
+      ++i;
+    }
+    if (i > start) {
+      out.push_back(s.substr(start, i - start));
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out.append(sep);
+    }
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to) {
+  if (from.empty()) {
+    return std::string(s);
+  }
+  std::string out;
+  out.reserve(s.size());
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(s.substr(pos));
+      break;
+    }
+    out.append(s.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+  return out;
+}
+
+std::string EscapeHtml(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out.append("&amp;");
+        break;
+      case '<':
+        out.append("&lt;");
+        break;
+      case '>':
+        out.append("&gt;");
+        break;
+      case '"':
+        out.append("&quot;");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string CollapseWhitespace(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool pending_space = false;
+  for (char c : s) {
+    if (IsAsciiSpace(c)) {
+      pending_space = !out.empty();
+    } else {
+      if (pending_space) {
+        out.push_back(' ');
+        pending_space = false;
+      }
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool ParseUint(std::string_view s, std::uint32_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (char c : s) {
+    if (!IsAsciiDigit(c)) {
+      return false;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > 0x7fffffffULL) {
+      return false;
+    }
+  }
+  *out = static_cast<std::uint32_t>(value);
+  return true;
+}
+
+std::string Format(std::string_view fmt, const std::vector<std::string>& args) {
+  std::string out;
+  out.reserve(fmt.size() + 16);
+  size_t next_arg = 0;
+  for (size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] != '%' || i + 1 == fmt.size()) {
+      out.push_back(fmt[i]);
+      continue;
+    }
+    const char spec = fmt[i + 1];
+    if (spec == '%') {
+      out.push_back('%');
+      ++i;
+      continue;
+    }
+    if (spec == 's' || spec == 'd' || spec == 'c') {
+      if (next_arg < args.size()) {
+        out.append(args[next_arg++]);
+      }
+      ++i;
+      continue;
+    }
+    out.push_back(fmt[i]);
+  }
+  return out;
+}
+
+}  // namespace weblint

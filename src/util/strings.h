@@ -1,0 +1,101 @@
+// ASCII string helpers used across the library.
+//
+// HTML names are ASCII case-insensitive, so all case folding here is ASCII
+// folding; locale-sensitive behaviour is deliberately avoided.
+#ifndef WEBLINT_UTIL_STRINGS_H_
+#define WEBLINT_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace weblint {
+
+// Character classification (ASCII only; safe on arbitrary bytes).
+constexpr bool IsAsciiSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+}
+constexpr bool IsAsciiDigit(char c) { return c >= '0' && c <= '9'; }
+constexpr bool IsAsciiUpper(char c) { return c >= 'A' && c <= 'Z'; }
+constexpr bool IsAsciiLower(char c) { return c >= 'a' && c <= 'z'; }
+constexpr bool IsAsciiAlpha(char c) { return IsAsciiUpper(c) || IsAsciiLower(c); }
+constexpr bool IsAsciiAlnum(char c) { return IsAsciiAlpha(c) || IsAsciiDigit(c); }
+constexpr bool IsAsciiHexDigit(char c) {
+  return IsAsciiDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+constexpr char AsciiToLower(char c) { return IsAsciiUpper(c) ? static_cast<char>(c + 32) : c; }
+constexpr char AsciiToUpper(char c) { return IsAsciiLower(c) ? static_cast<char>(c - 32) : c; }
+
+// Case conversion / comparison.
+std::string AsciiLower(std::string_view s);
+std::string AsciiUpper(std::string_view s);
+bool IEquals(std::string_view a, std::string_view b);
+bool IStartsWith(std::string_view s, std::string_view prefix);
+bool IEndsWith(std::string_view s, std::string_view suffix);
+// True if `needle` occurs in `haystack` ignoring ASCII case.
+bool IContains(std::string_view haystack, std::string_view needle);
+
+// Case-insensitive std::less replacement for ordered containers keyed by
+// element/attribute names.
+struct ILess {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const;
+};
+
+// Trimming and splitting.
+std::string_view TrimLeft(std::string_view s);
+std::string_view TrimRight(std::string_view s);
+std::string_view Trim(std::string_view s);
+// Splits on `sep`; empty fields are kept. Split("a,,b", ',') -> {"a","","b"}.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+// Splits on runs of ASCII whitespace; no empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view s);
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to);
+
+// Escapes <, >, &, " for embedding into HTML output (gateway reports).
+std::string EscapeHtml(std::string_view s);
+
+// Collapses runs of whitespace to single spaces and trims; used when
+// reporting anchor text ("click here").
+std::string CollapseWhitespace(std::string_view s);
+
+// Parses a non-negative decimal integer; returns false on any non-digit or
+// empty input (no locale, no sign, no overflow past 2^31-1).
+bool ParseUint(std::string_view s, std::uint32_t* out);
+
+// printf-lite formatting used for diagnostic messages. Supports %s
+// (std::string/string_view/const char*), %d (integral), %c (char) and %%.
+// Arguments are converted to strings before substitution.
+std::string Format(std::string_view fmt, const std::vector<std::string>& args);
+
+namespace internal {
+inline void AppendFormatArg(std::vector<std::string>& out, std::string_view v) {
+  out.emplace_back(v);
+}
+inline void AppendFormatArg(std::vector<std::string>& out, const std::string& v) {
+  out.emplace_back(v);
+}
+inline void AppendFormatArg(std::vector<std::string>& out, const char* v) { out.emplace_back(v); }
+inline void AppendFormatArg(std::vector<std::string>& out, char v) { out.emplace_back(1, v); }
+template <typename T>
+  requires std::is_integral_v<T>
+void AppendFormatArg(std::vector<std::string>& out, T v) {
+  out.emplace_back(std::to_string(v));
+}
+}  // namespace internal
+
+// Variadic convenience wrapper over Format().
+template <typename... Args>
+std::string StrFormat(std::string_view fmt, const Args&... args) {
+  std::vector<std::string> packed;
+  packed.reserve(sizeof...(args));
+  (internal::AppendFormatArg(packed, args), ...);
+  return Format(fmt, packed);
+}
+
+}  // namespace weblint
+
+#endif  // WEBLINT_UTIL_STRINGS_H_

@@ -1,0 +1,249 @@
+#include "util/url.h"
+
+#include <vector>
+
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+bool IsSchemeChar(char c) { return IsAsciiAlnum(c) || c == '+' || c == '-' || c == '.'; }
+
+// Non-hierarchical schemes whose content after ':' is opaque.
+bool IsOpaqueScheme(std::string_view scheme) {
+  return IEquals(scheme, "mailto") || IEquals(scheme, "news") || IEquals(scheme, "javascript") ||
+         IEquals(scheme, "data");
+}
+
+// Removes "." and ".." segments per RFC 3986 §5.2.4, preserving a trailing
+// slash where the last segment was "." or "..".
+std::string RemoveDotSegments(std::string_view path) {
+  std::vector<std::string_view> out;
+  const bool absolute = !path.empty() && path.front() == '/';
+  bool trailing_slash = !path.empty() && path.back() == '/';
+  for (std::string_view seg : Split(path, '/')) {
+    if (seg.empty() || seg == ".") {
+      continue;
+    }
+    if (seg == "..") {
+      if (!out.empty()) {
+        out.pop_back();
+      }
+      trailing_slash = true;
+      continue;
+    }
+    trailing_slash = !path.empty() && path.back() == '/';
+    out.push_back(seg);
+  }
+  std::string result = absolute ? "/" : "";
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (i > 0) {
+      result.push_back('/');
+    }
+    result.append(out[i]);
+  }
+  if (trailing_slash && !result.empty() && result.back() != '/') {
+    result.push_back('/');
+  }
+  if (result.empty() && absolute) {
+    result = "/";
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string Url::Authority() const {
+  std::string out = host;
+  if (!port.empty()) {
+    out.push_back(':');
+    out.append(port);
+  }
+  return out;
+}
+
+std::string Url::Serialize() const {
+  std::string out;
+  if (!scheme.empty()) {
+    out.append(scheme);
+    out.push_back(':');
+  }
+  if (!opaque.empty()) {
+    out.append(opaque);
+  } else {
+    if (has_authority) {
+      out.append("//");
+      out.append(Authority());
+    }
+    out.append(path);
+    if (!query.empty()) {
+      out.push_back('?');
+      out.append(query);
+    }
+  }
+  if (!fragment.empty()) {
+    out.push_back('#');
+    out.append(fragment);
+  }
+  return out;
+}
+
+Url ParseUrl(std::string_view text) {
+  Url url;
+  std::string_view rest = Trim(text);
+
+  // Fragment first: everything after the first '#'.
+  if (const size_t hash = rest.find('#'); hash != std::string_view::npos) {
+    url.fragment = std::string(rest.substr(hash + 1));
+    rest = rest.substr(0, hash);
+  }
+
+  // Scheme: [alpha][scheme-char]* ':'.
+  if (!rest.empty() && IsAsciiAlpha(rest.front())) {
+    size_t i = 1;
+    while (i < rest.size() && IsSchemeChar(rest[i])) {
+      ++i;
+    }
+    if (i < rest.size() && rest[i] == ':') {
+      url.scheme = AsciiLower(rest.substr(0, i));
+      rest = rest.substr(i + 1);
+      if (IsOpaqueScheme(url.scheme)) {
+        url.opaque = std::string(rest);
+        return url;
+      }
+    }
+  }
+
+  // Authority.
+  if (rest.size() >= 2 && rest[0] == '/' && rest[1] == '/') {
+    rest = rest.substr(2);
+    url.has_authority = true;
+    const size_t end = rest.find_first_of("/?");
+    std::string_view authority = rest.substr(0, end);
+    rest = end == std::string_view::npos ? std::string_view() : rest.substr(end);
+    if (const size_t colon = authority.rfind(':'); colon != std::string_view::npos) {
+      std::string_view port = authority.substr(colon + 1);
+      bool all_digits = !port.empty();
+      for (char c : port) {
+        all_digits = all_digits && IsAsciiDigit(c);
+      }
+      if (all_digits) {
+        url.port = std::string(port);
+        authority = authority.substr(0, colon);
+      }
+    }
+    url.host = AsciiLower(authority);
+  }
+
+  // Query.
+  if (const size_t q = rest.find('?'); q != std::string_view::npos) {
+    url.query = std::string(rest.substr(q + 1));
+    rest = rest.substr(0, q);
+  }
+
+  url.path = std::string(rest);
+  if (url.has_authority && url.path.empty()) {
+    url.path = "/";
+  }
+  return url;
+}
+
+Url ResolveUrl(const Url& base, const Url& reference) {
+  if (reference.IsAbsolute()) {
+    Url out = reference;
+    if (!out.IsOpaque()) {
+      out.path = RemoveDotSegments(out.path);
+    }
+    return out;
+  }
+  Url out;
+  out.scheme = base.scheme;
+  if (reference.has_authority) {
+    out.has_authority = true;
+    out.host = reference.host;
+    out.port = reference.port;
+    out.path = RemoveDotSegments(reference.path);
+    out.query = reference.query;
+    out.fragment = reference.fragment;
+    return out;
+  }
+  out.has_authority = base.has_authority;
+  out.host = base.host;
+  out.port = base.port;
+  if (reference.path.empty()) {
+    out.path = base.path;
+    out.query = reference.query.empty() ? base.query : reference.query;
+  } else if (reference.path.front() == '/') {
+    out.path = RemoveDotSegments(reference.path);
+    out.query = reference.query;
+  } else {
+    // Merge: base path up to last '/' + reference path.
+    const size_t slash = base.path.rfind('/');
+    std::string merged = slash == std::string::npos
+                             ? (base.has_authority ? "/" : "")
+                             : base.path.substr(0, slash + 1);
+    merged.append(reference.path);
+    out.path = RemoveDotSegments(merged);
+    out.query = reference.query;
+  }
+  out.fragment = reference.fragment;
+  return out;
+}
+
+Url ResolveUrl(const Url& base, std::string_view reference) {
+  return ResolveUrl(base, ParseUrl(reference));
+}
+
+std::string UrlDecode(std::string_view s, bool plus_as_space) {
+  auto hex_value = [](char c) -> int {
+    if (IsAsciiDigit(c)) {
+      return c - '0';
+    }
+    if (c >= 'a' && c <= 'f') {
+      return c - 'a' + 10;
+    }
+    if (c >= 'A' && c <= 'F') {
+      return c - 'A' + 10;
+    }
+    return -1;
+  };
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex_value(s[i + 1]);
+      const int lo = hex_value(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    if (plus_as_space && s[i] == '+') {
+      out.push_back(' ');
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::string UrlEncode(std::string_view s) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (IsAsciiAlnum(c) || c == '-' || c == '_' || c == '.' || c == '~') {
+      out.push_back(c);
+    } else {
+      const auto byte = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(kHex[byte >> 4]);
+      out.push_back(kHex[byte & 0xf]);
+    }
+  }
+  return out;
+}
+
+}  // namespace weblint

@@ -1,0 +1,53 @@
+// URL parsing and relative resolution (RFC 1808 flavour, as LWP provided
+// for weblint's check_url, the gateway, and the poacher robot).
+#ifndef WEBLINT_UTIL_URL_H_
+#define WEBLINT_UTIL_URL_H_
+
+#include <string>
+#include <string_view>
+
+namespace weblint {
+
+// A parsed URL. Components are stored verbatim (no percent decoding) except
+// that scheme and host are lowercased on parse.
+struct Url {
+  std::string scheme;    // "http", "file", "mailto", ...
+  std::string host;      // Empty for scheme-relative / opaque URLs.
+  std::string port;      // Digits only; empty if none given.
+  std::string path;      // Includes leading '/' when authority present.
+  std::string query;     // Without '?'.
+  std::string fragment;  // Without '#'.
+  // Opaque part for non-hierarchical schemes (mailto:user@host).
+  std::string opaque;
+
+  bool has_authority = false;
+
+  bool IsAbsolute() const { return !scheme.empty(); }
+  bool IsOpaque() const { return !opaque.empty(); }
+
+  // Reassembles the URL text.
+  std::string Serialize() const;
+
+  // "host" or "host:port".
+  std::string Authority() const;
+};
+
+// Parses `text` as an absolute or relative URL reference. Never fails: HTML
+// pages contain all sorts of href values; an un-parseable reference becomes a
+// relative path. Leading/trailing whitespace is stripped.
+Url ParseUrl(std::string_view text);
+
+// Resolves `reference` against absolute `base` per RFC 1808/3986 merge rules
+// (dot-segment removal included). If `reference` is absolute it is returned
+// unchanged.
+Url ResolveUrl(const Url& base, const Url& reference);
+Url ResolveUrl(const Url& base, std::string_view reference);
+
+// Percent-decodes %XX escapes (and '+' as space when `plus_as_space`).
+std::string UrlDecode(std::string_view s, bool plus_as_space = false);
+// Percent-encodes everything but unreserved characters.
+std::string UrlEncode(std::string_view s);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_UTIL_URL_H_

@@ -1,0 +1,215 @@
+#include "warnings/catalog.h"
+
+#include <algorithm>
+
+namespace weblint {
+
+namespace {
+
+// 50 messages, 42 enabled by default (the weblint 1.020 figures from paper
+// §4.3). Ordered by category (Error, Warning, Style), then by id. "If a
+// message seems esoteric or overly pedantic (I love 'em!), it will be
+// disabled by default" — the 8 disabled entries are the pedantic/expensive
+// ones (bad-link, img-size, title-length, ...) and the mutually exclusive
+// case-style pair.
+constexpr MessageInfo kMessages[] = {
+    // ----- Errors: things you should fix ---------------------------------
+    {"attribute-value", Category::kError, true,
+     "illegal value for %s attribute of %s (%s)",
+     "An attribute has a value outside the legal set for this element."},
+    {"element-overlap", Category::kError, true,
+     "</%s> on line %s seems to overlap <%s>, opened on line %s.",
+     "Elements overlap instead of nesting (e.g. <B><A>..</B>..</A>)."},
+    {"head-element", Category::kError, true,
+     "<%s> can only appear in the HEAD element",
+     "A HEAD-only element (TITLE, BASE, META, ...) appeared in the BODY."},
+    {"heading-mismatch", Category::kError, true,
+     "malformed heading - open tag is <%s>, but closing is </%s>",
+     "A heading was opened at one level and closed at another (<H1>..</H2>)."},
+    {"html-outer", Category::kError, true,
+     "outer tags should be <HTML> .. </HTML>",
+     "The outermost element of the document is not HTML."},
+    {"illegal-closing", Category::kError, true,
+     "</%s> is not legal -- <%s> is not a container element",
+     "A closing tag was given for an element with a forbidden end tag (IMG, BR, HR...)."},
+    {"odd-quotes", Category::kError, true,
+     "odd number of quotes in element <%s>",
+     "A tag contains an unbalanced quote character, usually an unterminated attribute value."},
+    {"once-only", Category::kError, true,
+     "tag <%s> should only appear once; it was first seen on line %s",
+     "An element that may appear only once (TITLE, HEAD, BODY, HTML) was repeated."},
+    {"require-head", Category::kError, true,
+     "no <HEAD> element found",
+     "The document has no HEAD section."},
+    {"require-title", Category::kError, true,
+     "no <TITLE> in HEAD element",
+     "The HEAD does not contain a TITLE element."},
+    {"required-attribute", Category::kError, true,
+     "the %s attribute is required for the <%s> element",
+     "A required attribute is missing (e.g. ROWS and COLS for TEXTAREA)."},
+    {"unclosed-element", Category::kError, true,
+     "no closing </%s> seen for <%s> on line %s",
+     "A container element requiring a close tag was never closed."},
+    {"unknown-attribute", Category::kError, true,
+     "unknown attribute \"%s\" for element <%s>",
+     "An attribute is not defined for this element in the selected HTML version."},
+    {"unknown-element", Category::kError, true,
+     "unknown element <%s>%s",
+     "An element is not defined in the selected HTML version (often a mis-typed name)."},
+    {"unmatched-close", Category::kError, true,
+     "unmatched </%s> (no matching <%s> seen)",
+     "A closing tag appeared with no corresponding open element."},
+
+    // ----- Warnings: things you should think about fixing ----------------
+    {"attribute-delimiter", Category::kWarning, true,
+     "use of ' as a delimiter for the value of attribute %s of element %s is not supported by "
+     "all browsers",
+     "Single-quoted attribute values are legal but poorly supported by older clients."},
+    {"bad-link", Category::kWarning, false,
+     "target \"%s\" for link not found",
+     "A relative link target does not exist (local files only)."},
+    {"body-colors", Category::kWarning, false,
+     "BODY sets %s but not %s -- partial colour settings can clash with user defaults",
+     "If any of BGCOLOR/TEXT/LINK/VLINK/ALINK is set on BODY, all should be."},
+    {"closing-attribute", Category::kWarning, true,
+     "closing tag </%s> should not have any attributes specified",
+     "End tags must not carry attributes."},
+    {"deprecated-attribute", Category::kWarning, true,
+     "attribute %s of element %s is deprecated",
+     "The attribute is deprecated in the selected HTML version."},
+    {"deprecated-element", Category::kWarning, true,
+     "<%s> is deprecated%s",
+     "The element is deprecated (e.g. use <PRE> in place of <LISTING>)."},
+    {"empty-container", Category::kWarning, true,
+     "empty container element <%s>",
+     "A container element has no content."},
+    {"extension-attribute", Category::kWarning, true,
+     "attribute %s of element %s is an extension (%s)",
+     "The attribute is a vendor extension, not part of the base HTML version."},
+    {"extension-markup", Category::kWarning, true,
+     "<%s> is extended markup (%s), and is not widely supported",
+     "The element is a vendor extension (Netscape / Microsoft)."},
+    {"img-alt", Category::kWarning, true,
+     "IMG does not have ALT text defined",
+     "Images should carry ALT text for text-only browsers and robots."},
+    {"img-size", Category::kWarning, false,
+     "IMG does not have WIDTH and HEIGHT attributes -- setting them helps browsers lay out the "
+     "page sooner",
+     "WIDTH/HEIGHT on IMG let browsers lay out the page before the image loads."},
+    {"implied-element", Category::kWarning, true,
+     "<%s> can only appear inside %s -- opening <%s> implied",
+     "An element appeared outside its container; the container was assumed (e.g. LI outside UL)."},
+    {"malformed-comment", Category::kWarning, true,
+     "malformed comment: %s",
+     "A comment is syntactically malformed (unterminated, or odd close sequence)."},
+    {"markup-in-comment", Category::kWarning, true,
+     "markup embedded in a comment can confuse some browsers",
+     "Commented-out markup is legal but mis-parsed by quick-and-dirty parsers."},
+    {"must-follow", Category::kWarning, true,
+     "<%s> must immediately follow %s",
+     "Element ordering constraint violated (e.g. BODY before HEAD)."},
+    {"nested-comment", Category::kWarning, true,
+     "comments cannot be nested -- \"<!--\" seen inside a comment",
+     "A comment open sequence appeared inside a comment."},
+    {"nested-element", Category::kWarning, true,
+     "<%s> cannot be nested -- </%s> not yet seen for the <%s> on line %s",
+     "An element that may not contain itself was nested (e.g. <A> inside <A>)."},
+    {"quote-attribute-value", Category::kWarning, true,
+     "value for attribute %s (%s) of element %s should be quoted (i.e. %s=\"%s\")",
+     "Attribute values containing non-name characters should be quoted."},
+    {"repeated-attribute", Category::kWarning, true,
+     "attribute %s is repeated in element <%s>",
+     "The same attribute is given more than once in a single tag."},
+    {"require-doctype", Category::kWarning, true,
+     "first element was not DOCTYPE specification",
+     "Documents should open with a <!DOCTYPE ...> specification."},
+    {"required-context", Category::kWarning, true,
+     "illegal context for <%s> -- must appear inside %s",
+     "An element appeared outside its required context (e.g. INPUT outside FORM)."},
+    {"spurious-slash", Category::kWarning, true,
+     "odd use of '/' in element <%s>",
+     "A '/' appeared in a tag where HTML does not allow one (XML-style empty tag, typo)."},
+    {"table-summary", Category::kWarning, true,
+     "TABLE does not have a SUMMARY attribute -- summaries help non-visual browsers",
+     "Summary annotations make tables accessible to speech-generating clients."},
+    {"title-length", Category::kWarning, false,
+     "TITLE is longer than %s characters -- many browsers and search engines truncate titles",
+     "Over-long titles are truncated by browsers and search engines."},
+    {"unexpected-open", Category::kWarning, true,
+     "unexpected '<' in text -- should it be escaped as &lt;?",
+     "A literal '<' appeared in character data."},
+    {"unknown-entity", Category::kWarning, true,
+     "unknown entity reference &%s;",
+     "An entity reference does not name an HTML 4.0 entity."},
+    {"unterminated-entity", Category::kWarning, true,
+     "entity reference &%s is missing the closing ';'",
+     "An entity reference is not terminated by a semicolon."},
+
+    // ----- Style comments: configure to match your guidelines ------------
+    {"container-whitespace", Category::kStyle, true,
+     "%s whitespace in content of container element <%s>",
+     "Leading/trailing whitespace inside an anchor renders unpredictably."},
+    {"directory-index", Category::kStyle, true,
+     "directory %s does not have an index file (%s)",
+     "With -R: each directory of a site should have an index page."},
+    {"heading-in-anchor", Category::kStyle, true,
+     "heading <%s> inside anchor -- the anchor should go inside the heading",
+     "Prefer <H1><A>...</A></H1> over <A><H1>...</H1></A>."},
+    {"here-anchor", Category::kStyle, false,
+     "content-free anchor text \"%s\" -- use meaningful link text instead",
+     "Anchor text like \"here\" carries no information; search engines use anchor text."},
+    {"lower-case", Category::kStyle, false,
+     "tag <%s> is not in lower case",
+     "House style: element names should be lower case."},
+    {"orphan-page", Category::kStyle, true,
+     "page %s is not linked to by any other page checked",
+     "With -R: the page is not referred to by any other page on the site."},
+    {"physical-font", Category::kStyle, false,
+     "<%s> is physical font markup -- use logical markup instead (e.g. <%s>)",
+     "Prefer logical markup (STRONG, EM) to physical markup (B, I)."},
+    {"upper-case", Category::kStyle, false,
+     "tag <%s> is not in upper case",
+     "House style: element names should be upper case."},
+};
+
+constexpr size_t kMessageCount = sizeof(kMessages) / sizeof(kMessages[0]);
+
+}  // namespace
+
+std::string_view CategoryName(Category category) {
+  switch (category) {
+    case Category::kError:
+      return "error";
+    case Category::kWarning:
+      return "warning";
+    case Category::kStyle:
+      return "style";
+  }
+  return "unknown";
+}
+
+std::span<const MessageInfo> AllMessages() { return {kMessages, kMessageCount}; }
+
+const MessageInfo* FindMessage(std::string_view id) {
+  for (const MessageInfo& info : kMessages) {
+    if (info.id == id) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+size_t MessageCount() { return kMessageCount; }
+
+size_t DefaultEnabledCount() {
+  return static_cast<size_t>(std::count_if(std::begin(kMessages), std::end(kMessages),
+                                           [](const MessageInfo& m) { return m.default_enabled; }));
+}
+
+size_t CategoryCount(Category category) {
+  return static_cast<size_t>(
+      std::count_if(std::begin(kMessages), std::end(kMessages),
+                    [category](const MessageInfo& m) { return m.category == category; }));
+}
+
+}  // namespace weblint

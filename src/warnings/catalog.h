@@ -1,0 +1,51 @@
+// The weblint message catalog (paper §4.3).
+//
+// "Weblint 1.020 supports 50 different output messages, 42 of which are
+// enabled by default. ... There are three categories of output message:
+// Errors, Warnings, and Style comments." This catalog reproduces those
+// statistics exactly: 50 messages, 42 enabled by default, in the three
+// categories. "All output messages have an identifier, which is used when
+// enabling or disabling it."
+#ifndef WEBLINT_WARNINGS_CATALOG_H_
+#define WEBLINT_WARNINGS_CATALOG_H_
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+namespace weblint {
+
+// Paper §4.3: "Errors ... identify things you should fix. Warnings ...
+// identify things you should think about fixing. Style comments ... can be
+// configured to match your own guidelines."
+enum class Category {
+  kError,
+  kWarning,
+  kStyle,
+};
+
+std::string_view CategoryName(Category category);
+
+struct MessageInfo {
+  std::string_view id;        // Stable identifier (enable/disable key).
+  Category category = Category::kWarning;
+  bool default_enabled = true;
+  std::string_view format;       // printf-lite template (util/strings.h Format).
+  std::string_view description;  // One-line documentation.
+};
+
+// All catalog messages, ordered Error, Warning, Style; alphabetical within
+// a category.
+std::span<const MessageInfo> AllMessages();
+
+// Looks up a message by identifier; nullptr when unknown.
+const MessageInfo* FindMessage(std::string_view id);
+
+// Catalog statistics (asserted by tests against the paper's figures).
+size_t MessageCount();                       // 50
+size_t DefaultEnabledCount();                // 42
+size_t CategoryCount(Category category);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_WARNINGS_CATALOG_H_

@@ -1,0 +1,39 @@
+#include "warnings/emitter.h"
+
+#include "util/strings.h"
+
+namespace weblint {
+
+std::string FormatDiagnostic(const Diagnostic& diagnostic, OutputStyle style) {
+  const bool located = diagnostic.location.valid();
+  switch (style) {
+    case OutputStyle::kShort:
+      if (!located) {
+        return diagnostic.message;
+      }
+      return StrFormat("line %d: %s", diagnostic.location.line, diagnostic.message);
+    case OutputStyle::kVerbose: {
+      std::string out = FormatDiagnostic(diagnostic, OutputStyle::kTraditional);
+      const MessageInfo* info = FindMessage(diagnostic.message_id);
+      out += StrFormat(" [%s/%s]", CategoryName(diagnostic.category), diagnostic.message_id);
+      if (info != nullptr) {
+        out += StrFormat("\n    %s", info->description);
+      }
+      return out;
+    }
+    case OutputStyle::kTraditional:
+    default:
+      if (!located) {
+        return StrFormat("%s: %s", diagnostic.file, diagnostic.message);
+      }
+      return StrFormat("%s(%d): %s", diagnostic.file, diagnostic.location.line,
+                       diagnostic.message);
+  }
+}
+
+void StreamEmitter::Emit(const Diagnostic& diagnostic) {
+  out_ << FormatDiagnostic(diagnostic, style_) << '\n';
+  ++count_;
+}
+
+}  // namespace weblint

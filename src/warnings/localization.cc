@@ -1,0 +1,143 @@
+#include "warnings/localization.h"
+
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+struct Translation {
+  std::string_view id;
+  std::string_view format;
+};
+
+// French: complete (all 50 messages).
+constexpr Translation kFrench[] = {
+    {"attribute-value", "valeur illégale pour l'attribut %s de %s (%s)"},
+    {"element-overlap",
+     "</%s> à la ligne %s semble chevaucher <%s>, ouvert à la ligne %s."},
+    {"head-element", "<%s> ne peut apparaître que dans l'élément HEAD"},
+    {"heading-mismatch",
+     "titre mal formé - la balise ouvrante est <%s>, mais la fermante est </%s>"},
+    {"html-outer", "les balises extérieures devraient être <HTML> .. </HTML>"},
+    {"illegal-closing", "</%s> n'est pas légal -- <%s> n'est pas un élément conteneur"},
+    {"odd-quotes", "nombre impair de guillemets dans l'élément <%s>"},
+    {"once-only",
+     "la balise <%s> ne devrait apparaître qu'une seule fois ; vue d'abord à la ligne %s"},
+    {"require-head", "aucun élément <HEAD> trouvé"},
+    {"require-title", "pas de <TITLE> dans l'élément HEAD"},
+    {"required-attribute", "l'attribut %s est obligatoire pour l'élément <%s>"},
+    {"unclosed-element", "aucune balise fermante </%s> vue pour <%s> à la ligne %s"},
+    {"unknown-attribute", "attribut \"%s\" inconnu pour l'élément <%s>"},
+    {"unknown-element", "élément inconnu <%s>%s"},
+    {"unmatched-close", "</%s> sans correspondance (aucun <%s> vu)"},
+    {"attribute-delimiter",
+     "l'emploi de ' comme délimiteur pour la valeur de l'attribut %s de l'élément %s n'est pas "
+     "supporté par tous les navigateurs"},
+    {"bad-link", "cible \"%s\" du lien introuvable"},
+    {"body-colors",
+     "BODY définit %s mais pas %s -- des couleurs partielles peuvent entrer en conflit avec les "
+     "réglages de l'utilisateur"},
+    {"closing-attribute", "la balise fermante </%s> ne devrait pas porter d'attributs"},
+    {"deprecated-attribute", "l'attribut %s de l'élément %s est déconseillé"},
+    {"deprecated-element", "<%s> est déconseillé%s"},
+    {"empty-container", "élément conteneur <%s> vide"},
+    {"extension-attribute", "l'attribut %s de l'élément %s est une extension (%s)"},
+    {"extension-markup", "<%s> est du balisage étendu (%s), peu largement supporté"},
+    {"img-alt", "IMG n'a pas de texte ALT défini"},
+    {"img-size",
+     "IMG n'a pas d'attributs WIDTH et HEIGHT -- les définir aide les navigateurs à mettre la "
+     "page en place plus tôt"},
+    {"implied-element", "<%s> ne peut apparaître que dans %s -- ouverture de <%s> implicite"},
+    {"malformed-comment", "commentaire mal formé : %s"},
+    {"markup-in-comment", "du balisage dans un commentaire peut troubler certains navigateurs"},
+    {"must-follow", "<%s> doit suivre immédiatement %s"},
+    {"nested-comment",
+     "les commentaires ne peuvent pas être imbriqués -- \"<!--\" vu dans un commentaire"},
+    {"nested-element",
+     "<%s> ne peut pas être imbriqué -- </%s> pas encore vu pour le <%s> de la ligne %s"},
+    {"quote-attribute-value",
+     "la valeur de l'attribut %s (%s) de l'élément %s devrait être entre guillemets "
+     "(c.-à-d. %s=\"%s\")"},
+    {"repeated-attribute", "l'attribut %s est répété dans l'élément <%s>"},
+    {"require-doctype", "le premier élément n'était pas une spécification DOCTYPE"},
+    {"required-context", "contexte illégal pour <%s> -- doit apparaître dans %s"},
+    {"spurious-slash", "usage curieux de '/' dans l'élément <%s>"},
+    {"table-summary",
+     "TABLE n'a pas d'attribut SUMMARY -- les résumés aident les navigateurs non visuels"},
+    {"title-length",
+     "TITLE dépasse %s caractères -- beaucoup de navigateurs et moteurs de recherche tronquent "
+     "les titres"},
+    {"unexpected-open", "'<' inattendu dans le texte -- faut-il l'écrire &lt; ?"},
+    {"unknown-entity", "référence d'entité inconnue &%s;"},
+    {"unterminated-entity", "la référence d'entité &%s n'a pas le ';' final"},
+    {"container-whitespace", "espace %s dans le contenu de l'élément conteneur <%s>"},
+    {"directory-index", "le répertoire %s n'a pas de fichier d'index (%s)"},
+    {"heading-in-anchor", "titre <%s> dans une ancre -- l'ancre devrait être placée dans le titre"},
+    {"here-anchor", "texte d'ancre sans contenu \"%s\" -- utilisez un libellé parlant"},
+    {"lower-case", "la balise <%s> n'est pas en minuscules"},
+    {"orphan-page", "la page %s n'est référencée par aucune autre page vérifiée"},
+    {"physical-font",
+     "<%s> est du balisage de police physique -- préférez le balisage logique (p. ex. <%s>)"},
+    {"upper-case", "la balise <%s> n'est pas en majuscules"},
+};
+
+// German: partial, demonstrating per-id fallback to English.
+constexpr Translation kGerman[] = {
+    {"empty-container", "leeres Container-Element <%s>"},
+    {"heading-mismatch",
+     "fehlerhafte Überschrift - öffnende Marke ist <%s>, schließende aber </%s>"},
+    {"odd-quotes", "ungerade Anzahl von Anführungszeichen im Element <%s>"},
+    {"require-doctype", "das erste Element war keine DOCTYPE-Angabe"},
+    {"unclosed-element", "kein schließendes </%s> für <%s> aus Zeile %s gefunden"},
+    {"unknown-attribute", "unbekanntes Attribut \"%s\" für Element <%s>"},
+    {"unknown-element", "unbekanntes Element <%s>%s"},
+};
+
+struct LanguageTable {
+  std::string_view language;
+  const Translation* translations;
+  size_t count;
+};
+
+constexpr LanguageTable kLanguages[] = {
+    {"fr", kFrench, sizeof(kFrench) / sizeof(kFrench[0])},
+    {"de", kGerman, sizeof(kGerman) / sizeof(kGerman[0])},
+};
+
+const LanguageTable* FindLanguage(std::string_view language) {
+  for (const LanguageTable& table : kLanguages) {
+    if (IEquals(table.language, language)) {
+      return &table;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string_view LocalizedFormat(std::string_view language, std::string_view id) {
+  const LanguageTable* table = FindLanguage(language);
+  if (table == nullptr) {
+    return {};
+  }
+  for (size_t i = 0; i < table->count; ++i) {
+    if (table->translations[i].id == id) {
+      return table->translations[i].format;
+    }
+  }
+  return {};
+}
+
+std::vector<std::string_view> AvailableLanguages() { return {"en", "fr", "de"}; }
+
+bool IsKnownLanguage(std::string_view language) {
+  return IEquals(language, "en") || FindLanguage(language) != nullptr;
+}
+
+size_t TranslationCount(std::string_view language) {
+  const LanguageTable* table = FindLanguage(language);
+  return table == nullptr ? 0 : table->count;
+}
+
+}  // namespace weblint

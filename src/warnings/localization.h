@@ -1,0 +1,30 @@
+// Localized message catalogs (paper §6.1: "Internationalisation and
+// localisation. Masayasu Ishikawa has done a lot of work in this area,
+// which is being folded into Weblint 2").
+//
+// Each language provides translated format templates keyed by message id.
+// Lookup falls back to the English catalog text for untranslated ids, so a
+// partial translation is usable immediately. Argument placeholders (%s)
+// must match the English template one-for-one (enforced by tests).
+#ifndef WEBLINT_WARNINGS_LOCALIZATION_H_
+#define WEBLINT_WARNINGS_LOCALIZATION_H_
+
+#include <string_view>
+#include <vector>
+
+namespace weblint {
+
+// The translated format for (language, id); empty when the language is
+// unknown or the id untranslated (caller falls back to the English format).
+std::string_view LocalizedFormat(std::string_view language, std::string_view id);
+
+// Languages with translations ("en" is the catalog itself).
+std::vector<std::string_view> AvailableLanguages();
+bool IsKnownLanguage(std::string_view language);
+
+// Number of translated messages for a language (0 for unknown / "en").
+size_t TranslationCount(std::string_view language);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_WARNINGS_LOCALIZATION_H_

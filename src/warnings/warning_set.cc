@@ -1,0 +1,86 @@
+#include "warnings/warning_set.h"
+
+namespace weblint {
+
+WarningSet::WarningSet() = default;
+
+WarningSet::WarningSet(bool enable_all) {
+  for (const MessageInfo& info : AllMessages()) {
+    if (info.default_enabled != enable_all) {
+      flipped_.emplace(info.id);
+    }
+  }
+}
+
+WarningSet WarningSet::AllEnabled() { return WarningSet(true); }
+
+WarningSet WarningSet::NoneEnabled() { return WarningSet(false); }
+
+Status WarningSet::Enable(std::string_view id) {
+  const MessageInfo* info = FindMessage(id);
+  if (info == nullptr) {
+    return Fail("unknown warning identifier: " + std::string(id));
+  }
+  Set(id, true);
+  return Status::Ok();
+}
+
+Status WarningSet::Disable(std::string_view id) {
+  const MessageInfo* info = FindMessage(id);
+  if (info == nullptr) {
+    return Fail("unknown warning identifier: " + std::string(id));
+  }
+  Set(id, false);
+  return Status::Ok();
+}
+
+void WarningSet::Set(std::string_view id, bool enabled) {
+  const MessageInfo* info = FindMessage(id);
+  if (info == nullptr) {
+    return;
+  }
+  if (info->default_enabled == enabled) {
+    if (const auto it = flipped_.find(id); it != flipped_.end()) {
+      flipped_.erase(it);
+    }
+  } else {
+    flipped_.emplace(id);
+  }
+}
+
+void WarningSet::EnableCategory(Category category) {
+  for (const MessageInfo& info : AllMessages()) {
+    if (info.category == category) {
+      Set(info.id, true);
+    }
+  }
+}
+
+void WarningSet::DisableCategory(Category category) {
+  for (const MessageInfo& info : AllMessages()) {
+    if (info.category == category) {
+      Set(info.id, false);
+    }
+  }
+}
+
+bool WarningSet::IsEnabled(std::string_view id) const {
+  const MessageInfo* info = FindMessage(id);
+  if (info == nullptr) {
+    return false;
+  }
+  const bool flipped = flipped_.find(id) != flipped_.end();
+  return info->default_enabled != flipped;
+}
+
+size_t WarningSet::EnabledCount() const {
+  size_t count = 0;
+  for (const MessageInfo& info : AllMessages()) {
+    if (IsEnabled(info.id)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace weblint

@@ -1,0 +1,52 @@
+// Enable/disable state over the message catalog (paper §4.3/§4.4).
+//
+// "everything in weblint can be turned off" — the set starts from the
+// catalog defaults and is adjusted by the site config file, the user config
+// file, and command-line switches, in that order. Weblint 2's category-level
+// toggles ("Weblint 2 will let users enable and disable all messages of a
+// given category") are provided too.
+#ifndef WEBLINT_WARNINGS_WARNING_SET_H_
+#define WEBLINT_WARNINGS_WARNING_SET_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "warnings/catalog.h"
+
+namespace weblint {
+
+class WarningSet {
+ public:
+  // Starts from the catalog's default_enabled flags (42 of 50 on).
+  WarningSet();
+
+  static WarningSet AllEnabled();
+  static WarningSet NoneEnabled();
+
+  // Enable/disable one message by identifier. Unknown ids fail (weblint
+  // reports a bad -e/-d argument rather than ignoring it).
+  Status Enable(std::string_view id);
+  Status Disable(std::string_view id);
+  // Sets a message without validity checking (used when merging configs
+  // whose ids were validated at parse time).
+  void Set(std::string_view id, bool enabled);
+
+  // Weblint 2 feature: toggle a whole category.
+  void EnableCategory(Category category);
+  void DisableCategory(Category category);
+
+  bool IsEnabled(std::string_view id) const;
+  size_t EnabledCount() const;
+
+ private:
+  explicit WarningSet(bool enable_all);
+  // Messages whose state differs from default_enabled. Everything else
+  // follows the catalog default.
+  std::set<std::string, std::less<>> flipped_;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_WARNINGS_WARNING_SET_H_

@@ -1,0 +1,93 @@
+#include "baseline/naive_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/registry.h"
+#include "tests/testing/lint_helpers.h"
+
+namespace weblint {
+namespace {
+
+using testing::Page;
+
+class NaiveCheckerTest : public ::testing::Test {
+ protected:
+  std::vector<NaiveFinding> Check(std::string_view html) {
+    NaiveChecker checker(DefaultSpec());
+    return checker.Check(html);
+  }
+  size_t CountContaining(const std::vector<NaiveFinding>& findings, std::string_view needle) {
+    size_t n = 0;
+    for (const auto& finding : findings) {
+      if (finding.message.find(needle) != std::string::npos) {
+        ++n;
+      }
+    }
+    return n;
+  }
+};
+
+TEST_F(NaiveCheckerTest, BalancedDocumentIsQuiet) {
+  EXPECT_TRUE(Check(Page("<P>text</P><B>x</B>")).empty());
+}
+
+TEST_F(NaiveCheckerTest, GlobalImbalanceDetected) {
+  const auto findings = Check(Page("<B>unclosed"));
+  EXPECT_EQ(CountContaining(findings, "<B> tag(s) with no matching close"), 1u);
+}
+
+TEST_F(NaiveCheckerTest, ExtraCloseDetected) {
+  const auto findings = Check(Page("x</B>"));
+  EXPECT_EQ(CountContaining(findings, "extra </B>"), 1u);
+}
+
+TEST_F(NaiveCheckerTest, UnrecognizedTag) {
+  const auto findings = Check(Page("<WIBBLE>x</WIBBLE>"));
+  EXPECT_EQ(CountContaining(findings, "unrecognized tag <WIBBLE>"), 2u);  // Open and close.
+}
+
+TEST_F(NaiveCheckerTest, QuoteParityPerLine) {
+  const auto findings = Check(Page("<A HREF=\"x>y</A>"));
+  EXPECT_GE(CountContaining(findings, "unbalanced quotes"), 1u);
+}
+
+// The contrast cases: context defects a stack-free checker cannot see.
+TEST_F(NaiveCheckerTest, MissesOverlap) {
+  // Globally balanced, so the naive checker is silent; weblint reports the
+  // overlap.
+  const std::string html = Page("<B><I>x</B></I>");
+  EXPECT_TRUE(Check(html).empty());
+  EXPECT_FALSE(testing::LintIds(html).empty());
+}
+
+TEST_F(NaiveCheckerTest, MissesContextViolations) {
+  const std::string html = Page("<LI>stray item");
+  EXPECT_TRUE(Check(html).empty());  // LI has an optional end tag: uncountable.
+  EXPECT_FALSE(testing::LintIds(html).empty());
+}
+
+TEST_F(NaiveCheckerTest, MisattributesLineNumbers) {
+  // The imbalance is reported at the FIRST <B>, even though the unclosed
+  // one is the second — line-level precision only.
+  const auto findings = Check("<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>\n"
+                              "<P><B>fine</B></P>\n"
+                              "<P><B>unclosed</P>\n"
+                              "</BODY></HTML>\n");
+  bool found = false;
+  for (const auto& finding : findings) {
+    if (finding.message.find("<B>") != std::string::npos) {
+      found = true;
+      EXPECT_EQ(finding.location.line, 2u);  // Not line 3, where the defect is.
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(NaiveCheckerTest, TagsSpanningLinesAreMissed) {
+  // htmlchek-style line orientation: a tag broken across lines is invisible.
+  const auto findings = Check(Page("<B\nCLASS=\"x\">text</B>"));
+  EXPECT_EQ(CountContaining(findings, "extra </B>"), 1u);  // Open tag not seen.
+}
+
+}  // namespace
+}  // namespace weblint

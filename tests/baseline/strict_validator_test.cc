@@ -1,0 +1,120 @@
+#include "baseline/strict_validator.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/page_generator.h"
+#include "spec/registry.h"
+#include "tests/testing/lint_helpers.h"
+
+namespace weblint {
+namespace {
+
+using testing::Page;
+
+class StrictValidatorTest : public ::testing::Test {
+ protected:
+  ValidationResult Validate(std::string_view html) {
+    StrictValidator validator(DefaultSpec());
+    return validator.Validate(html);
+  }
+  size_t CountContaining(const ValidationResult& result, std::string_view needle) {
+    size_t n = 0;
+    for (const auto& error : result.errors) {
+      if (error.message.find(needle) != std::string::npos) {
+        ++n;
+      }
+    }
+    return n;
+  }
+};
+
+TEST_F(StrictValidatorTest, CleanStructuredDocumentValidates) {
+  EXPECT_TRUE(Validate(Page("<P>text</P><UL><LI>item</LI></UL>")).valid());
+}
+
+TEST_F(StrictValidatorTest, MissingDoctypeReported) {
+  const auto result = Validate("<HTML><HEAD><TITLE>t</TITLE></HEAD>"
+                               "<BODY><P>x</P></BODY></HTML>");
+  EXPECT_EQ(CountContaining(result, "document type declaration"), 1u);
+}
+
+TEST_F(StrictValidatorTest, CharacterDataNotAllowedInBody) {
+  // Strict DTD: BODY contains block elements only; bare text errors — the
+  // kind of complaint "requiring a grounding in SGML to understand".
+  const auto result = Validate(Page("bare text in body"));
+  EXPECT_GE(CountContaining(result, "character data"), 1u);
+}
+
+TEST_F(StrictValidatorTest, ContentModelViolation) {
+  const auto result = Validate(Page("<UL><P>not an item</P></UL>"));
+  EXPECT_GE(CountContaining(result, "does not allow element \"P\""), 1u);
+}
+
+TEST_F(StrictValidatorTest, OmittedOptionalEndTagsAreLegalSgml) {
+  EXPECT_TRUE(Validate(Page("<UL><LI>a<LI>b</UL>")).valid());
+  EXPECT_TRUE(Validate(Page("<P>one<P>two")).valid());
+}
+
+TEST_F(StrictValidatorTest, UnknownElementErrorsEveryOccurrence) {
+  // No weblint-style dedup: three uses, three errors.
+  const auto result =
+      Validate(Page("<WIB>a</WIB><WIB>b</WIB><WIB>c</WIB>"));
+  EXPECT_EQ(CountContaining(result, "element \"WIB\" undefined"), 3u);
+}
+
+TEST_F(StrictValidatorTest, OverlapCascades) {
+  // The paper's </B>-over-<A> case: the strict parser reports the omitted
+  // end tag AND the later not-open end tag — two errors where weblint's
+  // secondary stack produces one.
+  const auto result = Validate(Page("<B><A HREF=\"x\">y</B></A>"));
+  EXPECT_GE(CountContaining(result, "end tag for \"A\" omitted"), 1u);
+  EXPECT_GE(CountContaining(result, "end tag for \"A\" which is not open"), 1u);
+}
+
+TEST_F(StrictValidatorTest, UndeclaredAttribute) {
+  const auto result = Validate(Page("<P WOBBLE=\"x\">t</P>"));
+  EXPECT_EQ(CountContaining(result, "no attribute \"WOBBLE\""), 1u);
+}
+
+TEST_F(StrictValidatorTest, AttributeValueGroup) {
+  const auto result = Validate(Page("<H1 ALIGN=\"sideways\">t</H1>"));
+  EXPECT_EQ(CountContaining(result, "not a member of a group"), 1u);
+}
+
+TEST_F(StrictValidatorTest, RequiredAttributeReported) {
+  const auto result =
+      Validate(Page("<FORM METHOD=\"get\"><INPUT TYPE=\"text\" NAME=\"q\"></FORM>"));
+  EXPECT_GE(CountContaining(result, "required attribute \"ACTION\""), 1u);
+}
+
+TEST_F(StrictValidatorTest, EmptyElementEndTag) {
+  const auto result = Validate(Page("<P>x</BR></P>"));
+  EXPECT_GE(CountContaining(result, "declared EMPTY"), 1u);
+}
+
+TEST_F(StrictValidatorTest, UnclosedAtEof) {
+  // Document truncated mid-element: the omission is reported at EOF.
+  const auto result =
+      Validate("<!DOCTYPE X><HTML><BODY><P><B>never");
+  EXPECT_GE(CountContaining(result, "document ended"), 1u);
+}
+
+TEST_F(StrictValidatorTest, UnclosedBeforeParentEnd) {
+  // The wrapper's </BODY> forces the omission report at that point.
+  const auto result = Validate(Page("<B>never"));
+  EXPECT_GE(CountContaining(result, "end tag for \"B\" omitted"), 1u);
+}
+
+TEST_F(StrictValidatorTest, CascadesExceedWeblintOnDefectiveCorpus) {
+  // E3/E4 at unit scale: on defect-dense pages the strict validator
+  // produces at least as many errors as weblint produces diagnostics.
+  PageGenerator generator(5150);
+  const GeneratedPage page = generator.GenerateDefective(12, 24);
+  StrictValidator validator(DefaultSpec());
+  const size_t validator_errors = validator.Validate(page.html).errors.size();
+  const size_t weblint_diags = testing::LintIds(page.html).size();
+  EXPECT_GE(validator_errors, weblint_diags);
+}
+
+}  // namespace
+}  // namespace weblint

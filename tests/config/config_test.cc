@@ -1,0 +1,143 @@
+#include "config/config.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/file_io.h"
+
+namespace weblint {
+namespace {
+
+TEST(ConfigTest, Defaults) {
+  const Config config;
+  EXPECT_EQ(config.spec_id, "html40");
+  EXPECT_TRUE(config.enabled_extensions.empty());
+  EXPECT_EQ(config.max_title_length, 64u);
+  EXPECT_EQ(config.warnings.EnabledCount(), DefaultEnabledCount());
+}
+
+TEST(RcFileTest, EnableDisableLists) {
+  Config config;
+  ASSERT_TRUE(ApplyRcText("enable here-anchor, img-size\ndisable img-alt\n", "rc", &config).ok());
+  EXPECT_TRUE(config.warnings.IsEnabled("here-anchor"));
+  EXPECT_TRUE(config.warnings.IsEnabled("img-size"));
+  EXPECT_FALSE(config.warnings.IsEnabled("img-alt"));
+}
+
+TEST(RcFileTest, CommentsAndBlankLines) {
+  Config config;
+  ASSERT_TRUE(ApplyRcText("# a comment\n\n   \nenable img-size  # trailing comment\n", "rc",
+                          &config)
+                  .ok());
+  EXPECT_TRUE(config.warnings.IsEnabled("img-size"));
+}
+
+TEST(RcFileTest, CategoryToggles) {
+  Config config;
+  ASSERT_TRUE(ApplyRcText("disable-category style\nenable-category errors\n", "rc", &config).ok());
+  EXPECT_FALSE(config.warnings.IsEnabled("heading-in-anchor"));
+  EXPECT_TRUE(config.warnings.IsEnabled("unclosed-element"));
+}
+
+TEST(RcFileTest, Extensions) {
+  Config config;
+  ASSERT_TRUE(ApplyRcText("extension netscape\n", "rc", &config).ok());
+  EXPECT_TRUE(config.enabled_extensions.contains("netscape"));
+  EXPECT_FALSE(ApplyRcText("extension amiga\n", "rc", &config).ok());
+}
+
+TEST(RcFileTest, HtmlVersion) {
+  Config config;
+  ASSERT_TRUE(ApplyRcText("html-version html32\n", "rc", &config).ok());
+  EXPECT_EQ(config.spec_id, "html32");
+  EXPECT_FALSE(ApplyRcText("html-version html99\n", "rc", &config).ok());
+}
+
+TEST(RcFileTest, SetOptions) {
+  Config config;
+  ASSERT_TRUE(ApplyRcText("set title-length 40\n"
+                          "set case upper\n"
+                          "set index-files default.html, home.html\n"
+                          "set content-free here, click me\n",
+                          "rc", &config)
+                  .ok());
+  EXPECT_EQ(config.max_title_length, 40u);
+  EXPECT_EQ(config.case_style, CaseStyle::kUpper);
+  ASSERT_EQ(config.index_files.size(), 2u);
+  EXPECT_EQ(config.index_files[0], "default.html");
+  ASSERT_EQ(config.content_free_words.size(), 2u);
+  EXPECT_EQ(config.content_free_words[1], "click me");
+}
+
+TEST(RcFileTest, InvalidSetValues) {
+  Config config;
+  EXPECT_FALSE(ApplyRcText("set title-length zero\n", "rc", &config).ok());
+  EXPECT_FALSE(ApplyRcText("set title-length 0\n", "rc", &config).ok());
+  EXPECT_FALSE(ApplyRcText("set case sideways\n", "rc", &config).ok());
+  EXPECT_FALSE(ApplyRcText("set unknown-option 1\n", "rc", &config).ok());
+}
+
+TEST(RcFileTest, UnknownDirectiveFailsWithLineNumber) {
+  Config config;
+  const Status status = ApplyRcText("enable img-size\nfrobnicate all\n", "rc", &config);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("rc:2"), std::string::npos);
+  EXPECT_NE(status.message().find("frobnicate"), std::string::npos);
+}
+
+TEST(RcFileTest, UnknownMessageIdFails) {
+  Config config;
+  EXPECT_FALSE(ApplyRcText("enable no-such-warning\n", "rc", &config).ok());
+}
+
+class RcFilesOnDiskTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("weblint_config_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(RcFilesOnDiskTest, MissingFileIsNotAnError) {
+  Config config;
+  EXPECT_TRUE(LoadRcFile(Path("absent"), &config).ok());
+}
+
+TEST_F(RcFilesOnDiskTest, UserOverridesSite) {
+  // Paper §4.4: "The user's file can either extend or over-ride the site
+  // configuration."
+  ASSERT_TRUE(WriteFile(Path("site"), "enable img-size\ndisable img-alt\n").ok());
+  ASSERT_TRUE(WriteFile(Path("user"), "enable img-alt\n").ok());
+  Config config;
+  ASSERT_TRUE(LoadStandardConfig(Path("site"), Path("user"), &config).ok());
+  EXPECT_TRUE(config.warnings.IsEnabled("img-size"));  // Extended by site.
+  EXPECT_TRUE(config.warnings.IsEnabled("img-alt"));   // Over-ridden by user.
+}
+
+TEST_F(RcFilesOnDiskTest, CommandLineOverridesBothFiles) {
+  ASSERT_TRUE(WriteFile(Path("site"), "enable here-anchor\n").ok());
+  ASSERT_TRUE(WriteFile(Path("user"), "enable here-anchor\n").ok());
+  Config config;
+  ASSERT_TRUE(LoadStandardConfig(Path("site"), Path("user"), &config).ok());
+  // The CLI applies switches after the files.
+  ASSERT_TRUE(config.warnings.Disable("here-anchor").ok());
+  EXPECT_FALSE(config.warnings.IsEnabled("here-anchor"));
+}
+
+TEST_F(RcFilesOnDiskTest, BadSiteFileFailsLoad) {
+  ASSERT_TRUE(WriteFile(Path("site"), "bogus directive\n").ok());
+  Config config;
+  EXPECT_FALSE(LoadStandardConfig(Path("site"), "", &config).ok());
+}
+
+}  // namespace
+}  // namespace weblint

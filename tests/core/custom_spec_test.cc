@@ -1,0 +1,88 @@
+// Custom elements and attributes (paper §6.1: "Much greater
+// configurability. For example, to provide additional examples of
+// content-free text, custom elements and attributes").
+#include <gtest/gtest.h>
+
+#include "tests/testing/lint_helpers.h"
+
+namespace weblint {
+namespace {
+
+using testing::HasId;
+using testing::LintIds;
+using testing::Page;
+
+Config WithRc(std::string_view rc) {
+  Config config;
+  EXPECT_TRUE(ApplyRcText(rc, "rc", &config).ok());
+  return config;
+}
+
+TEST(CustomSpecTest, CustomContainerElementAccepted) {
+  const Config config = WithRc("element acme-note container\n");
+  EXPECT_FALSE(HasId(LintIds(Page("<ACME-NOTE>hello</ACME-NOTE>"), config), "unknown-element"));
+  // Without the directive it is unknown.
+  EXPECT_TRUE(HasId(LintIds(Page("<ACME-NOTE>hello</ACME-NOTE>")), "unknown-element"));
+}
+
+TEST(CustomSpecTest, CustomContainerStillNeedsClosing) {
+  const Config config = WithRc("element acme-note container\n");
+  EXPECT_TRUE(HasId(LintIds(Page("<ACME-NOTE>open"), config), "unclosed-element"));
+}
+
+TEST(CustomSpecTest, CustomEmptyElementRejectsClose) {
+  const Config config = WithRc("element acme-mark empty\n");
+  EXPECT_TRUE(LintIds(Page("x<ACME-MARK>y"), config).empty());
+  EXPECT_TRUE(HasId(LintIds(Page("x</ACME-MARK>"), config), "illegal-closing"));
+}
+
+TEST(CustomSpecTest, CustomElementTakesCoreAttributes) {
+  const Config config = WithRc("element acme-note container\n");
+  EXPECT_TRUE(
+      LintIds(Page("<ACME-NOTE ID=\"n1\" CLASS=\"tip\">x</ACME-NOTE>"), config).empty());
+}
+
+TEST(CustomSpecTest, CustomAttributeOnStandardElement) {
+  // Generation tools insert tool-specific attributes (paper §4.6: "many
+  // editing and generation tools insert tool-specific markup ... These
+  // result in noise"); declaring them silences the noise.
+  const Config config = WithRc("attribute p acme-generated\n");
+  EXPECT_FALSE(HasId(LintIds(Page("<P ACME-GENERATED=\"v2\">x</P>"), config),
+                     "unknown-attribute"));
+  EXPECT_TRUE(HasId(LintIds(Page("<P ACME-GENERATED=\"v2\">x</P>")), "unknown-attribute"));
+}
+
+TEST(CustomSpecTest, CustomAttributePatternEnforced) {
+  const Config config = WithRc("attribute p acme-rev [0-9]+\n");
+  EXPECT_TRUE(LintIds(Page("<P ACME-REV=\"42\">x</P>"), config).empty());
+  EXPECT_TRUE(HasId(LintIds(Page("<P ACME-REV=\"vii\">x</P>"), config), "attribute-value"));
+}
+
+TEST(CustomSpecTest, BadPatternRejectedAtParseTime) {
+  Config config;
+  EXPECT_FALSE(ApplyRcText("attribute p acme-rev [unclosed\n", "rc", &config).ok());
+}
+
+TEST(CustomSpecTest, BlockCustomElementClosesParagraph) {
+  const Config config = WithRc("element acme-sidebar container block\n");
+  // A block-level custom element implicitly closes an open <P>.
+  EXPECT_TRUE(
+      LintIds(Page("<P>intro<ACME-SIDEBAR>aside</ACME-SIDEBAR>"), config).empty());
+}
+
+TEST(CustomSpecTest, MalformedDirectivesFail) {
+  Config config;
+  EXPECT_FALSE(ApplyRcText("element acme-note\n", "rc", &config).ok());
+  EXPECT_FALSE(ApplyRcText("element acme-note sometimes\n", "rc", &config).ok());
+  EXPECT_FALSE(ApplyRcText("element acme-note container sideways\n", "rc", &config).ok());
+  EXPECT_FALSE(ApplyRcText("attribute p\n", "rc", &config).ok());
+}
+
+TEST(CustomSpecTest, StandardTablesUnaffectedForOtherChecks) {
+  const Config config = WithRc("element acme-note container\n");
+  // The extension is additive: a genuine typo still reports.
+  EXPECT_TRUE(HasId(LintIds(Page("<BLOCKQOUTE>x</BLOCKQOUTE>"), config), "unknown-element"));
+}
+
+}  // namespace
+}  // namespace weblint

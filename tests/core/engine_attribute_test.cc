@@ -1,0 +1,174 @@
+// Attribute checks: quoting, delimiters, values, required, repeated,
+// extensions, deprecation.
+#include <gtest/gtest.h>
+
+#include "tests/testing/lint_helpers.h"
+
+namespace weblint {
+namespace {
+
+using testing::CountId;
+using testing::HasId;
+using testing::LintIds;
+using testing::LintReportFor;
+using testing::Page;
+
+TEST(AttributeTest, UnknownAttribute) {
+  const auto report = LintReportFor(Page("<P WOBBLE=\"x\">t</P>"));
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].message_id, "unknown-attribute");
+  EXPECT_NE(report.diagnostics[0].message.find("WOBBLE"), std::string::npos);
+  EXPECT_NE(report.diagnostics[0].message.find("<P>"), std::string::npos);
+}
+
+TEST(AttributeTest, IllegalValueIncludesTheValue) {
+  const auto report = LintReportFor(Page("<H1 ALIGN=\"sideways\">t</H1>"));
+  bool found = false;
+  for (const auto& d : report.diagnostics) {
+    if (d.message_id == "attribute-value") {
+      found = true;
+      EXPECT_EQ(d.message, "illegal value for ALIGN attribute of H1 (sideways)");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AttributeTest, LegalEnumValuesCaseInsensitive) {
+  // ALIGN is deprecated on H1 but "Center" is a legal value in any case.
+  const auto ids = LintIds(Page("<H1 ALIGN=\"Center\">t</H1>"));
+  EXPECT_FALSE(HasId(ids, "attribute-value"));
+  EXPECT_TRUE(HasId(ids, "deprecated-attribute"));
+}
+
+TEST(AttributeTest, QuoteAttributeValueMessageShape) {
+  const auto report = LintReportFor(
+      "<!DOCTYPE X>\n<HTML>\n<HEAD><TITLE>t</TITLE></HEAD>\n<BODY TEXT=#00ff00>\n"
+      "<P>x</P>\n</BODY>\n</HTML>\n");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].message,
+            "value for attribute TEXT (#00ff00) of element BODY should be quoted "
+            "(i.e. TEXT=\"#00ff00\")");
+}
+
+TEST(AttributeTest, NameTokenValuesNeedNoQuotes) {
+  EXPECT_TRUE(LintIds(Page("<P ALIGN=left CLASS=body1>x</P>")).empty()
+              // ALIGN deprecated fires; check only quoting here.
+              || !HasId(LintIds(Page("<P ALIGN=left CLASS=body1>x</P>")),
+                        "quote-attribute-value"));
+}
+
+TEST(AttributeTest, SingleQuoteDelimiterWarns) {
+  EXPECT_TRUE(HasId(LintIds(Page("<A HREF='x.html'>y</A>")), "attribute-delimiter"));
+  EXPECT_FALSE(HasId(LintIds(Page("<A HREF=\"x.html\">y</A>")), "attribute-delimiter"));
+}
+
+TEST(AttributeTest, RepeatedAttribute) {
+  const auto ids = LintIds(Page("<IMG SRC=\"a.gif\" ALT=\"x\" SRC=\"b.gif\">"));
+  EXPECT_EQ(CountId(ids, "repeated-attribute"), 1u);
+  // Case-insensitive: src and SRC are the same attribute.
+  const auto ids2 = LintIds(Page("<IMG src=\"a.gif\" ALT=\"x\" SRC=\"b.gif\">"));
+  EXPECT_EQ(CountId(ids2, "repeated-attribute"), 1u);
+}
+
+TEST(AttributeTest, RequiredAttributeTextarea) {
+  // Paper §4.3: "Forgetting required attributes, such as ROWS and COLS,
+  // for the TEXTAREA element."
+  const auto ids =
+      LintIds(Page("<FORM ACTION=\"a.cgi\"><TEXTAREA NAME=\"t\"></TEXTAREA></FORM>"));
+  EXPECT_EQ(CountId(ids, "required-attribute"), 2u);
+  EXPECT_TRUE(
+      LintIds(Page("<FORM ACTION=\"a.cgi\"><TEXTAREA NAME=\"t\" ROWS=\"4\" COLS=\"40\">"
+                   "</TEXTAREA></FORM>"))
+          .empty());
+}
+
+TEST(AttributeTest, BooleanAttributesTakeNoValue) {
+  EXPECT_TRUE(
+      LintIds(Page("<FORM ACTION=\"a.cgi\"><INPUT TYPE=\"checkbox\" NAME=\"c\" CHECKED>"
+                   "</FORM>"))
+          .empty());
+}
+
+TEST(AttributeTest, ExtensionAttributeNamesVendor) {
+  const auto report = LintReportFor(Page("<IMG SRC=\"a.gif\" ALT=\"x\" LOWSRC=\"b.gif\">"));
+  bool found = false;
+  for (const auto& d : report.diagnostics) {
+    if (d.message_id == "extension-attribute") {
+      found = true;
+      EXPECT_NE(d.message.find("Netscape"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AttributeTest, ExtensionAttributeSilencedWhenEnabled) {
+  Config config;
+  config.enabled_extensions.insert("netscape");
+  const auto ids = LintIds(Page("<IMG SRC=\"a.gif\" ALT=\"x\" LOWSRC=\"b.gif\">"), config);
+  EXPECT_FALSE(HasId(ids, "extension-attribute"));
+}
+
+TEST(AttributeTest, ExtensionAttributeValuesStillChecked) {
+  // Even with the extension enabled, its value pattern applies.
+  Config config;
+  config.enabled_extensions.insert("microsoft");
+  const auto ids =
+      LintIds(Page("<TABLE SUMMARY=\"s\" BORDERCOLOR=\"notacolor\"><TR><TD>x</TD></TR></TABLE>"),
+              config);
+  EXPECT_TRUE(HasId(ids, "attribute-value"));
+}
+
+TEST(AttributeTest, DeprecatedAttribute) {
+  EXPECT_TRUE(HasId(LintIds(Page("<UL TYPE=\"disc\"><LI>x</LI></UL>")), "deprecated-attribute"));
+  EXPECT_FALSE(HasId(LintIds(Page("<UL><LI>x</LI></UL>")), "deprecated-attribute"));
+}
+
+TEST(AttributeTest, ClosingTagWithAttributes) {
+  EXPECT_TRUE(HasId(LintIds(Page("<B>x</B CLASS=\"y\">")), "closing-attribute"));
+}
+
+TEST(AttributeTest, UnknownElementAttributesNotChecked) {
+  // Cascade suppression: the unknown element is one report; its attributes
+  // cannot be validated against anything.
+  const auto ids = LintIds(Page("<WIBBLE FROB=\"x\">y</WIBBLE>"));
+  EXPECT_TRUE(HasId(ids, "unknown-element"));
+  EXPECT_FALSE(HasId(ids, "unknown-attribute"));
+}
+
+TEST(AttributeTest, UnterminatedQuoteSuppressesValueChecks) {
+  // The odd-quotes report covers the whole tag; value checks on the mangled
+  // attribute would cascade.
+  const auto ids = LintIds(Page("<A HREF=\"broken.html>x</A>"));
+  EXPECT_TRUE(HasId(ids, "odd-quotes"));
+  EXPECT_FALSE(HasId(ids, "quote-attribute-value"));
+  EXPECT_FALSE(HasId(ids, "attribute-value"));
+}
+
+TEST(AttributeTest, OddQuotesMessageIncludesRawTag) {
+  const auto report = LintReportFor(Page("<A HREF=\"broken.html>x</A>"));
+  bool found = false;
+  for (const auto& d : report.diagnostics) {
+    if (d.message_id == "odd-quotes") {
+      found = true;
+      EXPECT_EQ(d.message, "odd number of quotes in element <A HREF=\"broken.html>");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AttributeTest, NumericPatterns) {
+  EXPECT_TRUE(HasId(
+      LintIds(Page("<TABLE SUMMARY=\"s\" BORDER=\"thick\"><TR><TD>x</TD></TR></TABLE>")),
+      "attribute-value"));
+  EXPECT_TRUE(
+      LintIds(Page("<TABLE SUMMARY=\"s\" BORDER=\"2\" WIDTH=\"80%\"><TR><TD>x</TD></TR></TABLE>"))
+          .empty());
+}
+
+TEST(AttributeTest, ValueWhitespaceTrimmedBeforePatternCheck) {
+  EXPECT_FALSE(
+      HasId(LintIds(Page("<H1 ALIGN=\" center \">x</H1>")), "attribute-value"));
+}
+
+}  // namespace
+}  // namespace weblint

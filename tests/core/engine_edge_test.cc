@@ -1,0 +1,182 @@
+// Engine edge cases: pathological structures, case handling, interactions.
+#include <gtest/gtest.h>
+
+#include "tests/testing/lint_helpers.h"
+
+namespace weblint {
+namespace {
+
+using testing::CountId;
+using testing::HasId;
+using testing::LintIds;
+using testing::Page;
+
+TEST(EngineEdgeTest, TagMatchingIsCaseInsensitive) {
+  EXPECT_TRUE(LintIds(Page("<B>bold</b>")).empty());
+  EXPECT_TRUE(LintIds(Page("<b>bold</B>")).empty());
+}
+
+TEST(EngineEdgeTest, DeepNestingIsHandled) {
+  std::string body;
+  for (int i = 0; i < 500; ++i) {
+    body += "<EM>";
+  }
+  body += "deep";
+  for (int i = 0; i < 500; ++i) {
+    body += "</EM>";
+  }
+  EXPECT_TRUE(LintIds(Page(body)).empty());
+}
+
+TEST(EngineEdgeTest, DeepUnclosedNestingReportsEach) {
+  std::string body;
+  for (int i = 0; i < 50; ++i) {
+    body += "<EM>x";
+  }
+  const auto ids = LintIds(Page(body));
+  EXPECT_EQ(CountId(ids, "unclosed-element"), 50u);
+}
+
+TEST(EngineEdgeTest, DocumentOfOnlyComments) {
+  const auto ids = LintIds("<!-- one --><!-- two -->");
+  // No elements at all: nothing to complain about (not even require-head,
+  // which needs an element to have been seen).
+  EXPECT_TRUE(ids.empty());
+}
+
+TEST(EngineEdgeTest, DoctypeOnly) {
+  EXPECT_TRUE(LintIds("<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0//EN\">\n").empty());
+}
+
+TEST(EngineEdgeTest, MultipleBodiesReported) {
+  const std::string html =
+      "<!DOCTYPE X>\n<HTML>\n<HEAD><TITLE>t</TITLE></HEAD>\n"
+      "<BODY><P>one</P></BODY>\n<BODY><P>two</P></BODY>\n</HTML>\n";
+  EXPECT_EQ(CountId(LintIds(html), "once-only"), 1u);
+}
+
+TEST(EngineEdgeTest, NestedTablesAreLegal) {
+  EXPECT_TRUE(LintIds(Page("<TABLE SUMMARY=\"outer\"><TR><TD>"
+                           "<TABLE SUMMARY=\"inner\"><TR><TD>x</TD></TR></TABLE>"
+                           "</TD></TR></TABLE>"))
+                  .empty());
+}
+
+TEST(EngineEdgeTest, FormInTableInFormIsSelfNesting) {
+  const auto ids = LintIds(
+      Page("<FORM ACTION=\"a\"><TABLE SUMMARY=\"s\"><TR><TD>"
+           "<FORM ACTION=\"b\"><INPUT TYPE=\"text\" NAME=\"q\"></FORM>"
+           "</TD></TR></TABLE></FORM>"));
+  EXPECT_TRUE(HasId(ids, "nested-element"));
+}
+
+TEST(EngineEdgeTest, TdDirectlyInTableImpliesRow) {
+  const auto ids = LintIds(Page("<TABLE SUMMARY=\"s\"><TD>x</TD></TABLE>"));
+  EXPECT_TRUE(HasId(ids, "implied-element"));
+}
+
+TEST(EngineEdgeTest, StrayHtmlCloseAfterDocument) {
+  const std::string html =
+      "<!DOCTYPE X>\n<HTML>\n<HEAD><TITLE>t</TITLE></HEAD>\n"
+      "<BODY><P>x</P></BODY>\n</HTML>\n</HTML>\n";
+  // HTML has an optional end tag: the stray close is tolerated quietly.
+  EXPECT_TRUE(LintIds(html).empty());
+}
+
+TEST(EngineEdgeTest, EntitiesInsidePreAreChecked) {
+  EXPECT_TRUE(HasId(LintIds(Page("<PRE>&wibble;</PRE>")), "unknown-entity"));
+  EXPECT_FALSE(HasId(LintIds(Page("<PRE>&amp;</PRE>")), "unknown-entity"));
+}
+
+TEST(EngineEdgeTest, EntitiesInsideScriptAreNotChecked) {
+  EXPECT_FALSE(HasId(LintIds(testing::PageWithHead(
+                         "<SCRIPT TYPE=\"t\">if (a && b) x();</SCRIPT>")),
+                     "unknown-entity"));
+}
+
+TEST(EngineEdgeTest, UnknownElementsContentStillChecked) {
+  // Content inside an unknown element is still linted.
+  const auto ids = LintIds(Page("<WIBBLE><IMG SRC=\"a.gif\"></WIBBLE>"));
+  EXPECT_TRUE(HasId(ids, "unknown-element"));
+  EXPECT_TRUE(HasId(ids, "img-alt"));
+}
+
+TEST(EngineEdgeTest, ListsWithinListsAutoClose) {
+  EXPECT_TRUE(LintIds(Page("<UL><LI>a<UL><LI>a1<LI>a2</UL><LI>b</UL>")).empty());
+}
+
+TEST(EngineEdgeTest, DlWithAlternatingTerms) {
+  EXPECT_TRUE(LintIds(Page("<DL><DT>x<DD>def<DT>y<DD>def</DL>")).empty());
+}
+
+TEST(EngineEdgeTest, SelectWithOptions) {
+  EXPECT_TRUE(LintIds(Page("<FORM ACTION=\"a\"><SELECT NAME=\"s\">"
+                           "<OPTION>one<OPTION SELECTED>two</SELECT></FORM>"))
+                  .empty());
+}
+
+TEST(EngineEdgeTest, HeadingMismatchThenCorrectHeading) {
+  // The ad-hoc heading recovery must leave the stack usable.
+  const auto ids = LintIds(Page("<H1>bad</H2><H3>good</H3>"));
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], "heading-mismatch");
+}
+
+TEST(EngineEdgeTest, MultipleOverlapsResolveIndependently) {
+  const auto ids = LintIds(Page("<B><I>x</B></I> and <TT><EM>y</TT></EM>"));
+  EXPECT_EQ(CountId(ids, "element-overlap"), 2u);
+  EXPECT_FALSE(HasId(ids, "unmatched-close"));
+}
+
+TEST(EngineEdgeTest, CommentBetweenHeadAndBody) {
+  const std::string html =
+      "<!DOCTYPE X>\n<HTML>\n<HEAD><TITLE>t</TITLE></HEAD>\n"
+      "<!-- navigation block follows -->\n<BODY><P>x</P></BODY>\n</HTML>\n";
+  EXPECT_TRUE(LintIds(html).empty());
+}
+
+TEST(EngineEdgeTest, WhitespaceOnlyTextDoesNotMarkContent) {
+  EXPECT_TRUE(HasId(LintIds(Page("<B>   \n\t  </B>")), "empty-container"));
+}
+
+TEST(EngineEdgeTest, AccumulatedAnchorTextSpansChildren) {
+  // "here" split across inline children still trips here-anchor.
+  Config config;
+  ASSERT_TRUE(config.warnings.Enable("here-anchor").ok());
+  const auto ids = LintIds(Page("<A HREF=\"x.html\"><B>here</B></A>"), config);
+  EXPECT_TRUE(HasId(ids, "here-anchor"));
+}
+
+TEST(EngineEdgeTest, TitleLengthUsesConfiguredLimit) {
+  Config config;
+  ASSERT_TRUE(ApplyRcText("enable title-length\nset title-length 10\n", "rc", &config).ok());
+  const std::string html =
+      "<!DOCTYPE X>\n<HTML><HEAD><TITLE>a title beyond ten</TITLE></HEAD>"
+      "<BODY><P>x</P></BODY></HTML>\n";
+  EXPECT_TRUE(HasId(LintIds(html, config), "title-length"));
+
+  Config lax;
+  ASSERT_TRUE(ApplyRcText("enable title-length\nset title-length 100\n", "rc", &lax).ok());
+  EXPECT_FALSE(HasId(LintIds(html, lax), "title-length"));
+}
+
+TEST(EngineEdgeTest, ContentFreeWordsConfigurable) {
+  Config config;
+  ASSERT_TRUE(
+      ApplyRcText("enable here-anchor\nset content-free golden widgets\n", "rc", &config).ok());
+  EXPECT_TRUE(
+      HasId(LintIds(Page("<A HREF=\"x.html\">golden widgets</A>"), config), "here-anchor"));
+  // The stock word "here" is no longer in the configured list.
+  EXPECT_FALSE(HasId(LintIds(Page("<A HREF=\"x.html\">here</A>"), config), "here-anchor"));
+}
+
+TEST(EngineEdgeTest, LayeredExtensionsBothEnabled) {
+  Config config;
+  config.enabled_extensions.insert("netscape");
+  config.enabled_extensions.insert("microsoft");
+  EXPECT_TRUE(
+      LintIds(Page("<BLINK>x</BLINK><MARQUEE>y</MARQUEE>"), config).empty());
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,262 @@
+// Structure checks: stack discipline, implicit closes, placement, ordering.
+#include <gtest/gtest.h>
+
+#include "tests/testing/lint_helpers.h"
+
+namespace weblint {
+namespace {
+
+using testing::CountId;
+using testing::HasId;
+using testing::LintIds;
+using testing::LintReportFor;
+using testing::Page;
+
+TEST(StructureTest, CleanPageIsClean) {
+  EXPECT_TRUE(LintIds(Page("<P>hello</P>")).empty());
+}
+
+TEST(StructureTest, OptionalEndTagsNeedNoClose) {
+  EXPECT_TRUE(LintIds(Page("<P>one<P>two<P>three")).empty());
+  EXPECT_TRUE(LintIds(Page("<UL><LI>a<LI>b<LI>c</UL>")).empty());
+  EXPECT_TRUE(
+      LintIds(Page("<TABLE SUMMARY=\"s\"><TR><TD>a<TD>b<TR><TD>c</TABLE>")).empty());
+  EXPECT_TRUE(LintIds(Page("<DL><DT>term<DD>def<DT>term2<DD>def2</DL>")).empty());
+}
+
+TEST(StructureTest, BlockElementClosesOpenParagraph) {
+  // <P> is implicitly closed by a following block element.
+  EXPECT_TRUE(LintIds(Page("<P>text<TABLE SUMMARY=\"s\"><TR><TD>x</TD></TR></TABLE>")).empty());
+}
+
+TEST(StructureTest, UnclosedRequiredContainerAtEof) {
+  const auto report = LintReportFor(Page("<B>never closed"));
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].message_id, "unclosed-element");
+  EXPECT_NE(report.diagnostics[0].message.find("</B>"), std::string::npos);
+}
+
+TEST(StructureTest, UnclosedReportsOpenLine) {
+  // Paper output: "no closing </TITLE> seen for <TITLE> on line 3".
+  const std::string html =
+      "<!DOCTYPE X>\n<HTML>\n<HEAD>\n<TITLE>x\n</HEAD>\n<BODY>\n<P>y</P>\n</BODY>\n</HTML>\n";
+  const auto report = LintReportFor(html);
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].message_id, "unclosed-element");
+  EXPECT_EQ(report.diagnostics[0].location.line, 5u);  // At the forcing </HEAD>.
+  EXPECT_NE(report.diagnostics[0].message.find("on line 4"), std::string::npos);
+}
+
+TEST(StructureTest, HeadingMismatchConsumesBothTags) {
+  const auto ids = LintIds(Page("<H1>title</H2>"));
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], "heading-mismatch");
+}
+
+TEST(StructureTest, MatchedHeadingIsFine) {
+  EXPECT_TRUE(LintIds(Page("<H2>title</H2>")).empty());
+}
+
+TEST(StructureTest, OnceOnlyTitle) {
+  const std::string html =
+      "<!DOCTYPE X>\n<HTML>\n<HEAD>\n<TITLE>a</TITLE>\n<TITLE>b</TITLE>\n</HEAD>\n"
+      "<BODY><P>x</P></BODY>\n</HTML>\n";
+  const auto report = LintReportFor(html);
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].message_id, "once-only");
+  EXPECT_EQ(report.diagnostics[0].location.line, 5u);
+  EXPECT_NE(report.diagnostics[0].message.find("line 4"), std::string::npos);
+}
+
+TEST(StructureTest, HtmlOuterFiresWhenFirstTagIsNotHtml) {
+  const auto ids = LintIds("<!DOCTYPE X>\n<BODY><P>x</P></BODY>\n");
+  EXPECT_TRUE(HasId(ids, "html-outer"));
+}
+
+TEST(StructureTest, RequireDoctypeAtFirstElement) {
+  const auto report = LintReportFor("<HTML><HEAD><TITLE>t</TITLE></HEAD>"
+                                    "<BODY><P>x</P></BODY></HTML>");
+  ASSERT_GE(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].message_id, "require-doctype");
+  EXPECT_EQ(report.diagnostics[0].location.line, 1u);
+}
+
+TEST(StructureTest, HeadOnlyElementInBody) {
+  const auto ids = LintIds(Page("<META CONTENT=\"x\" NAME=\"y\">"));
+  EXPECT_TRUE(HasId(ids, "head-element"));
+}
+
+TEST(StructureTest, HeadOnlyElementInHeadIsFine) {
+  const auto ids =
+      LintIds(testing::PageWithHead("<META NAME=\"keywords\" CONTENT=\"weblint\">"));
+  EXPECT_TRUE(ids.empty()) << ids.size();
+}
+
+TEST(StructureTest, RequireHeadAndTitle) {
+  EXPECT_TRUE(HasId(LintIds("<!DOCTYPE X><HTML><BODY><P>x</P></BODY></HTML>"), "require-head"));
+  EXPECT_TRUE(HasId(
+      LintIds("<!DOCTYPE X><HTML><HEAD><META CONTENT=\"c\"></HEAD><BODY><P>x</P></BODY></HTML>"),
+      "require-title"));
+}
+
+TEST(StructureTest, RequireTitleSuppressedWhenNoHead) {
+  // Cascade suppression: a missing HEAD already implies a missing TITLE.
+  const auto ids = LintIds("<!DOCTYPE X><HTML><BODY><P>x</P></BODY></HTML>");
+  EXPECT_TRUE(HasId(ids, "require-head"));
+  EXPECT_FALSE(HasId(ids, "require-title"));
+}
+
+TEST(StructureTest, MustFollowBodyWithoutHead) {
+  const auto ids = LintIds("<!DOCTYPE X><HTML><BODY><P>x</P></BODY></HTML>");
+  EXPECT_TRUE(HasId(ids, "must-follow"));
+}
+
+TEST(StructureTest, ImpliedElementListItem) {
+  const auto ids = LintIds(Page("<LI>stray item"));
+  EXPECT_TRUE(HasId(ids, "implied-element"));
+  EXPECT_FALSE(HasId(ids, "required-context"));
+}
+
+TEST(StructureTest, RequiredContextInput) {
+  const auto ids = LintIds(Page("<INPUT TYPE=\"text\" NAME=\"q\">"));
+  EXPECT_TRUE(HasId(ids, "required-context"));
+}
+
+TEST(StructureTest, ContextSatisfiedByAncestorNotJustParent) {
+  // INPUT nested in a TABLE inside a FORM is still inside a FORM.
+  EXPECT_TRUE(LintIds(Page("<FORM ACTION=\"a.cgi\"><TABLE SUMMARY=\"s\"><TR><TD>"
+                           "<INPUT TYPE=\"text\" NAME=\"q\"></TD></TR></TABLE></FORM>"))
+                  .empty());
+}
+
+TEST(StructureTest, NestedAnchorReported) {
+  const auto report = LintReportFor(Page("<A HREF=\"a.html\">x <A HREF=\"b.html\">y</A> z</A>"));
+  bool found = false;
+  for (const auto& d : report.diagnostics) {
+    if (d.message_id == "nested-element") {
+      found = true;
+      EXPECT_NE(d.message.find("<A>"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(StructureTest, IllegalClosingOfEmptyElement) {
+  const auto ids = LintIds(Page("text</BR>"));
+  EXPECT_TRUE(HasId(ids, "illegal-closing"));
+}
+
+TEST(StructureTest, UnmatchedCloseOfRequiredContainer) {
+  const auto ids = LintIds(Page("text</B>"));
+  EXPECT_TRUE(HasId(ids, "unmatched-close"));
+}
+
+TEST(StructureTest, StrayOptionalCloseIsTolerated) {
+  // </P> after the P was auto-closed: unremarkable.
+  EXPECT_TRUE(LintIds(Page("<P>one<UL><LI>x</LI></UL></P>")).empty());
+}
+
+TEST(StructureTest, EmptyContainerFlagged) {
+  EXPECT_TRUE(HasId(LintIds(Page("<B></B>")), "empty-container"));
+  EXPECT_FALSE(HasId(LintIds(Page("<B>x</B>")), "empty-container"));
+}
+
+TEST(StructureTest, EmptyTableCellOk) {
+  EXPECT_TRUE(
+      LintIds(Page("<TABLE SUMMARY=\"s\"><TR><TD></TD><TD>x</TD></TR></TABLE>")).empty());
+}
+
+TEST(StructureTest, EmptyNamedAnchorOk) {
+  // <A NAME="x"></A> is the classic fragment target.
+  EXPECT_TRUE(LintIds(Page("<A NAME=\"target\"></A><P>x</P>")).empty());
+  EXPECT_TRUE(HasId(LintIds(Page("<A HREF=\"x.html\"></A>")), "empty-container"));
+}
+
+TEST(StructureTest, UnknownElementSuggestsCorrection) {
+  const auto report = LintReportFor(Page("<BLOCKQOUTE>quote</BLOCKQOUTE>"));
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].message_id, "unknown-element");
+  EXPECT_NE(report.diagnostics[0].message.find("BLOCKQUOTE"), std::string::npos);
+}
+
+TEST(StructureTest, UnknownElementReportedOncePerName) {
+  const auto ids = LintIds(Page("<WIBBLE>a</WIBBLE><WIBBLE>b</WIBBLE>"));
+  EXPECT_EQ(CountId(ids, "unknown-element"), 1u);
+}
+
+TEST(StructureTest, ExtensionMarkupWarns) {
+  EXPECT_TRUE(HasId(LintIds(Page("<BLINK>hi</BLINK>")), "extension-markup"));
+}
+
+TEST(StructureTest, ExtensionMarkupSilencedWhenEnabled) {
+  Config config;
+  config.enabled_extensions.insert("netscape");
+  EXPECT_FALSE(HasId(LintIds(Page("<BLINK>hi</BLINK>"), config), "extension-markup"));
+  // Microsoft extensions still warn.
+  EXPECT_TRUE(HasId(LintIds(Page("<MARQUEE>hi</MARQUEE>"), config), "extension-markup"));
+}
+
+TEST(StructureTest, DeprecatedElementSuggestsReplacement) {
+  const auto report = LintReportFor(Page("<LISTING>old</LISTING>"));
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].message_id, "deprecated-element");
+  // Paper §4.3: "in place of which you should use the <PRE> element".
+  EXPECT_NE(report.diagnostics[0].message.find("<PRE>"), std::string::npos);
+}
+
+TEST(StructureTest, Html32RejectsHtml40Elements) {
+  Config config;
+  config.spec_id = "html32";
+  const auto ids = LintIds(Page("<SPAN CLASS=\"x\">y</SPAN>"), config);
+  EXPECT_TRUE(HasId(ids, "unknown-element"));
+}
+
+TEST(StructureTest, FramesetDocumentStructure) {
+  const std::string html =
+      "<!DOCTYPE X>\n<HTML>\n<HEAD><TITLE>f</TITLE></HEAD>\n"
+      "<FRAMESET COLS=\"50%,50%\">\n<FRAME SRC=\"a.html\">\n<FRAME SRC=\"b.html\">\n"
+      "<NOFRAMES><P>no frames</P></NOFRAMES>\n</FRAMESET>\n</HTML>\n";
+  EXPECT_TRUE(LintIds(html).empty());
+}
+
+TEST(StructureTest, FrameOutsideFramesetIsContextError) {
+  EXPECT_TRUE(HasId(LintIds(Page("<FRAME SRC=\"a.html\">")), "required-context"));
+}
+
+TEST(StructureTest, CaseStyleChecksRespectConfig) {
+  Config upper;
+  ASSERT_TRUE(ApplyRcText("set case upper\n", "rc", &upper).ok());
+  EXPECT_TRUE(HasId(LintIds(Page("<b>x</b>"), upper), "upper-case"));
+  EXPECT_FALSE(HasId(LintIds(Page("<B>x</B>"), upper), "upper-case"));
+
+  Config lower;
+  ASSERT_TRUE(ApplyRcText("set case lower\n", "rc", &lower).ok());
+  EXPECT_TRUE(HasId(LintIds(Page("<B>x</B>"), lower), "lower-case"));
+}
+
+TEST(StructureTest, ScriptContentNotParsedAsHtml) {
+  EXPECT_TRUE(LintIds(testing::PageWithHead(
+                  "<SCRIPT TYPE=\"text/javascript\">if (a<b) { x(\"<P>\"); }</SCRIPT>"))
+                  .empty());
+}
+
+TEST(StructureTest, CommentChecks) {
+  EXPECT_TRUE(HasId(LintIds(Page("<!-- has <B>markup</B> -->x")), "markup-in-comment"));
+  EXPECT_TRUE(HasId(LintIds(Page("<!-- a <!-- b -->x")), "nested-comment"));
+  EXPECT_TRUE(HasId(LintIds(Page("x<!-- never closed")), "malformed-comment"));
+  EXPECT_FALSE(HasId(LintIds(Page("<!-- plain comment -->x")), "markup-in-comment"));
+}
+
+TEST(StructureTest, EntityChecks) {
+  EXPECT_TRUE(HasId(LintIds(Page("<P>&wibble;</P>")), "unknown-entity"));
+  EXPECT_TRUE(HasId(LintIds(Page("<P>caf&eacute au lait</P>")), "unterminated-entity"));
+  EXPECT_TRUE(HasId(LintIds(Page("<P>&#9999999;</P>")), "unknown-entity"));
+  EXPECT_TRUE(LintIds(Page("<P>fish &amp; chips &#169; &lt;</P>")).empty());
+}
+
+TEST(StructureTest, UnexpectedOpenForStrayLt) {
+  EXPECT_TRUE(HasId(LintIds(Page("<P>3 < 5</P>")), "unexpected-open"));
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,110 @@
+// The outer framework (paper §6.1): routing documents to checkers, with
+// weblint as the HTML plugin.
+#include "core/framework.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "tests/testing/lint_helpers.h"
+#include "util/file_io.h"
+
+namespace weblint {
+namespace {
+
+class FrameworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    framework_ = CheckerFramework::Standard(lint_);
+    dir_ = std::filesystem::temp_directory_path() /
+           ("weblint_framework_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  Weblint lint_;
+  CheckerFramework framework_;
+  std::filesystem::path dir_;
+};
+
+TEST_F(FrameworkTest, StandardLineup) {
+  EXPECT_EQ(framework_.checker_count(), 2u);
+  ASSERT_NE(framework_.ForPath("page.html"), nullptr);
+  EXPECT_EQ(framework_.ForPath("page.html")->name(), "weblint");
+  ASSERT_NE(framework_.ForPath("site.css"), nullptr);
+  EXPECT_EQ(framework_.ForPath("site.css")->name(), "css");
+  EXPECT_EQ(framework_.ForPath("notes.txt"), nullptr);
+}
+
+TEST_F(FrameworkTest, ContentTypeRouting) {
+  EXPECT_EQ(framework_.ForContentType("text/html; charset=iso-8859-1")->name(), "weblint");
+  EXPECT_EQ(framework_.ForContentType("text/css")->name(), "css");
+  EXPECT_EQ(framework_.ForContentType("image/gif"), nullptr);
+}
+
+TEST_F(FrameworkTest, ChecksHtmlThroughWeblint) {
+  ASSERT_TRUE(WriteFile(Path("page.html"), testing::Page("<B>unclosed")).ok());
+  auto report = framework_.CheckFile(Path("page.html"));
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->diagnostics.size(), 1u);
+  EXPECT_EQ(report->diagnostics[0].message_id, "unclosed-element");
+}
+
+TEST_F(FrameworkTest, ChecksCssFiles) {
+  ASSERT_TRUE(WriteFile(Path("site.css"), "H1 { colour: red }\n").ok());
+  CollectingEmitter emitter;
+  auto report = framework_.CheckFile(Path("site.css"), &emitter);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->diagnostics.size(), 1u);
+  EXPECT_EQ(report->diagnostics[0].message_id, "css/unknown-property");
+  EXPECT_EQ(report->diagnostics[0].file, Path("site.css"));
+  EXPECT_EQ(emitter.diagnostics().size(), 1u);
+  EXPECT_EQ(report->lines, 2u);
+}
+
+TEST_F(FrameworkTest, CleanCssIsClean) {
+  ASSERT_TRUE(WriteFile(Path("site.css"), "H1 { color: #aa0000 }\n").ok());
+  auto report = framework_.CheckFile(Path("site.css"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Clean());
+}
+
+TEST_F(FrameworkTest, UnclaimedFileFails) {
+  ASSERT_TRUE(WriteFile(Path("data.txt"), "hello").ok());
+  auto report = framework_.CheckFile(Path("data.txt"));
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(FrameworkTest, MissingFileFails) {
+  EXPECT_FALSE(framework_.CheckFile(Path("absent.css")).ok());
+}
+
+TEST_F(FrameworkTest, CustomCheckerRegistration) {
+  class TxtChecker : public DocumentChecker {
+   public:
+    std::string_view name() const override { return "txt"; }
+    bool HandlesPath(std::string_view path) const override {
+      return IEquals(Extension(path), ".txt");
+    }
+    bool HandlesContentType(std::string_view type) const override {
+      return IContains(type, "text/plain");
+    }
+    LintReport Check(std::string_view display_name, std::string_view,
+                     Emitter*) const override {
+      LintReport report;
+      report.name = std::string(display_name);
+      return report;
+    }
+  };
+  framework_.Register(std::make_shared<TxtChecker>());
+  ASSERT_TRUE(WriteFile(Path("data.txt"), "hello").ok());
+  EXPECT_TRUE(framework_.CheckFile(Path("data.txt")).ok());
+}
+
+}  // namespace
+}  // namespace weblint

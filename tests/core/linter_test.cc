@@ -1,0 +1,222 @@
+// The Weblint class API (paper §5.4): check_string / check_file / check_url.
+#include "core/linter.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "net/virtual_web.h"
+#include "tests/testing/lint_helpers.h"
+#include "util/file_io.h"
+
+namespace weblint {
+namespace {
+
+using testing::HasId;
+using testing::Page;
+
+class LinterFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("weblint_linter_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST(LinterTest, CheckStringCollectsDiagnostics) {
+  Weblint lint;
+  const LintReport report = lint.CheckString("doc", Page("<B>unclosed"));
+  EXPECT_EQ(report.name, "doc");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].file, "doc");
+  EXPECT_EQ(report.ErrorCount(), 1u);
+  EXPECT_EQ(report.WarningCount(), 0u);
+  EXPECT_FALSE(report.Clean());
+}
+
+TEST(LinterTest, CheckStringStreamsToExtraEmitter) {
+  Weblint lint;
+  CollectingEmitter extra;
+  const LintReport report = lint.CheckString("doc", Page("<B>unclosed"), &extra);
+  EXPECT_EQ(extra.diagnostics().size(), report.diagnostics.size());
+}
+
+TEST(LinterTest, CleanDocumentHasBiscuit) {
+  Weblint lint;
+  const LintReport report = lint.CheckString("doc", Page("<P>fine</P>"));
+  EXPECT_TRUE(report.Clean());
+  EXPECT_GT(report.lines, 0u);
+}
+
+TEST(LinterTest, LinksCollected) {
+  Weblint lint;
+  const LintReport report = lint.CheckString(
+      "doc", Page("<A HREF=\"a.html\">a</A><IMG SRC=\"b.gif\" ALT=\"b\">"
+                  "<A HREF=\"http://other/x\">x</A>"));
+  ASSERT_EQ(report.links.size(), 3u);
+  EXPECT_EQ(report.links[0].url, "a.html");
+  EXPECT_FALSE(report.links[0].is_resource);
+  EXPECT_EQ(report.links[1].url, "b.gif");
+  EXPECT_TRUE(report.links[1].is_resource);
+}
+
+TEST(LinterTest, AnchorsCollected) {
+  Weblint lint;
+  const LintReport report =
+      lint.CheckString("doc", Page("<A NAME=\"top\"></A><P ID=\"para1\">x</P>"));
+  ASSERT_EQ(report.anchors.size(), 2u);
+  EXPECT_EQ(report.anchors[0].name, "top");
+  EXPECT_EQ(report.anchors[1].name, "para1");
+}
+
+TEST(LinterTest, ConfigControlsSpec) {
+  Config config;
+  config.spec_id = "html32";
+  Weblint lint(config);
+  const LintReport report = lint.CheckString("doc", Page("<SPAN>x</SPAN>"));
+  EXPECT_TRUE(HasId({report.diagnostics.empty() ? "" : report.diagnostics[0].message_id},
+                    "unknown-element"));
+}
+
+TEST_F(LinterFileTest, CheckFileReadsAndNames) {
+  ASSERT_TRUE(WriteFile(Path("page.html"), Page("<B>unclosed")).ok());
+  Weblint lint;
+  auto report = lint.CheckFile(Path("page.html"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->name, Path("page.html"));
+  EXPECT_EQ(report->diagnostics.size(), 1u);
+  EXPECT_EQ(report->diagnostics[0].file, Path("page.html"));
+}
+
+TEST_F(LinterFileTest, CheckFileMissingFails) {
+  Weblint lint;
+  EXPECT_FALSE(lint.CheckFile(Path("absent.html")).ok());
+}
+
+TEST_F(LinterFileTest, BadLinkAgainstFilesystem) {
+  ASSERT_TRUE(WriteFile(Path("exists.html"), Page("<P>x</P>")).ok());
+  ASSERT_TRUE(WriteFile(Path("page.html"),
+                        Page("<A NAME=\"frag\"></A>"
+                             "<A HREF=\"exists.html\">good</A>"
+                             "<A HREF=\"missing.html\">bad</A>"
+                             "<A HREF=\"http://remote/x\">remote, skipped</A>"
+                             "<A HREF=\"#frag\">fragment, defined above</A>"))
+                  .ok());
+  Config config;
+  ASSERT_TRUE(config.warnings.Enable("bad-link").ok());
+  Weblint lint(config);
+  auto report = lint.CheckFile(Path("page.html"));
+  ASSERT_TRUE(report.ok());
+  size_t bad = 0;
+  for (const auto& d : report->diagnostics) {
+    if (d.message_id == "bad-link") {
+      ++bad;
+      EXPECT_NE(d.message.find("missing.html"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(bad, 1u);
+}
+
+TEST_F(LinterFileTest, BadLinkDisabledByDefault) {
+  ASSERT_TRUE(
+      WriteFile(Path("page.html"), Page("<A HREF=\"missing.html\">bad</A>")).ok());
+  Weblint lint;
+  auto report = lint.CheckFile(Path("page.html"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Clean());
+}
+
+TEST_F(LinterFileTest, BadLinkResolvesSubdirectories) {
+  std::filesystem::create_directories(dir_ / "sub");
+  ASSERT_TRUE(WriteFile(Path("target.html"), Page("<P>x</P>")).ok());
+  ASSERT_TRUE(
+      WriteFile((dir_ / "sub" / "page.html").string(), Page("<A HREF=\"../target.html\">up</A>"))
+          .ok());
+  Config config;
+  ASSERT_TRUE(config.warnings.Enable("bad-link").ok());
+  Weblint lint(config);
+  auto report = lint.CheckFile((dir_ / "sub" / "page.html").string());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Clean());
+}
+
+TEST(LinterTest, SamePageFragmentChecked) {
+  // Fragment targets are validated against the page's own anchors when
+  // bad-link is enabled (weblint 2 link checking).
+  Config config;
+  ASSERT_TRUE(config.warnings.Enable("bad-link").ok());
+  Weblint lint(config);
+  const LintReport broken = lint.CheckString(
+      "doc", Page("<A HREF=\"#nowhere\">x</A>"));
+  size_t bad = 0;
+  for (const auto& d : broken.diagnostics) {
+    if (d.message_id == "bad-link") {
+      ++bad;
+      EXPECT_NE(d.message.find("#nowhere"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(bad, 1u);
+
+  const LintReport ok_name = lint.CheckString(
+      "doc", Page("<A NAME=\"sec\"></A><A HREF=\"#sec\">x</A>"));
+  const LintReport ok_id = lint.CheckString(
+      "doc", Page("<P ID=\"sec\">target</P><A HREF=\"#sec\">x</A>"));
+  for (const auto& d : ok_name.diagnostics) {
+    EXPECT_NE(d.message_id, "bad-link");
+  }
+  for (const auto& d : ok_id.diagnostics) {
+    EXPECT_NE(d.message_id, "bad-link");
+  }
+}
+
+TEST(LinterTest, FragmentCheckOffByDefault) {
+  Weblint lint;
+  const LintReport report = lint.CheckString("doc", Page("<A HREF=\"#nowhere\">x</A>"));
+  EXPECT_TRUE(report.Clean());
+}
+
+TEST(LinterUrlTest, CheckUrlFetchesAndChecks) {
+  VirtualWeb web;
+  web.AddPage("http://host/page.html", Page("<B>unclosed"));
+  Weblint lint;
+  auto report = lint.CheckUrl("http://host/page.html", web);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->diagnostics.size(), 1u);
+}
+
+TEST(LinterUrlTest, CheckUrlFollowsRedirects) {
+  VirtualWeb web;
+  web.AddRedirect("http://host/old.html", "http://host/new.html");
+  web.AddPage("http://host/new.html", Page("<P>x</P>"));
+  Weblint lint;
+  auto report = lint.CheckUrl("http://host/old.html", web);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->name, "http://host/new.html");
+  EXPECT_TRUE(report->Clean());
+}
+
+TEST(LinterUrlTest, CheckUrl404Fails) {
+  VirtualWeb web;
+  Weblint lint;
+  auto report = lint.CheckUrl("http://host/nope.html", web);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.error().find("404"), std::string::npos);
+}
+
+TEST(LinterUrlTest, CheckUrlRejectsNonHtml) {
+  VirtualWeb web;
+  web.AddPage("http://host/data.txt", "just text", "text/plain");
+  Weblint lint;
+  EXPECT_FALSE(lint.CheckUrl("http://host/data.txt", web).ok());
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,92 @@
+// In-page configuration pragmas (paper §6.1: "Page-specific configuration
+// of weblint: configuration information embedded in comments, which
+// traditional lint supports").
+#include <gtest/gtest.h>
+
+#include "tests/testing/lint_helpers.h"
+
+namespace weblint {
+namespace {
+
+using testing::HasId;
+using testing::LintIds;
+using testing::Page;
+
+TEST(PragmaTest, DisableSuppressesFromPragmaOnward) {
+  const auto ids = LintIds(Page("<!-- weblint: disable empty-container -->\n<B></B>"));
+  EXPECT_FALSE(HasId(ids, "empty-container"));
+}
+
+TEST(PragmaTest, PragmaIsPositional) {
+  // The defect BEFORE the pragma still reports.
+  const auto ids = LintIds(Page("<B></B>\n<!-- weblint: disable empty-container -->\n<I></I>"));
+  EXPECT_EQ(testing::CountId(ids, "empty-container"), 1u);
+}
+
+TEST(PragmaTest, EnableTurnsOnNonDefaultMessage) {
+  const std::string html =
+      Page("<!-- weblint: enable img-size -->\n<IMG SRC=\"a.gif\" ALT=\"t\">");
+  EXPECT_TRUE(HasId(LintIds(html), "img-size"));
+}
+
+TEST(PragmaTest, OffAndOnBracketASection) {
+  const auto ids = LintIds(Page("<!-- weblint: off -->\n<B></B><WIBBLE>x</WIBBLE>\n"
+                                "<!-- weblint: on -->\n<I></I>"));
+  EXPECT_FALSE(HasId(ids, "unknown-element"));
+  EXPECT_EQ(testing::CountId(ids, "empty-container"), 1u);  // Only the <I>.
+}
+
+TEST(PragmaTest, CommaSeparatedIds) {
+  const auto ids = LintIds(
+      Page("<!-- weblint: disable empty-container, table-summary -->\n"
+           "<B></B><TABLE><TR><TD>x</TD></TR></TABLE>"));
+  EXPECT_FALSE(HasId(ids, "empty-container"));
+  EXPECT_FALSE(HasId(ids, "table-summary"));
+}
+
+TEST(PragmaTest, UnknownIdsIgnored) {
+  const auto ids =
+      LintIds(Page("<!-- weblint: disable no-such-warning, empty-container -->\n<B></B>"));
+  EXPECT_FALSE(HasId(ids, "empty-container"));  // The valid id still applied.
+}
+
+TEST(PragmaTest, UnknownVerbIgnored) {
+  const auto ids = LintIds(Page("<!-- weblint: frobnicate everything -->\n<B></B>"));
+  EXPECT_TRUE(HasId(ids, "empty-container"));
+}
+
+TEST(PragmaTest, PragmaCommentExemptFromCommentChecks) {
+  // A pragma containing what looks like markup must not trip
+  // markup-in-comment.
+  const auto ids = LintIds(Page("<!-- weblint: disable empty-container -->\n<P>x</P>"));
+  EXPECT_FALSE(HasId(ids, "markup-in-comment"));
+  EXPECT_TRUE(ids.empty());
+}
+
+TEST(PragmaTest, ConfigCanDisablePragmas) {
+  Config config;
+  ASSERT_TRUE(ApplyRcText("set pragmas off\n", "rc", &config).ok());
+  const auto ids =
+      LintIds(Page("<!-- weblint: disable empty-container -->\n<B></B>"), config);
+  EXPECT_TRUE(HasId(ids, "empty-container"));
+}
+
+TEST(PragmaTest, PragmaCannotOutliveDocument) {
+  // State is per-check: a pragma in one document does not leak into the next.
+  Weblint lint;
+  (void)lint.CheckString("a", Page("<!-- weblint: off -->\n<B></B>"));
+  const LintReport second = lint.CheckString("b", Page("<B></B>"));
+  bool found = false;
+  for (const auto& d : second.diagnostics) {
+    found = found || d.message_id == "empty-container";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PragmaTest, OffSuppressesEofChecks) {
+  const auto ids = LintIds("<!-- weblint: off --><B>totally broken");
+  EXPECT_TRUE(ids.empty());
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,160 @@
+// Property-style sweeps over the whole pipeline: robustness on arbitrary
+// byte soup, determinism, enable-set monotonicity, clean-corpus invariants,
+// and the cascade bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "corpus/page_generator.h"
+#include "corpus/rng.h"
+#include "tests/testing/lint_helpers.h"
+
+namespace weblint {
+namespace {
+
+using testing::LintIds;
+
+// Random byte soup skewed towards markup metacharacters — worst case for a
+// tokenizer with recovery heuristics.
+std::string MarkupSoup(std::uint64_t seed, size_t size) {
+  static constexpr char kAlphabet[] =
+      "<><>\"\"''=!--&;/ \n\tABCdef1290#%PBIAHRML";
+  SplitMix64 rng(seed);
+  std::string soup;
+  soup.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    soup.push_back(kAlphabet[rng.Below(sizeof(kAlphabet) - 1)]);
+  }
+  return soup;
+}
+
+class SoupTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoupTest, NeverCrashesAndTerminates) {
+  const std::string soup = MarkupSoup(GetParam() * 977 + 1, 4096);
+  const auto ids = LintIds(soup);
+  // Any result is fine; the property is termination without crashing, and a
+  // bounded number of diagnostics (no infinite cascades).
+  EXPECT_LE(ids.size(), soup.size());
+}
+
+TEST_P(SoupTest, Deterministic) {
+  const std::string soup = MarkupSoup(GetParam() * 31 + 7, 2048);
+  EXPECT_EQ(LintIds(soup), LintIds(soup));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoupTest, ::testing::Range(0, 12));
+
+class CleanCorpusTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CleanCorpusTest, GeneratedCleanPagesAreClean) {
+  PageGenerator generator(GetParam() * 131 + 17);
+  PageSpec spec;
+  spec.paragraphs = 8;
+  spec.links = 3;
+  spec.images = 2;
+  spec.list_items = 4;
+  spec.table_rows = 3;
+  const GeneratedPage page = generator.Generate(spec, {});
+  const auto ids = LintIds(page.html);
+  EXPECT_TRUE(ids.empty()) << "diagnostics on clean page (seed " << GetParam()
+                           << "): " << ids.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CleanCorpusTest, ::testing::Range(0, 16));
+
+class ShapedCorpusTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ShapedCorpusTest, ShapedPagesAreCleanAndSized) {
+  const auto shape = static_cast<PageGenerator::Shape>(std::get<0>(GetParam()));
+  const size_t target = 1u << std::get<1>(GetParam());
+  PageGenerator generator(99);
+  const std::string html = generator.GenerateShaped(shape, target);
+  EXPECT_GE(html.size(), target);
+  EXPECT_LE(html.size(), target + 8192);
+  EXPECT_TRUE(LintIds(html).empty()) << ShapeName(shape);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapesAndSizes, ShapedCorpusTest,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Values(10, 14)));
+
+// Enabling more messages never removes a diagnostic (monotonicity of the
+// warning set).
+class MonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotonicityTest, AllEnabledIsSupersetOfDefault) {
+  PageGenerator generator(GetParam() * 997 + 3);
+  const GeneratedPage page = generator.GenerateDefective(6, 8);
+
+  const auto default_ids = LintIds(page.html);
+  Config all;
+  all.warnings = WarningSet::AllEnabled();
+  auto all_ids = LintIds(page.html, all);
+
+  std::map<std::string, size_t> all_counts;
+  for (const auto& id : all_ids) {
+    ++all_counts[id];
+  }
+  std::map<std::string, size_t> default_counts;
+  for (const auto& id : default_ids) {
+    ++default_counts[id];
+  }
+  for (const auto& [id, count] : default_counts) {
+    EXPECT_GE(all_counts[id], count) << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityTest, ::testing::Range(0, 8));
+
+// E3 at test scale: diagnostics per seeded defect stays in a narrow band.
+class CascadeBoundTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CascadeBoundTest, DiagnosticsPerDefectBounded) {
+  const size_t defects = static_cast<size_t>(GetParam());
+  PageGenerator generator(1234);
+  const GeneratedPage page = generator.GenerateDefective(30, defects);
+  const auto ids = LintIds(page.html);
+  // Repeated unknown-element defects are deliberately reported once per
+  // name (cascade suppression), so the floor discounts those repeats.
+  EXPECT_GE(ids.size(), defects - defects / kDefectKindCount);
+  EXPECT_LE(ids.size(), 2 * defects + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(DefectCounts, CascadeBoundTest,
+                         ::testing::Values(1, 2, 4, 8, 12, 24, 48));
+
+// Disabling every message silences any input (paper §4.1: "everything in
+// weblint can be turned off").
+class SilenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SilenceTest, NoneEnabledProducesNothing) {
+  PageGenerator generator(GetParam() + 55);
+  const GeneratedPage page = generator.GenerateDefective(10, 12);
+  Config config;
+  config.warnings = WarningSet::NoneEnabled();
+  EXPECT_TRUE(LintIds(page.html, config).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SilenceTest, ::testing::Range(0, 4));
+
+// Diagnostics always carry valid metadata.
+TEST(DiagnosticInvariantsTest, WellFormedDiagnostics) {
+  PageGenerator generator(2024);
+  const GeneratedPage page = generator.GenerateDefective(10, 24);
+  Config config;
+  config.warnings = WarningSet::AllEnabled();
+  const LintReport report = testing::LintReportFor(page.html, config);
+  for (const Diagnostic& d : report.diagnostics) {
+    const MessageInfo* info = FindMessage(d.message_id);
+    ASSERT_NE(info, nullptr) << d.message_id;
+    EXPECT_EQ(info->category, d.category);
+    EXPECT_FALSE(d.message.empty());
+    EXPECT_LE(d.location.line, report.lines + 1) << d.message_id;
+  }
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,177 @@
+// -R recursive site checking (paper §4.5): directory-index and orphan-page.
+#include "core/site_checker.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "corpus/site_generator.h"
+#include "tests/testing/lint_helpers.h"
+#include "util/file_io.h"
+
+namespace weblint {
+namespace {
+
+using testing::Page;
+
+class SiteCheckerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("weblint_site_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  void Write(const std::string& rel, const std::string& content) {
+    const std::string full = (dir_ / rel).string();
+    std::filesystem::create_directories(std::string(Dirname(full)));
+    ASSERT_TRUE(WriteFile(full, content).ok());
+  }
+  std::string Root() const { return dir_.string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(SiteCheckerTest, ChecksEveryHtmlFile) {
+  Write("index.html", Page("<A HREF=\"a.html\">a</A><A HREF=\"sub/b.html\">b</A>"));
+  Write("a.html", Page("<B>unclosed"));
+  Write("sub/index.html", Page("<P>x</P>"));
+  Write("sub/b.html", Page("<P>x</P>"));
+  Weblint lint;
+  SiteChecker checker(lint);
+  auto site = checker.CheckSite(Root());
+  ASSERT_TRUE(site.ok());
+  EXPECT_EQ(site->pages.size(), 4u);
+  size_t page_diags = 0;
+  for (const auto& page : site->pages) {
+    page_diags += page.diagnostics.size();
+  }
+  EXPECT_EQ(page_diags, 1u);  // The unclosed <B> in a.html.
+}
+
+TEST_F(SiteCheckerTest, DirectoryIndexReported) {
+  Write("index.html", Page("<A HREF=\"sub/page.html\">p</A>"));
+  Write("sub/page.html", Page("<P>x</P>"));  // sub/ has no index file.
+  Weblint lint;
+  SiteChecker checker(lint);
+  auto site = checker.CheckSite(Root());
+  ASSERT_TRUE(site.ok());
+  size_t index_warnings = 0;
+  for (const auto& d : site->site_diagnostics) {
+    if (d.message_id == "directory-index") {
+      ++index_warnings;
+      EXPECT_NE(d.message.find("sub"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(index_warnings, 1u);
+}
+
+TEST_F(SiteCheckerTest, CustomIndexFileNamesRespected) {
+  Write("default.html", Page("<A HREF=\"other.html\">o</A>"));
+  Write("other.html", Page("<P>x</P>"));
+  Config config;
+  config.index_files = {"default.html"};
+  Weblint lint(config);
+  SiteChecker checker(lint);
+  auto site = checker.CheckSite(Root());
+  ASSERT_TRUE(site.ok());
+  for (const auto& d : site->site_diagnostics) {
+    EXPECT_NE(d.message_id, "directory-index");
+  }
+}
+
+TEST_F(SiteCheckerTest, OrphanPagesReported) {
+  Write("index.html", Page("<A HREF=\"linked.html\">l</A>"));
+  Write("linked.html", Page("<P>x</P>"));
+  Write("orphan.html", Page("<P>lonely</P>"));
+  Weblint lint;
+  SiteChecker checker(lint);
+  auto site = checker.CheckSite(Root());
+  ASSERT_TRUE(site.ok());
+  std::set<std::string> orphans;
+  for (const auto& d : site->site_diagnostics) {
+    if (d.message_id == "orphan-page") {
+      orphans.insert(d.file);
+    }
+  }
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_NE(orphans.begin()->find("orphan.html"), std::string::npos);
+}
+
+TEST_F(SiteCheckerTest, RootIndexIsNotAnOrphan) {
+  Write("index.html", Page("<A HREF=\"a.html\">a</A>"));
+  Write("a.html", Page("<A HREF=\"index.html\">home</A>"));
+  Weblint lint;
+  SiteChecker checker(lint);
+  auto site = checker.CheckSite(Root());
+  ASSERT_TRUE(site.ok());
+  EXPECT_TRUE(site->site_diagnostics.empty());
+}
+
+TEST_F(SiteCheckerTest, DirectoryLinkReferencesItsIndex) {
+  Write("index.html", Page("<A HREF=\"sub/\">section</A>"));
+  Write("sub/index.html", Page("<A HREF=\"../index.html\">up</A>"));
+  Weblint lint;
+  SiteChecker checker(lint);
+  auto site = checker.CheckSite(Root());
+  ASSERT_TRUE(site.ok());
+  for (const auto& d : site->site_diagnostics) {
+    EXPECT_NE(d.message_id, "orphan-page") << d.file;
+  }
+}
+
+TEST_F(SiteCheckerTest, SiteChecksCanBeDisabled) {
+  Write("index.html", Page("<P>x</P>"));
+  Write("orphan.html", Page("<P>x</P>"));
+  Write("sub/page.html", Page("<P>x</P>"));
+  Config config;
+  ASSERT_TRUE(config.warnings.Disable("orphan-page").ok());
+  ASSERT_TRUE(config.warnings.Disable("directory-index").ok());
+  Weblint lint(config);
+  SiteChecker checker(lint);
+  auto site = checker.CheckSite(Root());
+  ASSERT_TRUE(site.ok());
+  EXPECT_TRUE(site->site_diagnostics.empty());
+}
+
+TEST_F(SiteCheckerTest, MissingRootFails) {
+  Weblint lint;
+  SiteChecker checker(lint);
+  EXPECT_FALSE(checker.CheckSite(Root() + "/nope").ok());
+}
+
+TEST_F(SiteCheckerTest, GeneratedSiteGroundTruth) {
+  SiteSpec spec;
+  spec.pages = 10;
+  spec.orphan_pages = 3;
+  spec.broken_links = 0;
+  spec.redirects = 0;
+  spec.private_pages = 0;
+  const GeneratedSite generated = GenerateSite(spec);
+  ASSERT_TRUE(WriteSiteToDisk(generated, Root()).ok());
+
+  Weblint lint;
+  SiteChecker checker(lint);
+  auto site = checker.CheckSite(Root());
+  ASSERT_TRUE(site.ok());
+  EXPECT_EQ(site->pages.size(), generated.pages.size());
+
+  std::set<std::string> reported_orphans;
+  for (const auto& d : site->site_diagnostics) {
+    if (d.message_id == "orphan-page") {
+      reported_orphans.insert(std::string(Basename(d.file)));
+    }
+  }
+  std::set<std::string> expected;
+  for (const std::string& path : generated.orphan_paths) {
+    expected.insert(std::string(Basename(path)));
+  }
+  EXPECT_EQ(reported_orphans, expected);
+}
+
+}  // namespace
+}  // namespace weblint

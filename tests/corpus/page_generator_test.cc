@@ -1,0 +1,104 @@
+#include "corpus/page_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/rng.h"
+#include "tests/testing/lint_helpers.h"
+
+namespace weblint {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, BoundsRespected) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(10), 10u);
+    const auto v = rng.Between(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+  }
+}
+
+TEST(PageGeneratorTest, DeterministicForSeed) {
+  PageGenerator a(99);
+  PageGenerator b(99);
+  PageSpec spec;
+  EXPECT_EQ(a.Generate(spec, {}).html, b.Generate(spec, {}).html);
+}
+
+TEST(PageGeneratorTest, DifferentSeedsDiffer) {
+  PageGenerator a(1);
+  PageGenerator b(2);
+  PageSpec spec;
+  EXPECT_NE(a.Generate(spec, {}).html, b.Generate(spec, {}).html);
+}
+
+TEST(PageGeneratorTest, SpecKnobsProduceStructures) {
+  PageGenerator generator(5);
+  PageSpec spec;
+  spec.list_items = 3;
+  spec.table_rows = 2;
+  spec.images = 1;
+  spec.links = 2;
+  const GeneratedPage page = generator.Generate(spec, {});
+  EXPECT_NE(page.html.find("<UL>"), std::string::npos);
+  EXPECT_NE(page.html.find("<TABLE SUMMARY="), std::string::npos);
+  EXPECT_NE(page.html.find("<IMG SRC="), std::string::npos);
+  EXPECT_EQ(page.link_targets.size(), 2u);
+}
+
+TEST(PageGeneratorTest, DefectsRecorded) {
+  PageGenerator generator(5);
+  PageSpec spec;
+  const GeneratedPage page =
+      generator.Generate(spec, {DefectKind::kOddQuotes, DefectKind::kMissingAlt});
+  ASSERT_EQ(page.defects.size(), 2u);
+  EXPECT_EQ(page.defects[0].kind, DefectKind::kOddQuotes);
+  EXPECT_EQ(page.defects[1].kind, DefectKind::kMissingAlt);
+}
+
+TEST(PageGeneratorTest, DefectiveRoundRobin) {
+  PageGenerator generator(5);
+  const GeneratedPage page = generator.GenerateDefective(4, 15);
+  EXPECT_EQ(page.defects.size(), 15u);
+  EXPECT_EQ(page.defects[0].kind, static_cast<DefectKind>(0));
+  EXPECT_EQ(page.defects[12].kind, static_cast<DefectKind>(0));  // Wrapped.
+}
+
+TEST(PageGeneratorTest, EveryDefectKindHasNames) {
+  for (size_t i = 0; i < kDefectKindCount; ++i) {
+    const auto kind = static_cast<DefectKind>(i);
+    EXPECT_STRNE(DefectKindName(kind), "?");
+    EXPECT_STRNE(DefectExpectedMessage(kind), "?");
+  }
+}
+
+TEST(PageGeneratorTest, ProsePageContainsExactlyGivenLinks) {
+  PageGenerator generator(8);
+  const std::string html = generator.ProsePage("t", 2, {"a.html", "b.html"});
+  Weblint lint;
+  const LintReport report = lint.CheckString("p", html);
+  ASSERT_EQ(report.links.size(), 2u);
+  EXPECT_EQ(report.links[0].url, "a.html");
+  EXPECT_EQ(report.links[1].url, "b.html");
+  EXPECT_TRUE(report.Clean());
+}
+
+TEST(PageGeneratorTest, ShapedPagesHitTargetSize) {
+  PageGenerator generator(3);
+  for (int s = 0; s < 5; ++s) {
+    const auto shape = static_cast<PageGenerator::Shape>(s);
+    const std::string html = generator.GenerateShaped(shape, 20000);
+    EXPECT_GE(html.size(), 20000u) << ShapeName(shape);
+  }
+}
+
+}  // namespace
+}  // namespace weblint

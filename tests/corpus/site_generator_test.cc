@@ -1,0 +1,79 @@
+#include "corpus/site_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "net/virtual_web.h"
+#include "tests/testing/lint_helpers.h"
+
+namespace weblint {
+namespace {
+
+TEST(SiteGeneratorTest, PageInventory) {
+  SiteSpec spec;
+  spec.pages = 10;
+  spec.orphan_pages = 2;
+  spec.private_pages = 3;
+  const GeneratedSite site = GenerateSite(spec);
+  // index + pages + orphans + private.
+  EXPECT_EQ(site.pages.size(), 1u + 10u + 2u + 3u);
+  EXPECT_EQ(site.orphan_paths.size(), 2u);
+  EXPECT_EQ(site.private_paths.size(), 3u);
+  EXPECT_EQ(site.IndexUrl(), "http://site.example/index.html");
+}
+
+TEST(SiteGeneratorTest, Deterministic) {
+  SiteSpec spec;
+  const GeneratedSite a = GenerateSite(spec);
+  const GeneratedSite b = GenerateSite(spec);
+  ASSERT_EQ(a.pages.size(), b.pages.size());
+  for (size_t i = 0; i < a.pages.size(); ++i) {
+    EXPECT_EQ(a.pages[i].html, b.pages[i].html);
+  }
+}
+
+TEST(SiteGeneratorTest, BrokenTargetsDoNotExist) {
+  SiteSpec spec;
+  spec.broken_links = 5;
+  const GeneratedSite site = GenerateSite(spec);
+  EXPECT_EQ(site.broken_link_count, 5u);
+  for (const auto& page : site.pages) {
+    EXPECT_FALSE(site.broken_targets.contains(page.path));
+  }
+}
+
+TEST(SiteGeneratorTest, PagesAreCleanHtml) {
+  SiteSpec spec;
+  spec.pages = 5;
+  const GeneratedSite site = GenerateSite(spec);
+  Weblint lint;
+  for (const auto& page : site.pages) {
+    const LintReport report = lint.CheckString(page.path, page.html);
+    EXPECT_TRUE(report.Clean()) << page.path;
+  }
+}
+
+TEST(SiteGeneratorTest, PopulatesVirtualWeb) {
+  SiteSpec spec;
+  spec.pages = 4;
+  spec.redirects = 1;
+  VirtualWeb web;
+  const GeneratedSite site = GenerateSite(spec);
+  PopulateVirtualWeb(site, &web);
+  EXPECT_EQ(web.Get(ParseUrl(site.IndexUrl())).status, 200);
+  EXPECT_EQ(web.Get(ParseUrl(site.UrlFor("/robots.txt"))).status, 200);
+  ASSERT_EQ(site.redirects.size(), 1u);
+  EXPECT_TRUE(web.Get(ParseUrl(site.UrlFor(site.redirects[0].first))).IsRedirect());
+}
+
+TEST(SiteGeneratorTest, RobotsTxtDisallowsPrivate) {
+  SiteSpec spec;
+  spec.private_pages = 1;
+  const GeneratedSite site = GenerateSite(spec);
+  EXPECT_NE(site.robots_txt.find("Disallow: /private/"), std::string::npos);
+  SiteSpec open;
+  open.robots_disallow_private = false;
+  EXPECT_TRUE(GenerateSite(open).robots_txt.empty());
+}
+
+}  // namespace
+}  // namespace weblint

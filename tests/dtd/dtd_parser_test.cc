@@ -1,0 +1,150 @@
+#include "dtd/dtd_parser.h"
+
+#include "dtd/spec_from_dtd.h"
+
+#include <gtest/gtest.h>
+
+namespace weblint {
+namespace {
+
+TEST(DtdParserTest, SimpleElement) {
+  auto dtd = ParseDtd("<!ELEMENT P - O (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok()) << dtd.error();
+  const DtdElement& p = dtd->elements.at("p");
+  EXPECT_FALSE(p.omit_start);
+  EXPECT_TRUE(p.omit_end);
+  EXPECT_FALSE(p.empty);
+  EXPECT_EQ(p.content_model, "(#PCDATA)");
+}
+
+TEST(DtdParserTest, EmptyElement) {
+  auto dtd = ParseDtd("<!ELEMENT BR - O EMPTY>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_TRUE(dtd->elements.at("br").empty);
+  EXPECT_TRUE(dtd->elements.at("br").omit_end);
+}
+
+TEST(DtdParserTest, CdataElement) {
+  auto dtd = ParseDtd("<!ELEMENT STYLE - - CDATA>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_TRUE(dtd->elements.at("style").cdata);
+}
+
+TEST(DtdParserTest, NameGroupsDefineAllNames) {
+  auto dtd = ParseDtd("<!ELEMENT (H1|H2|H3) - - (#PCDATA)*>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd->elements.size(), 3u);
+  EXPECT_TRUE(dtd->elements.contains("h1"));
+  EXPECT_TRUE(dtd->elements.contains("h3"));
+  EXPECT_EQ(dtd->elements.at("h2").content_model, "(#PCDATA)*");
+}
+
+TEST(DtdParserTest, ParameterEntities) {
+  auto dtd = ParseDtd(
+      "<!ENTITY % heading \"H1|H2\">\n"
+      "<!ELEMENT (%heading;) - - (#PCDATA)*>\n");
+  ASSERT_TRUE(dtd.ok()) << dtd.error();
+  EXPECT_TRUE(dtd->elements.contains("h1"));
+  EXPECT_TRUE(dtd->elements.contains("h2"));
+}
+
+TEST(DtdParserTest, NestedEntityExpansion) {
+  auto dtd = ParseDtd(
+      "<!ENTITY % fontstyle \"B | I\">\n"
+      "<!ENTITY % phrase \"EM | STRONG\">\n"
+      "<!ENTITY % inline \"#PCDATA | %fontstyle; | %phrase;\">\n"
+      "<!ELEMENT SPAN - - (%inline;)*>\n");
+  ASSERT_TRUE(dtd.ok()) << dtd.error();
+  EXPECT_NE(dtd->elements.at("span").content_model.find("STRONG"), std::string::npos);
+}
+
+TEST(DtdParserTest, UndefinedEntityFails) {
+  auto dtd = ParseDtd("<!ELEMENT SPAN - - (%nonesuch;)*>");
+  ASSERT_FALSE(dtd.ok());
+  EXPECT_NE(dtd.error().find("nonesuch"), std::string::npos);
+}
+
+TEST(DtdParserTest, CircularEntityFails) {
+  auto dtd = ParseDtd(
+      "<!ENTITY % a \"%b;\">\n<!ENTITY % b \"x\">\n"
+      "<!ENTITY % b \"%a;\">\n<!ELEMENT P - O (%a;)>\n");
+  // Redefinition creating a cycle must not hang; either parse or fail.
+  // (SGML takes the first definition; this parser takes the last.)
+  EXPECT_FALSE(dtd.ok());
+}
+
+TEST(DtdParserTest, InclusionsAndExclusions) {
+  auto dtd = ParseDtd("<!ELEMENT PRE - - (#PCDATA)* -(IMG|BIG) +(INS|DEL)>");
+  ASSERT_TRUE(dtd.ok()) << dtd.error();
+  const DtdElement& pre = dtd->elements.at("pre");
+  EXPECT_EQ(pre.exclusions, (std::vector<std::string>{"img", "big"}));
+  EXPECT_EQ(pre.inclusions, (std::vector<std::string>{"ins", "del"}));
+}
+
+TEST(DtdParserTest, Attlist) {
+  auto dtd = ParseDtd(
+      "<!ELEMENT IMG - O EMPTY>\n"
+      "<!ATTLIST IMG\n"
+      "  src    CDATA  #REQUIRED\n"
+      "  align  (top|middle|bottom)  #IMPLIED\n"
+      "  ismap  (ismap)  #IMPLIED\n"
+      "  border NUMBER  0\n"
+      "  >\n");
+  ASSERT_TRUE(dtd.ok()) << dtd.error();
+  const auto& attrs = dtd->attributes.at("img");
+  EXPECT_TRUE(attrs.at("src").required);
+  EXPECT_EQ(attrs.at("src").declared_type, "cdata");
+  EXPECT_EQ(attrs.at("align").enum_values,
+            (std::vector<std::string>{"top", "middle", "bottom"}));
+  EXPECT_FALSE(attrs.at("align").required);
+  EXPECT_EQ(attrs.at("border").default_value, "0");
+}
+
+TEST(DtdParserTest, FixedAttributes) {
+  auto dtd = ParseDtd(
+      "<!ELEMENT X - - (#PCDATA)>\n"
+      "<!ATTLIST X version CDATA #FIXED \"4.0\">\n");
+  ASSERT_TRUE(dtd.ok()) << dtd.error();
+  const DtdAttribute& version = dtd->attributes.at("x").at("version");
+  EXPECT_TRUE(version.fixed);
+  EXPECT_EQ(version.default_value, "4.0");
+}
+
+TEST(DtdParserTest, AttlistNameGroup) {
+  auto dtd = ParseDtd(
+      "<!ELEMENT (TD|TH) - O (#PCDATA)>\n"
+      "<!ATTLIST (TD|TH) colspan NUMBER 1>\n");
+  ASSERT_TRUE(dtd.ok()) << dtd.error();
+  EXPECT_TRUE(dtd->attributes.at("td").contains("colspan"));
+  EXPECT_TRUE(dtd->attributes.at("th").contains("colspan"));
+}
+
+TEST(DtdParserTest, CommentsIgnored) {
+  auto dtd = ParseDtd(
+      "<!-- a comment with <!ELEMENT FAKE - - EMPTY> inside -->\n"
+      "<!ELEMENT REAL - - (#PCDATA) -- trailing comment -->\n");
+  ASSERT_TRUE(dtd.ok()) << dtd.error();
+  EXPECT_FALSE(dtd->elements.contains("fake"));
+  EXPECT_TRUE(dtd->elements.contains("real"));
+}
+
+TEST(DtdParserTest, MalformedDeclarationsFail) {
+  EXPECT_FALSE(ParseDtd("<!ELEMENT>").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT P - O").ok());  // Unterminated.
+  EXPECT_FALSE(ParseDtd("<!ATTLIST IMG src CDATA>").ok());  // No default.
+}
+
+TEST(DtdParserTest, BundledDtdParses) {
+  auto dtd = ParseDtd(BundledHtml40Dtd());
+  ASSERT_TRUE(dtd.ok()) << dtd.error();
+  EXPECT_GE(dtd->elements.size(), 50u);
+  EXPECT_TRUE(dtd->elements.at("img").empty);
+  EXPECT_TRUE(dtd->attributes.at("img").at("src").required);
+  EXPECT_TRUE(dtd->attributes.at("textarea").at("rows").required);
+  EXPECT_TRUE(dtd->elements.at("li").omit_end);
+  EXPECT_FALSE(dtd->elements.at("a").omit_end);
+  EXPECT_EQ(dtd->elements.at("a").exclusions, (std::vector<std::string>{"a"}));
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,72 @@
+#include "gateway/cgi.h"
+
+#include <gtest/gtest.h>
+
+namespace weblint {
+namespace {
+
+TEST(FormParseTest, BasicPairs) {
+  const auto params = ParseFormUrlEncoded("a=1&b=two");
+  EXPECT_EQ(params.at("a"), "1");
+  EXPECT_EQ(params.at("b"), "two");
+}
+
+TEST(FormParseTest, PlusAndPercentDecoding) {
+  const auto params = ParseFormUrlEncoded("q=hello+world&h=%3CB%3E%26");
+  EXPECT_EQ(params.at("q"), "hello world");
+  EXPECT_EQ(params.at("h"), "<B>&");
+}
+
+TEST(FormParseTest, EmptyValueAndMissingEquals) {
+  const auto params = ParseFormUrlEncoded("empty=&flag&x=1");
+  EXPECT_EQ(params.at("empty"), "");
+  EXPECT_EQ(params.at("flag"), "");
+  EXPECT_EQ(params.at("x"), "1");
+}
+
+TEST(FormParseTest, RepeatedKeysLastWins) {
+  const auto params = ParseFormUrlEncoded("k=first&k=second");
+  EXPECT_EQ(params.at("k"), "second");
+}
+
+TEST(FormParseTest, EncodedKeys) {
+  const auto params = ParseFormUrlEncoded("my+key=v");
+  EXPECT_EQ(params.at("my key"), "v");
+}
+
+TEST(CgiRequestTest, GetQueryString) {
+  auto request = ParseCgiRequest({{"REQUEST_METHOD", "GET"}, {"QUERY_STRING", "url=x&format=s"}},
+                                 "");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->Param("url"), "x");
+  EXPECT_TRUE(request->Has("format"));
+  EXPECT_FALSE(request->Has("html"));
+}
+
+TEST(CgiRequestTest, PostBodyMergesOverQuery) {
+  auto request = ParseCgiRequest(
+      {{"REQUEST_METHOD", "POST"},
+       {"QUERY_STRING", "format=short"},
+       {"CONTENT_TYPE", "application/x-www-form-urlencoded"}},
+      "html=%3CP%3Ex");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->Param("html"), "<P>x");
+  EXPECT_EQ(request->Param("format"), "short");
+}
+
+TEST(CgiRequestTest, UnsupportedContentTypeFails) {
+  auto request = ParseCgiRequest(
+      {{"REQUEST_METHOD", "POST"}, {"CONTENT_TYPE", "multipart/form-data; boundary=x"}}, "...");
+  EXPECT_FALSE(request.ok());
+}
+
+TEST(CgiRequestTest, MissingEnvironmentDefaults) {
+  auto request = ParseCgiRequest({}, "");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_TRUE(request->params.empty());
+}
+
+}  // namespace
+}  // namespace weblint

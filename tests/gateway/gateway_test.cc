@@ -1,0 +1,129 @@
+#include "gateway/gateway.h"
+
+#include <gtest/gtest.h>
+
+#include "net/virtual_web.h"
+#include "tests/testing/lint_helpers.h"
+
+namespace weblint {
+namespace {
+
+using testing::Page;
+
+CgiRequest Request(std::map<std::string, std::string> params) {
+  CgiRequest request;
+  request.params = std::move(params);
+  return request;
+}
+
+TEST(HtmlEmitterTest, RendersListItems) {
+  HtmlEmitter emitter;
+  emitter.BeginDocument("pasted HTML");
+  Diagnostic d;
+  d.message_id = "unclosed-element";
+  d.category = Category::kError;
+  d.location = SourceLocation{3, 1};
+  d.message = "no closing </B> seen for <B> on line 3";
+  emitter.Emit(d);
+  emitter.EndDocument();
+  const std::string& html = emitter.html();
+  EXPECT_NE(html.find("<UL>"), std::string::npos);
+  EXPECT_NE(html.find("</UL>"), std::string::npos);
+  EXPECT_NE(html.find("line 3:"), std::string::npos);
+  // The message is HTML-escaped (the subclass point of paper §5.6).
+  EXPECT_NE(html.find("&lt;/B&gt;"), std::string::npos);
+  EXPECT_NE(html.find("[unclosed-element]"), std::string::npos);
+  EXPECT_EQ(emitter.emitted_count(), 1u);
+}
+
+TEST(GatewayTest, NoInputServesForm) {
+  Weblint lint;
+  Gateway gateway(lint, nullptr);
+  const std::string page = gateway.HandleRequest(Request({}));
+  EXPECT_NE(page.find("<FORM"), std::string::npos);
+  EXPECT_NE(page.find("TEXTAREA"), std::string::npos);
+}
+
+TEST(GatewayTest, PastedHtmlChecked) {
+  Weblint lint;
+  Gateway gateway(lint, nullptr);
+  const std::string page = gateway.HandleRequest(Request({{"html", "<B>unclosed"}}));
+  EXPECT_NE(page.find("unclosed-element"), std::string::npos);
+  EXPECT_NE(page.find("error(s)"), std::string::npos);
+  // Source listing echoed with line numbers.
+  EXPECT_NE(page.find("&lt;B&gt;unclosed"), std::string::npos);
+}
+
+TEST(GatewayTest, CleanSubmissionGetsBiscuit) {
+  Weblint lint;
+  Gateway gateway(lint, nullptr);
+  const std::string page = gateway.HandleRequest(Request({{"html", Page("<P>x</P>")}}));
+  EXPECT_NE(page.find("have a biscuit"), std::string::npos);
+}
+
+TEST(GatewayTest, PerRequestEnableDisable) {
+  Weblint lint;
+  Gateway gateway(lint, nullptr);
+  const std::string img = Page("<P><IMG SRC=\"a.gif\" ALT=\"t\"></P>");
+  const std::string without = gateway.HandleRequest(Request({{"html", img}}));
+  EXPECT_EQ(without.find("img-size"), std::string::npos);
+  const std::string with = gateway.HandleRequest(Request({{"html", img}, {"e", "img-size"}}));
+  EXPECT_NE(with.find("img-size"), std::string::npos);
+}
+
+TEST(GatewayTest, BadMessageIdIsErrorPage) {
+  Weblint lint;
+  Gateway gateway(lint, nullptr);
+  const std::string page =
+      gateway.HandleRequest(Request({{"html", "<P>x"}, {"e", "frobnitz"}}));
+  EXPECT_NE(page.find("error"), std::string::npos);
+  EXPECT_NE(page.find("frobnitz"), std::string::npos);
+}
+
+TEST(GatewayTest, UrlModeNeedsFetcher) {
+  Weblint lint;
+  Gateway gateway(lint, nullptr);
+  const std::string page = gateway.HandleRequest(Request({{"url", "http://h/x.html"}}));
+  EXPECT_NE(page.find("no URL retrieval support"), std::string::npos);
+}
+
+TEST(GatewayTest, UrlModeFetchesAndChecks) {
+  VirtualWeb web;
+  web.AddPage("http://h/x.html", "<B>unclosed");
+  Weblint lint;
+  Gateway gateway(lint, &web);
+  const std::string page = gateway.HandleRequest(Request({{"url", "http://h/x.html"}}));
+  EXPECT_NE(page.find("unclosed-element"), std::string::npos);
+}
+
+TEST(GatewayTest, UrlFetchFailureIsErrorPage) {
+  VirtualWeb web;
+  Weblint lint;
+  Gateway gateway(lint, &web);
+  const std::string page = gateway.HandleRequest(Request({{"url", "http://h/missing.html"}}));
+  EXPECT_NE(page.find("404"), std::string::npos);
+}
+
+TEST(GatewayTest, OversizeSubmissionRejected) {
+  Weblint lint;
+  GatewayOptions options;
+  options.max_input_bytes = 64;
+  Gateway gateway(lint, nullptr, options);
+  const std::string page =
+      gateway.HandleRequest(Request({{"html", std::string(1000, 'x')}}));
+  EXPECT_NE(page.find("too large"), std::string::npos);
+}
+
+TEST(GatewayTest, ResponseIsItselfCleanHtml) {
+  // The gateway's own output should pass weblint (eat your own dog food).
+  Weblint lint;
+  Gateway gateway(lint, nullptr);
+  const std::string page = gateway.HandleRequest(Request({{"html", Page("<P>x</P>")}}));
+  const LintReport report = lint.CheckString("gateway-output", page);
+  for (const Diagnostic& d : report.diagnostics) {
+    ADD_FAILURE() << d.message_id << ": " << d.message;
+  }
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,116 @@
+#include "html/entities.h"
+
+#include <gtest/gtest.h>
+
+namespace weblint {
+namespace {
+
+TEST(EntitiesTest, KnownEntities) {
+  EXPECT_EQ(LookupEntity("amp"), 38u);
+  EXPECT_EQ(LookupEntity("lt"), 60u);
+  EXPECT_EQ(LookupEntity("gt"), 62u);
+  EXPECT_EQ(LookupEntity("quot"), 34u);
+  EXPECT_EQ(LookupEntity("nbsp"), 160u);
+  EXPECT_EQ(LookupEntity("copy"), 169u);
+  EXPECT_EQ(LookupEntity("eacute"), 233u);  // crêpes would need ecirc: 234.
+  EXPECT_EQ(LookupEntity("ecirc"), 234u);
+  EXPECT_EQ(LookupEntity("trade"), 8482u);
+  EXPECT_EQ(LookupEntity("euro"), 8364u);
+  EXPECT_EQ(LookupEntity("alpha"), 945u);
+  EXPECT_EQ(LookupEntity("Alpha"), 913u);
+}
+
+TEST(EntitiesTest, CaseSensitivity) {
+  // SGML entity names are case-sensitive: AMP is not an entity; Auml and
+  // auml are different characters.
+  EXPECT_FALSE(LookupEntity("AMP").has_value());
+  EXPECT_FALSE(LookupEntity("NBSP").has_value());
+  EXPECT_EQ(LookupEntity("Auml"), 196u);
+  EXPECT_EQ(LookupEntity("auml"), 228u);
+}
+
+TEST(EntitiesTest, UnknownNames) {
+  EXPECT_FALSE(LookupEntity("nonsense").has_value());
+  EXPECT_FALSE(LookupEntity("").has_value());
+  EXPECT_FALSE(LookupEntity("apos").has_value());  // XML, not HTML 4.0.
+}
+
+TEST(EntitiesTest, TableSizeMatchesHtml40) {
+  // HTML 4.0 defines 252 character entities (Latin-1 96 + symbols 124 +
+  // special 32).
+  EXPECT_EQ(EntityCount(), 252u);
+}
+
+TEST(ScanEntitiesTest, TerminatedKnownReference) {
+  const auto refs = ScanEntities("fish &amp; chips", SourceLocation{1, 1});
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].kind, EntityRef::Kind::kNamed);
+  EXPECT_EQ(refs[0].name, "amp");
+  EXPECT_TRUE(refs[0].known);
+  EXPECT_TRUE(refs[0].terminated);
+  EXPECT_EQ(refs[0].location.line, 1u);
+  EXPECT_EQ(refs[0].location.column, 6u);
+}
+
+TEST(ScanEntitiesTest, UnterminatedReference) {
+  const auto refs = ScanEntities("caf&eacute au lait", SourceLocation{1, 1});
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_TRUE(refs[0].known);
+  EXPECT_FALSE(refs[0].terminated);
+}
+
+TEST(ScanEntitiesTest, UnknownReference) {
+  const auto refs = ScanEntities("&wibble;", SourceLocation{1, 1});
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_FALSE(refs[0].known);
+  EXPECT_TRUE(refs[0].terminated);
+}
+
+TEST(ScanEntitiesTest, NumericReferences) {
+  const auto refs = ScanEntities("&#169; &#xA9; &#x10FFFF; &#1114112;", SourceLocation{1, 1});
+  ASSERT_EQ(refs.size(), 4u);
+  EXPECT_TRUE(refs[0].valid_number);
+  EXPECT_TRUE(refs[1].valid_number);
+  EXPECT_TRUE(refs[2].valid_number);
+  EXPECT_FALSE(refs[3].valid_number);  // Beyond Unicode.
+}
+
+TEST(ScanEntitiesTest, EmptyNumericIsInvalid) {
+  const auto refs = ScanEntities("&#;", SourceLocation{1, 1});
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].kind, EntityRef::Kind::kNumeric);
+  EXPECT_FALSE(refs[0].valid_number);
+}
+
+TEST(ScanEntitiesTest, BareAmpersand) {
+  const auto refs = ScanEntities("AT&T and A & B", SourceLocation{1, 1});
+  ASSERT_EQ(refs.size(), 2u);
+  // "&T" parses as an (unknown) named reference; the lone "& " is bare.
+  EXPECT_EQ(refs[0].kind, EntityRef::Kind::kNamed);
+  EXPECT_FALSE(refs[0].known);
+  EXPECT_EQ(refs[1].kind, EntityRef::Kind::kBareAmp);
+}
+
+TEST(ScanEntitiesTest, MultilinePositions) {
+  const auto refs = ScanEntities("a\nbb&amp;\n&lt;", SourceLocation{10, 1});
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0].location.line, 11u);
+  EXPECT_EQ(refs[0].location.column, 3u);
+  EXPECT_EQ(refs[1].location.line, 12u);
+  EXPECT_EQ(refs[1].location.column, 1u);
+}
+
+TEST(ScanEntitiesTest, BaseColumnOffset) {
+  const auto refs = ScanEntities("&gt;", SourceLocation{3, 40});
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].location.line, 3u);
+  EXPECT_EQ(refs[0].location.column, 40u);
+}
+
+TEST(ScanEntitiesTest, NoEntities) {
+  EXPECT_TRUE(ScanEntities("plain text, nothing here", SourceLocation{1, 1}).empty());
+  EXPECT_TRUE(ScanEntities("", SourceLocation{1, 1}).empty());
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,181 @@
+// Tokenizer edge cases: the inputs real 1990s HTML threw at weblint.
+#include <gtest/gtest.h>
+
+#include "html/tokenizer.h"
+
+namespace weblint {
+namespace {
+
+TEST(TokenizerEdgeTest, EmptyAngleBrackets) {
+  const auto tokens = TokenizeAll("a<>b");
+  // "<" opens nothing: stray; ">" is plain text.
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kStrayLt);
+  EXPECT_EQ(tokens[2].text, ">b");
+}
+
+TEST(TokenizerEdgeTest, LtBeforeSpaceDigitEquals) {
+  for (const char* input : {"< P>", "<5>", "<=>", "<\t>"}) {
+    const auto tokens = TokenizeAll(input);
+    ASSERT_GE(tokens.size(), 1u) << input;
+    EXPECT_EQ(tokens[0].kind, TokenKind::kStrayLt) << input;
+  }
+}
+
+TEST(TokenizerEdgeTest, EmptyQuotedValue) {
+  const auto tokens = TokenizeAll("<A HREF=\"\">x</A>");
+  ASSERT_EQ(tokens[0].attributes.size(), 1u);
+  EXPECT_TRUE(tokens[0].attributes[0].has_value);
+  EXPECT_EQ(tokens[0].attributes[0].value, "");
+  EXPECT_FALSE(tokens[0].odd_quotes);
+}
+
+TEST(TokenizerEdgeTest, ValueWithNewlineInsideQuotes) {
+  // Legal HTML: quoted values may span lines.
+  const auto tokens = TokenizeAll("<IMG ALT=\"line one\nline two\" SRC=\"x.gif\">");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].attributes[0].value, "line one\nline two");
+  EXPECT_FALSE(tokens[0].odd_quotes);
+  // Position tracking continued through the value.
+  EXPECT_EQ(tokens[0].attributes[1].location.line, 2u);
+}
+
+TEST(TokenizerEdgeTest, EqualsWithoutName) {
+  const auto tokens = TokenizeAll("<P =\"v\">x");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].name, "P");
+  // The nameless attribute is still recorded (it has a value).
+  ASSERT_EQ(tokens[0].attributes.size(), 1u);
+  EXPECT_TRUE(tokens[0].attributes[0].name.empty());
+  EXPECT_EQ(tokens[0].attributes[0].value, "v");
+}
+
+TEST(TokenizerEdgeTest, VeryLongAttributeValue) {
+  // Values within the quote-lookahead window lex normally.
+  const std::string value(32000, 'v');
+  const auto tokens = TokenizeAll("<A HREF=\"" + value + "\">x</A>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].attributes[0].value.size(), value.size());
+  EXPECT_FALSE(tokens[0].odd_quotes);
+}
+
+TEST(TokenizerEdgeTest, AbsurdValueTriggersRunawayRecovery) {
+  // A "value" longer than the lookahead window is treated as a runaway
+  // quote: the safety valve against quadratic rescanning.
+  const std::string value(200000, 'v');
+  const auto tokens = TokenizeAll("<A HREF=\"" + value + "\">x</A>");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].attributes[0].unterminated_quote);
+}
+
+TEST(TokenizerEdgeTest, NullBytesSurvive) {
+  std::string input = "<P>a";
+  input.push_back('\0');
+  input += "b</P>";
+  const auto tokens = TokenizeAll(input);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text.size(), 3u);  // 'a', NUL, 'b'.
+}
+
+TEST(TokenizerEdgeTest, EmptyComment) {
+  const auto tokens = TokenizeAll("<!---->x");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[0].text, "");
+  EXPECT_FALSE(tokens[0].unterminated_comment);
+}
+
+TEST(TokenizerEdgeTest, CommentWithDashes) {
+  const auto tokens = TokenizeAll("<!-- a - b -- > after");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kComment);
+  EXPECT_TRUE(tokens[0].comment_whitespace_close);
+}
+
+TEST(TokenizerEdgeTest, BangWithoutName) {
+  const auto tokens = TokenizeAll("<!>x");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDeclaration);
+  EXPECT_EQ(tokens[1].text, "x");
+}
+
+TEST(TokenizerEdgeTest, UnterminatedDoctype) {
+  const auto tokens = TokenizeAll("<!DOCTYPE HTML");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDoctype);
+  EXPECT_TRUE(tokens[0].unterminated_tag);
+}
+
+TEST(TokenizerEdgeTest, RawModeIsCaseInsensitive) {
+  const auto tokens = TokenizeAll("<script type=\"t\">x<b>y</SCRIPT>z");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[1].raw_text);
+  EXPECT_EQ(tokens[1].text, "x<b>y");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+  EXPECT_EQ(tokens[3].text, "z");
+}
+
+TEST(TokenizerEdgeTest, StyleInsideScriptStaysRaw) {
+  const auto tokens = TokenizeAll("<SCRIPT TYPE=\"t\">a <STYLE> b</SCRIPT>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_TRUE(tokens[1].raw_text);
+  EXPECT_NE(tokens[1].text.find("<STYLE>"), std::string::npos);
+}
+
+TEST(TokenizerEdgeTest, EndTagWithTrailingSpaceClosesRawMode) {
+  const auto tokens = TokenizeAll("<SCRIPT TYPE=\"t\">x</SCRIPT >y");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+  EXPECT_EQ(tokens[2].name, "SCRIPT");
+  EXPECT_EQ(tokens[3].text, "y");
+}
+
+TEST(TokenizerEdgeTest, DeeplyNestedTagsAreLinear) {
+  std::string input;
+  for (int i = 0; i < 2000; ++i) {
+    input += "<B>";
+  }
+  input += "x";
+  for (int i = 0; i < 2000; ++i) {
+    input += "</B>";
+  }
+  const auto tokens = TokenizeAll(input);
+  EXPECT_EQ(tokens.size(), 4001u);
+}
+
+TEST(TokenizerEdgeTest, ManyUnterminatedQuotesStayBounded) {
+  // Each runaway quote recovers locally; total work must stay linear-ish.
+  std::string input;
+  for (int i = 0; i < 2000; ++i) {
+    input += "<A HREF=\"broken>text ";
+  }
+  const auto tokens = TokenizeAll(input);
+  EXPECT_GE(tokens.size(), 2000u);
+}
+
+TEST(TokenizerEdgeTest, TagNameStopsAtNonNameChar) {
+  const auto tokens = TokenizeAll("<B%>x");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStartTag);
+  EXPECT_EQ(tokens[0].name, "B");
+  // The junk "%" lands in the attribute list, not the name.
+}
+
+TEST(TokenizerEdgeTest, ColumnsAfterTagsOnSameLine) {
+  const auto tokens = TokenizeAll("<P><B>x");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].location.column, 1u);
+  EXPECT_EQ(tokens[1].location.column, 4u);
+  EXPECT_EQ(tokens[2].location.column, 7u);
+}
+
+TEST(TokenizerEdgeTest, WholeFileIsOneTag) {
+  const auto tokens = TokenizeAll("<IMG SRC=\"x\" ALT=\"y\"");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].unterminated_tag);
+  EXPECT_EQ(tokens[0].attributes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace weblint

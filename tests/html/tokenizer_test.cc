@@ -1,0 +1,286 @@
+#include "html/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace weblint {
+namespace {
+
+TEST(TokenizerTest, PlainText) {
+  const auto tokens = TokenizeAll("hello world");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[0].text, "hello world");
+  EXPECT_EQ(tokens[0].location.line, 1u);
+}
+
+TEST(TokenizerTest, SimpleStartAndEndTags) {
+  const auto tokens = TokenizeAll("<B>bold</B>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStartTag);
+  EXPECT_EQ(tokens[0].name, "B");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+  EXPECT_EQ(tokens[2].name, "B");
+}
+
+TEST(TokenizerTest, LineAndColumnTracking) {
+  const auto tokens = TokenizeAll("line one\n<P>\n  <B>x");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[1].name, "P");
+  EXPECT_EQ(tokens[1].location.line, 2u);
+  EXPECT_EQ(tokens[1].location.column, 1u);
+  EXPECT_EQ(tokens[3].name, "B");
+  EXPECT_EQ(tokens[3].location.line, 3u);
+  EXPECT_EQ(tokens[3].location.column, 3u);
+}
+
+TEST(TokenizerTest, CrLfCountsAsOneLine) {
+  const auto tokens = TokenizeAll("a\r\n<P>");
+  EXPECT_EQ(tokens[1].location.line, 2u);
+  const auto mac = TokenizeAll("a\r<P>");
+  EXPECT_EQ(mac[1].location.line, 2u);
+}
+
+TEST(TokenizerTest, AttributesQuotedAndUnquoted) {
+  const auto tokens = TokenizeAll(R"(<BODY BGCOLOR="fffff" TEXT=#00ff00 COMPACT>)");
+  ASSERT_EQ(tokens.size(), 1u);
+  const Token& tag = tokens[0];
+  ASSERT_EQ(tag.attributes.size(), 3u);
+  EXPECT_EQ(tag.attributes[0].name, "BGCOLOR");
+  EXPECT_EQ(tag.attributes[0].value, "fffff");
+  EXPECT_EQ(tag.attributes[0].quote, QuoteStyle::kDouble);
+  EXPECT_EQ(tag.attributes[1].name, "TEXT");
+  EXPECT_EQ(tag.attributes[1].value, "#00ff00");
+  EXPECT_EQ(tag.attributes[1].quote, QuoteStyle::kNone);
+  EXPECT_EQ(tag.attributes[2].name, "COMPACT");
+  EXPECT_FALSE(tag.attributes[2].has_value);
+}
+
+TEST(TokenizerTest, SingleQuotedAttribute) {
+  const auto tokens = TokenizeAll("<A HREF='x.html'>");
+  ASSERT_EQ(tokens[0].attributes.size(), 1u);
+  EXPECT_EQ(tokens[0].attributes[0].quote, QuoteStyle::kSingle);
+  EXPECT_EQ(tokens[0].attributes[0].value, "x.html");
+}
+
+TEST(TokenizerTest, AttributeValueWithSpacesAndGt) {
+  const auto tokens = TokenizeAll(R"(<IMG ALT="a > b, honest" SRC="x.gif">)");
+  ASSERT_EQ(tokens.size(), 1u);
+  ASSERT_EQ(tokens[0].attributes.size(), 2u);
+  EXPECT_EQ(tokens[0].attributes[0].value, "a > b, honest");
+  EXPECT_FALSE(tokens[0].odd_quotes);
+}
+
+TEST(TokenizerTest, WhitespaceAroundEquals) {
+  const auto tokens = TokenizeAll("<A HREF = \"x.html\" >");
+  ASSERT_EQ(tokens[0].attributes.size(), 1u);
+  EXPECT_EQ(tokens[0].attributes[0].name, "HREF");
+  EXPECT_EQ(tokens[0].attributes[0].value, "x.html");
+}
+
+// The paper's §4.2 recovery case: the quote never closes; the tokenizer
+// must still produce usable <A>, text, </B>, </A> tokens.
+TEST(TokenizerTest, OddQuoteRecovery) {
+  const auto tokens = TokenizeAll("<A HREF=\"a.html>here</B></A>");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStartTag);
+  EXPECT_EQ(tokens[0].name, "A");
+  EXPECT_TRUE(tokens[0].odd_quotes);
+  ASSERT_EQ(tokens[0].attributes.size(), 1u);
+  EXPECT_EQ(tokens[0].attributes[0].value, "a.html");
+  EXPECT_TRUE(tokens[0].attributes[0].unterminated_quote);
+  EXPECT_EQ(tokens[0].raw, "A HREF=\"a.html");
+  EXPECT_EQ(tokens[1].text, "here");
+  EXPECT_EQ(tokens[2].name, "B");
+  EXPECT_EQ(tokens[3].name, "A");
+}
+
+TEST(TokenizerTest, OddQuoteCountingInRaw) {
+  // Three double quotes in the tag: parity flag set even though each value
+  // lexed "successfully".
+  const auto tokens = TokenizeAll("<IMG SRC=\"a\" ALT=\"x>");
+  EXPECT_TRUE(tokens[0].odd_quotes);
+}
+
+TEST(TokenizerTest, ApostropheInDoubleQuotedValueIsFine) {
+  const auto tokens = TokenizeAll("<IMG ALT=\"don't panic\" SRC=\"x.gif\">");
+  EXPECT_FALSE(tokens[0].odd_quotes);
+  EXPECT_EQ(tokens[0].attributes[0].value, "don't panic");
+}
+
+TEST(TokenizerTest, StrayLtBeforeNonTag) {
+  const auto tokens = TokenizeAll("3 < 5 is true");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kStrayLt);
+  EXPECT_EQ(tokens[1].location.column, 3u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kText);
+}
+
+TEST(TokenizerTest, LtAtEofIsStray) {
+  const auto tokens = TokenizeAll("text<");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kStrayLt);
+}
+
+TEST(TokenizerTest, NewTagInsideTagRecovers) {
+  const auto tokens = TokenizeAll("<P align=left <B>x");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].name, "P");
+  EXPECT_TRUE(tokens[0].closed_by_lt);
+  EXPECT_EQ(tokens[1].name, "B");
+}
+
+TEST(TokenizerTest, EofInsideTag) {
+  const auto tokens = TokenizeAll("<IMG SRC=\"x.gif\"");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].unterminated_tag);
+  ASSERT_EQ(tokens[0].attributes.size(), 1u);
+}
+
+TEST(TokenizerTest, Comment) {
+  const auto tokens = TokenizeAll("<!-- a comment -->after");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[0].text, " a comment ");
+  EXPECT_FALSE(tokens[0].unterminated_comment);
+  EXPECT_EQ(tokens[1].text, "after");
+}
+
+TEST(TokenizerTest, CommentWithMarkupInside) {
+  const auto tokens = TokenizeAll("<!-- <B>hidden</B> -->");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kComment);
+  EXPECT_NE(tokens[0].text.find("<B>"), std::string::npos);
+}
+
+TEST(TokenizerTest, NestedCommentFlagged) {
+  const auto tokens = TokenizeAll("<!-- outer <!-- inner --> text");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].nested_comment);
+}
+
+TEST(TokenizerTest, UnterminatedComment) {
+  const auto tokens = TokenizeAll("<!-- never closed");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].unterminated_comment);
+}
+
+TEST(TokenizerTest, CommentWhitespaceClose) {
+  const auto tokens = TokenizeAll("<!-- odd close -- >x");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].comment_whitespace_close);
+  EXPECT_EQ(tokens[1].text, "x");
+}
+
+TEST(TokenizerTest, Doctype) {
+  const auto tokens =
+      TokenizeAll("<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0//EN\">\n<HTML>");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDoctype);
+  EXPECT_NE(tokens[0].text.find("W3C"), std::string::npos);
+}
+
+TEST(TokenizerTest, DoctypeWithGtInsideQuotes) {
+  const auto tokens = TokenizeAll("<!DOCTYPE HTML PUBLIC \"a > b\"><P>");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDoctype);
+  EXPECT_EQ(tokens[1].name, "P");
+}
+
+TEST(TokenizerTest, ProcessingInstruction) {
+  const auto tokens = TokenizeAll("<?php echo ?>x");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kProcessing);
+}
+
+TEST(TokenizerTest, ScriptContentIsRawText) {
+  const auto tokens = TokenizeAll("<SCRIPT TYPE=\"text/javascript\">if (a<b) x();</SCRIPT>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].name, "SCRIPT");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kText);
+  EXPECT_TRUE(tokens[1].raw_text);
+  EXPECT_EQ(tokens[1].text, "if (a<b) x();");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+}
+
+TEST(TokenizerTest, StyleContentIsRawText) {
+  const auto tokens = TokenizeAll("<STYLE TYPE=\"text/css\">P > EM { color: red }</STYLE>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_TRUE(tokens[1].raw_text);
+}
+
+TEST(TokenizerTest, EmptyScript) {
+  const auto tokens = TokenizeAll("<SCRIPT TYPE=\"t\"></SCRIPT>");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStartTag);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kEndTag);
+}
+
+TEST(TokenizerTest, UnclosedScriptConsumesRest) {
+  const auto tokens = TokenizeAll("<SCRIPT TYPE=\"t\">var x; <P>not a tag");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[1].raw_text);
+  EXPECT_NE(tokens[1].text.find("<P>"), std::string::npos);
+}
+
+TEST(TokenizerTest, PlaintextConsumesEverything) {
+  const auto tokens = TokenizeAll("<PLAINTEXT>anything <B>goes</B> here");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[1].raw_text);
+  EXPECT_NE(tokens[1].text.find("<B>"), std::string::npos);
+}
+
+TEST(TokenizerTest, NetSlashFlagged) {
+  const auto tokens = TokenizeAll("<BR/>");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].net_slash);
+  EXPECT_EQ(tokens[0].name, "BR");
+}
+
+TEST(TokenizerTest, EndTagWithAttributes) {
+  const auto tokens = TokenizeAll("</A NAME=x>");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEndTag);
+  ASSERT_EQ(tokens[0].attributes.size(), 1u);
+  EXPECT_EQ(tokens[0].attributes[0].name, "NAME");
+}
+
+TEST(TokenizerTest, TagNameWithDigitsAndPunctuation) {
+  const auto tokens = TokenizeAll("<H1>x</H1><my:tag>");
+  EXPECT_EQ(tokens[0].name, "H1");
+  EXPECT_EQ(tokens[3].name, "my:tag");
+}
+
+TEST(TokenizerTest, RawTagTextPreserved) {
+  const auto tokens = TokenizeAll("<A HREF=\"x\" TARGET=_top>");
+  EXPECT_EQ(tokens[0].raw, "A HREF=\"x\" TARGET=_top");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(TokenizeAll("").empty());
+}
+
+TEST(TokenizerTest, LinesConsumedCountsAllLines) {
+  Tokenizer tokenizer("a\nb\nc");
+  Token token;
+  while (tokenizer.Next(&token)) {
+  }
+  EXPECT_EQ(tokenizer.lines_consumed(), 3u);
+}
+
+// Tokenization must cover the input: concatenating text/raw content plus
+// tag spellings should never lose bytes silently (coverage property).
+TEST(TokenizerTest, TokensCoverInput) {
+  const std::string input = "pre <B CLASS=\"x\">mid</B> <!-- c --> post <";
+  size_t text_bytes = 0;
+  for (const Token& token : TokenizeAll(input)) {
+    if (token.kind == TokenKind::kText) {
+      text_bytes += token.text.size();
+    }
+  }
+  EXPECT_EQ(text_bytes, std::string("pre mid post ").size() + 1);  // +1 joining space.
+}
+
+}  // namespace
+}  // namespace weblint

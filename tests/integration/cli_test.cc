@@ -1,0 +1,251 @@
+// End-to-end tests of the command-line tools, exercising the built binaries
+// the way a user would (paper §4.2 and §4.5).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "util/file_io.h"
+
+namespace weblint {
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr combined.
+};
+
+CommandResult RunCommand(const std::string& command) {
+  CommandResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) {
+    return result;
+  }
+  std::array<char, 4096> buffer;
+  size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+constexpr char kTestHtml[] =
+    "<HTML>\n<HEAD>\n<TITLE>example page\n</HEAD>\n"
+    "<BODY BGCOLOR=\"fffff\" TEXT=#00ff00>\n<H1>My Example</H2>\n"
+    "Click <B><A HREF=\"a.html>here</B></A>\nfor more details.\n</BODY>\n</HTML>\n";
+
+constexpr char kCleanHtml[] =
+    "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0//EN\">\n"
+    "<HTML>\n<HEAD>\n<TITLE>clean</TITLE>\n</HEAD>\n<BODY>\n<P>fine</P>\n</BODY>\n</HTML>\n";
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("weblint_cli_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::create_directories(dir_);
+    // Keep the user's real ~/.weblintrc out of the tests.
+    setenv("HOME", dir_.string().c_str(), 1);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CliTest, PaperExampleShortOutput) {
+  ASSERT_TRUE(WriteFile(Path("test.html"), kTestHtml).ok());
+  const CommandResult result =
+      RunCommand(std::string(WEBLINT_BIN) + " -s " + Path("test.html"));
+  EXPECT_EQ(result.exit_code, 1);  // Problems found.
+  EXPECT_EQ(result.output,
+            "line 1: first element was not DOCTYPE specification\n"
+            "line 4: no closing </TITLE> seen for <TITLE> on line 3\n"
+            "line 5: value for attribute TEXT (#00ff00) of element BODY should be quoted "
+            "(i.e. TEXT=\"#00ff00\")\n"
+            "line 5: illegal value for BGCOLOR attribute of BODY (fffff)\n"
+            "line 6: malformed heading - open tag is <H1>, but closing is </H2>\n"
+            "line 7: odd number of quotes in element <A HREF=\"a.html>\n"
+            "line 7: </B> on line 7 seems to overlap <A>, opened on line 7.\n");
+}
+
+TEST_F(CliTest, TraditionalOutputByDefault) {
+  ASSERT_TRUE(WriteFile(Path("test.html"), kTestHtml).ok());
+  const CommandResult result = RunCommand(std::string(WEBLINT_BIN) + " " + Path("test.html"));
+  EXPECT_NE(result.output.find("test.html(1): first element was not DOCTYPE"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, CleanFileExitsZero) {
+  ASSERT_TRUE(WriteFile(Path("clean.html"), kCleanHtml).ok());
+  const CommandResult result = RunCommand(std::string(WEBLINT_BIN) + " " + Path("clean.html"));
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(result.output.empty()) << result.output;
+}
+
+TEST_F(CliTest, StdinDash) {
+  ASSERT_TRUE(WriteFile(Path("in.html"), kCleanHtml).ok());
+  const CommandResult result =
+      RunCommand(std::string(WEBLINT_BIN) + " -s - < " + Path("in.html"));
+  EXPECT_EQ(result.exit_code, 0);
+}
+
+TEST_F(CliTest, MissingFileExitsTwo) {
+  const CommandResult result = RunCommand(std::string(WEBLINT_BIN) + " " + Path("nope.html"));
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST_F(CliTest, EnableAndDisableSwitches) {
+  ASSERT_TRUE(WriteFile(Path("img.html"),
+                        "<!DOCTYPE X>\n<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>"
+                        "<P><IMG SRC=\"a.gif\" ALT=\"t\"></P></BODY></HTML>\n")
+                  .ok());
+  const CommandResult off = RunCommand(std::string(WEBLINT_BIN) + " " + Path("img.html"));
+  EXPECT_EQ(off.exit_code, 0);
+  const CommandResult on =
+      RunCommand(std::string(WEBLINT_BIN) + " -e img-size " + Path("img.html"));
+  EXPECT_EQ(on.exit_code, 1);
+  EXPECT_NE(on.output.find("WIDTH and HEIGHT"), std::string::npos);
+  const CommandResult disabled = RunCommand(std::string(WEBLINT_BIN) + " -e img-size -d img-size " +
+                                            Path("img.html"));
+  EXPECT_EQ(disabled.exit_code, 0);
+}
+
+TEST_F(CliTest, UnknownWarningIdExitsTwo) {
+  ASSERT_TRUE(WriteFile(Path("x.html"), kCleanHtml).ok());
+  const CommandResult result =
+      RunCommand(std::string(WEBLINT_BIN) + " -e frobnitz " + Path("x.html"));
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST_F(CliTest, ListWarnings) {
+  const CommandResult result = RunCommand(std::string(WEBLINT_BIN) + " -l");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("50 messages, 42 enabled by default"), std::string::npos);
+  EXPECT_NE(result.output.find("here-anchor"), std::string::npos);
+}
+
+TEST_F(CliTest, UserRcFileRespected) {
+  ASSERT_TRUE(WriteFile(Path(".weblintrc"), "disable require-doctype\n").ok());
+  ASSERT_TRUE(WriteFile(Path("nodoctype.html"),
+                        "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>x</P></BODY></HTML>\n")
+                  .ok());
+  const CommandResult result =
+      RunCommand(std::string(WEBLINT_BIN) + " " + Path("nodoctype.html"));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST_F(CliTest, ExtensionSwitch) {
+  ASSERT_TRUE(WriteFile(Path("blink.html"),
+                        "<!DOCTYPE X>\n<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>"
+                        "<P><BLINK>hi</BLINK></P></BODY></HTML>\n")
+                  .ok());
+  EXPECT_EQ(RunCommand(std::string(WEBLINT_BIN) + " " + Path("blink.html")).exit_code, 1);
+  EXPECT_EQ(
+      RunCommand(std::string(WEBLINT_BIN) + " -x netscape " + Path("blink.html")).exit_code, 0);
+}
+
+TEST_F(CliTest, RecursiveSiteCheck) {
+  std::filesystem::create_directories(dir_ / "site" / "sub");
+  ASSERT_TRUE(WriteFile(Path("site/index.html"), kCleanHtml).ok());
+  ASSERT_TRUE(WriteFile(Path("site/sub/page.html"), kCleanHtml).ok());
+  const CommandResult result =
+      RunCommand(std::string(WEBLINT_BIN) + " -R " + Path("site"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("does not have an index file"), std::string::npos);
+  EXPECT_NE(result.output.find("not linked to"), std::string::npos);
+}
+
+TEST_F(CliTest, HelpAndVersionExitZero) {
+  EXPECT_EQ(RunCommand(std::string(WEBLINT_BIN) + " --help").exit_code, 0);
+}
+
+TEST_F(CliTest, CssFilesCheckedThroughFramework) {
+  ASSERT_TRUE(WriteFile(Path("styles.css"), "H1 { colour: red }\n").ok());
+  const CommandResult result = RunCommand(std::string(WEBLINT_BIN) + " " + Path("styles.css"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("unknown property \"colour\""), std::string::npos);
+
+  ASSERT_TRUE(WriteFile(Path("ok.css"), "H1 { color: red }\n").ok());
+  EXPECT_EQ(RunCommand(std::string(WEBLINT_BIN) + " " + Path("ok.css")).exit_code, 0);
+}
+
+TEST_F(CliTest, WeightFlagPrintsModemTable) {
+  ASSERT_TRUE(WriteFile(Path("img.gif"), std::string(7200, 'x')).ok());
+  ASSERT_TRUE(WriteFile(Path("page.html"),
+                        "<!DOCTYPE X>\n<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>"
+                        "<P><IMG SRC=\"img.gif\" ALT=\"i\"></P></BODY></HTML>\n")
+                  .ok());
+  const CommandResult result =
+      RunCommand(std::string(WEBLINT_BIN) + " --weight " + Path("page.html"));
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("14.4k modem"), std::string::npos);
+  EXPECT_NE(result.output.find("7200 bytes in 1 resource(s)"), std::string::npos);
+}
+
+TEST_F(CliTest, PragmasRespectedThroughCli) {
+  ASSERT_TRUE(WriteFile(Path("pragma.html"),
+                        "<!DOCTYPE X>\n<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>\n"
+                        "<!-- weblint: disable empty-container -->\n<B></B>\n"
+                        "</BODY></HTML>\n")
+                  .ok());
+  EXPECT_EQ(RunCommand(std::string(WEBLINT_BIN) + " " + Path("pragma.html")).exit_code, 0);
+}
+
+TEST_F(CliTest, LanguageViaRcFile) {
+  ASSERT_TRUE(WriteFile(Path(".weblintrc"), "set language fr\n").ok());
+  ASSERT_TRUE(WriteFile(Path("bad.html"),
+                        "<!DOCTYPE X>\n<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>"
+                        "<P><B><I>x</B></I></P></BODY></HTML>\n")
+                  .ok());
+  const CommandResult result = RunCommand(std::string(WEBLINT_BIN) + " " + Path("bad.html"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("chevaucher"), std::string::npos) << result.output;
+}
+
+TEST_F(CliTest, PluginViaRcFile) {
+  ASSERT_TRUE(WriteFile(Path(".weblintrc"), "plugin css\n").ok());
+  ASSERT_TRUE(WriteFile(Path("styled.html"),
+                        "<!DOCTYPE X>\n<HTML><HEAD><TITLE>t</TITLE>\n"
+                        "<STYLE TYPE=\"text/css\">P { colour: red }</STYLE>\n"
+                        "</HEAD><BODY><P>x</P></BODY></HTML>\n")
+                  .ok());
+  const CommandResult result =
+      RunCommand(std::string(WEBLINT_BIN) + " -v " + Path("styled.html"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("css/unknown-property"), std::string::npos) << result.output;
+}
+
+TEST_F(CliTest, PoacherDemoRuns) {
+  const CommandResult result = RunCommand(std::string(POACHER_BIN) + " --demo");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("poacher summary"), std::string::npos);
+  EXPECT_NE(result.output.find("broken links:      2"), std::string::npos);
+}
+
+TEST_F(CliTest, GatewayFormMode) {
+  const CommandResult result = RunCommand(std::string(GATEWAY_BIN) + " --form");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("Content-Type: text/html"), std::string::npos);
+  EXPECT_NE(result.output.find("<FORM"), std::string::npos);
+}
+
+TEST_F(CliTest, GatewayPostSubmission) {
+  const CommandResult result = RunCommand(
+      "printf '%s' 'html=%3CB%3Eunclosed&format=short' | "
+      "REQUEST_METHOD=POST CONTENT_TYPE=application/x-www-form-urlencoded QUERY_STRING= " +
+      std::string(GATEWAY_BIN));
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("Report for pasted HTML"), std::string::npos);
+  EXPECT_NE(result.output.find("unclosed-element"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace weblint

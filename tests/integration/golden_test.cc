@@ -1,0 +1,130 @@
+// Golden full-output tests: complete documents with their exact expected
+// `-s` output, byte for byte — the regression net over message wording,
+// ordering, and line numbers (the paper's §5.7 sample set, formalised).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/linter.h"
+#include "warnings/emitter.h"
+
+namespace weblint {
+namespace {
+
+struct GoldenCase {
+  const char* name;
+  const char* html;
+  std::vector<const char*> expected;  // Short-format lines, in order.
+};
+
+const std::vector<GoldenCase>& Cases() {
+  static const std::vector<GoldenCase> kCases = {
+      {"paper_example",
+       "<HTML>\n<HEAD>\n<TITLE>example page\n</HEAD>\n"
+       "<BODY BGCOLOR=\"fffff\" TEXT=#00ff00>\n<H1>My Example</H2>\n"
+       "Click <B><A HREF=\"a.html>here</B></A>\nfor more details.\n</BODY>\n</HTML>\n",
+       {
+           "line 1: first element was not DOCTYPE specification",
+           "line 4: no closing </TITLE> seen for <TITLE> on line 3",
+           "line 5: value for attribute TEXT (#00ff00) of element BODY should be quoted "
+           "(i.e. TEXT=\"#00ff00\")",
+           "line 5: illegal value for BGCOLOR attribute of BODY (fffff)",
+           "line 6: malformed heading - open tag is <H1>, but closing is </H2>",
+           "line 7: odd number of quotes in element <A HREF=\"a.html>",
+           "line 7: </B> on line 7 seems to overlap <A>, opened on line 7.",
+       }},
+
+      {"clean_page",
+       "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0//EN\">\n"
+       "<HTML>\n<HEAD>\n<TITLE>all good</TITLE>\n</HEAD>\n<BODY>\n"
+       "<H1>Fine</H1>\n<P>Nothing wrong here.</P>\n</BODY>\n</HTML>\n",
+       {}},
+
+      {"homepage_1996",
+       // The archetypal mid-90s hand-written home page.
+       "<HTML>\n"                                                          // 1
+       "<BODY>\n"                                                          // 2
+       "<CENTER><H1>Welcome to my Home Page!!</H1></CENTER>\n"             // 3
+       "<P>Hi! I am <BLINK>very</BLINK> excited.\n"                        // 4
+       "<P><IMG SRC=\"construction.gif\">\n"                               // 5
+       "This page is under construction.\n"                                // 6
+       "<P>My hotlist:\n"                                                  // 7
+       "<LI><A HREF=\"http://www.yahoo.com/\">Yahoo</A>\n"                 // 8
+       "</BODY>\n"                                                         // 9
+       "</HTML>\n",                                                        // 10
+       {
+           "line 1: first element was not DOCTYPE specification",
+           "line 2: <BODY> must immediately follow </HEAD>",
+           "line 3: <CENTER> is deprecated -- use <DIV> instead",
+           "line 4: <BLINK> is extended markup (Netscape), and is not widely supported",
+           "line 5: IMG does not have ALT text defined",
+           "line 8: <LI> can only appear inside <UL>, <OL>, <MENU> or <DIR> -- opening "
+           "<UL> implied",
+           "no <HEAD> element found",
+       }},
+
+      {"table_form_mess",
+       "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0//EN\">\n"             // 1
+       "<HTML>\n"                                                          // 2
+       "<HEAD><TITLE>order form</TITLE></HEAD>\n"                          // 3
+       "<BODY>\n"                                                          // 4
+       "<TABLE BORDER=\"yes\">\n"                                          // 5
+       "<TR><TD>Name:<TD><INPUT TYPE=\"text\" NAME=\"name\">\n"            // 6
+       "<TR><TD>Size:<TD><SELECT NAME='size'>\n"                           // 7
+       "<OPTION>small<OPTION>large\n"                                      // 8
+       "</SELECT>\n"                                                       // 9
+       "</TABLE>\n"                                                        // 10
+       "</BODY>\n"                                                         // 11
+       "</HTML>\n",                                                        // 12
+       {
+           "line 5: TABLE does not have a SUMMARY attribute -- summaries help non-visual "
+           "browsers",
+           "line 5: illegal value for BORDER attribute of TABLE (yes)",
+           "line 6: illegal context for <INPUT> -- must appear inside <FORM>",
+           "line 7: illegal context for <SELECT> -- must appear inside <FORM>",
+           "line 7: use of ' as a delimiter for the value of attribute NAME of element "
+           "SELECT is not supported by all browsers",
+       }},
+
+      {"head_body_confusion",
+       "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0//EN\">\n"             // 1
+       "<HTML>\n"                                                          // 2
+       "<BODY>\n"                                                          // 3
+       "<TITLE>too late</TITLE>\n"                                         // 4
+       "<P>content</P>\n"                                                  // 5
+       "</BODY>\n"                                                         // 6
+       "</HTML>\n",                                                        // 7
+       {
+           "line 3: <BODY> must immediately follow </HEAD>",
+           "line 4: <TITLE> can only appear in the HEAD element",
+           "no <HEAD> element found",
+       }},
+  };
+  return kCases;
+}
+
+class GoldenTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenTest, ExactShortOutput) {
+  Weblint lint;
+  const LintReport report = lint.CheckString(GetParam().name, GetParam().html);
+  std::vector<std::string> actual;
+  actual.reserve(report.diagnostics.size());
+  for (const Diagnostic& d : report.diagnostics) {
+    actual.push_back(FormatDiagnostic(d, OutputStyle::kShort));
+  }
+  ASSERT_EQ(actual.size(), GetParam().expected.size())
+      << "on " << GetParam().name << ":\n" << GetParam().html;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i], GetParam().expected[i]) << GetParam().name << " line " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Documents, GoldenTest, ::testing::ValuesIn(Cases()),
+                         [](const ::testing::TestParamInfo<GoldenCase>& param_info) {
+                           return std::string(param_info.param.name);
+                         });
+
+}  // namespace
+}  // namespace weblint

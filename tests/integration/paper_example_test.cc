@@ -1,0 +1,97 @@
+// E1: the paper's §4.2 worked example, byte-for-byte.
+//
+// "% weblint -s test.html" on the example page must produce exactly the
+// seven messages the paper prints, with the same wording, in the same
+// order, in both the short (-s) and traditional formats.
+#include <gtest/gtest.h>
+
+#include "core/linter.h"
+#include "warnings/emitter.h"
+
+namespace weblint {
+namespace {
+
+constexpr char kTestHtml[] =
+    "<HTML>\n"
+    "<HEAD>\n"
+    "<TITLE>example page\n"
+    "</HEAD>\n"
+    "<BODY BGCOLOR=\"fffff\" TEXT=#00ff00>\n"
+    "<H1>My Example</H2>\n"
+    "Click <B><A HREF=\"a.html>here</B></A>\n"
+    "for more details.\n"
+    "</BODY>\n"
+    "</HTML>\n";
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  LintReport Lint() {
+    Weblint lint;
+    return lint.CheckString("test.html", kTestHtml);
+  }
+};
+
+TEST_F(PaperExampleTest, ExactlySevenDiagnostics) {
+  EXPECT_EQ(Lint().diagnostics.size(), 7u);
+}
+
+TEST_F(PaperExampleTest, ShortFormatMatchesPaperOutput) {
+  // The paper's output (reflowed; the paper wrapped lines for the page
+  // layout and contains one typo — it prints "#00ffoo" for a value that is
+  // "#00ff00" in the input).
+  const std::vector<std::string> expected = {
+      "line 1: first element was not DOCTYPE specification",
+      "line 4: no closing </TITLE> seen for <TITLE> on line 3",
+      "line 5: value for attribute TEXT (#00ff00) of element BODY should be quoted "
+      "(i.e. TEXT=\"#00ff00\")",
+      "line 5: illegal value for BGCOLOR attribute of BODY (fffff)",
+      "line 6: malformed heading - open tag is <H1>, but closing is </H2>",
+      "line 7: odd number of quotes in element <A HREF=\"a.html>",
+      "line 7: </B> on line 7 seems to overlap <A>, opened on line 7.",
+  };
+  const LintReport report = Lint();
+  ASSERT_EQ(report.diagnostics.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(FormatDiagnostic(report.diagnostics[i], OutputStyle::kShort), expected[i]) << i;
+  }
+}
+
+TEST_F(PaperExampleTest, TraditionalFormatUsesFileAndLine) {
+  const LintReport report = Lint();
+  ASSERT_FALSE(report.diagnostics.empty());
+  EXPECT_EQ(FormatDiagnostic(report.diagnostics[0], OutputStyle::kTraditional),
+            "test.html(1): first element was not DOCTYPE specification");
+}
+
+TEST_F(PaperExampleTest, MessageIdsInOrder) {
+  const std::vector<std::string> expected = {
+      "require-doctype", "unclosed-element", "quote-attribute-value", "attribute-value",
+      "heading-mismatch", "odd-quotes",      "element-overlap",
+  };
+  const LintReport report = Lint();
+  ASSERT_EQ(report.diagnostics.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(report.diagnostics[i].message_id, expected[i]) << i;
+  }
+}
+
+TEST_F(PaperExampleTest, CategoriesAreMixed) {
+  // The seven messages span errors and warnings.
+  const LintReport report = Lint();
+  EXPECT_GT(report.ErrorCount(), 0u);
+  EXPECT_GT(report.WarningCount(), 0u);
+  EXPECT_EQ(report.ErrorCount() + report.WarningCount(), 7u);
+}
+
+TEST_F(PaperExampleTest, StableUnderRepeatedRuns) {
+  Weblint lint;
+  const LintReport a = lint.CheckString("test.html", kTestHtml);
+  const LintReport b = lint.CheckString("test.html", kTestHtml);
+  ASSERT_EQ(a.diagnostics.size(), b.diagnostics.size());
+  for (size_t i = 0; i < a.diagnostics.size(); ++i) {
+    EXPECT_EQ(a.diagnostics[i].message, b.diagnostics[i].message);
+  }
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,94 @@
+#include "net/fetcher.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/file_io.h"
+
+namespace weblint {
+namespace {
+
+TEST(ReasonPhraseTest, CommonCodes) {
+  EXPECT_EQ(ReasonPhrase(200), "OK");
+  EXPECT_EQ(ReasonPhrase(404), "Not Found");
+  EXPECT_EQ(ReasonPhrase(302), "Found");
+  EXPECT_EQ(ReasonPhrase(999), "Unknown");
+}
+
+TEST(HttpResponseTest, Predicates) {
+  HttpResponse response;
+  response.status = 200;
+  EXPECT_TRUE(response.ok());
+  response.status = 301;
+  EXPECT_TRUE(response.IsRedirect());
+  response.status = 404;
+  EXPECT_TRUE(response.NotFound());
+  EXPECT_FALSE(response.ok());
+}
+
+TEST(HttpResponseTest, HeaderLookupCaseInsensitive) {
+  HttpResponse response;
+  response.headers["Content-Type"] = "text/html";
+  EXPECT_EQ(response.Header("content-type"), "text/html");
+  EXPECT_EQ(response.Header("CONTENT-TYPE"), "text/html");
+  EXPECT_EQ(response.Header("x-missing"), "");
+}
+
+class FileFetcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("weblint_fetcher_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileFetcherTest, ServesLocalFile) {
+  ASSERT_TRUE(WriteFile((dir_ / "page.html").string(), "<P>hi</P>").ok());
+  FileFetcher fetcher;
+  const HttpResponse response = fetcher.Get(ParseUrl("file://" + (dir_ / "page.html").string()));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "<P>hi</P>");
+  EXPECT_EQ(response.Header("content-type"), "text/html");
+}
+
+TEST_F(FileFetcherTest, MissingFileIs404) {
+  FileFetcher fetcher;
+  EXPECT_EQ(fetcher.Get(ParseUrl("file://" + (dir_ / "nope.html").string())).status, 404);
+}
+
+TEST_F(FileFetcherTest, RootRelativePaths) {
+  ASSERT_TRUE(WriteFile((dir_ / "page.html").string(), "x").ok());
+  FileFetcher fetcher(dir_.string());
+  EXPECT_EQ(fetcher.Get(ParseUrl("page.html")).status, 200);
+}
+
+TEST_F(FileFetcherTest, RejectsHttpScheme) {
+  FileFetcher fetcher;
+  EXPECT_EQ(fetcher.Get(ParseUrl("http://remote/x")).status, 400);
+}
+
+TEST_F(FileFetcherTest, NonHtmlContentType) {
+  ASSERT_TRUE(WriteFile((dir_ / "data.bin").string(), "xx").ok());
+  FileFetcher fetcher(dir_.string());
+  EXPECT_EQ(fetcher.Get(ParseUrl("data.bin")).Header("content-type"),
+            "application/octet-stream");
+}
+
+TEST_F(FileFetcherTest, HeadDropsBody) {
+  ASSERT_TRUE(WriteFile((dir_ / "page.html").string(), "body text").ok());
+  FileFetcher fetcher(dir_.string());
+  const HttpResponse response = fetcher.Head(ParseUrl("page.html"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(response.body.empty());
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,159 @@
+// End-to-end socket round-trips through the minimal HTTP server.
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+
+#include "core/linter.h"
+#include "gateway/cgi.h"
+#include "gateway/gateway.h"
+#include "util/url.h"
+
+namespace weblint {
+namespace {
+
+// A tiny blocking HTTP client for the tests.
+Result<HttpResponse> Fetch(std::uint16_t port, const std::string& raw_request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Fail("client socket failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Fail("connect failed");
+  }
+  size_t written = 0;
+  while (written < raw_request.size()) {
+    const ssize_t n = ::write(fd, raw_request.data() + written, raw_request.size() - written);
+    if (n <= 0) {
+      ::close(fd);
+      return Fail("client write failed");
+    }
+    written += static_cast<size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response_bytes;
+  char chunk[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    response_bytes.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return ParseHttpResponse(response_bytes);
+}
+
+TEST(HttpServerTest, EchoRoundTrip) {
+  HttpServer server([](const HttpRequest& request) {
+    HttpResponse response;
+    response.status = 200;
+    response.headers["content-type"] = "text/plain";
+    response.body = request.method + " " + request.target + "\n" + request.body;
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_GT(server.port(), 0);
+
+  std::thread serving([&server] { (void)server.ServeOne(); });
+  auto response = Fetch(server.port(), "GET /hello?x=1 HTTP/1.0\r\nHost: t\r\n\r\n");
+  serving.join();
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "GET /hello?x=1\n");
+}
+
+TEST(HttpServerTest, PostBodyDelivered) {
+  HttpServer server([](const HttpRequest& request) {
+    HttpResponse response;
+    response.status = 200;
+    response.body = request.body;
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread serving([&server] { (void)server.ServeOne(); });
+  auto response = Fetch(server.port(),
+                        "POST /submit HTTP/1.0\r\nContent-Length: 11\r\n\r\nhello=world");
+  serving.join();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body, "hello=world");
+}
+
+TEST(HttpServerTest, MalformedRequestGets400) {
+  HttpServer server([](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 200;
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread serving([&server] { (void)server.ServeOne(); });
+  auto response = Fetch(server.port(), "NONSENSE\r\n\r\n");
+  serving.join();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 400);
+}
+
+TEST(HttpServerTest, ServeCountsRequests) {
+  size_t handled = 0;
+  HttpServer server([&handled](const HttpRequest&) {
+    ++handled;
+    HttpResponse response;
+    response.status = 204;
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread serving([&server] { (void)server.Serve(3); });
+  for (int i = 0; i < 3; ++i) {
+    auto response = Fetch(server.port(), "GET / HTTP/1.0\r\n\r\n");
+    ASSERT_TRUE(response.ok());
+  }
+  serving.join();
+  EXPECT_EQ(handled, 3u);
+}
+
+TEST(HttpServerTest, GatewayBehindSocket) {
+  // The full stack: socket -> wire parse -> CGI adapter -> gateway -> lint.
+  Weblint lint;
+  Gateway gateway(lint, nullptr);
+  HttpServer server([&gateway](const HttpRequest& request) {
+    HttpResponse response;
+    auto cgi = CgiRequestFromHttp(request);
+    response.status = cgi.ok() ? 200 : 400;
+    response.headers["content-type"] = "text/html";
+    response.body = cgi.ok() ? gateway.HandleRequest(*cgi) : cgi.error();
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread serving([&server] { (void)server.Serve(2); });
+
+  // 1. The form.
+  auto form = Fetch(server.port(), "GET / HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(form.ok());
+  EXPECT_NE(form->body.find("<FORM"), std::string::npos);
+
+  // 2. A submission: html=<B>unclosed (urlencoded).
+  const std::string body = "html=" + UrlEncode("<B>unclosed");
+  auto report = Fetch(server.port(),
+                      "POST / HTTP/1.0\r\nContent-Type: application/x-www-form-urlencoded\r\n"
+                      "Content-Length: " +
+                          std::to_string(body.size()) + "\r\n\r\n" + body);
+  serving.join();
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->body.find("unclosed-element"), std::string::npos);
+}
+
+TEST(HttpServerTest, ServeOneWithoutListenFails) {
+  HttpServer server([](const HttpRequest&) { return HttpResponse{}; });
+  EXPECT_FALSE(server.ServeOne().ok());
+}
+
+}  // namespace
+}  // namespace weblint

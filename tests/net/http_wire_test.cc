@@ -1,0 +1,107 @@
+#include "net/http_wire.h"
+
+#include <gtest/gtest.h>
+
+namespace weblint {
+namespace {
+
+TEST(HttpWireTest, ParseSimpleGet) {
+  auto request = ParseHttpRequest("GET /check?url=x HTTP/1.0\r\nHost: h\r\n\r\n");
+  ASSERT_TRUE(request.ok()) << request.error();
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->target, "/check?url=x");
+  EXPECT_EQ(request->version, "HTTP/1.0");
+  EXPECT_EQ(request->Header("host"), "h");
+  EXPECT_EQ(request->Path(), "/check");
+  EXPECT_EQ(request->Query(), "url=x");
+  EXPECT_TRUE(request->body.empty());
+}
+
+TEST(HttpWireTest, ParsePostWithContentLength) {
+  auto request = ParseHttpRequest(
+      "POST / HTTP/1.0\r\nContent-Type: application/x-www-form-urlencoded\r\n"
+      "Content-Length: 7\r\n\r\nhtml=%3Cextra-ignored");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->body, "html=%3");  // Exactly Content-Length bytes.
+}
+
+TEST(HttpWireTest, BareLfTolerated) {
+  auto request = ParseHttpRequest("GET / HTTP/1.0\nHost: h\n\nbody");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->Header("host"), "h");
+  EXPECT_EQ(request->body, "body");
+}
+
+TEST(HttpWireTest, MethodUppercased) {
+  auto request = ParseHttpRequest("post / HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->method, "POST");
+}
+
+TEST(HttpWireTest, MalformedRequestsFail) {
+  EXPECT_FALSE(ParseHttpRequest("").ok());
+  EXPECT_FALSE(ParseHttpRequest("GARBAGE\r\n\r\n").ok());
+}
+
+TEST(HttpWireTest, HeaderNamesCaseInsensitive) {
+  auto request =
+      ParseHttpRequest("GET / HTTP/1.0\r\nCONTENT-TYPE: text/html\r\n\r\n");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->Header("content-type"), "text/html");
+}
+
+TEST(HttpWireTest, SerializeResponseRoundTrip) {
+  HttpResponse response;
+  response.status = 200;
+  response.headers["content-type"] = "text/html";
+  response.body = "<P>hello</P>";
+  const std::string wire = SerializeHttpResponse(response);
+  EXPECT_NE(wire.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 12\r\n"), std::string::npos);
+
+  auto parsed = ParseHttpResponse(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed->status, 200);
+  EXPECT_EQ(parsed->body, response.body);
+  EXPECT_EQ(parsed->Header("content-type"), "text/html");
+}
+
+TEST(HttpWireTest, SerializeRequestRoundTrip) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/gateway";
+  request.version = "HTTP/1.0";
+  request.headers["content-type"] = "application/x-www-form-urlencoded";
+  request.body = "html=x";
+  auto parsed = ParseHttpRequest(SerializeHttpRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed->method, "POST");
+  EXPECT_EQ(parsed->body, "html=x");
+}
+
+TEST(HttpWireTest, ReasonPhraseDefaultsFromStatus) {
+  HttpResponse response;
+  response.status = 404;
+  EXPECT_NE(SerializeHttpResponse(response).find("404 Not Found"), std::string::npos);
+  response.reason = "Gone Fishing";
+  EXPECT_NE(SerializeHttpResponse(response).find("404 Gone Fishing"), std::string::npos);
+}
+
+TEST(HttpWireTest, MessageCompleteness) {
+  EXPECT_FALSE(HttpMessageComplete("GET / HTTP/1.0\r\nHost: h\r\n"));
+  EXPECT_TRUE(HttpMessageComplete("GET / HTTP/1.0\r\nHost: h\r\n\r\n"));
+  EXPECT_FALSE(HttpMessageComplete("POST / HTTP/1.0\r\nContent-Length: 5\r\n\r\nab"));
+  EXPECT_TRUE(HttpMessageComplete("POST / HTTP/1.0\r\nContent-Length: 5\r\n\r\nabcde"));
+}
+
+TEST(HttpWireTest, ParseResponseStatusLine) {
+  auto response = ParseHttpResponse("HTTP/1.0 302 Moved Temporarily\r\nLocation: /x\r\n\r\n");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 302);
+  EXPECT_EQ(response->reason, "Moved Temporarily");
+  EXPECT_EQ(response->Header("location"), "/x");
+  EXPECT_FALSE(ParseHttpResponse("NOT-HTTP 200 OK\r\n\r\n").ok());
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,108 @@
+#include "net/virtual_web.h"
+
+#include <gtest/gtest.h>
+
+namespace weblint {
+namespace {
+
+TEST(VirtualWebTest, ServesRegisteredPages) {
+  VirtualWeb web;
+  web.AddPage("http://host/index.html", "<P>hello</P>");
+  const HttpResponse response = web.Get(ParseUrl("http://host/index.html"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "<P>hello</P>");
+  EXPECT_EQ(response.Header("content-type"), "text/html");
+}
+
+TEST(VirtualWebTest, MissingPagesAre404) {
+  VirtualWeb web;
+  EXPECT_EQ(web.Get(ParseUrl("http://host/none.html")).status, 404);
+  EXPECT_EQ(web.miss_count(), 1u);
+}
+
+TEST(VirtualWebTest, HostsAreDistinct) {
+  VirtualWeb web;
+  web.AddPage("http://a/x.html", "A");
+  web.AddPage("http://b/x.html", "B");
+  EXPECT_EQ(web.Get(ParseUrl("http://a/x.html")).body, "A");
+  EXPECT_EQ(web.Get(ParseUrl("http://b/x.html")).body, "B");
+}
+
+TEST(VirtualWebTest, QueryStringsAreDistinctPages) {
+  VirtualWeb web;
+  web.AddPage("http://h/cgi?q=1", "one");
+  web.AddPage("http://h/cgi?q=2", "two");
+  EXPECT_EQ(web.Get(ParseUrl("http://h/cgi?q=1")).body, "one");
+  EXPECT_EQ(web.Get(ParseUrl("http://h/cgi?q=2")).body, "two");
+}
+
+TEST(VirtualWebTest, FragmentsIgnored) {
+  VirtualWeb web;
+  web.AddPage("http://h/p.html", "x");
+  EXPECT_EQ(web.Get(ParseUrl("http://h/p.html#section")).status, 200);
+}
+
+TEST(VirtualWebTest, Redirects) {
+  VirtualWeb web;
+  web.AddRedirect("http://h/old", "http://h/new", 301);
+  web.AddPage("http://h/new", "target");
+  const HttpResponse hop = web.Get(ParseUrl("http://h/old"));
+  EXPECT_EQ(hop.status, 301);
+  EXPECT_EQ(hop.Header("location"), "http://h/new");
+
+  Url final_url;
+  const HttpResponse followed =
+      web.GetFollowingRedirects(ParseUrl("http://h/old"), 5, &final_url);
+  EXPECT_EQ(followed.status, 200);
+  EXPECT_EQ(followed.body, "target");
+  EXPECT_EQ(final_url.Serialize(), "http://h/new");
+}
+
+TEST(VirtualWebTest, RedirectLoopDetected) {
+  VirtualWeb web;
+  web.AddRedirect("http://h/a", "http://h/b");
+  web.AddRedirect("http://h/b", "http://h/a");
+  const HttpResponse response = web.GetFollowingRedirects(ParseUrl("http://h/a"), 5, nullptr);
+  EXPECT_FALSE(response.ok());
+  EXPECT_FALSE(response.IsRedirect());
+}
+
+TEST(VirtualWebTest, ErrorPages) {
+  VirtualWeb web;
+  web.AddError("http://h/broken", 500);
+  EXPECT_EQ(web.Get(ParseUrl("http://h/broken")).status, 500);
+}
+
+TEST(VirtualWebTest, RobotsTxtServed) {
+  VirtualWeb web;
+  web.SetRobotsTxt("h", "User-agent: *\nDisallow: /private/\n");
+  const HttpResponse response = web.Get(ParseUrl("http://h/robots.txt"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.Header("content-type"), "text/plain");
+}
+
+TEST(VirtualWebTest, CountersAndReset) {
+  VirtualWeb web;
+  web.AddPage("http://h/x", "b");
+  web.Get(ParseUrl("http://h/x"));
+  web.Head(ParseUrl("http://h/x"));
+  web.Get(ParseUrl("http://h/missing"));
+  EXPECT_EQ(web.get_count(), 2u);
+  EXPECT_EQ(web.head_count(), 1u);
+  EXPECT_EQ(web.miss_count(), 1u);
+  web.ResetCounters();
+  EXPECT_EQ(web.get_count(), 0u);
+}
+
+TEST(VirtualWebTest, LatencyModel) {
+  VirtualWeb web;
+  web.SetLatencyModel(/*per_request_us=*/100, /*per_kilobyte_us=*/10);
+  web.AddPage("http://h/big", std::string(4096, 'x'));
+  web.Get(ParseUrl("http://h/big"));
+  EXPECT_EQ(web.simulated_latency_us(), 100u + 10u * 4);
+  web.Head(ParseUrl("http://h/big"));  // HEAD pays no body cost.
+  EXPECT_EQ(web.simulated_latency_us(), 200u + 10u * 4);
+}
+
+}  // namespace
+}  // namespace weblint

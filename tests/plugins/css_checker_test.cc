@@ -1,0 +1,100 @@
+#include "plugins/css_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace weblint {
+namespace {
+
+class CssCheckerTest : public ::testing::Test {
+ protected:
+  std::vector<PluginFinding> Check(std::string_view css,
+                                   SourceLocation start = SourceLocation{1, 1}) {
+    std::vector<PluginFinding> findings;
+    checker_.Check(css, start, &findings);
+    return findings;
+  }
+  size_t CountTopic(const std::vector<PluginFinding>& findings, std::string_view topic) {
+    size_t n = 0;
+    for (const auto& finding : findings) {
+      if (finding.topic == topic) {
+        ++n;
+      }
+    }
+    return n;
+  }
+  CssChecker checker_;
+};
+
+TEST_F(CssCheckerTest, CleanStylesheet) {
+  EXPECT_TRUE(Check("H1 { color: #ff0000; font-size: 18pt }\n"
+                    "P, LI { margin-left: 2em; text-align: justify }\n")
+                  .empty());
+}
+
+TEST_F(CssCheckerTest, UnknownPropertyWithSuggestion) {
+  const auto findings = Check("P { colour: red }");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].topic, "unknown-property");
+  EXPECT_NE(findings[0].message.find("\"color\""), std::string::npos);
+}
+
+TEST_F(CssCheckerTest, UnknownPropertyNoSuggestion) {
+  const auto findings = Check("P { zzzzz: 1 }");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].message.find("perhaps"), std::string::npos);
+}
+
+TEST_F(CssCheckerTest, MissingColon) {
+  const auto findings = Check("P { color red; margin: 0 }");
+  EXPECT_EQ(CountTopic(findings, "missing-colon"), 1u);
+}
+
+TEST_F(CssCheckerTest, EmptyValue) {
+  EXPECT_EQ(CountTopic(Check("P { color: ; }"), "empty-value"), 1u);
+}
+
+TEST_F(CssCheckerTest, BraceBalance) {
+  EXPECT_EQ(CountTopic(Check("P { color: red }\n}"), "unbalanced-brace"), 1u);
+  EXPECT_EQ(CountTopic(Check("P { color: red"), "unbalanced-brace"), 1u);
+  EXPECT_EQ(CountTopic(Check("P { H1 { color: red } }"), "nested-block"), 1u);
+}
+
+TEST_F(CssCheckerTest, EmptyRule) {
+  EXPECT_EQ(CountTopic(Check("P { }"), "empty-rule"), 1u);
+  EXPECT_EQ(CountTopic(Check("P { /* just a comment */ }"), "empty-rule"), 1u);
+}
+
+TEST_F(CssCheckerTest, ColorValidation) {
+  EXPECT_TRUE(Check("P { color: #fff }").empty());
+  EXPECT_TRUE(Check("P { color: #ffeedd }").empty());
+  EXPECT_TRUE(Check("P { color: rgb(255, 0, 0) }").empty());
+  EXPECT_TRUE(Check("P { color: maroon }").empty());
+  EXPECT_EQ(CountTopic(Check("P { color: #ffeed }"), "bad-color"), 1u);
+  EXPECT_EQ(CountTopic(Check("P { color: 12345 }"), "bad-color"), 1u);
+}
+
+TEST_F(CssCheckerTest, CommentsAreIgnored) {
+  EXPECT_TRUE(Check("/* header { bogus } */ P { color: red }").empty());
+}
+
+TEST_F(CssCheckerTest, LocationsAreAbsolute) {
+  const auto findings = Check("P {\n  colour: red\n}", SourceLocation{10, 1});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].location.line, 11u);
+  EXPECT_EQ(findings[0].location.column, 3u);
+}
+
+TEST_F(CssCheckerTest, KnownPropertyHelpers) {
+  EXPECT_TRUE(CssChecker::IsKnownProperty("color"));
+  EXPECT_TRUE(CssChecker::IsKnownProperty("FONT-SIZE"));
+  EXPECT_FALSE(CssChecker::IsKnownProperty("colour"));
+  EXPECT_EQ(CssChecker::SuggestProperty("margn"), "margin");
+}
+
+TEST_F(CssCheckerTest, EmptyInput) {
+  EXPECT_TRUE(Check("").empty());
+  EXPECT_TRUE(Check("   \n  ").empty());
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,94 @@
+// Plugin framework end-to-end: plugins installed via Config (directly and
+// through the rc directive) check SCRIPT/STYLE content during a normal lint.
+#include <gtest/gtest.h>
+
+#include "plugins/css_checker.h"
+#include "plugins/script_checker.h"
+#include "tests/testing/lint_helpers.h"
+
+namespace weblint {
+namespace {
+
+using testing::PageWithHead;
+
+TEST(PluginIntegrationTest, CssPluginChecksStyleContent) {
+  Config config;
+  config.plugins.push_back(std::make_shared<CssChecker>());
+  Weblint lint(config);
+  const LintReport report = lint.CheckString(
+      "doc", PageWithHead("<STYLE TYPE=\"text/css\">P { colour: red }</STYLE>"));
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].message_id, "css/unknown-property");
+  EXPECT_EQ(report.diagnostics[0].category, Category::kWarning);
+}
+
+TEST(PluginIntegrationTest, PluginFindingsHaveDocumentPositions) {
+  Config config;
+  config.plugins.push_back(std::make_shared<CssChecker>());
+  Weblint lint(config);
+  // PageWithHead's skeleton puts the STYLE open tag on line 5; the bad
+  // declaration sits on the following line.
+  const LintReport report = lint.CheckString(
+      "doc", PageWithHead("<STYLE TYPE=\"text/css\">\nP { colour: red }\n</STYLE>"));
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].location.line, 6u);
+}
+
+TEST(PluginIntegrationTest, ScriptPluginChecksScriptContent) {
+  Config config;
+  config.plugins.push_back(std::make_shared<ScriptChecker>());
+  Weblint lint(config);
+  const LintReport report = lint.CheckString(
+      "doc",
+      PageWithHead("<SCRIPT TYPE=\"text/javascript\">function f() { g(; }</SCRIPT>"));
+  ASSERT_GE(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].message_id.substr(0, 7), "script/");
+}
+
+TEST(PluginIntegrationTest, NoPluginsNoFindings) {
+  Weblint lint;
+  const LintReport report = lint.CheckString(
+      "doc", PageWithHead("<STYLE TYPE=\"text/css\">P { colour: red }</STYLE>"));
+  EXPECT_TRUE(report.Clean());
+}
+
+TEST(PluginIntegrationTest, InstalledViaRcDirective) {
+  Config config;
+  ASSERT_TRUE(ApplyRcText("plugin css\nplugin script\n", "rc", &config).ok());
+  EXPECT_EQ(config.plugins.size(), 2u);
+  // Idempotent.
+  ASSERT_TRUE(ApplyRcText("plugin css\n", "rc", &config).ok());
+  EXPECT_EQ(config.plugins.size(), 2u);
+  // Unknown plugin fails.
+  EXPECT_FALSE(ApplyRcText("plugin cobol\n", "rc", &config).ok());
+}
+
+TEST(PluginIntegrationTest, OffPragmaSilencesPlugins) {
+  Config config;
+  config.plugins.push_back(std::make_shared<CssChecker>());
+  Weblint lint(config);
+  const LintReport report = lint.CheckString(
+      "doc", PageWithHead("<!-- weblint: off -->\n"
+                          "<STYLE TYPE=\"text/css\">P { colour: red }</STYLE>"));
+  EXPECT_TRUE(report.Clean());
+}
+
+TEST(PluginIntegrationTest, MultiplePluginsCoexist) {
+  Config config;
+  ASSERT_TRUE(ApplyRcText("plugin css\nplugin script\n", "rc", &config).ok());
+  Weblint lint(config);
+  const LintReport report = lint.CheckString(
+      "doc", PageWithHead("<STYLE TYPE=\"text/css\">P { colour: red }</STYLE>\n"
+                          "<SCRIPT TYPE=\"text/javascript\">f(;</SCRIPT>"));
+  bool css = false;
+  bool script = false;
+  for (const auto& d : report.diagnostics) {
+    css = css || d.message_id.starts_with("css/");
+    script = script || d.message_id.starts_with("script/");
+  }
+  EXPECT_TRUE(css);
+  EXPECT_TRUE(script);
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,65 @@
+#include "plugins/script_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace weblint {
+namespace {
+
+class ScriptCheckerTest : public ::testing::Test {
+ protected:
+  std::vector<PluginFinding> Check(std::string_view js) {
+    std::vector<PluginFinding> findings;
+    checker_.Check(js, SourceLocation{1, 1}, &findings);
+    return findings;
+  }
+  ScriptChecker checker_;
+};
+
+TEST_F(ScriptCheckerTest, CleanScript) {
+  EXPECT_TRUE(Check("function f(a, b) {\n  return (a + b) * items[0];\n}\n").empty());
+}
+
+TEST_F(ScriptCheckerTest, UnbalancedBrackets) {
+  auto findings = Check("function f() { return (1 + 2; }");
+  ASSERT_GE(findings.size(), 1u);
+  EXPECT_EQ(findings[0].topic, "unbalanced-bracket");
+
+  EXPECT_FALSE(Check("f(]").empty());        // Mismatched kinds.
+  EXPECT_FALSE(Check("if (x) { y(); ").empty());  // Never closed.
+  EXPECT_FALSE(Check(")").empty());          // Close with no open.
+}
+
+TEST_F(ScriptCheckerTest, StringsHideBrackets) {
+  EXPECT_TRUE(Check("var s = \"not a ( bracket\";").empty());
+  EXPECT_TRUE(Check("var s = 'nor } this';").empty());
+}
+
+TEST_F(ScriptCheckerTest, EscapedQuotes) {
+  EXPECT_TRUE(Check("var s = \"she said \\\"hi\\\"\";").empty());
+}
+
+TEST_F(ScriptCheckerTest, UnterminatedString) {
+  const auto findings = Check("var s = \"runs off the line\nvar t = 1;");
+  ASSERT_GE(findings.size(), 1u);
+  EXPECT_EQ(findings[0].topic, "unterminated-string");
+}
+
+TEST_F(ScriptCheckerTest, CommentsHideEverything) {
+  EXPECT_TRUE(Check("// nothing ( here } matters\nvar x = 1;").empty());
+  EXPECT_TRUE(Check("/* multi\n line ( comment */ var x = [];").empty());
+}
+
+TEST_F(ScriptCheckerTest, UnterminatedBlockComment) {
+  const auto findings = Check("var x = 1; /* never ends");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].topic, "unterminated-comment");
+}
+
+TEST_F(ScriptCheckerTest, PositionsReported) {
+  const auto findings = Check("var a = 1;\nf(;\n");
+  ASSERT_GE(findings.size(), 1u);
+  EXPECT_EQ(findings[0].location.line, 2u);
+}
+
+}  // namespace
+}  // namespace weblint

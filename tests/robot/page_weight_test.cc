@@ -1,0 +1,86 @@
+#include "robot/page_weight.h"
+
+#include <gtest/gtest.h>
+
+#include "core/linter.h"
+#include "net/virtual_web.h"
+#include "tests/testing/lint_helpers.h"
+
+namespace weblint {
+namespace {
+
+TEST(PageWeightTest, CountsHtmlAndResources) {
+  VirtualWeb web;
+  web.AddPage("http://h/a.gif", std::string(1000, 'x'), "image/gif");
+  web.AddPage("http://h/b.gif", std::string(500, 'x'), "image/gif");
+
+  const std::string html = testing::Page(
+      "<IMG SRC=\"a.gif\" ALT=\"a\"><IMG SRC=\"b.gif\" ALT=\"b\">"
+      "<A HREF=\"elsewhere.html\">not a resource</A>");
+  Weblint lint;
+  const LintReport report = lint.CheckString("p", html);
+  const PageWeight weight =
+      MeasurePageWeight(html, report, ParseUrl("http://h/page.html"), web);
+
+  EXPECT_EQ(weight.html_bytes, html.size());
+  EXPECT_EQ(weight.resource_count, 2u);
+  EXPECT_EQ(weight.resource_bytes, 1500u);
+  EXPECT_EQ(weight.missing_resources, 0u);
+  EXPECT_EQ(weight.TotalBytes(), html.size() + 1500u);
+}
+
+TEST(PageWeightTest, DuplicateResourcesFetchedOnce) {
+  VirtualWeb web;
+  web.AddPage("http://h/a.gif", std::string(1000, 'x'), "image/gif");
+  const std::string html = testing::Page(
+      "<IMG SRC=\"a.gif\" ALT=\"1\"><IMG SRC=\"a.gif\" ALT=\"2\">"
+      "<IMG SRC=\"a.gif\" ALT=\"3\">");
+  Weblint lint;
+  const LintReport report = lint.CheckString("p", html);
+  const PageWeight weight =
+      MeasurePageWeight(html, report, ParseUrl("http://h/page.html"), web);
+  EXPECT_EQ(weight.resource_count, 1u);
+  EXPECT_EQ(weight.resource_bytes, 1000u);
+  EXPECT_EQ(web.get_count(), 1u);
+}
+
+TEST(PageWeightTest, MissingResourcesCounted) {
+  VirtualWeb web;
+  const std::string html = testing::Page("<IMG SRC=\"gone.gif\" ALT=\"g\">");
+  Weblint lint;
+  const LintReport report = lint.CheckString("p", html);
+  const PageWeight weight =
+      MeasurePageWeight(html, report, ParseUrl("http://h/page.html"), web);
+  EXPECT_EQ(weight.missing_resources, 1u);
+  EXPECT_EQ(weight.resource_count, 0u);
+}
+
+TEST(PageWeightTest, DownloadTimeModel) {
+  PageWeight weight;
+  weight.html_bytes = 14400 / 8;  // Exactly one second of transfer at 14.4k.
+  weight.resource_count = 0;
+  // 1 request * 0.3s overhead + 1s transfer.
+  EXPECT_NEAR(weight.SecondsAt(14400), 1.3, 1e-9);
+  // Twice the speed, half the transfer time.
+  EXPECT_NEAR(weight.SecondsAt(28800), 0.8, 1e-9);
+  // Overhead scales with requests.
+  weight.resource_count = 3;
+  EXPECT_NEAR(weight.SecondsAt(14400), 1.0 + 4 * 0.3, 1e-9);
+  EXPECT_EQ(weight.SecondsAt(0), 0.0);
+}
+
+TEST(PageWeightTest, StandardEstimateRows) {
+  PageWeight weight;
+  weight.html_bytes = 50000;
+  const auto estimates = EstimateDownloadTimes(weight);
+  ASSERT_EQ(estimates.size(), 4u);
+  EXPECT_EQ(estimates[0].label, "14.4k modem");
+  EXPECT_EQ(estimates[3].label, "128k ISDN");
+  // Monotonic: faster links download faster.
+  for (size_t i = 1; i < estimates.size(); ++i) {
+    EXPECT_LT(estimates[i].seconds, estimates[i - 1].seconds);
+  }
+}
+
+}  // namespace
+}  // namespace weblint

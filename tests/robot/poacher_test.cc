@@ -1,0 +1,121 @@
+#include "robot/poacher.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/site_generator.h"
+#include "net/virtual_web.h"
+
+namespace weblint {
+namespace {
+
+TEST(PoacherTest, LintsEveryCrawledPage) {
+  VirtualWeb web;
+  web.AddPage("http://h/index.html",
+              "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>"
+              "<A HREF=\"bad.html\">next</A></BODY></HTML>");
+  web.AddPage("http://h/bad.html",
+              "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><B>unclosed</BODY></HTML>");
+  Weblint lint;
+  Poacher poacher(lint, web);
+  const PoacherReport report = poacher.Run("http://h/index.html");
+  ASSERT_EQ(report.pages.size(), 2u);
+  // Both pages lack a DOCTYPE; bad.html adds the unclosed <B>.
+  EXPECT_GE(report.TotalDiagnostics(), 3u);
+}
+
+TEST(PoacherTest, FindsSeededBrokenLinks) {
+  SiteSpec spec;
+  spec.pages = 16;
+  spec.broken_links = 4;
+  spec.orphan_pages = 1;
+  spec.redirects = 1;
+  VirtualWeb web;
+  const GeneratedSite site = GenerateSite(spec);
+  PopulateVirtualWeb(site, &web);
+
+  Weblint lint;
+  Poacher poacher(lint, web);
+  const PoacherReport report = poacher.Run(site.IndexUrl());
+  EXPECT_EQ(report.broken_links.size(), site.broken_link_count);
+  for (const LinkProblem& problem : report.broken_links) {
+    EXPECT_EQ(problem.status, 404);
+    const Url url = ParseUrl(problem.target);
+    EXPECT_TRUE(site.broken_targets.contains(url.path)) << problem.target;
+  }
+}
+
+TEST(PoacherTest, ReportsRedirectsWithFix) {
+  VirtualWeb web;
+  web.AddPage("http://h/index.html",
+              "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>"
+              "<A HREF=\"moved.html\">old</A></BODY></HTML>");
+  web.AddRedirect("http://h/moved.html", "http://h/new.html");
+  web.AddPage("http://h/new.html", "<HTML><HEAD><TITLE>n</TITLE></HEAD><BODY><P>x</P>"
+                                   "</BODY></HTML>");
+  Weblint lint;
+  Poacher poacher(lint, web);
+  const PoacherReport report = poacher.Run("http://h/index.html");
+  ASSERT_EQ(report.redirected_links.size(), 1u);
+  EXPECT_EQ(report.redirected_links[0].target, "http://h/moved.html");
+  EXPECT_EQ(report.redirected_links[0].fixed, "http://h/new.html");
+}
+
+TEST(PoacherTest, SkipsPrivateSectionViaRobotsTxt) {
+  SiteSpec spec;
+  spec.pages = 6;
+  spec.private_pages = 3;
+  spec.broken_links = 0;
+  spec.redirects = 0;
+  VirtualWeb web;
+  const GeneratedSite site = GenerateSite(spec);
+  PopulateVirtualWeb(site, &web);
+
+  Weblint lint;
+  Poacher poacher(lint, web);
+  const PoacherReport report = poacher.Run(site.IndexUrl());
+  EXPECT_EQ(report.stats.skipped_robots, 3u);
+  for (const LintReport& page : report.pages) {
+    EXPECT_EQ(page.name.find("/private/"), std::string::npos) << page.name;
+  }
+}
+
+TEST(PoacherTest, LinkValidationCanBeDisabled) {
+  VirtualWeb web;
+  web.AddPage("http://h/index.html",
+              "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>"
+              "<A HREF=\"ftp://h/file\">f</A><IMG SRC=\"gone.gif\" ALT=\"g\">"
+              "</BODY></HTML>");
+  Weblint lint;
+  PoacherOptions options;
+  options.validate_links = false;
+  Poacher poacher(lint, web, options);
+  const PoacherReport report = poacher.Run("http://h/index.html");
+  EXPECT_TRUE(report.broken_links.empty());
+}
+
+TEST(PoacherTest, ValidatesResourceLinksWithHead) {
+  VirtualWeb web;
+  web.AddPage("http://h/index.html",
+              "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>"
+              "<P><IMG SRC=\"gone.gif\" ALT=\"g\"></P></BODY></HTML>");
+  Weblint lint;
+  Poacher poacher(lint, web);
+  const PoacherReport report = poacher.Run("http://h/index.html");
+  ASSERT_EQ(report.broken_links.size(), 1u);
+  EXPECT_NE(report.broken_links[0].target.find("gone.gif"), std::string::npos);
+  EXPECT_GE(web.head_count(), 1u);  // Validated by HEAD, not GET (paper §3.5).
+}
+
+TEST(PoacherTest, StreamsDiagnosticsToEmitter) {
+  VirtualWeb web;
+  web.AddPage("http://h/index.html",
+              "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><B>x</BODY></HTML>");
+  Weblint lint;
+  Poacher poacher(lint, web);
+  CollectingEmitter emitter;
+  const PoacherReport report = poacher.Run("http://h/index.html", &emitter);
+  EXPECT_EQ(emitter.diagnostics().size(), report.TotalDiagnostics());
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,136 @@
+#include "robot/robot.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/virtual_web.h"
+
+namespace weblint {
+namespace {
+
+std::string LinkPage(std::initializer_list<const char*> hrefs) {
+  std::string html = "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>";
+  for (const char* href : hrefs) {
+    html += "<A HREF=\"" + std::string(href) + "\">x</A>";
+  }
+  html += "</BODY></HTML>";
+  return html;
+}
+
+TEST(ExtractLinksTest, FindsAnchorsAndResources) {
+  const auto links = ExtractLinks(
+      "<A HREF=\"a.html\">a</A><IMG SRC=\"b.gif\"><LINK HREF=\"c.css\">"
+      "<FRAME SRC=\"d.html\">",
+      /*include_resources=*/false);
+  ASSERT_EQ(links.size(), 3u);  // a.html, c.css, d.html — IMG excluded.
+  const auto with_resources = ExtractLinks(
+      "<A HREF=\"a.html\">a</A><IMG SRC=\"b.gif\">", /*include_resources=*/true);
+  EXPECT_EQ(with_resources.size(), 2u);
+}
+
+TEST(ExtractLinksTest, SkipsBrokenQuotes) {
+  const auto links = ExtractLinks("<A HREF=\"broken.html>x</A>");
+  EXPECT_TRUE(links.empty());
+}
+
+class RobotTest : public ::testing::Test {
+ protected:
+  VirtualWeb web_;
+  CrawlOptions options_;
+};
+
+TEST_F(RobotTest, CrawlsReachablePages) {
+  web_.AddPage("http://h/index.html", LinkPage({"a.html", "b.html"}));
+  web_.AddPage("http://h/a.html", LinkPage({"c.html"}));
+  web_.AddPage("http://h/b.html", LinkPage({}));
+  web_.AddPage("http://h/c.html", LinkPage({}));
+  web_.AddPage("http://h/unreachable.html", LinkPage({}));
+
+  Robot robot(web_, options_);
+  std::set<std::string> seen;
+  const CrawlStats stats = robot.Crawl(
+      ParseUrl("http://h/index.html"),
+      [&seen](const Url& url, const HttpResponse&) { seen.insert(url.path); });
+  EXPECT_EQ(stats.pages_fetched, 4u);
+  EXPECT_TRUE(seen.contains("/index.html"));
+  EXPECT_TRUE(seen.contains("/c.html"));
+  EXPECT_FALSE(seen.contains("/unreachable.html"));
+}
+
+TEST_F(RobotTest, VisitsEachPageOnce) {
+  web_.AddPage("http://h/index.html", LinkPage({"a.html", "a.html", "index.html"}));
+  web_.AddPage("http://h/a.html", LinkPage({"index.html"}));
+  Robot robot(web_, options_);
+  size_t visits = 0;
+  robot.Crawl(ParseUrl("http://h/index.html"),
+              [&visits](const Url&, const HttpResponse&) { ++visits; });
+  EXPECT_EQ(visits, 2u);
+}
+
+TEST_F(RobotTest, StaysOnHost) {
+  web_.AddPage("http://h/index.html", LinkPage({"http://other/x.html", "a.html"}));
+  web_.AddPage("http://h/a.html", LinkPage({}));
+  web_.AddPage("http://other/x.html", LinkPage({}));
+  Robot robot(web_, options_);
+  const CrawlStats stats = robot.Crawl(ParseUrl("http://h/index.html"), nullptr);
+  EXPECT_EQ(stats.pages_fetched, 2u);
+  EXPECT_EQ(stats.skipped_offsite, 1u);
+}
+
+TEST_F(RobotTest, HonorsRobotsTxt) {
+  web_.SetRobotsTxt("h", "User-agent: *\nDisallow: /private/\n");
+  web_.AddPage("http://h/index.html", LinkPage({"private/secret.html", "a.html"}));
+  web_.AddPage("http://h/a.html", LinkPage({}));
+  web_.AddPage("http://h/private/secret.html", LinkPage({}));
+  Robot robot(web_, options_);
+  const CrawlStats stats = robot.Crawl(ParseUrl("http://h/index.html"), nullptr);
+  EXPECT_EQ(stats.pages_fetched, 2u);
+  EXPECT_EQ(stats.skipped_robots, 1u);
+}
+
+TEST_F(RobotTest, RobotsTxtCanBeIgnored) {
+  web_.SetRobotsTxt("h", "User-agent: *\nDisallow: /\n");
+  web_.AddPage("http://h/index.html", LinkPage({}));
+  options_.honor_robots_txt = false;
+  Robot robot(web_, options_);
+  EXPECT_EQ(robot.Crawl(ParseUrl("http://h/index.html"), nullptr).pages_fetched, 1u);
+}
+
+TEST_F(RobotTest, MaxPagesCap) {
+  // A long chain; the cap stops the crawl.
+  for (int i = 0; i < 50; ++i) {
+    web_.AddPage("http://h/p" + std::to_string(i) + ".html",
+                 LinkPage({("p" + std::to_string(i + 1) + ".html").c_str()}));
+  }
+  options_.max_pages = 10;
+  Robot robot(web_, options_);
+  EXPECT_EQ(robot.Crawl(ParseUrl("http://h/p0.html"), nullptr).pages_fetched, 10u);
+}
+
+TEST_F(RobotTest, RecordsFailuresAndRedirects) {
+  web_.AddPage("http://h/index.html", LinkPage({"gone.html", "moved.html"}));
+  web_.AddRedirect("http://h/moved.html", "http://h/new.html");
+  web_.AddPage("http://h/new.html", LinkPage({}));
+  Robot robot(web_, options_);
+  const CrawlStats stats = robot.Crawl(ParseUrl("http://h/index.html"), nullptr);
+  EXPECT_EQ(stats.fetch_failures, 1u);
+  EXPECT_EQ(stats.pages_fetched, 2u);
+  ASSERT_EQ(robot.failures_seen().size(), 1u);
+  EXPECT_EQ(robot.failures_seen().begin()->second, 404);
+  ASSERT_EQ(robot.redirects_seen().size(), 1u);
+  EXPECT_EQ(robot.redirects_seen().begin()->second, "http://h/new.html");
+}
+
+TEST_F(RobotTest, SkipsMailtoAndFragments) {
+  web_.AddPage("http://h/index.html",
+               LinkPage({"mailto:neilb@cre.canon.co.uk", "#top", "a.html"}));
+  web_.AddPage("http://h/a.html", LinkPage({}));
+  Robot robot(web_, options_);
+  const CrawlStats stats = robot.Crawl(ParseUrl("http://h/index.html"), nullptr);
+  // index + a.html; "#top" resolves to index.html itself (already visited).
+  EXPECT_EQ(stats.pages_fetched, 2u);
+}
+
+}  // namespace
+}  // namespace weblint

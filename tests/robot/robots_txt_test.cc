@@ -1,0 +1,77 @@
+#include "robot/robots_txt.h"
+
+#include <gtest/gtest.h>
+
+namespace weblint {
+namespace {
+
+TEST(RobotsTxtTest, EmptyPolicyAllowsEverything) {
+  const RobotsTxt robots;
+  EXPECT_TRUE(robots.Allows("/anything"));
+  EXPECT_TRUE(robots.Allows("/"));
+}
+
+TEST(RobotsTxtTest, WildcardDisallow) {
+  const RobotsTxt robots =
+      RobotsTxt::Parse("User-agent: *\nDisallow: /private/\n", "poacher");
+  EXPECT_FALSE(robots.Allows("/private/secret.html"));
+  EXPECT_TRUE(robots.Allows("/public/page.html"));
+  EXPECT_TRUE(robots.Allows("/privateer"));  // Prefix is /private/ with slash.
+}
+
+TEST(RobotsTxtTest, DisallowEverything) {
+  const RobotsTxt robots = RobotsTxt::Parse("User-agent: *\nDisallow: /\n", "poacher");
+  EXPECT_FALSE(robots.Allows("/"));
+  EXPECT_FALSE(robots.Allows("/x.html"));
+}
+
+TEST(RobotsTxtTest, EmptyDisallowAllowsAll) {
+  const RobotsTxt robots = RobotsTxt::Parse("User-agent: *\nDisallow:\n", "poacher");
+  EXPECT_TRUE(robots.Allows("/anything"));
+}
+
+TEST(RobotsTxtTest, AgentSpecificSectionWins) {
+  const char* body =
+      "User-agent: *\n"
+      "Disallow: /\n"
+      "\n"
+      "User-agent: poacher\n"
+      "Disallow: /cgi-bin/\n";
+  const RobotsTxt robots = RobotsTxt::Parse(body, "poacher/2.0");
+  EXPECT_TRUE(robots.Allows("/page.html"));        // Not bound by the * section.
+  EXPECT_FALSE(robots.Allows("/cgi-bin/query"));
+}
+
+TEST(RobotsTxtTest, NamedSectionWithNoDisallowsAllowsAll) {
+  const char* body =
+      "User-agent: *\nDisallow: /\n\nUser-agent: poacher\nDisallow:\n";
+  const RobotsTxt robots = RobotsTxt::Parse(body, "poacher");
+  EXPECT_TRUE(robots.Allows("/anything"));
+}
+
+TEST(RobotsTxtTest, CommentsIgnored) {
+  const RobotsTxt robots = RobotsTxt::Parse(
+      "# keep robots out of the archives\nUser-agent: *\nDisallow: /archive/ # old stuff\n",
+      "poacher");
+  EXPECT_FALSE(robots.Allows("/archive/1994.html"));
+}
+
+TEST(RobotsTxtTest, CaseInsensitiveFields) {
+  const RobotsTxt robots =
+      RobotsTxt::Parse("USER-AGENT: *\nDISALLOW: /x/\n", "poacher");
+  EXPECT_FALSE(robots.Allows("/x/y"));
+}
+
+TEST(RobotsTxtTest, GarbageLinesIgnored) {
+  const RobotsTxt robots = RobotsTxt::Parse(
+      "this is not a field\nUser-agent: *\nDisallow: /a/\nrandom noise\n", "poacher");
+  EXPECT_FALSE(robots.Allows("/a/b"));
+}
+
+TEST(RobotsTxtTest, EmptyPathTreatedAsRoot) {
+  const RobotsTxt robots = RobotsTxt::Parse("User-agent: *\nDisallow: /\n", "poacher");
+  EXPECT_FALSE(robots.Allows(""));
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "spec/registry.h"
+#include "spec/spec.h"
+
+namespace weblint {
+namespace {
+
+class Html40Test : public ::testing::Test {
+ protected:
+  const HtmlSpec& spec() { return *FindSpec("html40"); }
+  const ElementInfo& Elem(std::string_view name) {
+    const ElementInfo* info = spec().Find(name);
+    EXPECT_NE(info, nullptr) << name;
+    return *info;
+  }
+};
+
+TEST_F(Html40Test, CoreElementsKnown) {
+  for (const char* name :
+       {"html", "head", "title", "body", "p", "a", "img", "table", "tr", "td", "form", "input",
+        "textarea", "select", "option", "ul", "ol", "li", "dl", "dt", "dd", "h1", "h6", "em",
+        "strong", "b", "i", "pre", "blockquote", "script", "style", "meta", "link", "base",
+        "frame", "frameset", "iframe", "object", "param", "map", "area", "span", "div",
+        "fieldset", "legend", "button", "label", "optgroup", "colgroup", "col", "thead",
+        "tbody", "tfoot", "caption", "abbr", "acronym", "bdo", "q", "ins", "del", "br", "hr"}) {
+    EXPECT_TRUE(spec().Knows(name)) << name;
+  }
+}
+
+TEST_F(Html40Test, ElementCountIsSubstantial) {
+  // HTML 4.0 defines 91 elements; plus the vendor extensions and obsolete
+  // elements weblint recognises, the composed table is comfortably larger.
+  EXPECT_GE(spec().ElementCount(), 95u);
+}
+
+TEST_F(Html40Test, EndTagRules) {
+  EXPECT_EQ(Elem("a").end_tag, EndTag::kRequired);
+  EXPECT_EQ(Elem("title").end_tag, EndTag::kRequired);
+  EXPECT_EQ(Elem("p").end_tag, EndTag::kOptional);
+  EXPECT_EQ(Elem("li").end_tag, EndTag::kOptional);
+  EXPECT_EQ(Elem("td").end_tag, EndTag::kOptional);
+  EXPECT_EQ(Elem("body").end_tag, EndTag::kOptional);
+  EXPECT_EQ(Elem("img").end_tag, EndTag::kForbidden);
+  EXPECT_EQ(Elem("br").end_tag, EndTag::kForbidden);
+  EXPECT_EQ(Elem("hr").end_tag, EndTag::kForbidden);
+  EXPECT_EQ(Elem("meta").end_tag, EndTag::kForbidden);
+  EXPECT_EQ(Elem("input").end_tag, EndTag::kForbidden);
+}
+
+TEST_F(Html40Test, Placement) {
+  EXPECT_EQ(Elem("title").placement, Placement::kHead);
+  EXPECT_EQ(Elem("base").placement, Placement::kHead);
+  EXPECT_EQ(Elem("meta").placement, Placement::kHead);
+  EXPECT_EQ(Elem("head").placement, Placement::kTop);
+  EXPECT_EQ(Elem("body").placement, Placement::kTop);
+  EXPECT_EQ(Elem("p").placement, Placement::kAnywhere);
+}
+
+TEST_F(Html40Test, OnceOnly) {
+  EXPECT_TRUE(Elem("html").once_only);
+  EXPECT_TRUE(Elem("head").once_only);
+  EXPECT_TRUE(Elem("body").once_only);
+  EXPECT_TRUE(Elem("title").once_only);
+  EXPECT_FALSE(Elem("p").once_only);
+}
+
+TEST_F(Html40Test, RequiredAttributes) {
+  // The paper's example: "Forgetting required attributes, such as ROWS and
+  // COLS, for the TEXTAREA element."
+  EXPECT_TRUE(Elem("textarea").FindAttribute("rows")->required);
+  EXPECT_TRUE(Elem("textarea").FindAttribute("cols")->required);
+  EXPECT_TRUE(Elem("img").FindAttribute("src")->required);
+  EXPECT_FALSE(Elem("img").FindAttribute("alt")->required);  // img-alt handles it.
+  EXPECT_TRUE(Elem("form").FindAttribute("action")->required);
+  EXPECT_TRUE(Elem("map").FindAttribute("name")->required);
+  EXPECT_TRUE(Elem("area").FindAttribute("alt")->required);
+  EXPECT_TRUE(Elem("applet").FindAttribute("width")->required);
+  EXPECT_TRUE(Elem("applet").FindAttribute("height")->required);
+}
+
+TEST_F(Html40Test, ColorValuePatterns) {
+  const AttributeInfo* bgcolor = Elem("body").FindAttribute("bgcolor");
+  ASSERT_NE(bgcolor, nullptr);
+  ASSERT_TRUE(bgcolor->HasPattern());
+  EXPECT_TRUE(bgcolor->pattern.Matches("#ffffff"));
+  EXPECT_TRUE(bgcolor->pattern.Matches("white"));
+  EXPECT_FALSE(bgcolor->pattern.Matches("fffff"));  // The paper's illegal value.
+}
+
+TEST_F(Html40Test, DeprecatedElements) {
+  EXPECT_TRUE(Elem("listing").deprecated);
+  EXPECT_EQ(Elem("listing").replacement, "pre");  // Paper §4.3.
+  EXPECT_TRUE(Elem("xmp").deprecated);
+  EXPECT_TRUE(Elem("center").deprecated);
+  EXPECT_EQ(Elem("center").replacement, "div");
+  EXPECT_TRUE(Elem("font").deprecated);
+  EXPECT_TRUE(Elem("isindex").deprecated);
+  EXPECT_FALSE(Elem("pre").deprecated);
+  EXPECT_FALSE(Elem("b").deprecated);  // Physical but not deprecated in 4.0.
+}
+
+TEST_F(Html40Test, ExtensionsTagged) {
+  EXPECT_EQ(Elem("blink").origin, Origin::kNetscape);
+  EXPECT_EQ(Elem("layer").origin, Origin::kNetscape);
+  EXPECT_EQ(Elem("embed").origin, Origin::kNetscape);
+  EXPECT_EQ(Elem("marquee").origin, Origin::kMicrosoft);
+  EXPECT_EQ(Elem("bgsound").origin, Origin::kMicrosoft);
+  EXPECT_EQ(Elem("table").origin, Origin::kStandard);
+}
+
+TEST_F(Html40Test, ExtensionAttributesOnStandardElements) {
+  const AttributeInfo* lowsrc = Elem("img").FindAttribute("lowsrc");
+  ASSERT_NE(lowsrc, nullptr);
+  EXPECT_EQ(lowsrc->origin, Origin::kNetscape);
+  const AttributeInfo* bordercolor = Elem("table").FindAttribute("bordercolor");
+  ASSERT_NE(bordercolor, nullptr);
+  EXPECT_EQ(bordercolor->origin, Origin::kMicrosoft);
+  EXPECT_EQ(Elem("img").FindAttribute("src")->origin, Origin::kStandard);
+}
+
+TEST_F(Html40Test, ContextRules) {
+  EXPECT_EQ(Elem("li").legal_contexts,
+            (std::vector<std::string>{"ul", "ol", "menu", "dir"}));
+  EXPECT_TRUE(Elem("li").context_implied);
+  EXPECT_EQ(Elem("td").legal_contexts, (std::vector<std::string>{"tr"}));
+  EXPECT_EQ(Elem("input").legal_contexts, (std::vector<std::string>{"form"}));
+  EXPECT_FALSE(Elem("input").context_implied);
+  EXPECT_EQ(Elem("frame").legal_contexts, (std::vector<std::string>{"frameset"}));
+}
+
+TEST_F(Html40Test, AutoCloseRules) {
+  EXPECT_TRUE(Elem("p").closed_by_block);
+  EXPECT_EQ(Elem("li").closed_by, (std::vector<std::string>{"li"}));
+  EXPECT_EQ(Elem("dt").closed_by, (std::vector<std::string>{"dt", "dd"}));
+  EXPECT_EQ(Elem("option").closed_by, (std::vector<std::string>{"option", "optgroup"}));
+}
+
+TEST_F(Html40Test, SelfNestingForbidden) {
+  EXPECT_TRUE(Elem("a").no_self_nest);
+  EXPECT_TRUE(Elem("form").no_self_nest);
+  EXPECT_TRUE(Elem("label").no_self_nest);
+  EXPECT_TRUE(Elem("button").no_self_nest);
+  EXPECT_FALSE(Elem("div").no_self_nest);
+}
+
+TEST_F(Html40Test, BlockInlineClassification) {
+  EXPECT_TRUE(Elem("p").is_block);
+  EXPECT_TRUE(Elem("table").is_block);
+  EXPECT_TRUE(Elem("h1").is_block);
+  EXPECT_TRUE(Elem("a").is_inline);
+  EXPECT_TRUE(Elem("b").is_inline);
+  EXPECT_TRUE(Elem("img").is_inline);
+  EXPECT_FALSE(Elem("a").is_block);
+}
+
+TEST_F(Html40Test, CommonAttributesPresent) {
+  for (const char* name : {"p", "div", "table", "a", "em", "ul"}) {
+    const ElementInfo& info = Elem(name);
+    for (const char* attr : {"id", "class", "style", "title", "lang", "dir", "onclick"}) {
+      EXPECT_NE(info.FindAttribute(attr), nullptr) << name << "/" << attr;
+    }
+  }
+}
+
+TEST_F(Html40Test, AllPatternsCompile) {
+  for (const auto& [element_name, info] : spec().elements()) {
+    for (const auto& [attr_name, attr] : info.attributes) {
+      if (attr.HasPattern()) {
+        EXPECT_TRUE(attr.pattern.ok())
+            << element_name << "/" << attr_name << ": " << attr.pattern.error();
+      }
+    }
+  }
+}
+
+class Html32Test : public ::testing::Test {
+ protected:
+  const HtmlSpec& spec() { return *FindSpec("html32"); }
+};
+
+TEST_F(Html32Test, LacksHtml40Elements) {
+  for (const char* name : {"span", "q", "ins", "del", "bdo", "abbr", "acronym", "button",
+                           "fieldset", "legend", "optgroup", "colgroup", "thead", "tbody",
+                           "tfoot", "iframe", "label", "object"}) {
+    EXPECT_FALSE(spec().Knows(name)) << name;
+  }
+}
+
+TEST_F(Html32Test, HasCoreElements) {
+  for (const char* name : {"html", "head", "body", "p", "a", "img", "table", "tr", "td",
+                           "form", "input", "applet", "font", "center"}) {
+    EXPECT_TRUE(spec().Knows(name)) << name;
+  }
+}
+
+TEST_F(Html32Test, SmallerThanHtml40) {
+  EXPECT_LT(spec().ElementCount(), FindSpec("html40")->ElementCount());
+}
+
+TEST_F(Html32Test, ExtensionsStillOverlaid) {
+  EXPECT_TRUE(spec().Knows("blink"));
+  EXPECT_EQ(spec().Find("blink")->origin, Origin::kNetscape);
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,127 @@
+// Cross-cutting invariants over every spec table: internal references
+// resolve, flags are mutually consistent. These catch table-entry typos the
+// per-element tests can't enumerate.
+#include <gtest/gtest.h>
+
+#include "spec/registry.h"
+#include "spec/spec.h"
+
+namespace weblint {
+namespace {
+
+class SpecInvariantsTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  const HtmlSpec& spec() { return *FindSpec(GetParam()); }
+};
+
+TEST_P(SpecInvariantsTest, ClosedByNamesResolve) {
+  for (const auto& [name, info] : spec().elements()) {
+    for (const std::string& closer : info.closed_by) {
+      EXPECT_TRUE(spec().Knows(closer)) << name << " closed_by " << closer;
+    }
+  }
+}
+
+TEST_P(SpecInvariantsTest, ClosedByOnlyOnOptionalEnd) {
+  for (const auto& [name, info] : spec().elements()) {
+    if (!info.closed_by.empty() || info.closed_by_block) {
+      EXPECT_EQ(info.end_tag, EndTag::kOptional) << name;
+    }
+  }
+}
+
+TEST_P(SpecInvariantsTest, LegalContextsResolve) {
+  for (const auto& [name, info] : spec().elements()) {
+    for (const std::string& context : info.legal_contexts) {
+      EXPECT_TRUE(spec().Knows(context)) << name << " context " << context;
+    }
+    for (const std::string& context : info.legal_contexts) {
+      // A context element must be a container — something has to be inside it.
+      EXPECT_TRUE(spec().Find(context)->IsContainer()) << name << " context " << context;
+    }
+  }
+}
+
+TEST_P(SpecInvariantsTest, ReplacementsResolve) {
+  for (const auto& [name, info] : spec().elements()) {
+    if (!info.replacement.empty()) {
+      EXPECT_TRUE(info.deprecated) << name;
+      EXPECT_TRUE(spec().Knows(info.replacement)) << name << " -> " << info.replacement;
+      EXPECT_FALSE(spec().Find(info.replacement)->deprecated)
+          << name << " replaced by deprecated " << info.replacement;
+    }
+  }
+}
+
+TEST_P(SpecInvariantsTest, ForbiddenEndElementsAreNotOnceOnly) {
+  for (const auto& [name, info] : spec().elements()) {
+    if (info.end_tag == EndTag::kForbidden) {
+      EXPECT_FALSE(info.once_only) << name;
+    }
+  }
+}
+
+TEST_P(SpecInvariantsTest, NamesAreLowercaseAndKeyed) {
+  for (const auto& [key, info] : spec().elements()) {
+    EXPECT_EQ(info.name, AsciiLower(info.name)) << key;
+    EXPECT_TRUE(IEquals(key, info.name)) << key;
+    for (const auto& [attr_key, attr] : info.attributes) {
+      EXPECT_EQ(attr.name, AsciiLower(attr.name)) << key << "/" << attr_key;
+      EXPECT_TRUE(IEquals(attr_key, attr.name)) << key << "/" << attr_key;
+    }
+  }
+}
+
+TEST_P(SpecInvariantsTest, RequiredAttributesTakeValues) {
+  for (const auto& [name, info] : spec().elements()) {
+    for (const auto& [attr_name, attr] : info.attributes) {
+      if (attr.required) {
+        EXPECT_FALSE(attr.value_optional) << name << "/" << attr_name;
+      }
+    }
+  }
+}
+
+TEST_P(SpecInvariantsTest, SelfNestersAreContainers) {
+  for (const auto& [name, info] : spec().elements()) {
+    if (info.no_self_nest) {
+      EXPECT_TRUE(info.IsContainer()) << name;
+    }
+  }
+}
+
+TEST_P(SpecInvariantsTest, PatternsAllCompile) {
+  for (const auto& [name, info] : spec().elements()) {
+    for (const auto& [attr_name, attr] : info.attributes) {
+      if (attr.HasPattern()) {
+        EXPECT_TRUE(attr.pattern.ok()) << name << "/" << attr_name << ": " << attr.pattern.error();
+        // A pattern that matches nothing is a table bug.
+        EXPECT_FALSE(attr.pattern.source().empty()) << name << "/" << attr_name;
+      }
+    }
+  }
+}
+
+TEST_P(SpecInvariantsTest, ExtensionOriginsOnlyInComposedSpecs) {
+  // Both registry specs are composed with vendor overlays — there must be
+  // at least one element of each origin, and standard structure must stay
+  // standard.
+  bool netscape = false;
+  bool microsoft = false;
+  for (const auto& [name, info] : spec().elements()) {
+    netscape = netscape || info.origin == Origin::kNetscape;
+    microsoft = microsoft || info.origin == Origin::kMicrosoft;
+  }
+  EXPECT_TRUE(netscape);
+  EXPECT_TRUE(microsoft);
+  EXPECT_EQ(spec().Find("html")->origin, Origin::kStandard);
+  EXPECT_EQ(spec().Find("body")->origin, Origin::kStandard);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, SpecInvariantsTest, ::testing::Values("html40", "html32"),
+                         [](const ::testing::TestParamInfo<const char*>& param_info) {
+                           return std::string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,95 @@
+#include "spec/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/registry.h"
+
+namespace weblint {
+namespace {
+
+TEST(SpecBuilderTest, ElementDefaults) {
+  HtmlSpec spec("t", "test");
+  SpecBuilder b(&spec);
+  b.Element("foo");
+  const ElementInfo* info = spec.Find("foo");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->end_tag, EndTag::kRequired);
+  EXPECT_EQ(info->placement, Placement::kAnywhere);
+  EXPECT_EQ(info->origin, Origin::kStandard);
+  EXPECT_FALSE(info->once_only);
+  EXPECT_TRUE(info->IsContainer());
+}
+
+TEST(SpecBuilderTest, CaseInsensitiveLookup) {
+  HtmlSpec spec("t", "test");
+  SpecBuilder b(&spec);
+  b.Element("FOO");
+  EXPECT_NE(spec.Find("foo"), nullptr);
+  EXPECT_NE(spec.Find("Foo"), nullptr);
+  EXPECT_EQ(spec.Find("bar"), nullptr);
+}
+
+TEST(SpecBuilderTest, ReopeningKeepsOrigin) {
+  HtmlSpec spec("t", "test");
+  SpecBuilder b(&spec);
+  b.Element("body").End(EndTag::kOptional);
+  b.From(Origin::kNetscape);
+  b.Element("body").Attr("marginwidth");  // Overlay: adds attribute only.
+  const ElementInfo* info = spec.Find("body");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->origin, Origin::kStandard);
+  const AttributeInfo* attr = info->FindAttribute("marginwidth");
+  ASSERT_NE(attr, nullptr);
+  EXPECT_EQ(attr->origin, Origin::kNetscape);
+}
+
+TEST(SpecBuilderTest, AttributePatternCompiled) {
+  HtmlSpec spec("t", "test");
+  SpecBuilder b(&spec);
+  b.Element("x").Attr("dir", "ltr|rtl");
+  const AttributeInfo* attr = spec.Find("x")->FindAttribute("dir");
+  ASSERT_NE(attr, nullptr);
+  EXPECT_TRUE(attr->HasPattern());
+  EXPECT_TRUE(attr->pattern.Matches("LTR"));
+  EXPECT_FALSE(attr->pattern.Matches("up"));
+}
+
+TEST(SpecBuilderTest, RequiredAndFlagAttrs) {
+  HtmlSpec spec("t", "test");
+  SpecBuilder b(&spec);
+  b.Element("x").RequiredAttr("src").FlagAttr("ismap");
+  EXPECT_TRUE(spec.Find("x")->FindAttribute("src")->required);
+  EXPECT_TRUE(spec.Find("x")->FindAttribute("ismap")->value_optional);
+}
+
+TEST(SpecSuggestTest, FindsCloseNames) {
+  const HtmlSpec& spec = DefaultSpec();
+  EXPECT_EQ(spec.SuggestElement("BLOCKQOUTE"), "blockquote");  // Paper's typo.
+  EXPECT_EQ(spec.SuggestElement("boddy"), "body");
+  // "tabel" is equidistant from "table" and "label"; any close name will do.
+  const std::string suggestion = spec.SuggestElement("tabel");
+  EXPECT_TRUE(suggestion == "table" || suggestion == "label") << suggestion;
+}
+
+TEST(SpecSuggestTest, RejectsFarNames) {
+  const HtmlSpec& spec = DefaultSpec();
+  EXPECT_EQ(spec.SuggestElement("zzzzzzz"), "");
+  EXPECT_EQ(spec.SuggestElement("xy"), "");  // Too short to correct.
+}
+
+TEST(SpecRegistryTest, KnownSpecs) {
+  EXPECT_NE(FindSpec("html40"), nullptr);
+  EXPECT_NE(FindSpec("HTML40"), nullptr);
+  EXPECT_NE(FindSpec("html32"), nullptr);
+  EXPECT_EQ(FindSpec("html99"), nullptr);
+  EXPECT_EQ(DefaultSpec().id(), "html40");
+  EXPECT_EQ(AvailableSpecIds().size(), 2u);
+}
+
+TEST(SpecRegistryTest, SpecsAreCachedSingletons) {
+  EXPECT_EQ(FindSpec("html40"), FindSpec("html4"));
+  EXPECT_EQ(FindSpec("html32"), FindSpec("html3.2"));
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,71 @@
+// Shared helpers for the weblint test suite.
+#ifndef WEBLINT_TESTS_TESTING_LINT_HELPERS_H_
+#define WEBLINT_TESTS_TESTING_LINT_HELPERS_H_
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/config.h"
+#include "core/linter.h"
+
+namespace weblint::testing {
+
+// Lints `html` and returns the message ids produced, in emission order.
+inline std::vector<std::string> LintIds(std::string_view html, const Config& config = Config()) {
+  Weblint lint(config);
+  const LintReport report = lint.CheckString("test", html);
+  std::vector<std::string> ids;
+  ids.reserve(report.diagnostics.size());
+  for (const Diagnostic& d : report.diagnostics) {
+    ids.push_back(d.message_id);
+  }
+  return ids;
+}
+
+inline LintReport LintReportFor(std::string_view html, const Config& config = Config()) {
+  Weblint lint(config);
+  return lint.CheckString("test", html);
+}
+
+inline size_t CountId(const std::vector<std::string>& ids, std::string_view id) {
+  return static_cast<size_t>(std::count(ids.begin(), ids.end(), std::string(id)));
+}
+
+inline bool HasId(const std::vector<std::string>& ids, std::string_view id) {
+  return CountId(ids, id) > 0;
+}
+
+// A configuration with exactly one message enabled — isolates one check.
+inline Config OnlyMessage(std::string_view id) {
+  Config config;
+  config.warnings = WarningSet::NoneEnabled();
+  config.warnings.Set(id, true);
+  return config;
+}
+
+// Wraps a body fragment in a well-formed document skeleton that itself
+// produces no diagnostics from the default warning set.
+inline std::string Page(std::string_view body) {
+  std::string html = "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0 Transitional//EN\">\n";
+  html += "<HTML>\n<HEAD>\n<TITLE>test page</TITLE>\n</HEAD>\n<BODY>\n";
+  html += body;
+  html += "\n</BODY>\n</HTML>\n";
+  return html;
+}
+
+// Wraps HEAD content.
+inline std::string PageWithHead(std::string_view head_extra, std::string_view body = "<P>x</P>") {
+  std::string html = "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0 Transitional//EN\">\n";
+  html += "<HTML>\n<HEAD>\n<TITLE>test page</TITLE>\n";
+  html += head_extra;
+  html += "\n</HEAD>\n<BODY>\n";
+  html += body;
+  html += "\n</BODY>\n</HTML>\n";
+  return html;
+}
+
+}  // namespace weblint::testing
+
+#endif  // WEBLINT_TESTS_TESTING_LINT_HELPERS_H_

@@ -1,0 +1,93 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+namespace weblint {
+namespace {
+
+TEST(ArgsTest, FlagsAndPositionals) {
+  ArgParser parser;
+  bool short_flag = false;
+  parser.AddFlag("-s", "short", &short_flag);
+  ASSERT_TRUE(parser.Parse({"-s", "a.html", "b.html"}).ok());
+  EXPECT_TRUE(short_flag);
+  ASSERT_EQ(parser.positionals().size(), 2u);
+  EXPECT_EQ(parser.positionals()[0], "a.html");
+}
+
+TEST(ArgsTest, OptionWithValue) {
+  ArgParser parser;
+  std::vector<std::string> enables;
+  parser.AddOption("-e", "enable", &enables);
+  ASSERT_TRUE(parser.Parse({"-e", "here-anchor", "-e", "img-size", "f.html"}).ok());
+  ASSERT_EQ(enables.size(), 2u);
+  EXPECT_EQ(enables[0], "here-anchor");
+  EXPECT_EQ(enables[1], "img-size");
+}
+
+TEST(ArgsTest, SingleValueOptionLastWins) {
+  ArgParser parser;
+  std::string version;
+  parser.AddOption("--html-version", "version", &version);
+  ASSERT_TRUE(parser.Parse({"--html-version", "html32", "--html-version", "html40"}).ok());
+  EXPECT_EQ(version, "html40");
+}
+
+TEST(ArgsTest, LongOptionEqualsSyntax) {
+  ArgParser parser;
+  std::string value;
+  parser.AddOption("--site-config", "cfg", &value);
+  ASSERT_TRUE(parser.Parse({"--site-config=/etc/weblintrc"}).ok());
+  EXPECT_EQ(value, "/etc/weblintrc");
+}
+
+TEST(ArgsTest, DashIsPositionalStdin) {
+  ArgParser parser;
+  ASSERT_TRUE(parser.Parse({"-"}).ok());
+  ASSERT_EQ(parser.positionals().size(), 1u);
+  EXPECT_EQ(parser.positionals()[0], "-");
+}
+
+TEST(ArgsTest, DoubleDashEndsOptions) {
+  ArgParser parser;
+  bool flag = false;
+  parser.AddFlag("-s", "short", &flag);
+  ASSERT_TRUE(parser.Parse({"--", "-s"}).ok());
+  EXPECT_FALSE(flag);
+  ASSERT_EQ(parser.positionals().size(), 1u);
+  EXPECT_EQ(parser.positionals()[0], "-s");
+}
+
+TEST(ArgsTest, UnknownOptionFails) {
+  ArgParser parser;
+  const Status status = parser.Parse({"-z"});
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("-z"), std::string::npos);
+}
+
+TEST(ArgsTest, MissingValueFails) {
+  ArgParser parser;
+  std::string value;
+  parser.AddOption("-f", "file", &value);
+  EXPECT_FALSE(parser.Parse({"-f"}).ok());
+}
+
+TEST(ArgsTest, FlagRejectsInlineValue) {
+  ArgParser parser;
+  bool flag = false;
+  parser.AddFlag("--verbose", "v", &flag);
+  EXPECT_FALSE(parser.Parse({"--verbose=yes"}).ok());
+}
+
+TEST(ArgsTest, HelpListsOptions) {
+  ArgParser parser;
+  bool flag = false;
+  parser.AddFlag("-s", "short output", &flag);
+  const std::string help = parser.Help("weblint", "checker");
+  EXPECT_NE(help.find("-s"), std::string::npos);
+  EXPECT_NE(help.find("short output"), std::string::npos);
+  EXPECT_NE(help.find("weblint"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace weblint

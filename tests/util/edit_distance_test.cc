@@ -1,0 +1,40 @@
+#include "util/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+namespace weblint {
+namespace {
+
+TEST(EditDistanceTest, Identical) {
+  EXPECT_EQ(BoundedEditDistance("table", "table", 2), 0);
+  EXPECT_EQ(BoundedEditDistance("", "", 2), 0);
+}
+
+TEST(EditDistanceTest, CaseInsensitive) {
+  EXPECT_EQ(BoundedEditDistance("TABLE", "table", 2), 0);
+}
+
+TEST(EditDistanceTest, SingleEdits) {
+  EXPECT_EQ(BoundedEditDistance("tabel", "table", 2), 1);  // Transposition.
+  EXPECT_EQ(BoundedEditDistance("tble", "table", 2), 1);   // Deletion.
+  EXPECT_EQ(BoundedEditDistance("ttable", "table", 2), 1); // Insertion.
+  EXPECT_EQ(BoundedEditDistance("tible", "table", 2), 1);  // Substitution.
+}
+
+TEST(EditDistanceTest, PaperTypoBlockqoute) {
+  // The paper's mis-typed element example.
+  EXPECT_LE(BoundedEditDistance("blockqoute", "blockquote", 2), 2);
+}
+
+TEST(EditDistanceTest, CutoffSaturates) {
+  EXPECT_EQ(BoundedEditDistance("completely", "different!", 2), 3);
+  EXPECT_EQ(BoundedEditDistance("a", "aaaaaa", 2), 3);  // Length gap > limit.
+}
+
+TEST(EditDistanceTest, EmptyVersusNonEmpty) {
+  EXPECT_EQ(BoundedEditDistance("", "ab", 3), 2);
+  EXPECT_EQ(BoundedEditDistance("abc", "", 3), 3);
+}
+
+}  // namespace
+}  // namespace weblint

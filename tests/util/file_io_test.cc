@@ -1,0 +1,131 @@
+#include "util/file_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace weblint {
+namespace {
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("weblint_fileio_" + std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileIoTest, WriteAndReadRoundTrip) {
+  const std::string path = Path("f.txt");
+  ASSERT_TRUE(WriteFile(path, "hello\nworld\n").ok());
+  auto content = ReadFile(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello\nworld\n");
+}
+
+TEST_F(FileIoTest, ReadMissingFileFails) {
+  auto content = ReadFile(Path("nope.txt"));
+  EXPECT_FALSE(content.ok());
+  EXPECT_NE(content.error().find("nope.txt"), std::string::npos);
+}
+
+TEST_F(FileIoTest, BinaryContentSurvives) {
+  std::string binary;
+  for (int i = 0; i < 256; ++i) {
+    binary.push_back(static_cast<char>(i));
+  }
+  const std::string path = Path("bin");
+  ASSERT_TRUE(WriteFile(path, binary).ok());
+  auto content = ReadFile(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, binary);
+}
+
+TEST_F(FileIoTest, ExistsAndIsDirectory) {
+  EXPECT_TRUE(IsDirectory(dir_.string()));
+  EXPECT_FALSE(FileExists(Path("missing")));
+  ASSERT_TRUE(WriteFile(Path("x"), "1").ok());
+  EXPECT_TRUE(FileExists(Path("x")));
+  EXPECT_FALSE(IsDirectory(Path("x")));
+}
+
+TEST_F(FileIoTest, ListDirectorySorted) {
+  ASSERT_TRUE(WriteFile(Path("b.html"), "").ok());
+  ASSERT_TRUE(WriteFile(Path("a.html"), "").ok());
+  ASSERT_TRUE(WriteFile(Path("c.txt"), "").ok());
+  auto names = ListDirectory(dir_.string());
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 3u);
+  EXPECT_EQ((*names)[0], "a.html");
+  EXPECT_EQ((*names)[1], "b.html");
+  EXPECT_EQ((*names)[2], "c.txt");
+}
+
+TEST_F(FileIoTest, ScanSiteFindsHtmlRecursively) {
+  std::filesystem::create_directories(dir_ / "sub" / "deep");
+  ASSERT_TRUE(WriteFile(Path("index.html"), "").ok());
+  ASSERT_TRUE(WriteFile(Path("notes.txt"), "").ok());
+  ASSERT_TRUE(WriteFile((dir_ / "sub" / "page.HTM").string(), "").ok());
+  ASSERT_TRUE(WriteFile((dir_ / "sub" / "deep" / "x.shtml").string(), "").ok());
+  auto scan = ScanSite(dir_.string());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->html_files.size(), 3u);
+  EXPECT_EQ(scan->directories.size(), 3u);  // root, sub, sub/deep.
+}
+
+TEST_F(FileIoTest, ScanSiteOnFileFails) {
+  ASSERT_TRUE(WriteFile(Path("x"), "1").ok());
+  EXPECT_FALSE(ScanSite(Path("x")).ok());
+}
+
+TEST(FileNamesTest, LooksLikeHtml) {
+  EXPECT_TRUE(LooksLikeHtml("index.html"));
+  EXPECT_TRUE(LooksLikeHtml("INDEX.HTM"));
+  EXPECT_TRUE(LooksLikeHtml("page.shtml"));
+  EXPECT_FALSE(LooksLikeHtml("style.css"));
+  EXPECT_FALSE(LooksLikeHtml("html"));
+  EXPECT_FALSE(LooksLikeHtml("page.html.bak"));
+}
+
+TEST(PathTest, PathJoin) {
+  EXPECT_EQ(PathJoin("a", "b"), "a/b");
+  EXPECT_EQ(PathJoin("a/", "b"), "a/b");
+  EXPECT_EQ(PathJoin("", "b"), "b");
+  EXPECT_EQ(PathJoin("a", ""), "a");
+  EXPECT_EQ(PathJoin("a", "/abs"), "/abs");
+}
+
+TEST(PathTest, DirnameBasename) {
+  EXPECT_EQ(Dirname("/a/b/c.html"), "/a/b");
+  EXPECT_EQ(Dirname("c.html"), ".");
+  EXPECT_EQ(Dirname("/c.html"), "/");
+  EXPECT_EQ(Basename("/a/b/c.html"), "c.html");
+  EXPECT_EQ(Basename("c.html"), "c.html");
+}
+
+TEST(PathTest, Extension) {
+  EXPECT_EQ(Extension("a/b.html"), ".html");
+  EXPECT_EQ(Extension("a.b/c"), "");
+  EXPECT_EQ(Extension(".hidden"), "");
+  EXPECT_EQ(Extension("x."), ".");
+}
+
+TEST(PathTest, NormalizePath) {
+  EXPECT_EQ(NormalizePath("a/./b//c/../d"), "a/b/d");
+  EXPECT_EQ(NormalizePath("/a/../../b"), "/b");
+  EXPECT_EQ(NormalizePath("../x"), "../x");
+  EXPECT_EQ(NormalizePath("a/.."), ".");
+  EXPECT_EQ(NormalizePath("/"), "/");
+}
+
+}  // namespace
+}  // namespace weblint

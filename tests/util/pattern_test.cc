@@ -1,0 +1,168 @@
+#include "util/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/patterns.h"
+
+namespace weblint {
+namespace {
+
+TEST(PatternTest, LiteralFullMatch) {
+  const Pattern p = Pattern::Compile("get");
+  EXPECT_TRUE(p.ok());
+  EXPECT_TRUE(p.Matches("get"));
+  EXPECT_TRUE(p.Matches("GET"));  // Case-insensitive by default.
+  EXPECT_FALSE(p.Matches("gets"));
+  EXPECT_FALSE(p.Matches("ge"));
+  EXPECT_FALSE(p.Matches(""));
+}
+
+TEST(PatternTest, CaseSensitiveMode) {
+  const Pattern p = Pattern::Compile("Get", /*case_sensitive=*/true);
+  EXPECT_TRUE(p.Matches("Get"));
+  EXPECT_FALSE(p.Matches("get"));
+}
+
+TEST(PatternTest, Alternation) {
+  const Pattern p = Pattern::Compile("get|post");
+  EXPECT_TRUE(p.Matches("get"));
+  EXPECT_TRUE(p.Matches("POST"));
+  EXPECT_FALSE(p.Matches("put"));
+  EXPECT_FALSE(p.Matches("getpost"));
+}
+
+TEST(PatternTest, CharacterClasses) {
+  const Pattern p = Pattern::Compile("[a-f0-9]");
+  EXPECT_TRUE(p.Matches("a"));
+  EXPECT_TRUE(p.Matches("5"));
+  EXPECT_FALSE(p.Matches("g"));
+  EXPECT_FALSE(p.Matches("ab"));
+}
+
+TEST(PatternTest, NegatedClass) {
+  const Pattern p = Pattern::Compile("[^0-9]+", /*case_sensitive=*/true);
+  EXPECT_TRUE(p.Matches("abc"));
+  EXPECT_FALSE(p.Matches("a1c"));
+}
+
+TEST(PatternTest, Quantifiers) {
+  EXPECT_TRUE(Pattern::Compile("ab*c").Matches("ac"));
+  EXPECT_TRUE(Pattern::Compile("ab*c").Matches("abbbc"));
+  EXPECT_FALSE(Pattern::Compile("ab+c").Matches("ac"));
+  EXPECT_TRUE(Pattern::Compile("ab+c").Matches("abc"));
+  EXPECT_TRUE(Pattern::Compile("ab?c").Matches("ac"));
+  EXPECT_TRUE(Pattern::Compile("ab?c").Matches("abc"));
+  EXPECT_FALSE(Pattern::Compile("ab?c").Matches("abbc"));
+}
+
+TEST(PatternTest, BraceQuantifiers) {
+  const Pattern exact = Pattern::Compile("[0-9]{3}");
+  EXPECT_TRUE(exact.Matches("123"));
+  EXPECT_FALSE(exact.Matches("12"));
+  EXPECT_FALSE(exact.Matches("1234"));
+
+  const Pattern range = Pattern::Compile("[a-f]{2,4}");
+  EXPECT_FALSE(range.Matches("a"));
+  EXPECT_TRUE(range.Matches("ab"));
+  EXPECT_TRUE(range.Matches("abcd"));
+  EXPECT_FALSE(range.Matches("abcde"));
+
+  const Pattern open = Pattern::Compile("x{2,}");
+  EXPECT_FALSE(open.Matches("x"));
+  EXPECT_TRUE(open.Matches("xx"));
+  EXPECT_TRUE(open.Matches("xxxxxx"));
+}
+
+TEST(PatternTest, GroupsAndNesting) {
+  const Pattern p = Pattern::Compile("(ab|cd)+e");
+  EXPECT_TRUE(p.Matches("abe"));
+  EXPECT_TRUE(p.Matches("abcdabe"));
+  EXPECT_FALSE(p.Matches("e"));
+  EXPECT_FALSE(p.Matches("abc"));
+}
+
+TEST(PatternTest, Escapes) {
+  EXPECT_TRUE(Pattern::Compile("\\d+").Matches("123"));
+  EXPECT_FALSE(Pattern::Compile("\\d+").Matches("12a"));
+  EXPECT_TRUE(Pattern::Compile("\\w+").Matches("ab_1"));
+  EXPECT_TRUE(Pattern::Compile("a\\.b").Matches("a.b"));
+  EXPECT_FALSE(Pattern::Compile("a\\.b").Matches("axb"));
+  EXPECT_TRUE(Pattern::Compile("a\\*").Matches("a*"));
+}
+
+TEST(PatternTest, DotMatchesAnythingButNewline) {
+  const Pattern p = Pattern::Compile("a.c", /*case_sensitive=*/true);
+  EXPECT_TRUE(p.Matches("abc"));
+  EXPECT_TRUE(p.Matches("a#c"));
+  EXPECT_FALSE(p.Matches("a\nc"));
+}
+
+TEST(PatternTest, SyntaxErrors) {
+  EXPECT_FALSE(Pattern::Compile("(unclosed").ok());
+  EXPECT_FALSE(Pattern::Compile("[unclosed").ok());
+  EXPECT_FALSE(Pattern::Compile("*dangling").ok());
+  EXPECT_FALSE(Pattern::Compile("x{3,1}").ok());
+  EXPECT_FALSE(Pattern::Compile("trailing\\").ok());
+  // Failed compiles never match.
+  EXPECT_FALSE(Pattern::Compile("(bad").Matches("bad"));
+}
+
+TEST(PatternTest, EmptyPatternMatchesEmptyOnly) {
+  const Pattern p = Pattern::Compile("");
+  EXPECT_TRUE(p.ok());
+  EXPECT_TRUE(p.Matches(""));
+  EXPECT_FALSE(p.Matches("x"));
+}
+
+// The spec tables' actual patterns, against the values the paper's example
+// exercises.
+TEST(PatternTest, ColorPattern) {
+  const Pattern p = Pattern::Compile(kColorPattern);
+  EXPECT_TRUE(p.ok()) << p.error();
+  EXPECT_TRUE(p.Matches("#00ff00"));
+  EXPECT_TRUE(p.Matches("#ABCDEF"));
+  EXPECT_TRUE(p.Matches("#fff"));
+  EXPECT_TRUE(p.Matches("red"));
+  EXPECT_TRUE(p.Matches("Fuchsia"));
+  EXPECT_FALSE(p.Matches("fffff"));    // The paper's BGCOLOR value.
+  EXPECT_FALSE(p.Matches("#00ff0"));   // 5 digits.
+  EXPECT_FALSE(p.Matches("#00ff000")); // 7 digits.
+  EXPECT_FALSE(p.Matches("reddish"));
+  EXPECT_FALSE(p.Matches(""));
+}
+
+TEST(PatternTest, LengthPatterns) {
+  const Pattern length = Pattern::Compile(kLengthPattern);
+  EXPECT_TRUE(length.Matches("120"));
+  EXPECT_TRUE(length.Matches("50%"));
+  EXPECT_FALSE(length.Matches("%"));
+  EXPECT_FALSE(length.Matches("12px"));
+
+  const Pattern multi = Pattern::Compile(kMultiLengthListPattern);
+  EXPECT_TRUE(multi.ok()) << multi.error();
+  EXPECT_TRUE(multi.Matches("50%,50%"));
+  EXPECT_TRUE(multi.Matches("2*, 100, 30%"));
+  EXPECT_TRUE(multi.Matches("*"));
+  EXPECT_FALSE(multi.Matches("50%,,50%"));
+}
+
+TEST(PatternTest, EnumPatterns) {
+  const Pattern method = Pattern::Compile(kMethodPattern);
+  EXPECT_TRUE(method.Matches("GET"));
+  EXPECT_TRUE(method.Matches("post"));
+  EXPECT_FALSE(method.Matches("teleport"));
+
+  const Pattern input = Pattern::Compile(kInputTypePattern);
+  EXPECT_TRUE(input.Matches("checkbox"));
+  EXPECT_FALSE(input.Matches("color"));  // Not in HTML 4.0.
+}
+
+TEST(PatternTest, LinearTimeOnPathologicalInput) {
+  // (a+)+b-style blow-ups are linear with a Thompson NFA.
+  const Pattern p = Pattern::Compile("(a+)+b");
+  const std::string input(2000, 'a');
+  EXPECT_FALSE(p.Matches(input));  // No trailing b — and returns promptly.
+}
+
+}  // namespace
+}  // namespace weblint

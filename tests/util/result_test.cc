@@ -1,0 +1,84 @@
+#include "util/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace weblint {
+namespace {
+
+TEST(StatusTest, OkAndError) {
+  const Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.message().empty());
+
+  const Status error = Status::Error("something broke");
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.message(), "something broke");
+
+  EXPECT_TRUE(Status().ok());  // Default is OK.
+}
+
+TEST(ResultTest, HoldsValue) {
+  const Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(static_cast<bool>(result));
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  const Result<int> result = Fail("no dice");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), "no dice");
+  EXPECT_FALSE(result.status().ok());
+}
+
+TEST(ResultTest, StringValuedResultsAreUnambiguous) {
+  // The tagged variant keeps a string VALUE distinct from an error.
+  const Result<std::string> value(std::string("payload"));
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "payload");
+  const Result<std::string> error = Fail("broken");
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.error(), "broken");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  const Result<std::vector<int>> result(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(ResultTest, MoveOutOfResult) {
+  Result<std::string> result(std::string(1000, 'x'));
+  const std::string taken = std::move(result).value();
+  EXPECT_EQ(taken.size(), 1000u);
+}
+
+TEST(ResultTest, PropagationPattern) {
+  // The idiomatic call chain: failures pass through via status().
+  auto inner = []() -> Result<int> { return Fail("inner failure"); };
+  auto outer = [&inner]() -> Result<std::string> {
+    auto value = inner();
+    if (!value.ok()) {
+      return value.status();
+    }
+    return std::to_string(*value);
+  };
+  const auto result = outer();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), "inner failure");
+}
+
+TEST(ResultTest, MoveOnlyValueType) {
+  const Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(**result, 7);
+}
+
+}  // namespace
+}  // namespace weblint

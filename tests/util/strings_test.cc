@@ -1,0 +1,141 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace weblint {
+namespace {
+
+TEST(StringsTest, AsciiCaseConversion) {
+  EXPECT_EQ(AsciiLower("Hello World 123"), "hello world 123");
+  EXPECT_EQ(AsciiUpper("Hello World 123"), "HELLO WORLD 123");
+  EXPECT_EQ(AsciiLower(""), "");
+  // Non-ASCII bytes pass through untouched (no locale surprises).
+  EXPECT_EQ(AsciiLower("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(StringsTest, IEquals) {
+  EXPECT_TRUE(IEquals("HTML", "html"));
+  EXPECT_TRUE(IEquals("", ""));
+  EXPECT_FALSE(IEquals("html", "htm"));
+  EXPECT_FALSE(IEquals("a", "b"));
+  EXPECT_TRUE(IEquals("BoDy", "bOdY"));
+}
+
+TEST(StringsTest, IStartsEndsWith) {
+  EXPECT_TRUE(IStartsWith("index.HTML", "INDEX"));
+  EXPECT_FALSE(IStartsWith("idx", "index"));
+  EXPECT_TRUE(IEndsWith("page.HTML", ".html"));
+  EXPECT_FALSE(IEndsWith("page.htm", ".html"));
+  EXPECT_TRUE(IEndsWith("x", ""));
+}
+
+TEST(StringsTest, IContains) {
+  EXPECT_TRUE(IContains("Content-Type: TEXT/HTML", "text/html"));
+  EXPECT_FALSE(IContains("text/plain", "html"));
+  EXPECT_TRUE(IContains("anything", ""));
+  EXPECT_FALSE(IContains("ab", "abc"));
+}
+
+TEST(StringsTest, ILessOrdersCaseInsensitively) {
+  ILess less;
+  EXPECT_TRUE(less("Apple", "banana"));
+  EXPECT_FALSE(less("banana", "APPLE"));
+  EXPECT_FALSE(less("same", "SAME"));
+  EXPECT_TRUE(less("ab", "abc"));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\n x y \r\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(TrimLeft("  x "), "x ");
+  EXPECT_EQ(TrimRight(" x  "), " x");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  const auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, SplitWhitespace) {
+  const auto parts = SplitWhitespace("  one\ttwo \n three ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "one");
+  EXPECT_EQ(parts[1], "two");
+  EXPECT_EQ(parts[2], "three");
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"one"}, ","), "one");
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(ReplaceAll("none here", "xyz", "!"), "none here");
+  EXPECT_EQ(ReplaceAll("abc", "", "!"), "abc");
+}
+
+TEST(StringsTest, EscapeHtml) {
+  EXPECT_EQ(EscapeHtml("<a href=\"x\">&</a>"),
+            "&lt;a href=&quot;x&quot;&gt;&amp;&lt;/a&gt;");
+  EXPECT_EQ(EscapeHtml("plain"), "plain");
+}
+
+TEST(StringsTest, CollapseWhitespace) {
+  EXPECT_EQ(CollapseWhitespace("  click \n\t here  "), "click here");
+  EXPECT_EQ(CollapseWhitespace(""), "");
+  EXPECT_EQ(CollapseWhitespace("one"), "one");
+}
+
+TEST(StringsTest, ParseUint) {
+  std::uint32_t n = 0;
+  EXPECT_TRUE(ParseUint("123", &n));
+  EXPECT_EQ(n, 123u);
+  EXPECT_TRUE(ParseUint("0", &n));
+  EXPECT_EQ(n, 0u);
+  EXPECT_FALSE(ParseUint("", &n));
+  EXPECT_FALSE(ParseUint("-1", &n));
+  EXPECT_FALSE(ParseUint("12x", &n));
+  EXPECT_FALSE(ParseUint("99999999999", &n));  // Overflow.
+}
+
+TEST(StringsTest, FormatSubstitutesInOrder) {
+  EXPECT_EQ(StrFormat("a=%s b=%d c=%c", "x", 42, 'q'), "a=x b=42 c=q");
+  EXPECT_EQ(StrFormat("100%% done"), "100% done");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+TEST(StringsTest, FormatMissingArgsLeaveGap) {
+  // More specifiers than args: the extra specifier produces nothing rather
+  // than crashing (diagnostic templates are data; robustness matters).
+  EXPECT_EQ(StrFormat("x=%s y=%s", "1"), "x=1 y=");
+}
+
+TEST(StringsTest, CharacterClassifiers) {
+  EXPECT_TRUE(IsAsciiSpace(' '));
+  EXPECT_TRUE(IsAsciiSpace('\t'));
+  EXPECT_FALSE(IsAsciiSpace('x'));
+  EXPECT_TRUE(IsAsciiHexDigit('f'));
+  EXPECT_TRUE(IsAsciiHexDigit('A'));
+  EXPECT_FALSE(IsAsciiHexDigit('g'));
+  EXPECT_EQ(AsciiToLower('Z'), 'z');
+  EXPECT_EQ(AsciiToUpper('a'), 'A');
+  EXPECT_EQ(AsciiToLower('3'), '3');
+}
+
+}  // namespace
+}  // namespace weblint

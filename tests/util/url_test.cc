@@ -1,0 +1,131 @@
+#include "util/url.h"
+
+#include <gtest/gtest.h>
+
+namespace weblint {
+namespace {
+
+TEST(UrlParseTest, AbsoluteHttp) {
+  const Url url = ParseUrl("http://www.cre.canon.co.uk/~neilb/weblint/?q=1#top");
+  EXPECT_EQ(url.scheme, "http");
+  EXPECT_TRUE(url.has_authority);
+  EXPECT_EQ(url.host, "www.cre.canon.co.uk");
+  EXPECT_EQ(url.port, "");
+  EXPECT_EQ(url.path, "/~neilb/weblint/");
+  EXPECT_EQ(url.query, "q=1");
+  EXPECT_EQ(url.fragment, "top");
+}
+
+TEST(UrlParseTest, HostAndSchemeAreLowercased) {
+  const Url url = ParseUrl("HTTP://WWW.Example.COM/Path");
+  EXPECT_EQ(url.scheme, "http");
+  EXPECT_EQ(url.host, "www.example.com");
+  EXPECT_EQ(url.path, "/Path");  // Path case is preserved.
+}
+
+TEST(UrlParseTest, Port) {
+  const Url url = ParseUrl("http://host:8080/x");
+  EXPECT_EQ(url.host, "host");
+  EXPECT_EQ(url.port, "8080");
+  EXPECT_EQ(url.Authority(), "host:8080");
+}
+
+TEST(UrlParseTest, AuthorityOnlyGetsRootPath) {
+  const Url url = ParseUrl("http://host");
+  EXPECT_EQ(url.path, "/");
+}
+
+TEST(UrlParseTest, RelativeReference) {
+  const Url url = ParseUrl("../images/logo.gif");
+  EXPECT_FALSE(url.IsAbsolute());
+  EXPECT_FALSE(url.has_authority);
+  EXPECT_EQ(url.path, "../images/logo.gif");
+}
+
+TEST(UrlParseTest, FragmentOnly) {
+  const Url url = ParseUrl("#section2");
+  EXPECT_EQ(url.path, "");
+  EXPECT_EQ(url.fragment, "section2");
+}
+
+TEST(UrlParseTest, MailtoIsOpaque) {
+  const Url url = ParseUrl("mailto:neilb@cre.canon.co.uk");
+  EXPECT_EQ(url.scheme, "mailto");
+  EXPECT_TRUE(url.IsOpaque());
+  EXPECT_EQ(url.opaque, "neilb@cre.canon.co.uk");
+}
+
+TEST(UrlParseTest, WhitespaceTrimmed) {
+  const Url url = ParseUrl("  page.html  ");
+  EXPECT_EQ(url.path, "page.html");
+}
+
+TEST(UrlParseTest, SerializeRoundTrip) {
+  for (const char* text :
+       {"http://h/p?q=1#f", "http://h:81/", "page.html", "mailto:a@b", "//h/x", "#frag"}) {
+    EXPECT_EQ(ParseUrl(text).Serialize(), text) << text;
+  }
+}
+
+TEST(UrlResolveTest, RelativePath) {
+  const Url base = ParseUrl("http://host/a/b/c.html");
+  EXPECT_EQ(ResolveUrl(base, "d.html").Serialize(), "http://host/a/b/d.html");
+  EXPECT_EQ(ResolveUrl(base, "../d.html").Serialize(), "http://host/a/d.html");
+  EXPECT_EQ(ResolveUrl(base, "./d.html").Serialize(), "http://host/a/b/d.html");
+  EXPECT_EQ(ResolveUrl(base, "/root.html").Serialize(), "http://host/root.html");
+}
+
+TEST(UrlResolveTest, AbsoluteReferenceWins) {
+  const Url base = ParseUrl("http://host/a/");
+  EXPECT_EQ(ResolveUrl(base, "http://other/x").Serialize(), "http://other/x");
+}
+
+TEST(UrlResolveTest, SchemeRelative) {
+  const Url base = ParseUrl("http://host/a/");
+  EXPECT_EQ(ResolveUrl(base, "//other/y").Serialize(), "http://other/y");
+}
+
+TEST(UrlResolveTest, EmptyReferenceKeepsBase) {
+  const Url base = ParseUrl("http://host/a/b.html?q=2");
+  const Url resolved = ResolveUrl(base, "");
+  EXPECT_EQ(resolved.path, "/a/b.html");
+  EXPECT_EQ(resolved.query, "q=2");
+}
+
+TEST(UrlResolveTest, FragmentOnlyKeepsPath) {
+  const Url base = ParseUrl("http://host/a/b.html");
+  const Url resolved = ResolveUrl(base, "#top");
+  EXPECT_EQ(resolved.path, "/a/b.html");
+  EXPECT_EQ(resolved.fragment, "top");
+}
+
+TEST(UrlResolveTest, DotSegmentsClampAtRoot) {
+  const Url base = ParseUrl("http://host/a.html");
+  EXPECT_EQ(ResolveUrl(base, "../../x.html").Serialize(), "http://host/x.html");
+}
+
+TEST(UrlResolveTest, TrailingSlashPreserved) {
+  const Url base = ParseUrl("http://host/dir/page.html");
+  EXPECT_EQ(ResolveUrl(base, "sub/").Serialize(), "http://host/dir/sub/");
+}
+
+TEST(UrlCodecTest, Decode) {
+  EXPECT_EQ(UrlDecode("a%20b%2Fc"), "a b/c");
+  EXPECT_EQ(UrlDecode("a+b"), "a+b");
+  EXPECT_EQ(UrlDecode("a+b", /*plus_as_space=*/true), "a b");
+  EXPECT_EQ(UrlDecode("bad%2"), "bad%2");   // Truncated escape passes through.
+  EXPECT_EQ(UrlDecode("bad%zz"), "bad%zz"); // Invalid hex passes through.
+}
+
+TEST(UrlCodecTest, Encode) {
+  EXPECT_EQ(UrlEncode("a b/c"), "a%20b%2Fc");
+  EXPECT_EQ(UrlEncode("safe-._~09AZ"), "safe-._~09AZ");
+}
+
+TEST(UrlCodecTest, EncodeDecodeRoundTrip) {
+  const std::string original = "q=hello world&x=<html>&y=100%";
+  EXPECT_EQ(UrlDecode(UrlEncode(original)), original);
+}
+
+}  // namespace
+}  // namespace weblint

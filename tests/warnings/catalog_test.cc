@@ -1,0 +1,117 @@
+// E2: catalog parity with the paper's §4.3 figures.
+#include "warnings/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace weblint {
+namespace {
+
+TEST(CatalogTest, FiftyMessages) {
+  // "Weblint 1.020 supports 50 different output messages"
+  EXPECT_EQ(MessageCount(), 50u);
+}
+
+TEST(CatalogTest, FortyTwoEnabledByDefault) {
+  // "42 of which are enabled by default"
+  EXPECT_EQ(DefaultEnabledCount(), 42u);
+}
+
+TEST(CatalogTest, ThreeCategoriesAllPopulated) {
+  // "There are three categories of output message"
+  EXPECT_GT(CategoryCount(Category::kError), 0u);
+  EXPECT_GT(CategoryCount(Category::kWarning), 0u);
+  EXPECT_GT(CategoryCount(Category::kStyle), 0u);
+  EXPECT_EQ(CategoryCount(Category::kError) + CategoryCount(Category::kWarning) +
+                CategoryCount(Category::kStyle),
+            MessageCount());
+}
+
+TEST(CatalogTest, IdentifiersUnique) {
+  std::set<std::string_view> seen;
+  for (const MessageInfo& info : AllMessages()) {
+    EXPECT_TRUE(seen.insert(info.id).second) << "duplicate id: " << info.id;
+  }
+}
+
+TEST(CatalogTest, IdentifiersAreKebabCase) {
+  for (const MessageInfo& info : AllMessages()) {
+    for (char c : info.id) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '-') << info.id;
+    }
+    EXPECT_FALSE(info.id.empty());
+    EXPECT_NE(info.id.front(), '-');
+    EXPECT_NE(info.id.back(), '-');
+  }
+}
+
+TEST(CatalogTest, EveryMessageHasFormatAndDescription) {
+  for (const MessageInfo& info : AllMessages()) {
+    EXPECT_FALSE(info.format.empty()) << info.id;
+    EXPECT_FALSE(info.description.empty()) << info.id;
+  }
+}
+
+TEST(CatalogTest, FindMessage) {
+  const MessageInfo* info = FindMessage("heading-mismatch");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->category, Category::kError);
+  EXPECT_TRUE(info->default_enabled);
+  EXPECT_EQ(FindMessage("no-such-message"), nullptr);
+}
+
+TEST(CatalogTest, PaperExampleMessagesExistWithExpectedDefaults) {
+  // The seven §4.2 messages must all be enabled by default.
+  for (const char* id : {"require-doctype", "unclosed-element", "quote-attribute-value",
+                         "attribute-value", "heading-mismatch", "odd-quotes",
+                         "element-overlap"}) {
+    const MessageInfo* info = FindMessage(id);
+    ASSERT_NE(info, nullptr) << id;
+    EXPECT_TRUE(info->default_enabled) << id;
+  }
+}
+
+TEST(CatalogTest, PedanticMessagesOffByDefault) {
+  // "If a message seems esoteric or overly pedantic ... it will be disabled
+  // by default."
+  for (const char* id : {"img-size", "body-colors", "title-length", "bad-link", "here-anchor",
+                         "physical-font", "upper-case", "lower-case"}) {
+    const MessageInfo* info = FindMessage(id);
+    ASSERT_NE(info, nullptr) << id;
+    EXPECT_FALSE(info->default_enabled) << id;
+  }
+}
+
+TEST(CatalogTest, ErrorsAllEnabledByDefault) {
+  // Errors "identify things you should fix" — none are pedantic.
+  for (const MessageInfo& info : AllMessages()) {
+    if (info.category == Category::kError) {
+      EXPECT_TRUE(info.default_enabled) << info.id;
+    }
+  }
+}
+
+TEST(CatalogTest, CategoryNames) {
+  EXPECT_EQ(CategoryName(Category::kError), "error");
+  EXPECT_EQ(CategoryName(Category::kWarning), "warning");
+  EXPECT_EQ(CategoryName(Category::kStyle), "style");
+}
+
+TEST(CatalogTest, OrderedByCategoryThenId) {
+  // The table is organised for humans: errors, then warnings, then style,
+  // alphabetical within each.
+  const auto messages = AllMessages();
+  for (size_t i = 1; i < messages.size(); ++i) {
+    const auto& prev = messages[i - 1];
+    const auto& curr = messages[i];
+    if (prev.category == curr.category) {
+      EXPECT_LT(prev.id, curr.id) << prev.id << " vs " << curr.id;
+    } else {
+      EXPECT_LT(static_cast<int>(prev.category), static_cast<int>(curr.category));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace weblint

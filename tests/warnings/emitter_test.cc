@@ -1,0 +1,77 @@
+#include "warnings/emitter.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace weblint {
+namespace {
+
+Diagnostic Sample() {
+  Diagnostic d;
+  d.message_id = "require-doctype";
+  d.category = Category::kWarning;
+  d.file = "test.html";
+  d.location = SourceLocation{1, 1};
+  d.message = "first element was not DOCTYPE specification";
+  return d;
+}
+
+TEST(FormatTest, TraditionalLintStyle) {
+  // Paper §4.2: "the default traditional lint style of messages:
+  // test.html(1): blah blah blah"
+  EXPECT_EQ(FormatDiagnostic(Sample(), OutputStyle::kTraditional),
+            "test.html(1): first element was not DOCTYPE specification");
+}
+
+TEST(FormatTest, ShortStyle) {
+  EXPECT_EQ(FormatDiagnostic(Sample(), OutputStyle::kShort),
+            "line 1: first element was not DOCTYPE specification");
+}
+
+TEST(FormatTest, VerboseIncludesIdAndDescription) {
+  const std::string text = FormatDiagnostic(Sample(), OutputStyle::kVerbose);
+  EXPECT_NE(text.find("test.html(1)"), std::string::npos);
+  EXPECT_NE(text.find("[warning/require-doctype]"), std::string::npos);
+  EXPECT_NE(text.find("DOCTYPE"), std::string::npos);
+}
+
+TEST(FormatTest, DocumentLevelDiagnosticHasNoLine) {
+  Diagnostic d = Sample();
+  d.location = SourceLocation{};
+  EXPECT_EQ(FormatDiagnostic(d, OutputStyle::kTraditional),
+            "test.html: first element was not DOCTYPE specification");
+  EXPECT_EQ(FormatDiagnostic(d, OutputStyle::kShort),
+            "first element was not DOCTYPE specification");
+}
+
+TEST(EmitterTest, CollectingEmitter) {
+  CollectingEmitter emitter;
+  emitter.Emit(Sample());
+  emitter.Emit(Sample());
+  EXPECT_EQ(emitter.diagnostics().size(), 2u);
+  const auto taken = emitter.TakeDiagnostics();
+  EXPECT_EQ(taken.size(), 2u);
+}
+
+TEST(EmitterTest, StreamEmitterWritesLines) {
+  std::ostringstream out;
+  StreamEmitter emitter(out, OutputStyle::kShort);
+  emitter.Emit(Sample());
+  EXPECT_EQ(out.str(), "line 1: first element was not DOCTYPE specification\n");
+  EXPECT_EQ(emitter.emitted_count(), 1u);
+}
+
+TEST(EmitterTest, TeeForwardsToBoth) {
+  CollectingEmitter a;
+  CollectingEmitter b;
+  TeeEmitter tee(a, b);
+  tee.BeginDocument("x");
+  tee.Emit(Sample());
+  tee.EndDocument();
+  EXPECT_EQ(a.diagnostics().size(), 1u);
+  EXPECT_EQ(b.diagnostics().size(), 1u);
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,104 @@
+#include "warnings/localization.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/lint_helpers.h"
+#include "warnings/catalog.h"
+
+namespace weblint {
+namespace {
+
+size_t PlaceholderCount(std::string_view format) {
+  size_t count = 0;
+  for (size_t i = 0; i + 1 < format.size(); ++i) {
+    if (format[i] == '%') {
+      if (format[i + 1] == '%') {
+        ++i;
+      } else if (format[i + 1] == 's' || format[i + 1] == 'd' || format[i + 1] == 'c') {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(LocalizationTest, AvailableLanguages) {
+  const auto languages = AvailableLanguages();
+  ASSERT_EQ(languages.size(), 3u);
+  EXPECT_TRUE(IsKnownLanguage("en"));
+  EXPECT_TRUE(IsKnownLanguage("fr"));
+  EXPECT_TRUE(IsKnownLanguage("FR"));
+  EXPECT_TRUE(IsKnownLanguage("de"));
+  EXPECT_FALSE(IsKnownLanguage("tlh"));
+}
+
+TEST(LocalizationTest, FrenchIsComplete) {
+  EXPECT_EQ(TranslationCount("fr"), MessageCount());
+  for (const MessageInfo& info : AllMessages()) {
+    EXPECT_FALSE(LocalizedFormat("fr", info.id).empty()) << info.id;
+  }
+}
+
+TEST(LocalizationTest, GermanIsPartial) {
+  EXPECT_GT(TranslationCount("de"), 0u);
+  EXPECT_LT(TranslationCount("de"), MessageCount());
+}
+
+TEST(LocalizationTest, PlaceholderCountsMatchEnglish) {
+  for (const char* lang : {"fr", "de"}) {
+    for (const MessageInfo& info : AllMessages()) {
+      const std::string_view translated = LocalizedFormat(lang, info.id);
+      if (!translated.empty()) {
+        EXPECT_EQ(PlaceholderCount(translated), PlaceholderCount(info.format))
+            << lang << "/" << info.id;
+      }
+    }
+  }
+}
+
+TEST(LocalizationTest, UnknownLanguageOrIdIsEmpty) {
+  EXPECT_TRUE(LocalizedFormat("tlh", "odd-quotes").empty());
+  EXPECT_TRUE(LocalizedFormat("fr", "no-such-message").empty());
+  EXPECT_TRUE(LocalizedFormat("en", "odd-quotes").empty());  // en = the catalog.
+}
+
+TEST(LocalizationTest, FrenchDiagnosticsEndToEnd) {
+  Config config;
+  ASSERT_TRUE(ApplyRcText("set language fr\n", "rc", &config).ok());
+  Weblint lint(config);
+  const LintReport report =
+      lint.CheckString("doc", testing::Page("<B>jamais ferm\xc3\xa9"));
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].message_id, "unclosed-element");
+  EXPECT_NE(report.diagnostics[0].message.find("aucune balise fermante </B>"),
+            std::string::npos);
+}
+
+TEST(LocalizationTest, GermanFallsBackToEnglish) {
+  Config config;
+  ASSERT_TRUE(ApplyRcText("set language de\n", "rc", &config).ok());
+  Weblint lint(config);
+  // unclosed-element is translated; table-summary is not.
+  const LintReport report = lint.CheckString(
+      "doc", testing::Page("<TABLE><TR><TD><B>x</TD></TR></TABLE>"));
+  bool saw_german = false;
+  bool saw_english = false;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.message_id == "unclosed-element") {
+      saw_german = d.message.find("kein schließendes") != std::string::npos;
+    }
+    if (d.message_id == "table-summary") {
+      saw_english = d.message.find("SUMMARY attribute") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(saw_german);
+  EXPECT_TRUE(saw_english);
+}
+
+TEST(LocalizationTest, UnknownLanguageRejectedByConfig) {
+  Config config;
+  EXPECT_FALSE(ApplyRcText("set language tlh\n", "rc", &config).ok());
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,89 @@
+#include "warnings/warning_set.h"
+
+#include <gtest/gtest.h>
+
+namespace weblint {
+namespace {
+
+TEST(WarningSetTest, DefaultsMatchCatalog) {
+  const WarningSet set;
+  EXPECT_EQ(set.EnabledCount(), DefaultEnabledCount());
+  EXPECT_TRUE(set.IsEnabled("unclosed-element"));
+  EXPECT_FALSE(set.IsEnabled("here-anchor"));
+}
+
+TEST(WarningSetTest, EnableDisableRoundTrip) {
+  WarningSet set;
+  ASSERT_TRUE(set.Enable("here-anchor").ok());
+  EXPECT_TRUE(set.IsEnabled("here-anchor"));
+  ASSERT_TRUE(set.Disable("here-anchor").ok());
+  EXPECT_FALSE(set.IsEnabled("here-anchor"));
+}
+
+TEST(WarningSetTest, EverythingCanBeTurnedOff) {
+  // Paper §4.1: "everything in weblint can be turned off."
+  WarningSet set;
+  for (const MessageInfo& info : AllMessages()) {
+    ASSERT_TRUE(set.Disable(info.id).ok()) << info.id;
+  }
+  EXPECT_EQ(set.EnabledCount(), 0u);
+}
+
+TEST(WarningSetTest, UnknownIdFails) {
+  WarningSet set;
+  EXPECT_FALSE(set.Enable("no-such-warning").ok());
+  EXPECT_FALSE(set.Disable("no-such-warning").ok());
+  EXPECT_FALSE(set.IsEnabled("no-such-warning"));
+}
+
+TEST(WarningSetTest, AllEnabledAndNoneEnabled) {
+  EXPECT_EQ(WarningSet::AllEnabled().EnabledCount(), MessageCount());
+  EXPECT_EQ(WarningSet::NoneEnabled().EnabledCount(), 0u);
+}
+
+TEST(WarningSetTest, CategoryToggles) {
+  // Weblint 2 feature: "enable and disable all messages of a given
+  // category."
+  WarningSet set;
+  set.DisableCategory(Category::kError);
+  for (const MessageInfo& info : AllMessages()) {
+    if (info.category == Category::kError) {
+      EXPECT_FALSE(set.IsEnabled(info.id)) << info.id;
+    }
+  }
+  set.EnableCategory(Category::kStyle);
+  for (const MessageInfo& info : AllMessages()) {
+    if (info.category == Category::kStyle) {
+      EXPECT_TRUE(set.IsEnabled(info.id)) << info.id;
+    }
+  }
+}
+
+TEST(WarningSetTest, CategoryToggleDoesNotAffectOthers) {
+  WarningSet set;
+  set.DisableCategory(Category::kStyle);
+  EXPECT_TRUE(set.IsEnabled("unclosed-element"));  // Error, untouched.
+  EXPECT_TRUE(set.IsEnabled("require-doctype"));   // Warning, untouched.
+}
+
+TEST(WarningSetTest, SetIsIdempotent) {
+  WarningSet set;
+  set.Set("img-size", true);
+  set.Set("img-size", true);
+  EXPECT_TRUE(set.IsEnabled("img-size"));
+  set.Set("img-size", false);
+  EXPECT_FALSE(set.IsEnabled("img-size"));
+  EXPECT_EQ(set.EnabledCount(), DefaultEnabledCount());
+}
+
+TEST(WarningSetTest, CopySemantics) {
+  WarningSet a;
+  ASSERT_TRUE(a.Enable("here-anchor").ok());
+  WarningSet b = a;
+  ASSERT_TRUE(b.Disable("here-anchor").ok());
+  EXPECT_TRUE(a.IsEnabled("here-anchor"));
+  EXPECT_FALSE(b.IsEnabled("here-anchor"));
+}
+
+}  // namespace
+}  // namespace weblint
