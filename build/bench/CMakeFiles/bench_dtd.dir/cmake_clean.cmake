@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dtd.dir/bench_dtd.cc.o"
+  "CMakeFiles/bench_dtd.dir/bench_dtd.cc.o.d"
+  "bench_dtd"
+  "bench_dtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

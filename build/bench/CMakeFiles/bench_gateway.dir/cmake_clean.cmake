@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gateway.dir/bench_gateway.cc.o"
+  "CMakeFiles/bench_gateway.dir/bench_gateway.cc.o.d"
+  "bench_gateway"
+  "bench_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plugins.dir/bench_plugins.cc.o"
+  "CMakeFiles/bench_plugins.dir/bench_plugins.cc.o.d"
+  "bench_plugins"
+  "bench_plugins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plugins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

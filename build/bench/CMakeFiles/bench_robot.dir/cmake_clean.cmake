@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robot.dir/bench_robot.cc.o"
+  "CMakeFiles/bench_robot.dir/bench_robot.cc.o.d"
+  "bench_robot"
+  "bench_robot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

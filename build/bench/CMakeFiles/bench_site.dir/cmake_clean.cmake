@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_site.dir/bench_site.cc.o"
+  "CMakeFiles/bench_site.dir/bench_site.cc.o.d"
+  "bench_site"
+  "bench_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_demo.dir/gateway_demo.cpp.o"
+  "CMakeFiles/gateway_demo.dir/gateway_demo.cpp.o.d"
+  "gateway_demo"
+  "gateway_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_server.dir/gateway_server.cpp.o"
+  "CMakeFiles/gateway_server.dir/gateway_server.cpp.o.d"
+  "gateway_server"
+  "gateway_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_validator.dir/meta_validator.cpp.o"
+  "CMakeFiles/meta_validator.dir/meta_validator.cpp.o.d"
+  "meta_validator"
+  "meta_validator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_validator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

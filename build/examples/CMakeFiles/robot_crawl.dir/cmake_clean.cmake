@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_crawl.dir/robot_crawl.cpp.o"
+  "CMakeFiles/robot_crawl.dir/robot_crawl.cpp.o.d"
+  "robot_crawl"
+  "robot_crawl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_crawl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

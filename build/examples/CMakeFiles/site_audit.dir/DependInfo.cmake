@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/site_audit.cpp" "examples/CMakeFiles/site_audit.dir/site_audit.cpp.o" "gcc" "examples/CMakeFiles/site_audit.dir/site_audit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/weblint_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/robot/CMakeFiles/weblint_robot.dir/DependInfo.cmake"
+  "/root/repo/build/src/gateway/CMakeFiles/weblint_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/weblint_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/weblint_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/weblint_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/plugins/CMakeFiles/weblint_plugins.dir/DependInfo.cmake"
+  "/root/repo/build/src/warnings/CMakeFiles/weblint_warnings.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/weblint_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/weblint_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/weblint_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/weblint_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_audit.dir/site_audit.cpp.o"
+  "CMakeFiles/site_audit.dir/site_audit.cpp.o.d"
+  "site_audit"
+  "site_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("html")
+subdirs("spec")
+subdirs("dtd")
+subdirs("warnings")
+subdirs("plugins")
+subdirs("config")
+subdirs("core")
+subdirs("net")
+subdirs("robot")
+subdirs("gateway")
+subdirs("baseline")
+subdirs("corpus")
+subdirs("tools")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/naive_checker.cc" "src/baseline/CMakeFiles/weblint_baseline.dir/naive_checker.cc.o" "gcc" "src/baseline/CMakeFiles/weblint_baseline.dir/naive_checker.cc.o.d"
+  "/root/repo/src/baseline/strict_validator.cc" "src/baseline/CMakeFiles/weblint_baseline.dir/strict_validator.cc.o" "gcc" "src/baseline/CMakeFiles/weblint_baseline.dir/strict_validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/html/CMakeFiles/weblint_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/weblint_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/weblint_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

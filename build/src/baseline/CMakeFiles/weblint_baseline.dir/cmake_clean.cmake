@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblint_baseline.dir/naive_checker.cc.o"
+  "CMakeFiles/weblint_baseline.dir/naive_checker.cc.o.d"
+  "CMakeFiles/weblint_baseline.dir/strict_validator.cc.o"
+  "CMakeFiles/weblint_baseline.dir/strict_validator.cc.o.d"
+  "libweblint_baseline.a"
+  "libweblint_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblint_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

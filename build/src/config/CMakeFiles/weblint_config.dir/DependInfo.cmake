@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/config.cc" "src/config/CMakeFiles/weblint_config.dir/config.cc.o" "gcc" "src/config/CMakeFiles/weblint_config.dir/config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/weblint_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/warnings/CMakeFiles/weblint_warnings.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/weblint_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plugins/CMakeFiles/weblint_plugins.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblint_config.dir/config.cc.o"
+  "CMakeFiles/weblint_config.dir/config.cc.o.d"
+  "libweblint_config.a"
+  "libweblint_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblint_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attribute_checks.cc" "src/core/CMakeFiles/weblint_core.dir/attribute_checks.cc.o" "gcc" "src/core/CMakeFiles/weblint_core.dir/attribute_checks.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/weblint_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/weblint_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/framework.cc" "src/core/CMakeFiles/weblint_core.dir/framework.cc.o" "gcc" "src/core/CMakeFiles/weblint_core.dir/framework.cc.o.d"
+  "/root/repo/src/core/linter.cc" "src/core/CMakeFiles/weblint_core.dir/linter.cc.o" "gcc" "src/core/CMakeFiles/weblint_core.dir/linter.cc.o.d"
+  "/root/repo/src/core/site_checker.cc" "src/core/CMakeFiles/weblint_core.dir/site_checker.cc.o" "gcc" "src/core/CMakeFiles/weblint_core.dir/site_checker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/weblint_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/weblint_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/weblint_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/warnings/CMakeFiles/weblint_warnings.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/weblint_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/weblint_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/plugins/CMakeFiles/weblint_plugins.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblint_core.dir/attribute_checks.cc.o"
+  "CMakeFiles/weblint_core.dir/attribute_checks.cc.o.d"
+  "CMakeFiles/weblint_core.dir/engine.cc.o"
+  "CMakeFiles/weblint_core.dir/engine.cc.o.d"
+  "CMakeFiles/weblint_core.dir/framework.cc.o"
+  "CMakeFiles/weblint_core.dir/framework.cc.o.d"
+  "CMakeFiles/weblint_core.dir/linter.cc.o"
+  "CMakeFiles/weblint_core.dir/linter.cc.o.d"
+  "CMakeFiles/weblint_core.dir/site_checker.cc.o"
+  "CMakeFiles/weblint_core.dir/site_checker.cc.o.d"
+  "libweblint_core.a"
+  "libweblint_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblint_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

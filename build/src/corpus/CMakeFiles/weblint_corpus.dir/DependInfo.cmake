@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/page_generator.cc" "src/corpus/CMakeFiles/weblint_corpus.dir/page_generator.cc.o" "gcc" "src/corpus/CMakeFiles/weblint_corpus.dir/page_generator.cc.o.d"
+  "/root/repo/src/corpus/site_generator.cc" "src/corpus/CMakeFiles/weblint_corpus.dir/site_generator.cc.o" "gcc" "src/corpus/CMakeFiles/weblint_corpus.dir/site_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/weblint_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/weblint_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblint_corpus.dir/page_generator.cc.o"
+  "CMakeFiles/weblint_corpus.dir/page_generator.cc.o.d"
+  "CMakeFiles/weblint_corpus.dir/site_generator.cc.o"
+  "CMakeFiles/weblint_corpus.dir/site_generator.cc.o.d"
+  "libweblint_corpus.a"
+  "libweblint_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblint_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtd/dtd_parser.cc" "src/dtd/CMakeFiles/weblint_dtd.dir/dtd_parser.cc.o" "gcc" "src/dtd/CMakeFiles/weblint_dtd.dir/dtd_parser.cc.o.d"
+  "/root/repo/src/dtd/html40_dtd.cc" "src/dtd/CMakeFiles/weblint_dtd.dir/html40_dtd.cc.o" "gcc" "src/dtd/CMakeFiles/weblint_dtd.dir/html40_dtd.cc.o.d"
+  "/root/repo/src/dtd/spec_from_dtd.cc" "src/dtd/CMakeFiles/weblint_dtd.dir/spec_from_dtd.cc.o" "gcc" "src/dtd/CMakeFiles/weblint_dtd.dir/spec_from_dtd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/weblint_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/weblint_spec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

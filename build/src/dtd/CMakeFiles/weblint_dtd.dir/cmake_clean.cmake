@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblint_dtd.dir/dtd_parser.cc.o"
+  "CMakeFiles/weblint_dtd.dir/dtd_parser.cc.o.d"
+  "CMakeFiles/weblint_dtd.dir/html40_dtd.cc.o"
+  "CMakeFiles/weblint_dtd.dir/html40_dtd.cc.o.d"
+  "CMakeFiles/weblint_dtd.dir/spec_from_dtd.cc.o"
+  "CMakeFiles/weblint_dtd.dir/spec_from_dtd.cc.o.d"
+  "libweblint_dtd.a"
+  "libweblint_dtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblint_dtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

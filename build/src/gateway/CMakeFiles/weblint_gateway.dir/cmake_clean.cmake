@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblint_gateway.dir/cgi.cc.o"
+  "CMakeFiles/weblint_gateway.dir/cgi.cc.o.d"
+  "CMakeFiles/weblint_gateway.dir/gateway.cc.o"
+  "CMakeFiles/weblint_gateway.dir/gateway.cc.o.d"
+  "libweblint_gateway.a"
+  "libweblint_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblint_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

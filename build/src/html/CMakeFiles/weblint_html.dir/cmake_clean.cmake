@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblint_html.dir/entities.cc.o"
+  "CMakeFiles/weblint_html.dir/entities.cc.o.d"
+  "CMakeFiles/weblint_html.dir/tokenizer.cc.o"
+  "CMakeFiles/weblint_html.dir/tokenizer.cc.o.d"
+  "libweblint_html.a"
+  "libweblint_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblint_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

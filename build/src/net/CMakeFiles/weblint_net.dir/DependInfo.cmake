@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fetcher.cc" "src/net/CMakeFiles/weblint_net.dir/fetcher.cc.o" "gcc" "src/net/CMakeFiles/weblint_net.dir/fetcher.cc.o.d"
+  "/root/repo/src/net/http_server.cc" "src/net/CMakeFiles/weblint_net.dir/http_server.cc.o" "gcc" "src/net/CMakeFiles/weblint_net.dir/http_server.cc.o.d"
+  "/root/repo/src/net/http_wire.cc" "src/net/CMakeFiles/weblint_net.dir/http_wire.cc.o" "gcc" "src/net/CMakeFiles/weblint_net.dir/http_wire.cc.o.d"
+  "/root/repo/src/net/virtual_web.cc" "src/net/CMakeFiles/weblint_net.dir/virtual_web.cc.o" "gcc" "src/net/CMakeFiles/weblint_net.dir/virtual_web.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/weblint_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

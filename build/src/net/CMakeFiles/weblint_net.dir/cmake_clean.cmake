@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblint_net.dir/fetcher.cc.o"
+  "CMakeFiles/weblint_net.dir/fetcher.cc.o.d"
+  "CMakeFiles/weblint_net.dir/http_server.cc.o"
+  "CMakeFiles/weblint_net.dir/http_server.cc.o.d"
+  "CMakeFiles/weblint_net.dir/http_wire.cc.o"
+  "CMakeFiles/weblint_net.dir/http_wire.cc.o.d"
+  "CMakeFiles/weblint_net.dir/virtual_web.cc.o"
+  "CMakeFiles/weblint_net.dir/virtual_web.cc.o.d"
+  "libweblint_net.a"
+  "libweblint_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblint_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

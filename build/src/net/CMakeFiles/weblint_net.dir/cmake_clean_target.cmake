@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libweblint_net.a"
+)

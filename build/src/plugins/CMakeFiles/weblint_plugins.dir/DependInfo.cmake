@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plugins/css_checker.cc" "src/plugins/CMakeFiles/weblint_plugins.dir/css_checker.cc.o" "gcc" "src/plugins/CMakeFiles/weblint_plugins.dir/css_checker.cc.o.d"
+  "/root/repo/src/plugins/plugin.cc" "src/plugins/CMakeFiles/weblint_plugins.dir/plugin.cc.o" "gcc" "src/plugins/CMakeFiles/weblint_plugins.dir/plugin.cc.o.d"
+  "/root/repo/src/plugins/script_checker.cc" "src/plugins/CMakeFiles/weblint_plugins.dir/script_checker.cc.o" "gcc" "src/plugins/CMakeFiles/weblint_plugins.dir/script_checker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/weblint_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/warnings/CMakeFiles/weblint_warnings.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

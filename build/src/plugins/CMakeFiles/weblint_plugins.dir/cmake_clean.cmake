@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblint_plugins.dir/css_checker.cc.o"
+  "CMakeFiles/weblint_plugins.dir/css_checker.cc.o.d"
+  "CMakeFiles/weblint_plugins.dir/plugin.cc.o"
+  "CMakeFiles/weblint_plugins.dir/plugin.cc.o.d"
+  "CMakeFiles/weblint_plugins.dir/script_checker.cc.o"
+  "CMakeFiles/weblint_plugins.dir/script_checker.cc.o.d"
+  "libweblint_plugins.a"
+  "libweblint_plugins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblint_plugins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblint_robot.dir/page_weight.cc.o"
+  "CMakeFiles/weblint_robot.dir/page_weight.cc.o.d"
+  "CMakeFiles/weblint_robot.dir/poacher.cc.o"
+  "CMakeFiles/weblint_robot.dir/poacher.cc.o.d"
+  "CMakeFiles/weblint_robot.dir/robot.cc.o"
+  "CMakeFiles/weblint_robot.dir/robot.cc.o.d"
+  "CMakeFiles/weblint_robot.dir/robots_txt.cc.o"
+  "CMakeFiles/weblint_robot.dir/robots_txt.cc.o.d"
+  "libweblint_robot.a"
+  "libweblint_robot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblint_robot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

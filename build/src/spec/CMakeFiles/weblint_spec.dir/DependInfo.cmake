@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/extensions.cc" "src/spec/CMakeFiles/weblint_spec.dir/extensions.cc.o" "gcc" "src/spec/CMakeFiles/weblint_spec.dir/extensions.cc.o.d"
+  "/root/repo/src/spec/html32.cc" "src/spec/CMakeFiles/weblint_spec.dir/html32.cc.o" "gcc" "src/spec/CMakeFiles/weblint_spec.dir/html32.cc.o.d"
+  "/root/repo/src/spec/html40.cc" "src/spec/CMakeFiles/weblint_spec.dir/html40.cc.o" "gcc" "src/spec/CMakeFiles/weblint_spec.dir/html40.cc.o.d"
+  "/root/repo/src/spec/registry.cc" "src/spec/CMakeFiles/weblint_spec.dir/registry.cc.o" "gcc" "src/spec/CMakeFiles/weblint_spec.dir/registry.cc.o.d"
+  "/root/repo/src/spec/spec.cc" "src/spec/CMakeFiles/weblint_spec.dir/spec.cc.o" "gcc" "src/spec/CMakeFiles/weblint_spec.dir/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/weblint_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

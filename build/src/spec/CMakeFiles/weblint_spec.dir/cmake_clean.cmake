@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblint_spec.dir/extensions.cc.o"
+  "CMakeFiles/weblint_spec.dir/extensions.cc.o.d"
+  "CMakeFiles/weblint_spec.dir/html32.cc.o"
+  "CMakeFiles/weblint_spec.dir/html32.cc.o.d"
+  "CMakeFiles/weblint_spec.dir/html40.cc.o"
+  "CMakeFiles/weblint_spec.dir/html40.cc.o.d"
+  "CMakeFiles/weblint_spec.dir/registry.cc.o"
+  "CMakeFiles/weblint_spec.dir/registry.cc.o.d"
+  "CMakeFiles/weblint_spec.dir/spec.cc.o"
+  "CMakeFiles/weblint_spec.dir/spec.cc.o.d"
+  "libweblint_spec.a"
+  "libweblint_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblint_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

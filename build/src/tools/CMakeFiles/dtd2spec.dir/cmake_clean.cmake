@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtd2spec.dir/dtd2spec_main.cc.o"
+  "CMakeFiles/dtd2spec.dir/dtd2spec_main.cc.o.d"
+  "dtd2spec"
+  "dtd2spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtd2spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poacher.dir/poacher_main.cc.o"
+  "CMakeFiles/poacher.dir/poacher_main.cc.o.d"
+  "poacher"
+  "poacher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poacher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

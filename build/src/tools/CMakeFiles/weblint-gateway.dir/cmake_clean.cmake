@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblint-gateway.dir/gateway_main.cc.o"
+  "CMakeFiles/weblint-gateway.dir/gateway_main.cc.o.d"
+  "weblint-gateway"
+  "weblint-gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblint-gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblint.dir/weblint_main.cc.o"
+  "CMakeFiles/weblint.dir/weblint_main.cc.o.d"
+  "weblint"
+  "weblint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

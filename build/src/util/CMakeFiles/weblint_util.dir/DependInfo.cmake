@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/args.cc" "src/util/CMakeFiles/weblint_util.dir/args.cc.o" "gcc" "src/util/CMakeFiles/weblint_util.dir/args.cc.o.d"
+  "/root/repo/src/util/edit_distance.cc" "src/util/CMakeFiles/weblint_util.dir/edit_distance.cc.o" "gcc" "src/util/CMakeFiles/weblint_util.dir/edit_distance.cc.o.d"
+  "/root/repo/src/util/file_io.cc" "src/util/CMakeFiles/weblint_util.dir/file_io.cc.o" "gcc" "src/util/CMakeFiles/weblint_util.dir/file_io.cc.o.d"
+  "/root/repo/src/util/pattern.cc" "src/util/CMakeFiles/weblint_util.dir/pattern.cc.o" "gcc" "src/util/CMakeFiles/weblint_util.dir/pattern.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/util/CMakeFiles/weblint_util.dir/strings.cc.o" "gcc" "src/util/CMakeFiles/weblint_util.dir/strings.cc.o.d"
+  "/root/repo/src/util/url.cc" "src/util/CMakeFiles/weblint_util.dir/url.cc.o" "gcc" "src/util/CMakeFiles/weblint_util.dir/url.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblint_util.dir/args.cc.o"
+  "CMakeFiles/weblint_util.dir/args.cc.o.d"
+  "CMakeFiles/weblint_util.dir/edit_distance.cc.o"
+  "CMakeFiles/weblint_util.dir/edit_distance.cc.o.d"
+  "CMakeFiles/weblint_util.dir/file_io.cc.o"
+  "CMakeFiles/weblint_util.dir/file_io.cc.o.d"
+  "CMakeFiles/weblint_util.dir/pattern.cc.o"
+  "CMakeFiles/weblint_util.dir/pattern.cc.o.d"
+  "CMakeFiles/weblint_util.dir/strings.cc.o"
+  "CMakeFiles/weblint_util.dir/strings.cc.o.d"
+  "CMakeFiles/weblint_util.dir/url.cc.o"
+  "CMakeFiles/weblint_util.dir/url.cc.o.d"
+  "libweblint_util.a"
+  "libweblint_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblint_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/warnings/catalog.cc" "src/warnings/CMakeFiles/weblint_warnings.dir/catalog.cc.o" "gcc" "src/warnings/CMakeFiles/weblint_warnings.dir/catalog.cc.o.d"
+  "/root/repo/src/warnings/emitter.cc" "src/warnings/CMakeFiles/weblint_warnings.dir/emitter.cc.o" "gcc" "src/warnings/CMakeFiles/weblint_warnings.dir/emitter.cc.o.d"
+  "/root/repo/src/warnings/localization.cc" "src/warnings/CMakeFiles/weblint_warnings.dir/localization.cc.o" "gcc" "src/warnings/CMakeFiles/weblint_warnings.dir/localization.cc.o.d"
+  "/root/repo/src/warnings/warning_set.cc" "src/warnings/CMakeFiles/weblint_warnings.dir/warning_set.cc.o" "gcc" "src/warnings/CMakeFiles/weblint_warnings.dir/warning_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/weblint_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblint_warnings.dir/catalog.cc.o"
+  "CMakeFiles/weblint_warnings.dir/catalog.cc.o.d"
+  "CMakeFiles/weblint_warnings.dir/emitter.cc.o"
+  "CMakeFiles/weblint_warnings.dir/emitter.cc.o.d"
+  "CMakeFiles/weblint_warnings.dir/localization.cc.o"
+  "CMakeFiles/weblint_warnings.dir/localization.cc.o.d"
+  "CMakeFiles/weblint_warnings.dir/warning_set.cc.o"
+  "CMakeFiles/weblint_warnings.dir/warning_set.cc.o.d"
+  "libweblint_warnings.a"
+  "libweblint_warnings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblint_warnings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for weblint_warnings.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_engine_test.dir/core/cascade_test.cc.o"
+  "CMakeFiles/core_engine_test.dir/core/cascade_test.cc.o.d"
+  "CMakeFiles/core_engine_test.dir/core/custom_spec_test.cc.o"
+  "CMakeFiles/core_engine_test.dir/core/custom_spec_test.cc.o.d"
+  "CMakeFiles/core_engine_test.dir/core/engine_attribute_test.cc.o"
+  "CMakeFiles/core_engine_test.dir/core/engine_attribute_test.cc.o.d"
+  "CMakeFiles/core_engine_test.dir/core/engine_edge_test.cc.o"
+  "CMakeFiles/core_engine_test.dir/core/engine_edge_test.cc.o.d"
+  "CMakeFiles/core_engine_test.dir/core/engine_structure_test.cc.o"
+  "CMakeFiles/core_engine_test.dir/core/engine_structure_test.cc.o.d"
+  "CMakeFiles/core_engine_test.dir/core/pragma_test.cc.o"
+  "CMakeFiles/core_engine_test.dir/core/pragma_test.cc.o.d"
+  "core_engine_test"
+  "core_engine_test.pdb"
+  "core_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

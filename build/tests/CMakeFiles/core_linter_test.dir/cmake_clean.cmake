@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_linter_test.dir/core/framework_test.cc.o"
+  "CMakeFiles/core_linter_test.dir/core/framework_test.cc.o.d"
+  "CMakeFiles/core_linter_test.dir/core/linter_test.cc.o"
+  "CMakeFiles/core_linter_test.dir/core/linter_test.cc.o.d"
+  "CMakeFiles/core_linter_test.dir/core/site_checker_test.cc.o"
+  "CMakeFiles/core_linter_test.dir/core/site_checker_test.cc.o.d"
+  "core_linter_test"
+  "core_linter_test.pdb"
+  "core_linter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_linter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_tokenizer_test.dir/html/tokenizer_edge_test.cc.o"
+  "CMakeFiles/html_tokenizer_test.dir/html/tokenizer_edge_test.cc.o.d"
+  "CMakeFiles/html_tokenizer_test.dir/html/tokenizer_test.cc.o"
+  "CMakeFiles/html_tokenizer_test.dir/html/tokenizer_test.cc.o.d"
+  "html_tokenizer_test"
+  "html_tokenizer_test.pdb"
+  "html_tokenizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_tokenizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_cli_test.dir/integration/cli_test.cc.o"
+  "CMakeFiles/integration_cli_test.dir/integration/cli_test.cc.o.d"
+  "integration_cli_test"
+  "integration_cli_test.pdb"
+  "integration_cli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

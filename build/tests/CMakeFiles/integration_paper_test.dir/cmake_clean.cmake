@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_paper_test.dir/integration/golden_test.cc.o"
+  "CMakeFiles/integration_paper_test.dir/integration/golden_test.cc.o.d"
+  "CMakeFiles/integration_paper_test.dir/integration/paper_example_test.cc.o"
+  "CMakeFiles/integration_paper_test.dir/integration/paper_example_test.cc.o.d"
+  "integration_paper_test"
+  "integration_paper_test.pdb"
+  "integration_paper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_paper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

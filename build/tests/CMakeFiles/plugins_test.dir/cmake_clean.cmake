@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plugins_test.dir/plugins/css_checker_test.cc.o"
+  "CMakeFiles/plugins_test.dir/plugins/css_checker_test.cc.o.d"
+  "CMakeFiles/plugins_test.dir/plugins/plugin_integration_test.cc.o"
+  "CMakeFiles/plugins_test.dir/plugins/plugin_integration_test.cc.o.d"
+  "CMakeFiles/plugins_test.dir/plugins/script_checker_test.cc.o"
+  "CMakeFiles/plugins_test.dir/plugins/script_checker_test.cc.o.d"
+  "plugins_test"
+  "plugins_test.pdb"
+  "plugins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plugins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

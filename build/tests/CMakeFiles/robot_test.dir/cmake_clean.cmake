@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_test.dir/robot/page_weight_test.cc.o"
+  "CMakeFiles/robot_test.dir/robot/page_weight_test.cc.o.d"
+  "CMakeFiles/robot_test.dir/robot/poacher_test.cc.o"
+  "CMakeFiles/robot_test.dir/robot/poacher_test.cc.o.d"
+  "CMakeFiles/robot_test.dir/robot/robot_test.cc.o"
+  "CMakeFiles/robot_test.dir/robot/robot_test.cc.o.d"
+  "CMakeFiles/robot_test.dir/robot/robots_txt_test.cc.o"
+  "CMakeFiles/robot_test.dir/robot/robots_txt_test.cc.o.d"
+  "robot_test"
+  "robot_test.pdb"
+  "robot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_tables_test.dir/spec/html40_test.cc.o"
+  "CMakeFiles/spec_tables_test.dir/spec/html40_test.cc.o.d"
+  "CMakeFiles/spec_tables_test.dir/spec/spec_invariants_test.cc.o"
+  "CMakeFiles/spec_tables_test.dir/spec/spec_invariants_test.cc.o.d"
+  "CMakeFiles/spec_tables_test.dir/spec/spec_test.cc.o"
+  "CMakeFiles/spec_tables_test.dir/spec/spec_test.cc.o.d"
+  "spec_tables_test"
+  "spec_tables_test.pdb"
+  "spec_tables_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_edit_distance_test.dir/util/edit_distance_test.cc.o"
+  "CMakeFiles/util_edit_distance_test.dir/util/edit_distance_test.cc.o.d"
+  "util_edit_distance_test"
+  "util_edit_distance_test.pdb"
+  "util_edit_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_edit_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

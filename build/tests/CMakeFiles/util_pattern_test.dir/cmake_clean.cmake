@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_pattern_test.dir/util/pattern_test.cc.o"
+  "CMakeFiles/util_pattern_test.dir/util/pattern_test.cc.o.d"
+  "util_pattern_test"
+  "util_pattern_test.pdb"
+  "util_pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warnings_test.dir/warnings/catalog_test.cc.o"
+  "CMakeFiles/warnings_test.dir/warnings/catalog_test.cc.o.d"
+  "CMakeFiles/warnings_test.dir/warnings/emitter_test.cc.o"
+  "CMakeFiles/warnings_test.dir/warnings/emitter_test.cc.o.d"
+  "CMakeFiles/warnings_test.dir/warnings/localization_test.cc.o"
+  "CMakeFiles/warnings_test.dir/warnings/localization_test.cc.o.d"
+  "CMakeFiles/warnings_test.dir/warnings/warning_set_test.cc.o"
+  "CMakeFiles/warnings_test.dir/warnings/warning_set_test.cc.o.d"
+  "warnings_test"
+  "warnings_test.pdb"
+  "warnings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warnings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_strings_test[1]_include.cmake")
+include("/root/repo/build/tests/util_pattern_test[1]_include.cmake")
+include("/root/repo/build/tests/util_url_test[1]_include.cmake")
+include("/root/repo/build/tests/util_file_io_test[1]_include.cmake")
+include("/root/repo/build/tests/util_args_test[1]_include.cmake")
+include("/root/repo/build/tests/util_edit_distance_test[1]_include.cmake")
+include("/root/repo/build/tests/html_tokenizer_test[1]_include.cmake")
+include("/root/repo/build/tests/html_entities_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_tables_test[1]_include.cmake")
+include("/root/repo/build/tests/warnings_test[1]_include.cmake")
+include("/root/repo/build/tests/config_test[1]_include.cmake")
+include("/root/repo/build/tests/core_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/core_messages_test[1]_include.cmake")
+include("/root/repo/build/tests/core_linter_test[1]_include.cmake")
+include("/root/repo/build/tests/core_property_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/robot_test[1]_include.cmake")
+include("/root/repo/build/tests/gateway_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/plugins_test[1]_include.cmake")
+include("/root/repo/build/tests/dtd_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_paper_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_cli_test[1]_include.cmake")
