@@ -5,23 +5,35 @@
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "core/linter.h"
+#include "core/parallel_runner.h"
 #include "corpus/page_generator.h"
 
 namespace {
 
 using namespace weblint;
 
-const std::string& MixedPage(size_t bytes) {
-  static std::map<size_t, std::string> cache;
-  auto it = cache.find(bytes);
+// Page cache keyed on (shape, bytes). The generator seed is 0x7410 + bytes
+// — deliberately independent of shape, so the same byte budget reuses the
+// same random stream across shapes and only the markup mix differs.
+// Keying on bytes alone would silently hand one shape's page to another
+// shape's benchmark the moment a second shape is measured.
+const std::string& ShapedPage(PageGenerator::Shape shape, size_t bytes) {
+  static std::map<std::pair<PageGenerator::Shape, size_t>, std::string> cache;
+  const auto key = std::make_pair(shape, bytes);
+  auto it = cache.find(key);
   if (it == cache.end()) {
     PageGenerator generator(0x7410 + bytes);
-    it = cache.emplace(bytes, generator.GenerateShaped(PageGenerator::Shape::kTagHeavy, bytes))
-             .first;
+    it = cache.emplace(key, generator.GenerateShaped(shape, bytes)).first;
   }
   return it->second;
+}
+
+const std::string& MixedPage(size_t bytes) {
+  return ShapedPage(PageGenerator::Shape::kTagHeavy, bytes);
 }
 
 enum class SetChoice { kNone, kDefault, kAll };
@@ -76,6 +88,43 @@ void BM_LintHtml32(benchmark::State& state) {
                           static_cast<int64_t>(page.size()));
 }
 BENCHMARK(BM_LintHtml32);
+
+// Parallel batch lint: a fixed corpus of pages pushed through the
+// ParallelLintRunner at varying worker counts (0 = one per hardware
+// thread). The jobs=1 row is the inline serial path, so the series is a
+// direct serial-vs-parallel speedup measurement on identical work.
+void BM_LintParallel(benchmark::State& state) {
+  const auto jobs = static_cast<unsigned>(state.range(0));
+  constexpr size_t kPages = 64;
+  constexpr size_t kBytesPerPage = 64 * 1024;
+  std::vector<std::string> pages;
+  pages.reserve(kPages);
+  int64_t total_bytes = 0;
+  for (size_t i = 0; i < kPages; ++i) {
+    PageGenerator generator(0x7410 + i);
+    pages.push_back(generator.GenerateShaped(PageGenerator::Shape::kTagHeavy, kBytesPerPage));
+    total_bytes += static_cast<int64_t>(pages.back().size());
+  }
+  Weblint lint;
+  size_t diagnostics = 0;
+  for (auto _ : state) {
+    ParallelLintRunner runner(lint, ParallelLintRunner::ResolveJobs(jobs), nullptr);
+    for (size_t i = 0; i < pages.size(); ++i) {
+      runner.SubmitString("p" + std::to_string(i), pages[i]);
+    }
+    diagnostics = 0;
+    for (const auto& result : runner.Finish()) {
+      diagnostics += result->diagnostics.size();
+    }
+    benchmark::DoNotOptimize(diagnostics);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * total_bytes);
+  state.counters["jobs"] = static_cast<double>(ParallelLintRunner::ResolveJobs(jobs));
+  state.counters["pages_per_s"] = benchmark::Counter(
+      static_cast<double>(kPages * state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LintParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(0)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

@@ -58,6 +58,12 @@ struct Config {
   // Site checking (-R): recurse into directories, run site-level checks.
   bool recurse = false;
 
+  // Parallel lint jobs for whole-site work (-j): the site checker and the
+  // poacher robot fan per-page checks across this many workers. 0 = one per
+  // hardware thread; 1 = the serial path. Reports and streamed output are
+  // deterministic (submit order) for every value.
+  std::uint32_t jobs = 0;
+
   // Honour `<!-- weblint: enable|disable|on|off ... -->` pragmas embedded in
   // the page (paper §6.1). Sites that cannot trust page authors turn this
   // off ("set pragmas off").

@@ -1,0 +1,123 @@
+#include "core/parallel_runner.h"
+
+#include <utility>
+
+namespace weblint {
+
+unsigned ParallelLintRunner::ResolveJobs(std::uint32_t configured) {
+  return configured == 0 ? ThreadPool::DefaultThreadCount() : configured;
+}
+
+ParallelLintRunner::ParallelLintRunner(const Weblint& weblint, unsigned jobs, Emitter* emitter)
+    : weblint_(weblint), jobs_(jobs == 0 ? ThreadPool::DefaultThreadCount() : jobs),
+      emitter_(emitter) {
+  if (jobs_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(jobs_);
+    if (emitter_ != nullptr) {
+      synchronized_ = std::make_unique<SynchronizedEmitter>(*emitter_);
+    }
+  }
+}
+
+ParallelLintRunner::~ParallelLintRunner() {
+  if (pool_ != nullptr) {
+    pool_->Wait();  // Never let queued jobs outlive the result slots.
+  }
+}
+
+size_t ParallelLintRunner::SubmitFile(std::string path) {
+  size_t index;
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    index = results_.size();
+    results_.emplace_back();
+    if (pool_ == nullptr && error_seen_) {
+      // Serial semantics: the serial loop returns at the first error, so
+      // later files are never read. Record a placeholder; callers surface
+      // the first error in submit order and never look past it.
+      results_[index] = Result<LintReport>(
+          Fail("skipped: an earlier page failed"));
+      return index;
+    }
+  }
+  if (pool_ == nullptr) {
+    // Inline: this *is* the serial path — the emitter sees diagnostics as
+    // they are produced, exactly as Weblint::CheckFile streams them.
+    auto report = weblint_.CheckFile(path, emitter_);
+    std::lock_guard<std::mutex> lock(results_mu_);
+    if (!report.ok()) {
+      error_seen_ = true;
+    }
+    results_[index] = std::move(report);
+    return index;
+  }
+  pool_->Submit([this, index, path = std::move(path)] {
+    RunSlot(index, [this, &path] { return weblint_.CheckFile(path, nullptr); });
+  });
+  return index;
+}
+
+size_t ParallelLintRunner::SubmitString(std::string name, std::string html) {
+  size_t index;
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    index = results_.size();
+    results_.emplace_back();
+  }
+  if (pool_ == nullptr) {
+    LintReport report = weblint_.CheckString(name, html, emitter_);
+    std::lock_guard<std::mutex> lock(results_mu_);
+    results_[index] = Result<LintReport>(std::move(report));
+    return index;
+  }
+  pool_->Submit([this, index, name = std::move(name), html = std::move(html)] {
+    RunSlot(index, [this, &name, &html] {
+      return Result<LintReport>(weblint_.CheckString(name, html, nullptr));
+    });
+  });
+  return index;
+}
+
+void ParallelLintRunner::RunSlot(size_t index,
+                                 const std::function<Result<LintReport>()>& check) {
+  Result<LintReport> result = check();
+  std::lock_guard<std::mutex> lock(results_mu_);
+  results_[index] = std::move(result);
+  FlushReadyLocked();
+}
+
+void ParallelLintRunner::FlushReadyLocked() {
+  // Sliding frontier: emit whole documents in submit order as soon as every
+  // earlier document has been emitted. Workers that finish out of order
+  // park their result and a later completion drains the run.
+  while (!error_seen_ && flush_frontier_ < results_.size() &&
+         results_[flush_frontier_].has_value()) {
+    const Result<LintReport>& result = *results_[flush_frontier_];
+    if (!result.ok()) {
+      error_seen_ = true;  // Serial path emits nothing past the first error.
+      break;
+    }
+    if (synchronized_ != nullptr) {
+      synchronized_->EmitDocument(result->name, result->diagnostics);
+    }
+    ++flush_frontier_;
+  }
+}
+
+std::vector<Result<LintReport>> ParallelLintRunner::Finish() {
+  if (pool_ != nullptr) {
+    pool_->Wait();
+  }
+  std::lock_guard<std::mutex> lock(results_mu_);
+  FlushReadyLocked();
+  std::vector<Result<LintReport>> out;
+  out.reserve(results_.size());
+  for (std::optional<Result<LintReport>>& slot : results_) {
+    out.push_back(std::move(*slot));
+  }
+  results_.clear();
+  flush_frontier_ = 0;
+  return out;
+}
+
+}  // namespace weblint

@@ -1,0 +1,89 @@
+// The parallel lint engine: fans per-page Weblint checks out across a
+// work-stealing thread pool, while keeping every observable result — report
+// order, emitter output, error semantics — identical to the serial path.
+//
+// Why this exists: the paper's usability requirement (§4.5, weblint "from
+// crontab" over whole sites; the poacher robot over live sites) makes
+// whole-site throughput the product metric, and per-page checks are
+// independent work.
+//
+// Determinism contract:
+//  * Finish() returns reports in submit order, regardless of which worker
+//    finished which page first.
+//  * Streamed output is flushed through a SynchronizedEmitter one whole
+//    document at a time, in submit order (a sliding frontier: page i's
+//    diagnostics appear only after pages 0..i-1 have been flushed). Output
+//    is therefore byte-identical to the serial path for every job count.
+//  * A file that fails to read stops the output stream at that page, like
+//    the serial loop that returns on the first error; pages already in
+//    flight still run, but nothing after the failed index is emitted.
+//
+// With jobs <= 1 the runner executes submissions inline on the calling
+// thread — no pool, no wrapper emitter — so `-j 1` is the pre-existing
+// serial code path, not a simulation of it.
+#ifndef WEBLINT_CORE_PARALLEL_RUNNER_H_
+#define WEBLINT_CORE_PARALLEL_RUNNER_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/linter.h"
+#include "core/report.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+#include "warnings/emitter.h"
+
+namespace weblint {
+
+class ParallelLintRunner {
+ public:
+  // `jobs` counts lint workers; 0 means ThreadPool::DefaultThreadCount()
+  // (hardware concurrency). `emitter` may be null (collect only).
+  ParallelLintRunner(const Weblint& weblint, unsigned jobs, Emitter* emitter);
+  ~ParallelLintRunner();
+
+  ParallelLintRunner(const ParallelLintRunner&) = delete;
+  ParallelLintRunner& operator=(const ParallelLintRunner&) = delete;
+
+  // Enqueue one document. Call from a single coordinating thread (the site
+  // walker / crawler); workers run the checks. Returns the slot index.
+  size_t SubmitFile(std::string path);
+  size_t SubmitString(std::string name, std::string html);
+
+  // Waits for every submitted job, flushes any remaining in-order output,
+  // and returns the results in submit order. The runner is exhausted after
+  // this call.
+  std::vector<Result<LintReport>> Finish();
+
+  // Number of workers this runner was resolved to (>= 1).
+  unsigned jobs() const { return jobs_; }
+
+  // Maps a configured job count (0 = auto) to an effective worker count.
+  static unsigned ResolveJobs(std::uint32_t configured);
+
+ private:
+  void RunSlot(size_t index, const std::function<Result<LintReport>()>& check);
+  // Called with results_mu_ held: flushes consecutively completed documents
+  // starting at flush_frontier_ to the emitter, stopping at the first error.
+  void FlushReadyLocked();
+
+  const Weblint& weblint_;
+  const unsigned jobs_;
+  Emitter* const emitter_;
+
+  // Parallel mode only.
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<SynchronizedEmitter> synchronized_;
+
+  std::mutex results_mu_;
+  std::vector<std::optional<Result<LintReport>>> results_;
+  size_t flush_frontier_ = 0;
+  bool error_seen_ = false;  // Serial semantics: no output past the first error.
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CORE_PARALLEL_RUNNER_H_

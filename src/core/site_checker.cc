@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "core/parallel_runner.h"
 #include "util/file_io.h"
 #include "util/strings.h"
 #include "util/url.h"
@@ -33,13 +34,26 @@ Result<SiteReport> SiteChecker::CheckSite(const std::string& root, Emitter* emit
   SiteReport site;
   site.root = root;
 
-  // Pass 1: lint every page, collecting its outbound links.
-  for (const std::string& file : scan->html_files) {
-    auto report = weblint_.CheckFile(file, emitter);
-    if (!report.ok()) {
-      return report.status();
+  // Pass 1: lint every page, collecting its outbound links. Pages are
+  // independent, so this pass fans out across the configured worker count
+  // (config.jobs; 1 = inline serial). The runner returns reports in input
+  // order and streams output deterministically, so everything downstream —
+  // including the sequential cross-page passes below — is identical to the
+  // serial path for every job count.
+  {
+    ParallelLintRunner runner(weblint_, ParallelLintRunner::ResolveJobs(weblint_.config().jobs),
+                              emitter);
+    for (const std::string& file : scan->html_files) {
+      runner.SubmitFile(file);
     }
-    site.pages.push_back(std::move(*report));
+    std::vector<Result<LintReport>> results = runner.Finish();
+    site.pages.reserve(results.size());
+    for (Result<LintReport>& report : results) {
+      if (!report.ok()) {
+        return report.status();
+      }
+      site.pages.push_back(std::move(report).value());
+    }
   }
 
   const Config& config = weblint_.config();

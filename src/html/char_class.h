@@ -1,0 +1,60 @@
+// Precomputed 256-entry character-class table for the tokenizer's hot
+// scanning loops (tag names, attribute names/values, whitespace runs).
+//
+// One indexed load + bit test replaces the chained range comparisons of
+// IsAsciiAlpha/IsAsciiSpace/... in the per-byte loops, and gives the batched
+// scanners a single predicate to run to the end of a character run. The
+// table is constexpr — built at compile time, shared, and immutable, so it
+// is safe to read from every lint worker concurrently.
+#ifndef WEBLINT_HTML_CHAR_CLASS_H_
+#define WEBLINT_HTML_CHAR_CLASS_H_
+
+#include <array>
+#include <cstdint>
+
+namespace weblint {
+
+enum CharClass : std::uint8_t {
+  kCharNameStart = 1 << 0,  // ASCII alpha: may open a tag/attribute name.
+  kCharName = 1 << 1,       // Alnum or - . _ : — continues a name.
+  kCharSpace = 1 << 2,      // ASCII whitespace (space \t \n \r \f \v).
+  // Terminators for the batched scanners:
+  kCharAttrNameEnd = 1 << 3,       // whitespace, '=', '>', '<'.
+  kCharUnquotedValueEnd = 1 << 4,  // whitespace, '>'.
+};
+
+inline constexpr std::array<std::uint8_t, 256> kCharClassTable = [] {
+  std::array<std::uint8_t, 256> table{};
+  for (unsigned c = 0; c < 256; ++c) {
+    const bool alpha = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z');
+    const bool digit = c >= '0' && c <= '9';
+    const bool space =
+        c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+    std::uint8_t bits = 0;
+    if (alpha) {
+      bits |= kCharNameStart;
+    }
+    if (alpha || digit || c == '-' || c == '.' || c == '_' || c == ':') {
+      bits |= kCharName;
+    }
+    if (space) {
+      bits |= kCharSpace | kCharAttrNameEnd | kCharUnquotedValueEnd;
+    }
+    if (c == '=' || c == '>' || c == '<') {
+      bits |= kCharAttrNameEnd;
+    }
+    if (c == '>') {
+      bits |= kCharUnquotedValueEnd;
+    }
+    table[c] = bits;
+  }
+  return table;
+}();
+
+inline bool HasCharClass(char c, CharClass cls) {
+  return (kCharClassTable[static_cast<unsigned char>(c)] & cls) != 0;
+}
+
+}  // namespace weblint
+
+#endif  // WEBLINT_HTML_CHAR_CLASS_H_

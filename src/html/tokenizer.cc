@@ -1,5 +1,9 @@
 #include "html/tokenizer.h"
 
+#include <algorithm>
+#include <cstring>
+
+#include "html/char_class.h"
 #include "util/strings.h"
 
 namespace weblint {
@@ -12,9 +16,17 @@ namespace {
 // legitimate values far larger than any real-world attribute still fit.
 constexpr size_t kMaxQuoteLookahead = 65536;
 
-bool IsNameStart(char c) { return IsAsciiAlpha(c); }
-bool IsNameChar(char c) {
-  return IsAsciiAlnum(c) || c == '-' || c == '.' || c == '_' || c == ':';
+bool IsNameStart(char c) { return HasCharClass(c, kCharNameStart); }
+bool IsNameChar(char c) { return HasCharClass(c, kCharName); }
+
+// Index of the next `c` in s[from, to), or npos.
+size_t FindByte(std::string_view s, char c, size_t from, size_t to) {
+  if (from >= to) {
+    return std::string_view::npos;
+  }
+  const void* hit = std::memchr(s.data() + from, c, to - from);
+  return hit != nullptr ? static_cast<size_t>(static_cast<const char*>(hit) - s.data())
+                        : std::string_view::npos;
 }
 
 // Elements whose content is raw text up to their end tag.
@@ -42,10 +54,53 @@ char Tokenizer::Take() {
   return c;
 }
 
-void Tokenizer::TakeN(size_t n) {
-  for (size_t i = 0; i < n && !AtEnd(); ++i) {
-    Take();
+void Tokenizer::TakeN(size_t n) { AdvanceTo(std::min(pos_ + n, input_.size())); }
+
+void Tokenizer::AdvanceTo(size_t end) {
+  // Short runs (tag names, attribute separators) are cheaper byte-wise than
+  // paying two memchr setups; long runs (text, comments, raw text) win big
+  // from the batched scan below.
+  constexpr size_t kShortRun = 32;
+  if (end - pos_ <= kShortRun) {
+    for (size_t i = pos_; i < end; ++i) {
+      const char c = input_[i];
+      if (c == '\n' ||
+          (c == '\r' && (i + 1 >= input_.size() || input_[i + 1] != '\n'))) {
+        ++line_;
+        column_ = 1;
+      } else {
+        ++column_;
+      }
+    }
+    pos_ = end;
+    return;
   }
+  constexpr size_t npos = std::string_view::npos;
+  size_t next_lf = FindByte(input_, '\n', pos_, end);
+  size_t next_cr = FindByte(input_, '\r', pos_, end);
+  size_t last_reset = npos;  // Last byte that reset the column to 1.
+  while (next_lf != npos || next_cr != npos) {
+    if (next_lf < next_cr) {
+      ++line_;
+      last_reset = next_lf;
+      next_lf = FindByte(input_, '\n', next_lf + 1, end);
+    } else {
+      // '\r' advances the line only when not followed by '\n' (Take()'s
+      // CRLF rule). The lookahead deliberately reads past `end` — it must
+      // match Peek(), which sees the full input.
+      if (next_cr + 1 >= input_.size() || input_[next_cr + 1] != '\n') {
+        ++line_;
+        last_reset = next_cr;
+      }
+      next_cr = FindByte(input_, '\r', next_cr + 1, end);
+    }
+  }
+  if (last_reset != npos) {
+    column_ = static_cast<std::uint32_t>(end - last_reset);
+  } else {
+    column_ += static_cast<std::uint32_t>(end - pos_);
+  }
+  pos_ = end;
 }
 
 bool Tokenizer::LookingAt(std::string_view s) const {
@@ -75,12 +130,18 @@ bool Tokenizer::Next(Token* out) {
   }
 
   if (!raw_text_element_.empty()) {
-    // Find "</element" (case-insensitive). Everything before it is raw text.
+    // Find "</element" (case-insensitive). Everything before it is raw
+    // text. Batched: hop between '<' bytes with memchr; only those
+    // positions can open the end tag.
     const std::string needle = "</" + raw_text_element_;
-    size_t i = pos_;
     size_t end = input_.size();
-    for (; i + needle.size() <= input_.size(); ++i) {
-      if (input_[i] == '<' && IEquals(input_.substr(i, needle.size()), needle)) {
+    const size_t last_candidate = input_.size() >= needle.size()
+                                      ? input_.size() - needle.size() + 1
+                                      : 0;
+    for (size_t i = FindByte(input_, '<', pos_, last_candidate);
+         i != std::string_view::npos;
+         i = FindByte(input_, '<', i + 1, last_candidate)) {
+      if (IEquals(input_.substr(i, needle.size()), needle)) {
         end = i;
         break;
       }
@@ -105,12 +166,14 @@ bool Tokenizer::Next(Token* out) {
 }
 
 void Tokenizer::LexText(Token* out) {
+  // A text run ends only at '<' or EOF; '&', NUL and non-ASCII bytes are
+  // ordinary text. memchr finds the boundary in one pass and AdvanceTo
+  // bulk-counts the newlines inside the run.
   out->kind = TokenKind::kText;
-  const size_t start = pos_;
-  while (!AtEnd() && Peek() != '<') {
-    Take();
-  }
-  out->text = std::string(input_.substr(start, pos_ - start));
+  const size_t lt = FindByte(input_, '<', pos_, input_.size());
+  const size_t end = lt == std::string_view::npos ? input_.size() : lt;
+  out->text = std::string(input_.substr(pos_, end - pos_));
+  AdvanceTo(end);
 }
 
 bool Tokenizer::LexMarkup(Token* out) {
@@ -148,7 +211,25 @@ void Tokenizer::LexComment(Token* out) {
   const size_t start = pos_;
   size_t text_end = input_.size();
   bool closed = false;
+  // Only '-' (possible "--" close) and '<' (possible nested "<!--") can
+  // change state; hop between them with memchr, keeping a cached next
+  // position per byte so each region is scanned once.
+  constexpr size_t npos = std::string_view::npos;
+  size_t next_dash = FindByte(input_, '-', pos_, input_.size());
+  size_t next_lt = FindByte(input_, '<', pos_, input_.size());
   while (!AtEnd()) {
+    if (next_dash != npos && next_dash < pos_) {
+      next_dash = FindByte(input_, '-', pos_, input_.size());
+    }
+    if (next_lt != npos && next_lt < pos_) {
+      next_lt = FindByte(input_, '<', pos_, input_.size());
+    }
+    const size_t next = std::min(next_dash, next_lt);
+    if (next == npos) {
+      AdvanceTo(input_.size());
+      break;
+    }
+    AdvanceTo(next);
     if (LookingAt("<!--")) {
       out->nested_comment = true;
       TakeN(4);
@@ -217,11 +298,10 @@ void Tokenizer::LexDoctypeOrDeclaration(Token* out) {
 void Tokenizer::LexProcessing(Token* out) {
   out->kind = TokenKind::kProcessing;
   TakeN(2);  // "<?"
-  const size_t start = pos_;
-  while (!AtEnd() && Peek() != '>') {
-    Take();
-  }
-  out->text = std::string(input_.substr(start, pos_ - start));
+  const size_t gt = FindByte(input_, '>', pos_, input_.size());
+  const size_t end = gt == std::string_view::npos ? input_.size() : gt;
+  out->text = std::string(input_.substr(pos_, end - pos_));
+  AdvanceTo(end);
   if (!AtEnd()) {
     Take();
   } else {
@@ -236,11 +316,12 @@ void Tokenizer::LexTag(Token* out, bool is_end_tag) {
   if (is_end_tag) {
     Take();  // '/'
   }
-  std::string name;
-  while (!AtEnd() && IsNameChar(Peek())) {
-    name.push_back(Take());
+  size_t name_end = pos_;
+  while (name_end < input_.size() && IsNameChar(input_[name_end])) {
+    ++name_end;
   }
-  out->name = name;
+  out->name.assign(input_.substr(pos_, name_end - pos_));
+  AdvanceNoNewline(name_end);  // Name chars exclude whitespace.
 
   LexAttributes(out);
 
@@ -266,7 +347,7 @@ void Tokenizer::LexTag(Token* out, bool is_end_tag) {
   }
 
   if (!is_end_tag && !out->net_slash) {
-    const std::string lower = AsciiLower(name);
+    const std::string lower = AsciiLower(out->name);
     if (IsRawTextElement(lower)) {
       raw_text_element_ = lower;
     } else if (lower == "plaintext") {
@@ -277,9 +358,7 @@ void Tokenizer::LexTag(Token* out, bool is_end_tag) {
 
 void Tokenizer::LexAttributes(Token* out) {
   while (true) {
-    while (!AtEnd() && IsAsciiSpace(Peek())) {
-      Take();
-    }
+    SkipSpaceRun();
     if (AtEnd()) {
       out->unterminated_tag = true;
       return;
@@ -304,18 +383,18 @@ void Tokenizer::LexAttributes(Token* out) {
 
     Attribute attr;
     attr.location = location();
-    // Attribute name: up to whitespace, '=', '>', or '/'.
-    while (!AtEnd() && !IsAsciiSpace(Peek()) && Peek() != '=' && Peek() != '>' && Peek() != '<') {
-      attr.name.push_back(Take());
+    // Attribute name: up to whitespace, '=', '>', or '<' (table-driven run
+    // scan).
+    size_t name_end = pos_;
+    while (name_end < input_.size() && !HasCharClass(input_[name_end], kCharAttrNameEnd)) {
+      ++name_end;
     }
-    while (!AtEnd() && IsAsciiSpace(Peek())) {
-      Take();
-    }
+    attr.name.assign(input_.substr(pos_, name_end - pos_));
+    AdvanceNoNewline(name_end);  // Terminators include all whitespace.
+    SkipSpaceRun();
     if (!AtEnd() && Peek() == '=') {
       Take();
-      while (!AtEnd() && IsAsciiSpace(Peek())) {
-        Take();
-      }
+      SkipSpaceRun();
       attr.has_value = true;
       if (!AtEnd() && (Peek() == '"' || Peek() == '\'')) {
         const char quote = Take();
@@ -323,14 +402,28 @@ void Tokenizer::LexAttributes(Token* out) {
         attr.value = LexQuotedValue(quote, &attr);
       } else {
         attr.quote = QuoteStyle::kNone;
-        while (!AtEnd() && !IsAsciiSpace(Peek()) && Peek() != '>') {
-          attr.value.push_back(Take());
+        size_t value_end = pos_;
+        while (value_end < input_.size() &&
+               !HasCharClass(input_[value_end], kCharUnquotedValueEnd)) {
+          ++value_end;
         }
+        attr.value.assign(input_.substr(pos_, value_end - pos_));
+        AdvanceNoNewline(value_end);  // Terminators include all whitespace.
       }
     }
     if (!attr.name.empty() || attr.has_value) {
       out->attributes.push_back(std::move(attr));
     }
+  }
+}
+
+void Tokenizer::SkipSpaceRun() {
+  size_t end = pos_;
+  while (end < input_.size() && HasCharClass(input_[end], kCharSpace)) {
+    ++end;
+  }
+  if (end != pos_) {
+    AdvanceTo(end);
   }
 }
 
@@ -353,18 +446,20 @@ std::string Tokenizer::LexQuotedValue(char quote, Attribute* attr) {
 
   std::string value;
   if (close != std::string_view::npos) {
-    while (pos_ < close) {
-      value.push_back(Take());
-    }
+    value.assign(input_.substr(pos_, close - pos_));
+    AdvanceTo(close);
     Take();  // Closing quote.
     return value;
   }
 
   // Recovery: treat the value as unquoted — it ends at whitespace or '>'.
   attr->unterminated_quote = true;
-  while (!AtEnd() && !IsAsciiSpace(Peek()) && Peek() != '>') {
-    value.push_back(Take());
+  size_t end = pos_;
+  while (end < input_.size() && !HasCharClass(input_[end], kCharUnquotedValueEnd)) {
+    ++end;
   }
+  value.assign(input_.substr(pos_, end - pos_));
+  AdvanceTo(end);
   return value;
 }
 

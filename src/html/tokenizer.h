@@ -17,6 +17,15 @@
 //    content for the comment checks.
 //  * SCRIPT / STYLE / XMP / LISTING content is consumed as raw text up to
 //    the matching close tag; PLAINTEXT consumes the rest of the file.
+//
+// Performance: the scanner is batched, not byte-at-a-time. Text and
+// raw-text runs jump straight to the next '<' with memchr; comments jump
+// between '-'/'<' delimiters; names, attribute values and whitespace runs
+// scan with a precomputed character-class table (char_class.h); and
+// line/column tracking is done in bulk over each skipped run (AdvanceTo)
+// rather than per byte. Token boundaries are unchanged — text runs end only
+// at '<' (or EOF), so embedded '&', NUL and non-ASCII bytes pass through
+// byte-identically to the per-character scanner.
 #ifndef WEBLINT_HTML_TOKENIZER_H_
 #define WEBLINT_HTML_TOKENIZER_H_
 
@@ -47,11 +56,23 @@ class Tokenizer {
   bool AtEnd(size_t ahead = 0) const { return pos_ + ahead >= input_.size(); }
   char Take();
   void TakeN(size_t n);
+  // Bulk equivalent of Take() for every byte in [pos_, end): advances pos_
+  // and updates line/column by counting newlines in memchr-sized hops
+  // instead of branching per byte. `end` must not exceed input_.size().
+  void AdvanceTo(size_t end);
+  // AdvanceTo for runs the caller has proven free of '\n'/'\r' (name and
+  // unquoted-value runs terminate at whitespace): a pure column bump, no
+  // newline rescan.
+  void AdvanceNoNewline(size_t end) {
+    column_ += static_cast<std::uint32_t>(end - pos_);
+    pos_ = end;
+  }
+  // Consumes a run of ASCII whitespace (batched).
+  void SkipSpaceRun();
   bool LookingAt(std::string_view s) const;
   bool LookingAtIgnoreCase(std::string_view s) const;
 
   void LexText(Token* out);
-  void LexRawText(Token* out);
   bool LexMarkup(Token* out);  // False if '<' is stray.
   void LexComment(Token* out);
   void LexDoctypeOrDeclaration(Token* out);

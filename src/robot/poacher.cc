@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "core/parallel_runner.h"
 #include "util/strings.h"
 
 namespace weblint {
@@ -14,9 +15,24 @@ PoacherReport Poacher::Run(std::string_view start_url, Emitter* emitter) {
   // one report per broken target keeps the output readable).
   std::map<std::string, std::string> link_origins;
 
+  // The crawl itself is sequential (the frontier depends on each response),
+  // but linting each retrieved page is independent work: the handler hands
+  // the body to the runner and the crawl moves on. The runner returns
+  // reports in crawl order and streams output deterministically, so the
+  // link-origin map below (first referrer wins) is crawl-order stable.
+  ParallelLintRunner runner(weblint_, ParallelLintRunner::ResolveJobs(weblint_.config().jobs),
+                            emitter);
+  std::vector<Url> page_urls;
+
   Robot robot(fetcher_, options_.crawl);
   report.stats = robot.Crawl(start, [&](const Url& url, const HttpResponse& response) {
-    LintReport page = weblint_.CheckString(url.Serialize(), response.body, emitter);
+    runner.SubmitString(url.Serialize(), response.body);
+    page_urls.push_back(url);
+  });
+
+  for (Result<LintReport>& checked : runner.Finish()) {
+    LintReport page = std::move(checked).value();  // CheckString cannot fail.
+    const Url& url = page_urls[report.pages.size()];
     for (const LinkRef& link : page.links) {
       const Url resolved = ResolveUrl(url, link.url);
       if (resolved.IsOpaque() ||
@@ -27,7 +43,7 @@ PoacherReport Poacher::Run(std::string_view start_url, Emitter* emitter) {
       link_origins.emplace(resolved.Serialize(), url.Serialize());
     }
     report.pages.push_back(std::move(page));
-  });
+  }
 
   // Pages the crawl itself failed to retrieve are broken links (the crawl
   // only reached them by following a link).

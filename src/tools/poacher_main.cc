@@ -46,10 +46,12 @@ int Run(int argc, char** argv) {
   bool short_output = false;
   bool show_help = false;
   std::string max_pages = "10000";
+  std::string jobs_arg;
   parser.AddOption("--root", "serve the site from this directory (file crawl)", &root);
   parser.AddFlag("--demo", "crawl a generated in-memory demonstration site", &demo);
   parser.AddFlag("-s", "short diagnostic format", &short_output);
   parser.AddOption("--max-pages", "stop after this many pages", &max_pages);
+  parser.AddOption("-j", "parallel lint jobs (0 = one per core, 1 = serial)", &jobs_arg);
   parser.AddFlag("--help", "show this help", &show_help);
 
   if (Status s = parser.Parse(argc, argv); !s.ok()) {
@@ -67,6 +69,15 @@ int Run(int argc, char** argv) {
   std::uint32_t limit = 0;
   if (ParseUint(max_pages, &limit) && limit > 0) {
     options.crawl.max_pages = limit;
+  }
+  if (!jobs_arg.empty()) {
+    std::uint32_t jobs = 0;
+    if (!ParseUint(jobs_arg, &jobs)) {
+      std::fprintf(stderr, "poacher: -j expects a non-negative integer, got %s\n",
+                   jobs_arg.c_str());
+      return 2;
+    }
+    lint.config().jobs = jobs;
   }
   StreamEmitter emitter(std::cout,
                         short_output ? OutputStyle::kShort : OutputStyle::kTraditional);

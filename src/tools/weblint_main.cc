@@ -64,6 +64,7 @@ int Run(int argc, char** argv) {
   std::string html_version;
   std::string user_config;
   std::string site_config;
+  std::string jobs_arg;
 
   parser.AddFlag("-s", "short output: line N: message", &short_output);
   parser.AddFlag("-v", "verbose output: include message identifiers and descriptions",
@@ -73,6 +74,8 @@ int Run(int argc, char** argv) {
   parser.AddOption("-x", "enable vendor extension: netscape or microsoft", &extensions);
   parser.AddFlag("-R", "recurse into directories; adds directory-index and orphan-page checks",
                  &recurse);
+  parser.AddOption("-j", "parallel lint jobs for -R site checking (0 = one per core, 1 = serial)",
+                   &jobs_arg);
   parser.AddFlag("-l", "list all warning identifiers and exit", &list_warnings);
   parser.AddOption("-f", "use this user configuration file instead of ~/.weblintrc",
                    &user_config);
@@ -141,6 +144,15 @@ int Run(int argc, char** argv) {
                         : verbose_output ? OutputStyle::kVerbose
                                          : OutputStyle::kTraditional;
   config.recurse = recurse;
+  if (!jobs_arg.empty()) {
+    std::uint32_t jobs = 0;
+    if (!ParseUint(jobs_arg, &jobs)) {
+      std::fprintf(stderr, "weblint: -j expects a non-negative integer, got %s\n",
+                   jobs_arg.c_str());
+      return 2;
+    }
+    config.jobs = jobs;
+  }
 
   Weblint lint(config);
   StreamEmitter emitter(std::cout, config.output_style);

@@ -1,0 +1,169 @@
+#include "util/thread_pool.h"
+
+namespace weblint {
+
+namespace {
+
+// Which pool (if any) the current thread is a worker of, and its queue
+// index there. Lets a job Submit() follow-up work onto its own deque, and
+// lets Wait() from a non-worker thread use the overflow queue.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_queue = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = DefaultThreadCount();
+  }
+  // One deque per worker plus an overflow deque (index = threads) that
+  // external threads submit to and drain from in Wait(); workers steal from
+  // it like any other.
+  queues_.reserve(threads + 1);
+  for (unsigned i = 0; i < threads + 1; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  shutdown_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+unsigned ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::Submit(std::function<void()> job) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  const size_t queue_index =
+      tls_pool == this
+          ? tls_queue
+          : next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[queue_index]->mu);
+    queues_[queue_index]->jobs.push_back(std::move(job));
+  }
+  // Lock/unlock pairs with the waiters' predicate re-check: a worker (or
+  // Wait()) that just found every queue empty is either still holding
+  // idle_mu_ (we block until it sleeps, then the notify reaches it) or has
+  // not yet taken it (it will re-scan the queues and see this job).
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+  }
+  work_available_.notify_all();
+  all_done_.notify_all();  // Wait() lends a hand with newly queued work.
+}
+
+bool ThreadPool::TryPop(size_t index, std::function<void()>* job) {
+  // Own queue: LIFO back — the most recently pushed job is cache-warm.
+  {
+    WorkerQueue& own = *queues_[index];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.jobs.empty()) {
+      *job = std::move(own.jobs.back());
+      own.jobs.pop_back();
+      return true;
+    }
+  }
+  // Steal: FIFO front of each victim, starting just past ourselves so
+  // concurrent thieves fan out over different victims.
+  for (size_t i = 1; i < queues_.size(); ++i) {
+    WorkerQueue& victim = *queues_[(index + i) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.jobs.empty()) {
+      *job = std::move(victim.jobs.front());
+      victim.jobs.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::RunJob(std::function<void()> job) {
+  job();
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    {
+      std::lock_guard<std::mutex> lock(idle_mu_);
+    }
+    all_done_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tls_pool = this;
+  tls_queue = index;
+  std::function<void()> job;
+  while (true) {
+    if (TryPop(index, &job)) {
+      RunJob(std::move(job));
+      job = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return;
+    }
+    work_available_.wait(lock, [this, index] {
+      return shutdown_.load(std::memory_order_acquire) || QueuedAnywhere(index);
+    });
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return;
+    }
+  }
+}
+
+bool ThreadPool::QueuedAnywhere(size_t index) const {
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    WorkerQueue& q = *queues_[(index + i) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.jobs.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::Wait() {
+  const size_t overflow = queues_.size() - 1;
+  const bool is_worker = tls_pool == this;
+  const size_t my_queue = is_worker ? tls_queue : overflow;
+  std::function<void()> job;
+  while (true) {
+    if (TryPop(my_queue, &job)) {
+      RunJob(std::move(job));
+      job = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    if (pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    all_done_.wait(lock, [this, my_queue] {
+      return pending_.load(std::memory_order_acquire) == 0 || QueuedAnywhere(my_queue);
+    });
+    if (pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, size_t n, const std::function<void(size_t)>& fn) {
+  for (size_t i = 0; i < n; ++i) {
+    pool.Submit([&fn, i] { fn(i); });
+  }
+  pool.Wait();
+}
+
+}  // namespace weblint

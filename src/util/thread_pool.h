@@ -1,0 +1,91 @@
+// A small work-stealing thread pool for the parallel lint engine.
+//
+// The paper's usability requirement — weblint must be cheap enough to run
+// "from crontab" over entire sites (§4.5) — makes whole-site throughput the
+// product metric. Per-page lint jobs are independent, so a site check is an
+// embarrassingly parallel fan-out; this pool supplies the workers.
+//
+// Design:
+//  * One deque per worker. Submit() distributes round-robin; a worker pops
+//    from the back of its own deque (LIFO: cache-warm, most recently pushed)
+//    and steals from the front of a victim's deque (FIFO: the oldest work,
+//    minimising contention with the owner's end).
+//  * Jobs may themselves call Submit(); a worker submitting pushes onto its
+//    own deque, so nested fan-out stays local until stolen.
+//  * Wait() blocks until every submitted job has finished. It is safe to
+//    Submit() again after Wait() — the pool is reusable across batches.
+//  * Deques are mutex-guarded. Lint jobs are milliseconds of parsing each,
+//    so queue overhead is noise; a lock-free Chase-Lev deque would buy
+//    nothing measurable here and cost a page of subtle code.
+#ifndef WEBLINT_UTIL_THREAD_POOL_H_
+#define WEBLINT_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace weblint {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers. 0 means DefaultThreadCount().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues one job. Callable from any thread, including from inside a
+  // running job (the submitting worker keeps the job on its own deque).
+  void Submit(std::function<void()> job);
+
+  // Blocks until every job submitted so far has completed. The calling
+  // thread lends a hand: it drains queued jobs itself rather than idling,
+  // which also makes a 1-worker pool on a 1-core machine make progress.
+  void Wait();
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  // std::thread::hardware_concurrency(), clamped to at least 1.
+  static unsigned DefaultThreadCount();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> jobs;
+  };
+
+  void WorkerLoop(size_t index);
+  // Pops a job: own queue back first, then steals from the front of the
+  // others (starting after `index` so thieves spread out). Returns false if
+  // every queue is empty.
+  bool TryPop(size_t index, std::function<void()>* job);
+  void RunJob(std::function<void()> job);
+  // True if any queue holds a job; scan starts at `index`.
+  bool QueuedAnywhere(size_t index) const;
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex idle_mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::atomic<size_t> pending_{0};  // Submitted but not yet finished.
+  std::atomic<bool> shutdown_{false};
+  std::atomic<size_t> next_queue_{0};  // Round-robin cursor for external submits.
+};
+
+// Runs fn(0) .. fn(n-1) across the pool and waits for all of them.
+// The indices let callers write results into pre-sized slots, so output
+// order is the input order regardless of completion order.
+void ParallelFor(ThreadPool& pool, size_t n, const std::function<void(size_t)>& fn);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_UTIL_THREAD_POOL_H_

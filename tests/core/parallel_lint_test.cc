@@ -1,0 +1,218 @@
+// The parallel lint engine's determinism contract: for any job count, the
+// site checker and poacher produce the same reports, in the same order,
+// with the same streamed output, as the serial path.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/linter.h"
+#include "core/parallel_runner.h"
+#include "core/site_checker.h"
+#include "corpus/site_generator.h"
+#include "net/virtual_web.h"
+#include "robot/poacher.h"
+#include "util/file_io.h"
+#include "warnings/emitter.h"
+
+namespace weblint {
+namespace {
+
+std::string DiagnosticKey(const Diagnostic& d) {
+  return d.message_id + "|" + d.file + "|" + std::to_string(d.location.line) + ":" +
+         std::to_string(d.location.column) + "|" + d.message;
+}
+
+void ExpectSameDiagnostics(const std::vector<Diagnostic>& a, const std::vector<Diagnostic>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(DiagnosticKey(a[i]), DiagnosticKey(b[i])) << "diagnostic " << i;
+  }
+}
+
+void ExpectSameSiteReport(const SiteReport& a, const SiteReport& b) {
+  ASSERT_EQ(a.pages.size(), b.pages.size());
+  for (size_t i = 0; i < a.pages.size(); ++i) {
+    EXPECT_EQ(a.pages[i].name, b.pages[i].name) << "page order differs at " << i;
+    ExpectSameDiagnostics(a.pages[i].diagnostics, b.pages[i].diagnostics);
+    ASSERT_EQ(a.pages[i].links.size(), b.pages[i].links.size());
+    ASSERT_EQ(a.pages[i].anchors.size(), b.pages[i].anchors.size());
+  }
+  ExpectSameDiagnostics(a.site_diagnostics, b.site_diagnostics);
+}
+
+// A disk site with per-page defects (the generator's pages are clean, so
+// seed some dirty ones) plus orphans for the site-level passes. Each test
+// passes a distinct tag: ctest runs tests as separate concurrent processes,
+// so a shared directory would race one test's remove_all against another's
+// reads.
+std::string WriteTestSite(const std::string& tag) {
+  const std::string root =
+      (std::filesystem::temp_directory_path() / ("weblint_parallel_test_site_" + tag)).string();
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+  SiteSpec spec;
+  spec.pages = 24;
+  spec.orphan_pages = 3;
+  spec.broken_links = 2;
+  spec.redirects = 0;
+  spec.private_pages = 0;
+  spec.seed = 0xD15C;
+  EXPECT_TRUE(WriteSiteToDisk(GenerateSite(spec), root).ok());
+  for (int i = 0; i < 4; ++i) {
+    const std::string body =
+        "<html><head></head><body bgcolor=white>\n"
+        "<h1>Messy " + std::to_string(i) + "<h2>sub</h2>\n"
+        "<img src=\"x.gif\">\n<a href=\"gone" + std::to_string(i) + ".html\">here</a>\n"
+        "<b><i>overlap</b></i>\n</body></html>\n";
+    EXPECT_TRUE(WriteFile(root + "/messy" + std::to_string(i) + ".html", body).ok());
+  }
+  return root;
+}
+
+SiteReport CheckSiteWithJobs(const std::string& root, std::uint32_t jobs, std::string* output) {
+  Config config;
+  config.recurse = true;
+  config.jobs = jobs;
+  Weblint lint(config);
+  SiteChecker checker(lint);
+  std::ostringstream out;
+  StreamEmitter emitter(out);
+  auto site = checker.CheckSite(root, &emitter);
+  EXPECT_TRUE(site.ok()) << site.status().message();
+  if (output != nullptr) {
+    *output = out.str();
+  }
+  return std::move(site).value();
+}
+
+TEST(ParallelSiteLintTest, J1AndJ8ProduceIdenticalSiteReports) {
+  const std::string root = WriteTestSite("j1j8");
+  std::string serial_output;
+  std::string parallel_output;
+  const SiteReport serial = CheckSiteWithJobs(root, 1, &serial_output);
+  const SiteReport parallel = CheckSiteWithJobs(root, 8, &parallel_output);
+  ASSERT_GT(serial.pages.size(), 20u);
+  ASSERT_GT(serial.TotalDiagnostics(), 0u);
+  ExpectSameSiteReport(serial, parallel);
+  EXPECT_EQ(serial_output, parallel_output);  // Streamed output byte-identical.
+}
+
+TEST(ParallelSiteLintTest, AutoJobsMatchesSerial) {
+  const std::string root = WriteTestSite("auto");
+  const SiteReport serial = CheckSiteWithJobs(root, 1, nullptr);
+  const SiteReport automatic = CheckSiteWithJobs(root, 0, nullptr);
+  ExpectSameSiteReport(serial, automatic);
+}
+
+TEST(ParallelRunnerTest, ReportsComeBackInSubmitOrder) {
+  Weblint lint;
+  ParallelLintRunner runner(lint, 8, nullptr);
+  for (int i = 0; i < 64; ++i) {
+    runner.SubmitString("doc" + std::to_string(i),
+                        "<html><body><p>page " + std::to_string(i) + "</body></html>");
+  }
+  std::vector<Result<LintReport>> results = runner.Finish();
+  ASSERT_EQ(results.size(), 64u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    EXPECT_EQ(results[i]->name, "doc" + std::to_string(i));
+  }
+}
+
+TEST(ParallelRunnerTest, FileErrorStopsOutputAtFailedPageLikeSerial) {
+  const std::string root = WriteTestSite("fileerror");
+  auto scan = ScanSite(root);
+  ASSERT_TRUE(scan.ok());
+  std::vector<std::string> files = scan->html_files;
+  ASSERT_GT(files.size(), 4u);
+  files.insert(files.begin() + 2, root + "/does_not_exist.html");
+
+  auto run = [&files](unsigned jobs) {
+    Weblint lint;
+    std::ostringstream out;
+    StreamEmitter emitter(out);
+    ParallelLintRunner runner(lint, jobs, &emitter);
+    for (const std::string& file : files) {
+      runner.SubmitFile(file);
+    }
+    auto results = runner.Finish();
+    size_t first_error = results.size();
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) {
+        first_error = i;
+        break;
+      }
+    }
+    return std::pair<size_t, std::string>(first_error, out.str());
+  };
+
+  const auto [serial_error, serial_out] = run(1);
+  const auto [parallel_error, parallel_out] = run(8);
+  EXPECT_EQ(serial_error, 2u);
+  EXPECT_EQ(parallel_error, 2u);
+  EXPECT_EQ(serial_out, parallel_out);  // Nothing past the failed page.
+}
+
+PoacherReport RunPoacherWithJobs(std::uint32_t jobs, std::string* output) {
+  SiteSpec spec;
+  spec.pages = 16;
+  spec.broken_links = 2;
+  spec.redirects = 1;
+  spec.private_pages = 1;
+  spec.seed = 0xF00D;
+  VirtualWeb web;
+  const GeneratedSite site = GenerateSite(spec);
+  PopulateVirtualWeb(site, &web);
+  Config config;
+  config.jobs = jobs;
+  Weblint lint(config);
+  Poacher poacher(lint, web);
+  std::ostringstream out;
+  StreamEmitter emitter(out);
+  PoacherReport report = poacher.Run(site.IndexUrl(), &emitter);
+  if (output != nullptr) {
+    *output = out.str();
+  }
+  return report;
+}
+
+TEST(ParallelPoacherTest, J1AndJ8ProduceIdenticalReports) {
+  std::string serial_output;
+  std::string parallel_output;
+  const PoacherReport serial = RunPoacherWithJobs(1, &serial_output);
+  const PoacherReport parallel = RunPoacherWithJobs(8, &parallel_output);
+  ASSERT_GT(serial.pages.size(), 10u);
+  ASSERT_EQ(serial.pages.size(), parallel.pages.size());
+  for (size_t i = 0; i < serial.pages.size(); ++i) {
+    EXPECT_EQ(serial.pages[i].name, parallel.pages[i].name) << "crawl order differs at " << i;
+    ExpectSameDiagnostics(serial.pages[i].diagnostics, parallel.pages[i].diagnostics);
+  }
+  ASSERT_EQ(serial.broken_links.size(), parallel.broken_links.size());
+  for (size_t i = 0; i < serial.broken_links.size(); ++i) {
+    EXPECT_EQ(serial.broken_links[i].target, parallel.broken_links[i].target);
+    EXPECT_EQ(serial.broken_links[i].page, parallel.broken_links[i].page);
+  }
+  EXPECT_EQ(serial.redirected_links.size(), parallel.redirected_links.size());
+  EXPECT_EQ(serial_output, parallel_output);
+}
+
+TEST(SynchronizedEmitterTest, EmitDocumentReplaysWholeDocumentsAtomically) {
+  std::ostringstream out;
+  StreamEmitter stream(out);
+  SynchronizedEmitter synchronized(stream);
+  Diagnostic d;
+  d.message_id = "require-doctype";
+  d.file = "a.html";
+  d.location = SourceLocation{1, 1};
+  d.message = "first element was not DOCTYPE specification";
+  synchronized.EmitDocument("a.html", {d, d});
+  EXPECT_EQ(out.str(),
+            "a.html(1): first element was not DOCTYPE specification\n"
+            "a.html(1): first element was not DOCTYPE specification\n");
+}
+
+}  // namespace
+}  // namespace weblint

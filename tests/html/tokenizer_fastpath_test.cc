@@ -1,0 +1,164 @@
+// Edge cases for the batched tokenizer fast paths: run boundaries at EOF,
+// bytes that are "interesting" to entity/markup handling appearing at the
+// very end, NULs and non-ASCII bytes inside runs, and newline counting
+// (including CRLF and lone-CR forms) across the memchr-sized skips.
+#include "html/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace weblint {
+namespace {
+
+TEST(TokenizerFastPathTest, TextRunEndingExactlyAtEof) {
+  const std::vector<Token> tokens = TokenizeAll("<p>trailing text with no close");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStartTag);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[1].text, "trailing text with no close");
+}
+
+TEST(TokenizerFastPathTest, AmpersandAsLastByte) {
+  const std::vector<Token> tokens = TokenizeAll("<p>a &");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[1].text, "a &");
+}
+
+TEST(TokenizerFastPathTest, LoneAmpersandDocument) {
+  const std::vector<Token> tokens = TokenizeAll("&");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[0].text, "&");
+}
+
+TEST(TokenizerFastPathTest, NulByteMidText) {
+  const std::string input = std::string("<p>ab") + '\0' + "cd<em>";
+  const std::vector<Token> tokens = TokenizeAll(input);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[1].text, std::string("ab") + '\0' + "cd");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kStartTag);
+  EXPECT_EQ(tokens[2].name, "em");
+}
+
+TEST(TokenizerFastPathTest, NonAsciiBytesInsideTextRun) {
+  // UTF-8 and Latin-1 high bytes are ordinary text bytes.
+  const std::string input = "<p>caf\xC3\xA9 \xFF\x80 na\xEFve<em>x</em>";
+  const std::vector<Token> tokens = TokenizeAll(input);
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[1].text, "caf\xC3\xA9 \xFF\x80 na\xEFve");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kStartTag);
+  EXPECT_EQ(tokens[2].location.line, 1u);
+}
+
+TEST(TokenizerFastPathTest, LfNewlinesCountedAcrossBatchedSkip) {
+  const std::vector<Token> tokens = TokenizeAll("<p>one\ntwo\nthree\n<em>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kStartTag);
+  EXPECT_EQ(tokens[2].location.line, 4u);
+  EXPECT_EQ(tokens[2].location.column, 1u);
+}
+
+TEST(TokenizerFastPathTest, CrlfNewlinesCountedAcrossBatchedSkip) {
+  // CRLF counts as one newline, not two.
+  const std::vector<Token> tokens = TokenizeAll("<p>one\r\ntwo\r\nthree\r\n<em>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2].location.line, 4u);
+  EXPECT_EQ(tokens[2].location.column, 1u);
+}
+
+TEST(TokenizerFastPathTest, LoneCrCountsAsNewline) {
+  const std::vector<Token> tokens = TokenizeAll("<p>one\rtwo\rthree\r<em>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2].location.line, 4u);
+  EXPECT_EQ(tokens[2].location.column, 1u);
+}
+
+TEST(TokenizerFastPathTest, MixedNewlineFormsAndColumns) {
+  // "ab\r\ncd\refg\nhi" → line 4, and <em> starts after "hi" (column 3).
+  const std::vector<Token> tokens = TokenizeAll("<p>ab\r\ncd\refg\nhi<em>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2].location.line, 4u);
+  EXPECT_EQ(tokens[2].location.column, 3u);
+}
+
+TEST(TokenizerFastPathTest, CrAsLastByteCountsAsNewline) {
+  Tokenizer tokenizer("<p>text\r");
+  Token token;
+  while (tokenizer.Next(&token)) {
+  }
+  EXPECT_EQ(tokenizer.lines_consumed(), 2u);
+}
+
+TEST(TokenizerFastPathTest, CrlfSplitAroundRawTextBoundary) {
+  // Newlines inside a batched raw-text skip still count; the end tag's
+  // location reflects them.
+  const std::vector<Token> tokens =
+      TokenizeAll("<script>var a = 1;\r\nvar b = 2;\r\n</script>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kText);
+  EXPECT_TRUE(tokens[1].raw_text);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+  EXPECT_EQ(tokens[2].location.line, 3u);
+  EXPECT_EQ(tokens[2].location.column, 1u);
+}
+
+TEST(TokenizerFastPathTest, NewlinesInsideCommentsAndQuotedValues) {
+  const std::vector<Token> tokens =
+      TokenizeAll("<!-- line one\nline two\n-->\n<a href=\"x\ny.html\">t</a>");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kComment);
+  const Token* anchor = nullptr;
+  for (const Token& token : tokens) {
+    if (token.kind == TokenKind::kStartTag) {
+      anchor = &token;
+    }
+  }
+  ASSERT_NE(anchor, nullptr);
+  EXPECT_EQ(anchor->location.line, 4u);
+  ASSERT_EQ(anchor->attributes.size(), 1u);
+  EXPECT_EQ(anchor->attributes[0].value, "x\ny.html");
+}
+
+TEST(TokenizerFastPathTest, LongTextRunNewlineCountMatchesByteScan) {
+  // Cross-check the batched counter against a straightforward byte count on
+  // a run long enough to take the memchr path many times.
+  std::string input = "<p>";
+  std::uint32_t expected_lines = 1;
+  for (int i = 0; i < 500; ++i) {
+    input += "word ";
+    switch (i % 4) {
+      case 0:
+        input += "\n";
+        ++expected_lines;
+        break;
+      case 1:
+        input += "\r\n";
+        ++expected_lines;
+        break;
+      case 2:
+        input += "\r";
+        ++expected_lines;
+        break;
+      default:
+        break;
+    }
+  }
+  input += "<em>end</em>";
+  Tokenizer tokenizer(input);
+  Token token;
+  Token em;
+  while (tokenizer.Next(&token)) {
+    if (token.kind == TokenKind::kStartTag && token.name == "em") {
+      em = token;
+    }
+  }
+  EXPECT_EQ(em.location.line, expected_lines);
+}
+
+}  // namespace
+}  // namespace weblint
