@@ -5,7 +5,9 @@
 
 #include <filesystem>
 #include <map>
+#include <memory>
 
+#include "cache/lint_cache.h"
 #include "core/linter.h"
 #include "core/site_checker.h"
 #include "corpus/site_generator.h"
@@ -14,12 +16,15 @@ namespace {
 
 using namespace weblint;
 
-const std::string& SiteOnDisk(size_t pages) {
-  static std::map<size_t, std::string> cache;
-  auto it = cache.find(pages);
+const std::string& SiteOnDisk(size_t pages, size_t paragraphs_per_page = 6) {
+  static std::map<std::pair<size_t, size_t>, std::string> cache;
+  const auto key = std::make_pair(pages, paragraphs_per_page);
+  auto it = cache.find(key);
   if (it == cache.end()) {
     const std::string root =
-        (std::filesystem::temp_directory_path() / ("weblint_bench_site_" + std::to_string(pages)))
+        (std::filesystem::temp_directory_path() /
+         ("weblint_bench_site_" + std::to_string(pages) + "_" +
+          std::to_string(paragraphs_per_page)))
             .string();
     std::error_code ec;
     std::filesystem::remove_all(root, ec);
@@ -29,9 +34,10 @@ const std::string& SiteOnDisk(size_t pages) {
     spec.broken_links = 0;
     spec.redirects = 0;
     spec.private_pages = 0;
+    spec.paragraphs_per_page = paragraphs_per_page;
     spec.seed = 0x517E + pages;
     (void)WriteSiteToDisk(GenerateSite(spec), root);
-    it = cache.emplace(pages, root).first;
+    it = cache.emplace(key, root).first;
   }
   return it->second;
 }
@@ -88,6 +94,48 @@ BENCHMARK(BM_SiteCheckParallel)
     ->ArgsProduct({{50, 200}, {1, 2, 4, 8, 0}})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// The content-addressed lint cache over the same corpus. Args are
+// (pages, warm): warm=0 constructs a fresh cache every iteration (all
+// misses — the first `-R` run of the day), warm=1 shares one pre-filled
+// cache (all hits — every crontab re-run after it). The warm/cold ratio is
+// the cache's speedup on unchanged sites (ISSUE acceptance: >= 5x).
+void BM_SiteCheckCached(benchmark::State& state) {
+  const size_t pages = static_cast<size_t>(state.range(0));
+  const bool warm = state.range(1) != 0;
+  // Realistically sized pages (~24 paragraphs): on the tiny 6-paragraph
+  // corpus the warm run is dominated by per-file open/read, understating
+  // what the cache saves on real sites.
+  const std::string& root = SiteOnDisk(pages, 24);
+  Config config;
+  config.jobs = 1;
+  Weblint lint(config);
+  SiteChecker checker(lint);
+  auto shared_cache = std::make_shared<LintResultCache>(
+      LintResultCache::Options{.capacity = 4096, .directory = ""});
+  if (warm) {
+    lint.set_cache(shared_cache);
+    (void)checker.CheckSite(root);  // Fill once, outside the timed loop.
+  }
+  size_t checked = 0;
+  for (auto _ : state) {
+    if (!warm) {
+      lint.set_cache(std::make_shared<LintResultCache>(
+          LintResultCache::Options{.capacity = 4096, .directory = ""}));
+    }
+    auto site = checker.CheckSite(root);
+    checked = site.ok() ? site->pages.size() : 0;
+    benchmark::DoNotOptimize(checked);
+  }
+  state.counters["pages"] = static_cast<double>(checked);
+  state.counters["warm"] = warm ? 1 : 0;
+  state.counters["pages_per_s"] =
+      benchmark::Counter(static_cast<double>(checked * state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SiteCheckCached)
+    ->ArgsProduct({{50, 200}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

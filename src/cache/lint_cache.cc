@@ -1,0 +1,212 @@
+#include "cache/lint_cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "cache/report_serdes.h"
+#include "util/digest.h"
+#include "util/file_io.h"
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+// The index file names the store format. Entries themselves carry a magic
+// and payload digest (report_serdes), so the index exists to (a) mark the
+// directory as a weblint cache and (b) let a future format break all old
+// entries at once by bumping the version.
+constexpr std::string_view kIndexName = "index";
+constexpr std::string_view kIndexContent = "weblint-cache 1\n";
+constexpr std::string_view kEntryExtension = ".wlc";
+
+std::string HexUint64(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buffer, 16);
+}
+
+}  // namespace
+
+std::string CacheKey::Hex() const {
+  return HexUint64(content_digest) + "-" + HexUint64(config_fingerprint) + "-" +
+         HexUint64(spec_digest);
+}
+
+CacheKey MakeLintCacheKey(std::string_view name, std::string_view content,
+                          std::uint64_t config_fingerprint, std::string_view spec_id) {
+  CacheKey key;
+  // The document body goes through the bulk hash (it dominates digest time
+  // on warm runs); the name is framed separately so (name, content) pairs
+  // cannot collide by concatenation.
+  key.content_digest =
+      Digest64().AddString(name).AddUint64(HashBytesBulk(content)).Finish();
+  key.config_fingerprint = config_fingerprint;
+  key.spec_digest = Digest64().AddString(spec_id).Finish();
+  return key;
+}
+
+void ReplayReport(const LintReport& report, Emitter& emitter) {
+  emitter.BeginDocument(report.name);
+  for (const Diagnostic& diagnostic : report.diagnostics) {
+    emitter.Emit(diagnostic);
+  }
+  emitter.EndDocument();
+}
+
+std::string FormatCacheStats(const CacheStats& stats) {
+  return StrFormat(
+      "lint cache: %d hit(s) (%d from disk), %d miss(es), %d store(s) "
+      "(%d to disk), %d eviction(s), %d corrupt disk entr(ies)\n",
+      stats.hits, stats.disk_hits, stats.misses, stats.stores, stats.disk_stores,
+      stats.evictions, stats.disk_corrupt);
+}
+
+LintResultCache::LintResultCache(Options options)
+    : options_(std::move(options)),
+      per_shard_capacity_(options_.capacity / kShards > 0 ? options_.capacity / kShards : 1) {
+  if (!options_.directory.empty()) {
+    OpenDiskStore();
+  }
+}
+
+std::shared_ptr<const LintReport> LintResultCache::Lookup(const CacheKey& key) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (const auto it = shard.index.find(key); it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second->report;
+    }
+  }
+  if (disk_enabled_) {
+    if (auto report = DiskLookup(key); report != nullptr) {
+      StoreInMemory(key, report);  // Promote so the next hit skips the disk.
+      stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      stats_.disk_hits.fetch_add(1, std::memory_order_relaxed);
+      return report;
+    }
+  }
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void LintResultCache::Store(const CacheKey& key, const LintReport& report) {
+  auto shared = std::make_shared<const LintReport>(report);
+  if (StoreInMemory(key, shared)) {
+    stats_.stores.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (disk_enabled_) {
+    DiskStore(key, report);
+  }
+}
+
+bool LintResultCache::StoreInMemory(const CacheKey& key,
+                                    std::shared_ptr<const LintReport> report) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    it->second->report = std::move(report);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return false;
+  }
+  shard.lru.push_front(Entry{key, std::move(report)});
+  shard.index.emplace(key, shard.lru.begin());
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+CacheStats LintResultCache::stats() const {
+  CacheStats out;
+  out.hits = stats_.hits.load(std::memory_order_relaxed);
+  out.misses = stats_.misses.load(std::memory_order_relaxed);
+  out.stores = stats_.stores.load(std::memory_order_relaxed);
+  out.evictions = stats_.evictions.load(std::memory_order_relaxed);
+  out.disk_hits = stats_.disk_hits.load(std::memory_order_relaxed);
+  out.disk_stores = stats_.disk_stores.load(std::memory_order_relaxed);
+  out.disk_corrupt = stats_.disk_corrupt.load(std::memory_order_relaxed);
+  return out;
+}
+
+size_t LintResultCache::MemoryEntryCount() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<Shard&>(shard).mu);
+    n += shard.lru.size();
+  }
+  return n;
+}
+
+void LintResultCache::OpenDiskStore() {
+  // Any failure here leaves the cache memory-only: the disk tier is an
+  // optimisation, never a reason to refuse to lint.
+  std::error_code ec;
+  std::filesystem::create_directories(options_.directory, ec);
+  if (ec) {
+    return;
+  }
+  const std::string index_path = PathJoin(options_.directory, kIndexName);
+  auto existing = ReadFile(index_path);
+  if (!existing.ok() || *existing != kIndexContent) {
+    // Absent, unreadable, or from a different store version: stamp ours.
+    // Old-format entries are rejected individually by their magic/version
+    // on read and overwritten on the next store.
+    if (!WriteFile(index_path, kIndexContent).ok()) {
+      return;
+    }
+  }
+  disk_enabled_ = true;
+}
+
+std::string LintResultCache::EntryPath(const CacheKey& key) const {
+  return PathJoin(options_.directory, key.Hex() + std::string(kEntryExtension));
+}
+
+std::shared_ptr<const LintReport> LintResultCache::DiskLookup(const CacheKey& key) {
+  const std::string path = EntryPath(key);
+  auto bytes = ReadFile(path);
+  if (!bytes.ok()) {
+    return nullptr;  // Not on disk: a plain miss.
+  }
+  auto report = DeserializeLintReport(*bytes);
+  if (!report.has_value()) {
+    // Truncated / torn / stale-format entry. Drop it so the slot is clean
+    // for the re-store; failure to remove is itself ignorable.
+    stats_.disk_corrupt.fetch_add(1, std::memory_order_relaxed);
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return nullptr;
+  }
+  return std::make_shared<const LintReport>(*std::move(report));
+}
+
+void LintResultCache::DiskStore(const CacheKey& key, const LintReport& report) {
+  // Write-then-rename so concurrent readers (another weblint process over
+  // the same --cache-dir) never observe a half-written entry.
+  const std::string path = EntryPath(key);
+  const std::string temp =
+      path + ".tmp" + std::to_string(::getpid()) + "." +
+      std::to_string(temp_counter_.fetch_add(1, std::memory_order_relaxed));
+  if (!WriteFile(temp, SerializeLintReport(report)).ok()) {
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::filesystem::remove(temp, ec);
+    return;
+  }
+  stats_.disk_stores.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace weblint

@@ -1,0 +1,168 @@
+// Content-addressed lint-result cache (two tiers).
+//
+// Weblint is invoked repeatedly over the same pages: `-R` site sweeps from
+// crontab, the poacher robot re-crawling a site, and gateway users checking
+// the same popular URLs over and over (paper §3.4/§4.5). Almost all of that
+// repeat traffic re-lints bytes that have not changed. This cache keys a
+// finished LintReport on
+//
+//   (digest of document name + bytes, Config::Fingerprint(), spec id)
+//
+// so an entry can only hit when re-linting would provably produce the same
+// report: same bytes, same display name, same enabled messages and options,
+// same HTML version. Changing any of them — editing one page, flipping one
+// -e/-d switch, selecting html32 — misses exactly the affected entries.
+//
+// Tiers:
+//  * In-memory: a sharded LRU (mutex per shard). Lookups and stores from
+//    concurrent lint workers of the work-stealing pool contend only on
+//    their key's shard.
+//  * On-disk (optional, --cache-dir): one file per entry plus a versioned
+//    index file, surviving process restarts. The disk tier is
+//    corruption-tolerant by contract: a missing, truncated, torn, or
+//    wrong-version entry is a miss, never an error.
+//
+// Determinism contract: a replayed hit is byte-identical to a fresh lint —
+// the stored report carries everything the emitters are fed (name,
+// diagnostics in emission order), and replay drives BeginDocument /
+// Emit* / EndDocument exactly like the engine does.
+#ifndef WEBLINT_CACHE_LINT_CACHE_H_
+#define WEBLINT_CACHE_LINT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/report.h"
+
+namespace weblint {
+
+// The content address of one lint result.
+struct CacheKey {
+  std::uint64_t content_digest = 0;      // Document name + bytes.
+  std::uint64_t config_fingerprint = 0;  // Config::Fingerprint().
+  std::uint64_t spec_digest = 0;         // Digest of the spec/HTML-version id.
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+
+  // Stable filename stem for the disk tier ("0123456789abcdef-...").
+  std::string Hex() const;
+};
+
+// Derives the key for one document. `name` is the display name (path, URL,
+// "pasted HTML") — part of the address because it is embedded in the
+// report's diagnostics.
+CacheKey MakeLintCacheKey(std::string_view name, std::string_view content,
+                          std::uint64_t config_fingerprint, std::string_view spec_id);
+
+// Monotonic counters, printed under --cache-stats and asserted by tests.
+struct CacheStats {
+  std::uint64_t hits = 0;          // Served from memory or disk.
+  std::uint64_t misses = 0;        // Neither tier had the entry.
+  std::uint64_t stores = 0;        // New entries inserted in memory.
+  std::uint64_t evictions = 0;     // LRU entries dropped from memory.
+  std::uint64_t disk_hits = 0;     // Hits satisfied by the disk tier.
+  std::uint64_t disk_stores = 0;   // Entries written to disk.
+  std::uint64_t disk_corrupt = 0;  // Unreadable disk entries (treated as misses).
+};
+
+// One line per counter, for --cache-stats output.
+std::string FormatCacheStats(const CacheStats& stats);
+
+// Streams a cached report through `emitter` with the exact BeginDocument /
+// Emit / EndDocument sequence a fresh lint of the same document produces —
+// the replay half of the determinism contract.
+void ReplayReport(const LintReport& report, Emitter& emitter);
+
+class LintResultCache {
+ public:
+  struct Options {
+    // Total in-memory entries across all shards (minimum one per shard).
+    size_t capacity = 4096;
+    // Persistent tier directory; empty = memory only. Created if absent.
+    std::string directory;
+  };
+
+  explicit LintResultCache(Options options);
+
+  LintResultCache(const LintResultCache&) = delete;
+  LintResultCache& operator=(const LintResultCache&) = delete;
+
+  // Returns the cached report, or nullptr on miss. The returned report is
+  // shared and immutable; callers copy if they need to mutate.
+  std::shared_ptr<const LintReport> Lookup(const CacheKey& key);
+
+  // Inserts (or refreshes) an entry in both tiers.
+  void Store(const CacheKey& key, const LintReport& report);
+
+  CacheStats stats() const;
+
+  size_t MemoryEntryCount() const;
+  const std::string& directory() const { return options_.directory; }
+
+ private:
+  // Sixteen shards keeps pool-wide contention negligible while staying
+  // cheap to construct for short-lived Weblint instances.
+  static constexpr size_t kShards = 16;
+
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const LintReport> report;
+  };
+
+  struct KeyHash {
+    size_t operator()(const CacheKey& key) const {
+      // Components are already FNV-mixed; combining with xor-rotate is enough.
+      return static_cast<size_t>(key.content_digest ^
+                                 (key.config_fingerprint << 1 | key.config_fingerprint >> 63) ^
+                                 (key.spec_digest << 2 | key.spec_digest >> 62));
+    }
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // Front = most recent.
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
+  };
+
+  Shard& ShardFor(const CacheKey& key) {
+    return shards_[KeyHash{}(key) % kShards];
+  }
+
+  // Inserts into the memory tier only; returns false if the key was
+  // already present (refreshed, not stored).
+  bool StoreInMemory(const CacheKey& key, std::shared_ptr<const LintReport> report);
+
+  void OpenDiskStore();
+  std::shared_ptr<const LintReport> DiskLookup(const CacheKey& key);
+  void DiskStore(const CacheKey& key, const LintReport& report);
+  std::string EntryPath(const CacheKey& key) const;
+
+  Options options_;
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_{kShards};
+  bool disk_enabled_ = false;
+  std::atomic<std::uint64_t> temp_counter_{0};
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> stores{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> disk_hits{0};
+    std::atomic<std::uint64_t> disk_stores{0};
+    std::atomic<std::uint64_t> disk_corrupt{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CACHE_LINT_CACHE_H_

@@ -1,0 +1,210 @@
+#include "cache/report_serdes.h"
+
+#include <cstring>
+
+#include "util/digest.h"
+
+namespace weblint {
+
+namespace {
+
+// "WLRC" + version; the payload digest after the header detects truncation
+// and bit rot without trusting any length field inside the payload.
+constexpr char kMagic[4] = {'W', 'L', 'R', 'C'};
+constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(std::uint32_t) + sizeof(std::uint64_t);
+
+void PutUint32(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void PutUint64(std::string& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void PutString(std::string& out, std::string_view s) {
+  PutUint32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+void PutLocation(std::string& out, const SourceLocation& location) {
+  PutUint32(out, location.line);
+  PutUint32(out, location.column);
+}
+
+// Bounds-checked reader over the payload. Every Get* reports failure via
+// ok(); callers bail out on the first false.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+  std::uint32_t GetUint32() {
+    std::uint32_t value = 0;
+    if (!Take(sizeof(value))) {
+      return 0;
+    }
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(bytes_[pos_ - 4 + i]))
+               << (8 * i);
+    }
+    return value;
+  }
+
+  std::string GetString() {
+    const std::uint32_t length = GetUint32();
+    if (!Take(length)) {
+      return std::string();
+    }
+    return std::string(bytes_.substr(pos_ - length, length));
+  }
+
+  SourceLocation GetLocation() {
+    SourceLocation location;
+    location.line = GetUint32();
+    location.column = GetUint32();
+    return location;
+  }
+
+  bool GetBool() {
+    if (!Take(1)) {
+      return false;
+    }
+    return bytes_[pos_ - 1] != 0;
+  }
+
+ private:
+  bool Take(size_t n) {
+    if (!ok_ || n > bytes_.size() - pos_) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+std::optional<Category> CategoryFromByte(std::uint32_t value) {
+  switch (value) {
+    case 0:
+      return Category::kError;
+    case 1:
+      return Category::kWarning;
+    case 2:
+      return Category::kStyle;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::string SerializeLintReport(const LintReport& report) {
+  std::string payload;
+  PutString(payload, report.name);
+  PutUint32(payload, report.lines);
+
+  PutUint32(payload, static_cast<std::uint32_t>(report.diagnostics.size()));
+  for (const Diagnostic& d : report.diagnostics) {
+    PutString(payload, d.message_id);
+    PutUint32(payload, static_cast<std::uint32_t>(d.category));
+    PutString(payload, d.file);
+    PutLocation(payload, d.location);
+    PutString(payload, d.message);
+  }
+
+  PutUint32(payload, static_cast<std::uint32_t>(report.links.size()));
+  for (const LinkRef& link : report.links) {
+    PutString(payload, link.element);
+    PutString(payload, link.url);
+    PutLocation(payload, link.location);
+    payload.push_back(link.is_resource ? 1 : 0);
+  }
+
+  PutUint32(payload, static_cast<std::uint32_t>(report.anchors.size()));
+  for (const AnchorDef& anchor : report.anchors) {
+    PutString(payload, anchor.name);
+    PutLocation(payload, anchor.location);
+  }
+
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  PutUint32(out, kReportSerdesVersion);
+  PutUint64(out, HashBytes(payload));
+  out.append(payload);
+  return out;
+}
+
+std::optional<LintReport> DeserializeLintReport(std::string_view bytes) {
+  if (bytes.size() < kHeaderSize ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  ByteReader header(bytes.substr(sizeof(kMagic), kHeaderSize - sizeof(kMagic)));
+  const std::uint32_t version = header.GetUint32();
+  std::uint64_t expected_digest = header.GetUint32();
+  expected_digest |= static_cast<std::uint64_t>(header.GetUint32()) << 32;
+  if (!header.ok() || version != kReportSerdesVersion) {
+    return std::nullopt;
+  }
+  const std::string_view payload = bytes.substr(kHeaderSize);
+  if (HashBytes(payload) != expected_digest) {
+    return std::nullopt;
+  }
+
+  ByteReader reader(payload);
+  LintReport report;
+  report.name = reader.GetString();
+  report.lines = reader.GetUint32();
+
+  const std::uint32_t diagnostic_count = reader.GetUint32();
+  for (std::uint32_t i = 0; reader.ok() && i < diagnostic_count; ++i) {
+    Diagnostic d;
+    d.message_id = reader.GetString();
+    const auto category = CategoryFromByte(reader.GetUint32());
+    if (!category.has_value()) {
+      return std::nullopt;
+    }
+    d.category = *category;
+    d.file = reader.GetString();
+    d.location = reader.GetLocation();
+    d.message = reader.GetString();
+    report.diagnostics.push_back(std::move(d));
+  }
+
+  const std::uint32_t link_count = reader.GetUint32();
+  for (std::uint32_t i = 0; reader.ok() && i < link_count; ++i) {
+    LinkRef link;
+    link.element = reader.GetString();
+    link.url = reader.GetString();
+    link.location = reader.GetLocation();
+    link.is_resource = reader.GetBool();
+    report.links.push_back(std::move(link));
+  }
+
+  const std::uint32_t anchor_count = reader.GetUint32();
+  for (std::uint32_t i = 0; reader.ok() && i < anchor_count; ++i) {
+    AnchorDef anchor;
+    anchor.name = reader.GetString();
+    anchor.location = reader.GetLocation();
+    report.anchors.push_back(std::move(anchor));
+  }
+
+  if (!reader.ok() || !reader.AtEnd()) {
+    return std::nullopt;
+  }
+  return report;
+}
+
+}  // namespace weblint

@@ -1,0 +1,34 @@
+// Binary serialization of LintReport for the persistent lint cache.
+//
+// The format is deliberately dumb: a fixed magic + version, a digest of the
+// payload, then length-prefixed little-endian fields. Robustness matters
+// more than compactness — a cache entry read back from disk may be
+// truncated, torn, or from an older binary, and every such case must come
+// back as "no entry" (std::nullopt), never as a crash or a garbage report.
+#ifndef WEBLINT_CACHE_REPORT_SERDES_H_
+#define WEBLINT_CACHE_REPORT_SERDES_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/report.h"
+
+namespace weblint {
+
+// Bump whenever the byte layout or the meaning of any serialized field
+// changes; old entries then deserialize as nullopt and get re-linted.
+inline constexpr std::uint32_t kReportSerdesVersion = 1;
+
+// Serializes `report` (every field that CheckFile/CheckString produce:
+// name, diagnostics, links, anchors, line count).
+std::string SerializeLintReport(const LintReport& report);
+
+// Parses bytes produced by SerializeLintReport. Returns nullopt for any
+// malformed input: wrong magic, version mismatch, payload digest mismatch,
+// truncation, or out-of-range lengths.
+std::optional<LintReport> DeserializeLintReport(std::string_view bytes);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CACHE_REPORT_SERDES_H_

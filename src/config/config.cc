@@ -1,8 +1,11 @@
 #include "config/config.h"
 
+#include <algorithm>
+
 #include "plugins/css_checker.h"
 #include "plugins/script_checker.h"
 #include "spec/registry.h"
+#include "util/digest.h"
 #include "util/pattern.h"
 #include "warnings/localization.h"
 #include "util/file_io.h"
@@ -223,6 +226,82 @@ Status ApplyDirective(std::string_view line, Config* config) {
 }
 
 }  // namespace
+
+std::uint64_t Config::Fingerprint() const {
+  Digest64 d;
+
+  // Message states in catalog order: the WarningSet's internal
+  // representation (a set of flipped ids) never leaks into the digest, so
+  // "disable X" layered over defaults and a set built any other way to the
+  // same states fingerprint identically.
+  d.Tag("warnings");
+  for (const MessageInfo& info : AllMessages()) {
+    d.AddBool(warnings.IsEnabled(info.id));
+  }
+
+  d.Tag("spec");
+  d.AddString(spec_id);
+
+  d.Tag("extensions");  // std::set: already sorted, order-stable.
+  for (const std::string& extension : enabled_extensions) {
+    d.AddString(extension);
+  }
+
+  d.Tag("title-length");
+  d.AddUint32(max_title_length);
+
+  d.Tag("content-free");
+  for (const std::string& word : content_free_words) {
+    d.AddString(word);
+  }
+
+  d.Tag("index-files");
+  for (const std::string& file : index_files) {
+    d.AddString(file);
+  }
+
+  d.Tag("link-base");
+  d.AddString(link_base_directory);
+
+  d.Tag("pragmas");
+  d.AddBool(enable_pragmas);
+
+  // Custom spec entries in declaration order — later directives can
+  // override earlier ones, so order is semantic.
+  d.Tag("elements");
+  for (const CustomElement& element : custom_elements) {
+    d.AddString(element.name);
+    d.AddBool(element.container);
+    d.AddBool(element.is_block);
+  }
+  d.Tag("attributes");
+  for (const CustomAttribute& attribute : custom_attributes) {
+    d.AddString(attribute.element);
+    d.AddString(attribute.name);
+    d.AddString(attribute.pattern);
+  }
+
+  // Plugins by name, sorted: installation order does not affect which
+  // element each plugin claims.
+  d.Tag("plugins");
+  std::vector<std::string> plugin_names;
+  plugin_names.reserve(plugins.size());
+  for (const PluginPtr& plugin : plugins) {
+    plugin_names.emplace_back(plugin->name());
+  }
+  std::sort(plugin_names.begin(), plugin_names.end());
+  for (const std::string& name : plugin_names) {
+    d.AddString(name);
+  }
+
+  d.Tag("case");
+  d.AddUint32(static_cast<std::uint32_t>(case_style));
+
+  d.Tag("language");
+  d.AddString(language);
+
+  return d.Finish();
+}
 
 Status ApplyRcText(std::string_view text, std::string_view source_name, Config* config) {
   size_t line_number = 0;

@@ -96,6 +96,24 @@ struct Config {
   // Message language (paper §6.1 i18n). "en" is the catalog itself;
   // translated catalogs fall back to English for untranslated ids.
   std::string language = "en";
+
+  // Content-addressed lint-result cache (src/cache). These shape where
+  // results are remembered, never what is reported, so none of them is part
+  // of Fingerprint().
+  bool use_cache = true;               // --no-cache turns the cache off.
+  std::uint32_t cache_capacity = 4096; // In-memory entries across all shards.
+  std::string cache_dir;               // --cache-dir: persistent tier; "" = memory only.
+  bool cache_stats = false;            // --cache-stats: print CacheStats after the run.
+
+  // A stable digest of every option that can change the diagnostics a
+  // document produces: the per-message enable/disable states (in catalog
+  // order), spec id, extensions, tunables, custom elements/attributes,
+  // installed plugins (by name), case style, and language. Two configs with
+  // the same fingerprint lint any document identically, however they were
+  // built (defaults, rc file, or CLI switches). Execution-shape options
+  // (output_style, jobs, recurse, cache settings) are deliberately
+  // excluded: they do not affect what a LintReport contains.
+  std::uint64_t Fingerprint() const;
 };
 
 // Applies rc-file directives from `text` to `config`, in order. Directive

@@ -112,6 +112,11 @@ Result<LintReport> Weblint::CheckFile(const std::string& path, Emitter* emitter)
   if (!content.ok()) {
     return content.status();
   }
+  return CheckFileBytes(path, *content, emitter);
+}
+
+LintReport Weblint::CheckFileBytes(const std::string& path, std::string_view content,
+                                   Emitter* emitter) const {
   LintReport report;
   report.name = path;
 
@@ -121,24 +126,33 @@ Result<LintReport> Weblint::CheckFile(const std::string& path, Emitter* emitter)
     emitter->BeginDocument(path);
     TeeEmitter tee(collector, *emitter);
     Reporter reporter(config_, path, tee);
-    RunEngine(config_, spec.get(), reporter, &report, *content);
+    RunEngine(config_, spec.get(), reporter, &report, content);
     CheckLocalLinks(path, config_, report, reporter);
     emitter->EndDocument();
   } else {
     Reporter reporter(config_, path, collector);
-    RunEngine(config_, spec.get(), reporter, &report, *content);
+    RunEngine(config_, spec.get(), reporter, &report, content);
     CheckLocalLinks(path, config_, report, reporter);
   }
   report.diagnostics = collector.TakeDiagnostics();
   return report;
 }
 
-Result<LintReport> Weblint::CheckUrl(std::string_view url_text, UrlFetcher& fetcher,
-                                     Emitter* emitter) const {
+void Weblint::EnableCache() {
+  if (!config_.use_cache || cache_ != nullptr) {
+    return;
+  }
+  LintResultCache::Options options;
+  options.capacity = config_.cache_capacity;
+  options.directory = config_.cache_dir;
+  cache_ = std::make_shared<LintResultCache>(std::move(options));
+}
+
+Result<FetchedDocument> Weblint::FetchDocument(std::string_view url_text,
+                                               UrlFetcher& fetcher) const {
   const Url url = ParseUrl(url_text);
   Url final_url;
-  const HttpResponse response = fetcher.GetFollowingRedirects(url, /*max_redirects=*/5,
-                                                              &final_url);
+  HttpResponse response = fetcher.GetFollowingRedirects(url, /*max_redirects=*/5, &final_url);
   if (!response.ok()) {
     return Fail(StrFormat("cannot retrieve %s: %d %s", url_text, response.status,
                           response.reason));
@@ -147,7 +161,19 @@ Result<LintReport> Weblint::CheckUrl(std::string_view url_text, UrlFetcher& fetc
   if (!content_type.empty() && !IContains(content_type, "html")) {
     return Fail(StrFormat("%s is not HTML (content-type %s)", url_text, content_type));
   }
-  return CheckString(final_url.Serialize(), response.body, emitter);
+  FetchedDocument document;
+  document.name = final_url.Serialize();
+  document.body = std::move(response.body);
+  return document;
+}
+
+Result<LintReport> Weblint::CheckUrl(std::string_view url_text, UrlFetcher& fetcher,
+                                     Emitter* emitter) const {
+  auto document = FetchDocument(url_text, fetcher);
+  if (!document.ok()) {
+    return document.status();
+  }
+  return CheckString(document->name, document->body, emitter);
 }
 
 }  // namespace weblint

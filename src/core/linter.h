@@ -18,9 +18,11 @@
 #ifndef WEBLINT_CORE_LINTER_H_
 #define WEBLINT_CORE_LINTER_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 
+#include "cache/lint_cache.h"
 #include "config/config.h"
 #include "core/report.h"
 #include "net/fetcher.h"
@@ -28,6 +30,14 @@
 #include "warnings/emitter.h"
 
 namespace weblint {
+
+// A retrieved page before checking: the display name (final URL after
+// redirects) and the body bytes. Split out of CheckUrl so the gateway can
+// address its cache by URL + body digest before linting.
+struct FetchedDocument {
+  std::string name;
+  std::string body;
+};
 
 class Weblint {
  public:
@@ -37,6 +47,17 @@ class Weblint {
 
   const Config& config() const { return config_; }
   Config& config() { return config_; }
+
+  // Attaches a lint-result cache built from config() (cache_capacity,
+  // cache_dir). No-op when config().use_cache is false. Caching is opt-in
+  // per Weblint instance: the runner-level call sites (ParallelLintRunner,
+  // and through it SiteChecker and Poacher) and the gateway consult
+  // cache() when non-null; bare CheckFile/CheckString never do.
+  void EnableCache();
+  // Shares an existing cache (e.g. across the gateway's per-request
+  // Weblint copies, or a test's instrumented cache).
+  void set_cache(std::shared_ptr<LintResultCache> cache) { cache_ = std::move(cache); }
+  LintResultCache* cache() const { return cache_.get(); }
 
   // Checks an HTML string. `name` is the display name used in diagnostics.
   // If `emitter` is non-null, diagnostics are additionally streamed to it as
@@ -49,6 +70,17 @@ class Weblint {
   // bad-link check (if enabled) against the local filesystem.
   Result<LintReport> CheckFile(const std::string& path, Emitter* emitter = nullptr) const;
 
+  // Checks already-read file content exactly as CheckFile would (engine +
+  // local bad-link pass, with `path` as the display name and link base).
+  // The cached-runner path reads the file once to digest it, then calls
+  // this on a miss.
+  LintReport CheckFileBytes(const std::string& path, std::string_view content,
+                            Emitter* emitter = nullptr) const;
+
+  // Retrieves `url` through `fetcher` (following redirects). Fails on
+  // non-success responses or non-HTML content.
+  Result<FetchedDocument> FetchDocument(std::string_view url, UrlFetcher& fetcher) const;
+
   // Retrieves `url` through `fetcher` (following redirects) and checks the
   // body. Fails on non-success responses or non-HTML content.
   Result<LintReport> CheckUrl(std::string_view url, UrlFetcher& fetcher,
@@ -56,6 +88,7 @@ class Weblint {
 
  private:
   Config config_;
+  std::shared_ptr<LintResultCache> cache_;
 };
 
 }  // namespace weblint

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/file_io.h"
+
 namespace weblint {
 
 unsigned ParallelLintRunner::ResolveJobs(std::uint32_t configured) {
@@ -10,7 +12,8 @@ unsigned ParallelLintRunner::ResolveJobs(std::uint32_t configured) {
 
 ParallelLintRunner::ParallelLintRunner(const Weblint& weblint, unsigned jobs, Emitter* emitter)
     : weblint_(weblint), jobs_(jobs == 0 ? ThreadPool::DefaultThreadCount() : jobs),
-      emitter_(emitter) {
+      emitter_(emitter), cache_(weblint.cache()),
+      config_fingerprint_(cache_ != nullptr ? weblint.config().Fingerprint() : 0) {
   if (jobs_ > 1) {
     pool_ = std::make_unique<ThreadPool>(jobs_);
     if (emitter_ != nullptr) {
@@ -23,6 +26,26 @@ ParallelLintRunner::~ParallelLintRunner() {
   if (pool_ != nullptr) {
     pool_->Wait();  // Never let queued jobs outlive the result slots.
   }
+}
+
+LintReport ParallelLintRunner::CheckThroughCache(const std::string& name,
+                                                std::string_view content,
+                                                const std::function<LintReport(Emitter*)>& lint,
+                                                Emitter* stream_to) {
+  if (cache_ == nullptr) {
+    return lint(stream_to);
+  }
+  const CacheKey key =
+      MakeLintCacheKey(name, content, config_fingerprint_, weblint_.config().spec_id);
+  if (std::shared_ptr<const LintReport> cached = cache_->Lookup(key)) {
+    if (stream_to != nullptr) {
+      ReplayReport(*cached, *stream_to);
+    }
+    return *cached;
+  }
+  LintReport report = lint(stream_to);
+  cache_->Store(key, report);
+  return report;
 }
 
 size_t ParallelLintRunner::SubmitFile(std::string path) {
@@ -42,8 +65,16 @@ size_t ParallelLintRunner::SubmitFile(std::string path) {
   }
   if (pool_ == nullptr) {
     // Inline: this *is* the serial path — the emitter sees diagnostics as
-    // they are produced, exactly as Weblint::CheckFile streams them.
-    auto report = weblint_.CheckFile(path, emitter_);
+    // they are produced (or replayed from cache), exactly as
+    // Weblint::CheckFile streams them.
+    auto content = ReadFile(path);
+    Result<LintReport> report =
+        content.ok()
+            ? Result<LintReport>(CheckThroughCache(
+                  path, *content,
+                  [&](Emitter* e) { return weblint_.CheckFileBytes(path, *content, e); },
+                  emitter_))
+            : Result<LintReport>(content.status());
     std::lock_guard<std::mutex> lock(results_mu_);
     if (!report.ok()) {
       error_seen_ = true;
@@ -52,7 +83,16 @@ size_t ParallelLintRunner::SubmitFile(std::string path) {
     return index;
   }
   pool_->Submit([this, index, path = std::move(path)] {
-    RunSlot(index, [this, &path] { return weblint_.CheckFile(path, nullptr); });
+    RunSlot(index, [this, &path]() -> Result<LintReport> {
+      auto content = ReadFile(path);
+      if (!content.ok()) {
+        return content.status();
+      }
+      return CheckThroughCache(
+          path, *content,
+          [&](Emitter*) { return weblint_.CheckFileBytes(path, *content, nullptr); },
+          nullptr);
+    });
   });
   return index;
 }
@@ -65,14 +105,17 @@ size_t ParallelLintRunner::SubmitString(std::string name, std::string html) {
     results_.emplace_back();
   }
   if (pool_ == nullptr) {
-    LintReport report = weblint_.CheckString(name, html, emitter_);
+    LintReport report = CheckThroughCache(
+        name, html, [&](Emitter* e) { return weblint_.CheckString(name, html, e); }, emitter_);
     std::lock_guard<std::mutex> lock(results_mu_);
     results_[index] = Result<LintReport>(std::move(report));
     return index;
   }
   pool_->Submit([this, index, name = std::move(name), html = std::move(html)] {
     RunSlot(index, [this, &name, &html] {
-      return Result<LintReport>(weblint_.CheckString(name, html, nullptr));
+      return Result<LintReport>(CheckThroughCache(
+          name, html, [&](Emitter*) { return weblint_.CheckString(name, html, nullptr); },
+          nullptr));
     });
   });
   return index;

@@ -21,6 +21,13 @@
 // With jobs <= 1 the runner executes submissions inline on the calling
 // thread — no pool, no wrapper emitter — so `-j 1` is the pre-existing
 // serial code path, not a simulation of it.
+//
+// Caching: when the Weblint has a lint-result cache attached
+// (Weblint::EnableCache), every submission becomes a lookup/fill step —
+// the document is digested, a hit replays the stored report (byte-identical
+// output, in the same submit-order slot), and a miss lints and stores. The
+// cache is sharded and mutex-per-shard, so workers hit it concurrently
+// without serialising on a global lock.
 #ifndef WEBLINT_CORE_PARALLEL_RUNNER_H_
 #define WEBLINT_CORE_PARALLEL_RUNNER_H_
 
@@ -70,9 +77,20 @@ class ParallelLintRunner {
   // starting at flush_frontier_ to the emitter, stopping at the first error.
   void FlushReadyLocked();
 
+  // Cache-aware check of one named document: lookup, or lint via
+  // `lint(stream_to)` and store. `stream_to` is the emitter for the serial
+  // inline path (diagnostics stream as produced; a hit replays them) and
+  // null on pool workers, whose output is flushed later by the frontier.
+  LintReport CheckThroughCache(const std::string& name, std::string_view content,
+                               const std::function<LintReport(Emitter*)>& lint,
+                               Emitter* stream_to);
+
+
   const Weblint& weblint_;
   const unsigned jobs_;
   Emitter* const emitter_;
+  LintResultCache* const cache_;
+  const std::uint64_t config_fingerprint_;
 
   // Parallel mode only.
   std::unique_ptr<ThreadPool> pool_;

@@ -30,7 +30,11 @@ std::map<std::string, std::string> ParseFormUrlEncoded(std::string_view body);
 
 // Builds a CgiRequest from the CGI environment convention:
 // REQUEST_METHOD, QUERY_STRING, and (for POST) the request body.
-// Unsupported content types fail.
+// Content-type handling (deliberate): any type naming
+// x-www-form-urlencoded is accepted regardless of case or parameters
+// ("; charset=UTF-8"); a POST with no CONTENT_TYPE at all is leniently
+// parsed as a form (old clients omit it); any other explicit type
+// (multipart/form-data, text/plain, ...) fails.
 Result<CgiRequest> ParseCgiRequest(const std::map<std::string, std::string>& env,
                                    std::string_view post_body);
 

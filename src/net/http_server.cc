@@ -17,11 +17,14 @@ namespace {
 // headers some headroom.
 constexpr size_t kMaxRequestBytes = 2u << 20;
 
-// Writes all of `data` to `fd`, retrying on short writes.
+// Writes all of `data` to `fd`, retrying on short writes. Uses send() with
+// MSG_NOSIGNAL so a client that hung up mid-response surfaces as EPIPE
+// instead of a process-killing SIGPIPE.
 bool WriteAll(int fd, std::string_view data) {
   size_t written = 0;
   while (written < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    const ssize_t n =
+        ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) {
         continue;
@@ -98,16 +101,22 @@ Status HttpServer::ServeOne() {
   } else {
     response = handler_(*request);
   }
-  const bool ok = WriteAll(client, SerializeHttpResponse(response));
+  // A failed write means the peer went away (early disconnect, reset): a
+  // fact about that one client, not about the server. Count it, drop the
+  // connection, and keep serving — a public gateway must survive browsers
+  // that close the tab mid-response.
+  if (!WriteAll(client, SerializeHttpResponse(response))) {
+    ++write_failures_;
+  }
   ::close(client);
-  return ok ? Status::Ok() : Fail("short write to client");
+  return Status::Ok();
 }
 
 Status HttpServer::Serve(size_t max_requests) {
   size_t handled = 0;
   while (max_requests == 0 || handled < max_requests) {
     if (Status s = ServeOne(); !s.ok()) {
-      return s;
+      return s;  // Accept-side errors only: the listening socket is gone.
     }
     ++handled;
   }

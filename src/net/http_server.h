@@ -30,13 +30,22 @@ class HttpServer {
   std::uint16_t port() const { return port_; }
 
   // Accepts one connection, reads one request, writes the handler's
-  // response, closes. Returns the error for socket-level failures; handler
-  // results (including error pages) are successes.
+  // response, closes. Fails only for accept-side errors (the listening
+  // socket is unusable). Write-side failures — the client disconnected
+  // before or during the response — close that connection, bump
+  // write_failures(), and return Ok: one flaky client must not stop the
+  // server. Responses are sent with MSG_NOSIGNAL, so an early hangup is an
+  // EPIPE error, never a SIGPIPE.
   Status ServeOne();
 
   // Serves until `max_requests` have been handled (0 = forever / until an
-  // accept error).
+  // accept error). Connections whose response could not be delivered still
+  // count as handled.
   Status Serve(size_t max_requests);
+
+  // Connections whose response could not be fully written (client hung up
+  // early, connection reset).
+  size_t write_failures() const { return write_failures_; }
 
   void Close();
 
@@ -44,6 +53,7 @@ class HttpServer {
   Handler handler_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  size_t write_failures_ = 0;
 };
 
 }  // namespace weblint

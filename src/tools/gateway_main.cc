@@ -44,8 +44,13 @@ int Run(int argc, char** argv) {
   bool form_only = false;
   bool no_http_header = false;
   bool show_help = false;
+  std::string cache_dir;
   parser.AddFlag("--form", "print the submission form and exit", &form_only);
   parser.AddFlag("--no-header", "omit the Content-Type response header", &no_http_header);
+  parser.AddOption("--cache-dir",
+                   "persist lint results here; repeated submissions of the same page "
+                   "are served from cache",
+                   &cache_dir);
   parser.AddFlag("--help", "show this help", &show_help);
   if (Status s = parser.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "weblint-gateway: %s\n", s.message().c_str());
@@ -57,6 +62,12 @@ int Run(int argc, char** argv) {
   }
 
   Weblint lint;
+  if (!cache_dir.empty()) {
+    // The CGI binary is one request per process: only the persistent tier
+    // can serve "the same popular URLs over and over" across invocations.
+    lint.config().cache_dir = cache_dir;
+    lint.EnableCache();
+  }
   FileFetcher fetcher;  // Serves file:// URL submissions.
   Gateway gateway(lint, &fetcher);
 

@@ -47,11 +47,20 @@ int Run(int argc, char** argv) {
   bool show_help = false;
   std::string max_pages = "10000";
   std::string jobs_arg;
+  std::string cache_dir;
+  bool no_cache = false;
+  bool cache_stats = false;
   parser.AddOption("--root", "serve the site from this directory (file crawl)", &root);
   parser.AddFlag("--demo", "crawl a generated in-memory demonstration site", &demo);
   parser.AddFlag("-s", "short diagnostic format", &short_output);
   parser.AddOption("--max-pages", "stop after this many pages", &max_pages);
   parser.AddOption("-j", "parallel lint jobs (0 = one per core, 1 = serial)", &jobs_arg);
+  parser.AddOption("--cache-dir",
+                   "persist lint results here; unchanged pages are served from cache",
+                   &cache_dir);
+  parser.AddFlag("--no-cache", "disable the lint-result cache entirely", &no_cache);
+  parser.AddFlag("--cache-stats", "print cache hit/miss/store counters after the run",
+                 &cache_stats);
   parser.AddFlag("--help", "show this help", &show_help);
 
   if (Status s = parser.Parse(argc, argv); !s.ok()) {
@@ -79,6 +88,9 @@ int Run(int argc, char** argv) {
     }
     lint.config().jobs = jobs;
   }
+  lint.config().use_cache = !no_cache;
+  lint.config().cache_dir = cache_dir;
+  lint.EnableCache();
   StreamEmitter emitter(std::cout,
                         short_output ? OutputStyle::kShort : OutputStyle::kTraditional);
 
@@ -94,6 +106,9 @@ int Run(int argc, char** argv) {
     Poacher poacher(lint, web, options);
     const PoacherReport report = poacher.Run(site.IndexUrl(), &emitter);
     PrintReport(report);
+    if (cache_stats && lint.cache() != nullptr) {
+      std::fputs(FormatCacheStats(lint.cache()->stats()).c_str(), stderr);
+    }
     std::printf("(demo site: %zu pages, %zu seeded broken links, %zu private pages)\n",
                 site.pages.size(), site.broken_link_count, site.private_paths.size());
     return 0;
@@ -105,6 +120,9 @@ int Run(int argc, char** argv) {
       parser.positionals().empty() ? "index.html" : parser.positionals().front();
   const PoacherReport report = poacher.Run(start, &emitter);
   PrintReport(report);
+  if (cache_stats && lint.cache() != nullptr) {
+    std::fputs(FormatCacheStats(lint.cache()->stats()).c_str(), stderr);
+  }
   return report.TotalDiagnostics() + report.broken_links.size() == 0 ? 0 : 1;
 }
 

@@ -65,6 +65,9 @@ int Run(int argc, char** argv) {
   std::string user_config;
   std::string site_config;
   std::string jobs_arg;
+  std::string cache_dir;
+  bool no_cache = false;
+  bool cache_stats = false;
 
   parser.AddFlag("-s", "short output: line N: message", &short_output);
   parser.AddFlag("-v", "verbose output: include message identifiers and descriptions",
@@ -76,6 +79,12 @@ int Run(int argc, char** argv) {
                  &recurse);
   parser.AddOption("-j", "parallel lint jobs for -R site checking (0 = one per core, 1 = serial)",
                    &jobs_arg);
+  parser.AddOption("--cache-dir",
+                   "persist lint results here; unchanged pages are served from cache",
+                   &cache_dir);
+  parser.AddFlag("--no-cache", "disable the lint-result cache entirely", &no_cache);
+  parser.AddFlag("--cache-stats", "print cache hit/miss/store counters after the run",
+                 &cache_stats);
   parser.AddFlag("-l", "list all warning identifiers and exit", &list_warnings);
   parser.AddOption("-f", "use this user configuration file instead of ~/.weblintrc",
                    &user_config);
@@ -153,8 +162,12 @@ int Run(int argc, char** argv) {
     }
     config.jobs = jobs;
   }
+  config.use_cache = !no_cache;
+  config.cache_dir = cache_dir;
+  config.cache_stats = cache_stats;
 
   Weblint lint(config);
+  lint.EnableCache();  // Honours use_cache / cache_dir from the config.
   StreamEmitter emitter(std::cout, config.output_style);
 
   std::vector<std::string> operands = parser.positionals();
@@ -230,6 +243,10 @@ int Run(int argc, char** argv) {
         }
       }
     }
+  }
+
+  if (cache_stats && lint.cache() != nullptr) {
+    std::fputs(FormatCacheStats(lint.cache()->stats()).c_str(), stderr);
   }
   return problems == 0 ? 0 : 1;
 }

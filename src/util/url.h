@@ -44,6 +44,10 @@ Url ResolveUrl(const Url& base, const Url& reference);
 Url ResolveUrl(const Url& base, std::string_view reference);
 
 // Percent-decodes %XX escapes (and '+' as space when `plus_as_space`).
+// Malformed escapes never fail and never consume extra input: a truncated
+// escape ("%", "%A" at end of input) or one with non-hex digits ("%ZZ",
+// "%4G") is passed through verbatim, byte for byte. Gateway input is
+// attacker-controlled, so decoding must be total.
 std::string UrlDecode(std::string_view s, bool plus_as_space = false);
 // Percent-encodes everything but unreserved characters.
 std::string UrlEncode(std::string_view s);

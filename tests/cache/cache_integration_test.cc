@@ -1,0 +1,223 @@
+// End-to-end cache behaviour through the site checker, parallel runner,
+// and gateway: warm runs are byte-identical to cold runs at every job
+// count, and invalidation is exact — one changed page, config, or disk
+// entry misses exactly the affected entries.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "cache/lint_cache.h"
+#include "config/config.h"
+#include "core/linter.h"
+#include "core/site_checker.h"
+#include "gateway/cgi.h"
+#include "gateway/gateway.h"
+#include "tests/testing/lint_helpers.h"
+#include "util/file_io.h"
+#include "warnings/emitter.h"
+
+namespace weblint {
+namespace {
+
+using testing::Page;
+
+class CacheIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("weblint_cache_it_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  void Write(const std::string& rel, const std::string& content) {
+    ASSERT_TRUE(WriteFile((dir_ / rel).string(), content).ok());
+  }
+  std::string PathOf(const std::string& rel) const { return (dir_ / rel).string(); }
+  std::string Root() const { return dir_.string(); }
+
+  // A small site with defects so the streamed output is non-trivial.
+  void WriteSite() {
+    Write("index.html", Page("<A HREF=\"a.html\">a</A> <A HREF=\"b.html\">b</A> "
+                             "<A HREF=\"c.html\">c</A>"));
+    Write("a.html", Page("<B>unclosed"));
+    Write("b.html", Page("<H1>One</H1><H3>skipped</H3>"));
+    Write("c.html", Page("<IMG SRC=\"x.gif\">"));
+  }
+
+  std::filesystem::path dir_;
+};
+
+Config SiteConfig(std::uint32_t jobs) {
+  Config config;
+  config.recurse = true;
+  config.jobs = jobs;
+  return config;
+}
+
+// Runs a site check with an optional shared cache; returns the streamed
+// output bytes.
+std::string CheckSiteStreamed(const std::string& root, std::uint32_t jobs,
+                              std::shared_ptr<LintResultCache> cache) {
+  Weblint lint(SiteConfig(jobs));
+  if (cache != nullptr) {
+    lint.set_cache(std::move(cache));
+  }
+  std::ostringstream out;
+  StreamEmitter emitter(out);
+  SiteChecker checker(lint);
+  auto site = checker.CheckSite(root, &emitter);
+  EXPECT_TRUE(site.ok()) << site.status().message();
+  return out.str();
+}
+
+TEST_F(CacheIntegrationTest, WarmOutputByteIdenticalToColdAtEveryJobCount) {
+  WriteSite();
+  const std::string cold = CheckSiteStreamed(Root(), 1, nullptr);
+  ASSERT_FALSE(cold.empty());
+
+  auto cache = std::make_shared<LintResultCache>(LintResultCache::Options{});
+  // Fill the cache once, then replay at every job level: serial (streamed
+  // live), and parallel (replayed through SynchronizedEmitter's frontier).
+  EXPECT_EQ(CheckSiteStreamed(Root(), 1, cache), cold);
+  const CacheStats after_fill = cache->stats();
+  EXPECT_EQ(after_fill.stores, 4u);
+  for (const std::uint32_t jobs : {1u, 2u, 8u}) {
+    EXPECT_EQ(CheckSiteStreamed(Root(), jobs, cache), cold) << "-j " << jobs;
+  }
+  const CacheStats after_warm = cache->stats();
+  EXPECT_EQ(after_warm.hits - after_fill.hits, 3u * 4u);  // Every page, every run.
+  EXPECT_EQ(after_warm.misses, after_fill.misses);        // No new misses warm.
+  EXPECT_EQ(after_warm.stores, 4u);                       // Nothing re-linted.
+}
+
+TEST_F(CacheIntegrationTest, EditingOnePageMissesExactlyThatPage) {
+  WriteSite();
+  auto cache = std::make_shared<LintResultCache>(LintResultCache::Options{});
+  CheckSiteStreamed(Root(), 2, cache);
+  const CacheStats cold = cache->stats();
+  EXPECT_EQ(cold.misses, 4u);
+
+  Write("b.html", Page("<H1>One</H1><P>fixed</P>"));
+  CheckSiteStreamed(Root(), 2, cache);
+  const CacheStats warm = cache->stats();
+  EXPECT_EQ(warm.misses - cold.misses, 1u);  // Only the edited page.
+  EXPECT_EQ(warm.hits - cold.hits, 3u);
+  EXPECT_EQ(warm.stores - cold.stores, 1u);
+}
+
+TEST_F(CacheIntegrationTest, ConfigChangeMissesEverything) {
+  WriteSite();
+  auto cache = std::make_shared<LintResultCache>(LintResultCache::Options{});
+  CheckSiteStreamed(Root(), 2, cache);
+  const CacheStats cold = cache->stats();
+
+  // A diagnostic-affecting switch (-d heading-mismatch) changes the
+  // fingerprint, so every entry misses and is re-stored.
+  Config config = SiteConfig(2);
+  config.warnings.Set("heading-mismatch", false);
+  Weblint lint(config);
+  lint.set_cache(cache);
+  SiteChecker checker(lint);
+  ASSERT_TRUE(checker.CheckSite(Root()).ok());
+  const CacheStats warm = cache->stats();
+  EXPECT_EQ(warm.misses - cold.misses, 4u);
+  EXPECT_EQ(warm.hits, cold.hits);
+  EXPECT_EQ(warm.stores - cold.stores, 4u);
+
+  // Flipping the switch back hits the original entries again.
+  CheckSiteStreamed(Root(), 2, cache);
+  EXPECT_EQ(cache->stats().hits - warm.hits, 4u);
+}
+
+TEST_F(CacheIntegrationTest, CorruptedDiskEntryMissesExactlyThatEntry) {
+  WriteSite();
+  const std::string cache_dir = PathOf("the-cache");
+
+  const auto make_cache = [&cache_dir] {
+    return std::make_shared<LintResultCache>(
+        LintResultCache::Options{.capacity = 4096, .directory = cache_dir});
+  };
+  CheckSiteStreamed(Root(), 2, make_cache());  // Fill the disk tier.
+
+  // Corrupt exactly a.html's entry, addressed the same way the runner
+  // addresses it: display name (the path) + bytes + fingerprint + spec.
+  const std::string a_path = PathOf("a.html");
+  auto a_bytes = ReadFile(a_path);
+  ASSERT_TRUE(a_bytes.ok());
+  const Config config = SiteConfig(2);
+  const CacheKey a_key =
+      MakeLintCacheKey(a_path, *a_bytes, config.Fingerprint(), config.spec_id);
+  const std::string entry = PathJoin(cache_dir, a_key.Hex() + ".wlc");
+  ASSERT_TRUE(std::filesystem::exists(entry)) << entry;
+  ASSERT_TRUE(WriteFile(entry, "torn write").ok());
+
+  // A fresh process (fresh memory tier) over the same directory: the
+  // corrupt entry misses and is re-linted; the other three load from disk.
+  auto reader = make_cache();
+  CheckSiteStreamed(Root(), 2, reader);
+  const CacheStats stats = reader->stats();
+  EXPECT_EQ(stats.disk_corrupt, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.disk_hits, 3u);
+  EXPECT_EQ(stats.stores, 1u);  // Only the re-linted page (promotions don't count).
+}
+
+TEST_F(CacheIntegrationTest, WarmDiskRunByteIdenticalAcrossInstances) {
+  WriteSite();
+  const std::string cache_dir = PathOf("the-cache");
+  const auto run = [&] {
+    auto cache = std::make_shared<LintResultCache>(
+        LintResultCache::Options{.capacity = 4096, .directory = cache_dir});
+    return CheckSiteStreamed(Root(), 8, std::move(cache));
+  };
+  const std::string cold = run();
+  const std::string warm = run();
+  EXPECT_EQ(warm, cold);
+}
+
+TEST_F(CacheIntegrationTest, GatewayRepeatSubmissionIsCachedAndByteIdentical) {
+  Config config;
+  config.use_cache = true;
+  Weblint lint(config);
+  lint.EnableCache();
+  ASSERT_NE(lint.cache(), nullptr);
+  Gateway gateway(lint, nullptr);
+
+  CgiRequest request;
+  request.method = "POST";
+  request.params["html"] = "<B>unclosed";
+  const std::string first = gateway.HandleRequest(request);
+  const CacheStats after_first = lint.cache()->stats();
+  EXPECT_EQ(after_first.misses, 1u);
+  EXPECT_EQ(after_first.stores, 1u);
+
+  const std::string second = gateway.HandleRequest(request);
+  EXPECT_EQ(second, first);  // Replayed hit renders identically.
+  EXPECT_EQ(lint.cache()->stats().hits, 1u);
+
+  // A different paste is a different address.
+  request.params["html"] = "<I>other";
+  gateway.HandleRequest(request);
+  EXPECT_EQ(lint.cache()->stats().misses, 2u);
+}
+
+TEST_F(CacheIntegrationTest, EnableCacheHonoursNoCache) {
+  Config config;
+  config.use_cache = false;
+  Weblint lint(config);
+  lint.EnableCache();
+  EXPECT_EQ(lint.cache(), nullptr);
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,277 @@
+// Unit tests for the two-tier content-addressed lint cache.
+#include "cache/lint_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/report_serdes.h"
+#include "util/file_io.h"
+
+namespace weblint {
+namespace {
+
+LintReport MakeReport(const std::string& name, std::uint32_t lines = 1) {
+  LintReport report;
+  report.name = name;
+  report.lines = lines;
+  report.diagnostics.push_back({"require-title", Category::kError, name,
+                                {1, 1}, "no <TITLE> in HEAD element"});
+  return report;
+}
+
+// A fresh, empty directory under the test temp root.
+std::string FreshDir(const std::string& leaf) {
+  const std::string dir = PathJoin(::testing::TempDir(), "weblint-cache-test-" + leaf);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(CacheKeyTest, DerivationSeparatesEveryComponent) {
+  const CacheKey base = MakeLintCacheKey("a.html", "<HTML>", 1, "html40");
+  EXPECT_EQ(base, MakeLintCacheKey("a.html", "<HTML>", 1, "html40"));
+  EXPECT_NE(base, MakeLintCacheKey("b.html", "<HTML>", 1, "html40"));
+  EXPECT_NE(base, MakeLintCacheKey("a.html", "<html>", 1, "html40"));
+  EXPECT_NE(base, MakeLintCacheKey("a.html", "<HTML>", 2, "html40"));
+  EXPECT_NE(base, MakeLintCacheKey("a.html", "<HTML>", 1, "html32"));
+  // Name/content confusion must not collide: the length prefix keeps
+  // ("ab", "c") distinct from ("a", "bc").
+  EXPECT_NE(MakeLintCacheKey("ab", "c", 1, "html40"),
+            MakeLintCacheKey("a", "bc", 1, "html40"));
+}
+
+TEST(CacheKeyTest, HexIsStableAndFilenameSafe) {
+  const CacheKey key = MakeLintCacheKey("a.html", "<HTML>", 1, "html40");
+  const std::string hex = key.Hex();
+  EXPECT_EQ(hex.size(), 16u * 3 + 2);
+  EXPECT_EQ(hex, key.Hex());
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || c == '-') << c;
+  }
+}
+
+TEST(LintCacheTest, MemoryHitMissAndStats) {
+  LintResultCache cache({.capacity = 64, .directory = ""});
+  const CacheKey key = MakeLintCacheKey("p.html", "<P>", 7, "html40");
+
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  cache.Store(key, MakeReport("p.html"));
+  const auto hit = cache.Lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->name, "p.html");
+  ASSERT_EQ(hit->diagnostics.size(), 1u);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.disk_hits, 0u);
+  EXPECT_EQ(stats.disk_stores, 0u);
+}
+
+TEST(LintCacheTest, RestoreRefreshesInsteadOfDuplicating) {
+  LintResultCache cache({.capacity = 64, .directory = ""});
+  const CacheKey key = MakeLintCacheKey("p.html", "<P>", 7, "html40");
+  cache.Store(key, MakeReport("p.html", 1));
+  cache.Store(key, MakeReport("p.html", 2));
+  EXPECT_EQ(cache.MemoryEntryCount(), 1u);
+  EXPECT_EQ(cache.stats().stores, 1u);
+  const auto hit = cache.Lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->lines, 2u);  // Refresh keeps the newest report.
+}
+
+TEST(LintCacheTest, LruEvictsLeastRecentlyUsedWithinShard) {
+  // Capacity 32 over 16 shards = 2 entries per shard. These keys all land
+  // in shard 0 (hash == content_digest, multiples of 16).
+  LintResultCache cache({.capacity = 32, .directory = ""});
+  const CacheKey a{16, 0, 0};
+  const CacheKey b{32, 0, 0};
+  const CacheKey c{48, 0, 0};
+  cache.Store(a, MakeReport("a"));
+  cache.Store(b, MakeReport("b"));
+  ASSERT_NE(cache.Lookup(a), nullptr);  // a is now most recent.
+  cache.Store(c, MakeReport("c"));      // Evicts b, the LRU entry.
+  EXPECT_NE(cache.Lookup(a), nullptr);
+  EXPECT_EQ(cache.Lookup(b), nullptr);
+  EXPECT_NE(cache.Lookup(c), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LintCacheTest, CapacityBoundsMemoryUse) {
+  LintResultCache cache({.capacity = 16, .directory = ""});  // One entry per shard.
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    cache.Store(MakeLintCacheKey("f" + std::to_string(i), "x", 1, "html40"),
+                MakeReport("f" + std::to_string(i)));
+  }
+  EXPECT_LE(cache.MemoryEntryCount(), 16u);
+  EXPECT_EQ(cache.stats().stores, 200u);
+  EXPECT_GE(cache.stats().evictions, 200u - 16u);
+}
+
+TEST(LintCacheTest, DiskRoundTripAcrossInstances) {
+  const std::string dir = FreshDir("roundtrip");
+  const CacheKey key = MakeLintCacheKey("p.html", "<P>", 7, "html40");
+  {
+    LintResultCache writer({.capacity = 64, .directory = dir});
+    writer.Store(key, MakeReport("p.html", 42));
+    EXPECT_EQ(writer.stats().disk_stores, 1u);
+  }
+  LintResultCache reader({.capacity = 64, .directory = dir});
+  const auto hit = reader.Lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->name, "p.html");
+  EXPECT_EQ(hit->lines, 42u);
+  EXPECT_EQ(reader.stats().disk_hits, 1u);
+  EXPECT_EQ(reader.stats().hits, 1u);
+  // The disk hit was promoted: the second lookup is memory-only.
+  ASSERT_NE(reader.Lookup(key), nullptr);
+  EXPECT_EQ(reader.stats().disk_hits, 1u);
+  EXPECT_EQ(reader.stats().hits, 2u);
+}
+
+TEST(LintCacheTest, CorruptDiskEntryIsMissAndRemoved) {
+  const std::string dir = FreshDir("corrupt");
+  const CacheKey key = MakeLintCacheKey("p.html", "<P>", 7, "html40");
+  {
+    LintResultCache writer({.capacity = 64, .directory = dir});
+    writer.Store(key, MakeReport("p.html"));
+  }
+  const std::string entry_path = PathJoin(dir, key.Hex() + ".wlc");
+  ASSERT_TRUE(std::filesystem::exists(entry_path));
+  ASSERT_TRUE(WriteFile(entry_path, "scribbled over by a crash").ok());
+
+  LintResultCache reader({.capacity = 64, .directory = dir});
+  EXPECT_EQ(reader.Lookup(key), nullptr);
+  EXPECT_EQ(reader.stats().disk_corrupt, 1u);
+  EXPECT_EQ(reader.stats().misses, 1u);
+  // The bad entry was dropped so a re-store gets a clean slot.
+  EXPECT_FALSE(std::filesystem::exists(entry_path));
+  reader.Store(key, MakeReport("p.html"));
+  EXPECT_TRUE(std::filesystem::exists(entry_path));
+  EXPECT_NE(reader.Lookup(key), nullptr);
+}
+
+TEST(LintCacheTest, TruncatedDiskEntryIsMiss) {
+  const std::string dir = FreshDir("truncated");
+  const CacheKey key = MakeLintCacheKey("p.html", "<P>", 7, "html40");
+  {
+    LintResultCache writer({.capacity = 64, .directory = dir});
+    writer.Store(key, MakeReport("p.html"));
+  }
+  const std::string entry_path = PathJoin(dir, key.Hex() + ".wlc");
+  auto bytes = ReadFile(entry_path);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(WriteFile(entry_path, std::string_view(*bytes).substr(0, bytes->size() / 2)).ok());
+
+  LintResultCache reader({.capacity = 64, .directory = dir});
+  EXPECT_EQ(reader.Lookup(key), nullptr);
+  EXPECT_EQ(reader.stats().disk_corrupt, 1u);
+}
+
+TEST(LintCacheTest, ForeignIndexIsRestamped) {
+  // A directory stamped by a future/unknown store version is taken over:
+  // the index is re-stamped and stale entries are rejected one by one via
+  // their own magic/version.
+  const std::string dir = FreshDir("index");
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+  ASSERT_TRUE(WriteFile(PathJoin(dir, "index"), "weblint-cache 99\n").ok());
+
+  LintResultCache cache({.capacity = 64, .directory = dir});
+  const CacheKey key = MakeLintCacheKey("p.html", "<P>", 7, "html40");
+  cache.Store(key, MakeReport("p.html"));
+  EXPECT_EQ(cache.stats().disk_stores, 1u);
+  auto index = ReadFile(PathJoin(dir, "index"));
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(*index, "weblint-cache 1\n");
+}
+
+TEST(LintCacheTest, UnusableDirectoryFallsBackToMemoryOnly) {
+  // --cache-dir pointing somewhere unusable must not break linting: the
+  // cache silently runs memory-only.
+  const std::string blocker = FreshDir("blocker");
+  ASSERT_TRUE(WriteFile(blocker, "a plain file, not a directory").ok());
+  const std::string dir = PathJoin(blocker, "sub");
+
+  LintResultCache cache({.capacity = 64, .directory = dir});
+  const CacheKey key = MakeLintCacheKey("p.html", "<P>", 7, "html40");
+  cache.Store(key, MakeReport("p.html"));
+  EXPECT_NE(cache.Lookup(key), nullptr);  // Memory tier still works.
+  EXPECT_EQ(cache.stats().disk_stores, 0u);
+
+  LintResultCache second({.capacity = 64, .directory = dir});
+  EXPECT_EQ(second.Lookup(key), nullptr);  // Nothing persisted.
+}
+
+TEST(LintCacheTest, ReplayDrivesEmitterInDocumentOrder) {
+  LintReport report = MakeReport("p.html");
+  report.diagnostics.push_back({"unclosed-element", Category::kError, "p.html",
+                                {3, 1}, "unclosed element <B>"});
+
+  class RecordingEmitter : public Emitter {
+   public:
+    void BeginDocument(std::string_view name) override {
+      events.push_back("begin:" + std::string(name));
+    }
+    void Emit(const Diagnostic& diagnostic) override {
+      events.push_back("emit:" + diagnostic.message_id);
+    }
+    void EndDocument() override { events.push_back("end"); }
+    std::vector<std::string> events;
+  };
+
+  RecordingEmitter recorder;
+  ReplayReport(report, recorder);
+  ASSERT_EQ(recorder.events.size(), 4u);
+  EXPECT_EQ(recorder.events[0], "begin:p.html");
+  EXPECT_EQ(recorder.events[1], "emit:require-title");
+  EXPECT_EQ(recorder.events[2], "emit:unclosed-element");
+  EXPECT_EQ(recorder.events[3], "end");
+}
+
+TEST(LintCacheTest, ConcurrentLookupsAndStoresAreSafe) {
+  // Hammer a small cache from many threads: correctness is "no crash, no
+  // lost sanity" — exact counters depend on interleaving. Run under
+  // check_cache_tsan for the data-race proof.
+  LintResultCache cache({.capacity = 32, .directory = ""});
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 64;
+  constexpr int kIterations = 400;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const int key_index = (i * 7 + t * 13) % kKeys;
+        const std::string name = "doc" + std::to_string(key_index);
+        const CacheKey key = MakeLintCacheKey(name, "<P>content</P>", 1, "html40");
+        if (const auto hit = cache.Lookup(key); hit != nullptr) {
+          // Cached reports are immutable and must stay internally intact.
+          ASSERT_EQ(hit->name, name);
+          ASSERT_EQ(hit->diagnostics.size(), 1u);
+        } else {
+          cache.Store(key, MakeReport(name));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  const CacheStats stats = cache.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.stores, 0u);
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_LE(cache.MemoryEntryCount(), 32u);
+}
+
+}  // namespace
+}  // namespace weblint

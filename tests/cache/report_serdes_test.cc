@@ -1,0 +1,125 @@
+// Round-trip and corruption-tolerance tests for the cache entry format.
+#include "cache/report_serdes.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/report.h"
+
+namespace weblint {
+namespace {
+
+LintReport SampleReport() {
+  LintReport report;
+  report.name = "site/page one.html";
+  report.lines = 123;
+  report.diagnostics.push_back({"unclosed-element", Category::kError, report.name,
+                                {4, 7}, "unclosed element <B>"});
+  report.diagnostics.push_back({"here-anchor", Category::kStyle, report.name,
+                                {9, 1}, "bad form to use `click here'"});
+  report.links.push_back({"a", "../other.html#top", {4, 2}, false});
+  report.links.push_back({"img", "logo.gif", {6, 10}, true});
+  report.anchors.push_back({"top", {1, 1}});
+  report.anchors.push_back({"bottom", {120, 3}});
+  return report;
+}
+
+void ExpectReportsEqual(const LintReport& a, const LintReport& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.lines, b.lines);
+  ASSERT_EQ(a.diagnostics.size(), b.diagnostics.size());
+  for (size_t i = 0; i < a.diagnostics.size(); ++i) {
+    EXPECT_EQ(a.diagnostics[i].message_id, b.diagnostics[i].message_id);
+    EXPECT_EQ(a.diagnostics[i].category, b.diagnostics[i].category);
+    EXPECT_EQ(a.diagnostics[i].file, b.diagnostics[i].file);
+    EXPECT_EQ(a.diagnostics[i].location, b.diagnostics[i].location);
+    EXPECT_EQ(a.diagnostics[i].message, b.diagnostics[i].message);
+  }
+  ASSERT_EQ(a.links.size(), b.links.size());
+  for (size_t i = 0; i < a.links.size(); ++i) {
+    EXPECT_EQ(a.links[i].element, b.links[i].element);
+    EXPECT_EQ(a.links[i].url, b.links[i].url);
+    EXPECT_EQ(a.links[i].location, b.links[i].location);
+    EXPECT_EQ(a.links[i].is_resource, b.links[i].is_resource);
+  }
+  ASSERT_EQ(a.anchors.size(), b.anchors.size());
+  for (size_t i = 0; i < a.anchors.size(); ++i) {
+    EXPECT_EQ(a.anchors[i].name, b.anchors[i].name);
+    EXPECT_EQ(a.anchors[i].location, b.anchors[i].location);
+  }
+}
+
+TEST(ReportSerdesTest, RoundTripFullReport) {
+  const LintReport original = SampleReport();
+  const std::string bytes = SerializeLintReport(original);
+  const auto parsed = DeserializeLintReport(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  ExpectReportsEqual(original, *parsed);
+}
+
+TEST(ReportSerdesTest, RoundTripEmptyReport) {
+  LintReport empty;
+  empty.name = "clean.html";
+  const auto parsed = DeserializeLintReport(SerializeLintReport(empty));
+  ASSERT_TRUE(parsed.has_value());
+  ExpectReportsEqual(empty, *parsed);
+  EXPECT_TRUE(parsed->Clean());
+}
+
+TEST(ReportSerdesTest, RoundTripEmbeddedNulAndHighBytes) {
+  LintReport report;
+  report.name = std::string("a\0b", 3);
+  report.diagnostics.push_back({"odd-quotes", Category::kError, report.name,
+                                {1, 1}, std::string("caf\xC3\xA9 \xFF\x00!", 9)});
+  const auto parsed = DeserializeLintReport(SerializeLintReport(report));
+  ASSERT_TRUE(parsed.has_value());
+  ExpectReportsEqual(report, *parsed);
+}
+
+TEST(ReportSerdesTest, EveryTruncationIsRejected) {
+  // A torn write can stop at any byte; no prefix may parse.
+  const std::string bytes = SerializeLintReport(SampleReport());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DeserializeLintReport(std::string_view(bytes).substr(0, len)).has_value())
+        << "prefix of length " << len << " parsed";
+  }
+}
+
+TEST(ReportSerdesTest, TrailingGarbageIsRejected) {
+  std::string bytes = SerializeLintReport(SampleReport());
+  bytes += '\0';
+  EXPECT_FALSE(DeserializeLintReport(bytes).has_value());
+}
+
+TEST(ReportSerdesTest, WrongMagicIsRejected) {
+  std::string bytes = SerializeLintReport(SampleReport());
+  bytes[0] = 'X';
+  EXPECT_FALSE(DeserializeLintReport(bytes).has_value());
+}
+
+TEST(ReportSerdesTest, WrongVersionIsRejected) {
+  std::string bytes = SerializeLintReport(SampleReport());
+  bytes[4] = static_cast<char>(kReportSerdesVersion + 1);
+  EXPECT_FALSE(DeserializeLintReport(bytes).has_value());
+}
+
+TEST(ReportSerdesTest, PayloadBitFlipIsRejected) {
+  // The payload digest catches single-bit corruption anywhere in the body.
+  const std::string clean = SerializeLintReport(SampleReport());
+  for (size_t pos = 16; pos < clean.size(); pos += 7) {
+    std::string bytes = clean;
+    bytes[pos] ^= 0x20;
+    EXPECT_FALSE(DeserializeLintReport(bytes).has_value()) << "flip at " << pos;
+  }
+}
+
+TEST(ReportSerdesTest, RandomBytesAreRejected) {
+  EXPECT_FALSE(DeserializeLintReport("").has_value());
+  EXPECT_FALSE(DeserializeLintReport("not a cache entry at all").has_value());
+  EXPECT_FALSE(DeserializeLintReport(std::string(64, '\xFF')).has_value());
+  EXPECT_FALSE(DeserializeLintReport(std::string(64, '\0')).has_value());
+}
+
+}  // namespace
+}  // namespace weblint

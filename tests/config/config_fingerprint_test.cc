@@ -1,0 +1,219 @@
+// Stability and sensitivity of Config::Fingerprint(), the cache key
+// component that stands in for "same diagnostics". Two properties matter:
+// identical configs fingerprint identically however they were built, and
+// every diagnostic-affecting option flips the fingerprint.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "config/config.h"
+#include "plugins/css_checker.h"
+#include "plugins/script_checker.h"
+#include "warnings/catalog.h"
+
+namespace weblint {
+namespace {
+
+std::uint64_t DefaultFingerprint() { return Config().Fingerprint(); }
+
+TEST(ConfigFingerprintTest, DefaultsAreDeterministic) {
+  EXPECT_EQ(Config().Fingerprint(), Config().Fingerprint());
+}
+
+TEST(ConfigFingerprintTest, RcFileAndDirectConstructionAgree) {
+  // The same effective configuration reached through the rc-file parser and
+  // through direct field assignment must fingerprint identically: the
+  // fingerprint covers effective state, not construction history.
+  Config from_rc;
+  ASSERT_TRUE(ApplyRcText("disable unclosed-element\n"
+                          "enable upper-case\n"
+                          "extension netscape\n"
+                          "html-version html32\n"
+                          "set title-length 50\n"
+                          "set case upper\n"
+                          "set language fr\n"
+                          "set pragmas off\n"
+                          "element blink container inline\n"
+                          "attribute a target _blank|_self\n"
+                          "plugin css\n",
+                          "test-rc", &from_rc)
+                  .ok());
+
+  Config direct;
+  ASSERT_TRUE(direct.warnings.Disable("unclosed-element").ok());
+  ASSERT_TRUE(direct.warnings.Enable("upper-case").ok());
+  direct.enabled_extensions.insert("netscape");
+  direct.spec_id = "html32";
+  direct.max_title_length = 50;
+  direct.case_style = CaseStyle::kUpper;
+  direct.language = "fr";
+  direct.enable_pragmas = false;
+  direct.custom_elements.push_back({"blink", /*container=*/true, /*is_block=*/false});
+  direct.custom_attributes.push_back({"a", "target", "_blank|_self"});
+  direct.plugins.push_back(std::make_shared<CssChecker>());
+
+  EXPECT_EQ(from_rc.Fingerprint(), direct.Fingerprint());
+  EXPECT_NE(from_rc.Fingerprint(), DefaultFingerprint());
+}
+
+TEST(ConfigFingerprintTest, CliStyleSwitchOrderDoesNotMatter) {
+  // -e/-d switches apply in order; two orders with the same net effect must
+  // collide, and so must extension sets listed in different orders.
+  Config a;
+  ASSERT_TRUE(a.warnings.Disable("unmatched-close").ok());
+  ASSERT_TRUE(a.warnings.Enable("upper-case").ok());
+  a.enabled_extensions.insert("netscape");
+  a.enabled_extensions.insert("microsoft");
+
+  Config b;
+  ASSERT_TRUE(b.warnings.Enable("upper-case").ok());
+  ASSERT_TRUE(b.warnings.Disable("unmatched-close").ok());
+  b.enabled_extensions.insert("microsoft");
+  b.enabled_extensions.insert("netscape");
+
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(ConfigFingerprintTest, EveryMessageToggleProducesDistinctFingerprint) {
+  // Generate-and-diff over the whole catalog: flipping any single message
+  // must move the fingerprint, and no two single-message flips may collide.
+  std::set<std::uint64_t> fingerprints;
+  fingerprints.insert(DefaultFingerprint());
+  size_t toggles = 0;
+  for (const MessageInfo& info : AllMessages()) {
+    Config config;
+    config.warnings.Set(info.id, !config.warnings.IsEnabled(info.id));
+    const auto [it, inserted] = fingerprints.insert(config.Fingerprint());
+    EXPECT_TRUE(inserted) << "collision toggling " << info.id;
+    ++toggles;
+  }
+  EXPECT_EQ(fingerprints.size(), toggles + 1);
+}
+
+TEST(ConfigFingerprintTest, DiagnosticAffectingFieldsFlipFingerprint) {
+  const std::uint64_t base = DefaultFingerprint();
+  std::set<std::uint64_t> seen = {base};
+
+  const auto expect_flips = [&](const char* what, const Config& config) {
+    const std::uint64_t fp = config.Fingerprint();
+    EXPECT_NE(fp, base) << what << " did not change the fingerprint";
+    EXPECT_TRUE(seen.insert(fp).second) << what << " collided with another variant";
+  };
+
+  {
+    Config c;
+    c.spec_id = "html32";
+    expect_flips("spec_id", c);
+  }
+  {
+    Config c;
+    c.enabled_extensions.insert("netscape");
+    expect_flips("enabled_extensions", c);
+  }
+  {
+    Config c;
+    c.max_title_length = 65;
+    expect_flips("max_title_length", c);
+  }
+  {
+    Config c;
+    c.content_free_words.push_back("press here");
+    expect_flips("content_free_words", c);
+  }
+  {
+    Config c;
+    c.index_files.push_back("default.htm");
+    expect_flips("index_files", c);
+  }
+  {
+    Config c;
+    c.link_base_directory = "/srv/www";
+    expect_flips("link_base_directory", c);
+  }
+  {
+    Config c;
+    c.enable_pragmas = false;
+    expect_flips("enable_pragmas", c);
+  }
+  {
+    Config c;
+    c.custom_elements.push_back({"marquee", true, true});
+    expect_flips("custom_elements", c);
+  }
+  {
+    // The same element as a non-container is a different config.
+    Config c;
+    c.custom_elements.push_back({"marquee", false, true});
+    expect_flips("custom_elements container flag", c);
+  }
+  {
+    Config c;
+    c.custom_attributes.push_back({"img", "lowsrc", ""});
+    expect_flips("custom_attributes", c);
+  }
+  {
+    Config c;
+    c.plugins.push_back(std::make_shared<CssChecker>());
+    expect_flips("plugins css", c);
+  }
+  {
+    Config c;
+    c.plugins.push_back(std::make_shared<ScriptChecker>());
+    expect_flips("plugins script", c);
+  }
+  {
+    Config c;
+    c.case_style = CaseStyle::kLower;
+    expect_flips("case_style", c);
+  }
+  {
+    Config c;
+    c.language = "de";
+    expect_flips("language", c);
+  }
+}
+
+TEST(ConfigFingerprintTest, PluginOrderDoesNotMatter) {
+  Config a;
+  a.plugins.push_back(std::make_shared<CssChecker>());
+  a.plugins.push_back(std::make_shared<ScriptChecker>());
+  Config b;
+  b.plugins.push_back(std::make_shared<ScriptChecker>());
+  b.plugins.push_back(std::make_shared<CssChecker>());
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(ConfigFingerprintTest, ExecutionShapeOptionsAreExcluded) {
+  // Options that change where/how weblint runs — but never what a document's
+  // LintReport contains — must not perturb the fingerprint, or caches would
+  // miss on (say) a -j change.
+  const std::uint64_t base = DefaultFingerprint();
+  {
+    Config c;
+    c.output_style = OutputStyle::kShort;
+    EXPECT_EQ(c.Fingerprint(), base) << "output_style leaked into fingerprint";
+  }
+  {
+    Config c;
+    c.jobs = 8;
+    EXPECT_EQ(c.Fingerprint(), base) << "jobs leaked into fingerprint";
+  }
+  {
+    Config c;
+    c.recurse = true;
+    EXPECT_EQ(c.Fingerprint(), base) << "recurse leaked into fingerprint";
+  }
+  {
+    Config c;
+    c.use_cache = false;
+    c.cache_capacity = 7;
+    c.cache_dir = "/tmp/somewhere";
+    c.cache_stats = true;
+    EXPECT_EQ(c.Fingerprint(), base) << "cache settings leaked into fingerprint";
+  }
+}
+
+}  // namespace
+}  // namespace weblint

@@ -55,10 +55,66 @@ TEST(CgiRequestTest, PostBodyMergesOverQuery) {
   EXPECT_EQ(request->Param("format"), "short");
 }
 
+TEST(FormParseTest, TruncatedEscapesSurviveInKeysAndValues) {
+  // Percent-decoding of form fields is total: bad escapes pass through
+  // verbatim instead of corrupting neighbouring pairs.
+  const auto params = ParseFormUrlEncoded("a=%&b=%A&c=%ZZ&d=100%25%");
+  EXPECT_EQ(params.at("a"), "%");
+  EXPECT_EQ(params.at("b"), "%A");
+  EXPECT_EQ(params.at("c"), "%ZZ");
+  EXPECT_EQ(params.at("d"), "100%%");
+  const auto key_params = ParseFormUrlEncoded("%=v&%Zkey=w");
+  EXPECT_EQ(key_params.at("%"), "v");
+  EXPECT_EQ(key_params.at("%Zkey"), "w");
+}
+
 TEST(CgiRequestTest, UnsupportedContentTypeFails) {
   auto request = ParseCgiRequest(
       {{"REQUEST_METHOD", "POST"}, {"CONTENT_TYPE", "multipart/form-data; boundary=x"}}, "...");
   EXPECT_FALSE(request.ok());
+  auto plain = ParseCgiRequest(
+      {{"REQUEST_METHOD", "POST"}, {"CONTENT_TYPE", "text/plain"}}, "html=x");
+  EXPECT_FALSE(plain.ok());
+}
+
+TEST(CgiRequestTest, FormContentTypeVariantsAccepted) {
+  // Parameters and case must not defeat the match.
+  auto with_charset = ParseCgiRequest(
+      {{"REQUEST_METHOD", "POST"},
+       {"CONTENT_TYPE", "application/x-www-form-urlencoded; charset=UTF-8"}},
+      "html=%3CP%3E");
+  ASSERT_TRUE(with_charset.ok());
+  EXPECT_EQ(with_charset->Param("html"), "<P>");
+
+  auto upper = ParseCgiRequest(
+      {{"REQUEST_METHOD", "POST"}, {"CONTENT_TYPE", "Application/X-WWW-Form-URLencoded"}},
+      "a=1");
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(upper->Param("a"), "1");
+}
+
+TEST(CgiRequestTest, PostWithoutContentTypeParsedLeniently) {
+  // Old clients omit CONTENT_TYPE; the body is still treated as a form.
+  auto request = ParseCgiRequest({{"REQUEST_METHOD", "POST"}}, "html=x&format=short");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->Param("html"), "x");
+  EXPECT_EQ(request->Param("format"), "short");
+}
+
+TEST(CgiRequestTest, HttpAdapterRejectsNonFormPost) {
+  HttpRequest http;
+  http.method = "POST";
+  http.target = "/";
+  http.headers["content-type"] = "multipart/form-data; boundary=q";
+  http.body = "anything";
+  EXPECT_FALSE(CgiRequestFromHttp(http).ok());
+
+  http.headers["content-type"] = "application/x-www-form-urlencoded";
+  http.body = "html=%3CB%3E&bad=%ZZ";
+  auto ok_request = CgiRequestFromHttp(http);
+  ASSERT_TRUE(ok_request.ok());
+  EXPECT_EQ(ok_request->Param("html"), "<B>");
+  EXPECT_EQ(ok_request->Param("bad"), "%ZZ");
 }
 
 TEST(CgiRequestTest, MissingEnvironmentDefaults) {

