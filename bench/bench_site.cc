@@ -11,6 +11,10 @@
 #include "core/linter.h"
 #include "core/site_checker.h"
 #include "corpus/site_generator.h"
+#include "net/fault_injection.h"
+#include "net/virtual_web.h"
+#include "robot/poacher.h"
+#include "util/clock.h"
 
 namespace {
 
@@ -134,6 +138,68 @@ void BM_SiteCheckCached(benchmark::State& state) {
                          benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SiteCheckCached)
+    ->ArgsProduct({{50, 200}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// A poacher crawl under a scripted fault scenario — the same scenario
+// language the unit and integration tests use. Args are (pages, faulty):
+// faulty=0 is the clean-crawl baseline, faulty=1 injects the chaos menu.
+// The FakeClock makes stalls and backoff free, so the delta over the
+// baseline is the engine cost of the degradation path (retries, outcome
+// classification, fetch-failed report synthesis), not simulated waiting.
+void BM_CrawlUnderFaults(benchmark::State& state) {
+  const size_t pages = static_cast<size_t>(state.range(0));
+  const bool faulty = state.range(1) != 0;
+  SiteSpec spec;
+  spec.pages = pages;
+  spec.links_per_page = 6;
+  spec.paragraphs_per_page = 4;
+  spec.seed = 0xFA17 + pages;
+  const GeneratedSite site = GenerateSite(spec);
+  VirtualWeb web;
+  PopulateVirtualWeb(site, &web);
+
+  const char* script = faulty
+                           ? "seed 4242\n"
+                             "fault /page1.html stall\n"
+                             "fault /page3 refuse\n"
+                             "fault /page5.html drop-body 8\n"
+                             "fault /page7.html garbage\n"
+                             "fault /page9.html redirect-loop\n"
+                             "fault * refuse prob=5\n"
+                           : "";
+  auto scenario = ParseFaultScenario(script);
+
+  FetchPolicy policy;
+  policy.read_deadline_ms = 500;
+  policy.total_deadline_ms = 4000;
+  policy.retries = 2;
+  policy.jitter_seed = 9;
+
+  size_t fetched = 0;
+  size_t degraded = 0;
+  for (auto _ : state) {
+    FakeClock clock;
+    FaultyWeb chaos(web, *scenario, &clock);
+    chaos.set_stall_observed_ms(policy.read_deadline_ms);
+    Weblint lint;
+    lint.config().jobs = 1;
+    PoacherOptions options;
+    options.crawl.fetch_policy = policy;
+    options.crawl.clock = &clock;
+    Poacher poacher(lint, chaos, options);
+    const PoacherReport report = poacher.Run(site.IndexUrl());
+    fetched = report.stats.pages_fetched;
+    degraded = report.stats.pages_degraded;
+    benchmark::DoNotOptimize(fetched);
+  }
+  state.counters["pages_fetched"] = static_cast<double>(fetched);
+  state.counters["pages_degraded"] = static_cast<double>(degraded);
+  state.counters["pages_per_s"] =
+      benchmark::Counter(static_cast<double>(fetched * state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CrawlUnderFaults)
     ->ArgsProduct({{50, 200}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 

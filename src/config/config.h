@@ -105,6 +105,17 @@ struct Config {
   std::string cache_dir;               // --cache-dir: persistent tier; "" = memory only.
   bool cache_stats = false;            // --cache-stats: print CacheStats after the run.
 
+  // Fetch robustness (src/net FetchPolicy; see DESIGN.md "Robustness &
+  // fault injection"). Like the cache settings these are execution-shape —
+  // they bound what a retrieval may cost, never what a retrieved page
+  // reports — so they are excluded from Fingerprint().
+  std::uint32_t fetch_timeout_ms = 15000;     // --fetch-timeout: total deadline per page.
+  std::uint32_t fetch_retries = 2;            // --fetch-retries: attempts beyond the first.
+  std::uint64_t max_fetch_bytes = 8u << 20;   // --max-fetch-bytes: response body cap.
+  std::uint32_t max_redirects = 5;            // --max-redirects: hop limit per retrieval.
+  std::uint64_t fetch_jitter_seed = 1;        // Deterministic retry-backoff jitter.
+  bool fetch_stats = false;                   // --fetch-stats: print FetchStats after a crawl.
+
   // A stable digest of every option that can change the diagnostics a
   // document produces: the per-message enable/disable states (in catalog
   // order), spec id, extensions, tunables, custom elements/attributes,

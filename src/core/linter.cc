@@ -1,9 +1,11 @@
 #include "core/linter.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "core/engine.h"
 #include "core/reporter.h"
+#include "net/robust_fetcher.h"
 #include "spec/registry.h"
 #include "util/file_io.h"
 #include "util/strings.h"
@@ -148,11 +150,29 @@ void Weblint::EnableCache() {
   cache_ = std::make_shared<LintResultCache>(std::move(options));
 }
 
+FetchPolicy FetchPolicyFromConfig(const Config& config) {
+  FetchPolicy policy;
+  policy.total_deadline_ms = config.fetch_timeout_ms;
+  // One attempt may not consume the whole budget: leave room to retry.
+  policy.read_deadline_ms = std::max<std::uint32_t>(1, config.fetch_timeout_ms / 3);
+  policy.connect_deadline_ms = policy.read_deadline_ms;
+  policy.retries = config.fetch_retries;
+  policy.max_response_bytes = config.max_fetch_bytes;
+  policy.max_redirects = config.max_redirects;
+  policy.jitter_seed = config.fetch_jitter_seed;
+  return policy;
+}
+
 Result<FetchedDocument> Weblint::FetchDocument(std::string_view url_text,
                                                UrlFetcher& fetcher) const {
-  const Url url = ParseUrl(url_text);
-  Url final_url;
-  HttpResponse response = fetcher.GetFollowingRedirects(url, /*max_redirects=*/5, &final_url);
+  // All retrieval goes through the policy layer: deadlines, bounded
+  // retries, size caps, and a classified outcome instead of a hang.
+  RobustFetcher robust(fetcher, FetchPolicyFromConfig(config_));
+  FetchResult result = robust.FetchPage(ParseUrl(url_text));
+  if (!result.ok()) {
+    return Fail(StrFormat("cannot retrieve %s: %s", url_text, result.detail));
+  }
+  HttpResponse& response = result.response;
   if (!response.ok()) {
     return Fail(StrFormat("cannot retrieve %s: %d %s", url_text, response.status,
                           response.reason));
@@ -162,7 +182,7 @@ Result<FetchedDocument> Weblint::FetchDocument(std::string_view url_text,
     return Fail(StrFormat("%s is not HTML (content-type %s)", url_text, content_type));
   }
   FetchedDocument document;
-  document.name = final_url.Serialize();
+  document.name = result.final_url.Serialize();
   document.body = std::move(response.body);
   return document;
 }

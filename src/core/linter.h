@@ -25,11 +25,18 @@
 #include "cache/lint_cache.h"
 #include "config/config.h"
 #include "core/report.h"
+#include "net/fetch_policy.h"
 #include "net/fetcher.h"
 #include "util/result.h"
 #include "warnings/emitter.h"
 
 namespace weblint {
+
+// Maps the config's fetch knobs (--fetch-timeout, --fetch-retries,
+// --max-fetch-bytes, --max-redirects) to the net layer's FetchPolicy.
+// Defined here rather than in net because net is below config in the layer
+// stack.
+FetchPolicy FetchPolicyFromConfig(const Config& config);
 
 // A retrieved page before checking: the display name (final URL after
 // redirects) and the body bytes. Split out of CheckUrl so the gateway can

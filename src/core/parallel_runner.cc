@@ -121,6 +121,35 @@ size_t ParallelLintRunner::SubmitString(std::string name, std::string html) {
   return index;
 }
 
+size_t ParallelLintRunner::SubmitReport(LintReport report) {
+  size_t index;
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    index = results_.size();
+    results_.emplace_back();
+  }
+  if (pool_ == nullptr) {
+    // Serial path: replay the document to the emitter immediately, exactly
+    // where a checked page's diagnostics would have streamed.
+    if (emitter_ != nullptr) {
+      emitter_->BeginDocument(report.name);
+      for (const Diagnostic& diagnostic : report.diagnostics) {
+        emitter_->Emit(diagnostic);
+      }
+      emitter_->EndDocument();
+    }
+    std::lock_guard<std::mutex> lock(results_mu_);
+    results_[index] = Result<LintReport>(std::move(report));
+    return index;
+  }
+  // Parallel path: the result is already final — fill the slot and let the
+  // frontier flush it in submit order.
+  std::lock_guard<std::mutex> lock(results_mu_);
+  results_[index] = Result<LintReport>(std::move(report));
+  FlushReadyLocked();
+  return index;
+}
+
 void ParallelLintRunner::RunSlot(size_t index,
                                  const std::function<Result<LintReport>()>& check) {
   Result<LintReport> result = check();

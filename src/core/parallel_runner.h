@@ -60,6 +60,13 @@ class ParallelLintRunner {
   size_t SubmitFile(std::string path);
   size_t SubmitString(std::string name, std::string html);
 
+  // Enqueue an already-complete report — no linting, no cache. The report
+  // occupies a submit-order slot exactly like a checked page, so its
+  // diagnostics stream at the right position at every job count. The
+  // crawler uses this for degraded pages: a failed fetch becomes a
+  // synthesized fetch-failed report in crawl order, never an abort.
+  size_t SubmitReport(LintReport report);
+
   // Waits for every submitted job, flushes any remaining in-order output,
   // and returns the results in submit order. The runner is exhausted after
   // this call.

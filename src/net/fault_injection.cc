@@ -1,0 +1,338 @@
+#include "net/fault_injection.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+constexpr std::uint64_t kDefaultDropBodyBytes = 16;
+constexpr std::uint64_t kDefaultOversizeBytes = 16u << 20;
+
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool ParseKind(std::string_view word, FaultKind* out) {
+  if (word == "refuse") {
+    *out = FaultKind::kRefuse;
+  } else if (word == "stall") {
+    *out = FaultKind::kStall;
+  } else if (word == "drop-body") {
+    *out = FaultKind::kDropBody;
+  } else if (word == "garbage") {
+    *out = FaultKind::kGarbage;
+  } else if (word == "redirect-loop") {
+    *out = FaultKind::kRedirectLoop;
+  } else if (word == "oversize") {
+    *out = FaultKind::kOversize;
+  } else if (word == "slow-drip") {
+    *out = FaultKind::kSlowDrip;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Parses "key=value" option words shared by the fault directive.
+Status ApplyRuleOption(std::string_view word, FaultRule* rule) {
+  const size_t eq = word.find('=');
+  if (eq == std::string_view::npos) {
+    return Fail("expected key=value, got " + std::string(word));
+  }
+  const std::string_view key = word.substr(0, eq);
+  std::uint32_t value = 0;
+  if (!ParseUint(word.substr(eq + 1), &value)) {
+    return Fail("bad number in " + std::string(word));
+  }
+  if (key == "after") {
+    rule->after = value;
+  } else if (key == "times") {
+    rule->times = value;
+  } else if (key == "prob") {
+    if (value > 100) {
+      return Fail("prob must be 0-100, got " + std::string(word));
+    }
+    rule->prob_percent = value;
+  } else {
+    return Fail("unknown fault option " + std::string(word));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kRefuse:
+      return "refuse";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kDropBody:
+      return "drop-body";
+    case FaultKind::kGarbage:
+      return "garbage";
+    case FaultKind::kRedirectLoop:
+      return "redirect-loop";
+    case FaultKind::kOversize:
+      return "oversize";
+    case FaultKind::kSlowDrip:
+      return "slow-drip";
+  }
+  return "unknown";
+}
+
+std::string FaultScenario::Describe() const {
+  std::string out = StrFormat("seed=%d rules=[", seed);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) {
+      out += " ";
+    }
+    out += StrFormat("%s:%s", FaultKindName(rules[i].kind), rules[i].pattern);
+  }
+  out += "]";
+  return out;
+}
+
+const FaultRule* FaultScenario::Match(std::string_view path, std::uint64_t request_ordinal) {
+  for (FaultRule& rule : rules) {
+    const bool matches =
+        rule.pattern == "*" || path.find(rule.pattern) != std::string_view::npos;
+    if (!matches) {
+      continue;
+    }
+    const std::uint32_t ordinal_for_rule = rule.seen++;
+    if (ordinal_for_rule < rule.after) {
+      continue;
+    }
+    if (rule.times != 0 && rule.fired >= rule.times) {
+      continue;
+    }
+    if (rule.prob_percent < 100) {
+      // Deterministic sampling: a pure function of (seed, global request
+      // ordinal, rule identity) — replays bit-exactly.
+      const std::uint64_t roll =
+          Mix64(seed ^ Mix64(request_ordinal + 0x517Eull * (&rule - rules.data() + 1))) % 100;
+      if (roll >= rule.prob_percent) {
+        continue;
+      }
+    }
+    ++rule.fired;
+    return &rule;
+  }
+  return nullptr;
+}
+
+Result<FaultScenario> ParseFaultScenario(std::string_view text) {
+  FaultScenario scenario;
+  size_t line_no = 0;
+  for (std::string_view raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw_line);
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = TrimRight(line.substr(0, hash));
+    }
+    if (line.empty()) {
+      continue;
+    }
+    const auto words = SplitWhitespace(line);
+    if (words[0] == "seed") {
+      std::uint32_t seed = 0;
+      if (words.size() != 2 || !ParseUint(words[1], &seed)) {
+        return Fail(StrFormat("scenario line %d: seed expects one number", line_no));
+      }
+      scenario.seed = seed;
+      continue;
+    }
+    if (words[0] != "fault") {
+      return Fail(StrFormat("scenario line %d: unknown directive %s", line_no, words[0]));
+    }
+    if (words.size() < 3) {
+      return Fail(StrFormat("scenario line %d: fault expects <pattern> <kind>", line_no));
+    }
+    FaultRule rule;
+    rule.pattern = std::string(words[1]);
+    if (!ParseKind(words[2], &rule.kind)) {
+      return Fail(StrFormat("scenario line %d: unknown fault kind %s", line_no, words[2]));
+    }
+    size_t next = 3;
+    if (next < words.size() && words[next].find('=') == std::string_view::npos) {
+      std::uint32_t param = 0;
+      if (!ParseUint(words[next], &param)) {
+        return Fail(StrFormat("scenario line %d: bad fault parameter %s", line_no, words[next]));
+      }
+      rule.param = param;
+      ++next;
+    }
+    for (; next < words.size(); ++next) {
+      if (Status s = ApplyRuleOption(words[next], &rule); !s.ok()) {
+        return Fail(StrFormat("scenario line %d: %s", line_no, s.message()));
+      }
+    }
+    scenario.rules.push_back(std::move(rule));
+  }
+  return scenario;
+}
+
+HttpResponse FaultyWeb::Serve(const Url& url, bool head) {
+  const std::uint64_t ordinal = request_ordinal_++;
+  const FaultRule* rule = scenario_.Match(url.path, ordinal);
+  if (rule == nullptr) {
+    return head ? inner_.Head(url) : inner_.Get(url);
+  }
+  ++faults_injected_;
+
+  HttpResponse response;
+  switch (rule->kind) {
+    case FaultKind::kRefuse:
+      response.transport = TransportError::kRefused;
+      response.reason = "connection refused (injected)";
+      return response;
+
+    case FaultKind::kStall:
+    case FaultKind::kSlowDrip: {
+      // The server never completes its reply; the client observes its read
+      // deadline (stall_observed_ms_, set by the harness to the policy's
+      // deadline), then gives up.
+      const std::uint64_t server_stall_ms =
+          rule->param != 0 ? rule->param : 2ull * stall_observed_ms_;
+      clock_->SleepMicros(std::min<std::uint64_t>(server_stall_ms, stall_observed_ms_) * 1000);
+      response.transport = TransportError::kTimeout;
+      response.reason = "stalled (injected)";
+      return response;
+    }
+
+    case FaultKind::kDropBody: {
+      response = head ? inner_.Head(url) : inner_.Get(url);
+      if (response.transport != TransportError::kNone || head) {
+        return response;
+      }
+      // Keep the declared length honest and drop the tail: exactly what a
+      // connection reset mid-body looks like to the client.
+      const std::uint64_t keep = rule->param != 0 ? rule->param : kDefaultDropBodyBytes;
+      if (response.body.size() > keep) {
+        response.headers["content-length"] = std::to_string(response.body.size());
+        response.body.resize(keep);
+        response.body_truncated = true;
+      }
+      return response;
+    }
+
+    case FaultKind::kGarbage:
+      response.transport = TransportError::kMalformed;
+      response.reason = "garbage reply (injected)";
+      return response;
+
+    case FaultKind::kRedirectLoop: {
+      // 302 back to the same path with an incrementing hop counter, so each
+      // hop is a "new" URL and naive loop detection by exact URL fails —
+      // only the hop limit stops it.
+      std::uint32_t hop = 0;
+      const size_t at = url.query.find("hop=");
+      if (at != std::string::npos) {
+        ParseUint(std::string_view(url.query).substr(at + 4), &hop);
+      }
+      response.status = 302;
+      response.reason = "Found (injected loop)";
+      Url next = url;
+      next.query = "hop=" + std::to_string(hop + 1);
+      response.headers["location"] = next.Serialize();
+      return response;
+    }
+
+    case FaultKind::kOversize: {
+      const std::uint64_t bytes = rule->param != 0 ? rule->param : kDefaultOversizeBytes;
+      response.status = 200;
+      response.reason = "OK";
+      response.headers["content-type"] = "text/html";
+      if (!head) {
+        response.body.assign(bytes, 'x');
+      }
+      return response;
+    }
+  }
+  return response;
+}
+
+HttpResponse FaultyWeb::Get(const Url& url) { return Serve(url, /*head=*/false); }
+
+HttpResponse FaultyWeb::Head(const Url& url) { return Serve(url, /*head=*/true); }
+
+HttpServer::WireShaper MakeWireShaper(FaultScenario scenario) {
+  // The shaper captures its scenario by shared_ptr: std::function requires
+  // copyability, and rule bookkeeping must be shared across copies.
+  auto state = std::make_shared<FaultScenario>(std::move(scenario));
+  auto ordinal = std::make_shared<std::uint64_t>(0);
+  return [state, ordinal](const HttpRequest& request,
+                          std::string serialized) -> HttpServer::WirePlan {
+    HttpServer::WirePlan plan;
+    const FaultRule* rule = state->Match(request.Path(), (*ordinal)++);
+    if (rule == nullptr) {
+      plan.bytes = std::move(serialized);
+      return plan;
+    }
+    switch (rule->kind) {
+      case FaultKind::kRefuse:
+        plan.close_before_write = true;
+        break;
+      case FaultKind::kStall:
+        // Real milliseconds on the wire — scenarios for socket tests keep
+        // this just above the client's read deadline.
+        plan.stall_ms = rule->param != 0 ? static_cast<std::uint32_t>(rule->param) : 300;
+        plan.bytes = std::move(serialized);
+        break;
+      case FaultKind::kDropBody: {
+        const std::uint64_t keep = rule->param != 0 ? rule->param : kDefaultDropBodyBytes;
+        const size_t header_end = serialized.find("\r\n\r\n");
+        const size_t cut = header_end == std::string::npos
+                               ? serialized.size()
+                               : std::min(serialized.size(), header_end + 4 + keep);
+        plan.bytes = serialized.substr(0, cut);
+        break;
+      }
+      case FaultKind::kGarbage:
+        plan.bytes = "ZTTP/9.9 garbage reply\r\nthis is not http\r\n\r\n<noise>";
+        break;
+      case FaultKind::kRedirectLoop: {
+        std::uint32_t hop = 0;
+        const std::string_view query = request.Query();
+        const size_t at = query.find("hop=");
+        if (at != std::string_view::npos) {
+          ParseUint(query.substr(at + 4), &hop);
+        }
+        HttpResponse redirect;
+        redirect.status = 302;
+        redirect.reason = "Found";
+        redirect.headers["location"] =
+            std::string(request.Path()) + "?hop=" + std::to_string(hop + 1);
+        plan.bytes = SerializeHttpResponse(redirect);
+        break;
+      }
+      case FaultKind::kOversize: {
+        const std::uint64_t bytes = rule->param != 0 ? rule->param : kDefaultOversizeBytes;
+        HttpResponse big;
+        big.status = 200;
+        big.reason = "OK";
+        big.headers["content-type"] = "text/html";
+        big.body.assign(bytes, 'x');
+        plan.bytes = SerializeHttpResponse(big);
+        break;
+      }
+      case FaultKind::kSlowDrip:
+        plan.bytes = std::move(serialized);
+        plan.chunk_bytes = rule->param != 0 ? static_cast<size_t>(rule->param) : 1;
+        plan.chunk_delay_ms = 20;
+        break;
+    }
+    return plan;
+  };
+}
+
+}  // namespace weblint

@@ -1,0 +1,144 @@
+// Deterministic fault injection for the fetch/crawl layer.
+//
+// The robustness contract (every network failure degrades to a per-page
+// diagnostic, never a crash or hang) is only worth having if it is
+// provable. This header provides the chaos harness that proves it:
+//
+//  * FaultScenario — a seeded, scriptable description of which requests
+//    fail and how. One scenario text drives all three harness layers.
+//  * FaultyWeb — an in-process UrlFetcher decorator applying the scenario
+//    to another fetcher (usually a VirtualWeb): refusals, stalls, mid-body
+//    drops, garbage replies, infinite redirect chains, oversized bodies.
+//  * MakeWireShaper — the same scenario lowered to the socket layer: an
+//    HttpServer response hook producing partial writes, garbage status
+//    lines, slow-drip ("slowloris") responses and pre-write stalls on a
+//    real connection, for SocketFetcher/RobustFetcher integration tests.
+//
+// Everything is deterministic given (scenario seed, request sequence): a
+// failing test reproduces from the printed seed.
+//
+// Scenario script format (one directive per line, '#' comments):
+//
+//   seed <n>                          # jitter/sampling seed (default 1)
+//   fault <pattern> <kind> [param] [after=N] [times=N] [prob=P]
+//
+// `pattern` is matched as a substring of the URL path ('*' matches every
+// request). `kind` is one of:
+//
+//   refuse          connection refused                      (param unused)
+//   stall           server never answers; the client eats its read
+//                   deadline. param = stall observed by the client, ms
+//                   (in-process default: 2x a typical read deadline)
+//   drop-body       deliver only param bytes of the body, Content-Length
+//                   intact (mid-body drop / short read). param default 16
+//   garbage         reply bytes are not HTTP (garbage status line)
+//   redirect-loop   302 to itself with an incrementing ?hop= counter
+//   oversize        serve a param-byte body (default 16 MiB)
+//   slow-drip       deliver the body param bytes at a time with a stall
+//                   between chunks (wire mode; in-process this costs one
+//                   read deadline like `stall`). param default 1
+//
+// `after=N` skips the first N matching requests (fault the 3rd fetch);
+// `times=N` stops faulting after N hits (transient faults, so retries can
+// succeed); `prob=P` (0-100) faults that percentage of matching requests,
+// sampled deterministically from the seed.
+#ifndef WEBLINT_NET_FAULT_INJECTION_H_
+#define WEBLINT_NET_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/fetcher.h"
+#include "net/http_server.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace weblint {
+
+enum class FaultKind {
+  kRefuse,
+  kStall,
+  kDropBody,
+  kGarbage,
+  kRedirectLoop,
+  kOversize,
+  kSlowDrip,
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+struct FaultRule {
+  std::string pattern;  // Substring of the URL path; "*" = every request.
+  FaultKind kind = FaultKind::kRefuse;
+  std::uint64_t param = 0;      // Kind-specific; 0 = kind default.
+  std::uint32_t after = 0;      // Skip the first `after` matching requests.
+  std::uint32_t times = 0;      // 0 = unlimited; else fault at most N times.
+  std::uint32_t prob_percent = 100;  // Deterministic sampling rate.
+
+  // Mutable bookkeeping (the scenario is per-run state).
+  std::uint32_t seen = 0;
+  std::uint32_t fired = 0;
+};
+
+struct FaultScenario {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+
+  // One-line summary ("seed=42 rules=[stall:/page3 ...]") for test traces,
+  // so any failure reproduces from the printed seed.
+  std::string Describe() const;
+
+  // The first rule that elects to fault this request, advancing rule
+  // bookkeeping. Returns nullptr when the request should pass through.
+  // `request_ordinal` feeds the deterministic prob sampling.
+  const FaultRule* Match(std::string_view path, std::uint64_t request_ordinal);
+};
+
+// Parses the scenario script format above. Unknown directives, kinds, or
+// malformed parameters fail, naming the offending line.
+Result<FaultScenario> ParseFaultScenario(std::string_view text);
+
+// An in-process chaos proxy: serves from `inner`, mangled per `scenario`.
+// Stalls and slow-drips advance `clock` (share the RobustFetcher's
+// FakeClock in tests) instead of really sleeping.
+class FaultyWeb : public UrlFetcher {
+ public:
+  FaultyWeb(UrlFetcher& inner, FaultScenario scenario, Clock* clock = nullptr)
+      : inner_(inner), scenario_(std::move(scenario)),
+        clock_(clock != nullptr ? clock : Clock::System()) {}
+
+  HttpResponse Get(const Url& url) override;
+  HttpResponse Head(const Url& url) override;
+
+  // Cap on how long a client observes a `stall` / `slow-drip` before its
+  // read deadline fires. Tests set this to the policy's read deadline so
+  // fake-clock time mirrors what a socket client would measure.
+  void set_stall_observed_ms(std::uint32_t ms) { stall_observed_ms_ = ms; }
+
+  size_t faults_injected() const { return faults_injected_; }
+  const FaultScenario& scenario() const { return scenario_; }
+
+ private:
+  HttpResponse Serve(const Url& url, bool head);
+
+  UrlFetcher& inner_;
+  FaultScenario scenario_;
+  Clock* clock_;
+  std::uint32_t stall_observed_ms_ = 10000;
+  std::uint64_t request_ordinal_ = 0;
+  size_t faults_injected_ = 0;
+};
+
+// Lowers `scenario` to HttpServer's wire hook: the returned shaper mangles
+// serialized response bytes (garbage status line, partial write, slow drip,
+// stall-before-write) per rule. Stalls here are real milliseconds — keep
+// them short in tests. The shaper owns its scenario state and is called
+// from the server's serving thread only.
+HttpServer::WireShaper MakeWireShaper(FaultScenario scenario);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_NET_FAULT_INJECTION_H_

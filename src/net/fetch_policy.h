@@ -1,0 +1,110 @@
+// Fetch robustness policy and outcome taxonomy.
+//
+// The paper's poacher robot "runs weblint over a site traversal engine"
+// against the live web — which means stalled servers, dropped bodies,
+// redirect loops, and multi-megabyte accidents. The policy bounds what one
+// page retrieval may cost; the outcome enum classifies how retrievals end so
+// callers can degrade per page (a lint diagnostic) instead of aborting the
+// run. RobustFetcher (robust_fetcher.h) enforces the policy over any
+// UrlFetcher.
+#ifndef WEBLINT_NET_FETCH_POLICY_H_
+#define WEBLINT_NET_FETCH_POLICY_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/response.h"
+#include "util/url.h"
+
+namespace weblint {
+
+struct FetchPolicy {
+  // Deadlines. `connect`/`read` bound one attempt; `total` bounds the whole
+  // retrieval including retries, backoff and redirect hops.
+  std::uint32_t connect_deadline_ms = 2000;
+  std::uint32_t read_deadline_ms = 5000;
+  std::uint32_t total_deadline_ms = 15000;
+
+  // Bounded retries with exponential backoff. `retries` counts additional
+  // attempts after the first; backoff doubles per retry from `base`, capped
+  // at `max`, plus deterministic jitter derived from (`jitter_seed`, url,
+  // attempt) — never from wall time or a global RNG.
+  std::uint32_t retries = 2;
+  std::uint32_t backoff_base_ms = 100;
+  std::uint32_t backoff_max_ms = 2000;
+  std::uint64_t jitter_seed = 1;
+
+  // Resource caps.
+  std::uint32_t max_redirects = 5;
+  std::uint64_t max_response_bytes = 8u << 20;
+  std::uint32_t max_header_bytes = 64u << 10;
+};
+
+// How a policy-governed retrieval ended. Everything except kOk is a
+// degraded outcome: the page produced no usable body.
+enum class FetchOutcome {
+  kOk,            // A complete HTTP reply (any status code) within policy.
+  kTimeout,       // A deadline expired (per-attempt or total).
+  kTruncated,     // Body shorter than its declared Content-Length.
+  kTooLarge,      // Body exceeded max_response_bytes.
+  kRefused,       // Connection refused on every attempt.
+  kMalformed,     // Reply did not parse as HTTP.
+  kRedirectLoop,  // More than max_redirects hops.
+};
+
+inline constexpr size_t kFetchOutcomeCount = 7;
+
+std::string_view FetchOutcomeName(FetchOutcome outcome);
+
+// One classified retrieval.
+struct FetchResult {
+  FetchOutcome outcome = FetchOutcome::kOk;
+  HttpResponse response;  // Meaningful only when outcome == kOk.
+  Url final_url;          // Where the last attempt/hop landed.
+  std::uint32_t attempts = 0;
+  std::uint32_t redirect_hops = 0;
+  std::string detail;  // Deterministic human-readable summary.
+
+  bool ok() const { return outcome == FetchOutcome::kOk; }
+};
+
+// Counters accumulated by a RobustFetcher across retrievals. All counts are
+// derived from the (deterministic) request sequence, so two identical runs
+// produce identical stats.
+struct FetchStats {
+  std::uint64_t requests = 0;            // FetchPage/Get/Head calls.
+  std::uint64_t attempts = 0;            // Individual wire attempts.
+  std::uint64_t retries = 0;             // attempts beyond the first.
+  std::uint64_t redirects_followed = 0;  // Hops taken.
+  std::uint64_t bytes_fetched = 0;       // Body bytes of kOk results.
+  std::array<std::uint64_t, kFetchOutcomeCount> by_outcome{};  // Indexed by FetchOutcome.
+
+  std::uint64_t degraded() const {
+    std::uint64_t n = 0;
+    for (size_t i = 1; i < by_outcome.size(); ++i) {  // Skip kOk.
+      n += by_outcome[i];
+    }
+    return n;
+  }
+
+  void MergeFrom(const FetchStats& other) {
+    requests += other.requests;
+    attempts += other.attempts;
+    retries += other.retries;
+    redirects_followed += other.redirects_followed;
+    bytes_fetched += other.bytes_fetched;
+    for (size_t i = 0; i < by_outcome.size(); ++i) {
+      by_outcome[i] += other.by_outcome[i];
+    }
+  }
+};
+
+// Multi-line summary for `poacher --fetch-stats` (stable field order, so
+// runs can be diffed byte for byte).
+std::string FormatFetchStats(const FetchStats& stats);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_NET_FETCH_POLICY_H_

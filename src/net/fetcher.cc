@@ -35,6 +35,22 @@ std::string_view ReasonPhrase(int status) {
   }
 }
 
+std::string_view TransportErrorName(TransportError error) {
+  switch (error) {
+    case TransportError::kNone:
+      return "none";
+    case TransportError::kRefused:
+      return "refused";
+    case TransportError::kTimeout:
+      return "timeout";
+    case TransportError::kReset:
+      return "reset";
+    case TransportError::kMalformed:
+      return "malformed";
+  }
+  return "unknown";
+}
+
 HttpResponse UrlFetcher::Head(const Url& url) {
   HttpResponse response = Get(url);
   response.body.clear();

@@ -6,8 +6,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 
 namespace weblint {
 
@@ -70,10 +72,11 @@ Status HttpServer::Listen(std::uint16_t port) {
 }
 
 Status HttpServer::ServeOne() {
-  if (listen_fd_ < 0) {
+  const int fd = listen_fd_.load();
+  if (fd < 0) {
     return Fail("server is not listening");
   }
-  const int client = ::accept(listen_fd_, nullptr, nullptr);
+  const int client = ::accept(fd, nullptr, nullptr);
   if (client < 0) {
     return Fail(std::string("accept: ") + std::strerror(errno));
   }
@@ -105,8 +108,38 @@ Status HttpServer::ServeOne() {
   // fact about that one client, not about the server. Count it, drop the
   // connection, and keep serving — a public gateway must survive browsers
   // that close the tab mid-response.
-  if (!WriteAll(client, SerializeHttpResponse(response))) {
-    ++write_failures_;
+  std::string serialized = SerializeHttpResponse(response);
+  if (wire_shaper_ == nullptr) {
+    if (!WriteAll(client, serialized)) {
+      ++write_failures_;
+    }
+    ::close(client);
+    return Status::Ok();
+  }
+
+  // Fault-injection path: deliver whatever the shaper dictates — possibly
+  // late, in slow chunks, truncated, or nothing at all.
+  const WirePlan plan =
+      request.ok() ? wire_shaper_(*request, std::move(serialized))
+                   : WirePlan{std::move(serialized), 0, 0, 0, false};
+  if (plan.stall_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(plan.stall_ms));
+  }
+  if (!plan.close_before_write) {
+    bool write_ok = true;
+    if (plan.chunk_bytes == 0) {
+      write_ok = WriteAll(client, plan.bytes);
+    } else {
+      for (size_t at = 0; write_ok && at < plan.bytes.size(); at += plan.chunk_bytes) {
+        write_ok = WriteAll(client, std::string_view(plan.bytes).substr(at, plan.chunk_bytes));
+        if (write_ok && plan.chunk_delay_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(plan.chunk_delay_ms));
+        }
+      }
+    }
+    if (!write_ok) {
+      ++write_failures_;
+    }
   }
   ::close(client);
   return Status::Ok();
@@ -124,9 +157,10 @@ Status HttpServer::Serve(size_t max_requests) {
 }
 
 void HttpServer::Close() {
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  // exchange() so concurrent Close() calls can't double-close the fd.
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::close(fd);
   }
 }
 

@@ -6,6 +6,7 @@
 #ifndef WEBLINT_NET_HTTP_SERVER_H_
 #define WEBLINT_NET_HTTP_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -17,6 +18,19 @@ namespace weblint {
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  // Wire-level plan for delivering one response — the fault-injection hook
+  // (fault_injection.h). The default plan sends `bytes` in one write.
+  struct WirePlan {
+    std::string bytes;               // Exact bytes to put on the wire.
+    std::uint32_t stall_ms = 0;      // Sleep before the first write.
+    size_t chunk_bytes = 0;          // 0 = single write; else drip chunks...
+    std::uint32_t chunk_delay_ms = 0;  // ...with this sleep between them.
+    bool close_before_write = false;   // Drop the connection, send nothing.
+  };
+  // Maps (request, serialized response) to the bytes actually written.
+  // Installed only by fault-injection harnesses; never in production.
+  using WireShaper = std::function<WirePlan(const HttpRequest&, std::string serialized)>;
 
   explicit HttpServer(Handler handler) : handler_(std::move(handler)) {}
   ~HttpServer();
@@ -47,11 +61,18 @@ class HttpServer {
   // early, connection reset).
   size_t write_failures() const { return write_failures_; }
 
+  // Installs a response-byte mangler for fault-injection tests (null to
+  // remove). Call before Serve; the shaper runs on the serving thread.
+  void set_wire_shaper(WireShaper shaper) { wire_shaper_ = std::move(shaper); }
+
   void Close();
 
  private:
   Handler handler_;
-  int listen_fd_ = -1;
+  WireShaper wire_shaper_;
+  // Atomic: Close() may run on another thread to unblock a Serve() loop
+  // parked in accept().
+  std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
   size_t write_failures_ = 0;
 };

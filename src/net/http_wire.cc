@@ -43,14 +43,24 @@ void ParseHeaderFields(const std::vector<std::string_view>& lines, size_t first,
   }
 }
 
+// Extracts the body per Content-Length. The header is untrusted input: a
+// negative, non-numeric, or absent value falls back to "everything after
+// the blank line"; a value larger than the bytes actually present is a
+// short read and sets `*truncated` — it must never be reported as a
+// complete body (silent success hides mid-body drops).
 std::string TakeBody(std::string_view raw, size_t body_start,
-                     const std::map<std::string, std::string, ILess>& headers) {
+                     const std::map<std::string, std::string, ILess>& headers,
+                     bool* truncated) {
   std::string_view body = raw.substr(std::min(body_start, raw.size()));
   const auto it = headers.find("content-length");
   if (it != headers.end()) {
     std::uint32_t length = 0;
-    if (ParseUint(it->second, &length) && length <= body.size()) {
-      body = body.substr(0, length);
+    if (ParseUint(Trim(it->second), &length)) {
+      if (length <= body.size()) {
+        body = body.substr(0, length);
+      } else if (truncated != nullptr) {
+        *truncated = true;
+      }
     }
   }
   return std::string(body);
@@ -87,7 +97,7 @@ Result<HttpRequest> ParseHttpRequest(std::string_view raw) {
   request.version = parts.size() > 2 ? std::string(parts[2]) : "HTTP/0.9";
   ParseHeaderFields(lines, 1, &request.headers);
   if (body_start != std::string_view::npos) {
-    request.body = TakeBody(raw, body_start, request.headers);
+    request.body = TakeBody(raw, body_start, request.headers, nullptr);
   }
   return request;
 }
@@ -116,7 +126,7 @@ Result<HttpResponse> ParseHttpResponse(std::string_view raw) {
   }
   ParseHeaderFields(lines, 1, &response.headers);
   if (body_start != std::string_view::npos) {
-    response.body = TakeBody(raw, body_start, response.headers);
+    response.body = TakeBody(raw, body_start, response.headers, &response.body_truncated);
   }
   return response;
 }

@@ -37,7 +37,10 @@ struct HttpRequest {
 // otherwise everything after the blank line.
 Result<HttpRequest> ParseHttpRequest(std::string_view raw);
 
-// Parses a complete response message.
+// Parses a complete response message. Content-Length is untrusted: a
+// malformed or negative value is ignored (body = everything after the blank
+// line); a declared length longer than the bytes present marks the result
+// body_truncated — short reads are surfaced, never silently accepted.
 Result<HttpResponse> ParseHttpResponse(std::string_view raw);
 
 // Serializes with CRLF line endings; Content-Length is set from the body.

@@ -12,11 +12,30 @@
 
 namespace weblint {
 
+// Transport-level failure classification, set by fetchers (and fault
+// injectors) when no usable HTTP reply was obtained. A response carrying a
+// transport error has status 0 and must never be treated as page content.
+enum class TransportError {
+  kNone,      // A complete HTTP reply (any status) was received.
+  kRefused,   // Connection refused / could not connect.
+  kTimeout,   // Connect or read deadline expired.
+  kReset,     // Peer closed or reset the connection mid-message.
+  kMalformed, // Reply bytes did not parse as HTTP.
+};
+
+std::string_view TransportErrorName(TransportError error);
+
 struct HttpResponse {
   int status = 0;  // 200, 301, 404, ...
   std::string reason;
   std::map<std::string, std::string, ILess> headers;
   std::string body;
+  // Transport verdict: anything but kNone means the exchange failed below
+  // the HTTP layer and `status`/`body` are not meaningful.
+  TransportError transport = TransportError::kNone;
+  // The body is shorter than its declared Content-Length (short read /
+  // mid-body drop). The truncated prefix is retained in `body`.
+  bool body_truncated = false;
 
   bool ok() const { return status >= 200 && status < 300; }
   bool IsRedirect() const { return status == 301 || status == 302 || status == 303 ||

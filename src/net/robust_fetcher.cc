@@ -1,0 +1,215 @@
+#include "net/robust_fetcher.h"
+
+#include <algorithm>
+
+#include "util/digest.h"
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+// SplitMix64: a small, well-mixed pure function — the jitter source. Not a
+// stateful RNG on purpose: jitter must depend only on (seed, url, attempt).
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool IsRetryable(FetchOutcome outcome) {
+  // Transient transport failures are worth another attempt; malformed
+  // replies, oversized bodies and redirect loops are server facts that a
+  // retry will not change.
+  return outcome == FetchOutcome::kTimeout || outcome == FetchOutcome::kRefused ||
+         outcome == FetchOutcome::kTruncated;
+}
+
+}  // namespace
+
+std::string_view FetchOutcomeName(FetchOutcome outcome) {
+  switch (outcome) {
+    case FetchOutcome::kOk:
+      return "ok";
+    case FetchOutcome::kTimeout:
+      return "timeout";
+    case FetchOutcome::kTruncated:
+      return "truncated";
+    case FetchOutcome::kTooLarge:
+      return "too_large";
+    case FetchOutcome::kRefused:
+      return "refused";
+    case FetchOutcome::kMalformed:
+      return "malformed";
+    case FetchOutcome::kRedirectLoop:
+      return "redirect_loop";
+  }
+  return "unknown";
+}
+
+std::string FormatFetchStats(const FetchStats& stats) {
+  std::string out;
+  out += StrFormat("fetch stats: requests=%d attempts=%d retries=%d redirects=%d bytes=%d\n",
+                   stats.requests, stats.attempts, stats.retries, stats.redirects_followed,
+                   stats.bytes_fetched);
+  out += StrFormat("  pages ok=%d degraded=%d", stats.by_outcome[0], stats.degraded());
+  for (size_t i = 1; i < stats.by_outcome.size(); ++i) {
+    out += StrFormat(" %s=%d", FetchOutcomeName(static_cast<FetchOutcome>(i)),
+                     stats.by_outcome[i]);
+  }
+  out += "\n";
+  return out;
+}
+
+std::uint64_t RobustFetcher::BackoffMicros(const FetchPolicy& policy, const Url& url,
+                                           std::uint32_t attempt) {
+  // Exponential: base * 2^(attempt-1), capped.
+  const std::uint32_t shift = attempt > 0 ? attempt - 1 : 0;
+  std::uint64_t delay_ms = policy.backoff_base_ms;
+  if (shift < 32) {
+    delay_ms = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(policy.backoff_base_ms) << shift, policy.backoff_max_ms);
+  } else {
+    delay_ms = policy.backoff_max_ms;
+  }
+  // Deterministic jitter: up to half the delay again, from (seed, url,
+  // attempt). No wall time, no global RNG.
+  const std::uint64_t key =
+      Mix64(policy.jitter_seed ^ Mix64(HashBytes(url.Serialize()) + attempt));
+  const std::uint64_t jitter_ms = delay_ms == 0 ? 0 : key % (delay_ms / 2 + 1);
+  return (delay_ms + jitter_ms) * 1000;
+}
+
+FetchOutcome RobustFetcher::ClassifyAttempt(const HttpResponse& response,
+                                            std::uint64_t attempt_elapsed_us) const {
+  switch (response.transport) {
+    case TransportError::kRefused:
+      return FetchOutcome::kRefused;
+    case TransportError::kTimeout:
+      return FetchOutcome::kTimeout;
+    case TransportError::kReset:
+      return FetchOutcome::kTruncated;
+    case TransportError::kMalformed:
+      return FetchOutcome::kMalformed;
+    case TransportError::kNone:
+      break;
+  }
+  // A server that answered, but slower than the read deadline (observable
+  // with simulated latency), is a timeout as far as the policy is concerned.
+  if (attempt_elapsed_us > static_cast<std::uint64_t>(policy_.read_deadline_ms) * 1000) {
+    return FetchOutcome::kTimeout;
+  }
+  if (response.body.size() > policy_.max_response_bytes) {
+    return FetchOutcome::kTooLarge;
+  }
+  if (response.body_truncated) {
+    return FetchOutcome::kTruncated;
+  }
+  return FetchOutcome::kOk;
+}
+
+FetchResult RobustFetcher::Fetch(const Url& url, bool head) {
+  ++stats_.requests;
+  const std::uint64_t start_us = clock_->NowMicros();
+  const std::uint64_t total_us = static_cast<std::uint64_t>(policy_.total_deadline_ms) * 1000;
+
+  FetchResult result;
+  Url current = url;
+  result.final_url = url;
+
+  for (std::uint32_t hop = 0;; ++hop) {
+    FetchOutcome outcome = FetchOutcome::kTimeout;
+    HttpResponse response;
+    // Attempt loop: first try plus up to policy_.retries retries, all under
+    // the total deadline.
+    for (std::uint32_t attempt = 0; attempt <= policy_.retries; ++attempt) {
+      if (clock_->NowMicros() - start_us > total_us) {
+        outcome = FetchOutcome::kTimeout;
+        break;
+      }
+      if (attempt > 0) {
+        ++stats_.retries;
+        clock_->SleepMicros(BackoffMicros(policy_, current, attempt));
+        if (clock_->NowMicros() - start_us > total_us) {
+          outcome = FetchOutcome::kTimeout;
+          break;
+        }
+      }
+      ++stats_.attempts;
+      ++result.attempts;
+      const std::uint64_t attempt_start_us = clock_->NowMicros();
+      response = head ? inner_.Head(current) : inner_.Get(current);
+      outcome = ClassifyAttempt(response, clock_->NowMicros() - attempt_start_us);
+      if (!IsRetryable(outcome)) {
+        break;
+      }
+    }
+
+    if (outcome != FetchOutcome::kOk) {
+      result.outcome = outcome;
+      result.final_url = current;
+      result.detail = StrFormat("%s after %d attempt(s): %s", FetchOutcomeName(outcome),
+                                result.attempts, current.Serialize());
+      ++stats_.by_outcome[static_cast<size_t>(outcome)];
+      return result;
+    }
+
+    if (response.IsRedirect()) {
+      const std::string_view location = response.Header("location");
+      if (!location.empty()) {
+        if (hop >= policy_.max_redirects) {
+          result.outcome = FetchOutcome::kRedirectLoop;
+          result.final_url = current;
+          result.detail = StrFormat("redirect_loop after %d hop(s): %s", hop,
+                                    current.Serialize());
+          ++stats_.by_outcome[static_cast<size_t>(FetchOutcome::kRedirectLoop)];
+          return result;
+        }
+        ++stats_.redirects_followed;
+        ++result.redirect_hops;
+        current = ResolveUrl(current, location);
+        continue;
+      }
+      // A redirect without a Location is a complete (if useless) reply.
+    }
+
+    result.outcome = FetchOutcome::kOk;
+    result.final_url = current;
+    stats_.bytes_fetched += response.body.size();
+    ++stats_.by_outcome[static_cast<size_t>(FetchOutcome::kOk)];
+    result.response = std::move(response);
+    return result;
+  }
+}
+
+FetchResult RobustFetcher::FetchPage(const Url& url) { return Fetch(url, /*head=*/false); }
+
+FetchResult RobustFetcher::FetchHead(const Url& url) { return Fetch(url, /*head=*/true); }
+
+HttpResponse RobustFetcher::Get(const Url& url) {
+  FetchResult result = FetchPage(url);
+  if (result.ok()) {
+    return std::move(result.response);
+  }
+  HttpResponse degraded;
+  degraded.status = 0;
+  degraded.reason = std::string(FetchOutcomeName(result.outcome));
+  degraded.transport = result.outcome == FetchOutcome::kRefused ? TransportError::kRefused
+                       : result.outcome == FetchOutcome::kTimeout ? TransportError::kTimeout
+                                                                  : TransportError::kReset;
+  return degraded;
+}
+
+HttpResponse RobustFetcher::Head(const Url& url) {
+  FetchResult result = FetchHead(url);
+  if (result.ok()) {
+    return std::move(result.response);
+  }
+  HttpResponse degraded;
+  degraded.status = 0;
+  degraded.reason = std::string(FetchOutcomeName(result.outcome));
+  return degraded;
+}
+
+}  // namespace weblint

@@ -1,0 +1,65 @@
+// RobustFetcher: a policy-enforcing decorator over any UrlFetcher.
+//
+// Wraps the raw fetcher the way LWP::UserAgent wraps a socket: every
+// retrieval gets deadlines, bounded retries with deterministic exponential
+// backoff, a redirect-hop limit, response-size caps, and a classified
+// outcome (fetch_policy.h). Degraded outcomes come back as data — callers
+// turn them into per-page diagnostics; nothing here throws, hangs, or
+// aborts a crawl.
+//
+// Determinism: backoff jitter is a pure function of (policy.jitter_seed,
+// url, attempt); time comes from an injected Clock. Two runs over the same
+// (possibly fault-injected) web with the same seed behave identically.
+#ifndef WEBLINT_NET_ROBUST_FETCHER_H_
+#define WEBLINT_NET_ROBUST_FETCHER_H_
+
+#include "net/fetch_policy.h"
+#include "net/fetcher.h"
+#include "util/clock.h"
+
+namespace weblint {
+
+class RobustFetcher : public UrlFetcher {
+ public:
+  // `clock` may be null (system clock). The inner fetcher must outlive this.
+  RobustFetcher(UrlFetcher& inner, FetchPolicy policy, Clock* clock = nullptr)
+      : inner_(inner), policy_(policy),
+        clock_(clock != nullptr ? clock : Clock::System()) {}
+
+  // The rich interface: retrieves `url` following redirects under the full
+  // policy and classifies the outcome. Any HTTP status (404, 500, ...) in a
+  // well-formed, complete reply is outcome kOk — HTTP-level failure is the
+  // caller's business; this layer only guarantees transport sanity.
+  FetchResult FetchPage(const Url& url);
+  FetchResult FetchHead(const Url& url);
+
+  // UrlFetcher: lets the robot and link validator run through the policy
+  // transparently. Degraded outcomes surface as status-0 responses with the
+  // transport field set (kOk results pass through unchanged).
+  HttpResponse Get(const Url& url) override;
+  HttpResponse Head(const Url& url) override;
+
+  const FetchStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = FetchStats{}; }
+  const FetchPolicy& policy() const { return policy_; }
+
+  // The backoff delay before retry `attempt` (1-based) of `url`, jitter
+  // included. Public and static so tests can assert the exact schedule.
+  static std::uint64_t BackoffMicros(const FetchPolicy& policy, const Url& url,
+                                     std::uint32_t attempt);
+
+ private:
+  FetchResult Fetch(const Url& url, bool head);
+  // Classifies one attempt's reply. kOk here means "usable HTTP reply".
+  FetchOutcome ClassifyAttempt(const HttpResponse& response,
+                               std::uint64_t attempt_elapsed_us) const;
+
+  UrlFetcher& inner_;
+  FetchPolicy policy_;
+  Clock* clock_;
+  FetchStats stats_;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_NET_ROBUST_FETCHER_H_

@@ -1,0 +1,173 @@
+#include "net/socket_fetcher.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/http_wire.h"
+
+namespace weblint {
+
+namespace {
+
+HttpResponse TransportFail(TransportError error, std::string reason) {
+  HttpResponse response;
+  response.status = 0;
+  response.transport = error;
+  response.reason = std::move(reason);
+  return response;
+}
+
+// Connects with a deadline: non-blocking connect + poll for writability.
+// Returns the fd, or -1 with `*error` set.
+int ConnectWithDeadline(const sockaddr_in& addr, std::uint32_t deadline_ms,
+                        TransportError* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = TransportError::kRefused;
+    return -1;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    rc = ::poll(&pfd, 1, static_cast<int>(deadline_ms));
+    if (rc == 0) {
+      ::close(fd);
+      *error = TransportError::kTimeout;
+      return -1;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    if (rc < 0 || so_error != 0) {
+      ::close(fd);
+      *error = TransportError::kRefused;
+      return -1;
+    }
+  } else if (rc < 0) {
+    ::close(fd);
+    *error = TransportError::kRefused;
+    return -1;
+  }
+  ::fcntl(fd, F_SETFL, flags);  // Back to blocking; reads use SO_RCVTIMEO.
+  return fd;
+}
+
+}  // namespace
+
+HttpResponse SocketFetcher::RoundTrip(const Url& url, std::string_view method) {
+  if (!url.scheme.empty() && url.scheme != "http") {
+    return TransportFail(TransportError::kRefused,
+                         "SocketFetcher only serves http URLs");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  const std::string host = url.host == "localhost" || url.host.empty() ? "127.0.0.1" : url.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return TransportFail(TransportError::kRefused, "unresolvable host " + url.host);
+  }
+  std::uint32_t port = 80;
+  if (!url.port.empty()) {
+    ParseUint(url.port, &port);
+  }
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+
+  TransportError connect_error = TransportError::kRefused;
+  const int fd = ConnectWithDeadline(addr, policy_.connect_deadline_ms, &connect_error);
+  if (fd < 0) {
+    return TransportFail(connect_error, "connect failed");
+  }
+
+  // Per-read deadline at the socket layer: a stalled server surfaces as
+  // EAGAIN after read_deadline_ms, never as a hang.
+  timeval tv{};
+  tv.tv_sec = policy_.read_deadline_ms / 1000;
+  tv.tv_usec = static_cast<long>(policy_.read_deadline_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  HttpRequest request;
+  request.method = std::string(method);
+  request.target = url.path.empty() ? "/" : url.path;
+  if (!url.query.empty()) {
+    request.target += "?" + url.query;
+  }
+  request.version = "HTTP/1.0";
+  request.headers["host"] = url.Authority();
+  const std::string wire = SerializeHttpRequest(request);
+  size_t written = 0;
+  while (written < wire.size()) {
+    const ssize_t n = ::send(fd, wire.data() + written, wire.size() - written, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return TransportFail(TransportError::kReset, "send failed");
+    }
+    written += static_cast<size_t>(n);
+  }
+
+  // Read until the message is complete, the peer closes, a cap is hit, or
+  // the read deadline fires. The cap leaves one byte of headroom past
+  // max_response_bytes so RobustFetcher can tell "too large" from "exactly
+  // at the limit".
+  const size_t cap = policy_.max_header_bytes + policy_.max_response_bytes + 1;
+  std::string buffer;
+  char chunk[4096];
+  bool timed_out = false;
+  bool peer_closed = false;
+  while (!HttpMessageComplete(buffer) && buffer.size() < cap) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      timed_out = true;
+      break;
+    }
+    if (n <= 0) {
+      peer_closed = true;
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  if (buffer.empty()) {
+    return TransportFail(timed_out ? TransportError::kTimeout : TransportError::kReset,
+                         timed_out ? "read timed out" : "connection closed before reply");
+  }
+  if (timed_out && !HttpMessageComplete(buffer)) {
+    return TransportFail(TransportError::kTimeout, "read timed out mid-reply");
+  }
+
+  auto parsed = ParseHttpResponse(buffer);
+  if (!parsed.ok()) {
+    return TransportFail(TransportError::kMalformed, parsed.error());
+  }
+  HttpResponse response = std::move(parsed).value();
+  // A peer that closed before delivering its declared Content-Length
+  // produced a short read; ParseHttpResponse marks it. Nothing else to do —
+  // body_truncated is the signal RobustFetcher classifies.
+  (void)peer_closed;
+  return response;
+}
+
+HttpResponse SocketFetcher::Get(const Url& url) { return RoundTrip(url, "GET"); }
+
+HttpResponse SocketFetcher::Head(const Url& url) {
+  HttpResponse response = RoundTrip(url, "HEAD");
+  response.body.clear();
+  return response;
+}
+
+}  // namespace weblint

@@ -1,0 +1,33 @@
+// SocketFetcher: HTTP/1.0 over a real TCP socket, with per-attempt
+// deadlines and size caps enforced at the syscall layer.
+//
+// This is the transport under check_url when the target is a live server
+// (in practice: the fault-injection HttpServer on 127.0.0.1 — the test and
+// bench harnesses never touch the open internet). Connect and read
+// deadlines come from the FetchPolicy; failures map to TransportError so
+// RobustFetcher can classify and retry. Only numeric IPv4 hosts and
+// "localhost" are resolved — there is deliberately no DNS here.
+#ifndef WEBLINT_NET_SOCKET_FETCHER_H_
+#define WEBLINT_NET_SOCKET_FETCHER_H_
+
+#include "net/fetch_policy.h"
+#include "net/fetcher.h"
+
+namespace weblint {
+
+class SocketFetcher : public UrlFetcher {
+ public:
+  explicit SocketFetcher(FetchPolicy policy = {}) : policy_(policy) {}
+
+  HttpResponse Get(const Url& url) override;
+  HttpResponse Head(const Url& url) override;
+
+ private:
+  HttpResponse RoundTrip(const Url& url, std::string_view method);
+
+  FetchPolicy policy_;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_NET_SOCKET_FETCHER_H_

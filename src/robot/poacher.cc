@@ -7,6 +7,18 @@
 
 namespace weblint {
 
+LintReport MakeFetchFailedReport(const Url& url, const FetchResult& result) {
+  LintReport report;
+  report.name = url.Serialize();
+  Diagnostic diagnostic;
+  diagnostic.message_id = "fetch-failed";
+  diagnostic.category = Category::kError;
+  diagnostic.file = report.name;
+  diagnostic.message = StrFormat("unable to retrieve page: %s", result.detail);
+  report.diagnostics.push_back(std::move(diagnostic));
+  return report;
+}
+
 PoacherReport Poacher::Run(std::string_view start_url, Emitter* emitter) {
   PoacherReport report;
   const Url start = ParseUrl(start_url);
@@ -25,10 +37,19 @@ PoacherReport Poacher::Run(std::string_view start_url, Emitter* emitter) {
   std::vector<Url> page_urls;
 
   Robot robot(fetcher_, options_.crawl);
-  report.stats = robot.Crawl(start, [&](const Url& url, const HttpResponse& response) {
-    runner.SubmitString(url.Serialize(), response.body);
-    page_urls.push_back(url);
-  });
+  report.stats = robot.Crawl(
+      start,
+      [&](const Url& url, const HttpResponse& response) {
+        runner.SubmitString(url.Serialize(), response.body);
+        page_urls.push_back(url);
+      },
+      [&](const Url& url, const FetchResult& degraded) {
+        // Graceful degradation: the page that never answered usably gets
+        // one fetch-failed diagnostic in its crawl-order slot — output
+        // stays byte-identical at every -j, and the run never aborts.
+        runner.SubmitReport(MakeFetchFailedReport(url, degraded));
+        page_urls.push_back(url);
+      });
 
   for (Result<LintReport>& checked : runner.Finish()) {
     LintReport page = std::move(checked).value();  // CheckString cannot fail.
@@ -72,14 +93,21 @@ PoacherReport Poacher::Run(std::string_view start_url, Emitter* emitter) {
   }
 
   // Validate links the crawl didn't already prove good. Pages the robot
-  // fetched successfully need no HEAD request.
+  // fetched successfully need no HEAD request. HEAD checks run under the
+  // same robustness policy as the crawl (a link to a stalled host costs one
+  // bounded probe); their wire counters merge into the crawl's stats.
+  FetchPolicy head_policy = options_.crawl.fetch_policy;
+  head_policy.max_redirects = options_.crawl.max_redirects < 0
+                                  ? 0
+                                  : static_cast<std::uint32_t>(options_.crawl.max_redirects);
+  RobustFetcher head_fetcher(fetcher_, head_policy, options_.crawl.clock);
   for (const auto& [target, origin] : link_origins) {
     Url url = ParseUrl(target);
     url.fragment.clear();
     if (robot.visited().contains(url.Serialize())) {
       continue;  // Crawled; a failure would already show in stats.
     }
-    const HttpResponse response = fetcher_.Head(url);
+    const HttpResponse response = head_fetcher.Head(url);
     if (response.IsRedirect()) {
       LinkProblem problem;
       problem.page = origin;
@@ -97,6 +125,7 @@ PoacherReport Poacher::Run(std::string_view start_url, Emitter* emitter) {
       report.broken_links.push_back(std::move(problem));
     }
   }
+  report.stats.fetch.MergeFrom(head_fetcher.stats());
   return report;
 }
 

@@ -22,6 +22,12 @@ struct PoacherOptions {
   bool validate_links = true;  // HEAD-check links that the crawl won't fetch.
 };
 
+// Synthesizes the report emitted for a page whose retrieval degraded below
+// the HTTP layer: one structured `fetch-failed` error diagnostic carrying
+// the classified outcome, in place of the page's lint results. Exposed so
+// tests can assert the exact shape.
+LintReport MakeFetchFailedReport(const Url& url, const FetchResult& result);
+
 // A link whose target did not answer 200.
 struct LinkProblem {
   std::string page;    // URL of the page containing the link.

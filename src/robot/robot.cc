@@ -74,7 +74,11 @@ const RobotsTxt& Robot::RobotsFor(const Url& url) {
   robots_url.host = url.host;
   robots_url.port = url.port;
   robots_url.path = "/robots.txt";
-  const HttpResponse response = fetcher_.Get(robots_url);
+  // Policy-bounded like every other crawl request: a host whose robots.txt
+  // stalls costs one degraded fetch, not the crawl. A missing or degraded
+  // robots.txt means "no restrictions".
+  const HttpResponse response =
+      robust_ != nullptr ? robust_->Get(robots_url) : fetcher_.Get(robots_url);
   RobotsTxt robots;
   if (response.ok()) {
     robots = RobotsTxt::Parse(response.body, options_.agent);
@@ -99,10 +103,26 @@ bool Robot::ShouldVisit(const Url& url, const Url& start, CrawlStats* stats) {
 }
 
 CrawlStats Robot::Crawl(const Url& start, const PageHandler& handler) {
+  return Crawl(start, handler, FailureHandler());
+}
+
+CrawlStats Robot::Crawl(const Url& start, const PageHandler& handler,
+                        const FailureHandler& on_failure) {
   CrawlStats stats;
   visited_.clear();
   redirects_seen_.clear();
   failures_seen_.clear();
+
+  // Every wire request this crawl makes goes through the policy layer:
+  // deadlines, bounded retries with deterministic backoff, redirect-hop
+  // and size caps, classified outcomes.
+  FetchPolicy policy = options_.fetch_policy;
+  policy.max_redirects = options_.max_redirects < 0
+                             ? 0
+                             : static_cast<std::uint32_t>(options_.max_redirects);
+  RobustFetcher robust(fetcher_, policy, options_.clock);
+  robust_ = &robust;
+
   std::deque<Url> frontier;
   frontier.push_back(start);
 
@@ -119,9 +139,19 @@ CrawlStats Robot::Crawl(const Url& start, const PageHandler& handler) {
       continue;
     }
 
-    Url final_url;
-    const HttpResponse response =
-        fetcher_.GetFollowingRedirects(url, options_.max_redirects, &final_url);
+    FetchResult fetched = robust.FetchPage(url);
+    if (!fetched.ok()) {
+      // Transport-level degradation: the page never answered usably. One
+      // structured per-page outcome; the crawl moves on.
+      ++stats.pages_degraded;
+      failures_seen_.emplace(key, 0);
+      if (on_failure) {
+        on_failure(url, fetched);
+      }
+      continue;
+    }
+    const HttpResponse& response = fetched.response;
+    const Url& final_url = fetched.final_url;
     if (!response.ok()) {
       ++stats.fetch_failures;
       failures_seen_.emplace(key, response.status);
@@ -153,6 +183,8 @@ CrawlStats Robot::Crawl(const Url& start, const PageHandler& handler) {
       }
     }
   }
+  stats.fetch = robust.stats();
+  robust_ = nullptr;
   return stats;
 }
 

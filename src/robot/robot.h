@@ -13,8 +13,11 @@
 #include <string>
 #include <vector>
 
+#include "net/fetch_policy.h"
 #include "net/fetcher.h"
+#include "net/robust_fetcher.h"
 #include "robot/robots_txt.h"
+#include "util/clock.h"
 #include "util/url.h"
 
 namespace weblint {
@@ -22,17 +25,30 @@ namespace weblint {
 struct CrawlOptions {
   std::string agent = "poacher/2.0";
   size_t max_pages = 10000;
-  int max_redirects = 5;
+  int max_redirects = 5;  // Copied into fetch_policy.max_redirects at crawl start.
   bool honor_robots_txt = true;
   bool stay_on_host = true;  // Only follow links to the start URL's host.
+
+  // Robustness contract for every retrieval the crawl makes (pages and
+  // robots.txt): deadlines, bounded retries, size caps. A fetch that
+  // exhausts the policy degrades to a per-page outcome; it never hangs or
+  // aborts the crawl.
+  FetchPolicy fetch_policy;
+  // Time source for deadlines/backoff; null = system clock. Fault-injection
+  // tests share a FakeClock between the crawl and the FaultyWeb.
+  Clock* clock = nullptr;
 };
 
 struct CrawlStats {
   size_t pages_fetched = 0;     // Successful HTML retrievals.
-  size_t fetch_failures = 0;    // Non-2xx page retrievals.
+  size_t fetch_failures = 0;    // Complete replies with non-2xx status.
+  size_t pages_degraded = 0;    // Transport-level failures (timeout, refusal,
+                                // truncation, ...) that became per-page
+                                // fetch-failed outcomes.
   size_t skipped_robots = 0;    // URLs excluded by robots.txt.
   size_t skipped_offsite = 0;   // URLs on other hosts (stay_on_host).
   size_t skipped_duplicate = 0; // Already-visited URLs.
+  FetchStats fetch;             // Wire-level counters (attempts, retries, ...).
 };
 
 // Extracts link targets (A HREF, plus SRC-style references when
@@ -47,11 +63,19 @@ class Robot {
   using PageHandler =
       std::function<void(const Url& url, const HttpResponse& response)>;
 
+  // Called for each page whose retrieval degraded below the HTTP layer
+  // (outcome != kOk: timeout, refusal, truncation, oversize, malformed
+  // reply, redirect loop). Fired in crawl order, so downstream output built
+  // from it is deterministic.
+  using FailureHandler = std::function<void(const Url& url, const FetchResult& result)>;
+
   Robot(UrlFetcher& fetcher, CrawlOptions options)
       : fetcher_(fetcher), options_(std::move(options)) {}
 
   // Crawls from `start`; visits every reachable same-host HTML page.
   CrawlStats Crawl(const Url& start, const PageHandler& handler);
+  CrawlStats Crawl(const Url& start, const PageHandler& handler,
+                   const FailureHandler& on_failure);
 
   // URLs visited (fetched or attempted) during the last Crawl.
   const std::set<std::string>& visited() const { return visited_; }
@@ -69,6 +93,7 @@ class Robot {
 
   UrlFetcher& fetcher_;
   CrawlOptions options_;
+  RobustFetcher* robust_ = nullptr;  // Valid only during Crawl().
   std::set<std::string> visited_;
   std::map<std::string, std::string> redirects_seen_;
   std::map<std::string, int> failures_seen_;

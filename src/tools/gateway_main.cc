@@ -4,6 +4,7 @@
 //
 // Run outside a web server with --form to print the submission form, or
 // pipe a form-urlencoded body in with REQUEST_METHOD=POST set.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -13,7 +14,9 @@
 #include "core/linter.h"
 #include "gateway/gateway.h"
 #include "net/fetcher.h"
+#include "net/socket_fetcher.h"
 #include "util/args.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -45,12 +48,24 @@ int Run(int argc, char** argv) {
   bool no_http_header = false;
   bool show_help = false;
   std::string cache_dir;
+  std::string fetch_timeout_arg;
+  std::string fetch_retries_arg;
+  std::string max_fetch_bytes_arg;
+  std::string max_redirects_arg;
   parser.AddFlag("--form", "print the submission form and exit", &form_only);
   parser.AddFlag("--no-header", "omit the Content-Type response header", &no_http_header);
   parser.AddOption("--cache-dir",
                    "persist lint results here; repeated submissions of the same page "
                    "are served from cache",
                    &cache_dir);
+  parser.AddOption("--fetch-timeout", "total milliseconds allowed to retrieve a submitted URL",
+                   &fetch_timeout_arg);
+  parser.AddOption("--fetch-retries", "retry a failed retrieval this many times",
+                   &fetch_retries_arg);
+  parser.AddOption("--max-fetch-bytes", "abandon responses whose body exceeds this many bytes",
+                   &max_fetch_bytes_arg);
+  parser.AddOption("--max-redirects", "follow at most this many redirect hops per retrieval",
+                   &max_redirects_arg);
   parser.AddFlag("--help", "show this help", &show_help);
   if (Status s = parser.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "weblint-gateway: %s\n", s.message().c_str());
@@ -62,13 +77,50 @@ int Run(int argc, char** argv) {
   }
 
   Weblint lint;
+  const auto parse_fetch_knob = [](const std::string& arg, const char* flag,
+                                   std::uint32_t* out) {
+    if (arg.empty()) {
+      return true;
+    }
+    std::uint32_t value = 0;
+    if (!ParseUint(arg, &value)) {
+      std::fprintf(stderr, "weblint-gateway: %s expects a non-negative integer, got %s\n", flag,
+                   arg.c_str());
+      return false;
+    }
+    *out = value;
+    return true;
+  };
+  std::uint32_t max_fetch_bytes32 = 0;
+  if (!parse_fetch_knob(fetch_timeout_arg, "--fetch-timeout", &lint.config().fetch_timeout_ms) ||
+      !parse_fetch_knob(fetch_retries_arg, "--fetch-retries", &lint.config().fetch_retries) ||
+      !parse_fetch_knob(max_fetch_bytes_arg, "--max-fetch-bytes", &max_fetch_bytes32) ||
+      !parse_fetch_knob(max_redirects_arg, "--max-redirects", &lint.config().max_redirects)) {
+    return 2;
+  }
+  if (!max_fetch_bytes_arg.empty()) {
+    lint.config().max_fetch_bytes = max_fetch_bytes32;
+  }
   if (!cache_dir.empty()) {
     // The CGI binary is one request per process: only the persistent tier
     // can serve "the same popular URLs over and over" across invocations.
     lint.config().cache_dir = cache_dir;
     lint.EnableCache();
   }
-  FileFetcher fetcher;  // Serves file:// URL submissions.
+  // URL submissions: http goes over a real socket under the configured
+  // fetch policy, file:// stays on disk.
+  struct SchemeRoutingFetcher : UrlFetcher {
+    explicit SchemeRoutingFetcher(FetchPolicy policy) : socket(policy) {}
+    HttpResponse Get(const Url& url) override {
+      return url.scheme == "http" ? socket.Get(url) : file.Get(url);
+    }
+    HttpResponse Head(const Url& url) override {
+      return url.scheme == "http" ? socket.Head(url) : file.Head(url);
+    }
+    FileFetcher file;
+    SocketFetcher socket;
+  };
+  SchemeRoutingFetcher fetcher(FetchPolicyFromConfig(lint.config()));
   Gateway gateway(lint, &fetcher);
 
   if (!no_http_header) {

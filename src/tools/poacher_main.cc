@@ -25,6 +25,7 @@ void PrintReport(const PoacherReport& report) {
   std::printf("\n--- poacher summary ---\n");
   std::printf("pages checked:     %zu\n", report.pages.size());
   std::printf("fetch failures:    %zu\n", report.stats.fetch_failures);
+  std::printf("pages degraded:    %zu\n", report.stats.pages_degraded);
   std::printf("robots.txt skips:  %zu\n", report.stats.skipped_robots);
   std::printf("diagnostics:       %zu\n", report.TotalDiagnostics());
   std::printf("broken links:      %zu\n", report.broken_links.size());
@@ -50,6 +51,11 @@ int Run(int argc, char** argv) {
   std::string cache_dir;
   bool no_cache = false;
   bool cache_stats = false;
+  bool fetch_stats = false;
+  std::string fetch_timeout_arg;
+  std::string fetch_retries_arg;
+  std::string max_fetch_bytes_arg;
+  std::string max_redirects_arg;
   parser.AddOption("--root", "serve the site from this directory (file crawl)", &root);
   parser.AddFlag("--demo", "crawl a generated in-memory demonstration site", &demo);
   parser.AddFlag("-s", "short diagnostic format", &short_output);
@@ -61,6 +67,15 @@ int Run(int argc, char** argv) {
   parser.AddFlag("--no-cache", "disable the lint-result cache entirely", &no_cache);
   parser.AddFlag("--cache-stats", "print cache hit/miss/store counters after the run",
                  &cache_stats);
+  parser.AddOption("--fetch-timeout", "total milliseconds allowed to retrieve one page",
+                   &fetch_timeout_arg);
+  parser.AddOption("--fetch-retries", "retry a failed retrieval this many times",
+                   &fetch_retries_arg);
+  parser.AddOption("--max-fetch-bytes", "abandon responses whose body exceeds this many bytes",
+                   &max_fetch_bytes_arg);
+  parser.AddOption("--max-redirects", "follow at most this many redirect hops per retrieval",
+                   &max_redirects_arg);
+  parser.AddFlag("--fetch-stats", "print crawl fetch counters after the run", &fetch_stats);
   parser.AddFlag("--help", "show this help", &show_help);
 
   if (Status s = parser.Parse(argc, argv); !s.ok()) {
@@ -88,6 +103,35 @@ int Run(int argc, char** argv) {
     }
     lint.config().jobs = jobs;
   }
+  const auto parse_fetch_knob = [](const std::string& arg, const char* flag,
+                                   std::uint32_t* out) {
+    if (arg.empty()) {
+      return true;
+    }
+    std::uint32_t value = 0;
+    if (!ParseUint(arg, &value)) {
+      std::fprintf(stderr, "poacher: %s expects a non-negative integer, got %s\n", flag,
+                   arg.c_str());
+      return false;
+    }
+    *out = value;
+    return true;
+  };
+  std::uint32_t max_fetch_bytes32 = 0;
+  if (!parse_fetch_knob(fetch_timeout_arg, "--fetch-timeout", &lint.config().fetch_timeout_ms) ||
+      !parse_fetch_knob(fetch_retries_arg, "--fetch-retries", &lint.config().fetch_retries) ||
+      !parse_fetch_knob(max_fetch_bytes_arg, "--max-fetch-bytes", &max_fetch_bytes32) ||
+      !parse_fetch_knob(max_redirects_arg, "--max-redirects", &lint.config().max_redirects)) {
+    return 2;
+  }
+  if (!max_fetch_bytes_arg.empty()) {
+    lint.config().max_fetch_bytes = max_fetch_bytes32;
+  }
+  lint.config().fetch_stats = fetch_stats;
+  // The crawl enforces the same policy the single-URL path derives from the
+  // config: one knob set governs every retrieval the tools make.
+  options.crawl.fetch_policy = FetchPolicyFromConfig(lint.config());
+  options.crawl.max_redirects = static_cast<int>(lint.config().max_redirects);
   lint.config().use_cache = !no_cache;
   lint.config().cache_dir = cache_dir;
   lint.EnableCache();
@@ -106,6 +150,9 @@ int Run(int argc, char** argv) {
     Poacher poacher(lint, web, options);
     const PoacherReport report = poacher.Run(site.IndexUrl(), &emitter);
     PrintReport(report);
+    if (fetch_stats) {
+      std::fputs(FormatFetchStats(report.stats.fetch).c_str(), stderr);
+    }
     if (cache_stats && lint.cache() != nullptr) {
       std::fputs(FormatCacheStats(lint.cache()->stats()).c_str(), stderr);
     }
@@ -120,6 +167,9 @@ int Run(int argc, char** argv) {
       parser.positionals().empty() ? "index.html" : parser.positionals().front();
   const PoacherReport report = poacher.Run(start, &emitter);
   PrintReport(report);
+  if (fetch_stats) {
+    std::fputs(FormatFetchStats(report.stats.fetch).c_str(), stderr);
+  }
   if (cache_stats && lint.cache() != nullptr) {
     std::fputs(FormatCacheStats(lint.cache()->stats()).c_str(), stderr);
   }

@@ -20,6 +20,7 @@
 #include "core/site_checker.h"
 #include "robot/page_weight.h"
 #include "net/fetcher.h"
+#include "net/socket_fetcher.h"
 #include "util/args.h"
 #include "util/strings.h"
 #include "warnings/catalog.h"
@@ -68,6 +69,10 @@ int Run(int argc, char** argv) {
   std::string cache_dir;
   bool no_cache = false;
   bool cache_stats = false;
+  std::string fetch_timeout_arg;
+  std::string fetch_retries_arg;
+  std::string max_fetch_bytes_arg;
+  std::string max_redirects_arg;
 
   parser.AddFlag("-s", "short output: line N: message", &short_output);
   parser.AddFlag("-v", "verbose output: include message identifiers and descriptions",
@@ -93,6 +98,14 @@ int Run(int argc, char** argv) {
   parser.AddOption("--html-version", "HTML version to check against: html40 (default) or html32",
                    &html_version);
   parser.AddFlag("--url", "treat operands as file:// URLs and retrieve them", &urls_mode);
+  parser.AddOption("--fetch-timeout", "total milliseconds allowed to retrieve one URL",
+                   &fetch_timeout_arg);
+  parser.AddOption("--fetch-retries", "retry a failed retrieval this many times",
+                   &fetch_retries_arg);
+  parser.AddOption("--max-fetch-bytes", "abandon responses whose body exceeds this many bytes",
+                   &max_fetch_bytes_arg);
+  parser.AddOption("--max-redirects", "follow at most this many redirect hops per retrieval",
+                   &max_redirects_arg);
   parser.AddFlag("--weight",
                  "report page weight and estimated modem download times after checking",
                  &weigh_pages);
@@ -166,6 +179,31 @@ int Run(int argc, char** argv) {
   config.cache_dir = cache_dir;
   config.cache_stats = cache_stats;
 
+  const auto parse_fetch_knob = [](const std::string& arg, const char* flag,
+                                   std::uint32_t* out) {
+    if (arg.empty()) {
+      return true;
+    }
+    std::uint32_t value = 0;
+    if (!ParseUint(arg, &value)) {
+      std::fprintf(stderr, "weblint: %s expects a non-negative integer, got %s\n", flag,
+                   arg.c_str());
+      return false;
+    }
+    *out = value;
+    return true;
+  };
+  std::uint32_t max_fetch_bytes32 = 0;
+  if (!parse_fetch_knob(fetch_timeout_arg, "--fetch-timeout", &config.fetch_timeout_ms) ||
+      !parse_fetch_knob(fetch_retries_arg, "--fetch-retries", &config.fetch_retries) ||
+      !parse_fetch_knob(max_fetch_bytes_arg, "--max-fetch-bytes", &max_fetch_bytes32) ||
+      !parse_fetch_knob(max_redirects_arg, "--max-redirects", &config.max_redirects)) {
+    return 2;
+  }
+  if (!max_fetch_bytes_arg.empty()) {
+    config.max_fetch_bytes = max_fetch_bytes32;
+  }
+
   Weblint lint(config);
   lint.EnableCache();  // Honours use_cache / cache_dir from the config.
   StreamEmitter emitter(std::cout, config.output_style);
@@ -183,7 +221,12 @@ int Run(int argc, char** argv) {
       continue;
     }
     if (urls_mode) {
-      FileFetcher fetcher;
+      // http URLs go over a real socket; everything else stays on disk.
+      FileFetcher file_fetcher;
+      SocketFetcher socket_fetcher(FetchPolicyFromConfig(config));
+      UrlFetcher& fetcher = ParseUrl(operand).scheme == "http"
+                                ? static_cast<UrlFetcher&>(socket_fetcher)
+                                : file_fetcher;
       auto report = lint.CheckUrl(operand, fetcher, &emitter);
       if (!report.ok()) {
         std::fprintf(stderr, "weblint: %s\n", report.error().c_str());

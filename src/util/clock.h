@@ -1,0 +1,65 @@
+// Time source abstraction for deadline/backoff logic.
+//
+// Production code uses the monotonic SystemClock; fault-injection and
+// robustness tests substitute a FakeClock so stall/timeout/backoff behaviour
+// is exercised deterministically and without real waiting (the disk cache's
+// robustness-by-contract approach, applied to time).
+#ifndef WEBLINT_UTIL_CLOCK_H_
+#define WEBLINT_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace weblint {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Monotonic time in microseconds. Only differences are meaningful.
+  virtual std::uint64_t NowMicros() = 0;
+
+  // Blocks (or simulates blocking) for `us` microseconds.
+  virtual void SleepMicros(std::uint64_t us) = 0;
+
+  // The process-wide real clock (steady_clock + this_thread::sleep_for).
+  static Clock* System();
+};
+
+// Deterministic clock for tests: Now() only moves when told to. Sleeping
+// advances time instantly, so backoff schedules are observable as exact
+// timestamps instead of real delays. Not thread-safe by design — fake-clock
+// tests drive fetches from one thread.
+class FakeClock : public Clock {
+ public:
+  std::uint64_t NowMicros() override { return now_us_; }
+  void SleepMicros(std::uint64_t us) override { now_us_ += us; }
+  void Advance(std::uint64_t us) { now_us_ += us; }
+
+ private:
+  std::uint64_t now_us_ = 0;
+};
+
+namespace internal {
+class SystemClock : public Clock {
+ public:
+  std::uint64_t NowMicros() override {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                          std::chrono::steady_clock::now().time_since_epoch())
+                                          .count());
+  }
+  void SleepMicros(std::uint64_t us) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+};
+}  // namespace internal
+
+inline Clock* Clock::System() {
+  static internal::SystemClock clock;
+  return &clock;
+}
+
+}  // namespace weblint
+
+#endif  // WEBLINT_UTIL_CLOCK_H_

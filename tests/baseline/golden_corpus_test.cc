@@ -1,0 +1,124 @@
+// Golden-corpus regression runner (the `check_baseline` ctest slice).
+//
+// Every page under examples/corpus/ is linted with the default
+// configuration and its traditional-style output compared byte for byte
+// against tests/baseline/expected/<page>.out. Any change to tokenizer,
+// engine, or message wording that shifts output shows up here as a diff,
+// not as a surprise in a downstream crawl.
+//
+// Regenerating after an intentional change:
+//   WEBLINT_REGEN_BASELINE=1 ./baseline_golden_corpus_test
+// rewrites the expected files in the source tree; review the diff like any
+// other code change.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/linter.h"
+#include "util/file_io.h"
+#include "warnings/emitter.h"
+
+namespace weblint {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* SourceDir() {
+#ifdef WEBLINT_SOURCE_DIR
+  return WEBLINT_SOURCE_DIR;
+#else
+  return ".";
+#endif
+}
+
+fs::path CorpusDir() { return fs::path(SourceDir()) / "examples" / "corpus"; }
+fs::path ExpectedDir() { return fs::path(SourceDir()) / "tests" / "baseline" / "expected"; }
+
+bool RegenerateMode() { return std::getenv("WEBLINT_REGEN_BASELINE") != nullptr; }
+
+std::vector<fs::path> CorpusPages() {
+  std::vector<fs::path> pages;
+  for (const auto& entry : fs::directory_iterator(CorpusDir())) {
+    if (entry.path().extension() == ".html") {
+      pages.push_back(entry.path());
+    }
+  }
+  std::sort(pages.begin(), pages.end());
+  return pages;
+}
+
+// The exact text `weblint <page>` would print: traditional style, document
+// name reduced to the basename so output is stable across checkouts.
+std::string LintedOutput(const fs::path& page) {
+  auto content = ReadFile(page.string());
+  EXPECT_TRUE(content.ok()) << page;
+  Weblint lint;
+  std::ostringstream out;
+  StreamEmitter emitter(out, OutputStyle::kTraditional);
+  lint.CheckString(page.filename().string(), *content, &emitter);
+  return out.str();
+}
+
+TEST(GoldenCorpusTest, CorpusExists) {
+  ASSERT_TRUE(fs::exists(CorpusDir())) << CorpusDir();
+  EXPECT_GE(CorpusPages().size(), 8u) << "corpus shrank; baseline coverage lost";
+}
+
+TEST(GoldenCorpusTest, EveryPageMatchesItsExpectedOutput) {
+  ASSERT_TRUE(fs::exists(CorpusDir())) << CorpusDir();
+  size_t checked = 0;
+  for (const fs::path& page : CorpusPages()) {
+    const fs::path expected_path =
+        ExpectedDir() / (page.stem().string() + ".out");
+    const std::string actual = LintedOutput(page);
+
+    if (RegenerateMode()) {
+      fs::create_directories(ExpectedDir());
+      std::ofstream out(expected_path, std::ios::binary);
+      out << actual;
+      ASSERT_TRUE(out.good()) << "failed to write " << expected_path;
+      continue;
+    }
+
+    auto expected = ReadFile(expected_path.string());
+    ASSERT_TRUE(expected.ok())
+        << expected_path << " missing - run with WEBLINT_REGEN_BASELINE=1 to create it";
+    EXPECT_EQ(actual, *expected)
+        << page.filename() << " output drifted from its baseline; if the change is"
+        << " intentional, regenerate with WEBLINT_REGEN_BASELINE=1 and review the diff";
+    ++checked;
+  }
+  if (!RegenerateMode()) {
+    EXPECT_GE(checked, 8u);
+  }
+}
+
+TEST(GoldenCorpusTest, NoOrphanedExpectations) {
+  // Every expected file must correspond to a corpus page, so stale .out
+  // files can't silently rot.
+  if (!fs::exists(ExpectedDir())) {
+    GTEST_SKIP() << "no expected dir yet (regenerate mode never ran)";
+  }
+  for (const auto& entry : fs::directory_iterator(ExpectedDir())) {
+    if (entry.path().extension() != ".out") {
+      continue;
+    }
+    const fs::path page = CorpusDir() / (entry.path().stem().string() + ".html");
+    EXPECT_TRUE(fs::exists(page)) << entry.path() << " has no corpus page";
+  }
+}
+
+TEST(GoldenCorpusTest, OutputIsDeterministicAcrossRuns) {
+  for (const fs::path& page : CorpusPages()) {
+    EXPECT_EQ(LintedOutput(page), LintedOutput(page)) << page;
+  }
+}
+
+}  // namespace
+}  // namespace weblint

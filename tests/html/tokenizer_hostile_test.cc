@@ -1,0 +1,140 @@
+// Hostile-input hardening for the tokenizer and the full lint pipeline:
+// byte sequences a live crawl will eventually serve (NUL bytes, truncated
+// markup, megabyte lines) must terminate, make forward progress, and emit a
+// bounded number of diagnostics — never crash, hang, or flood.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/linter.h"
+#include "html/tokenizer.h"
+
+namespace weblint {
+namespace {
+
+// Drains the tokenizer, asserting forward progress: the token count is
+// bounded by the input size (every token consumes at least one byte), so a
+// stuck tokenizer fails the bound instead of hanging the suite. ASSERT_
+// requires a void function; the count lands by pointer.
+void DrainInto(std::string_view input, size_t* count) {
+  Tokenizer tokenizer(input);
+  Token token;
+  *count = 0;
+  const size_t limit = input.size() + 16;
+  while (tokenizer.Next(&token)) {
+    ++*count;
+    ASSERT_LE(*count, limit) << "tokenizer failed to make progress";
+  }
+}
+
+size_t LintDiagnosticCount(const std::string& html) {
+  Weblint lint;
+  return lint.CheckString("hostile.html", html).diagnostics.size();
+}
+
+TEST(TokenizerHostileTest, EmbeddedNulBytesPassThrough) {
+  std::string html = "<HTML><BODY>a";
+  html.push_back('\0');
+  html += "b";
+  html.push_back('\0');
+  html += "</BODY></HTML>";
+  size_t count = 0;
+  DrainInto(html, &count);
+  EXPECT_GT(count, 0u);
+  // The pipeline survives too, and NULs don't multiply messages.
+  EXPECT_LT(LintDiagnosticCount(html), 10u);
+}
+
+TEST(TokenizerHostileTest, NulOnlyDocument) {
+  const std::string html(256, '\0');
+  size_t count = 0;
+  DrainInto(html, &count);
+  EXPECT_LT(LintDiagnosticCount(html), 10u);
+}
+
+TEST(TokenizerHostileTest, LoneOpenAngleAtEof) {
+  for (const char* doc : {"<", "text<", "<HTML><BODY>x</BODY></HTML><", "< ", "<<<"}) {
+    size_t count = 0;
+    DrainInto(doc, &count);
+    EXPECT_GT(count, 0u) << '"' << doc << '"';
+  }
+}
+
+TEST(TokenizerHostileTest, TruncatedTagAtEof) {
+  for (const char* doc :
+       {"<A", "<A HREF", "<A HREF=", "<A HREF=\"x", "</", "</A", "<!", "<!-", "<!DOCTYPE"}) {
+    size_t count = 0;
+    DrainInto(doc, &count);
+  }
+}
+
+TEST(TokenizerHostileTest, UnterminatedCommentConsumedOnce) {
+  const std::string html = "<HTML><BODY><!-- never closed " + std::string(4096, 'x');
+  size_t count = 0;
+  DrainInto(html, &count);
+  // One unterminated comment is one problem, not thousands.
+  EXPECT_LT(LintDiagnosticCount(html), 10u);
+}
+
+TEST(TokenizerHostileTest, UnterminatedCdataStyleDeclaration) {
+  const std::string html = "<HTML><BODY><![CDATA[ stuck " + std::string(2048, 'y');
+  size_t count = 0;
+  DrainInto(html, &count);
+  EXPECT_LT(LintDiagnosticCount(html), 10u);
+}
+
+TEST(TokenizerHostileTest, UnterminatedRawTextElements) {
+  for (const char* open : {"<SCRIPT>", "<STYLE>", "<XMP>", "<LISTING>"}) {
+    const std::string html =
+        "<HTML><BODY>" + std::string(open) + "if (a < b && c > d) { " +
+        std::string(1024, 'z');
+    size_t count = 0;
+    DrainInto(html, &count);
+    EXPECT_LT(LintDiagnosticCount(html), 12u) << open;
+  }
+}
+
+TEST(TokenizerHostileTest, MegabyteSingleLineDocument) {
+  // 1 MiB of markup with no newline at all: progress must stay linear and
+  // the diagnostic volume proportional to real problems, not to bytes.
+  std::string html = "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>";
+  const std::string chunk = "<B>bold</B> plain text with &amp; entities ";
+  while (html.size() < (1u << 20)) {
+    html += chunk;
+  }
+  html += "</BODY></HTML>";
+  ASSERT_EQ(html.find('\n'), std::string::npos);
+
+  size_t count = 0;
+  DrainInto(html, &count);
+  EXPECT_GT(count, 1000u);
+  EXPECT_LT(LintDiagnosticCount(html), 10u);
+
+  Tokenizer tokenizer(html);
+  Token token;
+  while (tokenizer.Next(&token)) {
+  }
+  EXPECT_EQ(tokenizer.lines_consumed(), 1u);  // Column tracking, not line spam.
+}
+
+TEST(TokenizerHostileTest, MegabyteOfStrayAngles) {
+  // The worst case for the stray-'<' path: every byte starts a non-tag.
+  const std::string html(1u << 20, '<');
+  size_t count = 0;
+  DrainInto(html, &count);
+  EXPECT_GT(count, 0u);
+}
+
+TEST(TokenizerHostileTest, DeeplyNestedUnclosedElements) {
+  std::string html = "<HTML><BODY>";
+  for (int i = 0; i < 2000; ++i) {
+    html += "<DL>";
+  }
+  // Diagnostics stay proportional to the number of real mistakes (each
+  // unclosed DL is one), never superlinear, and the run terminates.
+  const size_t diagnostics = LintDiagnosticCount(html);
+  EXPECT_LE(diagnostics, 4100u);
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,187 @@
+// The chaos harness itself: scenario parsing, rule selection semantics
+// (after/times/prob), and each FaultyWeb fault kind's observable shape.
+#include "net/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/virtual_web.h"
+#include "util/clock.h"
+
+namespace weblint {
+namespace {
+
+// Match() advances per-rule bookkeeping, so tests needing to drive it take
+// a mutable copy out of the (const-access) Result.
+FaultScenario MustParse(std::string_view text) {
+  auto parsed = ParseFaultScenario(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.error();
+  return *parsed;
+}
+
+TEST(FaultScenarioTest, ParsesDirectivesCommentsAndOptions) {
+  auto scenario = ParseFaultScenario(
+      "# chaos for the crawl tests\n"
+      "seed 42\n"
+      "\n"
+      "fault /page3 stall 250\n"
+      "fault * refuse after=2 times=3 prob=50  # trailing comment\n");
+  ASSERT_TRUE(scenario.ok()) << scenario.error();
+  EXPECT_EQ(scenario->seed, 42u);
+  ASSERT_EQ(scenario->rules.size(), 2u);
+  EXPECT_EQ(scenario->rules[0].kind, FaultKind::kStall);
+  EXPECT_EQ(scenario->rules[0].pattern, "/page3");
+  EXPECT_EQ(scenario->rules[0].param, 250u);
+  EXPECT_EQ(scenario->rules[1].kind, FaultKind::kRefuse);
+  EXPECT_EQ(scenario->rules[1].after, 2u);
+  EXPECT_EQ(scenario->rules[1].times, 3u);
+  EXPECT_EQ(scenario->rules[1].prob_percent, 50u);
+}
+
+TEST(FaultScenarioTest, ErrorsNameTheLine) {
+  auto bad_kind = ParseFaultScenario("seed 1\nfault * explode");
+  ASSERT_FALSE(bad_kind.ok());
+  EXPECT_NE(bad_kind.error().find("line 2"), std::string::npos);
+  EXPECT_NE(bad_kind.error().find("explode"), std::string::npos);
+
+  auto bad_directive = ParseFaultScenario("inject * refuse");
+  ASSERT_FALSE(bad_directive.ok());
+  EXPECT_NE(bad_directive.error().find("line 1"), std::string::npos);
+
+  EXPECT_FALSE(ParseFaultScenario("fault *").ok());
+  EXPECT_FALSE(ParseFaultScenario("seed x").ok());
+  EXPECT_FALSE(ParseFaultScenario("fault * refuse prob=150").ok());
+  EXPECT_FALSE(ParseFaultScenario("fault * refuse bogus=1").ok());
+}
+
+TEST(FaultScenarioTest, DescribeCarriesTheSeed) {
+  const FaultScenario scenario = MustParse("seed 1337\nfault /x garbage\nfault * stall");
+  EXPECT_EQ(scenario.Describe(), "seed=1337 rules=[garbage:/x stall:*]");
+}
+
+TEST(FaultScenarioTest, AfterSkipsLeadingMatches) {
+  FaultScenario scenario = MustParse("fault /p refuse after=2");
+  EXPECT_EQ(scenario.Match("/p", 0), nullptr);
+  EXPECT_EQ(scenario.Match("/p", 1), nullptr);
+  EXPECT_NE(scenario.Match("/p", 2), nullptr);
+  EXPECT_NE(scenario.Match("/p", 3), nullptr);
+}
+
+TEST(FaultScenarioTest, TimesBoundsFiring) {
+  FaultScenario scenario = MustParse("fault * stall times=2");
+  EXPECT_NE(scenario.Match("/a", 0), nullptr);
+  EXPECT_NE(scenario.Match("/b", 1), nullptr);
+  EXPECT_EQ(scenario.Match("/c", 2), nullptr);
+}
+
+TEST(FaultScenarioTest, ProbSamplingIsDeterministic) {
+  const char* text = "seed 99\nfault * refuse prob=40";
+  FaultScenario first = MustParse(text);
+  FaultScenario second = MustParse(text);
+  size_t fired = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const bool a = first.Match("/page", i) != nullptr;
+    const bool b = second.Match("/page", i) != nullptr;
+    EXPECT_EQ(a, b) << "request " << i;  // Bit-exact replay from the seed.
+    fired += a ? 1 : 0;
+  }
+  // ~40% of 100, loosely bounded — the point is sampling happens at all.
+  EXPECT_GT(fired, 15u);
+  EXPECT_LT(fired, 70u);
+
+  // prob=0 and prob=100 are the degenerate ends.
+  FaultScenario never = MustParse("fault * refuse prob=0");
+  FaultScenario always = MustParse("fault * refuse prob=100");
+  EXPECT_EQ(never.Match("/p", 0), nullptr);
+  EXPECT_NE(always.Match("/p", 0), nullptr);
+}
+
+TEST(FaultScenarioTest, FirstMatchingRuleWins) {
+  FaultScenario scenario = MustParse("fault /private refuse\nfault * garbage");
+  EXPECT_EQ(scenario.Match("/private/x", 0)->kind, FaultKind::kRefuse);
+  EXPECT_EQ(scenario.Match("/public/x", 1)->kind, FaultKind::kGarbage);
+}
+
+// --- FaultyWeb ----------------------------------------------------------
+
+struct FaultyHarness {
+  explicit FaultyHarness(std::string_view text) {
+    web.AddPage("http://h.test/page.html",
+                "<HTML><BODY>twenty-nine byte body here</BODY></HTML>");
+    faulty = std::make_unique<FaultyWeb>(web, MustParse(text), &clock);
+  }
+  VirtualWeb web;
+  FakeClock clock;
+  std::unique_ptr<FaultyWeb> faulty;
+};
+
+const Url kPage = ParseUrl("http://h.test/page.html");
+
+TEST(FaultyWebTest, CleanRequestsPassThrough) {
+  FaultyHarness h("fault /other refuse");
+  const HttpResponse response = h.faulty->Get(kPage);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.transport, TransportError::kNone);
+  EXPECT_EQ(h.faulty->faults_injected(), 0u);
+}
+
+TEST(FaultyWebTest, RefuseSignalsRefused) {
+  FaultyHarness h("fault page refuse");
+  const HttpResponse response = h.faulty->Get(kPage);
+  EXPECT_EQ(response.transport, TransportError::kRefused);
+  EXPECT_EQ(h.faulty->faults_injected(), 1u);
+}
+
+TEST(FaultyWebTest, StallAdvancesSharedClockUpToObservedCap) {
+  FaultyHarness h("fault page stall");
+  h.faulty->set_stall_observed_ms(750);
+  const std::uint64_t before = h.clock.NowMicros();
+  const HttpResponse response = h.faulty->Get(kPage);
+  EXPECT_EQ(response.transport, TransportError::kTimeout);
+  EXPECT_EQ(h.clock.NowMicros() - before, 750u * 1000);
+
+  // An explicit stall shorter than the cap costs its own duration.
+  FaultyHarness quick("fault page stall 200");
+  quick.faulty->set_stall_observed_ms(750);
+  (void)quick.faulty->Get(kPage);
+  EXPECT_EQ(quick.clock.NowMicros(), 200u * 1000);
+}
+
+TEST(FaultyWebTest, DropBodyKeepsDeclaredLength) {
+  FaultyHarness h("fault page drop-body 10");
+  const HttpResponse full = h.web.Get(kPage);
+  const HttpResponse response = h.faulty->Get(kPage);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body.size(), 10u);
+  EXPECT_TRUE(response.body_truncated);
+  // Content-Length still promises the full body: a classic short read.
+  EXPECT_EQ(response.Header("content-length"), std::to_string(full.body.size()));
+}
+
+TEST(FaultyWebTest, GarbageSignalsMalformed) {
+  FaultyHarness h("fault page garbage");
+  EXPECT_EQ(h.faulty->Get(kPage).transport, TransportError::kMalformed);
+}
+
+TEST(FaultyWebTest, RedirectLoopIncrementsHopCounter) {
+  FaultyHarness h("fault page redirect-loop");
+  const HttpResponse first = h.faulty->Get(kPage);
+  EXPECT_EQ(first.status, 302);
+  EXPECT_EQ(first.Header("location"), "http://h.test/page.html?hop=1");
+
+  const HttpResponse second = h.faulty->Get(ParseUrl(first.Header("location")));
+  EXPECT_EQ(second.Header("location"), "http://h.test/page.html?hop=2");
+}
+
+TEST(FaultyWebTest, OversizeServesRequestedBytes) {
+  FaultyHarness h("fault page oversize 5000");
+  const HttpResponse response = h.faulty->Get(kPage);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body.size(), 5000u);
+  // HEAD delivers the fault without the body.
+  EXPECT_TRUE(h.faulty->Head(kPage).body.empty());
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,143 @@
+// The same fault scenarios, lowered onto a real socket: HttpServer with a
+// MakeWireShaper hook on one side, SocketFetcher + RobustFetcher on the
+// other. Deadlines here are real milliseconds, so they are kept short; the
+// asserted outcomes are classifications, not durations.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "net/fault_injection.h"
+#include "net/http_server.h"
+#include "net/robust_fetcher.h"
+#include "net/socket_fetcher.h"
+
+namespace weblint {
+namespace {
+
+FetchPolicy WirePolicy() {
+  FetchPolicy policy;
+  policy.connect_deadline_ms = 1000;
+  policy.read_deadline_ms = 150;  // Stall scenarios exceed this quickly.
+  policy.total_deadline_ms = 3000;
+  policy.retries = 1;
+  policy.backoff_base_ms = 1;  // Keep real-time retries snappy.
+  policy.backoff_max_ms = 2;
+  policy.max_redirects = 3;
+  policy.max_response_bytes = 1 << 20;
+  return policy;
+}
+
+HttpResponse ServePage(const HttpRequest&) {
+  HttpResponse response;
+  response.status = 200;
+  response.headers["content-type"] = "text/html";
+  response.body = "<HTML><BODY>wire page body, long enough to cut</BODY></HTML>";
+  return response;
+}
+
+// Runs `requests` round-trips worth of serving in a background thread.
+struct WireHarness {
+  WireHarness(std::string_view scenario_text, size_t requests)
+      : server(ServePage) {
+    auto scenario = ParseFaultScenario(scenario_text);
+    EXPECT_TRUE(scenario.ok()) << scenario.error();
+    description = scenario->Describe();
+    server.set_wire_shaper(MakeWireShaper(*scenario));
+    EXPECT_TRUE(server.Listen(0).ok());
+    serving = std::thread([this, requests] { (void)server.Serve(requests); });
+    url = ParseUrl("http://127.0.0.1:" + std::to_string(server.port()) + "/page.html");
+  }
+  ~WireHarness() {
+    server.Close();
+    if (serving.joinable()) {
+      serving.join();
+    }
+  }
+
+  HttpServer server;
+  std::thread serving;
+  std::string description;
+  Url url;
+};
+
+TEST(FaultWireTest, CleanRoundTripThroughRealSocket) {
+  WireHarness h("", 1);
+  SocketFetcher socket(WirePolicy());
+  RobustFetcher fetcher(socket, WirePolicy());
+  FetchResult result = fetcher.FetchPage(h.url);
+  ASSERT_TRUE(result.ok()) << result.detail << " [" << h.description << "]";
+  EXPECT_EQ(result.response.status, 200);
+  EXPECT_NE(result.response.body.find("wire page body"), std::string::npos);
+}
+
+TEST(FaultWireTest, GarbageStatusLineClassifiedMalformed) {
+  WireHarness h("fault page garbage", 1);
+  SocketFetcher socket(WirePolicy());
+  RobustFetcher fetcher(socket, WirePolicy());
+  FetchResult result = fetcher.FetchPage(h.url);
+  EXPECT_EQ(result.outcome, FetchOutcome::kMalformed) << h.description;
+}
+
+TEST(FaultWireTest, MidBodyDropClassifiedTruncated) {
+  // Two attempts (retries=1), both served a cut body.
+  WireHarness h("fault page drop-body 8", 2);
+  SocketFetcher socket(WirePolicy());
+  RobustFetcher fetcher(socket, WirePolicy());
+  FetchResult result = fetcher.FetchPage(h.url);
+  EXPECT_EQ(result.outcome, FetchOutcome::kTruncated) << h.description;
+  EXPECT_EQ(result.attempts, 2u);
+}
+
+TEST(FaultWireTest, ConnectionClosedBeforeReplyRetriedThenOk) {
+  // The first connection is dropped pre-write (a refusal-after-accept);
+  // the retry is served clean. The policy absorbs the transient.
+  WireHarness h("fault page refuse times=1", 2);
+  SocketFetcher socket(WirePolicy());
+  RobustFetcher fetcher(socket, WirePolicy());
+  FetchResult result = fetcher.FetchPage(h.url);
+  ASSERT_TRUE(result.ok()) << result.detail << " [" << h.description << "]";
+  EXPECT_EQ(result.attempts, 2u);
+}
+
+TEST(FaultWireTest, StalledServerClassifiedTimeoutWithinDeadline) {
+  // Server stalls 500ms before writing; client read deadline is 150ms.
+  // Both attempts time out; the whole retrieval stays near two read
+  // deadlines, nowhere near the stall the server wanted to impose.
+  WireHarness h("fault page stall 500", 2);
+  SocketFetcher socket(WirePolicy());
+  RobustFetcher fetcher(socket, WirePolicy());
+  const auto start = std::chrono::steady_clock::now();
+  FetchResult result = fetcher.FetchPage(h.url);
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  EXPECT_EQ(result.outcome, FetchOutcome::kTimeout) << h.description;
+  EXPECT_LT(elapsed_ms, 2000) << "stalled server must not cost its stall";
+}
+
+TEST(FaultWireTest, SlowDripWithinDeadlineStillCompletes) {
+  // 16-byte chunks with short gaps: each read completes inside the read
+  // deadline, so a slow-but-moving server is not a timeout.
+  WireHarness h("fault page slow-drip 16", 1);
+  FetchPolicy policy = WirePolicy();
+  policy.read_deadline_ms = 1000;  // Each 20ms drip is well inside this.
+  SocketFetcher socket(policy);
+  RobustFetcher fetcher(socket, policy);
+  FetchResult result = fetcher.FetchPage(h.url);
+  ASSERT_TRUE(result.ok()) << result.detail << " [" << h.description << "]";
+  EXPECT_NE(result.response.body.find("wire page body"), std::string::npos);
+}
+
+TEST(FaultWireTest, RedirectLoopOverTheWireStoppedAtHopLimit) {
+  // max_redirects=3 -> 4 requests before the limit trips.
+  WireHarness h("fault page redirect-loop", 4);
+  SocketFetcher socket(WirePolicy());
+  RobustFetcher fetcher(socket, WirePolicy());
+  FetchResult result = fetcher.FetchPage(h.url);
+  EXPECT_EQ(result.outcome, FetchOutcome::kRedirectLoop) << h.description;
+  EXPECT_EQ(result.redirect_hops, 3u);
+}
+
+}  // namespace
+}  // namespace weblint

@@ -94,6 +94,65 @@ TEST(HttpWireTest, MessageCompleteness) {
   EXPECT_TRUE(HttpMessageComplete("POST / HTTP/1.0\r\nContent-Length: 5\r\n\r\nabcde"));
 }
 
+// Content-Length is untrusted input (satellite of the robustness work): a
+// server can declare any number it likes, and the parser must neither trust
+// it into overreads nor silently accept short bodies.
+TEST(HttpWireTest, DeclaredLengthLongerThanBodyMarksTruncation) {
+  auto response = ParseHttpResponse(
+      "HTTP/1.0 200 OK\r\nContent-Length: 100\r\n\r\nonly-14-bytes!");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body, "only-14-bytes!");  // What arrived, no padding.
+  EXPECT_TRUE(response->body_truncated);        // ...but flagged short.
+}
+
+TEST(HttpWireTest, MatchingLengthIsNotTruncated) {
+  auto response = ParseHttpResponse("HTTP/1.0 200 OK\r\nContent-Length: 5\r\n\r\nhello");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body, "hello");
+  EXPECT_FALSE(response->body_truncated);
+}
+
+TEST(HttpWireTest, ShorterLengthTrimsTrailingBytes) {
+  // Extra bytes past the declared length are ignored, not appended.
+  auto response = ParseHttpResponse("HTTP/1.0 200 OK\r\nContent-Length: 5\r\n\r\nhelloJUNK");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body, "hello");
+  EXPECT_FALSE(response->body_truncated);
+}
+
+TEST(HttpWireTest, AbsentLengthTakesEverythingWithoutTruncationFlag) {
+  auto response = ParseHttpResponse("HTTP/1.0 200 OK\r\n\r\nwhatever came");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body, "whatever came");
+  EXPECT_FALSE(response->body_truncated);
+}
+
+TEST(HttpWireTest, GarbageLengthIgnored) {
+  // Negative and non-numeric values are not lengths; fall back to "rest of
+  // the buffer" rather than trusting them.
+  for (const char* bad : {"-5", "banana", "0x10", "99999999999999999999"}) {
+    auto response = ParseHttpResponse("HTTP/1.0 200 OK\r\nContent-Length: " +
+                                      std::string(bad) + "\r\n\r\nbody");
+    ASSERT_TRUE(response.ok()) << bad;
+    EXPECT_EQ(response->body, "body") << bad;
+    EXPECT_FALSE(response->body_truncated) << bad;
+  }
+}
+
+TEST(HttpWireTest, WhitespacePaddedLengthAccepted) {
+  auto response = ParseHttpResponse("HTTP/1.0 200 OK\r\nContent-Length:   4  \r\n\r\nbody");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body, "body");
+  EXPECT_FALSE(response->body_truncated);
+}
+
+TEST(HttpWireTest, ZeroLengthMeansEmptyBody) {
+  auto response = ParseHttpResponse("HTTP/1.0 204 No Content\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->body.empty());
+  EXPECT_FALSE(response->body_truncated);
+}
+
 TEST(HttpWireTest, ParseResponseStatusLine) {
   auto response = ParseHttpResponse("HTTP/1.0 302 Moved Temporarily\r\nLocation: /x\r\n\r\n");
   ASSERT_TRUE(response.ok());
