@@ -1,0 +1,127 @@
+// E14 — telemetry overhead: the cost of one counter increment, histogram
+// record, and scoped span, alone and under thread contention. These sit on
+// the per-page hot path of the parallel engine, so the budget is a few
+// nanoseconds each; the sharded cells exist precisely so the threaded
+// variants stay flat instead of serialising on one cache line.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace {
+
+using namespace weblint;
+
+MetricsRegistry& SharedRegistry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void BM_CounterIncrement(benchmark::State& state) {
+  Counter* counter = SharedRegistry().GetCounter("bench_counter_total");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+}
+BENCHMARK(BM_CounterIncrement);
+
+// All threads hammer ONE counter: this is the contention case the
+// cache-line-aligned per-thread cells are built for.
+void BM_CounterIncrementContended(benchmark::State& state) {
+  Counter* counter = SharedRegistry().GetCounter("bench_contended_total");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+}
+BENCHMARK(BM_CounterIncrementContended)->Threads(2)->Threads(4)->Threads(8);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram* histogram = SharedRegistry().GetHistogram("bench_micros");
+  std::uint64_t value = 0;
+  for (auto _ : state) {
+    histogram->Record(value++ & 0xFFF);
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramRecordContended(benchmark::State& state) {
+  Histogram* histogram = SharedRegistry().GetHistogram("bench_contended_micros");
+  std::uint64_t value = 0;
+  for (auto _ : state) {
+    histogram->Record(value++ & 0xFFF);
+  }
+}
+BENCHMARK(BM_HistogramRecordContended)->Threads(2)->Threads(4)->Threads(8);
+
+// The lookup the instrumented components avoid by caching pointers at
+// EnableMetrics time; measured to justify that design.
+void BM_RegistryGetCounter(benchmark::State& state) {
+  MetricsRegistry registry;
+  registry.GetCounter("bench_lookup_total");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.GetCounter("bench_lookup_total"));
+  }
+}
+BENCHMARK(BM_RegistryGetCounter);
+
+// A span when no tracer is installed — the default for every production
+// run without --trace-out. This must be close to free.
+void BM_SpanDisabled(benchmark::State& state) {
+  Tracer::Install(nullptr);
+  for (auto _ : state) {
+    WEBLINT_SPAN("bench");
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  static Tracer tracer(nullptr, /*events_per_thread=*/1 << 12);
+  Tracer::Install(&tracer);
+  for (auto _ : state) {
+    WEBLINT_SPAN("bench");
+  }
+  Tracer::Install(nullptr);
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_SpanEnabledContended(benchmark::State& state) {
+  static Tracer tracer(nullptr, /*events_per_thread=*/1 << 12);
+  if (state.thread_index() == 0) {
+    Tracer::Install(&tracer);
+  }
+  for (auto _ : state) {
+    WEBLINT_SPAN("bench");
+  }
+  if (state.thread_index() == 0) {
+    Tracer::Install(nullptr);
+  }
+}
+BENCHMARK(BM_SpanEnabledContended)->Threads(4);
+
+// What one scrape costs: rendering a registry the size a real site crawl
+// produces (a few dozen series across the lint/cache/fetch/pool families).
+void BM_RenderPrometheus(benchmark::State& state) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 12; ++i) {
+    registry.GetCounter("bench_family_" + std::to_string(i) + "_total")->Increment(i);
+  }
+  const char* outcomes[] = {"ok",        "timeout",  "truncated", "too_large",
+                            "refused",   "malformed", "redirect_loop"};
+  for (const char* outcome : outcomes) {
+    registry.GetCounter("bench_outcomes_total", "outcome", outcome)->Increment();
+  }
+  Histogram* histogram = registry.GetHistogram("bench_latency_micros");
+  for (std::uint64_t v = 1; v < (1u << 20); v <<= 1) {
+    histogram->Record(v);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.RenderPrometheus());
+  }
+}
+BENCHMARK(BM_RenderPrometheus);
+
+}  // namespace
+
+BENCHMARK_MAIN();

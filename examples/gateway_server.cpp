@@ -16,6 +16,7 @@
 #include "gateway/gateway.h"
 #include "net/fetcher.h"
 #include "net/http_server.h"
+#include "telemetry/metrics.h"
 #include "util/args.h"
 #include "util/strings.h"
 
@@ -66,7 +67,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // One registry covers the whole deployment: HTTP request/latency series
+  // from the server, lint/cache series from the Weblint, fetch series from
+  // URL submissions. GET /metrics scrapes it live.
+  MetricsRegistry registry;
   Weblint lint;
+  lint.EnableMetrics(&registry);
+  lint.EnableCache();  // Repeated submissions of the same page hit the cache.
   FileFetcher fetcher;  // file:// URL submissions work on this host.
   Gateway gateway(lint, &fetcher);
 
@@ -74,6 +81,7 @@ int main(int argc, char** argv) {
     std::printf("  %s %s\n", request.method.c_str(), request.target.c_str());
     return Handle(gateway, request);
   });
+  server.EnableMetrics(&registry);
   if (Status s = server.Listen(static_cast<std::uint16_t>(port)); !s.ok()) {
     std::fprintf(stderr, "gateway_server: %s\n", s.message().c_str());
     return 2;

@@ -70,6 +70,19 @@ std::string FormatCacheStats(const CacheStats& stats) {
 LintResultCache::LintResultCache(Options options)
     : options_(std::move(options)),
       per_shard_capacity_(options_.capacity / kShards > 0 ? options_.capacity / kShards : 1) {
+  MetricsRegistry* metrics = options_.metrics;
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  counters_.hits = metrics->GetCounter("weblint_cache_hits_total");
+  counters_.misses = metrics->GetCounter("weblint_cache_misses_total");
+  counters_.stores = metrics->GetCounter("weblint_cache_stores_total");
+  counters_.evictions = metrics->GetCounter("weblint_cache_evictions_total");
+  counters_.disk_hits = metrics->GetCounter("weblint_cache_disk_hits_total");
+  counters_.disk_stores = metrics->GetCounter("weblint_cache_disk_stores_total");
+  counters_.disk_corrupt = metrics->GetCounter("weblint_cache_disk_corrupt_total");
+  memory_entries_ = metrics->GetGauge("weblint_cache_memory_entries");
   if (!options_.directory.empty()) {
     OpenDiskStore();
   }
@@ -81,26 +94,26 @@ std::shared_ptr<const LintReport> LintResultCache::Lookup(const CacheKey& key) {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (const auto it = shard.index.find(key); it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      counters_.hits->Increment();
       return it->second->report;
     }
   }
   if (disk_enabled_) {
     if (auto report = DiskLookup(key); report != nullptr) {
       StoreInMemory(key, report);  // Promote so the next hit skips the disk.
-      stats_.hits.fetch_add(1, std::memory_order_relaxed);
-      stats_.disk_hits.fetch_add(1, std::memory_order_relaxed);
+      counters_.hits->Increment();
+      counters_.disk_hits->Increment();
       return report;
     }
   }
-  stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  counters_.misses->Increment();
   return nullptr;
 }
 
 void LintResultCache::Store(const CacheKey& key, const LintReport& report) {
   auto shared = std::make_shared<const LintReport>(report);
   if (StoreInMemory(key, shared)) {
-    stats_.stores.fetch_add(1, std::memory_order_relaxed);
+    counters_.stores->Increment();
   }
   if (disk_enabled_) {
     DiskStore(key, report);
@@ -118,23 +131,27 @@ bool LintResultCache::StoreInMemory(const CacheKey& key,
   }
   shard.lru.push_front(Entry{key, std::move(report)});
   shard.index.emplace(key, shard.lru.begin());
+  memory_entries_->Add(1);
   while (shard.lru.size() > per_shard_capacity_) {
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
-    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    counters_.evictions->Increment();
+    memory_entries_->Add(-1);
   }
   return true;
 }
 
 CacheStats LintResultCache::stats() const {
+  // A snapshot view over the registry counters: --cache-stats and /metrics
+  // render the same cells.
   CacheStats out;
-  out.hits = stats_.hits.load(std::memory_order_relaxed);
-  out.misses = stats_.misses.load(std::memory_order_relaxed);
-  out.stores = stats_.stores.load(std::memory_order_relaxed);
-  out.evictions = stats_.evictions.load(std::memory_order_relaxed);
-  out.disk_hits = stats_.disk_hits.load(std::memory_order_relaxed);
-  out.disk_stores = stats_.disk_stores.load(std::memory_order_relaxed);
-  out.disk_corrupt = stats_.disk_corrupt.load(std::memory_order_relaxed);
+  out.hits = counters_.hits->Value();
+  out.misses = counters_.misses->Value();
+  out.stores = counters_.stores->Value();
+  out.evictions = counters_.evictions->Value();
+  out.disk_hits = counters_.disk_hits->Value();
+  out.disk_stores = counters_.disk_stores->Value();
+  out.disk_corrupt = counters_.disk_corrupt->Value();
   return out;
 }
 
@@ -182,7 +199,7 @@ std::shared_ptr<const LintReport> LintResultCache::DiskLookup(const CacheKey& ke
   if (!report.has_value()) {
     // Truncated / torn / stale-format entry. Drop it so the slot is clean
     // for the re-store; failure to remove is itself ignorable.
-    stats_.disk_corrupt.fetch_add(1, std::memory_order_relaxed);
+    counters_.disk_corrupt->Increment();
     std::error_code ec;
     std::filesystem::remove(path, ec);
     return nullptr;
@@ -206,7 +223,7 @@ void LintResultCache::DiskStore(const CacheKey& key, const LintReport& report) {
     std::filesystem::remove(temp, ec);
     return;
   }
-  stats_.disk_stores.fetch_add(1, std::memory_order_relaxed);
+  counters_.disk_stores->Increment();
 }
 
 }  // namespace weblint

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/report.h"
+#include "telemetry/metrics.h"
 
 namespace weblint {
 
@@ -88,6 +89,11 @@ class LintResultCache {
     size_t capacity = 4096;
     // Persistent tier directory; empty = memory only. Created if absent.
     std::string directory;
+    // Registry the cache's weblint_cache_* counters live in. Null gives the
+    // cache a private registry: per-instance stats() stay exact (tests),
+    // while tools and the gateway pass their process registry so one scrape
+    // sees every tier's traffic.
+    MetricsRegistry* metrics = nullptr;
   };
 
   explicit LintResultCache(Options options);
@@ -151,16 +157,20 @@ class LintResultCache {
   bool disk_enabled_ = false;
   std::atomic<std::uint64_t> temp_counter_{0};
 
-  struct AtomicStats {
-    std::atomic<std::uint64_t> hits{0};
-    std::atomic<std::uint64_t> misses{0};
-    std::atomic<std::uint64_t> stores{0};
-    std::atomic<std::uint64_t> evictions{0};
-    std::atomic<std::uint64_t> disk_hits{0};
-    std::atomic<std::uint64_t> disk_stores{0};
-    std::atomic<std::uint64_t> disk_corrupt{0};
-  };
-  mutable AtomicStats stats_;
+  // Counters are registry-backed (the one code path behind --cache-stats,
+  // --metrics and the gateway's /metrics). owned_metrics_ backs them when
+  // no shared registry was supplied.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  struct {
+    Counter* hits;
+    Counter* misses;
+    Counter* stores;
+    Counter* evictions;
+    Counter* disk_hits;
+    Counter* disk_stores;
+    Counter* disk_corrupt;
+  } counters_{};
+  Gauge* memory_entries_ = nullptr;
 };
 
 }  // namespace weblint

@@ -113,6 +113,7 @@ std::string SerializeLintReport(const LintReport& report) {
   std::string payload;
   PutString(payload, report.name);
   PutUint32(payload, report.lines);
+  PutUint64(payload, report.tokens);
 
   PutUint32(payload, static_cast<std::uint32_t>(report.diagnostics.size()));
   for (const Diagnostic& d : report.diagnostics) {
@@ -167,6 +168,8 @@ std::optional<LintReport> DeserializeLintReport(std::string_view bytes) {
   LintReport report;
   report.name = reader.GetString();
   report.lines = reader.GetUint32();
+  report.tokens = reader.GetUint32();
+  report.tokens |= static_cast<std::uint64_t>(reader.GetUint32()) << 32;
 
   const std::uint32_t diagnostic_count = reader.GetUint32();
   for (std::uint32_t i = 0; reader.ok() && i < diagnostic_count; ++i) {

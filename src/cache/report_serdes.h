@@ -18,10 +18,10 @@ namespace weblint {
 
 // Bump whenever the byte layout or the meaning of any serialized field
 // changes; old entries then deserialize as nullopt and get re-linted.
-inline constexpr std::uint32_t kReportSerdesVersion = 1;
+inline constexpr std::uint32_t kReportSerdesVersion = 2;
 
 // Serializes `report` (every field that CheckFile/CheckString produce:
-// name, diagnostics, links, anchors, line count).
+// name, diagnostics, links, anchors, line and token counts).
 std::string SerializeLintReport(const LintReport& report);
 
 // Parses bytes produced by SerializeLintReport. Returns nullopt for any

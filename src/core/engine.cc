@@ -5,6 +5,7 @@
 #include "core/attribute_checks.h"
 #include "html/entities.h"
 #include "html/tokenizer.h"
+#include "telemetry/trace.h"
 #include "util/strings.h"
 
 namespace weblint {
@@ -114,9 +115,15 @@ Engine::Engine(const Config& config, const HtmlSpec& spec, Reporter& reporter, L
     : config_(config), spec_(spec), reporter_(reporter), report_(report) {}
 
 void Engine::Run(std::string_view html) {
+  WEBLINT_SPAN("engine");
   Tokenizer tokenizer(html);
   Token token;
+  // Tokens are tallied into a local and published once per document via the
+  // report — the tokenize/dispatch loop is the hottest path in the process
+  // and must not touch shared (even sharded) state per token.
+  std::uint64_t tokens = 0;
   while (tokenizer.Next(&token)) {
+    ++tokens;
     switch (token.kind) {
       case TokenKind::kDoctype:
         HandleDoctype(token);
@@ -144,6 +151,7 @@ void Engine::Run(std::string_view html) {
   HandleEof(tokenizer.location());
   if (report_ != nullptr) {
     report_->lines = tokenizer.lines_consumed();
+    report_->tokens = tokens;
   }
 }
 

@@ -6,6 +6,7 @@
 #include "core/engine.h"
 #include "core/reporter.h"
 #include "net/robust_fetcher.h"
+#include "telemetry/trace.h"
 #include "spec/registry.h"
 #include "util/file_io.h"
 #include "util/strings.h"
@@ -88,8 +89,38 @@ void CheckLocalLinks(const std::string& file_path, const Config& config,
 
 }  // namespace
 
+void Weblint::EnableMetrics(MetricsRegistry* metrics, Clock* clock) {
+  metrics_ = metrics;
+  if (metrics == nullptr) {
+    metrics_clock_ = nullptr;
+    m_documents_ = m_tokens_ = m_bytes_ = m_diagnostics_ = nullptr;
+    m_lint_micros_ = nullptr;
+    return;
+  }
+  metrics_clock_ = clock != nullptr ? clock : Clock::System();
+  m_documents_ = metrics->GetCounter("weblint_documents_total");
+  m_tokens_ = metrics->GetCounter("weblint_tokens_total");
+  m_bytes_ = metrics->GetCounter("weblint_lint_bytes_total");
+  m_diagnostics_ = metrics->GetCounter("weblint_diagnostics_total");
+  m_lint_micros_ = metrics->GetHistogram("weblint_lint_micros");
+}
+
+void Weblint::RecordCheck(const LintReport& report, size_t bytes,
+                          std::uint64_t micros) const {
+  if (m_documents_ == nullptr) {
+    return;
+  }
+  m_documents_->Increment();
+  m_tokens_->Increment(report.tokens);
+  m_bytes_->Increment(bytes);
+  m_diagnostics_->Increment(report.diagnostics.size());
+  m_lint_micros_->Record(micros);
+}
+
 LintReport Weblint::CheckString(std::string_view name, std::string_view html,
                                 Emitter* emitter) const {
+  WEBLINT_SPAN("check");
+  const std::uint64_t begin_us = metrics_ != nullptr ? metrics_clock_->NowMicros() : 0;
   LintReport report;
   report.name = std::string(name);
 
@@ -106,6 +137,9 @@ LintReport Weblint::CheckString(std::string_view name, std::string_view html,
     RunEngine(config_, spec.get(), reporter, &report, html);
   }
   report.diagnostics = collector.TakeDiagnostics();
+  if (metrics_ != nullptr) {
+    RecordCheck(report, html.size(), metrics_clock_->NowMicros() - begin_us);
+  }
   return report;
 }
 
@@ -119,6 +153,8 @@ Result<LintReport> Weblint::CheckFile(const std::string& path, Emitter* emitter)
 
 LintReport Weblint::CheckFileBytes(const std::string& path, std::string_view content,
                                    Emitter* emitter) const {
+  WEBLINT_SPAN("check");
+  const std::uint64_t begin_us = metrics_ != nullptr ? metrics_clock_->NowMicros() : 0;
   LintReport report;
   report.name = path;
 
@@ -137,6 +173,9 @@ LintReport Weblint::CheckFileBytes(const std::string& path, std::string_view con
     CheckLocalLinks(path, config_, report, reporter);
   }
   report.diagnostics = collector.TakeDiagnostics();
+  if (metrics_ != nullptr) {
+    RecordCheck(report, content.size(), metrics_clock_->NowMicros() - begin_us);
+  }
   return report;
 }
 
@@ -147,6 +186,7 @@ void Weblint::EnableCache() {
   LintResultCache::Options options;
   options.capacity = config_.cache_capacity;
   options.directory = config_.cache_dir;
+  options.metrics = metrics_;  // Null keeps the cache's private registry.
   cache_ = std::make_shared<LintResultCache>(std::move(options));
 }
 
@@ -167,7 +207,7 @@ Result<FetchedDocument> Weblint::FetchDocument(std::string_view url_text,
                                                UrlFetcher& fetcher) const {
   // All retrieval goes through the policy layer: deadlines, bounded
   // retries, size caps, and a classified outcome instead of a hang.
-  RobustFetcher robust(fetcher, FetchPolicyFromConfig(config_));
+  RobustFetcher robust(fetcher, FetchPolicyFromConfig(config_), nullptr, metrics_);
   FetchResult result = robust.FetchPage(ParseUrl(url_text));
   if (!result.ok()) {
     return Fail(StrFormat("cannot retrieve %s: %s", url_text, result.detail));

@@ -27,6 +27,8 @@
 #include "core/report.h"
 #include "net/fetch_policy.h"
 #include "net/fetcher.h"
+#include "telemetry/metrics.h"
+#include "util/clock.h"
 #include "util/result.h"
 #include "warnings/emitter.h"
 
@@ -66,6 +68,19 @@ class Weblint {
   void set_cache(std::shared_ptr<LintResultCache> cache) { cache_ = std::move(cache); }
   LintResultCache* cache() const { return cache_.get(); }
 
+  // Wires (or unwires, with null) a metrics registry: every checked document
+  // lands in weblint_documents_total / weblint_tokens_total /
+  // weblint_lint_bytes_total / weblint_diagnostics_total and its check wall
+  // time in weblint_lint_micros. Call before EnableCache so the cache's
+  // series land in the same registry. `clock` (optional) times the checks —
+  // tests pass a FakeClock for deterministic histograms.
+  void EnableMetrics(MetricsRegistry* metrics, Clock* clock = nullptr);
+  MetricsRegistry* metrics() const { return metrics_; }
+  // The clock EnableMetrics resolved (null when no registry is attached).
+  // ParallelLintRunner times whole pages with the same clock so histograms
+  // stay deterministic under a FakeClock.
+  Clock* metrics_clock() const { return metrics_clock_; }
+
   // Checks an HTML string. `name` is the display name used in diagnostics.
   // If `emitter` is non-null, diagnostics are additionally streamed to it as
   // they are produced (the CLI passes a StreamEmitter); they are always
@@ -94,8 +109,21 @@ class Weblint {
                               Emitter* emitter = nullptr) const;
 
  private:
+  // Publishes one checked document's totals into the registry mirror.
+  void RecordCheck(const LintReport& report, size_t bytes, std::uint64_t micros) const;
+
   Config config_;
   std::shared_ptr<LintResultCache> cache_;
+
+  // Registry mirror; all null when no registry is attached. Raw pointers on
+  // purpose: per-request Weblint copies (the gateway) share one registry.
+  MetricsRegistry* metrics_ = nullptr;
+  Clock* metrics_clock_ = nullptr;
+  Counter* m_documents_ = nullptr;
+  Counter* m_tokens_ = nullptr;
+  Counter* m_bytes_ = nullptr;
+  Counter* m_diagnostics_ = nullptr;
+  Histogram* m_lint_micros_ = nullptr;
 };
 
 }  // namespace weblint

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "telemetry/trace.h"
 #include "util/file_io.h"
 
 namespace weblint {
@@ -20,11 +21,31 @@ ParallelLintRunner::ParallelLintRunner(const Weblint& weblint, unsigned jobs, Em
       synchronized_ = std::make_unique<SynchronizedEmitter>(*emitter_);
     }
   }
+  metrics_ = weblint.metrics();
+  if (metrics_ != nullptr) {
+    clock_ = weblint.metrics_clock();
+    m_page_micros_ = metrics_->GetHistogram("weblint_page_lint_micros");
+    m_queue_depth_ = metrics_->GetGauge("weblint_pool_queue_depth");
+    m_pool_threads_ = metrics_->GetGauge("weblint_pool_threads");
+    m_pool_submitted_ = metrics_->GetCounter("weblint_pool_submitted_total");
+    m_pool_steals_ = metrics_->GetCounter("weblint_pool_steals_total");
+    m_pool_threads_->Set(static_cast<std::int64_t>(jobs_));
+  }
 }
 
 ParallelLintRunner::~ParallelLintRunner() {
   if (pool_ != nullptr) {
     pool_->Wait();  // Never let queued jobs outlive the result slots.
+  }
+}
+
+void ParallelLintRunner::RecordPage(std::uint64_t begin_us) {
+  if (m_page_micros_ == nullptr) {
+    return;
+  }
+  m_page_micros_->Record(clock_->NowMicros() - begin_us);
+  if (pool_ != nullptr) {
+    m_queue_depth_->Set(static_cast<std::int64_t>(pool_->pending()));
   }
 }
 
@@ -37,13 +58,17 @@ LintReport ParallelLintRunner::CheckThroughCache(const std::string& name,
   }
   const CacheKey key =
       MakeLintCacheKey(name, content, config_fingerprint_, weblint_.config().spec_id);
-  if (std::shared_ptr<const LintReport> cached = cache_->Lookup(key)) {
-    if (stream_to != nullptr) {
-      ReplayReport(*cached, *stream_to);
+  {
+    WEBLINT_SPAN("cache-lookup");
+    if (std::shared_ptr<const LintReport> cached = cache_->Lookup(key)) {
+      if (stream_to != nullptr) {
+        ReplayReport(*cached, *stream_to);
+      }
+      return *cached;
     }
-    return *cached;
   }
   LintReport report = lint(stream_to);
+  WEBLINT_SPAN("cache-store");
   cache_->Store(key, report);
   return report;
 }
@@ -67,6 +92,7 @@ size_t ParallelLintRunner::SubmitFile(std::string path) {
     // Inline: this *is* the serial path — the emitter sees diagnostics as
     // they are produced (or replayed from cache), exactly as
     // Weblint::CheckFile streams them.
+    const std::uint64_t begin_us = clock_ != nullptr ? clock_->NowMicros() : 0;
     auto content = ReadFile(path);
     Result<LintReport> report =
         content.ok()
@@ -75,6 +101,7 @@ size_t ParallelLintRunner::SubmitFile(std::string path) {
                   [&](Emitter* e) { return weblint_.CheckFileBytes(path, *content, e); },
                   emitter_))
             : Result<LintReport>(content.status());
+    RecordPage(begin_us);
     std::lock_guard<std::mutex> lock(results_mu_);
     if (!report.ok()) {
       error_seen_ = true;
@@ -105,8 +132,10 @@ size_t ParallelLintRunner::SubmitString(std::string name, std::string html) {
     results_.emplace_back();
   }
   if (pool_ == nullptr) {
+    const std::uint64_t begin_us = clock_ != nullptr ? clock_->NowMicros() : 0;
     LintReport report = CheckThroughCache(
         name, html, [&](Emitter* e) { return weblint_.CheckString(name, html, e); }, emitter_);
+    RecordPage(begin_us);
     std::lock_guard<std::mutex> lock(results_mu_);
     results_[index] = Result<LintReport>(std::move(report));
     return index;
@@ -152,7 +181,10 @@ size_t ParallelLintRunner::SubmitReport(LintReport report) {
 
 void ParallelLintRunner::RunSlot(size_t index,
                                  const std::function<Result<LintReport>()>& check) {
+  WEBLINT_SPAN("lint-page");
+  const std::uint64_t begin_us = clock_ != nullptr ? clock_->NowMicros() : 0;
   Result<LintReport> result = check();
+  RecordPage(begin_us);
   std::lock_guard<std::mutex> lock(results_mu_);
   results_[index] = std::move(result);
   FlushReadyLocked();
@@ -179,6 +211,13 @@ void ParallelLintRunner::FlushReadyLocked() {
 std::vector<Result<LintReport>> ParallelLintRunner::Finish() {
   if (pool_ != nullptr) {
     pool_->Wait();
+    if (m_pool_submitted_ != nullptr) {
+      // The pool is per-runner, so its lifetime totals are exactly this
+      // run's; publish them once, now that the queue has drained.
+      m_pool_submitted_->Increment(pool_->submitted());
+      m_pool_steals_->Increment(pool_->steals());
+      m_queue_depth_->Set(0);
+    }
   }
   std::lock_guard<std::mutex> lock(results_mu_);
   FlushReadyLocked();

@@ -39,6 +39,7 @@
 
 #include "core/linter.h"
 #include "core/report.h"
+#include "telemetry/metrics.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 #include "warnings/emitter.h"
@@ -75,6 +76,11 @@ class ParallelLintRunner {
   // Number of workers this runner was resolved to (>= 1).
   unsigned jobs() const { return jobs_; }
 
+  // Jobs submitted to the pool but not yet started (0 in serial mode).
+  // The poacher's --progress heartbeat samples this for its queue-depth
+  // column without reaching into the pool.
+  size_t pending() const { return pool_ != nullptr ? pool_->pending() : 0; }
+
   // Maps a configured job count (0 = auto) to an effective worker count.
   static unsigned ResolveJobs(std::uint32_t configured);
 
@@ -93,11 +99,24 @@ class ParallelLintRunner {
                                Emitter* stream_to);
 
 
+  // Records one finished page into the wall-time histogram / depth gauge.
+  void RecordPage(std::uint64_t begin_us);
+
   const Weblint& weblint_;
   const unsigned jobs_;
   Emitter* const emitter_;
   LintResultCache* const cache_;
   const std::uint64_t config_fingerprint_;
+
+  // Registry mirror, inherited from the Weblint (Weblint::EnableMetrics);
+  // all null when the Weblint has no registry.
+  MetricsRegistry* metrics_ = nullptr;
+  Clock* clock_ = nullptr;
+  Histogram* m_page_micros_ = nullptr;
+  Gauge* m_queue_depth_ = nullptr;
+  Gauge* m_pool_threads_ = nullptr;
+  Counter* m_pool_submitted_ = nullptr;
+  Counter* m_pool_steals_ = nullptr;
 
   // Parallel mode only.
   std::unique_ptr<ThreadPool> pool_;

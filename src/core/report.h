@@ -31,7 +31,8 @@ struct LintReport {
   std::vector<Diagnostic> diagnostics;
   std::vector<LinkRef> links;
   std::vector<AnchorDef> anchors;
-  std::uint32_t lines = 0;  // Lines in the document.
+  std::uint32_t lines = 0;   // Lines in the document.
+  std::uint64_t tokens = 0;  // Tokens the engine consumed checking it.
 
   size_t ErrorCount() const { return CountCategory(Category::kError); }
   size_t WarningCount() const { return CountCategory(Category::kWarning); }

@@ -11,6 +11,8 @@
 #include <string>
 #include <thread>
 
+#include "util/strings.h"
+
 namespace weblint {
 
 namespace {
@@ -41,6 +43,24 @@ bool WriteAll(int fd, std::string_view data) {
 }  // namespace
 
 HttpServer::~HttpServer() { Close(); }
+
+void HttpServer::EnableMetrics(MetricsRegistry* registry, Clock* clock) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    requests_total_ = nullptr;
+    request_micros_ = nullptr;
+    responses_by_class_ = {};
+    return;
+  }
+  metrics_clock_ = clock != nullptr ? clock : Clock::System();
+  requests_total_ = registry->GetCounter("weblint_http_requests_total");
+  request_micros_ = registry->GetHistogram("weblint_http_request_micros");
+  static constexpr const char* kClasses[] = {"1xx", "2xx", "3xx", "4xx", "5xx"};
+  for (size_t i = 0; i < responses_by_class_.size(); ++i) {
+    responses_by_class_[i] =
+        registry->GetCounter("weblint_http_responses_total", "class", kClasses[i]);
+  }
+}
 
 Status HttpServer::Listen(std::uint16_t port) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -101,8 +121,26 @@ Status HttpServer::ServeOne() {
     response.reason = "Bad Request";
     response.headers["content-type"] = "text/plain";
     response.body = request.error() + "\n";
+  } else if (metrics_ != nullptr && request->method == "GET" &&
+             (request->target == "/metrics" || IStartsWith(request->target, "/metrics?"))) {
+    // The scrape endpoint answers from the registry directly; it is not a
+    // gateway request and does not count into the request series (scraping
+    // every 15s must not dominate the numbers it reports).
+    response.status = 200;
+    response.reason = "OK";
+    response.headers["content-type"] = "text/plain; version=0.0.4";
+    response.body = metrics_->RenderPrometheus();
   } else {
+    const std::uint64_t begin_us = metrics_ != nullptr ? metrics_clock_->NowMicros() : 0;
     response = handler_(*request);
+    if (metrics_ != nullptr) {
+      requests_total_->Increment();
+      request_micros_->Record(metrics_clock_->NowMicros() - begin_us);
+      const int status_class = response.status / 100;
+      if (status_class >= 1 && status_class <= 5) {
+        responses_by_class_[static_cast<size_t>(status_class - 1)]->Increment();
+      }
+    }
   }
   // A failed write means the peer went away (early disconnect, reset): a
   // fact about that one client, not about the server. Count it, drop the

@@ -6,11 +6,14 @@
 #ifndef WEBLINT_NET_HTTP_SERVER_H_
 #define WEBLINT_NET_HTTP_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
 
 #include "net/http_wire.h"
+#include "telemetry/metrics.h"
+#include "util/clock.h"
 #include "util/result.h"
 
 namespace weblint {
@@ -65,11 +68,27 @@ class HttpServer {
   // remove). Call before Serve; the shaper runs on the serving thread.
   void set_wire_shaper(WireShaper shaper) { wire_shaper_ = std::move(shaper); }
 
+  // Turns on the observability surface (null registry turns it off again):
+  //  * GET /metrics answers with the registry's Prometheus exposition text
+  //    (the handler never sees it) — the scrape endpoint of a standalone
+  //    gateway deployment.
+  //  * Every other request is counted into weblint_http_requests_total,
+  //    weblint_http_responses_total{class="2xx"...}, and the
+  //    weblint_http_request_micros latency histogram (handler time,
+  //    measured on `clock`; null = system clock).
+  // Call before Serve; not thread-safe against a running Serve loop.
+  void EnableMetrics(MetricsRegistry* registry, Clock* clock = nullptr);
+
   void Close();
 
  private:
   Handler handler_;
   WireShaper wire_shaper_;
+  MetricsRegistry* metrics_ = nullptr;
+  Clock* metrics_clock_ = nullptr;
+  Counter* requests_total_ = nullptr;
+  Histogram* request_micros_ = nullptr;
+  std::array<Counter*, 5> responses_by_class_{};  // 1xx..5xx.
   // Atomic: Close() may run on another thread to unblock a Serve() loop
   // parked in accept().
   std::atomic<int> listen_fd_{-1};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/trace.h"
 #include "util/digest.h"
 #include "util/strings.h"
 
@@ -53,7 +54,9 @@ std::string FormatFetchStats(const FetchStats& stats) {
   out += StrFormat("fetch stats: requests=%d attempts=%d retries=%d redirects=%d bytes=%d\n",
                    stats.requests, stats.attempts, stats.retries, stats.redirects_followed,
                    stats.bytes_fetched);
-  out += StrFormat("  pages ok=%d degraded=%d", stats.by_outcome[0], stats.degraded());
+  // "retrievals", not "pages": the outcome classes also count robots.txt
+  // fetches and HEAD link probes made under the same policy.
+  out += StrFormat("  retrievals ok=%d degraded=%d", stats.by_outcome[0], stats.degraded());
   for (size_t i = 1; i < stats.by_outcome.size(); ++i) {
     out += StrFormat(" %s=%d", FetchOutcomeName(static_cast<FetchOutcome>(i)),
                      stats.by_outcome[i]);
@@ -109,8 +112,50 @@ FetchOutcome RobustFetcher::ClassifyAttempt(const HttpResponse& response,
   return FetchOutcome::kOk;
 }
 
+void RobustFetcher::AttachMetrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_requests_ = m_attempts_ = m_retries_ = m_redirects_ = m_bytes_ = nullptr;
+    m_outcomes_ = {};
+    m_latency_ = nullptr;
+    return;
+  }
+  m_requests_ = metrics->GetCounter("weblint_fetch_requests_total");
+  m_attempts_ = metrics->GetCounter("weblint_fetch_attempts_total");
+  m_retries_ = metrics->GetCounter("weblint_fetch_retries_total");
+  m_redirects_ = metrics->GetCounter("weblint_fetch_redirects_total");
+  m_bytes_ = metrics->GetCounter("weblint_fetch_bytes_total");
+  for (size_t i = 0; i < kFetchOutcomeCount; ++i) {
+    m_outcomes_[i] = metrics->GetCounter("weblint_fetch_outcomes_total", "outcome",
+                                         FetchOutcomeName(static_cast<FetchOutcome>(i)));
+  }
+  m_latency_ = metrics->GetHistogram("weblint_fetch_micros");
+}
+
 FetchResult RobustFetcher::Fetch(const Url& url, bool head) {
+  WEBLINT_SPAN("fetch");
   ++stats_.requests;
+  if (m_requests_ != nullptr) {
+    m_requests_->Increment();
+  }
+  const std::uint64_t start_us = clock_->NowMicros();
+  FetchResult result = FetchInner(url, head);
+  // The single outcome-classification site: exactly one by_outcome bucket
+  // per retrieval, whatever path FetchInner took to produce it.
+  ++stats_.by_outcome[static_cast<size_t>(result.outcome)];
+  if (result.ok()) {
+    stats_.bytes_fetched += result.response.body.size();
+  }
+  if (m_outcomes_[static_cast<size_t>(result.outcome)] != nullptr) {
+    m_outcomes_[static_cast<size_t>(result.outcome)]->Increment();
+    if (result.ok()) {
+      m_bytes_->Increment(result.response.body.size());
+    }
+    m_latency_->Record(clock_->NowMicros() - start_us);
+  }
+  return result;
+}
+
+FetchResult RobustFetcher::FetchInner(const Url& url, bool head) {
   const std::uint64_t start_us = clock_->NowMicros();
   const std::uint64_t total_us = static_cast<std::uint64_t>(policy_.total_deadline_ms) * 1000;
 
@@ -129,14 +174,24 @@ FetchResult RobustFetcher::Fetch(const Url& url, bool head) {
         break;
       }
       if (attempt > 0) {
-        ++stats_.retries;
         clock_->SleepMicros(BackoffMicros(policy_, current, attempt));
         if (clock_->NowMicros() - start_us > total_us) {
+          // The backoff ate the total deadline: this retry never reached
+          // the wire, so it counts as neither an attempt nor a retry
+          // (keeping attempts == requests + retries + redirect re-requests
+          // an exact identity).
           outcome = FetchOutcome::kTimeout;
           break;
         }
+        ++stats_.retries;
+        if (m_retries_ != nullptr) {
+          m_retries_->Increment();
+        }
       }
       ++stats_.attempts;
+      if (m_attempts_ != nullptr) {
+        m_attempts_->Increment();
+      }
       ++result.attempts;
       const std::uint64_t attempt_start_us = clock_->NowMicros();
       response = head ? inner_.Head(current) : inner_.Get(current);
@@ -151,7 +206,6 @@ FetchResult RobustFetcher::Fetch(const Url& url, bool head) {
       result.final_url = current;
       result.detail = StrFormat("%s after %d attempt(s): %s", FetchOutcomeName(outcome),
                                 result.attempts, current.Serialize());
-      ++stats_.by_outcome[static_cast<size_t>(outcome)];
       return result;
     }
 
@@ -163,10 +217,12 @@ FetchResult RobustFetcher::Fetch(const Url& url, bool head) {
           result.final_url = current;
           result.detail = StrFormat("redirect_loop after %d hop(s): %s", hop,
                                     current.Serialize());
-          ++stats_.by_outcome[static_cast<size_t>(FetchOutcome::kRedirectLoop)];
           return result;
         }
         ++stats_.redirects_followed;
+        if (m_redirects_ != nullptr) {
+          m_redirects_->Increment();
+        }
         ++result.redirect_hops;
         current = ResolveUrl(current, location);
         continue;
@@ -176,8 +232,6 @@ FetchResult RobustFetcher::Fetch(const Url& url, bool head) {
 
     result.outcome = FetchOutcome::kOk;
     result.final_url = current;
-    stats_.bytes_fetched += response.body.size();
-    ++stats_.by_outcome[static_cast<size_t>(FetchOutcome::kOk)];
     result.response = std::move(response);
     return result;
   }

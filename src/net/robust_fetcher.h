@@ -13,18 +13,33 @@
 #ifndef WEBLINT_NET_ROBUST_FETCHER_H_
 #define WEBLINT_NET_ROBUST_FETCHER_H_
 
+#include <array>
+
 #include "net/fetch_policy.h"
 #include "net/fetcher.h"
+#include "telemetry/metrics.h"
 #include "util/clock.h"
 
 namespace weblint {
 
 class RobustFetcher : public UrlFetcher {
  public:
-  // `clock` may be null (system clock). The inner fetcher must outlive this.
-  RobustFetcher(UrlFetcher& inner, FetchPolicy policy, Clock* clock = nullptr)
+  // `clock` may be null (system clock). The inner fetcher must outlive
+  // this. `metrics` (optional) mirrors every stat into registry series —
+  // weblint_fetch_requests_total, weblint_fetch_outcomes_total{outcome=...},
+  // weblint_fetch_micros, ... — so a live gateway or `--metrics` run
+  // exposes fetch health without touching the per-fetcher FetchStats
+  // snapshot used by --fetch-stats.
+  RobustFetcher(UrlFetcher& inner, FetchPolicy policy, Clock* clock = nullptr,
+                MetricsRegistry* metrics = nullptr)
       : inner_(inner), policy_(policy),
-        clock_(clock != nullptr ? clock : Clock::System()) {}
+        clock_(clock != nullptr ? clock : Clock::System()) {
+    AttachMetrics(metrics);
+  }
+
+  // Wires (or unwires, with null) the registry mirror. Counters cover the
+  // whole process lifetime; FetchStats stays per-fetcher.
+  void AttachMetrics(MetricsRegistry* metrics);
 
   // The rich interface: retrieves `url` following redirects under the full
   // policy and classifies the outcome. Any HTTP status (404, 500, ...) in a
@@ -49,7 +64,16 @@ class RobustFetcher : public UrlFetcher {
                                      std::uint32_t attempt);
 
  private:
+  // Counts the retrieval exactly once: bumps requests, runs FetchInner,
+  // then classifies the result into by_outcome / the registry mirror and
+  // records wall latency. Having one counting site makes "one retrieval
+  // lands in exactly one outcome class" (sum(by_outcome) == requests)
+  // structural, instead of a property each of FetchInner's return paths
+  // must individually preserve.
   FetchResult Fetch(const Url& url, bool head);
+  // The policy machine: attempts, backoff, redirects. Touches the wire
+  // counters (attempts/retries/redirects/bytes) but never by_outcome.
+  FetchResult FetchInner(const Url& url, bool head);
   // Classifies one attempt's reply. kOk here means "usable HTTP reply".
   FetchOutcome ClassifyAttempt(const HttpResponse& response,
                                std::uint64_t attempt_elapsed_us) const;
@@ -58,6 +82,15 @@ class RobustFetcher : public UrlFetcher {
   FetchPolicy policy_;
   Clock* clock_;
   FetchStats stats_;
+
+  // Registry mirror; all null when no registry is attached.
+  Counter* m_requests_ = nullptr;
+  Counter* m_attempts_ = nullptr;
+  Counter* m_retries_ = nullptr;
+  Counter* m_redirects_ = nullptr;
+  Counter* m_bytes_ = nullptr;
+  std::array<Counter*, kFetchOutcomeCount> m_outcomes_{};
+  Histogram* m_latency_ = nullptr;
 };
 
 }  // namespace weblint

@@ -1,8 +1,10 @@
 #include "robot/poacher.h"
 
+#include <cstdio>
 #include <set>
 
 #include "core/parallel_runner.h"
+#include "util/clock.h"
 #include "util/strings.h"
 
 namespace weblint {
@@ -23,6 +25,15 @@ PoacherReport Poacher::Run(std::string_view start_url, Emitter* emitter) {
   PoacherReport report;
   const Url start = ParseUrl(start_url);
 
+  // One registry covers the whole run: unless the caller wired the crawl to
+  // its own registry, the crawl fetcher's wire series land next to the
+  // Weblint's lint/cache series, so one scrape (or --metrics dump) sees the
+  // entire pipeline.
+  CrawlOptions crawl_options = options_.crawl;
+  if (crawl_options.metrics == nullptr) {
+    crawl_options.metrics = weblint_.metrics();
+  }
+
   // Links seen across the crawl: target -> one referencing page (first wins;
   // one report per broken target keeps the output readable).
   std::map<std::string, std::string> link_origins;
@@ -36,12 +47,45 @@ PoacherReport Poacher::Run(std::string_view start_url, Emitter* emitter) {
                             emitter);
   std::vector<Url> page_urls;
 
-  Robot robot(fetcher_, options_.crawl);
+  // Heartbeat state. The heartbeat samples the crawl clock (so FakeClock
+  // tests control exactly when lines fire) and reads latency quantiles out
+  // of the registry the runner's page histogram lands in.
+  Clock* progress_clock = crawl_options.clock != nullptr ? crawl_options.clock : Clock::System();
+  std::uint64_t last_beat_ms = options_.progress_interval_ms != 0
+                                   ? progress_clock->NowMicros() / 1000
+                                   : 0;
+  size_t pages_degraded = 0;
+  const auto emit_progress = [&](bool force) {
+    if (options_.progress_interval_ms == 0) {
+      return;
+    }
+    const std::uint64_t now_ms = progress_clock->NowMicros() / 1000;
+    if (!force && now_ms - last_beat_ms < options_.progress_interval_ms) {
+      return;
+    }
+    last_beat_ms = now_ms;
+    HistogramSnapshot latency;
+    if (weblint_.metrics() != nullptr) {
+      latency = weblint_.metrics()->HistogramValues("weblint_page_lint_micros");
+    }
+    const std::string line =
+        StrFormat("[poacher] pages=%d degraded=%d queue=%d p50_us=%d p95_us=%d",
+                  page_urls.size(), pages_degraded, runner.pending(), latency.Quantile(0.5),
+                  latency.Quantile(0.95));
+    if (options_.progress_sink) {
+      options_.progress_sink(line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+  };
+
+  Robot robot(fetcher_, crawl_options);
   report.stats = robot.Crawl(
       start,
       [&](const Url& url, const HttpResponse& response) {
         runner.SubmitString(url.Serialize(), response.body);
         page_urls.push_back(url);
+        emit_progress(false);
       },
       [&](const Url& url, const FetchResult& degraded) {
         // Graceful degradation: the page that never answered usably gets
@@ -49,9 +93,13 @@ PoacherReport Poacher::Run(std::string_view start_url, Emitter* emitter) {
         // stays byte-identical at every -j, and the run never aborts.
         runner.SubmitReport(MakeFetchFailedReport(url, degraded));
         page_urls.push_back(url);
+        ++pages_degraded;
+        emit_progress(false);
       });
 
-  for (Result<LintReport>& checked : runner.Finish()) {
+  std::vector<Result<LintReport>> checked_pages = runner.Finish();
+  emit_progress(true);  // Final settled line: queue drained, all pages timed.
+  for (Result<LintReport>& checked : checked_pages) {
     LintReport page = std::move(checked).value();  // CheckString cannot fail.
     const Url& url = page_urls[report.pages.size()];
     for (const LinkRef& link : page.links) {
@@ -96,11 +144,11 @@ PoacherReport Poacher::Run(std::string_view start_url, Emitter* emitter) {
   // fetched successfully need no HEAD request. HEAD checks run under the
   // same robustness policy as the crawl (a link to a stalled host costs one
   // bounded probe); their wire counters merge into the crawl's stats.
-  FetchPolicy head_policy = options_.crawl.fetch_policy;
-  head_policy.max_redirects = options_.crawl.max_redirects < 0
+  FetchPolicy head_policy = crawl_options.fetch_policy;
+  head_policy.max_redirects = crawl_options.max_redirects < 0
                                   ? 0
-                                  : static_cast<std::uint32_t>(options_.crawl.max_redirects);
-  RobustFetcher head_fetcher(fetcher_, head_policy, options_.crawl.clock);
+                                  : static_cast<std::uint32_t>(crawl_options.max_redirects);
+  RobustFetcher head_fetcher(fetcher_, head_policy, crawl_options.clock, crawl_options.metrics);
   for (const auto& [target, origin] : link_origins) {
     Url url = ParseUrl(target);
     url.fragment.clear();

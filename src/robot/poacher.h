@@ -8,6 +8,7 @@
 #ifndef WEBLINT_ROBOT_POACHER_H_
 #define WEBLINT_ROBOT_POACHER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,16 @@ namespace weblint {
 struct PoacherOptions {
   CrawlOptions crawl;
   bool validate_links = true;  // HEAD-check links that the crawl won't fetch.
+
+  // Progress heartbeat (`poacher --progress MS`): at most one line per
+  // `progress_interval_ms` of crawl-clock time, plus a final line when the
+  // crawl drains. Each line samples pages submitted/degraded, the runner's
+  // queue depth, and p50/p95 page-lint latency from the Weblint's registry
+  // (zeros when no registry is attached). 0 disables the heartbeat.
+  std::uint64_t progress_interval_ms = 0;
+  // Heartbeat destination; null writes to stderr. Tests install a sink and
+  // a FakeClock (crawl.clock) to assert exact lines.
+  std::function<void(const std::string&)> progress_sink;
 };
 
 // Synthesizes the report emitted for a page whose retrieval degraded below

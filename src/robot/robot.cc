@@ -120,7 +120,7 @@ CrawlStats Robot::Crawl(const Url& start, const PageHandler& handler,
   policy.max_redirects = options_.max_redirects < 0
                              ? 0
                              : static_cast<std::uint32_t>(options_.max_redirects);
-  RobustFetcher robust(fetcher_, policy, options_.clock);
+  RobustFetcher robust(fetcher_, policy, options_.clock, options_.metrics);
   robust_ = &robust;
 
   std::deque<Url> frontier;

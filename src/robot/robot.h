@@ -37,6 +37,10 @@ struct CrawlOptions {
   // Time source for deadlines/backoff; null = system clock. Fault-injection
   // tests share a FakeClock between the crawl and the FaultyWeb.
   Clock* clock = nullptr;
+  // Registry for the crawl fetcher's wire series (weblint_fetch_*); null
+  // leaves the fetcher unregistered. Poacher fills this in from its
+  // Weblint's registry so one scrape covers lint, cache, and crawl.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct CrawlStats {

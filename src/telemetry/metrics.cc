@@ -1,0 +1,210 @@
+#include "telemetry/metrics.h"
+
+#include <bit>
+
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace telemetry_internal {
+
+size_t ThisThreadCell() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t cell = next.fetch_add(1, std::memory_order_relaxed) % kMetricCells;
+  return cell;
+}
+
+}  // namespace telemetry_internal
+
+size_t Histogram::BucketIndex(std::uint64_t value) {
+  if (value <= 1) {
+    return 0;
+  }
+  // Smallest i with value <= 2^i, i.e. the position of the highest set bit
+  // of value-1. Values beyond the last power of two saturate into the top
+  // bucket (rendered as +Inf-adjacent).
+  const size_t index = static_cast<size_t>(std::bit_width(value - 1));
+  return index < kBuckets ? index : kBuckets - 1;
+}
+
+std::uint64_t HistogramSnapshot::BucketBound(size_t i) {
+  if (i >= kBuckets) {
+    i = kBuckets - 1;
+  }
+  return std::uint64_t{1} << i;
+}
+
+std::uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) {
+    return 0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+      return BucketBound(i);
+    }
+  }
+  return BucketBound(kBuckets - 1);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < kBuckets; ++i) {
+      snapshot.counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    snapshot.sum += shard.sum.load(std::memory_order_relaxed);
+    snapshot.count += shard.count.load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+std::string MetricsRegistry::Key(std::string_view name, std::string_view label_key,
+                                 std::string_view label_value) {
+  std::string key(name);
+  if (!label_key.empty()) {
+    key += '{';
+    key += label_key;
+    key += "=\"";
+    key += label_value;
+    key += "\"}";
+  }
+  return key;
+}
+
+MetricsRegistry::Metric* MetricsRegistry::FindOrCreate(Kind kind, std::string_view name,
+                                                       std::string_view label_key,
+                                                       std::string_view label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = Key(name, label_key, label_value);
+  auto it = metrics_.find(key);
+  if (it == metrics_.end()) {
+    Metric metric;
+    metric.kind = kind;
+    metric.family = std::string(name);
+    metric.label_key = std::string(label_key);
+    metric.label_value = std::string(label_value);
+    switch (kind) {
+      case Kind::kCounter:
+        metric.counter.reset(new Counter());
+        break;
+      case Kind::kGauge:
+        metric.gauge.reset(new Gauge());
+        break;
+      case Kind::kHistogram:
+        metric.histogram.reset(new Histogram());
+        break;
+    }
+    it = metrics_.emplace(key, std::move(metric)).first;
+  }
+  return &it->second;
+}
+
+const MetricsRegistry::Metric* MetricsRegistry::Find(std::string_view name,
+                                                     std::string_view label_key,
+                                                     std::string_view label_value) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = metrics_.find(Key(name, label_key, label_value));
+  return it == metrics_.end() ? nullptr : &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name, std::string_view label_key,
+                                     std::string_view label_value) {
+  return FindOrCreate(Kind::kCounter, name, label_key, label_value)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view label_key,
+                                 std::string_view label_value) {
+  return FindOrCreate(Kind::kGauge, name, label_key, label_value)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name, std::string_view label_key,
+                                         std::string_view label_value) {
+  return FindOrCreate(Kind::kHistogram, name, label_key, label_value)->histogram.get();
+}
+
+std::uint64_t MetricsRegistry::CounterValue(std::string_view name, std::string_view label_key,
+                                            std::string_view label_value) const {
+  const Metric* metric = Find(name, label_key, label_value);
+  return metric != nullptr && metric->counter ? metric->counter->Value() : 0;
+}
+
+std::int64_t MetricsRegistry::GaugeValue(std::string_view name, std::string_view label_key,
+                                         std::string_view label_value) const {
+  const Metric* metric = Find(name, label_key, label_value);
+  return metric != nullptr && metric->gauge ? metric->gauge->Value() : 0;
+}
+
+HistogramSnapshot MetricsRegistry::HistogramValues(std::string_view name,
+                                                   std::string_view label_key,
+                                                   std::string_view label_value) const {
+  const Metric* metric = Find(name, label_key, label_value);
+  return metric != nullptr && metric->histogram ? metric->histogram->Snapshot()
+                                                : HistogramSnapshot{};
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string last_family;
+  for (const auto& [key, metric] : metrics_) {
+    if (metric.family != last_family) {
+      last_family = metric.family;
+      const char* type = metric.kind == Kind::kCounter   ? "counter"
+                         : metric.kind == Kind::kGauge   ? "gauge"
+                                                         : "histogram";
+      out += StrFormat("# TYPE %s %s\n", metric.family, type);
+    }
+    switch (metric.kind) {
+      case Kind::kCounter:
+        out += StrFormat("%s %d\n", key, metric.counter->Value());
+        break;
+      case Kind::kGauge:
+        out += StrFormat("%s %d\n", key, metric.gauge->Value());
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot snapshot = metric.histogram->Snapshot();
+        // Merge `le` with any existing label pair.
+        const std::string label_prefix =
+            metric.label_key.empty()
+                ? std::string()
+                : metric.label_key + "=\"" + metric.label_value + "\",";
+        std::uint64_t cumulative = 0;
+        for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+          cumulative += snapshot.counts[i];
+          // Skip interior empty buckets; always render the first and the
+          // running shape (a bucket is emitted when it changes the series).
+          if (snapshot.counts[i] == 0 && i != 0) {
+            continue;
+          }
+          out += StrFormat("%s_bucket{%sle=\"%d\"} %d\n", metric.family, label_prefix,
+                           HistogramSnapshot::BucketBound(i), cumulative);
+        }
+        out += StrFormat("%s_bucket{%sle=\"+Inf\"} %d\n", metric.family, label_prefix,
+                         snapshot.count);
+        out += StrFormat("%s_sum%s %d\n", metric.family,
+                         metric.label_key.empty()
+                             ? std::string()
+                             : "{" + metric.label_key + "=\"" + metric.label_value + "\"}",
+                         snapshot.sum);
+        out += StrFormat("%s_count%s %d\n", metric.family,
+                         metric.label_key.empty()
+                             ? std::string()
+                             : "{" + metric.label_key + "=\"" + metric.label_value + "\"}",
+                         snapshot.count);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace weblint

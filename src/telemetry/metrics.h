@@ -1,0 +1,202 @@
+// The telemetry metrics registry: named counters, gauges, and log2-bucketed
+// latency histograms, surfaced as Prometheus exposition text.
+//
+// Weblint's production shape (paper §4.5 "from crontab" over whole sites,
+// §5.3's always-on gateway) is a long-running service whose health must be
+// observable while it runs — not reconstructed from ad-hoc printf counters
+// after the fact. This registry is the one substrate behind `--metrics`,
+// the gateway's `GET /metrics` endpoint, and poacher's `--progress`
+// heartbeat; the cache/fetch stat structs are snapshots read back from it.
+//
+// Concurrency design: instrumentation must add no contention to the `-j N`
+// hot path, where every worker bumps the same counters. Each counter and
+// histogram therefore owns a small array of cache-line-aligned cells; a
+// thread picks a home cell once (thread-local slot) and increments it with
+// a relaxed atomic add — no shared line ping-pong, no locks. Reads
+// aggregate across cells; totals are exact (every increment lands in some
+// cell), only the read is a racy-but-monotonic snapshot, which is all a
+// scrape needs.
+//
+// Registration (GetCounter/GetGauge/GetHistogram) takes a mutex and is
+// expected to happen once per call site — callers cache the returned
+// pointer, which is stable for the registry's lifetime.
+#ifndef WEBLINT_TELEMETRY_METRICS_H_
+#define WEBLINT_TELEMETRY_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace weblint {
+
+namespace telemetry_internal {
+
+// Enough cells that a typical `-j` worker fleet spreads out; small enough
+// that a registry full of metrics stays a few KiB.
+inline constexpr size_t kMetricCells = 16;
+
+// One padded accumulator cell. alignas(64) keeps neighbouring cells on
+// distinct cache lines, so two threads incrementing adjacent cells never
+// share a line.
+struct alignas(64) Cell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+// The calling thread's home cell index: assigned round-robin on first use,
+// then a plain thread_local read.
+size_t ThisThreadCell();
+
+}  // namespace telemetry_internal
+
+// Monotonic counter. Increment is wait-free: one relaxed fetch_add on the
+// calling thread's home cell.
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    cells_[telemetry_internal::ThisThreadCell()].value.fetch_add(delta,
+                                                                 std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::array<telemetry_internal::Cell, telemetry_internal::kMetricCells> cells_;
+};
+
+// Last-writer-wins instantaneous value (queue depth, resident entries).
+// Set semantics do not shard, so a gauge is a single atomic — gauges are
+// updated at sampling points, not in per-token hot paths.
+class Gauge {
+ public:
+  void Set(std::int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<std::int64_t> value_{0};
+};
+
+// An aggregated histogram read-out. Bucket i counts observations in
+// (2^(i-1), 2^i]; bucket 0 counts 0 and 1. `counts` are per-bucket (not
+// cumulative — RenderPrometheus cumulates for the `le` form).
+struct HistogramSnapshot {
+  static constexpr size_t kBuckets = 32;
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  // Upper bound of bucket i (2^i), saturating at the last bucket.
+  static std::uint64_t BucketBound(size_t i);
+  // Estimated quantile (0 < q <= 1): the upper bound of the bucket where
+  // the cumulative count crosses q * count. 0 when empty.
+  std::uint64_t Quantile(double q) const;
+};
+
+// Log2-bucketed histogram of non-negative values (typically microseconds).
+// Record() is wait-free like Counter::Increment: the value's bucket, the
+// running sum and the observation count live in the calling thread's home
+// shard.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = HistogramSnapshot::kBuckets;
+
+  // The bucket index for `value`: smallest i with value <= 2^i, clamped.
+  static size_t BucketIndex(std::uint64_t value);
+
+  void Record(std::uint64_t value) {
+    Shard& shard = shards_[telemetry_internal::ThisThreadCell()];
+    shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram() = default;
+
+  // One thread-home shard: the bucket array plus sum/count, starting on its
+  // own cache line.
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> count{0};
+  };
+  std::array<Shard, telemetry_internal::kMetricCells> shards_;
+};
+
+// The registry: owns metrics keyed by (family name, optional single label
+// pair). Lookup-or-create is mutex-guarded; returned pointers are stable
+// until the registry is destroyed, so callers hoist lookups out of loops.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // `name` is the Prometheus family name (counters end in _total by
+  // convention). The optional label pair renders as name{key="value"}.
+  Counter* GetCounter(std::string_view name, std::string_view label_key = {},
+                      std::string_view label_value = {});
+  Gauge* GetGauge(std::string_view name, std::string_view label_key = {},
+                  std::string_view label_value = {});
+  Histogram* GetHistogram(std::string_view name, std::string_view label_key = {},
+                          std::string_view label_value = {});
+
+  // Prometheus text exposition (version 0.0.4): families in lexicographic
+  // order, one # TYPE line per family, histograms in cumulative le= form.
+  // Deterministic for a given set of metric values.
+  std::string RenderPrometheus() const;
+
+  // Test/snapshot conveniences: the value of a metric, or 0 if absent.
+  std::uint64_t CounterValue(std::string_view name, std::string_view label_key = {},
+                             std::string_view label_value = {}) const;
+  std::int64_t GaugeValue(std::string_view name, std::string_view label_key = {},
+                          std::string_view label_value = {}) const;
+  // Snapshot of a histogram, or an empty snapshot if absent.
+  HistogramSnapshot HistogramValues(std::string_view name, std::string_view label_key = {},
+                                    std::string_view label_value = {}) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Metric {
+    Kind kind;
+    std::string family;
+    std::string label_key;
+    std::string label_value;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  static std::string Key(std::string_view name, std::string_view label_key,
+                         std::string_view label_value);
+  Metric* FindOrCreate(Kind kind, std::string_view name, std::string_view label_key,
+                       std::string_view label_value);
+  const Metric* Find(std::string_view name, std::string_view label_key,
+                     std::string_view label_value) const;
+
+  mutable std::mutex mu_;
+  // std::map: iteration order is the render order, so exposition output is
+  // stable without a sort pass.
+  std::map<std::string, Metric> metrics_;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_TELEMETRY_METRICS_H_

@@ -1,0 +1,121 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+std::atomic<Tracer*> g_tracer{nullptr};
+std::atomic<std::uint64_t> g_tracer_ids{0};
+
+// The calling thread's slot: which tracer generation it registered with,
+// and its ring within that tracer. A new tracer (different id) re-registers
+// lazily on the next span.
+struct ThreadSlot {
+  std::uint64_t tracer_id = 0;
+  void* ring = nullptr;
+};
+thread_local ThreadSlot t_slot;
+
+}  // namespace
+
+Tracer::Tracer(Clock* clock, size_t events_per_thread)
+    : clock_(clock != nullptr ? clock : Clock::System()),
+      events_per_thread_(events_per_thread > 0 ? events_per_thread : 1),
+      id_(g_tracer_ids.fetch_add(1, std::memory_order_relaxed) + 1) {}
+
+Tracer::~Tracer() {
+  // Stop span sites from reaching a dead tracer if the caller forgot to
+  // uninstall. Threads holding a stale slot re-check the generation id.
+  Tracer* self = this;
+  g_tracer.compare_exchange_strong(self, nullptr);
+}
+
+Tracer* Tracer::Current() { return g_tracer.load(std::memory_order_acquire); }
+
+void Tracer::Install(Tracer* tracer) { g_tracer.store(tracer, std::memory_order_release); }
+
+Tracer::Ring* Tracer::RingForThisThread() {
+  if (t_slot.tracer_id == id_) {
+    return static_cast<Ring*>(t_slot.ring);
+  }
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  auto ring = std::make_unique<Ring>();
+  ring->tid = static_cast<std::uint32_t>(rings_.size() + 1);
+  ring->events.resize(events_per_thread_);
+  rings_.push_back(std::move(ring));
+  t_slot.tracer_id = id_;
+  t_slot.ring = rings_.back().get();
+  return rings_.back().get();
+}
+
+void Tracer::Record(const char* name, std::uint64_t begin_us, std::uint64_t end_us) {
+  Ring* ring = RingForThisThread();
+  {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    if (ring->wrapped) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ring->events[ring->next] = Event{name, begin_us, end_us};
+    ring->next = (ring->next + 1) % ring->events.size();
+    if (ring->next == 0) {
+      ring->wrapped = true;  // Ring full; every further write evicts one.
+    }
+  }
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string Tracer::DumpChromeTrace() const {
+  struct Row {
+    std::uint32_t tid;
+    Event event;
+  };
+  std::vector<Row> rows;
+  {
+    std::lock_guard<std::mutex> rings_lock(rings_mu_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<std::mutex> lock(ring->mu);
+      const size_t held = ring->wrapped ? ring->events.size() : ring->next;
+      const size_t start = ring->wrapped ? ring->next : 0;
+      for (size_t i = 0; i < held; ++i) {
+        const Event& event = ring->events[(start + i) % ring->events.size()];
+        rows.push_back(Row{ring->tid, event});
+      }
+    }
+  }
+
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.event.begin_us != b.event.begin_us) {
+      return a.event.begin_us < b.event.begin_us;
+    }
+    if (a.tid != b.tid) {
+      return a.tid < b.tid;
+    }
+    return std::strcmp(a.event.name, b.event.name) < 0;
+  });
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Row& row : rows) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    // Complete-event form: ts/dur in microseconds, one process, the ring's
+    // registration-order thread id. Span names are our own string literals
+    // (stage identifiers), so no JSON escaping is required beyond taking
+    // them verbatim.
+    out += StrFormat(
+        "{\"name\":\"%s\",\"cat\":\"weblint\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+        "\"ts\":%d,\"dur\":%d}",
+        row.event.name, row.tid, row.event.begin_us, row.event.end_us - row.event.begin_us);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace weblint

@@ -1,0 +1,128 @@
+// Scoped-span tracing: WEBLINT_SPAN("stage") RAII spans recorded into
+// per-thread ring buffers, dumped as Chrome trace-event JSON (`--trace-out
+// FILE`), viewable in chrome://tracing or Perfetto.
+//
+// Why per-thread rings: the spans instrument the `-j N` hot path (per-page
+// lint, tokenize/engine stages, cache lookups, fetches), so recording must
+// not serialise workers. Each thread appends to its own fixed-capacity
+// buffer under a per-buffer mutex that only that thread and the final dump
+// ever take — zero cross-worker contention, bounded memory, oldest events
+// overwritten when a buffer wraps (dropped() reports how many).
+//
+// Why an installed-tracer check instead of compile-time gating: a span site
+// costs one relaxed atomic load and a branch when tracing is off, so the
+// instrumentation can stay in release binaries and be switched on per run.
+//
+// Determinism: timestamps come from the tracer's Clock. Under FakeClock a
+// traced run produces byte-identical JSON every time — the trace tests
+// assert exact timestamps, not ranges.
+#ifndef WEBLINT_TELEMETRY_TRACE_H_
+#define WEBLINT_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace weblint {
+
+class Tracer {
+ public:
+  // `clock` may be null (system clock). `events_per_thread` bounds each
+  // thread's ring; a wrapped ring drops its oldest events.
+  explicit Tracer(Clock* clock = nullptr, size_t events_per_thread = 1 << 16);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // The process-wide installed tracer, or null when tracing is off. Span
+  // sites read this with one relaxed load.
+  static Tracer* Current();
+  // Installs `tracer` (null to switch tracing off). The previous tracer, if
+  // any, stops receiving events but keeps what it recorded. Not intended
+  // for concurrent re-installation while spans are live.
+  static void Install(Tracer* tracer);
+
+  // Records one completed span on the calling thread's ring buffer.
+  // `name` must outlive the tracer (span sites pass string literals).
+  void Record(const char* name, std::uint64_t begin_us, std::uint64_t end_us);
+
+  // Chrome trace-event JSON: {"traceEvents":[...]} with one complete ("X")
+  // event per span, sorted by (ts, tid, name) so output is deterministic
+  // for a deterministic clock. Safe to call while other threads still
+  // record (they keep their rings consistent), but meant for end-of-run.
+  std::string DumpChromeTrace() const;
+
+  Clock& clock() const { return *clock_; }
+  // Spans recorded across all threads (including any later overwritten).
+  std::uint64_t recorded() const { return recorded_.load(std::memory_order_relaxed); }
+  // Spans lost to ring wrap-around.
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Event {
+    const char* name;
+    std::uint64_t begin_us;
+    std::uint64_t end_us;
+  };
+  // One thread's ring. `mu` is effectively uncontended: the owning thread
+  // takes it per record; the dump takes it once at the end.
+  struct Ring {
+    std::mutex mu;
+    std::uint32_t tid;
+    std::vector<Event> events;  // Ring storage, capacity events_per_thread.
+    size_t next = 0;            // Write cursor.
+    bool wrapped = false;
+  };
+
+  Ring* RingForThisThread();
+
+  Clock* clock_;
+  const size_t events_per_thread_;
+  const std::uint64_t id_;  // Distinguishes tracer generations in thread slots.
+
+  mutable std::mutex rings_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+// The RAII span: samples the clock at construction and records on
+// destruction. When no tracer is installed, both ends are a load + branch.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) : tracer_(Tracer::Current()) {
+    if (tracer_ != nullptr) {
+      name_ = name;
+      begin_us_ = tracer_->clock().NowMicros();
+    }
+  }
+  ~TraceSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->Record(name_, begin_us_, tracer_->clock().NowMicros());
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_ = nullptr;
+  std::uint64_t begin_us_ = 0;
+};
+
+#define WEBLINT_SPAN_CONCAT2(a, b) a##b
+#define WEBLINT_SPAN_CONCAT(a, b) WEBLINT_SPAN_CONCAT2(a, b)
+// Usage: WEBLINT_SPAN("tokenize"); — traces to the end of the scope.
+#define WEBLINT_SPAN(name) \
+  ::weblint::TraceSpan WEBLINT_SPAN_CONCAT(weblint_span_, __LINE__)(name)
+
+}  // namespace weblint
+
+#endif  // WEBLINT_TELEMETRY_TRACE_H_

@@ -6,6 +6,7 @@
 //   poacher --demo [pages]            crawl a generated in-memory site
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "corpus/site_generator.h"
@@ -13,7 +14,10 @@
 #include "net/fetcher.h"
 #include "net/virtual_web.h"
 #include "robot/poacher.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/args.h"
+#include "util/file_io.h"
 #include "util/strings.h"
 #include "warnings/emitter.h"
 
@@ -56,6 +60,9 @@ int Run(int argc, char** argv) {
   std::string fetch_retries_arg;
   std::string max_fetch_bytes_arg;
   std::string max_redirects_arg;
+  bool metrics_dump = false;
+  std::string trace_out;
+  std::string progress_arg;
   parser.AddOption("--root", "serve the site from this directory (file crawl)", &root);
   parser.AddFlag("--demo", "crawl a generated in-memory demonstration site", &demo);
   parser.AddFlag("-s", "short diagnostic format", &short_output);
@@ -76,6 +83,13 @@ int Run(int argc, char** argv) {
   parser.AddOption("--max-redirects", "follow at most this many redirect hops per retrieval",
                    &max_redirects_arg);
   parser.AddFlag("--fetch-stats", "print crawl fetch counters after the run", &fetch_stats);
+  parser.AddFlag("--metrics", "print Prometheus-text telemetry to stderr after the run",
+                 &metrics_dump);
+  parser.AddOption("--trace-out", "write a Chrome trace-event JSON timeline of the run here",
+                   &trace_out);
+  parser.AddOption("--progress",
+                   "print a heartbeat line to stderr every this-many milliseconds of crawl",
+                   &progress_arg);
   parser.AddFlag("--help", "show this help", &show_help);
 
   if (Status s = parser.Parse(argc, argv); !s.ok()) {
@@ -134,6 +148,43 @@ int Run(int argc, char** argv) {
   options.crawl.max_redirects = static_cast<int>(lint.config().max_redirects);
   lint.config().use_cache = !no_cache;
   lint.config().cache_dir = cache_dir;
+
+  // Telemetry: one process registry collects lint, cache, and crawl series
+  // when --metrics asks for a dump or --progress needs latency quantiles;
+  // a tracer records the run when --trace-out names a file.
+  MetricsRegistry registry;
+  std::unique_ptr<Tracer> tracer;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<Tracer>();
+    Tracer::Install(tracer.get());
+  }
+  if (!progress_arg.empty()) {
+    std::uint32_t interval_ms = 0;
+    if (!ParseUint(progress_arg, &interval_ms) || interval_ms == 0) {
+      std::fprintf(stderr, "poacher: --progress expects a positive millisecond interval, got %s\n",
+                   progress_arg.c_str());
+      return 2;
+    }
+    options.progress_interval_ms = interval_ms;
+  }
+  if (metrics_dump || options.progress_interval_ms != 0) {
+    lint.EnableMetrics(&registry);
+  }
+  const auto finish_telemetry = [&]() {
+    if (metrics_dump) {
+      std::fputs(registry.RenderPrometheus().c_str(), stderr);
+    }
+    if (tracer == nullptr) {
+      return true;
+    }
+    Tracer::Install(nullptr);
+    if (Status s = WriteFile(trace_out, tracer->DumpChromeTrace()); !s.ok()) {
+      std::fprintf(stderr, "poacher: cannot write trace: %s\n", s.message().c_str());
+      return false;
+    }
+    return true;
+  };
+
   lint.EnableCache();
   StreamEmitter emitter(std::cout,
                         short_output ? OutputStyle::kShort : OutputStyle::kTraditional);
@@ -158,7 +209,7 @@ int Run(int argc, char** argv) {
     }
     std::printf("(demo site: %zu pages, %zu seeded broken links, %zu private pages)\n",
                 site.pages.size(), site.broken_link_count, site.private_paths.size());
-    return 0;
+    return finish_telemetry() ? 0 : 2;
   }
 
   FileFetcher fetcher(root);
@@ -172,6 +223,9 @@ int Run(int argc, char** argv) {
   }
   if (cache_stats && lint.cache() != nullptr) {
     std::fputs(FormatCacheStats(lint.cache()->stats()).c_str(), stderr);
+  }
+  if (!finish_telemetry()) {
+    return 2;
   }
   return report.TotalDiagnostics() + report.broken_links.size() == 0 ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "util/file_io.h"
@@ -21,6 +22,8 @@
 #include "robot/page_weight.h"
 #include "net/fetcher.h"
 #include "net/socket_fetcher.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/args.h"
 #include "util/strings.h"
 #include "warnings/catalog.h"
@@ -73,6 +76,8 @@ int Run(int argc, char** argv) {
   std::string fetch_retries_arg;
   std::string max_fetch_bytes_arg;
   std::string max_redirects_arg;
+  bool metrics_dump = false;
+  std::string trace_out;
 
   parser.AddFlag("-s", "short output: line N: message", &short_output);
   parser.AddFlag("-v", "verbose output: include message identifiers and descriptions",
@@ -109,6 +114,10 @@ int Run(int argc, char** argv) {
   parser.AddFlag("--weight",
                  "report page weight and estimated modem download times after checking",
                  &weigh_pages);
+  parser.AddFlag("--metrics", "print Prometheus-text telemetry to stderr after the run",
+                 &metrics_dump);
+  parser.AddOption("--trace-out", "write a Chrome trace-event JSON timeline of the run here",
+                   &trace_out);
   parser.AddFlag("--help", "show this help", &show_help);
 
   if (Status s = parser.Parse(argc, argv); !s.ok()) {
@@ -204,7 +213,21 @@ int Run(int argc, char** argv) {
     config.max_fetch_bytes = max_fetch_bytes32;
   }
 
+  // Telemetry: one process registry behind --metrics (and implicitly behind
+  // --cache-stats, whose counters live in the cache either way); a tracer
+  // behind --trace-out. Neither is wired up unless asked for, so the default
+  // run stays exactly the pre-telemetry code path.
+  MetricsRegistry registry;
+  std::unique_ptr<Tracer> tracer;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<Tracer>();
+    Tracer::Install(tracer.get());
+  }
+
   Weblint lint(config);
+  if (metrics_dump) {
+    lint.EnableMetrics(&registry);
+  }
   lint.EnableCache();  // Honours use_cache / cache_dir from the config.
   StreamEmitter emitter(std::cout, config.output_style);
 
@@ -290,6 +313,16 @@ int Run(int argc, char** argv) {
 
   if (cache_stats && lint.cache() != nullptr) {
     std::fputs(FormatCacheStats(lint.cache()->stats()).c_str(), stderr);
+  }
+  if (metrics_dump) {
+    std::fputs(registry.RenderPrometheus().c_str(), stderr);
+  }
+  if (tracer != nullptr) {
+    Tracer::Install(nullptr);
+    if (Status s = WriteFile(trace_out, tracer->DumpChromeTrace()); !s.ok()) {
+      std::fprintf(stderr, "weblint: cannot write trace: %s\n", s.message().c_str());
+      return 2;
+    }
   }
   return problems == 0 ? 0 : 1;
 }

@@ -47,6 +47,7 @@ unsigned ThreadPool::DefaultThreadCount() {
 
 void ThreadPool::Submit(std::function<void()> job) {
   pending_.fetch_add(1, std::memory_order_acq_rel);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   const size_t queue_index =
       tls_pool == this
           ? tls_queue
@@ -85,6 +86,7 @@ bool ThreadPool::TryPop(size_t index, std::function<void()>* job) {
     if (!victim.jobs.empty()) {
       *job = std::move(victim.jobs.front());
       victim.jobs.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -52,6 +53,18 @@ class ThreadPool {
 
   unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
 
+  // Observability taps for the telemetry layer (util sits below telemetry
+  // in the layer stack, so the pool only exposes raw counts; the runner
+  // publishes them as registry metrics).
+  //
+  // Jobs submitted but not yet finished — the live queue depth plus jobs
+  // currently executing. A racy snapshot; used for progress heartbeats.
+  size_t pending() const { return pending_.load(std::memory_order_relaxed); }
+  // Jobs submitted over the pool's lifetime.
+  std::uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
+  // Jobs popped from another worker's deque (work-stealing events).
+  std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
   // std::thread::hardware_concurrency(), clamped to at least 1.
   static unsigned DefaultThreadCount();
 
@@ -77,6 +90,8 @@ class ThreadPool {
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::atomic<size_t> pending_{0};  // Submitted but not yet finished.
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> steals_{0};
   std::atomic<bool> shutdown_{false};
   std::atomic<size_t> next_queue_{0};  // Round-robin cursor for external submits.
 };

@@ -14,6 +14,9 @@ LintReport SampleReport() {
   LintReport report;
   report.name = "site/page one.html";
   report.lines = 123;
+  // Wider than 32 bits on purpose: the token tally crosses the format's
+  // word size, so both halves of the split encoding are exercised.
+  report.tokens = 0x1234567890abcdefull;
   report.diagnostics.push_back({"unclosed-element", Category::kError, report.name,
                                 {4, 7}, "unclosed element <B>"});
   report.diagnostics.push_back({"here-anchor", Category::kStyle, report.name,
@@ -28,6 +31,7 @@ LintReport SampleReport() {
 void ExpectReportsEqual(const LintReport& a, const LintReport& b) {
   EXPECT_EQ(a.name, b.name);
   EXPECT_EQ(a.lines, b.lines);
+  EXPECT_EQ(a.tokens, b.tokens);
   ASSERT_EQ(a.diagnostics.size(), b.diagnostics.size());
   for (size_t i = 0; i < a.diagnostics.size(); ++i) {
     EXPECT_EQ(a.diagnostics[i].message_id, b.diagnostics[i].message_id);

@@ -7,19 +7,23 @@
 #include <filesystem>
 #include <string>
 
+#include "tests/testing/mini_json.h"
 #include "util/file_io.h"
 
 namespace weblint {
 namespace {
+
+using ::weblint::testing::JsonValue;
+using ::weblint::testing::ParseJson;
 
 struct CommandResult {
   int exit_code = -1;
   std::string output;  // stdout + stderr combined.
 };
 
-CommandResult RunCommand(const std::string& command) {
+CommandResult RunPipe(const std::string& command) {
   CommandResult result;
-  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  FILE* pipe = popen(command.c_str(), "r");
   if (pipe == nullptr) {
     return result;
   }
@@ -31,6 +35,14 @@ CommandResult RunCommand(const std::string& command) {
   const int status = pclose(pipe);
   result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   return result;
+}
+
+CommandResult RunCommand(const std::string& command) { return RunPipe(command + " 2>&1"); }
+
+// stdout only — the stats/metrics routing tests need to prove stderr-bound
+// diagnostics never leak into the report stream.
+CommandResult RunCommandStdout(const std::string& command) {
+  return RunPipe(command + " 2>/dev/null");
 }
 
 constexpr char kTestHtml[] =
@@ -228,6 +240,72 @@ TEST_F(CliTest, PoacherDemoRuns) {
   EXPECT_EQ(result.exit_code, 0);
   EXPECT_NE(result.output.find("poacher summary"), std::string::npos);
   EXPECT_NE(result.output.find("broken links:      2"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsAndMetricsFlagsLeaveWeblintStdoutByteIdentical) {
+  // Observability is opt-in AND out-of-band: turning every stats flag on
+  // must not change a byte of the report stream scripts parse.
+  std::filesystem::create_directories(dir_ / "site");
+  ASSERT_TRUE(WriteFile(Path("site/index.html"), kCleanHtml).ok());
+  ASSERT_TRUE(WriteFile(Path("site/page.html"), kTestHtml).ok());
+  const std::string base_command = std::string(WEBLINT_BIN) + " -R " + Path("site");
+  const CommandResult plain = RunCommandStdout(base_command);
+  const CommandResult with_stats =
+      RunCommandStdout(base_command + " --cache-stats --metrics");
+  EXPECT_EQ(plain.exit_code, with_stats.exit_code);
+  EXPECT_EQ(plain.output, with_stats.output);
+  // And the flags do emit — on stderr.
+  const CommandResult combined = RunCommand(base_command + " --cache-stats --metrics");
+  EXPECT_NE(combined.output.find("lint cache:"), std::string::npos) << combined.output;
+  EXPECT_NE(combined.output.find("# TYPE weblint_documents_total counter"), std::string::npos)
+      << combined.output;
+}
+
+TEST_F(CliTest, StatsAndMetricsFlagsLeavePoacherStdoutByteIdentical) {
+  const std::string base_command = std::string(POACHER_BIN) + " --demo -j 1";
+  const CommandResult plain = RunCommandStdout(base_command);
+  const CommandResult with_stats =
+      RunCommandStdout(base_command + " --fetch-stats --cache-stats --metrics --progress 1000");
+  EXPECT_EQ(plain.exit_code, with_stats.exit_code);
+  EXPECT_EQ(plain.output, with_stats.output);
+  const CommandResult combined =
+      RunCommand(base_command + " --fetch-stats --cache-stats --metrics");
+  EXPECT_NE(combined.output.find("fetch stats:"), std::string::npos) << combined.output;
+  EXPECT_NE(combined.output.find("# TYPE weblint_fetch_requests_total counter"),
+            std::string::npos)
+      << combined.output;
+}
+
+TEST_F(CliTest, TraceOutWritesValidChromeTraceJson) {
+  std::filesystem::create_directories(dir_ / "site");
+  ASSERT_TRUE(WriteFile(Path("site/index.html"), kCleanHtml).ok());
+  ASSERT_TRUE(WriteFile(Path("site/page.html"), kCleanHtml).ok());
+  const CommandResult result = RunCommand(std::string(WEBLINT_BIN) + " -R --trace-out " +
+                                          Path("trace.json") + " " + Path("site"));
+  const auto trace_bytes = ReadFile(Path("trace.json"));
+  ASSERT_TRUE(trace_bytes.ok()) << result.output;
+  const auto document = ParseJson(*trace_bytes);
+  ASSERT_TRUE(document.has_value()) << *trace_bytes;
+  // The trace-event schema subset Perfetto/chrome://tracing loads: complete
+  // ("X") events carrying name/cat/pid/tid/ts/dur.
+  const JsonValue* events = document->Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_FALSE(events->array.empty());
+  bool saw_lint_span = false;
+  for (const JsonValue& event : events->array) {
+    ASSERT_TRUE(event.is_object());
+    ASSERT_NE(event.Get("name"), nullptr);
+    EXPECT_TRUE(event.Get("name")->is_string());
+    EXPECT_EQ(event.Get("cat")->string, "weblint");
+    EXPECT_EQ(event.Get("ph")->string, "X");
+    EXPECT_EQ(event.Get("pid")->number, 1.0);
+    EXPECT_GE(event.Get("tid")->number, 1.0);
+    EXPECT_TRUE(event.Get("ts")->is_number());
+    EXPECT_GE(event.Get("dur")->number, 0.0);
+    saw_lint_span |= event.Get("name")->string == "engine";
+  }
+  EXPECT_TRUE(saw_lint_span) << *trace_bytes;
 }
 
 TEST_F(CliTest, GatewayFormMode) {

@@ -13,6 +13,7 @@
 #include "core/linter.h"
 #include "gateway/cgi.h"
 #include "gateway/gateway.h"
+#include "telemetry/metrics.h"
 #include "util/url.h"
 
 namespace weblint {
@@ -183,6 +184,59 @@ TEST(HttpServerTest, EarlyDisconnectDoesNotStopServer) {
   ASSERT_TRUE(response.ok()) << response.error();
   EXPECT_EQ(response->body, "small");
   EXPECT_GE(server.write_failures(), 1u);
+}
+
+TEST(HttpServerTelemetryTest, MetricsEndpointServesRegistryWithoutCountingItself) {
+  MetricsRegistry registry;
+  registry.GetCounter("weblint_demo_total")->Increment(5);
+  HttpServer server([](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 404;
+    return response;
+  });
+  server.EnableMetrics(&registry);
+  ASSERT_TRUE(server.Listen(0).ok());
+
+  // One application request (404 -> the 4xx class), then two scrapes.
+  std::thread serving([&server] { EXPECT_TRUE(server.Serve(3).ok()); });
+  auto app = Fetch(server.port(), "GET /page HTTP/1.0\r\n\r\n");
+  auto first_scrape = Fetch(server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  auto second_scrape = Fetch(server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  serving.join();
+
+  ASSERT_TRUE(app.ok()) << app.error();
+  EXPECT_EQ(app->status, 404);
+  ASSERT_TRUE(first_scrape.ok()) << first_scrape.error();
+  EXPECT_EQ(first_scrape->status, 200);
+  const auto content_type = first_scrape->headers.find("content-type");
+  ASSERT_NE(content_type, first_scrape->headers.end());
+  EXPECT_EQ(content_type->second, "text/plain; version=0.0.4");
+  // The scrape exposes both the application's series and the server's own.
+  EXPECT_NE(first_scrape->body.find("weblint_demo_total 5"), std::string::npos)
+      << first_scrape->body;
+  EXPECT_NE(first_scrape->body.find("weblint_http_requests_total 1"), std::string::npos);
+  EXPECT_NE(first_scrape->body.find("weblint_http_responses_total{class=\"4xx\"} 1"),
+            std::string::npos);
+  EXPECT_NE(first_scrape->body.find("weblint_http_request_micros_count 1"), std::string::npos);
+  // Scraping /metrics is observation, not traffic: the second scrape still
+  // reports exactly one request, proving the first scrape went uncounted.
+  ASSERT_TRUE(second_scrape.ok()) << second_scrape.error();
+  EXPECT_NE(second_scrape->body.find("weblint_http_requests_total 1"), std::string::npos)
+      << second_scrape->body;
+}
+
+TEST(HttpServerTelemetryTest, MetricsEndpointIs404WithoutRegistry) {
+  HttpServer server([](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 404;
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread serving([&server] { (void)server.ServeOne(); });
+  auto response = Fetch(server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  serving.join();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 404);  // No registry: /metrics is just a path.
 }
 
 TEST(HttpServerTest, ServeOneWithoutListenFails) {

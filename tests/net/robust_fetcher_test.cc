@@ -10,6 +10,7 @@
 
 #include "net/fault_injection.h"
 #include "net/virtual_web.h"
+#include "telemetry/metrics.h"
 #include "util/clock.h"
 
 namespace weblint {
@@ -221,6 +222,52 @@ TEST(RobustFetcherTest, DegradedGetSurfacesStatusZero) {
   EXPECT_EQ(response.transport, TransportError::kRefused);
 }
 
+TEST(RobustFetcherTest, RetryThenOkCountedOnceAcrossOutcomes) {
+  // A page that fails transiently and then succeeds is ONE request with ONE
+  // outcome. The retry shows up in attempts/retries only — never as a second
+  // outcome class — so the formatted stats always satisfy
+  // sum(by_outcome) == requests.
+  Harness h("fault page refuse times=1");
+  FetchResult result = h.fetcher->FetchPage(kPage);
+  ASSERT_TRUE(result.ok()) << result.detail;
+  const FetchStats& stats = h.fetcher->stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.by_outcome[0], 1u);  // Classified ok, exactly once.
+  std::uint64_t outcome_total = 0;
+  for (const std::uint64_t count : stats.by_outcome) {
+    outcome_total += count;
+  }
+  EXPECT_EQ(outcome_total, stats.requests);
+  EXPECT_EQ(stats.degraded(), 0u);
+  const std::string formatted = FormatFetchStats(stats);
+  EXPECT_NE(formatted.find("requests=1 attempts=2 retries=1"), std::string::npos) << formatted;
+  EXPECT_NE(formatted.find("ok=1 degraded=0"), std::string::npos) << formatted;
+}
+
+TEST(RobustFetcherTelemetryTest, RegistryMirrorsRetryThenOkExactly) {
+  // With a registry attached, the wire series must tell the same story as
+  // the in-object stats: one request, one ok outcome, one retry.
+  MetricsRegistry registry;
+  VirtualWeb web;
+  web.AddPage("http://site.test/page.html", "<HTML><BODY>hello</BODY></HTML>");
+  auto scenario = ParseFaultScenario("fault page refuse times=1");
+  ASSERT_TRUE(scenario.ok()) << scenario.error();
+  FakeClock clock;
+  FaultyWeb faulty(web, *scenario, &clock);
+  faulty.set_stall_observed_ms(TestPolicy().read_deadline_ms);
+  RobustFetcher fetcher(faulty, TestPolicy(), &clock, &registry);
+  ASSERT_TRUE(fetcher.FetchPage(kPage).ok());
+  EXPECT_EQ(registry.CounterValue("weblint_fetch_requests_total"), 1u);
+  EXPECT_EQ(registry.CounterValue("weblint_fetch_attempts_total"), 2u);
+  EXPECT_EQ(registry.CounterValue("weblint_fetch_retries_total"), 1u);
+  EXPECT_EQ(registry.CounterValue("weblint_fetch_outcomes_total", "outcome", "ok"), 1u);
+  EXPECT_EQ(registry.CounterValue("weblint_fetch_outcomes_total", "outcome", "refused"), 0u);
+  EXPECT_EQ(registry.CounterValue("weblint_fetch_bytes_total"), fetcher.stats().bytes_fetched);
+  EXPECT_EQ(registry.HistogramValues("weblint_fetch_micros").count, 1u);
+}
+
 TEST(RobustFetcherTest, StatsAccumulateAndMerge) {
   Harness h("fault page refuse");
   (void)h.fetcher->FetchPage(kPage);
@@ -247,7 +294,7 @@ TEST(RobustFetcherTest, FormatFetchStatsStable) {
   stats.by_outcome[static_cast<size_t>(FetchOutcome::kTimeout)] = 1;
   EXPECT_EQ(FormatFetchStats(stats),
             "fetch stats: requests=3 attempts=5 retries=2 redirects=0 bytes=128\n"
-            "  pages ok=2 degraded=1 timeout=1 truncated=0 too_large=0 refused=0"
+            "  retrievals ok=2 degraded=1 timeout=1 truncated=0 too_large=0 refused=0"
             " malformed=0 redirect_loop=0\n");
 }
 

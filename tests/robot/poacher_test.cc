@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "corpus/site_generator.h"
+#include "net/fault_injection.h"
 #include "net/virtual_web.h"
+#include "telemetry/metrics.h"
+#include "util/clock.h"
 
 namespace weblint {
 namespace {
@@ -104,6 +110,68 @@ TEST(PoacherTest, ValidatesResourceLinksWithHead) {
   ASSERT_EQ(report.broken_links.size(), 1u);
   EXPECT_NE(report.broken_links[0].target.find("gone.gif"), std::string::npos);
   EXPECT_GE(web.head_count(), 1u);  // Validated by HEAD, not GET (paper §3.5).
+}
+
+TEST(PoacherTelemetryTest, ProgressEmitsOneSettledLineWhenClockStandsStill) {
+  // On a FakeClock that never advances, interval-gated beats cannot fire;
+  // only the forced final line does — and every field in it is clock-exact.
+  VirtualWeb web;
+  web.AddPage("http://h/index.html",
+              "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>"
+              "<P><A HREF=\"next.html\">n</A></P></BODY></HTML>");
+  web.AddPage("http://h/next.html",
+              "<HTML><HEAD><TITLE>n</TITLE></HEAD><BODY><P>x</P></BODY></HTML>");
+  Weblint lint;
+  lint.config().jobs = 1;  // Inline lint: the queue is always drained.
+  MetricsRegistry registry;
+  FakeClock clock;
+  lint.EnableMetrics(&registry, &clock);
+  PoacherOptions options;
+  options.crawl.clock = &clock;
+  options.progress_interval_ms = 5;
+  std::vector<std::string> lines;
+  options.progress_sink = [&lines](const std::string& line) { lines.push_back(line); };
+  Poacher poacher(lint, web, options);
+  (void)poacher.Run("http://h/index.html");
+  ASSERT_EQ(lines.size(), 1u);
+  // Both page lints take zero fake time, so both land in the histogram's
+  // first bucket and every quantile reports its upper bound of 1us.
+  EXPECT_EQ(lines[0], "[poacher] pages=2 degraded=0 queue=0 p50_us=1 p95_us=1");
+}
+
+TEST(PoacherTelemetryTest, ProgressBeatsFireAsCrawlTimeElapses) {
+  // A transient refusal forces a retry whose backoff advances the FakeClock
+  // past the heartbeat interval: the crawl emits a mid-crawl beat plus the
+  // forced final line.
+  VirtualWeb web;
+  web.AddPage("http://h/index.html",
+              "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>"
+              "<P><A HREF=\"next.html\">n</A></P></BODY></HTML>");
+  web.AddPage("http://h/next.html",
+              "<HTML><HEAD><TITLE>n</TITLE></HEAD><BODY><P>x</P></BODY></HTML>");
+  auto scenario = ParseFaultScenario("fault next refuse times=1");
+  ASSERT_TRUE(scenario.ok()) << scenario.error();
+  FakeClock clock;
+  FaultyWeb faulty(web, *scenario, &clock);
+  Weblint lint;
+  lint.config().jobs = 1;
+  MetricsRegistry registry;
+  lint.EnableMetrics(&registry, &clock);
+  PoacherOptions options;
+  options.crawl.clock = &clock;
+  options.crawl.fetch_policy.retries = 1;
+  options.crawl.fetch_policy.backoff_base_ms = 50;  // Backoff >> interval.
+  options.progress_interval_ms = 10;
+  std::vector<std::string> lines;
+  options.progress_sink = [&lines](const std::string& line) { lines.push_back(line); };
+  Poacher poacher(lint, faulty, options);
+  const PoacherReport report = poacher.Run("http://h/index.html");
+  EXPECT_EQ(report.pages.size(), 2u);
+  EXPECT_EQ(report.stats.pages_degraded, 0u);  // Retried, then succeeded.
+  ASSERT_EQ(lines.size(), 2u) << lines.size();
+  // The mid-crawl beat fires right after next.html's delayed submit.
+  EXPECT_EQ(lines[0].find("[poacher] pages=2 degraded=0 queue=0 "), 0u) << lines[0];
+  EXPECT_EQ(lines[1], "[poacher] pages=2 degraded=0 queue=0 p50_us=1 p95_us=1");
 }
 
 TEST(PoacherTest, StreamsDiagnosticsToEmitter) {

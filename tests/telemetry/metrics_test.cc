@@ -1,0 +1,229 @@
+// Telemetry metrics primitives: exactness under concurrency, power-of-two
+// histogram bucketing, and the Prometheus exposition format.
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace weblint {
+namespace {
+
+TEST(TelemetryCounterTest, SingleThreadIncrements) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("weblint_test_total");
+  EXPECT_EQ(counter->Value(), 0u);
+  counter->Increment();
+  counter->Increment(41);
+  EXPECT_EQ(counter->Value(), 42u);
+}
+
+TEST(TelemetryCounterTest, ConcurrentIncrementsSumExactly) {
+  // The sharded cells trade read coherence for write scalability, but the
+  // total must stay exact: every increment lands in exactly one cell.
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("weblint_test_total");
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        counter->Increment();
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter->Value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(TelemetryCounterTest, ConcurrentWeightedIncrementsSumExactly) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("weblint_test_total");
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kRounds; ++i) {
+        counter->Increment(3);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter->Value(), static_cast<std::uint64_t>(kThreads) * kRounds * 3);
+}
+
+TEST(TelemetryGaugeTest, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("weblint_test_depth");
+  EXPECT_EQ(gauge->Value(), 0);
+  gauge->Set(7);
+  EXPECT_EQ(gauge->Value(), 7);
+  gauge->Add(5);
+  gauge->Add(-12);
+  EXPECT_EQ(gauge->Value(), 0);
+  gauge->Add(-3);
+  EXPECT_EQ(gauge->Value(), -3);  // Gauges may go negative.
+}
+
+TEST(TelemetryHistogramTest, BucketBoundariesAtPowersOfTwo) {
+  // Bucket i covers (2^(i-1), 2^i]; bucket 0 covers {0, 1}. The boundary
+  // value 2^i itself lands in bucket i — "le" semantics, inclusive upper.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(5), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(9), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(16), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(17), 5u);
+  EXPECT_EQ(Histogram::BucketIndex((1u << 20)), 20u);
+  EXPECT_EQ(Histogram::BucketIndex((1u << 20) + 1), 21u);
+  // Values past the last power of two saturate into the top bucket.
+  EXPECT_EQ(Histogram::BucketIndex(~std::uint64_t{0}), Histogram::kBuckets - 1);
+}
+
+TEST(TelemetryHistogramTest, SnapshotCountsAndSum) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("weblint_test_micros");
+  histogram->Record(0);
+  histogram->Record(1);
+  histogram->Record(2);
+  histogram->Record(100);
+  const HistogramSnapshot snapshot = histogram->Snapshot();
+  EXPECT_EQ(snapshot.count, 4u);
+  EXPECT_EQ(snapshot.sum, 103u);
+  EXPECT_EQ(snapshot.counts[0], 2u);  // 0 and 1.
+  EXPECT_EQ(snapshot.counts[1], 1u);  // 2.
+  EXPECT_EQ(snapshot.counts[7], 1u);  // 100 in (64, 128].
+}
+
+TEST(TelemetryHistogramTest, ConcurrentRecordsSumExactly) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("weblint_test_micros");
+  constexpr int kThreads = 8;
+  constexpr int kRecordsPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram] {
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        histogram->Record(static_cast<std::uint64_t>(i % 1000));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const HistogramSnapshot snapshot = histogram->Snapshot();
+  EXPECT_EQ(snapshot.count, static_cast<std::uint64_t>(kThreads) * kRecordsPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t c : snapshot.counts) {
+    bucket_total += c;
+  }
+  EXPECT_EQ(bucket_total, snapshot.count);  // Every record hit exactly one bucket.
+}
+
+TEST(TelemetryHistogramTest, QuantileCrossesCumulativeBuckets) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("weblint_test_micros");
+  // 90 fast observations (<= 16us), 10 slow ones (~1000us, bucket (512,1024]).
+  for (int i = 0; i < 90; ++i) {
+    histogram->Record(10);
+  }
+  for (int i = 0; i < 10; ++i) {
+    histogram->Record(1000);
+  }
+  const HistogramSnapshot snapshot = histogram->Snapshot();
+  EXPECT_EQ(snapshot.Quantile(0.5), 16u);    // Upper bound of 10's bucket.
+  EXPECT_EQ(snapshot.Quantile(0.95), 1024u); // Crosses into the slow bucket.
+  EXPECT_EQ(HistogramSnapshot{}.Quantile(0.5), 0u);  // Empty histogram.
+}
+
+TEST(TelemetryRegistryTest, SameNameReturnsSamePointer) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("a_total"), registry.GetCounter("a_total"));
+  EXPECT_EQ(registry.GetGauge("g"), registry.GetGauge("g"));
+  EXPECT_EQ(registry.GetHistogram("h"), registry.GetHistogram("h"));
+  // Distinct label values are distinct series within the family.
+  EXPECT_NE(registry.GetCounter("b_total", "k", "x"), registry.GetCounter("b_total", "k", "y"));
+  EXPECT_EQ(registry.GetCounter("b_total", "k", "x"), registry.GetCounter("b_total", "k", "x"));
+}
+
+TEST(TelemetryRegistryTest, ValueAccessorsOnAbsentMetrics) {
+  const MetricsRegistry registry;
+  EXPECT_EQ(registry.CounterValue("never_registered_total"), 0u);
+  EXPECT_EQ(registry.GaugeValue("never_registered"), 0);
+  EXPECT_EQ(registry.HistogramValues("never_registered_micros").count, 0u);
+}
+
+TEST(TelemetryRegistryTest, RenderPrometheusExactText) {
+  MetricsRegistry registry;
+  registry.GetCounter("weblint_pages_total")->Increment(3);
+  registry.GetGauge("weblint_queue_depth")->Set(-2);
+  registry.GetCounter("weblint_outcomes_total", "outcome", "ok")->Increment(2);
+  registry.GetCounter("weblint_outcomes_total", "outcome", "timeout");
+  Histogram* histogram = registry.GetHistogram("weblint_micros");
+  histogram->Record(1);
+  histogram->Record(3);
+  histogram->Record(3);
+
+  // Families render in lexicographic order, one # TYPE line each; labeled
+  // series share their family's TYPE line; histogram buckets are cumulative
+  // with interior empty buckets elided.
+  EXPECT_EQ(registry.RenderPrometheus(),
+            "# TYPE weblint_micros histogram\n"
+            "weblint_micros_bucket{le=\"1\"} 1\n"
+            "weblint_micros_bucket{le=\"4\"} 3\n"
+            "weblint_micros_bucket{le=\"+Inf\"} 3\n"
+            "weblint_micros_sum 7\n"
+            "weblint_micros_count 3\n"
+            "# TYPE weblint_outcomes_total counter\n"
+            "weblint_outcomes_total{outcome=\"ok\"} 2\n"
+            "weblint_outcomes_total{outcome=\"timeout\"} 0\n"
+            "# TYPE weblint_pages_total counter\n"
+            "weblint_pages_total 3\n"
+            "# TYPE weblint_queue_depth gauge\n"
+            "weblint_queue_depth -2\n");
+}
+
+TEST(TelemetryRegistryTest, LabeledHistogramCarriesLabelInEverySeries) {
+  MetricsRegistry registry;
+  registry.GetHistogram("weblint_micros", "stage", "fetch")->Record(2);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("weblint_micros_bucket{stage=\"fetch\",le=\"2\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("weblint_micros_sum{stage=\"fetch\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("weblint_micros_count{stage=\"fetch\"} 1"), std::string::npos);
+}
+
+TEST(TelemetryRegistryTest, RegistrationIsThreadSafe) {
+  // Many threads racing to register overlapping names must converge on one
+  // series per name, with no lost increments.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("race_total")->Increment();
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(registry.CounterValue("race_total"), 8000u);
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,203 @@
+// Scoped-span tracer: FakeClock-deterministic timestamps, ring-buffer
+// wrap accounting, and Chrome trace-event JSON validated through a strict
+// parser against the schema Perfetto expects.
+#include "telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tests/testing/mini_json.h"
+#include "util/clock.h"
+
+namespace weblint {
+namespace {
+
+using ::weblint::testing::JsonValue;
+using ::weblint::testing::ParseJson;
+
+// RAII guard: no test leaves a tracer installed for its neighbours.
+class InstallGuard {
+ public:
+  explicit InstallGuard(Tracer* tracer) { Tracer::Install(tracer); }
+  ~InstallGuard() { Tracer::Install(nullptr); }
+};
+
+// Validates one trace document against the trace-event schema subset the
+// tracer emits: complete events with name/cat/ph/pid/tid/ts/dur.
+void ExpectValidTraceDocument(const JsonValue& document, size_t expected_events) {
+  ASSERT_TRUE(document.is_object());
+  const JsonValue* events = document.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_EQ(events->array.size(), expected_events);
+  const JsonValue* unit = document.Get("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->string, "ms");
+  for (const JsonValue& event : events->array) {
+    ASSERT_TRUE(event.is_object());
+    ASSERT_NE(event.Get("name"), nullptr);
+    EXPECT_TRUE(event.Get("name")->is_string());
+    EXPECT_FALSE(event.Get("name")->string.empty());
+    ASSERT_NE(event.Get("cat"), nullptr);
+    EXPECT_EQ(event.Get("cat")->string, "weblint");
+    ASSERT_NE(event.Get("ph"), nullptr);
+    EXPECT_EQ(event.Get("ph")->string, "X");  // Complete events only.
+    ASSERT_NE(event.Get("pid"), nullptr);
+    EXPECT_EQ(event.Get("pid")->number, 1.0);
+    ASSERT_NE(event.Get("tid"), nullptr);
+    EXPECT_GE(event.Get("tid")->number, 1.0);
+    ASSERT_NE(event.Get("ts"), nullptr);
+    EXPECT_TRUE(event.Get("ts")->is_number());
+    ASSERT_NE(event.Get("dur"), nullptr);
+    EXPECT_GE(event.Get("dur")->number, 0.0);
+  }
+}
+
+TEST(TelemetryTraceTest, SpanWithNoTracerInstalledIsANoOp) {
+  ASSERT_EQ(Tracer::Current(), nullptr);
+  { WEBLINT_SPAN("orphan"); }  // Must not crash or record anywhere.
+}
+
+TEST(TelemetryTraceTest, FakeClockTimestampsAreExact) {
+  FakeClock clock;
+  Tracer tracer(&clock);
+  InstallGuard guard(&tracer);
+  {
+    WEBLINT_SPAN("outer");
+    clock.Advance(100);
+    {
+      WEBLINT_SPAN("inner");
+      clock.Advance(40);
+    }
+    clock.Advance(10);
+  }
+  EXPECT_EQ(tracer.recorded(), 2u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  // Events sort by begin time: outer [0, 150), inner [100, 140).
+  EXPECT_EQ(tracer.DumpChromeTrace(),
+            "{\"traceEvents\":["
+            "{\"name\":\"outer\",\"cat\":\"weblint\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+            "\"ts\":0,\"dur\":150},"
+            "{\"name\":\"inner\",\"cat\":\"weblint\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+            "\"ts\":100,\"dur\":40}"
+            "],\"displayTimeUnit\":\"ms\"}");
+}
+
+TEST(TelemetryTraceTest, IdenticalRunsProduceIdenticalJson) {
+  const auto run_once = [] {
+    FakeClock clock;
+    Tracer tracer(&clock);
+    InstallGuard guard(&tracer);
+    for (int i = 0; i < 5; ++i) {
+      WEBLINT_SPAN("page");
+      clock.Advance(17);
+    }
+    return tracer.DumpChromeTrace();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(TelemetryTraceTest, DumpRoundTripsThroughStrictParser) {
+  FakeClock clock;
+  Tracer tracer(&clock);
+  InstallGuard guard(&tracer);
+  for (int i = 0; i < 7; ++i) {
+    WEBLINT_SPAN("tokenize");
+    clock.Advance(13);
+  }
+  const auto document = ParseJson(tracer.DumpChromeTrace());
+  ASSERT_TRUE(document.has_value());
+  ExpectValidTraceDocument(*document, 7);
+}
+
+TEST(TelemetryTraceTest, EmptyTracerDumpsEmptyEventArray) {
+  Tracer tracer;
+  const auto document = ParseJson(tracer.DumpChromeTrace());
+  ASSERT_TRUE(document.has_value());
+  ExpectValidTraceDocument(*document, 0);
+}
+
+TEST(TelemetryTraceTest, RingWrapDropsOldestAndCountsThem) {
+  FakeClock clock;
+  Tracer tracer(&clock, /*events_per_thread=*/4);
+  InstallGuard guard(&tracer);
+  for (int i = 0; i < 6; ++i) {
+    WEBLINT_SPAN("span");
+    clock.Advance(10);
+  }
+  EXPECT_EQ(tracer.recorded(), 6u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  const auto document = ParseJson(tracer.DumpChromeTrace());
+  ASSERT_TRUE(document.has_value());
+  ExpectValidTraceDocument(*document, 4);
+  // The survivors are the newest four: begins 20, 30, 40, 50.
+  EXPECT_EQ(document->Get("traceEvents")->array[0].Get("ts")->number, 20.0);
+  EXPECT_EQ(document->Get("traceEvents")->array[3].Get("ts")->number, 50.0);
+}
+
+TEST(TelemetryTraceTest, ConcurrentSpansAllRecorded) {
+  Tracer tracer;  // System clock: concurrent FakeClock use is not defined.
+  InstallGuard guard(&tracer);
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        WEBLINT_SPAN("worker");
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(tracer.recorded(), static_cast<std::uint64_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  const auto document = ParseJson(tracer.DumpChromeTrace());
+  ASSERT_TRUE(document.has_value());
+  ExpectValidTraceDocument(*document, kThreads * kSpansPerThread);
+  // Each recording thread got its own tid.
+  std::set<double> tids;
+  for (const JsonValue& event : document->Get("traceEvents")->array) {
+    tids.insert(event.Get("tid")->number);
+  }
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+}
+
+TEST(TelemetryTraceTest, UninstalledTracerKeepsItsEvents) {
+  FakeClock clock;
+  Tracer tracer(&clock);
+  {
+    InstallGuard guard(&tracer);
+    WEBLINT_SPAN("kept");
+    clock.Advance(5);
+  }
+  // Tracing is off again, but the recorded span is still dumpable.
+  ASSERT_EQ(Tracer::Current(), nullptr);
+  { WEBLINT_SPAN("after-uninstall"); }
+  EXPECT_EQ(tracer.recorded(), 1u);
+  const auto document = ParseJson(tracer.DumpChromeTrace());
+  ASSERT_TRUE(document.has_value());
+  ExpectValidTraceDocument(*document, 1);
+  EXPECT_EQ(document->Get("traceEvents")->array[0].Get("name")->string, "kept");
+}
+
+TEST(TelemetryTraceStrictParserTest, RejectsMalformedJson) {
+  // The parser the schema test trusts must itself be strict.
+  EXPECT_FALSE(ParseJson("").has_value());
+  EXPECT_FALSE(ParseJson("{").has_value());
+  EXPECT_FALSE(ParseJson("{}x").has_value());
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").has_value());
+  EXPECT_FALSE(ParseJson("[1,2,]").has_value());
+  EXPECT_FALSE(ParseJson("{\"a\":01}").has_value());
+  EXPECT_FALSE(ParseJson("{\"a\":\"unterminated}").has_value());
+  EXPECT_FALSE(ParseJson("{\"a\":nul}").has_value());
+  EXPECT_TRUE(ParseJson("{\"a\":[1,2.5,-3e2,\"s\",true,null]}").has_value());
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,278 @@
+// A strict, minimal JSON parser for test assertions (trace-event output,
+// /metrics content negotiation). Deliberately unforgiving: no trailing
+// commas, no comments, no garbage after the top-level value, malformed
+// escapes and truncated input all fail the parse — if the tracer's output
+// drifts from real JSON, tests here break before Perfetto does.
+#ifndef WEBLINT_TESTS_TESTING_MINI_JSON_H_
+#define WEBLINT_TESTS_TESTING_MINI_JSON_H_
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace weblint::testing {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  // Object member access; returns null for absent keys or non-objects.
+  const JsonValue* Get(const std::string& key) const {
+    if (kind != Kind::kObject) {
+      return nullptr;
+    }
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+namespace json_internal {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    SkipSpace();
+    JsonValue value;
+    if (!ParseValue(&value)) {
+      return std::nullopt;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return std::nullopt;  // Trailing garbage after the document.
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return false;
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return ConsumeLiteral("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return ConsumeLiteral("false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return ConsumeLiteral("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!Consume('{')) {
+      return false;
+    }
+    SkipSpace();
+    if (Consume('}')) {
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipSpace();
+      if (!Consume(':')) {
+        return false;
+      }
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->object.emplace(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!Consume('[')) {
+      return false;
+    }
+    SkipSpace();
+    if (Consume(']')) {
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return false;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // Raw control characters are not legal in strings.
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return false;
+          }
+          for (int i = 0; i < 4; ++i) {
+            if (std::isxdigit(static_cast<unsigned char>(text_[pos_ + i])) == 0) {
+              return false;
+            }
+          }
+          // Tests only need validity, not transcoding: keep the escape
+          // verbatim so asserted strings match the raw output.
+          out->append(text_.substr(pos_ - 2, 6));
+          pos_ += 4;
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // Unterminated string.
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    out->kind = JsonValue::Kind::kNumber;
+    const size_t start = pos_;
+    if (Consume('-') && pos_ >= text_.size()) {
+      return false;
+    }
+    if (Consume('0')) {
+      // Leading zero admits no further integer digits.
+    } else {
+      if (pos_ >= text_.size() || text_[pos_] < '1' || text_[pos_] > '9') {
+        return false;
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      const size_t fraction_start = pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == fraction_start) {
+        return false;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const size_t exponent_start = pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == exponent_start) {
+        return false;
+      }
+    }
+    out->number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace json_internal
+
+// Parses `text` as one complete JSON document. std::nullopt on any
+// deviation from the grammar.
+inline std::optional<JsonValue> ParseJson(std::string_view text) {
+  return json_internal::Parser(text).Parse();
+}
+
+}  // namespace weblint::testing
+
+#endif  // WEBLINT_TESTS_TESTING_MINI_JSON_H_
