@@ -2,12 +2,28 @@
 // assembly versus the bare library call. The gateway path should cost only
 // a small constant factor over CheckString — retrieval aside, embedding
 // weblint in a web form is as cheap as the library itself.
+//
+// E15 — serving throughput under concurrency: a closed-loop load generator
+// (N keep-alive client threads, each waiting for its response before
+// sending the next request) drives the concurrent HttpServer end to end
+// over real sockets. items_per_second is the measured requests/sec. Run
+// with --benchmark_format=json for a machine-readable summary alongside
+// the other benches.
+#include <arpa/inet.h>
 #include <benchmark/benchmark.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
 
 #include "core/linter.h"
 #include "corpus/page_generator.h"
 #include "gateway/cgi.h"
 #include "gateway/gateway.h"
+#include "net/http_server.h"
 #include "net/virtual_web.h"
 #include "util/url.h"
 
@@ -63,6 +79,176 @@ void BM_GatewayUrlMode(benchmark::State& state) {
                           static_cast<int64_t>(SubmittedPage().size()));
 }
 BENCHMARK(BM_GatewayUrlMode);
+
+// ---------------------------------------------------------------------
+// E15: the closed-loop load generator.
+
+// A thread-safe stand-in for a remote origin: every GET costs a fixed
+// real-time latency (the network round-trip the gateway's URL mode must
+// overlap) and returns a small page whose lint cost is deliberately tiny,
+// so the benchmark isolates serving concurrency from lint CPU.
+class SlowOrigin : public UrlFetcher {
+ public:
+  SlowOrigin(std::string body, unsigned latency_ms)
+      : body_(std::move(body)), latency_ms_(latency_ms) {}
+  HttpResponse Get(const Url&) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(latency_ms_));
+    HttpResponse response;
+    response.status = 200;
+    response.headers["content-type"] = "text/html";
+    response.body = body_;
+    return response;
+  }
+  HttpResponse Head(const Url& url) override {
+    HttpResponse response = Get(url);
+    response.body.clear();
+    return response;
+  }
+
+ private:
+  const std::string body_;
+  const unsigned latency_ms_;
+};
+
+// One closed-loop client: a keep-alive connection issuing `count`
+// request/response cycles, never pipelining ahead of the last response.
+// Returns the number of completed cycles.
+size_t RunClosedLoopClient(std::uint16_t port, const std::string& request, size_t count) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return 0;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return 0;
+  }
+  size_t completed = 0;
+  std::string buffer;
+  char chunk[4096];
+  for (size_t i = 0; i < count; ++i) {
+    size_t written = 0;
+    while (written < request.size()) {
+      const ssize_t n = ::write(fd, request.data() + written, request.size() - written);
+      if (n <= 0) {
+        ::close(fd);
+        return completed;
+      }
+      written += static_cast<size_t>(n);
+    }
+    size_t frame = HttpMessageLength(buffer);
+    while (frame == std::string_view::npos) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) {
+        ::close(fd);
+        return completed;
+      }
+      buffer.append(chunk, static_cast<size_t>(n));
+      frame = HttpMessageLength(buffer);
+    }
+    buffer.erase(0, frame);
+    ++completed;
+  }
+  ::close(fd);
+  return completed;
+}
+
+constexpr size_t kClients = 16;
+constexpr size_t kRequestsPerClient = 2;
+
+// Serving throughput, URL mode: each request makes the gateway fetch a page
+// from a 5 ms origin and lint it. A single worker serializes the waits; a
+// worker fleet overlaps them — this is the paper-gateway workload where the
+// concurrent layer must beat the one-request-at-a-time loop.
+void BM_GatewayServeUrlMode(benchmark::State& state) {
+  SlowOrigin origin("<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><B>x</B></BODY></HTML>",
+                    /*latency_ms=*/5);
+  Weblint lint;
+  Gateway gateway(lint, &origin);
+  HttpServer server(
+      [&gateway](const HttpRequest& request) { return gateway.HandleHttp(request); });
+  if (!server.Listen(0).ok()) {
+    state.SkipWithError("listen failed");
+    return;
+  }
+  HttpServerOptions options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  options.max_queue = 256;
+  if (!server.Start(options).ok()) {
+    state.SkipWithError("start failed");
+    return;
+  }
+  const std::string request =
+      "GET /?url=" + UrlEncode("http://origin/page.html") +
+      " HTTP/1.1\r\nhost: gateway\r\nconnection: keep-alive\r\n\r\n";
+  for (auto _ : state) {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&server, &request] {
+        RunClosedLoopClient(server.port(), request, kRequestsPerClient);
+      });
+    }
+    for (std::thread& t : clients) {
+      t.join();
+    }
+  }
+  server.Drain();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kClients * kRequestsPerClient));
+  state.counters["workers"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_GatewayServeUrlMode)->Arg(1)->Arg(8)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Serving throughput, pasted-HTML mode: pure lint CPU behind the socket.
+// On a single-core host this measures serving-layer overhead, not
+// parallelism; on a multi-core host it scales with workers.
+void BM_GatewayServePastedHtml(benchmark::State& state) {
+  Weblint lint;
+  Gateway gateway(lint, nullptr);
+  HttpServer server(
+      [&gateway](const HttpRequest& request) { return gateway.HandleHttp(request); });
+  if (!server.Listen(0).ok()) {
+    state.SkipWithError("listen failed");
+    return;
+  }
+  HttpServerOptions options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  options.max_queue = 256;
+  if (!server.Start(options).ok()) {
+    state.SkipWithError("start failed");
+    return;
+  }
+  const std::string body = "html=" + UrlEncode(SubmittedPage()) + "&format=short";
+  const std::string request =
+      "POST / HTTP/1.1\r\nhost: gateway\r\n"
+      "content-type: application/x-www-form-urlencoded\r\n"
+      "content-length: " + std::to_string(body.size()) + "\r\n\r\n" + body;
+  for (auto _ : state) {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&server, &request] {
+        RunClosedLoopClient(server.port(), request, kRequestsPerClient);
+      });
+    }
+    for (std::thread& t : clients) {
+      t.join();
+    }
+  }
+  server.Drain();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kClients * kRequestsPerClient));
+  state.counters["workers"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_GatewayServePastedHtml)
+    ->Arg(1)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FormDecode(benchmark::State& state) {
   const std::string body = "html=" + UrlEncode(SubmittedPage()) + "&format=short&e=img-size";

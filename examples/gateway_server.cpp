@@ -1,15 +1,23 @@
 // The standalone gateway server (paper §4.6: "I regularly receive requests
 // for a standard gateway distribution, particularly for installation behind
 // firewalls, e.g. for intranet use"): the weblint gateway behind a real
-// HTTP/1.0 socket, no web server required.
+// HTTP/1.1 socket, no web server required.
 //
-//   ./examples/gateway_server [--port N] [--requests N]
+//   ./examples/gateway_server [--port N] [--threads N] [--max-queue N]
+//                             [--request-timeout MS] [--requests N]
 //
 // Then browse to http://127.0.0.1:N/ — the form posts back to the server.
-// With --requests N the server exits after N requests (used by the demo
-// below, which issues one request against itself).
+// By default the server runs the concurrent serving layer: a dedicated
+// accept thread, a worker pool, HTTP/1.1 keep-alive, load shedding with
+// 503 + Retry-After when the pending queue is full, and graceful drain on
+// SIGINT/SIGTERM. With --requests N it instead serves N requests on the
+// legacy single-threaded loop and exits (used by the demo, which issues
+// one request against itself).
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "core/linter.h"
 #include "gateway/cgi.h"
@@ -24,20 +32,8 @@ namespace {
 
 using namespace weblint;
 
-HttpResponse Handle(const Gateway& gateway, const HttpRequest& request) {
-  HttpResponse response;
-  auto cgi = CgiRequestFromHttp(request);
-  if (!cgi.ok()) {
-    response.status = 400;
-    response.headers["content-type"] = "text/plain";
-    response.body = cgi.error() + "\n";
-    return response;
-  }
-  response.status = 200;
-  response.headers["content-type"] = "text/html";
-  response.body = gateway.HandleRequest(*cgi);
-  return response;
-}
+std::sig_atomic_t g_stop = 0;
+void HandleStopSignal(int) { g_stop = 1; }
 
 }  // namespace
 
@@ -45,10 +41,21 @@ int main(int argc, char** argv) {
   ArgParser parser;
   std::string port_text = "0";
   std::string requests_text = "0";
+  std::string threads_text = "0";
+  std::string max_queue_text = "64";
+  std::string request_timeout_text = "10000";
   bool show_help = false;
   parser.AddOption("--port", "port to listen on (0 picks a free port)", &port_text);
-  parser.AddOption("--requests", "exit after this many requests (0 = serve forever)",
+  parser.AddOption("--requests",
+                   "serve this many requests on the legacy single-threaded loop, then exit "
+                   "(0 = concurrent mode, serve until SIGINT)",
                    &requests_text);
+  parser.AddOption("--threads", "worker threads (0 = one per core)", &threads_text);
+  parser.AddOption("--max-queue",
+                   "pending connections beyond this are shed with 503 + Retry-After",
+                   &max_queue_text);
+  parser.AddOption("--request-timeout",
+                   "per-request read/write deadline in milliseconds", &request_timeout_text);
   parser.AddFlag("--help", "show this help", &show_help);
   if (Status s = parser.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "gateway_server: %s\n", s.message().c_str());
@@ -61,15 +68,20 @@ int main(int argc, char** argv) {
   }
   std::uint32_t port = 0;
   std::uint32_t max_requests = 0;
+  std::uint32_t threads = 0;
+  std::uint32_t max_queue = 0;
+  std::uint32_t request_timeout_ms = 0;
   if (!ParseUint(port_text, &port) || port > 65535 ||
-      !ParseUint(requests_text, &max_requests)) {
-    std::fprintf(stderr, "gateway_server: bad --port / --requests value\n");
+      !ParseUint(requests_text, &max_requests) || !ParseUint(threads_text, &threads) ||
+      !ParseUint(max_queue_text, &max_queue) ||
+      !ParseUint(request_timeout_text, &request_timeout_ms)) {
+    std::fprintf(stderr, "gateway_server: bad numeric flag value\n");
     return 2;
   }
 
-  // One registry covers the whole deployment: HTTP request/latency series
-  // from the server, lint/cache series from the Weblint, fetch series from
-  // URL submissions. GET /metrics scrapes it live.
+  // One registry covers the whole deployment: HTTP request/latency/queue
+  // series from the server, lint/cache series from the Weblint, fetch
+  // series from URL submissions. GET /metrics scrapes it live.
   MetricsRegistry registry;
   Weblint lint;
   lint.EnableMetrics(&registry);
@@ -78,21 +90,50 @@ int main(int argc, char** argv) {
   Gateway gateway(lint, &fetcher);
 
   HttpServer server([&gateway](const HttpRequest& request) {
-    std::printf("  %s %s\n", request.method.c_str(), request.target.c_str());
-    return Handle(gateway, request);
+    return gateway.HandleHttp(request);
   });
   server.EnableMetrics(&registry);
   if (Status s = server.Listen(static_cast<std::uint16_t>(port)); !s.ok()) {
     std::fprintf(stderr, "gateway_server: %s\n", s.message().c_str());
     return 2;
   }
-  std::printf("weblint gateway listening on http://127.0.0.1:%u/", server.port());
-  std::printf(max_requests > 0 ? " (serving %u request(s))\n" : "\n", max_requests);
-  std::fflush(stdout);
 
-  if (Status s = server.Serve(max_requests); !s.ok()) {
+  if (max_requests > 0) {
+    // Legacy demo mode: one request per connection, single thread.
+    std::printf("weblint gateway listening on http://127.0.0.1:%u/ (serving %u request(s))\n",
+                server.port(), max_requests);
+    std::fflush(stdout);
+    if (Status s = server.Serve(max_requests); !s.ok()) {
+      std::fprintf(stderr, "gateway_server: %s\n", s.message().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  HttpServerOptions options;
+  options.threads = threads;
+  options.max_queue = max_queue;
+  options.request_timeout_ms = request_timeout_ms;
+  if (Status s = server.Start(options); !s.ok()) {
     std::fprintf(stderr, "gateway_server: %s\n", s.message().c_str());
     return 1;
   }
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::printf("weblint gateway listening on http://127.0.0.1:%u/ "
+              "(%u worker(s), queue %u, timeout %u ms; Ctrl-C drains)\n",
+              server.port(), options.threads == 0 ? ThreadPool::DefaultThreadCount()
+                                                  : options.threads,
+              static_cast<unsigned>(options.max_queue), options.request_timeout_ms);
+  std::fflush(stdout);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("gateway_server: draining (%zu in flight, %zu queued)...\n",
+              server.in_flight(), server.queue_depth());
+  server.Drain();
+  std::printf("gateway_server: drained; served %llu connection(s), shed %zu\n",
+              static_cast<unsigned long long>(server.connections_served()),
+              server.rejected());
   return 0;
 }

@@ -1,7 +1,9 @@
 #include "net/http_server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -20,6 +22,12 @@ namespace {
 // Hard ceiling on request size: the gateway caps submissions at 1 MiB; give
 // headers some headroom.
 constexpr size_t kMaxRequestBytes = 2u << 20;
+
+// How long a worker parks in poll() before re-checking its deadline clock
+// and the drain flag. Real time, deliberately short: with a FakeClock the
+// deadline only moves when the test advances it, and this slice bounds how
+// long the worker takes to notice.
+constexpr int kPollSliceMs = 10;
 
 // Writes all of `data` to `fd`, retrying on short writes. Uses send() with
 // MSG_NOSIGNAL so a client that hung up mid-response surfaces as EPIPE
@@ -40,9 +48,78 @@ bool WriteAll(int fd, std::string_view data) {
   return true;
 }
 
+void SetNonBlocking(int fd, bool non_blocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return;
+  }
+  ::fcntl(fd, F_SETFL, non_blocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
+}
+
+enum class WriteOutcome { kOk, kPeerError, kDeadline };
+
+// Writes all of `data` to a non-blocking `fd`, waiting for writability in
+// short poll slices and giving up once `clock` passes `deadline_us`. A slow
+// (or stalled) reader therefore cannot pin a worker past the request
+// deadline.
+WriteOutcome WriteWithDeadline(int fd, std::string_view data, std::uint64_t deadline_us,
+                               Clock* clock) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (clock->NowMicros() >= deadline_us) {
+        return WriteOutcome::kDeadline;
+      }
+      pollfd p{fd, POLLOUT, 0};
+      if (::poll(&p, 1, kPollSliceMs) < 0 && errno != EINTR) {
+        return WriteOutcome::kPeerError;
+      }
+      continue;
+    }
+    return WriteOutcome::kPeerError;
+  }
+  return WriteOutcome::kOk;
+}
+
+// HTTP/1.1 defaults to keep-alive unless the client says close; HTTP/1.0
+// (and anything older) defaults to close unless the client asks to keep.
+bool WantsKeepAlive(const HttpRequest& request) {
+  const std::string_view connection = request.Header("connection");
+  if (IEquals(request.version, "HTTP/1.1")) {
+    return !IContains(connection, "close");
+  }
+  return IContains(connection, "keep-alive");
+}
+
+// Fire-and-forget error response (408/413/shed paths): one send attempt,
+// no retry — the connection is being torn down either way.
+void SendBestEffort(int fd, const HttpResponse& response) {
+  const std::string bytes = SerializeHttpResponse(response, "HTTP/1.1");
+  (void)::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+}
+
+HttpResponse SimpleResponse(int status, std::string_view reason, std::string_view body) {
+  HttpResponse response;
+  response.status = status;
+  response.reason = std::string(reason);
+  response.headers["content-type"] = "text/plain";
+  response.headers["connection"] = "close";
+  response.body = std::string(body);
+  return response;
+}
+
 }  // namespace
 
-HttpServer::~HttpServer() { Close(); }
+HttpServer::~HttpServer() { Drain(); }
 
 void HttpServer::EnableMetrics(MetricsRegistry* registry, Clock* clock) {
   metrics_ = registry;
@@ -50,6 +127,12 @@ void HttpServer::EnableMetrics(MetricsRegistry* registry, Clock* clock) {
     requests_total_ = nullptr;
     request_micros_ = nullptr;
     responses_by_class_ = {};
+    inflight_gauge_ = nullptr;
+    queue_gauge_ = nullptr;
+    rejected_counter_ = nullptr;
+    connections_counter_ = nullptr;
+    keepalive_counter_ = nullptr;
+    deadline_kills_counter_ = nullptr;
     return;
   }
   metrics_clock_ = clock != nullptr ? clock : Clock::System();
@@ -60,6 +143,12 @@ void HttpServer::EnableMetrics(MetricsRegistry* registry, Clock* clock) {
     responses_by_class_[i] =
         registry->GetCounter("weblint_http_responses_total", "class", kClasses[i]);
   }
+  inflight_gauge_ = registry->GetGauge("weblint_http_inflight");
+  queue_gauge_ = registry->GetGauge("weblint_http_queue_depth");
+  rejected_counter_ = registry->GetCounter("weblint_http_rejected_total");
+  connections_counter_ = registry->GetCounter("weblint_http_connections_total");
+  keepalive_counter_ = registry->GetCounter("weblint_http_keepalive_reuse_total");
+  deadline_kills_counter_ = registry->GetCounter("weblint_http_deadline_kills_total");
 }
 
 Status HttpServer::Listen(std::uint16_t port) {
@@ -79,7 +168,7 @@ Status HttpServer::Listen(std::uint16_t port) {
     Close();
     return Fail("bind: " + error);
   }
-  if (::listen(listen_fd_, 16) < 0) {
+  if (::listen(listen_fd_, 128) < 0) {
     const std::string error = std::strerror(errno);
     Close();
     return Fail("listen: " + error);
@@ -91,38 +180,17 @@ Status HttpServer::Listen(std::uint16_t port) {
   return Status::Ok();
 }
 
-Status HttpServer::ServeOne() {
-  const int fd = listen_fd_.load();
-  if (fd < 0) {
-    return Fail("server is not listening");
-  }
-  const int client = ::accept(fd, nullptr, nullptr);
-  if (client < 0) {
-    return Fail(std::string("accept: ") + std::strerror(errno));
-  }
-
-  std::string buffer;
-  char chunk[4096];
-  while (!HttpMessageComplete(buffer) && buffer.size() < kMaxRequestBytes) {
-    const ssize_t n = ::read(client, chunk, sizeof(chunk));
-    if (n < 0 && errno == EINTR) {
-      continue;
-    }
-    if (n <= 0) {
-      break;  // Peer closed (or error): parse what we have.
-    }
-    buffer.append(chunk, static_cast<size_t>(n));
-  }
-
+HttpResponse HttpServer::Dispatch(const Result<HttpRequest>& request) {
   HttpResponse response;
-  auto request = ParseHttpRequest(buffer);
   if (!request.ok()) {
     response.status = 400;
     response.reason = "Bad Request";
     response.headers["content-type"] = "text/plain";
     response.body = request.error() + "\n";
-  } else if (metrics_ != nullptr && request->method == "GET" &&
-             (request->target == "/metrics" || IStartsWith(request->target, "/metrics?"))) {
+    return response;
+  }
+  if (metrics_ != nullptr && request->method == "GET" &&
+      (request->target == "/metrics" || IStartsWith(request->target, "/metrics?"))) {
     // The scrape endpoint answers from the registry directly; it is not a
     // gateway request and does not count into the request series (scraping
     // every 15s must not dominate the numbers it reports).
@@ -130,31 +198,23 @@ Status HttpServer::ServeOne() {
     response.reason = "OK";
     response.headers["content-type"] = "text/plain; version=0.0.4";
     response.body = metrics_->RenderPrometheus();
-  } else {
-    const std::uint64_t begin_us = metrics_ != nullptr ? metrics_clock_->NowMicros() : 0;
-    response = handler_(*request);
-    if (metrics_ != nullptr) {
-      requests_total_->Increment();
-      request_micros_->Record(metrics_clock_->NowMicros() - begin_us);
-      const int status_class = response.status / 100;
-      if (status_class >= 1 && status_class <= 5) {
-        responses_by_class_[static_cast<size_t>(status_class - 1)]->Increment();
-      }
+    return response;
+  }
+  const std::uint64_t begin_us = metrics_ != nullptr ? metrics_clock_->NowMicros() : 0;
+  response = handler_(*request);
+  if (metrics_ != nullptr) {
+    requests_total_->Increment();
+    request_micros_->Record(metrics_clock_->NowMicros() - begin_us);
+    const int status_class = response.status / 100;
+    if (status_class >= 1 && status_class <= 5) {
+      responses_by_class_[static_cast<size_t>(status_class - 1)]->Increment();
     }
   }
-  // A failed write means the peer went away (early disconnect, reset): a
-  // fact about that one client, not about the server. Count it, drop the
-  // connection, and keep serving — a public gateway must survive browsers
-  // that close the tab mid-response.
-  std::string serialized = SerializeHttpResponse(response);
-  if (wire_shaper_ == nullptr) {
-    if (!WriteAll(client, serialized)) {
-      ++write_failures_;
-    }
-    ::close(client);
-    return Status::Ok();
-  }
+  return response;
+}
 
+void HttpServer::DeliverShaped(int client, const Result<HttpRequest>& request,
+                               std::string serialized) {
   // Fault-injection path: deliver whatever the shaper dictates — possibly
   // late, in slow chunks, truncated, or nothing at all.
   const WirePlan plan =
@@ -180,6 +240,45 @@ Status HttpServer::ServeOne() {
     }
   }
   ::close(client);
+}
+
+Status HttpServer::ServeOne() {
+  const int fd = listen_fd_.load();
+  if (fd < 0) {
+    return Fail("server is not listening");
+  }
+  const int client = ::accept(fd, nullptr, nullptr);
+  if (client < 0) {
+    return Fail(std::string("accept: ") + std::strerror(errno));
+  }
+
+  std::string buffer;
+  char chunk[4096];
+  while (!HttpMessageComplete(buffer) && buffer.size() < kMaxRequestBytes) {
+    const ssize_t n = ::read(client, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      break;  // Peer closed (or error): parse what we have.
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+
+  auto request = ParseHttpRequest(buffer);
+  // A failed write means the peer went away (early disconnect, reset): a
+  // fact about that one client, not about the server. Count it, drop the
+  // connection, and keep serving — a public gateway must survive browsers
+  // that close the tab mid-response.
+  std::string serialized = SerializeHttpResponse(Dispatch(request));
+  if (wire_shaper_ == nullptr) {
+    if (!WriteAll(client, serialized)) {
+      ++write_failures_;
+    }
+    ::close(client);
+    return Status::Ok();
+  }
+  DeliverShaped(client, request, std::move(serialized));
   return Status::Ok();
 }
 
@@ -194,10 +293,240 @@ Status HttpServer::Serve(size_t max_requests) {
   return Status::Ok();
 }
 
+Status HttpServer::Start(const HttpServerOptions& options) {
+  const int fd = listen_fd_.load();
+  if (fd < 0) {
+    return Fail("Start() requires a listening socket (call Listen first)");
+  }
+  if (started_.load()) {
+    return Fail("server already started");
+  }
+  options_ = options;
+  if (options_.threads == 0) {
+    options_.threads = ThreadPool::DefaultThreadCount();
+  }
+  if (options_.max_requests_per_connection == 0) {
+    options_.max_requests_per_connection = 1;
+  }
+  serve_clock_ = options_.clock != nullptr ? options_.clock : Clock::System();
+  // The accept loop polls, so the listener must never block an accept that
+  // lost a wakeup race.
+  SetNonBlocking(fd, true);
+  pool_ = std::make_unique<ThreadPool>(options_.threads);
+  started_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = listen_fd_.load();
+    if (fd < 0 || draining_.load()) {
+      return;
+    }
+    pollfd p{fd, POLLIN, 0};
+    const int pr = ::poll(&p, 1, kPollSliceMs);
+    if (pr < 0 && errno != EINTR) {
+      return;
+    }
+    if (pr <= 0) {
+      continue;  // Timeout or EINTR: re-check the drain flag and listener.
+    }
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+          errno == ECONNABORTED) {
+        continue;
+      }
+      return;  // The listener is gone (drain closed it) or unusable.
+    }
+    if (draining_.load()) {
+      ::close(client);
+      continue;
+    }
+    if (queued_.load() >= options_.max_queue) {
+      // Shed, never stall: the 503 is written from the accept thread, but
+      // it is a few hundred bytes into an empty socket buffer — it cannot
+      // block the loop the way dispatching a lint request would.
+      ShedConnection(client);
+      continue;
+    }
+    queued_.fetch_add(1);
+    connections_.fetch_add(1);
+    if (queue_gauge_ != nullptr) {
+      queue_gauge_->Add(1);
+    }
+    if (connections_counter_ != nullptr) {
+      connections_counter_->Increment();
+    }
+    pool_->Submit([this, client] {
+      queued_.fetch_sub(1);
+      in_flight_.fetch_add(1);
+      if (queue_gauge_ != nullptr) {
+        queue_gauge_->Add(-1);
+      }
+      if (inflight_gauge_ != nullptr) {
+        inflight_gauge_->Add(1);
+      }
+      HandleConnection(client);
+      in_flight_.fetch_sub(1);
+      if (inflight_gauge_ != nullptr) {
+        inflight_gauge_->Add(-1);
+      }
+    });
+  }
+}
+
+void HttpServer::ShedConnection(int client) {
+  rejected_.fetch_add(1);
+  if (rejected_counter_ != nullptr) {
+    rejected_counter_->Increment();
+  }
+  HttpResponse response =
+      SimpleResponse(503, "Service Unavailable", "gateway overloaded; retry shortly\n");
+  response.headers["retry-after"] = "1";
+  if (!WriteAll(client, SerializeHttpResponse(response, "HTTP/1.1"))) {
+    ++write_failures_;
+  }
+  ::close(client);
+}
+
+void HttpServer::HandleConnection(int client) {
+  SetNonBlocking(client, true);
+  Clock* clock = serve_clock_;
+  const std::uint64_t timeout_us =
+      static_cast<std::uint64_t>(options_.request_timeout_ms) * 1000;
+  std::string buffer;
+  std::uint32_t served = 0;
+  for (;;) {
+    // Per-request deadline: reading the request and writing its response
+    // must both finish inside this window. It also bounds keep-alive idle
+    // time — a connection with no next request is closed when it expires.
+    const std::uint64_t deadline = clock->NowMicros() + timeout_us;
+    size_t frame = HttpMessageLength(buffer);
+    bool peer_closed = false;
+    bool timed_out = false;
+    bool oversized = false;
+    char chunk[4096];
+    while (frame == std::string_view::npos && !peer_closed && !timed_out && !oversized) {
+      if (buffer.size() >= kMaxRequestBytes) {
+        oversized = true;
+        break;
+      }
+      if (buffer.empty() && draining_.load()) {
+        // Draining and no request in progress. Serve a request whose bytes
+        // already arrived; release a genuinely idle connection.
+        const ssize_t n = ::recv(client, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+          ::close(client);
+          return;
+        }
+        buffer.append(chunk, static_cast<size_t>(n));
+        frame = HttpMessageLength(buffer);
+        continue;
+      }
+      if (clock->NowMicros() >= deadline) {
+        timed_out = true;
+        break;
+      }
+      pollfd p{client, POLLIN, 0};
+      const int pr = ::poll(&p, 1, kPollSliceMs);
+      if (pr < 0 && errno != EINTR) {
+        peer_closed = true;
+        break;
+      }
+      if (pr <= 0) {
+        continue;  // Slice elapsed: re-check deadline and drain flag.
+      }
+      const ssize_t n = ::recv(client, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buffer.append(chunk, static_cast<size_t>(n));
+        frame = HttpMessageLength(buffer);
+      } else if (n == 0) {
+        peer_closed = true;
+      } else if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+        peer_closed = true;
+      }
+    }
+    if (frame == std::string_view::npos) {
+      // No complete request will arrive. A half-sent request gets a
+      // best-effort error so the client learns why; a clean EOF between
+      // requests gets silence — that is how keep-alive connections end.
+      if (timed_out) {
+        deadline_kills_.fetch_add(1);
+        if (deadline_kills_counter_ != nullptr) {
+          deadline_kills_counter_->Increment();
+        }
+        if (!buffer.empty()) {
+          SendBestEffort(client, SimpleResponse(408, "Request Timeout",
+                                                "request deadline exceeded\n"));
+        }
+      } else if (oversized) {
+        SendBestEffort(client, SimpleResponse(413, "Payload Too Large",
+                                              "request exceeds the gateway limit\n"));
+      }
+      break;
+    }
+
+    auto request = ParseHttpRequest(std::string_view(buffer).substr(0, frame));
+    buffer.erase(0, frame);
+    ++served;
+    if (served > 1 && keepalive_counter_ != nullptr) {
+      keepalive_counter_->Increment();
+    }
+
+    if (wire_shaper_ != nullptr) {
+      // The shaper owns the wire for this response, including the close:
+      // a shaped connection is one-shot, exactly like the blocking mode.
+      SetNonBlocking(client, false);
+      DeliverShaped(client, request, SerializeHttpResponse(Dispatch(request)));
+      return;
+    }
+
+    HttpResponse response = Dispatch(request);
+    const bool keep = request.ok() && WantsKeepAlive(*request) &&
+                      served < options_.max_requests_per_connection && !draining_.load();
+    response.headers["connection"] = keep ? "keep-alive" : "close";
+    const WriteOutcome outcome =
+        WriteWithDeadline(client, SerializeHttpResponse(response, "HTTP/1.1"), deadline, clock);
+    if (outcome == WriteOutcome::kDeadline) {
+      deadline_kills_.fetch_add(1);
+      if (deadline_kills_counter_ != nullptr) {
+        deadline_kills_counter_->Increment();
+      }
+      break;
+    }
+    if (outcome == WriteOutcome::kPeerError) {
+      ++write_failures_;
+      break;
+    }
+    if (!keep) {
+      break;
+    }
+  }
+  ::close(client);
+}
+
+void HttpServer::Drain() {
+  draining_.store(true);
+  Close();  // Wakes the accept loop (and any legacy Serve parked in accept).
+  if (started_.load()) {
+    if (accept_thread_.joinable()) {
+      accept_thread_.join();
+    }
+    if (pool_ != nullptr) {
+      pool_->Wait();  // Every queued and in-flight connection finishes.
+    }
+  }
+}
+
 void HttpServer::Close() {
   // exchange() so concurrent Close() calls can't double-close the fd.
   const int fd = listen_fd_.exchange(-1);
   if (fd >= 0) {
+    // shutdown() first: it reliably wakes a thread parked in accept() on
+    // this fd, where a bare close() may not.
+    ::shutdown(fd, SHUT_RDWR);
     ::close(fd);
   }
 }

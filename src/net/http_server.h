@@ -1,8 +1,25 @@
-// A minimal blocking HTTP/1.0 server: one request per connection, handler
-// callback per request. Exists so the weblint gateway can be deployed
-// standalone ("a standard gateway distribution, particularly for
-// installation behind firewalls", paper §4.6) and so the end-to-end tests
-// can exercise a genuine socket round-trip.
+// The gateway's HTTP serving layer (paper §4.6: "I regularly receive
+// requests for a standard gateway distribution, particularly for
+// installation behind firewalls, e.g. for intranet use").
+//
+// Two serving modes share one listener and one dispatch path:
+//
+//  * The legacy blocking mode (ServeOne / Serve): accept one connection,
+//    read one request, respond, close. HTTP/1.0, single-threaded. Kept for
+//    the fault-injection harnesses, whose wire shapers deliberately mangle
+//    one response per connection.
+//
+//  * The concurrent mode (Start / Drain): a dedicated accept thread feeds
+//    connections to a ThreadPool of workers. Each worker owns its
+//    connection for the connection's lifetime: HTTP/1.1 keep-alive with
+//    correct Connection: close / keep-alive semantics, a per-connection
+//    request cap, and per-request read/write deadlines driven by the
+//    injected Clock (tests substitute a FakeClock, so timeout behaviour is
+//    deterministic). The pending-connection queue is bounded: when it is
+//    full the accept thread sheds the connection with 503 + Retry-After
+//    instead of stalling the accept loop — under overload the gateway
+//    degrades by refusing crisply, never by hanging. Drain() stops
+//    accepting, lets every in-flight request finish, then closes.
 #ifndef WEBLINT_NET_HTTP_SERVER_H_
 #define WEBLINT_NET_HTTP_SERVER_H_
 
@@ -10,13 +27,38 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <thread>
 
 #include "net/http_wire.h"
 #include "telemetry/metrics.h"
 #include "util/clock.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace weblint {
+
+// Tuning for the concurrent serving mode. The defaults suit a small
+// standalone gateway; the binaries expose them as --threads / --max-queue /
+// --request-timeout.
+struct HttpServerOptions {
+  // Worker threads handling connections. 0 = ThreadPool::DefaultThreadCount().
+  unsigned threads = 0;
+  // Accepted connections waiting for a worker. Beyond this the accept
+  // thread sheds with 503 + Retry-After.
+  size_t max_queue = 64;
+  // Per-request deadline: the whole of reading one request and writing its
+  // response must fit in this window, measured on `clock`. An idle
+  // keep-alive connection is closed after this long without a new request.
+  std::uint32_t request_timeout_ms = 10'000;
+  // Keep-alive request cap: after this many requests on one connection the
+  // server answers Connection: close and hangs up (bounds how long one
+  // client can pin a worker).
+  std::uint32_t max_requests_per_connection = 100;
+  // Deadline time source; null = the system clock. Tests inject a FakeClock
+  // so deadline expiry is driven by Advance(), not wall time.
+  Clock* clock = nullptr;
+};
 
 class HttpServer {
  public:
@@ -46,6 +88,8 @@ class HttpServer {
   Status Listen(std::uint16_t port);
   std::uint16_t port() const { return port_; }
 
+  // --- Legacy blocking mode -------------------------------------------
+
   // Accepts one connection, reads one request, writes the handler's
   // response, closes. Fails only for accept-side errors (the listening
   // socket is unusable). Write-side failures — the client disconnected
@@ -60,12 +104,39 @@ class HttpServer {
   // count as handled.
   Status Serve(size_t max_requests);
 
+  // --- Concurrent mode ------------------------------------------------
+
+  // Spawns the accept thread and the worker pool, then returns; connections
+  // are served until Drain(). Call after Listen(); fails if not listening
+  // or already started. Options (including the clock) are fixed for the
+  // server's lifetime once started.
+  Status Start(const HttpServerOptions& options = {});
+
+  // Graceful shutdown: stop accepting, let queued and in-flight requests
+  // finish (keep-alive connections are told Connection: close on their next
+  // response; idle ones are released immediately), then close every
+  // socket. Idempotent; also invoked by the destructor. After Drain() the
+  // server cannot be restarted.
+  void Drain();
+
+  // True between a successful Start() and Drain().
+  bool running() const { return started_.load() && !draining_.load(); }
+
+  // Racy snapshots for tests and load-shed decisions.
+  size_t queue_depth() const { return queued_.load(); }     // Awaiting a worker.
+  size_t in_flight() const { return in_flight_.load(); }    // Being handled.
+  size_t rejected() const { return rejected_.load(); }      // Shed with 503.
+  std::uint64_t connections_served() const { return connections_.load(); }
+  size_t deadline_kills() const { return deadline_kills_.load(); }
+
   // Connections whose response could not be fully written (client hung up
   // early, connection reset).
-  size_t write_failures() const { return write_failures_; }
+  size_t write_failures() const { return write_failures_.load(); }
 
   // Installs a response-byte mangler for fault-injection tests (null to
   // remove). Call before Serve; the shaper runs on the serving thread.
+  // Concurrent mode treats a shaped connection as one-shot (no keep-alive):
+  // the shaper owns the wire for that response, including the close.
   void set_wire_shaper(WireShaper shaper) { wire_shaper_ = std::move(shaper); }
 
   // Turns on the observability surface (null registry turns it off again):
@@ -76,12 +147,27 @@ class HttpServer {
   //    weblint_http_responses_total{class="2xx"...}, and the
   //    weblint_http_request_micros latency histogram (handler time,
   //    measured on `clock`; null = system clock).
-  // Call before Serve; not thread-safe against a running Serve loop.
+  //  * The concurrent mode additionally publishes weblint_http_inflight,
+  //    weblint_http_queue_depth, weblint_http_rejected_total,
+  //    weblint_http_connections_total, weblint_http_keepalive_reuse_total
+  //    and weblint_http_deadline_kills_total.
+  // Call before Serve/Start; not thread-safe against a running server.
   void EnableMetrics(MetricsRegistry* registry, Clock* clock = nullptr);
 
   void Close();
 
  private:
+  // The shared dispatch path: 400 for an unparseable request, the /metrics
+  // scrape, or the handler (counted into the request series).
+  HttpResponse Dispatch(const Result<HttpRequest>& request);
+
+  // Concurrent-mode internals.
+  void AcceptLoop();
+  void HandleConnection(int client);
+  void ShedConnection(int client);
+  // One-shot wire-shaped delivery (fault-injection), shared with ServeOne.
+  void DeliverShaped(int client, const Result<HttpRequest>& request, std::string serialized);
+
   Handler handler_;
   WireShaper wire_shaper_;
   MetricsRegistry* metrics_ = nullptr;
@@ -89,11 +175,30 @@ class HttpServer {
   Counter* requests_total_ = nullptr;
   Histogram* request_micros_ = nullptr;
   std::array<Counter*, 5> responses_by_class_{};  // 1xx..5xx.
+  Gauge* inflight_gauge_ = nullptr;
+  Gauge* queue_gauge_ = nullptr;
+  Counter* rejected_counter_ = nullptr;
+  Counter* connections_counter_ = nullptr;
+  Counter* keepalive_counter_ = nullptr;
+  Counter* deadline_kills_counter_ = nullptr;
   // Atomic: Close() may run on another thread to unblock a Serve() loop
   // parked in accept().
   std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
-  size_t write_failures_ = 0;
+  std::atomic<size_t> write_failures_{0};
+
+  // Concurrent mode state.
+  HttpServerOptions options_;
+  Clock* serve_clock_ = nullptr;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<size_t> queued_{0};
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<size_t> rejected_{0};
+  std::atomic<size_t> deadline_kills_{0};
+  std::atomic<std::uint64_t> connections_{0};
 };
 
 }  // namespace weblint

@@ -168,22 +168,27 @@ std::string SerializeHttpResponse(const HttpResponse& response, std::string_view
 }
 
 bool HttpMessageComplete(std::string_view buffer) {
+  return HttpMessageLength(buffer) != std::string_view::npos;
+}
+
+size_t HttpMessageLength(std::string_view buffer) {
   const size_t body_start = HeaderEnd(buffer);
   if (body_start == std::string_view::npos) {
-    return false;
+    return std::string_view::npos;
   }
   const auto lines = HeaderLines(buffer.substr(0, body_start));
   std::map<std::string, std::string, ILess> headers;
   ParseHeaderFields(lines, 1, &headers);
   const auto it = headers.find("content-length");
   if (it == headers.end()) {
-    return true;
+    return body_start;  // No declared body: the message ends at the blank line.
   }
   std::uint32_t length = 0;
-  if (!ParseUint(it->second, &length)) {
-    return true;
+  if (!ParseUint(Trim(it->second), &length)) {
+    return body_start;  // Malformed length is untrusted: treat as no body.
   }
-  return buffer.size() - body_start >= length;
+  return buffer.size() - body_start >= length ? body_start + length
+                                              : std::string_view::npos;
 }
 
 }  // namespace weblint

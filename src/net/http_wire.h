@@ -53,6 +53,15 @@ std::string SerializeHttpResponse(const HttpResponse& response,
 // read loop.
 bool HttpMessageComplete(std::string_view buffer);
 
+// The byte length of the first complete message in `buffer` (header section
+// plus the declared Content-Length body; no Content-Length means no body),
+// or npos while the message is still incomplete. This is the keep-alive
+// framing primitive: a connection buffer may hold several pipelined
+// requests, and each must be parsed from exactly its own bytes — handing
+// ParseHttpRequest the whole buffer would swallow the next request as the
+// previous one's body.
+size_t HttpMessageLength(std::string_view buffer);
+
 }  // namespace weblint
 
 #endif  // WEBLINT_NET_HTTP_WIRE_H_

@@ -25,7 +25,7 @@ PageWeight MeasurePageWeight(std::string_view html, const LintReport& report,
       continue;
     }
     Url resolved = ResolveUrl(page_url, link.url);
-    resolved.fragment.clear();
+    resolved.StripFragment();
     const std::string key = resolved.Serialize();
     if (!fetched.insert(key).second) {
       continue;  // The browser cache fetches each resource once.

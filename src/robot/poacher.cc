@@ -151,7 +151,7 @@ PoacherReport Poacher::Run(std::string_view start_url, Emitter* emitter) {
   RobustFetcher head_fetcher(fetcher_, head_policy, crawl_options.clock, crawl_options.metrics);
   for (const auto& [target, origin] : link_origins) {
     Url url = ParseUrl(target);
-    url.fragment.clear();
+    url.StripFragment();
     if (robot.visited().contains(url.Serialize())) {
       continue;  // Crawled; a failure would already show in stats.
     }

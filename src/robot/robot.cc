@@ -22,7 +22,7 @@ constexpr LinkSource kLinkSources[] = {
 // URL key for the visited set: no fragment, default path.
 std::string VisitKey(const Url& url) {
   Url key = url;
-  key.fragment.clear();
+  key.StripFragment();
   if (key.path.empty()) {
     key.path = "/";
   }

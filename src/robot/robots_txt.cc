@@ -39,7 +39,11 @@ RobotsTxt RobotsTxt::Parse(std::string_view body, std::string_view agent) {
       }
       if (value == "*") {
         in_fallback_section = true;
-      } else if (IContains(agent, value) || IContains(value, agent)) {
+      } else if (IContains(agent, value)) {
+        // The record's token must be a (case-insensitive) substring of OUR
+        // agent name — the direction the 1994 robots.txt spec recommends.
+        // The reverse test would bind us to sections naming some other,
+        // longer-named crawler that merely contains our name.
         in_matched_section = true;
         agent_section_existed = true;
       }

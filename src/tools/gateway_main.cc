@@ -4,23 +4,37 @@
 //
 // Run outside a web server with --form to print the submission form, or
 // pipe a form-urlencoded body in with REQUEST_METHOD=POST set.
+//
+// With --serve the binary instead becomes a long-running standalone
+// gateway: the concurrent HTTP/1.1 serving layer (accept thread + worker
+// pool, keep-alive, bounded queue with 503 shedding, per-request
+// deadlines) fronting the same handler, with GET /metrics exposing the
+// deployment's telemetry. SIGINT/SIGTERM drain gracefully.
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "core/linter.h"
 #include "gateway/gateway.h"
 #include "net/fetcher.h"
+#include "net/http_server.h"
 #include "net/socket_fetcher.h"
+#include "telemetry/metrics.h"
 #include "util/args.h"
 #include "util/strings.h"
 
 namespace {
 
 using namespace weblint;
+
+std::sig_atomic_t g_stop = 0;
+void HandleStopSignal(int) { g_stop = 1; }
 
 std::string ReadStdin() {
   std::string content;
@@ -46,14 +60,31 @@ int Run(int argc, char** argv) {
   ArgParser parser;
   bool form_only = false;
   bool no_http_header = false;
+  bool serve = false;
   bool show_help = false;
   std::string cache_dir;
   std::string fetch_timeout_arg;
   std::string fetch_retries_arg;
   std::string max_fetch_bytes_arg;
   std::string max_redirects_arg;
+  std::string port_arg = "0";
+  std::string threads_arg = "0";
+  std::string max_queue_arg = "64";
+  std::string request_timeout_arg = "10000";
   parser.AddFlag("--form", "print the submission form and exit", &form_only);
   parser.AddFlag("--no-header", "omit the Content-Type response header", &no_http_header);
+  parser.AddFlag("--serve",
+                 "run as a standalone concurrent HTTP server instead of one-shot CGI", &serve);
+  parser.AddOption("--port", "with --serve: port to listen on (0 picks a free port)",
+                   &port_arg);
+  parser.AddOption("--threads", "with --serve: worker threads (0 = one per core)",
+                   &threads_arg);
+  parser.AddOption("--max-queue",
+                   "with --serve: pending connections beyond this are shed with 503",
+                   &max_queue_arg);
+  parser.AddOption("--request-timeout",
+                   "with --serve: per-request read/write deadline in milliseconds",
+                   &request_timeout_arg);
   parser.AddOption("--cache-dir",
                    "persist lint results here; repeated submissions of the same page "
                    "are served from cache",
@@ -122,6 +153,50 @@ int Run(int argc, char** argv) {
   };
   SchemeRoutingFetcher fetcher(FetchPolicyFromConfig(lint.config()));
   Gateway gateway(lint, &fetcher);
+
+  if (serve) {
+    std::uint32_t port = 0;
+    std::uint32_t threads = 0;
+    std::uint32_t max_queue = 0;
+    std::uint32_t request_timeout_ms = 0;
+    if (!ParseUint(port_arg, &port) || port > 65535 || !ParseUint(threads_arg, &threads) ||
+        !ParseUint(max_queue_arg, &max_queue) ||
+        !ParseUint(request_timeout_arg, &request_timeout_ms)) {
+      std::fprintf(stderr, "weblint-gateway: bad --port/--threads/--max-queue/"
+                           "--request-timeout value\n");
+      return 2;
+    }
+    MetricsRegistry registry;
+    lint.EnableMetrics(&registry);
+    HttpServer server(
+        [&gateway](const HttpRequest& request) { return gateway.HandleHttp(request); });
+    server.EnableMetrics(&registry);
+    if (Status s = server.Listen(static_cast<std::uint16_t>(port)); !s.ok()) {
+      std::fprintf(stderr, "weblint-gateway: %s\n", s.message().c_str());
+      return 1;
+    }
+    HttpServerOptions options;
+    options.threads = threads;
+    options.max_queue = max_queue;
+    options.request_timeout_ms = request_timeout_ms;
+    if (Status s = server.Start(options); !s.ok()) {
+      std::fprintf(stderr, "weblint-gateway: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+    std::fprintf(stderr, "weblint-gateway: serving on http://127.0.0.1:%u/ "
+                         "(metrics at /metrics; Ctrl-C drains)\n",
+                 server.port());
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    server.Drain();
+    std::fprintf(stderr, "weblint-gateway: drained; %llu connection(s) served, %zu shed\n",
+                 static_cast<unsigned long long>(server.connections_served()),
+                 server.rejected());
+    return 0;
+  }
 
   if (!no_http_header) {
     std::fputs("Content-Type: text/html\r\n\r\n", stdout);

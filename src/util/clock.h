@@ -7,6 +7,7 @@
 #ifndef WEBLINT_UTIL_CLOCK_H_
 #define WEBLINT_UTIL_CLOCK_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <thread>
@@ -29,16 +30,17 @@ class Clock {
 
 // Deterministic clock for tests: Now() only moves when told to. Sleeping
 // advances time instantly, so backoff schedules are observable as exact
-// timestamps instead of real delays. Not thread-safe by design — fake-clock
-// tests drive fetches from one thread.
+// timestamps instead of real delays. The counter is atomic so a test thread
+// can Advance() past a deadline that server worker threads are polling —
+// the concurrent HttpServer's timeout tests drive expiry this way.
 class FakeClock : public Clock {
  public:
-  std::uint64_t NowMicros() override { return now_us_; }
-  void SleepMicros(std::uint64_t us) override { now_us_ += us; }
-  void Advance(std::uint64_t us) { now_us_ += us; }
+  std::uint64_t NowMicros() override { return now_us_.load(); }
+  void SleepMicros(std::uint64_t us) override { now_us_.fetch_add(us); }
+  void Advance(std::uint64_t us) { now_us_.fetch_add(us); }
 
  private:
-  std::uint64_t now_us_ = 0;
+  std::atomic<std::uint64_t> now_us_{0};
 };
 
 namespace internal {

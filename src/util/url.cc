@@ -18,22 +18,41 @@ bool IsOpaqueScheme(std::string_view scheme) {
 
 // Removes "." and ".." segments per RFC 3986 §5.2.4, preserving a trailing
 // slash where the last segment was "." or "..".
+//
+// Relative paths keep the ".." segments they cannot pop: in a local-file
+// crawl, "../sibling.html" against a slash-less base must stay
+// "../sibling.html" — collapsing it to "sibling.html" points the link at
+// the wrong directory. Only an absolute path clamps ".." at its root.
 std::string RemoveDotSegments(std::string_view path) {
   std::vector<std::string_view> out;
   const bool absolute = !path.empty() && path.front() == '/';
-  bool trailing_slash = !path.empty() && path.back() == '/';
+  // The normalized path ends in '/' iff the input did, or its last segment
+  // was "." or ".." (which resolve to a directory, not a file).
+  bool trailing_slash = false;
+  if (!path.empty()) {
+    if (path.back() == '/') {
+      trailing_slash = true;
+    } else {
+      const size_t slash = path.rfind('/');
+      const std::string_view last =
+          path.substr(slash == std::string_view::npos ? 0 : slash + 1);
+      trailing_slash = last == "." || last == "..";
+    }
+  }
+  size_t leading_dotdot = 0;  // Unpoppable ".." prefix kept on relative paths.
   for (std::string_view seg : Split(path, '/')) {
     if (seg.empty() || seg == ".") {
       continue;
     }
     if (seg == "..") {
-      if (!out.empty()) {
+      if (out.size() > leading_dotdot) {
         out.pop_back();
+      } else if (!absolute) {
+        out.push_back(seg);
+        ++leading_dotdot;
       }
-      trailing_slash = true;
       continue;
     }
-    trailing_slash = !path.empty() && path.back() == '/';
     out.push_back(seg);
   }
   std::string result = absolute ? "/" : "";
@@ -74,15 +93,19 @@ std::string Url::Serialize() const {
   } else {
     if (has_authority) {
       out.append("//");
+      if (!userinfo.empty()) {
+        out.append(userinfo);
+        out.push_back('@');
+      }
       out.append(Authority());
     }
     out.append(path);
-    if (!query.empty()) {
+    if (has_query || !query.empty()) {
       out.push_back('?');
       out.append(query);
     }
   }
-  if (!fragment.empty()) {
+  if (has_fragment || !fragment.empty()) {
     out.push_back('#');
     out.append(fragment);
   }
@@ -96,6 +119,7 @@ Url ParseUrl(std::string_view text) {
   // Fragment first: everything after the first '#'.
   if (const size_t hash = rest.find('#'); hash != std::string_view::npos) {
     url.fragment = std::string(rest.substr(hash + 1));
+    url.has_fragment = true;
     rest = rest.substr(0, hash);
   }
 
@@ -122,6 +146,12 @@ Url ParseUrl(std::string_view text) {
     const size_t end = rest.find_first_of("/?");
     std::string_view authority = rest.substr(0, end);
     rest = end == std::string_view::npos ? std::string_view() : rest.substr(end);
+    // Userinfo ends at the last '@' — it is not part of the host, and
+    // leaving it there would make "user@host" dial the wrong machine.
+    if (const size_t at = authority.rfind('@'); at != std::string_view::npos) {
+      url.userinfo = std::string(authority.substr(0, at));
+      authority = authority.substr(at + 1);
+    }
     if (const size_t colon = authority.rfind(':'); colon != std::string_view::npos) {
       std::string_view port = authority.substr(colon + 1);
       bool all_digits = !port.empty();
@@ -139,6 +169,7 @@ Url ParseUrl(std::string_view text) {
   // Query.
   if (const size_t q = rest.find('?'); q != std::string_view::npos) {
     url.query = std::string(rest.substr(q + 1));
+    url.has_query = true;
     rest = rest.substr(0, q);
   }
 
@@ -161,22 +192,30 @@ Url ResolveUrl(const Url& base, const Url& reference) {
   out.scheme = base.scheme;
   if (reference.has_authority) {
     out.has_authority = true;
+    out.userinfo = reference.userinfo;
     out.host = reference.host;
     out.port = reference.port;
     out.path = RemoveDotSegments(reference.path);
     out.query = reference.query;
+    out.has_query = reference.has_query;
     out.fragment = reference.fragment;
+    out.has_fragment = reference.has_fragment;
     return out;
   }
   out.has_authority = base.has_authority;
+  out.userinfo = base.userinfo;
   out.host = base.host;
   out.port = base.port;
   if (reference.path.empty()) {
     out.path = base.path;
-    out.query = reference.query.empty() ? base.query : reference.query;
+    // Presence, not emptiness, decides: "page.html?" carries a (defined,
+    // empty) query of its own and must not inherit the base's.
+    out.query = reference.has_query ? reference.query : base.query;
+    out.has_query = reference.has_query || base.has_query;
   } else if (reference.path.front() == '/') {
     out.path = RemoveDotSegments(reference.path);
     out.query = reference.query;
+    out.has_query = reference.has_query;
   } else {
     // Merge: base path up to last '/' + reference path.
     const size_t slash = base.path.rfind('/');
@@ -186,8 +225,10 @@ Url ResolveUrl(const Url& base, const Url& reference) {
     merged.append(reference.path);
     out.path = RemoveDotSegments(merged);
     out.query = reference.query;
+    out.has_query = reference.has_query;
   }
   out.fragment = reference.fragment;
+  out.has_fragment = reference.has_fragment;
   return out;
 }
 

@@ -12,6 +12,7 @@ namespace weblint {
 // that scheme and host are lowercased on parse.
 struct Url {
   std::string scheme;    // "http", "file", "mailto", ...
+  std::string userinfo;  // Before '@' in the authority; "" if none given.
   std::string host;      // Empty for scheme-relative / opaque URLs.
   std::string port;      // Digits only; empty if none given.
   std::string path;      // Includes leading '/' when authority present.
@@ -21,9 +22,21 @@ struct Url {
   std::string opaque;
 
   bool has_authority = false;
+  // Presence, tracked separately from emptiness: "page.html?" has an empty
+  // query that is nonetheless *there*, and must round-trip through
+  // Serialize with its '?' (likewise "page.html#" and its '#').
+  bool has_query = false;
+  bool has_fragment = false;
 
   bool IsAbsolute() const { return !scheme.empty(); }
   bool IsOpaque() const { return !opaque.empty(); }
+
+  // Drops the fragment, including its presence bit — for visited-set /
+  // dedupe keys, where "page.html#" and "page.html" are the same document.
+  void StripFragment() {
+    fragment.clear();
+    has_fragment = false;
+  }
 
   // Reassembles the URL text.
   std::string Serialize() const;

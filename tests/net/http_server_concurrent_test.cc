@@ -1,0 +1,569 @@
+// The concurrent serving layer, end to end over real sockets: keep-alive
+// framing, pipelining, Clock-driven deadlines, bounded-queue load shedding
+// with 503 + Retry-After, and graceful drain. Runs in the check_net slice
+// under TSan and ASan.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/linter.h"
+#include "gateway/gateway.h"
+#include "net/http_server.h"
+#include "telemetry/metrics.h"
+#include "util/clock.h"
+#include "util/url.h"
+
+namespace weblint {
+namespace {
+
+// Spins (with a real-time cap) until `predicate` holds. The concurrent
+// server's state transitions are asynchronous; tests synchronize on the
+// observable state, never on sleeps alone.
+bool WaitFor(const std::function<bool()>& predicate, int timeout_ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return predicate();
+}
+
+// A raw TCP client that keeps its connection open across requests —
+// exactly what the Connection: keep-alive contract needs exercised.
+class TestClient {
+ public:
+  ~TestClient() { CloseFd(); }
+
+  bool Connect(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+
+  bool Send(std::string_view data) {
+    size_t written = 0;
+    while (written < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + written, data.size() - written, MSG_NOSIGNAL);
+      if (n <= 0) {
+        return false;
+      }
+      written += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  // Reads one complete response off the connection (framed by
+  // Content-Length, like the server frames requests). Fails on timeout or
+  // EOF before a full message.
+  Result<HttpResponse> ReadResponse(int timeout_ms = 5000) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    size_t frame = HttpMessageLength(buffer_);
+    while (frame == std::string_view::npos) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return Fail("client read timeout");
+      }
+      pollfd p{fd_, POLLIN, 0};
+      if (::poll(&p, 1, 50) <= 0) {
+        continue;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n < 0) {
+        return Fail("client read error");
+      }
+      if (n == 0) {
+        return Fail("connection closed before a full response");
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+      frame = HttpMessageLength(buffer_);
+    }
+    auto response = ParseHttpResponse(std::string_view(buffer_).substr(0, frame));
+    raw_last_.assign(buffer_, 0, frame);
+    buffer_.erase(0, frame);
+    return response;
+  }
+
+  // The exact wire bytes of the last ReadResponse (for byte-identity checks).
+  const std::string& raw_last() const { return raw_last_; }
+
+  // True once the server closes the connection (EOF), with no extra data.
+  bool WaitForClose(int timeout_ms = 5000) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      pollfd p{fd_, POLLIN, 0};
+      if (::poll(&p, 1, 50) <= 0) {
+        continue;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n == 0) {
+        return true;
+      }
+      if (n < 0) {
+        return true;  // Reset counts as closed.
+      }
+    }
+    return false;
+  }
+
+  void CloseFd() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+  std::string raw_last_;
+};
+
+std::string Get(std::string_view target, std::string_view connection = "") {
+  std::string request = "GET " + std::string(target) + " HTTP/1.1\r\nhost: t\r\n";
+  if (!connection.empty()) {
+    request += "connection: " + std::string(connection) + "\r\n";
+  }
+  request += "\r\n";
+  return request;
+}
+
+std::string Post(std::string_view target, std::string_view body) {
+  return "POST " + std::string(target) + " HTTP/1.1\r\nhost: t\r\ncontent-length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + std::string(body);
+}
+
+// A latch the tests use to hold handler threads mid-request.
+class Latch {
+ public:
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(HttpServerConcurrentTest, KeepAliveServesSequentialRequestsOnOneConnection) {
+  std::atomic<int> handled{0};
+  HttpServer server([&handled](const HttpRequest& request) {
+    HttpResponse response;
+    response.status = 200;
+    response.body = request.target + " #" + std::to_string(handled.fetch_add(1) + 1);
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start({.threads = 2}).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(Get("/one")));
+  auto first = client.ReadResponse();
+  ASSERT_TRUE(first.ok()) << first.error();
+  EXPECT_EQ(first->body, "/one #1");
+  EXPECT_EQ(first->Header("connection"), "keep-alive");
+
+  // Same socket, second request: HTTP/1.1 keep-alive honoured.
+  ASSERT_TRUE(client.Send(Get("/two", "close")));
+  auto second = client.ReadResponse();
+  ASSERT_TRUE(second.ok()) << second.error();
+  EXPECT_EQ(second->body, "/two #2");
+  EXPECT_EQ(second->Header("connection"), "close");
+  EXPECT_TRUE(client.WaitForClose());
+
+  server.Drain();
+  EXPECT_EQ(handled.load(), 2);
+  EXPECT_EQ(server.connections_served(), 1u);
+}
+
+TEST(HttpServerConcurrentTest, PipelinedRequestsAreFramedIndividually) {
+  HttpServer server([](const HttpRequest& request) {
+    HttpResponse response;
+    response.status = 200;
+    response.body = request.target + ":" + request.body;
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start({.threads = 1}).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  // Two POSTs and a body-less GET in one write. Each must be answered from
+  // exactly its own bytes — a GET with no Content-Length must not swallow
+  // the next request as its body.
+  ASSERT_TRUE(client.Send(Post("/a", "first") + Post("/b", "second") + Get("/c", "close")));
+  auto a = client.ReadResponse();
+  auto b = client.ReadResponse();
+  auto c = client.ReadResponse();
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->body, "/a:first");
+  EXPECT_EQ(b->body, "/b:second");
+  EXPECT_EQ(c->body, "/c:");
+  EXPECT_TRUE(client.WaitForClose());
+  server.Drain();
+}
+
+TEST(HttpServerConcurrentTest, DeadlineKillsSlowClient) {
+  HttpServer server([](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 200;
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  FakeClock clock;
+  HttpServerOptions options;
+  options.threads = 1;
+  options.request_timeout_ms = 1000;
+  options.clock = &clock;
+  ASSERT_TRUE(server.Start(options).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  // Half a request, then silence: only the fake clock can expire it.
+  ASSERT_TRUE(client.Send("GET /slow HT"));
+  ASSERT_TRUE(WaitFor([&server] { return server.in_flight() == 1; }));
+
+  // The worker stamps its deadline from the fake clock when it picks up the
+  // connection; advancing repeatedly guarantees expiry regardless of where
+  // the worker is in its poll slice.
+  std::atomic<bool> done{false};
+  std::thread advancer([&clock, &done] {
+    while (!done.load()) {
+      clock.Advance(2'000'000);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  auto response = client.ReadResponse();
+  done.store(true);
+  advancer.join();
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_EQ(response->status, 408);
+  EXPECT_TRUE(client.WaitForClose());
+  EXPECT_GE(server.deadline_kills(), 1u);
+  server.Drain();
+}
+
+TEST(HttpServerConcurrentTest, IdleKeepAliveConnectionKilledAtDeadline) {
+  HttpServer server([](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 200;
+    response.body = "ok";
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  FakeClock clock;
+  HttpServerOptions options;
+  options.threads = 1;
+  options.request_timeout_ms = 1000;
+  options.clock = &clock;
+  ASSERT_TRUE(server.Start(options).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(Get("/")));
+  auto response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_EQ(response->Header("connection"), "keep-alive");
+
+  // Now idle. An idle keep-alive connection holds a worker; the deadline
+  // reclaims it without any bytes arriving (no 408 — EOF is the contract
+  // between requests).
+  std::atomic<bool> done{false};
+  std::thread advancer([&clock, &done] {
+    while (!done.load()) {
+      clock.Advance(2'000'000);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  EXPECT_TRUE(client.WaitForClose());
+  done.store(true);
+  advancer.join();
+  server.Drain();
+}
+
+TEST(HttpServerConcurrentTest, FullQueueShedsWith503RetryAfter) {
+  Latch latch;
+  HttpServer server([&latch](const HttpRequest&) {
+    latch.Wait();
+    HttpResponse response;
+    response.status = 200;
+    response.body = "served";
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  MetricsRegistry registry;
+  server.EnableMetrics(&registry);
+  HttpServerOptions options;
+  options.threads = 1;
+  options.max_queue = 1;
+  ASSERT_TRUE(server.Start(options).ok());
+
+  // c1 occupies the only worker (blocked in the handler on the latch).
+  TestClient c1;
+  ASSERT_TRUE(c1.Connect(server.port()));
+  ASSERT_TRUE(c1.Send(Get("/", "close")));
+  ASSERT_TRUE(WaitFor([&server] { return server.in_flight() == 1; }));
+
+  // c2 fills the one queue slot.
+  TestClient c2;
+  ASSERT_TRUE(c2.Connect(server.port()));
+  ASSERT_TRUE(c2.Send(Get("/", "close")));
+  ASSERT_TRUE(WaitFor([&server] { return server.queue_depth() == 1; }));
+
+  // c3 must be shed immediately — the accept loop answers 503 itself while
+  // the only worker is still wedged, proving it never stalls.
+  TestClient c3;
+  ASSERT_TRUE(c3.Connect(server.port()));
+  ASSERT_TRUE(c3.Send(Get("/", "close")));
+  auto shed = c3.ReadResponse();
+  ASSERT_TRUE(shed.ok()) << shed.error();
+  EXPECT_EQ(shed->status, 503);
+  EXPECT_EQ(shed->Header("retry-after"), "1");
+  EXPECT_TRUE(c3.WaitForClose());
+  EXPECT_EQ(server.rejected(), 1u);
+  EXPECT_EQ(registry.CounterValue("weblint_http_rejected_total"), 1u);
+
+  // Release the worker: both held clients are served normally.
+  latch.Open();
+  auto r1 = c1.ReadResponse();
+  auto r2 = c2.ReadResponse();
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->body, "served");
+  EXPECT_EQ(r2->body, "served");
+  server.Drain();
+  EXPECT_EQ(registry.GaugeValue("weblint_http_inflight"), 0);
+  EXPECT_EQ(registry.GaugeValue("weblint_http_queue_depth"), 0);
+}
+
+TEST(HttpServerConcurrentTest, DrainCompletesInFlightRequestWithByteIdenticalOutput) {
+  // The handler runs a real lint so the drained response is a genuine
+  // gateway artifact, and a latch holds it in flight while Drain starts.
+  Weblint lint;
+  Gateway gateway(lint, nullptr);
+  Latch latch;
+  std::atomic<bool> hold{false};
+  std::atomic<int> entered{0};
+  HttpServer server([&](const HttpRequest& request) {
+    entered.fetch_add(1);
+    if (hold.load()) {
+      latch.Wait();
+    }
+    return gateway.HandleHttp(request);
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start({.threads = 2}).ok());
+
+  const std::string body = "html=" + UrlEncode("<B>unclosed");
+  const std::string request =
+      "POST / HTTP/1.1\r\nhost: t\r\nconnection: close\r\n"
+      "content-type: application/x-www-form-urlencoded\r\n"
+      "content-length: " + std::to_string(body.size()) + "\r\n\r\n" + body;
+
+  // Baseline: the same submission served with no drain in progress.
+  TestClient baseline;
+  ASSERT_TRUE(baseline.Connect(server.port()));
+  ASSERT_TRUE(baseline.Send(request));
+  auto expected = baseline.ReadResponse();
+  ASSERT_TRUE(expected.ok()) << expected.error();
+  EXPECT_NE(expected->body.find("unclosed-element"), std::string::npos);
+  const std::string expected_raw = baseline.raw_last();
+
+  // In-flight request, then drain races it.
+  hold.store(true);
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(request));
+  ASSERT_TRUE(WaitFor([&entered] { return entered.load() == 2; }));
+  std::thread drainer([&server] { server.Drain(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  latch.Open();
+  auto drained = client.ReadResponse();
+  drainer.join();
+  ASSERT_TRUE(drained.ok()) << drained.error();
+  EXPECT_EQ(drained->status, 200);
+  // Graceful drain means the caught-in-flight client cannot tell: the wire
+  // bytes match the undisturbed run exactly.
+  EXPECT_EQ(client.raw_last(), expected_raw);
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerConcurrentTest, DrainReleasesIdleKeepAliveConnectionsPromptly) {
+  HttpServer server([](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 200;
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  HttpServerOptions options;
+  options.threads = 1;
+  options.request_timeout_ms = 60'000;  // Idle timeout far beyond the test.
+  ASSERT_TRUE(server.Start(options).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(Get("/")));
+  ASSERT_TRUE(client.ReadResponse().ok());
+
+  // The connection now idles on its keep-alive worker. Drain must not wait
+  // out the 60 s deadline — idle connections are released immediately.
+  const auto begin = std::chrono::steady_clock::now();
+  server.Drain();
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 10);
+  EXPECT_TRUE(client.WaitForClose());
+}
+
+TEST(HttpServerConcurrentTest, RequestCapClosesConnection) {
+  HttpServer server([](const HttpRequest& request) {
+    HttpResponse response;
+    response.status = 200;
+    response.body = std::string(request.target);
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  HttpServerOptions options;
+  options.threads = 1;
+  options.max_requests_per_connection = 2;
+  ASSERT_TRUE(server.Start(options).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(Get("/1")));
+  auto first = client.ReadResponse();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->Header("connection"), "keep-alive");
+  ASSERT_TRUE(client.Send(Get("/2")));
+  auto second = client.ReadResponse();
+  ASSERT_TRUE(second.ok());
+  // The cap bites: request 2 of 2 is announced as the last.
+  EXPECT_EQ(second->Header("connection"), "close");
+  EXPECT_TRUE(client.WaitForClose());
+  server.Drain();
+}
+
+TEST(HttpServerConcurrentTest, ManyClientsManyRequestsAllServed) {
+  std::atomic<int> handled{0};
+  HttpServer server([&handled](const HttpRequest&) {
+    handled.fetch_add(1);
+    HttpResponse response;
+    response.status = 200;
+    response.body = "ok";
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  MetricsRegistry registry;
+  server.EnableMetrics(&registry);
+  HttpServerOptions options;
+  options.threads = 4;
+  options.max_queue = 64;
+  ASSERT_TRUE(server.Start(options).ok());
+
+  constexpr int kClients = 8;
+  constexpr int kRequests = 5;
+  std::atomic<int> ok_responses{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, &ok_responses] {
+      TestClient client;
+      if (!client.Connect(server.port())) {
+        return;
+      }
+      for (int r = 0; r < kRequests; ++r) {
+        const bool last = r == kRequests - 1;
+        if (!client.Send(Get("/page", last ? "close" : ""))) {
+          return;
+        }
+        auto response = client.ReadResponse();
+        if (response.ok() && response->status == 200) {
+          ok_responses.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  server.Drain();
+  EXPECT_EQ(handled.load(), kClients * kRequests);
+  EXPECT_EQ(ok_responses.load(), kClients * kRequests);
+  EXPECT_EQ(registry.CounterValue("weblint_http_requests_total"),
+            static_cast<std::uint64_t>(kClients * kRequests));
+  // Each connection reused its socket kRequests-1 times.
+  EXPECT_EQ(registry.CounterValue("weblint_http_keepalive_reuse_total"),
+            static_cast<std::uint64_t>(kClients * (kRequests - 1)));
+  EXPECT_EQ(registry.GaugeValue("weblint_http_inflight"), 0);
+  EXPECT_EQ(server.connections_served(), static_cast<std::uint64_t>(kClients));
+}
+
+TEST(HttpServerConcurrentTest, MetricsEndpointServedFromWorkers) {
+  HttpServer server([](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 200;
+    return response;
+  });
+  MetricsRegistry registry;
+  registry.GetCounter("weblint_demo_total")->Increment(7);
+  server.EnableMetrics(&registry);
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start({.threads = 2}).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(Get("/page")));
+  ASSERT_TRUE(client.ReadResponse().ok());
+  // Scrape over the same keep-alive connection: answered from the
+  // registry, not the handler, and not self-counted.
+  ASSERT_TRUE(client.Send(Get("/metrics", "close")));
+  auto scrape = client.ReadResponse();
+  ASSERT_TRUE(scrape.ok()) << scrape.error();
+  EXPECT_EQ(scrape->status, 200);
+  EXPECT_NE(scrape->body.find("weblint_demo_total 7"), std::string::npos);
+  EXPECT_NE(scrape->body.find("weblint_http_requests_total 1"), std::string::npos);
+  server.Drain();
+}
+
+TEST(HttpServerConcurrentTest, StartRequiresListenAndRefusesDoubleStart) {
+  HttpServer unbound([](const HttpRequest&) { return HttpResponse{}; });
+  EXPECT_FALSE(unbound.Start({.threads = 1}).ok());
+
+  HttpServer server([](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start({.threads = 1}).ok());
+  EXPECT_FALSE(server.Start({.threads = 1}).ok());
+  server.Drain();
+}
+
+}  // namespace
+}  // namespace weblint

@@ -94,6 +94,36 @@ TEST(HttpWireTest, MessageCompleteness) {
   EXPECT_TRUE(HttpMessageComplete("POST / HTTP/1.0\r\nContent-Length: 5\r\n\r\nabcde"));
 }
 
+// HttpMessageLength is the keep-alive framing primitive: the server slices
+// exactly one request off the front of a pipelined buffer, so the length
+// must be exact — not just "a complete message is in here somewhere".
+TEST(HttpWireTest, MessageLengthIncompleteIsNpos) {
+  EXPECT_EQ(HttpMessageLength(""), std::string_view::npos);
+  EXPECT_EQ(HttpMessageLength("GET / HTTP/1.1\r\nHost: h\r\n"), std::string_view::npos);
+  EXPECT_EQ(HttpMessageLength("POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab"),
+            std::string_view::npos);
+}
+
+TEST(HttpWireTest, MessageLengthEndsAtHeadersWithoutContentLength) {
+  const std::string get = "GET /a HTTP/1.1\r\nHost: h\r\n\r\n";
+  // A body-less request ends at the blank line, even with more bytes (the
+  // next pipelined request) already in the buffer.
+  EXPECT_EQ(HttpMessageLength(get), get.size());
+  EXPECT_EQ(HttpMessageLength(get + "GET /b HTTP/1.1\r\n\r\n"), get.size());
+}
+
+TEST(HttpWireTest, MessageLengthIncludesDeclaredBody) {
+  const std::string post = "POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nabcde";
+  EXPECT_EQ(HttpMessageLength(post), post.size());
+  // Trailing bytes beyond the declared body belong to the next message.
+  EXPECT_EQ(HttpMessageLength(post + "GET / HTTP/1.1\r\n\r\n"), post.size());
+}
+
+TEST(HttpWireTest, MessageLengthGarbageContentLengthEndsAtHeaders) {
+  const std::string bad = "POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+  EXPECT_EQ(HttpMessageLength(bad + "rest"), bad.size());
+}
+
 // Content-Length is untrusted input (satellite of the robustness work): a
 // server can declare any number it likes, and the parser must neither trust
 // it into overreads nor silently accept short bodies.

@@ -73,5 +73,43 @@ TEST(RobotsTxtTest, EmptyPathTreatedAsRoot) {
   EXPECT_FALSE(robots.Allows(""));
 }
 
+TEST(RobotsTxtTest, RecordTokenMustBeSubstringOfAgentName) {
+  // Matching direction per the 1994 convention: the record's token is a
+  // case-insensitive substring of OUR agent name. A section naming a
+  // longer-named different crawler must not bind us.
+  const char* body =
+      "User-agent: *\n"
+      "Disallow: /cgi-bin/\n"
+      "\n"
+      "User-agent: poacher/2.0-extended\n"
+      "Disallow: /\n";
+  const RobotsTxt robots = RobotsTxt::Parse(body, "poacher/2.0");
+  // "poacher/2.0-extended" is not a substring of "poacher/2.0": we fall back
+  // to the * section instead of inheriting the other crawler's total ban.
+  EXPECT_TRUE(robots.Allows("/page.html"));
+  EXPECT_FALSE(robots.Allows("/cgi-bin/query"));
+}
+
+TEST(RobotsTxtTest, ShortRecordTokenMatchesByContainment) {
+  // The forward direction still works: the bare product token "poacher"
+  // names any "poacher/x.y" agent.
+  const RobotsTxt robots = RobotsTxt::Parse(
+      "User-agent: POACHER\nDisallow: /private/\n", "poacher/2.0");
+  EXPECT_FALSE(robots.Allows("/private/x"));
+  EXPECT_TRUE(robots.Allows("/public/x"));
+}
+
+TEST(RobotsTxtTest, UnrelatedShortTokenFallsBackToWildcard) {
+  const char* body =
+      "User-agent: zyborg\n"
+      "Disallow: /\n"
+      "\n"
+      "User-agent: *\n"
+      "Disallow: /archive/\n";
+  const RobotsTxt robots = RobotsTxt::Parse(body, "poacher/2.0");
+  EXPECT_TRUE(robots.Allows("/page.html"));
+  EXPECT_FALSE(robots.Allows("/archive/1994.html"));
+}
+
 }  // namespace
 }  // namespace weblint

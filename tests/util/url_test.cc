@@ -109,6 +109,70 @@ TEST(UrlResolveTest, TrailingSlashPreserved) {
   EXPECT_EQ(ResolveUrl(base, "sub/").Serialize(), "http://host/dir/sub/");
 }
 
+TEST(UrlParseTest, UserinfoSplitsOffHost) {
+  // "user@host" is userinfo + host, not a host that happens to contain '@'.
+  const Url url = ParseUrl("http://neilb@www.example.com/weblint/");
+  EXPECT_EQ(url.userinfo, "neilb");
+  EXPECT_EQ(url.host, "www.example.com");
+  EXPECT_EQ(url.path, "/weblint/");
+  EXPECT_EQ(url.Serialize(), "http://neilb@www.example.com/weblint/");
+}
+
+TEST(UrlParseTest, UserinfoWithPort) {
+  const Url url = ParseUrl("http://user:pw@host:8080/x");
+  EXPECT_EQ(url.userinfo, "user:pw");
+  EXPECT_EQ(url.host, "host");
+  EXPECT_EQ(url.port, "8080");
+  EXPECT_EQ(url.Serialize(), "http://user:pw@host:8080/x");
+}
+
+TEST(UrlParseTest, EmptyQueryAndFragmentPresenceSurvivesRoundTrip) {
+  // "page.html?" and "page.html#" are distinct URLs from "page.html": the
+  // delimiter's presence must round-trip even when its value is empty.
+  for (const char* text : {"page.html?", "page.html#", "http://h/p?", "http://h/p#",
+                           "http://h/p?#"}) {
+    EXPECT_EQ(ParseUrl(text).Serialize(), text) << text;
+  }
+  const Url empty_query = ParseUrl("page.html?");
+  EXPECT_TRUE(empty_query.has_query);
+  EXPECT_TRUE(empty_query.query.empty());
+  const Url plain = ParseUrl("page.html");
+  EXPECT_FALSE(plain.has_query);
+  EXPECT_FALSE(plain.has_fragment);
+}
+
+TEST(UrlResolveTest, LeadingDotDotPreservedOnRelativeBase) {
+  // With a slash-less relative base there is nothing to pop: the ".."
+  // must survive, not be silently dropped (which would rewrite
+  // "../sibling.html" into "sibling.html" — a different document).
+  const Url base = ParseUrl("page.html");
+  EXPECT_EQ(ResolveUrl(base, "../sibling.html").Serialize(), "../sibling.html");
+  EXPECT_EQ(ResolveUrl(base, "../../up2.html").Serialize(), "../../up2.html");
+  const Url dir_base = ParseUrl("a/page.html");
+  EXPECT_EQ(ResolveUrl(dir_base, "../../x.html").Serialize(), "../x.html");
+}
+
+TEST(UrlResolveTest, AbsolutePathsStillClampLeadingDotDot) {
+  // On an absolute path root is the floor; unpoppable ".." never leaks out.
+  const Url base = ParseUrl("http://host/a/b.html");
+  EXPECT_EQ(ResolveUrl(base, "../../../x.html").Serialize(), "http://host/x.html");
+}
+
+TEST(UrlResolveTest, EmptyQueryReferenceOverridesBaseQuery) {
+  // RFC 3986 §5.3: a reference of "?" carries a present-but-empty query,
+  // which replaces the base's query rather than inheriting it.
+  const Url base = ParseUrl("http://host/a/b.html?q=2");
+  const Url resolved = ResolveUrl(base, "?");
+  EXPECT_TRUE(resolved.has_query);
+  EXPECT_TRUE(resolved.query.empty());
+  EXPECT_EQ(resolved.Serialize(), "http://host/a/b.html?");
+}
+
+TEST(UrlResolveTest, UserinfoCarriedIntoResolvedUrl) {
+  const Url base = ParseUrl("http://user@host/a/b.html");
+  EXPECT_EQ(ResolveUrl(base, "c.html").Serialize(), "http://user@host/a/c.html");
+}
+
 TEST(UrlCodecTest, Decode) {
   EXPECT_EQ(UrlDecode("a%20b%2Fc"), "a b/c");
   EXPECT_EQ(UrlDecode("a+b"), "a+b");
