@@ -12,9 +12,11 @@
 #include <arpa/inet.h>
 #include <benchmark/benchmark.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -249,6 +251,133 @@ BENCHMARK(BM_GatewayServePastedHtml)
     ->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// E16: c10k — the event-driven reactor holding an open-loop population of
+// idle keep-alive connections. Thread-per-connection would need one parked
+// worker per connection; the reactor holds each as one watched fd plus one
+// armed idle-deadline timer. The measurement: open `range(0)` idle
+// connections (clamped to the process fd budget — each costs two fds in
+// this process, client end plus server end), then drive request/response
+// cycles on a single probe connection and report p50/p99 round-trip
+// latency. Acceptance is /10000 p99 within 2x of the /0 baseline.
+
+int ConnectLoopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void BM_GatewayIdleKeepAlive(benchmark::State& state) {
+  const size_t requested_idle = static_cast<size_t>(state.range(0));
+  rlimit limit{};
+  ::getrlimit(RLIMIT_NOFILE, &limit);
+  const size_t fd_budget =
+      limit.rlim_cur > 256 ? (static_cast<size_t>(limit.rlim_cur) - 256) / 2 : 0;
+  const size_t idle_target = std::min(requested_idle, fd_budget);
+
+  Weblint lint;
+  Gateway gateway(lint, nullptr);
+  HttpServer server(
+      [&gateway](const HttpRequest& request) { return gateway.HandleHttp(request); });
+  if (!server.Listen(0).ok()) {
+    state.SkipWithError("listen failed");
+    return;
+  }
+  HttpServerOptions options;
+  options.threads = 3;  // Plus the reactor loop thread: four total.
+  options.max_queue = 256;
+  options.event_driven = true;
+  options.request_timeout_ms = 600'000;  // Idle connections must outlive the bench.
+  options.max_requests_per_connection = 1u << 30;  // The probe reuses one connection.
+  if (!server.Start(options).ok()) {
+    state.SkipWithError("start failed");
+    return;
+  }
+
+  std::vector<int> idle;
+  idle.reserve(idle_target);
+  for (size_t i = 0; i < idle_target; ++i) {
+    const int fd = ConnectLoopback(server.port());
+    if (fd < 0) {
+      break;
+    }
+    idle.push_back(fd);
+  }
+
+  const int probe = ConnectLoopback(server.port());
+  if (probe < 0) {
+    state.SkipWithError("probe connect failed");
+    return;
+  }
+  const std::string request = "GET / HTTP/1.1\r\nhost: gateway\r\nconnection: keep-alive\r\n\r\n";
+  std::vector<double> round_trip_us;
+  std::string buffer;
+  char chunk[4096];
+  bool probe_dead = false;
+  for (auto _ : state) {
+    const auto begin = std::chrono::steady_clock::now();
+    size_t written = 0;
+    while (written < request.size()) {
+      const ssize_t n = ::write(probe, request.data() + written, request.size() - written);
+      if (n <= 0) {
+        probe_dead = true;
+        break;
+      }
+      written += static_cast<size_t>(n);
+    }
+    size_t frame = HttpMessageLength(buffer);
+    while (!probe_dead && frame == std::string_view::npos) {
+      const ssize_t n = ::read(probe, chunk, sizeof(chunk));
+      if (n <= 0) {
+        probe_dead = true;
+        break;
+      }
+      buffer.append(chunk, static_cast<size_t>(n));
+      frame = HttpMessageLength(buffer);
+    }
+    if (probe_dead) {
+      state.SkipWithError("probe connection died");
+      break;
+    }
+    buffer.erase(0, frame);
+    round_trip_us.push_back(
+        std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - begin)
+            .count());
+  }
+  ::close(probe);
+  for (const int fd : idle) {
+    ::close(fd);
+  }
+  server.Drain();
+
+  if (!round_trip_us.empty()) {
+    std::sort(round_trip_us.begin(), round_trip_us.end());
+    const auto percentile = [&](double p) {
+      const size_t index = static_cast<size_t>(p * static_cast<double>(round_trip_us.size() - 1));
+      return round_trip_us[index];
+    };
+    state.counters["p50_us"] = percentile(0.50);
+    state.counters["p99_us"] = percentile(0.99);
+  }
+  state.counters["idle_conns"] = static_cast<double>(idle.size());
+  state.counters["conns_served"] = static_cast<double>(server.connections_served());
+}
+BENCHMARK(BM_GatewayIdleKeepAlive)
+    ->Arg(0)
+    ->Arg(10'000)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_FormDecode(benchmark::State& state) {
   const std::string body = "html=" + UrlEncode(SubmittedPage()) + "&format=short&e=img-size";

@@ -4,13 +4,20 @@
 // honoured (skips == private pages).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <map>
 #include <memory>
+#include <string>
+#include <thread>
 
 #include "core/linter.h"
 #include "corpus/site_generator.h"
+#include "net/async_fetcher.h"
+#include "net/http_server.h"
+#include "net/socket_fetcher.h"
 #include "net/virtual_web.h"
 #include "robot/poacher.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -77,6 +84,118 @@ void BM_CrawlWithoutLinkValidation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CrawlWithoutLinkValidation)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// E16: mass-fetch — the poacher against a live socket origin where every
+// page costs a real 5 ms round trip. The blocking SocketFetcher path pays
+// the latency serially (one fetch at a time per crawl thread); the
+// AsyncFetcher path multiplexes up to `prefetch` retrievals on one reactor
+// thread, so crawl time collapses toward max(page latency, lint cost).
+// Acceptance: the async crawl sustains >= 128 in-flight fetches
+// (max_inflight counter) and >= 4x the blocking throughput at equal
+// threads (-j1 lint both sides).
+
+constexpr size_t kWidePages = 256;       // index + 255 leaves, all linked from the index.
+constexpr unsigned kOriginLatencyMs = 5;
+
+// A real-socket origin serving a wide site: every response is delayed by
+// kOriginLatencyMs of wall time on a worker thread, so the origin sustains
+// up to `threads` concurrent in-flight requests — the contended resource
+// this bench measures the fetchers against.
+struct WideOrigin {
+  std::map<std::string, std::string> pages;
+  std::unique_ptr<HttpServer> server;
+
+  WideOrigin() {
+    std::string index = "<HTML><HEAD><TITLE>index</TITLE></HEAD><BODY>";
+    for (size_t i = 1; i < kWidePages; ++i) {
+      const std::string name = StrFormat("/page%d.html", i);
+      pages[name] = StrFormat(
+          "<HTML><HEAD><TITLE>p%d</TITLE></HEAD><BODY><P>page %d</P></BODY></HTML>", i, i);
+      index += StrFormat("<A HREF=\"%s\">p%d</A> ", name.c_str(), i);
+    }
+    index += "</BODY></HTML>";
+    pages["/index.html"] = index;
+    server = std::make_unique<HttpServer>([this](const HttpRequest& request) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kOriginLatencyMs));
+      HttpResponse response;
+      const auto it = pages.find(request.target);
+      if (it == pages.end()) {
+        response.status = 404;
+        response.reason = "Not Found";
+        response.body = "no such page\n";
+        return response;
+      }
+      response.status = 200;
+      response.reason = "OK";
+      response.headers["content-type"] = "text/html";
+      response.body = it->second;
+      return response;
+    });
+    if (!server->Listen(0).ok()) {
+      server.reset();
+      return;
+    }
+    HttpServerOptions options;
+    options.event_driven = true;  // Accept/frame on the reactor...
+    options.threads = 160;        // ...sleep out the latency on workers.
+    options.max_queue = 1024;
+    if (!server->Start(options).ok()) {
+      server.reset();
+    }
+  }
+
+  std::string StartUrl() const {
+    return StrFormat("http://127.0.0.1:%d/index.html", server->port());
+  }
+};
+
+void BM_PoacherMassFetch(benchmark::State& state) {
+  static WideOrigin origin;  // One origin across both args and all iterations.
+  if (origin.server == nullptr) {
+    state.SkipWithError("origin failed to start");
+    return;
+  }
+  const size_t prefetch = static_cast<size_t>(state.range(0));
+  Weblint lint;
+  lint.config().jobs = 1;  // Equal lint threads in both modes.
+  PoacherOptions options;
+  options.validate_links = false;
+  options.crawl.prefetch = prefetch;
+  options.crawl.fetch_policy.retries = 0;
+
+  size_t fetched = 0;
+  size_t peak_inflight = 0;
+  for (auto _ : state) {
+    if (prefetch > 0) {
+      AsyncFetcher::Options async_options;
+      async_options.policy = options.crawl.fetch_policy;
+      async_options.max_inflight = prefetch;
+      AsyncFetcher fetcher(async_options);
+      Poacher poacher(lint, fetcher, options);
+      const PoacherReport report = poacher.Run(origin.StartUrl());
+      fetched = report.stats.pages_fetched;
+      peak_inflight = fetcher.max_inflight_seen();
+      benchmark::DoNotOptimize(report);
+    } else {
+      SocketFetcher fetcher(options.crawl.fetch_policy);
+      Poacher poacher(lint, fetcher, options);
+      const PoacherReport report = poacher.Run(origin.StartUrl());
+      fetched = report.stats.pages_fetched;
+      peak_inflight = 1;
+      benchmark::DoNotOptimize(report);
+    }
+  }
+  state.counters["pages_fetched"] = static_cast<double>(fetched);
+  state.counters["max_inflight"] = static_cast<double>(peak_inflight);
+  state.counters["pages_per_s"] = benchmark::Counter(
+      static_cast<double>(fetched * state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PoacherMassFetch)
+    ->Arg(0)
+    ->Arg(128)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

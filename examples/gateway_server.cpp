@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   std::string threads_text = "0";
   std::string max_queue_text = "64";
   std::string request_timeout_text = "10000";
+  bool event_driven = false;
   bool show_help = false;
   parser.AddOption("--port", "port to listen on (0 picks a free port)", &port_text);
   parser.AddOption("--requests",
@@ -56,6 +57,10 @@ int main(int argc, char** argv) {
                    &max_queue_text);
   parser.AddOption("--request-timeout",
                    "per-request read/write deadline in milliseconds", &request_timeout_text);
+  parser.AddFlag("--event-driven",
+                 "hold connections on an epoll reactor: idle keep-alive costs a watched fd, "
+                 "not a parked worker (c10k mode)",
+                 &event_driven);
   parser.AddFlag("--help", "show this help", &show_help);
   if (Status s = parser.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "gateway_server: %s\n", s.message().c_str());
@@ -114,6 +119,7 @@ int main(int argc, char** argv) {
   options.threads = threads;
   options.max_queue = max_queue;
   options.request_timeout_ms = request_timeout_ms;
+  options.event_driven = event_driven;
   if (Status s = server.Start(options); !s.ok()) {
     std::fprintf(stderr, "gateway_server: %s\n", s.message().c_str());
     return 1;
@@ -121,9 +127,9 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
   std::printf("weblint gateway listening on http://127.0.0.1:%u/ "
-              "(%u worker(s), queue %u, timeout %u ms; Ctrl-C drains)\n",
-              server.port(), options.threads == 0 ? ThreadPool::DefaultThreadCount()
-                                                  : options.threads,
+              "(%s%u worker(s), queue %u, timeout %u ms; Ctrl-C drains)\n",
+              server.port(), event_driven ? "event-driven reactor, " : "",
+              options.threads == 0 ? ThreadPool::DefaultThreadCount() : options.threads,
               static_cast<unsigned>(options.max_queue), options.request_timeout_ms);
   std::fflush(stdout);
   while (g_stop == 0) {

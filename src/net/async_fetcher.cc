@@ -1,0 +1,583 @@
+#include "net/async_fetcher.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <utility>
+
+#include "net/http_wire.h"
+#include "net/net_util.h"
+#include "net/robust_fetcher.h"
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+HttpResponse TransportFail(TransportError error, std::string reason) {
+  HttpResponse response;
+  response.status = 0;
+  response.transport = error;
+  response.reason = std::move(reason);
+  return response;
+}
+
+}  // namespace
+
+// One retrieval's full state: the RobustFetcher::FetchInner loop variables
+// (hop, attempt, deadlines) plus the wire state the blocking stack keeps on
+// its call stack (fd, buffers, which deadline is armed).
+struct AsyncFetcher::Job {
+  enum class State { kIdle, kBackoff, kConnecting, kSending, kReceiving };
+
+  Url url;
+  bool head = false;
+  std::function<void(FetchResult)> done;
+
+  FetchResult result;
+  Url current;                    // Where the present hop points.
+  std::uint32_t hop = 0;          // Redirect hops taken.
+  std::uint32_t attempt = 0;      // 0-based attempt within this hop.
+  std::uint64_t start_us = 0;     // Retrieval start (total deadline base).
+  std::uint64_t attempt_start_us = 0;
+
+  State state = State::kIdle;
+  int fd = -1;
+  std::uint64_t timer_id = 0;     // 0 = none armed.
+  std::string out;                // Serialized request bytes.
+  std::size_t out_sent = 0;
+  std::string in;                 // Reply bytes so far.
+  bool counted_wire = false;      // This attempt reached the wire.
+};
+
+AsyncFetcher::AsyncFetcher() : AsyncFetcher(Options{}) {}
+
+AsyncFetcher::AsyncFetcher(Options options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::System()),
+      reactor_(ReactorOptions{clock_, 1000, 256, options.force_poll_backend,
+                              options.metrics}) {
+  if (options_.max_inflight == 0) options_.max_inflight = 1;
+  if (options_.metrics != nullptr) {
+    MetricsRegistry* metrics = options_.metrics;
+    m_requests_ = metrics->GetCounter("weblint_fetch_requests_total");
+    m_attempts_ = metrics->GetCounter("weblint_fetch_attempts_total");
+    m_retries_ = metrics->GetCounter("weblint_fetch_retries_total");
+    m_redirects_ = metrics->GetCounter("weblint_fetch_redirects_total");
+    m_bytes_ = metrics->GetCounter("weblint_fetch_bytes_total");
+    for (size_t i = 0; i < kFetchOutcomeCount; ++i) {
+      m_outcomes_[i] = metrics->GetCounter("weblint_fetch_outcomes_total", "outcome",
+                                           FetchOutcomeName(static_cast<FetchOutcome>(i)));
+    }
+    m_latency_ = metrics->GetHistogram("weblint_fetch_micros");
+    m_inflight_gauge_ = metrics->GetGauge("weblint_async_fetch_inflight");
+  }
+  loop_thread_ = std::thread([this] { reactor_.Run(); });
+}
+
+AsyncFetcher::~AsyncFetcher() {
+  reactor_.Stop();
+  if (loop_thread_.joinable()) {
+    loop_thread_.join();
+  }
+  // The loop is gone: abandon whatever was still in flight. Callbacks are
+  // not invoked — destroying the fetcher with work outstanding is a caller
+  // bug everywhere except process teardown.
+  for (Job* job : active_) {
+    if (job->fd >= 0) ::close(job->fd);
+    delete job;
+  }
+  active_.clear();
+}
+
+void AsyncFetcher::FetchPageAsync(const Url& url, std::function<void(FetchResult)> done) {
+  Enqueue(url, /*head=*/false, std::move(done));
+}
+
+void AsyncFetcher::FetchHeadAsync(const Url& url, std::function<void(FetchResult)> done) {
+  Enqueue(url, /*head=*/true, std::move(done));
+}
+
+void AsyncFetcher::Enqueue(const Url& url, bool head,
+                           std::function<void(FetchResult)> done) {
+  auto job = std::make_unique<Job>();
+  job->url = url;
+  job->head = head;
+  job->done = std::move(done);
+  // Hand the job to the loop thread; all state from here on is loop-owned.
+  Job* raw = job.release();
+  reactor_.Post([this, raw] {
+    pending_.emplace_back(raw);
+    PumpQueue();
+  });
+}
+
+std::size_t AsyncFetcher::queued() const {
+  // Loop-owned deque; off-thread readers get a racy but harmless size.
+  return pending_.size();
+}
+
+FetchResult AsyncFetcher::FetchPage(const Url& url) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  FetchResult out;
+  FetchPageAsync(url, [&](FetchResult result) {
+    std::lock_guard<std::mutex> lock(mu);
+    out = std::move(result);
+    ready = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return ready; });
+  return out;
+}
+
+FetchResult AsyncFetcher::FetchHead(const Url& url) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  FetchResult out;
+  FetchHeadAsync(url, [&](FetchResult result) {
+    std::lock_guard<std::mutex> lock(mu);
+    out = std::move(result);
+    ready = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return ready; });
+  return out;
+}
+
+HttpResponse AsyncFetcher::Get(const Url& url) {
+  FetchResult result = FetchPage(url);
+  if (result.ok()) {
+    return std::move(result.response);
+  }
+  // Same degraded mapping as RobustFetcher::Get, so callers (the robot's
+  // robots.txt path, check_url) see identical shapes either way.
+  HttpResponse degraded;
+  degraded.status = 0;
+  degraded.reason = std::string(FetchOutcomeName(result.outcome));
+  degraded.transport = result.outcome == FetchOutcome::kRefused ? TransportError::kRefused
+                       : result.outcome == FetchOutcome::kTimeout ? TransportError::kTimeout
+                                                                  : TransportError::kReset;
+  return degraded;
+}
+
+HttpResponse AsyncFetcher::Head(const Url& url) {
+  FetchResult result = FetchHead(url);
+  if (result.ok()) {
+    return std::move(result.response);
+  }
+  HttpResponse degraded;
+  degraded.status = 0;
+  degraded.reason = std::string(FetchOutcomeName(result.outcome));
+  return degraded;
+}
+
+FetchStats AsyncFetcher::SnapshotStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void AsyncFetcher::PumpQueue() {
+  while (!pending_.empty() && active_.size() < options_.max_inflight) {
+    std::unique_ptr<Job> job = std::move(pending_.front());
+    pending_.pop_front();
+    StartJob(std::move(job));
+  }
+  inflight_.store(active_.size());
+  std::size_t seen = max_inflight_seen_.load();
+  while (active_.size() > seen &&
+         !max_inflight_seen_.compare_exchange_weak(seen, active_.size())) {
+  }
+  if (m_inflight_gauge_ != nullptr) {
+    m_inflight_gauge_->Set(static_cast<std::int64_t>(active_.size()));
+  }
+}
+
+void AsyncFetcher::StartJob(std::unique_ptr<Job> owned) {
+  Job* job = owned.release();
+  active_.insert(job);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+  }
+  if (m_requests_ != nullptr) m_requests_->Increment();
+  job->start_us = clock_->NowMicros();
+  job->current = job->url;
+  job->result.final_url = job->url;
+  TryAttempt(job);
+}
+
+// The FetchInner attempt loop, unrolled into continuations: deadline check,
+// backoff-before-retry, then the wire.
+void AsyncFetcher::TryAttempt(Job* job) {
+  const std::uint64_t total_us =
+      static_cast<std::uint64_t>(options_.policy.total_deadline_ms) * 1000;
+  if (clock_->NowMicros() - job->start_us > total_us) {
+    AttemptLoopDone(job, FetchOutcome::kTimeout, HttpResponse{});
+    return;
+  }
+  if (job->attempt > 0) {
+    job->state = Job::State::kBackoff;
+    const std::uint64_t delay =
+        RobustFetcher::BackoffMicros(options_.policy, job->current, job->attempt);
+    ArmJobTimer(job, clock_->NowMicros() + delay, &AsyncFetcher::OnBackoffTimer);
+    return;
+  }
+  BeginWire(job);
+}
+
+void AsyncFetcher::OnBackoffTimer(Job* job) {
+  job->timer_id = 0;
+  const std::uint64_t total_us =
+      static_cast<std::uint64_t>(options_.policy.total_deadline_ms) * 1000;
+  if (clock_->NowMicros() - job->start_us > total_us) {
+    // The backoff ate the total deadline: this retry never reached the
+    // wire, so it counts as neither an attempt nor a retry (the same
+    // identity RobustFetcher keeps).
+    AttemptLoopDone(job, FetchOutcome::kTimeout, HttpResponse{});
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.retries;
+  }
+  if (m_retries_ != nullptr) m_retries_->Increment();
+  BeginWire(job);
+}
+
+void AsyncFetcher::BeginWire(Job* job) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.attempts;
+  }
+  if (m_attempts_ != nullptr) m_attempts_->Increment();
+  ++job->result.attempts;
+  job->attempt_start_us = clock_->NowMicros();
+  job->in.clear();
+  job->out.clear();
+  job->out_sent = 0;
+
+  const Url& url = job->current;
+  if (!url.scheme.empty() && url.scheme != "http") {
+    OnAttemptResponse(job, TransportFail(TransportError::kRefused,
+                                         "AsyncFetcher only serves http URLs"));
+    return;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  const std::string host =
+      url.host == "localhost" || url.host.empty() ? "127.0.0.1" : url.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    OnAttemptResponse(job, TransportFail(TransportError::kRefused,
+                                         "unresolvable host " + url.host));
+    return;
+  }
+  std::uint32_t port = 80;
+  if (!url.port.empty()) {
+    ParseUint(url.port, &port);
+  }
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0 || !SetNonBlocking(fd, true)) {
+    if (fd >= 0) ::close(fd);
+    OnAttemptResponse(job, TransportFail(TransportError::kRefused, "connect failed"));
+    return;
+  }
+  job->fd = fd;
+
+  // Identical request bytes to SocketFetcher::RoundTrip — byte-identity of
+  // what goes on the wire is part of the swap-in contract.
+  HttpRequest request;
+  request.method = job->head ? "HEAD" : "GET";
+  request.target = url.path.empty() ? "/" : url.path;
+  if (!url.query.empty()) {
+    request.target += "?" + url.query;
+  }
+  request.version = "HTTP/1.0";
+  request.headers["host"] = url.Authority();
+  job->out = SerializeHttpRequest(request);
+
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0) {
+    OnConnectReady(job);
+    return;
+  }
+  if (errno != EINPROGRESS) {
+    CloseJobSocket(job);
+    OnAttemptResponse(job, TransportFail(TransportError::kRefused, "connect failed"));
+    return;
+  }
+  job->state = Job::State::kConnecting;
+  reactor_.Watch(fd, Reactor::kWritable,
+                 [this, job](std::uint32_t events) { OnSocketEvent(job, events); });
+  ArmJobTimer(job,
+              clock_->NowMicros() +
+                  static_cast<std::uint64_t>(options_.policy.connect_deadline_ms) * 1000,
+              &AsyncFetcher::OnConnectTimeout);
+}
+
+void AsyncFetcher::OnSocketEvent(Job* job, std::uint32_t events) {
+  switch (job->state) {
+    case Job::State::kConnecting:
+      OnConnectReady(job);
+      return;
+    case Job::State::kSending:
+      ContinueSend(job);
+      return;
+    case Job::State::kReceiving:
+      (void)events;  // Level-triggered: any wake means "try to read".
+      ContinueReceive(job);
+      return;
+    default:
+      return;
+  }
+}
+
+void AsyncFetcher::OnConnectReady(Job* job) {
+  CancelJobTimer(job);
+  int so_error = 0;
+  socklen_t len = sizeof(so_error);
+  if (::getsockopt(job->fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 || so_error != 0) {
+    CloseJobSocket(job);
+    OnAttemptResponse(job, TransportFail(TransportError::kRefused, "connect failed"));
+    return;
+  }
+  job->state = Job::State::kSending;
+  // The blocking fetcher's SO_SNDTIMEO: the whole send gets one read
+  // deadline of budget; expiry surfaces as a failed send (kReset).
+  ArmJobTimer(job,
+              clock_->NowMicros() +
+                  static_cast<std::uint64_t>(options_.policy.read_deadline_ms) * 1000,
+              &AsyncFetcher::OnSendTimeout);
+  if (job->fd >= 0) {
+    reactor_.Watch(job->fd, Reactor::kWritable,
+                   [this, job](std::uint32_t events) { OnSocketEvent(job, events); });
+  }
+  ContinueSend(job);
+}
+
+void AsyncFetcher::ContinueSend(Job* job) {
+  while (job->out_sent < job->out.size()) {
+    const long n = SendRetry(job->fd, job->out.data() + job->out_sent,
+                             job->out.size() - job->out_sent);
+    if (n > 0) {
+      job->out_sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;  // Stay watched for writability; the send timer is armed.
+    }
+    CancelJobTimer(job);
+    CloseJobSocket(job);
+    OnAttemptResponse(job, TransportFail(TransportError::kReset, "send failed"));
+    return;
+  }
+  // Request fully on the wire: switch to receiving with a fresh read
+  // deadline per arriving chunk (the SO_RCVTIMEO analog).
+  CancelJobTimer(job);
+  job->state = Job::State::kReceiving;
+  reactor_.SetEvents(job->fd, Reactor::kReadable);
+  ArmJobTimer(job,
+              clock_->NowMicros() +
+                  static_cast<std::uint64_t>(options_.policy.read_deadline_ms) * 1000,
+              &AsyncFetcher::OnReadTimeout);
+  ContinueReceive(job);
+}
+
+void AsyncFetcher::ContinueReceive(Job* job) {
+  const std::size_t cap =
+      options_.policy.max_header_bytes + options_.policy.max_response_bytes + 1;
+  char chunk[4096];
+  bool progressed = false;
+  while (!HttpMessageComplete(job->in) && job->in.size() < cap) {
+    const long n = ReadRetry(job->fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      job->in.append(chunk, static_cast<std::size_t>(n));
+      progressed = true;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (progressed) {
+        // Bytes arrived: the per-read deadline starts over, exactly like
+        // each blocking read() call getting a full SO_RCVTIMEO budget.
+        CancelJobTimer(job);
+        ArmJobTimer(job,
+                    clock_->NowMicros() +
+                        static_cast<std::uint64_t>(options_.policy.read_deadline_ms) * 1000,
+                    &AsyncFetcher::OnReadTimeout);
+      }
+      return;
+    }
+    FinishWire(job, /*timed_out=*/false, /*peer_closed=*/true);
+    return;
+  }
+  FinishWire(job, /*timed_out=*/false, /*peer_closed=*/false);
+}
+
+void AsyncFetcher::OnConnectTimeout(Job* job) {
+  job->timer_id = 0;
+  CloseJobSocket(job);
+  OnAttemptResponse(job, TransportFail(TransportError::kTimeout, "connect failed"));
+}
+
+void AsyncFetcher::OnSendTimeout(Job* job) {
+  job->timer_id = 0;
+  CloseJobSocket(job);
+  OnAttemptResponse(job, TransportFail(TransportError::kReset, "send failed"));
+}
+
+void AsyncFetcher::OnReadTimeout(Job* job) {
+  job->timer_id = 0;
+  FinishWire(job, /*timed_out=*/true, /*peer_closed=*/false);
+}
+
+// The tail of SocketFetcher::RoundTrip: map (buffer, timed_out, complete)
+// to a response or a TransportError, byte-compatibly.
+void AsyncFetcher::FinishWire(Job* job, bool timed_out, bool peer_closed) {
+  (void)peer_closed;
+  CancelJobTimer(job);
+  CloseJobSocket(job);
+  std::string& buffer = job->in;
+
+  if (buffer.empty()) {
+    OnAttemptResponse(job,
+                      TransportFail(timed_out ? TransportError::kTimeout : TransportError::kReset,
+                                    timed_out ? "read timed out" : "connection closed before reply"));
+    return;
+  }
+  if (timed_out && !HttpMessageComplete(buffer)) {
+    OnAttemptResponse(job, TransportFail(TransportError::kTimeout, "read timed out mid-reply"));
+    return;
+  }
+  auto parsed = ParseHttpResponse(buffer);
+  if (!parsed.ok()) {
+    OnAttemptResponse(job, TransportFail(TransportError::kMalformed, parsed.error()));
+    return;
+  }
+  HttpResponse response = std::move(parsed).value();
+  if (job->head) {
+    response.body.clear();
+  }
+  OnAttemptResponse(job, std::move(response));
+}
+
+void AsyncFetcher::OnAttemptResponse(Job* job, HttpResponse response) {
+  const FetchOutcome outcome = ClassifyFetchAttempt(
+      options_.policy, response, clock_->NowMicros() - job->attempt_start_us);
+  if (IsRetryableOutcome(outcome) && job->attempt < options_.policy.retries) {
+    ++job->attempt;
+    TryAttempt(job);
+    return;
+  }
+  AttemptLoopDone(job, outcome, std::move(response));
+}
+
+// The per-hop tail of RobustFetcher::FetchInner: classify the hop's final
+// outcome, follow a redirect, or finish.
+void AsyncFetcher::AttemptLoopDone(Job* job, FetchOutcome outcome, HttpResponse response) {
+  FetchResult& result = job->result;
+  if (outcome != FetchOutcome::kOk) {
+    result.outcome = outcome;
+    result.final_url = job->current;
+    result.detail = StrFormat("%s after %d attempt(s): %s", FetchOutcomeName(outcome),
+                              result.attempts, job->current.Serialize());
+    FinishJob(job);
+    return;
+  }
+
+  if (response.IsRedirect()) {
+    const std::string_view location = response.Header("location");
+    if (!location.empty()) {
+      if (job->hop >= options_.policy.max_redirects) {
+        result.outcome = FetchOutcome::kRedirectLoop;
+        result.final_url = job->current;
+        result.detail = StrFormat("redirect_loop after %d hop(s): %s", job->hop,
+                                  job->current.Serialize());
+        FinishJob(job);
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.redirects_followed;
+      }
+      if (m_redirects_ != nullptr) m_redirects_->Increment();
+      ++result.redirect_hops;
+      job->current = ResolveUrl(job->current, location);
+      ++job->hop;
+      job->attempt = 0;
+      TryAttempt(job);
+      return;
+    }
+    // A redirect without a Location is a complete (if useless) reply.
+  }
+
+  result.outcome = FetchOutcome::kOk;
+  result.final_url = job->current;
+  result.response = std::move(response);
+  FinishJob(job);
+}
+
+void AsyncFetcher::FinishJob(Job* job) {
+  CancelJobTimer(job);
+  CloseJobSocket(job);
+  // The single outcome-counting site, mirroring RobustFetcher::Fetch.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.by_outcome[static_cast<std::size_t>(job->result.outcome)];
+    if (job->result.ok()) {
+      stats_.bytes_fetched += job->result.response.body.size();
+    }
+  }
+  if (m_outcomes_[static_cast<std::size_t>(job->result.outcome)] != nullptr) {
+    m_outcomes_[static_cast<std::size_t>(job->result.outcome)]->Increment();
+    if (job->result.ok()) {
+      m_bytes_->Increment(job->result.response.body.size());
+    }
+    m_latency_->Record(clock_->NowMicros() - job->start_us);
+  }
+  std::function<void(FetchResult)> done = std::move(job->done);
+  FetchResult result = std::move(job->result);
+  active_.erase(job);
+  delete job;
+  // Pump before signalling completion so the inflight gauge already reflects
+  // this job's retirement when a blocked caller observes the result.
+  PumpQueue();
+  if (done) {
+    done(std::move(result));
+  }
+}
+
+void AsyncFetcher::ArmJobTimer(Job* job, std::uint64_t deadline_us,
+                               void (AsyncFetcher::*on_fire)(Job*)) {
+  CancelJobTimer(job);
+  job->timer_id = reactor_.AddTimer(deadline_us, [this, job, on_fire] {
+    (this->*on_fire)(job);
+  });
+}
+
+void AsyncFetcher::CancelJobTimer(Job* job) {
+  if (job->timer_id != 0) {
+    reactor_.CancelTimer(job->timer_id);
+    job->timer_id = 0;
+  }
+}
+
+void AsyncFetcher::CloseJobSocket(Job* job) {
+  if (job->fd >= 0) {
+    reactor_.Unwatch(job->fd);
+    ::close(job->fd);
+    job->fd = -1;
+  }
+}
+
+}  // namespace weblint

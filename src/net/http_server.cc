@@ -12,7 +12,11 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
+#include "net/net_util.h"
+#include "net/reactor.h"
 #include "util/strings.h"
 
 namespace weblint {
@@ -29,33 +33,6 @@ constexpr size_t kMaxRequestBytes = 2u << 20;
 // long the worker takes to notice.
 constexpr int kPollSliceMs = 10;
 
-// Writes all of `data` to `fd`, retrying on short writes. Uses send() with
-// MSG_NOSIGNAL so a client that hung up mid-response surfaces as EPIPE
-// instead of a process-killing SIGPIPE.
-bool WriteAll(int fd, std::string_view data) {
-  size_t written = 0;
-  while (written < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) {
-        continue;
-      }
-      return false;
-    }
-    written += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-void SetNonBlocking(int fd, bool non_blocking) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0) {
-    return;
-  }
-  ::fcntl(fd, F_SETFL, non_blocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
-}
-
 enum class WriteOutcome { kOk, kPeerError, kDeadline };
 
 // Writes all of `data` to a non-blocking `fd`, waiting for writability in
@@ -66,13 +43,9 @@ WriteOutcome WriteWithDeadline(int fd, std::string_view data, std::uint64_t dead
                                Clock* clock) {
   size_t written = 0;
   while (written < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
+    const long n = SendRetry(fd, data.data() + written, data.size() - written);
     if (n > 0) {
       written += static_cast<size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) {
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -80,7 +53,7 @@ WriteOutcome WriteWithDeadline(int fd, std::string_view data, std::uint64_t dead
         return WriteOutcome::kDeadline;
       }
       pollfd p{fd, POLLOUT, 0};
-      if (::poll(&p, 1, kPollSliceMs) < 0 && errno != EINTR) {
+      if (PollRetry(&p, 1, kPollSliceMs) < 0) {
         return WriteOutcome::kPeerError;
       }
       continue;
@@ -100,11 +73,11 @@ bool WantsKeepAlive(const HttpRequest& request) {
   return IContains(connection, "keep-alive");
 }
 
-// Fire-and-forget error response (408/413/shed paths): one send attempt,
-// no retry — the connection is being torn down either way.
+// Fire-and-forget error response (408/413/shed paths): nonblocking
+// best-effort send, dropped on EAGAIN — the connection is being torn down
+// either way, and a slow peer must not stall the sending thread.
 void SendBestEffort(int fd, const HttpResponse& response) {
-  const std::string bytes = SerializeHttpResponse(response, "HTTP/1.1");
-  (void)::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  (void)SendBestEffortNonBlocking(fd, SerializeHttpResponse(response, "HTTP/1.1"));
 }
 
 HttpResponse SimpleResponse(int status, std::string_view reason, std::string_view body) {
@@ -118,6 +91,395 @@ HttpResponse SimpleResponse(int status, std::string_view reason, std::string_vie
 }
 
 }  // namespace
+
+// The event-driven serving core: one reactor loop thread owns every
+// connection's state machine (read framing, keep-alive, deadlines, write
+// backpressure); the worker pool only ever runs Dispatch(). Connections are
+// addressed by a monotonically increasing id, never by fd — a pool
+// completion Post()ed after the connection died (and its fd number was
+// reused) must find nothing, not someone else's socket.
+//
+// Deadline parity with the thread mode: the per-request window covers
+// reading the request and writing the response, but expiry only kills a
+// connection that is *blocked on I/O* — a handler that runs past the
+// deadline still gets its response out if the socket buffer takes it, which
+// is exactly what WriteWithDeadline's check-on-EAGAIN does. So the timer is
+// armed while reading (idle keep-alive included), cancelled at dispatch,
+// and re-armed only if the response write hits EAGAIN.
+class ReactorServerCore {
+ public:
+  explicit ReactorServerCore(HttpServer* server)
+      : s_(server),
+        reactor_(ReactorOptions{server->serve_clock_, 1000, 256,
+                                /*force_poll_backend=*/false, server->metrics_}) {}
+
+  Status Start() {
+    listen_fd_ = s_->listen_fd_.load();
+    if (listen_fd_ < 0) {
+      return Fail("reactor core requires a listening socket");
+    }
+    reactor_.Watch(listen_fd_, Reactor::kReadable, [this](std::uint32_t) { OnAccept(); });
+    loop_ = std::thread([this] { LoopThread(); });
+    return Status::Ok();
+  }
+
+  // Stops accepting, releases idle connections, finishes in-flight
+  // request/response cycles, then joins the loop. Safe to call once the
+  // server's draining_ flag is up.
+  void Drain() {
+    drain_requested_.store(true);
+    if (loop_.joinable()) {
+      loop_.join();
+    }
+  }
+
+ private:
+  struct Conn {
+    std::uint64_t id = 0;
+    int fd = -1;
+    std::string in;           // Bytes read, not yet framed into a request.
+    std::string out;          // Serialized response being written.
+    size_t out_sent = 0;
+    std::uint32_t served = 0;
+    std::uint64_t deadline_us = 0;  // Current request window's end.
+    std::uint64_t timer_id = 0;     // 0 = no deadline armed.
+    bool busy = false;              // A request is in the pool.
+    bool peer_closed = false;       // Read side saw EOF.
+    bool close_after_write = false;
+  };
+
+  void LoopThread() {
+    for (;;) {
+      reactor_.PollOnce(kPollSliceMs);
+      if (!drain_requested_.load()) {
+        continue;
+      }
+      if (accepting_) {
+        accepting_ = false;
+        reactor_.Unwatch(listen_fd_);
+        // Idle keep-alive connections are released immediately; ones with a
+        // request in progress (partial bytes, pool work, pending write) run
+        // to completion or to their deadline.
+        std::vector<Conn*> idle;
+        for (auto& [id, conn] : conns_) {
+          if (!conn->busy && conn->out.empty() && conn->in.empty()) {
+            idle.push_back(conn.get());
+          }
+        }
+        for (Conn* conn : idle) {
+          CloseConn(conn);
+        }
+      }
+      if (conns_.empty()) {
+        return;
+      }
+    }
+  }
+
+  void OnAccept() {
+    for (;;) {
+      const int client = ::accept(listen_fd_, nullptr, nullptr);
+      if (client < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) {
+          continue;
+        }
+        return;  // EAGAIN (drained the backlog) or the listener is gone.
+      }
+      if (drain_requested_.load()) {
+        ::close(client);
+        continue;
+      }
+      if (s_->queued_.load() >= s_->options_.max_queue) {
+        // Same shed semantics as the accept thread: pool backlog full means
+        // refuse crisply. The 503 send is nonblocking, so a slow client
+        // cannot stall the loop.
+        s_->ShedConnection(client);
+        continue;
+      }
+      if (!SetNonBlocking(client, true)) {
+        ::close(client);
+        continue;
+      }
+      const std::uint64_t id = next_id_++;
+      auto conn = std::make_unique<Conn>();
+      conn->id = id;
+      conn->fd = client;
+      Conn* raw = conn.get();
+      conns_.emplace(id, std::move(conn));
+      s_->connections_.fetch_add(1);
+      if (s_->connections_counter_ != nullptr) {
+        s_->connections_counter_->Increment();
+      }
+      reactor_.Watch(client, Reactor::kReadable,
+                     [this, id](std::uint32_t events) { OnConnEvent(id, events); });
+      StartRequestWindow(raw);
+    }
+  }
+
+  void OnConnEvent(std::uint64_t id, std::uint32_t events) {
+    Conn* conn = FindConn(id);
+    if (conn == nullptr) {
+      return;
+    }
+    if ((events & Reactor::kWritable) != 0 && !conn->out.empty()) {
+      TryWrite(conn);
+      conn = FindConn(id);  // TryWrite may have closed it.
+      if (conn == nullptr) {
+        return;
+      }
+    }
+    if ((events & (Reactor::kReadable | Reactor::kError)) != 0) {
+      OnReadable(conn);
+    }
+  }
+
+  void OnReadable(Conn* conn) {
+    char chunk[4096];
+    while (conn->in.size() < kMaxRequestBytes) {
+      const long n = ReadRetry(conn->fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        conn->in.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      }
+      conn->peer_closed = true;
+      break;
+    }
+    const std::uint64_t id = conn->id;
+    TryDispatch(conn);
+    conn = FindConn(id);
+    if (conn != nullptr) {
+      MaybeCloseIdle(conn);
+    }
+  }
+
+  // Frames and dispatches at most one request; further pipelined bytes wait
+  // in conn->in until the response is written (responses must go out in
+  // request order, and the pool must not see two requests from one
+  // connection concurrently).
+  void TryDispatch(Conn* conn) {
+    if (conn->busy || !conn->out.empty()) {
+      return;
+    }
+    const size_t frame = HttpMessageLength(conn->in);
+    if (frame == std::string_view::npos) {
+      if (conn->in.size() >= kMaxRequestBytes) {
+        SendBestEffort(conn->fd, SimpleResponse(413, "Payload Too Large",
+                                                "request exceeds the gateway limit\n"));
+        CloseConn(conn);
+      }
+      return;
+    }
+
+    auto request = ParseHttpRequest(std::string_view(conn->in).substr(0, frame));
+    conn->in.erase(0, frame);
+    ++conn->served;
+    if (conn->served > 1 && s_->keepalive_counter_ != nullptr) {
+      s_->keepalive_counter_->Increment();
+    }
+    CancelDeadline(conn);  // Handler time is not billed against the window.
+
+    if (s_->wire_shaper_ != nullptr) {
+      // A shaped connection is one-shot and the shaper owns the wire,
+      // including stalls and the close — exactly the thread mode's
+      // contract. Hand the bare fd to a pool worker and forget the conn.
+      const int fd = conn->fd;
+      reactor_.Unwatch(fd);
+      conn->fd = -1;
+      conns_.erase(conn->id);
+      BumpQueued(1);
+      s_->pool_->Submit([this, fd, request] {
+        BumpQueued(-1);
+        BumpInFlight(1);
+        SetNonBlocking(fd, false);
+        s_->DeliverShaped(fd, request, SerializeHttpResponse(s_->Dispatch(request)));
+        BumpInFlight(-1);
+      });
+      return;
+    }
+
+    conn->busy = true;
+    const std::uint64_t id = conn->id;
+    const std::uint32_t served = conn->served;
+    BumpQueued(1);
+    s_->pool_->Submit([this, id, served, request] {
+      BumpQueued(-1);
+      BumpInFlight(1);
+      HttpResponse response = s_->Dispatch(request);
+      const bool keep = request.ok() && WantsKeepAlive(*request) &&
+                        served < s_->options_.max_requests_per_connection &&
+                        !s_->draining_.load();
+      response.headers["connection"] = keep ? "keep-alive" : "close";
+      std::string bytes = SerializeHttpResponse(response, "HTTP/1.1");
+      BumpInFlight(-1);
+      reactor_.Post([this, id, bytes = std::move(bytes), keep]() mutable {
+        OnHandlerDone(id, std::move(bytes), keep);
+      });
+    });
+  }
+
+  void OnHandlerDone(std::uint64_t id, std::string bytes, bool keep) {
+    Conn* conn = FindConn(id);
+    if (conn == nullptr) {
+      return;  // Connection died while the handler ran.
+    }
+    conn->busy = false;
+    conn->out = std::move(bytes);
+    conn->out_sent = 0;
+    conn->close_after_write = !keep;
+    TryWrite(conn);
+  }
+
+  void TryWrite(Conn* conn) {
+    while (conn->out_sent < conn->out.size()) {
+      const long n = SendRetry(conn->fd, conn->out.data() + conn->out_sent,
+                               conn->out.size() - conn->out_sent);
+      if (n > 0) {
+        conn->out_sent += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Blocked on the peer: this is where the request deadline bites
+        // (check-on-EAGAIN, same as WriteWithDeadline).
+        if (reactor_.NowMicros() >= conn->deadline_us) {
+          CountDeadlineKill();
+          CloseConn(conn);
+          return;
+        }
+        reactor_.SetEvents(conn->fd, Reactor::kReadable | Reactor::kWritable);
+        if (conn->timer_id == 0) {
+          ArmDeadline(conn);
+        }
+        return;
+      }
+      ++s_->write_failures_;
+      CloseConn(conn);
+      return;
+    }
+    // Response fully on the wire.
+    conn->out.clear();
+    conn->out_sent = 0;
+    CancelDeadline(conn);
+    reactor_.SetEvents(conn->fd, Reactor::kReadable);
+    if (conn->close_after_write) {
+      CloseConn(conn);
+      return;
+    }
+    StartRequestWindow(conn);
+    Conn* alive = FindConn(conn->id);
+    if (alive != nullptr) {
+      MaybeCloseIdle(alive);
+    }
+  }
+
+  // Opens a fresh per-request window: deadline armed, and any already
+  // buffered pipelined request dispatched immediately.
+  void StartRequestWindow(Conn* conn) {
+    conn->deadline_us =
+        reactor_.NowMicros() +
+        static_cast<std::uint64_t>(s_->options_.request_timeout_ms) * 1000;
+    ArmDeadline(conn);
+    TryDispatch(conn);
+  }
+
+  void OnDeadline(std::uint64_t id) {
+    Conn* conn = FindConn(id);
+    if (conn == nullptr) {
+      return;
+    }
+    conn->timer_id = 0;
+    if (conn->busy) {
+      // The handler is still running: not an I/O stall. If its write later
+      // blocks, TryWrite's deadline check performs the kill.
+      return;
+    }
+    CountDeadlineKill();
+    if (conn->out.empty() && !conn->in.empty()) {
+      // A half-sent request: tell the client why, best effort.
+      SendBestEffort(conn->fd, SimpleResponse(408, "Request Timeout",
+                                              "request deadline exceeded\n"));
+    }
+    CloseConn(conn);
+  }
+
+  // A peer that sent EOF and has nothing dispatched, pending, or buffered
+  // is done — that is how keep-alive connections end.
+  void MaybeCloseIdle(Conn* conn) {
+    if (conn->peer_closed && !conn->busy && conn->out.empty() &&
+        HttpMessageLength(conn->in) == std::string_view::npos) {
+      CloseConn(conn);
+    }
+  }
+
+  Conn* FindConn(std::uint64_t id) {
+    const auto it = conns_.find(id);
+    return it == conns_.end() ? nullptr : it->second.get();
+  }
+
+  void ArmDeadline(Conn* conn) {
+    CancelDeadline(conn);
+    const std::uint64_t id = conn->id;
+    conn->timer_id = reactor_.AddTimer(conn->deadline_us, [this, id] { OnDeadline(id); });
+  }
+
+  void CancelDeadline(Conn* conn) {
+    if (conn->timer_id != 0) {
+      reactor_.CancelTimer(conn->timer_id);
+      conn->timer_id = 0;
+    }
+  }
+
+  void CloseConn(Conn* conn) {
+    CancelDeadline(conn);
+    if (conn->fd >= 0) {
+      reactor_.Unwatch(conn->fd);
+      ::close(conn->fd);
+    }
+    conns_.erase(conn->id);
+  }
+
+  void CountDeadlineKill() {
+    s_->deadline_kills_.fetch_add(1);
+    if (s_->deadline_kills_counter_ != nullptr) {
+      s_->deadline_kills_counter_->Increment();
+    }
+  }
+
+  void BumpQueued(int delta) {
+    if (delta > 0) {
+      s_->queued_.fetch_add(static_cast<size_t>(delta));
+    } else {
+      s_->queued_.fetch_sub(static_cast<size_t>(-delta));
+    }
+    if (s_->queue_gauge_ != nullptr) {
+      s_->queue_gauge_->Add(delta);
+    }
+  }
+
+  void BumpInFlight(int delta) {
+    if (delta > 0) {
+      s_->in_flight_.fetch_add(static_cast<size_t>(delta));
+    } else {
+      s_->in_flight_.fetch_sub(static_cast<size_t>(-delta));
+    }
+    if (s_->inflight_gauge_ != nullptr) {
+      s_->inflight_gauge_->Add(delta);
+    }
+  }
+
+  HttpServer* s_;
+  Reactor reactor_;
+  std::thread loop_;
+  int listen_fd_ = -1;
+  bool accepting_ = true;
+  std::atomic<bool> drain_requested_{false};
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_id_ = 1;
+};
+
+HttpServer::HttpServer(Handler handler) : handler_(std::move(handler)) {}
 
 HttpServer::~HttpServer() { Drain(); }
 
@@ -255,10 +617,7 @@ Status HttpServer::ServeOne() {
   std::string buffer;
   char chunk[4096];
   while (!HttpMessageComplete(buffer) && buffer.size() < kMaxRequestBytes) {
-    const ssize_t n = ::read(client, chunk, sizeof(chunk));
-    if (n < 0 && errno == EINTR) {
-      continue;
-    }
+    const long n = ReadRetry(client, chunk, sizeof(chunk));
     if (n <= 0) {
       break;  // Peer closed (or error): parse what we have.
     }
@@ -313,6 +672,16 @@ Status HttpServer::Start(const HttpServerOptions& options) {
   // lost a wakeup race.
   SetNonBlocking(fd, true);
   pool_ = std::make_unique<ThreadPool>(options_.threads);
+  if (options_.event_driven) {
+    reactor_core_ = std::make_unique<ReactorServerCore>(this);
+    if (Status s = reactor_core_->Start(); !s.ok()) {
+      reactor_core_.reset();
+      pool_.reset();
+      return s;
+    }
+    started_.store(true);
+    return Status::Ok();
+  }
   started_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
@@ -325,12 +694,12 @@ void HttpServer::AcceptLoop() {
       return;
     }
     pollfd p{fd, POLLIN, 0};
-    const int pr = ::poll(&p, 1, kPollSliceMs);
-    if (pr < 0 && errno != EINTR) {
+    const int pr = PollRetry(&p, 1, kPollSliceMs);
+    if (pr < 0) {
       return;
     }
-    if (pr <= 0) {
-      continue;  // Timeout or EINTR: re-check the drain flag and listener.
+    if (pr == 0) {
+      continue;  // Slice elapsed: re-check the drain flag and listener.
     }
     const int client = ::accept(fd, nullptr, nullptr);
     if (client < 0) {
@@ -385,7 +754,10 @@ void HttpServer::ShedConnection(int client) {
   HttpResponse response =
       SimpleResponse(503, "Service Unavailable", "gateway overloaded; retry shortly\n");
   response.headers["retry-after"] = "1";
-  if (!WriteAll(client, SerializeHttpResponse(response, "HTTP/1.1"))) {
+  // Nonblocking, drop on EAGAIN: the 503 is a courtesy. A client too slow
+  // to take a few hundred bytes must not stall the accept loop — under
+  // overload the shed path has to be the one path guaranteed not to block.
+  if (!SendBestEffortNonBlocking(client, SerializeHttpResponse(response, "HTTP/1.1"))) {
     ++write_failures_;
   }
   ::close(client);
@@ -416,7 +788,7 @@ void HttpServer::HandleConnection(int client) {
       if (buffer.empty() && draining_.load()) {
         // Draining and no request in progress. Serve a request whose bytes
         // already arrived; release a genuinely idle connection.
-        const ssize_t n = ::recv(client, chunk, sizeof(chunk), 0);
+        const long n = ReadRetry(client, chunk, sizeof(chunk));
         if (n <= 0) {
           ::close(client);
           return;
@@ -430,21 +802,21 @@ void HttpServer::HandleConnection(int client) {
         break;
       }
       pollfd p{client, POLLIN, 0};
-      const int pr = ::poll(&p, 1, kPollSliceMs);
-      if (pr < 0 && errno != EINTR) {
+      const int pr = PollRetry(&p, 1, kPollSliceMs);
+      if (pr < 0) {
         peer_closed = true;
         break;
       }
-      if (pr <= 0) {
+      if (pr == 0) {
         continue;  // Slice elapsed: re-check deadline and drain flag.
       }
-      const ssize_t n = ::recv(client, chunk, sizeof(chunk), 0);
+      const long n = ReadRetry(client, chunk, sizeof(chunk));
       if (n > 0) {
         buffer.append(chunk, static_cast<size_t>(n));
         frame = HttpMessageLength(buffer);
       } else if (n == 0) {
         peer_closed = true;
-      } else if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+      } else if (errno != EAGAIN && errno != EWOULDBLOCK) {
         peer_closed = true;
       }
     }
@@ -509,6 +881,15 @@ void HttpServer::HandleConnection(int client) {
 
 void HttpServer::Drain() {
   draining_.store(true);
+  if (reactor_core_ != nullptr) {
+    // Reactor mode: the loop thread must unwatch the listener itself (a
+    // poll-backend loop would otherwise spin on a closed fd), so the
+    // listener closes after the loop exits, not before.
+    reactor_core_->Drain();
+    pool_->Wait();
+    Close();
+    return;
+  }
   Close();  // Wakes the accept loop (and any legacy Serve parked in accept).
   if (started_.load()) {
     if (accept_thread_.joinable()) {

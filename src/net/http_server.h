@@ -58,7 +58,16 @@ struct HttpServerOptions {
   // Deadline time source; null = the system clock. Tests inject a FakeClock
   // so deadline expiry is driven by Advance(), not wall time.
   Clock* clock = nullptr;
+  // Event-driven serving (Start only): connections are held by a reactor —
+  // epoll (poll fallback) plus a timer wheel — on one loop thread, and only
+  // complete requests are dispatched to the worker pool. An idle keep-alive
+  // connection then costs one watched fd instead of one parked worker, so
+  // the gateway holds c10k-scale connection counts with a handful of
+  // threads. false = the thread-per-connection mode above.
+  bool event_driven = false;
 };
+
+class ReactorServerCore;
 
 class HttpServer {
  public:
@@ -77,7 +86,9 @@ class HttpServer {
   // Installed only by fault-injection harnesses; never in production.
   using WireShaper = std::function<WirePlan(const HttpRequest&, std::string serialized)>;
 
-  explicit HttpServer(Handler handler) : handler_(std::move(handler)) {}
+  // Out of line: reactor_core_'s unique_ptr needs the complete
+  // ReactorServerCore at destructor-instantiation time (http_server.cc).
+  explicit HttpServer(Handler handler);
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -157,6 +168,10 @@ class HttpServer {
   void Close();
 
  private:
+  // The reactor-mode connection state machine lives in its own class (same
+  // translation unit) and drives the shared dispatch path and counters.
+  friend class ReactorServerCore;
+
   // The shared dispatch path: 400 for an unparseable request, the /metrics
   // scrape, or the handler (counted into the request series).
   HttpResponse Dispatch(const Result<HttpRequest>& request);
@@ -192,6 +207,7 @@ class HttpServer {
   Clock* serve_clock_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;
+  std::unique_ptr<ReactorServerCore> reactor_core_;  // event_driven mode only.
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};
   std::atomic<size_t> queued_{0};

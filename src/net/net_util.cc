@@ -1,0 +1,60 @@
+#include "net/net_util.h"
+
+#include <cerrno>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace weblint {
+
+bool SetNonBlocking(int fd, bool non_blocking) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int wanted = non_blocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted == flags) return true;
+  return fcntl(fd, F_SETFL, wanted) == 0;
+}
+
+int PollRetry(pollfd* fds, nfds_t count, int timeout_ms) {
+  for (;;) {
+    const int rc = ::poll(fds, count, timeout_ms);
+    if (rc >= 0 || errno != EINTR) return rc;
+  }
+}
+
+long ReadRetry(int fd, void* buf, size_t count) {
+  for (;;) {
+    const long rc = ::read(fd, buf, count);
+    if (rc >= 0 || errno != EINTR) return rc;
+  }
+}
+
+long SendRetry(int fd, const void* buf, size_t count, int flags) {
+  for (;;) {
+    const long rc = ::send(fd, buf, count, flags | MSG_NOSIGNAL);
+    if (rc >= 0 || errno != EINTR) return rc;
+  }
+}
+
+bool WriteAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const long rc = SendRetry(fd, data.data() + sent, data.size() - sent);
+    if (rc <= 0) return false;
+    sent += static_cast<size_t>(rc);
+  }
+  return true;
+}
+
+bool SendBestEffortNonBlocking(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const long rc =
+        SendRetry(fd, data.data() + sent, data.size() - sent, MSG_DONTWAIT);
+    if (rc <= 0) return false;  // EAGAIN or error: drop the rest.
+    sent += static_cast<size_t>(rc);
+  }
+  return true;
+}
+
+}  // namespace weblint

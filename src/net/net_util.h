@@ -1,0 +1,50 @@
+// Shared syscall wrappers for the net layer.
+//
+// Every socket path in src/net needs the same three disciplines: fcntl
+// results checked (a silently-still-blocking fd turns the reactor into a
+// stalled thread), EINTR retried (a profiling signal must not surface as a
+// transport error), and sends flagged MSG_NOSIGNAL (a peer hangup is an
+// EPIPE return, never a process-killing SIGPIPE). Centralising them here
+// keeps http_server.cc, socket_fetcher.cc, and the reactor from each
+// re-deriving the idioms slightly differently.
+#ifndef WEBLINT_NET_NET_UTIL_H_
+#define WEBLINT_NET_NET_UTIL_H_
+
+#include <poll.h>
+
+#include <cstddef>
+#include <string_view>
+
+namespace weblint {
+
+// Sets or clears O_NONBLOCK. Returns false if either fcntl fails (fd closed
+// under us, bad fd) — callers must treat that as a dead connection instead
+// of proceeding with an fd in an unknown blocking mode.
+bool SetNonBlocking(int fd, bool non_blocking);
+
+// poll() retried on EINTR. The timeout is not recomputed across retries:
+// every caller in this codebase polls in short deadline-checked slices, so
+// an interrupted slice erring long by a few ms is harmless.
+int PollRetry(pollfd* fds, nfds_t count, int timeout_ms);
+
+// read() retried on EINTR. All other outcomes (including EAGAIN) pass
+// through for the caller to classify.
+long ReadRetry(int fd, void* buf, size_t count);
+
+// send(MSG_NOSIGNAL | flags) retried on EINTR.
+long SendRetry(int fd, const void* buf, size_t count, int flags = 0);
+
+// Writes all of `data` with SendRetry, looping over short writes. The fd
+// must be in blocking mode (a nonblocking fd can legitimately return EAGAIN
+// mid-buffer, which this reports as failure). Returns false on any error.
+bool WriteAll(int fd, std::string_view data);
+
+// One nonblocking best-effort send attempt (MSG_DONTWAIT): returns true if
+// every byte was accepted by the socket buffer. Used for fire-and-forget
+// error responses (shed 503s, 408/413 on teardown) where a slow peer must
+// cost nothing — on EAGAIN the bytes are simply dropped.
+bool SendBestEffortNonBlocking(int fd, std::string_view data);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_NET_NET_UTIL_H_

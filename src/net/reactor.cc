@@ -1,0 +1,268 @@
+#include "net/reactor.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include "net/net_util.h"
+
+namespace weblint {
+
+namespace {
+
+// The real-time slice bound, matching the blocking paths' kPollSliceMs: the
+// loop never parks longer than this, so a FakeClock Advance() (or a Stop()
+// that lost the wake race) is noticed within one slice.
+constexpr int kSliceMs = 10;
+
+#ifdef __linux__
+std::uint32_t ToEpollMask(std::uint32_t events) {
+  std::uint32_t mask = 0;
+  if (events & Reactor::kReadable) mask |= EPOLLIN;
+  if (events & Reactor::kWritable) mask |= EPOLLOUT;
+  return mask;
+}
+#endif
+
+}  // namespace
+
+Reactor::Reactor(ReactorOptions options)
+    : clock_(options.clock != nullptr ? options.clock : Clock::System()),
+      wheel_(options.tick_micros, options.timer_slots) {
+#ifdef __linux__
+  if (!options.force_poll_backend) {
+    epoll_fd_ = ::epoll_create1(0);
+  }
+#endif
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) == 0) {
+    wake_read_fd_ = pipe_fds[0];
+    wake_write_fd_ = pipe_fds[1];
+    SetNonBlocking(wake_read_fd_, true);
+    SetNonBlocking(wake_write_fd_, true);
+    Watch(wake_read_fd_, kReadable, [this](std::uint32_t) { DrainWakePipe(); });
+  }
+  if (options.metrics != nullptr) {
+    loop_micros_ = options.metrics->GetHistogram("weblint_reactor_loop_micros");
+    fds_gauge_ = options.metrics->GetGauge("weblint_reactor_fds");
+    timers_gauge_ = options.metrics->GetGauge("weblint_reactor_timers");
+  }
+}
+
+Reactor::~Reactor() {
+#ifdef __linux__
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+#endif
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+bool Reactor::BackendAdd(int fd, std::uint32_t events) {
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = ToEpollMask(events);
+    ev.data.fd = fd;
+    return ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+  }
+#endif
+  (void)events;
+  return true;  // The poll backend builds its fd set per iteration.
+}
+
+bool Reactor::BackendMod(int fd, std::uint32_t events) {
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = ToEpollMask(events);
+    ev.data.fd = fd;
+    return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+  }
+#endif
+  (void)fd;
+  (void)events;
+  return true;
+}
+
+void Reactor::BackendDel(int fd) {
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+  (void)fd;
+}
+
+bool Reactor::Watch(int fd, std::uint32_t events, IoHandler handler) {
+  if (fd < 0) return false;
+  const auto it = watches_.find(fd);
+  if (it != watches_.end()) {
+    it->second.events = events;
+    it->second.handler = std::move(handler);
+    return BackendMod(fd, events);
+  }
+  if (!BackendAdd(fd, events)) return false;
+  watches_.emplace(fd, WatchEntry{events, std::move(handler)});
+  return true;
+}
+
+bool Reactor::SetEvents(int fd, std::uint32_t events) {
+  const auto it = watches_.find(fd);
+  if (it == watches_.end()) return false;
+  if (it->second.events == events) return true;
+  it->second.events = events;
+  return BackendMod(fd, events);
+}
+
+void Reactor::Unwatch(int fd) {
+  if (watches_.erase(fd) > 0) {
+    BackendDel(fd);
+  }
+}
+
+std::uint64_t Reactor::AddTimer(std::uint64_t deadline_micros,
+                                std::function<void()> callback) {
+  return wheel_.Add(deadline_micros, std::move(callback));
+}
+
+bool Reactor::CancelTimer(std::uint64_t id) { return wheel_.Cancel(id); }
+
+void Reactor::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(task));
+  }
+  if (wake_write_fd_ >= 0) {
+    const char byte = 0;
+    (void)::write(wake_write_fd_, &byte, 1);  // EAGAIN = already signalled.
+  }
+}
+
+void Reactor::Stop() {
+  stop_.store(true);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 0;
+    (void)::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void Reactor::DrainWakePipe() {
+  char buf[256];
+  while (ReadRetry(wake_read_fd_, buf, sizeof(buf)) > 0) {
+  }
+}
+
+std::size_t Reactor::RunPostedTasks() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& task : batch) {
+    task();
+  }
+  return batch.size();
+}
+
+std::size_t Reactor::WaitAndDispatch(int wait_ms) {
+  std::size_t ran = 0;
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    epoll_event events[128];
+    int n = ::epoll_wait(epoll_fd_, events, 128, wait_ms);
+    if (n < 0 && errno == EINTR) n = 0;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      std::uint32_t mask = 0;
+      if (events[i].events & EPOLLIN) mask |= kReadable;
+      if (events[i].events & EPOLLOUT) mask |= kWritable;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) mask |= kError | kReadable;
+      // Look the watch up per event: an earlier handler in this batch may
+      // have Unwatched (and even closed) this fd.
+      const auto it = watches_.find(fd);
+      if (it == watches_.end() || !it->second.handler) continue;
+      it->second.handler(mask);
+      ++ran;
+    }
+    return ran;
+  }
+#endif
+  poll_scratch_.clear();
+  for (const auto& [fd, watch] : watches_) {
+    short interest = 0;
+    if (watch.events & kReadable) interest |= POLLIN;
+    if (watch.events & kWritable) interest |= POLLOUT;
+    poll_scratch_.push_back(pollfd{fd, interest, 0});
+  }
+  const int n = PollRetry(poll_scratch_.data(),
+                          static_cast<nfds_t>(poll_scratch_.size()), wait_ms);
+  if (n <= 0) return 0;
+  for (const pollfd& p : poll_scratch_) {
+    if (p.revents == 0) continue;
+    std::uint32_t mask = 0;
+    if (p.revents & POLLIN) mask |= kReadable;
+    if (p.revents & POLLOUT) mask |= kWritable;
+    if (p.revents & (POLLERR | POLLHUP | POLLNVAL)) mask |= kError | kReadable;
+    const auto it = watches_.find(p.fd);
+    if (it == watches_.end() || !it->second.handler) continue;
+    it->second.handler(mask);
+    ++ran;
+  }
+  return ran;
+}
+
+std::size_t Reactor::PollOnce(int max_wait_ms) {
+  const std::uint64_t work_start = Clock::System()->NowMicros();
+  std::size_t ran = RunPostedTasks();
+  ran += wheel_.Advance(clock_->NowMicros());
+
+  // Bound the park: never past one slice (FakeClock advances and lost
+  // wakeups are only visible by re-checking), never past the next armed
+  // deadline (real-clock timers fire promptly), and not at all if work is
+  // already queued.
+  int wait_ms = std::min(max_wait_ms, kSliceMs);
+  const std::uint64_t next_deadline = wheel_.NextDeadlineMicros();
+  if (next_deadline != UINT64_MAX) {
+    const std::uint64_t now = clock_->NowMicros();
+    const std::uint64_t until_ms =
+        next_deadline <= now ? 0 : (next_deadline - now + 999) / 1000;
+    wait_ms = static_cast<int>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(wait_ms), until_ms));
+  }
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    if (!posted_.empty()) wait_ms = 0;
+  }
+  if (stop_.load()) wait_ms = 0;
+
+  ran += WaitAndDispatch(wait_ms);
+
+  if (loop_micros_ != nullptr && ran > 0) {
+    // Time spent doing work this iteration (parked wait excluded would need
+    // two extra clock reads; the wait is bounded by one slice, so the
+    // histogram's tail reflects handler cost, which is the signal).
+    loop_micros_->Record(Clock::System()->NowMicros() - work_start);
+  }
+  if (fds_gauge_ != nullptr) {
+    fds_gauge_->Set(static_cast<std::int64_t>(watches_.size()));
+  }
+  if (timers_gauge_ != nullptr) {
+    timers_gauge_->Set(static_cast<std::int64_t>(wheel_.size()));
+  }
+  return ran;
+}
+
+void Reactor::Run() {
+  while (!stop_.load()) {
+    PollOnce(kSliceMs);
+  }
+}
+
+}  // namespace weblint

@@ -1,0 +1,157 @@
+// The event-driven I/O core: one thread multiplexing many nonblocking
+// sockets through epoll (poll fallback), with deadlines kept in a hashed
+// timer wheel (timer_wheel.h) driven by the injected Clock.
+//
+// This is the refactor the ROADMAP calls "the one that unlocks every scale
+// item": thread-per-connection pins a pool worker per idle keep-alive
+// connection and per in-flight fetch, so both the gateway's connection
+// count and the poacher's fetch concurrency scale with thread count. A
+// reactor holds thousands of connection state machines on one thread;
+// workers are only spent on actual lint work.
+//
+// Ownership/threading model (deliberately strict, so no per-connection
+// locks exist anywhere):
+//  * Exactly one thread runs Run()/PollOnce() — the loop thread.
+//  * Watch/SetEvents/Unwatch/AddTimer/CancelTimer are loop-thread-only
+//    (callable before the loop starts, while it is single-threaded).
+//  * Post() is the one cross-thread door: it enqueues a task and wakes the
+//    loop via the self-pipe. Pool workers hand results back this way.
+//  * Stop() is thread-safe (it Posts the stop).
+//
+// Determinism story: the wheel fires timers in (deadline, insertion id)
+// order, and the loop re-checks the injected Clock every poll slice — the
+// same kPollSliceMs idiom the blocking paths use — so FakeClock tests
+// observe expiries within one real slice of Advance(), in an order that is
+// a pure function of the armed deadlines.
+#ifndef WEBLINT_NET_REACTOR_H_
+#define WEBLINT_NET_REACTOR_H_
+
+#include <poll.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/timer_wheel.h"
+#include "telemetry/metrics.h"
+#include "util/clock.h"
+
+namespace weblint {
+
+struct ReactorOptions {
+  // Deadline time source; null = the system clock. FakeClock tests drive
+  // timer expiry with Advance(), never wall time.
+  Clock* clock = nullptr;
+  // Timer wheel granularity and rotation size. One-millisecond ticks match
+  // the millisecond deadlines in HttpServerOptions/FetchPolicy.
+  std::uint64_t tick_micros = 1000;
+  std::size_t timer_slots = 256;
+  // Use the portable poll() backend even where epoll is available — lets
+  // tests exercise the fallback on the same machine.
+  bool force_poll_backend = false;
+  // Optional registry: publishes weblint_reactor_loop_micros (time spent
+  // per loop iteration doing work, system-clock measured),
+  // weblint_reactor_fds and weblint_reactor_timers gauges.
+  MetricsRegistry* metrics = nullptr;
+};
+
+class Reactor {
+ public:
+  // Event mask bits, both for Watch() interest and handler delivery.
+  // kError is always delivered regardless of interest (HUP/ERR).
+  static constexpr std::uint32_t kReadable = 1u;
+  static constexpr std::uint32_t kWritable = 2u;
+  static constexpr std::uint32_t kError = 4u;
+
+  // Handlers receive the ready mask. Level-triggered: a handler that does
+  // not drain the socket is called again next iteration. Handlers may call
+  // any loop-thread-only method, including Unwatch on their own fd.
+  using IoHandler = std::function<void(std::uint32_t events)>;
+
+  explicit Reactor(ReactorOptions options = {});
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // Registers `fd` (must already be nonblocking) for `events`. Replaces any
+  // existing registration. Returns false if the backend rejects the fd.
+  bool Watch(int fd, std::uint32_t events, IoHandler handler);
+
+  // Changes the interest mask of a watched fd, keeping its handler.
+  bool SetEvents(int fd, std::uint32_t events);
+
+  // Removes the registration. The fd is not closed. Safe on unwatched fds.
+  void Unwatch(int fd);
+
+  // Arms a timer at an absolute Clock deadline (microseconds). Returns the
+  // wheel id for CancelTimer. Fires at the first loop iteration where
+  // clock->NowMicros() >= deadline.
+  std::uint64_t AddTimer(std::uint64_t deadline_micros, std::function<void()> callback);
+  bool CancelTimer(std::uint64_t id);
+
+  // Cross-thread: enqueues `task` to run on the loop thread and wakes the
+  // loop. The only Reactor method callable off the loop thread (plus Stop).
+  void Post(std::function<void()> task);
+
+  // Runs the loop until Stop(). Alternates posted tasks, due timers, and
+  // ready fds, sleeping at most one slice between checks.
+  void Run();
+
+  // One loop iteration, waiting at most `max_wait_ms` for events; returns
+  // the number of tasks + timers + io handlers run. Exposed for tests and
+  // for callers that interleave their own per-slice work with the loop.
+  std::size_t PollOnce(int max_wait_ms);
+
+  // Thread-safe; the loop exits after finishing its current iteration.
+  void Stop();
+  bool stopped() const { return stop_.load(); }
+
+  Clock* clock() const { return clock_; }
+  std::uint64_t NowMicros() const { return clock_->NowMicros(); }
+
+  // Loop-thread snapshots.
+  std::size_t watched_fds() const { return watches_.size(); }
+  std::size_t armed_timers() const { return wheel_.size(); }
+  bool using_epoll() const { return epoll_fd_ >= 0; }
+
+ private:
+  // Not named Watch: the method of that name would shadow the type.
+  struct WatchEntry {
+    std::uint32_t events = 0;
+    IoHandler handler;
+  };
+
+  bool BackendAdd(int fd, std::uint32_t events);
+  bool BackendMod(int fd, std::uint32_t events);
+  void BackendDel(int fd);
+  // Waits for events, then runs handlers. Returns handlers run.
+  std::size_t WaitAndDispatch(int wait_ms);
+  std::size_t RunPostedTasks();
+  void DrainWakePipe();
+
+  Clock* clock_;
+  TimerWheel wheel_;
+  std::unordered_map<int, WatchEntry> watches_;
+  int epoll_fd_ = -1;  // -1 = poll backend.
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::atomic<bool> stop_{false};
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+
+  // Scratch for the poll backend, reused across iterations.
+  std::vector<::pollfd> poll_scratch_;
+
+  Histogram* loop_micros_ = nullptr;
+  Gauge* fds_gauge_ = nullptr;
+  Gauge* timers_gauge_ = nullptr;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_NET_REACTOR_H_

@@ -19,15 +19,40 @@ std::uint64_t Mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-bool IsRetryable(FetchOutcome outcome) {
-  // Transient transport failures are worth another attempt; malformed
-  // replies, oversized bodies and redirect loops are server facts that a
-  // retry will not change.
+}  // namespace
+
+bool IsRetryableOutcome(FetchOutcome outcome) {
   return outcome == FetchOutcome::kTimeout || outcome == FetchOutcome::kRefused ||
          outcome == FetchOutcome::kTruncated;
 }
 
-}  // namespace
+FetchOutcome ClassifyFetchAttempt(const FetchPolicy& policy, const HttpResponse& response,
+                                  std::uint64_t attempt_elapsed_us) {
+  switch (response.transport) {
+    case TransportError::kRefused:
+      return FetchOutcome::kRefused;
+    case TransportError::kTimeout:
+      return FetchOutcome::kTimeout;
+    case TransportError::kReset:
+      return FetchOutcome::kTruncated;
+    case TransportError::kMalformed:
+      return FetchOutcome::kMalformed;
+    case TransportError::kNone:
+      break;
+  }
+  // A server that answered, but slower than the read deadline (observable
+  // with simulated latency), is a timeout as far as the policy is concerned.
+  if (attempt_elapsed_us > static_cast<std::uint64_t>(policy.read_deadline_ms) * 1000) {
+    return FetchOutcome::kTimeout;
+  }
+  if (response.body.size() > policy.max_response_bytes) {
+    return FetchOutcome::kTooLarge;
+  }
+  if (response.body_truncated) {
+    return FetchOutcome::kTruncated;
+  }
+  return FetchOutcome::kOk;
+}
 
 std::string_view FetchOutcomeName(FetchOutcome outcome) {
   switch (outcome) {
@@ -86,30 +111,7 @@ std::uint64_t RobustFetcher::BackoffMicros(const FetchPolicy& policy, const Url&
 
 FetchOutcome RobustFetcher::ClassifyAttempt(const HttpResponse& response,
                                             std::uint64_t attempt_elapsed_us) const {
-  switch (response.transport) {
-    case TransportError::kRefused:
-      return FetchOutcome::kRefused;
-    case TransportError::kTimeout:
-      return FetchOutcome::kTimeout;
-    case TransportError::kReset:
-      return FetchOutcome::kTruncated;
-    case TransportError::kMalformed:
-      return FetchOutcome::kMalformed;
-    case TransportError::kNone:
-      break;
-  }
-  // A server that answered, but slower than the read deadline (observable
-  // with simulated latency), is a timeout as far as the policy is concerned.
-  if (attempt_elapsed_us > static_cast<std::uint64_t>(policy_.read_deadline_ms) * 1000) {
-    return FetchOutcome::kTimeout;
-  }
-  if (response.body.size() > policy_.max_response_bytes) {
-    return FetchOutcome::kTooLarge;
-  }
-  if (response.body_truncated) {
-    return FetchOutcome::kTruncated;
-  }
-  return FetchOutcome::kOk;
+  return ClassifyFetchAttempt(policy_, response, attempt_elapsed_us);
 }
 
 void RobustFetcher::AttachMetrics(MetricsRegistry* metrics) {
@@ -196,7 +198,7 @@ FetchResult RobustFetcher::FetchInner(const Url& url, bool head) {
       const std::uint64_t attempt_start_us = clock_->NowMicros();
       response = head ? inner_.Head(current) : inner_.Get(current);
       outcome = ClassifyAttempt(response, clock_->NowMicros() - attempt_start_us);
-      if (!IsRetryable(outcome)) {
+      if (!IsRetryableOutcome(outcome)) {
         break;
       }
     }

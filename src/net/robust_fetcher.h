@@ -22,6 +22,20 @@
 
 namespace weblint {
 
+// The shared attempt-classification rules, split out so AsyncFetcher's
+// event-driven state machine applies byte-for-byte the same policy calls as
+// the blocking RobustFetcher.
+//
+// Classifies one attempt's reply under `policy`. kOk means "usable HTTP
+// reply" — any status code; HTTP-level failure is the caller's business.
+FetchOutcome ClassifyFetchAttempt(const FetchPolicy& policy, const HttpResponse& response,
+                                  std::uint64_t attempt_elapsed_us);
+
+// Whether an outcome is worth another attempt: transient transport failures
+// (timeout, refusal, truncation) are; malformed replies, oversized bodies
+// and redirect loops are server facts a retry will not change.
+bool IsRetryableOutcome(FetchOutcome outcome);
+
 class RobustFetcher : public UrlFetcher {
  public:
   // `clock` may be null (system clock). The inner fetcher must outlive

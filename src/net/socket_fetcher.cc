@@ -1,7 +1,6 @@
 #include "net/socket_fetcher.h"
 
 #include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -11,6 +10,7 @@
 #include <cstring>
 
 #include "net/http_wire.h"
+#include "net/net_util.h"
 
 namespace weblint {
 
@@ -33,12 +33,15 @@ int ConnectWithDeadline(const sockaddr_in& addr, std::uint32_t deadline_ms,
     *error = TransportError::kRefused;
     return -1;
   }
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (!SetNonBlocking(fd, true)) {
+    ::close(fd);
+    *error = TransportError::kRefused;
+    return -1;
+  }
   int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
   if (rc < 0 && errno == EINPROGRESS) {
     pollfd pfd{fd, POLLOUT, 0};
-    rc = ::poll(&pfd, 1, static_cast<int>(deadline_ms));
+    rc = PollRetry(&pfd, 1, static_cast<int>(deadline_ms));
     if (rc == 0) {
       ::close(fd);
       *error = TransportError::kTimeout;
@@ -57,7 +60,14 @@ int ConnectWithDeadline(const sockaddr_in& addr, std::uint32_t deadline_ms,
     *error = TransportError::kRefused;
     return -1;
   }
-  ::fcntl(fd, F_SETFL, flags);  // Back to blocking; reads use SO_RCVTIMEO.
+  // Back to blocking; reads use SO_RCVTIMEO. A socket stuck nonblocking
+  // would turn every read into a spurious instant timeout, so this failing
+  // is a connect failure, not something to shrug off.
+  if (!SetNonBlocking(fd, false)) {
+    ::close(fd);
+    *error = TransportError::kRefused;
+    return -1;
+  }
   return fd;
 }
 
@@ -105,11 +115,8 @@ HttpResponse SocketFetcher::RoundTrip(const Url& url, std::string_view method) {
   const std::string wire = SerializeHttpRequest(request);
   size_t written = 0;
   while (written < wire.size()) {
-    const ssize_t n = ::send(fd, wire.data() + written, wire.size() - written, MSG_NOSIGNAL);
+    const long n = SendRetry(fd, wire.data() + written, wire.size() - written);
     if (n <= 0) {
-      if (n < 0 && errno == EINTR) {
-        continue;
-      }
       ::close(fd);
       return TransportFail(TransportError::kReset, "send failed");
     }
@@ -126,10 +133,7 @@ HttpResponse SocketFetcher::RoundTrip(const Url& url, std::string_view method) {
   bool timed_out = false;
   bool peer_closed = false;
   while (!HttpMessageComplete(buffer) && buffer.size() < cap) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n < 0 && errno == EINTR) {
-      continue;
-    }
+    const long n = ReadRetry(fd, chunk, sizeof(chunk));
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       timed_out = true;
       break;

@@ -1,0 +1,115 @@
+#include "net/timer_wheel.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace weblint {
+
+TimerWheel::TimerWheel(std::uint64_t tick_micros, std::size_t slots)
+    : tick_micros_(tick_micros == 0 ? 1 : tick_micros),
+      slots_(slots == 0 ? 1 : slots) {}
+
+std::size_t TimerWheel::SlotFor(std::uint64_t deadline_micros) const {
+  std::uint64_t tick = deadline_micros / tick_micros_;
+  // A deadline behind the cursor would hash to a slot the scan may never
+  // revisit; clamp it to the cursor tick so the next Advance() sees it.
+  if (advanced_once_ && tick < cursor_tick_) tick = cursor_tick_;
+  return static_cast<std::size_t>(tick % slots_.size());
+}
+
+std::uint64_t TimerWheel::Add(std::uint64_t deadline_micros,
+                              std::function<void()> callback) {
+  const std::uint64_t id = next_id_++;
+  const std::size_t slot = SlotFor(deadline_micros);
+  slots_[slot].push_back(Entry{id, deadline_micros, std::move(callback)});
+  live_.emplace(id, slot);
+  deadlines_.push(HeapItem{deadline_micros, id});
+  return id;
+}
+
+bool TimerWheel::Cancel(std::uint64_t id) {
+  const auto it = live_.find(id);
+  if (it != live_.end()) {
+    std::vector<Entry>& slot = slots_[it->second];
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+      if (slot[i].id == id) {
+        slot.erase(slot.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    live_.erase(it);
+    return true;
+  }
+  // Not armed — but it may be sitting unfired in the batch Advance() is
+  // mid-way through. Nulling the callback keeps "cancelled timers never
+  // fire" true even for same-batch cancellation.
+  if (firing_ != nullptr) {
+    for (Entry& entry : *firing_) {
+      if (entry.id == id && entry.callback) {
+        entry.callback = nullptr;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t TimerWheel::Advance(std::uint64_t now_micros) {
+  const std::uint64_t target_tick = now_micros / tick_micros_;
+  std::uint64_t start_tick = advanced_once_ ? cursor_tick_ : target_tick;
+  if (target_tick < start_tick) start_tick = target_tick;
+
+  // One full rotation visits every slot; a jump larger than that (or the
+  // very first Advance, with no known baseline) cannot need more.
+  std::uint64_t span = target_tick - start_tick + 1;
+  if (!advanced_once_ || span > slots_.size()) span = slots_.size();
+
+  std::vector<Entry> due;
+  for (std::uint64_t step = 0; step < span; ++step) {
+    std::vector<Entry>& slot =
+        slots_[static_cast<std::size_t>((start_tick + step) % slots_.size())];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+      if (slot[i].deadline <= now_micros) {
+        live_.erase(slot[i].id);
+        due.push_back(std::move(slot[i]));
+      } else {
+        if (keep != i) slot[keep] = std::move(slot[i]);
+        ++keep;
+      }
+    }
+    slot.resize(keep);
+  }
+
+  // Commit the cursor before running callbacks: a callback re-arming an
+  // already-due timer must land in a slot the *next* scan starts from.
+  cursor_tick_ = target_tick;
+  advanced_once_ = true;
+
+  std::sort(due.begin(), due.end(), [](const Entry& a, const Entry& b) {
+    return a.deadline != b.deadline ? a.deadline < b.deadline : a.id < b.id;
+  });
+
+  std::size_t fired = 0;
+  firing_ = &due;
+  for (Entry& entry : due) {
+    if (!entry.callback) continue;  // Cancelled by an earlier callback.
+    std::function<void()> callback = std::move(entry.callback);
+    entry.callback = nullptr;
+    callback();
+    ++fired;
+  }
+  firing_ = nullptr;
+  return fired;
+}
+
+std::uint64_t TimerWheel::NextDeadlineMicros() const {
+  auto& heap = const_cast<TimerWheel*>(this)->deadlines_;
+  auto& live = const_cast<TimerWheel*>(this)->live_;
+  while (!heap.empty() && live.find(heap.top().id) == live.end()) {
+    heap.pop();  // Stale: fired or cancelled since it was pushed.
+  }
+  return heap.empty() ? UINT64_MAX : heap.top().deadline;
+}
+
+}  // namespace weblint

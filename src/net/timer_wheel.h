@@ -1,0 +1,93 @@
+// Hashed timer wheel: the reactor's deadline store.
+//
+// A reactor holding 10k keep-alive connections re-arms a deadline on every
+// request; a priority queue pays O(log n) per arm/cancel and its heap order
+// depends on arrival interleaving. The wheel instead hashes each deadline
+// into one of `slots` coarse buckets (slot = (deadline / tick) % slots), so
+// arm and cancel are O(1), and Advance() scans only the slots the clock has
+// passed over since the previous call.
+//
+// Determinism contract (what the FakeClock tests pin down): timers due at
+// the same Advance() fire in (deadline, insertion id) order, regardless of
+// which slots they hashed to or how far the clock jumped — a fake clock
+// advancing 10 s in one step fires the same sequence as one advancing
+// millisecond by millisecond. Cancelled timers never fire, including a
+// timer cancelled by an earlier callback in the same Advance() batch.
+//
+// Not thread-safe: the wheel belongs to the reactor thread.
+#ifndef WEBLINT_NET_TIMER_WHEEL_H_
+#define WEBLINT_NET_TIMER_WHEEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace weblint {
+
+class TimerWheel {
+ public:
+  // `tick_micros` is the wheel granularity: deadlines within one tick are
+  // indistinguishable to slot hashing (but still fire in exact (deadline,
+  // id) order). `slots` ticks make one rotation; timers further out than a
+  // rotation simply survive extra slot scans, they are not lost.
+  explicit TimerWheel(std::uint64_t tick_micros = 1000, std::size_t slots = 256);
+
+  // Arms a timer at an absolute clock deadline (microseconds, same epoch as
+  // Clock::NowMicros). Returns a never-reused id. A deadline already in the
+  // past fires on the next Advance().
+  std::uint64_t Add(std::uint64_t deadline_micros, std::function<void()> callback);
+
+  // Disarms. Returns false if the id is unknown — never armed, already
+  // fired, or already cancelled. Safe to call from inside a firing
+  // callback, including against other timers due in the same batch.
+  bool Cancel(std::uint64_t id);
+
+  // Fires every live timer with deadline <= now, in (deadline, id) order.
+  // Callbacks may Add and Cancel freely; timers they add fire no earlier
+  // than the next Advance(), even if already due. Returns the fire count.
+  std::size_t Advance(std::uint64_t now_micros);
+
+  // The earliest live deadline, or UINT64_MAX when no timer is armed. Used
+  // by the reactor to bound its poll timeout.
+  std::uint64_t NextDeadlineMicros() const;
+
+  std::size_t size() const { return live_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    std::uint64_t deadline;
+    std::function<void()> callback;
+  };
+  struct HeapItem {
+    std::uint64_t deadline;
+    std::uint64_t id;
+    bool operator>(const HeapItem& other) const {
+      return deadline != other.deadline ? deadline > other.deadline : id > other.id;
+    }
+  };
+
+  std::size_t SlotFor(std::uint64_t deadline_micros) const;
+
+  const std::uint64_t tick_micros_;
+  std::vector<std::vector<Entry>> slots_;
+  // Live ids -> slot index, for O(1) cancel and liveness checks against the
+  // lazy min-heap below (stale heap tops are popped on query).
+  std::unordered_map<std::uint64_t, std::size_t> live_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>> deadlines_;
+  std::uint64_t next_id_ = 1;
+  // The last tick Advance() fully processed. Entries armed for earlier
+  // ticks are clamped into the current slot so they cannot be skipped.
+  std::uint64_t cursor_tick_ = 0;
+  bool advanced_once_ = false;
+  // The batch currently firing, exposed so Cancel() can null out a
+  // not-yet-run callback mid-Advance.
+  std::vector<Entry>* firing_ = nullptr;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_NET_TIMER_WHEEL_H_

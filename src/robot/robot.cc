@@ -1,6 +1,11 @@
 #include "robot/robot.h"
 
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
 #include "html/tokenizer.h"
+#include "net/async_fetcher.h"
 #include "util/strings.h"
 
 namespace weblint {
@@ -92,11 +97,15 @@ bool Robot::ShouldVisit(const Url& url, const Url& start, CrawlStats* stats) {
     return false;  // mailto:, javascript:, news: ...
   }
   if (options_.stay_on_host && !IEquals(url.host, start.host)) {
-    ++stats->skipped_offsite;
+    if (stats != nullptr) {
+      ++stats->skipped_offsite;
+    }
     return false;
   }
   if (options_.honor_robots_txt && !RobotsFor(url).Allows(url.path)) {
-    ++stats->skipped_robots;
+    if (stats != nullptr) {
+      ++stats->skipped_robots;
+    }
     return false;
   }
   return true;
@@ -108,7 +117,6 @@ CrawlStats Robot::Crawl(const Url& start, const PageHandler& handler) {
 
 CrawlStats Robot::Crawl(const Url& start, const PageHandler& handler,
                         const FailureHandler& on_failure) {
-  CrawlStats stats;
   visited_.clear();
   redirects_seen_.clear();
   failures_seen_.clear();
@@ -120,9 +128,35 @@ CrawlStats Robot::Crawl(const Url& start, const PageHandler& handler,
   policy.max_redirects = options_.max_redirects < 0
                              ? 0
                              : static_cast<std::uint32_t>(options_.max_redirects);
+
+  if (options_.prefetch > 0) {
+    // An async-capable fetcher already applies its own policy (retries,
+    // deadlines, redirects) inside its loop, so it is not re-wrapped —
+    // robots.txt requests reach it through fetcher_.Get. A plain blocking
+    // fetcher is wrapped as usual and issued inline.
+    if (auto* async = dynamic_cast<AsyncUrlFetcher*>(&fetcher_)) {
+      robust_ = nullptr;
+      return CrawlPipelined(start, handler, on_failure, async, nullptr);
+    }
+    RobustFetcher robust(fetcher_, policy, options_.clock, options_.metrics);
+    robust_ = &robust;
+    CrawlStats stats = CrawlPipelined(start, handler, on_failure, nullptr, &robust);
+    stats.fetch = robust.stats();
+    robust_ = nullptr;
+    return stats;
+  }
+
   RobustFetcher robust(fetcher_, policy, options_.clock, options_.metrics);
   robust_ = &robust;
+  CrawlStats stats = CrawlSequential(start, handler, on_failure, robust);
+  stats.fetch = robust.stats();
+  robust_ = nullptr;
+  return stats;
+}
 
+CrawlStats Robot::CrawlSequential(const Url& start, const PageHandler& handler,
+                                  const FailureHandler& on_failure, RobustFetcher& robust) {
+  CrawlStats stats;
   std::deque<Url> frontier;
   frontier.push_back(start);
 
@@ -183,8 +217,172 @@ CrawlStats Robot::Crawl(const Url& start, const PageHandler& handler,
       }
     }
   }
-  stats.fetch = robust.stats();
-  robust_ = nullptr;
+  return stats;
+}
+
+CrawlStats Robot::CrawlPipelined(const Url& start, const PageHandler& handler,
+                                 const FailureHandler& on_failure, AsyncUrlFetcher* async,
+                                 RobustFetcher* sync) {
+  CrawlStats stats;
+  const FetchStats async_before = async != nullptr ? async->SnapshotStats() : FetchStats{};
+
+  // Completion slots are shared with the fetcher's loop thread; the sync
+  // block is shared_ptr-held so callbacks of fetches abandoned at max_pages
+  // can land after this frame is gone.
+  struct SyncBlock {
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  struct Slot {
+    bool ready = false;
+    FetchResult result;
+  };
+  struct WindowItem {
+    Url url;
+    std::string key;
+    bool fetched = false;  // false = filtered at issue time, no wire fetch.
+    std::shared_ptr<Slot> slot;
+  };
+  auto shared = std::make_shared<SyncBlock>();
+
+  std::deque<Url> frontier;
+  frontier.push_back(start);
+  std::deque<WindowItem> window;
+  std::set<std::string> issued;  // Keys dequeued by the issue stage.
+  size_t fetches_in_window = 0;
+
+  // Issue stage: dequeue one frontier URL and start its fetch unless the
+  // issue-order state already rules it out. Decisions here depend only on
+  // `issued` and the (deterministic) robots/offsite checks — never on
+  // consume progress — so the set of wire fetches is a pure function of the
+  // URL sequence and the window size, not of fetch timing.
+  auto issue_one = [&] {
+    WindowItem item;
+    item.url = frontier.front();
+    frontier.pop_front();
+    item.key = VisitKey(item.url);
+    if (issued.insert(item.key).second && ShouldVisit(item.url, start, nullptr)) {
+      item.fetched = true;
+      item.slot = std::make_shared<Slot>();
+      ++fetches_in_window;
+      if (async != nullptr) {
+        async->FetchPageAsync(item.url, [shared, slot = item.slot](FetchResult result) {
+          {
+            std::lock_guard<std::mutex> lock(shared->mu);
+            slot->result = std::move(result);
+            slot->ready = true;
+          }
+          shared->cv.notify_all();
+        });
+      } else {
+        // Blocking fetcher: the issue completes inline, so the wire sees
+        // exactly the sequential request order whatever the window size.
+        item.slot->result = sync->FetchPage(item.url);
+        item.slot->ready = true;
+      }
+    }
+    window.push_back(std::move(item));
+  };
+
+  // Consume stage: the sequential loop body, verbatim, applied in issue
+  // order. Everything the crawl publishes (visited_, maps, counters,
+  // handler calls) is written only here.
+  auto consume_one = [&] {
+    WindowItem item = std::move(window.front());
+    window.pop_front();
+    if (item.fetched) {
+      --fetches_in_window;
+    }
+    const std::string& key = item.key;
+    if (!visited_.insert(key).second) {
+      ++stats.skipped_duplicate;
+      return;
+    }
+    if (!ShouldVisit(item.url, start, &stats)) {
+      return;
+    }
+    FetchResult fetched = std::move(item.slot->result);
+    if (!fetched.ok()) {
+      ++stats.pages_degraded;
+      failures_seen_.emplace(key, 0);
+      if (on_failure) {
+        on_failure(item.url, fetched);
+      }
+      return;
+    }
+    const HttpResponse& response = fetched.response;
+    const Url& final_url = fetched.final_url;
+    if (!response.ok()) {
+      ++stats.fetch_failures;
+      failures_seen_.emplace(key, response.status);
+      return;
+    }
+    const std::string final_key = VisitKey(final_url);
+    if (final_key != key) {
+      redirects_seen_.emplace(key, final_key);
+      if (!visited_.insert(final_key).second) {
+        return;  // The final target was already processed under its own URL.
+      }
+    }
+    ++stats.pages_fetched;
+    if (handler) {
+      handler(final_url, response);
+    }
+    if (!IsHtmlResponse(response)) {
+      return;
+    }
+    for (const std::string& link : ExtractLinks(response.body)) {
+      const Url resolved = ResolveUrl(final_url, link);
+      if (resolved.IsOpaque()) {
+        continue;
+      }
+      if (!visited_.contains(VisitKey(resolved))) {
+        frontier.push_back(resolved);
+      }
+    }
+  };
+
+  // Driver: consume a ready head eagerly, otherwise keep the window full,
+  // otherwise wait for the head's fetch. Eager consumption is what makes
+  // the inline (blocking-fetcher) mode replicate the sequential crawl bit
+  // for bit: each issue's result is processed before the next issue.
+  while (stats.pages_fetched < options_.max_pages) {
+    if (!window.empty()) {
+      bool head_ready = !window.front().fetched;
+      if (!head_ready) {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        head_ready = window.front().slot->ready;
+      }
+      if (head_ready) {
+        consume_one();
+        continue;
+      }
+    }
+    if (!frontier.empty() && fetches_in_window < options_.prefetch) {
+      issue_one();
+      continue;
+    }
+    if (window.empty()) {
+      break;  // Frontier exhausted too (else issue_one would have run).
+    }
+    std::unique_lock<std::mutex> lock(shared->mu);
+    const std::shared_ptr<Slot>& head = window.front().slot;
+    shared->cv.wait(lock, [&] { return head->ready; });
+  }
+  // Fetches still in the window when max_pages hit are abandoned; their
+  // results land in orphaned slots and are never published.
+
+  if (async != nullptr) {
+    const FetchStats after = async->SnapshotStats();
+    stats.fetch.requests = after.requests - async_before.requests;
+    stats.fetch.attempts = after.attempts - async_before.attempts;
+    stats.fetch.retries = after.retries - async_before.retries;
+    stats.fetch.redirects_followed = after.redirects_followed - async_before.redirects_followed;
+    stats.fetch.bytes_fetched = after.bytes_fetched - async_before.bytes_fetched;
+    for (size_t i = 0; i < stats.fetch.by_outcome.size(); ++i) {
+      stats.fetch.by_outcome[i] = after.by_outcome[i] - async_before.by_outcome[i];
+    }
+  }
   return stats;
 }
 

@@ -22,12 +22,26 @@
 
 namespace weblint {
 
+class AsyncUrlFetcher;  // async_fetcher.h
+
 struct CrawlOptions {
   std::string agent = "poacher/2.0";
   size_t max_pages = 10000;
   int max_redirects = 5;  // Copied into fetch_policy.max_redirects at crawl start.
   bool honor_robots_txt = true;
   bool stay_on_host = true;  // Only follow links to the start URL's host.
+
+  // Pipelined crawl window: up to this many page fetches outstanding ahead
+  // of processing (0 = the classic fetch-then-process loop). Results are
+  // consumed strictly in issue order and the consume side runs the exact
+  // sequential visit logic, so page-level output (handler/failure calls,
+  // visited/redirect/failure maps, page counters) is identical at any
+  // window size; only wire-level counters can exceed the sequential run's
+  // (a redirect collapsing onto a URL already in the window costs a fetch
+  // whose result is discarded). Overlap needs an AsyncUrlFetcher
+  // (async_fetcher.h) — with a plain blocking fetcher each issue completes
+  // inline, which degenerates to exactly the sequential request order.
+  size_t prefetch = 0;
 
   // Robustness contract for every retrieval the crawl makes (pages and
   // robots.txt): deadlines, bounded retries, size caps. A fetch that
@@ -93,7 +107,15 @@ class Robot {
 
  private:
   const RobotsTxt& RobotsFor(const Url& url);
+  // Null `stats` = quiet pre-check (the pipelined issue stage): no skip
+  // counters are touched; the consume stage recounts with real stats.
   bool ShouldVisit(const Url& url, const Url& start, CrawlStats* stats);
+  CrawlStats CrawlSequential(const Url& start, const PageHandler& handler,
+                             const FailureHandler& on_failure, RobustFetcher& robust);
+  // The prefetch>0 path. Exactly one of `async`/`sync` is non-null.
+  CrawlStats CrawlPipelined(const Url& start, const PageHandler& handler,
+                            const FailureHandler& on_failure, AsyncUrlFetcher* async,
+                            RobustFetcher* sync);
 
   UrlFetcher& fetcher_;
   CrawlOptions options_;

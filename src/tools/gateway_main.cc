@@ -61,6 +61,7 @@ int Run(int argc, char** argv) {
   bool form_only = false;
   bool no_http_header = false;
   bool serve = false;
+  bool event_driven = false;
   bool show_help = false;
   std::string cache_dir;
   std::string fetch_timeout_arg;
@@ -85,6 +86,10 @@ int Run(int argc, char** argv) {
   parser.AddOption("--request-timeout",
                    "with --serve: per-request read/write deadline in milliseconds",
                    &request_timeout_arg);
+  parser.AddFlag("--event-driven",
+                 "with --serve: hold connections on an epoll reactor so idle keep-alive "
+                 "costs a watched fd, not a worker thread",
+                 &event_driven);
   parser.AddOption("--cache-dir",
                    "persist lint results here; repeated submissions of the same page "
                    "are served from cache",
@@ -179,6 +184,7 @@ int Run(int argc, char** argv) {
     options.threads = threads;
     options.max_queue = max_queue;
     options.request_timeout_ms = request_timeout_ms;
+    options.event_driven = event_driven;
     if (Status s = server.Start(options); !s.ok()) {
       std::fprintf(stderr, "weblint-gateway: %s\n", s.message().c_str());
       return 1;

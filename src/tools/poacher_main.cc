@@ -11,7 +11,9 @@
 
 #include "corpus/site_generator.h"
 #include "core/linter.h"
+#include "net/async_fetcher.h"
 #include "net/fetcher.h"
+#include "net/socket_fetcher.h"
 #include "net/virtual_web.h"
 #include "robot/poacher.h"
 #include "telemetry/metrics.h"
@@ -47,6 +49,8 @@ void PrintReport(const PoacherReport& report) {
 int Run(int argc, char** argv) {
   ArgParser parser;
   std::string root;
+  std::string http_url;
+  std::string prefetch_arg;
   bool demo = false;
   bool short_output = false;
   bool show_help = false;
@@ -64,6 +68,11 @@ int Run(int argc, char** argv) {
   std::string trace_out;
   std::string progress_arg;
   parser.AddOption("--root", "serve the site from this directory (file crawl)", &root);
+  parser.AddOption("--http", "crawl a live HTTP origin starting from this URL", &http_url);
+  parser.AddOption("--prefetch",
+                   "overlap up to this many page fetches ahead of linting (0 = fetch "
+                   "then process; with --http this multiplexes fetches on one reactor)",
+                   &prefetch_arg);
   parser.AddFlag("--demo", "crawl a generated in-memory demonstration site", &demo);
   parser.AddFlag("-s", "short diagnostic format", &short_output);
   parser.AddOption("--max-pages", "stop after this many pages", &max_pages);
@@ -96,7 +105,7 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "poacher: %s\n", s.message().c_str());
     return 2;
   }
-  if (show_help || (!demo && root.empty())) {
+  if (show_help || (!demo && root.empty() && http_url.empty())) {
     std::fputs(parser.Help("poacher", "weblint robot: lint every page of a site").c_str(),
                stdout);
     return show_help ? 0 : 2;
@@ -146,6 +155,15 @@ int Run(int argc, char** argv) {
   // config: one knob set governs every retrieval the tools make.
   options.crawl.fetch_policy = FetchPolicyFromConfig(lint.config());
   options.crawl.max_redirects = static_cast<int>(lint.config().max_redirects);
+  if (!prefetch_arg.empty()) {
+    std::uint32_t prefetch = 0;
+    if (!ParseUint(prefetch_arg, &prefetch)) {
+      std::fprintf(stderr, "poacher: --prefetch expects a non-negative integer, got %s\n",
+                   prefetch_arg.c_str());
+      return 2;
+    }
+    options.crawl.prefetch = prefetch;
+  }
   lint.config().use_cache = !no_cache;
   lint.config().cache_dir = cache_dir;
 
@@ -212,22 +230,46 @@ int Run(int argc, char** argv) {
     return finish_telemetry() ? 0 : 2;
   }
 
+  const auto run_crawl = [&](UrlFetcher& fetcher, const std::string& start) {
+    Poacher poacher(lint, fetcher, options);
+    const PoacherReport report = poacher.Run(start, &emitter);
+    PrintReport(report);
+    if (fetch_stats) {
+      std::fputs(FormatFetchStats(report.stats.fetch).c_str(), stderr);
+    }
+    if (cache_stats && lint.cache() != nullptr) {
+      std::fputs(FormatCacheStats(lint.cache()->stats()).c_str(), stderr);
+    }
+    if (!finish_telemetry()) {
+      return 2;
+    }
+    return report.TotalDiagnostics() + report.broken_links.size() == 0 ? 0 : 1;
+  };
+
+  if (!http_url.empty()) {
+    // Live HTTP crawl. With --prefetch the fetcher is the reactor-backed
+    // AsyncFetcher (one thread multiplexing up to `prefetch` retrievals);
+    // without it, the blocking socket path, one fetch at a time.
+    FetchPolicy policy = options.crawl.fetch_policy;
+    policy.max_redirects = options.crawl.max_redirects < 0
+                               ? 0
+                               : static_cast<std::uint32_t>(options.crawl.max_redirects);
+    if (options.crawl.prefetch > 0) {
+      AsyncFetcher::Options async_options;
+      async_options.policy = policy;
+      async_options.max_inflight = options.crawl.prefetch;
+      async_options.metrics = metrics_dump ? &registry : nullptr;
+      AsyncFetcher fetcher(async_options);
+      return run_crawl(fetcher, http_url);
+    }
+    SocketFetcher fetcher(policy);
+    return run_crawl(fetcher, http_url);
+  }
+
   FileFetcher fetcher(root);
-  Poacher poacher(lint, fetcher, options);
   const std::string start =
       parser.positionals().empty() ? "index.html" : parser.positionals().front();
-  const PoacherReport report = poacher.Run(start, &emitter);
-  PrintReport(report);
-  if (fetch_stats) {
-    std::fputs(FormatFetchStats(report.stats.fetch).c_str(), stderr);
-  }
-  if (cache_stats && lint.cache() != nullptr) {
-    std::fputs(FormatCacheStats(lint.cache()->stats()).c_str(), stderr);
-  }
-  if (!finish_telemetry()) {
-    return 2;
-  }
-  return report.TotalDiagnostics() + report.broken_links.size() == 0 ? 0 : 1;
+  return run_crawl(fetcher, start);
 }
 
 }  // namespace

@@ -1,0 +1,344 @@
+// AsyncFetcher end to end over real sockets: policy-governed retrievals
+// (redirects, retries, classification) multiplexed on one reactor thread,
+// with results shaped exactly like the blocking SocketFetcher+RobustFetcher
+// stack — the swap-in contract the poacher relies on.
+#include "net/async_fetcher.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http_server.h"
+#include "net/robust_fetcher.h"
+#include "net/socket_fetcher.h"
+#include "telemetry/metrics.h"
+#include "util/strings.h"
+#include "util/url.h"
+
+namespace weblint {
+namespace {
+
+Url UrlOn(std::uint16_t port, std::string_view path) {
+  return ParseUrl(StrFormat("http://127.0.0.1:%d%s", port, std::string(path)));
+}
+
+// A loopback port with nothing listening: bind, note the number, close.
+std::uint16_t ClosedPort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+FetchPolicy QuickPolicy() {
+  FetchPolicy policy;
+  policy.retries = 0;  // Failure tests stay fast; retry tests opt back in.
+  policy.backoff_base_ms = 1;
+  policy.backoff_max_ms = 2;
+  return policy;
+}
+
+// An echo origin on the concurrent serving layer.
+struct Origin {
+  HttpServer server;
+  explicit Origin(HttpServer::Handler handler, int threads = 2)
+      : server(std::move(handler)) {
+    EXPECT_TRUE(server.Listen(0).ok());
+    HttpServerOptions options;
+    options.threads = threads;
+    options.max_queue = 256;
+    EXPECT_TRUE(server.Start(options).ok());
+  }
+  ~Origin() { server.Drain(); }
+  std::uint16_t port() { return server.port(); }
+};
+
+HttpResponse Page(std::string body) {
+  HttpResponse response;
+  response.status = 200;
+  response.reason = "OK";
+  response.body = std::move(body);
+  return response;
+}
+
+TEST(AsyncFetcherTest, FetchesAPageEndToEnd) {
+  Origin origin([](const HttpRequest& request) {
+    return Page("echo:" + request.target);
+  });
+  AsyncFetcher::Options options;
+  options.policy = QuickPolicy();
+  AsyncFetcher fetcher(options);
+
+  FetchResult result = fetcher.FetchPage(UrlOn(origin.port(), "/a.html"));
+  ASSERT_TRUE(result.ok()) << result.detail;
+  EXPECT_EQ(result.response.status, 200);
+  EXPECT_EQ(result.response.body, "echo:/a.html");
+  EXPECT_EQ(result.attempts, 1u);
+  EXPECT_EQ(result.redirect_hops, 0u);
+
+  const FetchStats stats = fetcher.SnapshotStats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.by_outcome[0], 1u);
+  EXPECT_EQ(stats.bytes_fetched, result.response.body.size());
+}
+
+TEST(AsyncFetcherTest, HeadRequestCarriesMethodAndStripsBody) {
+  std::atomic<bool> saw_head{false};
+  Origin origin([&saw_head](const HttpRequest& request) {
+    if (request.method == "HEAD") {
+      saw_head.store(true);
+    }
+    return Page("body-should-be-stripped");
+  });
+  AsyncFetcher::Options options;
+  options.policy = QuickPolicy();
+  AsyncFetcher fetcher(options);
+
+  FetchResult result = fetcher.FetchHead(UrlOn(origin.port(), "/h.html"));
+  ASSERT_TRUE(result.ok()) << result.detail;
+  EXPECT_TRUE(saw_head.load());
+  EXPECT_TRUE(result.response.body.empty());
+}
+
+TEST(AsyncFetcherTest, FollowsRedirectsAcrossConnections) {
+  Origin origin([](const HttpRequest& request) {
+    if (request.target == "/start") {
+      HttpResponse redirect;
+      redirect.status = 302;
+      redirect.reason = "Found";
+      redirect.headers["location"] = "/target.html";
+      return redirect;
+    }
+    return Page("landed:" + request.target);
+  });
+  AsyncFetcher::Options options;
+  options.policy = QuickPolicy();
+  AsyncFetcher fetcher(options);
+
+  FetchResult result = fetcher.FetchPage(UrlOn(origin.port(), "/start"));
+  ASSERT_TRUE(result.ok()) << result.detail;
+  EXPECT_EQ(result.response.body, "landed:/target.html");
+  EXPECT_EQ(result.redirect_hops, 1u);
+  EXPECT_EQ(result.final_url.path, "/target.html");
+  EXPECT_EQ(fetcher.SnapshotStats().redirects_followed, 1u);
+}
+
+TEST(AsyncFetcherTest, RedirectLoopClassifiedAtTheCap) {
+  Origin origin([](const HttpRequest& request) {
+    HttpResponse redirect;
+    redirect.status = 302;
+    redirect.reason = "Found";
+    redirect.headers["location"] =
+        std::string(request.target) + "x";  // Never repeats, never lands.
+    return redirect;
+  });
+  AsyncFetcher::Options options;
+  options.policy = QuickPolicy();
+  options.policy.max_redirects = 2;
+  AsyncFetcher fetcher(options);
+
+  FetchResult result = fetcher.FetchPage(UrlOn(origin.port(), "/loop"));
+  EXPECT_EQ(result.outcome, FetchOutcome::kRedirectLoop);
+  EXPECT_NE(result.detail.find("redirect_loop after 2 hop(s)"), std::string::npos)
+      << result.detail;
+}
+
+TEST(AsyncFetcherTest, RefusedConnectionRetriesThenClassifies) {
+  const std::uint16_t port = ClosedPort();
+  AsyncFetcher::Options options;
+  options.policy = QuickPolicy();
+  options.policy.retries = 1;
+  AsyncFetcher fetcher(options);
+
+  FetchResult result = fetcher.FetchPage(UrlOn(port, "/nobody-home.html"));
+  EXPECT_EQ(result.outcome, FetchOutcome::kRefused);
+  EXPECT_EQ(result.attempts, 2u);  // First attempt plus one retry.
+  const FetchStats stats = fetcher.SnapshotStats();
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.by_outcome[static_cast<size_t>(FetchOutcome::kRefused)], 1u);
+}
+
+TEST(AsyncFetcherTest, ResultShapeMatchesBlockingStack) {
+  // The same retrieval through both stacks: every caller-visible field of
+  // FetchResult must agree, success and failure alike.
+  Origin origin([](const HttpRequest& request) {
+    if (request.target == "/hop") {
+      HttpResponse redirect;
+      redirect.status = 301;
+      redirect.reason = "Moved Permanently";
+      redirect.headers["location"] = "/final.html";
+      return redirect;
+    }
+    return Page("<HTML><BODY>stable body</BODY></HTML>");
+  });
+  FetchPolicy policy = QuickPolicy();
+  policy.retries = 1;
+
+  AsyncFetcher::Options options;
+  options.policy = policy;
+  AsyncFetcher async_fetcher(options);
+  SocketFetcher socket_fetcher(policy);
+  RobustFetcher blocking(socket_fetcher, policy);
+
+  for (const char* path : {"/hop", "/plain.html"}) {
+    const Url url = UrlOn(origin.port(), path);
+    FetchResult a = async_fetcher.FetchPage(url);
+    FetchResult b = blocking.FetchPage(url);
+    EXPECT_EQ(a.outcome, b.outcome) << path;
+    EXPECT_EQ(a.attempts, b.attempts) << path;
+    EXPECT_EQ(a.redirect_hops, b.redirect_hops) << path;
+    EXPECT_EQ(a.final_url.Serialize(), b.final_url.Serialize()) << path;
+    EXPECT_EQ(a.response.status, b.response.status) << path;
+    EXPECT_EQ(a.response.body, b.response.body) << path;
+    EXPECT_EQ(a.detail, b.detail) << path;
+  }
+
+  // Degraded shape: a refused origin produces identical detail strings.
+  const Url dead = UrlOn(ClosedPort(), "/x.html");
+  FetchResult a = async_fetcher.FetchPage(dead);
+  FetchResult b = blocking.FetchPage(dead);
+  EXPECT_EQ(a.outcome, FetchOutcome::kRefused);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.detail, b.detail);
+
+  // And the UrlFetcher bridge maps degradation the same way.
+  const HttpResponse ga = async_fetcher.Get(dead);
+  const HttpResponse gb = blocking.Get(dead);
+  EXPECT_EQ(ga.status, gb.status);
+  EXPECT_EQ(ga.transport, gb.transport);
+  EXPECT_EQ(ga.reason, gb.reason);
+}
+
+TEST(AsyncFetcherTest, SustainsConcurrentFetchesUpToTheCap) {
+  constexpr int kFetches = 16;
+  // The origin refuses to answer anyone until all kFetches requests are in
+  // its handlers at once — only a fetcher multiplexing that many concurrent
+  // wire retrievals can get out alive.
+  std::mutex mu;
+  std::condition_variable cv;
+  int entered = 0;
+  Origin origin(
+      [&](const HttpRequest& request) {
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          ++entered;
+          cv.notify_all();
+          cv.wait(lock, [&] { return entered >= kFetches; });
+        }
+        return Page("held:" + request.target);
+      },
+      /*threads=*/kFetches);
+
+  AsyncFetcher::Options options;
+  options.policy = QuickPolicy();
+  options.max_inflight = kFetches;
+  AsyncFetcher fetcher(options);
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int done = 0;
+  int ok = 0;
+  for (int i = 0; i < kFetches; ++i) {
+    fetcher.FetchPageAsync(UrlOn(origin.port(), StrFormat("/p%d.html", i)),
+                           [&](FetchResult result) {
+                             std::lock_guard<std::mutex> lock(done_mu);
+                             ++done;
+                             if (result.ok()) ++ok;
+                             done_cv.notify_all();
+                           });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done == kFetches; });
+  EXPECT_EQ(ok, kFetches);
+  EXPECT_EQ(fetcher.max_inflight_seen(), static_cast<size_t>(kFetches));
+  EXPECT_EQ(fetcher.inflight(), 0u);
+}
+
+TEST(AsyncFetcherTest, QueueBeyondTheCapCompletesInFifoOrder) {
+  Origin origin([](const HttpRequest& request) {
+    return Page(std::string(request.target));
+  });
+  AsyncFetcher::Options options;
+  options.policy = QuickPolicy();
+  options.max_inflight = 1;  // Strictly serial: completion order is queue order.
+  AsyncFetcher fetcher(options);
+
+  constexpr int kFetches = 8;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::string> completed;
+  for (int i = 0; i < kFetches; ++i) {
+    fetcher.FetchPageAsync(UrlOn(origin.port(), StrFormat("/q%d.html", i)),
+                           [&](FetchResult result) {
+                             std::lock_guard<std::mutex> lock(mu);
+                             completed.push_back(result.response.body);
+                             cv.notify_all();
+                           });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return completed.size() == kFetches; });
+  for (int i = 0; i < kFetches; ++i) {
+    EXPECT_EQ(completed[static_cast<size_t>(i)], StrFormat("/q%d.html", i));
+  }
+  EXPECT_EQ(fetcher.max_inflight_seen(), 1u);
+}
+
+TEST(AsyncFetcherTest, PollBackendFetchesIdentically) {
+  Origin origin([](const HttpRequest& request) {
+    return Page("poll:" + request.target);
+  });
+  AsyncFetcher::Options options;
+  options.policy = QuickPolicy();
+  options.force_poll_backend = true;
+  AsyncFetcher fetcher(options);
+
+  FetchResult result = fetcher.FetchPage(UrlOn(origin.port(), "/fallback.html"));
+  ASSERT_TRUE(result.ok()) << result.detail;
+  EXPECT_EQ(result.response.body, "poll:/fallback.html");
+}
+
+TEST(AsyncFetcherTest, NonHttpSchemeRefusedWithoutTouchingTheWire) {
+  AsyncFetcher::Options options;
+  options.policy = QuickPolicy();
+  AsyncFetcher fetcher(options);
+  FetchResult result = fetcher.FetchPage(ParseUrl("ftp://site.test/file"));
+  EXPECT_EQ(result.outcome, FetchOutcome::kRefused);
+}
+
+TEST(AsyncFetcherTest, MirrorsFetchSeriesIntoTheRegistry) {
+  Origin origin([](const HttpRequest&) { return Page("counted"); });
+  MetricsRegistry registry;
+  AsyncFetcher::Options options;
+  options.policy = QuickPolicy();
+  options.metrics = &registry;
+  AsyncFetcher fetcher(options);
+
+  ASSERT_TRUE(fetcher.FetchPage(UrlOn(origin.port(), "/m.html")).ok());
+  EXPECT_EQ(registry.CounterValue("weblint_fetch_requests_total"), 1u);
+  EXPECT_EQ(registry.CounterValue("weblint_fetch_attempts_total"), 1u);
+  EXPECT_EQ(registry.CounterValue("weblint_fetch_outcomes_total", "outcome", "ok"), 1u);
+  EXPECT_EQ(registry.CounterValue("weblint_fetch_bytes_total"), 7u);  // "counted"
+  EXPECT_EQ(registry.GaugeValue("weblint_async_fetch_inflight"), 0);
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,597 @@
+// The event-driven serving mode (HttpServerOptions::event_driven), end to
+// end over real sockets: the reactor holds every connection's state machine
+// on one loop thread — keep-alive, pipelining, Clock-driven deadlines, load
+// shedding, drain — while complete requests dispatch to the worker pool.
+// Mirrors the thread-per-connection suite (http_server_concurrent_test.cc):
+// the two modes are contractually interchangeable, only their scaling
+// differs.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http_server.h"
+#include "telemetry/metrics.h"
+#include "util/clock.h"
+
+namespace weblint {
+namespace {
+
+bool WaitFor(const std::function<bool()>& predicate, int timeout_ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return predicate();
+}
+
+// Raw keep-alive TCP client (same shape as the concurrent suite's).
+class TestClient {
+ public:
+  ~TestClient() { CloseFd(); }
+
+  bool Connect(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+
+  bool Send(std::string_view data) {
+    size_t written = 0;
+    while (written < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + written, data.size() - written, MSG_NOSIGNAL);
+      if (n <= 0) {
+        return false;
+      }
+      written += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  Result<HttpResponse> ReadResponse(int timeout_ms = 5000) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    size_t frame = HttpMessageLength(buffer_);
+    while (frame == std::string_view::npos) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return Fail("client read timeout");
+      }
+      pollfd p{fd_, POLLIN, 0};
+      if (::poll(&p, 1, 50) <= 0) {
+        continue;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n < 0) {
+        return Fail("client read error");
+      }
+      if (n == 0) {
+        return Fail("connection closed before a full response");
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+      frame = HttpMessageLength(buffer_);
+    }
+    auto response = ParseHttpResponse(std::string_view(buffer_).substr(0, frame));
+    buffer_.erase(0, frame);
+    return response;
+  }
+
+  bool WaitForClose(int timeout_ms = 5000) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      pollfd p{fd_, POLLIN, 0};
+      if (::poll(&p, 1, 50) <= 0) {
+        continue;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) {
+        return true;  // EOF or reset.
+      }
+    }
+    return false;
+  }
+
+  void CloseFd() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+std::string Get(std::string_view target, std::string_view connection = "") {
+  std::string request = "GET " + std::string(target) + " HTTP/1.1\r\nhost: t\r\n";
+  if (!connection.empty()) {
+    request += "connection: " + std::string(connection) + "\r\n";
+  }
+  request += "\r\n";
+  return request;
+}
+
+std::string Post(std::string_view target, std::string_view body) {
+  return "POST " + std::string(target) + " HTTP/1.1\r\nhost: t\r\ncontent-length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + std::string(body);
+}
+
+class Latch {
+ public:
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+HttpServerOptions ReactorOptionsWith(unsigned threads) {
+  HttpServerOptions options;
+  options.event_driven = true;
+  options.threads = threads;
+  return options;
+}
+
+TEST(HttpServerReactorTest, KeepAliveServesSequentialRequestsOnOneConnection) {
+  std::atomic<int> handled{0};
+  HttpServer server([&handled](const HttpRequest& request) {
+    HttpResponse response;
+    response.status = 200;
+    response.body = request.target + " #" + std::to_string(handled.fetch_add(1) + 1);
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start(ReactorOptionsWith(2)).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(Get("/one")));
+  auto first = client.ReadResponse();
+  ASSERT_TRUE(first.ok()) << first.error();
+  EXPECT_EQ(first->body, "/one #1");
+  EXPECT_EQ(first->Header("connection"), "keep-alive");
+
+  ASSERT_TRUE(client.Send(Get("/two", "close")));
+  auto second = client.ReadResponse();
+  ASSERT_TRUE(second.ok()) << second.error();
+  EXPECT_EQ(second->body, "/two #2");
+  EXPECT_EQ(second->Header("connection"), "close");
+  EXPECT_TRUE(client.WaitForClose());
+
+  server.Drain();
+  EXPECT_EQ(handled.load(), 2);
+  EXPECT_EQ(server.connections_served(), 1u);
+}
+
+TEST(HttpServerReactorTest, PipelinedRequestsAnsweredInOrderFromOwnBytes) {
+  HttpServer server([](const HttpRequest& request) {
+    HttpResponse response;
+    response.status = 200;
+    response.body = request.target + ":" + request.body;
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start(ReactorOptionsWith(2)).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  // One write carrying three requests. The reactor holds the extra framed
+  // bytes and dispatches strictly one at a time, so responses come back in
+  // request order even with two pool workers available.
+  ASSERT_TRUE(client.Send(Post("/a", "first") + Post("/b", "second") + Get("/c", "close")));
+  auto a = client.ReadResponse();
+  auto b = client.ReadResponse();
+  auto c = client.ReadResponse();
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->body, "/a:first");
+  EXPECT_EQ(b->body, "/b:second");
+  EXPECT_EQ(c->body, "/c:");
+  EXPECT_TRUE(client.WaitForClose());
+  server.Drain();
+}
+
+TEST(HttpServerReactorTest, HalfSentRequestGets408AtTheFakeClockDeadline) {
+  HttpServer server([](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 200;
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  FakeClock clock;
+  HttpServerOptions options = ReactorOptionsWith(1);
+  options.request_timeout_ms = 1000;
+  options.clock = &clock;
+  ASSERT_TRUE(server.Start(options).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send("GET /slow HT"));  // Half a request, then silence.
+  ASSERT_TRUE(WaitFor([&server] { return server.connections_served() == 1; }));
+
+  // Only the fake clock can expire the window. The loop re-reads it every
+  // poll slice, so repeated advances guarantee the wheel sees the expiry.
+  std::atomic<bool> done{false};
+  std::thread advancer([&clock, &done] {
+    while (!done.load()) {
+      clock.Advance(2'000'000);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  auto response = client.ReadResponse();
+  done.store(true);
+  advancer.join();
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_EQ(response->status, 408);
+  EXPECT_TRUE(client.WaitForClose());
+  EXPECT_GE(server.deadline_kills(), 1u);
+  server.Drain();
+}
+
+TEST(HttpServerReactorTest, IdleKeepAliveConnectionReclaimedSilently) {
+  HttpServer server([](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 200;
+    response.body = "ok";
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  FakeClock clock;
+  HttpServerOptions options = ReactorOptionsWith(1);
+  options.request_timeout_ms = 1000;
+  options.clock = &clock;
+  ASSERT_TRUE(server.Start(options).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(Get("/")));
+  auto response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_EQ(response->Header("connection"), "keep-alive");
+
+  // Idle between requests: the deadline reclaims the fd with plain EOF
+  // (no 408 — nothing of a next request ever arrived).
+  std::atomic<bool> done{false};
+  std::thread advancer([&clock, &done] {
+    while (!done.load()) {
+      clock.Advance(2'000'000);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  EXPECT_TRUE(client.WaitForClose());
+  done.store(true);
+  advancer.join();
+  server.Drain();
+}
+
+TEST(HttpServerReactorTest, FullPoolBacklogShedsWith503RetryAfter) {
+  Latch latch;
+  HttpServer server([&latch](const HttpRequest&) {
+    latch.Wait();
+    HttpResponse response;
+    response.status = 200;
+    response.body = "served";
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  MetricsRegistry registry;
+  server.EnableMetrics(&registry);
+  HttpServerOptions options = ReactorOptionsWith(1);
+  options.max_queue = 1;
+  ASSERT_TRUE(server.Start(options).ok());
+
+  // c1 wedges the only worker; c2's dispatched request waits in the pool
+  // backlog, filling the one queue slot.
+  TestClient c1;
+  ASSERT_TRUE(c1.Connect(server.port()));
+  ASSERT_TRUE(c1.Send(Get("/", "close")));
+  ASSERT_TRUE(WaitFor([&server] { return server.in_flight() == 1; }));
+  TestClient c2;
+  ASSERT_TRUE(c2.Connect(server.port()));
+  ASSERT_TRUE(c2.Send(Get("/", "close")));
+  ASSERT_TRUE(WaitFor([&server] { return server.queue_depth() == 1; }));
+
+  // c3 is shed at accept, from the loop thread, without blocking it: the
+  // 503 goes out nonblocking while the worker is still wedged.
+  TestClient c3;
+  ASSERT_TRUE(c3.Connect(server.port()));
+  ASSERT_TRUE(c3.Send(Get("/", "close")));
+  auto shed = c3.ReadResponse();
+  ASSERT_TRUE(shed.ok()) << shed.error();
+  EXPECT_EQ(shed->status, 503);
+  EXPECT_EQ(shed->Header("retry-after"), "1");
+  EXPECT_TRUE(c3.WaitForClose());
+  EXPECT_EQ(server.rejected(), 1u);
+  EXPECT_EQ(registry.CounterValue("weblint_http_rejected_total"), 1u);
+
+  latch.Open();
+  auto r1 = c1.ReadResponse();
+  auto r2 = c2.ReadResponse();
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->body, "served");
+  EXPECT_EQ(r2->body, "served");
+  server.Drain();
+  EXPECT_EQ(registry.GaugeValue("weblint_http_inflight"), 0);
+  EXPECT_EQ(registry.GaugeValue("weblint_http_queue_depth"), 0);
+}
+
+TEST(HttpServerReactorTest, DrainCompletesTheInFlightRequest) {
+  Latch latch;
+  std::atomic<int> entered{0};
+  HttpServer server([&](const HttpRequest&) {
+    entered.fetch_add(1);
+    latch.Wait();
+    HttpResponse response;
+    response.status = 200;
+    response.body = "finished";
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start(ReactorOptionsWith(2)).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(Get("/", "close")));
+  ASSERT_TRUE(WaitFor([&entered] { return entered.load() == 1; }));
+
+  std::thread drainer([&server] { server.Drain(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  latch.Open();
+  auto response = client.ReadResponse();
+  drainer.join();
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "finished");
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerReactorTest, DrainReleasesIdleConnectionsPromptly) {
+  HttpServer server([](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 200;
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  HttpServerOptions options = ReactorOptionsWith(1);
+  options.request_timeout_ms = 60'000;  // Idle timeout far beyond the test.
+  ASSERT_TRUE(server.Start(options).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(Get("/")));
+  ASSERT_TRUE(client.ReadResponse().ok());
+
+  const auto begin = std::chrono::steady_clock::now();
+  server.Drain();
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 10);
+  EXPECT_TRUE(client.WaitForClose());
+}
+
+TEST(HttpServerReactorTest, RequestCapClosesConnection) {
+  HttpServer server([](const HttpRequest& request) {
+    HttpResponse response;
+    response.status = 200;
+    response.body = std::string(request.target);
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  HttpServerOptions options = ReactorOptionsWith(1);
+  options.max_requests_per_connection = 2;
+  ASSERT_TRUE(server.Start(options).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(Get("/1")));
+  auto first = client.ReadResponse();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->Header("connection"), "keep-alive");
+  ASSERT_TRUE(client.Send(Get("/2")));
+  auto second = client.ReadResponse();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->Header("connection"), "close");
+  EXPECT_TRUE(client.WaitForClose());
+  server.Drain();
+}
+
+TEST(HttpServerReactorTest, OversizedRequestRefusedWith413) {
+  HttpServer server([](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start(ReactorOptionsWith(1)).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  // Headers that never end, past the 2 MiB framing cap.
+  std::string junk = "GET / HTTP/1.1\r\nhost: t\r\n";
+  junk.append((3u << 20), 'x');
+  client.Send(junk);  // The server may close mid-send; that's fine.
+  auto response = client.ReadResponse();
+  if (response.ok()) {
+    EXPECT_EQ(response->status, 413);
+  }
+  EXPECT_TRUE(client.WaitForClose());
+  server.Drain();
+}
+
+TEST(HttpServerReactorTest, WireShapedConnectionsAreOneShot) {
+  HttpServer server([](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 200;
+    response.body = "shaped";
+    return response;
+  });
+  // A pass-through shaper: the plan owns the wire, so even a keep-alive
+  // request gets exactly one response and then the close.
+  server.set_wire_shaper([](const HttpRequest&, std::string serialized) {
+    HttpServer::WirePlan plan;
+    plan.bytes = std::move(serialized);
+    return plan;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start(ReactorOptionsWith(1)).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(Get("/")));  // No connection: close requested.
+  auto response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_EQ(response->body, "shaped");
+  EXPECT_TRUE(client.WaitForClose());
+  server.Drain();
+}
+
+TEST(HttpServerReactorTest, HundredsOfIdleConnectionsOnOneWorker) {
+  std::atomic<int> handled{0};
+  HttpServer server([&handled](const HttpRequest&) {
+    handled.fetch_add(1);
+    HttpResponse response;
+    response.status = 200;
+    response.body = "ok";
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  HttpServerOptions options = ReactorOptionsWith(1);
+  options.max_queue = 512;
+  options.request_timeout_ms = 60'000;
+  ASSERT_TRUE(server.Start(options).ok());
+
+  // The c10k shape at test scale: hundreds of idle sockets cost watched
+  // fds, not workers, so the single worker stays free to serve.
+  constexpr int kIdle = 200;
+  std::vector<std::unique_ptr<TestClient>> idle;
+  idle.reserve(kIdle);
+  for (int i = 0; i < kIdle; ++i) {
+    auto client = std::make_unique<TestClient>();
+    ASSERT_TRUE(client->Connect(server.port()));
+    idle.push_back(std::move(client));
+  }
+  ASSERT_TRUE(WaitFor(
+      [&server] { return server.connections_served() == kIdle; }));
+
+  TestClient active;
+  ASSERT_TRUE(active.Connect(server.port()));
+  ASSERT_TRUE(active.Send(Get("/live", "close")));
+  auto response = active.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_EQ(response->body, "ok");
+  EXPECT_EQ(handled.load(), 1);
+
+  server.Drain();  // Idle connections released without waiting out deadlines.
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerReactorTest, ManyClientsManyRequestsAllServed) {
+  std::atomic<int> handled{0};
+  HttpServer server([&handled](const HttpRequest&) {
+    handled.fetch_add(1);
+    HttpResponse response;
+    response.status = 200;
+    response.body = "ok";
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  MetricsRegistry registry;
+  server.EnableMetrics(&registry);
+  HttpServerOptions options = ReactorOptionsWith(4);
+  options.max_queue = 64;
+  ASSERT_TRUE(server.Start(options).ok());
+
+  constexpr int kClients = 8;
+  constexpr int kRequests = 5;
+  std::atomic<int> ok_responses{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, &ok_responses] {
+      TestClient client;
+      if (!client.Connect(server.port())) {
+        return;
+      }
+      for (int r = 0; r < kRequests; ++r) {
+        const bool last = r == kRequests - 1;
+        if (!client.Send(Get("/page", last ? "close" : ""))) {
+          return;
+        }
+        auto response = client.ReadResponse();
+        if (response.ok() && response->status == 200) {
+          ok_responses.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  server.Drain();
+  EXPECT_EQ(handled.load(), kClients * kRequests);
+  EXPECT_EQ(ok_responses.load(), kClients * kRequests);
+  EXPECT_EQ(registry.CounterValue("weblint_http_requests_total"),
+            static_cast<std::uint64_t>(kClients * kRequests));
+  EXPECT_EQ(registry.CounterValue("weblint_http_keepalive_reuse_total"),
+            static_cast<std::uint64_t>(kClients * (kRequests - 1)));
+  EXPECT_EQ(registry.GaugeValue("weblint_http_inflight"), 0);
+  EXPECT_EQ(server.connections_served(), static_cast<std::uint64_t>(kClients));
+}
+
+TEST(HttpServerReactorTest, MetricsEndpointServedOverTheReactor) {
+  HttpServer server([](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 200;
+    return response;
+  });
+  MetricsRegistry registry;
+  registry.GetCounter("weblint_demo_total")->Increment(7);
+  server.EnableMetrics(&registry);
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start(ReactorOptionsWith(2)).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(Get("/page")));
+  ASSERT_TRUE(client.ReadResponse().ok());
+  ASSERT_TRUE(client.Send(Get("/metrics", "close")));
+  auto scrape = client.ReadResponse();
+  ASSERT_TRUE(scrape.ok()) << scrape.error();
+  EXPECT_EQ(scrape->status, 200);
+  EXPECT_NE(scrape->body.find("weblint_demo_total 7"), std::string::npos);
+  EXPECT_NE(scrape->body.find("weblint_http_requests_total 1"), std::string::npos);
+  // The reactor's own loop series is registered alongside the HTTP series.
+  EXPECT_NE(scrape->body.find("weblint_reactor_fds"), std::string::npos);
+  server.Drain();
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,306 @@
+// The reactor contract (reactor.h): nonblocking fd readiness on both
+// backends, FakeClock-driven timers in deterministic order, the Post()
+// cross-thread door, and Stop(). Every core test runs twice — epoll and
+// the forced poll() fallback — via the parameterized suite.
+#include "net/reactor.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/net_util.h"
+#include "util/clock.h"
+
+namespace weblint {
+namespace {
+
+// A pipe with both ends nonblocking; the read end is the usual fd under
+// Watch(), the write end triggers readiness.
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() {
+    EXPECT_EQ(::pipe(fds), 0);
+    EXPECT_TRUE(SetNonBlocking(fds[0], true));
+    EXPECT_TRUE(SetNonBlocking(fds[1], true));
+  }
+  ~Pipe() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  int reader() const { return fds[0]; }
+  int writer() const { return fds[1]; }
+  void Poke() { EXPECT_EQ(::write(fds[1], "x", 1), 1); }
+  void DrainReader() {
+    char buf[64];
+    while (ReadRetry(fds[0], buf, sizeof(buf)) > 0) {
+    }
+  }
+  void CloseWriter() {
+    ::close(fds[1]);
+    fds[1] = -1;
+  }
+};
+
+class ReactorTest : public ::testing::TestWithParam<bool> {
+ protected:
+  ReactorOptions Options() {
+    ReactorOptions options;
+    options.clock = &clock_;
+    options.force_poll_backend = GetParam();
+    return options;
+  }
+  FakeClock clock_;
+};
+
+TEST_P(ReactorTest, ReportsItsBackendAndWakePipeWatch) {
+  Reactor reactor(Options());
+#ifdef __linux__
+  EXPECT_EQ(reactor.using_epoll(), !GetParam());
+#else
+  EXPECT_FALSE(reactor.using_epoll());
+#endif
+  // The self-wake pipe is a real watch: a fresh reactor holds one fd.
+  EXPECT_EQ(reactor.watched_fds(), 1u);
+  EXPECT_EQ(reactor.armed_timers(), 0u);
+  EXPECT_EQ(reactor.clock(), &clock_);
+}
+
+TEST_P(ReactorTest, DeliversReadableWhenDataArrives) {
+  Reactor reactor(Options());
+  Pipe pipe;
+  std::uint32_t seen = 0;
+  int calls = 0;
+  ASSERT_TRUE(reactor.Watch(pipe.reader(), Reactor::kReadable,
+                            [&](std::uint32_t events) {
+                              seen = events;
+                              ++calls;
+                              pipe.DrainReader();
+                            }));
+  EXPECT_EQ(reactor.watched_fds(), 2u);
+  // Nothing pending: a zero-wait iteration runs no handlers.
+  EXPECT_EQ(reactor.PollOnce(0), 0u);
+  EXPECT_EQ(calls, 0);
+  pipe.Poke();
+  EXPECT_GE(reactor.PollOnce(0), 1u);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(seen & Reactor::kReadable);
+  // Drained: level-triggered readiness is gone again.
+  EXPECT_EQ(reactor.PollOnce(0), 0u);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_P(ReactorTest, LevelTriggeredRedeliversUntilDrained) {
+  Reactor reactor(Options());
+  Pipe pipe;
+  int calls = 0;
+  ASSERT_TRUE(reactor.Watch(pipe.reader(), Reactor::kReadable,
+                            [&](std::uint32_t) { ++calls; /* no drain */ }));
+  pipe.Poke();
+  EXPECT_GE(reactor.PollOnce(0), 1u);
+  EXPECT_GE(reactor.PollOnce(0), 1u);  // Still readable: called again.
+  EXPECT_EQ(calls, 2);
+}
+
+TEST_P(ReactorTest, SetEventsSwitchesInterestToWritable) {
+  Reactor reactor(Options());
+  Pipe pipe;
+  std::uint32_t seen = 0;
+  // Watch the WRITE end with no interest bits: never called.
+  ASSERT_TRUE(reactor.Watch(pipe.writer(), 0, [&](std::uint32_t events) {
+    seen = events;
+  }));
+  EXPECT_EQ(reactor.PollOnce(0), 0u);
+  // An empty pipe's write end is immediately writable once we ask.
+  ASSERT_TRUE(reactor.SetEvents(pipe.writer(), Reactor::kWritable));
+  EXPECT_GE(reactor.PollOnce(0), 1u);
+  EXPECT_TRUE(seen & Reactor::kWritable);
+  EXPECT_FALSE(reactor.SetEvents(12345, Reactor::kReadable));  // Unknown fd.
+}
+
+TEST_P(ReactorTest, UnwatchStopsDeliveryAndIsIdempotent) {
+  Reactor reactor(Options());
+  Pipe pipe;
+  int calls = 0;
+  ASSERT_TRUE(reactor.Watch(pipe.reader(), Reactor::kReadable,
+                            [&](std::uint32_t) { ++calls; }));
+  pipe.Poke();
+  reactor.Unwatch(pipe.reader());
+  reactor.Unwatch(pipe.reader());  // Safe on an already-removed fd.
+  EXPECT_EQ(reactor.watched_fds(), 1u);
+  EXPECT_EQ(reactor.PollOnce(0), 0u);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_P(ReactorTest, HandlerMayUnwatchItsOwnFd) {
+  Reactor reactor(Options());
+  Pipe pipe;
+  int calls = 0;
+  ASSERT_TRUE(reactor.Watch(pipe.reader(), Reactor::kReadable,
+                            [&](std::uint32_t) {
+                              ++calls;
+                              reactor.Unwatch(pipe.reader());
+                            }));
+  pipe.Poke();
+  EXPECT_GE(reactor.PollOnce(0), 1u);
+  EXPECT_EQ(reactor.PollOnce(0), 0u);  // One-shot by its own hand.
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_P(ReactorTest, PeerCloseDeliversErrorBit) {
+  Reactor reactor(Options());
+  Pipe pipe;
+  std::uint32_t seen = 0;
+  ASSERT_TRUE(reactor.Watch(pipe.reader(), Reactor::kReadable,
+                            [&](std::uint32_t events) {
+                              seen = events;
+                              reactor.Unwatch(pipe.reader());
+                            }));
+  pipe.CloseWriter();  // HUP on the read end.
+  EXPECT_GE(reactor.PollOnce(0), 1u);
+  EXPECT_TRUE(seen & Reactor::kError);
+  EXPECT_TRUE(seen & Reactor::kReadable);  // kError implies a read attempt.
+}
+
+TEST_P(ReactorTest, FakeClockTimerFiresOnlyAfterAdvance) {
+  Reactor reactor(Options());
+  int fired = 0;
+  reactor.AddTimer(5000, [&] { ++fired; });
+  EXPECT_EQ(reactor.armed_timers(), 1u);
+  EXPECT_EQ(reactor.PollOnce(0), 0u);  // Clock still at 0.
+  EXPECT_EQ(fired, 0);
+  clock_.Advance(4999);
+  EXPECT_EQ(reactor.PollOnce(0), 0u);  // One microsecond short.
+  clock_.Advance(1);
+  EXPECT_EQ(reactor.PollOnce(0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(reactor.armed_timers(), 0u);
+}
+
+TEST_P(ReactorTest, TimersFireInDeadlineThenArrivalOrder) {
+  Reactor reactor(Options());
+  std::vector<int> order;
+  reactor.AddTimer(9000, [&] { order.push_back(90); });
+  reactor.AddTimer(3000, [&] { order.push_back(30); });
+  reactor.AddTimer(3000, [&] { order.push_back(31); });  // Tie: arrival order.
+  clock_.Advance(10'000);
+  EXPECT_EQ(reactor.PollOnce(0), 3u);
+  EXPECT_EQ(order, (std::vector<int>{30, 31, 90}));
+}
+
+TEST_P(ReactorTest, CancelledTimerNeverFires) {
+  Reactor reactor(Options());
+  int fired = 0;
+  const std::uint64_t id = reactor.AddTimer(1000, [&] { ++fired; });
+  EXPECT_TRUE(reactor.CancelTimer(id));
+  EXPECT_FALSE(reactor.CancelTimer(id));
+  clock_.Advance(1'000'000);
+  EXPECT_EQ(reactor.PollOnce(0), 0u);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_P(ReactorTest, PostRunsTasksOnNextIteration) {
+  Reactor reactor(Options());
+  int ran = 0;
+  reactor.Post([&] { ++ran; });
+  reactor.Post([&] { ++ran; });
+  // >= 2: the two tasks, plus possibly the wake-pipe drain handler.
+  EXPECT_GE(reactor.PollOnce(0), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(reactor.PollOnce(0), 0u);  // Tasks run once.
+}
+
+TEST_P(ReactorTest, PostedTaskMayArmWatchAndTimer) {
+  Reactor reactor(Options());
+  Pipe pipe;
+  int io_calls = 0;
+  int timer_calls = 0;
+  // Loop-thread-only methods are legal from inside a posted task: that is
+  // exactly how pool workers hand connections back to the loop.
+  reactor.Post([&] {
+    reactor.Watch(pipe.reader(), Reactor::kReadable, [&](std::uint32_t) {
+      ++io_calls;
+      pipe.DrainReader();
+    });
+    reactor.AddTimer(100, [&] { ++timer_calls; });
+  });
+  pipe.Poke();
+  clock_.Advance(200);
+  reactor.PollOnce(0);  // Runs the post; readiness was gathered before.
+  reactor.PollOnce(0);  // Now the watch and the due timer both deliver.
+  EXPECT_EQ(io_calls, 1);
+  EXPECT_EQ(timer_calls, 1);
+}
+
+TEST_P(ReactorTest, PostFromAnotherThreadWakesTheRunLoop) {
+  Reactor reactor(Options());
+  std::atomic<int> ran{0};
+  std::thread loop([&] { reactor.Run(); });
+  // The loop is parked (nothing armed): only the self-pipe wake can make
+  // these run promptly. Stop() uses the same door.
+  for (int i = 0; i < 3; ++i) {
+    reactor.Post([&] { ran.fetch_add(1); });
+  }
+  while (ran.load() < 3) {
+    std::this_thread::yield();
+  }
+  reactor.Stop();
+  loop.join();
+  EXPECT_TRUE(reactor.stopped());
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST_P(ReactorTest, StopBeforeRunExitsImmediately) {
+  Reactor reactor(Options());
+  reactor.Stop();
+  reactor.Run();  // Must return without blocking.
+  EXPECT_TRUE(reactor.stopped());
+}
+
+TEST_P(ReactorTest, RewatchReplacesHandler) {
+  Reactor reactor(Options());
+  Pipe pipe;
+  int old_calls = 0;
+  int new_calls = 0;
+  ASSERT_TRUE(reactor.Watch(pipe.reader(), Reactor::kReadable,
+                            [&](std::uint32_t) { ++old_calls; }));
+  ASSERT_TRUE(reactor.Watch(pipe.reader(), Reactor::kReadable,
+                            [&](std::uint32_t) {
+                              ++new_calls;
+                              pipe.DrainReader();
+                            }));
+  EXPECT_EQ(reactor.watched_fds(), 2u);  // Replaced, not added.
+  pipe.Poke();
+  EXPECT_GE(reactor.PollOnce(0), 1u);
+  EXPECT_EQ(old_calls, 0);
+  EXPECT_EQ(new_calls, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ReactorTest, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? std::string("Poll")
+                                             : std::string("Epoll");
+                         });
+
+// Metrics plumbing is backend-independent: gauges track watches and timers.
+TEST(ReactorMetricsTest, ReactorPublishesGauges) {
+  FakeClock clock;
+  MetricsRegistry registry;
+  ReactorOptions options;
+  options.clock = &clock;
+  options.metrics = &registry;
+  Reactor reactor(options);
+  reactor.AddTimer(1000, [] {});
+  reactor.PollOnce(0);
+  EXPECT_EQ(registry.GaugeValue("weblint_reactor_fds"), 1);  // Wake pipe.
+  EXPECT_EQ(registry.GaugeValue("weblint_reactor_timers"), 1);
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,182 @@
+// The hashed timer wheel's determinism contract (timer_wheel.h): coarse
+// ticks, simultaneous expiries in (deadline, id) order, cancelled timers
+// never firing (including mid-batch), and survival past a full rotation.
+#include "net/timer_wheel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace weblint {
+namespace {
+
+TEST(TimerWheelTest, FiresAtDeadlineNotBefore) {
+  TimerWheel wheel(/*tick_micros=*/1000, /*slots=*/16);
+  int fired = 0;
+  wheel.Add(5000, [&] { ++fired; });
+  EXPECT_EQ(wheel.Advance(4999), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.Advance(5000), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(wheel.size(), 0u);
+  // A fired timer does not fire again.
+  EXPECT_EQ(wheel.Advance(50'000), 0u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, CoarseTicksStillFireInExactDeadlineOrder) {
+  // Deadlines 3200 and 3800 share the tick-3 slot; sub-tick order must hold.
+  TimerWheel wheel(/*tick_micros=*/1000, /*slots=*/16);
+  std::vector<int> order;
+  wheel.Add(3800, [&] { order.push_back(38); });
+  wheel.Add(3200, [&] { order.push_back(32); });
+  // The clock lands mid-tick: only the earlier one is due.
+  EXPECT_EQ(wheel.Advance(3500), 1u);
+  EXPECT_EQ(order, (std::vector<int>{32}));
+  EXPECT_EQ(wheel.Advance(3800), 1u);
+  EXPECT_EQ(order, (std::vector<int>{32, 38}));
+}
+
+TEST(TimerWheelTest, SimultaneousExpiriesFireInInsertionIdOrder) {
+  TimerWheel wheel(/*tick_micros=*/1000, /*slots=*/16);
+  std::vector<int> order;
+  // Same deadline, arrival order 0..4: must fire 0..4.
+  for (int i = 0; i < 5; ++i) {
+    wheel.Add(7000, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(wheel.Advance(7000), 5u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TimerWheelTest, BigJumpFiresByDeadlineThenIdAcrossSlots) {
+  // One 10-second jump covers deadlines hashed all over the wheel; the
+  // sequence must come out sorted by (deadline, id), not by slot.
+  TimerWheel wheel(/*tick_micros=*/1000, /*slots=*/8);
+  std::vector<std::uint64_t> order;
+  const std::uint64_t deadlines[] = {9500, 1200, 9500, 3300, 250, 7777};
+  for (const std::uint64_t deadline : deadlines) {
+    wheel.Add(deadline, [&order, deadline] { order.push_back(deadline); });
+  }
+  EXPECT_EQ(wheel.Advance(10'000'000), 6u);
+  // The two 9500s tie on deadline: insertion order (id 1 before id 3).
+  EXPECT_EQ(order,
+            (std::vector<std::uint64_t>{250, 1200, 3300, 7777, 9500, 9500}));
+}
+
+TEST(TimerWheelTest, StepwiseAndSingleJumpProduceTheSameSequence) {
+  const std::uint64_t deadlines[] = {9500, 1200, 9500, 3300, 250, 7777};
+  std::vector<std::uint64_t> jump_order;
+  std::vector<std::uint64_t> step_order;
+  TimerWheel jump(/*tick_micros=*/1000, /*slots=*/8);
+  TimerWheel step(/*tick_micros=*/1000, /*slots=*/8);
+  for (const std::uint64_t deadline : deadlines) {
+    jump.Add(deadline, [&jump_order, deadline] { jump_order.push_back(deadline); });
+    step.Add(deadline, [&step_order, deadline] { step_order.push_back(deadline); });
+  }
+  jump.Advance(12'000);
+  for (std::uint64_t now = 0; now <= 12'000; now += 1000) {
+    step.Advance(now);
+  }
+  EXPECT_EQ(jump_order, step_order);
+}
+
+TEST(TimerWheelTest, CancelledTimerNeverFires) {
+  TimerWheel wheel;
+  int fired = 0;
+  const std::uint64_t id = wheel.Add(1000, [&] { ++fired; });
+  EXPECT_EQ(wheel.size(), 1u);
+  EXPECT_TRUE(wheel.Cancel(id));
+  EXPECT_EQ(wheel.size(), 0u);
+  EXPECT_FALSE(wheel.Cancel(id));  // Already cancelled.
+  EXPECT_FALSE(wheel.Cancel(9999));  // Never existed.
+  EXPECT_EQ(wheel.Advance(1'000'000), 0u);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerWheelTest, CancelFromCallbackInSameBatchSuppressesIt) {
+  TimerWheel wheel(/*tick_micros=*/1000, /*slots=*/16);
+  int victim_fired = 0;
+  // Both due in the same Advance; the first callback cancels the second.
+  std::uint64_t victim = 0;
+  wheel.Add(2000, [&] { wheel.Cancel(victim); });
+  victim = wheel.Add(2500, [&] { ++victim_fired; });
+  EXPECT_EQ(wheel.Advance(3000), 1u);
+  EXPECT_EQ(victim_fired, 0);
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(TimerWheelTest, CallbackMayReArmAndTheNewTimerWaitsForNextAdvance) {
+  TimerWheel wheel(/*tick_micros=*/1000, /*slots=*/16);
+  int chained = 0;
+  wheel.Add(1000, [&] {
+    // Already due at this Advance, but must not fire inside it.
+    wheel.Add(1500, [&] { ++chained; });
+  });
+  EXPECT_EQ(wheel.Advance(2000), 1u);
+  EXPECT_EQ(chained, 0);
+  EXPECT_EQ(wheel.size(), 1u);
+  EXPECT_EQ(wheel.Advance(2000), 1u);
+  EXPECT_EQ(chained, 1);
+}
+
+TEST(TimerWheelTest, PastDueDeadlineFiresOnNextAdvance) {
+  TimerWheel wheel(/*tick_micros=*/1000, /*slots=*/16);
+  EXPECT_EQ(wheel.Advance(50'000), 0u);  // Move the cursor well forward.
+  int fired = 0;
+  wheel.Add(1000, [&] { ++fired; });  // Hopelessly in the past.
+  EXPECT_EQ(wheel.Advance(50'000), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, SurvivesWraparoundPastFullRotation) {
+  // 8 slots x 1 ms = one 8 ms rotation. A timer 2.5 rotations out must sit
+  // through two scans of its slot without firing early.
+  TimerWheel wheel(/*tick_micros=*/1000, /*slots=*/8);
+  int fired = 0;
+  wheel.Add(20'000, [&] { ++fired; });
+  for (std::uint64_t now = 0; now < 20'000; now += 1000) {
+    EXPECT_EQ(wheel.Advance(now), 0u) << "fired early at " << now;
+  }
+  EXPECT_EQ(wheel.Advance(20'000), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, WraparoundWithTrafficInEverySlot) {
+  // A long-range timer coexisting with short timers that hash to the same
+  // slot: the short ones fire on time, the long one only at its rotation.
+  TimerWheel wheel(/*tick_micros=*/1000, /*slots=*/8);
+  std::vector<std::uint64_t> order;
+  wheel.Add(4000, [&] { order.push_back(4000); });
+  wheel.Add(12'000, [&] { order.push_back(12'000); });  // Same slot, next rotation.
+  wheel.Add(20'000, [&] { order.push_back(20'000); });  // Two rotations out.
+  for (std::uint64_t now = 0; now <= 24'000; now += 1000) {
+    wheel.Advance(now);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{4000, 12'000, 20'000}));
+}
+
+TEST(TimerWheelTest, NextDeadlineTracksArmCancelAndFire) {
+  TimerWheel wheel;
+  EXPECT_EQ(wheel.NextDeadlineMicros(), UINT64_MAX);
+  const std::uint64_t early = wheel.Add(3000, [] {});
+  wheel.Add(9000, [] {});
+  EXPECT_EQ(wheel.NextDeadlineMicros(), 3000u);
+  EXPECT_TRUE(wheel.Cancel(early));
+  EXPECT_EQ(wheel.NextDeadlineMicros(), 9000u);  // Stale heap top popped.
+  wheel.Advance(9000);
+  EXPECT_EQ(wheel.NextDeadlineMicros(), UINT64_MAX);
+}
+
+TEST(TimerWheelTest, IdsAreNeverReused) {
+  TimerWheel wheel;
+  const std::uint64_t a = wheel.Add(100, [] {});
+  wheel.Advance(1000);  // `a` fires.
+  const std::uint64_t b = wheel.Add(2000, [] {});
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(wheel.Cancel(a));  // The fired id stays dead.
+  EXPECT_TRUE(wheel.Cancel(b));
+}
+
+}  // namespace
+}  // namespace weblint

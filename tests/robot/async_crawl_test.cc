@@ -1,0 +1,247 @@
+// The pipelined-crawl determinism contract (CrawlOptions::prefetch): the
+// consume stage replays the sequential visit logic in strict issue order,
+// so page-level crawl output is byte-identical between the classic
+// fetch-then-process loop and the prefetch window — under FaultyWeb chaos
+// with the blocking stack, and over real sockets between SocketFetcher and
+// the reactor-backed AsyncFetcher.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "corpus/site_generator.h"
+#include "net/async_fetcher.h"
+#include "net/fault_injection.h"
+#include "net/http_server.h"
+#include "net/socket_fetcher.h"
+#include "net/virtual_web.h"
+#include "robot/poacher.h"
+#include "util/clock.h"
+#include "util/strings.h"
+#include "warnings/emitter.h"
+
+namespace weblint {
+namespace {
+
+// --- Chaos determinism: sequential vs pipelined over the same FaultyWeb ---
+
+constexpr const char* kChaosScenario =
+    "seed 1234\n"
+    "fault /page1.html stall\n"
+    "fault /page3 refuse\n"
+    "fault /page5.html drop-body 8\n"
+    "fault /page7.html garbage\n"
+    "fault /page9.html redirect-loop\n"
+    "fault /page11.html oversize 100000\n"
+    "fault /page2 refuse times=2\n";
+
+FetchPolicy ChaosPolicy() {
+  FetchPolicy policy;
+  policy.read_deadline_ms = 500;
+  policy.total_deadline_ms = 4000;
+  policy.retries = 2;
+  policy.backoff_base_ms = 50;
+  policy.backoff_max_ms = 500;
+  policy.jitter_seed = 9;
+  policy.max_redirects = 4;
+  policy.max_response_bytes = 64 << 10;
+  return policy;
+}
+
+struct CrawlRun {
+  std::string output;
+  std::string fetch_stats;
+  PoacherReport report;
+};
+
+CrawlRun RunChaosCrawl(size_t prefetch, std::uint32_t jobs, size_t max_pages = 10000) {
+  SiteSpec spec;
+  spec.pages = 120;
+  spec.links_per_page = 6;
+  spec.broken_links = 4;
+  spec.redirects = 2;
+  spec.paragraphs_per_page = 2;
+  VirtualWeb web;
+  const GeneratedSite site = GenerateSite(spec);
+  PopulateVirtualWeb(site, &web);
+
+  auto scenario = ParseFaultScenario(kChaosScenario);
+  EXPECT_TRUE(scenario.ok()) << scenario.error();
+  FakeClock clock;
+  FaultyWeb faulty(web, *scenario, &clock);
+  faulty.set_stall_observed_ms(ChaosPolicy().read_deadline_ms);
+
+  Weblint lint;
+  lint.config().jobs = jobs;
+  PoacherOptions options;
+  options.crawl.fetch_policy = ChaosPolicy();
+  options.crawl.clock = &clock;
+  options.crawl.prefetch = prefetch;
+  options.crawl.max_pages = max_pages;
+
+  CrawlRun run;
+  std::ostringstream out;
+  StreamEmitter emitter(out, OutputStyle::kShort);
+  Poacher poacher(lint, faulty, options);
+  run.report = poacher.Run(site.IndexUrl(), &emitter);
+  run.output = out.str();
+  run.fetch_stats = FormatFetchStats(run.report.stats.fetch);
+  return run;
+}
+
+void ExpectSameCrawl(const CrawlRun& a, const CrawlRun& b) {
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.report.stats.pages_fetched, b.report.stats.pages_fetched);
+  EXPECT_EQ(a.report.stats.pages_degraded, b.report.stats.pages_degraded);
+  EXPECT_EQ(a.report.stats.fetch_failures, b.report.stats.fetch_failures);
+  EXPECT_EQ(a.report.stats.skipped_robots, b.report.stats.skipped_robots);
+  EXPECT_EQ(a.report.stats.skipped_duplicate, b.report.stats.skipped_duplicate);
+  EXPECT_EQ(a.report.pages.size(), b.report.pages.size());
+  EXPECT_EQ(a.report.broken_links.size(), b.report.broken_links.size());
+}
+
+TEST(AsyncCrawlTest, ChaosCrawlByteIdenticalWithPrefetchWindow) {
+  // A blocking fetcher in the prefetch window degenerates to the exact
+  // sequential request order, so even the wire stats must match.
+  const CrawlRun sequential = RunChaosCrawl(/*prefetch=*/0, /*jobs=*/1);
+  const CrawlRun pipelined = RunChaosCrawl(/*prefetch=*/8, /*jobs=*/1);
+  ExpectSameCrawl(sequential, pipelined);
+  EXPECT_EQ(sequential.fetch_stats, pipelined.fetch_stats);
+  EXPECT_GT(pipelined.report.stats.pages_degraded, 0u);  // Chaos really hit.
+}
+
+TEST(AsyncCrawlTest, ChaosCrawlByteIdenticalAcrossJobsAndWindowSizes) {
+  const CrawlRun base = RunChaosCrawl(0, 1);
+  ExpectSameCrawl(base, RunChaosCrawl(8, 8));
+  ExpectSameCrawl(base, RunChaosCrawl(3, 8));
+  ExpectSameCrawl(base, RunChaosCrawl(64, 1));
+}
+
+TEST(AsyncCrawlTest, MaxPagesHonoredMidWindow) {
+  // The cap lands inside an open prefetch window: page-level output still
+  // matches the sequential run exactly (surplus fetches are discarded, not
+  // consumed).
+  const CrawlRun sequential = RunChaosCrawl(0, 1, /*max_pages=*/7);
+  const CrawlRun pipelined = RunChaosCrawl(16, 1, /*max_pages=*/7);
+  EXPECT_LE(sequential.report.stats.pages_fetched, 7u);
+  ExpectSameCrawl(sequential, pipelined);
+}
+
+// --- Real sockets: SocketFetcher vs AsyncFetcher over one live origin ---
+
+// A small live site with lintable pages, a redirect, and a dead link.
+class LiveOrigin {
+ public:
+  LiveOrigin() : server_([this](const HttpRequest& request) { return Serve(request); }) {
+    std::string index = "<HTML><HEAD><TITLE>idx</TITLE></HEAD><BODY>";
+    for (int i = 1; i <= 4; ++i) {
+      const std::string name = StrFormat("/page%d.html", i);
+      // <B> left unclosed: every page yields a deterministic diagnostic.
+      pages_[name] = StrFormat(
+          "<HTML><HEAD><TITLE>p%d</TITLE></HEAD><BODY><P>body %d<B>bold</P></BODY></HTML>",
+          i, i);
+      index += StrFormat("<A HREF=\"%s\">p%d</A> ", name.c_str(), i);
+    }
+    index += "<A HREF=\"/old.html\">moved</A> ";
+    index += "<A HREF=\"/missing.html\">gone</A>";
+    index += "</BODY></HTML>";
+    pages_["/index.html"] = index;
+
+    EXPECT_TRUE(server_.Listen(0).ok());
+    HttpServerOptions options;
+    options.threads = 4;
+    options.max_queue = 128;
+    EXPECT_TRUE(server_.Start(options).ok());
+  }
+  ~LiveOrigin() { server_.Drain(); }
+
+  std::string StartUrl() const {
+    return StrFormat("http://127.0.0.1:%d/index.html", server_.port());
+  }
+
+ private:
+  HttpResponse Serve(const HttpRequest& request) {
+    HttpResponse response;
+    if (request.target == "/old.html") {
+      response.status = 301;
+      response.reason = "Moved Permanently";
+      response.headers["location"] = "/page2.html";
+      return response;
+    }
+    const auto it = pages_.find(request.target);
+    if (it == pages_.end()) {
+      response.status = 404;
+      response.reason = "Not Found";
+      response.body = "gone\n";
+      return response;
+    }
+    response.status = 200;
+    response.reason = "OK";
+    response.headers["content-type"] = "text/html";
+    response.body = it->second;
+    return response;
+  }
+
+  std::map<std::string, std::string> pages_;
+  HttpServer server_;
+};
+
+CrawlRun RunLiveCrawl(LiveOrigin& origin, UrlFetcher& fetcher, size_t prefetch,
+                      std::uint32_t jobs) {
+  Weblint lint;
+  lint.config().jobs = jobs;
+  PoacherOptions options;
+  options.validate_links = false;  // Page-level parity is the contract here.
+  options.crawl.prefetch = prefetch;
+  options.crawl.fetch_policy.retries = 0;
+
+  CrawlRun run;
+  std::ostringstream out;
+  StreamEmitter emitter(out, OutputStyle::kShort);
+  Poacher poacher(lint, fetcher, options);
+  run.report = poacher.Run(origin.StartUrl(), &emitter);
+  run.output = out.str();
+  return run;
+}
+
+TEST(AsyncCrawlTest, LiveCrawlIdenticalBetweenBlockingAndAsyncFetchers) {
+  LiveOrigin origin;
+
+  SocketFetcher blocking;
+  const CrawlRun socket_run = RunLiveCrawl(origin, blocking, /*prefetch=*/0, /*jobs=*/1);
+
+  AsyncFetcher::Options async_options;
+  async_options.policy.retries = 0;
+  async_options.max_inflight = 8;
+  AsyncFetcher async(async_options);
+  const CrawlRun async_run = RunLiveCrawl(origin, async, /*prefetch=*/8, /*jobs=*/1);
+
+  // The crawl actually covered the site (index plus the four leaves)...
+  EXPECT_GE(socket_run.report.stats.pages_fetched, 5u);
+  // ...and the async swap-in is invisible at the page level.
+  EXPECT_EQ(socket_run.output, async_run.output);
+  EXPECT_EQ(socket_run.report.stats.pages_fetched, async_run.report.stats.pages_fetched);
+  EXPECT_EQ(socket_run.report.stats.fetch_failures, async_run.report.stats.fetch_failures);
+  EXPECT_EQ(socket_run.report.pages.size(), async_run.report.pages.size());
+  EXPECT_GE(socket_run.report.stats.fetch_failures, 1u);  // /missing.html.
+  EXPECT_GT(socket_run.output.size(), 0u);  // The unclosed <B>s produced output.
+}
+
+TEST(AsyncCrawlTest, LiveCrawlIdenticalAcrossLintJobCounts) {
+  LiveOrigin origin;
+  AsyncFetcher::Options async_options;
+  async_options.policy.retries = 0;
+  async_options.max_inflight = 8;
+
+  AsyncFetcher a(async_options);
+  const CrawlRun j1 = RunLiveCrawl(origin, a, 8, /*jobs=*/1);
+  AsyncFetcher b(async_options);
+  const CrawlRun j8 = RunLiveCrawl(origin, b, 8, /*jobs=*/8);
+  EXPECT_EQ(j1.output, j8.output);
+  EXPECT_EQ(j1.report.pages.size(), j8.report.pages.size());
+  EXPECT_EQ(j1.report.stats.pages_fetched, j8.report.stats.pages_fetched);
+}
+
+}  // namespace
+}  // namespace weblint
