@@ -12,6 +12,7 @@
 
 #include "core/linter.h"
 #include "corpus/site_generator.h"
+#include "crawl/frontier.h"
 #include "net/async_fetcher.h"
 #include "net/http_server.h"
 #include "net/socket_fetcher.h"
@@ -196,6 +197,71 @@ BENCHMARK(BM_PoacherMassFetch)
     ->Arg(128)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// E17: the sharded crawl frontier over a multi-host web. Same lint work as
+// a plain crawl; the delta against BM_PoacherCrawl (and, on the wire,
+// BM_PoacherMassFetch) is the frontier's bookkeeping: shard queues,
+// per-host budgets, content-digest dedupe, and the journal disabled
+// (in-memory frontier) so the number isolates scheduling overhead.
+// Run with --benchmark_format=json to get pages_per_s per shard count.
+
+struct MultiHostFixture {
+  MultiHostSite site;
+  std::unique_ptr<VirtualWeb> web;
+};
+
+const MultiHostFixture& MultiHostFor(int hosts) {
+  static std::map<int, MultiHostFixture> cache;
+  auto it = cache.find(hosts);
+  if (it == cache.end()) {
+    MultiHostSpec spec;
+    spec.hosts = hosts;
+    spec.pages_per_host = 32;
+    spec.mirrored_pages = 4;
+    spec.seed = 0x511A + static_cast<unsigned>(hosts);
+    MultiHostFixture fixture;
+    fixture.web = std::make_unique<VirtualWeb>();
+    fixture.site = GenerateMultiHostWeb(spec, fixture.web.get());
+    it = cache.emplace(hosts, std::move(fixture)).first;
+  }
+  return it->second;
+}
+
+void BM_ShardedCrawl(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const MultiHostFixture& fixture = MultiHostFor(8);
+  Weblint lint;
+  lint.config().jobs = 2;
+  size_t pages = 0;
+  std::uint64_t dedupe_hits = 0;
+  std::uint64_t stalls = 0;
+  for (auto _ : state) {
+    PoacherOptions options;
+    options.validate_links = false;
+    options.crawl.stay_on_host = false;
+    FrontierOptions frontier_options;
+    frontier_options.shards = shards;
+    Frontier frontier(frontier_options);
+    if (!frontier.Open().ok()) {
+      state.SkipWithError("frontier open failed");
+      return;
+    }
+    options.frontier = &frontier;
+    Poacher poacher(lint, *fixture.web, options);
+    const PoacherReport report = poacher.Run(fixture.site.StartUrl());
+    pages = report.pages.size();
+    dedupe_hits = frontier.dedupe_hits();
+    stalls = frontier.stalls();
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["pages"] = static_cast<double>(pages);
+  state.counters["dedupe_hits"] = static_cast<double>(dedupe_hits);
+  state.counters["politeness_stalls"] = static_cast<double>(stalls);
+  state.counters["pages_per_s"] = benchmark::Counter(
+      static_cast<double>(pages * state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShardedCrawl)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -102,6 +102,9 @@ size_t ParallelLintRunner::SubmitFile(std::string path) {
                   emitter_))
             : Result<LintReport>(content.status());
     RecordPage(begin_us);
+    if (observer_ && report.ok()) {
+      observer_(index, *report);
+    }
     std::lock_guard<std::mutex> lock(results_mu_);
     if (!report.ok()) {
       error_seen_ = true;
@@ -136,6 +139,9 @@ size_t ParallelLintRunner::SubmitString(std::string name, std::string html) {
     LintReport report = CheckThroughCache(
         name, html, [&](Emitter* e) { return weblint_.CheckString(name, html, e); }, emitter_);
     RecordPage(begin_us);
+    if (observer_) {
+      observer_(index, report);
+    }
     std::lock_guard<std::mutex> lock(results_mu_);
     results_[index] = Result<LintReport>(std::move(report));
     return index;
@@ -185,6 +191,9 @@ void ParallelLintRunner::RunSlot(size_t index,
   const std::uint64_t begin_us = clock_ != nullptr ? clock_->NowMicros() : 0;
   Result<LintReport> result = check();
   RecordPage(begin_us);
+  if (observer_ && result.ok()) {
+    observer_(index, *result);
+  }
   std::lock_guard<std::mutex> lock(results_mu_);
   results_[index] = std::move(result);
   FlushReadyLocked();

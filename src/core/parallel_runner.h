@@ -73,6 +73,16 @@ class ParallelLintRunner {
   // this call.
   std::vector<Result<LintReport>> Finish();
 
+  // Observer fired once per *checked* page (SubmitFile/SubmitString slots,
+  // not SubmitReport ones) with the slot index and the finished report.
+  // Fires in completion order — not submit order — and from worker threads
+  // in parallel mode, so the observer must be thread-safe. The poacher's
+  // frontier crawl uses this to persist each page's serialized report as a
+  // journal payload keyed by its crawl sequence number.
+  void SetReportObserver(std::function<void(size_t, const LintReport&)> observer) {
+    observer_ = std::move(observer);
+  }
+
   // Number of workers this runner was resolved to (>= 1).
   unsigned jobs() const { return jobs_; }
 
@@ -126,6 +136,7 @@ class ParallelLintRunner {
   std::vector<std::optional<Result<LintReport>>> results_;
   size_t flush_frontier_ = 0;
   bool error_seen_ = false;  // Serial semantics: no output past the first error.
+  std::function<void(size_t, const LintReport&)> observer_;
 };
 
 }  // namespace weblint

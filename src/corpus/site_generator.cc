@@ -118,4 +118,76 @@ Status WriteSiteToDisk(const GeneratedSite& site, const std::string& root) {
   return Status::Ok();
 }
 
+MultiHostSite GenerateMultiHostWeb(const MultiHostSpec& spec, VirtualWeb* web) {
+  MultiHostSite site;
+  const size_t hosts = spec.hosts > 0 ? spec.hosts : 1;
+  site.hosts.reserve(hosts);
+  for (size_t h = 0; h < hosts; ++h) {
+    site.hosts.push_back(StrFormat("host%d.example", h));
+  }
+
+  SplitMix64 rng(spec.seed);
+  PageGenerator pages(spec.seed ^ 0x5157ULL);
+
+  // Mirrored bodies are generated once and installed verbatim on every
+  // host: N copies, one digest — the frontier must lint each exactly once.
+  std::vector<std::string> mirror_bodies;
+  for (size_t i = 0; i < spec.mirrored_pages; ++i) {
+    mirror_bodies.push_back(
+        pages.ProsePage(StrFormat("mirror %d", i), spec.paragraphs_per_page, {}));
+  }
+  site.mirror_groups = mirror_bodies.size();
+
+  for (size_t h = 0; h < hosts; ++h) {
+    const std::string& host = site.hosts[h];
+    const auto url_for = [&](const std::string& path) { return "http://" + host + path; };
+
+    // Index: chain head, the mirror pages, and (host0 only) every other
+    // host's index, so one start URL reaches the whole web.
+    std::vector<std::string> index_links;
+    if (spec.pages_per_host > 0) {
+      index_links.push_back("page0.html");
+    }
+    for (size_t i = 0; i < spec.mirrored_pages; ++i) {
+      index_links.push_back(StrFormat("mirror%d.html", i));
+    }
+    if (h == 0) {
+      for (size_t other = 1; other < hosts; ++other) {
+        index_links.push_back("http://" + site.hosts[other] + "/index.html");
+      }
+    }
+    web->AddPage(url_for("/index.html"),
+                 pages.ProsePage(StrFormat("%s index", host), spec.paragraphs_per_page,
+                                 index_links));
+    ++site.total_pages;
+
+    for (size_t i = 0; i < spec.pages_per_host; ++i) {
+      std::vector<std::string> links;
+      if (i + 1 < spec.pages_per_host) {
+        links.push_back(StrFormat("page%d.html", i + 1));
+      }
+      for (size_t k = 1; k < spec.links_per_page && spec.pages_per_host > 1; ++k) {
+        links.push_back(StrFormat("page%d.html", rng.Below(spec.pages_per_host)));
+      }
+      for (size_t k = 0; k < spec.cross_links_per_page && hosts > 1; ++k) {
+        const std::string& other = site.hosts[(h + 1 + rng.Below(hosts - 1)) % hosts];
+        links.push_back(StrFormat("http://%s/page%d.html", other,
+                                  spec.pages_per_host > 0 ? rng.Below(spec.pages_per_host) : 0));
+      }
+      web->AddPage(url_for(StrFormat("/page%d.html", i)),
+                   pages.ProsePage(StrFormat("%s page %d", host, i),
+                                   spec.paragraphs_per_page, links));
+      ++site.total_pages;
+    }
+
+    for (size_t i = 0; i < spec.mirrored_pages; ++i) {
+      const std::string url = url_for(StrFormat("/mirror%d.html", i));
+      web->AddPage(url, mirror_bodies[i]);
+      site.mirrored_urls.insert(url);
+      ++site.total_pages;
+    }
+  }
+  return site;
+}
+
 }  // namespace weblint

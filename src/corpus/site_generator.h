@@ -61,6 +61,35 @@ void PopulateVirtualWeb(const GeneratedSite& site, VirtualWeb* web);
 // the -R recursive-checking experiments. Paths map /a/b.html -> root/a/b.html.
 Status WriteSiteToDisk(const GeneratedSite& site, const std::string& root);
 
+// --- Multi-host webs (sharded-frontier experiments) ---------------------
+
+struct MultiHostSpec {
+  size_t hosts = 3;              // host0.example .. host{N-1}.example
+  size_t pages_per_host = 6;     // Reachable pages beyond each host's index.
+  size_t links_per_page = 3;     // Same-host links per page.
+  size_t cross_links_per_page = 1;  // Absolute links to other hosts per page.
+  size_t mirrored_pages = 2;     // Per host: /mirror{i}.html, byte-identical
+                                 // across every host (dedupe ground truth).
+  size_t paragraphs_per_page = 4;
+  std::uint64_t seed = 7;
+};
+
+struct MultiHostSite {
+  std::vector<std::string> hosts;
+  size_t total_pages = 0;            // Pages installed across all hosts.
+  size_t mirror_groups = 0;          // Distinct mirrored bodies.
+  std::set<std::string> mirrored_urls;  // Every URL serving a mirrored body.
+
+  // Crawl entry point; host0's index links every other host's index, so the
+  // whole web is reachable with stay_on_host disabled.
+  std::string StartUrl() const { return "http://" + hosts.front() + "/index.html"; }
+};
+
+// Generates a deterministic multi-host web and installs it into `web`:
+// per-host page chains, cross-host links, and mirrored (byte-identical)
+// pages for content-digest dedupe tests. All pages are clean HTML.
+MultiHostSite GenerateMultiHostWeb(const MultiHostSpec& spec, VirtualWeb* web);
+
 }  // namespace weblint
 
 #endif  // WEBLINT_CORPUS_SITE_GENERATOR_H_

@@ -1,0 +1,465 @@
+#include "crawl/frontier.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "util/digest.h"
+#include "util/file_io.h"
+#include "util/url.h"
+
+namespace weblint {
+
+namespace {
+
+constexpr char kJournalFile[] = "journal.log";
+constexpr char kSnapshotFile[] = "snapshot.wls";
+
+}  // namespace
+
+Frontier::Frontier(FrontierOptions options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::System()) {
+  options_.shards = std::max(options_.shards, 1);
+  options_.max_inflight_per_host = std::max(options_.max_inflight_per_host, 1);
+  if (options_.metrics != nullptr) {
+    MetricsRegistry* registry = options_.metrics;
+    m_depth_ = registry->GetGauge("weblint_frontier_depth");
+    m_shard_depth_.reserve(static_cast<size_t>(options_.shards));
+    for (int shard = 0; shard < options_.shards; ++shard) {
+      m_shard_depth_.push_back(registry->GetGauge("weblint_frontier_shard_depth", "shard",
+                                                  std::to_string(shard)));
+    }
+    m_stalls_ = registry->GetCounter("weblint_frontier_politeness_stalls_total");
+    m_dedupe_hits_ = registry->GetCounter("weblint_frontier_dedupe_hits_total");
+    m_enqueued_ = registry->GetCounter("weblint_frontier_enqueued_total");
+    m_completed_ = registry->GetCounter("weblint_frontier_completed_total");
+  }
+}
+
+Frontier::~Frontier() {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  journal_.Close();
+}
+
+Frontier::HostState& Frontier::HostFor(const Entry& entry) {
+  auto it = hosts_.find(entry.host);
+  if (it == hosts_.end()) {
+    HostState state;
+    state.shard = static_cast<int>(HashBytes(entry.host) %
+                                   static_cast<std::uint64_t>(options_.shards));
+    it = hosts_.emplace(entry.host, std::move(state)).first;
+  }
+  return it->second;
+}
+
+void Frontier::UpdateGauges() {
+  if (m_depth_ != nullptr) {
+    m_depth_->Set(static_cast<std::int64_t>(pending_count_));
+  }
+}
+
+void Frontier::PushPending(std::uint64_t seq) {
+  Entry& entry = entries_[seq];
+  entry.state = EntryState::kPending;
+  HostState& host = HostFor(entry);
+  host.queue.push_back(seq);
+  ++pending_count_;
+  if (!m_shard_depth_.empty()) {
+    m_shard_depth_[static_cast<size_t>(host.shard)]->Add(1);
+  }
+  UpdateGauges();
+}
+
+void Frontier::AppendControl(const JournalRecord& record) {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  journal_.Append(record);
+}
+
+void Frontier::ApplyRecord(const JournalRecord& record,
+                           std::map<std::uint64_t, std::string>* payloads) {
+  switch (record.type) {
+    case JournalRecordType::kEnqueue: {
+      if (record.seq >= entries_.size()) {
+        entries_.resize(record.seq + 1);
+      }
+      Entry& entry = entries_[record.seq];
+      entry.key = record.text;
+      entry.host = ParseUrl(entry.key).Authority();
+      key_to_seq_[entry.key] = record.seq;
+      break;
+    }
+    case JournalRecordType::kPayload:
+      (*payloads)[record.seq] = record.text;
+      break;
+    case JournalRecordType::kCounters:
+      skipped_duplicate_ = record.a;
+      skipped_offsite_ = record.b;
+      break;
+    default:
+      // Terminal outcome; last record for a seq wins (a redo re-completes).
+      terminals_[record.seq] = record;
+      break;
+  }
+}
+
+Status Frontier::Open() {
+  if (options_.dir.empty()) {
+    return Status::Ok();
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  journal_path_ = PathJoin(options_.dir, kJournalFile);
+  snapshot_path_ = PathJoin(options_.dir, kSnapshotFile);
+
+  if (!options_.resume) {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    return journal_.Open(journal_path_, /*resume=*/false, 0);
+  }
+
+  // ---- Recovery: longest-valid-prefix, snapshot-accelerated. ----
+  std::string journal_bytes;
+  if (Result<std::string> read = ReadFile(journal_path_); read.ok()) {
+    journal_bytes = std::move(*read);
+  }
+  std::map<std::uint64_t, std::string> payloads;
+  const std::optional<SnapshotData> snapshot = ReadSnapshotFile(snapshot_path_);
+  if (snapshot.has_value()) {
+    // The snapshot is the compacted control state up to its journal offset;
+    // only payload frames (which snapshots never carry) are mined from the
+    // covered region of the journal. Everything after the offset applies
+    // in full.
+    for (const JournalRecord& record : snapshot->records) {
+      ApplyRecord(record, &payloads);
+    }
+  }
+  JournalReader reader(journal_bytes);
+  JournalRecord record;
+  const std::uint64_t snapshot_offset =
+      snapshot.has_value() ? snapshot->journal_offset : 0;
+  while (true) {
+    const bool covered = reader.offset() < snapshot_offset;
+    if (!reader.Next(&record)) {
+      break;
+    }
+    if (snapshot.has_value() && covered &&
+        record.type != JournalRecordType::kPayload) {
+      continue;
+    }
+    ApplyRecord(record, &payloads);
+  }
+  const std::uint64_t valid_prefix = reader.offset();
+
+  // Rebuild the runtime structures: completed seqs become the replayable
+  // prefix, everything else re-queues in seq order (so host queues stay
+  // seq-sorted and scheduling is identical to the uninterrupted run).
+  for (std::uint64_t seq = 0; seq < entries_.size(); ++seq) {
+    Entry& entry = entries_[seq];
+    const auto terminal = terminals_.find(seq);
+    if (terminal == terminals_.end()) {
+      if (!entry.key.empty()) {
+        PushPending(seq);
+      }
+      continue;
+    }
+    entry.state = EntryState::kDone;
+    RecoveredOutcome outcome;
+    outcome.record = terminal->second;
+    outcome.key = entry.key;
+    if (terminal->second.type == JournalRecordType::kPage) {
+      if (auto payload = payloads.find(seq); payload != payloads.end()) {
+        outcome.payload = std::move(payload->second);
+        outcome.has_payload = true;
+      }
+      digests_.emplace(terminal->second.digest,
+                       std::make_pair(seq, terminal->second.text));
+    } else if (terminal->second.type == JournalRecordType::kAlias) {
+      ++dedupe_hits_;
+    }
+    recovered_.push_back(std::move(outcome));
+  }
+
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  return journal_.Open(journal_path_, /*resume=*/true, valid_prefix);
+}
+
+std::optional<std::uint64_t> Frontier::Enqueue(const std::string& key) {
+  if (key_to_seq_.contains(key)) {
+    ++skipped_duplicate_;
+    counters_dirty_ = true;
+    return std::nullopt;
+  }
+  const std::uint64_t seq = entries_.size();
+  Entry entry;
+  entry.key = key;
+  entry.host = ParseUrl(key).Authority();
+  entries_.push_back(std::move(entry));
+  key_to_seq_.emplace(key, seq);
+  JournalRecord record;
+  record.type = JournalRecordType::kEnqueue;
+  record.seq = seq;
+  record.text = key;
+  AppendControl(record);
+  PushPending(seq);
+  if (m_enqueued_ != nullptr) {
+    m_enqueued_->Increment();
+  }
+  return seq;
+}
+
+void Frontier::CountOffsite() {
+  ++skipped_offsite_;
+  counters_dirty_ = true;
+}
+
+std::optional<FrontierClaim> Frontier::ClaimNextReady(bool only_head) {
+  if (pending_count_ == 0) {
+    return std::nullopt;
+  }
+  const std::uint64_t now = clock_->NowMicros();
+  const std::string* best_host = nullptr;
+  std::uint64_t best_seq = 0;
+  const std::string* head_host = nullptr;
+  std::uint64_t head_seq = 0;
+  for (const auto& [name, host] : hosts_) {
+    if (host.queue.empty()) {
+      continue;
+    }
+    const std::uint64_t seq = host.queue.front();
+    if (head_host == nullptr || seq < head_seq) {
+      head_host = &name;
+      head_seq = seq;
+    }
+    const bool ready =
+        host.inflight < options_.max_inflight_per_host && now >= host.next_allowed_us;
+    if (ready && (best_host == nullptr || seq < best_seq)) {
+      best_host = &name;
+      best_seq = seq;
+    }
+  }
+  if (only_head) {
+    // The consume head bypasses the prefetch-window cap but still honours
+    // its own host's politeness budget (in-flight fetches on that host
+    // complete and release it, so this cannot deadlock).
+    if (best_host == nullptr || best_seq != head_seq) {
+      return std::nullopt;
+    }
+  }
+  if (best_host == nullptr) {
+    return std::nullopt;
+  }
+  HostState& host = hosts_.find(*best_host)->second;
+  host.queue.pop_front();
+  --pending_count_;
+  ++host.inflight;
+  host.next_allowed_us = now + options_.per_host_delay_us;
+  Entry& entry = entries_[best_seq];
+  entry.state = EntryState::kInflight;
+  if (!m_shard_depth_.empty()) {
+    m_shard_depth_[static_cast<size_t>(host.shard)]->Add(-1);
+  }
+  UpdateGauges();
+  FrontierClaim claim;
+  claim.seq = best_seq;
+  claim.url = entry.key;
+  return claim;
+}
+
+std::optional<std::uint64_t> Frontier::MicrosUntilNextReady(bool only_head) const {
+  if (pending_count_ == 0) {
+    return std::nullopt;
+  }
+  const std::uint64_t now = clock_->NowMicros();
+  const HostState* head_host = nullptr;
+  std::uint64_t head_seq = 0;
+  std::optional<std::uint64_t> best;
+  for (const auto& [name, host] : hosts_) {
+    if (host.queue.empty()) {
+      continue;
+    }
+    if (head_host == nullptr || host.queue.front() < head_seq) {
+      head_host = &host;
+      head_seq = host.queue.front();
+    }
+    if (host.inflight >= options_.max_inflight_per_host) {
+      continue;  // Time alone will not make this host ready.
+    }
+    const std::uint64_t wait =
+        host.next_allowed_us > now ? host.next_allowed_us - now : 0;
+    if (!best.has_value() || wait < *best) {
+      best = wait;
+    }
+  }
+  if (only_head) {
+    if (head_host == nullptr || head_host->inflight >= options_.max_inflight_per_host) {
+      return std::nullopt;
+    }
+    return head_host->next_allowed_us > now ? head_host->next_allowed_us - now : 0;
+  }
+  return best;
+}
+
+void Frontier::OnFetchDone(std::uint64_t seq) {
+  Entry& entry = entries_[seq];
+  if (entry.fetch_released) {
+    return;
+  }
+  entry.fetch_released = true;
+  HostState& host = HostFor(entry);
+  if (host.inflight > 0) {
+    --host.inflight;
+  }
+}
+
+void Frontier::NoteStall() {
+  ++stalls_;
+  if (m_stalls_ != nullptr) {
+    m_stalls_->Increment();
+  }
+}
+
+std::uint64_t Frontier::TouchHostForIssue(const std::string& key) {
+  const auto it = key_to_seq_.find(key);
+  if (it == key_to_seq_.end()) {
+    return 0;
+  }
+  HostState& host = HostFor(entries_[it->second]);
+  const std::uint64_t now = clock_->NowMicros();
+  const std::uint64_t issue_at = std::max(now, host.next_allowed_us);
+  host.next_allowed_us = issue_at + options_.per_host_delay_us;
+  return issue_at - now;
+}
+
+std::optional<std::string> Frontier::AliasOwner(std::uint64_t digest, std::uint64_t seq) const {
+  const auto it = digests_.find(digest);
+  if (it == digests_.end() || it->second.first >= seq) {
+    return std::nullopt;
+  }
+  return it->second.second;
+}
+
+void Frontier::CompleteCommon(std::uint64_t seq, const JournalRecord& record) {
+  entries_[seq].state = EntryState::kDone;
+  terminals_[seq] = record;
+  AppendControl(record);
+  if (m_completed_ != nullptr) {
+    m_completed_->Increment();
+  }
+}
+
+void Frontier::CompletePage(std::uint64_t seq, const std::string& display_url,
+                            std::uint64_t digest) {
+  // emplace keeps the lowest-seq owner: a redo re-completion of a page that
+  // already owns its digest is a no-op here.
+  digests_.emplace(digest, std::make_pair(seq, display_url));
+  JournalRecord record;
+  record.type = JournalRecordType::kPage;
+  record.seq = seq;
+  record.text = display_url;
+  record.digest = digest;
+  CompleteCommon(seq, record);
+}
+
+void Frontier::CompleteAlias(std::uint64_t seq, const std::string& display_url,
+                             const std::string& canonical_display, std::uint64_t digest) {
+  ++dedupe_hits_;
+  if (m_dedupe_hits_ != nullptr) {
+    m_dedupe_hits_->Increment();
+  }
+  JournalRecord record;
+  record.type = JournalRecordType::kAlias;
+  record.seq = seq;
+  record.text = display_url;
+  record.text2 = canonical_display;
+  record.digest = digest;
+  CompleteCommon(seq, record);
+}
+
+void Frontier::CompleteHttpFail(std::uint64_t seq, int status) {
+  JournalRecord record;
+  record.type = JournalRecordType::kHttpFail;
+  record.seq = seq;
+  record.status = static_cast<std::uint32_t>(status);
+  CompleteCommon(seq, record);
+}
+
+void Frontier::CompleteDegraded(std::uint64_t seq, std::uint32_t outcome,
+                                const std::string& detail) {
+  JournalRecord record;
+  record.type = JournalRecordType::kDegraded;
+  record.seq = seq;
+  record.status = outcome;
+  record.text = detail;
+  CompleteCommon(seq, record);
+}
+
+void Frontier::CompleteSkip(std::uint64_t seq, FrontierSkip reason,
+                            const std::string& redirect_target) {
+  JournalRecord record;
+  record.type = JournalRecordType::kSkip;
+  record.seq = seq;
+  record.status = static_cast<std::uint32_t>(reason);
+  record.text = redirect_target;
+  CompleteCommon(seq, record);
+}
+
+Status Frontier::Flush() {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  if (!journal_.is_open()) {
+    return Status::Ok();
+  }
+  if (counters_dirty_) {
+    JournalRecord counters;
+    counters.type = JournalRecordType::kCounters;
+    counters.a = skipped_duplicate_;
+    counters.b = skipped_offsite_;
+    journal_.Append(counters);
+    counters_dirty_ = false;
+  }
+  const std::uint64_t before = journal_.records_written();
+  if (Status s = journal_.Flush(); !s.ok()) {
+    return s;
+  }
+  records_since_snapshot_ += journal_.records_written() - before;
+  if (records_since_snapshot_ >= options_.snapshot_every_records) {
+    records_since_snapshot_ = 0;
+    return WriteSnapshotLocked();
+  }
+  return Status::Ok();
+}
+
+void Frontier::AttachPayload(std::uint64_t seq, std::string payload) {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  if (!journal_.is_open()) {
+    return;
+  }
+  JournalRecord record;
+  record.type = JournalRecordType::kPayload;
+  record.seq = seq;
+  record.text = std::move(payload);
+  journal_.Append(record);
+  journal_.Flush().ok();  // A lost payload only costs a redo on resume.
+}
+
+Status Frontier::WriteSnapshotLocked() {
+  SnapshotData data;
+  data.journal_offset = journal_.bytes_written();
+  data.records.reserve(entries_.size() + terminals_.size() + 1);
+  for (std::uint64_t seq = 0; seq < entries_.size(); ++seq) {
+    JournalRecord enqueue;
+    enqueue.type = JournalRecordType::kEnqueue;
+    enqueue.seq = seq;
+    enqueue.text = entries_[seq].key;
+    data.records.push_back(std::move(enqueue));
+    if (const auto it = terminals_.find(seq); it != terminals_.end()) {
+      data.records.push_back(it->second);
+    }
+  }
+  JournalRecord counters;
+  counters.type = JournalRecordType::kCounters;
+  counters.a = skipped_duplicate_;
+  counters.b = skipped_offsite_;
+  data.records.push_back(std::move(counters));
+  return WriteSnapshotFile(snapshot_path_, data);
+}
+
+}  // namespace weblint

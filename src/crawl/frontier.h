@@ -1,0 +1,261 @@
+// The sharded, crash-safe URL frontier (ROADMAP: "sharded million-page
+// crawls with a persistent frontier").
+//
+// The Frontier owns three concerns the in-memory Robot queue could not:
+//
+//   Scheduling. Every discovered URL gets a dense, monotonically increasing
+//   sequence number at enqueue time. URLs are partitioned by host hash
+//   across N shards, each host holding its own seq-ordered queue with a
+//   politeness budget: a minimum inter-fetch delay and an in-flight cap,
+//   both measured on the injected Clock so FakeClock tests are exact.
+//   ClaimNextReady always yields the globally lowest-seq URL whose host is
+//   ready — so the *set and order of consumed pages* is a pure function of
+//   the link graph, and the crawl's output is byte-identical at any shard
+//   count, politeness delay, or prefetch window. Shards and politeness only
+//   reorder wire fetches, never output.
+//
+//   Dedupe. Page bodies are digested (HashBytesBulk — the same digest the
+//   LintCache keys on) and the first page to present a digest becomes its
+//   owner; later pages with the same body complete as *aliases* of the
+//   owner and are never linted. Mirrors cost one lint, not one per copy.
+//
+//   Durability. Every state change — enqueue, completion, lint payload —
+//   appends to a checksummed journal (journal.h), flushed once per consumed
+//   page, with periodic compacted snapshots. Open(resume=true) rebuilds the
+//   frontier from the longest valid prefix: completed pages replay their
+//   journaled outcomes (and stored lint payloads) without touching the
+//   wire; pages that were enqueued but not completed are re-queued; a
+//   completed page whose payload was lost is re-fetched ("redo") but its
+//   links are not re-extracted (they were journaled before its completion
+//   record). A resumed crawl's final output is byte-identical to an
+//   uninterrupted run's.
+//
+// Threading: the crawl driver owns every method except AttachPayload, which
+// lint workers call concurrently (it only touches the journal, under its
+// own mutex).
+#ifndef WEBLINT_CRAWL_FRONTIER_H_
+#define WEBLINT_CRAWL_FRONTIER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crawl/journal.h"
+#include "telemetry/metrics.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace weblint {
+
+// Why a consumed URL produced no page output. Persisted in kSkip records;
+// values are part of the journal format — append only.
+enum class FrontierSkip : std::uint32_t {
+  kDuplicateTarget = 1,  // Redirect landed on an already-visited URL.
+  kRobots = 2,           // robots.txt disallowed the path at issue time.
+};
+
+struct FrontierOptions {
+  int shards = 1;
+  // Minimum micros between fetch *issues* to one host (0 = no delay).
+  std::uint64_t per_host_delay_us = 0;
+  // Max concurrently in-flight fetches per host (>= 1).
+  int max_inflight_per_host = 2;
+  // Journal directory; empty = in-memory only (no durability, no resume).
+  std::string dir;
+  bool resume = false;
+  // Write a compacted snapshot every this-many flushed journal records.
+  std::uint64_t snapshot_every_records = 4096;
+  Clock* clock = nullptr;              // null = system clock.
+  MetricsRegistry* metrics = nullptr;  // null = no telemetry.
+};
+
+// A URL handed to the fetch stage.
+struct FrontierClaim {
+  std::uint64_t seq = 0;
+  std::string url;
+};
+
+// One recovered completion, in seq order. The crawl driver replays these
+// before fetching anything new: kPage with a payload, kAlias, kHttpFail,
+// kDegraded, and kSkip reproduce their original outcome from the journal;
+// a kPage whose payload is missing (or no longer deserializes) is a *redo*
+// — the driver re-fetches and re-lints it inline at its slot, but must not
+// re-extract its links (they were journaled before the completion record).
+struct RecoveredOutcome {
+  JournalRecord record;
+  std::string key;  // The URL key this seq was enqueued under.
+  std::string payload;
+  bool has_payload = false;
+};
+
+class Frontier {
+ public:
+  explicit Frontier(FrontierOptions options);
+  ~Frontier();
+
+  Frontier(const Frontier&) = delete;
+  Frontier& operator=(const Frontier&) = delete;
+
+  // Opens (and with options.resume, recovers) the journal. Must be called
+  // exactly once before any other method. With an empty dir this only
+  // initializes the in-memory state.
+  Status Open();
+
+  // ---- Enqueue side -------------------------------------------------
+
+  // Registers a canonical URL key. Returns its new seq, or nullopt if the
+  // key is already known (the duplicate counter is bumped).
+  std::optional<std::uint64_t> Enqueue(const std::string& key);
+
+  // Off-site links are filtered by the caller (the frontier has no notion
+  // of the start host); it reports them here so the count survives resume.
+  void CountOffsite();
+
+  // ---- Scheduling ---------------------------------------------------
+
+  // Claims the lowest-seq pending URL whose host is ready now (in-flight
+  // below cap, politeness delay elapsed). `only_head` restricts the claim
+  // to the globally lowest pending seq — the consume head — which the
+  // driver uses when its prefetch window is full (the head is exempt from
+  // the window cap, or the pipeline would deadlock). Claiming stamps the
+  // host in-flight and its next-allowed time.
+  std::optional<FrontierClaim> ClaimNextReady(bool only_head);
+
+  // Micros until the earliest pending URL's politeness delay elapses
+  // (restricted to the head when `only_head`). nullopt when nothing is
+  // pending or readiness is blocked only on in-flight fetches completing.
+  std::optional<std::uint64_t> MicrosUntilNextReady(bool only_head) const;
+
+  // The wire result for `seq` arrived (or the claim was resolved without a
+  // fetch): releases its host's in-flight slot.
+  void OnFetchDone(std::uint64_t seq);
+
+  // Politeness made the driver wait; counted for telemetry.
+  void NoteStall();
+
+  // Stamps `key`'s host as if a claim were issued now and returns the
+  // politeness delay to wait first. Used for redo re-fetches during replay,
+  // which bypass the pending queues.
+  std::uint64_t TouchHostForIssue(const std::string& key);
+
+  // ---- Dedupe -------------------------------------------------------
+
+  // If `digest` is owned by a page with a lower seq, returns the owner's
+  // display URL (a dedupe hit). Otherwise nullopt; CompletePage will make
+  // `seq` the owner.
+  std::optional<std::string> AliasOwner(std::uint64_t digest, std::uint64_t seq) const;
+
+  // ---- Completion (consume order) -----------------------------------
+
+  void CompletePage(std::uint64_t seq, const std::string& display_url,
+                    std::uint64_t digest);
+  void CompleteAlias(std::uint64_t seq, const std::string& display_url,
+                     const std::string& canonical_display, std::uint64_t digest);
+  void CompleteHttpFail(std::uint64_t seq, int status);
+  void CompleteDegraded(std::uint64_t seq, std::uint32_t outcome,
+                        const std::string& detail);
+  // `redirect_target` (kDuplicateTarget only) preserves the observed
+  // redirect key so a replayed skip rebuilds the same redirect map.
+  void CompleteSkip(std::uint64_t seq, FrontierSkip reason,
+                    const std::string& redirect_target = {});
+
+  // Durably flushes everything appended since the last Flush; the driver
+  // calls this once per consumed page (enqueues land before the completion
+  // record, so a crash never yields a completed page with lost links).
+  // Writes a compacted snapshot every snapshot_every_records.
+  Status Flush();
+
+  // Stores the serialized lint report for a completed page. Thread-safe;
+  // called by lint workers as reports finish. A payload that never lands
+  // (crash first) downgrades the page to a redo on resume.
+  void AttachPayload(std::uint64_t seq, std::string payload);
+
+  // ---- Recovery surface ---------------------------------------------
+
+  // Completed prefix recovered by Open(resume=true), in seq order (one per
+  // completed seq, including payload-less kPage redos). Empty on a fresh
+  // start.
+  const std::vector<RecoveredOutcome>& recovered() const { return recovered_; }
+
+  // ---- Introspection ------------------------------------------------
+
+  std::uint64_t total_enqueued() const { return entries_.size(); }
+  size_t pending_count() const { return pending_count_; }
+  bool HasPending() const { return pending_count_ > 0; }
+  std::uint64_t duplicate_count() const { return skipped_duplicate_; }
+  std::uint64_t offsite_count() const { return skipped_offsite_; }
+  std::uint64_t dedupe_hits() const { return dedupe_hits_; }
+  std::uint64_t stalls() const { return stalls_; }
+  const std::string& KeyFor(std::uint64_t seq) const { return entries_[seq].key; }
+
+ private:
+  enum class EntryState : std::uint8_t { kPending, kInflight, kDone };
+
+  struct Entry {
+    std::string key;
+    std::string host;  // Authority, parsed once at enqueue.
+    EntryState state = EntryState::kPending;
+    bool fetch_released = false;  // In-flight slot given back (OnFetchDone).
+  };
+
+  struct HostState {
+    int shard = 0;
+    int inflight = 0;
+    std::uint64_t next_allowed_us = 0;
+    std::deque<std::uint64_t> queue;  // Pending seqs, ascending.
+  };
+
+  void ApplyRecord(const JournalRecord& record,
+                   std::map<std::uint64_t, std::string>* payloads);
+  void PushPending(std::uint64_t seq);
+  HostState& HostFor(const Entry& entry);
+  void AppendControl(const JournalRecord& record);
+  void CompleteCommon(std::uint64_t seq, const JournalRecord& record);
+  Status WriteSnapshotLocked();
+  void UpdateGauges();
+
+  FrontierOptions options_;
+  Clock* clock_;
+
+  std::vector<Entry> entries_;  // Indexed by seq.
+  std::map<std::string, std::uint64_t> key_to_seq_;
+  std::map<std::string, HostState> hosts_;
+  size_t pending_count_ = 0;
+
+  // digest -> (owner seq, owner display URL).
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::string>> digests_;
+
+  // seq -> its terminal record; kept for snapshots and recovery replay.
+  std::map<std::uint64_t, JournalRecord> terminals_;
+
+  std::uint64_t skipped_duplicate_ = 0;
+  std::uint64_t skipped_offsite_ = 0;
+  std::uint64_t dedupe_hits_ = 0;
+  std::uint64_t stalls_ = 0;
+  bool counters_dirty_ = false;
+
+  std::vector<RecoveredOutcome> recovered_;
+
+  // Journal: writer + pending control buffer shared with AttachPayload.
+  std::mutex journal_mu_;
+  JournalWriter journal_;
+  std::string journal_path_;
+  std::string snapshot_path_;
+  std::uint64_t records_since_snapshot_ = 0;
+
+  // Telemetry (all null without a registry).
+  Gauge* m_depth_ = nullptr;
+  std::vector<Gauge*> m_shard_depth_;
+  Counter* m_stalls_ = nullptr;
+  Counter* m_dedupe_hits_ = nullptr;
+  Counter* m_enqueued_ = nullptr;
+  Counter* m_completed_ = nullptr;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CRAWL_FRONTIER_H_

@@ -1,0 +1,320 @@
+#include "crawl/journal.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/digest.h"
+#include "util/file_io.h"
+
+namespace weblint {
+
+namespace {
+
+// Frame layout: [u32 magic][u32 payload_len][u64 payload_digest][payload].
+constexpr std::uint32_t kFrameMagic = 0x574c4a52;  // "WLJR"
+// A record payload is a URL, a detail string, or one serialized LintReport;
+// anything beyond this is not a record, it is corruption.
+constexpr std::uint32_t kMaxPayload = 256u << 20;
+
+constexpr char kSnapshotMagic[8] = {'W', 'L', 'F', 'S', 'N', 'A', 'P', '1'};
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+void PutU8(std::string* out, std::uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU32(std::string* out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<std::uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetU8(std::string_view* in, std::uint8_t* v) {
+  if (in->size() < 1) {
+    return false;
+  }
+  *v = static_cast<std::uint8_t>((*in)[0]);
+  in->remove_prefix(1);
+  return true;
+}
+
+bool GetU32(std::string_view* in, std::uint32_t* v) {
+  if (in->size() < 4) {
+    return false;
+  }
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>((*in)[i])) << (8 * i);
+  }
+  in->remove_prefix(4);
+  return true;
+}
+
+bool GetU64(std::string_view* in, std::uint64_t* v) {
+  if (in->size() < 8) {
+    return false;
+  }
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>((*in)[i])) << (8 * i);
+  }
+  in->remove_prefix(8);
+  return true;
+}
+
+bool GetString(std::string_view* in, std::string* s) {
+  std::uint32_t len = 0;
+  if (!GetU32(in, &len) || len > in->size()) {
+    return false;
+  }
+  s->assign(in->substr(0, len));
+  in->remove_prefix(len);
+  return true;
+}
+
+std::string EncodePayload(const JournalRecord& record) {
+  std::string payload;
+  PutU8(&payload, static_cast<std::uint8_t>(record.type));
+  PutU64(&payload, record.seq);
+  switch (record.type) {
+    case JournalRecordType::kEnqueue:
+      PutString(&payload, record.text);
+      break;
+    case JournalRecordType::kPage:
+      PutString(&payload, record.text);
+      PutU64(&payload, record.digest);
+      break;
+    case JournalRecordType::kAlias:
+      PutString(&payload, record.text);
+      PutString(&payload, record.text2);
+      PutU64(&payload, record.digest);
+      break;
+    case JournalRecordType::kHttpFail:
+      PutU32(&payload, record.status);
+      break;
+    case JournalRecordType::kDegraded:
+      PutU32(&payload, record.status);
+      PutString(&payload, record.text);
+      break;
+    case JournalRecordType::kSkip:
+      PutU32(&payload, record.status);
+      // For kDuplicateTarget: the redirect target the skipped URL collapsed
+      // onto, so resume rebuilds the redirect map byte-identically.
+      PutString(&payload, record.text);
+      break;
+    case JournalRecordType::kPayload:
+      PutString(&payload, record.text);
+      break;
+    case JournalRecordType::kCounters:
+      PutU64(&payload, record.a);
+      PutU64(&payload, record.b);
+      break;
+  }
+  return payload;
+}
+
+// Returns false for an unknown type or fields that do not parse — the frame
+// digest already matched, so this only fires for records written by a newer
+// binary; treating them as the end of the valid prefix keeps recovery sane.
+bool DecodePayload(std::string_view payload, JournalRecord* record) {
+  std::uint8_t type = 0;
+  if (!GetU8(&payload, &type) || !GetU64(&payload, &record->seq)) {
+    return false;
+  }
+  record->type = static_cast<JournalRecordType>(type);
+  switch (record->type) {
+    case JournalRecordType::kEnqueue:
+      return GetString(&payload, &record->text);
+    case JournalRecordType::kPage:
+      return GetString(&payload, &record->text) && GetU64(&payload, &record->digest);
+    case JournalRecordType::kAlias:
+      return GetString(&payload, &record->text) && GetString(&payload, &record->text2) &&
+             GetU64(&payload, &record->digest);
+    case JournalRecordType::kHttpFail:
+      return GetU32(&payload, &record->status);
+    case JournalRecordType::kDegraded:
+      return GetU32(&payload, &record->status) && GetString(&payload, &record->text);
+    case JournalRecordType::kSkip:
+      return GetU32(&payload, &record->status) && GetString(&payload, &record->text);
+    case JournalRecordType::kPayload:
+      return GetString(&payload, &record->text);
+    case JournalRecordType::kCounters:
+      return GetU64(&payload, &record->a) && GetU64(&payload, &record->b);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string EncodeJournalRecord(const JournalRecord& record) {
+  const std::string payload = EncodePayload(record);
+  std::string frame;
+  frame.reserve(16 + payload.size());
+  PutU32(&frame, kFrameMagic);
+  PutU32(&frame, static_cast<std::uint32_t>(payload.size()));
+  PutU64(&frame, HashBytesBulk(payload));
+  frame.append(payload);
+  return frame;
+}
+
+bool JournalReader::Next(JournalRecord* record) {
+  std::string_view rest = bytes_.substr(offset_);
+  std::uint32_t magic = 0;
+  std::uint32_t len = 0;
+  std::uint64_t digest = 0;
+  if (!GetU32(&rest, &magic) || magic != kFrameMagic || !GetU32(&rest, &len) ||
+      len > kMaxPayload || len > rest.size() || !GetU64(&rest, &digest)) {
+    return false;
+  }
+  const std::string_view payload = rest.substr(0, len);
+  if (HashBytesBulk(payload) != digest) {
+    return false;
+  }
+  JournalRecord decoded;
+  if (!DecodePayload(payload, &decoded)) {
+    return false;
+  }
+  *record = std::move(decoded);
+  offset_ += 16 + len;
+  return true;
+}
+
+size_t DecodeJournalRecords(std::string_view bytes, std::vector<JournalRecord>* out) {
+  JournalReader reader(bytes);
+  JournalRecord record;
+  while (reader.Next(&record)) {
+    out->push_back(std::move(record));
+    record = JournalRecord{};
+  }
+  return reader.offset();
+}
+
+JournalWriter::~JournalWriter() { Close(); }
+
+Status JournalWriter::Open(const std::string& path, bool resume,
+                           std::uint64_t valid_prefix) {
+  Close();
+  if (resume) {
+    // Never append after a corrupt tail: later valid records would be
+    // unreachable behind the bad frame. Truncating to the valid prefix is
+    // exactly the state recovery reconstructed.
+    std::error_code ec;
+    const auto size = std::filesystem::exists(path, ec)
+                          ? std::filesystem::file_size(path, ec)
+                          : 0;
+    if (!ec && size > valid_prefix) {
+      std::filesystem::resize_file(path, valid_prefix, ec);
+      if (ec) {
+        return Fail("cannot truncate journal tail: " + path);
+      }
+    }
+  }
+  file_ = std::fopen(path.c_str(), resume ? "ab" : "wb");
+  if (file_ == nullptr) {
+    return Fail("cannot open journal: " + path);
+  }
+  bytes_written_ = resume ? valid_prefix : 0;
+  records_written_ = 0;
+  buffered_records_ = 0;
+  return Status::Ok();
+}
+
+void JournalWriter::Append(const JournalRecord& record) {
+  if (file_ == nullptr) {
+    return;
+  }
+  buffer_ += EncodeJournalRecord(record);
+  ++buffered_records_;
+}
+
+Status JournalWriter::Flush() {
+  if (file_ == nullptr || buffer_.empty()) {
+    return Status::Ok();
+  }
+  const size_t n = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+  if (n != buffer_.size() || std::fflush(file_) != 0) {
+    return Fail("journal write failed");
+  }
+  bytes_written_ += buffer_.size();
+  records_written_ += buffered_records_;
+  buffer_.clear();
+  buffered_records_ = 0;
+  return Status::Ok();
+}
+
+void JournalWriter::Close() {
+  if (file_ != nullptr) {
+    Flush().ok();  // Best effort; a failed final flush loses only the batch.
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status WriteSnapshotFile(const std::string& path, const SnapshotData& data) {
+  std::string blob;
+  for (const JournalRecord& record : data.records) {
+    blob += EncodeJournalRecord(record);
+  }
+  std::string file;
+  file.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  PutU32(&file, kSnapshotVersion);
+  PutU64(&file, data.journal_offset);
+  PutU64(&file, HashBytesBulk(blob));
+  PutU64(&file, blob.size());
+  file += blob;
+  // Temp + rename: a reader never sees a half-written snapshot, and a crash
+  // mid-write leaves the previous snapshot intact.
+  const std::string tmp = path + ".tmp";
+  if (Status s = WriteFile(tmp, file); !s.ok()) {
+    return s;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Fail("cannot install snapshot: " + path);
+  }
+  return Status::Ok();
+}
+
+std::optional<SnapshotData> ReadSnapshotFile(const std::string& path) {
+  Result<std::string> bytes = ReadFile(path);
+  if (!bytes.ok()) {
+    return std::nullopt;
+  }
+  std::string_view in = *bytes;
+  if (in.size() < sizeof(kSnapshotMagic) ||
+      in.compare(0, sizeof(kSnapshotMagic),
+                 std::string_view(kSnapshotMagic, sizeof(kSnapshotMagic))) != 0) {
+    return std::nullopt;
+  }
+  in.remove_prefix(sizeof(kSnapshotMagic));
+  std::uint32_t version = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t len = 0;
+  if (!GetU32(&in, &version) || version != kSnapshotVersion || !GetU64(&in, &offset) ||
+      !GetU64(&in, &digest) || !GetU64(&in, &len) || len != in.size() ||
+      HashBytesBulk(in) != digest) {
+    return std::nullopt;
+  }
+  SnapshotData data;
+  data.journal_offset = offset;
+  // The blob digest already matched, so a short decode here means a record
+  // from a newer binary — treat the whole snapshot as unusable, like a
+  // version mismatch.
+  if (DecodeJournalRecords(in, &data.records) != in.size()) {
+    return std::nullopt;
+  }
+  return data;
+}
+
+}  // namespace weblint

@@ -1,0 +1,143 @@
+// Crash-safe journal framing for the crawl frontier (frontier.h).
+//
+// A million-page crawl is hours of wall time and wire cost; losing it to a
+// SIGKILL, OOM, or power event must cost only the pages in flight, never the
+// pages already linted. The frontier therefore appends every state change —
+// URL discovered, page completed, lint payload attached — to an append-only
+// journal, and periodically writes a compacted control-state snapshot so
+// recovery does not re-parse the whole history of control records.
+//
+// Robustness is the same by-contract shape as the lint cache's report_serdes:
+// every record is framed with a length and a content digest, and a reader
+// only ever trusts the longest valid prefix. A truncated tail (the process
+// died mid-write), a bit-flipped record, or an outright garbage snapshot all
+// degrade to "recover what is provably intact, re-do the rest" — never a
+// crash, never silently treating corrupt bytes as state.
+//
+// Files in a frontier directory:
+//   journal.log   append-only record stream; never truncated or rewritten.
+//   snapshot.wls  periodic compacted control state (no lint payloads) plus
+//                 the journal byte offset it covers; written atomically via
+//                 temp + rename. Purely an accelerator: if it is missing or
+//                 invalid, recovery replays journal.log from byte 0.
+#ifndef WEBLINT_CRAWL_JOURNAL_H_
+#define WEBLINT_CRAWL_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace weblint {
+
+// One frontier state change. The record vocabulary is deliberately small:
+// enough to rebuild the pending queue, the dedupe maps, and the per-page
+// outcomes that a resumed crawl replays.
+enum class JournalRecordType : std::uint8_t {
+  kEnqueue = 1,   // seq was allocated for `text` (a canonical URL key).
+  kPage = 2,      // seq fetched OK and linted; text = final display URL.
+  kAlias = 3,     // seq's body digest matched an earlier page (text = final
+                  // display URL, text2 = canonical page's display URL).
+  kHttpFail = 4,  // seq answered with a non-2xx status (`status`).
+  kDegraded = 5,  // seq's retrieval degraded below HTTP (`status` holds the
+                  // FetchOutcome, text the deterministic detail string).
+  kSkip = 6,      // seq was consumed without output (`status` = SkipReason).
+  kPayload = 7,   // opaque client payload for seq (a serialized LintReport).
+  kCounters = 8,  // running skipped-duplicate (`a`) / skipped-offsite (`b`)
+                  // totals; last record wins on replay.
+};
+
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kEnqueue;
+  std::uint64_t seq = 0;
+  std::string text;        // URL / detail / payload bytes, per type.
+  std::string text2;       // kAlias canonical display URL.
+  std::uint64_t digest = 0;  // Content digest (kPage, kAlias).
+  std::uint32_t status = 0;  // HTTP status, FetchOutcome, or SkipReason.
+  std::uint64_t a = 0;       // kCounters: skipped_duplicate total.
+  std::uint64_t b = 0;       // kCounters: skipped_offsite total.
+};
+
+// Encodes one record with its frame: magic, payload length, payload digest,
+// payload bytes. Any single flipped or missing byte makes the frame invalid.
+std::string EncodeJournalRecord(const JournalRecord& record);
+
+// Decodes the longest valid prefix of `bytes` into `out`, returning the
+// number of bytes consumed. Decoding stops (without error) at the first
+// frame that is truncated, has a bad magic, an oversized length, or a digest
+// mismatch — corruption-tolerance by contract, as in report_serdes.
+size_t DecodeJournalRecords(std::string_view bytes, std::vector<JournalRecord>* out);
+
+// Streaming decoder used by recovery so payload frames can be skipped
+// cheaply: yields one frame at a time with its type peeked from the payload.
+class JournalReader {
+ public:
+  explicit JournalReader(std::string_view bytes) : bytes_(bytes) {}
+
+  // Decodes the next record. Returns false at end of the valid prefix.
+  bool Next(JournalRecord* record);
+
+  // Byte offset of the first undecoded frame (== the valid prefix length
+  // once Next has returned false).
+  size_t offset() const { return offset_; }
+
+ private:
+  std::string_view bytes_;
+  size_t offset_ = 0;
+};
+
+// Append-only record writer. Append buffers in memory; Flush pushes the
+// batch to the file and fflushes it, so a SIGKILL after Flush never loses
+// the batch (the bytes are in the kernel). One Flush per consumed page keeps
+// the syscall cost at O(pages), not O(records).
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  // Opens `path` for appending (created if absent). `resume` keeps existing
+  // contents; otherwise the file is truncated. `valid_prefix` (resume only)
+  // truncates a corrupt tail first, so new records never append after
+  // garbage.
+  Status Open(const std::string& path, bool resume, std::uint64_t valid_prefix);
+
+  void Append(const JournalRecord& record);
+  Status Flush();
+  void Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  // Bytes durably appended so far (file size after the last Flush).
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t records_written() const { return records_written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string buffer_;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t records_written_ = 0;
+  std::uint64_t buffered_records_ = 0;
+};
+
+// The snapshot: a digested blob of control records plus the journal offset
+// they cover. WriteSnapshotFile writes atomically (temp file + rename).
+struct SnapshotData {
+  std::uint64_t journal_offset = 0;
+  std::vector<JournalRecord> records;
+};
+
+Status WriteSnapshotFile(const std::string& path, const SnapshotData& data);
+
+// Returns nullopt for a missing, truncated, wrong-version, or corrupt
+// snapshot — the caller then replays the journal from byte 0 instead.
+std::optional<SnapshotData> ReadSnapshotFile(const std::string& path);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CRAWL_JOURNAL_H_

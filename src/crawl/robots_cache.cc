@@ -1,0 +1,50 @@
+#include "crawl/robots_cache.h"
+
+namespace weblint {
+
+RobotsCache::RobotsCache() : RobotsCache(Options()) {}
+
+RobotsCache::RobotsCache(Options options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::System()) {
+  if (options_.metrics != nullptr) {
+    m_hits_ = options_.metrics->GetCounter("weblint_robots_cache_hits_total");
+    m_misses_ = options_.metrics->GetCounter("weblint_robots_cache_misses_total");
+  }
+}
+
+const RobotsTxt& RobotsCache::Get(const std::string& authority, std::string_view agent,
+                                  const FetchFn& fetch) {
+  const std::uint64_t now = clock_->NowMicros();
+  auto it = entries_.find(authority);
+  if (it != entries_.end() && now < it->second.expires_us) {
+    ++hits_;
+    if (m_hits_ != nullptr) {
+      m_hits_->Increment();
+    }
+    return it->second.rules;
+  }
+
+  ++misses_;
+  if (m_misses_ != nullptr) {
+    m_misses_->Increment();
+  }
+  Entry entry;
+  if (std::optional<std::string> body = fetch(authority); body.has_value()) {
+    entry.rules = RobotsTxt::Parse(*body, agent);
+    entry.expires_us = now + options_.positive_ttl_us;
+  } else {
+    // Fetch failure: allow-all, but only for the short negative TTL — the
+    // host gets re-probed soon in case robots.txt was transiently down.
+    entry.negative = true;
+    entry.expires_us = now + options_.negative_ttl_us;
+    ++negative_;
+  }
+  if (it != entries_.end()) {
+    it->second = std::move(entry);
+    return it->second.rules;
+  }
+  return entries_.emplace(authority, std::move(entry)).first->second.rules;
+}
+
+}  // namespace weblint

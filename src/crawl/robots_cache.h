@@ -1,0 +1,82 @@
+// TTL'd per-host robots.txt cache for the crawl frontier.
+//
+// The sequential robot cached parsed robots.txt per authority for the
+// lifetime of one crawl, and — the correctness bug this fixes — a host whose
+// /robots.txt failed to fetch was still cached, but a *frontier* crawl that
+// outlives one Robot instance refetched it per crawl. Here the cache owns
+// the policy across the whole frontier run:
+//
+//   * a successful fetch is parsed and cached for `positive_ttl_us`;
+//   * a failed fetch (non-2xx, timeout, refusal, ...) means "no
+//     restrictions" and is cached as an allow-all entry for the much
+//     shorter `negative_ttl_us`, so an unreachable robots.txt costs one
+//     probe per negative-TTL window instead of one per page;
+//   * expiry is measured on the injected Clock, so FakeClock tests can
+//     step through TTL transitions deterministically.
+//
+// Hits and misses are counted locally and, when a registry is attached,
+// mirrored to weblint_robots_cache_{hits,misses}_total.
+#ifndef WEBLINT_CRAWL_ROBOTS_CACHE_H_
+#define WEBLINT_CRAWL_ROBOTS_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "crawl/robots_txt.h"
+#include "telemetry/metrics.h"
+#include "util/clock.h"
+
+namespace weblint {
+
+class RobotsCache {
+ public:
+  struct Options {
+    std::uint64_t positive_ttl_us = 3600ull * 1000 * 1000;  // 1 hour.
+    std::uint64_t negative_ttl_us = 60ull * 1000 * 1000;    // 1 minute.
+    Clock* clock = nullptr;            // null = system clock.
+    MetricsRegistry* metrics = nullptr;  // null = local counters only.
+  };
+
+  // Retrieves /robots.txt for one authority; returns the body on 2xx and
+  // nullopt on any failure (the caller cannot tell a 404 from a timeout,
+  // and per the convention both mean "no restrictions").
+  using FetchFn = std::function<std::optional<std::string>(const std::string& authority)>;
+
+  RobotsCache();
+  explicit RobotsCache(Options options);
+
+  // Returns the policy for `authority`, fetching via `fetch` on a miss or
+  // an expired entry. The reference stays valid until the entry expires and
+  // is refreshed (entries are never erased, only overwritten in place).
+  const RobotsTxt& Get(const std::string& authority, std::string_view agent,
+                       const FetchFn& fetch);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  // Misses whose fetch failed and produced a negative (allow-all) entry.
+  std::uint64_t negative_entries() const { return negative_; }
+
+ private:
+  struct Entry {
+    RobotsTxt rules;
+    std::uint64_t expires_us = 0;
+    bool negative = false;
+  };
+
+  Options options_;
+  Clock* clock_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t negative_ = 0;
+  Counter* m_hits_ = nullptr;
+  Counter* m_misses_ = nullptr;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CRAWL_ROBOTS_CACHE_H_

@@ -1,4 +1,4 @@
-#include "robot/robots_txt.h"
+#include "crawl/robots_txt.h"
 
 #include "util/strings.h"
 

@@ -1,0 +1,36 @@
+// robots.txt handling for the traversal engine (paper §2: "Which parts of
+// your site should be disabled for robot access ...").
+//
+// Implements the 1994 robots-exclusion convention: User-agent sections with
+// Disallow path prefixes; an empty Disallow allows everything; the most
+// specific matching agent section wins ('*' is the fallback).
+#ifndef WEBLINT_CRAWL_ROBOTS_TXT_H_
+#define WEBLINT_CRAWL_ROBOTS_TXT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace weblint {
+
+class RobotsTxt {
+ public:
+  // Parses `body` for `agent` (e.g. "poacher"). Matching is by substring of
+  // the agent token, case-insensitive, per the convention.
+  static RobotsTxt Parse(std::string_view body, std::string_view agent);
+
+  // An empty policy (everything allowed) — used when no robots.txt exists.
+  RobotsTxt() = default;
+
+  // True if the given URL path may be fetched.
+  bool Allows(std::string_view path) const;
+
+  const std::vector<std::string>& disallowed_prefixes() const { return disallow_; }
+
+ private:
+  std::vector<std::string> disallow_;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CRAWL_ROBOTS_TXT_H_

@@ -44,7 +44,33 @@ const VirtualWeb::Entry* VirtualWeb::Lookup(const Url& url) const {
   return it == entries_.end() ? nullptr : &it->second;
 }
 
+size_t VirtualWeb::HostRequestCount(std::string_view host) const {
+  size_t n = 0;
+  for (const RequestLogEntry& entry : request_log_) {
+    if (entry.host == host) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<std::uint64_t> VirtualWeb::RequestTimesForHost(std::string_view host) const {
+  std::vector<std::uint64_t> times;
+  for (const RequestLogEntry& entry : request_log_) {
+    if (entry.host == host) {
+      times.push_back(entry.at_us);
+    }
+  }
+  return times;
+}
+
 HttpResponse VirtualWeb::Serve(const Url& url, bool include_body) {
+  RequestLogEntry logged;
+  logged.host = url.Authority();
+  logged.key = KeyFor(url);
+  logged.head = !include_body;
+  logged.at_us = clock_ != nullptr ? clock_->NowMicros() : 0;
+  request_log_.push_back(std::move(logged));
   simulated_latency_us_ += per_request_us_;
   HttpResponse response;
   const Entry* entry = Lookup(url);

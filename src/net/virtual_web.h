@@ -10,8 +10,10 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "net/fetcher.h"
+#include "util/clock.h"
 
 namespace weblint {
 
@@ -44,6 +46,25 @@ class VirtualWeb : public UrlFetcher {
   size_t head_count() const { return head_count_; }
   size_t miss_count() const { return miss_count_; }
 
+  // One line per request, in arrival order. `at_us` samples the clock set
+  // via SetClock (0 without one), so politeness tests can assert per-host
+  // fetch spacing against a shared FakeClock.
+  struct RequestLogEntry {
+    std::string host;  // authority (host[:port])
+    std::string key;   // full lookup key (host + path [+ query])
+    bool head = false;
+    std::uint64_t at_us = 0;
+  };
+  const std::vector<RequestLogEntry>& request_log() const { return request_log_; }
+
+  // Timestamp source for the request log; null disables timestamps.
+  void SetClock(Clock* clock) { clock_ = clock; }
+
+  // Request count for one authority, across GET and HEAD.
+  size_t HostRequestCount(std::string_view host) const;
+  // Arrival-order timestamps of every request to one authority.
+  std::vector<std::uint64_t> RequestTimesForHost(std::string_view host) const;
+
   // Virtual clock: each request costs `per_request_us` plus
   // `per_kilobyte_us` per KiB of body transferred (GET only).
   void SetLatencyModel(std::uint64_t per_request_us, std::uint64_t per_kilobyte_us) {
@@ -55,6 +76,7 @@ class VirtualWeb : public UrlFetcher {
   void ResetCounters() {
     get_count_ = head_count_ = miss_count_ = 0;
     simulated_latency_us_ = 0;
+    request_log_.clear();
   }
 
  private:
@@ -71,6 +93,8 @@ class VirtualWeb : public UrlFetcher {
   HttpResponse Serve(const Url& url, bool include_body);
 
   std::map<std::string, Entry> entries_;
+  std::vector<RequestLogEntry> request_log_;
+  Clock* clock_ = nullptr;
   size_t get_count_ = 0;
   size_t head_count_ = 0;
   size_t miss_count_ = 0;

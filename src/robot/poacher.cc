@@ -1,8 +1,10 @@
 #include "robot/poacher.h"
 
 #include <cstdio>
+#include <mutex>
 #include <set>
 
+#include "cache/report_serdes.h"
 #include "core/parallel_runner.h"
 #include "util/clock.h"
 #include "util/strings.h"
@@ -17,6 +19,19 @@ LintReport MakeFetchFailedReport(const Url& url, const FetchResult& result) {
   diagnostic.category = Category::kError;
   diagnostic.file = report.name;
   diagnostic.message = StrFormat("unable to retrieve page: %s", result.detail);
+  report.diagnostics.push_back(std::move(diagnostic));
+  return report;
+}
+
+LintReport MakeDuplicateContentReport(const Url& url, const std::string& canonical) {
+  LintReport report;
+  report.name = url.Serialize();
+  Diagnostic diagnostic;
+  diagnostic.message_id = "duplicate-content";
+  diagnostic.category = Category::kWarning;
+  diagnostic.file = report.name;
+  diagnostic.message =
+      StrFormat("page body is byte-identical to %s; linted once", canonical);
   report.diagnostics.push_back(std::move(diagnostic));
   return report;
 }
@@ -79,23 +94,115 @@ PoacherReport Poacher::Run(std::string_view start_url, Emitter* emitter) {
     }
   };
 
+  // Frontier mode: slot index -> frontier seq, so the report observer
+  // (worker threads, completion order) can journal each finished lint
+  // against the right crawl record. Function scope: workers may still fire
+  // the observer any time up to runner.Finish().
+  std::mutex slots_mu;
+  std::map<size_t, std::uint64_t> slot_to_seq;
+  size_t next_slot = 0;  // Driver-thread mirror of the runner's slot count.
+
   Robot robot(fetcher_, crawl_options);
-  report.stats = robot.Crawl(
-      start,
-      [&](const Url& url, const HttpResponse& response) {
-        runner.SubmitString(url.Serialize(), response.body);
-        page_urls.push_back(url);
-        emit_progress(false);
-      },
-      [&](const Url& url, const FetchResult& degraded) {
-        // Graceful degradation: the page that never answered usably gets
-        // one fetch-failed diagnostic in its crawl-order slot — output
-        // stays byte-identical at every -j, and the run never aborts.
-        runner.SubmitReport(MakeFetchFailedReport(url, degraded));
-        page_urls.push_back(url);
-        ++pages_degraded;
-        emit_progress(false);
-      });
+  if (options_.frontier != nullptr) {
+    Frontier& frontier = *options_.frontier;
+    // Registered *before* any SubmitString: in serial mode the observer
+    // fires inside the submit call.
+    runner.SetReportObserver(
+        [&slots_mu, &slot_to_seq, f = &frontier](size_t index, const LintReport& lint_report) {
+          std::uint64_t seq = 0;
+          {
+            std::lock_guard<std::mutex> lock(slots_mu);
+            const auto it = slot_to_seq.find(index);
+            if (it == slot_to_seq.end()) {
+              return;
+            }
+            seq = it->second;
+          }
+          f->AttachPayload(seq, SerializeLintReport(lint_report));
+        });
+
+    Robot::FrontierHooks hooks;
+    hooks.on_page = [&](std::uint64_t seq, const Url& url, const HttpResponse& response) {
+      {
+        std::lock_guard<std::mutex> lock(slots_mu);
+        slot_to_seq.emplace(next_slot, seq);
+      }
+      runner.SubmitString(url.Serialize(), response.body);
+      ++next_slot;
+      page_urls.push_back(url);
+      emit_progress(false);
+    };
+    hooks.on_failure = [&](const Url& url, const FetchResult& degraded) {
+      runner.SubmitReport(MakeFetchFailedReport(url, degraded));
+      ++next_slot;
+      page_urls.push_back(url);
+      ++pages_degraded;
+      emit_progress(false);
+    };
+    hooks.on_alias = [&](const Url& url, const std::string& canonical) {
+      runner.SubmitReport(MakeDuplicateContentReport(url, canonical));
+      ++next_slot;
+      page_urls.push_back(url);
+      emit_progress(false);
+    };
+    hooks.on_replay = [&](const RecoveredOutcome& outcome) {
+      switch (outcome.record.type) {
+        case JournalRecordType::kPage: {
+          std::optional<LintReport> page =
+              outcome.has_payload ? DeserializeLintReport(outcome.payload) : std::nullopt;
+          if (!page.has_value()) {
+            return false;  // Payload lost/corrupt: the robot re-fetches it.
+          }
+          // record.text is the final display URL (post-redirect), same as
+          // the live on_page url.
+          page_urls.push_back(ParseUrl(outcome.record.text));
+          runner.SubmitReport(std::move(*page));
+          ++next_slot;
+          emit_progress(false);
+          return true;
+        }
+        case JournalRecordType::kAlias:
+          page_urls.push_back(ParseUrl(outcome.record.text));
+          runner.SubmitReport(MakeDuplicateContentReport(ParseUrl(outcome.record.text),
+                                                         outcome.record.text2));
+          ++next_slot;
+          emit_progress(false);
+          return true;
+        case JournalRecordType::kDegraded: {
+          FetchResult degraded;
+          degraded.outcome = static_cast<FetchOutcome>(outcome.record.status);
+          degraded.detail = outcome.record.text;
+          const Url url = ParseUrl(outcome.key);
+          page_urls.push_back(url);
+          runner.SubmitReport(MakeFetchFailedReport(url, degraded));
+          ++next_slot;
+          ++pages_degraded;
+          emit_progress(false);
+          return true;
+        }
+        default:
+          return true;  // kSkip / kHttpFail replay inside the robot.
+      }
+    };
+    report.stats = robot.Crawl(start, frontier, hooks);
+  } else {
+    report.stats = robot.Crawl(
+        start,
+        [&](const Url& url, const HttpResponse& response) {
+          runner.SubmitString(url.Serialize(), response.body);
+          page_urls.push_back(url);
+          emit_progress(false);
+        },
+        [&](const Url& url, const FetchResult& degraded) {
+          // Graceful degradation: the page that never answered usably gets
+          // one fetch-failed diagnostic in its crawl-order slot — output
+          // stays byte-identical at every -j, and the run never aborts.
+          runner.SubmitReport(MakeFetchFailedReport(url, degraded));
+          page_urls.push_back(url);
+          ++pages_degraded;
+          emit_progress(false);
+        });
+  }
 
   std::vector<Result<LintReport>> checked_pages = runner.Finish();
   emit_progress(true);  // Final settled line: queue drained, all pages timed.

@@ -22,6 +22,14 @@ struct PoacherOptions {
   CrawlOptions crawl;
   bool validate_links = true;  // HEAD-check links that the crawl won't fetch.
 
+  // Non-null: crawl through this (already Open()ed) frontier instead of the
+  // in-memory queue — sharded per-host scheduling, politeness budgets,
+  // content-digest dedupe (duplicate pages report as aliases), and a
+  // crash-safe journal. On a resumed frontier the recovered prefix replays
+  // its journaled reports before anything is fetched, so the final output
+  // is byte-identical to an uninterrupted run.
+  Frontier* frontier = nullptr;
+
   // Progress heartbeat (`poacher --progress MS`): at most one line per
   // `progress_interval_ms` of crawl-clock time, plus a final line when the
   // crawl drains. Each line samples pages submitted/degraded, the runner's
@@ -38,6 +46,12 @@ struct PoacherOptions {
 // the classified outcome, in place of the page's lint results. Exposed so
 // tests can assert the exact shape.
 LintReport MakeFetchFailedReport(const Url& url, const FetchResult& result);
+
+// Synthesizes the report emitted for a page whose body digest matched an
+// earlier page's (`canonical`): one duplicate-content warning in place of a
+// second identical lint. Deterministic, so journal replay rebuilds it
+// byte-identically. Exposed so tests can assert the exact shape.
+LintReport MakeDuplicateContentReport(const Url& url, const std::string& canonical);
 
 // A link whose target did not answer 200.
 struct LinkProblem {

@@ -1,11 +1,14 @@
 #include "robot/robot.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "html/tokenizer.h"
 #include "net/async_fetcher.h"
+#include "util/digest.h"
 #include "util/strings.h"
 
 namespace weblint {
@@ -68,27 +71,33 @@ std::vector<std::string> ExtractLinks(std::string_view html, bool include_resour
 }
 
 const RobotsTxt& Robot::RobotsFor(const Url& url) {
-  const std::string authority = url.Authority();
-  const auto it = robots_cache_.find(authority);
-  if (it != robots_cache_.end()) {
-    return it->second;
+  if (robots_ == nullptr) {
+    RobotsCache::Options cache_options;
+    cache_options.clock = options_.clock;
+    cache_options.metrics = options_.metrics;
+    robots_ = std::make_unique<RobotsCache>(cache_options);
   }
-  Url robots_url;
-  robots_url.scheme = url.scheme;
-  robots_url.has_authority = true;
-  robots_url.host = url.host;
-  robots_url.port = url.port;
-  robots_url.path = "/robots.txt";
-  // Policy-bounded like every other crawl request: a host whose robots.txt
-  // stalls costs one degraded fetch, not the crawl. A missing or degraded
-  // robots.txt means "no restrictions".
-  const HttpResponse response =
-      robust_ != nullptr ? robust_->Get(robots_url) : fetcher_.Get(robots_url);
-  RobotsTxt robots;
-  if (response.ok()) {
-    robots = RobotsTxt::Parse(response.body, options_.agent);
-  }
-  return robots_cache_.emplace(authority, std::move(robots)).first->second;
+  return robots_->Get(
+      url.Authority(), options_.agent,
+      [&](const std::string&) -> std::optional<std::string> {
+        Url robots_url;
+        robots_url.scheme = url.scheme;
+        robots_url.has_authority = true;
+        robots_url.host = url.host;
+        robots_url.port = url.port;
+        robots_url.path = "/robots.txt";
+        // Policy-bounded like every other crawl request: a host whose
+        // robots.txt stalls costs one degraded fetch, not the crawl. A
+        // missing or degraded robots.txt means "no restrictions" — the
+        // cache remembers that as a short-TTL negative entry instead of
+        // re-probing on every page.
+        const HttpResponse response =
+            robust_ != nullptr ? robust_->Get(robots_url) : fetcher_.Get(robots_url);
+        if (!response.ok()) {
+          return std::nullopt;
+        }
+        return response.body;
+      });
 }
 
 bool Robot::ShouldVisit(const Url& url, const Url& start, CrawlStats* stats) {
@@ -151,6 +160,379 @@ CrawlStats Robot::Crawl(const Url& start, const PageHandler& handler,
   CrawlStats stats = CrawlSequential(start, handler, on_failure, robust);
   stats.fetch = robust.stats();
   robust_ = nullptr;
+  return stats;
+}
+
+CrawlStats Robot::Crawl(const Url& start, Frontier& frontier, const FrontierHooks& hooks) {
+  visited_.clear();
+  redirects_seen_.clear();
+  failures_seen_.clear();
+
+  FetchPolicy policy = options_.fetch_policy;
+  policy.max_redirects = options_.max_redirects < 0
+                             ? 0
+                             : static_cast<std::uint32_t>(options_.max_redirects);
+
+  if (options_.prefetch > 0) {
+    if (auto* async = dynamic_cast<AsyncUrlFetcher*>(&fetcher_)) {
+      robust_ = nullptr;
+      return CrawlFrontier(start, frontier, hooks, async, nullptr);
+    }
+  }
+  RobustFetcher robust(fetcher_, policy, options_.clock, options_.metrics);
+  robust_ = &robust;
+  CrawlStats stats = CrawlFrontier(start, frontier, hooks, nullptr, &robust);
+  stats.fetch = robust.stats();
+  robust_ = nullptr;
+  return stats;
+}
+
+CrawlStats Robot::CrawlFrontier(const Url& start, Frontier& frontier,
+                                const FrontierHooks& hooks, AsyncUrlFetcher* async,
+                                RobustFetcher* sync) {
+  CrawlStats stats;
+  Clock* clock = options_.clock != nullptr ? options_.clock : Clock::System();
+  const FetchStats async_before = async != nullptr ? async->SnapshotStats() : FetchStats{};
+
+  struct SyncBlock {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t completions = 0;
+  };
+  struct Slot {
+    bool fetched = false;   // A wire fetch was issued for this seq.
+    bool ready = false;     // Result (or a skip) is available.
+    bool skipped = false;   // robots.txt refused the path at issue time.
+    bool observed = false;  // Driver saw the completion; host slot released.
+    FetchResult result;
+  };
+  auto shared = std::make_shared<SyncBlock>();
+  std::map<std::uint64_t, std::shared_ptr<Slot>> window;  // Issued, unconsumed.
+  size_t fetches_in_window = 0;
+  size_t fetches_outstanding = 0;
+  size_t completions_seen = 0;
+
+  auto fetch_blocking = [&](const Url& url) -> FetchResult {
+    if (sync != nullptr) {
+      return sync->FetchPage(url);
+    }
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    FetchResult out;
+    async->FetchPageAsync(url, [&](FetchResult result) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        out = std::move(result);
+        done = true;
+      }
+      cv.notify_all();
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+    return out;
+  };
+
+  auto enqueue_links = [&](const Url& base, std::string_view body) {
+    for (const std::string& link : ExtractLinks(body)) {
+      const Url resolved = ResolveUrl(base, link);
+      if (resolved.IsOpaque() ||
+          (!resolved.scheme.empty() && resolved.scheme != "http" &&
+           resolved.scheme != "https" && resolved.scheme != "file")) {
+        continue;
+      }
+      if (options_.stay_on_host && !IEquals(resolved.host, start.host)) {
+        frontier.CountOffsite();
+        continue;
+      }
+      frontier.Enqueue(VisitKey(resolved));
+    }
+  };
+
+  // One fetched-OK page, shared by the live and redo paths: redirect
+  // collapse, content-digest dedupe, then the page or alias hook plus the
+  // journal completion record.
+  auto publish_page = [&](std::uint64_t seq, const std::string& key,
+                          const FetchResult& fetched, bool redo) {
+    const HttpResponse& response = fetched.response;
+    const Url& final_url = fetched.final_url;
+    const std::string final_key = VisitKey(final_url);
+    if (final_key != key) {
+      redirects_seen_.emplace(key, final_key);
+      if (!visited_.insert(final_key).second) {
+        ++stats.skipped_duplicate;
+        frontier.CompleteSkip(seq, FrontierSkip::kDuplicateTarget, final_key);
+        return;
+      }
+    }
+    ++stats.pages_fetched;
+    const std::uint64_t digest = HashBytesBulk(response.body);
+    const std::string display = final_url.Serialize();
+    if (!redo && IsHtmlResponse(response)) {
+      // Links journal before the page's completion record: a crash between
+      // the two re-fetches the page on resume but never loses its links.
+      enqueue_links(final_url, response.body);
+    }
+    if (const auto owner = frontier.AliasOwner(digest, seq); owner.has_value()) {
+      if (hooks.on_alias) {
+        hooks.on_alias(final_url, *owner);
+      }
+      frontier.CompleteAlias(seq, display, *owner, digest);
+    } else {
+      if (hooks.on_page) {
+        hooks.on_page(seq, final_url, response);
+      }
+      frontier.CompletePage(seq, display, digest);
+    }
+  };
+
+  // Consume one seq — strict seq order; the only writer of visited_, the
+  // maps, the stats, and the hooks, exactly like the pipelined consume
+  // stage, so output is independent of fetch issue order.
+  auto consume = [&](std::uint64_t seq, Slot& slot) {
+    const std::string key = frontier.KeyFor(seq);
+    visited_.insert(key);
+    if (slot.skipped) {
+      ++stats.skipped_robots;
+      frontier.CompleteSkip(seq, FrontierSkip::kRobots);
+      frontier.Flush().ok();
+      return;
+    }
+    FetchResult fetched = std::move(slot.result);
+    if (!fetched.ok()) {
+      ++stats.pages_degraded;
+      failures_seen_.emplace(key, 0);
+      if (hooks.on_failure) {
+        hooks.on_failure(ParseUrl(key), fetched);
+      }
+      frontier.CompleteDegraded(seq, static_cast<std::uint32_t>(fetched.outcome),
+                                fetched.detail);
+      frontier.Flush().ok();
+      return;
+    }
+    if (!fetched.response.ok()) {
+      ++stats.fetch_failures;
+      failures_seen_.emplace(key, fetched.response.status);
+      frontier.CompleteHttpFail(seq, fetched.response.status);
+      frontier.Flush().ok();
+      return;
+    }
+    publish_page(seq, key, fetched, /*redo=*/false);
+    frontier.Flush().ok();
+  };
+
+  // Seed a fresh frontier; a resumed one already holds the start URL.
+  if (frontier.total_enqueued() == 0) {
+    frontier.Enqueue(VisitKey(start));
+  }
+
+  // ---- Replay phase: re-publish the recovered prefix in seq order. ----
+  std::uint64_t next_consume = 0;
+  for (const RecoveredOutcome& outcome : frontier.recovered()) {
+    const std::uint64_t seq = outcome.record.seq;
+    next_consume = seq + 1;
+    const std::string& key = outcome.key;
+    visited_.insert(key);
+    switch (outcome.record.type) {
+      case JournalRecordType::kSkip:
+        if (outcome.record.status == static_cast<std::uint32_t>(FrontierSkip::kRobots)) {
+          ++stats.skipped_robots;
+        } else {
+          if (!outcome.record.text.empty()) {
+            redirects_seen_.emplace(key, outcome.record.text);
+          }
+          ++stats.skipped_duplicate;
+        }
+        break;
+      case JournalRecordType::kHttpFail:
+        ++stats.fetch_failures;
+        failures_seen_.emplace(key, static_cast<int>(outcome.record.status));
+        break;
+      case JournalRecordType::kDegraded:
+        ++stats.pages_degraded;
+        failures_seen_.emplace(key, 0);
+        if (hooks.on_replay) {
+          hooks.on_replay(outcome);
+        }
+        break;
+      case JournalRecordType::kAlias: {
+        const std::string final_key = VisitKey(ParseUrl(outcome.record.text));
+        if (final_key != key) {
+          redirects_seen_.emplace(key, final_key);
+          visited_.insert(final_key);
+        }
+        ++stats.pages_fetched;
+        if (hooks.on_replay) {
+          hooks.on_replay(outcome);
+        }
+        break;
+      }
+      case JournalRecordType::kPage: {
+        const std::string final_key = VisitKey(ParseUrl(outcome.record.text));
+        if (final_key != key) {
+          redirects_seen_.emplace(key, final_key);
+          visited_.insert(final_key);
+        }
+        if (outcome.has_payload && hooks.on_replay && hooks.on_replay(outcome)) {
+          ++stats.pages_fetched;
+          break;
+        }
+        // Redo: the journal proves the page completed but its lint payload
+        // is gone (crashed before AttachPayload, or no longer
+        // deserializes). Re-fetch inline at this slot — politeness still
+        // applies — without re-extracting links (journaled already).
+        if (const std::uint64_t wait = frontier.TouchHostForIssue(key); wait > 0) {
+          frontier.NoteStall();
+          clock->SleepMicros(wait);
+        }
+        FetchResult fetched = fetch_blocking(ParseUrl(key));
+        if (!fetched.ok()) {
+          ++stats.pages_degraded;
+          failures_seen_.emplace(key, 0);
+          if (hooks.on_failure) {
+            hooks.on_failure(ParseUrl(key), fetched);
+          }
+          frontier.CompleteDegraded(seq, static_cast<std::uint32_t>(fetched.outcome),
+                                    fetched.detail);
+        } else if (!fetched.response.ok()) {
+          ++stats.fetch_failures;
+          failures_seen_.emplace(key, fetched.response.status);
+          frontier.CompleteHttpFail(seq, fetched.response.status);
+        } else {
+          publish_page(seq, key, fetched, /*redo=*/true);
+        }
+        frontier.Flush().ok();
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // ---- Live phase: issue (claim + fetch) and consume (seq order). ----
+  const size_t window_cap = std::max<size_t>(options_.prefetch, 1);
+
+  auto observe = [&] {
+    std::lock_guard<std::mutex> lock(shared->mu);
+    completions_seen = shared->completions;
+    for (auto& [seq, slot] : window) {
+      if (slot->ready && !slot->observed) {
+        slot->observed = true;
+        frontier.OnFetchDone(seq);
+        --fetches_outstanding;
+      }
+    }
+  };
+
+  auto issue = [&](const FrontierClaim& claim) {
+    const Url url = ParseUrl(claim.url);
+    auto slot = std::make_shared<Slot>();
+    if (options_.honor_robots_txt && !RobotsFor(url).Allows(url.path)) {
+      slot->skipped = true;
+      slot->ready = true;
+      slot->observed = true;
+      frontier.OnFetchDone(claim.seq);  // No wire fetch; free the host slot.
+      window.emplace(claim.seq, std::move(slot));
+      return;
+    }
+    slot->fetched = true;
+    ++fetches_in_window;
+    ++fetches_outstanding;
+    if (async != nullptr) {
+      async->FetchPageAsync(url, [shared, slot](FetchResult result) {
+        {
+          std::lock_guard<std::mutex> lock(shared->mu);
+          slot->result = std::move(result);
+          slot->ready = true;
+          ++shared->completions;
+        }
+        shared->cv.notify_all();
+      });
+    } else {
+      // Blocking fetcher: the issue completes inline, so the wire sees the
+      // claim order directly.
+      slot->result = sync->FetchPage(url);
+      std::lock_guard<std::mutex> lock(shared->mu);
+      slot->ready = true;
+      ++shared->completions;
+    }
+    window.emplace(claim.seq, std::move(slot));
+  };
+
+  while (stats.pages_fetched < options_.max_pages &&
+         next_consume < frontier.total_enqueued()) {
+    observe();
+    const auto head = window.find(next_consume);
+    const bool head_issued = head != window.end();
+    if (head_issued && head->second->observed) {
+      std::shared_ptr<Slot> slot = head->second;
+      window.erase(next_consume);
+      if (slot->fetched) {
+        --fetches_in_window;
+      }
+      consume(next_consume, *slot);
+      ++next_consume;
+      continue;
+    }
+    const bool window_full = fetches_in_window >= window_cap;
+    std::optional<FrontierClaim> claim;
+    if (!window_full) {
+      claim = frontier.ClaimNextReady(/*only_head=*/false);
+    } else if (!head_issued) {
+      // The consume head is exempt from the window cap — without this a
+      // full window of later seqs would deadlock against in-order consume.
+      claim = frontier.ClaimNextReady(/*only_head=*/true);
+    }
+    if (claim.has_value()) {
+      issue(*claim);
+      continue;
+    }
+    if (fetches_outstanding > 0) {
+      // Wake on any completion; politeness readiness bounds the wait when
+      // the head is unissued and only time stands in the way.
+      const std::optional<std::uint64_t> wait_us =
+          head_issued ? std::nullopt : frontier.MicrosUntilNextReady(window_full);
+      std::unique_lock<std::mutex> lock(shared->mu);
+      if (shared->completions != completions_seen) {
+        continue;  // A result landed since observe(); go collect it.
+      }
+      if (wait_us.has_value()) {
+        frontier.NoteStall();
+        shared->cv.wait_for(lock,
+                            std::chrono::microseconds(std::max<std::uint64_t>(*wait_us, 1)),
+                            [&] { return shared->completions != completions_seen; });
+      } else {
+        shared->cv.wait(lock, [&] { return shared->completions != completions_seen; });
+      }
+      continue;
+    }
+    // Nothing in flight: blocked purely on a politeness delay. Sleep it off
+    // on the injected clock (FakeClock tests advance instantly).
+    if (const std::optional<std::uint64_t> wait_us =
+            frontier.MicrosUntilNextReady(window_full && !head_issued);
+        wait_us.has_value()) {
+      frontier.NoteStall();
+      clock->SleepMicros(std::max<std::uint64_t>(*wait_us, 1));
+      continue;
+    }
+    break;  // Defensive: nothing outstanding and nothing can become ready.
+  }
+  // Fetches still in the window when max_pages hit are abandoned; their
+  // seqs stay pending in the journal and a --resume picks them back up.
+
+  stats.skipped_duplicate += frontier.duplicate_count();
+  stats.skipped_offsite += frontier.offsite_count();
+  if (async != nullptr) {
+    const FetchStats after = async->SnapshotStats();
+    stats.fetch.requests = after.requests - async_before.requests;
+    stats.fetch.attempts = after.attempts - async_before.attempts;
+    stats.fetch.retries = after.retries - async_before.retries;
+    stats.fetch.redirects_followed = after.redirects_followed - async_before.redirects_followed;
+    stats.fetch.bytes_fetched = after.bytes_fetched - async_before.bytes_fetched;
+    for (size_t i = 0; i < stats.fetch.by_outcome.size(); ++i) {
+      stats.fetch.by_outcome[i] = after.by_outcome[i] - async_before.by_outcome[i];
+    }
+  }
   return stats;
 }
 

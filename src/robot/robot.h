@@ -9,10 +9,13 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "crawl/frontier.h"
+#include "crawl/robots_cache.h"
 #include "net/fetch_policy.h"
 #include "net/fetcher.h"
 #include "net/robust_fetcher.h"
@@ -90,10 +93,36 @@ class Robot {
   Robot(UrlFetcher& fetcher, CrawlOptions options)
       : fetcher_(fetcher), options_(std::move(options)) {}
 
+  // Frontier-mode callbacks (Crawl over a Frontier). Sequence numbers key
+  // the frontier's journal: the caller passes `seq` back through
+  // Frontier::AttachPayload once the page's lint report is serialized.
+  struct FrontierHooks {
+    // A fetched page whose content digest is new: lint it.
+    std::function<void(std::uint64_t seq, const Url& url, const HttpResponse& response)>
+        on_page;
+    // Retrieval degraded below HTTP (same contract as FailureHandler).
+    std::function<void(const Url& url, const FetchResult& result)> on_failure;
+    // The page's body digest matched `canonical`'s: report as an alias of
+    // the canonical page instead of linting it again.
+    std::function<void(const Url& url, const std::string& canonical)> on_alias;
+    // Replay one journal-recovered outcome (kPage-with-payload, kAlias, or
+    // kDegraded) in its original slot. Return false for a kPage whose
+    // payload no longer deserializes; the robot then re-fetches it (redo).
+    std::function<bool(const RecoveredOutcome& outcome)> on_replay;
+  };
+
   // Crawls from `start`; visits every reachable same-host HTML page.
   CrawlStats Crawl(const Url& start, const PageHandler& handler);
   CrawlStats Crawl(const Url& start, const PageHandler& handler,
                    const FailureHandler& on_failure);
+
+  // Frontier mode: URLs flow through `frontier` (sharded per-host queues,
+  // politeness budgets, content-digest dedupe, journaled resume). Consume
+  // order is strict seq order, so output is byte-identical at any shard
+  // count, politeness delay, or prefetch window — and a resumed crawl
+  // replays its recovered prefix before fetching anything new. The
+  // frontier must be Open()ed by the caller.
+  CrawlStats Crawl(const Url& start, Frontier& frontier, const FrontierHooks& hooks);
 
   // URLs visited (fetched or attempted) during the last Crawl.
   const std::set<std::string>& visited() const { return visited_; }
@@ -116,6 +145,11 @@ class Robot {
   CrawlStats CrawlPipelined(const Url& start, const PageHandler& handler,
                             const FailureHandler& on_failure, AsyncUrlFetcher* async,
                             RobustFetcher* sync);
+  // Frontier mode (blocking and prefetch). Exactly one of `async`/`sync`
+  // is non-null.
+  CrawlStats CrawlFrontier(const Url& start, Frontier& frontier,
+                           const FrontierHooks& hooks, AsyncUrlFetcher* async,
+                           RobustFetcher* sync);
 
   UrlFetcher& fetcher_;
   CrawlOptions options_;
@@ -123,7 +157,10 @@ class Robot {
   std::set<std::string> visited_;
   std::map<std::string, std::string> redirects_seen_;
   std::map<std::string, int> failures_seen_;
-  std::map<std::string, RobotsTxt> robots_cache_;  // By authority.
+  // TTL'd per-host robots.txt policies (allow-all negative entries on fetch
+  // failure); lazily built so it sees the final options_. Replaces the old
+  // forever-per-crawl authority map.
+  std::unique_ptr<RobotsCache> robots_;
 };
 
 }  // namespace weblint

@@ -11,6 +11,7 @@
 
 #include "corpus/site_generator.h"
 #include "core/linter.h"
+#include "crawl/frontier.h"
 #include "net/async_fetcher.h"
 #include "net/fetcher.h"
 #include "net/socket_fetcher.h"
@@ -67,6 +68,10 @@ int Run(int argc, char** argv) {
   bool metrics_dump = false;
   std::string trace_out;
   std::string progress_arg;
+  std::string shards_arg;
+  std::string per_host_delay_arg;
+  std::string frontier_dir;
+  bool resume = false;
   parser.AddOption("--root", "serve the site from this directory (file crawl)", &root);
   parser.AddOption("--http", "crawl a live HTTP origin starting from this URL", &http_url);
   parser.AddOption("--prefetch",
@@ -99,6 +104,22 @@ int Run(int argc, char** argv) {
   parser.AddOption("--progress",
                    "print a heartbeat line to stderr every this-many milliseconds of crawl",
                    &progress_arg);
+  parser.AddOption("--shards",
+                   "crawl through a sharded frontier with this many host-hash shards "
+                   "(enables frontier mode; output is identical at any shard count)",
+                   &shards_arg);
+  parser.AddOption("--per-host-delay",
+                   "politeness: wait at least this many milliseconds between fetches "
+                   "to the same host (enables frontier mode)",
+                   &per_host_delay_arg);
+  parser.AddOption("--frontier-dir",
+                   "journal the crawl frontier here so an interrupted run can be "
+                   "resumed (enables frontier mode)",
+                   &frontier_dir);
+  parser.AddFlag("--resume",
+                 "resume a crawl from --frontier-dir: completed pages replay from "
+                 "the journal instead of refetching",
+                 &resume);
   parser.AddFlag("--help", "show this help", &show_help);
 
   if (Status s = parser.Parse(argc, argv); !s.ok()) {
@@ -188,6 +209,49 @@ int Run(int argc, char** argv) {
   if (metrics_dump || options.progress_interval_ms != 0) {
     lint.EnableMetrics(&registry);
   }
+
+  // Frontier mode: any frontier knob switches the crawl onto the sharded,
+  // journaled frontier. The flags compose — --shards alone is an in-memory
+  // sharded crawl, --frontier-dir adds the crash-safe journal, --resume
+  // replays a previous journal from that directory before fetching.
+  std::unique_ptr<Frontier> frontier;
+  if (!shards_arg.empty() || !per_host_delay_arg.empty() || !frontier_dir.empty() || resume) {
+    if (resume && frontier_dir.empty()) {
+      std::fprintf(stderr, "poacher: --resume requires --frontier-dir\n");
+      return 2;
+    }
+    FrontierOptions frontier_options;
+    if (!shards_arg.empty()) {
+      std::uint32_t shards = 0;
+      if (!ParseUint(shards_arg, &shards) || shards == 0) {
+        std::fprintf(stderr, "poacher: --shards expects a positive integer, got %s\n",
+                     shards_arg.c_str());
+        return 2;
+      }
+      frontier_options.shards = shards;
+    }
+    if (!per_host_delay_arg.empty()) {
+      std::uint32_t delay_ms = 0;
+      if (!ParseUint(per_host_delay_arg, &delay_ms)) {
+        std::fprintf(stderr,
+                     "poacher: --per-host-delay expects a non-negative millisecond count, "
+                     "got %s\n",
+                     per_host_delay_arg.c_str());
+        return 2;
+      }
+      frontier_options.per_host_delay_us = static_cast<std::uint64_t>(delay_ms) * 1000;
+    }
+    frontier_options.dir = frontier_dir;
+    frontier_options.resume = resume;
+    frontier_options.metrics =
+        metrics_dump || options.progress_interval_ms != 0 ? &registry : nullptr;
+    frontier = std::make_unique<Frontier>(std::move(frontier_options));
+    if (Status s = frontier->Open(); !s.ok()) {
+      std::fprintf(stderr, "poacher: cannot open frontier: %s\n", s.message().c_str());
+      return 2;
+    }
+    options.frontier = frontier.get();
+  }
   const auto finish_telemetry = [&]() {
     if (metrics_dump) {
       std::fputs(registry.RenderPrometheus().c_str(), stderr);
@@ -210,6 +274,15 @@ int Run(int argc, char** argv) {
   if (demo) {
     SiteSpec spec;
     spec.pages = 12;
+    if (!parser.positionals().empty()) {
+      std::uint32_t pages = 0;
+      if (!ParseUint(parser.positionals().front(), &pages) || pages == 0) {
+        std::fprintf(stderr, "poacher: --demo page count must be a positive integer, got %s\n",
+                     parser.positionals().front().c_str());
+        return 2;
+      }
+      spec.pages = pages;
+    }
     spec.broken_links = 2;
     spec.redirects = 1;
     spec.private_pages = 2;

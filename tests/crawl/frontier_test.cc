@@ -1,0 +1,374 @@
+// Frontier scheduling, politeness, dedupe, and crash recovery — all on a
+// FakeClock, so every politeness decision is asserted as an exact timestamp.
+#include "crawl/frontier.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <system_error>
+
+#include "telemetry/metrics.h"
+#include "util/clock.h"
+#include "util/file_io.h"
+
+namespace weblint {
+namespace {
+
+std::string TestDir(const std::string& leaf) {
+  const std::string dir = PathJoin(::testing::TempDir(), "weblint-frontier-" + leaf);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+TEST(FrontierTest, EnqueueAssignsDenseSeqsAndCountsDuplicates) {
+  FrontierOptions options;
+  Frontier frontier(options);
+  ASSERT_TRUE(frontier.Open().ok());
+  EXPECT_EQ(frontier.Enqueue("http://a/x"), std::optional<std::uint64_t>(0));
+  EXPECT_EQ(frontier.Enqueue("http://a/y"), std::optional<std::uint64_t>(1));
+  EXPECT_EQ(frontier.Enqueue("http://b/z"), std::optional<std::uint64_t>(2));
+  EXPECT_EQ(frontier.Enqueue("http://a/x"), std::nullopt);
+  EXPECT_EQ(frontier.duplicate_count(), 1u);
+  EXPECT_EQ(frontier.total_enqueued(), 3u);
+  EXPECT_EQ(frontier.pending_count(), 3u);
+  EXPECT_EQ(frontier.KeyFor(1), "http://a/y");
+}
+
+TEST(FrontierTest, ClaimsLowestSeqAcrossHosts) {
+  FrontierOptions options;
+  options.shards = 4;
+  Frontier frontier(options);
+  ASSERT_TRUE(frontier.Open().ok());
+  frontier.Enqueue("http://b/1");
+  frontier.Enqueue("http://a/2");
+  frontier.Enqueue("http://c/3");
+  // No politeness constraints: claims come out in pure seq order even
+  // though the three URLs live on three hosts (and possibly three shards).
+  for (std::uint64_t want = 0; want < 3; ++want) {
+    const auto claim = frontier.ClaimNextReady(/*only_head=*/false);
+    ASSERT_TRUE(claim.has_value());
+    EXPECT_EQ(claim->seq, want);
+  }
+  EXPECT_EQ(frontier.ClaimNextReady(false), std::nullopt);
+}
+
+TEST(FrontierTest, PerHostDelayEnforcedOnFakeClock) {
+  FakeClock clock;
+  clock.Advance(1000);
+  FrontierOptions options;
+  options.per_host_delay_us = 500;
+  options.clock = &clock;
+  Frontier frontier(options);
+  ASSERT_TRUE(frontier.Open().ok());
+  frontier.Enqueue("http://a/1");
+  frontier.Enqueue("http://a/2");
+
+  const auto first = frontier.ClaimNextReady(false);
+  ASSERT_TRUE(first.has_value());
+  frontier.OnFetchDone(first->seq);
+
+  // Same host, delay not elapsed: not claimable, and the frontier reports
+  // exactly how long the driver must wait.
+  EXPECT_EQ(frontier.ClaimNextReady(false), std::nullopt);
+  EXPECT_EQ(frontier.MicrosUntilNextReady(false), std::optional<std::uint64_t>(500));
+
+  clock.Advance(499);
+  EXPECT_EQ(frontier.ClaimNextReady(false), std::nullopt);
+  clock.Advance(1);
+  const auto second = frontier.ClaimNextReady(false);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->seq, 1u);
+}
+
+TEST(FrontierTest, HostBudgetsAreIndependent) {
+  FakeClock clock;
+  clock.Advance(1000);
+  FrontierOptions options;
+  options.per_host_delay_us = 10000;
+  options.clock = &clock;
+  Frontier frontier(options);
+  ASSERT_TRUE(frontier.Open().ok());
+  frontier.Enqueue("http://a/1");
+  frontier.Enqueue("http://a/2");
+  frontier.Enqueue("http://b/3");
+
+  ASSERT_EQ(frontier.ClaimNextReady(false)->seq, 0u);
+  // Host a is now throttled, but host b's budget is untouched: seq 2 is
+  // claimable immediately even though seq 1 is not.
+  const auto claim = frontier.ClaimNextReady(false);
+  ASSERT_TRUE(claim.has_value());
+  EXPECT_EQ(claim->seq, 2u);
+}
+
+TEST(FrontierTest, MaxInflightPerHostCapsClaims) {
+  FrontierOptions options;
+  options.max_inflight_per_host = 2;
+  Frontier frontier(options);
+  ASSERT_TRUE(frontier.Open().ok());
+  frontier.Enqueue("http://a/1");
+  frontier.Enqueue("http://a/2");
+  frontier.Enqueue("http://a/3");
+
+  ASSERT_TRUE(frontier.ClaimNextReady(false).has_value());
+  ASSERT_TRUE(frontier.ClaimNextReady(false).has_value());
+  // Two in flight on host a: the third must wait for a completion, and the
+  // wait is completion-bound, not time-bound (no sleep can help).
+  EXPECT_EQ(frontier.ClaimNextReady(false), std::nullopt);
+  EXPECT_EQ(frontier.MicrosUntilNextReady(false), std::nullopt);
+  frontier.OnFetchDone(0);
+  ASSERT_TRUE(frontier.ClaimNextReady(false).has_value());
+}
+
+TEST(FrontierTest, OnlyHeadRestrictsToTheConsumeHead) {
+  FakeClock clock;
+  clock.Advance(1000);
+  FrontierOptions options;
+  options.per_host_delay_us = 10000;
+  options.clock = &clock;
+  Frontier frontier(options);
+  ASSERT_TRUE(frontier.Open().ok());
+  frontier.Enqueue("http://a/1");  // seq 0
+  frontier.Enqueue("http://a/2");  // seq 1 — head after seq 0 is claimed.
+  frontier.Enqueue("http://b/3");  // seq 2 — ready, but not the head.
+
+  ASSERT_EQ(frontier.ClaimNextReady(false)->seq, 0u);
+  frontier.OnFetchDone(0);
+  // Head (seq 1) is politeness-blocked. only_head must NOT claim seq 2.
+  EXPECT_EQ(frontier.ClaimNextReady(/*only_head=*/true), std::nullopt);
+  clock.Advance(10000);
+  const auto head = frontier.ClaimNextReady(/*only_head=*/true);
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->seq, 1u);
+}
+
+TEST(FrontierTest, DedupeFirstSeqOwnsTheDigest) {
+  Frontier frontier(FrontierOptions{});
+  ASSERT_TRUE(frontier.Open().ok());
+  frontier.Enqueue("http://a/1");
+  frontier.Enqueue("http://b/1");
+  const std::uint64_t digest = 0x1234;
+  EXPECT_EQ(frontier.AliasOwner(digest, 0), std::nullopt);
+  frontier.CompletePage(0, "http://a/1", digest);
+  // A later seq with the same body is an alias of the owner; the owner
+  // itself (redo replays) never aliases to itself.
+  EXPECT_EQ(frontier.AliasOwner(digest, 1), std::optional<std::string>("http://a/1"));
+  EXPECT_EQ(frontier.AliasOwner(digest, 0), std::nullopt);
+  frontier.CompleteAlias(1, "http://b/1", "http://a/1", digest);
+  EXPECT_EQ(frontier.dedupe_hits(), 1u);
+}
+
+TEST(FrontierTest, ResumeReplaysCompletedAndRequeuesPending) {
+  const std::string dir = TestDir("resume");
+  {
+    FrontierOptions options;
+    options.dir = dir;
+    Frontier frontier(options);
+    ASSERT_TRUE(frontier.Open().ok());
+    frontier.Enqueue("http://a/1");  // seq 0: page with payload.
+    frontier.Enqueue("http://a/2");  // seq 1: http failure.
+    frontier.Enqueue("http://a/3");  // seq 2: never completed.
+    ASSERT_TRUE(frontier.ClaimNextReady(false).has_value());
+    frontier.OnFetchDone(0);
+    frontier.CompletePage(0, "http://a/1", 0xabc);
+    frontier.AttachPayload(0, "serialized-report-0");
+    ASSERT_TRUE(frontier.Flush().ok());
+    ASSERT_TRUE(frontier.ClaimNextReady(false).has_value());
+    frontier.OnFetchDone(1);
+    frontier.CompleteHttpFail(1, 404);
+    ASSERT_TRUE(frontier.Flush().ok());
+  }
+
+  FrontierOptions options;
+  options.dir = dir;
+  options.resume = true;
+  Frontier frontier(options);
+  ASSERT_TRUE(frontier.Open().ok());
+  EXPECT_EQ(frontier.total_enqueued(), 3u);
+  ASSERT_EQ(frontier.recovered().size(), 2u);
+  const RecoveredOutcome& page = frontier.recovered()[0];
+  EXPECT_EQ(page.record.type, JournalRecordType::kPage);
+  EXPECT_EQ(page.key, "http://a/1");
+  ASSERT_TRUE(page.has_payload);
+  EXPECT_EQ(page.payload, "serialized-report-0");
+  const RecoveredOutcome& fail = frontier.recovered()[1];
+  EXPECT_EQ(fail.record.type, JournalRecordType::kHttpFail);
+  EXPECT_EQ(fail.record.status, 404u);
+  // Seq 2 re-queues; the dedupe owner map survives.
+  EXPECT_EQ(frontier.pending_count(), 1u);
+  const auto claim = frontier.ClaimNextReady(false);
+  ASSERT_TRUE(claim.has_value());
+  EXPECT_EQ(claim->seq, 2u);
+  EXPECT_EQ(claim->url, "http://a/3");
+  EXPECT_EQ(frontier.AliasOwner(0xabc, 5), std::optional<std::string>("http://a/1"));
+}
+
+TEST(FrontierTest, LostPayloadDowngradesToRedo) {
+  const std::string dir = TestDir("redo");
+  {
+    FrontierOptions options;
+    options.dir = dir;
+    Frontier frontier(options);
+    ASSERT_TRUE(frontier.Open().ok());
+    frontier.Enqueue("http://a/1");
+    ASSERT_TRUE(frontier.ClaimNextReady(false).has_value());
+    frontier.OnFetchDone(0);
+    frontier.CompletePage(0, "http://a/1", 0xabc);
+    ASSERT_TRUE(frontier.Flush().ok());
+    // Crash before AttachPayload: the completion is durable, the lint
+    // result is not.
+  }
+  FrontierOptions options;
+  options.dir = dir;
+  options.resume = true;
+  Frontier frontier(options);
+  ASSERT_TRUE(frontier.Open().ok());
+  ASSERT_EQ(frontier.recovered().size(), 1u);
+  EXPECT_EQ(frontier.recovered()[0].record.type, JournalRecordType::kPage);
+  EXPECT_FALSE(frontier.recovered()[0].has_payload);  // Redo, not replay.
+  EXPECT_EQ(frontier.pending_count(), 0u);
+}
+
+TEST(FrontierTest, TruncatedJournalTailRecoversLastGoodPrefix) {
+  const std::string dir = TestDir("trunc");
+  {
+    FrontierOptions options;
+    options.dir = dir;
+    Frontier frontier(options);
+    ASSERT_TRUE(frontier.Open().ok());
+    frontier.Enqueue("http://a/1");
+    frontier.Enqueue("http://a/2");
+    frontier.CompletePage(0, "http://a/1", 0x1);
+    ASSERT_TRUE(frontier.Flush().ok());
+    frontier.CompletePage(1, "http://a/2", 0x2);
+    ASSERT_TRUE(frontier.Flush().ok());
+  }
+  // Tear bytes off the tail — mid-frame, as a crash during a write would.
+  const std::string journal = PathJoin(dir, "journal.log");
+  std::string bytes = *ReadFile(journal);
+  ASSERT_TRUE(WriteFile(journal, bytes.substr(0, bytes.size() - 9)).ok());
+
+  FrontierOptions options;
+  options.dir = dir;
+  options.resume = true;
+  Frontier frontier(options);
+  ASSERT_TRUE(frontier.Open().ok());
+  // Seq 0's completion survives; seq 1's torn record does not, so seq 1
+  // re-queues. Nothing crashes, and no completed work is dropped.
+  ASSERT_EQ(frontier.recovered().size(), 1u);
+  EXPECT_EQ(frontier.recovered()[0].key, "http://a/1");
+  EXPECT_EQ(frontier.pending_count(), 1u);
+  EXPECT_EQ(frontier.ClaimNextReady(false)->seq, 1u);
+}
+
+TEST(FrontierTest, BitFlippedRecordRecoversPrefixBeforeIt) {
+  const std::string dir = TestDir("bitflip");
+  std::uint64_t clean_size = 0;
+  {
+    FrontierOptions options;
+    options.dir = dir;
+    Frontier frontier(options);
+    ASSERT_TRUE(frontier.Open().ok());
+    frontier.Enqueue("http://a/1");
+    frontier.CompletePage(0, "http://a/1", 0x1);
+    ASSERT_TRUE(frontier.Flush().ok());
+    clean_size = ReadFile(PathJoin(dir, "journal.log"))->size();
+    frontier.Enqueue("http://a/2");
+    frontier.CompleteHttpFail(1, 500);
+    ASSERT_TRUE(frontier.Flush().ok());
+  }
+  const std::string journal = PathJoin(dir, "journal.log");
+  std::string bytes = *ReadFile(journal);
+  bytes[clean_size + 18] ^= 0x20;  // Corrupt the post-prefix region.
+  ASSERT_TRUE(WriteFile(journal, bytes).ok());
+
+  FrontierOptions options;
+  options.dir = dir;
+  options.resume = true;
+  Frontier frontier(options);
+  ASSERT_TRUE(frontier.Open().ok());
+  ASSERT_EQ(frontier.recovered().size(), 1u);
+  EXPECT_EQ(frontier.recovered()[0].key, "http://a/1");
+  // The flipped region covered seq 1's enqueue: it is gone entirely, and
+  // the journal writer truncated the corrupt tail so new appends are clean.
+  EXPECT_EQ(frontier.total_enqueued(), 1u);
+  EXPECT_EQ(ReadFile(journal)->size(), clean_size);
+}
+
+TEST(FrontierTest, GarbageSnapshotFallsBackToFullJournalReplay) {
+  const std::string dir = TestDir("badsnap");
+  {
+    FrontierOptions options;
+    options.dir = dir;
+    options.snapshot_every_records = 2;  // Force snapshots during the run.
+    Frontier frontier(options);
+    ASSERT_TRUE(frontier.Open().ok());
+    frontier.Enqueue("http://a/1");
+    frontier.Enqueue("http://a/2");
+    frontier.CompletePage(0, "http://a/1", 0x1);
+    ASSERT_TRUE(frontier.Flush().ok());
+    frontier.CompleteHttpFail(1, 404);
+    ASSERT_TRUE(frontier.Flush().ok());
+  }
+  ASSERT_TRUE(WriteFile(PathJoin(dir, "snapshot.wls"), "utter garbage").ok());
+
+  FrontierOptions options;
+  options.dir = dir;
+  options.resume = true;
+  Frontier frontier(options);
+  ASSERT_TRUE(frontier.Open().ok());
+  // The snapshot is only an accelerator: with it destroyed, the journal
+  // alone rebuilds the identical state.
+  ASSERT_EQ(frontier.recovered().size(), 2u);
+  EXPECT_EQ(frontier.recovered()[0].record.type, JournalRecordType::kPage);
+  EXPECT_EQ(frontier.recovered()[1].record.type, JournalRecordType::kHttpFail);
+  EXPECT_EQ(frontier.pending_count(), 0u);
+}
+
+TEST(FrontierTest, OffsiteAndDuplicateCountersSurviveResume) {
+  const std::string dir = TestDir("counters");
+  {
+    FrontierOptions options;
+    options.dir = dir;
+    Frontier frontier(options);
+    ASSERT_TRUE(frontier.Open().ok());
+    frontier.Enqueue("http://a/1");
+    frontier.Enqueue("http://a/1");  // duplicate
+    frontier.CountOffsite();
+    frontier.CountOffsite();
+    frontier.CountOffsite();
+    ASSERT_TRUE(frontier.Flush().ok());
+  }
+  FrontierOptions options;
+  options.dir = dir;
+  options.resume = true;
+  Frontier frontier(options);
+  ASSERT_TRUE(frontier.Open().ok());
+  EXPECT_EQ(frontier.duplicate_count(), 1u);
+  EXPECT_EQ(frontier.offsite_count(), 3u);
+}
+
+TEST(FrontierTest, PublishesTelemetryGaugesAndCounters) {
+  MetricsRegistry registry;
+  FrontierOptions options;
+  options.shards = 2;
+  options.metrics = &registry;
+  Frontier frontier(options);
+  ASSERT_TRUE(frontier.Open().ok());
+  frontier.Enqueue("http://a/1");
+  frontier.Enqueue("http://b/2");
+  EXPECT_EQ(registry.GetCounter("weblint_frontier_enqueued_total")->Value(), 2u);
+  EXPECT_EQ(registry.GetGauge("weblint_frontier_depth")->Value(), 2);
+  ASSERT_TRUE(frontier.ClaimNextReady(false).has_value());
+  frontier.OnFetchDone(0);
+  frontier.CompletePage(0, "http://a/1", 0x1);
+  EXPECT_EQ(registry.GetCounter("weblint_frontier_completed_total")->Value(), 1u);
+  EXPECT_EQ(registry.GetGauge("weblint_frontier_depth")->Value(), 1);
+  frontier.NoteStall();
+  EXPECT_EQ(registry.GetCounter("weblint_frontier_politeness_stalls_total")->Value(), 1u);
+}
+
+}  // namespace
+}  // namespace weblint

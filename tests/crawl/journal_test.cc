@@ -1,0 +1,229 @@
+// Journal framing robustness: every record type round-trips, and every kind
+// of on-disk damage — truncated tail, flipped bit, garbage snapshot —
+// degrades to "recover the longest valid prefix", never a crash and never
+// corrupt bytes accepted as state.
+#include "crawl/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/file_io.h"
+
+namespace weblint {
+namespace {
+
+std::vector<JournalRecord> SampleRecords() {
+  std::vector<JournalRecord> records;
+  JournalRecord enqueue;
+  enqueue.type = JournalRecordType::kEnqueue;
+  enqueue.seq = 0;
+  enqueue.text = "http://a.example/index.html";
+  records.push_back(enqueue);
+
+  JournalRecord page;
+  page.type = JournalRecordType::kPage;
+  page.seq = 0;
+  page.text = "http://a.example/index.html";
+  page.digest = 0xdeadbeefcafef00dULL;
+  records.push_back(page);
+
+  JournalRecord alias;
+  alias.type = JournalRecordType::kAlias;
+  alias.seq = 1;
+  alias.text = "http://b.example/copy.html";
+  alias.text2 = "http://a.example/index.html";
+  alias.digest = 0xdeadbeefcafef00dULL;
+  records.push_back(alias);
+
+  JournalRecord http_fail;
+  http_fail.type = JournalRecordType::kHttpFail;
+  http_fail.seq = 2;
+  http_fail.status = 404;
+  records.push_back(http_fail);
+
+  JournalRecord degraded;
+  degraded.type = JournalRecordType::kDegraded;
+  degraded.seq = 3;
+  degraded.status = 2;
+  degraded.text = "deadline exceeded";
+  records.push_back(degraded);
+
+  JournalRecord skip;
+  skip.type = JournalRecordType::kSkip;
+  skip.seq = 4;
+  skip.status = 1;
+  skip.text = "http://a.example/final.html";
+  records.push_back(skip);
+
+  JournalRecord payload;
+  payload.type = JournalRecordType::kPayload;
+  payload.seq = 0;
+  payload.text = std::string("binary\0payload\xff", 15);
+  records.push_back(payload);
+
+  JournalRecord counters;
+  counters.type = JournalRecordType::kCounters;
+  counters.a = 7;
+  counters.b = 11;
+  records.push_back(counters);
+  return records;
+}
+
+std::string EncodeAll(const std::vector<JournalRecord>& records) {
+  std::string bytes;
+  for (const JournalRecord& record : records) {
+    bytes += EncodeJournalRecord(record);
+  }
+  return bytes;
+}
+
+void ExpectEqualRecords(const JournalRecord& want, const JournalRecord& got) {
+  EXPECT_EQ(want.type, got.type);
+  EXPECT_EQ(want.seq, got.seq);
+  EXPECT_EQ(want.text, got.text);
+  EXPECT_EQ(want.text2, got.text2);
+  EXPECT_EQ(want.digest, got.digest);
+  EXPECT_EQ(want.status, got.status);
+  EXPECT_EQ(want.a, got.a);
+  EXPECT_EQ(want.b, got.b);
+}
+
+TEST(CrawlJournalTest, EveryRecordTypeRoundTrips) {
+  const std::vector<JournalRecord> want = SampleRecords();
+  const std::string bytes = EncodeAll(want);
+  std::vector<JournalRecord> got;
+  EXPECT_EQ(DecodeJournalRecords(bytes, &got), bytes.size());
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ExpectEqualRecords(want[i], got[i]);
+  }
+}
+
+TEST(CrawlJournalTest, TruncatedTailRecoversPrefix) {
+  const std::vector<JournalRecord> want = SampleRecords();
+  const std::string bytes = EncodeAll(want);
+  const size_t prefix_two =
+      EncodeJournalRecord(want[0]).size() + EncodeJournalRecord(want[1]).size();
+  // Chop into the third frame: exactly the first two records survive, and
+  // the consumed-byte count names the clean cut point.
+  for (size_t cut = prefix_two + 1; cut < prefix_two + 12; ++cut) {
+    std::vector<JournalRecord> got;
+    EXPECT_EQ(DecodeJournalRecords(std::string_view(bytes).substr(0, cut), &got), prefix_two);
+    ASSERT_EQ(got.size(), 2u);
+    ExpectEqualRecords(want[0], got[0]);
+    ExpectEqualRecords(want[1], got[1]);
+  }
+}
+
+TEST(CrawlJournalTest, BitFlipInvalidatesOnlyTheDamagedSuffix) {
+  const std::vector<JournalRecord> want = SampleRecords();
+  const std::string clean = EncodeAll(want);
+  const size_t prefix_one = EncodeJournalRecord(want[0]).size();
+  // Flip one byte inside the second frame's payload.
+  std::string bytes = clean;
+  bytes[prefix_one + 20] ^= 0x40;
+  std::vector<JournalRecord> got;
+  EXPECT_EQ(DecodeJournalRecords(bytes, &got), prefix_one);
+  ASSERT_EQ(got.size(), 1u);
+  ExpectEqualRecords(want[0], got[0]);
+}
+
+TEST(CrawlJournalTest, GarbageBytesDecodeToNothing) {
+  std::vector<JournalRecord> got;
+  EXPECT_EQ(DecodeJournalRecords("this is not a journal at all", &got), 0u);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(DecodeJournalRecords(std::string(64, '\xff'), &got), 0u);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(CrawlJournalTest, ReaderSkipsThroughFramesAndReportsOffset) {
+  const std::vector<JournalRecord> want = SampleRecords();
+  const std::string bytes = EncodeAll(want);
+  JournalReader reader(bytes);
+  JournalRecord record;
+  size_t n = 0;
+  while (reader.Next(&record)) {
+    ExpectEqualRecords(want[n], record);
+    ++n;
+  }
+  EXPECT_EQ(n, want.size());
+  EXPECT_EQ(reader.offset(), bytes.size());
+}
+
+TEST(CrawlJournalTest, WriterResumeTruncatesCorruptTail) {
+  const std::string path =
+      PathJoin(::testing::TempDir(), "weblint-journal-resume-test.log");
+  const std::vector<JournalRecord> want = SampleRecords();
+  {
+    JournalWriter writer;
+    ASSERT_TRUE(writer.Open(path, /*resume=*/false, 0).ok());
+    writer.Append(want[0]);
+    writer.Append(want[1]);
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+  // Simulate a crash mid-write: half a frame of garbage on the tail.
+  std::string on_disk = *ReadFile(path);
+  const std::string valid = on_disk;
+  WriteFile(path, on_disk + "\x52\x4a\x4c\x57 torn frame").ok();
+
+  std::vector<JournalRecord> got;
+  EXPECT_EQ(DecodeJournalRecords(*ReadFile(path), &got), valid.size());
+
+  // Resume-open at the valid prefix: the tail is cut, and a new append
+  // lands exactly after the last good frame.
+  JournalWriter writer;
+  ASSERT_TRUE(writer.Open(path, /*resume=*/true, valid.size()).ok());
+  writer.Append(want[3]);
+  ASSERT_TRUE(writer.Flush().ok());
+  writer.Close();
+
+  got.clear();
+  const std::string healed = *ReadFile(path);
+  EXPECT_EQ(DecodeJournalRecords(healed, &got), healed.size());
+  ASSERT_EQ(got.size(), 3u);
+  ExpectEqualRecords(want[3], got[2]);
+}
+
+TEST(CrawlJournalTest, SnapshotRoundTripsAtomically) {
+  const std::string path =
+      PathJoin(::testing::TempDir(), "weblint-journal-snapshot-test.wls");
+  SnapshotData data;
+  data.journal_offset = 12345;
+  data.records = SampleRecords();
+  ASSERT_TRUE(WriteSnapshotFile(path, data).ok());
+  const std::optional<SnapshotData> read = ReadSnapshotFile(path);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->journal_offset, data.journal_offset);
+  ASSERT_EQ(read->records.size(), data.records.size());
+  for (size_t i = 0; i < data.records.size(); ++i) {
+    ExpectEqualRecords(data.records[i], read->records[i]);
+  }
+}
+
+TEST(CrawlJournalTest, DamagedSnapshotReadsAsAbsent) {
+  const std::string path =
+      PathJoin(::testing::TempDir(), "weblint-journal-badsnap-test.wls");
+  EXPECT_FALSE(ReadSnapshotFile(path + ".missing").has_value());
+
+  WriteFile(path, "garbage, not a snapshot").ok();
+  EXPECT_FALSE(ReadSnapshotFile(path).has_value());
+
+  SnapshotData data;
+  data.journal_offset = 99;
+  data.records = SampleRecords();
+  ASSERT_TRUE(WriteSnapshotFile(path, data).ok());
+  std::string bytes = *ReadFile(path);
+  bytes[bytes.size() / 2] ^= 0x01;  // One flipped bit anywhere kills it.
+  WriteFile(path, bytes).ok();
+  EXPECT_FALSE(ReadSnapshotFile(path).has_value());
+
+  ASSERT_TRUE(WriteSnapshotFile(path, data).ok());
+  bytes = *ReadFile(path);
+  WriteFile(path, bytes.substr(0, bytes.size() - 7)).ok();  // Truncated.
+  EXPECT_FALSE(ReadSnapshotFile(path).has_value());
+}
+
+}  // namespace
+}  // namespace weblint

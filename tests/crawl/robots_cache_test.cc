@@ -1,0 +1,108 @@
+// RobotsCache: one probe per authority per TTL window, allow-all negative
+// entries on fetch failure, and exact TTL transitions on a FakeClock.
+#include "crawl/robots_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "telemetry/metrics.h"
+#include "util/clock.h"
+
+namespace weblint {
+namespace {
+
+TEST(RobotsCacheTest, FetchesOncePerAuthorityWithinTtl) {
+  RobotsCache cache;
+  int fetches = 0;
+  const RobotsCache::FetchFn fetch = [&](const std::string&) {
+    ++fetches;
+    return std::optional<std::string>("User-agent: *\nDisallow: /private/\n");
+  };
+  const RobotsTxt& first = cache.Get("a.example", "poacher", fetch);
+  EXPECT_FALSE(first.Allows("/private/x.html"));
+  EXPECT_TRUE(first.Allows("/public.html"));
+  for (int i = 0; i < 10; ++i) {
+    cache.Get("a.example", "poacher", fetch);
+  }
+  EXPECT_EQ(fetches, 1);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 10u);
+
+  cache.Get("b.example", "poacher", fetch);
+  EXPECT_EQ(fetches, 2);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(RobotsCacheTest, FailedFetchBecomesAllowAllNegativeEntry) {
+  FakeClock clock;
+  RobotsCache::Options options;
+  options.clock = &clock;
+  RobotsCache cache(options);
+  int fetches = 0;
+  const RobotsCache::FetchFn failing = [&](const std::string&) {
+    ++fetches;
+    return std::optional<std::string>();
+  };
+  // The fetch fails: everything is allowed, and — the correctness point —
+  // the failure is CACHED, so a crawl of ten thousand pages on this host
+  // costs one robots probe per negative-TTL window, not one per page.
+  const RobotsTxt& rules = cache.Get("down.example", "poacher", failing);
+  EXPECT_TRUE(rules.Allows("/anything.html"));
+  EXPECT_EQ(cache.negative_entries(), 1u);
+  for (int i = 0; i < 100; ++i) {
+    cache.Get("down.example", "poacher", failing);
+  }
+  EXPECT_EQ(fetches, 1);
+
+  // ... but only for the short negative TTL: once it lapses the host gets
+  // re-probed, so a robots.txt that comes back up is honoured again.
+  clock.Advance(60ull * 1000 * 1000);
+  const RobotsCache::FetchFn recovered = [&](const std::string&) {
+    ++fetches;
+    return std::optional<std::string>("User-agent: *\nDisallow: /\n");
+  };
+  EXPECT_FALSE(cache.Get("down.example", "poacher", recovered).Allows("/x"));
+  EXPECT_EQ(fetches, 2);
+  EXPECT_EQ(cache.negative_entries(), 1u);
+}
+
+TEST(RobotsCacheTest, PositiveEntriesExpireAfterTheirTtl) {
+  FakeClock clock;
+  RobotsCache::Options options;
+  options.positive_ttl_us = 1000;
+  options.negative_ttl_us = 100;
+  options.clock = &clock;
+  RobotsCache cache(options);
+  int fetches = 0;
+  const RobotsCache::FetchFn fetch = [&](const std::string&) {
+    ++fetches;
+    return std::optional<std::string>("User-agent: *\nDisallow: /old/\n");
+  };
+  cache.Get("a.example", "poacher", fetch);
+  clock.Advance(999);
+  cache.Get("a.example", "poacher", fetch);
+  EXPECT_EQ(fetches, 1);
+  clock.Advance(1);
+  cache.Get("a.example", "poacher", fetch);
+  EXPECT_EQ(fetches, 2);
+}
+
+TEST(RobotsCacheTest, MirrorsHitMissCountersToRegistry) {
+  MetricsRegistry registry;
+  RobotsCache::Options options;
+  options.metrics = &registry;
+  RobotsCache cache(options);
+  const RobotsCache::FetchFn fetch = [](const std::string&) {
+    return std::optional<std::string>("");
+  };
+  cache.Get("a.example", "poacher", fetch);
+  cache.Get("a.example", "poacher", fetch);
+  cache.Get("a.example", "poacher", fetch);
+  EXPECT_EQ(registry.GetCounter("weblint_robots_cache_misses_total")->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("weblint_robots_cache_hits_total")->Value(), 2u);
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,115 @@
+// Kill-and-resume stress for the journaled crawl frontier: SIGKILL the
+// poacher binary mid-crawl, resume from its frontier directory, and assert
+// the resumed stdout is byte-identical to an uninterrupted run. The kill
+// lands at a different point every time (it races the crawl), so repeated
+// runs — the check_crawl_stress target re-runs this until-fail — sample many
+// interruption points.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "corpus/site_generator.h"
+
+namespace weblint {
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  bool killed = false;  // Terminated by a signal rather than exiting.
+  std::string output;
+};
+
+CommandResult RunStdout(const std::string& command) {
+  CommandResult result;
+  FILE* pipe = popen((command + " 2>/dev/null").c_str(), "r");
+  if (pipe == nullptr) {
+    return result;
+  }
+  std::array<char, 4096> buffer;
+  size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  // `timeout -s KILL` exits 137 (128+9) when it had to kill the child.
+  result.killed = !WIFEXITED(status) || WEXITSTATUS(status) == 137;
+  return result;
+}
+
+class CrawlResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("weblint_crawl_resume_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+    std::filesystem::create_directories(dir_);
+
+    SiteSpec spec;
+    spec.pages = 60;
+    spec.broken_links = 3;
+    spec.redirects = 2;
+    spec.private_pages = 2;
+    site_root_ = (dir_ / "site").string();
+    ASSERT_TRUE(WriteSiteToDisk(GenerateSite(spec), site_root_).ok());
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  // The 5ms politeness delay paces the crawl to >= ~300ms of wall clock for
+  // 60 pages, so the 50-100ms SIGKILLs below are guaranteed to land while
+  // the crawl is genuinely in flight rather than after it already finished.
+  std::string PoacherCmd(const std::string& frontier_dir, const std::string& extra) const {
+    return std::string(POACHER_BIN) + " --root " + site_root_ +
+           " --shards 4 -j 2 --no-cache --per-host-delay 5 --frontier-dir " +
+           frontier_dir + " " + extra;
+  }
+
+  std::filesystem::path dir_;
+  std::string site_root_;
+};
+
+TEST_F(CrawlResumeTest, KilledCrawlResumesToIdenticalOutput) {
+  // Uninterrupted baseline, same mode (journaled frontier crawl).
+  const std::string base_dir = (dir_ / "frontier-base").string();
+  const CommandResult baseline = RunStdout(PoacherCmd(base_dir, ""));
+  ASSERT_EQ(baseline.exit_code, 1);  // Seeded broken links: nonzero exit.
+  ASSERT_FALSE(baseline.output.empty());
+
+  // SIGKILL mid-crawl — no destructors, no flush-on-exit; whatever the
+  // journal got to disk is all that survives. 100ms into a paced 60-page
+  // crawl lands at an arbitrary interior point.
+  const std::string kill_dir = (dir_ / "frontier-kill").string();
+  const CommandResult killed =
+      RunStdout("timeout -s KILL 0.1 " + PoacherCmd(kill_dir, ""));
+  EXPECT_TRUE(killed.killed) << "exit=" << killed.exit_code;
+
+  const CommandResult resumed = RunStdout(PoacherCmd(kill_dir, "--resume"));
+  EXPECT_EQ(resumed.exit_code, 1);
+  EXPECT_EQ(resumed.output, baseline.output)
+      << "killed run exit=" << killed.exit_code << " killed=" << killed.killed;
+}
+
+TEST_F(CrawlResumeTest, DoubleKillStillConvergesByteIdentical) {
+  const std::string base_dir = (dir_ / "frontier-base2").string();
+  const CommandResult baseline = RunStdout(PoacherCmd(base_dir, ""));
+  ASSERT_FALSE(baseline.output.empty());
+
+  // Two successive kills at different depths, then a clean resume: the
+  // journal must tolerate being re-opened over its own half-written tail.
+  const std::string kill_dir = (dir_ / "frontier-kill2").string();
+  RunStdout("timeout -s KILL 0.05 " + PoacherCmd(kill_dir, ""));
+  RunStdout("timeout -s KILL 0.08 " + PoacherCmd(kill_dir, "--resume"));
+  const CommandResult resumed = RunStdout(PoacherCmd(kill_dir, "--resume"));
+  EXPECT_EQ(resumed.output, baseline.output);
+}
+
+}  // namespace
+}  // namespace weblint

@@ -1,0 +1,267 @@
+// The frontier crawl's product contract, end to end through the poacher:
+//
+//   * output is byte-identical at any shard count, politeness delay, job
+//     count, or prefetch window — scheduling only reorders wire fetches;
+//   * per-host politeness holds exactly on a FakeClock (no host is fetched
+//     faster than its budget);
+//   * mirrored (byte-identical) pages are linted once and reported as
+//     aliases — one lint per digest, not per copy;
+//   * an interrupted journaled crawl, resumed, produces byte-identical
+//     output to the uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "corpus/site_generator.h"
+#include "crawl/frontier.h"
+#include "net/virtual_web.h"
+#include "robot/poacher.h"
+#include "util/clock.h"
+#include "util/file_io.h"
+#include "warnings/emitter.h"
+
+namespace weblint {
+namespace {
+
+struct CrawlConfig {
+  int shards = 1;
+  unsigned jobs = 1;
+  size_t prefetch = 0;
+  std::uint64_t per_host_delay_us = 0;
+  Clock* clock = nullptr;
+  std::string dir;
+  bool resume = false;
+  size_t max_pages = 10000;
+};
+
+struct CrawlRun {
+  std::string output;  // Streamed diagnostics, the byte-identity surface.
+  PoacherReport report;
+  std::uint64_t dedupe_hits = 0;
+  std::uint64_t stalls = 0;
+};
+
+CrawlRun RunFrontierCrawl(VirtualWeb& web, const std::string& start,
+                          const CrawlConfig& config) {
+  Weblint lint;
+  lint.config().jobs = config.jobs;
+  PoacherOptions options;
+  options.crawl.stay_on_host = false;  // Multi-host webs need cross-host hops.
+  options.crawl.prefetch = config.prefetch;
+  options.crawl.clock = config.clock;
+  options.crawl.max_pages = config.max_pages;
+
+  FrontierOptions frontier_options;
+  frontier_options.shards = config.shards;
+  frontier_options.per_host_delay_us = config.per_host_delay_us;
+  frontier_options.clock = config.clock;
+  frontier_options.dir = config.dir;
+  frontier_options.resume = config.resume;
+  Frontier frontier(frontier_options);
+  EXPECT_TRUE(frontier.Open().ok());
+  options.frontier = &frontier;
+
+  Poacher poacher(lint, web, options);
+  std::ostringstream out;
+  StreamEmitter emitter(out, OutputStyle::kTraditional);
+  CrawlRun run;
+  run.report = poacher.Run(start, &emitter);
+  run.output = out.str();
+  run.dedupe_hits = frontier.dedupe_hits();
+  run.stalls = frontier.stalls();
+  return run;
+}
+
+std::string FreshDir(const std::string& leaf) {
+  const std::string dir = PathJoin(::testing::TempDir(), "weblint-sharded-" + leaf);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+TEST(ShardedCrawlTest, OutputByteIdenticalAcrossShardsJobsPrefetchDelay) {
+  VirtualWeb web;
+  MultiHostSpec spec;
+  spec.hosts = 4;
+  spec.pages_per_host = 8;
+  spec.mirrored_pages = 2;
+  const MultiHostSite site = GenerateMultiHostWeb(spec, &web);
+
+  CrawlConfig baseline;
+  const CrawlRun base = RunFrontierCrawl(web, site.StartUrl(), baseline);
+  ASSERT_FALSE(base.output.empty());
+  ASSERT_GT(base.report.pages.size(), 0u);
+
+  std::vector<CrawlConfig> variants;
+  {
+    CrawlConfig c;
+    c.shards = 4;
+    variants.push_back(c);
+  }
+  {
+    CrawlConfig c;
+    c.shards = 16;
+    c.jobs = 4;
+    variants.push_back(c);
+  }
+  {
+    CrawlConfig c;
+    c.shards = 4;
+    c.jobs = 4;
+    c.prefetch = 8;
+    variants.push_back(c);
+  }
+  {
+    CrawlConfig c;
+    c.shards = 3;
+    c.per_host_delay_us = 2000;  // Politeness reorders fetches, not output.
+    variants.push_back(c);
+  }
+  for (size_t i = 0; i < variants.size(); ++i) {
+    FakeClock clock;  // Delay variants must not sleep for real.
+    variants[i].clock = &clock;
+    const CrawlRun run = RunFrontierCrawl(web, site.StartUrl(), variants[i]);
+    EXPECT_EQ(run.output, base.output) << "variant " << i;
+    EXPECT_EQ(run.report.pages.size(), base.report.pages.size()) << "variant " << i;
+    EXPECT_EQ(run.report.broken_links.size(), base.report.broken_links.size());
+    EXPECT_EQ(run.dedupe_hits, base.dedupe_hits);
+  }
+}
+
+TEST(ShardedCrawlTest, PerHostPolitenessHoldsOnFakeClock) {
+  FakeClock clock;
+  VirtualWeb web;
+  web.SetClock(&clock);
+  MultiHostSpec spec;
+  spec.hosts = 3;
+  spec.pages_per_host = 6;
+  spec.mirrored_pages = 0;
+  const MultiHostSite site = GenerateMultiHostWeb(spec, &web);
+
+  constexpr std::uint64_t kDelayUs = 5000;
+  CrawlConfig config;
+  config.shards = 3;
+  config.per_host_delay_us = kDelayUs;
+  config.clock = &clock;
+  const CrawlRun run = RunFrontierCrawl(web, site.StartUrl(), config);
+  ASSERT_GT(run.report.pages.size(), 0u);
+  EXPECT_GT(run.stalls, 0u);  // The budget actually made the driver wait.
+
+  // Page fetches to one host must be spaced >= the budget. robots.txt
+  // probes go through the robots cache (one per host), not the frontier's
+  // politeness gate, so they are excluded.
+  for (const std::string& host : site.hosts) {
+    std::vector<std::uint64_t> times;
+    for (const VirtualWeb::RequestLogEntry& entry : web.request_log()) {
+      if (entry.host == host && entry.key.find("/robots.txt") == std::string::npos &&
+          !entry.head) {
+        times.push_back(entry.at_us);
+      }
+    }
+    ASSERT_GT(times.size(), 1u) << host;
+    for (size_t i = 1; i < times.size(); ++i) {
+      EXPECT_GE(times[i] - times[i - 1], kDelayUs)
+          << host << " fetch " << i << " violated the politeness budget";
+    }
+  }
+}
+
+TEST(ShardedCrawlTest, MirroredPagesLintOnceAndReportAsAliases) {
+  VirtualWeb web;
+  MultiHostSpec spec;
+  spec.hosts = 3;
+  spec.pages_per_host = 4;
+  spec.mirrored_pages = 2;
+  const MultiHostSite site = GenerateMultiHostWeb(spec, &web);
+
+  CrawlConfig config;
+  config.shards = 3;
+  const CrawlRun run = RunFrontierCrawl(web, site.StartUrl(), config);
+
+  // N hosts serve each mirrored body; the first copy is linted, the other
+  // N-1 complete as aliases.
+  const std::uint64_t expected_aliases =
+      (spec.hosts - 1) * static_cast<std::uint64_t>(site.mirror_groups);
+  EXPECT_EQ(run.dedupe_hits, expected_aliases);
+
+  size_t alias_reports = 0;
+  for (const LintReport& page : run.report.pages) {
+    for (const Diagnostic& diagnostic : page.diagnostics) {
+      if (diagnostic.message_id == "duplicate-content") {
+        ++alias_reports;
+        EXPECT_TRUE(site.mirrored_urls.contains(page.name)) << page.name;
+      }
+    }
+  }
+  EXPECT_EQ(alias_reports, expected_aliases);
+  // Every page (aliases included) still occupies a report slot.
+  EXPECT_EQ(run.report.pages.size(), site.total_pages);
+}
+
+TEST(ShardedCrawlTest, InterruptedCrawlResumesByteIdentical) {
+  VirtualWeb web;
+  MultiHostSpec spec;
+  spec.hosts = 3;
+  spec.pages_per_host = 8;
+  spec.mirrored_pages = 2;
+  const MultiHostSite site = GenerateMultiHostWeb(spec, &web);
+
+  CrawlConfig uninterrupted;
+  uninterrupted.shards = 4;
+  const CrawlRun base = RunFrontierCrawl(web, site.StartUrl(), uninterrupted);
+
+  // Interrupt at several depths; each resumed run must converge to the
+  // exact uninterrupted bytes — report slots, aliases, broken links, all.
+  for (const size_t interrupt_after : {1u, 5u, 13u}) {
+    const std::string dir = FreshDir("resume-" + std::to_string(interrupt_after));
+    CrawlConfig partial;
+    partial.shards = 4;
+    partial.dir = dir;
+    partial.max_pages = interrupt_after;
+    RunFrontierCrawl(web, site.StartUrl(), partial);
+
+    CrawlConfig resumed;
+    resumed.shards = 4;
+    resumed.jobs = 4;  // Resume under a different -j: still identical.
+    resumed.dir = dir;
+    resumed.resume = true;
+    const CrawlRun rerun = RunFrontierCrawl(web, site.StartUrl(), resumed);
+    EXPECT_EQ(rerun.output, base.output) << "interrupted after " << interrupt_after;
+    EXPECT_EQ(rerun.report.pages.size(), base.report.pages.size());
+    EXPECT_EQ(rerun.report.broken_links.size(), base.report.broken_links.size());
+    EXPECT_EQ(rerun.report.redirected_links.size(), base.report.redirected_links.size());
+    EXPECT_EQ(rerun.dedupe_hits, base.dedupe_hits);
+  }
+}
+
+TEST(ShardedCrawlTest, ResumedRunDoesNotRefetchCompletedPages) {
+  VirtualWeb web;
+  MultiHostSpec spec;
+  spec.hosts = 2;
+  spec.pages_per_host = 6;
+  spec.mirrored_pages = 1;
+  const MultiHostSite site = GenerateMultiHostWeb(spec, &web);
+
+  const std::string dir = FreshDir("norefetch");
+  CrawlConfig partial;
+  partial.dir = dir;
+  partial.max_pages = 6;
+  RunFrontierCrawl(web, site.StartUrl(), partial);
+
+  web.ResetCounters();
+  CrawlConfig resumed;
+  resumed.dir = dir;
+  resumed.resume = true;
+  const CrawlRun rerun = RunFrontierCrawl(web, site.StartUrl(), resumed);
+  // The six completed pages replay from the journal; only the remainder
+  // (plus link HEAD validation) touches the wire.
+  EXPECT_EQ(web.get_count(), site.total_pages - 6 + /*robots probes*/ spec.hosts);
+  EXPECT_EQ(rerun.report.pages.size(), site.total_pages);
+}
+
+}  // namespace
+}  // namespace weblint
