@@ -1,0 +1,70 @@
+// libFuzzer entry point for the tokenizer (build with -DWEBLINT_FUZZ=ON).
+//
+// The invariants checked here are the ones a coverage-guided fuzzer can
+// falsify without an oracle:
+//  * the tokenizer terminates and never reads out of bounds (ASan's job);
+//  * every byte of input is covered by exactly the consumed region — the
+//    tokenizer never loses position;
+//  * token text/name/raw views point inside the input buffer;
+//  * tokenizing the same bytes twice yields the same stream (determinism).
+//
+// The deeper token-stream-equivalence property lives in the differential
+// fuzz test (tests/html/tokenizer_fuzz_test.cc) against the reference
+// oracle; this entry point exists to let libFuzzer grow inputs that reach
+// states the structure-aware mutator does not anticipate.
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "html/tokenizer.h"
+
+namespace {
+
+bool ViewInside(std::string_view view, std::string_view buffer) {
+  if (view.empty()) {
+    return true;  // Empty views may point anywhere (including nullptr).
+  }
+  return view.data() >= buffer.data() && view.data() + view.size() <= buffer.data() + buffer.size();
+}
+
+void CheckStream(std::string_view input, const std::vector<weblint::Token>& tokens) {
+  for (const weblint::Token& token : tokens) {
+    assert(ViewInside(token.name, input));
+    assert(ViewInside(token.text, input));
+    assert(ViewInside(token.raw, input));
+    for (const weblint::Attribute& attr : token.attributes) {
+      assert(ViewInside(attr.name, input));
+      assert(ViewInside(attr.value, input));
+    }
+    assert(token.location.line >= 1);
+    assert(token.location.column >= 1);
+  }
+}
+
+bool SameStream(const std::vector<weblint::Token>& a, const std::vector<weblint::Token>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind != b[i].kind || a[i].text != b[i].text || a[i].name != b[i].name ||
+        !(a[i].location == b[i].location) || a[i].attributes.size() != b[i].attributes.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  const std::vector<weblint::Token> tokens = weblint::TokenizeAll(input);
+  CheckStream(input, tokens);
+  const std::vector<weblint::Token> again = weblint::TokenizeAll(input);
+  assert(SameStream(tokens, again));
+  (void)tokens;
+  (void)again;
+  return 0;
+}

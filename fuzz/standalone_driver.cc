@@ -1,0 +1,72 @@
+// Standalone driver for fuzz entry points when the toolchain has no
+// libFuzzer (GCC builds). Keeps the same LLVMFuzzerTestOneInput contract:
+//  * with file arguments, replays each file once (crash reproduction);
+//  * with no arguments, runs a deterministic structure-aware smoke loop
+//    using the corpus mutator, so `check_fuzz_smoke` exercises the entry
+//    point on every toolchain.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "corpus/html_mutator.h"
+#include "corpus/rng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+int ReplayFile(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(contents.data()),
+                         contents.size());
+  std::printf("replayed %s (%zu bytes)\n", path, contents.size());
+  return 0;
+}
+
+int SmokeLoop() {
+  const std::vector<std::string>& seeds = weblint::FuzzSeedDocuments();
+  weblint::SplitMix64 rng(0xF022E57A10ULL);
+  size_t iterations = 10000;
+  if (const char* env = std::getenv("WEBLINT_FUZZ_ITERS")) {
+    const long v = std::atol(env);
+    if (v > 0) {
+      iterations = static_cast<size_t>(v);
+    }
+  }
+  for (const std::string& seed : seeds) {
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(seed.data()), seed.size());
+  }
+  for (size_t i = 0; i < iterations; ++i) {
+    const std::string doc =
+        weblint::MutateDocument(seeds[rng.Below(seeds.size())], &rng);
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(doc.data()), doc.size());
+  }
+  std::printf("smoke ok: %zu seed docs + %zu mutants\n", seeds.size(), iterations);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    int rc = 0;
+    for (int i = 1; i < argc; ++i) {
+      rc |= ReplayFile(argv[i]);
+    }
+    return rc;
+  }
+  return SmokeLoop();
+}

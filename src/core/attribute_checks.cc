@@ -52,7 +52,7 @@ void CheckAttributes(const Token& token, const ElementInfo* info, const Config& 
   // Pass 1: lexical checks.
   std::set<std::string, ILess> seen;
   for (const Attribute& attr : token.attributes) {
-    if (!seen.insert(attr.name).second) {
+    if (!seen.insert(std::string(attr.name)).second) {
       reporter.Report("repeated-attribute", attr.location, AsciiUpper(attr.name), element_upper);
     }
     if (!attr.has_value || attr.unterminated_quote) {

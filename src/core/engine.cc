@@ -407,7 +407,8 @@ void Engine::CollectLinks(const Token& token) {
       if (IEquals(attr.name, link.attribute) && attr.has_value && !attr.value.empty() &&
           !attr.unterminated_quote) {
         report_->links.push_back(
-            LinkRef{std::string(link.element), attr.value, attr.location, link.is_resource});
+            LinkRef{std::string(link.element), std::string(attr.value), attr.location,
+                    link.is_resource});
       }
     }
   }
@@ -415,7 +416,7 @@ void Engine::CollectLinks(const Token& token) {
   for (const Attribute& attr : token.attributes) {
     const bool is_name_anchor = IEquals(token.name, "a") && IEquals(attr.name, "name");
     if ((is_name_anchor || IEquals(attr.name, "id")) && attr.has_value && !attr.value.empty()) {
-      report_->anchors.push_back(AnchorDef{attr.value, attr.location});
+      report_->anchors.push_back(AnchorDef{std::string(attr.value), attr.location});
     }
   }
 }
@@ -432,7 +433,7 @@ void Engine::HandleStartTag(const Token& token) {
     // <BLOCKQOUTE>). Report once per name; its close tag and repeats are
     // suppressed to avoid cascades.
     if (!unknown_reported_.contains(token.name)) {
-      unknown_reported_.insert(token.name);
+      unknown_reported_.insert(std::string(token.name));
       const std::string suggestion = spec_.SuggestElement(token.name);
       const std::string suffix =
           suggestion.empty()
@@ -496,7 +497,7 @@ void Engine::HandleEndTag(const Token& token) {
 
   if (info == nullptr) {
     if (!unknown_reported_.contains(token.name)) {
-      unknown_reported_.insert(token.name);
+      unknown_reported_.insert(std::string(token.name));
       reporter_.Report("unknown-element", token.location, upper, "");
     }
     return;
@@ -568,6 +569,7 @@ void Engine::HandleEndTag(const Token& token) {
 }
 
 void Engine::HandleText(const Token& token) {
+  ReportInvalidUtf8(token);
   const std::string_view text = token.text;
   if (Trim(text).empty()) {
     AccumulateText(text);
@@ -593,6 +595,9 @@ void Engine::HandleText(const Token& token) {
     return;
   }
 
+  if (!token.has_amp) {
+    return;  // The scan already proved there is no '&' to classify.
+  }
   for (const EntityRef& ref : ScanEntities(text, token.location)) {
     switch (ref.kind) {
       case EntityRef::Kind::kNamed:
@@ -604,12 +609,19 @@ void Engine::HandleText(const Token& token) {
         break;
       case EntityRef::Kind::kNumeric:
         if (!ref.valid_number) {
-          reporter_.Report("unknown-entity", ref.location, "#" + ref.name);
+          reporter_.Report("unknown-entity", ref.location, "#" + std::string(ref.name));
         }
         break;
       case EntityRef::Kind::kBareAmp:
         break;  // A lone '&' in text is too common to flag.
     }
+  }
+}
+
+void Engine::ReportInvalidUtf8(const Token& token) {
+  if (token.invalid_utf8 && !utf8_reported_) {
+    utf8_reported_ = true;
+    reporter_.Report("invalid-utf8", token.invalid_utf8_at);
   }
 }
 
@@ -642,6 +654,7 @@ void Engine::HandlePragma(std::string_view directive) {
 }
 
 void Engine::HandleComment(const Token& token) {
+  ReportInvalidUtf8(token);
   const std::string_view trimmed = Trim(token.text);
   if (config_.enable_pragmas && IStartsWith(trimmed, "weblint:")) {
     HandlePragma(trimmed.substr(std::string_view("weblint:").size()));

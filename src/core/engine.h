@@ -57,6 +57,8 @@ class Engine {
   void HandleEndTag(const Token& token);
   void HandleText(const Token& token);
   void HandleComment(const Token& token);
+  // Fires invalid-utf8 for a flagged token, once per document.
+  void ReportInvalidUtf8(const Token& token);
   // Applies an in-page configuration pragma (paper §6.1); `directive` is
   // the comment text after the "weblint:" marker.
   void HandlePragma(std::string_view directive);
@@ -105,6 +107,11 @@ class Engine {
   // Unknown element names already reported; repeat sightings and close tags
   // are suppressed (cascade minimisation).
   std::set<std::string, ILess> unknown_reported_;
+
+  // The invalid-utf8 message fires once per document: after the first
+  // malformed sequence the rest of the file is usually in the same wrong
+  // encoding (cascade minimisation).
+  bool utf8_reported_ = false;
 
   bool doctype_seen_ = false;
   bool any_element_seen_ = false;

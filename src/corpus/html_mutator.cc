@@ -1,0 +1,169 @@
+#include "corpus/html_mutator.h"
+
+namespace weblint {
+
+namespace {
+
+// Multi-byte sequences the tokenizer's state machine keys on. Injecting
+// one of these at a random offset reaches states that random bytes cannot.
+constexpr std::string_view kShapes[] = {
+    "<!--",
+    "-->",
+    "--!>",
+    "-- >",
+    "<script>",
+    "</script>",
+    "</script >",
+    "</scriptx>",
+    "</script",
+    "<script type=a>",
+    "<style>",
+    "</style>",
+    "<xmp>",
+    "</xmp>",
+    "<plaintext>",
+    "&amp;",
+    "&amp",
+    "&nosuch;",
+    "&#65;",
+    "&#x41;",
+    "&#xD800;",
+    "&#x110000;",
+    "&#0;",
+    "&#x10FFFF;",
+    "&#;",
+    "&#",
+    "\r\n",
+    "\r",
+    "\n",
+    "=\"",
+    "='",
+    "\"",
+    "'",
+    "</",
+    "<!",
+    "<?",
+    ">",
+    "/>",
+};
+
+// Byte sequences that are not well-formed UTF-8: overlong, surrogate,
+// out-of-range, bare lead, bare continuation — plus one valid multi-byte
+// sequence so boundaries between good and bad are exercised too.
+constexpr std::string_view kUtf8Snippets[] = {
+    "\xC0\xAF",          // Overlong '/'.
+    "\xE0\x80\x80",      // Overlong NUL.
+    "\xED\xA0\x80",      // Surrogate D800.
+    "\xF4\x90\x80\x80",  // U+110000: out of range.
+    "\xFF",              // Never valid.
+    "\xFE",              // Never valid.
+    "\xC2",              // Truncated 2-byte lead.
+    "\xE2\x82",          // Truncated 3-byte sequence.
+    "\xF0\x9F",          // Truncated 4-byte sequence.
+    "\x80",              // Bare continuation byte.
+    "\xC2\xA9",          // Valid: U+00A9 (c).
+    "\xE2\x82\xAC",      // Valid: U+20AC.
+    "\xF0\x9F\x98\x80",  // Valid: U+1F600.
+};
+
+std::string InsertAt(std::string_view doc, size_t offset, std::string_view what) {
+  std::string out(doc.substr(0, offset));
+  out.append(what);
+  out.append(doc.substr(offset));
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& FuzzSeedDocuments() {
+  static const std::vector<std::string> kSeeds = {
+      // Plain structure with attributes in every quoting style.
+      "<HTML><HEAD><TITLE>t</TITLE></HEAD>\n"
+      "<BODY BGCOLOR=\"#ffffff\" TEXT='#000000' COMPACT>\n"
+      "<A HREF=\"a.html\">link</A> text &amp; more &nbsp; &bogus; &#151;\n"
+      "</BODY></HTML>\n",
+      // Escaped script data: the inner close tag is content.
+      "<script><!-- var x = \"</script>\"; --></script>after\n",
+      // Double-escaped script data.
+      "<script><!-- document.write(\"<script>a</script>\"); --></script>\n",
+      // Raw text with end-tag lookalikes.
+      "<style>p { content: \"</styl\" } </styleX> x</style>rest\n",
+      "<xmp>literal <b> markup & entities &amp; </xmpfoo></xmp>done\n",
+      // Comments: nested opens, whitespace closes, markup inside.
+      "<!-- outer <!-- inner --> <P> tail\n<!-- closed -- >text<!---->\n",
+      // Quote trouble (paper §4.2) and runaway values.
+      "<A HREF=\"a.html>here</A> <IMG SRC='x.gif alt=y> <B attr=\">\">\n",
+      // Entities at boundaries, numeric edge values.
+      "&#x10FFFF; &#xD800; &#0; &#X41 &amp &quot;q&quot; &\n",
+      // Newline forms: LF, CRLF, lone CR, CR at a token boundary.
+      "line1\nline2\r\nline3\rline4\r<P>\r\n</P>\r",
+      // Mixed valid/invalid UTF-8.
+      "caf\xC3\xA9 <p>\xE2\x82\xAC</p> \xC3(\x80) <!-- \xED\xA0\x80 -->\n",
+      // PLAINTEXT swallows everything.
+      "<p>before<plaintext>rest < &amp; </plaintext> never ends",
+      // Declarations, processing instructions, stray '<'.
+      "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0//EN\">\n"
+      "<?php echo '>'; ?> a < b <\n",
+  };
+  return kSeeds;
+}
+
+std::string MutateDocument(std::string_view doc, SplitMix64* rng) {
+  std::string out(doc);
+  const std::uint64_t mutations = rng->Between(1, 3);
+  for (std::uint64_t m = 0; m < mutations; ++m) {
+    // Offsets include out.size(): mutations at the very end are where
+    // truncated-sequence handling lives.
+    const size_t offset = out.empty() ? 0 : rng->Below(out.size() + 1);
+    switch (rng->Below(9)) {
+      case 0:  // Truncate.
+        out.resize(offset);
+        break;
+      case 1: {  // Drop the nearest quote at-or-after offset, if any.
+        const size_t q = out.find_first_of("\"'", offset);
+        if (q != std::string::npos) {
+          out.erase(q, 1);
+        }
+        break;
+      }
+      case 2:  // NUL injection.
+        out = InsertAt(out, offset, std::string_view("\0", 1));
+        break;
+      case 3:  // UTF-8 damage.
+        out = InsertAt(out, offset, kUtf8Snippets[rng->Below(std::size(kUtf8Snippets))]);
+        break;
+      case 4:  // Lone '<'.
+        out = InsertAt(out, offset, "<");
+        break;
+      case 5:  // Structural shape.
+        out = InsertAt(out, offset, kShapes[rng->Below(std::size(kShapes))]);
+        break;
+      case 6: {  // Duplicate a slice (amplifies repeated-state coverage).
+        if (!out.empty()) {
+          const size_t from = rng->Below(out.size());
+          const size_t len = rng->Between(1, std::min<std::uint64_t>(16, out.size() - from));
+          out = InsertAt(out, offset, std::string(out.substr(from, len)));
+        }
+        break;
+      }
+      case 7:  // Delete a byte.
+        if (offset < out.size()) {
+          out.erase(offset, 1);
+        }
+        break;
+      case 8:  // Case-flip a byte (end-tag matching is case-insensitive).
+        if (offset < out.size()) {
+          const char c = out[offset];
+          if (c >= 'a' && c <= 'z') {
+            out[offset] = static_cast<char>(c - 32);
+          } else if (c >= 'A' && c <= 'Z') {
+            out[offset] = static_cast<char>(c + 32);
+          }
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace weblint

@@ -1,0 +1,34 @@
+// Structure-aware HTML mutator for differential fuzzing of the tokenizer.
+//
+// Random byte flipping finds little in a scanner whose interesting states
+// are reached through multi-byte sequences ("<!--", "</script", "&#x...;",
+// CRLF). The mutator therefore injects exactly the shapes the tokenizer's
+// state machine keys on — escape openers/closers, end-tag lookalikes,
+// malformed UTF-8 sequences, quote damage — at random positions in a seed
+// document, under a caller-supplied deterministic RNG. Same seed, same
+// mutants, forever: a fuzz failure reproduces from the (seed, iteration)
+// pair alone.
+#ifndef WEBLINT_CORPUS_HTML_MUTATOR_H_
+#define WEBLINT_CORPUS_HTML_MUTATOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/rng.h"
+
+namespace weblint {
+
+// Seed documents covering the tokenizer's state space: raw-text elements,
+// escaped script data, comments, entities, attribute quoting, newline
+// forms. Fuzzing mutates these rather than growing inputs from nothing.
+const std::vector<std::string>& FuzzSeedDocuments();
+
+// Produces one mutant: applies 1-3 random mutations (shape injection,
+// truncation, quote damage, NUL / invalid-UTF-8 / lone-'<' injection, slice
+// duplication, byte deletion, case flip) to `doc` using `rng`.
+std::string MutateDocument(std::string_view doc, SplitMix64* rng);
+
+}  // namespace weblint
+
+#endif  // WEBLINT_CORPUS_HTML_MUTATOR_H_

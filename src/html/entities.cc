@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "html/scan.h"
+#include "html/utf8.h"
 #include "util/strings.h"
 
 namespace weblint {
@@ -101,24 +103,57 @@ std::optional<std::uint32_t> LookupEntity(std::string_view name) {
 
 size_t EntityCount() { return kEntityCount; }
 
+namespace {
+
+// windows-1252 bytes 80-9F as Unicode (WHATWG numeric-reference remap).
+// Five holes (81, 8D, 8F, 90, 9D) map to themselves.
+constexpr std::uint32_t kWindows1252[32] = {
+    0x20AC, 0x0081, 0x201A, 0x0192, 0x201E, 0x2026, 0x2020, 0x2021,
+    0x02C6, 0x2030, 0x0160, 0x2039, 0x0152, 0x008D, 0x017D, 0x008F,
+    0x0090, 0x2018, 0x2019, 0x201C, 0x201D, 0x2022, 0x2013, 0x2014,
+    0x02DC, 0x2122, 0x0161, 0x203A, 0x0153, 0x009D, 0x017E, 0x0178,
+};
+
+}  // namespace
+
+DecodedNumber DecodeNumericReference(std::uint64_t value) {
+  DecodedNumber d;
+  if (value == 0 || value > 0x10FFFF || (value >= 0xD800 && value <= 0xDFFF)) {
+    return d;  // U+FFFD, invalid.
+  }
+  d.valid = true;
+  if (value >= 0x80 && value <= 0x9F) {
+    d.code_point = kWindows1252[value - 0x80];
+    d.remapped = d.code_point != value;
+  } else {
+    d.code_point = static_cast<std::uint32_t>(value);
+  }
+  return d;
+}
+
 std::vector<EntityRef> ScanEntities(std::string_view text, SourceLocation base) {
   std::vector<EntityRef> refs;
   std::uint32_t line = base.line;
   std::uint32_t column = base.column;
-  for (size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    if (c == '\n' || (c == '\r' && (i + 1 >= text.size() || text[i + 1] != '\n'))) {
-      ++line;
-      column = 1;
-      continue;
+  size_t i = 0;
+  while (i < text.size()) {
+    // Hop to the next '&' word-at-a-time; the scan batches the newline
+    // bookkeeping for the skipped run.
+    const ScanResult r = ScanRun(text, i, text.size(), '&', '&');
+    line += r.newlines;
+    if (r.last_reset != std::string_view::npos) {
+      column = static_cast<std::uint32_t>(r.stop - r.last_reset);
+    } else {
+      column += static_cast<std::uint32_t>(r.stop - i);
     }
-    if (c != '&') {
-      ++column;
-      continue;
+    i = r.stop;
+    if (i >= text.size()) {
+      break;
     }
 
     EntityRef ref;
     ref.location = SourceLocation{line, column};
+    ref.offset = i;
     size_t j = i + 1;
     if (j < text.size() && text[j] == '#') {
       // Numeric reference: &#123; or &#x7F;.
@@ -143,25 +178,56 @@ std::vector<EntityRef> ScanEntities(std::string_view text, SourceLocation base) 
         }
         ++j;
       }
-      ref.name = std::string(text.substr(digits_start, j - digits_start));
-      ref.valid_number = j > digits_start && value <= 0x10FFFF && value > 0;
+      ref.name = text.substr(digits_start, j - digits_start);
+      if (j > digits_start) {
+        const DecodedNumber decoded = DecodeNumericReference(value);
+        ref.code_point = decoded.code_point;
+        ref.valid_number = decoded.valid;
+        ref.remapped = decoded.remapped;
+      }
       ref.terminated = j < text.size() && text[j] == ';';
+      ref.length = (j - i) + (ref.terminated ? 1 : 0);
     } else if (j < text.size() && IsAsciiAlpha(text[j])) {
       ref.kind = EntityRef::Kind::kNamed;
       const size_t name_start = j;
       while (j < text.size() && IsAsciiAlnum(text[j])) {
         ++j;
       }
-      ref.name = std::string(text.substr(name_start, j - name_start));
-      ref.known = LookupEntity(ref.name).has_value();
+      ref.name = text.substr(name_start, j - name_start);
+      if (const auto code_point = LookupEntity(ref.name)) {
+        ref.known = true;
+        ref.code_point = *code_point;
+      }
       ref.terminated = j < text.size() && text[j] == ';';
+      ref.length = (j - i) + (ref.terminated ? 1 : 0);
     } else {
       ref.kind = EntityRef::Kind::kBareAmp;
     }
     refs.push_back(std::move(ref));
     ++column;  // Only the '&' itself; subsequent chars advance normally.
+    ++i;
   }
   return refs;
+}
+
+std::string DecodeCharacterReferences(std::string_view text) {
+  const std::vector<EntityRef> refs = ScanEntities(text, SourceLocation{});
+  std::string out;
+  out.reserve(text.size());
+  size_t copied = 0;
+  for (const EntityRef& ref : refs) {
+    const bool decodes =
+        (ref.kind == EntityRef::Kind::kNamed && ref.known) ||
+        (ref.kind == EntityRef::Kind::kNumeric && !ref.name.empty());
+    if (!decodes) {
+      continue;  // Unknown name, digitless "&#", bare '&': stays literal.
+    }
+    out.append(text.substr(copied, ref.offset - copied));
+    AppendUtf8(ref.code_point, &out);
+    copied = ref.offset + ref.length;
+  }
+  out.append(text.substr(copied));
+  return out;
 }
 
 }  // namespace weblint

@@ -1,7 +1,9 @@
 // HTML 4.0 character entity knowledge (the HTMLlat1, HTMLsymbol, and
 // HTMLspecial entity sets) plus a scanner that classifies every '&' use in
 // text content for the unknown-entity / unterminated-entity /
-// literal-metacharacter checks.
+// literal-metacharacter checks, and the numeric-reference decoding rules
+// (WHATWG §13.2.5.80: out-of-range, surrogate and zero references become
+// U+FFFD; C1 controls are remapped through windows-1252).
 #ifndef WEBLINT_HTML_ENTITIES_H_
 #define WEBLINT_HTML_ENTITIES_H_
 
@@ -23,6 +25,17 @@ std::optional<std::uint32_t> LookupEntity(std::string_view name);
 // Number of named entities known (HTML 4.0 defines 252).
 size_t EntityCount();
 
+// What a numeric character reference's value decodes to under the WHATWG
+// rules. Zero, surrogates (D800-DFFF) and values above 10FFFF are parse
+// errors that decode to U+FFFD; C1 controls (80-9F) decode through the
+// windows-1252 mapping (legacy pages write &#151; meaning an em dash).
+struct DecodedNumber {
+  std::uint32_t code_point = 0xFFFD;
+  bool valid = false;    // False for the U+FFFD error cases above.
+  bool remapped = false; // True when the windows-1252 remap changed the value.
+};
+DecodedNumber DecodeNumericReference(std::uint64_t value);
+
 // One '&' occurrence found in character data.
 struct EntityRef {
   enum class Kind {
@@ -31,16 +44,32 @@ struct EntityRef {
     kBareAmp,    // '&' followed by something that cannot start a reference
   };
   Kind kind = Kind::kBareAmp;
-  std::string name;          // For kNamed: the name; for kNumeric: the digits.
+  // For kNamed: the name; for kNumeric: the digits. Views into the scanned
+  // text — valid for as long as the caller keeps that buffer alive.
+  std::string_view name;
   bool terminated = false;   // A ';' followed the reference.
   bool known = false;        // kNamed: name is in the HTML 4.0 table.
-  bool valid_number = false; // kNumeric: parsed and in Unicode range.
+  bool valid_number = false; // kNumeric: digits present and decodes cleanly
+                             // (zero / surrogate / out-of-range fail).
+  bool remapped = false;     // kNumeric: windows-1252 C1 remap applied.
+  // Decoded scalar: the table value for known named refs, the (possibly
+  // remapped, possibly U+FFFD) value for numeric refs with digits.
+  std::uint32_t code_point = 0;
+  size_t offset = 0;         // Index of the '&' in the scanned text.
+  size_t length = 1;         // Bytes from '&' through the reference's end
+                             // (';' included when terminated).
   SourceLocation location;   // Absolute position of the '&'.
 };
 
 // Scans `text` (one text token's content) for entity references. `base` is
 // the absolute location of text[0]; positions in the result are absolute.
 std::vector<EntityRef> ScanEntities(std::string_view text, SourceLocation base);
+
+// Decodes character references in `text` the way a browser would: known
+// named refs (terminated or not) and numeric refs with digits are replaced
+// by the UTF-8 encoding of their decoded scalar (U+FFFD for the invalid
+// numeric cases); unknown names, digitless "&#", and bare '&' stay literal.
+std::string DecodeCharacterReferences(std::string_view text);
 
 }  // namespace weblint
 

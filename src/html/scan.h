@@ -1,0 +1,442 @@
+// Word-at-a-time run scanning for the tokenizer's hot paths.
+//
+// Text, raw-text, comment and quoted-value runs all have the same shape:
+// skip forward to the first of (up to) two stop bytes while tracking what
+// the skipped run contained — newlines for line/column bookkeeping, plus
+// '&' / NUL / high-bit presence so later passes (entity scanning, UTF-8
+// validation) can be skipped entirely for the common all-ASCII run. Doing
+// all of that in one pass replaces the previous scheme of one memchr for
+// the boundary plus two more for '\n'/'\r'.
+//
+// Two implementations share an exact bytewise stepper:
+//  * ScanRunSimd — SSE2 (part of the x86-64 baseline): 64-byte windows whose
+//    newlines and stop position are resolved from packed pmovmskb bits with
+//    popcount/countr_zero — no bytewise re-walk, because text-shaped input
+//    has a newline on every line and re-walking would be the common case.
+//    Tails and short runs fall back to 16-byte blocks, then bytes.
+//  * ScanRunSwar — portable fallback: 8-byte words via the carry-exact
+//    zero-lane test (((x & ~H) + ~H) | x) — no false positives, unlike the
+//    classic (v - 0x01..) & ~v & 0x80.. shortcut, which can smear across
+//    lanes. Differentially tested against the bytewise stepper.
+//
+// The newline rule matches Tokenizer::Take(): '\n' advances the line, and
+// so does '\r' when the *next input byte* is not '\n' — the lookahead reads
+// past `end` on purpose, because run boundaries (a '<' after the '\r') must
+// not turn a CRLF pair into two newlines.
+#ifndef WEBLINT_HTML_SCAN_H_
+#define WEBLINT_HTML_SCAN_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#if defined(__SSE2__)
+#include <immintrin.h>
+#endif
+
+namespace weblint {
+
+struct ScanResult {
+  // Absolute index of the first stop byte in [from, end), or `end`.
+  size_t stop = 0;
+  // Newlines in [from, stop) under the CR/LF rule above.
+  std::uint32_t newlines = 0;
+  // Absolute index of the last line-advancing byte, or npos if none; the
+  // column after the run is stop - last_reset (the byte after a newline is
+  // column 1).
+  size_t last_reset = std::string_view::npos;
+  // Presence flags over [from, stop).
+  bool has_amp = false;
+  bool has_nul = false;
+  bool has_high = false;
+};
+
+namespace scan_internal {
+
+// Processes input[i]: returns false (with r->stop = i) if it is a stop
+// byte, true after recording its effect otherwise. The CR lookahead uses
+// the full input, not the caller's `end`.
+inline bool StepByte(std::string_view input, size_t i, char stop1, char stop2, ScanResult* r) {
+  const char c = input[i];
+  if (c == stop1 || c == stop2) {
+    r->stop = i;
+    return false;
+  }
+  if (c == '\n') {
+    ++r->newlines;
+    r->last_reset = i;
+  } else if (c == '\r') {
+    if (i + 1 >= input.size() || input[i + 1] != '\n') {
+      ++r->newlines;
+      r->last_reset = i;
+    }
+  } else if (c == '&') {
+    r->has_amp = true;
+  } else if (c == '\0') {
+    r->has_nul = true;
+  } else if (static_cast<unsigned char>(c) >= 0x80) {
+    r->has_high = true;
+  }
+  return true;
+}
+
+inline constexpr std::uint64_t kSwarOnes = 0x0101010101010101ULL;
+inline constexpr std::uint64_t kSwarHigh = 0x8080808080808080ULL;
+
+inline std::uint64_t SwarBroadcast(char b) {
+  return kSwarOnes * static_cast<std::uint8_t>(b);
+}
+
+// 0x80 in every lane of `v` equal to the broadcast byte, 0 elsewhere.
+// Exact: bit 7 is masked off before the add, so a lane's carry can never
+// reach its neighbour.
+inline std::uint64_t SwarLanesEqual(std::uint64_t v, std::uint64_t broadcast) {
+  const std::uint64_t x = v ^ broadcast;
+  return ~((((x & ~kSwarHigh) + ~kSwarHigh) | x)) & kSwarHigh;
+}
+
+}  // namespace scan_internal
+
+// Portable word-at-a-time implementation. See ScanRun for the contract.
+inline ScanResult ScanRunSwar(std::string_view input, size_t from, size_t end, char stop1,
+                              char stop2) {
+  using namespace scan_internal;
+  ScanResult r;
+  const std::uint64_t b1 = SwarBroadcast(stop1);
+  const std::uint64_t b2 = SwarBroadcast(stop2);
+  const std::uint64_t lf = SwarBroadcast('\n');
+  const std::uint64_t cr = SwarBroadcast('\r');
+  const std::uint64_t amp = SwarBroadcast('&');
+  size_t i = from;
+  while (i + 8 <= end) {
+    std::uint64_t v;
+    std::memcpy(&v, input.data() + i, 8);
+    const std::uint64_t stops = SwarLanesEqual(v, b1) | SwarLanesEqual(v, b2);
+    const std::uint64_t newlines = SwarLanesEqual(v, lf) | SwarLanesEqual(v, cr);
+    if ((stops | newlines) == 0) {
+      if (SwarLanesEqual(v, amp) != 0) {
+        r.has_amp = true;
+      }
+      if (SwarLanesEqual(v, 0) != 0) {
+        r.has_nul = true;
+      }
+      if ((v & kSwarHigh) != 0) {
+        r.has_high = true;
+      }
+      i += 8;
+      continue;
+    }
+    // The word needs positional handling (a stop, or newline bookkeeping):
+    // resolve it bytewise so CR/LF pairing and the stop index stay exact.
+    for (const size_t word_end = i + 8; i < word_end; ++i) {
+      if (!StepByte(input, i, stop1, stop2, &r)) {
+        return r;
+      }
+    }
+  }
+  for (; i < end; ++i) {
+    if (!StepByte(input, i, stop1, stop2, &r)) {
+      return r;
+    }
+  }
+  r.stop = end;
+  return r;
+}
+
+#if defined(__SSE2__)
+namespace scan_internal {
+
+// Packs the movemasks of four consecutive 16-byte blocks into one 64-bit
+// positional mask: bit j corresponds to window byte j.
+inline std::uint64_t Mask64(__m128i m0, __m128i m1, __m128i m2, __m128i m3) {
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(_mm_movemask_epi8(m0))) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(_mm_movemask_epi8(m1))) << 16) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(_mm_movemask_epi8(m2))) << 32) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(_mm_movemask_epi8(m3))) << 48);
+}
+
+}  // namespace scan_internal
+
+inline ScanResult ScanRunSimd(std::string_view input, size_t from, size_t end, char stop1,
+                              char stop2) {
+  using scan_internal::Mask64;
+  using scan_internal::StepByte;
+  ScanResult r;
+  const __m128i b1 = _mm_set1_epi8(stop1);
+  const __m128i b2 = _mm_set1_epi8(stop2);
+  const __m128i lf = _mm_set1_epi8('\n');
+  const __m128i cr = _mm_set1_epi8('\r');
+  const __m128i amp = _mm_set1_epi8('&');
+  const __m128i zero = _mm_setzero_si128();
+  size_t i = from;
+  // 64-byte windows. Text-shaped input has a newline every line, so blocks
+  // that contain one are the norm, not the exception; instead of re-walking
+  // them bytewise, newlines are counted with popcount over a 64-bit
+  // positional mask and the CR/LF pairing rule becomes one shift-and-mask.
+  // Flag presence accumulates branchlessly in vector registers and is
+  // folded into booleans only when the run ends.
+  __m128i amp_acc = zero;
+  __m128i nul_acc = zero;
+  __m128i high_acc = zero;
+  while (i + 64 <= end) {
+    const char* p = input.data() + i;
+    const __m128i v0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    const __m128i v1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16));
+    const __m128i v2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 32));
+    const __m128i v3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 48));
+    const __m128i s0 = _mm_or_si128(_mm_cmpeq_epi8(v0, b1), _mm_cmpeq_epi8(v0, b2));
+    const __m128i s1 = _mm_or_si128(_mm_cmpeq_epi8(v1, b1), _mm_cmpeq_epi8(v1, b2));
+    const __m128i s2 = _mm_or_si128(_mm_cmpeq_epi8(v2, b1), _mm_cmpeq_epi8(v2, b2));
+    const __m128i s3 = _mm_or_si128(_mm_cmpeq_epi8(v3, b1), _mm_cmpeq_epi8(v3, b2));
+    const __m128i l0 = _mm_cmpeq_epi8(v0, lf);
+    const __m128i l1 = _mm_cmpeq_epi8(v1, lf);
+    const __m128i l2 = _mm_cmpeq_epi8(v2, lf);
+    const __m128i l3 = _mm_cmpeq_epi8(v3, lf);
+    const __m128i c0 = _mm_cmpeq_epi8(v0, cr);
+    const __m128i c1 = _mm_cmpeq_epi8(v1, cr);
+    const __m128i c2 = _mm_cmpeq_epi8(v2, cr);
+    const __m128i c3 = _mm_cmpeq_epi8(v3, cr);
+    const __m128i ev =
+        _mm_or_si128(_mm_or_si128(_mm_or_si128(s0, s1), _mm_or_si128(s2, s3)),
+                     _mm_or_si128(_mm_or_si128(l0, l1), _mm_or_si128(l2, l3)));
+    const __m128i ev_cr =
+        _mm_or_si128(_mm_or_si128(c0, c1), _mm_or_si128(c2, c3));
+    if (_mm_movemask_epi8(_mm_or_si128(ev, ev_cr)) == 0) {
+      // Nothing positional in this window: accumulate flag lanes and move on.
+      amp_acc = _mm_or_si128(
+          amp_acc, _mm_or_si128(_mm_or_si128(_mm_cmpeq_epi8(v0, amp), _mm_cmpeq_epi8(v1, amp)),
+                                _mm_or_si128(_mm_cmpeq_epi8(v2, amp), _mm_cmpeq_epi8(v3, amp))));
+      nul_acc = _mm_or_si128(
+          nul_acc, _mm_or_si128(_mm_or_si128(_mm_cmpeq_epi8(v0, zero), _mm_cmpeq_epi8(v1, zero)),
+                                _mm_or_si128(_mm_cmpeq_epi8(v2, zero), _mm_cmpeq_epi8(v3, zero))));
+      high_acc = _mm_or_si128(high_acc,
+                              _mm_or_si128(_mm_or_si128(v0, v1), _mm_or_si128(v2, v3)));
+      i += 64;
+      continue;
+    }
+    const std::uint64_t stops64 = Mask64(s0, s1, s2, s3);
+    const std::uint64_t lf64 = Mask64(l0, l1, l2, l3);
+    const std::uint64_t cr64 = Mask64(c0, c1, c2, c3);
+    // Bits [0, t) of the window precede the stop; everything at or past the
+    // stop is outside the run and must not count.
+    std::uint64_t below = ~std::uint64_t{0};
+    if (stops64 != 0) {
+      const int t = std::countr_zero(stops64);
+      below = (t == 0) ? 0 : (below >> (64 - t));
+    }
+    // A CR counts as a newline unless its follower is an LF. Followers
+    // inside the window come from lf64 >> 1; bit 63's follower is the next
+    // input byte (full input, matching StepByte's lookahead).
+    std::uint64_t standalone_cr = cr64 & ~(lf64 >> 1);
+    if ((standalone_cr >> 63) != 0 && i + 64 < input.size() && input[i + 64] == '\n') {
+      standalone_cr &= ~(std::uint64_t{1} << 63);
+    }
+    const std::uint64_t nl = (lf64 | standalone_cr) & below;
+    r.newlines += static_cast<std::uint32_t>(std::popcount(nl));
+    if (nl != 0) {
+      r.last_reset = i + 63 - static_cast<size_t>(std::countl_zero(nl));
+    }
+    if (stops64 != 0) {
+      const std::uint64_t amp64 =
+          Mask64(_mm_cmpeq_epi8(v0, amp), _mm_cmpeq_epi8(v1, amp), _mm_cmpeq_epi8(v2, amp),
+                 _mm_cmpeq_epi8(v3, amp)) &
+          below;
+      const std::uint64_t nul64 =
+          Mask64(_mm_cmpeq_epi8(v0, zero), _mm_cmpeq_epi8(v1, zero), _mm_cmpeq_epi8(v2, zero),
+                 _mm_cmpeq_epi8(v3, zero)) &
+          below;
+      const std::uint64_t high64 = Mask64(v0, v1, v2, v3) & below;
+      r.has_amp = amp64 != 0 || _mm_movemask_epi8(amp_acc) != 0;
+      r.has_nul = nul64 != 0 || _mm_movemask_epi8(nul_acc) != 0;
+      r.has_high = high64 != 0 || _mm_movemask_epi8(high_acc) != 0;
+      r.stop = i + static_cast<size_t>(std::countr_zero(stops64));
+      return r;
+    }
+    // Newlines only: the whole window was consumed.
+    amp_acc = _mm_or_si128(
+        amp_acc, _mm_or_si128(_mm_or_si128(_mm_cmpeq_epi8(v0, amp), _mm_cmpeq_epi8(v1, amp)),
+                              _mm_or_si128(_mm_cmpeq_epi8(v2, amp), _mm_cmpeq_epi8(v3, amp))));
+    nul_acc = _mm_or_si128(
+        nul_acc, _mm_or_si128(_mm_or_si128(_mm_cmpeq_epi8(v0, zero), _mm_cmpeq_epi8(v1, zero)),
+                              _mm_or_si128(_mm_cmpeq_epi8(v2, zero), _mm_cmpeq_epi8(v3, zero))));
+    high_acc =
+        _mm_or_si128(high_acc, _mm_or_si128(_mm_or_si128(v0, v1), _mm_or_si128(v2, v3)));
+    i += 64;
+  }
+  r.has_amp = _mm_movemask_epi8(amp_acc) != 0;
+  r.has_nul = _mm_movemask_epi8(nul_acc) != 0;
+  r.has_high = _mm_movemask_epi8(high_acc) != 0;
+  // 16-byte blocks for the tail (and for whole runs shorter than a window);
+  // blocks with positional events are re-walked bytewise.
+  while (i + 16 <= end) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(input.data() + i));
+    const __m128i stops = _mm_or_si128(_mm_cmpeq_epi8(v, b1), _mm_cmpeq_epi8(v, b2));
+    const __m128i newlines = _mm_or_si128(_mm_cmpeq_epi8(v, lf), _mm_cmpeq_epi8(v, cr));
+    if (_mm_movemask_epi8(_mm_or_si128(stops, newlines)) == 0) {
+      if (!r.has_amp && _mm_movemask_epi8(_mm_cmpeq_epi8(v, amp)) != 0) {
+        r.has_amp = true;
+      }
+      if (!r.has_nul && _mm_movemask_epi8(_mm_cmpeq_epi8(v, zero)) != 0) {
+        r.has_nul = true;
+      }
+      if (!r.has_high && _mm_movemask_epi8(v) != 0) {
+        r.has_high = true;
+      }
+      i += 16;
+      continue;
+    }
+    for (const size_t block_end = i + 16; i < block_end; ++i) {
+      if (!StepByte(input, i, stop1, stop2, &r)) {
+        return r;
+      }
+    }
+  }
+  for (; i < end; ++i) {
+    if (!StepByte(input, i, stop1, stop2, &r)) {
+      return r;
+    }
+  }
+  r.stop = end;
+  return r;
+}
+#endif  // __SSE2__
+
+#if defined(__SSE2__)
+// AVX2 widening of the windowed scan, selected at runtime (the build
+// targets the x86-64 SSE2 baseline; the target attribute lets this one
+// function use 32-byte registers anyway). Structure mirrors ScanRunSimd:
+// 64-byte windows, positional 64-bit masks, vector flag accumulators.
+__attribute__((target("avx2"))) inline std::uint64_t ScanMask64Avx2(__m256i m0, __m256i m1) {
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(_mm256_movemask_epi8(m0))) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(_mm256_movemask_epi8(m1)))
+          << 32);
+}
+
+template <bool kTwoStops>
+__attribute__((target("avx2"))) inline ScanResult ScanRunAvx2Impl(std::string_view input,
+                                                                  size_t from, size_t end,
+                                                                  char stop1, char stop2) {
+  ScanResult r;
+  const __m256i b1 = _mm256_set1_epi8(stop1);
+  const __m256i b2 = _mm256_set1_epi8(stop2);
+  const __m256i lf = _mm256_set1_epi8('\n');
+  const __m256i cr = _mm256_set1_epi8('\r');
+  const __m256i amp = _mm256_set1_epi8('&');
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i amp_acc = zero;
+  // Min-accumulator for NUL detection: a zero lane survives every min, so
+  // one compare at the end replaces a cmpeq per window.
+  __m256i nul_min = _mm256_set1_epi8(static_cast<char>(0xFF));
+  __m256i high_acc = zero;
+  size_t i = from;
+  while (i + 64 <= end) {
+    const char* p = input.data() + i;
+    const __m256i v0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    const __m256i v1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 32));
+    __m256i s0 = _mm256_cmpeq_epi8(v0, b1);
+    __m256i s1 = _mm256_cmpeq_epi8(v1, b1);
+    if constexpr (kTwoStops) {
+      s0 = _mm256_or_si256(s0, _mm256_cmpeq_epi8(v0, b2));
+      s1 = _mm256_or_si256(s1, _mm256_cmpeq_epi8(v1, b2));
+    }
+    const __m256i l0 = _mm256_cmpeq_epi8(v0, lf);
+    const __m256i l1 = _mm256_cmpeq_epi8(v1, lf);
+    const __m256i c0 = _mm256_cmpeq_epi8(v0, cr);
+    const __m256i c1 = _mm256_cmpeq_epi8(v1, cr);
+    const __m256i ev =
+        _mm256_or_si256(_mm256_or_si256(_mm256_or_si256(s0, s1), _mm256_or_si256(l0, l1)),
+                        _mm256_or_si256(c0, c1));
+    if (_mm256_movemask_epi8(ev) == 0) {
+      amp_acc = _mm256_or_si256(
+          amp_acc, _mm256_or_si256(_mm256_cmpeq_epi8(v0, amp), _mm256_cmpeq_epi8(v1, amp)));
+      nul_min = _mm256_min_epu8(nul_min, _mm256_min_epu8(v0, v1));
+      high_acc = _mm256_or_si256(high_acc, _mm256_or_si256(v0, v1));
+      i += 64;
+      continue;
+    }
+    const std::uint64_t stops64 = ScanMask64Avx2(s0, s1);
+    const std::uint64_t lf64 = ScanMask64Avx2(l0, l1);
+    const std::uint64_t cr64 = ScanMask64Avx2(c0, c1);
+    std::uint64_t below = ~std::uint64_t{0};
+    if (stops64 != 0) {
+      const int t = std::countr_zero(stops64);
+      below = (t == 0) ? 0 : (below >> (64 - t));
+    }
+    std::uint64_t standalone_cr = cr64 & ~(lf64 >> 1);
+    if ((standalone_cr >> 63) != 0 && i + 64 < input.size() && input[i + 64] == '\n') {
+      standalone_cr &= ~(std::uint64_t{1} << 63);
+    }
+    const std::uint64_t nl = (lf64 | standalone_cr) & below;
+    r.newlines += static_cast<std::uint32_t>(std::popcount(nl));
+    if (nl != 0) {
+      r.last_reset = i + 63 - static_cast<size_t>(std::countl_zero(nl));
+    }
+    if (stops64 != 0) {
+      const std::uint64_t amp64 =
+          ScanMask64Avx2(_mm256_cmpeq_epi8(v0, amp), _mm256_cmpeq_epi8(v1, amp)) & below;
+      const std::uint64_t nul64 =
+          ScanMask64Avx2(_mm256_cmpeq_epi8(v0, zero), _mm256_cmpeq_epi8(v1, zero)) & below;
+      const std::uint64_t high64 = ScanMask64Avx2(v0, v1) & below;
+      r.has_amp = amp64 != 0 || _mm256_movemask_epi8(amp_acc) != 0;
+      r.has_nul =
+          nul64 != 0 ||
+          _mm256_movemask_epi8(_mm256_cmpeq_epi8(nul_min, zero)) != 0;
+      r.has_high = high64 != 0 || _mm256_movemask_epi8(high_acc) != 0;
+      r.stop = i + static_cast<size_t>(std::countr_zero(stops64));
+      return r;
+    }
+    amp_acc = _mm256_or_si256(
+        amp_acc, _mm256_or_si256(_mm256_cmpeq_epi8(v0, amp), _mm256_cmpeq_epi8(v1, amp)));
+    nul_min = _mm256_min_epu8(nul_min, _mm256_min_epu8(v0, v1));
+    high_acc = _mm256_or_si256(high_acc, _mm256_or_si256(v0, v1));
+    i += 64;
+  }
+  const bool acc_amp = _mm256_movemask_epi8(amp_acc) != 0;
+  const bool acc_nul = _mm256_movemask_epi8(_mm256_cmpeq_epi8(nul_min, zero)) != 0;
+  const bool acc_high = _mm256_movemask_epi8(high_acc) != 0;
+  // Delegate the sub-window tail to the SSE2 scan and merge: its indices
+  // are already absolute, and a later last_reset supersedes an earlier one.
+  const ScanResult tail = ScanRunSimd(input, i, end, stop1, stop2);
+  r.stop = tail.stop;
+  r.newlines += tail.newlines;
+  if (tail.last_reset != std::string_view::npos) {
+    r.last_reset = tail.last_reset;
+  }
+  r.has_amp = r.has_amp || acc_amp || tail.has_amp;
+  r.has_nul = r.has_nul || acc_nul || tail.has_nul;
+  r.has_high = r.has_high || acc_high || tail.has_high;
+  return r;
+}
+
+inline ScanResult ScanRunAvx2(std::string_view input, size_t from, size_t end, char stop1,
+                              char stop2) {
+  return stop1 == stop2 ? ScanRunAvx2Impl<false>(input, from, end, stop1, stop2)
+                        : ScanRunAvx2Impl<true>(input, from, end, stop1, stop2);
+}
+
+inline bool ScanHasAvx2() {
+  static const bool kAvx2 = __builtin_cpu_supports("avx2") != 0;
+  return kAvx2;
+}
+#endif  // __SSE2__
+
+// Scans input[from, end) for the first occurrence of stop1 or stop2 (pass
+// the same byte twice for a single stop), recording newlines and '&' / NUL
+// / high-bit presence over the skipped run. `end` must not exceed
+// input.size(); the CR lookahead deliberately peeks the full input.
+inline ScanResult ScanRun(std::string_view input, size_t from, size_t end, char stop1,
+                          char stop2) {
+#if defined(__SSE2__)
+  if (ScanHasAvx2()) {
+    return ScanRunAvx2(input, from, end, stop1, stop2);
+  }
+  return ScanRunSimd(input, from, end, stop1, stop2);
+#else
+  return ScanRunSwar(input, from, end, stop1, stop2);
+#endif
+}
+
+}  // namespace weblint
+
+#endif  // WEBLINT_HTML_SCAN_H_

@@ -1,10 +1,15 @@
 // Token structures produced by the ad-hoc HTML tokenizer (paper §5.1: "the
 // file being processed is tokenised into start tags (possibly with
 // attributes), text content, and end tags").
+//
+// Tokens are zero-copy: every string field is a view into the input buffer
+// handed to the Tokenizer, so producing a token never allocates or copies
+// text. The caller owns the buffer and must keep it alive for as long as
+// any token derived from it is in use.
 #ifndef WEBLINT_HTML_TOKEN_H_
 #define WEBLINT_HTML_TOKEN_H_
 
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/source_location.h"
@@ -21,8 +26,8 @@ enum class QuoteStyle {
 };
 
 struct Attribute {
-  std::string name;   // As written (case preserved for messages).
-  std::string value;  // Raw value text, entities NOT expanded.
+  std::string_view name;   // As written (case preserved for messages).
+  std::string_view value;  // Raw value text, entities NOT expanded.
   bool has_value = false;
   QuoteStyle quote = QuoteStyle::kNone;
   // The opening quote was never closed; the tokenizer recovered by ending
@@ -47,15 +52,15 @@ struct Token {
   SourceLocation location;
 
   // Tag name as written (kStartTag/kEndTag); empty otherwise.
-  std::string name;
+  std::string_view name;
   std::vector<Attribute> attributes;
 
   // Content for kText / kComment / kDoctype / kDeclaration / kProcessing.
-  std::string text;
+  std::string_view text;
 
   // Raw source between '<' and '>' for tags — used verbatim in messages
   // (the paper prints: odd number of quotes in element <A HREF="a.html>).
-  std::string raw;
+  std::string_view raw;
 
   // --- recovery / anomaly flags set by the tokenizer -----------------------
   bool odd_quotes = false;         // Odd number of '"' characters in the tag.
@@ -67,7 +72,39 @@ struct Token {
   bool comment_whitespace_close = false;  // Closed by "- ->"-style sequence.
   bool raw_text = false;           // Text captured in SCRIPT/STYLE raw mode.
 
+  // --- content facts gathered by the scan (kText only) ---------------------
+  bool has_amp = false;  // Text contains '&': entity scanning may apply.
+  bool has_nul = false;  // Text contains a NUL byte.
+  // Text (kText or kComment) contains a malformed UTF-8 sequence; the first
+  // one starts at invalid_utf8_at (column counts code points, per utf8.h).
+  bool invalid_utf8 = false;
+  SourceLocation invalid_utf8_at;
+
   bool IsTag() const { return kind == TokenKind::kStartTag || kind == TokenKind::kEndTag; }
+
+  // Clears every field for reuse, keeping the attribute vector's capacity —
+  // the tokenize/dispatch loop resets one Token per token produced and must
+  // not pay an allocation each time.
+  void Reset() {
+    kind = TokenKind::kText;
+    location = SourceLocation{};
+    name = {};
+    attributes.clear();
+    text = {};
+    raw = {};
+    odd_quotes = false;
+    net_slash = false;
+    unterminated_tag = false;
+    closed_by_lt = false;
+    unterminated_comment = false;
+    nested_comment = false;
+    comment_whitespace_close = false;
+    raw_text = false;
+    has_amp = false;
+    has_nul = false;
+    invalid_utf8 = false;
+    invalid_utf8_at = SourceLocation{};
+  }
 };
 
 }  // namespace weblint

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "html/char_class.h"
+#include "html/utf8.h"
 #include "util/strings.h"
 
 namespace weblint {
@@ -29,11 +30,27 @@ size_t FindByte(std::string_view s, char c, size_t from, size_t to) {
                         : std::string_view::npos;
 }
 
-// Elements whose content is raw text up to their end tag.
-bool IsRawTextElement(std::string_view lower_name) {
-  return lower_name == "script" || lower_name == "style" || lower_name == "xmp" ||
-         lower_name == "listing";
+// Canonical lowercase name if `name` is an element whose content is raw
+// text up to its end tag, empty otherwise.
+std::string_view RawTextElementFor(std::string_view name) {
+  if (IEquals(name, "script")) {
+    return "script";
+  }
+  if (IEquals(name, "style")) {
+    return "style";
+  }
+  if (IEquals(name, "xmp")) {
+    return "xmp";
+  }
+  if (IEquals(name, "listing")) {
+    return "listing";
+  }
+  return {};
 }
+
+// WHATWG terminator after an end-tag or double-escape name: whitespace,
+// '/', or '>'.
+bool IsTagNameTerminator(char c) { return IsAsciiSpace(c) || c == '/' || c == '>'; }
 
 }  // namespace
 
@@ -58,8 +75,7 @@ void Tokenizer::TakeN(size_t n) { AdvanceTo(std::min(pos_ + n, input_.size())); 
 
 void Tokenizer::AdvanceTo(size_t end) {
   // Short runs (tag names, attribute separators) are cheaper byte-wise than
-  // paying two memchr setups; long runs (text, comments, raw text) win big
-  // from the batched scan below.
+  // paying two memchr setups; long runs win big from the batched scan.
   constexpr size_t kShortRun = 32;
   if (end - pos_ <= kShortRun) {
     for (size_t i = pos_; i < end; ++i) {
@@ -103,6 +119,16 @@ void Tokenizer::AdvanceTo(size_t end) {
   pos_ = end;
 }
 
+void Tokenizer::ApplyScan(const ScanResult& r) {
+  line_ += r.newlines;
+  if (r.last_reset != std::string_view::npos) {
+    column_ = static_cast<std::uint32_t>(r.stop - r.last_reset);
+  } else {
+    column_ += static_cast<std::uint32_t>(r.stop - pos_);
+  }
+  pos_ = r.stop;
+}
+
 bool Tokenizer::LookingAt(std::string_view s) const {
   return input_.substr(pos_).starts_with(s);
 }
@@ -114,47 +140,65 @@ bool Tokenizer::LookingAtIgnoreCase(std::string_view s) const {
   return IEquals(input_.substr(pos_, s.size()), s);
 }
 
+bool Tokenizer::IsAppropriateEndTag(size_t i, std::string_view lower_element) const {
+  // Caller guarantees input_[i] == '<'.
+  if (i + 1 >= input_.size() || input_[i + 1] != '/') {
+    return false;
+  }
+  if (i + 2 + lower_element.size() > input_.size()) {
+    return false;
+  }
+  if (!IEquals(input_.substr(i + 2, lower_element.size()), lower_element)) {
+    return false;
+  }
+  const size_t after = i + 2 + lower_element.size();
+  return after >= input_.size() || IsTagNameTerminator(input_[after]);
+}
+
+bool Tokenizer::IsDoubleEscapeOpen(size_t i) const {
+  // Caller guarantees input_[i] == '<'.
+  constexpr std::string_view kScript = "script";
+  if (i + 1 + kScript.size() > input_.size()) {
+    return false;
+  }
+  if (!IEquals(input_.substr(i + 1, kScript.size()), kScript)) {
+    return false;
+  }
+  const size_t after = i + 1 + kScript.size();
+  return after >= input_.size() || IsTagNameTerminator(input_[after]);
+}
+
+void Tokenizer::CheckUtf8(Token* out, bool has_high) {
+  if (!has_high) {
+    return;
+  }
+  SourceLocation where;
+  if (!ValidateUtf8(out->text, out->location, &where)) {
+    out->invalid_utf8 = true;
+    out->invalid_utf8_at = where;
+  }
+}
+
 bool Tokenizer::Next(Token* out) {
   if (AtEnd()) {
     return false;
   }
-  *out = Token();
+  out->Reset();
   out->location = location();
 
   if (plaintext_mode_) {
-    out->kind = TokenKind::kText;
-    out->raw_text = true;
-    out->text = std::string(input_.substr(pos_));
-    TakeN(input_.size() - pos_);
+    LexPlaintext(out);
     return true;
   }
 
   if (!raw_text_element_.empty()) {
-    // Find "</element" (case-insensitive). Everything before it is raw
-    // text. Batched: hop between '<' bytes with memchr; only those
-    // positions can open the end tag.
-    const std::string needle = "</" + raw_text_element_;
-    size_t end = input_.size();
-    const size_t last_candidate = input_.size() >= needle.size()
-                                      ? input_.size() - needle.size() + 1
-                                      : 0;
-    for (size_t i = FindByte(input_, '<', pos_, last_candidate);
-         i != std::string_view::npos;
-         i = FindByte(input_, '<', i + 1, last_candidate)) {
-      if (IEquals(input_.substr(i, needle.size()), needle)) {
-        end = i;
-        break;
-      }
-    }
-    raw_text_element_.clear();
-    if (end > pos_) {
-      out->kind = TokenKind::kText;
-      out->raw_text = true;
-      out->text = std::string(input_.substr(pos_, end - pos_));
-      TakeN(end - pos_);
+    const size_t start = pos_;
+    LexRawText(out);
+    if (pos_ > start) {
       return true;
     }
     // Zero-length raw content: fall through to lex the end tag normally.
+    out->Reset();
     out->location = location();
   }
 
@@ -167,13 +211,114 @@ bool Tokenizer::Next(Token* out) {
 
 void Tokenizer::LexText(Token* out) {
   // A text run ends only at '<' or EOF; '&', NUL and non-ASCII bytes are
-  // ordinary text. memchr finds the boundary in one pass and AdvanceTo
-  // bulk-counts the newlines inside the run.
+  // ordinary text. One ScanRun pass finds the boundary, counts the
+  // newlines, and collects the content facts.
   out->kind = TokenKind::kText;
-  const size_t lt = FindByte(input_, '<', pos_, input_.size());
-  const size_t end = lt == std::string_view::npos ? input_.size() : lt;
-  out->text = std::string(input_.substr(pos_, end - pos_));
-  AdvanceTo(end);
+  const ScanResult r = ScanRun(input_, pos_, input_.size(), '<', '<');
+  out->text = input_.substr(pos_, r.stop - pos_);
+  out->has_amp = r.has_amp;
+  out->has_nul = r.has_nul;
+  CheckUtf8(out, r.has_high);
+  ApplyScan(r);
+}
+
+void Tokenizer::LexPlaintext(Token* out) {
+  // PLAINTEXT swallows the rest of the file; '<' is ordinary content.
+  const size_t start = pos_;
+  bool has_amp = false;
+  bool has_nul = false;
+  bool has_high = false;
+  while (pos_ < input_.size()) {
+    const ScanResult r = ScanRun(input_, pos_, input_.size(), '<', '<');
+    has_amp |= r.has_amp;
+    has_nul |= r.has_nul;
+    has_high |= r.has_high;
+    ApplyScan(r);
+    if (!AtEnd()) {
+      Take();  // The '<' itself.
+    }
+  }
+  out->kind = TokenKind::kText;
+  out->raw_text = true;
+  out->text = input_.substr(start);
+  out->has_amp = has_amp;
+  out->has_nul = has_nul;
+  CheckUtf8(out, has_high);
+}
+
+void Tokenizer::LexRawText(Token* out) {
+  // Raw text runs to the element's appropriate end tag ("</name" followed
+  // by whitespace, '/', '>' or EOF — "</namex" stays content). SCRIPT
+  // additionally implements the WHATWG escaped / double-escaped states so
+  // commented-out scripts keep their inner "</script>" as content:
+  //
+  //   state 0 (script data):     "<!--" -> 1;   "</script" TERM ends element
+  //   state 1 (escaped):         "<script" TERM -> 2; "-->" -> 0;
+  //                              "</script" TERM still ends the element
+  //   state 2 (double-escaped):  "</script" TERM -> 1 (text stays content);
+  //                              "-->" -> 0
+  //
+  // Only '<' (and '-' for script) can change state, so the scan hops
+  // between those stop bytes word-at-a-time and handles the few bytes at
+  // each candidate position exactly.
+  const std::string_view element = raw_text_element_;
+  const bool is_script = element == "script";
+  const char stop2 = is_script ? '-' : '<';
+  const size_t start = pos_;
+  bool has_amp = false;
+  bool has_nul = false;
+  bool has_high = false;
+  int state = 0;
+  while (pos_ < input_.size()) {
+    const ScanResult r = ScanRun(input_, pos_, input_.size(), '<', stop2);
+    has_amp |= r.has_amp;
+    has_nul |= r.has_nul;
+    has_high |= r.has_high;
+    ApplyScan(r);
+    if (AtEnd()) {
+      break;
+    }
+    if (Peek() == '<') {
+      if (IsAppropriateEndTag(pos_, element)) {
+        if (state == 2) {
+          // "</script" in double-escaped data returns to the escaped
+          // state; the bytes stay content.
+          AdvanceNoNewline(pos_ + 2 + element.size());
+          state = 1;
+          continue;
+        }
+        break;
+      }
+      if (is_script) {
+        if (state == 0 && LookingAt("<!--")) {
+          AdvanceNoNewline(pos_ + 4);
+          state = 1;
+          continue;
+        }
+        if (state == 1 && IsDoubleEscapeOpen(pos_)) {
+          AdvanceNoNewline(pos_ + 7);  // "<script"
+          state = 2;
+          continue;
+        }
+      }
+      Take();  // A '<' that opens nothing: ordinary raw content.
+      continue;
+    }
+    // Script only: ScanRun stopped at '-'.
+    if (state != 0 && LookingAt("-->")) {
+      AdvanceNoNewline(pos_ + 3);
+      state = 0;
+      continue;
+    }
+    Take();
+  }
+  raw_text_element_ = {};
+  out->kind = TokenKind::kText;
+  out->raw_text = true;
+  out->text = input_.substr(start, pos_ - start);
+  out->has_amp = has_amp;
+  out->has_nul = has_nul;
+  CheckUtf8(out, has_high);
 }
 
 bool Tokenizer::LexMarkup(Token* out) {
@@ -209,27 +354,19 @@ void Tokenizer::LexComment(Token* out) {
   out->kind = TokenKind::kComment;
   TakeN(4);  // "<!--"
   const size_t start = pos_;
+  const SourceLocation text_base = location();
   size_t text_end = input_.size();
   bool closed = false;
+  bool has_high = false;
   // Only '-' (possible "--" close) and '<' (possible nested "<!--") can
-  // change state; hop between them with memchr, keeping a cached next
-  // position per byte so each region is scanned once.
-  constexpr size_t npos = std::string_view::npos;
-  size_t next_dash = FindByte(input_, '-', pos_, input_.size());
-  size_t next_lt = FindByte(input_, '<', pos_, input_.size());
+  // change state; the scan hops between them word-at-a-time.
   while (!AtEnd()) {
-    if (next_dash != npos && next_dash < pos_) {
-      next_dash = FindByte(input_, '-', pos_, input_.size());
-    }
-    if (next_lt != npos && next_lt < pos_) {
-      next_lt = FindByte(input_, '<', pos_, input_.size());
-    }
-    const size_t next = std::min(next_dash, next_lt);
-    if (next == npos) {
-      AdvanceTo(input_.size());
+    const ScanResult r = ScanRun(input_, pos_, input_.size(), '-', '<');
+    has_high |= r.has_high;
+    ApplyScan(r);
+    if (AtEnd()) {
       break;
     }
-    AdvanceTo(next);
     if (LookingAt("<!--")) {
       out->nested_comment = true;
       TakeN(4);
@@ -255,7 +392,14 @@ void Tokenizer::LexComment(Token* out) {
     out->unterminated_comment = true;
     text_end = input_.size();
   }
-  out->text = std::string(input_.substr(start, text_end - start));
+  out->text = input_.substr(start, text_end - start);
+  if (has_high) {
+    SourceLocation where;
+    if (!ValidateUtf8(out->text, text_base, &where)) {
+      out->invalid_utf8 = true;
+      out->invalid_utf8_at = where;
+    }
+  }
 }
 
 void Tokenizer::LexDoctypeOrDeclaration(Token* out) {
@@ -287,7 +431,7 @@ void Tokenizer::LexDoctypeOrDeclaration(Token* out) {
     }
     Take();
   }
-  out->text = std::string(Trim(input_.substr(start, pos_ - start)));
+  out->text = Trim(input_.substr(start, pos_ - start));
   if (!AtEnd()) {
     Take();  // '>'
   } else {
@@ -300,7 +444,7 @@ void Tokenizer::LexProcessing(Token* out) {
   TakeN(2);  // "<?"
   const size_t gt = FindByte(input_, '>', pos_, input_.size());
   const size_t end = gt == std::string_view::npos ? input_.size() : gt;
-  out->text = std::string(input_.substr(pos_, end - pos_));
+  out->text = input_.substr(pos_, end - pos_);
   AdvanceTo(end);
   if (!AtEnd()) {
     Take();
@@ -320,7 +464,7 @@ void Tokenizer::LexTag(Token* out, bool is_end_tag) {
   while (name_end < input_.size() && IsNameChar(input_[name_end])) {
     ++name_end;
   }
-  out->name.assign(input_.substr(pos_, name_end - pos_));
+  out->name = input_.substr(pos_, name_end - pos_);
   AdvanceNoNewline(name_end);  // Name chars exclude whitespace.
 
   LexAttributes(out);
@@ -331,13 +475,13 @@ void Tokenizer::LexTag(Token* out, bool is_end_tag) {
   if (!out->unterminated_tag && !out->closed_by_lt && raw_end > raw_start) {
     --raw_end;  // The '>' itself.
   }
-  out->raw = std::string(input_.substr(raw_start, raw_end - raw_start));
+  out->raw = input_.substr(raw_start, raw_end - raw_start);
 
   // Quote-parity heuristic (the paper's odd-quotes message counts quotes in
   // the tag text). Only '"' is counted: apostrophes appear legitimately in
   // double-quoted prose values.
   size_t dquotes = 0;
-  for (char c : out->raw) {
+  for (const char c : out->raw) {
     if (c == '"') {
       ++dquotes;
     }
@@ -347,10 +491,10 @@ void Tokenizer::LexTag(Token* out, bool is_end_tag) {
   }
 
   if (!is_end_tag && !out->net_slash) {
-    const std::string lower = AsciiLower(out->name);
-    if (IsRawTextElement(lower)) {
-      raw_text_element_ = lower;
-    } else if (lower == "plaintext") {
+    const std::string_view raw_element = RawTextElementFor(out->name);
+    if (!raw_element.empty()) {
+      raw_text_element_ = raw_element;
+    } else if (IEquals(out->name, "plaintext")) {
       plaintext_mode_ = true;
     }
   }
@@ -389,7 +533,7 @@ void Tokenizer::LexAttributes(Token* out) {
     while (name_end < input_.size() && !HasCharClass(input_[name_end], kCharAttrNameEnd)) {
       ++name_end;
     }
-    attr.name.assign(input_.substr(pos_, name_end - pos_));
+    attr.name = input_.substr(pos_, name_end - pos_);
     AdvanceNoNewline(name_end);  // Terminators include all whitespace.
     SkipSpaceRun();
     if (!AtEnd() && Peek() == '=') {
@@ -407,12 +551,12 @@ void Tokenizer::LexAttributes(Token* out) {
                !HasCharClass(input_[value_end], kCharUnquotedValueEnd)) {
           ++value_end;
         }
-        attr.value.assign(input_.substr(pos_, value_end - pos_));
+        attr.value = input_.substr(pos_, value_end - pos_);
         AdvanceNoNewline(value_end);  // Terminators include all whitespace.
       }
     }
     if (!attr.name.empty() || attr.has_value) {
-      out->attributes.push_back(std::move(attr));
+      out->attributes.push_back(attr);
     }
   }
 }
@@ -427,38 +571,28 @@ void Tokenizer::SkipSpaceRun() {
   }
 }
 
-std::string Tokenizer::LexQuotedValue(char quote, Attribute* attr) {
+std::string_view Tokenizer::LexQuotedValue(char quote, Attribute* attr) {
   // Bounded lookahead for the closing quote. The search aborts at '<' (a new
   // tag opening almost certainly means the quote ran away) or after a fixed
   // window. Legitimate values may contain '>' and newlines, so neither stops
   // the search.
-  size_t close = std::string_view::npos;
   const size_t limit = std::min(input_.size(), pos_ + kMaxQuoteLookahead);
-  for (size_t i = pos_; i < limit; ++i) {
-    if (input_[i] == quote) {
-      close = i;
-      break;
-    }
-    if (input_[i] == '<') {
-      break;
-    }
-  }
-
-  std::string value;
-  if (close != std::string_view::npos) {
-    value.assign(input_.substr(pos_, close - pos_));
-    AdvanceTo(close);
+  const ScanResult r = ScanRun(input_, pos_, limit, quote, '<');
+  if (r.stop < limit && input_[r.stop] == quote) {
+    const std::string_view value = input_.substr(pos_, r.stop - pos_);
+    ApplyScan(r);
     Take();  // Closing quote.
     return value;
   }
 
   // Recovery: treat the value as unquoted — it ends at whitespace or '>'.
+  // The speculative scan above is discarded; pos_ never moved.
   attr->unterminated_quote = true;
   size_t end = pos_;
   while (end < input_.size() && !HasCharClass(input_[end], kCharUnquotedValueEnd)) {
     ++end;
   }
-  value.assign(input_.substr(pos_, end - pos_));
+  const std::string_view value = input_.substr(pos_, end - pos_);
   AdvanceTo(end);
   return value;
 }

@@ -18,20 +18,37 @@
 //  * SCRIPT / STYLE / XMP / LISTING content is consumed as raw text up to
 //    the matching close tag; PLAINTEXT consumes the rest of the file.
 //
-// Performance: the scanner is batched, not byte-at-a-time. Text and
-// raw-text runs jump straight to the next '<' with memchr; comments jump
-// between '-'/'<' delimiters; names, attribute values and whitespace runs
-// scan with a precomputed character-class table (char_class.h); and
-// line/column tracking is done in bulk over each skipped run (AdvanceTo)
-// rather than per byte. Token boundaries are unchanged — text runs end only
-// at '<' (or EOF), so embedded '&', NUL and non-ASCII bytes pass through
-// byte-identically to the per-character scanner.
+// WHATWG edge-state coverage (tokenization §13.2.5):
+//  * Raw-text end tags follow the "appropriate end tag" rule: "</script"
+//    only closes the element when followed by whitespace, '/', '>' or EOF —
+//    "</scriptx>" stays content, as in the RCDATA/RAWTEXT end-tag-name
+//    states.
+//  * SCRIPT content implements the script-data escaped and double-escaped
+//    states: "<!--" enters the escaped state (where "</script>" still
+//    closes), "<script>" inside it enters double-escaped (where "</script>"
+//    is content and merely returns to escaped), and "-->" unwinds either
+//    back to plain script data. Commented-out scripts that mention
+//    "</script>" therefore no longer end the element early.
+//  * Text and comment tokens are validated as UTF-8 with the Hoehrmann DFA
+//    (utf8.h) whenever the scan saw a high bit; malformed sequences set
+//    Token::invalid_utf8 with a code-point-accurate location rather than
+//    passing through silently.
+//
+// Performance: the scanner is batched, not byte-at-a-time. Text, raw-text,
+// comment and quoted-value runs are scanned word-at-a-time (scan.h: SSE2
+// with a SWAR fallback) — boundary finding, newline counting and the
+// '&'/NUL/high-bit content facts all happen in the same single pass, and
+// tokens are zero-copy views into the input, so a token costs no
+// allocation. Token boundaries are byte-identical to a per-character
+// scanner; the reference oracle in tests/testing/ holds the fast paths to
+// that contract differentially.
 #ifndef WEBLINT_HTML_TOKENIZER_H_
 #define WEBLINT_HTML_TOKENIZER_H_
 
 #include <string_view>
 #include <vector>
 
+#include "html/scan.h"
 #include "html/token.h"
 
 namespace weblint {
@@ -42,7 +59,8 @@ class Tokenizer {
 
   // Produces the next token. Returns false (and leaves *out untouched) at
   // end of input. Never fails on malformed input — malformation is reported
-  // through token flags.
+  // through token flags. The token's string fields are views into the
+  // input buffer, valid for as long as the caller keeps that buffer alive.
   bool Next(Token* out);
 
   // Position of the next unconsumed character (1-based).
@@ -57,22 +75,32 @@ class Tokenizer {
   char Take();
   void TakeN(size_t n);
   // Bulk equivalent of Take() for every byte in [pos_, end): advances pos_
-  // and updates line/column by counting newlines in memchr-sized hops
-  // instead of branching per byte. `end` must not exceed input_.size().
+  // and updates line/column by counting newlines in batched hops instead of
+  // branching per byte. `end` must not exceed input_.size().
   void AdvanceTo(size_t end);
-  // AdvanceTo for runs the caller has proven free of '\n'/'\r' (name and
-  // unquoted-value runs terminate at whitespace): a pure column bump, no
-  // newline rescan.
+  // AdvanceTo for runs the caller has proven free of '\n'/'\r' (name runs,
+  // markup sequences like "<!--"): a pure column bump, no newline rescan.
   void AdvanceNoNewline(size_t end) {
     column_ += static_cast<std::uint32_t>(end - pos_);
     pos_ = end;
   }
+  // Applies a ScanRun result that started at pos_: advances to r.stop with
+  // the line/column bookkeeping the scan already collected.
+  void ApplyScan(const ScanResult& r);
   // Consumes a run of ASCII whitespace (batched).
   void SkipSpaceRun();
   bool LookingAt(std::string_view s) const;
   bool LookingAtIgnoreCase(std::string_view s) const;
 
+  // True if an end tag for `lower_element` opens at `i` under the WHATWG
+  // appropriate-end-tag rule ("</name" + whitespace / '/' / '>' / EOF).
+  bool IsAppropriateEndTag(size_t i, std::string_view lower_element) const;
+  // True if "<script" + terminator opens at `i` (double-escape entry).
+  bool IsDoubleEscapeOpen(size_t i) const;
+
   void LexText(Token* out);
+  void LexRawText(Token* out);
+  void LexPlaintext(Token* out);
   bool LexMarkup(Token* out);  // False if '<' is stray.
   void LexComment(Token* out);
   void LexDoctypeOrDeclaration(Token* out);
@@ -81,7 +109,9 @@ class Tokenizer {
   void LexAttributes(Token* out);
   // Scans a quoted value with bounded lookahead; applies recovery when the
   // closing quote is missing. Returns the value.
-  std::string LexQuotedValue(char quote, Attribute* attr);
+  std::string_view LexQuotedValue(char quote, Attribute* attr);
+  // Validates out->text as UTF-8 when the scan saw a high-bit byte.
+  void CheckUtf8(Token* out, bool has_high);
 
   std::string_view input_;
   size_t pos_ = 0;
@@ -90,11 +120,13 @@ class Tokenizer {
 
   // Raw-text mode: set after a SCRIPT/STYLE/XMP/LISTING start tag; holds the
   // lowercase element name whose end tag terminates the mode.
-  std::string raw_text_element_;
+  std::string_view raw_text_element_;
   bool plaintext_mode_ = false;
 };
 
-// Convenience for tests: tokenizes the whole input.
+// Convenience for tests: tokenizes the whole input. The tokens view into
+// `input` — the caller's buffer must outlive the returned vector (passing a
+// temporary std::string here is a bug; string literals are fine).
 std::vector<Token> TokenizeAll(std::string_view input);
 
 }  // namespace weblint

@@ -1,0 +1,142 @@
+// Streaming UTF-8 validation via Hoehrmann's table-driven DFA, plus the
+// small encoder the entity decoder needs.
+//
+// The decoder is the classic one-lookup-per-byte automaton: a 256-entry
+// class table folds each byte into one of 12 character classes, and a
+// transition table maps (state, class) -> state. kUtf8Accept means "at a
+// code-point boundary"; kUtf8Reject is reached on the first byte that can
+// neither continue nor begin a well-formed sequence. The tables encode the
+// full WHATWG/RFC 3629 definition: overlong forms (C0/C1 leads, E0 80-9F,
+// F0 80-8F), surrogates (ED A0-BF) and code points above U+10FFFF (F4 90+,
+// F5-FF) all reject — they never merely decode to the wrong scalar.
+//
+// Validation is flag-only (weblint reports malformation, it does not
+// transcode), so the tokenizer needs just "is this token's text valid, and
+// if not, where does the first bad sequence start?". Columns in the answer
+// count code points, not bytes — the whole reason to decode rather than
+// merely classify.
+#ifndef WEBLINT_HTML_UTF8_H_
+#define WEBLINT_HTML_UTF8_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/source_location.h"
+
+namespace weblint {
+
+inline constexpr std::uint32_t kUtf8Accept = 0;
+inline constexpr std::uint32_t kUtf8Reject = 12;
+
+// Byte -> character class. 00-7F:0  80-8F:1  90-9F:9  A0-BF:7  C0-C1:8
+// C2-DF:2  E0:10  E1-EC,EE-EF:3  ED:4  F0:11  F1-F3:6  F4:5  F5-FF:8.
+inline constexpr std::uint8_t kUtf8ClassTable[256] = {
+    // clang-format off
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  // 00-0F
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  // 10-1F
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  // 20-2F
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  // 30-3F
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  // 40-4F
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  // 50-5F
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  // 60-6F
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  // 70-7F
+    1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,  // 80-8F
+    9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9,  // 90-9F
+    7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7,  // A0-AF
+    7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7,  // B0-BF
+    8, 8, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2,  // C0-CF
+    2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2,  // D0-DF
+   10, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 4, 3, 3,  // E0-EF
+   11, 6, 6, 6, 5, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8,  // F0-FF
+    // clang-format on
+};
+
+// (state, class) -> state. States are multiples of 12: 0 accept, 12 reject,
+// 24/36 expect one/two continuation bytes, 48 E0-restricted, 60
+// ED-restricted, 72 F0-restricted, 84 F1-F3, 96 F4-restricted.
+inline constexpr std::uint8_t kUtf8Transition[108] = {
+    // clang-format off
+     0, 12, 24, 36, 60, 96, 84, 12, 12, 12, 48, 72,  // 0:  accept
+    12, 12, 12, 12, 12, 12, 12, 12, 12, 12, 12, 12,  // 12: reject (sticky)
+    12,  0, 12, 12, 12, 12, 12,  0, 12,  0, 12, 12,  // 24: 1 continuation left
+    12, 24, 12, 12, 12, 12, 12, 24, 12, 24, 12, 12,  // 36: 2 continuations left
+    12, 12, 12, 12, 12, 12, 12, 24, 12, 12, 12, 12,  // 48: after E0 (A0-BF only)
+    12, 24, 12, 12, 12, 12, 12, 12, 12, 24, 12, 12,  // 60: after ED (80-9F only)
+    12, 12, 12, 12, 12, 12, 12, 36, 12, 36, 12, 12,  // 72: after F0 (90-BF only)
+    12, 36, 12, 12, 12, 12, 12, 36, 12, 36, 12, 12,  // 84: after F1-F3 (80-BF)
+    12, 36, 12, 12, 12, 12, 12, 12, 12, 12, 12, 12,  // 96: after F4 (80-8F only)
+    // clang-format on
+};
+
+// Feeds one byte; updates *code_point (valid only when the return value is
+// kUtf8Accept) and returns the next state.
+inline std::uint32_t Utf8Step(std::uint32_t state, std::uint8_t byte, std::uint32_t* code_point) {
+  const std::uint32_t type = kUtf8ClassTable[byte];
+  *code_point = state != kUtf8Accept ? (byte & 0x3Fu) | (*code_point << 6)
+                                     : (0xFFu >> type) & byte;
+  return kUtf8Transition[state + type];
+}
+
+// Validates `text` as UTF-8 (NUL and all code points are fine; only
+// malformed byte sequences fail). Returns true if valid. On failure sets
+// *error_at to the position of the first byte of the first invalid
+// sequence. `base` is the location of text[0]; lines advance on '\n' and on
+// '\r' not followed by '\n' (matching the tokenizer), and columns count
+// code points since the start of the line (or since `base` on its line).
+inline bool ValidateUtf8(std::string_view text, SourceLocation base, SourceLocation* error_at) {
+  std::uint32_t state = kUtf8Accept;
+  std::uint32_t code_point = 0;
+  std::uint32_t line = base.line;
+  std::uint32_t column = base.column;
+  SourceLocation sequence_start{line, column};
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (state == kUtf8Accept) {
+      sequence_start = SourceLocation{line, column};
+    }
+    state = Utf8Step(state, static_cast<std::uint8_t>(text[i]), &code_point);
+    if (state == kUtf8Reject) {
+      *error_at = sequence_start;
+      return false;
+    }
+    if (state == kUtf8Accept) {
+      if (code_point == '\n' ||
+          (code_point == '\r' && (i + 1 >= text.size() || text[i + 1] != '\n'))) {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  }
+  if (state != kUtf8Accept) {
+    // Truncated sequence at end of text.
+    *error_at = sequence_start;
+    return false;
+  }
+  return true;
+}
+
+// Appends the UTF-8 encoding of `code_point` (must be a Unicode scalar
+// value; callers remap invalid references to U+FFFD first).
+inline void AppendUtf8(std::uint32_t code_point, std::string* out) {
+  if (code_point < 0x80) {
+    out->push_back(static_cast<char>(code_point));
+  } else if (code_point < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else if (code_point < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  }
+}
+
+}  // namespace weblint
+
+#endif  // WEBLINT_HTML_UTF8_H_

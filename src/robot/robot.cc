@@ -62,7 +62,7 @@ std::vector<std::string> ExtractLinks(std::string_view html, bool include_resour
       for (const Attribute& attr : token.attributes) {
         if (IEquals(attr.name, source.attribute) && attr.has_value && !attr.value.empty() &&
             !attr.unterminated_quote) {
-          links.push_back(attr.value);
+          links.push_back(std::string(attr.value));
         }
       }
     }

@@ -6,7 +6,7 @@ namespace weblint {
 
 namespace {
 
-// 50 messages, 42 enabled by default (the weblint 1.020 figures from paper
+// 51 messages, 43 enabled by default (the weblint 1.020 figures from paper
 // §4.3). Ordered by category (Error, Warning, Style), then by id. "If a
 // message seems esoteric or overly pedantic (I love 'em!), it will be
 // disabled by default" — the 8 disabled entries are the pedantic/expensive
@@ -99,6 +99,11 @@ constexpr MessageInfo kMessages[] = {
     {"implied-element", Category::kWarning, true,
      "<%s> can only appear inside %s -- opening <%s> implied",
      "An element appeared outside its container; the container was assumed (e.g. LI outside UL)."},
+    {"invalid-utf8", Category::kWarning, true,
+     "text is not valid UTF-8 -- malformed byte sequence",
+     "A text or comment run contains bytes that do not form well-formed UTF-8 "
+     "(overlong encoding, bare continuation byte, surrogate, or truncated sequence). "
+     "Reported once per document, at the first malformed sequence."},
     {"malformed-comment", Category::kWarning, true,
      "malformed comment: %s",
      "A comment is syntactically malformed (unterminated, or odd close sequence)."},

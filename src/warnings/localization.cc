@@ -11,7 +11,7 @@ struct Translation {
   std::string_view format;
 };
 
-// French: complete (all 50 messages).
+// French: complete (all 51 messages).
 constexpr Translation kFrench[] = {
     {"attribute-value", "valeur illégale pour l'attribut %s de %s (%s)"},
     {"element-overlap",
@@ -49,6 +49,8 @@ constexpr Translation kFrench[] = {
      "IMG n'a pas d'attributs WIDTH et HEIGHT -- les définir aide les navigateurs à mettre la "
      "page en place plus tôt"},
     {"implied-element", "<%s> ne peut apparaître que dans %s -- ouverture de <%s> implicite"},
+    {"invalid-utf8",
+     "le texte n'est pas de l'UTF-8 valide -- séquence d'octets mal formée"},
     {"malformed-comment", "commentaire mal formé : %s"},
     {"markup-in-comment", "du balisage dans un commentaire peut troubler certains navigateurs"},
     {"must-follow", "<%s> doit suivre immédiatement %s"},

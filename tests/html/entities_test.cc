@@ -107,6 +107,125 @@ TEST(ScanEntitiesTest, BaseColumnOffset) {
   EXPECT_EQ(refs[0].location.column, 40u);
 }
 
+TEST(DecodeNumericTest, UnicodeBoundaries) {
+  // U+10FFFF is the last scalar value and decodes as itself.
+  EXPECT_TRUE(DecodeNumericReference(0x10FFFF).valid);
+  EXPECT_EQ(DecodeNumericReference(0x10FFFF).code_point, 0x10FFFFu);
+  // One past the end is an error: U+FFFD.
+  EXPECT_FALSE(DecodeNumericReference(0x110000).valid);
+  EXPECT_EQ(DecodeNumericReference(0x110000).code_point, 0xFFFDu);
+}
+
+TEST(DecodeNumericTest, SurrogatesAreErrors) {
+  EXPECT_FALSE(DecodeNumericReference(0xD800).valid);
+  EXPECT_FALSE(DecodeNumericReference(0xDFFF).valid);
+  EXPECT_EQ(DecodeNumericReference(0xD800).code_point, 0xFFFDu);
+  // The scalars bracketing the surrogate range are fine.
+  EXPECT_TRUE(DecodeNumericReference(0xD7FF).valid);
+  EXPECT_TRUE(DecodeNumericReference(0xE000).valid);
+}
+
+TEST(DecodeNumericTest, ZeroIsAnError) {
+  EXPECT_FALSE(DecodeNumericReference(0).valid);
+  EXPECT_EQ(DecodeNumericReference(0).code_point, 0xFFFDu);
+}
+
+TEST(DecodeNumericTest, C1ControlsRemapThroughWindows1252) {
+  // Legacy pages write &#151; for an em dash — the windows-1252 byte, not
+  // the C1 control U+0097.
+  EXPECT_EQ(DecodeNumericReference(151).code_point, 0x2014u);
+  EXPECT_TRUE(DecodeNumericReference(151).remapped);
+  EXPECT_EQ(DecodeNumericReference(0x80).code_point, 0x20ACu);  // Euro sign.
+  EXPECT_TRUE(DecodeNumericReference(0x80).remapped);
+  // windows-1252 holes (0x81, 0x8D, 0x8F, 0x90, 0x9D) map to themselves.
+  EXPECT_EQ(DecodeNumericReference(0x81).code_point, 0x81u);
+  EXPECT_FALSE(DecodeNumericReference(0x81).remapped);
+  EXPECT_TRUE(DecodeNumericReference(0x81).valid);
+}
+
+TEST(DecodeNumericTest, C0ControlsDecodeAsIs) {
+  // Only the C1 range is remapped; C0 controls (and NUL is already caught
+  // by the zero rule) decode to themselves.
+  EXPECT_EQ(DecodeNumericReference(0x1F).code_point, 0x1Fu);
+  EXPECT_TRUE(DecodeNumericReference(0x1F).valid);
+  EXPECT_FALSE(DecodeNumericReference(0x1F).remapped);
+}
+
+TEST(ScanEntitiesTest, NumericBoundaryFields) {
+  const auto refs =
+      ScanEntities("&#x10FFFF; &#xD800; &#x0; &#151;", SourceLocation{1, 1});
+  ASSERT_EQ(refs.size(), 4u);
+  EXPECT_TRUE(refs[0].valid_number);
+  EXPECT_EQ(refs[0].code_point, 0x10FFFFu);
+  EXPECT_FALSE(refs[1].valid_number);
+  EXPECT_EQ(refs[1].code_point, 0xFFFDu);
+  EXPECT_FALSE(refs[2].valid_number);
+  EXPECT_EQ(refs[2].code_point, 0xFFFDu);
+  EXPECT_TRUE(refs[3].valid_number);
+  EXPECT_TRUE(refs[3].remapped);
+  EXPECT_EQ(refs[3].code_point, 0x2014u);
+}
+
+TEST(ScanEntitiesTest, MissingSemicolonNumeric) {
+  const auto refs = ScanEntities("&#65 x", SourceLocation{1, 1});
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].kind, EntityRef::Kind::kNumeric);
+  EXPECT_FALSE(refs[0].terminated);
+  EXPECT_TRUE(refs[0].valid_number);
+  EXPECT_EQ(refs[0].code_point, 65u);
+  EXPECT_EQ(refs[0].length, 4u);  // "&#65", no ';'.
+}
+
+TEST(ScanEntitiesTest, OffsetAndLength) {
+  const auto refs = ScanEntities("fish &amp; chips &lt", SourceLocation{1, 1});
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0].offset, 5u);
+  EXPECT_EQ(refs[0].length, 5u);  // "&amp;" including the ';'.
+  EXPECT_EQ(refs[1].offset, 17u);
+  EXPECT_EQ(refs[1].length, 3u);  // "&lt" without one.
+}
+
+TEST(ScanEntitiesTest, HugeNumericSaturates) {
+  // Digit strings longer than any scalar value must not wrap around into
+  // the valid range.
+  const auto refs =
+      ScanEntities("&#99999999999999999999; &#x10FFFF0;", SourceLocation{1, 1});
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_FALSE(refs[0].valid_number);
+  EXPECT_EQ(refs[0].code_point, 0xFFFDu);
+  EXPECT_FALSE(refs[1].valid_number);
+}
+
+TEST(DecodeReferencesTest, DecodesKnownAndNumeric) {
+  EXPECT_EQ(DecodeCharacterReferences("fish &amp; chips"), "fish & chips");
+  EXPECT_EQ(DecodeCharacterReferences("&#x41;&#66;"), "AB");
+  EXPECT_EQ(DecodeCharacterReferences("caf&eacute;"), "caf\xC3\xA9");
+}
+
+TEST(DecodeReferencesTest, UnterminatedKnownStillDecodes) {
+  // Browsers decode "&amp" without the semicolon; so do we.
+  EXPECT_EQ(DecodeCharacterReferences("a &amp b"), "a & b");
+}
+
+TEST(DecodeReferencesTest, InvalidNumericsBecomeReplacementChar) {
+  EXPECT_EQ(DecodeCharacterReferences("&#xD800;"), "\xEF\xBF\xBD");
+  EXPECT_EQ(DecodeCharacterReferences("&#0;"), "\xEF\xBF\xBD");
+  EXPECT_EQ(DecodeCharacterReferences("&#x110000;"), "\xEF\xBF\xBD");
+  EXPECT_EQ(DecodeCharacterReferences("&#x10FFFF;"), "\xF4\x8F\xBF\xBF");
+}
+
+TEST(DecodeReferencesTest, RemappedC1Controls) {
+  EXPECT_EQ(DecodeCharacterReferences("&#151;"), "\xE2\x80\x94");  // Em dash.
+}
+
+TEST(DecodeReferencesTest, LiteralsStayLiteral) {
+  EXPECT_EQ(DecodeCharacterReferences("AT&T"), "AT&T");
+  EXPECT_EQ(DecodeCharacterReferences("&wibble;"), "&wibble;");
+  EXPECT_EQ(DecodeCharacterReferences("&#;"), "&#;");
+  EXPECT_EQ(DecodeCharacterReferences("a & b"), "a & b");
+  EXPECT_EQ(DecodeCharacterReferences(""), "");
+}
+
 TEST(ScanEntitiesTest, NoEntities) {
   EXPECT_TRUE(ScanEntities("plain text, nothing here", SourceLocation{1, 1}).empty());
   EXPECT_TRUE(ScanEntities("", SourceLocation{1, 1}).empty());

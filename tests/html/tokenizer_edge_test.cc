@@ -54,7 +54,8 @@ TEST(TokenizerEdgeTest, EqualsWithoutName) {
 TEST(TokenizerEdgeTest, VeryLongAttributeValue) {
   // Values within the quote-lookahead window lex normally.
   const std::string value(32000, 'v');
-  const auto tokens = TokenizeAll("<A HREF=\"" + value + "\">x</A>");
+  const std::string input = "<A HREF=\"" + value + "\">x</A>";
+  const auto tokens = TokenizeAll(input);
   ASSERT_EQ(tokens.size(), 3u);
   EXPECT_EQ(tokens[0].attributes[0].value.size(), value.size());
   EXPECT_FALSE(tokens[0].odd_quotes);
@@ -64,7 +65,8 @@ TEST(TokenizerEdgeTest, AbsurdValueTriggersRunawayRecovery) {
   // A "value" longer than the lookahead window is treated as a runaway
   // quote: the safety valve against quadratic rescanning.
   const std::string value(200000, 'v');
-  const auto tokens = TokenizeAll("<A HREF=\"" + value + "\">x</A>");
+  const std::string input = "<A HREF=\"" + value + "\">x</A>";
+  const auto tokens = TokenizeAll(input);
   ASSERT_GE(tokens.size(), 1u);
   EXPECT_TRUE(tokens[0].attributes[0].unterminated_quote);
 }

@@ -1,0 +1,322 @@
+// Differential fuzzing of the production tokenizer against the byte-at-a-
+// time reference oracle (tests/testing/reference_tokenizer.*), plus direct
+// differential tests of the fast paths the oracle guards: the SWAR and SSE2
+// run scanners against the exact bytewise stepper, and the Hoehrmann UTF-8
+// DFA against the naive lead-byte validator and against an encoder over the
+// whole scalar range.
+//
+// Everything is seeded; a failure reproduces from the printed (seed,
+// iteration) pair. WEBLINT_FUZZ_ITERS overrides the mutation budget.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/html_mutator.h"
+#include "corpus/rng.h"
+#include "html/scan.h"
+#include "html/tokenizer.h"
+#include "html/utf8.h"
+#include "tests/testing/reference_tokenizer.h"
+
+namespace weblint {
+namespace {
+
+constexpr std::uint64_t kFuzzSeed = 0x5EEDF00DCAFEULL;
+
+size_t FuzzIterations() {
+  if (const char* env = std::getenv("WEBLINT_FUZZ_ITERS")) {
+    const long v = std::atol(env);
+    if (v > 0) {
+      return static_cast<size_t>(v);
+    }
+  }
+  return 100000;
+}
+
+// Printable form of an arbitrary byte string, bounded.
+std::string Escape(std::string_view s) {
+  std::string out;
+  for (const char c : s.substr(0, 400)) {
+    const unsigned char b = static_cast<unsigned char>(c);
+    if (b >= 0x20 && b < 0x7F && c != '\\') {
+      out.push_back(c);
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\x%02X", b);
+      out.append(buf);
+    }
+  }
+  if (s.size() > 400) {
+    out += "...(" + std::to_string(s.size()) + " bytes)";
+  }
+  return out;
+}
+
+std::string Describe(const SourceLocation& loc) {
+  return std::to_string(loc.line) + ":" + std::to_string(loc.column);
+}
+
+#define CHECK_FIELD(expr, what)                                                   \
+  if (!((a.expr) == (b.expr))) {                                                  \
+    return ::testing::AssertionFailure()                                          \
+           << "token " << i << " differs in " << (what);                          \
+  }
+
+::testing::AssertionResult TokensMatch(const std::vector<Token>& fast,
+                                       const std::vector<Token>& ref) {
+  if (fast.size() != ref.size()) {
+    return ::testing::AssertionFailure()
+           << "token count: fast=" << fast.size() << " ref=" << ref.size();
+  }
+  for (size_t i = 0; i < fast.size(); ++i) {
+    const Token& a = fast[i];
+    const Token& b = ref[i];
+    CHECK_FIELD(kind, "kind");
+    CHECK_FIELD(location, "location (fast " + Describe(a.location) + " ref " +
+                              Describe(b.location) + ")");
+    CHECK_FIELD(name, "name");
+    CHECK_FIELD(text, "text (fast \"" + Escape(a.text) + "\" ref \"" + Escape(b.text) + "\")");
+    CHECK_FIELD(raw, "raw");
+    CHECK_FIELD(odd_quotes, "odd_quotes");
+    CHECK_FIELD(net_slash, "net_slash");
+    CHECK_FIELD(unterminated_tag, "unterminated_tag");
+    CHECK_FIELD(closed_by_lt, "closed_by_lt");
+    CHECK_FIELD(unterminated_comment, "unterminated_comment");
+    CHECK_FIELD(nested_comment, "nested_comment");
+    CHECK_FIELD(comment_whitespace_close, "comment_whitespace_close");
+    CHECK_FIELD(raw_text, "raw_text");
+    CHECK_FIELD(has_amp, "has_amp");
+    CHECK_FIELD(has_nul, "has_nul");
+    CHECK_FIELD(invalid_utf8, "invalid_utf8");
+    CHECK_FIELD(invalid_utf8_at, "invalid_utf8_at (fast " + Describe(a.invalid_utf8_at) +
+                                     " ref " + Describe(b.invalid_utf8_at) + ")");
+    if (a.attributes.size() != b.attributes.size()) {
+      return ::testing::AssertionFailure()
+             << "token " << i << " attribute count: fast=" << a.attributes.size()
+             << " ref=" << b.attributes.size();
+    }
+    for (size_t k = 0; k < a.attributes.size(); ++k) {
+      const Attribute& x = a.attributes[k];
+      const Attribute& y = b.attributes[k];
+      if (x.name != y.name || x.value != y.value || x.has_value != y.has_value ||
+          x.quote != y.quote || x.unterminated_quote != y.unterminated_quote ||
+          !(x.location == y.location)) {
+        return ::testing::AssertionFailure()
+               << "token " << i << " attribute " << k << " differs (fast " << x.name << "=\""
+               << Escape(x.value) << "\" at " << Describe(x.location) << ", ref " << y.name
+               << "=\"" << Escape(y.value) << "\" at " << Describe(y.location) << ")";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+#undef CHECK_FIELD
+
+::testing::AssertionResult SameTokenStream(std::string_view doc) {
+  const std::vector<Token> fast = TokenizeAll(doc);
+  const std::vector<Token> ref = testing::ReferenceTokenizeAll(doc);
+  const ::testing::AssertionResult result = TokensMatch(fast, ref);
+  if (!result) {
+    return ::testing::AssertionFailure()
+           << result.message() << "\n  doc: \"" << Escape(doc) << "\"";
+  }
+  return result;
+}
+
+TEST(TokenizerFuzzTest, SeedDocumentsMatchOracle) {
+  for (const std::string& seed : FuzzSeedDocuments()) {
+    EXPECT_TRUE(SameTokenStream(seed));
+  }
+}
+
+TEST(TokenizerFuzzTest, EveryTruncationOfEverySeedMatchesOracle) {
+  // Truncation at every byte offset: EOF inside every tokenizer state the
+  // seeds reach (mid-comment, mid-escape, mid-UTF-8-sequence, mid-quote).
+  for (const std::string& seed : FuzzSeedDocuments()) {
+    for (size_t cut = 0; cut <= seed.size(); ++cut) {
+      const std::string_view doc = std::string_view(seed).substr(0, cut);
+      const ::testing::AssertionResult result = SameTokenStream(doc);
+      ASSERT_TRUE(result) << "seed truncated to " << cut << " bytes";
+    }
+  }
+}
+
+TEST(TokenizerFuzzTest, MutatedDocumentsMatchOracle) {
+  const std::vector<std::string>& seeds = FuzzSeedDocuments();
+  SplitMix64 rng(kFuzzSeed);
+  const size_t iterations = FuzzIterations();
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    const std::string& seed = seeds[rng.Below(seeds.size())];
+    const std::string doc = MutateDocument(seed, &rng);
+    const ::testing::AssertionResult result = SameTokenStream(doc);
+    ASSERT_TRUE(result) << "iteration " << iter << " of " << iterations
+                        << " (seed 0x" << std::hex << kFuzzSeed << ")";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Direct differential coverage of the scanners. On x86-64 the SSE2 path
+// shadows the SWAR fallback in production, so the fallback gets explicit
+// coverage here: both must agree with the exact bytewise stepper.
+
+ScanResult ScanRunBytewise(std::string_view input, size_t from, size_t end, char stop1,
+                           char stop2) {
+  ScanResult r;
+  for (size_t i = from; i < end; ++i) {
+    if (!scan_internal::StepByte(input, i, stop1, stop2, &r)) {
+      return r;
+    }
+  }
+  r.stop = end;
+  return r;
+}
+
+::testing::AssertionResult SameScan(const ScanResult& a, const ScanResult& b,
+                                    std::string_view which) {
+  if (a.stop != b.stop || a.newlines != b.newlines || a.last_reset != b.last_reset ||
+      a.has_amp != b.has_amp || a.has_nul != b.has_nul || a.has_high != b.has_high) {
+    return ::testing::AssertionFailure()
+           << which << " diverges: stop " << a.stop << "/" << b.stop << " newlines "
+           << a.newlines << "/" << b.newlines << " last_reset "
+           << static_cast<long long>(a.last_reset) << "/" << static_cast<long long>(b.last_reset)
+           << " amp " << a.has_amp << "/" << b.has_amp << " nul " << a.has_nul << "/"
+           << b.has_nul << " high " << a.has_high << "/" << b.has_high;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(ScanDifferentialTest, SwarAndSimdMatchBytewiseStepper) {
+  // Byte distribution biased toward the scanner's special bytes so words
+  // mix clean blocks, stop bytes, newlines, and boundary positions.
+  constexpr char kInteresting[] = {'<', '&', '-', '"', '\n', '\r', '\0',
+                                   'a', ' ', '\x80', '\xC3', '\xFF'};
+  SplitMix64 rng(0xD1FF5CA77E57ULL);
+  for (int round = 0; round < 2000; ++round) {
+    std::string buf;
+    // Long enough to cross several 64-byte windows, so the packed-mask
+    // paths and their tails both get hit.
+    const size_t len = rng.Below(400);
+    buf.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      if (rng.Chance(70)) {
+        buf.push_back(kInteresting[rng.Below(std::size(kInteresting))]);
+      } else {
+        buf.push_back(static_cast<char>(rng.Below(256)));
+      }
+    }
+    const size_t from = buf.empty() ? 0 : rng.Below(buf.size() + 1);
+    const size_t end = from + (buf.size() > from ? rng.Below(buf.size() - from + 1) : 0);
+    const char stop1 = kInteresting[rng.Below(std::size(kInteresting))];
+    const char stop2 = rng.Chance(50) ? stop1 : kInteresting[rng.Below(std::size(kInteresting))];
+
+    const ScanResult byt = ScanRunBytewise(buf, from, end, stop1, stop2);
+    const ScanResult swar = ScanRunSwar(buf, from, end, stop1, stop2);
+    ASSERT_TRUE(SameScan(swar, byt, "SWAR vs bytewise"))
+        << "round " << round << " doc \"" << Escape(buf) << "\" from " << from << " end " << end;
+#if defined(__SSE2__)
+    const ScanResult simd = ScanRunSimd(buf, from, end, stop1, stop2);
+    ASSERT_TRUE(SameScan(simd, byt, "SSE2 vs bytewise"))
+        << "round " << round << " doc \"" << Escape(buf) << "\" from " << from << " end " << end;
+    if (ScanHasAvx2()) {
+      const ScanResult avx = ScanRunAvx2(buf, from, end, stop1, stop2);
+      ASSERT_TRUE(SameScan(avx, byt, "AVX2 vs bytewise"))
+          << "round " << round << " doc \"" << Escape(buf) << "\" from " << from << " end "
+          << end;
+    }
+#endif
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UTF-8 DFA differential coverage.
+
+TEST(Utf8DifferentialTest, DfaMatchesNaiveValidatorOnRandomBytes) {
+  SplitMix64 rng(0xBAD07F8D0F4ULL);  // Fixed seed.
+  for (int round = 0; round < 20000; ++round) {
+    std::string buf;
+    const size_t len = rng.Below(64);
+    for (size_t i = 0; i < len; ++i) {
+      // Mostly bytes from the interesting UTF-8 ranges.
+      static constexpr unsigned char kBytes[] = {0x00, 0x41, 0x7F, 0x80, 0x8F, 0x90, 0x9F,
+                                                 0xA0, 0xBF, 0xC0, 0xC1, 0xC2, 0xDF, 0xE0,
+                                                 0xE1, 0xEC, 0xED, 0xEE, 0xEF, 0xF0, 0xF1,
+                                                 0xF3, 0xF4, 0xF5, 0xFF, 0x0A, 0x0D};
+      buf.push_back(static_cast<char>(rng.Chance(80) ? kBytes[rng.Below(std::size(kBytes))]
+                                                     : rng.Below(256)));
+    }
+    const SourceLocation base{static_cast<std::uint32_t>(1 + rng.Below(5)),
+                              static_cast<std::uint32_t>(1 + rng.Below(5))};
+    SourceLocation fast_at, ref_at;
+    const bool fast_ok = ValidateUtf8(buf, base, &fast_at);
+    const bool ref_ok = testing::ReferenceValidateUtf8(buf, base, &ref_at);
+    ASSERT_EQ(fast_ok, ref_ok) << "round " << round << " doc \"" << Escape(buf) << "\"";
+    if (!fast_ok) {
+      ASSERT_TRUE(fast_at == ref_at)
+          << "round " << round << " error location fast " << Describe(fast_at) << " ref "
+          << Describe(ref_at) << " doc \"" << Escape(buf) << "\"";
+    }
+  }
+}
+
+TEST(Utf8DifferentialTest, DfaAcceptsEveryEncodedScalarValue) {
+  // Brute force: every Unicode scalar value encodes to a sequence the DFA
+  // accepts, and every non-empty prefix of that sequence alone is rejected
+  // as truncated.
+  SourceLocation at;
+  for (std::uint32_t cp = 0; cp <= 0x10FFFF; ++cp) {
+    if (cp >= 0xD800 && cp <= 0xDFFF) {
+      continue;  // Surrogates are not scalar values.
+    }
+    std::string enc;
+    AppendUtf8(cp, &enc);
+    ASSERT_TRUE(ValidateUtf8(enc, SourceLocation{1, 1}, &at)) << "U+" << std::hex << cp;
+    if (enc.size() > 1) {
+      ASSERT_FALSE(ValidateUtf8(enc.substr(0, enc.size() - 1), SourceLocation{1, 1}, &at))
+          << "truncated U+" << std::hex << cp;
+    }
+  }
+}
+
+TEST(Utf8DifferentialTest, DfaRejectsSurrogatesOverlongsAndOutOfRange) {
+  SourceLocation at;
+  // Raw surrogate encodings ED A0 80 .. ED BF BF.
+  EXPECT_FALSE(ValidateUtf8("\xED\xA0\x80", SourceLocation{1, 1}, &at));
+  EXPECT_FALSE(ValidateUtf8("\xED\xBF\xBF", SourceLocation{1, 1}, &at));
+  // Overlongs: C0 80 (NUL), C1 BF, E0 80 80, E0 9F BF, F0 80 80 80, F0 8F BF BF.
+  EXPECT_FALSE(ValidateUtf8("\xC0\x80", SourceLocation{1, 1}, &at));
+  EXPECT_FALSE(ValidateUtf8("\xC1\xBF", SourceLocation{1, 1}, &at));
+  EXPECT_FALSE(ValidateUtf8("\xE0\x80\x80", SourceLocation{1, 1}, &at));
+  EXPECT_FALSE(ValidateUtf8("\xE0\x9F\xBF", SourceLocation{1, 1}, &at));
+  EXPECT_FALSE(ValidateUtf8("\xF0\x80\x80\x80", SourceLocation{1, 1}, &at));
+  EXPECT_FALSE(ValidateUtf8("\xF0\x8F\xBF\xBF", SourceLocation{1, 1}, &at));
+  // Above U+10FFFF: F4 90 80 80, F5+, FF.
+  EXPECT_FALSE(ValidateUtf8("\xF4\x90\x80\x80", SourceLocation{1, 1}, &at));
+  EXPECT_FALSE(ValidateUtf8("\xF5\x80\x80\x80", SourceLocation{1, 1}, &at));
+  EXPECT_FALSE(ValidateUtf8("\xFF", SourceLocation{1, 1}, &at));
+  // Boundary acceptances around the exclusions.
+  EXPECT_TRUE(ValidateUtf8("\xED\x9F\xBF", SourceLocation{1, 1}, &at));   // U+D7FF
+  EXPECT_TRUE(ValidateUtf8("\xEE\x80\x80", SourceLocation{1, 1}, &at));   // U+E000
+  EXPECT_TRUE(ValidateUtf8("\xF4\x8F\xBF\xBF", SourceLocation{1, 1}, &at));  // U+10FFFF
+  EXPECT_TRUE(ValidateUtf8("\xC2\x80", SourceLocation{1, 1}, &at));       // U+0080
+  EXPECT_TRUE(ValidateUtf8("\xE0\xA0\x80", SourceLocation{1, 1}, &at));   // U+0800
+  EXPECT_TRUE(ValidateUtf8("\xF0\x90\x80\x80", SourceLocation{1, 1}, &at));  // U+10000
+}
+
+TEST(Utf8DifferentialTest, ErrorLocationCountsCodePointsNotBytes) {
+  // Two 2-byte chars then garbage: the error is at column 3, not 5.
+  SourceLocation at;
+  EXPECT_FALSE(ValidateUtf8("\xC3\xA9\xC3\xA9\xFF", SourceLocation{1, 1}, &at));
+  EXPECT_EQ(at.line, 1u);
+  EXPECT_EQ(at.column, 3u);
+  // Newlines reset the column; CRLF counts once.
+  EXPECT_FALSE(ValidateUtf8("a\r\nb\xC2", SourceLocation{1, 1}, &at));
+  EXPECT_EQ(at.line, 2u);
+  EXPECT_EQ(at.column, 2u);
+}
+
+}  // namespace
+}  // namespace weblint

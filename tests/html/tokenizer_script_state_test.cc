@@ -1,0 +1,182 @@
+// WHATWG tokenization edge states (§13.2.5): the appropriate-end-tag rule
+// for raw-text elements and the script-data escaped / double-escaped
+// states. The paper-era tokenizer closed raw text at the first "</name"
+// prefix; these tests pin the spec behavior that replaced it.
+#include "html/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace weblint {
+namespace {
+
+TEST(ScriptStateTest, DoubleEscapeKeepsInnerCloseTagAsContent) {
+  // The comment-hiding idiom that actually works per spec: an inner
+  // "<script>" enters the double-escaped state, so the quoted "</script>"
+  // is content and the element closes at the OUTER end tag.
+  const std::vector<Token> tokens = TokenizeAll(
+      "<script><!--<script>var x = \"</script>\";--></script>after");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStartTag);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kText);
+  EXPECT_TRUE(tokens[1].raw_text);
+  EXPECT_EQ(tokens[1].text, "<!--<script>var x = \"</script>\";-->");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+  EXPECT_EQ(tokens[3].text, "after");
+}
+
+TEST(ScriptStateTest, DoubleEscapedScriptData) {
+  // "<script>" inside the escaped state enters double-escaped, where
+  // "</script>" is content and merely returns to escaped.
+  const std::vector<Token> tokens = TokenizeAll(
+      "<script><!-- document.write(\"<script>a</script>\"); --></script>x");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "<!-- document.write(\"<script>a</script>\"); -->");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+  EXPECT_EQ(tokens[3].text, "x");
+}
+
+TEST(ScriptStateTest, ArrowCloseUnwindsEscapedState) {
+  // After "-->" the data is plain script data again; the end tag closes.
+  const std::vector<Token> tokens = TokenizeAll("<script><!-- a --> b</script>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "<!-- a --> b");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+}
+
+TEST(ScriptStateTest, EndTagStillClosesInsideEscapedState) {
+  // Per spec, "</script>" in the (single-)escaped state ends the element —
+  // only the double-escaped state protects it.
+  const std::vector<Token> tokens = TokenizeAll("<script><!-- a </script> -->");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "<!-- a ");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+}
+
+TEST(ScriptStateTest, CaseInsensitiveDoubleEscape) {
+  const std::vector<Token> tokens =
+      TokenizeAll("<SCRIPT><!-- \"<SCRIPT>\" </SCRIPT> --></SCRIPT>");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "<!-- \"<SCRIPT>\" </SCRIPT> -->");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+}
+
+TEST(ScriptStateTest, UnclosedEscapedScriptRunsToEof) {
+  const std::vector<Token> tokens = TokenizeAll("<script><!-- never closed");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].text, "<!-- never closed");
+  EXPECT_TRUE(tokens[1].raw_text);
+}
+
+TEST(AppropriateEndTagTest, PrefixAloneDoesNotClose) {
+  // "</scriptx" is not an appropriate end tag: the name must be followed
+  // by whitespace, '/', '>' or EOF.
+  const std::vector<Token> tokens = TokenizeAll("<script>a</scriptx>b</script>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "a</scriptx>b");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+}
+
+TEST(AppropriateEndTagTest, WhitespaceAndSlashTerminatorsClose) {
+  {
+    const std::vector<Token> tokens = TokenizeAll("<script>a</script >b");
+    ASSERT_GE(tokens.size(), 3u);
+    EXPECT_EQ(tokens[1].text, "a");
+    EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+  }
+  {
+    const std::vector<Token> tokens = TokenizeAll("<script>a</script\n>b");
+    ASSERT_GE(tokens.size(), 3u);
+    EXPECT_EQ(tokens[1].text, "a");
+  }
+  {
+    const std::vector<Token> tokens = TokenizeAll("<script>a</script/>b");
+    ASSERT_GE(tokens.size(), 3u);
+    EXPECT_EQ(tokens[1].text, "a");
+  }
+}
+
+TEST(AppropriateEndTagTest, EofAfterNameCounts) {
+  // "</script" at EOF terminates the raw text (zero-length end-tag content
+  // falls through to normal lexing of the partial tag).
+  const std::vector<Token> tokens = TokenizeAll("<script>a</script");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].text, "a");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+  EXPECT_TRUE(tokens[2].unterminated_tag);
+}
+
+TEST(AppropriateEndTagTest, AppliesToStyleXmpListing) {
+  {
+    const std::vector<Token> tokens = TokenizeAll("<style>a</styleX>b</style>");
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[1].text, "a</styleX>b");
+  }
+  {
+    const std::vector<Token> tokens = TokenizeAll("<xmp>a</xmpp></xmp>");
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[1].text, "a</xmpp>");
+  }
+  {
+    const std::vector<Token> tokens = TokenizeAll("<listing>a</listings></listing>");
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[1].text, "a</listings>");
+  }
+}
+
+TEST(AppropriateEndTagTest, StyleHasNoEscapedStates) {
+  // The escaped states are script-only: "<!--" in STYLE content does not
+  // protect the end tag.
+  const std::vector<Token> tokens = TokenizeAll("<style><!-- </style>-->");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "<!-- ");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+}
+
+TEST(ScriptStateTest, ContentFactsCoverRawText) {
+  const std::vector<Token> tokens = TokenizeAll("<script>a && b\xC3\xA9</script>");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[1].has_amp);
+  EXPECT_FALSE(tokens[1].has_nul);
+  EXPECT_FALSE(tokens[1].invalid_utf8);
+}
+
+TEST(ScriptStateTest, InvalidUtf8InRawTextIsFlagged) {
+  const std::vector<Token> tokens = TokenizeAll("<script>ab\xFFz</script>");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[1].invalid_utf8);
+  EXPECT_EQ(tokens[1].invalid_utf8_at.line, 1u);
+  EXPECT_EQ(tokens[1].invalid_utf8_at.column, 11u);  // After "<script>ab".
+}
+
+TEST(Utf8TokenFlagTest, TextTokenFlagsFirstBadSequence) {
+  const std::vector<Token> tokens = TokenizeAll("<p>ok \xC3(\x80)");
+  ASSERT_GE(tokens.size(), 2u);
+  const Token& text = tokens[1];
+  EXPECT_TRUE(text.invalid_utf8);
+  // "\xC3(" is an aborted two-byte sequence: error at the lead byte, which
+  // is code point column 7 of "ok \xC3(..." after the tag (column 4 + 3).
+  EXPECT_EQ(text.invalid_utf8_at.line, 1u);
+  EXPECT_EQ(text.invalid_utf8_at.column, 7u);
+}
+
+TEST(Utf8TokenFlagTest, ValidMultibyteTextIsNotFlagged) {
+  const std::vector<Token> tokens = TokenizeAll("<p>caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_FALSE(tokens[1].invalid_utf8);
+}
+
+TEST(Utf8TokenFlagTest, CommentsAreValidated) {
+  const std::vector<Token> tokens = TokenizeAll("<!-- ok \xED\xA0\x80 -->");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kComment);
+  EXPECT_TRUE(tokens[0].invalid_utf8);
+  // Comment text starts after "<!--" at column 5; " ok " is 4 code points.
+  EXPECT_EQ(tokens[0].invalid_utf8_at.column, 9u);
+}
+
+}  // namespace
+}  // namespace weblint

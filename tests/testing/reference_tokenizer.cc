@@ -1,0 +1,576 @@
+#include "tests/testing/reference_tokenizer.h"
+
+#include <algorithm>
+#include <string>
+
+namespace weblint::testing {
+
+namespace {
+
+// Mirrors the production quote-lookahead window. The value is part of the
+// tokenizer's observable contract (where runaway-quote recovery kicks in),
+// so the oracle must agree on it; it is re-stated rather than included.
+constexpr size_t kQuoteWindow = 65536;
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+}
+bool IsAlpha(char c) { return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z'); }
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+bool IsNameStart(char c) { return IsAlpha(c); }
+bool IsNameChar(char c) {
+  return IsAlpha(c) || IsDigit(c) || c == '-' || c == '.' || c == '_' || c == ':';
+}
+bool IsAttrNameEnd(char c) { return IsSpace(c) || c == '=' || c == '>' || c == '<'; }
+bool IsUnquotedValueEnd(char c) { return IsSpace(c) || c == '>'; }
+bool IsTagTerminator(char c) { return IsSpace(c) || c == '/' || c == '>'; }
+
+char LowerChar(char c) { return (c >= 'A' && c <= 'Z') ? static_cast<char>(c + 32) : c; }
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (LowerChar(a[i]) != LowerChar(b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class RefLexer {
+ public:
+  explicit RefLexer(std::string_view input) : input_(input) {}
+
+  bool Next(Token* out);
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  SourceLocation Here() const { return SourceLocation{line_, column_}; }
+
+  // The one and only way the oracle moves: one byte, full newline rule.
+  void Take() {
+    const char c = input_[pos_++];
+    if (c == '\n' || (c == '\r' && Peek() != '\n')) {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+  }
+  void TakeN(size_t n) {
+    for (size_t k = 0; k < n && !AtEnd(); ++k) {
+      Take();
+    }
+  }
+
+  bool LookingAt(std::string_view s) const { return input_.substr(pos_).starts_with(s); }
+  bool LookingAtIgnoreCase(std::string_view s) const {
+    return pos_ + s.size() <= input_.size() &&
+           EqualsIgnoreCase(input_.substr(pos_, s.size()), s);
+  }
+
+  bool IsAppropriateEndTag(size_t i, std::string_view element) const {
+    if (i + 1 >= input_.size() || input_[i + 1] != '/') {
+      return false;
+    }
+    if (i + 2 + element.size() > input_.size()) {
+      return false;
+    }
+    if (!EqualsIgnoreCase(input_.substr(i + 2, element.size()), element)) {
+      return false;
+    }
+    const size_t after = i + 2 + element.size();
+    return after >= input_.size() || IsTagTerminator(input_[after]);
+  }
+
+  bool IsDoubleEscapeOpen(size_t i) const {
+    constexpr std::string_view kScript = "script";
+    if (i + 1 + kScript.size() > input_.size()) {
+      return false;
+    }
+    if (!EqualsIgnoreCase(input_.substr(i + 1, kScript.size()), kScript)) {
+      return false;
+    }
+    const size_t after = i + 1 + kScript.size();
+    return after >= input_.size() || IsTagTerminator(input_[after]);
+  }
+
+  // Fills in the kText content facts from the final text, by inspection.
+  static void SetTextFacts(Token* out, SourceLocation text_base) {
+    bool has_high = false;
+    for (const char c : out->text) {
+      if (c == '&') {
+        out->has_amp = true;
+      } else if (c == '\0') {
+        out->has_nul = true;
+      } else if (static_cast<unsigned char>(c) >= 0x80) {
+        has_high = true;
+      }
+    }
+    if (has_high) {
+      SourceLocation where;
+      if (!ReferenceValidateUtf8(out->text, text_base, &where)) {
+        out->invalid_utf8 = true;
+        out->invalid_utf8_at = where;
+      }
+    }
+  }
+
+  void LexText(Token* out);
+  void LexRawText(Token* out);
+  void LexPlaintext(Token* out);
+  void LexMarkup(Token* out);
+  void LexComment(Token* out);
+  void LexDoctypeOrDeclaration(Token* out);
+  void LexProcessing(Token* out);
+  void LexTag(Token* out, bool is_end_tag);
+  void LexAttributes(Token* out);
+  std::string_view LexQuotedValue(char quote, Attribute* attr);
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+  std::string_view raw_text_element_;
+  bool plaintext_mode_ = false;
+};
+
+bool RefLexer::Next(Token* out) {
+  if (AtEnd()) {
+    return false;
+  }
+  *out = Token();
+  out->location = Here();
+
+  if (plaintext_mode_) {
+    LexPlaintext(out);
+    return true;
+  }
+  if (!raw_text_element_.empty()) {
+    const size_t start = pos_;
+    LexRawText(out);
+    if (pos_ > start) {
+      return true;
+    }
+    *out = Token();
+    out->location = Here();
+  }
+  if (Peek() == '<') {
+    LexMarkup(out);
+    return true;
+  }
+  LexText(out);
+  return true;
+}
+
+void RefLexer::LexText(Token* out) {
+  out->kind = TokenKind::kText;
+  const size_t start = pos_;
+  const SourceLocation base = Here();
+  while (!AtEnd() && Peek() != '<') {
+    Take();
+  }
+  out->text = input_.substr(start, pos_ - start);
+  SetTextFacts(out, base);
+}
+
+void RefLexer::LexPlaintext(Token* out) {
+  out->kind = TokenKind::kText;
+  out->raw_text = true;
+  const size_t start = pos_;
+  const SourceLocation base = Here();
+  while (!AtEnd()) {
+    Take();
+  }
+  out->text = input_.substr(start);
+  SetTextFacts(out, base);
+}
+
+void RefLexer::LexRawText(Token* out) {
+  const std::string_view element = raw_text_element_;
+  const bool is_script = element == "script";
+  const size_t start = pos_;
+  const SourceLocation base = Here();
+  int state = 0;  // 0 plain, 1 escaped, 2 double-escaped (script only).
+  while (!AtEnd()) {
+    if (Peek() == '<') {
+      if (IsAppropriateEndTag(pos_, element)) {
+        if (state == 2) {
+          TakeN(2 + element.size());  // "</" + name; stays content.
+          state = 1;
+          continue;
+        }
+        break;
+      }
+      if (is_script && state == 0 && LookingAt("<!--")) {
+        TakeN(4);
+        state = 1;
+        continue;
+      }
+      if (is_script && state == 1 && IsDoubleEscapeOpen(pos_)) {
+        TakeN(7);  // "<script"
+        state = 2;
+        continue;
+      }
+    } else if (is_script && state != 0 && LookingAt("-->")) {
+      TakeN(3);
+      state = 0;
+      continue;
+    }
+    Take();
+  }
+  raw_text_element_ = {};
+  out->kind = TokenKind::kText;
+  out->raw_text = true;
+  out->text = input_.substr(start, pos_ - start);
+  SetTextFacts(out, base);
+}
+
+void RefLexer::LexMarkup(Token* out) {
+  const char c1 = Peek(1);
+  if (c1 == '/' && IsNameStart(Peek(2))) {
+    LexTag(out, /*is_end_tag=*/true);
+    return;
+  }
+  if (IsNameStart(c1)) {
+    LexTag(out, /*is_end_tag=*/false);
+    return;
+  }
+  if (c1 == '!') {
+    if (LookingAt("<!--")) {
+      LexComment(out);
+    } else {
+      LexDoctypeOrDeclaration(out);
+    }
+    return;
+  }
+  if (c1 == '?') {
+    LexProcessing(out);
+    return;
+  }
+  out->kind = TokenKind::kStrayLt;
+  Take();
+}
+
+void RefLexer::LexComment(Token* out) {
+  out->kind = TokenKind::kComment;
+  TakeN(4);  // "<!--"
+  const size_t start = pos_;
+  const SourceLocation base = Here();
+  size_t text_end = input_.size();
+  bool closed = false;
+  while (!AtEnd()) {
+    if (LookingAt("<!--")) {
+      out->nested_comment = true;
+      TakeN(4);
+      continue;
+    }
+    if (LookingAt("--")) {
+      size_t j = pos_ + 2;
+      while (j < input_.size() && IsSpace(input_[j])) {
+        ++j;
+      }
+      if (j < input_.size() && input_[j] == '>') {
+        text_end = pos_;
+        out->comment_whitespace_close = (j != pos_ + 2);
+        TakeN(j + 1 - pos_);
+        closed = true;
+        break;
+      }
+    }
+    Take();
+  }
+  if (!closed) {
+    out->unterminated_comment = true;
+    text_end = input_.size();
+  }
+  out->text = input_.substr(start, text_end - start);
+  // Comments get the UTF-8 check but not the amp/NUL facts (kText only).
+  bool has_high = false;
+  for (const char c : out->text) {
+    if (static_cast<unsigned char>(c) >= 0x80) {
+      has_high = true;
+      break;
+    }
+  }
+  if (has_high) {
+    SourceLocation where;
+    if (!ReferenceValidateUtf8(out->text, base, &where)) {
+      out->invalid_utf8 = true;
+      out->invalid_utf8_at = where;
+    }
+  }
+}
+
+void RefLexer::LexDoctypeOrDeclaration(Token* out) {
+  TakeN(2);  // "<!"
+  const bool is_doctype = LookingAtIgnoreCase("doctype");
+  out->kind = is_doctype ? TokenKind::kDoctype : TokenKind::kDeclaration;
+  if (is_doctype) {
+    TakeN(7);
+  }
+  const size_t start = pos_;
+  char quote = '\0';
+  while (!AtEnd()) {
+    const char c = Peek();
+    if (quote != '\0') {
+      if (c == quote) {
+        quote = '\0';
+      }
+      Take();
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+      Take();
+      continue;
+    }
+    if (c == '>') {
+      break;
+    }
+    Take();
+  }
+  // Trim ASCII whitespace from both ends, as the production lexer does.
+  std::string_view text = input_.substr(start, pos_ - start);
+  while (!text.empty() && IsSpace(text.front())) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && IsSpace(text.back())) {
+    text.remove_suffix(1);
+  }
+  out->text = text;
+  if (!AtEnd()) {
+    Take();
+  } else {
+    out->unterminated_tag = true;
+  }
+}
+
+void RefLexer::LexProcessing(Token* out) {
+  out->kind = TokenKind::kProcessing;
+  TakeN(2);  // "<?"
+  const size_t start = pos_;
+  while (!AtEnd() && Peek() != '>') {
+    Take();
+  }
+  out->text = input_.substr(start, pos_ - start);
+  if (!AtEnd()) {
+    Take();
+  } else {
+    out->unterminated_tag = true;
+  }
+}
+
+void RefLexer::LexTag(Token* out, bool is_end_tag) {
+  out->kind = is_end_tag ? TokenKind::kEndTag : TokenKind::kStartTag;
+  Take();  // '<'
+  const size_t raw_start = pos_;
+  if (is_end_tag) {
+    Take();  // '/'
+  }
+  const size_t name_start = pos_;
+  while (!AtEnd() && IsNameChar(Peek())) {
+    Take();
+  }
+  out->name = input_.substr(name_start, pos_ - name_start);
+
+  LexAttributes(out);
+
+  size_t raw_end = pos_;
+  if (!out->unterminated_tag && !out->closed_by_lt && raw_end > raw_start) {
+    --raw_end;
+  }
+  out->raw = input_.substr(raw_start, raw_end - raw_start);
+
+  size_t dquotes = 0;
+  for (const char c : out->raw) {
+    if (c == '"') {
+      ++dquotes;
+    }
+  }
+  out->odd_quotes = dquotes % 2 != 0;
+
+  if (!is_end_tag && !out->net_slash) {
+    if (EqualsIgnoreCase(out->name, "script")) {
+      raw_text_element_ = "script";
+    } else if (EqualsIgnoreCase(out->name, "style")) {
+      raw_text_element_ = "style";
+    } else if (EqualsIgnoreCase(out->name, "xmp")) {
+      raw_text_element_ = "xmp";
+    } else if (EqualsIgnoreCase(out->name, "listing")) {
+      raw_text_element_ = "listing";
+    } else if (EqualsIgnoreCase(out->name, "plaintext")) {
+      plaintext_mode_ = true;
+    }
+  }
+}
+
+void RefLexer::LexAttributes(Token* out) {
+  while (true) {
+    while (!AtEnd() && IsSpace(Peek())) {
+      Take();
+    }
+    if (AtEnd()) {
+      out->unterminated_tag = true;
+      return;
+    }
+    const char c = Peek();
+    if (c == '>') {
+      Take();
+      return;
+    }
+    if (c == '/') {
+      out->net_slash = true;
+      Take();
+      continue;
+    }
+    if (c == '<') {
+      out->closed_by_lt = true;
+      return;
+    }
+
+    Attribute attr;
+    attr.location = Here();
+    const size_t name_start = pos_;
+    while (!AtEnd() && !IsAttrNameEnd(Peek())) {
+      Take();
+    }
+    attr.name = input_.substr(name_start, pos_ - name_start);
+    while (!AtEnd() && IsSpace(Peek())) {
+      Take();
+    }
+    if (!AtEnd() && Peek() == '=') {
+      Take();
+      while (!AtEnd() && IsSpace(Peek())) {
+        Take();
+      }
+      attr.has_value = true;
+      if (!AtEnd() && (Peek() == '"' || Peek() == '\'')) {
+        const char quote = Peek();
+        Take();
+        attr.quote = quote == '"' ? QuoteStyle::kDouble : QuoteStyle::kSingle;
+        attr.value = LexQuotedValue(quote, &attr);
+      } else {
+        attr.quote = QuoteStyle::kNone;
+        const size_t value_start = pos_;
+        while (!AtEnd() && !IsUnquotedValueEnd(Peek())) {
+          Take();
+        }
+        attr.value = input_.substr(value_start, pos_ - value_start);
+      }
+    }
+    if (!attr.name.empty() || attr.has_value) {
+      out->attributes.push_back(attr);
+    }
+  }
+}
+
+std::string_view RefLexer::LexQuotedValue(char quote, Attribute* attr) {
+  // Look for the closing quote within the window, without consuming.
+  size_t close = std::string_view::npos;
+  const size_t limit = std::min(input_.size(), pos_ + kQuoteWindow);
+  for (size_t i = pos_; i < limit; ++i) {
+    if (input_[i] == quote) {
+      close = i;
+      break;
+    }
+    if (input_[i] == '<') {
+      break;
+    }
+  }
+  if (close != std::string_view::npos) {
+    const size_t start = pos_;
+    while (pos_ < close) {
+      Take();
+    }
+    const std::string_view value = input_.substr(start, close - start);
+    Take();  // Closing quote.
+    return value;
+  }
+  attr->unterminated_quote = true;
+  const size_t start = pos_;
+  while (!AtEnd() && !IsUnquotedValueEnd(Peek())) {
+    Take();
+  }
+  return input_.substr(start, pos_ - start);
+}
+
+}  // namespace
+
+bool ReferenceValidateUtf8(std::string_view text, SourceLocation base,
+                           SourceLocation* error_at) {
+  std::uint32_t line = base.line;
+  std::uint32_t column = base.column;
+  size_t i = 0;
+  const auto cont_in = [&](size_t k, unsigned char lo, unsigned char hi) {
+    if (i + k >= text.size()) {
+      return false;  // Truncated sequence.
+    }
+    const unsigned char b = static_cast<unsigned char>(text[i + k]);
+    return b >= lo && b <= hi;
+  };
+  while (i < text.size()) {
+    const unsigned char lead = static_cast<unsigned char>(text[i]);
+    size_t len = 0;
+    bool ok = true;
+    if (lead < 0x80) {
+      len = 1;
+    } else if (lead >= 0xC2 && lead <= 0xDF) {
+      len = 2;
+      ok = cont_in(1, 0x80, 0xBF);
+    } else if (lead == 0xE0) {
+      len = 3;
+      ok = cont_in(1, 0xA0, 0xBF) && cont_in(2, 0x80, 0xBF);
+    } else if ((lead >= 0xE1 && lead <= 0xEC) || lead == 0xEE || lead == 0xEF) {
+      len = 3;
+      ok = cont_in(1, 0x80, 0xBF) && cont_in(2, 0x80, 0xBF);
+    } else if (lead == 0xED) {
+      len = 3;  // Excluding surrogates D800-DFFF.
+      ok = cont_in(1, 0x80, 0x9F) && cont_in(2, 0x80, 0xBF);
+    } else if (lead == 0xF0) {
+      len = 4;  // Excluding overlongs below U+10000.
+      ok = cont_in(1, 0x90, 0xBF) && cont_in(2, 0x80, 0xBF) && cont_in(3, 0x80, 0xBF);
+    } else if (lead >= 0xF1 && lead <= 0xF3) {
+      len = 4;
+      ok = cont_in(1, 0x80, 0xBF) && cont_in(2, 0x80, 0xBF) && cont_in(3, 0x80, 0xBF);
+    } else if (lead == 0xF4) {
+      len = 4;  // Excluding values above U+10FFFF.
+      ok = cont_in(1, 0x80, 0x8F) && cont_in(2, 0x80, 0xBF) && cont_in(3, 0x80, 0xBF);
+    } else {
+      ok = false;  // C0, C1, F5-FF, or a bare continuation byte.
+    }
+    if (!ok) {
+      *error_at = SourceLocation{line, column};
+      return false;
+    }
+    // One code point consumed: advance the position by one column, or by a
+    // line for the ASCII newline forms (text-bounded CRLF peek, matching
+    // the production validator).
+    if (text[i] == '\n' ||
+        (text[i] == '\r' && (i + 1 >= text.size() || text[i + 1] != '\n'))) {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    i += len;
+  }
+  return true;
+}
+
+std::vector<Token> ReferenceTokenizeAll(std::string_view input) {
+  RefLexer lexer(input);
+  std::vector<Token> tokens;
+  Token token;
+  while (lexer.Next(&token)) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+}  // namespace weblint::testing

@@ -1,0 +1,35 @@
+// Reference tokenizer: a deliberately naive byte-at-a-time implementation
+// of the production tokenizer's contract, used as a differential oracle.
+//
+// It shares ONLY the token definitions (html/token.h) with the production
+// code — no scan.h, no utf8.h, no char_class.h. Every character class,
+// every newline rule, and the UTF-8 validity check are re-derived here from
+// first principles, one byte at a time, so that a bug in the production
+// fast paths (SWAR/SSE2 block scanning, the Hoehrmann DFA, batched
+// line/column bookkeeping) cannot be mirrored by construction. Clarity over
+// speed: this code is allowed to be slow.
+#ifndef WEBLINT_TESTS_TESTING_REFERENCE_TOKENIZER_H_
+#define WEBLINT_TESTS_TESTING_REFERENCE_TOKENIZER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "html/token.h"
+
+namespace weblint::testing {
+
+// Tokenizes `input` under the production contract. The returned tokens view
+// into `input`, like the production TokenizeAll.
+std::vector<Token> ReferenceTokenizeAll(std::string_view input);
+
+// The naive per-sequence UTF-8 validity check (lead-byte classification,
+// no DFA). Exposed for direct differential testing against ValidateUtf8.
+// Returns true if valid; otherwise sets *error_at to the line/column of the
+// first byte of the first invalid sequence, with columns counting code
+// points from `base`.
+bool ReferenceValidateUtf8(std::string_view text, SourceLocation base,
+                           SourceLocation* error_at);
+
+}  // namespace weblint::testing
+
+#endif  // WEBLINT_TESTS_TESTING_REFERENCE_TOKENIZER_H_
