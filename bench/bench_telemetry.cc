@@ -6,9 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 
+#include "telemetry/log.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
+#include "telemetry/trace_context.h"
 
 namespace {
 
@@ -99,6 +102,79 @@ void BM_SpanEnabledContended(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpanEnabledContended)->Threads(4);
+
+// The correlation layer's tax on an untraced thread: a recorder is
+// installed (the gateway is serving with introspection on) but this thread
+// has no active trace id, so every span site pays the extra relaxed load
+// and trace-id check and then bails. Budget: within 2x of BM_SpanDisabled.
+void BM_SpanOffCorrelationInstalled(benchmark::State& state) {
+  Tracer::Install(nullptr);
+  static TraceRecorder recorder;
+  TraceRecorder::Install(&recorder);
+  for (auto _ : state) {
+    WEBLINT_SPAN("bench");
+  }
+  TraceRecorder::Install(nullptr);
+}
+BENCHMARK(BM_SpanOffCorrelationInstalled);
+
+// A span inside an active request scope: clock sample, depth bookkeeping,
+// and the mutex-guarded AddSpan into the sampled trace. This is the
+// per-span cost of a request that is actually being sampled. (The trace
+// fills its span cap early in the run; the steady state measured here is
+// the bounded sampler's lookup-and-account path, which is what a real
+// long request degrades to.)
+void BM_SpanWithTraceId(benchmark::State& state) {
+  Tracer::Install(nullptr);
+  static TraceRecorder recorder;
+  TraceRecorder::Install(&recorder);
+  static const std::uint64_t id = recorder.Begin("bench-request");
+  TraceContextScope scope(id);
+  for (auto _ : state) {
+    WEBLINT_SPAN("bench");
+  }
+  TraceRecorder::Install(nullptr);
+}
+BENCHMARK(BM_SpanWithTraceId);
+
+// One structured log line, emitted: JSON assembly plus the sink call. The
+// sink is a no-op lambda so the measurement is the log layer, not stderr.
+void BM_StructuredLogEmit(benchmark::State& state) {
+  StructuredLog::Options options;
+  options.site_tokens_per_sec = 1e9;  // Never throttle: measure emission.
+  options.site_burst = 1e9;
+  static StructuredLog log(options);
+  static bool wired = [] {
+    log.set_sink([](const std::string&) {});
+    return true;
+  }();
+  (void)wired;
+  LogSite site;
+  for (auto _ : state) {
+    log.Write(&site, LogLevel::kInfo, "bench", "event", {{"k", "v"}});
+  }
+}
+BENCHMARK(BM_StructuredLogEmit);
+
+// A suppressed line: the bucket is dry, so the write is the refill
+// arithmetic and a counter bump — the cost of a log storm being absorbed.
+void BM_StructuredLogSuppressed(benchmark::State& state) {
+  StructuredLog::Options options;
+  options.site_tokens_per_sec = 0.0;
+  options.site_burst = 1.0;
+  static StructuredLog log(options);
+  static bool wired = [] {
+    log.set_sink([](const std::string&) {});
+    return true;
+  }();
+  (void)wired;
+  LogSite site;
+  log.Write(&site, LogLevel::kInfo, "bench", "drain-the-burst", {});
+  for (auto _ : state) {
+    log.Write(&site, LogLevel::kInfo, "bench", "event", {{"k", "v"}});
+  }
+}
+BENCHMARK(BM_StructuredLogSuppressed);
 
 // What one scrape costs: rendering a registry the size a real site crawl
 // produces (a few dozen series across the lint/cache/fetch/pool families).

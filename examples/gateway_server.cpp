@@ -24,7 +24,9 @@
 #include "gateway/gateway.h"
 #include "net/fetcher.h"
 #include "net/http_server.h"
+#include "telemetry/build_info.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace_context.h"
 #include "util/args.h"
 #include "util/strings.h"
 
@@ -88,6 +90,7 @@ int main(int argc, char** argv) {
   // series from the server, lint/cache series from the Weblint, fetch
   // series from URL submissions. GET /metrics scrapes it live.
   MetricsRegistry registry;
+  RegisterBuildInfo(&registry);
   Weblint lint;
   lint.EnableMetrics(&registry);
   lint.EnableCache();  // Repeated submissions of the same page hit the cache.
@@ -98,6 +101,15 @@ int main(int argc, char** argv) {
     return gateway.HandleHttp(request);
   });
   server.EnableMetrics(&registry);
+  // Each request gets a trace id; /statusz, /tracez, and /healthz answer
+  // alongside /metrics in both serving modes.
+  TraceRecorder recorder;
+  TraceRecorder::Install(&recorder);
+  HttpServerIntrospection introspection;
+  introspection.metrics = &registry;
+  introspection.traces = &recorder;
+  introspection.config_fingerprint = lint.config().Fingerprint();
+  server.EnableIntrospection(introspection);
   if (Status s = server.Listen(static_cast<std::uint16_t>(port)); !s.ok()) {
     std::fprintf(stderr, "gateway_server: %s\n", s.message().c_str());
     return 2;

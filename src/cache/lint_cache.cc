@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "cache/report_serdes.h"
+#include "telemetry/log.h"
 #include "util/digest.h"
 #include "util/file_io.h"
 #include "util/strings.h"
@@ -200,6 +201,7 @@ std::shared_ptr<const LintReport> LintResultCache::DiskLookup(const CacheKey& ke
     // Truncated / torn / stale-format entry. Drop it so the slot is clean
     // for the re-store; failure to remove is itself ignorable.
     counters_.disk_corrupt->Increment();
+    WEBLINT_LOG(kWarn, "cache", "disk-entry-corrupt", {{"path", path}});
     std::error_code ec;
     std::filesystem::remove(path, ec);
     return nullptr;

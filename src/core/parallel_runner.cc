@@ -112,7 +112,10 @@ size_t ParallelLintRunner::SubmitFile(std::string path) {
     results_[index] = std::move(report);
     return index;
   }
-  pool_->Submit([this, index, path = std::move(path)] {
+  // Carry the submitter's trace id onto the worker so the page's lint spans
+  // correlate with the crawl/request trace that queued it.
+  pool_->Submit([this, index, path = std::move(path), trace_id = CurrentTraceId()] {
+    TraceContextScope trace_scope(trace_id);
     RunSlot(index, [this, &path]() -> Result<LintReport> {
       auto content = ReadFile(path);
       if (!content.ok()) {
@@ -146,13 +149,15 @@ size_t ParallelLintRunner::SubmitString(std::string name, std::string html) {
     results_[index] = Result<LintReport>(std::move(report));
     return index;
   }
-  pool_->Submit([this, index, name = std::move(name), html = std::move(html)] {
-    RunSlot(index, [this, &name, &html] {
-      return Result<LintReport>(CheckThroughCache(
-          name, html, [&](Emitter*) { return weblint_.CheckString(name, html, nullptr); },
-          nullptr));
-    });
-  });
+  pool_->Submit(
+      [this, index, name = std::move(name), html = std::move(html), trace_id = CurrentTraceId()] {
+        TraceContextScope trace_scope(trace_id);
+        RunSlot(index, [this, &name, &html] {
+          return Result<LintReport>(CheckThroughCache(
+              name, html, [&](Emitter*) { return weblint_.CheckString(name, html, nullptr); },
+              nullptr));
+        });
+      });
   return index;
 }
 

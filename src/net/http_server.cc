@@ -17,6 +17,9 @@
 
 #include "net/net_util.h"
 #include "net/reactor.h"
+#include "telemetry/build_info.h"
+#include "telemetry/log.h"
+#include "telemetry/trace_context.h"
 #include "util/strings.h"
 
 namespace weblint {
@@ -513,6 +516,20 @@ void HttpServer::EnableMetrics(MetricsRegistry* registry, Clock* clock) {
   deadline_kills_counter_ = registry->GetCounter("weblint_http_deadline_kills_total");
 }
 
+void HttpServer::EnableIntrospection(const HttpServerIntrospection& introspection) {
+  introspection_ = introspection;
+  introspection_clock_ =
+      introspection.clock != nullptr ? introspection.clock : Clock::System();
+  start_us_ = introspection_clock_->NowMicros();
+  introspection_enabled_ = true;
+}
+
+void HttpServer::BeginLameDuck() {
+  if (!lame_duck_.exchange(true)) {
+    WEBLINT_LOG(kInfo, "gateway", "lame-duck-begin", {});
+  }
+}
+
 Status HttpServer::Listen(std::uint16_t port) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -542,6 +559,17 @@ Status HttpServer::Listen(std::uint16_t port) {
   return Status::Ok();
 }
 
+namespace {
+
+// "/statusz" or "/statusz?...": endpoint targets match on the path only.
+bool TargetIs(std::string_view target, std::string_view path) {
+  return target == path ||
+         (target.size() > path.size() && target.compare(0, path.size(), path) == 0 &&
+          target[path.size()] == '?');
+}
+
+}  // namespace
+
 HttpResponse HttpServer::Dispatch(const Result<HttpRequest>& request) {
   HttpResponse response;
   if (!request.ok()) {
@@ -550,6 +578,20 @@ HttpResponse HttpServer::Dispatch(const Result<HttpRequest>& request) {
     response.headers["content-type"] = "text/plain";
     response.body = request.error() + "\n";
     return response;
+  }
+  if (introspection_enabled_ && request->method == "GET") {
+    // Z-pages answer before tracing and before the request series: an
+    // operator polling /healthz or a scraper hitting /tracez must neither
+    // perturb the latency numbers nor flush real traces out of the sampler.
+    if (TargetIs(request->target, "/healthz")) {
+      return HealthzResponse();
+    }
+    if (TargetIs(request->target, "/statusz")) {
+      return StatuszResponse();
+    }
+    if (TargetIs(request->target, "/tracez")) {
+      return TracezResponse(request->target.find("format=json") != std::string::npos);
+    }
   }
   if (metrics_ != nullptr && request->method == "GET" &&
       (request->target == "/metrics" || IStartsWith(request->target, "/metrics?"))) {
@@ -563,7 +605,14 @@ HttpResponse HttpServer::Dispatch(const Result<HttpRequest>& request) {
     return response;
   }
   const std::uint64_t begin_us = metrics_ != nullptr ? metrics_clock_->NowMicros() : 0;
-  response = handler_(*request);
+  {
+    // Correlate the handler's spans and log lines under one trace id; a
+    // 5xx marks the trace errored, so it is retained for /tracez.
+    RequestTrace trace(introspection_enabled_ ? introspection_.traces : nullptr,
+                       request->method + " " + request->target);
+    response = handler_(*request);
+    trace.set_error(response.status >= 500);
+  }
   if (metrics_ != nullptr) {
     requests_total_->Increment();
     request_micros_->Record(metrics_clock_->NowMicros() - begin_us);
@@ -571,6 +620,84 @@ HttpResponse HttpServer::Dispatch(const Result<HttpRequest>& request) {
     if (status_class >= 1 && status_class <= 5) {
       responses_by_class_[static_cast<size_t>(status_class - 1)]->Increment();
     }
+  }
+  return response;
+}
+
+HttpResponse HttpServer::HealthzResponse() const {
+  HttpResponse response;
+  response.headers["content-type"] = "text/plain";
+  if (draining_.load() || lame_duck_.load()) {
+    response.status = 503;
+    response.reason = "Service Unavailable";
+    response.body = "draining\n";
+  } else {
+    response.status = 200;
+    response.reason = "OK";
+    response.body = "ok\n";
+  }
+  return response;
+}
+
+HttpResponse HttpServer::StatuszResponse() const {
+  std::string body;
+  body += BuildInfoLine();
+  body += '\n';
+  body += StrFormat("config_fingerprint: %d\n", introspection_.config_fingerprint);
+  body += StrFormat("uptime_us: %d\n", introspection_clock_->NowMicros() - start_us_);
+  body += StrFormat("serving: %s\n", draining_.load()     ? "draining"
+                                     : lame_duck_.load()  ? "lame-duck"
+                                                          : "yes");
+  body += StrFormat("connections_served: %d\n", connections_.load());
+  body += StrFormat("in_flight: %d\n", in_flight_.load());
+  body += StrFormat("queue_depth: %d\n", queued_.load());
+  body += StrFormat("rejected: %d\n", rejected_.load());
+  body += StrFormat("deadline_kills: %d\n", deadline_kills_.load());
+  body += StrFormat("write_failures: %d\n", write_failures_.load());
+  if (introspection_.metrics != nullptr) {
+    body += "gauges:\n";
+    for (const auto& [key, value] : introspection_.metrics->GaugeSnapshot()) {
+      body += StrFormat("  %s %d\n", key, value);
+    }
+  }
+  if (introspection_.traces != nullptr) {
+    body += StrFormat("traces: started=%d finished=%d errored=%d evicted=%d\n",
+                      introspection_.traces->started(), introspection_.traces->finished(),
+                      introspection_.traces->errored(), introspection_.traces->evicted());
+  }
+  if (introspection_.log != nullptr) {
+    body += "recent_events:\n";
+    for (const std::string& line : introspection_.log->RecentErrors()) {
+      body += "  ";
+      body += line;
+      body += '\n';
+    }
+  }
+  HttpResponse response;
+  response.status = 200;
+  response.reason = "OK";
+  response.headers["content-type"] = "text/plain";
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpServer::TracezResponse(bool as_json) const {
+  HttpResponse response;
+  if (introspection_.traces == nullptr) {
+    response.status = 404;
+    response.reason = "Not Found";
+    response.headers["content-type"] = "text/plain";
+    response.body = "trace sampling is not enabled\n";
+    return response;
+  }
+  response.status = 200;
+  response.reason = "OK";
+  if (as_json) {
+    response.headers["content-type"] = "application/json";
+    response.body = introspection_.traces->RenderJson();
+  } else {
+    response.headers["content-type"] = "text/plain";
+    response.body = introspection_.traces->RenderText();
   }
   return response;
 }

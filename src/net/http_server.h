@@ -38,6 +38,20 @@
 
 namespace weblint {
 
+class StructuredLog;
+class TraceRecorder;
+
+// What the z-page endpoints surface (see EnableIntrospection). Any member
+// may be null/0: each endpoint simply omits what it does not have.
+struct HttpServerIntrospection {
+  MetricsRegistry* metrics = nullptr;  // /statusz gauge dump (usually the
+                                       // same registry as EnableMetrics).
+  TraceRecorder* traces = nullptr;     // /tracez + per-request correlation.
+  StructuredLog* log = nullptr;        // /statusz recent warn/error events.
+  Clock* clock = nullptr;              // Uptime / trace timestamps; null = system.
+  std::uint64_t config_fingerprint = 0;  // Config::Fingerprint() of the served config.
+};
+
 // Tuning for the concurrent serving mode. The defaults suit a small
 // standalone gateway; the binaries expose them as --threads / --max-queue /
 // --request-timeout.
@@ -165,6 +179,28 @@ class HttpServer {
   // Call before Serve/Start; not thread-safe against a running server.
   void EnableMetrics(MetricsRegistry* registry, Clock* clock = nullptr);
 
+  // Turns on the z-page endpoints — served on every mode that funnels
+  // through Dispatch (blocking, thread-per-connection, and event-driven):
+  //  * GET /healthz — 200 "ok" while serving, 503 "draining" once draining
+  //    or lame-duck, so a load balancer stops routing before shutdown.
+  //  * GET /statusz — build info, config fingerprint, uptime, serving
+  //    state, server counters, every registered gauge, trace-sampler
+  //    counts, and the most recent warn/error log events.
+  //  * GET /tracez — the sampled slow/error traces with their span trees,
+  //    as text (default) or JSON (?format=json).
+  // When `introspection.traces` is set, every non-z-page request also runs
+  // under a fresh trace id (correlating its spans and log lines) and is
+  // recorded into the sampler, errored = 5xx response.
+  // Z-page requests themselves are never traced or counted into the
+  // request series. Call before Serve/Start, like EnableMetrics.
+  void EnableIntrospection(const HttpServerIntrospection& introspection);
+
+  // Lame-duck mode: /healthz starts answering 503 while every other
+  // endpoint keeps serving. Call it, give load balancers a grace period to
+  // see the failing health check, then Drain(). Idempotent.
+  void BeginLameDuck();
+  bool lame_duck() const { return lame_duck_.load(); }
+
   void Close();
 
  private:
@@ -172,9 +208,14 @@ class HttpServer {
   // translation unit) and drives the shared dispatch path and counters.
   friend class ReactorServerCore;
 
-  // The shared dispatch path: 400 for an unparseable request, the /metrics
-  // scrape, or the handler (counted into the request series).
+  // The shared dispatch path: 400 for an unparseable request, a z-page,
+  // the /metrics scrape, or the handler (counted into the request series,
+  // traced when a recorder is wired up).
   HttpResponse Dispatch(const Result<HttpRequest>& request);
+  // The z-page responses (Dispatch helpers).
+  HttpResponse HealthzResponse() const;
+  HttpResponse StatuszResponse() const;
+  HttpResponse TracezResponse(bool as_json) const;
 
   // Concurrent-mode internals.
   void AcceptLoop();
@@ -187,6 +228,11 @@ class HttpServer {
   WireShaper wire_shaper_;
   MetricsRegistry* metrics_ = nullptr;
   Clock* metrics_clock_ = nullptr;
+  HttpServerIntrospection introspection_;
+  bool introspection_enabled_ = false;
+  Clock* introspection_clock_ = nullptr;
+  std::uint64_t start_us_ = 0;
+  std::atomic<bool> lame_duck_{false};
   Counter* requests_total_ = nullptr;
   Histogram* request_micros_ = nullptr;
   std::array<Counter*, 5> responses_by_class_{};  // 1xx..5xx.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/log.h"
 #include "telemetry/trace.h"
 #include "util/digest.h"
 #include "util/strings.h"
@@ -146,6 +147,11 @@ FetchResult RobustFetcher::Fetch(const Url& url, bool head) {
   ++stats_.by_outcome[static_cast<size_t>(result.outcome)];
   if (result.ok()) {
     stats_.bytes_fetched += result.response.body.size();
+  } else {
+    WEBLINT_LOG(kWarn, "fetch", "fetch-degraded",
+                {{"url", url.Serialize()},
+                 {"outcome", std::string(FetchOutcomeName(result.outcome))},
+                 {"detail", result.detail}});
   }
   if (m_outcomes_[static_cast<size_t>(result.outcome)] != nullptr) {
     m_outcomes_[static_cast<size_t>(result.outcome)]->Increment();

@@ -6,6 +6,7 @@
 
 #include "cache/report_serdes.h"
 #include "core/parallel_runner.h"
+#include "telemetry/log.h"
 #include "util/clock.h"
 #include "util/strings.h"
 
@@ -87,6 +88,15 @@ PoacherReport Poacher::Run(std::string_view start_url, Emitter* emitter) {
         StrFormat("[poacher] pages=%d degraded=%d queue=%d p50_us=%d p95_us=%d",
                   page_urls.size(), pages_degraded, runner.pending(), latency.Quantile(0.5),
                   latency.Quantile(0.95));
+    // The human heartbeat line keeps its exact shape (tests assert it);
+    // the same sample also goes out as a structured event when a log is
+    // installed, for pipelines that want the crawl's pulse as JSON.
+    WEBLINT_LOG(kInfo, "crawl", "heartbeat",
+                {{"pages", std::to_string(page_urls.size())},
+                 {"degraded", std::to_string(pages_degraded)},
+                 {"queue", std::to_string(runner.pending())},
+                 {"p50_us", std::to_string(latency.Quantile(0.5))},
+                 {"p95_us", std::to_string(latency.Quantile(0.95))}});
     if (options_.progress_sink) {
       options_.progress_sink(line);
     } else {

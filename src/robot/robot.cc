@@ -8,6 +8,7 @@
 
 #include "html/tokenizer.h"
 #include "net/async_fetcher.h"
+#include "telemetry/trace_context.h"
 #include "util/digest.h"
 #include "util/strings.h"
 
@@ -204,6 +205,7 @@ CrawlStats Robot::CrawlFrontier(const Url& start, Frontier& frontier,
     bool ready = false;     // Result (or a skip) is available.
     bool skipped = false;   // robots.txt refused the path at issue time.
     bool observed = false;  // Driver saw the completion; host slot released.
+    std::uint64_t trace_id = 0;  // Begun at issue, adopted+ended at consume.
     FetchResult result;
   };
   auto shared = std::make_shared<SyncBlock>();
@@ -291,6 +293,8 @@ CrawlStats Robot::CrawlFrontier(const Url& start, Frontier& frontier,
   // stage, so output is independent of fetch issue order.
   auto consume = [&](std::uint64_t seq, Slot& slot) {
     const std::string key = frontier.KeyFor(seq);
+    // Adopt the trace issue() began (0 for robots skips: no fetch, no trace).
+    RequestTrace trace(TraceRecorder::Current(), slot.trace_id);
     visited_.insert(key);
     if (slot.skipped) {
       ++stats.skipped_robots;
@@ -300,6 +304,7 @@ CrawlStats Robot::CrawlFrontier(const Url& start, Frontier& frontier,
     }
     FetchResult fetched = std::move(slot.result);
     if (!fetched.ok()) {
+      trace.set_error(true);
       ++stats.pages_degraded;
       failures_seen_.emplace(key, 0);
       if (hooks.on_failure) {
@@ -311,6 +316,7 @@ CrawlStats Robot::CrawlFrontier(const Url& start, Frontier& frontier,
       return;
     }
     if (!fetched.response.ok()) {
+      trace.set_error(true);
       ++stats.fetch_failures;
       failures_seen_.emplace(key, fetched.response.status);
       frontier.CompleteHttpFail(seq, fetched.response.status);
@@ -385,8 +391,10 @@ CrawlStats Robot::CrawlFrontier(const Url& start, Frontier& frontier,
           frontier.NoteStall();
           clock->SleepMicros(wait);
         }
+        RequestTrace trace(TraceRecorder::Current(), key);
         FetchResult fetched = fetch_blocking(ParseUrl(key));
         if (!fetched.ok()) {
+          trace.set_error(true);
           ++stats.pages_degraded;
           failures_seen_.emplace(key, 0);
           if (hooks.on_failure) {
@@ -395,6 +403,7 @@ CrawlStats Robot::CrawlFrontier(const Url& start, Frontier& frontier,
           frontier.CompleteDegraded(seq, static_cast<std::uint32_t>(fetched.outcome),
                                     fetched.detail);
         } else if (!fetched.response.ok()) {
+          trace.set_error(true);
           ++stats.fetch_failures;
           failures_seen_.emplace(key, fetched.response.status);
           frontier.CompleteHttpFail(seq, fetched.response.status);
@@ -438,8 +447,13 @@ CrawlStats Robot::CrawlFrontier(const Url& start, Frontier& frontier,
     slot->fetched = true;
     ++fetches_in_window;
     ++fetches_outstanding;
+    // The page's trace opens at fetch issue and is closed by consume().
+    if (TraceRecorder* recorder = TraceRecorder::Current(); recorder != nullptr) {
+      slot->trace_id = recorder->Begin(claim.url);
+    }
     if (async != nullptr) {
       async->FetchPageAsync(url, [shared, slot](FetchResult result) {
+        TraceContextScope trace_scope(slot->trace_id);
         {
           std::lock_guard<std::mutex> lock(shared->mu);
           slot->result = std::move(result);
@@ -451,7 +465,10 @@ CrawlStats Robot::CrawlFrontier(const Url& start, Frontier& frontier,
     } else {
       // Blocking fetcher: the issue completes inline, so the wire sees the
       // claim order directly.
-      slot->result = sync->FetchPage(url);
+      {
+        TraceContextScope trace_scope(slot->trace_id);
+        slot->result = sync->FetchPage(url);
+      }
       std::lock_guard<std::mutex> lock(shared->mu);
       slot->ready = true;
       ++shared->completions;
@@ -555,10 +572,14 @@ CrawlStats Robot::CrawlSequential(const Url& start, const PageHandler& handler,
       continue;
     }
 
+    // One trace per crawled page: the fetch's and the handler's spans (and
+    // the lint workers', via the runner's scope capture) correlate under it.
+    RequestTrace trace(TraceRecorder::Current(), key);
     FetchResult fetched = robust.FetchPage(url);
     if (!fetched.ok()) {
       // Transport-level degradation: the page never answered usably. One
       // structured per-page outcome; the crawl moves on.
+      trace.set_error(true);
       ++stats.pages_degraded;
       failures_seen_.emplace(key, 0);
       if (on_failure) {
@@ -569,6 +590,7 @@ CrawlStats Robot::CrawlSequential(const Url& start, const PageHandler& handler,
     const HttpResponse& response = fetched.response;
     const Url& final_url = fetched.final_url;
     if (!response.ok()) {
+      trace.set_error(true);
       ++stats.fetch_failures;
       failures_seen_.emplace(key, response.status);
       continue;
@@ -623,6 +645,7 @@ CrawlStats Robot::CrawlPipelined(const Url& start, const PageHandler& handler,
     Url url;
     std::string key;
     bool fetched = false;  // false = filtered at issue time, no wire fetch.
+    std::uint64_t trace_id = 0;  // Begun at issue, adopted+ended at consume.
     std::shared_ptr<Slot> slot;
   };
   auto shared = std::make_shared<SyncBlock>();
@@ -647,18 +670,28 @@ CrawlStats Robot::CrawlPipelined(const Url& start, const PageHandler& handler,
       item.fetched = true;
       item.slot = std::make_shared<Slot>();
       ++fetches_in_window;
+      // The page's trace opens when its fetch is issued (fetch latency is
+      // part of the page's story) and is adopted + closed by consume_one.
+      TraceRecorder* recorder = TraceRecorder::Current();
+      if (recorder != nullptr) {
+        item.trace_id = recorder->Begin(item.key);
+      }
       if (async != nullptr) {
-        async->FetchPageAsync(item.url, [shared, slot = item.slot](FetchResult result) {
-          {
-            std::lock_guard<std::mutex> lock(shared->mu);
-            slot->result = std::move(result);
-            slot->ready = true;
-          }
-          shared->cv.notify_all();
-        });
+        const std::uint64_t trace_id = item.trace_id;
+        async->FetchPageAsync(
+            item.url, [shared, slot = item.slot, trace_id](FetchResult result) {
+              TraceContextScope trace_scope(trace_id);
+              {
+                std::lock_guard<std::mutex> lock(shared->mu);
+                slot->result = std::move(result);
+                slot->ready = true;
+              }
+              shared->cv.notify_all();
+            });
       } else {
         // Blocking fetcher: the issue completes inline, so the wire sees
         // exactly the sequential request order whatever the window size.
+        TraceContextScope trace_scope(item.trace_id);
         item.slot->result = sync->FetchPage(item.url);
         item.slot->ready = true;
       }
@@ -676,6 +709,8 @@ CrawlStats Robot::CrawlPipelined(const Url& start, const PageHandler& handler,
       --fetches_in_window;
     }
     const std::string& key = item.key;
+    // Adopt the trace the issue stage began; ends (and samples) on return.
+    RequestTrace trace(TraceRecorder::Current(), item.trace_id);
     if (!visited_.insert(key).second) {
       ++stats.skipped_duplicate;
       return;
@@ -685,6 +720,7 @@ CrawlStats Robot::CrawlPipelined(const Url& start, const PageHandler& handler,
     }
     FetchResult fetched = std::move(item.slot->result);
     if (!fetched.ok()) {
+      trace.set_error(true);
       ++stats.pages_degraded;
       failures_seen_.emplace(key, 0);
       if (on_failure) {
@@ -695,6 +731,7 @@ CrawlStats Robot::CrawlPipelined(const Url& start, const PageHandler& handler,
     const HttpResponse& response = fetched.response;
     const Url& final_url = fetched.final_url;
     if (!response.ok()) {
+      trace.set_error(true);
       ++stats.fetch_failures;
       failures_seen_.emplace(key, response.status);
       return;

@@ -1,0 +1,54 @@
+#include "telemetry/build_info.h"
+
+#include "html/scan.h"
+#include "telemetry/metrics.h"
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+// The repo carries no release tagging yet; bump by hand when cutting one.
+constexpr const char* kVersion = "0.9.0";
+
+std::string DetectCompiler() {
+#if defined(__clang_version__)
+  return StrFormat("clang %s", __clang_version__);
+#elif defined(__VERSION__)
+  return StrFormat("gcc %s", __VERSION__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string DetectSimd() {
+#if defined(__SSE2__)
+  return ScanHasAvx2() ? "avx2" : "sse2";
+#else
+  return "swar";
+#endif
+}
+
+}  // namespace
+
+const BuildInfoFields& GetBuildInfo() {
+  static const BuildInfoFields fields{kVersion, DetectCompiler(), DetectSimd()};
+  return fields;
+}
+
+void RegisterBuildInfo(MetricsRegistry* registry) {
+  const BuildInfoFields& fields = GetBuildInfo();
+  registry
+      ->GetGauge("weblint_build_info",
+                 {{"version", fields.version},
+                  {"compiler", fields.compiler},
+                  {"simd", fields.simd}})
+      ->Set(1);
+}
+
+std::string BuildInfoLine() {
+  const BuildInfoFields& fields = GetBuildInfo();
+  return StrFormat("weblint %s compiler=%s simd=%s", fields.version, fields.compiler, fields.simd);
+}
+
+}  // namespace weblint

@@ -1,0 +1,32 @@
+// Build identity surfaced as a constant `weblint_build_info` gauge (the
+// Prometheus convention: value 1, identity in the labels) and as the first
+// line of /statusz — so a fleet dashboard can tell which binary, compiler,
+// and SIMD dispatch tier each process is actually running.
+#ifndef WEBLINT_TELEMETRY_BUILD_INFO_H_
+#define WEBLINT_TELEMETRY_BUILD_INFO_H_
+
+#include <string>
+
+namespace weblint {
+
+class MetricsRegistry;
+
+struct BuildInfoFields {
+  std::string version;
+  std::string compiler;
+  std::string simd;  // Runtime dispatch tier: "avx2", "sse2", or "swar".
+};
+
+// The running binary's identity. `simd` reflects the *runtime* CPU
+// dispatch decision, not just compile flags.
+const BuildInfoFields& GetBuildInfo();
+
+// Registers weblint_build_info{version=,compiler=,simd=} = 1 on `registry`.
+void RegisterBuildInfo(MetricsRegistry* registry);
+
+// "weblint <version> compiler=<...> simd=<...>" for /statusz.
+std::string BuildInfoLine();
+
+}  // namespace weblint
+
+#endif  // WEBLINT_TELEMETRY_BUILD_INFO_H_

@@ -1,0 +1,185 @@
+#include "telemetry/log.h"
+
+#include "telemetry/trace_context.h"
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+std::atomic<StructuredLog*> g_log{nullptr};
+
+std::string TraceIdHex(std::uint64_t id) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[id & 0xF];
+    id >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ParseLogLevel(std::string_view s, LogLevel* out) {
+  if (s == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (s == "info") {
+    *out = LogLevel::kInfo;
+  } else if (s == "warn") {
+    *out = LogLevel::kWarn;
+  } else if (s == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+StructuredLog::StructuredLog() : StructuredLog(Options()) {}
+
+StructuredLog::StructuredLog(Options options)
+    : clock_(options.clock != nullptr ? options.clock : Clock::System()),
+      options_(options),
+      min_level_(static_cast<int>(options.min_level)) {}
+
+StructuredLog::~StructuredLog() {
+  if (g_log.load(std::memory_order_relaxed) == this) {
+    g_log.store(nullptr, std::memory_order_relaxed);
+  }
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+StructuredLog* StructuredLog::Current() { return g_log.load(std::memory_order_relaxed); }
+
+void StructuredLog::Install(StructuredLog* log) {
+  g_log.store(log, std::memory_order_relaxed);
+}
+
+bool StructuredLog::OpenFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = file;
+  return true;
+}
+
+void StructuredLog::set_sink(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+bool StructuredLog::Write(LogSite* site, LogLevel level, std::string_view subsystem,
+                          std::string_view event,
+                          std::initializer_list<std::pair<std::string_view, std::string>> fields) {
+  if (!Enabled(level)) return false;
+  const std::uint64_t now = clock_->NowMicros();
+  const std::uint64_t trace_id = CurrentTraceId();
+
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Refill the site's bucket from the injected clock.
+  if (site->tokens < 0.0) {
+    site->tokens = options_.site_burst;
+    site->last_refill_us = now;
+  } else if (now > site->last_refill_us) {
+    const double elapsed_sec = static_cast<double>(now - site->last_refill_us) / 1e6;
+    site->tokens += elapsed_sec * options_.site_tokens_per_sec;
+    if (site->tokens > options_.site_burst) site->tokens = options_.site_burst;
+    site->last_refill_us = now;
+  }
+  if (site->tokens < 1.0) {
+    ++site->suppressed;
+    ++suppressed_;
+    return false;
+  }
+  site->tokens -= 1.0;
+
+  std::string line;
+  line.reserve(96);
+  line.append(StrFormat("{\"ts\":%d,\"level\":\"%s\",\"subsystem\":\"%s\",\"event\":\"%s\"", now,
+                        LogLevelName(level), JsonEscape(subsystem), JsonEscape(event)));
+  if (trace_id != 0) {
+    line.append(",\"trace\":\"");
+    line.append(TraceIdHex(trace_id));
+    line.push_back('"');
+  }
+  for (const auto& [key, value] : fields) {
+    line.append(",\"");
+    line.append(key);
+    line.append("\":\"");
+    line.append(JsonEscape(value));
+    line.push_back('"');
+  }
+  if (site->suppressed > 0) {
+    line.append(StrFormat(",\"suppressed\":%d", site->suppressed));
+    site->suppressed = 0;
+  }
+  line.push_back('}');
+
+  ++emitted_;
+  if (level >= LogLevel::kWarn) {
+    recent_.push_back(line);
+    while (recent_.size() > options_.recent_capacity) recent_.pop_front();
+  }
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::FILE* out = file_ != nullptr ? file_ : stderr;
+    std::fprintf(out, "%s\n", line.c_str());
+    std::fflush(out);
+  }
+  return true;
+}
+
+std::vector<std::string> StructuredLog::RecentErrors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::string>(recent_.begin(), recent_.end());
+}
+
+std::uint64_t StructuredLog::emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
+}
+
+std::uint64_t StructuredLog::suppressed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suppressed_;
+}
+
+std::unique_ptr<StructuredLog> InstallLogFromFlags(const std::string& level_arg,
+                                                   const std::string& file_arg,
+                                                   std::string* error) {
+  if (level_arg.empty() && file_arg.empty()) {
+    return nullptr;
+  }
+  StructuredLog::Options options;
+  if (!level_arg.empty() && !ParseLogLevel(level_arg, &options.min_level)) {
+    *error = "bad --log-level '" + level_arg + "' (want debug|info|warn|error)";
+    return nullptr;
+  }
+  auto log = std::make_unique<StructuredLog>(options);
+  if (!file_arg.empty() && !log->OpenFile(file_arg)) {
+    *error = "cannot open --log-file '" + file_arg + "'";
+    return nullptr;
+  }
+  StructuredLog::Install(log.get());
+  return log;
+}
+
+}  // namespace weblint

@@ -1,0 +1,140 @@
+// Leveled structured logging: one JSON object per line, each carrying a
+// clock-injected timestamp, level, subsystem, event name, the thread's
+// active trace id (when a TraceContextScope is live), and free-form
+// key/value fields. Replaces the ad-hoc stderr prints that accumulated in
+// the crawl/fetch/cache layers with events a log pipeline can parse and a
+// human can still read.
+//
+// Rate limiting is per *call site*: each WEBLINT_LOG expansion owns a
+// static LogSite token bucket, refilled from the injected clock, so one
+// hot site (fetch-degraded in a fault storm) can't drown the stream while
+// quiet sites stay unthrottled. Suppressed counts are carried on the next
+// emitted line from the same site ("suppressed":N) rather than dropped
+// silently. Under FakeClock the bucket is deterministic.
+//
+// Like Tracer and TraceRecorder, the log is process-global via
+// Install/Current with a relaxed atomic pointer: when none is installed
+// (every default CLI run), a log site costs one load and branch, and the
+// tools' byte-exact stdout/stderr contracts are untouched.
+#ifndef WEBLINT_TELEMETRY_LOG_H_
+#define WEBLINT_TELEMETRY_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace weblint {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// "debug"/"info"/"warn"/"error" -> level; false on anything else.
+bool ParseLogLevel(std::string_view s, LogLevel* out);
+const char* LogLevelName(LogLevel level);
+
+// Per-call-site token-bucket state. Lives as a function-local static inside
+// the WEBLINT_LOG expansion; all mutation happens under the log's mutex.
+struct LogSite {
+  double tokens = -1.0;  // <0 = not yet initialised (filled to burst).
+  std::uint64_t last_refill_us = 0;
+  std::uint64_t suppressed = 0;  // Since this site's last emitted line.
+};
+
+class StructuredLog {
+ public:
+  struct Options {
+    Clock* clock = nullptr;  // null = system clock.
+    LogLevel min_level = LogLevel::kInfo;
+    double site_tokens_per_sec = 10.0;
+    double site_burst = 20.0;
+    size_t recent_capacity = 64;  // Warn/error ring surfaced on /statusz.
+  };
+
+  StructuredLog();  // Default options.
+  explicit StructuredLog(Options options);
+  ~StructuredLog();
+
+  StructuredLog(const StructuredLog&) = delete;
+  StructuredLog& operator=(const StructuredLog&) = delete;
+
+  static StructuredLog* Current();
+  static void Install(StructuredLog* log);
+
+  // Default sink is stderr. OpenFile redirects to `path` (append mode);
+  // false + untouched sink on open failure. set_sink captures lines for
+  // tests instead of writing anywhere.
+  bool OpenFile(const std::string& path);
+  void set_sink(std::function<void(const std::string&)> sink);
+
+  // Cheap pre-filter so callers can skip field construction entirely.
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >= min_level_.load(std::memory_order_relaxed);
+  }
+  void set_min_level(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+
+  // Emits one line unless the site's bucket is dry (then counts the
+  // suppression instead). Returns whether the line was emitted. `fields`
+  // values are JSON-escaped; keys must be literal JSON-safe names.
+  bool Write(LogSite* site, LogLevel level, std::string_view subsystem, std::string_view event,
+             std::initializer_list<std::pair<std::string_view, std::string>> fields);
+
+  // Most recent warn/error lines, oldest first (for /statusz).
+  std::vector<std::string> RecentErrors() const;
+
+  std::uint64_t emitted() const;
+  std::uint64_t suppressed() const;
+  Clock& clock() const { return *clock_; }
+
+ private:
+  Clock* clock_;
+  const Options options_;
+  std::atomic<int> min_level_;
+
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;  // Owned when non-null.
+  std::function<void(const std::string&)> sink_;
+  std::deque<std::string> recent_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+// CLI glue for the tools' --log-level/--log-file flags: when either is
+// non-empty, builds a StructuredLog (min level from `level_arg`, default
+// info; sink `file_arg` or stderr), installs it process-wide, and returns
+// it (the caller keeps it alive). Both empty = no log installed, returns
+// null — default runs keep their byte-exact stderr output. On a bad level
+// name or unopenable file, returns null with *error set.
+std::unique_ptr<StructuredLog> InstallLogFromFlags(const std::string& level_arg,
+                                                   const std::string& file_arg,
+                                                   std::string* error);
+
+// Usage:
+//   WEBLINT_LOG(kWarn, "fetch", "fetch-degraded",
+//               {{"url", url}, {"outcome", OutcomeName(o)}});
+// Field values are std::string (or convertible); the whole argument list is
+// skipped when no log is installed or the level is filtered.
+#define WEBLINT_LOG(level, subsystem, event, ...)                                          \
+  do {                                                                                     \
+    ::weblint::StructuredLog* weblint_log_ = ::weblint::StructuredLog::Current();          \
+    if (weblint_log_ != nullptr && weblint_log_->Enabled(::weblint::LogLevel::level)) {    \
+      static ::weblint::LogSite weblint_log_site_;                                         \
+      weblint_log_->Write(&weblint_log_site_, ::weblint::LogLevel::level, subsystem, event, \
+                          __VA_ARGS__);                                                    \
+    }                                                                                      \
+  } while (0)
+
+}  // namespace weblint
+
+#endif  // WEBLINT_TELEMETRY_LOG_H_

@@ -1,6 +1,7 @@
 #include "telemetry/metrics.h"
 
 #include <bit>
+#include <cmath>
 
 #include "util/strings.h"
 
@@ -47,9 +48,26 @@ std::uint64_t HistogramSnapshot::Quantile(double q) const {
   const double target = q * static_cast<double>(count);
   std::uint64_t cumulative = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    const double before = static_cast<double>(cumulative);
     cumulative += counts[i];
-    if (static_cast<double>(cumulative) >= target && cumulative > 0) {
-      return BucketBound(i);
+    if (static_cast<double>(cumulative) >= target) {
+      // Interpolate within the crossing bucket: fraction of this bucket's
+      // observations below the target, spread across (lower, upper].
+      // Rounding up keeps the estimate in the bucket's half-open range —
+      // a fraction of 0+ still reports at least lower+1 — and means a
+      // histogram of identical values reports exactly their bucket bound.
+      const std::uint64_t lower = i == 0 ? 0 : BucketBound(i - 1);
+      const std::uint64_t upper = BucketBound(i);
+      double fraction = (target - before) / static_cast<double>(counts[i]);
+      if (fraction < 0.0) fraction = 0.0;
+      if (fraction > 1.0) fraction = 1.0;
+      const double span = static_cast<double>(upper - lower);
+      std::uint64_t offset = static_cast<std::uint64_t>(std::ceil(fraction * span));
+      if (offset > upper - lower) offset = upper - lower;
+      return lower + offset;
     }
   }
   return BucketBound(kBuckets - 1);
@@ -67,31 +85,68 @@ HistogramSnapshot Histogram::Snapshot() const {
   return snapshot;
 }
 
-std::string MetricsRegistry::Key(std::string_view name, std::string_view label_key,
-                                 std::string_view label_value) {
-  std::string key(name);
+namespace {
+
+// Adapts the common single-pair call shape to the labels vector.
+MetricLabels OneLabel(std::string_view label_key, std::string_view label_value) {
+  MetricLabels labels;
   if (!label_key.empty()) {
+    labels.emplace_back(std::string(label_key), std::string(label_value));
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::Key(std::string_view name, const MetricLabels& labels) {
+  std::string key(name);
+  if (!labels.empty()) {
     key += '{';
-    key += label_key;
-    key += "=\"";
-    key += label_value;
-    key += "\"}";
+    bool first = true;
+    for (const auto& [label_key, label_value] : labels) {
+      if (!first) key += ',';
+      first = false;
+      key += label_key;
+      key += "=\"";
+      key += EscapeLabelValue(label_value);
+      key += '"';
+    }
+    key += '}';
   }
   return key;
 }
 
 MetricsRegistry::Metric* MetricsRegistry::FindOrCreate(Kind kind, std::string_view name,
-                                                       std::string_view label_key,
-                                                       std::string_view label_value) {
+                                                       const MetricLabels& labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  const std::string key = Key(name, label_key, label_value);
+  const std::string key = Key(name, labels);
   auto it = metrics_.find(key);
   if (it == metrics_.end()) {
     Metric metric;
     metric.kind = kind;
     metric.family = std::string(name);
-    metric.label_key = std::string(label_key);
-    metric.label_value = std::string(label_value);
+    metric.labels = labels;
     switch (kind) {
       case Kind::kCounter:
         metric.counter.reset(new Counter());
@@ -109,46 +164,77 @@ MetricsRegistry::Metric* MetricsRegistry::FindOrCreate(Kind kind, std::string_vi
 }
 
 const MetricsRegistry::Metric* MetricsRegistry::Find(std::string_view name,
-                                                     std::string_view label_key,
-                                                     std::string_view label_value) const {
+                                                     const MetricLabels& labels) const {
   std::lock_guard<std::mutex> lock(mu_);
-  const auto it = metrics_.find(Key(name, label_key, label_value));
+  const auto it = metrics_.find(Key(name, labels));
   return it == metrics_.end() ? nullptr : &it->second;
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name, std::string_view label_key,
                                      std::string_view label_value) {
-  return FindOrCreate(Kind::kCounter, name, label_key, label_value)->counter.get();
+  return GetCounter(name, OneLabel(label_key, label_value));
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view label_key,
                                  std::string_view label_value) {
-  return FindOrCreate(Kind::kGauge, name, label_key, label_value)->gauge.get();
+  return GetGauge(name, OneLabel(label_key, label_value));
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name, std::string_view label_key,
                                          std::string_view label_value) {
-  return FindOrCreate(Kind::kHistogram, name, label_key, label_value)->histogram.get();
+  return GetHistogram(name, OneLabel(label_key, label_value));
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name, const MetricLabels& labels) {
+  return FindOrCreate(Kind::kCounter, name, labels)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, const MetricLabels& labels) {
+  return FindOrCreate(Kind::kGauge, name, labels)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name, const MetricLabels& labels) {
+  return FindOrCreate(Kind::kHistogram, name, labels)->histogram.get();
 }
 
 std::uint64_t MetricsRegistry::CounterValue(std::string_view name, std::string_view label_key,
                                             std::string_view label_value) const {
-  const Metric* metric = Find(name, label_key, label_value);
-  return metric != nullptr && metric->counter ? metric->counter->Value() : 0;
+  return CounterValue(name, OneLabel(label_key, label_value));
 }
 
 std::int64_t MetricsRegistry::GaugeValue(std::string_view name, std::string_view label_key,
                                          std::string_view label_value) const {
-  const Metric* metric = Find(name, label_key, label_value);
+  return GaugeValue(name, OneLabel(label_key, label_value));
+}
+
+std::uint64_t MetricsRegistry::CounterValue(std::string_view name,
+                                            const MetricLabels& labels) const {
+  const Metric* metric = Find(name, labels);
+  return metric != nullptr && metric->counter ? metric->counter->Value() : 0;
+}
+
+std::int64_t MetricsRegistry::GaugeValue(std::string_view name, const MetricLabels& labels) const {
+  const Metric* metric = Find(name, labels);
   return metric != nullptr && metric->gauge ? metric->gauge->Value() : 0;
 }
 
 HistogramSnapshot MetricsRegistry::HistogramValues(std::string_view name,
                                                    std::string_view label_key,
                                                    std::string_view label_value) const {
-  const Metric* metric = Find(name, label_key, label_value);
+  const Metric* metric = Find(name, OneLabel(label_key, label_value));
   return metric != nullptr && metric->histogram ? metric->histogram->Snapshot()
                                                 : HistogramSnapshot{};
+}
+
+std::vector<std::pair<std::string, std::int64_t>> MetricsRegistry::GaugeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  for (const auto& [key, metric] : metrics_) {
+    if (metric.kind == Kind::kGauge) {
+      out.emplace_back(key, metric.gauge->Value());
+    }
+  }
+  return out;
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
@@ -172,11 +258,21 @@ std::string MetricsRegistry::RenderPrometheus() const {
         break;
       case Kind::kHistogram: {
         const HistogramSnapshot snapshot = metric.histogram->Snapshot();
-        // Merge `le` with any existing label pair.
-        const std::string label_prefix =
-            metric.label_key.empty()
-                ? std::string()
-                : metric.label_key + "=\"" + metric.label_value + "\",";
+        // Merge `le` after any existing labels.
+        std::string label_prefix;
+        for (const auto& [label_key, label_value] : metric.labels) {
+          label_prefix += label_key;
+          label_prefix += "=\"";
+          label_prefix += EscapeLabelValue(label_value);
+          label_prefix += "\",";
+        }
+        std::string plain_labels;
+        if (!metric.labels.empty()) {
+          plain_labels.reserve(label_prefix.size() + 1);
+          plain_labels += '{';
+          plain_labels.append(label_prefix, 0, label_prefix.size() - 1);
+          plain_labels += '}';
+        }
         std::uint64_t cumulative = 0;
         for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
           cumulative += snapshot.counts[i];
@@ -190,16 +286,8 @@ std::string MetricsRegistry::RenderPrometheus() const {
         }
         out += StrFormat("%s_bucket{%sle=\"+Inf\"} %d\n", metric.family, label_prefix,
                          snapshot.count);
-        out += StrFormat("%s_sum%s %d\n", metric.family,
-                         metric.label_key.empty()
-                             ? std::string()
-                             : "{" + metric.label_key + "=\"" + metric.label_value + "\"}",
-                         snapshot.sum);
-        out += StrFormat("%s_count%s %d\n", metric.family,
-                         metric.label_key.empty()
-                             ? std::string()
-                             : "{" + metric.label_key + "=\"" + metric.label_value + "\"}",
-                         snapshot.count);
+        out += StrFormat("%s_sum%s %d\n", metric.family, plain_labels, snapshot.sum);
+        out += StrFormat("%s_count%s %d\n", metric.family, plain_labels, snapshot.count);
         break;
       }
     }

@@ -31,8 +31,18 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace weblint {
+
+// An ordered list of label key/value pairs. Values may contain arbitrary
+// bytes; rendering escapes them per the Prometheus 0.0.4 exposition format.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+// Escapes a label value for `name{key="value"}` position: backslash,
+// double-quote, and newline (the three characters 0.0.4 requires).
+std::string EscapeLabelValue(std::string_view value);
 
 namespace telemetry_internal {
 
@@ -101,8 +111,11 @@ struct HistogramSnapshot {
 
   // Upper bound of bucket i (2^i), saturating at the last bucket.
   static std::uint64_t BucketBound(size_t i);
-  // Estimated quantile (0 < q <= 1): the upper bound of the bucket where
-  // the cumulative count crosses q * count. 0 when empty.
+  // Estimated quantile (0 < q <= 1): locates the bucket where the
+  // cumulative count crosses q * count, then interpolates linearly within
+  // it (assuming observations spread evenly across the bucket), rounding
+  // up so the estimate never understates and a one-observation bucket
+  // still reports its upper bound. 0 when empty.
   std::uint64_t Quantile(double q) const;
 };
 
@@ -140,9 +153,9 @@ class Histogram {
   std::array<Shard, telemetry_internal::kMetricCells> shards_;
 };
 
-// The registry: owns metrics keyed by (family name, optional single label
-// pair). Lookup-or-create is mutex-guarded; returned pointers are stable
-// until the registry is destroyed, so callers hoist lookups out of loops.
+// The registry: owns metrics keyed by (family name, ordered label set).
+// Lookup-or-create is mutex-guarded; returned pointers are stable until the
+// registry is destroyed, so callers hoist lookups out of loops.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -150,17 +163,21 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   // `name` is the Prometheus family name (counters end in _total by
-  // convention). The optional label pair renders as name{key="value"}.
+  // convention). Labels render in the given order as name{k1="v1",...};
+  // the single-pair overloads cover the common one-label case.
   Counter* GetCounter(std::string_view name, std::string_view label_key = {},
                       std::string_view label_value = {});
   Gauge* GetGauge(std::string_view name, std::string_view label_key = {},
                   std::string_view label_value = {});
   Histogram* GetHistogram(std::string_view name, std::string_view label_key = {},
                           std::string_view label_value = {});
+  Counter* GetCounter(std::string_view name, const MetricLabels& labels);
+  Gauge* GetGauge(std::string_view name, const MetricLabels& labels);
+  Histogram* GetHistogram(std::string_view name, const MetricLabels& labels);
 
   // Prometheus text exposition (version 0.0.4): families in lexicographic
-  // order, one # TYPE line per family, histograms in cumulative le= form.
-  // Deterministic for a given set of metric values.
+  // order, one # TYPE line per family, histograms in cumulative le= form,
+  // label values escaped. Deterministic for a given set of metric values.
   std::string RenderPrometheus() const;
 
   // Test/snapshot conveniences: the value of a metric, or 0 if absent.
@@ -168,28 +185,31 @@ class MetricsRegistry {
                              std::string_view label_value = {}) const;
   std::int64_t GaugeValue(std::string_view name, std::string_view label_key = {},
                           std::string_view label_value = {}) const;
+  std::uint64_t CounterValue(std::string_view name, const MetricLabels& labels) const;
+  std::int64_t GaugeValue(std::string_view name, const MetricLabels& labels) const;
   // Snapshot of a histogram, or an empty snapshot if absent.
   HistogramSnapshot HistogramValues(std::string_view name, std::string_view label_key = {},
                                     std::string_view label_value = {}) const;
+
+  // Every registered gauge as (rendered series key, current value), in
+  // render order — /statusz enumerates live gauges this way without naming
+  // each one.
+  std::vector<std::pair<std::string, std::int64_t>> GaugeSnapshot() const;
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
   struct Metric {
     Kind kind;
     std::string family;
-    std::string label_key;
-    std::string label_value;
+    MetricLabels labels;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
 
-  static std::string Key(std::string_view name, std::string_view label_key,
-                         std::string_view label_value);
-  Metric* FindOrCreate(Kind kind, std::string_view name, std::string_view label_key,
-                       std::string_view label_value);
-  const Metric* Find(std::string_view name, std::string_view label_key,
-                     std::string_view label_value) const;
+  static std::string Key(std::string_view name, const MetricLabels& labels);
+  Metric* FindOrCreate(Kind kind, std::string_view name, const MetricLabels& labels);
+  const Metric* Find(std::string_view name, const MetricLabels& labels) const;
 
   mutable std::mutex mu_;
   // std::map: iteration order is the render order, so exposition output is

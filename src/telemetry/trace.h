@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/trace_context.h"
 #include "util/clock.h"
 
 namespace weblint {
@@ -93,18 +94,40 @@ class Tracer {
 };
 
 // The RAII span: samples the clock at construction and records on
-// destruction. When no tracer is installed, both ends are a load + branch.
+// destruction — to the Tracer (whole-run Chrome timeline), and to the
+// TraceRecorder when one is installed *and* the thread has an active trace
+// id (request-scoped correlation; see trace_context.h). Either consumer may
+// be absent independently; with both off, each end is two loads + branches.
 class TraceSpan {
  public:
-  explicit TraceSpan(const char* name) : tracer_(Tracer::Current()) {
-    if (tracer_ != nullptr) {
+  explicit TraceSpan(const char* name)
+      : tracer_(Tracer::Current()), recorder_(TraceRecorder::Current()) {
+    if (recorder_ != nullptr) {
+      trace_id_ = CurrentTraceId();
+      if (trace_id_ == 0) {
+        recorder_ = nullptr;  // No active request scope: nothing to attach to.
+      } else {
+        depth_ = trace_internal::EnterSpan();
+      }
+    }
+    if (tracer_ != nullptr || recorder_ != nullptr) {
       name_ = name;
-      begin_us_ = tracer_->clock().NowMicros();
+      // Both consumers share one timestamp pair; under test both are driven
+      // by the same injected FakeClock.
+      begin_us_ = tracer_ != nullptr ? tracer_->clock().NowMicros()
+                                     : recorder_->clock().NowMicros();
     }
   }
   ~TraceSpan() {
+    if (tracer_ == nullptr && recorder_ == nullptr) return;
+    const std::uint64_t end_us = tracer_ != nullptr ? tracer_->clock().NowMicros()
+                                                    : recorder_->clock().NowMicros();
     if (tracer_ != nullptr) {
-      tracer_->Record(name_, begin_us_, tracer_->clock().NowMicros());
+      tracer_->Record(name_, begin_us_, end_us);
+    }
+    if (recorder_ != nullptr) {
+      recorder_->AddSpan(trace_id_, name_, begin_us_, end_us, depth_);
+      trace_internal::LeaveSpan();
     }
   }
 
@@ -113,8 +136,11 @@ class TraceSpan {
 
  private:
   Tracer* tracer_;
+  TraceRecorder* recorder_;
   const char* name_ = nullptr;
   std::uint64_t begin_us_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::uint32_t depth_ = 0;
 };
 
 #define WEBLINT_SPAN_CONCAT2(a, b) a##b

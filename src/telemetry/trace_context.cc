@@ -1,0 +1,235 @@
+#include "telemetry/trace_context.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+std::atomic<TraceRecorder*> g_recorder{nullptr};
+
+thread_local std::uint64_t t_trace_id = 0;
+thread_local std::uint32_t t_span_depth = 0;
+
+// Render order: by start time, id breaking ties (ids are themselves minted
+// in clock order, so this is Begin order under a monotonic clock).
+bool TraceBefore(const TraceRecord& a, const TraceRecord& b) {
+  if (a.begin_us != b.begin_us) return a.begin_us < b.begin_us;
+  return a.id < b.id;
+}
+
+bool SpanBefore(const TraceSpanRecord& a, const TraceSpanRecord& b) {
+  if (a.begin_us != b.begin_us) return a.begin_us < b.begin_us;
+  if (a.depth != b.depth) return a.depth < b.depth;
+  return std::string_view(a.name) < std::string_view(b.name);
+}
+
+std::string TraceIdHex(std::uint64_t id) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[id & 0xF];
+    id >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace trace_internal {
+
+std::uint64_t CurrentId() { return t_trace_id; }
+void SetCurrentId(std::uint64_t id) { t_trace_id = id; }
+std::uint32_t EnterSpan() { return t_span_depth++; }
+void LeaveSpan() {
+  if (t_span_depth > 0) --t_span_depth;
+}
+
+}  // namespace trace_internal
+
+TraceRecorder::TraceRecorder() : TraceRecorder(Options()) {}
+
+TraceRecorder::TraceRecorder(Options options)
+    : clock_(options.clock != nullptr ? options.clock : Clock::System()), options_(options) {}
+
+TraceRecorder::~TraceRecorder() {
+  if (g_recorder.load(std::memory_order_relaxed) == this) {
+    g_recorder.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+TraceRecorder* TraceRecorder::Current() { return g_recorder.load(std::memory_order_relaxed); }
+
+void TraceRecorder::Install(TraceRecorder* recorder) {
+  g_recorder.store(recorder, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRecorder::Begin(std::string name) {
+  const std::uint64_t now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t id = (now << 16) | (++seq_ & 0xFFFF);
+  if (id == 0) id = 1;
+  // A stationary FakeClock (or a >16-bit burst of Begins in one
+  // microsecond) can collide; walk forward deterministically.
+  while (traces_.count(id) != 0) ++id;
+  TraceRecord& record = traces_[id];
+  record.id = id;
+  record.name = std::move(name);
+  record.begin_us = now;
+  ++started_;
+  return id;
+}
+
+void TraceRecorder::End(std::uint64_t id, bool error) {
+  const std::uint64_t now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = traces_.find(id);
+  if (it == traces_.end() || it->second.done) return;
+  it->second.end_us = now;
+  it->second.done = true;
+  it->second.error = error;
+  ++finished_;
+  if (error) ++errored_;
+  EnforceRetentionLocked();
+}
+
+void TraceRecorder::AddSpan(std::uint64_t id, const char* name, std::uint64_t begin_us,
+                            std::uint64_t end_us, std::uint32_t depth) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = traces_.find(id);
+  if (it == traces_.end()) return;
+  TraceRecord& record = it->second;
+  if (record.spans.size() >= options_.max_spans_per_trace) {
+    ++record.spans_dropped;
+    return;
+  }
+  record.spans.push_back(TraceSpanRecord{name, begin_us, end_us, depth});
+}
+
+void TraceRecorder::EnforceRetentionLocked() {
+  // Errored traces: FIFO bound — evict the oldest (smallest id).
+  size_t errors = 0;
+  size_t ok = 0;
+  for (const auto& [id, record] : traces_) {
+    if (!record.done) continue;
+    if (record.error) {
+      ++errors;
+    } else {
+      ++ok;
+    }
+  }
+  while (errors > options_.max_errors) {
+    for (auto it = traces_.begin(); it != traces_.end(); ++it) {
+      if (it->second.done && it->second.error) {
+        traces_.erase(it);
+        ++evicted_;
+        --errors;
+        break;
+      }
+    }
+  }
+  // Completed-OK traces compete for the max_slow slowest slots; evict the
+  // fastest (ties: evict the newer so earlier traces are stable keepers).
+  while (ok > options_.max_slow) {
+    auto victim = traces_.end();
+    std::uint64_t victim_duration = 0;
+    for (auto it = traces_.begin(); it != traces_.end(); ++it) {
+      if (!it->second.done || it->second.error) continue;
+      const std::uint64_t duration = it->second.end_us - it->second.begin_us;
+      if (victim == traces_.end() || duration < victim_duration ||
+          (duration == victim_duration && it->first > victim->first)) {
+        victim = it;
+        victim_duration = duration;
+      }
+    }
+    if (victim == traces_.end()) break;
+    traces_.erase(victim);
+    ++evicted_;
+    --ok;
+  }
+}
+
+std::vector<TraceRecord> TraceRecorder::Sampled() const {
+  std::vector<TraceRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(traces_.size());
+    for (const auto& [id, record] : traces_) {
+      if (record.done) out.push_back(record);
+    }
+  }
+  std::sort(out.begin(), out.end(), TraceBefore);
+  for (TraceRecord& record : out) {
+    std::sort(record.spans.begin(), record.spans.end(), SpanBefore);
+  }
+  return out;
+}
+
+std::string TraceRecorder::RenderText() const {
+  const std::vector<TraceRecord> sampled = Sampled();
+  std::string out;
+  out.append(StrFormat("tracez: %d sampled (started=%d finished=%d errored=%d evicted=%d)\n",
+                       sampled.size(), started(), finished(), errored(), evicted()));
+  for (const TraceRecord& record : sampled) {
+    out.append(StrFormat("trace %s %s dur_us=%d %s\n", TraceIdHex(record.id), record.name,
+                         record.end_us - record.begin_us, record.error ? "ERROR" : "ok"));
+    for (const TraceSpanRecord& span : record.spans) {
+      out.append("  ");
+      out.append(span.depth * 2, ' ');
+      out.append(StrFormat("%s begin_us=%d dur_us=%d\n", span.name, span.begin_us,
+                           span.end_us - span.begin_us));
+    }
+    if (record.spans_dropped > 0) {
+      out.append(StrFormat("  (+%d spans dropped)\n", record.spans_dropped));
+    }
+  }
+  return out;
+}
+
+std::string TraceRecorder::RenderJson() const {
+  const std::vector<TraceRecord> sampled = Sampled();
+  std::string out = "{\"traces\":[";
+  bool first_trace = true;
+  for (const TraceRecord& record : sampled) {
+    if (!first_trace) out.push_back(',');
+    first_trace = false;
+    out.append(StrFormat("{\"id\":\"%s\",\"name\":\"%s\",\"begin_us\":%d,\"dur_us\":%d,"
+                         "\"error\":%s,\"spans\":[",
+                         TraceIdHex(record.id), JsonEscape(record.name), record.begin_us,
+                         record.end_us - record.begin_us, record.error ? "true" : "false"));
+    bool first_span = true;
+    for (const TraceSpanRecord& span : record.spans) {
+      if (!first_span) out.push_back(',');
+      first_span = false;
+      out.append(StrFormat("{\"name\":\"%s\",\"begin_us\":%d,\"dur_us\":%d,\"depth\":%d}",
+                           JsonEscape(span.name), span.begin_us, span.end_us - span.begin_us,
+                           span.depth));
+    }
+    out.append(StrFormat("],\"spans_dropped\":%d}", record.spans_dropped));
+  }
+  out.append("]}\n");
+  return out;
+}
+
+std::uint64_t TraceRecorder::started() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_;
+}
+std::uint64_t TraceRecorder::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
+}
+std::uint64_t TraceRecorder::errored() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return errored_;
+}
+std::uint64_t TraceRecorder::evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+}  // namespace weblint

@@ -1,0 +1,200 @@
+// Request-scoped trace correlation: a 64-bit trace id minted per unit of
+// served work (one gateway request, one crawled page), carried across the
+// layers that work passes through (runner, cache, engine, fetcher) in a
+// thread-local scope, and collected — together with every WEBLINT_SPAN that
+// fired while the scope was active — into a bounded in-process sampler that
+// the /tracez z-page renders.
+//
+// Why a recorder distinct from the Tracer (trace.h): the Tracer answers
+// "what did this whole run spend its time on" (flat per-thread rings,
+// dumped once at exit as a Chrome timeline); the TraceRecorder answers
+// "what happened inside *that* slow or failed request, while the process
+// keeps running". It therefore keys spans by trace id, keeps whole span
+// trees, retains only the interesting traces (the N slowest plus every
+// errored one, both bounded), and renders on demand.
+//
+// Determinism: trace ids are a pure function of the recorder's injected
+// clock and a per-recorder counter — under FakeClock the same crawl mints
+// the same ids in the same order, so /tracez output is byte-identical
+// across runs (the z-page tests assert exact bytes, not shapes).
+//
+// Cost contract: when no recorder is installed — every run without
+// introspection — a span site pays one extra relaxed load and branch on
+// top of the Tracer check; see bench_telemetry's BM_SpanDisabled /
+// BM_SpanOffCorrelationInstalled pair.
+#ifndef WEBLINT_TELEMETRY_TRACE_CONTEXT_H_
+#define WEBLINT_TELEMETRY_TRACE_CONTEXT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace weblint {
+
+namespace trace_internal {
+// The calling thread's active trace id (0 = none). Scoped writes only —
+// use TraceContextScope, never set directly.
+std::uint64_t CurrentId();
+void SetCurrentId(std::uint64_t id);
+// Span nesting depth within the active scope, maintained by TraceSpan.
+// Enter returns the depth *before* the increment (the new span's depth).
+std::uint32_t EnterSpan();
+void LeaveSpan();
+}  // namespace trace_internal
+
+// The trace id active on the calling thread, or 0 when none is.
+inline std::uint64_t CurrentTraceId() { return trace_internal::CurrentId(); }
+
+// One completed WEBLINT_SPAN inside a trace. `name` is the span site's
+// string literal, so it outlives every recorder.
+struct TraceSpanRecord {
+  const char* name;
+  std::uint64_t begin_us;
+  std::uint64_t end_us;
+  std::uint32_t depth;  // 0 = outermost span in the request scope.
+};
+
+// One sampled request/page trace with its span tree.
+struct TraceRecord {
+  std::uint64_t id = 0;
+  std::string name;  // "GET /lint", the crawled URL, ...
+  std::uint64_t begin_us = 0;
+  std::uint64_t end_us = 0;
+  bool done = false;
+  bool error = false;
+  std::vector<TraceSpanRecord> spans;
+  std::uint64_t spans_dropped = 0;  // Over the per-trace cap.
+};
+
+// The bounded sampler. Begin/End/AddSpan take one mutex — trace creation
+// happens once per request/page (not per token), so this is not a hot-path
+// structure; the hot path is TraceSpan's load-and-branch when no recorder
+// is installed.
+class TraceRecorder {
+ public:
+  struct Options {
+    Clock* clock = nullptr;          // null = system clock.
+    size_t max_slow = 16;            // Slowest completed-OK traces kept.
+    size_t max_errors = 64;          // Errored traces kept (oldest evicted).
+    size_t max_spans_per_trace = 128;
+  };
+
+  TraceRecorder();  // Default options.
+  explicit TraceRecorder(Options options);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // The process-wide installed recorder, or null when correlation is off.
+  // Span sites read this with one relaxed load.
+  static TraceRecorder* Current();
+  // Installs `recorder` (null to switch correlation off). Like
+  // Tracer::Install, not intended for concurrent re-installation while
+  // requests are live.
+  static void Install(TraceRecorder* recorder);
+
+  // Mints a trace id and opens the trace. The id is (clock-micros << 16)
+  // | counter — deterministic under FakeClock — bumped past any collision
+  // so ids are unique per recorder, and never 0.
+  std::uint64_t Begin(std::string name);
+
+  // Closes the trace and applies the retention policy: every errored trace
+  // is kept (up to max_errors, oldest evicted), completed-OK traces compete
+  // for the max_slow slowest slots. Unknown ids are ignored.
+  void End(std::uint64_t id, bool error);
+
+  // Attaches one completed span. Valid while the trace is live *or* still
+  // retained — lint-pool workers may finish a page's spans after the crawl
+  // driver already Ended the page's trace. Spans beyond the per-trace cap
+  // bump spans_dropped instead of growing the record.
+  void AddSpan(std::uint64_t id, const char* name, std::uint64_t begin_us,
+               std::uint64_t end_us, std::uint32_t depth);
+
+  // /tracez renderings: traces sorted by (begin_us, id), spans within a
+  // trace by (begin_us, depth, name) — deterministic for a deterministic
+  // clock regardless of worker completion order.
+  std::string RenderText() const;
+  std::string RenderJson() const;
+
+  Clock& clock() const { return *clock_; }
+  std::uint64_t started() const;
+  std::uint64_t finished() const;
+  std::uint64_t errored() const;
+  std::uint64_t evicted() const;
+  // Snapshot of the retained (done) traces, render-ordered. For tests.
+  std::vector<TraceRecord> Sampled() const;
+
+ private:
+  void EnforceRetentionLocked();
+
+  Clock* clock_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  // Active and retained traces, keyed by id. Begin order == id order under
+  // a monotonic clock, which is what the renderers sort by.
+  std::map<std::uint64_t, TraceRecord> traces_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t started_ = 0;
+  std::uint64_t finished_ = 0;
+  std::uint64_t errored_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+// RAII thread-local scope: spans and structured-log lines emitted on this
+// thread while the scope lives carry `id`. Scopes nest; the previous id is
+// restored on destruction. An id of 0 is a no-op scope (still restores).
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(std::uint64_t id) : saved_(trace_internal::CurrentId()) {
+    trace_internal::SetCurrentId(id);
+  }
+  ~TraceContextScope() { trace_internal::SetCurrentId(saved_); }
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
+// Convenience for the common whole-block shape: Begin + scope at
+// construction, End at destruction. `recorder` may be null (everything is
+// a no-op). The adopting constructor scopes and Ends an id someone else
+// Began — the pipelined crawl begins a page's trace at fetch-issue time and
+// adopts it at the (later) consume stage.
+class RequestTrace {
+ public:
+  RequestTrace(TraceRecorder* recorder, std::string name)
+      : recorder_(recorder),
+        id_(recorder != nullptr ? recorder->Begin(std::move(name)) : 0),
+        scope_(id_) {}
+  RequestTrace(TraceRecorder* recorder, std::uint64_t adopted_id)
+      : recorder_(recorder), id_(recorder != nullptr ? adopted_id : 0), scope_(id_) {}
+  ~RequestTrace() {
+    if (recorder_ != nullptr && id_ != 0) {
+      recorder_->End(id_, error_);
+    }
+  }
+
+  RequestTrace(const RequestTrace&) = delete;
+  RequestTrace& operator=(const RequestTrace&) = delete;
+
+  void set_error(bool error) { error_ = error; }
+  std::uint64_t id() const { return id_; }
+
+ private:
+  TraceRecorder* recorder_;
+  std::uint64_t id_;
+  bool error_ = false;
+  TraceContextScope scope_;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_TELEMETRY_TRACE_CONTEXT_H_

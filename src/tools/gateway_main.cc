@@ -25,7 +25,10 @@
 #include "net/fetcher.h"
 #include "net/http_server.h"
 #include "net/socket_fetcher.h"
+#include "telemetry/build_info.h"
+#include "telemetry/log.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace_context.h"
 #include "util/args.h"
 #include "util/strings.h"
 
@@ -72,6 +75,9 @@ int Run(int argc, char** argv) {
   std::string threads_arg = "0";
   std::string max_queue_arg = "64";
   std::string request_timeout_arg = "10000";
+  std::string drain_grace_arg = "0";
+  std::string log_level_arg;
+  std::string log_file_arg;
   parser.AddFlag("--form", "print the submission form and exit", &form_only);
   parser.AddFlag("--no-header", "omit the Content-Type response header", &no_http_header);
   parser.AddFlag("--serve",
@@ -90,6 +96,16 @@ int Run(int argc, char** argv) {
                  "with --serve: hold connections on an epoll reactor so idle keep-alive "
                  "costs a watched fd, not a worker thread",
                  &event_driven);
+  parser.AddOption("--drain-grace-ms",
+                   "with --serve: on SIGINT/SIGTERM, fail /healthz for this long (lame-duck) "
+                   "before draining, so load balancers stop routing first",
+                   &drain_grace_arg);
+  parser.AddOption("--log-level",
+                   "emit structured JSON log lines at this level and above "
+                   "(debug|info|warn|error)",
+                   &log_level_arg);
+  parser.AddOption("--log-file", "append structured log lines here instead of stderr",
+                   &log_file_arg);
   parser.AddOption("--cache-dir",
                    "persist lint results here; repeated submissions of the same page "
                    "are served from cache",
@@ -110,6 +126,14 @@ int Run(int argc, char** argv) {
   if (show_help) {
     std::fputs(parser.Help("weblint-gateway", "CGI gateway for weblint").c_str(), stdout);
     return 0;
+  }
+
+  std::string log_error;
+  const std::unique_ptr<StructuredLog> log =
+      InstallLogFromFlags(log_level_arg, log_file_arg, &log_error);
+  if (!log_error.empty()) {
+    std::fprintf(stderr, "weblint-gateway: %s\n", log_error.c_str());
+    return 2;
   }
 
   Weblint lint;
@@ -164,18 +188,29 @@ int Run(int argc, char** argv) {
     std::uint32_t threads = 0;
     std::uint32_t max_queue = 0;
     std::uint32_t request_timeout_ms = 0;
+    std::uint32_t drain_grace_ms = 0;
     if (!ParseUint(port_arg, &port) || port > 65535 || !ParseUint(threads_arg, &threads) ||
         !ParseUint(max_queue_arg, &max_queue) ||
-        !ParseUint(request_timeout_arg, &request_timeout_ms)) {
+        !ParseUint(request_timeout_arg, &request_timeout_ms) ||
+        !ParseUint(drain_grace_arg, &drain_grace_ms)) {
       std::fprintf(stderr, "weblint-gateway: bad --port/--threads/--max-queue/"
-                           "--request-timeout value\n");
+                           "--request-timeout/--drain-grace-ms value\n");
       return 2;
     }
     MetricsRegistry registry;
+    RegisterBuildInfo(&registry);
     lint.EnableMetrics(&registry);
+    TraceRecorder recorder;
+    TraceRecorder::Install(&recorder);
     HttpServer server(
         [&gateway](const HttpRequest& request) { return gateway.HandleHttp(request); });
     server.EnableMetrics(&registry);
+    HttpServerIntrospection introspection;
+    introspection.metrics = &registry;
+    introspection.traces = &recorder;
+    introspection.log = log.get();
+    introspection.config_fingerprint = lint.config().Fingerprint();
+    server.EnableIntrospection(introspection);
     if (Status s = server.Listen(static_cast<std::uint16_t>(port)); !s.ok()) {
       std::fprintf(stderr, "weblint-gateway: %s\n", s.message().c_str());
       return 1;
@@ -192,12 +227,25 @@ int Run(int argc, char** argv) {
     std::signal(SIGINT, HandleStopSignal);
     std::signal(SIGTERM, HandleStopSignal);
     std::fprintf(stderr, "weblint-gateway: serving on http://127.0.0.1:%u/ "
-                         "(metrics at /metrics; Ctrl-C drains)\n",
+                         "(metrics at /metrics; z-pages at /statusz /tracez /healthz; "
+                         "Ctrl-C drains)\n",
                  server.port());
+    WEBLINT_LOG(kInfo, "gateway", "serve-start",
+                {{"port", std::to_string(server.port())},
+                 {"mode", event_driven ? "event-driven" : "threaded"}});
     while (g_stop == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
+    // Fail health checks first so load balancers route away, then drain.
+    server.BeginLameDuck();
+    if (drain_grace_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(drain_grace_ms));
+    }
     server.Drain();
+    TraceRecorder::Install(nullptr);
+    WEBLINT_LOG(kInfo, "gateway", "serve-drained",
+                {{"connections", std::to_string(server.connections_served())},
+                 {"shed", std::to_string(server.rejected())}});
     std::fprintf(stderr, "weblint-gateway: drained; %llu connection(s) served, %zu shed\n",
                  static_cast<unsigned long long>(server.connections_served()),
                  server.rejected());

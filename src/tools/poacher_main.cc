@@ -17,6 +17,7 @@
 #include "net/socket_fetcher.h"
 #include "net/virtual_web.h"
 #include "robot/poacher.h"
+#include "telemetry/log.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "util/args.h"
@@ -72,6 +73,8 @@ int Run(int argc, char** argv) {
   std::string per_host_delay_arg;
   std::string frontier_dir;
   bool resume = false;
+  std::string log_level_arg;
+  std::string log_file_arg;
   parser.AddOption("--root", "serve the site from this directory (file crawl)", &root);
   parser.AddOption("--http", "crawl a live HTTP origin starting from this URL", &http_url);
   parser.AddOption("--prefetch",
@@ -120,6 +123,12 @@ int Run(int argc, char** argv) {
                  "resume a crawl from --frontier-dir: completed pages replay from "
                  "the journal instead of refetching",
                  &resume);
+  parser.AddOption("--log-level",
+                   "emit structured JSON log lines at this level and above "
+                   "(debug|info|warn|error)",
+                   &log_level_arg);
+  parser.AddOption("--log-file", "append structured log lines here instead of stderr",
+                   &log_file_arg);
   parser.AddFlag("--help", "show this help", &show_help);
 
   if (Status s = parser.Parse(argc, argv); !s.ok()) {
@@ -130,6 +139,14 @@ int Run(int argc, char** argv) {
     std::fputs(parser.Help("poacher", "weblint robot: lint every page of a site").c_str(),
                stdout);
     return show_help ? 0 : 2;
+  }
+
+  std::string log_error;
+  const std::unique_ptr<StructuredLog> log =
+      InstallLogFromFlags(log_level_arg, log_file_arg, &log_error);
+  if (!log_error.empty()) {
+    std::fprintf(stderr, "poacher: %s\n", log_error.c_str());
+    return 2;
   }
 
   Weblint lint;

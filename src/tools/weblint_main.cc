@@ -22,6 +22,7 @@
 #include "robot/page_weight.h"
 #include "net/fetcher.h"
 #include "net/socket_fetcher.h"
+#include "telemetry/log.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "util/args.h"
@@ -78,6 +79,8 @@ int Run(int argc, char** argv) {
   std::string max_redirects_arg;
   bool metrics_dump = false;
   std::string trace_out;
+  std::string log_level_arg;
+  std::string log_file_arg;
 
   parser.AddFlag("-s", "short output: line N: message", &short_output);
   parser.AddFlag("-v", "verbose output: include message identifiers and descriptions",
@@ -118,6 +121,12 @@ int Run(int argc, char** argv) {
                  &metrics_dump);
   parser.AddOption("--trace-out", "write a Chrome trace-event JSON timeline of the run here",
                    &trace_out);
+  parser.AddOption("--log-level",
+                   "emit structured JSON log lines at this level and above "
+                   "(debug|info|warn|error)",
+                   &log_level_arg);
+  parser.AddOption("--log-file", "append structured log lines here instead of stderr",
+                   &log_file_arg);
   parser.AddFlag("--help", "show this help", &show_help);
 
   if (Status s = parser.Parse(argc, argv); !s.ok()) {
@@ -131,6 +140,14 @@ int Run(int argc, char** argv) {
   if (list_warnings) {
     ListWarnings();
     return 0;
+  }
+
+  std::string log_error;
+  const std::unique_ptr<StructuredLog> log =
+      InstallLogFromFlags(log_level_arg, log_file_arg, &log_error);
+  if (!log_error.empty()) {
+    std::fprintf(stderr, "weblint: %s\n", log_error.c_str());
+    return 2;
   }
 
   // Configuration layering: site file, user file, then switches (§4.4).

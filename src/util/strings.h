@@ -58,6 +58,11 @@ std::string ReplaceAll(std::string_view s, std::string_view from, std::string_vi
 // Escapes <, >, &, " for embedding into HTML output (gateway reports).
 std::string EscapeHtml(std::string_view s);
 
+// Escapes backslash, double-quote, and control characters for embedding into
+// a JSON string literal (structured log lines, /tracez JSON). Non-ASCII bytes
+// pass through untouched: output stays valid if the input was UTF-8.
+std::string JsonEscape(std::string_view s);
+
 // Collapses runs of whitespace to single spaces and trims; used when
 // reporting anchor text ("click here").
 std::string CollapseWhitespace(std::string_view s);

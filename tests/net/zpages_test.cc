@@ -1,0 +1,337 @@
+// The z-page endpoints over real sockets, on every serving mode: /healthz
+// flipping to 503 for lame-duck/drain, /statusz content, /tracez in text
+// and JSON, the not-traced-not-counted contract, and the end-to-end
+// determinism proof — a FakeClock crawl whose errored page's span tree
+// comes back byte-identical from /tracez across independent runs.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "core/linter.h"
+#include "net/http_server.h"
+#include "net/virtual_web.h"
+#include "robot/poacher.h"
+#include "telemetry/log.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace_context.h"
+#include "util/clock.h"
+
+namespace weblint {
+namespace {
+
+// A tiny blocking HTTP client for the tests.
+Result<HttpResponse> Fetch(std::uint16_t port, const std::string& raw_request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Fail("client socket failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Fail("connect failed");
+  }
+  size_t written = 0;
+  while (written < raw_request.size()) {
+    const ssize_t n = ::write(fd, raw_request.data() + written, raw_request.size() - written);
+    if (n <= 0) {
+      ::close(fd);
+      return Fail("client write failed");
+    }
+    written += static_cast<size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response_bytes;
+  char chunk[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    response_bytes.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return ParseHttpResponse(response_bytes);
+}
+
+HttpServer::Handler NotFoundHandler() {
+  return [](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 404;
+    return response;
+  };
+}
+
+TEST(ZPagesTest, HealthzFlipsOnLameDuckBlockingPath) {
+  HttpServer server(NotFoundHandler());
+  HttpServerIntrospection introspection;
+  server.EnableIntrospection(introspection);
+  ASSERT_TRUE(server.Listen(0).ok());
+
+  std::thread serving([&server] { (void)server.Serve(3); });
+  auto healthy = Fetch(server.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  server.BeginLameDuck();
+  auto draining = Fetch(server.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  // Lame-duck fails only the health check; real traffic keeps serving.
+  auto still_served = Fetch(server.port(), "GET /page HTTP/1.0\r\n\r\n");
+  serving.join();
+
+  ASSERT_TRUE(healthy.ok()) << healthy.error();
+  EXPECT_EQ(healthy->status, 200);
+  EXPECT_EQ(healthy->body, "ok\n");
+  ASSERT_TRUE(draining.ok()) << draining.error();
+  EXPECT_EQ(draining->status, 503);
+  EXPECT_EQ(draining->body, "draining\n");
+  ASSERT_TRUE(still_served.ok());
+  EXPECT_EQ(still_served->status, 404);
+  EXPECT_TRUE(server.lame_duck());
+}
+
+TEST(ZPagesTest, HealthzFlipsOnConcurrentAndReactorPaths) {
+  for (const bool event_driven : {false, true}) {
+    HttpServer server(NotFoundHandler());
+    HttpServerIntrospection introspection;
+    server.EnableIntrospection(introspection);
+    ASSERT_TRUE(server.Listen(0).ok());
+    HttpServerOptions options;
+    options.threads = 2;
+    options.event_driven = event_driven;
+    ASSERT_TRUE(server.Start(options).ok());
+
+    auto healthy = Fetch(server.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+    ASSERT_TRUE(healthy.ok()) << healthy.error();
+    EXPECT_EQ(healthy->status, 200) << "event_driven=" << event_driven;
+
+    server.BeginLameDuck();
+    auto draining = Fetch(server.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+    ASSERT_TRUE(draining.ok()) << draining.error();
+    EXPECT_EQ(draining->status, 503);
+    EXPECT_EQ(draining->body, "draining\n");
+
+    server.Drain();
+  }
+}
+
+TEST(ZPagesTest, StatuszReportsIdentityStateAndEvents) {
+  FakeClock clock;
+  clock.Advance(1'000);
+  MetricsRegistry registry;
+  registry.GetGauge("weblint_cache_memory_entries")->Set(12);
+  TraceRecorder::Options trace_options;
+  trace_options.clock = &clock;
+  TraceRecorder recorder(trace_options);
+  StructuredLog::Options log_options;
+  log_options.clock = &clock;
+  StructuredLog log(log_options);
+  log.set_sink([](const std::string&) {});
+  LogSite site;
+  log.Write(&site, LogLevel::kWarn, "fetch", "fetch-degraded", {{"url", "http://h/x"}});
+
+  const std::uint64_t id = recorder.Begin("GET /lint");
+  clock.Advance(5);
+  recorder.End(id, /*error=*/true);
+
+  HttpServer server(NotFoundHandler());
+  HttpServerIntrospection introspection;
+  introspection.metrics = &registry;
+  introspection.traces = &recorder;
+  introspection.log = &log;
+  introspection.clock = &clock;
+  introspection.config_fingerprint = 42;
+  server.EnableIntrospection(introspection);
+  ASSERT_TRUE(server.Listen(0).ok());
+  clock.Advance(250);
+
+  std::thread serving([&server] { (void)server.ServeOne(); });
+  auto status = Fetch(server.port(), "GET /statusz HTTP/1.0\r\n\r\n");
+  serving.join();
+
+  ASSERT_TRUE(status.ok()) << status.error();
+  EXPECT_EQ(status->status, 200);
+  const std::string& body = status->body;
+  EXPECT_NE(body.find("weblint "), std::string::npos) << body;  // Build info line.
+  EXPECT_NE(body.find("compiler="), std::string::npos);
+  EXPECT_NE(body.find("simd="), std::string::npos);
+  EXPECT_NE(body.find("config_fingerprint: 42\n"), std::string::npos);
+  EXPECT_NE(body.find("uptime_us: 250\n"), std::string::npos);  // The Advance since enabling.
+  EXPECT_NE(body.find("serving: yes\n"), std::string::npos);
+  EXPECT_NE(body.find("  weblint_cache_memory_entries 12\n"), std::string::npos) << body;
+  EXPECT_NE(body.find("traces: started=1 finished=1 errored=1 evicted=0\n"), std::string::npos);
+  EXPECT_NE(body.find("recent_events:\n  {\"ts\":1000,\"level\":\"warn\""), std::string::npos)
+      << body;
+}
+
+TEST(ZPagesTest, TracezServesTextAndJson) {
+  FakeClock clock;
+  clock.Advance(100);
+  TraceRecorder::Options trace_options;
+  trace_options.clock = &clock;
+  TraceRecorder recorder(trace_options);
+  const std::uint64_t id = recorder.Begin("http://h/broken.html");
+  recorder.AddSpan(id, "fetch", 100, 103, 0);
+  clock.Advance(7);
+  recorder.End(id, /*error=*/true);
+
+  HttpServer server(NotFoundHandler());
+  HttpServerIntrospection introspection;
+  introspection.traces = &recorder;
+  introspection.clock = &clock;
+  server.EnableIntrospection(introspection);
+  ASSERT_TRUE(server.Listen(0).ok());
+
+  std::thread serving([&server] { (void)server.Serve(2); });
+  auto text = Fetch(server.port(), "GET /tracez HTTP/1.0\r\n\r\n");
+  auto json = Fetch(server.port(), "GET /tracez?format=json HTTP/1.0\r\n\r\n");
+  serving.join();
+
+  ASSERT_TRUE(text.ok()) << text.error();
+  EXPECT_EQ(text->status, 200);
+  EXPECT_EQ(text->Header("content-type"), "text/plain");
+  EXPECT_NE(text->body.find("tracez: 1 sampled"), std::string::npos) << text->body;
+  EXPECT_NE(text->body.find("http://h/broken.html dur_us=7 ERROR"), std::string::npos);
+  EXPECT_NE(text->body.find("  fetch begin_us=100 dur_us=3"), std::string::npos);
+
+  ASSERT_TRUE(json.ok()) << json.error();
+  EXPECT_EQ(json->Header("content-type"), "application/json");
+  EXPECT_NE(json->body.find("\"name\":\"http://h/broken.html\""), std::string::npos)
+      << json->body;
+  EXPECT_NE(json->body.find("\"spans\":[{\"name\":\"fetch\",\"begin_us\":100,"
+                            "\"dur_us\":3,\"depth\":0}]"),
+            std::string::npos);
+
+  // Without a recorder the endpoint says so instead of serving nothing.
+  HttpServer bare(NotFoundHandler());
+  bare.EnableIntrospection(HttpServerIntrospection{});
+  ASSERT_TRUE(bare.Listen(0).ok());
+  std::thread bare_serving([&bare] { (void)bare.ServeOne(); });
+  auto missing = Fetch(bare.port(), "GET /tracez HTTP/1.0\r\n\r\n");
+  bare_serving.join();
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+}
+
+TEST(ZPagesTest, ZPagesAreNeitherTracedNorCounted) {
+  FakeClock clock;
+  clock.Advance(10);
+  MetricsRegistry registry;
+  TraceRecorder::Options trace_options;
+  trace_options.clock = &clock;
+  TraceRecorder recorder(trace_options);
+
+  HttpServer server(NotFoundHandler());
+  server.EnableMetrics(&registry, &clock);
+  HttpServerIntrospection introspection;
+  introspection.metrics = &registry;
+  introspection.traces = &recorder;
+  introspection.clock = &clock;
+  server.EnableIntrospection(introspection);
+  ASSERT_TRUE(server.Listen(0).ok());
+
+  std::thread serving([&server] { (void)server.Serve(5); });
+  ASSERT_TRUE(Fetch(server.port(), "GET /healthz HTTP/1.0\r\n\r\n").ok());
+  ASSERT_TRUE(Fetch(server.port(), "GET /statusz HTTP/1.0\r\n\r\n").ok());
+  ASSERT_TRUE(Fetch(server.port(), "GET /tracez HTTP/1.0\r\n\r\n").ok());
+  ASSERT_TRUE(Fetch(server.port(), "GET /metrics HTTP/1.0\r\n\r\n").ok());
+  auto app = Fetch(server.port(), "GET /page HTTP/1.0\r\n\r\n");
+  serving.join();
+
+  ASSERT_TRUE(app.ok()) << app.error();
+  // Only the application request entered the series or the sampler.
+  EXPECT_EQ(registry.CounterValue("weblint_http_requests_total"), 1u);
+  EXPECT_EQ(recorder.started(), 1u);
+  const std::vector<TraceRecord> sampled = recorder.Sampled();
+  ASSERT_EQ(sampled.size(), 1u);
+  EXPECT_EQ(sampled[0].name, "GET /page");
+  EXPECT_FALSE(sampled[0].error);  // 404 is a served answer, not a 5xx.
+}
+
+TEST(ZPagesTest, HandlerFailureMarksTraceErrored) {
+  FakeClock clock;
+  clock.Advance(10);
+  TraceRecorder::Options trace_options;
+  trace_options.clock = &clock;
+  TraceRecorder recorder(trace_options);
+  HttpServer server([](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 500;
+    return response;
+  });
+  HttpServerIntrospection introspection;
+  introspection.traces = &recorder;
+  introspection.clock = &clock;
+  server.EnableIntrospection(introspection);
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread serving([&server] { (void)server.ServeOne(); });
+  ASSERT_TRUE(Fetch(server.port(), "GET /lint HTTP/1.0\r\n\r\n").ok());
+  serving.join();
+  EXPECT_EQ(recorder.errored(), 1u);
+}
+
+// The end-to-end determinism contract: the same FakeClock crawl, run twice
+// from scratch, serves byte-identical /tracez JSON — including the errored
+// page's full span tree — because trace ids, timestamps, and render order
+// are all pure functions of the injected clock.
+TEST(ZPagesIntegrationTest, TracezByteIdenticalAcrossCrawls) {
+  const auto crawl_and_scrape = [](std::string* text_out) {
+    VirtualWeb web;
+    web.AddPage("http://h/index.html",
+                "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>"
+                "<A HREF=\"missing.html\">gone</A>"
+                "<A HREF=\"ok.html\">fine</A></BODY></HTML>");
+    web.AddPage("http://h/ok.html",
+                "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>x</P></BODY></HTML>");
+
+    FakeClock clock;
+    clock.Advance(1'000'000);
+    TraceRecorder::Options trace_options;
+    trace_options.clock = &clock;
+    TraceRecorder recorder(trace_options);
+    TraceRecorder::Install(&recorder);
+
+    Weblint lint;
+    PoacherOptions options;
+    options.crawl.clock = &clock;
+    options.validate_links = false;
+    Poacher poacher(lint, web, options);
+    (void)poacher.Run("http://h/index.html");
+    TraceRecorder::Install(nullptr);
+
+    HttpServer server(NotFoundHandler());
+    HttpServerIntrospection introspection;
+    introspection.traces = &recorder;
+    introspection.clock = &clock;
+    server.EnableIntrospection(introspection);
+    EXPECT_TRUE(server.Listen(0).ok());
+    std::thread serving([&server] { (void)server.Serve(2); });
+    auto json = Fetch(server.port(), "GET /tracez?format=json HTTP/1.0\r\n\r\n");
+    auto text = Fetch(server.port(), "GET /tracez HTTP/1.0\r\n\r\n");
+    serving.join();
+    EXPECT_TRUE(json.ok());
+    EXPECT_TRUE(text.ok());
+    *text_out = text.ok() ? text->body : "";
+    return json.ok() ? json->body : "";
+  };
+
+  std::string first_text;
+  std::string second_text;
+  const std::string first = crawl_and_scrape(&first_text);
+  const std::string second = crawl_and_scrape(&second_text);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first_text, second_text);
+
+  // The 404'd page is retained as an errored trace, with its fetch span.
+  EXPECT_NE(first.find("\"name\":\"http://h/missing.html\""), std::string::npos) << first;
+  EXPECT_NE(first.find("\"error\":true"), std::string::npos);
+  EXPECT_NE(first.find("\"name\":\"fetch\""), std::string::npos);
+  EXPECT_NE(first_text.find("http://h/missing.html"), std::string::npos) << first_text;
+  EXPECT_NE(first_text.find("ERROR"), std::string::npos);
+  EXPECT_NE(first_text.find("  fetch begin_us="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace weblint

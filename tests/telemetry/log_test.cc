@@ -1,0 +1,211 @@
+// Structured logging: exact JSON line shape, level filtering, trace-id
+// stamping, deterministic per-site token buckets under FakeClock, the
+// recent-error ring behind /statusz, and the CLI flag glue.
+#include "telemetry/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "telemetry/trace_context.h"
+#include "util/clock.h"
+#include "util/file_io.h"
+
+namespace weblint {
+namespace {
+
+StructuredLog::Options WithClock(Clock* clock) {
+  StructuredLog::Options options;
+  options.clock = clock;
+  return options;
+}
+
+TEST(TelemetryStructuredLogTest, EmitsExactJsonLine) {
+  FakeClock clock;
+  clock.Advance(1234);
+  StructuredLog log(WithClock(&clock));
+  std::vector<std::string> lines;
+  log.set_sink([&lines](const std::string& line) { lines.push_back(line); });
+  LogSite site;
+  EXPECT_TRUE(log.Write(&site, LogLevel::kInfo, "crawl", "heartbeat",
+                        {{"pages", "3"}, {"queue", "0"}}));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0],
+            "{\"ts\":1234,\"level\":\"info\",\"subsystem\":\"crawl\","
+            "\"event\":\"heartbeat\",\"pages\":\"3\",\"queue\":\"0\"}");
+  EXPECT_EQ(log.emitted(), 1u);
+}
+
+TEST(TelemetryStructuredLogTest, FieldValuesAreJsonEscaped) {
+  FakeClock clock;
+  clock.Advance(1);
+  StructuredLog log(WithClock(&clock));
+  std::vector<std::string> lines;
+  log.set_sink([&lines](const std::string& line) { lines.push_back(line); });
+  LogSite site;
+  log.Write(&site, LogLevel::kInfo, "fetch", "fetch-degraded",
+            {{"detail", "say \"hi\"\nback\\slash"}});
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"detail\":\"say \\\"hi\\\"\\nback\\\\slash\""),
+            std::string::npos)
+      << lines[0];
+  EXPECT_EQ(lines[0].find('\n'), std::string::npos);  // One line stays one line.
+}
+
+TEST(TelemetryStructuredLogTest, LevelFilterSkipsBelowMinimum) {
+  FakeClock clock;
+  clock.Advance(1);
+  StructuredLog log(WithClock(&clock));  // Default minimum: info.
+  std::vector<std::string> lines;
+  log.set_sink([&lines](const std::string& line) { lines.push_back(line); });
+  EXPECT_FALSE(log.Enabled(LogLevel::kDebug));
+  LogSite site;
+  EXPECT_FALSE(log.Write(&site, LogLevel::kDebug, "x", "quiet", {}));
+  EXPECT_TRUE(lines.empty());
+  log.set_min_level(LogLevel::kError);
+  EXPECT_FALSE(log.Write(&site, LogLevel::kWarn, "x", "quiet", {}));
+  EXPECT_TRUE(log.Write(&site, LogLevel::kError, "x", "loud", {}));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"level\":\"error\""), std::string::npos);
+}
+
+TEST(TelemetryStructuredLogTest, ActiveScopeStampsTraceId) {
+  FakeClock clock;
+  clock.Advance(1);
+  StructuredLog log(WithClock(&clock));
+  std::vector<std::string> lines;
+  log.set_sink([&lines](const std::string& line) { lines.push_back(line); });
+  LogSite site;
+  {
+    TraceContextScope scope(0xABCDu);
+    log.Write(&site, LogLevel::kInfo, "cache", "hit", {});
+  }
+  log.Write(&site, LogLevel::kInfo, "cache", "hit", {});
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"trace\":\"000000000000abcd\""), std::string::npos) << lines[0];
+  EXPECT_EQ(lines[1].find("\"trace\""), std::string::npos) << lines[1];
+}
+
+TEST(TelemetryStructuredLogTest, TokenBucketSuppressesDeterministically) {
+  FakeClock clock;
+  clock.Advance(1'000'000);
+  StructuredLog::Options options = WithClock(&clock);
+  options.site_tokens_per_sec = 1.0;
+  options.site_burst = 2.0;
+  StructuredLog log(options);
+  std::vector<std::string> lines;
+  log.set_sink([&lines](const std::string& line) { lines.push_back(line); });
+  LogSite site;
+  // Burst of 2, then the site runs dry.
+  EXPECT_TRUE(log.Write(&site, LogLevel::kInfo, "s", "e", {}));
+  EXPECT_TRUE(log.Write(&site, LogLevel::kInfo, "s", "e", {}));
+  EXPECT_FALSE(log.Write(&site, LogLevel::kInfo, "s", "e", {}));
+  EXPECT_FALSE(log.Write(&site, LogLevel::kInfo, "s", "e", {}));
+  EXPECT_EQ(log.suppressed(), 2u);
+  // One second refills one token; the next line carries the suppressed count.
+  clock.Advance(1'000'000);
+  EXPECT_TRUE(log.Write(&site, LogLevel::kInfo, "s", "e", {}));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[2].find("\"suppressed\":2"), std::string::npos) << lines[2];
+  // The counter was handed off: a further emitted line is clean.
+  clock.Advance(1'000'000);
+  EXPECT_TRUE(log.Write(&site, LogLevel::kInfo, "s", "e", {}));
+  EXPECT_EQ(lines[3].find("\"suppressed\""), std::string::npos) << lines[3];
+  // A different site is unthrottled by this one's storm.
+  LogSite other;
+  EXPECT_TRUE(log.Write(&other, LogLevel::kInfo, "s", "other", {}));
+}
+
+TEST(TelemetryStructuredLogTest, RecentRingKeepsWarnAndErrorOnly) {
+  FakeClock clock;
+  clock.Advance(1);
+  StructuredLog::Options options = WithClock(&clock);
+  options.recent_capacity = 2;
+  options.site_burst = 100.0;
+  StructuredLog log(options);
+  log.set_sink([](const std::string&) {});
+  LogSite site;
+  log.Write(&site, LogLevel::kInfo, "s", "not-ringed", {});
+  log.Write(&site, LogLevel::kWarn, "s", "w1", {});
+  log.Write(&site, LogLevel::kError, "s", "e1", {});
+  log.Write(&site, LogLevel::kWarn, "s", "w2", {});
+  const std::vector<std::string> recent = log.RecentErrors();
+  ASSERT_EQ(recent.size(), 2u);  // Capacity bound; oldest dropped.
+  EXPECT_NE(recent[0].find("\"event\":\"e1\""), std::string::npos);
+  EXPECT_NE(recent[1].find("\"event\":\"w2\""), std::string::npos);
+}
+
+TEST(TelemetryStructuredLogTest, WritesToFileSink) {
+  FakeClock clock;
+  clock.Advance(77);
+  StructuredLog log(WithClock(&clock));
+  const std::string path = ::testing::TempDir() + "/weblint_log_test.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(log.OpenFile(path));
+  LogSite site;
+  log.Write(&site, LogLevel::kInfo, "gateway", "serve-start", {{"port", "8080"}});
+  const auto contents = ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents,
+            "{\"ts\":77,\"level\":\"info\",\"subsystem\":\"gateway\","
+            "\"event\":\"serve-start\",\"port\":\"8080\"}\n");
+}
+
+TEST(TelemetryStructuredLogTest, MacroUsesInstalledLog) {
+  FakeClock clock;
+  clock.Advance(5);
+  StructuredLog log(WithClock(&clock));
+  std::vector<std::string> lines;
+  log.set_sink([&lines](const std::string& line) { lines.push_back(line); });
+  WEBLINT_LOG(kInfo, "s", "before-install", {});  // No log installed: no-op.
+  StructuredLog::Install(&log);
+  WEBLINT_LOG(kInfo, "s", "after-install", {{"k", std::string("v")}});
+  WEBLINT_LOG(kDebug, "s", "filtered", {});
+  StructuredLog::Install(nullptr);
+  WEBLINT_LOG(kInfo, "s", "after-uninstall", {});
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"event\":\"after-install\""), std::string::npos);
+}
+
+TEST(TelemetryStructuredLogTest, ParseLogLevelNames) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "warn");
+}
+
+TEST(TelemetryStructuredLogTest, InstallLogFromFlagsGlue) {
+  // Both flags empty: no log, no error — default runs stay untouched.
+  std::string error;
+  EXPECT_EQ(InstallLogFromFlags("", "", &error), nullptr);
+  EXPECT_TRUE(error.empty());
+  EXPECT_EQ(StructuredLog::Current(), nullptr);
+
+  // A bad level is a usage error.
+  EXPECT_EQ(InstallLogFromFlags("loud", "", &error), nullptr);
+  EXPECT_NE(error.find("bad --log-level"), std::string::npos);
+
+  // An unopenable file is a usage error.
+  error.clear();
+  EXPECT_EQ(InstallLogFromFlags("info", "/nonexistent-dir/x/y.log", &error), nullptr);
+  EXPECT_NE(error.find("cannot open --log-file"), std::string::npos);
+
+  // A good level installs process-wide; destruction un-installs.
+  error.clear();
+  {
+    auto log = InstallLogFromFlags("warn", "", &error);
+    ASSERT_NE(log, nullptr);
+    EXPECT_TRUE(error.empty());
+    EXPECT_EQ(StructuredLog::Current(), log.get());
+    EXPECT_FALSE(log->Enabled(LogLevel::kInfo));
+    EXPECT_TRUE(log->Enabled(LogLevel::kWarn));
+  }
+  EXPECT_EQ(StructuredLog::Current(), nullptr);
+}
+
+}  // namespace
+}  // namespace weblint

@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/build_info.h"
+
 namespace weblint {
 namespace {
 
@@ -144,9 +146,44 @@ TEST(TelemetryHistogramTest, QuantileCrossesCumulativeBuckets) {
     histogram->Record(1000);
   }
   const HistogramSnapshot snapshot = histogram->Snapshot();
-  EXPECT_EQ(snapshot.Quantile(0.5), 16u);    // Upper bound of 10's bucket.
-  EXPECT_EQ(snapshot.Quantile(0.95), 1024u); // Crosses into the slow bucket.
+  // Interpolated within the crossing bucket, not snapped to its upper bound.
+  // p50: target 50 of 90 in (8,16] -> 8 + ceil((50/90)*8) = 13.
+  EXPECT_EQ(snapshot.Quantile(0.5), 13u);
+  // p95: target 95, 90 before the slow bucket (512,1024] -> 512 + ceil(0.5*512).
+  EXPECT_EQ(snapshot.Quantile(0.95), 768u);
   EXPECT_EQ(HistogramSnapshot{}.Quantile(0.5), 0u);  // Empty histogram.
+}
+
+TEST(TelemetryHistogramTest, QuantileInterpolationBoundaries) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("weblint_test_micros");
+  // All mass in bucket 0 ({0,1}, span 1): any nonzero quantile rounds up to
+  // the bound, so an idle FakeClock run still reports p50_us=1, never 0.
+  histogram->Record(1);
+  histogram->Record(1);
+  EXPECT_EQ(histogram->Snapshot().Quantile(0.5), 1u);
+  EXPECT_EQ(histogram->Snapshot().Quantile(0.95), 1u);
+
+  // A single-bucket population interpolates linearly across (lower, upper].
+  Histogram* wide = registry.GetHistogram("weblint_wide_micros");
+  for (int i = 0; i < 100; ++i) {
+    wide->Record(1000);  // Bucket (512, 1024], span 512.
+  }
+  const HistogramSnapshot snapshot = wide->Snapshot();
+  EXPECT_EQ(snapshot.Quantile(0.0), 512u);   // Fraction 0 sits at the lower bound.
+  EXPECT_EQ(snapshot.Quantile(0.5), 768u);   // 512 + ceil(0.5*512).
+  EXPECT_EQ(snapshot.Quantile(1.0), 1024u);  // Exactly the bucket bound.
+
+  // The exact-boundary crossing: target lands precisely on a cumulative
+  // count, so the fraction is exactly 1.0 and the estimate is the bound.
+  Histogram* split = registry.GetHistogram("weblint_split_micros");
+  for (int i = 0; i < 50; ++i) {
+    split->Record(10);  // (8,16]
+  }
+  for (int i = 0; i < 50; ++i) {
+    split->Record(100);  // (64,128]
+  }
+  EXPECT_EQ(split->Snapshot().Quantile(0.5), 16u);
 }
 
 TEST(TelemetryRegistryTest, SameNameReturnsSamePointer) {
@@ -204,6 +241,77 @@ TEST(TelemetryRegistryTest, LabeledHistogramCarriesLabelInEverySeries) {
       << text;
   EXPECT_NE(text.find("weblint_micros_sum{stage=\"fetch\"} 2"), std::string::npos);
   EXPECT_NE(text.find("weblint_micros_count{stage=\"fetch\"} 1"), std::string::npos);
+}
+
+TEST(TelemetryRegistryTest, LabelValueEscaping) {
+  // Prometheus text exposition 0.0.4: label values escape backslash, the
+  // double quote, and newline — in that order, so the escapes themselves
+  // survive round-tripping.
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeLabelValue("two\nlines"), "two\\nlines");
+  EXPECT_EQ(EscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+
+  MetricsRegistry registry;
+  registry.GetCounter("weblint_fetch_total", "url", "http://h/a\"b\\c\nd")->Increment();
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("weblint_fetch_total{url=\"http://h/a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos)
+      << text;
+  // The raw (unescaped) value must never appear: an embedded newline would
+  // split the series line and corrupt the whole scrape.
+  EXPECT_EQ(text.find("b\\c\nd\"}"), std::string::npos) << text;
+}
+
+TEST(TelemetryRegistryTest, MultiLabelSeries) {
+  MetricsRegistry registry;
+  const MetricLabels labels = {{"version", "0.9.0"}, {"simd", "avx2"}};
+  registry.GetGauge("weblint_build_info", labels)->Set(1);
+  EXPECT_EQ(registry.GaugeValue("weblint_build_info", labels), 1);
+  // Same labels, same series; different value in any position, a new one.
+  EXPECT_EQ(registry.GetGauge("weblint_build_info", labels),
+            registry.GetGauge("weblint_build_info", labels));
+  EXPECT_NE(registry.GetGauge("weblint_build_info", labels),
+            registry.GetGauge("weblint_build_info", {{"version", "0.9.0"}, {"simd", "sse2"}}));
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("weblint_build_info{version=\"0.9.0\",simd=\"avx2\"} 1"),
+            std::string::npos)
+      << text;
+  // Histograms thread the full label set onto every series they render.
+  registry.GetHistogram("weblint_ml_micros", {{"stage", "fetch"}, {"host", "a"}})->Record(2);
+  const std::string histogram_text = registry.RenderPrometheus();
+  EXPECT_NE(histogram_text.find(
+                "weblint_ml_micros_bucket{stage=\"fetch\",host=\"a\",le=\"2\"} 1"),
+            std::string::npos)
+      << histogram_text;
+  EXPECT_NE(histogram_text.find("weblint_ml_micros_sum{stage=\"fetch\",host=\"a\"} 2"),
+            std::string::npos);
+}
+
+TEST(TelemetryBuildInfoTest, RegistersIdentityGauge) {
+  const BuildInfoFields& info = GetBuildInfo();
+  EXPECT_FALSE(info.version.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_TRUE(info.simd == "avx2" || info.simd == "sse2" || info.simd == "swar") << info.simd;
+
+  MetricsRegistry registry;
+  RegisterBuildInfo(&registry);
+  const MetricLabels labels = {
+      {"version", info.version}, {"compiler", info.compiler}, {"simd", info.simd}};
+  EXPECT_EQ(registry.GaugeValue("weblint_build_info", labels), 1);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE weblint_build_info gauge"), std::string::npos) << text;
+  EXPECT_NE(text.find("weblint_build_info{version=\"" + EscapeLabelValue(info.version) +
+                      "\",compiler=\"" + EscapeLabelValue(info.compiler) + "\",simd=\"" +
+                      info.simd + "\"} 1"),
+            std::string::npos)
+      << text;
+
+  // The /statusz line carries the same identity.
+  const std::string line = BuildInfoLine();
+  EXPECT_EQ(line.find("weblint " + info.version), 0u) << line;
+  EXPECT_NE(line.find("simd=" + info.simd), std::string::npos);
 }
 
 TEST(TelemetryRegistryTest, RegistrationIsThreadSafe) {

@@ -1,0 +1,237 @@
+// Request-scoped trace correlation: deterministic id minting under
+// FakeClock, thread-local scope nesting, span attachment through
+// WEBLINT_SPAN, the bounded slow/error retention policy, and byte-exact
+// /tracez renderings.
+#include "telemetry/trace_context.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/trace.h"
+#include "util/clock.h"
+
+namespace weblint {
+namespace {
+
+TraceRecorder::Options WithClock(Clock* clock) {
+  TraceRecorder::Options options;
+  options.clock = clock;
+  return options;
+}
+
+TEST(TelemetryTraceContextTest, MintsDeterministicNonZeroIds) {
+  // Two recorders driven through the same clock sequence mint the same ids
+  // in the same order: ids are a pure function of (clock, counter).
+  std::vector<std::uint64_t> runs[2];
+  for (auto& run : runs) {
+    FakeClock clock;
+    clock.Advance(1000);
+    TraceRecorder recorder(WithClock(&clock));
+    run.push_back(recorder.Begin("a"));
+    clock.Advance(5);
+    run.push_back(recorder.Begin("b"));
+    run.push_back(recorder.Begin("c"));  // Same micro as "b": counter splits them.
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0].size(), 3u);
+  for (const std::uint64_t id : runs[0]) {
+    EXPECT_NE(id, 0u);
+  }
+  EXPECT_NE(runs[0][1], runs[0][2]);
+  EXPECT_EQ(runs[0][0] >> 16, 1000u);  // Clock micros in the high bits.
+}
+
+TEST(TelemetryTraceContextTest, ScopeNestsAndRestores) {
+  EXPECT_EQ(CurrentTraceId(), 0u);
+  {
+    TraceContextScope outer(7);
+    EXPECT_EQ(CurrentTraceId(), 7u);
+    {
+      TraceContextScope inner(9);
+      EXPECT_EQ(CurrentTraceId(), 9u);
+    }
+    EXPECT_EQ(CurrentTraceId(), 7u);
+  }
+  EXPECT_EQ(CurrentTraceId(), 0u);
+}
+
+TEST(TelemetryTraceContextTest, ScopeIsThreadLocal) {
+  TraceContextScope scope(42);
+  std::uint64_t seen_on_thread = 99;
+  std::thread worker([&seen_on_thread] { seen_on_thread = CurrentTraceId(); });
+  worker.join();
+  EXPECT_EQ(seen_on_thread, 0u);  // A new thread starts without a scope.
+  EXPECT_EQ(CurrentTraceId(), 42u);
+}
+
+TEST(TelemetryTraceContextTest, SpansAttachWithDepth) {
+  FakeClock clock;
+  clock.Advance(100);
+  TraceRecorder recorder(WithClock(&clock));
+  TraceRecorder::Install(&recorder);
+  {
+    RequestTrace trace(&recorder, "GET /lint");
+    {
+      WEBLINT_SPAN("outer");
+      clock.Advance(10);
+      {
+        WEBLINT_SPAN("inner");
+        clock.Advance(3);
+      }
+      clock.Advance(2);
+    }
+    clock.Advance(1);
+  }
+  TraceRecorder::Install(nullptr);
+
+  const std::vector<TraceRecord> sampled = recorder.Sampled();
+  ASSERT_EQ(sampled.size(), 1u);
+  EXPECT_EQ(sampled[0].name, "GET /lint");
+  EXPECT_FALSE(sampled[0].error);
+  EXPECT_EQ(sampled[0].end_us - sampled[0].begin_us, 16u);
+  ASSERT_EQ(sampled[0].spans.size(), 2u);
+  // Render order: (begin_us, depth, name).
+  EXPECT_STREQ(sampled[0].spans[0].name, "outer");
+  EXPECT_EQ(sampled[0].spans[0].depth, 0u);
+  EXPECT_EQ(sampled[0].spans[0].end_us - sampled[0].spans[0].begin_us, 15u);
+  EXPECT_STREQ(sampled[0].spans[1].name, "inner");
+  EXPECT_EQ(sampled[0].spans[1].depth, 1u);
+  EXPECT_EQ(sampled[0].spans[1].end_us - sampled[0].spans[1].begin_us, 3u);
+}
+
+TEST(TelemetryTraceContextTest, SpansIgnoredWithoutActiveScope) {
+  FakeClock clock;
+  clock.Advance(100);
+  TraceRecorder recorder(WithClock(&clock));
+  TraceRecorder::Install(&recorder);
+  {
+    WEBLINT_SPAN("orphan");  // No RequestTrace: nothing to attach to.
+    clock.Advance(5);
+  }
+  TraceRecorder::Install(nullptr);
+  EXPECT_EQ(recorder.started(), 0u);
+  EXPECT_TRUE(recorder.Sampled().empty());
+}
+
+TEST(TelemetryTraceContextTest, LateSpansAttachAfterEnd) {
+  // A lint-pool worker may finish a page's span after the crawl driver
+  // already Ended the page's trace; the span still lands on the retained
+  // record.
+  FakeClock clock;
+  clock.Advance(100);
+  TraceRecorder recorder(WithClock(&clock));
+  const std::uint64_t id = recorder.Begin("page");
+  clock.Advance(4);
+  recorder.End(id, /*error=*/true);
+  recorder.AddSpan(id, "lint-page", 101, 103, 0);
+  const std::vector<TraceRecord> sampled = recorder.Sampled();
+  ASSERT_EQ(sampled.size(), 1u);
+  ASSERT_EQ(sampled[0].spans.size(), 1u);
+  EXPECT_STREQ(sampled[0].spans[0].name, "lint-page");
+  // Unknown ids are ignored outright.
+  recorder.AddSpan(id + 12345, "ghost", 0, 1, 0);
+  EXPECT_EQ(recorder.Sampled()[0].spans.size(), 1u);
+}
+
+TEST(TelemetryTraceContextTest, SpanCapCountsDrops) {
+  FakeClock clock;
+  clock.Advance(100);
+  TraceRecorder::Options options = WithClock(&clock);
+  options.max_spans_per_trace = 2;
+  TraceRecorder recorder(options);
+  const std::uint64_t id = recorder.Begin("busy");
+  for (int i = 0; i < 5; ++i) {
+    recorder.AddSpan(id, "s", 100, 101, 0);
+  }
+  recorder.End(id, /*error=*/false);
+  const std::vector<TraceRecord> sampled = recorder.Sampled();
+  ASSERT_EQ(sampled.size(), 1u);
+  EXPECT_EQ(sampled[0].spans.size(), 2u);
+  EXPECT_EQ(sampled[0].spans_dropped, 3u);
+}
+
+TEST(TelemetryTraceContextTest, RetentionKeepsSlowestAndAllErrors) {
+  FakeClock clock;
+  clock.Advance(1);
+  TraceRecorder::Options options = WithClock(&clock);
+  options.max_slow = 2;
+  options.max_errors = 2;
+  TraceRecorder recorder(options);
+
+  // Five OK traces with durations 1..5: only the two slowest survive.
+  for (std::uint64_t duration = 1; duration <= 5; ++duration) {
+    const std::uint64_t id = recorder.Begin("ok-" + std::to_string(duration));
+    clock.Advance(duration);
+    recorder.End(id, /*error=*/false);
+  }
+  // Three errored traces: FIFO bound of two, oldest evicted.
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t id = recorder.Begin("err-" + std::to_string(i));
+    clock.Advance(1);
+    recorder.End(id, /*error=*/true);
+  }
+
+  std::vector<std::string> names;
+  for (const TraceRecord& record : recorder.Sampled()) {
+    names.push_back(record.name);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"ok-4", "ok-5", "err-1", "err-2"}));
+  EXPECT_EQ(recorder.started(), 8u);
+  EXPECT_EQ(recorder.finished(), 8u);
+  EXPECT_EQ(recorder.errored(), 3u);
+  EXPECT_EQ(recorder.evicted(), 4u);
+}
+
+TEST(TelemetryTraceContextTest, RenderIsByteIdenticalAcrossRuns) {
+  const auto run = [] {
+    FakeClock clock;
+    clock.Advance(50);
+    TraceRecorder recorder(WithClock(&clock));
+    const std::uint64_t ok = recorder.Begin("GET /metrics");
+    clock.Advance(7);
+    recorder.End(ok, /*error=*/false);
+    const std::uint64_t bad = recorder.Begin("http://h/missing");
+    recorder.AddSpan(bad, "fetch", 57, 60, 0);
+    clock.Advance(9);
+    recorder.End(bad, /*error=*/true);
+    return recorder.RenderText() + recorder.RenderJson();
+  };
+  const std::string first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_NE(first.find("tracez: 2 sampled (started=2 finished=2 errored=1 evicted=0)"),
+            std::string::npos)
+      << first;
+  EXPECT_NE(first.find("GET /metrics dur_us=7 ok"), std::string::npos) << first;
+  EXPECT_NE(first.find("http://h/missing dur_us=9 ERROR"), std::string::npos) << first;
+  EXPECT_NE(first.find("  fetch begin_us=57 dur_us=3"), std::string::npos) << first;
+  EXPECT_NE(first.find("\"error\":true,\"spans\":[{\"name\":\"fetch\""), std::string::npos)
+      << first;
+}
+
+TEST(TelemetryTraceContextTest, RequestTraceAdoptsForeignId) {
+  // The pipelined crawl Begins a page's trace at fetch-issue time and
+  // adopts it at the consume stage; the adopting RequestTrace scopes and
+  // Ends, but does not mint.
+  FakeClock clock;
+  clock.Advance(10);
+  TraceRecorder recorder(WithClock(&clock));
+  const std::uint64_t id = recorder.Begin("page");
+  clock.Advance(2);
+  {
+    RequestTrace trace(&recorder, id);
+    EXPECT_EQ(CurrentTraceId(), id);
+    trace.set_error(true);
+  }
+  EXPECT_EQ(CurrentTraceId(), 0u);
+  EXPECT_EQ(recorder.started(), 1u);
+  const std::vector<TraceRecord> sampled = recorder.Sampled();
+  ASSERT_EQ(sampled.size(), 1u);
+  EXPECT_TRUE(sampled[0].error);
+  EXPECT_EQ(sampled[0].end_us - sampled[0].begin_us, 2u);
+}
+
+}  // namespace
+}  // namespace weblint
