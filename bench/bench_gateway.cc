@@ -25,8 +25,11 @@
 #include "corpus/page_generator.h"
 #include "gateway/cgi.h"
 #include "gateway/gateway.h"
+#include "gateway/tenant.h"
 #include "net/http_server.h"
 #include "net/virtual_web.h"
+#include "telemetry/metrics.h"
+#include "util/strings.h"
 #include "util/url.h"
 
 namespace {
@@ -378,6 +381,204 @@ BENCHMARK(BM_GatewayIdleKeepAlive)
     ->Arg(10'000)
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------
+// E20a: streamed batch reports — time-to-first-byte on a 500-page site
+// report, streamed (chunked, flushed page by page through the submit-order
+// frontier) versus buffered (the whole report assembled before the first
+// byte leaves). The origin charges a 1 ms round trip per page — the
+// network-bound regime streaming exists for: the buffered report cannot
+// start until all 500 fetches are done, the streamed one flushes its first
+// page after one. Byte-identity between the two deliveries is enforced by
+// check_gateway_tenant; this measures the latency shape. Acceptance:
+// streamed TTFB at least 5x below buffered.
+
+constexpr size_t kSitePages = 500;
+
+std::string BigSiteBatchBody(bool stream) {
+  std::string urls;
+  for (size_t i = 0; i < kSitePages; ++i) {
+    if (!urls.empty()) {
+      urls += '+';  // Form-encoded space: the urls field separator.
+    }
+    urls += StrFormat("http://origin/page%d.html", static_cast<int>(i));
+  }
+  return "urls=" + urls + (stream ? "&stream=1" : "&stream=0");
+}
+
+void BM_GatewayStreamTtfb(benchmark::State& state) {
+  const bool stream = state.range(0) != 0;
+  SlowOrigin origin("<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><B>x</B></BODY></HTML>",
+                    /*latency_ms=*/1);
+  Weblint lint;
+  lint.config().jobs = 4;
+  Gateway gateway(lint, &origin);
+  HttpServer server(
+      [&gateway](const HttpRequest& request) { return gateway.HandleHttp(request); });
+  if (!server.Listen(0).ok()) {
+    state.SkipWithError("listen failed");
+    return;
+  }
+  HttpServerOptions options;
+  options.threads = 2;
+  if (!server.Start(options).ok()) {
+    state.SkipWithError("start failed");
+    return;
+  }
+  const std::string body = BigSiteBatchBody(stream);
+  const std::string request =
+      "POST /check HTTP/1.1\r\nhost: gateway\r\n"
+      "content-type: application/x-www-form-urlencoded\r\n"
+      "content-length: " + std::to_string(body.size()) +
+      "\r\nconnection: close\r\n\r\n" + body;
+
+  std::vector<double> ttfb_ms;
+  std::vector<double> tthead_ms;
+  for (auto _ : state) {
+    const int fd = ConnectLoopback(server.port());
+    if (fd < 0) {
+      state.SkipWithError("connect failed");
+      break;
+    }
+    const auto begin = std::chrono::steady_clock::now();
+    size_t written = 0;
+    bool dead = false;
+    while (written < request.size()) {
+      const ssize_t n = ::write(fd, request.data() + written, request.size() - written);
+      if (n <= 0) {
+        dead = true;
+        break;
+      }
+      written += static_cast<size_t>(n);
+    }
+    // TTFB = first body byte past the header block (for the chunked reply,
+    // the first flushed page; for the buffered one, the whole report).
+    std::string buffer;
+    char chunk[16384];
+    bool have_ttfb = false;
+    bool have_head = false;
+    while (!dead) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) {
+        break;
+      }
+      if (!have_head) {
+        tthead_ms.push_back(
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - begin)
+                .count());
+        have_head = true;
+      }
+      buffer.append(chunk, static_cast<size_t>(n));
+      if (!have_ttfb) {
+        const size_t head_end = buffer.find("\r\n\r\n");
+        if (head_end != std::string::npos && buffer.size() > head_end + 4) {
+          ttfb_ms.push_back(
+              std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - begin)
+                  .count());
+          have_ttfb = true;
+        }
+      }
+    }
+    ::close(fd);
+    benchmark::DoNotOptimize(buffer.size());
+  }
+  server.Drain();
+  if (!ttfb_ms.empty()) {
+    std::sort(ttfb_ms.begin(), ttfb_ms.end());
+    state.counters["ttfb_ms"] = ttfb_ms[ttfb_ms.size() / 2];  // Median.
+  }
+  if (!tthead_ms.empty()) {
+    std::sort(tthead_ms.begin(), tthead_ms.end());
+    state.counters["tthead_ms"] = tthead_ms[tthead_ms.size() / 2];
+  }
+  state.counters["pages"] = static_cast<double>(kSitePages);
+  state.counters["streamed"] = stream ? 1.0 : 0.0;
+}
+BENCHMARK(BM_GatewayStreamTtfb)->Arg(0)->Arg(1)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// E20b: multi-tenant saturation — a mixed closed-loop population (half
+// pasted-HTML under the high-priority tenant, half URL-mode under the
+// rate-limited priority-0 tenant) drives the TenantService end to end with
+// the SLO admission controller live. The counters surface what the
+// controller did: the p95 it measured, how many requests it shed (503),
+// and how many the free tenant's token bucket refused (429).
+
+void BM_GatewayTenantSaturation(benchmark::State& state) {
+  SlowOrigin origin("<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><B>x</B></BODY></HTML>",
+                    /*latency_ms=*/2);
+  Weblint lint;
+  MetricsRegistry registry;
+  std::vector<TenantSpec> specs(2);
+  specs[0].key = "gold-key";
+  specs[0].name = "gold";
+  specs[0].priority = 3;
+  specs[1].key = "free-key";
+  specs[1].name = "free";
+  specs[1].priority = 0;
+  specs[1].rate_per_sec = 100;
+  specs[1].burst = 20;
+  auto tenants = TenantRegistry::Create(lint.config(), specs, &origin, GatewayOptions(),
+                                        &registry, nullptr);
+  if (!tenants.ok()) {
+    state.SkipWithError("tenant registry construction failed");
+    return;
+  }
+  AdmissionController admission(registry.GetHistogram("weblint_http_request_micros"),
+                                /*slo_p95_ms=*/2, &registry);
+  Gateway fallback(lint, &origin);
+  TenantService service(&fallback, tenants->get(), &admission, nullptr);
+  HttpServer server(
+      [&service](const HttpRequest& request) { return service.Handle(request); });
+  if (!server.Listen(0).ok()) {
+    state.SkipWithError("listen failed");
+    return;
+  }
+  server.EnableMetrics(&registry);
+  HttpServerOptions options;
+  options.threads = 4;
+  options.max_queue = 256;
+  if (!server.Start(options).ok()) {
+    state.SkipWithError("start failed");
+    return;
+  }
+  const std::string paste_body = "html=" + UrlEncode(SubmittedPage()) + "&format=short";
+  const std::string paste_request =
+      "POST / HTTP/1.1\r\nhost: gateway\r\n"
+      "x-weblint-api-key: gold-key\r\n"
+      "content-type: application/x-www-form-urlencoded\r\n"
+      "content-length: " + std::to_string(paste_body.size()) + "\r\n\r\n" + paste_body;
+  const std::string url_request =
+      "GET /?url=" + UrlEncode("http://origin/page.html") +
+      " HTTP/1.1\r\nhost: gateway\r\n"
+      "x-weblint-api-key: free-key\r\nconnection: keep-alive\r\n\r\n";
+  for (auto _ : state) {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      const std::string& request = c % 2 == 0 ? paste_request : url_request;
+      clients.emplace_back([&server, &request] {
+        RunClosedLoopClient(server.port(), request, kRequestsPerClient);
+      });
+    }
+    for (std::thread& t : clients) {
+      t.join();
+    }
+  }
+  server.Drain();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kClients * kRequestsPerClient));
+  state.counters["p95_ms"] = static_cast<double>(admission.last_p95_us()) / 1000.0;
+  state.counters["shed"] =
+      static_cast<double>(registry.CounterValue("weblint_gateway_slo_shed_total"));
+  state.counters["throttled_free"] = static_cast<double>(
+      registry.CounterValue("weblint_gateway_tenant_throttled_total", "tenant", "free"));
+  state.counters["served_gold"] = static_cast<double>(
+      registry.CounterValue("weblint_gateway_tenant_requests_total", "tenant", "gold"));
+  state.counters["served_free"] = static_cast<double>(
+      registry.CounterValue("weblint_gateway_tenant_requests_total", "tenant", "free"));
+}
+BENCHMARK(BM_GatewayTenantSaturation)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 void BM_FormDecode(benchmark::State& state) {
   const std::string body = "html=" + UrlEncode(SubmittedPage()) + "&format=short&e=img-size";

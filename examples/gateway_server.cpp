@@ -5,6 +5,7 @@
 //
 //   ./examples/gateway_server [--port N] [--threads N] [--max-queue N]
 //                             [--request-timeout MS] [--requests N]
+//                             [--stream] [--tenants-file F] [--slo-p95-ms N]
 //
 // Then browse to http://127.0.0.1:N/ — the form posts back to the server.
 // By default the server runs the concurrent serving layer: a dedicated
@@ -22,12 +23,14 @@
 #include "core/linter.h"
 #include "gateway/cgi.h"
 #include "gateway/gateway.h"
+#include "gateway/tenant.h"
 #include "net/fetcher.h"
 #include "net/http_server.h"
 #include "telemetry/build_info.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace_context.h"
 #include "util/args.h"
+#include "util/file_io.h"
 #include "util/strings.h"
 
 namespace {
@@ -46,6 +49,9 @@ int main(int argc, char** argv) {
   std::string threads_text = "0";
   std::string max_queue_text = "64";
   std::string request_timeout_text = "10000";
+  std::string tenants_file;
+  std::string slo_p95_text = "0";
+  bool stream = false;
   bool event_driven = false;
   bool show_help = false;
   parser.AddOption("--port", "port to listen on (0 picks a free port)", &port_text);
@@ -59,6 +65,16 @@ int main(int argc, char** argv) {
                    &max_queue_text);
   parser.AddOption("--request-timeout",
                    "per-request read/write deadline in milliseconds", &request_timeout_text);
+  parser.AddFlag("--stream",
+                 "stream reports as HTTP/1.1 chunks, flushed page by page "
+                 "(requests opt out with stream=0)",
+                 &stream);
+  parser.AddOption("--tenants-file",
+                   "per-tenant API keys, configs, and quotas (one tenant per line)",
+                   &tenants_file);
+  parser.AddOption("--slo-p95-ms",
+                   "shed lowest-priority work when request p95 exceeds this (0 = off)",
+                   &slo_p95_text);
   parser.AddFlag("--event-driven",
                  "hold connections on an epoll reactor: idle keep-alive costs a watched fd, "
                  "not a parked worker (c10k mode)",
@@ -78,10 +94,12 @@ int main(int argc, char** argv) {
   std::uint32_t threads = 0;
   std::uint32_t max_queue = 0;
   std::uint32_t request_timeout_ms = 0;
+  std::uint32_t slo_p95_ms = 0;
   if (!ParseUint(port_text, &port) || port > 65535 ||
       !ParseUint(requests_text, &max_requests) || !ParseUint(threads_text, &threads) ||
       !ParseUint(max_queue_text, &max_queue) ||
-      !ParseUint(request_timeout_text, &request_timeout_ms)) {
+      !ParseUint(request_timeout_text, &request_timeout_ms) ||
+      !ParseUint(slo_p95_text, &slo_p95_ms)) {
     std::fprintf(stderr, "gateway_server: bad numeric flag value\n");
     return 2;
   }
@@ -95,10 +113,39 @@ int main(int argc, char** argv) {
   lint.EnableMetrics(&registry);
   lint.EnableCache();  // Repeated submissions of the same page hit the cache.
   FileFetcher fetcher;  // file:// URL submissions work on this host.
-  Gateway gateway(lint, &fetcher);
+  GatewayOptions gateway_options;
+  gateway_options.streaming = stream;
+  Gateway gateway(lint, &fetcher, gateway_options);
 
-  HttpServer server([&gateway](const HttpRequest& request) {
-    return gateway.HandleHttp(request);
+  // The multi-tenant layer: --tenants-file keys API keys to per-tenant
+  // configs and quotas; --slo-p95-ms arms the admission controller. With
+  // neither flag the service degenerates to the plain single-tenant path.
+  std::unique_ptr<TenantRegistry> tenants;
+  if (!tenants_file.empty()) {
+    auto text = ReadFile(tenants_file);
+    if (!text.ok()) {
+      std::fprintf(stderr, "gateway_server: %s\n", text.error().c_str());
+      return 2;
+    }
+    auto specs = ParseTenantsFile(*text);
+    if (!specs.ok()) {
+      std::fprintf(stderr, "gateway_server: %s\n", specs.error().c_str());
+      return 2;
+    }
+    auto built = TenantRegistry::Create(lint.config(), *specs, &fetcher, gateway_options,
+                                        &registry, nullptr);
+    if (!built.ok()) {
+      std::fprintf(stderr, "gateway_server: %s\n", built.error().c_str());
+      return 2;
+    }
+    tenants = std::move(built).value();
+  }
+  AdmissionController admission(registry.GetHistogram("weblint_http_request_micros"),
+                                slo_p95_ms, &registry);
+  TenantService service(&gateway, tenants.get(), &admission, nullptr);
+
+  HttpServer server([&service](const HttpRequest& request) {
+    return service.Handle(request);
   });
   server.EnableMetrics(&registry);
   // Each request gets a trace id; /statusz, /tracez, and /healthz answer

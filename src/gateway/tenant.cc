@@ -1,0 +1,316 @@
+#include "gateway/tenant.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace weblint {
+
+namespace {
+
+HttpResponse PlainResponse(int status, std::string_view reason, std::string_view body) {
+  HttpResponse response;
+  response.status = status;
+  response.reason = std::string(reason);
+  response.headers["content-type"] = "text/plain";
+  response.body = std::string(body);
+  return response;
+}
+
+Status ApplyWarningIds(Config* config, const std::vector<std::string>& ids, bool enable,
+                       const std::string& tenant_name) {
+  for (const std::string& id : ids) {
+    Status s = enable ? config->warnings.Enable(id) : config->warnings.Disable(id);
+    if (!s.ok()) {
+      return Fail("tenant " + tenant_name + ": " + s.message());
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> SplitIds(std::string_view value) {
+  std::vector<std::string> ids;
+  for (std::string_view id : Split(value, ',')) {
+    if (!Trim(id).empty()) {
+      ids.emplace_back(Trim(id));
+    }
+  }
+  return ids;
+}
+
+}  // namespace
+
+Result<std::vector<TenantSpec>> ParseTenantsFile(std::string_view text) {
+  std::vector<TenantSpec> specs;
+  size_t line_number = 0;
+  for (std::string_view line : Split(text, '\n')) {
+    ++line_number;
+    line = Trim(line);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    TenantSpec spec;
+    for (std::string_view token : SplitWhitespace(line)) {
+      const size_t eq = token.find('=');
+      if (eq == std::string_view::npos) {
+        return Fail(StrFormat("tenants file line %d: expected field=value, got '%s'",
+                              line_number, token));
+      }
+      const std::string_view field = token.substr(0, eq);
+      const std::string_view value = token.substr(eq + 1);
+      bool numeric_ok = true;
+      if (field == "key") {
+        spec.key = std::string(value);
+      } else if (field == "name") {
+        spec.name = std::string(value);
+      } else if (field == "rate") {
+        numeric_ok = ParseUint(value, &spec.rate_per_sec);
+      } else if (field == "burst") {
+        numeric_ok = ParseUint(value, &spec.burst);
+      } else if (field == "concurrency") {
+        numeric_ok = ParseUint(value, &spec.max_concurrency);
+      } else if (field == "priority") {
+        numeric_ok = ParseUint(value, &spec.priority);
+      } else if (field == "enable") {
+        spec.enable_ids = SplitIds(value);
+      } else if (field == "disable") {
+        spec.disable_ids = SplitIds(value);
+      } else {
+        return Fail(StrFormat("tenants file line %d: unknown field '%s'", line_number, field));
+      }
+      if (!numeric_ok) {
+        return Fail(StrFormat("tenants file line %d: bad number in '%s'", line_number, token));
+      }
+    }
+    if (spec.key.empty()) {
+      return Fail(StrFormat("tenants file line %d: missing key=", line_number));
+    }
+    for (const TenantSpec& existing : specs) {
+      if (existing.key == spec.key) {
+        return Fail(StrFormat("tenants file line %d: duplicate key '%s'", line_number, spec.key));
+      }
+    }
+    if (spec.name.empty()) {
+      spec.name = spec.key == "*" ? "anonymous" : spec.key;
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+TokenBucket::TokenBucket(std::uint32_t rate_per_sec, std::uint32_t burst)
+    : rate_per_sec_(rate_per_sec),
+      burst_(burst > 0 ? burst : rate_per_sec),
+      tokens_(burst_ > 0 ? burst_ : 0) {}
+
+bool TokenBucket::TryAcquire(std::uint64_t now_us, std::uint32_t* retry_after_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!primed_) {
+    primed_ = true;
+    last_us_ = now_us;
+  }
+  if (now_us > last_us_ && rate_per_sec_ > 0) {
+    const double elapsed_s = static_cast<double>(now_us - last_us_) / 1e6;
+    tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_per_sec_);
+  }
+  last_us_ = now_us;
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  if (retry_after_s != nullptr) {
+    // Whole seconds until one token accrues, rounded up, at least 1 — an
+    // unlimited-rate bucket never refuses, so rate_per_sec_ > 0 here.
+    const double deficit = 1.0 - tokens_;
+    const double wait_s = rate_per_sec_ > 0 ? deficit / rate_per_sec_ : 1.0;
+    *retry_after_s = static_cast<std::uint32_t>(std::ceil(std::max(wait_s, 1.0)));
+  }
+  return false;
+}
+
+AdmissionController::AdmissionController(const Histogram* latency, std::uint32_t slo_p95_ms,
+                                         MetricsRegistry* registry)
+    : latency_(latency), slo_us_(static_cast<std::uint64_t>(slo_p95_ms) * 1000) {
+  if (registry != nullptr) {
+    p95_gauge_ = registry->GetGauge("weblint_gateway_slo_p95_us");
+    shed_priority_gauge_ = registry->GetGauge("weblint_gateway_slo_shed_priority");
+    shed_priority_gauge_->Set(-1);
+    shed_counter_ = registry->GetCounter("weblint_gateway_slo_shed_total");
+  }
+}
+
+bool AdmissionController::Admit(std::uint32_t priority) {
+  if (latency_ == nullptr || slo_us_ == 0) {
+    return true;
+  }
+  const HistogramSnapshot snapshot = latency_->Snapshot();
+  std::uint64_t p95 = 0;
+  int shed_max = -1;  // Highest priority currently being shed.
+  if (snapshot.count >= kMinSamples) {
+    p95 = snapshot.Quantile(0.95);
+    if (p95 > 2 * slo_us_) {
+      shed_max = 2;
+    } else if (2 * p95 > 3 * slo_us_) {  // p95 > 1.5x SLO.
+      shed_max = 1;
+    } else if (p95 > slo_us_) {
+      shed_max = 0;
+    }
+  }
+  last_p95_us_.store(p95);
+  if (p95_gauge_ != nullptr) {
+    p95_gauge_->Set(static_cast<std::int64_t>(p95));
+  }
+  if (shed_priority_gauge_ != nullptr) {
+    shed_priority_gauge_->Set(shed_max);
+  }
+  const bool admit = static_cast<std::int64_t>(priority) > shed_max;
+  if (!admit && shed_counter_ != nullptr) {
+    shed_counter_->Increment();
+  }
+  return admit;
+}
+
+Result<std::unique_ptr<TenantRegistry>> TenantRegistry::Create(
+    const Config& base, const std::vector<TenantSpec>& specs, UrlFetcher* fetcher,
+    const GatewayOptions& options, MetricsRegistry* metrics, Clock* metrics_clock) {
+  auto registry = std::unique_ptr<TenantRegistry>(new TenantRegistry());
+  auto build = [&](const TenantSpec& spec) -> Status {
+    Config config = base;
+    if (Status s = ApplyWarningIds(&config, spec.enable_ids, /*enable=*/true, spec.name);
+        !s.ok()) {
+      return s;
+    }
+    if (Status s = ApplyWarningIds(&config, spec.disable_ids, /*enable=*/false, spec.name);
+        !s.ok()) {
+      return s;
+    }
+    auto tenant = std::make_unique<Tenant>();
+    tenant->spec = spec;
+    if (tenant->spec.name.empty()) {
+      tenant->spec.name = spec.key == "*" ? "anonymous" : spec.key;
+    }
+    tenant->lint = std::make_unique<Weblint>(config);
+    if (metrics != nullptr) {
+      tenant->lint->EnableMetrics(metrics, metrics_clock);
+      const std::string& name = tenant->spec.name;
+      tenant->requests =
+          metrics->GetCounter("weblint_gateway_tenant_requests_total", "tenant", name);
+      tenant->throttled =
+          metrics->GetCounter("weblint_gateway_tenant_throttled_total", "tenant", name);
+      tenant->shed = metrics->GetCounter("weblint_gateway_tenant_shed_total", "tenant", name);
+      tenant->latency = metrics->GetHistogram("weblint_gateway_tenant_micros", "tenant", name);
+    }
+    tenant->gateway = std::make_unique<Gateway>(*tenant->lint, fetcher, options);
+    if (spec.rate_per_sec > 0) {
+      tenant->bucket = std::make_unique<TokenBucket>(spec.rate_per_sec, spec.burst);
+    }
+    Tenant* raw = tenant.get();
+    if (!registry->tenants_.emplace(spec.key, std::move(tenant)).second) {
+      return Fail("duplicate tenant key '" + spec.key + "'");
+    }
+    if (spec.key == "*") {
+      registry->anonymous_ = raw;
+    }
+    return Status::Ok();
+  };
+  for (const TenantSpec& spec : specs) {
+    if (Status s = build(spec); !s.ok()) {
+      return s;
+    }
+  }
+  if (registry->anonymous_ == nullptr) {
+    TenantSpec anonymous;
+    anonymous.key = "*";
+    anonymous.name = "anonymous";
+    if (Status s = build(anonymous); !s.ok()) {
+      return s;
+    }
+  }
+  return registry;
+}
+
+TenantRegistry::Tenant* TenantRegistry::Resolve(std::string_view api_key) {
+  if (api_key.empty()) {
+    return anonymous_;
+  }
+  const auto it = tenants_.find(api_key);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+TenantService::TenantService(const Gateway* fallback, TenantRegistry* tenants,
+                             AdmissionController* admission, Clock* clock)
+    : TenantService(fallback, tenants, admission, clock, Options()) {}
+
+TenantService::TenantService(const Gateway* fallback, TenantRegistry* tenants,
+                             AdmissionController* admission, Clock* clock, Options options)
+    : fallback_(fallback),
+      tenants_(tenants),
+      admission_(admission),
+      clock_(clock != nullptr ? clock : Clock::System()),
+      options_(std::move(options)) {}
+
+HttpResponse TenantService::Handle(const HttpRequest& request) const {
+  TenantRegistry::Tenant* tenant = nullptr;
+  if (tenants_ != nullptr) {
+    tenant = tenants_->Resolve(request.Header(options_.api_key_header));
+    if (tenant == nullptr) {
+      return PlainResponse(401, "Unauthorized", "unknown API key\n");
+    }
+    if (tenant->requests != nullptr) {
+      tenant->requests->Increment();
+    }
+  }
+  // Admission first: when the whole service is over its latency SLO, a
+  // request that would be within quota is still shed if its priority is on
+  // the chopping block — quota is per tenant, the SLO is global.
+  const std::uint32_t priority = tenant != nullptr ? tenant->spec.priority : 0;
+  if (admission_ != nullptr && !admission_->Admit(priority)) {
+    if (tenant != nullptr && tenant->shed != nullptr) {
+      tenant->shed->Increment();
+    }
+    HttpResponse response =
+        PlainResponse(503, "Service Unavailable", "gateway over latency SLO; retry shortly\n");
+    response.headers["retry-after"] = "1";
+    return response;
+  }
+  if (tenant != nullptr && tenant->bucket != nullptr) {
+    std::uint32_t retry_after_s = 1;
+    if (!tenant->bucket->TryAcquire(clock_->NowMicros(), &retry_after_s)) {
+      if (tenant->throttled != nullptr) {
+        tenant->throttled->Increment();
+      }
+      HttpResponse response =
+          PlainResponse(429, "Too Many Requests", "tenant rate limit exceeded; retry later\n");
+      response.headers["retry-after"] = std::to_string(retry_after_s);
+      return response;
+    }
+  }
+  bool slot_taken = false;
+  if (tenant != nullptr && tenant->spec.max_concurrency > 0) {
+    if (tenant->inflight.fetch_add(1) >= tenant->spec.max_concurrency) {
+      tenant->inflight.fetch_sub(1);
+      if (tenant->throttled != nullptr) {
+        tenant->throttled->Increment();
+      }
+      HttpResponse response = PlainResponse(429, "Too Many Requests",
+                                            "tenant concurrency limit exceeded; retry shortly\n");
+      response.headers["retry-after"] = "1";
+      return response;
+    }
+    slot_taken = true;
+  }
+  const std::uint64_t begin_us = clock_->NowMicros();
+  const Gateway* gateway = tenant != nullptr ? tenant->gateway.get() : fallback_;
+  HttpResponse response = gateway->HandleHttp(request);
+  if (tenant != nullptr && tenant->latency != nullptr) {
+    // Dispatch time. A streamed response's producer runs later, on the
+    // serving path — its cost lands in the server's own latency series.
+    tenant->latency->Record(clock_->NowMicros() - begin_us);
+  }
+  if (slot_taken) {
+    tenant->inflight.fetch_sub(1);
+  }
+  return response;
+}
+
+}  // namespace weblint

@@ -1,0 +1,184 @@
+// Multi-tenant serving for the gateway: per-tenant configuration keyed on
+// an API key, token-bucket quotas on the injected clock, and SLO-aware
+// admission control driven by the live request-latency histogram.
+//
+// Motivation (ROADMAP "multi-tenant gateway service"): one engine serving
+// many differently-configured validation profiles — each tenant gets its
+// own Config (and therefore its own Config::Fingerprint and cache
+// identity), its own rate/concurrency budget, and its own metric labels,
+// while the SLO controller sheds the lowest-priority traffic first when the
+// whole service runs hot.
+#ifndef WEBLINT_GATEWAY_TENANT_H_
+#define WEBLINT_GATEWAY_TENANT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/linter.h"
+#include "gateway/gateway.h"
+#include "telemetry/metrics.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace weblint {
+
+// One tenant's declaration, parsed from --tenants-file. One tenant per
+// line, '#' comments and blank lines ignored, fields are space-separated
+// key=value pairs:
+//
+//   key=alpha-key name=alpha rate=5 burst=10 concurrency=4 priority=2
+//       enable=bad-link disable=upper-case,mailto-link   (all on one line)
+//
+// `key` is required and must be unique; the key "*" configures the
+// anonymous tenant (requests carrying no API key), which otherwise defaults
+// to unlimited quota at priority 0.
+struct TenantSpec {
+  std::string key;        // API-key header value ("*" = anonymous).
+  std::string name;       // Metric label value; defaults to the key.
+  std::uint32_t rate_per_sec = 0;    // Token refill rate; 0 = unlimited.
+  std::uint32_t burst = 0;           // Bucket capacity; 0 = same as rate.
+  std::uint32_t max_concurrency = 0;  // In-flight request cap; 0 = unlimited.
+  std::uint32_t priority = 0;  // Higher survives admission shedding longer.
+  std::vector<std::string> enable_ids;   // Warning ids enabled on top of base.
+  std::vector<std::string> disable_ids;  // Warning ids disabled from base.
+};
+
+Result<std::vector<TenantSpec>> ParseTenantsFile(std::string_view text);
+
+// A token bucket on caller-supplied time: `now_us` comes from the injected
+// Clock, so a FakeClock test controls refill exactly. Thread-safe.
+class TokenBucket {
+ public:
+  TokenBucket(std::uint32_t rate_per_sec, std::uint32_t burst);
+
+  // Takes one token if available. On refusal, *retry_after_s (when
+  // non-null) is set to the whole seconds until one token accrues (>= 1) —
+  // the value for the 429's Retry-After header.
+  bool TryAcquire(std::uint64_t now_us, std::uint32_t* retry_after_s);
+
+ private:
+  const double rate_per_sec_;
+  const double burst_;
+  std::mutex mu_;
+  double tokens_;
+  std::uint64_t last_us_ = 0;
+  bool primed_ = false;
+};
+
+// SLO-aware admission control: reads the live request-latency histogram
+// (weblint_http_request_micros — the serving layer records every handler
+// call into it) and sheds the lowest-priority work when the interpolated
+// p95 exceeds the target. Decisions depend only on histogram contents,
+// never wall time, so they are deterministic under FakeClock.
+//
+// Shedding is graduated: at p95 <= SLO everything is admitted; past the
+// SLO, priority 0 is shed; past 1.5x, priorities <= 1; past 2x,
+// priorities <= 2. Higher priorities are always admitted — the controller
+// degrades, it never blackholes.
+class AdmissionController {
+ public:
+  // `latency` is the live histogram to read. When `registry` is non-null
+  // the controller publishes weblint_gateway_slo_p95_us and
+  // weblint_gateway_slo_shed_priority gauges (visible on /statusz) and the
+  // weblint_gateway_slo_shed_total counter.
+  AdmissionController(const Histogram* latency, std::uint32_t slo_p95_ms,
+                      MetricsRegistry* registry);
+
+  // True when work at `priority` may run now. Updates the published gauges
+  // as a side effect; refusals bump the shed counter.
+  bool Admit(std::uint32_t priority);
+
+  // The p95 computed by the most recent Admit() (microseconds).
+  std::uint64_t last_p95_us() const { return last_p95_us_.load(); }
+  std::uint64_t slo_us() const { return slo_us_; }
+
+  // Below this many recorded requests the controller admits everything: a
+  // handful of cold-start samples must not trip the shedder.
+  static constexpr std::uint64_t kMinSamples = 32;
+
+ private:
+  const Histogram* const latency_;
+  const std::uint64_t slo_us_;
+  std::atomic<std::uint64_t> last_p95_us_{0};
+  Gauge* p95_gauge_ = nullptr;
+  Gauge* shed_priority_gauge_ = nullptr;  // -1 = not shedding.
+  Counter* shed_counter_ = nullptr;
+};
+
+// The tenant registry: immutable after construction (each tenant's Weblint,
+// Gateway, and metric series are built up front), so per-request resolution
+// is a read-only map lookup — safe from every worker thread with no lock.
+class TenantRegistry {
+ public:
+  struct Tenant {
+    TenantSpec spec;
+    std::unique_ptr<Weblint> lint;      // The tenant's configured engine.
+    std::unique_ptr<Gateway> gateway;   // Serves with that engine.
+    std::unique_ptr<TokenBucket> bucket;  // Null = unlimited rate.
+    std::atomic<std::uint32_t> inflight{0};
+    Counter* requests = nullptr;   // weblint_gateway_tenant_requests_total
+    Counter* throttled = nullptr;  // ..._throttled_total (429s)
+    Counter* shed = nullptr;       // ..._shed_total (SLO 503s)
+    Histogram* latency = nullptr;  // ..._micros (dispatch time)
+  };
+
+  // Builds one Tenant per spec: the base config plus the spec's
+  // enable/disable deltas (a bad warning id fails construction), a Gateway
+  // over the shared fetcher/options, and per-tenant labelled metric series
+  // when `metrics` is non-null. An anonymous tenant always exists —
+  // configured by a "*" spec or defaulted to unlimited priority-0.
+  static Result<std::unique_ptr<TenantRegistry>> Create(
+      const Config& base, const std::vector<TenantSpec>& specs, UrlFetcher* fetcher,
+      const GatewayOptions& options, MetricsRegistry* metrics, Clock* metrics_clock);
+
+  // Maps an API key to its tenant: empty key = the anonymous tenant,
+  // unknown key = nullptr (the service answers 401).
+  Tenant* Resolve(std::string_view api_key);
+  Tenant* anonymous() { return anonymous_; }
+  size_t size() const { return tenants_.size(); }
+
+ private:
+  TenantRegistry() = default;
+  std::map<std::string, std::unique_ptr<Tenant>, std::less<>> tenants_;
+  Tenant* anonymous_ = nullptr;
+};
+
+// The handler the multi-tenant server installs: resolve the tenant from the
+// API-key header, run SLO admission, charge the token bucket and the
+// concurrency cap, then serve through the tenant's own Gateway. Every layer
+// is optional — a null registry serves everyone through `fallback`, a null
+// admission controller never sheds — so the plain single-tenant server is
+// the degenerate configuration of this one.
+class TenantService {
+ public:
+  struct Options {
+    // Header carrying the API key (matched case-insensitively, like every
+    // header name).
+    std::string api_key_header = "x-weblint-api-key";
+  };
+
+  TenantService(const Gateway* fallback, TenantRegistry* tenants,
+                AdmissionController* admission, Clock* clock);
+  TenantService(const Gateway* fallback, TenantRegistry* tenants,
+                AdmissionController* admission, Clock* clock, Options options);
+
+  // Thread-safe: called concurrently from server workers.
+  HttpResponse Handle(const HttpRequest& request) const;
+
+ private:
+  const Gateway* const fallback_;
+  TenantRegistry* const tenants_;
+  AdmissionController* const admission_;
+  Clock* const clock_;
+  const Options options_;
+};
+
+}  // namespace weblint
+
+#endif  // WEBLINT_GATEWAY_TENANT_H_

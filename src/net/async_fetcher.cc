@@ -399,7 +399,7 @@ void AsyncFetcher::ContinueReceive(Job* job) {
       options_.policy.max_header_bytes + options_.policy.max_response_bytes + 1;
   char chunk[4096];
   bool progressed = false;
-  while (!HttpMessageComplete(job->in) && job->in.size() < cap) {
+  while (!HttpResponseComplete(job->in, job->head) && job->in.size() < cap) {
     const long n = ReadRetry(job->fd, chunk, sizeof(chunk));
     if (n > 0) {
       job->in.append(chunk, static_cast<std::size_t>(n));
@@ -455,11 +455,11 @@ void AsyncFetcher::FinishWire(Job* job, bool timed_out, bool peer_closed) {
                                     timed_out ? "read timed out" : "connection closed before reply"));
     return;
   }
-  if (timed_out && !HttpMessageComplete(buffer)) {
+  if (timed_out && !HttpResponseComplete(buffer, job->head)) {
     OnAttemptResponse(job, TransportFail(TransportError::kTimeout, "read timed out mid-reply"));
     return;
   }
-  auto parsed = ParseHttpResponse(buffer);
+  auto parsed = ParseHttpResponse(buffer, job->head);
   if (!parsed.ok()) {
     OnAttemptResponse(job, TransportFail(TransportError::kMalformed, parsed.error()));
     return;

@@ -149,6 +149,12 @@ class ReactorServerCore {
     bool busy = false;              // A request is in the pool.
     bool peer_closed = false;       // Read side saw EOF.
     bool close_after_write = false;
+    // A chunked response is in flight: header/chunk bytes arrive via
+    // Post() as the producer emits them. `busy` stays true for the whole
+    // stream so pipelined requests wait and drain treats the connection as
+    // in-progress; `stream_done` marks the final chunk as posted.
+    bool streaming = false;
+    bool stream_done = false;
   };
 
   void LoopThread() {
@@ -297,7 +303,7 @@ class ReactorServerCore {
         BumpQueued(-1);
         BumpInFlight(1);
         SetNonBlocking(fd, false);
-        s_->DeliverShaped(fd, request, SerializeHttpResponse(s_->Dispatch(request)));
+        s_->DeliverShaped(fd, request, SerializeHttpResponse(s_->DispatchBuffered(request)));
         BumpInFlight(-1);
       });
       return;
@@ -315,6 +321,33 @@ class ReactorServerCore {
                         served < s_->options_.max_requests_per_connection &&
                         !s_->draining_.load();
       response.headers["connection"] = keep ? "keep-alive" : "close";
+      const bool stream = response.body_stream != nullptr && request.ok() &&
+                          IEquals(request->version, "HTTP/1.1");
+      if (stream) {
+        // Chunked delivery: the worker runs the producer to completion here,
+        // posting each chunk to the loop as it is produced. Post() is FIFO,
+        // so header, chunks, and end-of-stream arrive in order; the loop
+        // thread owns all socket I/O, exactly as in the buffered path.
+        response.headers["transfer-encoding"] = "chunked";
+        std::string head =
+            SerializeHttpResponseHead(response, "HTTP/1.1", /*add_content_length=*/false);
+        reactor_.Post([this, id, head = std::move(head), keep]() mutable {
+          OnStreamBegin(id, std::move(head), keep);
+        });
+        auto producer = std::move(response.body_stream);
+        producer([this, id](std::string_view data) {
+          if (data.empty()) {
+            return;
+          }
+          reactor_.Post([this, id, bytes = EncodeChunk(data)]() mutable {
+            OnStreamBytes(id, std::move(bytes));
+          });
+        });
+        reactor_.Post([this, id] { OnStreamEnd(id); });
+        BumpInFlight(-1);
+        return;
+      }
+      MaterializeBodyStream(&response);
       std::string bytes = SerializeHttpResponse(response, "HTTP/1.1");
       BumpInFlight(-1);
       reactor_.Post([this, id, bytes = std::move(bytes), keep]() mutable {
@@ -332,6 +365,38 @@ class ReactorServerCore {
     conn->out = std::move(bytes);
     conn->out_sent = 0;
     conn->close_after_write = !keep;
+    TryWrite(conn);
+  }
+
+  void OnStreamBegin(std::uint64_t id, std::string head, bool keep) {
+    Conn* conn = FindConn(id);
+    if (conn == nullptr) {
+      return;  // Connection died while the handler ran.
+    }
+    conn->streaming = true;
+    conn->stream_done = false;
+    conn->close_after_write = !keep;
+    conn->out = std::move(head);
+    conn->out_sent = 0;
+    TryWrite(conn);
+  }
+
+  void OnStreamBytes(std::uint64_t id, std::string bytes) {
+    Conn* conn = FindConn(id);
+    if (conn == nullptr) {
+      return;  // Late chunks for a dead connection: the producer outlived it.
+    }
+    conn->out += bytes;
+    TryWrite(conn);
+  }
+
+  void OnStreamEnd(std::uint64_t id) {
+    Conn* conn = FindConn(id);
+    if (conn == nullptr) {
+      return;
+    }
+    conn->stream_done = true;
+    conn->out += FinalChunk();
     TryWrite(conn);
   }
 
@@ -361,11 +426,20 @@ class ReactorServerCore {
       CloseConn(conn);
       return;
     }
-    // Response fully on the wire.
+    // Buffered bytes fully on the wire.
     conn->out.clear();
     conn->out_sent = 0;
     CancelDeadline(conn);
     reactor_.SetEvents(conn->fd, Reactor::kReadable);
+    if (conn->streaming && !conn->stream_done) {
+      return;  // Mid-stream: more chunks (or the end) arrive via Post().
+    }
+    if (conn->streaming) {
+      // The final chunk is out: the streamed response is complete.
+      conn->streaming = false;
+      conn->stream_done = false;
+      conn->busy = false;
+    }
     if (conn->close_after_write) {
       CloseConn(conn);
       return;
@@ -571,6 +645,25 @@ bool TargetIs(std::string_view target, std::string_view path) {
 }  // namespace
 
 HttpResponse HttpServer::Dispatch(const Result<HttpRequest>& request) {
+  HttpResponse response = DispatchInner(request);
+  if (request.ok() && request->method == "HEAD") {
+    // HEAD answers with the GET-equivalent headers and Content-Length but
+    // no body. A streamed body is materialized first: its full length is
+    // the length the headers must advertise.
+    MaterializeBodyStream(&response);
+    response.headers["content-length"] = std::to_string(response.body.size());
+    response.body.clear();
+  }
+  return response;
+}
+
+HttpResponse HttpServer::DispatchBuffered(const Result<HttpRequest>& request) {
+  HttpResponse response = Dispatch(request);
+  MaterializeBodyStream(&response);
+  return response;
+}
+
+HttpResponse HttpServer::DispatchInner(const Result<HttpRequest>& request) {
   HttpResponse response;
   if (!request.ok()) {
     response.status = 400;
@@ -756,7 +849,7 @@ Status HttpServer::ServeOne() {
   // fact about that one client, not about the server. Count it, drop the
   // connection, and keep serving — a public gateway must survive browsers
   // that close the tab mid-response.
-  std::string serialized = SerializeHttpResponse(Dispatch(request));
+  std::string serialized = SerializeHttpResponse(DispatchBuffered(request));
   if (wire_shaper_ == nullptr) {
     if (!WriteAll(client, serialized)) {
       ++write_failures_;
@@ -978,7 +1071,7 @@ void HttpServer::HandleConnection(int client) {
       // The shaper owns the wire for this response, including the close:
       // a shaped connection is one-shot, exactly like the blocking mode.
       SetNonBlocking(client, false);
-      DeliverShaped(client, request, SerializeHttpResponse(Dispatch(request)));
+      DeliverShaped(client, request, SerializeHttpResponse(DispatchBuffered(request)));
       return;
     }
 
@@ -986,8 +1079,31 @@ void HttpServer::HandleConnection(int client) {
     const bool keep = request.ok() && WantsKeepAlive(*request) &&
                       served < options_.max_requests_per_connection && !draining_.load();
     response.headers["connection"] = keep ? "keep-alive" : "close";
-    const WriteOutcome outcome =
-        WriteWithDeadline(client, SerializeHttpResponse(response, "HTTP/1.1"), deadline, clock);
+    // Stream only to an HTTP/1.1 client (chunked transfer-encoding does not
+    // exist in 1.0); anyone else gets the materialized body + Content-Length
+    // — byte-identical content either way.
+    const bool stream = response.body_stream != nullptr && request.ok() &&
+                        IEquals(request->version, "HTTP/1.1");
+    WriteOutcome outcome;
+    if (stream) {
+      response.headers["transfer-encoding"] = "chunked";
+      outcome = WriteWithDeadline(
+          client, SerializeHttpResponseHead(response, "HTTP/1.1", /*add_content_length=*/false),
+          deadline, clock);
+      auto producer = std::move(response.body_stream);
+      producer([&](std::string_view data) {
+        if (outcome == WriteOutcome::kOk && !data.empty()) {
+          outcome = WriteWithDeadline(client, EncodeChunk(data), deadline, clock);
+        }
+      });
+      if (outcome == WriteOutcome::kOk) {
+        outcome = WriteWithDeadline(client, FinalChunk(), deadline, clock);
+      }
+    } else {
+      MaterializeBodyStream(&response);
+      outcome =
+          WriteWithDeadline(client, SerializeHttpResponse(response, "HTTP/1.1"), deadline, clock);
+    }
     if (outcome == WriteOutcome::kDeadline) {
       deadline_kills_.fetch_add(1);
       if (deadline_kills_counter_ != nullptr) {

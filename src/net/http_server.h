@@ -210,8 +210,14 @@ class HttpServer {
 
   // The shared dispatch path: 400 for an unparseable request, a z-page,
   // the /metrics scrape, or the handler (counted into the request series,
-  // traced when a recorder is wired up).
+  // traced when a recorder is wired up). HEAD requests are answered with
+  // the GET-equivalent headers + Content-Length and no body on every
+  // serving mode (RFC 7231 §4.3.2).
   HttpResponse Dispatch(const Result<HttpRequest>& request);
+  HttpResponse DispatchInner(const Result<HttpRequest>& request);
+  // Dispatch for paths that cannot stream (legacy blocking loop, wire-shaped
+  // fault connections): a streamed body is materialized before serializing.
+  HttpResponse DispatchBuffered(const Result<HttpRequest>& request);
   // The z-page responses (Dispatch helpers).
   HttpResponse HealthzResponse() const;
   HttpResponse StatuszResponse() const;

@@ -1,5 +1,7 @@
 #include "net/http_wire.h"
 
+#include <cstdio>
+
 namespace weblint {
 
 namespace {
@@ -43,15 +45,140 @@ void ParseHeaderFields(const std::vector<std::string_view>& lines, size_t first,
   }
 }
 
-// Extracts the body per Content-Length. The header is untrusted input: a
-// negative, non-numeric, or absent value falls back to "everything after
-// the blank line"; a value larger than the bytes actually present is a
-// short read and sets `*truncated` — it must never be reported as a
-// complete body (silent success hides mid-body drops).
-std::string TakeBody(std::string_view raw, size_t body_start,
-                     const std::map<std::string, std::string, ILess>& headers,
-                     bool* truncated) {
+// Chunk-size lines longer than this without a terminator are hostile, not
+// merely incomplete (a real size line is a few hex digits plus extensions).
+constexpr size_t kMaxChunkLineBytes = 1024;
+// Declared chunk sizes past this are rejected outright: no legitimate peer
+// sends a single 1 GiB chunk, and accepting the declaration would make the
+// scanner wait forever for bytes that will never come within any fetch cap.
+constexpr std::uint64_t kMaxChunkBytes = 1ull << 30;
+
+enum class ChunkScan { kComplete, kIncomplete, kMalformed };
+
+// Consumes one line (terminated by \r\n or bare \n, matching the header
+// parser's leniency) starting at *pos. Returns false while the terminator
+// has not arrived; on success *line excludes the terminator.
+bool TakeLine(std::string_view raw, size_t* pos, std::string_view* line) {
+  const size_t nl = raw.find('\n', *pos);
+  if (nl == std::string_view::npos) {
+    return false;
+  }
+  *line = raw.substr(*pos, nl - *pos);
+  if (!line->empty() && line->back() == '\r') {
+    line->remove_suffix(1);
+  }
+  *pos = nl + 1;
+  return true;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Scans chunked-body framing beginning at raw[0] (the byte after the header
+// block's blank line). Decoded chunk data is appended to *decoded when
+// non-null — including the partial prefix of an incomplete scan, so a
+// truncated reply still surfaces the bytes that did arrive. On kComplete,
+// *end_offset is the offset just past the trailer section's blank line.
+ChunkScan ScanChunkedBody(std::string_view raw, std::string* decoded,
+                          size_t* end_offset) {
+  size_t pos = 0;
+  for (;;) {
+    std::string_view size_line;
+    size_t line_start = pos;
+    if (!TakeLine(raw, &pos, &size_line)) {
+      // No terminator yet: incomplete, unless the "line" is already longer
+      // than any honest size line could be.
+      return raw.size() - line_start > kMaxChunkLineBytes ? ChunkScan::kMalformed
+                                                          : ChunkScan::kIncomplete;
+    }
+    if (size_line.size() > kMaxChunkLineBytes) {
+      return ChunkScan::kMalformed;
+    }
+    // Chunk extensions (";name=value") are legal noise: ignore them.
+    std::string_view digits = Trim(size_line.substr(0, size_line.find(';')));
+    if (digits.empty()) {
+      return ChunkScan::kMalformed;
+    }
+    std::uint64_t size = 0;
+    for (char c : digits) {
+      const int v = HexDigit(c);
+      if (v < 0 || size > kMaxChunkBytes) {
+        return ChunkScan::kMalformed;
+      }
+      size = size * 16 + static_cast<std::uint64_t>(v);
+    }
+    if (size > kMaxChunkBytes) {
+      return ChunkScan::kMalformed;
+    }
+    if (size == 0) {
+      // Trailer section: header-style lines, terminated by an empty line.
+      for (;;) {
+        std::string_view trailer;
+        if (!TakeLine(raw, &pos, &trailer)) {
+          return ChunkScan::kIncomplete;
+        }
+        if (trailer.empty()) {
+          if (end_offset != nullptr) {
+            *end_offset = pos;
+          }
+          return ChunkScan::kComplete;
+        }
+      }
+    }
+    const size_t available = raw.size() - pos;
+    if (available < size) {
+      if (decoded != nullptr) {
+        decoded->append(raw.substr(pos));
+      }
+      return ChunkScan::kIncomplete;
+    }
+    if (decoded != nullptr) {
+      decoded->append(raw.substr(pos, size));
+    }
+    pos += size;
+    // The chunk data must be followed by its own line terminator.
+    if (pos == raw.size() || (raw[pos] == '\r' && pos + 1 == raw.size())) {
+      return ChunkScan::kIncomplete;
+    }
+    if (raw[pos] == '\r' && raw[pos + 1] == '\n') {
+      pos += 2;
+    } else if (raw[pos] == '\n') {
+      pos += 1;
+    } else {
+      return ChunkScan::kMalformed;
+    }
+  }
+}
+
+// Extracts the body. Transfer-Encoding: chunked wins over Content-Length
+// (RFC 7230 §3.3.3); malformed chunk framing fails the parse rather than
+// smuggling framing bytes through as content. Otherwise the Content-Length
+// header is untrusted input: a negative, non-numeric, or absent value falls
+// back to "everything after the blank line"; a value larger than the bytes
+// actually present is a short read and sets `*truncated` — it must never be
+// reported as a complete body (silent success hides mid-body drops).
+Result<std::string> TakeBody(std::string_view raw, size_t body_start,
+                             const std::map<std::string, std::string, ILess>& headers,
+                             bool* truncated) {
   std::string_view body = raw.substr(std::min(body_start, raw.size()));
+  if (UsesChunkedEncoding(headers)) {
+    std::string decoded;
+    switch (ScanChunkedBody(body, &decoded, nullptr)) {
+      case ChunkScan::kMalformed:
+        return Fail("malformed chunked body");
+      case ChunkScan::kIncomplete:
+        if (truncated != nullptr) {
+          *truncated = true;
+        }
+        [[fallthrough]];
+      case ChunkScan::kComplete:
+        return decoded;
+    }
+  }
   const auto it = headers.find("content-length");
   if (it != headers.end()) {
     std::uint32_t length = 0;
@@ -67,6 +194,11 @@ std::string TakeBody(std::string_view raw, size_t body_start,
 }
 
 }  // namespace
+
+bool UsesChunkedEncoding(const std::map<std::string, std::string, ILess>& headers) {
+  const auto it = headers.find("transfer-encoding");
+  return it != headers.end() && IContains(it->second, "chunked");
+}
 
 std::string_view HttpRequest::Query() const {
   const size_t q = target.find('?');
@@ -97,12 +229,16 @@ Result<HttpRequest> ParseHttpRequest(std::string_view raw) {
   request.version = parts.size() > 2 ? std::string(parts[2]) : "HTTP/0.9";
   ParseHeaderFields(lines, 1, &request.headers);
   if (body_start != std::string_view::npos) {
-    request.body = TakeBody(raw, body_start, request.headers, nullptr);
+    Result<std::string> body = TakeBody(raw, body_start, request.headers, nullptr);
+    if (!body.ok()) {
+      return body.status();
+    }
+    request.body = std::move(body).value();
   }
   return request;
 }
 
-Result<HttpResponse> ParseHttpResponse(std::string_view raw) {
+Result<HttpResponse> ParseHttpResponse(std::string_view raw, bool request_was_head) {
   const size_t body_start = HeaderEnd(raw);
   const std::string_view header_section =
       body_start == std::string_view::npos ? raw : raw.substr(0, body_start);
@@ -125,8 +261,16 @@ Result<HttpResponse> ParseHttpResponse(std::string_view raw) {
     response.reason = std::string(lines[0].substr(reason_at));
   }
   ParseHeaderFields(lines, 1, &response.headers);
+  if (request_was_head) {
+    return response;  // HEAD replies have no body; headers are metadata only.
+  }
   if (body_start != std::string_view::npos) {
-    response.body = TakeBody(raw, body_start, response.headers, &response.body_truncated);
+    Result<std::string> body =
+        TakeBody(raw, body_start, response.headers, &response.body_truncated);
+    if (!body.ok()) {
+      return body.status();
+    }
+    response.body = std::move(body).value();
   }
   return response;
 }
@@ -147,7 +291,9 @@ std::string SerializeHttpRequest(const HttpRequest& request) {
   return out;
 }
 
-std::string SerializeHttpResponse(const HttpResponse& response, std::string_view version) {
+std::string SerializeHttpResponseHead(const HttpResponse& response,
+                                      std::string_view version,
+                                      bool add_content_length) {
   const std::string reason = response.reason.empty()
                                  ? std::string(ReasonPhrase(response.status))
                                  : response.reason;
@@ -159,16 +305,52 @@ std::string SerializeHttpResponse(const HttpResponse& response, std::string_view
     out += name + ": " + value + "\r\n";
     has_length = has_length || IEquals(name, "content-length");
   }
-  if (!has_length) {
+  if (add_content_length && !has_length) {
     out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   }
   out += "\r\n";
-  out += response.body;
   return out;
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response, std::string_view version) {
+  return SerializeHttpResponseHead(response, version, /*add_content_length=*/true) +
+         response.body;
+}
+
+std::string EncodeChunk(std::string_view data) {
+  if (data.empty()) {
+    return std::string();
+  }
+  char size_line[32];
+  const int n = std::snprintf(size_line, sizeof size_line, "%zx\r\n", data.size());
+  std::string out(size_line, static_cast<size_t>(n));
+  out += data;
+  out += "\r\n";
+  return out;
+}
+
+std::string_view FinalChunk() { return "0\r\n\r\n"; }
+
+void MaterializeBodyStream(HttpResponse* response) {
+  if (!response->body_stream) {
+    return;
+  }
+  auto producer = std::move(response->body_stream);
+  response->body_stream = nullptr;
+  producer([response](std::string_view data) { response->body += data; });
 }
 
 bool HttpMessageComplete(std::string_view buffer) {
   return HttpMessageLength(buffer) != std::string_view::npos;
+}
+
+bool HttpResponseComplete(std::string_view buffer, bool request_was_head) {
+  if (request_was_head) {
+    // A HEAD reply ends at the header block; its Content-Length (if any)
+    // describes the body a GET would have carried.
+    return HeaderEnd(buffer) != std::string_view::npos;
+  }
+  return HttpMessageComplete(buffer);
 }
 
 size_t HttpMessageLength(std::string_view buffer) {
@@ -179,6 +361,20 @@ size_t HttpMessageLength(std::string_view buffer) {
   const auto lines = HeaderLines(buffer.substr(0, body_start));
   std::map<std::string, std::string, ILess> headers;
   ParseHeaderFields(lines, 1, &headers);
+  if (UsesChunkedEncoding(headers)) {
+    size_t end = 0;
+    switch (ScanChunkedBody(buffer.substr(body_start), nullptr, &end)) {
+      case ChunkScan::kComplete:
+        return body_start + end;
+      case ChunkScan::kIncomplete:
+        return std::string_view::npos;
+      case ChunkScan::kMalformed:
+        // Untrusted framing: frame the message at its header block so the
+        // parser (handed exactly these bytes) sees no body, and a server
+        // treats the garbage as the next — unparseable — request.
+        return body_start;
+    }
+  }
   const auto it = headers.find("content-length");
   if (it == headers.end()) {
     return body_start;  // No declared body: the message ends at the blank line.

@@ -41,25 +41,63 @@ Result<HttpRequest> ParseHttpRequest(std::string_view raw);
 // malformed or negative value is ignored (body = everything after the blank
 // line); a declared length longer than the bytes present marks the result
 // body_truncated — short reads are surfaced, never silently accepted.
-Result<HttpResponse> ParseHttpResponse(std::string_view raw);
+// Transfer-Encoding: chunked takes precedence over Content-Length
+// (RFC 7230 §3.3.3): the body is de-chunked, malformed chunk framing fails
+// the parse, and a reply cut off before the final chunk is body_truncated.
+// When `request_was_head` the response has no body by definition —
+// Content-Length is metadata about the would-be GET body, never a
+// truncation signal.
+Result<HttpResponse> ParseHttpResponse(std::string_view raw,
+                                       bool request_was_head = false);
 
 // Serializes with CRLF line endings; Content-Length is set from the body.
 std::string SerializeHttpRequest(const HttpRequest& request);
 std::string SerializeHttpResponse(const HttpResponse& response,
                                   std::string_view version = "HTTP/1.0");
 
+// Status line + header block + blank line, no body bytes. With
+// `add_content_length` a Content-Length derived from `response.body` is
+// added when the headers don't carry one. The chunked streaming path uses
+// this with add_content_length=false after setting Transfer-Encoding.
+std::string SerializeHttpResponseHead(const HttpResponse& response,
+                                      std::string_view version,
+                                      bool add_content_length);
+
+// Frames one chunk of a chunked transfer-encoding body: lowercase hex size,
+// CRLF, the data, CRLF. Empty data encodes to "" (a zero-size chunk would
+// terminate the body early).
+std::string EncodeChunk(std::string_view data);
+
+// The body terminator: zero-size chunk plus the empty trailer section.
+std::string_view FinalChunk();
+
+// True when the header block declares Transfer-Encoding: chunked.
+bool UsesChunkedEncoding(const std::map<std::string, std::string, ILess>& headers);
+
+// Runs a streamed response's body producer to completion, appending into
+// `body`, and clears the producer. Serving paths that must send a
+// Content-Length body (legacy blocking loop, HTTP/1.0 clients, HEAD) call
+// this; the bytes are identical to what the chunked path would have sent.
+void MaterializeBodyStream(HttpResponse* response);
+
 // True once `buffer` holds a complete message: the header section plus, if
-// Content-Length is declared, that many body bytes. Drives the server's
-// read loop.
+// Content-Length is declared, that many body bytes (or, for chunked
+// messages, framing through the final chunk and trailer). Drives the
+// server's read loop.
 bool HttpMessageComplete(std::string_view buffer);
 
+// Response completeness as seen by a client: identical to
+// HttpMessageComplete except that a reply to HEAD ends at the header block
+// no matter what body length the headers advertise.
+bool HttpResponseComplete(std::string_view buffer, bool request_was_head);
+
 // The byte length of the first complete message in `buffer` (header section
-// plus the declared Content-Length body; no Content-Length means no body),
-// or npos while the message is still incomplete. This is the keep-alive
-// framing primitive: a connection buffer may hold several pipelined
-// requests, and each must be parsed from exactly its own bytes — handing
-// ParseHttpRequest the whole buffer would swallow the next request as the
-// previous one's body.
+// plus the declared Content-Length body; no Content-Length means no body;
+// chunked framing is scanned through its final chunk), or npos while the
+// message is still incomplete. This is the keep-alive framing primitive: a
+// connection buffer may hold several pipelined requests, and each must be
+// parsed from exactly its own bytes — handing ParseHttpRequest the whole
+// buffer would swallow the next request as the previous one's body.
 size_t HttpMessageLength(std::string_view buffer);
 
 }  // namespace weblint

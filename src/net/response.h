@@ -4,6 +4,7 @@
 #ifndef WEBLINT_NET_RESPONSE_H_
 #define WEBLINT_NET_RESPONSE_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -36,6 +37,15 @@ struct HttpResponse {
   // The body is shorter than its declared Content-Length (short read /
   // mid-body drop). The truncated prefix is retained in `body`.
   bool body_truncated = false;
+  // Optional incremental body producer. A handler that wants progressive
+  // delivery sets this instead of (or in addition to) `body`; each sink()
+  // call becomes one chunk on the wire when the serving path speaks
+  // HTTP/1.1 chunked transfer-encoding. Paths that cannot stream (legacy
+  // blocking loop, HTTP/1.0 clients, HEAD, fault-shaped connections)
+  // materialize the producer into `body` first — the delivered bytes are
+  // identical either way.
+  using BodySink = std::function<void(std::string_view)>;
+  std::function<void(const BodySink&)> body_stream;
 
   bool ok() const { return status >= 200 && status < 300; }
   bool IsRedirect() const { return status == 301 || status == 302 || status == 303 ||

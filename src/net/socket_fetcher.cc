@@ -128,11 +128,15 @@ HttpResponse SocketFetcher::RoundTrip(const Url& url, std::string_view method) {
   // max_response_bytes so RobustFetcher can tell "too large" from "exactly
   // at the limit".
   const size_t cap = policy_.max_header_bytes + policy_.max_response_bytes + 1;
+  // A reply to HEAD is framed at its header block: the server sends
+  // Content-Length metadata but no body, so waiting for declared bytes
+  // would misread every compliant HEAD reply as truncated.
+  const bool is_head = IEquals(method, "HEAD");
   std::string buffer;
   char chunk[4096];
   bool timed_out = false;
   bool peer_closed = false;
-  while (!HttpMessageComplete(buffer) && buffer.size() < cap) {
+  while (!HttpResponseComplete(buffer, is_head) && buffer.size() < cap) {
     const long n = ReadRetry(fd, chunk, sizeof(chunk));
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       timed_out = true;
@@ -150,11 +154,11 @@ HttpResponse SocketFetcher::RoundTrip(const Url& url, std::string_view method) {
     return TransportFail(timed_out ? TransportError::kTimeout : TransportError::kReset,
                          timed_out ? "read timed out" : "connection closed before reply");
   }
-  if (timed_out && !HttpMessageComplete(buffer)) {
+  if (timed_out && !HttpResponseComplete(buffer, is_head)) {
     return TransportFail(TransportError::kTimeout, "read timed out mid-reply");
   }
 
-  auto parsed = ParseHttpResponse(buffer);
+  auto parsed = ParseHttpResponse(buffer, is_head);
   if (!parsed.ok()) {
     return TransportFail(TransportError::kMalformed, parsed.error());
   }

@@ -22,6 +22,7 @@
 
 #include "core/linter.h"
 #include "gateway/gateway.h"
+#include "gateway/tenant.h"
 #include "net/fetcher.h"
 #include "net/http_server.h"
 #include "net/socket_fetcher.h"
@@ -30,6 +31,7 @@
 #include "telemetry/metrics.h"
 #include "telemetry/trace_context.h"
 #include "util/args.h"
+#include "util/file_io.h"
 #include "util/strings.h"
 
 namespace {
@@ -65,8 +67,11 @@ int Run(int argc, char** argv) {
   bool no_http_header = false;
   bool serve = false;
   bool event_driven = false;
+  bool stream = false;
   bool show_help = false;
   std::string cache_dir;
+  std::string tenants_file;
+  std::string slo_p95_arg = "0";
   std::string fetch_timeout_arg;
   std::string fetch_retries_arg;
   std::string max_fetch_bytes_arg;
@@ -96,6 +101,20 @@ int Run(int argc, char** argv) {
                  "with --serve: hold connections on an epoll reactor so idle keep-alive "
                  "costs a watched fd, not a worker thread",
                  &event_driven);
+  parser.AddFlag("--stream",
+                 "with --serve: deliver HTTP/1.1 responses with chunked "
+                 "transfer-encoding, flushing batch report sections as pages complete "
+                 "(a request's stream=0 field forces buffering)",
+                 &stream);
+  parser.AddOption("--tenants-file",
+                   "with --serve: per-tenant configs and quotas, one 'key=... rate=... "
+                   "priority=...' line per tenant; requests present the key in the "
+                   "X-Weblint-Api-Key header",
+                   &tenants_file);
+  parser.AddOption("--slo-p95-ms",
+                   "with --serve: shed lowest-priority requests with 503 while the "
+                   "live request-latency p95 exceeds this many milliseconds (0 = off)",
+                   &slo_p95_arg);
   parser.AddOption("--drain-grace-ms",
                    "with --serve: on SIGINT/SIGTERM, fail /healthz for this long (lame-duck) "
                    "before draining, so load balancers stop routing first",
@@ -181,7 +200,9 @@ int Run(int argc, char** argv) {
     SocketFetcher socket;
   };
   SchemeRoutingFetcher fetcher(FetchPolicyFromConfig(lint.config()));
-  Gateway gateway(lint, &fetcher);
+  GatewayOptions gateway_options;
+  gateway_options.streaming = stream;
+  Gateway gateway(lint, &fetcher, gateway_options);
 
   if (serve) {
     std::uint32_t port = 0;
@@ -189,12 +210,14 @@ int Run(int argc, char** argv) {
     std::uint32_t max_queue = 0;
     std::uint32_t request_timeout_ms = 0;
     std::uint32_t drain_grace_ms = 0;
+    std::uint32_t slo_p95_ms = 0;
     if (!ParseUint(port_arg, &port) || port > 65535 || !ParseUint(threads_arg, &threads) ||
         !ParseUint(max_queue_arg, &max_queue) ||
         !ParseUint(request_timeout_arg, &request_timeout_ms) ||
-        !ParseUint(drain_grace_arg, &drain_grace_ms)) {
+        !ParseUint(drain_grace_arg, &drain_grace_ms) ||
+        !ParseUint(slo_p95_arg, &slo_p95_ms)) {
       std::fprintf(stderr, "weblint-gateway: bad --port/--threads/--max-queue/"
-                           "--request-timeout/--drain-grace-ms value\n");
+                           "--request-timeout/--drain-grace-ms/--slo-p95-ms value\n");
       return 2;
     }
     MetricsRegistry registry;
@@ -202,8 +225,35 @@ int Run(int argc, char** argv) {
     lint.EnableMetrics(&registry);
     TraceRecorder recorder;
     TraceRecorder::Install(&recorder);
+    // Multi-tenant layer: resolve each request's API key to its tenant's
+    // own Gateway/quota, shed by priority when over the latency SLO. With
+    // no --tenants-file and --slo-p95-ms 0 this degenerates to the plain
+    // single-tenant handler.
+    std::unique_ptr<TenantRegistry> tenants;
+    if (!tenants_file.empty()) {
+      auto text = ReadFile(tenants_file);
+      if (!text.ok()) {
+        std::fprintf(stderr, "weblint-gateway: --tenants-file: %s\n", text.error().c_str());
+        return 1;
+      }
+      auto specs = ParseTenantsFile(*text);
+      if (!specs.ok()) {
+        std::fprintf(stderr, "weblint-gateway: %s\n", specs.error().c_str());
+        return 1;
+      }
+      auto built = TenantRegistry::Create(lint.config(), *specs, &fetcher, gateway_options,
+                                          &registry, /*metrics_clock=*/nullptr);
+      if (!built.ok()) {
+        std::fprintf(stderr, "weblint-gateway: %s\n", built.error().c_str());
+        return 1;
+      }
+      tenants = std::move(built).value();
+    }
+    AdmissionController admission(registry.GetHistogram("weblint_http_request_micros"),
+                                  slo_p95_ms, &registry);
+    TenantService service(&gateway, tenants.get(), &admission, /*clock=*/nullptr);
     HttpServer server(
-        [&gateway](const HttpRequest& request) { return gateway.HandleHttp(request); });
+        [&service](const HttpRequest& request) { return service.Handle(request); });
     server.EnableMetrics(&registry);
     HttpServerIntrospection introspection;
     introspection.metrics = &registry;
@@ -232,7 +282,9 @@ int Run(int argc, char** argv) {
                  server.port());
     WEBLINT_LOG(kInfo, "gateway", "serve-start",
                 {{"port", std::to_string(server.port())},
-                 {"mode", event_driven ? "event-driven" : "threaded"}});
+                 {"mode", event_driven ? "event-driven" : "threaded"},
+                 {"tenants", std::to_string(tenants != nullptr ? tenants->size() : 0)},
+                 {"slo_p95_ms", std::to_string(slo_p95_ms)}});
     while (g_stop == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }

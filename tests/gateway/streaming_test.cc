@@ -1,0 +1,253 @@
+// Streaming gateway responses: the "urls" batch report flushed page by page
+// through the parallel runner's submit-order frontier, delivered either
+// buffered or as HTTP/1.1 chunks. The load-bearing contract is
+// byte-identity — streamed and buffered responses must concatenate to the
+// same bytes at every job count, on both serving modes.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "core/linter.h"
+#include "gateway/gateway.h"
+#include "net/http_server.h"
+#include "net/virtual_web.h"
+#include "tests/testing/lint_helpers.h"
+#include "util/strings.h"
+
+namespace weblint {
+namespace {
+
+using testing::Page;
+
+// A small site: clean pages, dirty pages, and one URL that will 404.
+VirtualWeb BuildWeb() {
+  VirtualWeb web;
+  web.AddPage("http://site/clean0.html", Page("<P>clean zero</P>"));
+  web.AddPage("http://site/dirty1.html", "<B>unclosed number one");
+  web.AddPage("http://site/clean2.html", Page("<P>clean two</P>"));
+  web.AddPage("http://site/dirty3.html", "<I>unclosed number <B>three");
+  web.AddPage("http://site/clean4.html", Page("<P>clean four</P>"));
+  return web;
+}
+
+const char* kUrls[] = {
+    "http://site/clean0.html", "http://site/dirty1.html", "http://site/missing.html",
+    "http://site/clean2.html", "http://site/dirty3.html", "http://site/clean4.html",
+};
+
+std::string UrlsField() {
+  std::string urls;
+  for (const char* url : kUrls) {
+    if (!urls.empty()) {
+      urls += ' ';
+    }
+    urls += url;
+  }
+  return urls;
+}
+
+// Runs one gateway request and returns the fully materialized response.
+HttpResponse RunGateway(const Gateway& gateway, std::string_view stream_field) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/check";
+  request.version = "HTTP/1.1";
+  request.headers["content-type"] = "application/x-www-form-urlencoded";
+  std::string urls = UrlsField();
+  for (char& c : urls) {
+    if (c == ' ') {
+      c = '+';  // Form encoding.
+    }
+  }
+  request.body = "urls=" + urls;
+  if (!stream_field.empty()) {
+    request.body += "&stream=" + std::string(stream_field);
+  }
+  HttpResponse response = gateway.HandleHttp(request);
+  MaterializeBodyStream(&response);
+  return response;
+}
+
+TEST(GatewayStreamingTest, StreamFieldSelectsProducerDelivery) {
+  Weblint lint;
+  VirtualWeb web = BuildWeb();
+  Gateway gateway(lint, &web);
+  HttpRequest request;
+  request.method = "POST";
+  request.version = "HTTP/1.1";
+  request.headers["content-type"] = "application/x-www-form-urlencoded";
+  request.body = "html=%3CP%3Ex%3C%2FP%3E&stream=1";
+  HttpResponse streamed = gateway.HandleHttp(request);
+  EXPECT_TRUE(static_cast<bool>(streamed.body_stream));
+  EXPECT_TRUE(streamed.body.empty());
+
+  request.body = "html=%3CP%3Ex%3C%2FP%3E";
+  HttpResponse buffered = gateway.HandleHttp(request);
+  EXPECT_FALSE(static_cast<bool>(buffered.body_stream));
+  EXPECT_FALSE(buffered.body.empty());
+
+  // --stream makes streaming the default; stream=0 opts a request out.
+  GatewayOptions options;
+  options.streaming = true;
+  Gateway default_streaming(lint, &web, options);
+  EXPECT_TRUE(static_cast<bool>(default_streaming.HandleHttp(request).body_stream));
+  request.body = "html=%3CP%3Ex%3C%2FP%3E&stream=0";
+  EXPECT_FALSE(static_cast<bool>(default_streaming.HandleHttp(request).body_stream));
+}
+
+TEST(GatewayStreamingTest, StreamedAndBufferedByteIdenticalAtEveryJobCount) {
+  VirtualWeb web = BuildWeb();
+  std::string reference;
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    Weblint lint;
+    lint.config().jobs = jobs;
+    Gateway gateway(lint, &web);
+    const HttpResponse buffered = RunGateway(gateway, "0");
+    const HttpResponse streamed = RunGateway(gateway, "1");
+    ASSERT_FALSE(buffered.body.empty());
+    EXPECT_EQ(buffered.body, streamed.body) << "jobs=" << jobs;
+    if (reference.empty()) {
+      reference = buffered.body;
+    } else {
+      EXPECT_EQ(buffered.body, reference) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(GatewayStreamingTest, BatchSectionsArriveInSubmissionOrder) {
+  Weblint lint;
+  lint.config().jobs = 8;  // Order must hold even with parallel lint.
+  VirtualWeb web = BuildWeb();
+  Gateway gateway(lint, &web);
+  const HttpResponse response = RunGateway(gateway, "1");
+  size_t last = 0;
+  for (const char* url : kUrls) {
+    const size_t at = response.body.find(StrFormat("Report for %s", url));
+    ASSERT_NE(at, std::string::npos) << url;
+    EXPECT_GT(at, last) << url;
+    last = at;
+  }
+}
+
+TEST(GatewayStreamingTest, FetchFailureDegradesThatPageOnly) {
+  Weblint lint;
+  VirtualWeb web = BuildWeb();
+  Gateway gateway(lint, &web);
+  const HttpResponse response = RunGateway(gateway, "1");
+  EXPECT_NE(response.body.find("fetch-failed"), std::string::npos);
+  // Every submitted URL still occupies a report slot.
+  EXPECT_NE(response.body.find(StrFormat("in %d page(s)", 6)), std::string::npos);
+  // The dirty pages' findings survive alongside the failure.
+  EXPECT_NE(response.body.find("unclosed-element"), std::string::npos);
+}
+
+TEST(GatewayStreamingTest, BatchNeedsAFetcher) {
+  Weblint lint;
+  Gateway gateway(lint, nullptr);
+  const HttpResponse response = RunGateway(gateway, "1");
+  EXPECT_NE(response.body.find("no URL retrieval support"), std::string::npos);
+}
+
+// ---- end to end over the serving layer --------------------------------
+
+// One-shot raw client: sends `raw_request`, reads to EOF, parses.
+Result<HttpResponse> RoundTrip(std::uint16_t port, const std::string& raw_request,
+                               std::string* raw_out = nullptr) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Fail("socket failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Fail("connect failed");
+  }
+  size_t written = 0;
+  while (written < raw_request.size()) {
+    const ssize_t n =
+        ::send(fd, raw_request.data() + written, raw_request.size() - written, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return Fail("send failed");
+    }
+    written += static_cast<size_t>(n);
+  }
+  std::string bytes;
+  char chunk[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    bytes.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (raw_out != nullptr) {
+    *raw_out = bytes;
+  }
+  return ParseHttpResponse(bytes);
+}
+
+std::string BatchPost(std::string_view stream_field) {
+  std::string urls = UrlsField();
+  for (char& c : urls) {
+    if (c == ' ') {
+      c = '+';
+    }
+  }
+  std::string body = "urls=" + urls;
+  if (!stream_field.empty()) {
+    body += "&stream=" + std::string(stream_field);
+  }
+  return "POST /check HTTP/1.1\r\nhost: t\r\n"
+         "content-type: application/x-www-form-urlencoded\r\n"
+         "content-length: " +
+         std::to_string(body.size()) + "\r\nconnection: close\r\n\r\n" + body;
+}
+
+TEST(GatewayStreamingTest, ServedBytesIdenticalAcrossModesAndDeliveries) {
+  Weblint lint;
+  lint.config().jobs = 4;
+  VirtualWeb web = BuildWeb();
+  Gateway gateway(lint, &web);
+
+  std::vector<std::string> bodies;
+  bool saw_chunked = false;
+  for (const bool event_driven : {false, true}) {
+    HttpServer server(
+        [&gateway](const HttpRequest& request) { return gateway.HandleHttp(request); });
+    ASSERT_TRUE(server.Listen(0).ok());
+    HttpServerOptions options;
+    options.threads = 2;
+    options.event_driven = event_driven;
+    ASSERT_TRUE(server.Start(options).ok());
+
+    std::string streamed_raw;
+    auto streamed = RoundTrip(server.port(), BatchPost("1"), &streamed_raw);
+    ASSERT_TRUE(streamed.ok()) << streamed.error();
+    EXPECT_EQ(streamed->status, 200);
+    EXPECT_EQ(streamed->Header("transfer-encoding"), "chunked");
+    EXPECT_FALSE(streamed->body_truncated);
+    saw_chunked = saw_chunked || streamed_raw.find("\r\n0\r\n") != std::string::npos;
+
+    auto buffered = RoundTrip(server.port(), BatchPost("0"));
+    ASSERT_TRUE(buffered.ok()) << buffered.error();
+    EXPECT_TRUE(buffered->Header("transfer-encoding").empty());
+
+    bodies.push_back(streamed->body);
+    bodies.push_back(buffered->body);
+    server.Drain();
+  }
+  EXPECT_TRUE(saw_chunked);
+  for (const std::string& body : bodies) {
+    EXPECT_EQ(body, bodies.front());  // Mode and delivery never change bytes.
+  }
+}
+
+}  // namespace
+}  // namespace weblint

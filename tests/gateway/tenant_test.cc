@@ -1,0 +1,324 @@
+// The multi-tenant serving layer: tenants-file parsing, the token bucket on
+// the injected clock, SLO-aware admission control, and the TenantService
+// request flow (401 / 429 + Retry-After / 503 shed / per-tenant configs and
+// metric labels). Everything runs on FakeClock or histogram contents — no
+// wall time — so the suite is deterministic under TSan and ASan.
+#include "gateway/tenant.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/linter.h"
+#include "gateway/gateway.h"
+#include "telemetry/metrics.h"
+#include "util/clock.h"
+
+namespace weblint {
+namespace {
+
+// ---- tenants-file parsing --------------------------------------------
+
+TEST(TenantsFileTest, ParsesFieldsAndDefaults) {
+  auto specs = ParseTenantsFile(
+      "# fleet tenants\n"
+      "\n"
+      "key=alpha-key name=alpha rate=5 burst=10 concurrency=4 priority=2\n"
+      "key=beta-key disable=upper-case,mailto-link enable=bad-link\n");
+  ASSERT_TRUE(specs.ok()) << specs.error();
+  ASSERT_EQ(specs->size(), 2u);
+  const TenantSpec& alpha = (*specs)[0];
+  EXPECT_EQ(alpha.key, "alpha-key");
+  EXPECT_EQ(alpha.name, "alpha");
+  EXPECT_EQ(alpha.rate_per_sec, 5u);
+  EXPECT_EQ(alpha.burst, 10u);
+  EXPECT_EQ(alpha.max_concurrency, 4u);
+  EXPECT_EQ(alpha.priority, 2u);
+  const TenantSpec& beta = (*specs)[1];
+  EXPECT_EQ(beta.name, "beta-key");  // Name defaults to the key.
+  EXPECT_EQ(beta.rate_per_sec, 0u);  // Unlimited unless declared.
+  ASSERT_EQ(beta.disable_ids.size(), 2u);
+  EXPECT_EQ(beta.disable_ids[0], "upper-case");
+  ASSERT_EQ(beta.enable_ids.size(), 1u);
+  EXPECT_EQ(beta.enable_ids[0], "bad-link");
+}
+
+TEST(TenantsFileTest, AnonymousStarNamedAnonymous) {
+  auto specs = ParseTenantsFile("key=* rate=1\n");
+  ASSERT_TRUE(specs.ok());
+  EXPECT_EQ((*specs)[0].name, "anonymous");
+}
+
+TEST(TenantsFileTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseTenantsFile("key=a stray-token\n").ok());
+  EXPECT_FALSE(ParseTenantsFile("key=a rate=abc\n").ok());
+  EXPECT_FALSE(ParseTenantsFile("name=unkeyed\n").ok());
+  EXPECT_FALSE(ParseTenantsFile("key=a wat=1\n").ok());
+  EXPECT_FALSE(ParseTenantsFile("key=a\nkey=a\n").ok());
+  // The error carries the offending line number.
+  auto dup = ParseTenantsFile("key=a\nkey=a\n");
+  EXPECT_NE(dup.error().find("line 2"), std::string::npos) << dup.error();
+}
+
+// ---- token bucket ----------------------------------------------------
+
+TEST(TokenBucketTest, BurstThenRefillOnTheCallerClock) {
+  TokenBucket bucket(/*rate_per_sec=*/1, /*burst=*/2);
+  std::uint32_t retry_after = 0;
+  EXPECT_TRUE(bucket.TryAcquire(0, &retry_after));
+  EXPECT_TRUE(bucket.TryAcquire(0, &retry_after));
+  EXPECT_FALSE(bucket.TryAcquire(0, &retry_after));
+  EXPECT_GE(retry_after, 1u);
+  // One second of caller time refills one token — no wall clock involved.
+  EXPECT_TRUE(bucket.TryAcquire(1'000'000, &retry_after));
+  EXPECT_FALSE(bucket.TryAcquire(1'000'000, &retry_after));
+}
+
+TEST(TokenBucketTest, BurstDefaultsToRate) {
+  TokenBucket bucket(/*rate_per_sec=*/3, /*burst=*/0);
+  EXPECT_TRUE(bucket.TryAcquire(0, nullptr));
+  EXPECT_TRUE(bucket.TryAcquire(0, nullptr));
+  EXPECT_TRUE(bucket.TryAcquire(0, nullptr));
+  EXPECT_FALSE(bucket.TryAcquire(0, nullptr));
+}
+
+TEST(TokenBucketTest, RefillNeverExceedsBurst) {
+  TokenBucket bucket(/*rate_per_sec=*/10, /*burst=*/2);
+  EXPECT_TRUE(bucket.TryAcquire(0, nullptr));
+  // An hour of idleness still caps the bucket at its burst.
+  EXPECT_TRUE(bucket.TryAcquire(3'600'000'000ull, nullptr));
+  EXPECT_TRUE(bucket.TryAcquire(3'600'000'000ull, nullptr));
+  EXPECT_FALSE(bucket.TryAcquire(3'600'000'000ull, nullptr));
+}
+
+TEST(TokenBucketTest, RetryAfterCoversTheDeficit) {
+  TokenBucket bucket(/*rate_per_sec=*/1, /*burst=*/1);
+  EXPECT_TRUE(bucket.TryAcquire(0, nullptr));
+  std::uint32_t retry_after = 0;
+  EXPECT_FALSE(bucket.TryAcquire(500'000, &retry_after));  // Half a token short.
+  EXPECT_EQ(retry_after, 1u);  // ceil(max(0.5s, 1s)) — whole seconds, >= 1.
+}
+
+// ---- admission controller --------------------------------------------
+
+TEST(AdmissionTest, ColdStartAdmitsEverything) {
+  MetricsRegistry registry;
+  Histogram* latency = registry.GetHistogram("test_latency_us");
+  AdmissionController admission(latency, /*slo_p95_ms=*/1, &registry);
+  // A handful of terrible samples below kMinSamples must not trip shedding.
+  for (std::uint64_t i = 0; i < AdmissionController::kMinSamples - 1; ++i) {
+    latency->Record(10'000'000);
+  }
+  EXPECT_TRUE(admission.Admit(0));
+}
+
+TEST(AdmissionTest, HealthyP95AdmitsEverything) {
+  MetricsRegistry registry;
+  Histogram* latency = registry.GetHistogram("test_latency_us");
+  AdmissionController admission(latency, /*slo_p95_ms=*/100, &registry);
+  for (int i = 0; i < 100; ++i) {
+    latency->Record(10'000);  // 10ms, comfortably inside the 100ms SLO.
+  }
+  EXPECT_TRUE(admission.Admit(0));
+  EXPECT_EQ(registry.GaugeValue("weblint_gateway_slo_shed_priority"), -1);
+  EXPECT_EQ(registry.CounterValue("weblint_gateway_slo_shed_total"), 0u);
+}
+
+TEST(AdmissionTest, GrossOverloadShedsUpToPriorityTwo) {
+  MetricsRegistry registry;
+  Histogram* latency = registry.GetHistogram("test_latency_us");
+  AdmissionController admission(latency, /*slo_p95_ms=*/100, &registry);
+  for (int i = 0; i < 100; ++i) {
+    latency->Record(1'000'000);  // 1s: 10x the SLO.
+  }
+  EXPECT_FALSE(admission.Admit(0));
+  EXPECT_FALSE(admission.Admit(1));
+  EXPECT_FALSE(admission.Admit(2));
+  EXPECT_TRUE(admission.Admit(3));  // Degrades, never blackholes.
+  EXPECT_GT(admission.last_p95_us(), admission.slo_us());
+  // Shedding is observable: gauges for /statusz, a counter for alerts.
+  EXPECT_EQ(registry.GaugeValue("weblint_gateway_slo_shed_priority"), 2);
+  EXPECT_GT(registry.GaugeValue("weblint_gateway_slo_p95_us"), 100'000);
+  EXPECT_EQ(registry.CounterValue("weblint_gateway_slo_shed_total"), 3u);
+}
+
+TEST(AdmissionTest, DisabledWithoutSloOrHistogram) {
+  MetricsRegistry registry;
+  Histogram* latency = registry.GetHistogram("test_latency_us");
+  for (int i = 0; i < 100; ++i) {
+    latency->Record(10'000'000);
+  }
+  AdmissionController no_slo(latency, /*slo_p95_ms=*/0, &registry);
+  EXPECT_TRUE(no_slo.Admit(0));
+  AdmissionController no_histogram(nullptr, /*slo_p95_ms=*/1, &registry);
+  EXPECT_TRUE(no_histogram.Admit(0));
+}
+
+// ---- the tenant service ----------------------------------------------
+
+HttpRequest Paste(std::string_view html, std::string_view api_key = "") {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/check";
+  request.version = "HTTP/1.1";
+  request.headers["content-type"] = "application/x-www-form-urlencoded";
+  if (!api_key.empty()) {
+    request.headers["x-weblint-api-key"] = std::string(api_key);
+  }
+  request.body = "html=" + std::string(html);
+  return request;
+}
+
+struct TenantHarness {
+  explicit TenantHarness(std::string_view tenants_text, std::uint32_t slo_p95_ms = 0) {
+    auto specs = ParseTenantsFile(tenants_text);
+    EXPECT_TRUE(specs.ok()) << specs.error();
+    auto built = TenantRegistry::Create(lint.config(), *specs, /*fetcher=*/nullptr,
+                                        GatewayOptions(), &registry, &clock);
+    EXPECT_TRUE(built.ok()) << built.error();
+    tenants = std::move(built).value();
+    latency = registry.GetHistogram("weblint_http_request_micros");
+    admission = std::make_unique<AdmissionController>(latency, slo_p95_ms, &registry);
+    fallback = std::make_unique<Gateway>(lint, nullptr);
+    service = std::make_unique<TenantService>(fallback.get(), tenants.get(),
+                                              admission.get(), &clock);
+  }
+
+  Weblint lint;
+  MetricsRegistry registry;
+  FakeClock clock;
+  Histogram* latency = nullptr;
+  std::unique_ptr<TenantRegistry> tenants;
+  std::unique_ptr<AdmissionController> admission;
+  std::unique_ptr<Gateway> fallback;
+  std::unique_ptr<TenantService> service;
+};
+
+// Reads a per-tenant labelled counter.
+std::uint64_t registryCount(const TenantHarness& h, std::string_view name,
+                            std::string_view tenant) {
+  return h.registry.CounterValue(name, "tenant", tenant);
+}
+
+TEST(GatewayTenantTest, UnknownApiKeyGets401) {
+  TenantHarness h("key=alpha-key name=alpha\n");
+  const HttpResponse response = h.service->Handle(Paste("<P>x</P>", "who-is-this"));
+  EXPECT_EQ(response.status, 401);
+}
+
+TEST(GatewayTenantTest, MissingKeyServedAsAnonymous) {
+  TenantHarness h("key=alpha-key name=alpha\n");
+  const HttpResponse response = h.service->Handle(Paste("<B>unclosed"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("unclosed-element"), std::string::npos);
+  EXPECT_EQ(
+      registryCount(h, "weblint_gateway_tenant_requests_total", "anonymous"), 1u);
+}
+
+TEST(GatewayTenantTest, ApiKeyHeaderNameMatchedCaseInsensitively) {
+  TenantHarness h("key=alpha-key name=alpha\n");
+  HttpRequest request = Paste("<P>x</P>");
+  request.headers["X-WEBLINT-API-KEY"] = "alpha-key";  // Hostile casing.
+  const HttpResponse response = h.service->Handle(request);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(registryCount(h, "weblint_gateway_tenant_requests_total", "alpha"), 1u);
+}
+
+TEST(GatewayTenantTest, QuotaExhaustionGives429WithRetryAfter) {
+  TenantHarness h("key=alpha-key name=alpha rate=1 burst=2\n");
+  EXPECT_EQ(h.service->Handle(Paste("<P>x</P>", "alpha-key")).status, 200);
+  EXPECT_EQ(h.service->Handle(Paste("<P>x</P>", "alpha-key")).status, 200);
+  const HttpResponse throttled = h.service->Handle(Paste("<P>x</P>", "alpha-key"));
+  EXPECT_EQ(throttled.status, 429);
+  EXPECT_EQ(throttled.Header("retry-after"), "1");
+  EXPECT_EQ(registryCount(h, "weblint_gateway_tenant_throttled_total", "alpha"), 1u);
+  // The advertised wait is honest: one fake second refills one token.
+  h.clock.Advance(1'000'000);
+  EXPECT_EQ(h.service->Handle(Paste("<P>x</P>", "alpha-key")).status, 200);
+  // The anonymous tenant was never charged for any of this.
+  EXPECT_EQ(registryCount(h, "weblint_gateway_tenant_requests_total", "anonymous"), 0u);
+}
+
+TEST(GatewayTenantTest, TwoTenantsGetTheirOwnConfigs) {
+  // Same submission, different tenants, different diagnostics: beta has
+  // unclosed-element disabled, alpha keeps the default set.
+  TenantHarness h(
+      "key=alpha-key name=alpha\n"
+      "key=beta-key name=beta disable=unclosed-element\n");
+  const HttpResponse alpha = h.service->Handle(Paste("<B>unclosed", "alpha-key"));
+  const HttpResponse beta = h.service->Handle(Paste("<B>unclosed", "beta-key"));
+  EXPECT_EQ(alpha.status, 200);
+  EXPECT_EQ(beta.status, 200);
+  EXPECT_NE(alpha.body.find("unclosed-element"), std::string::npos);
+  EXPECT_EQ(beta.body.find("unclosed-element"), std::string::npos);
+  EXPECT_EQ(registryCount(h, "weblint_gateway_tenant_requests_total", "alpha"), 1u);
+  EXPECT_EQ(registryCount(h, "weblint_gateway_tenant_requests_total", "beta"), 1u);
+}
+
+TEST(GatewayTenantTest, BadWarningIdInSpecFailsRegistryConstruction) {
+  Weblint lint;
+  MetricsRegistry registry;
+  auto specs = ParseTenantsFile("key=a disable=no-such-warning\n");
+  ASSERT_TRUE(specs.ok());
+  auto built = TenantRegistry::Create(lint.config(), *specs, nullptr, GatewayOptions(),
+                                      &registry, nullptr);
+  EXPECT_FALSE(built.ok());
+}
+
+TEST(GatewayTenantTest, ConcurrencyCapRefusesExcessInFlight) {
+  TenantHarness h("key=alpha-key name=alpha concurrency=1\n");
+  // Simulate a request already in flight on this tenant; the next arrival
+  // must be refused with 429 + Retry-After, not queued.
+  TenantRegistry::Tenant* tenant = h.tenants->Resolve("alpha-key");
+  ASSERT_NE(tenant, nullptr);
+  tenant->inflight.fetch_add(1);
+  const HttpResponse refused = h.service->Handle(Paste("<P>x</P>", "alpha-key"));
+  EXPECT_EQ(refused.status, 429);
+  EXPECT_EQ(refused.Header("retry-after"), "1");
+  tenant->inflight.fetch_sub(1);
+  EXPECT_EQ(h.service->Handle(Paste("<P>x</P>", "alpha-key")).status, 200);
+  EXPECT_EQ(tenant->inflight.load(), 0u);  // Slots balance across refusals.
+}
+
+TEST(GatewayTenantTest, SloShedPrefersHighPriorityTenants) {
+  TenantHarness h(
+      "key=best-effort name=batch priority=0\n"
+      "key=gold name=gold priority=3\n",
+      /*slo_p95_ms=*/100);
+  // Drive the live request-latency histogram over the SLO — deterministic:
+  // the controller reads only histogram contents, never wall time.
+  for (int i = 0; i < 100; ++i) {
+    h.latency->Record(1'000'000);
+  }
+  const HttpResponse shed = h.service->Handle(Paste("<P>x</P>", "best-effort"));
+  EXPECT_EQ(shed.status, 503);
+  EXPECT_EQ(shed.Header("retry-after"), "1");
+  const HttpResponse served = h.service->Handle(Paste("<P>x</P>", "gold"));
+  EXPECT_EQ(served.status, 200);
+  // Observable on /statusz (gauges) and per-tenant series (shed counter).
+  EXPECT_EQ(registryCount(h, "weblint_gateway_tenant_shed_total", "batch"), 1u);
+  EXPECT_EQ(registryCount(h, "weblint_gateway_tenant_shed_total", "gold"), 0u);
+  EXPECT_EQ(h.registry.GaugeValue("weblint_gateway_slo_shed_priority"), 2);
+  EXPECT_GT(h.registry.GaugeValue("weblint_gateway_slo_p95_us"), 100'000);
+}
+
+TEST(GatewayTenantTest, NullRegistryServesEveryoneThroughFallback) {
+  Weblint lint;
+  Gateway fallback(lint, nullptr);
+  TenantService service(&fallback, /*tenants=*/nullptr, /*admission=*/nullptr,
+                        /*clock=*/nullptr);
+  const HttpResponse response = service.Handle(Paste("<P>x</P>", "any-key-at-all"));
+  EXPECT_EQ(response.status, 200);  // Degenerate single-tenant configuration.
+}
+
+TEST(GatewayTenantTest, TenantDispatchLatencyRecorded) {
+  TenantHarness h("key=alpha-key name=alpha\n");
+  (void)h.service->Handle(Paste("<P>x</P>", "alpha-key"));
+  EXPECT_EQ(
+      h.registry.HistogramValues("weblint_gateway_tenant_micros", "tenant", "alpha").count,
+      1u);
+}
+
+}  // namespace
+}  // namespace weblint

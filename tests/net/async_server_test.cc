@@ -98,6 +98,32 @@ class TestClient {
     return response;
   }
 
+  // Reads one reply to a HEAD request: framed at its header block.
+  Result<HttpResponse> ReadHeadResponse(int timeout_ms = 5000) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (!HttpResponseComplete(buffer_, /*request_was_head=*/true)) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return Fail("client read timeout");
+      }
+      pollfd p{fd_, POLLIN, 0};
+      if (::poll(&p, 1, 50) <= 0) {
+        continue;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) {
+        return Fail("connection ended before the HEAD reply's headers");
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    const size_t frame = buffer_.find("\r\n\r\n") + 4;
+    auto response = ParseHttpResponse(std::string_view(buffer_).substr(0, frame),
+                                      /*request_was_head=*/true);
+    buffer_.erase(0, frame);
+    return response;
+  }
+
   bool WaitForClose(int timeout_ms = 5000) {
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
@@ -590,6 +616,115 @@ TEST(HttpServerReactorTest, MetricsEndpointServedOverTheReactor) {
   EXPECT_NE(scrape->body.find("weblint_http_requests_total 1"), std::string::npos);
   // The reactor's own loop series is registered alongside the HTTP series.
   EXPECT_NE(scrape->body.find("weblint_reactor_fds"), std::string::npos);
+  server.Drain();
+}
+
+// Streams `pieces` for /stream, buffers them for anything else.
+HttpServer::Handler ReactorStreamingEcho(const std::vector<std::string>& pieces) {
+  return [pieces](const HttpRequest& request) {
+    HttpResponse response;
+    response.status = 200;
+    response.headers["content-type"] = "text/plain";
+    if (request.target == "/stream") {
+      response.body_stream = [pieces](const HttpResponse::BodySink& sink) {
+        for (const std::string& piece : pieces) {
+          sink(piece);
+        }
+      };
+    } else {
+      for (const std::string& piece : pieces) {
+        response.body += piece;
+      }
+    }
+    return response;
+  };
+}
+
+TEST(HttpServerReactorTest, StreamedResponseDeliveredChunkedAndByteIdentical) {
+  const std::vector<std::string> pieces = {"alpha ", "beta ", "gamma"};
+  HttpServer server(ReactorStreamingEcho(pieces));
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start(ReactorOptionsWith(2)).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(Get("/stream")));
+  auto streamed = client.ReadResponse();
+  ASSERT_TRUE(streamed.ok()) << streamed.error();
+  EXPECT_EQ(streamed->status, 200);
+  EXPECT_EQ(streamed->Header("transfer-encoding"), "chunked");
+  EXPECT_EQ(streamed->body, "alpha beta gamma");
+
+  // The connection's state machine must come back to readable idle: a
+  // second request on the same socket gets the buffered twin.
+  ASSERT_TRUE(client.Send(Get("/buffered", "close")));
+  auto buffered = client.ReadResponse();
+  ASSERT_TRUE(buffered.ok()) << buffered.error();
+  EXPECT_TRUE(buffered->Header("transfer-encoding").empty());
+  EXPECT_EQ(buffered->body, streamed->body);
+  EXPECT_TRUE(client.WaitForClose());
+  server.Drain();
+}
+
+TEST(HttpServerReactorTest, PipelinedRequestBehindStreamAnsweredAfterIt) {
+  // A request pipelined behind a streaming one must wait for the stream's
+  // final chunk, then be answered in order from its own bytes.
+  HttpServer server(ReactorStreamingEcho({"s1 ", "s2"}));
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start(ReactorOptionsWith(2)).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(Get("/stream") + Get("/second", "close")));
+  auto first = client.ReadResponse();
+  auto second = client.ReadResponse();
+  ASSERT_TRUE(first.ok()) << first.error();
+  ASSERT_TRUE(second.ok()) << second.error();
+  EXPECT_EQ(first->Header("transfer-encoding"), "chunked");
+  EXPECT_EQ(first->body, "s1 s2");
+  EXPECT_TRUE(second->Header("transfer-encoding").empty());
+  EXPECT_EQ(second->body, "s1 s2");
+  server.Drain();
+}
+
+TEST(HttpServerReactorTest, HeadRequestAnswersHeadersOnlyThenKeepAlive) {
+  HttpServer server(ReactorStreamingEcho({"reactor head body"}));
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start(ReactorOptionsWith(1)).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send("HEAD /stream HTTP/1.1\r\nhost: t\r\n\r\n" +
+                          Get("/buffered", "close")));
+  auto head = client.ReadHeadResponse();
+  ASSERT_TRUE(head.ok()) << head.error();
+  EXPECT_EQ(head->status, 200);
+  EXPECT_EQ(head->Header("content-length"), "17");
+  EXPECT_TRUE(head->body.empty());
+  auto get = client.ReadResponse();
+  ASSERT_TRUE(get.ok()) << get.error();
+  EXPECT_EQ(get->body, "reactor head body");
+  server.Drain();
+}
+
+TEST(HttpServerReactorTest, MixedCaseHeaderNamesResolved) {
+  HttpServer server([](const HttpRequest& request) {
+    HttpResponse response;
+    response.status = 200;
+    response.body = std::string(request.Header("x-weblint-api-key"));
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start(ReactorOptionsWith(1)).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send("GET / HTTP/1.1\r\nhost: t\r\nX-WEBLINT-api-key: gamma\r\n"
+                          "CONNECTION: Close\r\n\r\n"));
+  auto response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_EQ(response->body, "gamma");
+  EXPECT_TRUE(client.WaitForClose());
   server.Drain();
 }
 

@@ -1,0 +1,187 @@
+// The client fetch stack against chunked transfer-encoding: both the
+// blocking SocketFetcher and the reactor AsyncFetcher must decode a
+// chunked reply (some origins send it regardless of the request's
+// HTTP/1.0), and must classify hostile framing — bad size hex, a missing
+// final chunk, a body past the fetch cap — instead of passing framing
+// bytes through as content.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/async_fetcher.h"
+#include "net/robust_fetcher.h"
+#include "net/socket_fetcher.h"
+#include "util/strings.h"
+#include "util/url.h"
+
+namespace weblint {
+namespace {
+
+// A one-thread origin that answers every accepted connection with the same
+// canned bytes — no HTTP layer of its own, so tests control the exact wire
+// framing (including deliberately broken framing no server would emit).
+class CannedOrigin {
+ public:
+  explicit CannedOrigin(std::string reply_bytes, size_t connections = 1)
+      : reply_(std::move(reply_bytes)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    EXPECT_EQ(::listen(listen_fd_, 8), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    port_ = ntohs(addr.sin_port);
+    serving_ = std::thread([this, connections] {
+      for (size_t i = 0; i < connections; ++i) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+          return;
+        }
+        // Read until the request's blank line, then send the canned reply
+        // and close — exactly one exchange per connection.
+        std::string request;
+        char chunk[4096];
+        while (request.find("\r\n\r\n") == std::string::npos) {
+          const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+          if (n <= 0) {
+            break;
+          }
+          request.append(chunk, static_cast<size_t>(n));
+        }
+        size_t written = 0;
+        while (written < reply_.size()) {
+          const ssize_t n =
+              ::send(fd, reply_.data() + written, reply_.size() - written, MSG_NOSIGNAL);
+          if (n <= 0) {
+            break;
+          }
+          written += static_cast<size_t>(n);
+        }
+        ::close(fd);
+      }
+    });
+  }
+
+  ~CannedOrigin() {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (serving_.joinable()) {
+      serving_.join();
+    }
+  }
+
+  Url url() const {
+    return ParseUrl(StrFormat("http://127.0.0.1:%d/page.html", port_));
+  }
+
+ private:
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string reply_;
+  std::thread serving_;
+};
+
+FetchPolicy CannedPolicy() {
+  FetchPolicy policy;
+  policy.retries = 0;
+  policy.read_deadline_ms = 500;
+  policy.total_deadline_ms = 3000;
+  policy.backoff_base_ms = 1;
+  policy.backoff_max_ms = 2;
+  return policy;
+}
+
+std::string ChunkedReply(std::string_view framing) {
+  return "HTTP/1.1 200 OK\r\ncontent-type: text/html\r\n"
+         "transfer-encoding: chunked\r\n\r\n" +
+         std::string(framing);
+}
+
+TEST(SocketFetcherChunkedTest, DecodesChunkedReply) {
+  CannedOrigin origin(ChunkedReply("6\r\n<HTML>\r\n7\r\n</HTML>\r\n0\r\n\r\n"));
+  SocketFetcher fetcher(CannedPolicy());
+  const HttpResponse response = fetcher.Get(origin.url());
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "<HTML></HTML>");
+  EXPECT_FALSE(response.body_truncated);
+}
+
+TEST(SocketFetcherChunkedTest, BadChunkSizeHexClassifiedMalformed) {
+  CannedOrigin origin(ChunkedReply("GG\r\nnot-a-chunk\r\n0\r\n\r\n"));
+  SocketFetcher fetcher(CannedPolicy());
+  const HttpResponse response = fetcher.Get(origin.url());
+  EXPECT_EQ(response.status, 0);
+  EXPECT_EQ(response.transport, TransportError::kMalformed);
+}
+
+TEST(SocketFetcherChunkedTest, MissingFinalChunkMarksTruncation) {
+  // The origin closes before the terminating 0-chunk: the decoded prefix
+  // surfaces, flagged truncated — never silently complete.
+  CannedOrigin origin(ChunkedReply("6\r\n<HTML>\r\n"));
+  SocketFetcher fetcher(CannedPolicy());
+  const HttpResponse response = fetcher.Get(origin.url());
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "<HTML>");
+  EXPECT_TRUE(response.body_truncated);
+}
+
+TEST(SocketFetcherChunkedTest, OversizeChunkedBodyClassifiedTooLarge) {
+  // One giant declared chunk, more body than --max-fetch-bytes allows: the
+  // read loop stops at its cap and RobustFetcher classifies the oversize.
+  const std::string big(8192, 'x');
+  CannedOrigin origin(ChunkedReply("2000\r\n" + big + "\r\n0\r\n\r\n"),
+                      /*connections=*/2);
+  FetchPolicy policy = CannedPolicy();
+  policy.max_response_bytes = 1024;
+  SocketFetcher inner(policy);
+  RobustFetcher fetcher(inner, policy);
+  const FetchResult result = fetcher.FetchPage(origin.url());
+  EXPECT_EQ(result.outcome, FetchOutcome::kTooLarge);
+}
+
+TEST(AsyncFetcherChunkedTest, DecodesChunkedReply) {
+  CannedOrigin origin(ChunkedReply("6\r\n<HTML>\r\n7\r\n</HTML>\r\n0\r\n\r\n"));
+  AsyncFetcher::Options options;
+  options.policy = CannedPolicy();
+  AsyncFetcher fetcher(options);
+  const FetchResult result = fetcher.FetchPage(origin.url());
+  ASSERT_TRUE(result.ok()) << result.detail;
+  EXPECT_EQ(result.response.body, "<HTML></HTML>");
+  EXPECT_FALSE(result.response.body_truncated);
+}
+
+TEST(AsyncFetcherChunkedTest, BadChunkSizeHexClassifiedMalformed) {
+  CannedOrigin origin(ChunkedReply("ZZ\r\njunk\r\n0\r\n\r\n"));
+  AsyncFetcher::Options options;
+  options.policy = CannedPolicy();
+  AsyncFetcher fetcher(options);
+  const FetchResult result = fetcher.FetchPage(origin.url());
+  EXPECT_EQ(result.outcome, FetchOutcome::kMalformed);
+}
+
+TEST(AsyncFetcherChunkedTest, MissingFinalChunkMarksTruncation) {
+  // The origin closes before the terminating 0-chunk. The decoded prefix
+  // never masquerades as a complete page: the attempt classifies as
+  // truncated (and would retry, were the budget nonzero).
+  CannedOrigin origin(ChunkedReply("6\r\n<HTML>\r\n"));
+  AsyncFetcher::Options options;
+  options.policy = CannedPolicy();
+  AsyncFetcher fetcher(options);
+  const FetchResult result = fetcher.FetchPage(origin.url());
+  EXPECT_EQ(result.outcome, FetchOutcome::kTruncated);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace weblint

@@ -23,6 +23,7 @@
 #include "net/http_server.h"
 #include "telemetry/metrics.h"
 #include "util/clock.h"
+#include "util/strings.h"
 #include "util/url.h"
 
 namespace weblint {
@@ -100,6 +101,34 @@ class TestClient {
       frame = HttpMessageLength(buffer_);
     }
     auto response = ParseHttpResponse(std::string_view(buffer_).substr(0, frame));
+    raw_last_.assign(buffer_, 0, frame);
+    buffer_.erase(0, frame);
+    return response;
+  }
+
+  // Reads one reply to a HEAD request: framed at its header block (the
+  // Content-Length describes the body a GET would have carried).
+  Result<HttpResponse> ReadHeadResponse(int timeout_ms = 5000) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (!HttpResponseComplete(buffer_, /*request_was_head=*/true)) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return Fail("client read timeout");
+      }
+      pollfd p{fd_, POLLIN, 0};
+      if (::poll(&p, 1, 50) <= 0) {
+        continue;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) {
+        return Fail("connection ended before the HEAD reply's headers");
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    const size_t frame = buffer_.find("\r\n\r\n") + 4;
+    auto response = ParseHttpResponse(std::string_view(buffer_).substr(0, frame),
+                                      /*request_was_head=*/true);
     raw_last_.assign(buffer_, 0, frame);
     buffer_.erase(0, frame);
     return response;
@@ -551,6 +580,118 @@ TEST(HttpServerConcurrentTest, MetricsEndpointServedFromWorkers) {
   EXPECT_EQ(scrape->status, 200);
   EXPECT_NE(scrape->body.find("weblint_demo_total 7"), std::string::npos);
   EXPECT_NE(scrape->body.find("weblint_http_requests_total 1"), std::string::npos);
+  server.Drain();
+}
+
+// A handler that streams its body in pieces when asked to, buffers it
+// otherwise — the two deliveries must be byte-identical for the client.
+HttpServer::Handler StreamingEcho(const std::vector<std::string>& pieces) {
+  return [pieces](const HttpRequest& request) {
+    HttpResponse response;
+    response.status = 200;
+    response.headers["content-type"] = "text/plain";
+    if (request.target == "/stream") {
+      response.body_stream = [pieces](const HttpResponse::BodySink& sink) {
+        for (const std::string& piece : pieces) {
+          sink(piece);
+        }
+      };
+    } else {
+      for (const std::string& piece : pieces) {
+        response.body += piece;
+      }
+    }
+    return response;
+  };
+}
+
+TEST(HttpServerConcurrentTest, StreamedResponseDeliveredChunkedAndByteIdentical) {
+  const std::vector<std::string> pieces = {"alpha ", "beta ", "gamma"};
+  HttpServer server(StreamingEcho(pieces));
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start({.threads = 2}).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send(Get("/stream")));
+  auto streamed = client.ReadResponse();
+  ASSERT_TRUE(streamed.ok()) << streamed.error();
+  EXPECT_EQ(streamed->status, 200);
+  EXPECT_TRUE(IContains(streamed->Header("transfer-encoding"), "chunked"));
+  EXPECT_EQ(streamed->body, "alpha beta gamma");
+
+  // Same connection (keep-alive survives a chunked response), buffered.
+  ASSERT_TRUE(client.Send(Get("/buffered", "close")));
+  auto buffered = client.ReadResponse();
+  ASSERT_TRUE(buffered.ok()) << buffered.error();
+  EXPECT_TRUE(buffered->Header("transfer-encoding").empty());
+  EXPECT_EQ(buffered->body, streamed->body);
+  EXPECT_TRUE(client.WaitForClose());
+  server.Drain();
+}
+
+TEST(HttpServerConcurrentTest, Http10ClientGetsMaterializedBodyNotChunks) {
+  // Chunked encoding does not exist in HTTP/1.0: the producer must be
+  // materialized and delivered with a Content-Length.
+  HttpServer server(StreamingEcho({"one ", "two"}));
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start({.threads = 1}).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send("GET /stream HTTP/1.0\r\nhost: t\r\n\r\n"));
+  auto response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_TRUE(response->Header("transfer-encoding").empty());
+  EXPECT_EQ(response->Header("content-length"), "7");
+  EXPECT_EQ(response->body, "one two");
+  server.Drain();
+}
+
+TEST(HttpServerConcurrentTest, HeadRequestAnswersHeadersOnly) {
+  HttpServer server(StreamingEcho({"head body bytes"}));
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start({.threads = 1}).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  // HEAD of the *streaming* resource: materialized internally, headers
+  // (with the GET's Content-Length) sent, no body — then keep-alive reuse.
+  ASSERT_TRUE(client.Send("HEAD /stream HTTP/1.1\r\nhost: t\r\n\r\n"));
+  auto head = client.ReadHeadResponse();
+  ASSERT_TRUE(head.ok()) << head.error();
+  EXPECT_EQ(head->status, 200);
+  EXPECT_EQ(head->Header("content-length"), "15");
+  EXPECT_TRUE(head->body.empty());
+
+  // The connection is positioned exactly after the header block: the next
+  // response arrives unpolluted by any stray body bytes.
+  ASSERT_TRUE(client.Send(Get("/buffered", "close")));
+  auto get = client.ReadResponse();
+  ASSERT_TRUE(get.ok()) << get.error();
+  EXPECT_EQ(get->body, "head body bytes");
+  server.Drain();
+}
+
+TEST(HttpServerConcurrentTest, MixedCaseHeaderNamesResolved) {
+  HttpServer server([](const HttpRequest& request) {
+    HttpResponse response;
+    response.status = 200;
+    response.body = std::string(request.Header("x-weblint-api-key"));
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start({.threads = 1}).ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.Send("GET / HTTP/1.1\r\nhost: t\r\nX-Weblint-API-KEY: beta\r\n"
+                          "Connection: CLOSE\r\n\r\n"));
+  auto response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_EQ(response->body, "beta");
+  // "Connection: CLOSE" honoured despite the shouting.
+  EXPECT_TRUE(client.WaitForClose());
   server.Drain();
 }
 

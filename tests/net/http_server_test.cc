@@ -53,6 +53,41 @@ Result<HttpResponse> Fetch(std::uint16_t port, const std::string& raw_request) {
   return ParseHttpResponse(response_bytes);
 }
 
+// Like Fetch, but hands back the raw wire bytes (for asserting what the
+// server actually sent, e.g. that a HEAD reply has no body).
+Result<std::string> FetchRaw(std::uint16_t port, const std::string& raw_request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Fail("client socket failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Fail("connect failed");
+  }
+  size_t written = 0;
+  while (written < raw_request.size()) {
+    const ssize_t n = ::write(fd, raw_request.data() + written, raw_request.size() - written);
+    if (n <= 0) {
+      ::close(fd);
+      return Fail("client write failed");
+    }
+    written += static_cast<size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response_bytes;
+  char chunk[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    response_bytes.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response_bytes;
+}
+
 TEST(HttpServerTest, EchoRoundTrip) {
   HttpServer server([](const HttpRequest& request) {
     HttpResponse response;
@@ -86,6 +121,69 @@ TEST(HttpServerTest, PostBodyDelivered) {
   serving.join();
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->body, "hello=world");
+}
+
+TEST(HttpServerTest, HeadAnswersHeadersOnlyWithContentLength) {
+  HttpServer server([](const HttpRequest& request) {
+    HttpResponse response;
+    response.status = 200;
+    response.headers["content-type"] = "text/html";
+    response.body = "<HTML>the GET body</HTML>";
+    EXPECT_EQ(request.method, "HEAD");
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread serving([&server] { (void)server.ServeOne(); });
+  auto raw = FetchRaw(server.port(), "HEAD /page HTTP/1.0\r\nHost: t\r\n\r\n");
+  serving.join();
+  ASSERT_TRUE(raw.ok()) << raw.error();
+  // Headers advertise the body a GET would have returned; no body follows.
+  auto response = ParseHttpResponse(*raw, /*request_was_head=*/true);
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->Header("content-length"),
+            std::to_string(std::string("<HTML>the GET body</HTML>").size()));
+  EXPECT_TRUE(raw->ends_with("\r\n\r\n")) << *raw;  // Nothing after headers.
+}
+
+TEST(HttpServerTest, MixedCaseRequestHeadersResolveCaseInsensitively) {
+  HttpServer server([](const HttpRequest& request) {
+    HttpResponse response;
+    response.status = 200;
+    // The handler looks fields up lowercase regardless of wire spelling.
+    response.body = std::string(request.Header("x-weblint-api-key")) + "/" +
+                    std::string(request.Header("CONTENT-TYPE"));
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread serving([&server] { (void)server.ServeOne(); });
+  auto response = Fetch(server.port(),
+                        "POST / HTTP/1.0\r\nX-WEBLINT-Api-Key: alpha\r\n"
+                        "content-TYPE: text/plain\r\nCONTENT-length: 2\r\n\r\nok");
+  serving.join();
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_EQ(response->body, "alpha/text/plain");
+}
+
+TEST(HttpServerTest, StreamedResponseMaterializedOnLegacyPath) {
+  // ServeOne cannot stream (it serves one-shot HTTP/1.0 style): a handler
+  // returning a producer must still yield the identical buffered bytes.
+  HttpServer server([](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 200;
+    response.body_stream = [](const HttpResponse::BodySink& sink) {
+      sink("first ");
+      sink("second");
+    };
+    return response;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread serving([&server] { (void)server.ServeOne(); });
+  auto response = Fetch(server.port(), "GET / HTTP/1.0\r\n\r\n");
+  serving.join();
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_EQ(response->body, "first second");
+  EXPECT_EQ(response->Header("content-length"), "12");
 }
 
 TEST(HttpServerTest, MalformedRequestGets400) {

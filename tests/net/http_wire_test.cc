@@ -192,5 +192,158 @@ TEST(HttpWireTest, ParseResponseStatusLine) {
   EXPECT_FALSE(ParseHttpResponse("NOT-HTTP 200 OK\r\n\r\n").ok());
 }
 
+// ---- Chunked transfer-encoding (RFC 7230 §4.1) ------------------------
+
+constexpr std::string_view kChunkedHead =
+    "HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\n";
+
+std::string Chunked(std::string_view tail) {
+  return std::string(kChunkedHead) + std::string(tail);
+}
+
+TEST(HttpChunkedTest, DecodesChunkedResponseBody) {
+  auto response = Chunked("5\r\nhello\r\n7\r\n, world\r\n0\r\n\r\n");
+  auto parsed = ParseHttpResponse(response);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed->body, "hello, world");
+  EXPECT_FALSE(parsed->body_truncated);
+}
+
+TEST(HttpChunkedTest, ChunkedWinsOverContentLength) {
+  // RFC 7230 §3.3.3: Transfer-Encoding takes precedence — decoding by the
+  // (bogus) Content-Length would smuggle framing bytes into the body.
+  auto parsed = ParseHttpResponse(
+      "HTTP/1.1 200 OK\r\ncontent-length: 3\r\ntransfer-encoding: chunked\r\n\r\n"
+      "4\r\nwxyz\r\n0\r\n\r\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed->body, "wxyz");
+}
+
+TEST(HttpChunkedTest, HexSizesCaseInsensitiveAndExtensionsIgnored) {
+  auto parsed = ParseHttpResponse(Chunked("A;ext=1\r\n0123456789\r\n0\r\n\r\n"));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed->body, "0123456789");
+  parsed = ParseHttpResponse(Chunked("a\r\n0123456789\r\n0\r\n\r\n"));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->body, "0123456789");
+}
+
+TEST(HttpChunkedTest, TrailerHeadersConsumed) {
+  const std::string raw = Chunked("3\r\nabc\r\n0\r\nx-checksum: 99\r\n\r\n");
+  EXPECT_EQ(HttpMessageLength(raw), raw.size());
+  auto parsed = ParseHttpResponse(raw);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->body, "abc");
+}
+
+TEST(HttpChunkedTest, BadChunkSizeHexIsMalformed) {
+  auto parsed = ParseHttpResponse(Chunked("XYZ\r\ndata\r\n0\r\n\r\n"));
+  EXPECT_FALSE(parsed.ok());
+  // An empty size line is just as hostile.
+  EXPECT_FALSE(ParseHttpResponse(Chunked("\r\ndata\r\n0\r\n\r\n")).ok());
+}
+
+TEST(HttpChunkedTest, ChunkDataNotFollowedByCrlfIsMalformed) {
+  EXPECT_FALSE(ParseHttpResponse(Chunked("3\r\nabcdef\r\n0\r\n\r\n")).ok());
+}
+
+TEST(HttpChunkedTest, MissingFinalChunkIsTruncatedNotComplete) {
+  // The terminating 0-chunk never arrives: the decoded prefix surfaces with
+  // the truncation flag set, and the framer keeps waiting.
+  const std::string raw = Chunked("5\r\nhello\r\n");
+  EXPECT_EQ(HttpMessageLength(raw), std::string_view::npos);
+  auto parsed = ParseHttpResponse(raw);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->body, "hello");
+  EXPECT_TRUE(parsed->body_truncated);
+}
+
+TEST(HttpChunkedTest, MissingFinalCrlfAfterLastChunkIsTruncated) {
+  const std::string raw = Chunked("5\r\nhello\r\n0\r\n");
+  EXPECT_EQ(HttpMessageLength(raw), std::string_view::npos);
+  auto parsed = ParseHttpResponse(raw);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->body_truncated);
+}
+
+TEST(HttpChunkedTest, OversizeChunkDeclarationIsMalformed) {
+  // A single declared chunk past 1 GiB is rejected up front — no cap-sized
+  // wait for bytes that will never arrive.
+  EXPECT_FALSE(ParseHttpResponse(Chunked("fffffffff\r\n")).ok());
+}
+
+TEST(HttpChunkedTest, UnterminatedGiantSizeLineIsMalformed) {
+  EXPECT_FALSE(ParseHttpResponse(Chunked(std::string(2048, '1'))).ok());
+}
+
+TEST(HttpChunkedTest, MalformedFramingFramesMessageAtHeaders) {
+  // A server framing an incoming chunked *request* must not swallow the
+  // hostile bytes: the message ends at its header block, and the garbage
+  // fails to parse as the next request.
+  const std::string raw =
+      "POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nZZZ\r\njunk";
+  EXPECT_EQ(HttpMessageLength(raw), raw.size() - std::string("ZZZ\r\njunk").size());
+}
+
+TEST(HttpChunkedTest, ChunkedRequestBodyDecoded) {
+  auto request = ParseHttpRequest(
+      "POST /submit HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4\r\nhtml\r\n3\r\n=xx\r\n0\r\n\r\n");
+  ASSERT_TRUE(request.ok()) << request.error();
+  EXPECT_EQ(request->body, "html=xx");
+}
+
+TEST(HttpChunkedTest, EncodeChunkRoundTrip) {
+  const std::string wire =
+      Chunked(EncodeChunk("hello") + EncodeChunk(", world") + EncodeChunk("") +
+              std::string(FinalChunk()));
+  auto parsed = ParseHttpResponse(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed->body, "hello, world");  // Empty sink writes add nothing.
+  EXPECT_EQ(HttpMessageLength(wire), wire.size());
+}
+
+TEST(HttpChunkedTest, BareLfChunkFramingTolerated) {
+  // The header parser tolerates bare LF; the chunk scanner matches it.
+  auto parsed = ParseHttpResponse(Chunked("3\nabc\n0\n\n"));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed->body, "abc");
+}
+
+TEST(HttpChunkedTest, TransferEncodingHeaderNameAndValueCaseInsensitive) {
+  auto parsed = ParseHttpResponse(
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: Chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed->body, "abc");
+}
+
+// ---- HEAD reply framing ----------------------------------------------
+
+TEST(HttpWireTest, HeadReplyFramedAtHeaderBlock) {
+  // A compliant HEAD reply carries the GET's Content-Length but no body.
+  const std::string raw = "HTTP/1.1 200 OK\r\ncontent-length: 1024\r\n\r\n";
+  EXPECT_FALSE(HttpResponseComplete(raw, /*request_was_head=*/false));
+  EXPECT_TRUE(HttpResponseComplete(raw, /*request_was_head=*/true));
+  auto parsed = ParseHttpResponse(raw, /*request_was_head=*/true);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->body.empty());
+  EXPECT_FALSE(parsed->body_truncated);
+  EXPECT_EQ(parsed->Header("content-length"), "1024");
+}
+
+TEST(HttpWireTest, MaterializeBodyStreamCollectsProducerOutput) {
+  HttpResponse response;
+  response.status = 200;
+  response.body_stream = [](const HttpResponse::BodySink& sink) {
+    sink("part one, ");
+    sink("part two");
+  };
+  MaterializeBodyStream(&response);
+  EXPECT_EQ(response.body, "part one, part two");
+  EXPECT_FALSE(static_cast<bool>(response.body_stream));
+  MaterializeBodyStream(&response);  // Idempotent on a materialized response.
+  EXPECT_EQ(response.body, "part one, part two");
+}
+
 }  // namespace
 }  // namespace weblint
